@@ -1,0 +1,49 @@
+//! E10 bench — `citation.cite` serialization and parsing vs entry count
+//! (the file format layer: citekit::file over sjson).
+
+use citekit::{file, CitationFunction};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gitcite_bench::citation;
+use gitlite::RepoPath;
+use std::time::Duration;
+
+fn function_with(entries: usize) -> CitationFunction {
+    let mut f = CitationFunction::new(citation("root"));
+    for i in 0..entries {
+        f.set(
+            RepoPath::parse(&format!("dir{}/sub{}/f{i}.txt", i % 16, i % 4)).unwrap(),
+            citation(&format!("e{i}")),
+            false,
+        );
+    }
+    f
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cite_file_io");
+    for entries in [10usize, 100, 1_000, 10_000] {
+        let func = function_with(entries);
+        let text = file::to_text(&func);
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(BenchmarkId::new("serialize", entries), &entries, |b, _| {
+            b.iter(|| file::to_text(&func))
+        });
+        g.bench_with_input(BenchmarkId::new("parse", entries), &entries, |b, _| {
+            b.iter(|| file::parse(&text).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("round_trip", entries), &entries, |b, _| {
+            b.iter(|| file::parse(&file::to_text(&func)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

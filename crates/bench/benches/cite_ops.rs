@@ -1,0 +1,54 @@
+//! E5 bench — AddCite / ModifyCite / DelCite / GenCite throughput on
+//! repositories of growing size (the cost is dominated by rewriting the
+//! citation file, which grows with the active domain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gitcite_bench::{citation, cited_repo};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cite_ops");
+    for files in [100usize, 1_000, 10_000] {
+        let (repo, paths) = cited_repo(files);
+        let target = paths[files / 2].clone();
+
+        g.bench_with_input(BenchmarkId::new("add_cite", files), &files, |b, _| {
+            b.iter_batched(
+                || repo.clone(),
+                |mut r| r.add_cite(&target, citation("x")).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        let mut cited = repo.clone();
+        cited.add_cite(&target, citation("x")).unwrap();
+        g.bench_with_input(BenchmarkId::new("modify_cite", files), &files, |b, _| {
+            b.iter_batched(
+                || cited.clone(),
+                |mut r| r.modify_cite(&target, citation("y")).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("del_cite", files), &files, |b, _| {
+            b.iter_batched(
+                || cited.clone(),
+                |mut r| r.del_cite(&target).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("gen_cite", files), &files, |b, _| {
+            b.iter(|| cited.cite(std::hint::black_box(&target)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

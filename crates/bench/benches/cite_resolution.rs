@@ -1,0 +1,51 @@
+//! E4 bench — `Cite(V,P)(n)` resolution latency vs tree depth and
+//! active-domain density, plus the resolution-policy variants.
+
+use citekit::ResolvePolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gitcite_bench::chain_function;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cite_resolution");
+
+    // Depth sweep at fixed 10% density.
+    for depth in [4usize, 16, 64, 256] {
+        let (func, query) = chain_function(depth, 10);
+        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
+            b.iter(|| func.resolve(std::hint::black_box(&query)))
+        });
+    }
+
+    // Density sweep at fixed depth 64.
+    for density in [0usize, 1, 10, 50, 100] {
+        let (func, query) = chain_function(64, density);
+        g.bench_with_input(BenchmarkId::new("density_pct", density), &density, |b, _| {
+            b.iter(|| func.resolve(std::hint::black_box(&query)))
+        });
+    }
+
+    // Policy comparison at depth 64, 50% density.
+    let (func, query) = chain_function(64, 50);
+    for (name, policy) in [
+        ("closest", ResolvePolicy::ClosestAncestor),
+        ("path_union", ResolvePolicy::PathUnion),
+        ("root_only", ResolvePolicy::RootOnly),
+    ] {
+        g.bench_function(BenchmarkId::new("policy", name), |b| {
+            b.iter(|| func.resolve_policy(std::hint::black_box(&query), policy))
+        });
+    }
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

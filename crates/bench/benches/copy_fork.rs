@@ -1,0 +1,47 @@
+//! E9 bench — CopyCite vs subtree size and ForkCite vs history length.
+
+use citekit::{fork_cite, ForkOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gitcite_bench::{cited_repo, copy_workload, sig};
+use gitlite::path;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copy_fork");
+
+    for files in [10usize, 100, 1_000] {
+        let (src, v, dst) = copy_workload(files);
+        g.bench_with_input(BenchmarkId::new("copy_cite_files", files), &files, |b, _| {
+            b.iter_batched(
+                || dst.clone(),
+                |mut d| d.copy_cite(&path("vendored"), src.repo(), v, &path("lib")).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    for commits in [10usize, 100, 500] {
+        let mut src = cited_repo(16).0;
+        for i in 0..commits {
+            src.write_file(&path(&format!("hist/f{i}.txt")), format!("{i}\n").into_bytes())
+                .unwrap();
+            src.commit(sig("author", i as i64 + 10), format!("c{i}")).unwrap();
+        }
+        let opts = ForkOptions::new("fork", "Forker", "https://hub.example/forker/fork");
+        g.bench_with_input(BenchmarkId::new("fork_cite_history", commits), &commits, |b, _| {
+            b.iter(|| fork_cite(src.repo(), &opts, sig("Forker", 10_000)).unwrap())
+        });
+    }
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E1 bench — the full Figure 1 running example (V1..V5: AddCite,
+//! CopyCite, MergeCite) executed end to end, plus its individual phases.
+
+use citekit::{CitedRepo, FailOnConflict, MergeStrategy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gitcite_bench::{citation, sig};
+use gitlite::path;
+use std::time::Duration;
+
+fn build_p2() -> (CitedRepo, gitlite::ObjectId) {
+    let mut p2 = CitedRepo::init("P2", "Susan", "https://hub/Susan/P2");
+    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..]).unwrap();
+    p2.write_file(&path("green/f2.txt"), &b"f2\n"[..]).unwrap();
+    p2.add_cite(&path("green/inner.c"), citation("C3")).unwrap();
+    let v3 = p2.commit(sig("Susan", 3_000), "V3").unwrap().commit;
+    (p2, v3)
+}
+
+fn full_scenario() -> gitlite::ObjectId {
+    let mut p1 = CitedRepo::init("P1", "Leshang", "https://hub/Leshang/P1");
+    p1.write_file(&path("f1.txt"), &b"f1\n"[..]).unwrap();
+    p1.commit(sig("Leshang", 1_000), "V1").unwrap();
+    p1.create_branch("copy-arm").unwrap();
+    p1.add_cite(&path("f1.txt"), citation("C2")).unwrap();
+    p1.commit(sig("Leshang", 2_000), "V2").unwrap();
+    let (p2, v3) = build_p2();
+    p1.checkout_branch("copy-arm").unwrap();
+    p1.copy_cite(&path("green"), p2.repo(), v3, &path("green")).unwrap();
+    p1.commit(sig("Leshang", 4_000), "V4").unwrap();
+    p1.checkout_branch("main").unwrap();
+    let report = p1
+        .merge_cite("copy-arm", sig("Leshang", 5_000), "V5", MergeStrategy::Union, &mut FailOnConflict)
+        .unwrap();
+    match report.outcome {
+        citekit::MergeCiteOutcome::Merged(v5) => v5,
+        other => panic!("figure 1 merge must be clean: {other:?}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_scenario");
+    g.bench_function("full_v1_to_v5", |b| b.iter(full_scenario));
+    g.bench_function("addcite_commit_phase", |b| {
+        b.iter_batched(
+            || {
+                let mut p1 = CitedRepo::init("P1", "Leshang", "https://hub/P1");
+                p1.write_file(&path("f1.txt"), &b"f1\n"[..]).unwrap();
+                p1.commit(sig("Leshang", 1_000), "V1").unwrap();
+                p1
+            },
+            |mut p1| {
+                p1.add_cite(&path("f1.txt"), citation("C2")).unwrap();
+                p1.commit(sig("Leshang", 2_000), "V2").unwrap();
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("copycite_phase", |b| {
+        let (p2, v3) = build_p2();
+        b.iter_batched(
+            || {
+                let mut p1 = CitedRepo::init("P1", "Leshang", "https://hub/P1");
+                p1.write_file(&path("f1.txt"), &b"f1\n"[..]).unwrap();
+                p1.commit(sig("Leshang", 1_000), "V1").unwrap();
+                p1
+            },
+            |mut p1| {
+                p1.copy_cite(&path("green"), p2.repo(), v3, &path("green")).unwrap();
+                p1.commit(sig("Leshang", 4_000), "V4").unwrap();
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

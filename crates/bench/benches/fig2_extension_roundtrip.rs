@@ -1,0 +1,87 @@
+//! E2 bench — browser-extension popup round trips against the hub:
+//! anonymous GenCite, member select, and a full add/modify/delete cycle.
+
+use citekit::CitedRepo;
+use criterion::{criterion_group, criterion_main, Criterion};
+use extension::Popup;
+use gitcite_bench::{citation, sig};
+use gitlite::path;
+use hub::{Hub, Role, Token};
+use std::time::Duration;
+
+fn platform() -> (Hub, Token, String) {
+    let hub = Hub::new("https://hub.example");
+    hub.register_user("owner", "The Owner").unwrap();
+    hub.register_user("member", "A Member").unwrap();
+    let owner = hub.login("owner").unwrap();
+    let repo_id = hub.create_repo(&owner, "demo").unwrap();
+    hub.add_member(&owner, &repo_id, "member", Role::Member).unwrap();
+    let mut local = CitedRepo::open(hub.clone_repo(&repo_id).unwrap()).unwrap();
+    for i in 0..32 {
+        local
+            .write_file(&path(&format!("src/m{}/f{i}.rs", i % 4)), format!("// {i}\n").into_bytes())
+            .unwrap();
+    }
+    local.add_cite(&path("src"), citation("core")).unwrap();
+    local.commit(sig("owner", 100), "seed").unwrap();
+    hub.push(&owner, &repo_id, "main", local.repo(), "main", false).unwrap();
+    let member = hub.login("member").unwrap();
+    (hub, member, repo_id)
+}
+
+fn bench(c: &mut Criterion) {
+    let (hub, member, repo_id) = platform();
+    let mut g = c.benchmark_group("fig2_extension");
+
+    g.bench_function("anonymous_select_generate", |b| {
+        b.iter(|| {
+            let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+            popup.select(&path("src/m1/f1.rs")).unwrap();
+            popup.view().text_box.len()
+        })
+    });
+
+    g.bench_function("gencite_api_only", |b| {
+        b.iter(|| hub.generate_citation(&repo_id, "main", &path("src/m2/f2.rs")).unwrap())
+    });
+
+    g.bench_function("member_sign_in_and_select", |b| {
+        b.iter(|| {
+            let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+            popup.sign_in(member.clone()).unwrap();
+            popup.select(&path("src/m3/f3.rs")).unwrap();
+            popup.view().buttons
+        })
+    });
+
+    g.bench_function("member_add_modify_delete_cycle", |b| {
+        b.iter(|| {
+            let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+            popup.sign_in(member.clone()).unwrap();
+            popup.select(&path("src/m0/f0.rs")).unwrap();
+            popup.edit_text(citation("cycle").to_value().to_string_pretty());
+            popup.add().unwrap();
+            popup.edit_text(citation("cycle2").to_value().to_string_pretty());
+            popup.modify().unwrap();
+            popup.delete().unwrap();
+        })
+    });
+
+    g.bench_function("export_bibtex", |b| {
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.select(&path("src/m1/f5.rs")).unwrap();
+        b.iter(|| popup.export(bibformat::Format::Bibtex).unwrap())
+    });
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

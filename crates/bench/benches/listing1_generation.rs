@@ -1,0 +1,99 @@
+//! E3 bench — regenerating Listing 1: the CiteDB demo scenario end to end
+//! (CopyCite + branch + MergeCite + publish) and the citation-file
+//! rendering of the final version.
+
+use citekit::{file, parse_iso8601, Citation, CitedRepo, FailOnConflict, MergeStrategy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gitlite::{path, Signature};
+use std::time::Duration;
+
+fn ts(iso: &str) -> i64 {
+    parse_iso8601(iso).unwrap()
+}
+
+fn scenario() -> (CitedRepo, gitlite::ObjectId) {
+    let mut corecover = CitedRepo::init_with_root(
+        "alu01-corecover",
+        Citation::builder("alu01-corecover", "Chen Li")
+            .url("https://github.com/chenlica/alu01-corecover")
+            .author("Chen Li")
+            .build(),
+    );
+    corecover.write_file(&path("CoreCover/CoreCover.java"), &b"// algo\n"[..]).unwrap();
+    corecover
+        .commit(Signature::new("Chen Li", "c@x", ts("2018-03-24T00:29:45Z")), "CoreCover")
+        .unwrap();
+    let v_cc = corecover.repo().head_commit().unwrap();
+
+    let mut demo = CitedRepo::init_with_root(
+        "Data_citation_demo",
+        Citation::builder("Data_citation_demo", "Yinjun Wu")
+            .url("https://github.com/thuwuyinjun/Data_citation_demo")
+            .author("Yinjun Wu")
+            .build(),
+    );
+    demo.write_file(&path("citation/engine.py"), &b"# engine\n"[..]).unwrap();
+    demo.commit(Signature::new("Yinjun Wu", "w@x", ts("2017-05-01T00:00:00Z")), "init").unwrap();
+    demo.create_branch("gui").unwrap();
+    demo.checkout_branch("gui").unwrap();
+    demo.write_file(&path("citation/GUI/app.js"), &b"// gui\n"[..]).unwrap();
+    demo.add_cite(
+        &path("citation/GUI"),
+        Citation::builder("Data_citation_demo", "Yinjun Wu")
+            .author("Yanssie")
+            .commit("", "2017-06-16T20:57:06Z")
+            .build(),
+    )
+    .unwrap();
+    demo.commit(Signature::new("Yanssie", "y@x", ts("2017-06-16T20:57:06Z")), "GUI").unwrap();
+    demo.checkout_branch("main").unwrap();
+    demo.copy_cite(&path("CoreCover"), corecover.repo(), v_cc, &path("CoreCover")).unwrap();
+    demo.commit(
+        Signature::new("Yinjun Wu", "w@x", ts("2018-03-24T00:29:45Z") + 3600),
+        "import CoreCover",
+    )
+    .unwrap();
+    demo.merge_cite(
+        "gui",
+        Signature::new("Yinjun Wu", "w@x", ts("2018-08-01T00:00:00Z")),
+        "Merge branch 'gui'",
+        MergeStrategy::Union,
+        &mut FailOnConflict,
+    )
+    .unwrap();
+    let out = demo
+        .publish(Signature::new("Yinjun Wu", "w@x", ts("2018-09-04T02:35:20Z")), None, None)
+        .unwrap();
+    (demo, out.commit)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("listing1");
+    g.bench_function("full_scenario", |b| b.iter(scenario));
+
+    let (demo, released) = scenario();
+    let func = demo.function_at(released).unwrap();
+    g.bench_function("render_citation_file", |b| b.iter(|| file::to_text(&func)));
+    let text = file::to_text(&func);
+    g.bench_function("parse_citation_file", |b| b.iter(|| file::parse(&text).unwrap()));
+    g.bench_function("resolve_all_three_entries", |b| {
+        b.iter(|| {
+            (
+                demo.cite_at(released, &path("CoreCover/CoreCover.java")).unwrap(),
+                demo.cite_at(released, &path("citation/GUI/app.js")).unwrap(),
+                demo.cite_at(released, &path("citation/engine.py")).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E6/E8 bench — MergeCite scaling and the conflict-strategy ablation:
+//! citation-function merging vs entry count, conflict rate, and strategy
+//! (the paper's union vs the future-work three-way).
+
+use citekit::merge::merge_functions;
+use citekit::{MergeStrategy, PreferOurs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gitcite_bench::merge_functions_workload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_cite");
+
+    // Entry-count sweep, no conflicts.
+    for entries in [10usize, 100, 1_000, 10_000] {
+        let (base, ours, theirs) = merge_functions_workload(entries, 0);
+        g.bench_with_input(BenchmarkId::new("entries_union", entries), &entries, |b, _| {
+            b.iter(|| {
+                merge_functions(
+                    &ours,
+                    &theirs,
+                    Some(&base),
+                    MergeStrategy::Union,
+                    &mut PreferOurs,
+                    |_, _| true,
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // Conflict-rate sweep at 1000 entries, under union (resolver pays per
+    // conflict) and three-way (double edits only; here every conflict is a
+    // double edit, so the strategies differ in recording, not skipping).
+    for conflict_pct in [0usize, 1, 10, 50] {
+        let entries = 1_000;
+        let conflicts = entries * conflict_pct / 100;
+        let (base, ours, theirs) = merge_functions_workload(entries, conflicts);
+        g.bench_with_input(
+            BenchmarkId::new("conflict_pct_union", conflict_pct),
+            &conflict_pct,
+            |b, _| {
+                b.iter(|| {
+                    merge_functions(
+                        &ours,
+                        &theirs,
+                        Some(&base),
+                        MergeStrategy::Union,
+                        &mut PreferOurs,
+                        |_, _| true,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("conflict_pct_three_way", conflict_pct),
+            &conflict_pct,
+            |b, _| {
+                b.iter(|| {
+                    merge_functions(
+                        &ours,
+                        &theirs,
+                        Some(&base),
+                        MergeStrategy::ThreeWay,
+                        &mut PreferOurs,
+                        |_, _| true,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+
+    // Strategy ablation on one-sided edits: three-way auto-resolves where
+    // union must call the resolver — measure with theirs-only edits.
+    {
+        let entries = 1_000;
+        let (base, _, theirs) = merge_functions_workload(entries, 200);
+        let ours = base.clone(); // ours unchanged since base: one-sided
+        for (name, strategy) in
+            [("union", MergeStrategy::Union), ("three_way", MergeStrategy::ThreeWay)]
+        {
+            g.bench_function(BenchmarkId::new("one_sided_edits", name), |b| {
+                b.iter(|| {
+                    merge_functions(&ours, &theirs, Some(&base), strategy, &mut PreferOurs, |_, _| {
+                        true
+                    })
+                    .unwrap()
+                })
+            });
+        }
+    }
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

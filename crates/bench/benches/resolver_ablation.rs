@@ -1,0 +1,55 @@
+//! E7 bench — resolver ablation: the map-walk resolver
+//! (`CitationFunction::resolve`, what the paper's file-based tool
+//! effectively does) vs the path-trie index (`CiteIndex`), on single
+//! queries and on bulk whole-tree resolution.
+
+use citekit::CiteIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gitcite_bench::{chain_function, tree_function};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resolver_ablation");
+
+    // Single-query latency on deep chains.
+    for depth in [16usize, 64, 256] {
+        let (func, query) = chain_function(depth, 10);
+        let index = CiteIndex::build(&func);
+        g.bench_with_input(BenchmarkId::new("map_walk", depth), &depth, |b, _| {
+            b.iter(|| func.resolve(std::hint::black_box(&query)))
+        });
+        g.bench_with_input(BenchmarkId::new("trie", depth), &depth, |b, _| {
+            b.iter(|| index.resolve(std::hint::black_box(&query)).unwrap())
+        });
+    }
+
+    // Bulk: resolve every file of a 4096-file tree with 256 citations.
+    let (func, queries) = tree_function(4_096, 256, 42);
+    let index = CiteIndex::build(&func);
+    g.bench_function("bulk_map_walk_4096", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for q in &queries {
+                n += func.resolve(q).1.repo_name.len();
+            }
+            n
+        })
+    });
+    g.bench_function("bulk_trie_4096", |b| {
+        b.iter(|| index.resolve_all(queries.iter()).len())
+    });
+    // Include build cost for fairness: trie amortizes over many queries.
+    g.bench_function("trie_build_4096", |b| b.iter(|| CiteIndex::build(&func).len()));
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

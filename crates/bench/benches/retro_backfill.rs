@@ -1,0 +1,49 @@
+//! E12 bench — retroactive citation synthesis (future work #2): tip-only
+//! retrofit and full-history rewriting vs history length and author count.
+
+use citekit::{retrofit, retrofit_history, RetrofitOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gitcite_bench::{legacy_history, sig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retro_backfill");
+    let opts = RetrofitOptions::new("maintainer", "https://hub.example/lab/legacy");
+
+    for commits in [10usize, 100, 300] {
+        let repo = legacy_history(commits, 4, 6);
+        g.bench_with_input(BenchmarkId::new("retrofit_tip", commits), &commits, |b, _| {
+            b.iter_batched(
+                || repo.clone(),
+                |r| retrofit(r, &opts, sig("maintainer", 1_000_000)).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("retrofit_history", commits), &commits, |b, _| {
+            b.iter(|| retrofit_history(&repo, &opts).unwrap())
+        });
+    }
+
+    for authors in [1usize, 8, 32] {
+        let repo = legacy_history(100, authors, 6);
+        g.bench_with_input(BenchmarkId::new("retrofit_tip_authors", authors), &authors, |b, _| {
+            b.iter_batched(
+                || repo.clone(),
+                |r| retrofit(r, &opts, sig("maintainer", 1_000_000)).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Workload generators shared by the GitCite benchmark harness.
+//!
+//! Every experiment in EXPERIMENTS.md builds its inputs here so the
+//! parameters (tree shapes, active-domain densities, conflict rates,
+//! history lengths) are defined once and reported consistently.
+
+use citekit::{Citation, CitationFunction, CitedRepo};
+use gitlite::{RepoPath, Repository, Signature, WorkTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A throwaway citation whose identity encodes `tag`.
+pub fn citation(tag: &str) -> Citation {
+    Citation::builder(format!("repo-{tag}"), format!("owner-{tag}"))
+        .url(format!("https://hub.example/{tag}"))
+        .commit("abc1234", "2020-01-01T00:00:00Z")
+        .author(format!("author-{tag}"))
+        .build()
+}
+
+/// Signature helper with a logical timestamp.
+pub fn sig(name: &str, t: i64) -> Signature {
+    Signature::new(name, format!("{name}@bench"), t)
+}
+
+/// Builds a balanced directory tree with `files` files spread `fanout`
+/// wide and `depth` deep. Returns the worktree and the file paths.
+pub fn synthetic_tree(files: usize, depth: usize, fanout: usize) -> (WorkTree, Vec<RepoPath>) {
+    let mut wt = WorkTree::new();
+    let mut paths = Vec::with_capacity(files);
+    for i in 0..files {
+        let mut components = Vec::with_capacity(depth + 1);
+        let mut v = i;
+        for d in 0..depth {
+            components.push(format!("d{d}_{}", v % fanout));
+            v /= fanout;
+        }
+        components.push(format!("file{i}.txt"));
+        let path = RepoPath::parse(&components.join("/")).expect("valid");
+        wt.write(&path, format!("contents of file {i}\nline 2\nline 3\n").into_bytes())
+            .expect("no collisions in synthetic tree");
+        paths.push(path);
+    }
+    (wt, paths)
+}
+
+/// A chain path `d0/d1/.../d{depth-1}/leaf.txt`.
+pub fn chain_path(depth: usize) -> RepoPath {
+    let mut components: Vec<String> = (0..depth).map(|d| format!("d{d}")).collect();
+    components.push("leaf.txt".to_owned());
+    RepoPath::parse(&components.join("/")).expect("valid")
+}
+
+/// A citation function over a single deep chain: `density_pct` percent of
+/// the chain's directories are cited. Returns the function and the deepest
+/// query path (worst case for ancestor walks).
+pub fn chain_function(depth: usize, density_pct: usize) -> (CitationFunction, RepoPath) {
+    let mut func = CitationFunction::new(citation("root"));
+    let query = chain_path(depth);
+    let mut prefix = RepoPath::root();
+    for d in 0..depth {
+        prefix = prefix.child(&format!("d{d}"));
+        // Cite evenly spaced levels; density 100 cites every level.
+        if density_pct > 0 && (d * density_pct) / 100 != ((d + 1) * density_pct) / 100 {
+            func.set(prefix.clone(), citation(&format!("level{d}")), true);
+        }
+    }
+    (func, query)
+}
+
+/// A citation function over the synthetic tree with `cited` random
+/// directories/files in the active domain. Returns the function and all
+/// file paths (the query set).
+pub fn tree_function(files: usize, cited: usize, seed: u64) -> (CitationFunction, Vec<RepoPath>) {
+    let (wt, paths) = synthetic_tree(files, 4, 4);
+    let mut func = CitationFunction::new(citation("root"));
+    let mut r = rng(seed);
+    for i in 0..cited {
+        let p = &paths[r.gen_range(0..paths.len())];
+        // Cite the file or one of its ancestor dirs, at random.
+        let anc: Vec<RepoPath> = p.ancestors().collect();
+        let target = if r.gen_bool(0.5) || anc.len() <= 1 {
+            p.clone()
+        } else {
+            anc[r.gen_range(0..anc.len() - 1)].clone()
+        };
+        let is_dir = wt.is_dir(&target);
+        func.set(target, citation(&format!("c{i}")), is_dir);
+    }
+    (func, paths)
+}
+
+/// A citation-enabled repository containing `files` committed files.
+pub fn cited_repo(files: usize) -> (CitedRepo, Vec<RepoPath>) {
+    let (wt, paths) = synthetic_tree(files, 3, 4);
+    let mut repo = CitedRepo::init("bench", "Bench Owner", "https://hub.example/bench");
+    for (p, data) in wt.iter() {
+        repo.write_file(p, data.clone()).expect("fresh paths");
+    }
+    repo.commit(sig("bench", 1), "seed").expect("commit");
+    (repo, paths)
+}
+
+/// Two citation functions that agree on `entries - conflicts` keys and
+/// disagree on `conflicts` keys, plus their common base — the MergeCite
+/// workload (E6/E8).
+pub fn merge_functions_workload(
+    entries: usize,
+    conflicts: usize,
+) -> (CitationFunction, CitationFunction, CitationFunction) {
+    assert!(conflicts <= entries);
+    let base = {
+        let mut f = CitationFunction::new(citation("root"));
+        for i in 0..entries {
+            f.set(
+                RepoPath::parse(&format!("dir{}/f{i}.txt", i % 16)).unwrap(),
+                citation(&format!("base{i}")),
+                false,
+            );
+        }
+        f
+    };
+    let mut ours = base.clone();
+    let mut theirs = base.clone();
+    for i in 0..conflicts {
+        let key = RepoPath::parse(&format!("dir{}/f{i}.txt", i % 16)).unwrap();
+        ours.set(key.clone(), citation(&format!("ours{i}")), false);
+        theirs.set(key, citation(&format!("theirs{i}")), false);
+    }
+    // Disjoint additions on both sides (merge must union them).
+    for i in 0..entries / 4 {
+        ours.set(RepoPath::parse(&format!("ours-only/f{i}.txt")).unwrap(), citation("o"), false);
+        theirs.set(RepoPath::parse(&format!("theirs-only/f{i}.txt")).unwrap(), citation("t"), false);
+    }
+    (base, ours, theirs)
+}
+
+/// A plain (uncited) repository with `commits` commits by `authors`
+/// rotating authors, each touching one of `dirs` top-level directories —
+/// the retrofit workload (E12).
+pub fn legacy_history(commits: usize, authors: usize, dirs: usize) -> Repository {
+    let mut repo = Repository::init("legacy-bench");
+    for i in 0..commits {
+        let author = format!("author{}", i % authors);
+        let dir = format!("dir{}", i % dirs);
+        repo.worktree_mut()
+            .write(
+                &RepoPath::parse(&format!("{dir}/file{i}.txt")).unwrap(),
+                format!("content {i}\n").into_bytes(),
+            )
+            .expect("fresh path");
+        repo.commit(sig(&author, i as i64 + 1), format!("commit {i}")).expect("commit");
+    }
+    repo
+}
+
+/// A repository pair for the CopyCite benchmark: the source holds a
+/// subtree of `subtree_files` files with citations sprinkled every 8th
+/// file; the destination is small.
+pub fn copy_workload(subtree_files: usize) -> (CitedRepo, gitlite::ObjectId, CitedRepo) {
+    let mut src = CitedRepo::init("src", "Src Owner", "https://hub.example/src");
+    for i in 0..subtree_files {
+        let p = RepoPath::parse(&format!("lib/m{}/f{i}.txt", i % 8)).unwrap();
+        src.write_file(&p, format!("file {i}\n").into_bytes()).unwrap();
+        if i % 8 == 0 {
+            src.add_cite(&p, citation(&format!("s{i}"))).unwrap();
+        }
+    }
+    let v = src.commit(sig("src", 1), "source").unwrap().commit;
+    let mut dst = CitedRepo::init("dst", "Dst Owner", "https://hub.example/dst");
+    dst.write_file(&gitlite::path("own.txt"), &b"own\n"[..]).unwrap();
+    dst.commit(sig("dst", 1), "dest").unwrap();
+    (src, v, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_tree_shapes() {
+        let (wt, paths) = synthetic_tree(100, 3, 4);
+        assert_eq!(wt.len(), 100);
+        assert_eq!(paths.len(), 100);
+        assert!(paths.iter().all(|p| p.depth() == 4));
+    }
+
+    #[test]
+    fn chain_function_density() {
+        let (f0, _) = chain_function(64, 0);
+        assert_eq!(f0.len(), 1); // root only
+        let (f100, q) = chain_function(64, 100);
+        assert_eq!(f100.len(), 65); // root + every level
+        let (fp, c) = f100.resolve(&q);
+        assert_eq!(fp.depth(), 64);
+        assert!(c.repo_name.contains("level63"));
+        let (f50, _) = chain_function(64, 50);
+        assert_eq!(f50.len(), 33);
+    }
+
+    #[test]
+    fn merge_workload_counts() {
+        let (base, ours, theirs) = merge_functions_workload(100, 10);
+        assert_eq!(base.len(), 101);
+        assert_eq!(ours.len(), 101 + 25);
+        assert_eq!(theirs.len(), 101 + 25);
+        let mut diff = 0;
+        for p in base.paths() {
+            if ours.get(p) != theirs.get(p) {
+                diff += 1;
+            }
+        }
+        assert_eq!(diff, 10);
+    }
+
+    #[test]
+    fn legacy_history_builds() {
+        let repo = legacy_history(20, 3, 4);
+        assert_eq!(repo.log_head().unwrap().len(), 20);
+    }
+
+    #[test]
+    fn copy_workload_builds() {
+        let (src, v, dst) = copy_workload(32);
+        assert!(src.repo().path_exists_at(v, &gitlite::path("lib")).unwrap());
+        assert_eq!(dst.function().len(), 1);
+    }
+}

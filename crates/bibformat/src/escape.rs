@@ -1,0 +1,110 @@
+//! Escaping helpers for the output formats.
+
+/// Escapes a string for use inside a BibTeX field value (within braces).
+///
+/// The BibTeX special characters `\ { } % & $ # _ ~ ^` are escaped; other
+/// characters pass through (modern BibTeX/biber handle UTF-8).
+pub fn bibtex(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\textbackslash{}"),
+            '{' => out.push_str("\\{"),
+            '}' => out.push_str("\\}"),
+            '%' => out.push_str("\\%"),
+            '&' => out.push_str("\\&"),
+            '$' => out.push_str("\\$"),
+            '#' => out.push_str("\\#"),
+            '_' => out.push_str("\\_"),
+            '~' => out.push_str("\\textasciitilde{}"),
+            '^' => out.push_str("\\textasciicircum{}"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Quotes a string as a YAML scalar when needed (CFF files are YAML).
+///
+/// Plain scalars are returned as-is; anything with YAML-significant
+/// characters, leading/trailing space, or an empty string gets
+/// double-quoted with `"` and `\` escaped.
+pub fn yaml(s: &str) -> String {
+    let needs_quoting = s.is_empty()
+        || s.starts_with(char::is_whitespace)
+        || s.ends_with(char::is_whitespace)
+        || s.chars().any(|c| ":#{}[]&*!|>'\"%@`,".contains(c) || c == '\n')
+        || matches!(s, "true" | "false" | "null" | "yes" | "no" | "~")
+        || s.parse::<f64>().is_ok();
+    if needs_quoting {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Builds a BibTeX citation key: lowercase alphanumerics of the inputs
+/// joined, e.g. `wu2018datacitationdemo`.
+pub fn bibtex_key(owner: &str, year: &str, repo: &str) -> String {
+    let clean = |s: &str| -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let owner_last = owner.split_whitespace().last().unwrap_or(owner);
+    let mut key = format!("{}{}{}", clean(owner_last), clean(year), clean(repo));
+    if key.is_empty() {
+        key = "software".to_owned();
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bibtex_specials() {
+        assert_eq!(bibtex("a_b & c%"), "a\\_b \\& c\\%");
+        assert_eq!(bibtex("{x}"), "\\{x\\}");
+        assert_eq!(bibtex("50$ #1 ~x ^y"), "50\\$ \\#1 \\textasciitilde{}x \\textasciicircum{}y");
+        assert_eq!(bibtex("back\\slash"), "back\\textbackslash{}slash");
+        assert_eq!(bibtex("plain text é"), "plain text é");
+    }
+
+    #[test]
+    fn yaml_plain_passthrough() {
+        assert_eq!(yaml("Data_citation_demo"), "Data_citation_demo");
+        assert_eq!(yaml("Yinjun Wu"), "Yinjun Wu");
+    }
+
+    #[test]
+    fn yaml_quoting() {
+        assert_eq!(yaml("a: b"), "\"a: b\"");
+        assert_eq!(yaml(""), "\"\"");
+        assert_eq!(yaml(" padded"), "\" padded\"");
+        assert_eq!(yaml("true"), "\"true\"");
+        assert_eq!(yaml("3.14"), "\"3.14\"");
+        assert_eq!(yaml("has \"quotes\""), "\"has \\\"quotes\\\"\"");
+        assert_eq!(yaml("line\nbreak"), "\"line\\nbreak\"");
+    }
+
+    #[test]
+    fn key_generation() {
+        assert_eq!(bibtex_key("Yinjun Wu", "2018", "Data_citation_demo"), "wu2018datacitationdemo");
+        assert_eq!(bibtex_key("Chen Li", "2018", "alu01-corecover"), "li2018alu01corecover");
+        assert_eq!(bibtex_key("", "", ""), "software");
+    }
+}

@@ -1,0 +1,33 @@
+//! # bibformat — bibliography rendering for GitCite citations
+//!
+//! The browser extension's generated citation "can then be copy-pasted to
+//! their local bibliography manager" (paper §3). This crate renders
+//! [`citekit::Citation`] records in the formats those managers consume:
+//!
+//! * [`Format::Bibtex`] — a `@software{...}` entry,
+//! * [`Format::Cff`] — the Citation File Format the paper cites
+//!   (Druskat et al., refs [9, 10]),
+//! * [`Format::Plain`] — APA-style text,
+//! * [`Format::Json`] — the raw Listing-1-shaped record.
+//!
+//! ```
+//! use citekit::Citation;
+//! use bibformat::{render, Format};
+//!
+//! let c = Citation::builder("Data_citation_demo", "Yinjun Wu")
+//!     .commit("bbd248a", "2018-09-04T02:35:20Z")
+//!     .url("https://github.com/thuwuyinjun/Data_citation_demo")
+//!     .author("Yinjun Wu")
+//!     .build();
+//! let bib = render(&c, Format::Bibtex);
+//! assert!(bib.starts_with("@software{wu2018datacitationdemo,"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod escape;
+mod render;
+
+pub use escape::{bibtex as escape_bibtex, bibtex_key, yaml as escape_yaml};
+pub use render::{render, Format};

@@ -1,0 +1,287 @@
+//! The four output renderers: BibTeX, CFF, plain text and JSON.
+//!
+//! The paper's popup produces a citation "which can then be copy-pasted to
+//! their local bibliography manager" (§3); these renderers produce the
+//! formats such managers actually ingest. CFF follows the Citation File
+//! Format the paper cites ([9, 10]).
+
+use crate::escape::{bibtex as esc, bibtex_key, yaml};
+use citekit::Citation;
+use std::fmt::Write;
+
+/// The supported output formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// A `@software{...}` BibTeX entry.
+    #[default]
+    Bibtex,
+    /// A Citation File Format (`CITATION.cff`) document.
+    Cff,
+    /// A one-paragraph APA-style plain-text citation.
+    Plain,
+    /// The raw JSON record (Listing 1 shape), pretty-printed.
+    Json,
+}
+
+impl Format {
+    /// Parses a format name as used by the CLI (`--format bibtex`).
+    pub fn parse(s: &str) -> Option<Format> {
+        match s.to_ascii_lowercase().as_str() {
+            "bibtex" | "bib" => Some(Format::Bibtex),
+            "cff" => Some(Format::Cff),
+            "plain" | "text" | "apa" => Some(Format::Plain),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a citation in the requested format.
+pub fn render(citation: &Citation, format: Format) -> String {
+    match format {
+        Format::Bibtex => render_bibtex(citation),
+        Format::Cff => render_cff(citation),
+        Format::Plain => render_plain(citation),
+        Format::Json => {
+            let mut s = citation.to_value().to_string_pretty();
+            s.push('\n');
+            s
+        }
+    }
+}
+
+/// The year (`"2018"`) out of an ISO date, or empty.
+fn year_of(date: &str) -> &str {
+    if date.len() >= 4 && date.as_bytes()[..4].iter().all(u8::is_ascii_digit) {
+        &date[..4]
+    } else {
+        ""
+    }
+}
+
+/// The month number (`"09"`) out of an ISO date, or empty.
+fn month_of(date: &str) -> &str {
+    if date.len() >= 7 && date.as_bytes()[5..7].iter().all(u8::is_ascii_digit) {
+        &date[5..7]
+    } else {
+        ""
+    }
+}
+
+fn render_bibtex(c: &Citation) -> String {
+    let year = year_of(&c.committed_date);
+    let key = bibtex_key(&c.owner, year, &c.repo_name);
+    let mut out = String::new();
+    let _ = writeln!(out, "@software{{{key},");
+    if !c.author_list.is_empty() {
+        let authors = c
+            .author_list
+            .iter()
+            .map(|a| esc(a))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let _ = writeln!(out, "  author  = {{{authors}}},");
+    }
+    let _ = writeln!(out, "  title   = {{{}}},", esc(&c.repo_name));
+    if !year.is_empty() {
+        let _ = writeln!(out, "  year    = {{{year}}},");
+    }
+    let month = month_of(&c.committed_date);
+    if !month.is_empty() {
+        let _ = writeln!(out, "  month   = {{{month}}},");
+    }
+    if let Some(v) = &c.version {
+        let _ = writeln!(out, "  version = {{{}}},", esc(v));
+    }
+    if !c.commit_id.is_empty() {
+        let _ = writeln!(out, "  note    = {{commit {}}},", esc(&c.commit_id));
+    }
+    if let Some(doi) = &c.doi {
+        let _ = writeln!(out, "  doi     = {{{}}},", esc(doi));
+    }
+    if !c.url.is_empty() {
+        let _ = writeln!(out, "  url     = {{{}}},", c.url);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_cff(c: &Citation) -> String {
+    let mut out = String::new();
+    out.push_str("cff-version: 1.2.0\n");
+    out.push_str("message: If you use this software, please cite it as below.\n");
+    let _ = writeln!(out, "title: {}", yaml(&c.repo_name));
+    if !c.author_list.is_empty() {
+        out.push_str("authors:\n");
+        for a in &c.author_list {
+            let _ = writeln!(out, "  - name: {}", yaml(a));
+        }
+    }
+    if let Some(v) = &c.version {
+        let _ = writeln!(out, "version: {}", yaml(v));
+    }
+    if !c.commit_id.is_empty() {
+        let _ = writeln!(out, "commit: {}", yaml(&c.commit_id));
+    }
+    if c.committed_date.len() >= 10 {
+        let _ = writeln!(out, "date-released: {}", yaml(&c.committed_date[..10]));
+    }
+    if let Some(doi) = &c.doi {
+        let _ = writeln!(out, "doi: {}", yaml(doi));
+    }
+    if !c.url.is_empty() {
+        let _ = writeln!(out, "repository-code: {}", yaml(&c.url));
+    }
+    if let Some(license) = &c.license {
+        let _ = writeln!(out, "license: {}", yaml(license));
+    }
+    out
+}
+
+fn render_plain(c: &Citation) -> String {
+    let mut out = String::new();
+    if !c.author_list.is_empty() {
+        out.push_str(&c.author_list.join(", "));
+    } else if !c.owner.is_empty() {
+        out.push_str(&c.owner);
+    }
+    let year = year_of(&c.committed_date);
+    if !year.is_empty() {
+        let _ = write!(out, " ({year}).");
+    } else if !out.is_empty() {
+        out.push('.');
+    }
+    let _ = write!(out, " {}", c.repo_name);
+    match (&c.version, c.commit_id.is_empty()) {
+        (Some(v), false) => {
+            let _ = write!(out, " (version {v}, commit {})", c.commit_id);
+        }
+        (Some(v), true) => {
+            let _ = write!(out, " (version {v})");
+        }
+        (None, false) => {
+            let _ = write!(out, " (commit {})", c.commit_id);
+        }
+        (None, true) => {}
+    }
+    out.push_str(" [Computer software].");
+    if let Some(doi) = &c.doi {
+        let _ = write!(out, " https://doi.org/{doi}.");
+    }
+    if !c.url.is_empty() {
+        let _ = write!(out, " {}", c.url);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn listing1_root() -> Citation {
+        Citation::builder("Data_citation_demo", "Yinjun Wu")
+            .commit("bbd248a", "2018-09-04T02:35:20Z")
+            .url("https://github.com/thuwuyinjun/Data_citation_demo")
+            .author("Yinjun Wu")
+            .build()
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(Format::parse("bibtex"), Some(Format::Bibtex));
+        assert_eq!(Format::parse("BIB"), Some(Format::Bibtex));
+        assert_eq!(Format::parse("cff"), Some(Format::Cff));
+        assert_eq!(Format::parse("apa"), Some(Format::Plain));
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("docx"), None);
+    }
+
+    #[test]
+    fn bibtex_shape() {
+        let out = render(&listing1_root(), Format::Bibtex);
+        assert!(out.starts_with("@software{wu2018datacitationdemo,\n"), "{out}");
+        assert!(out.contains("author  = {Yinjun Wu}"));
+        assert!(out.contains("title   = {Data\\_citation\\_demo}"));
+        assert!(out.contains("year    = {2018}"));
+        assert!(out.contains("month   = {09}"));
+        assert!(out.contains("note    = {commit bbd248a}"));
+        assert!(out.contains("url     = {https://github.com/thuwuyinjun/Data_citation_demo}"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn bibtex_with_doi_version_multiauthor() {
+        let c = Citation::builder("proj", "Own Er")
+            .commit("abc1234", "2020-01-02T00:00:00Z")
+            .authors(["Alice A", "Bob B"])
+            .doi("10.5281/zenodo.7")
+            .version("v2.0")
+            .build();
+        let out = render(&c, Format::Bibtex);
+        assert!(out.contains("author  = {Alice A and Bob B}"));
+        assert!(out.contains("doi     = {10.5281/zenodo.7}"));
+        assert!(out.contains("version = {v2.0}"));
+    }
+
+    #[test]
+    fn cff_shape() {
+        let c = Citation::builder("proj", "o")
+            .commit("abc1234", "2020-01-02T03:04:05Z")
+            .url("https://x/proj")
+            .authors(["Alice A"])
+            .doi("10.5281/zenodo.7")
+            .version("v1")
+            .license("MIT")
+            .build();
+        let out = render(&c, Format::Cff);
+        assert!(out.starts_with("cff-version: 1.2.0\n"));
+        assert!(out.contains("title: proj\n"));
+        assert!(out.contains("  - name: Alice A\n"));
+        assert!(out.contains("version: v1\n"));
+        assert!(out.contains("commit: abc1234\n"));
+        assert!(out.contains("date-released: 2020-01-02\n"));
+        assert!(out.contains("doi: 10.5281/zenodo.7\n"));
+        assert!(out.contains("repository-code: \"https://x/proj\"\n"));
+        assert!(out.contains("license: MIT\n"));
+    }
+
+    #[test]
+    fn plain_shape() {
+        let out = render(&listing1_root(), Format::Plain);
+        assert_eq!(
+            out,
+            "Yinjun Wu (2018). Data_citation_demo (commit bbd248a) [Computer software]. https://github.com/thuwuyinjun/Data_citation_demo\n"
+        );
+    }
+
+    #[test]
+    fn plain_with_doi_and_version() {
+        let c = Citation::builder("p", "o")
+            .commit("abc1234", "2021-06-01T00:00:00Z")
+            .authors(["A"])
+            .version("v3")
+            .doi("10.1/x")
+            .build();
+        let out = render(&c, Format::Plain);
+        assert!(out.contains("(version v3, commit abc1234)"));
+        assert!(out.contains("https://doi.org/10.1/x."));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let c = listing1_root();
+        let out = render(&c, Format::Json);
+        let v = sjson::parse(&out).unwrap();
+        assert_eq!(Citation::from_value(&v).unwrap(), c);
+    }
+
+    #[test]
+    fn degenerate_citation_renders_without_panic() {
+        let c = Citation::default();
+        for f in [Format::Bibtex, Format::Cff, Format::Plain, Format::Json] {
+            let out = render(&c, f);
+            assert!(!out.is_empty());
+        }
+    }
+}

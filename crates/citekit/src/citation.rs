@@ -1,0 +1,345 @@
+//! The [`Citation`] record — the value side of a citation function entry.
+//!
+//! Field names and shapes follow Listing 1 of the paper exactly
+//! (`repoName`, `owner`, `committedDate`, `commitID`, `url`, `authorList`),
+//! with optional extensions (`doi`, `license`, `version`, `note`) used by
+//! the Zenodo/Software-Heritage integrations and free-form `extra` fields
+//! for forward compatibility.
+
+use crate::error::{CiteError, Result};
+use sjson::{Object, Value};
+use std::fmt;
+
+/// A citation attached to a node of a project version.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Citation {
+    /// Repository name, e.g. `"Data_citation_demo"`.
+    pub repo_name: String,
+    /// Owner / maintainer display name, e.g. `"Yinjun Wu"`.
+    pub owner: String,
+    /// ISO-8601 UTC commit date, e.g. `"2018-09-04T02:35:20Z"`.
+    pub committed_date: String,
+    /// Abbreviated commit id, e.g. `"bbd248a"`.
+    pub commit_id: String,
+    /// Web address of the cited artifact.
+    pub url: String,
+    /// Credited authors, in order.
+    pub author_list: Vec<String>,
+    /// Optional DOI (minted by an archive such as Zenodo).
+    pub doi: Option<String>,
+    /// Optional license identifier.
+    pub license: Option<String>,
+    /// Optional human-readable version (tag) name.
+    pub version: Option<String>,
+    /// Optional free-text note.
+    pub note: Option<String>,
+    /// Any additional key/value fields, preserved verbatim.
+    pub extra: Object,
+}
+
+impl Citation {
+    /// Starts a builder with the four identity fields every citation needs.
+    pub fn builder(repo_name: impl Into<String>, owner: impl Into<String>) -> CitationBuilder {
+        CitationBuilder {
+            citation: Citation {
+                repo_name: repo_name.into(),
+                owner: owner.into(),
+                ..Citation::default()
+            },
+        }
+    }
+
+    /// Serializes to the JSON object shape used inside `citation.cite`.
+    pub fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("repoName", self.repo_name.as_str());
+        o.insert("owner", self.owner.as_str());
+        o.insert("committedDate", self.committed_date.as_str());
+        o.insert("commitID", self.commit_id.as_str());
+        o.insert("url", self.url.as_str());
+        o.insert(
+            "authorList",
+            Value::Array(self.author_list.iter().map(|a| Value::from(a.as_str())).collect()),
+        );
+        if let Some(doi) = &self.doi {
+            o.insert("doi", doi.as_str());
+        }
+        if let Some(license) = &self.license {
+            o.insert("license", license.as_str());
+        }
+        if let Some(version) = &self.version {
+            o.insert("version", version.as_str());
+        }
+        if let Some(note) = &self.note {
+            o.insert("note", note.as_str());
+        }
+        for (k, v) in self.extra.iter() {
+            o.insert(k, v.clone());
+        }
+        Value::Object(o)
+    }
+
+    /// Parses the JSON object shape back into a citation.
+    ///
+    /// Unknown fields are preserved in [`Citation::extra`]; the known
+    /// fields are permissive (missing → empty) except that the value must
+    /// be an object and `authorList`, when present, must be an array of
+    /// strings.
+    pub fn from_value(value: &Value) -> Result<Citation> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| CiteError::BadCitationFile("citation entry must be an object".into()))?;
+        let get_str = |key: &str| -> Result<String> {
+            match obj.get(key) {
+                None | Some(Value::Null) => Ok(String::new()),
+                Some(Value::String(s)) => Ok(s.clone()),
+                Some(_) => Err(CiteError::BadCitationFile(format!("field {key:?} must be a string"))),
+            }
+        };
+        let mut authors = Vec::new();
+        if let Some(v) = obj.get("authorList") {
+            let arr = v.as_array().ok_or_else(|| {
+                CiteError::BadCitationFile("authorList must be an array".into())
+            })?;
+            for a in arr {
+                let s = a.as_str().ok_or_else(|| {
+                    CiteError::BadCitationFile("authorList entries must be strings".into())
+                })?;
+                authors.push(s.to_owned());
+            }
+        }
+        let opt = |key: &str| -> Result<Option<String>> {
+            match obj.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(Value::String(s)) => Ok(Some(s.clone())),
+                Some(_) => Err(CiteError::BadCitationFile(format!("field {key:?} must be a string"))),
+            }
+        };
+        const KNOWN: [&str; 10] = [
+            "repoName", "owner", "committedDate", "commitID", "url", "authorList", "doi",
+            "license", "version", "note",
+        ];
+        let mut extra = Object::new();
+        for (k, v) in obj.iter() {
+            if !KNOWN.contains(&k) {
+                extra.insert(k, v.clone());
+            }
+        }
+        Ok(Citation {
+            repo_name: get_str("repoName")?,
+            owner: get_str("owner")?,
+            committed_date: get_str("committedDate")?,
+            commit_id: get_str("commitID")?,
+            url: get_str("url")?,
+            author_list: authors,
+            doi: opt("doi")?,
+            license: opt("license")?,
+            version: opt("version")?,
+            note: opt("note")?,
+            extra,
+        })
+    }
+
+    /// A copy with version-specific fields replaced — used when the root
+    /// citation is resolved for a concrete version V: the static root entry
+    /// supplies identity (owner, name, url, authors) while `commitID` /
+    /// `committedDate` come from V itself.
+    pub fn stamped(&self, commit_id: &str, committed_date: &str) -> Citation {
+        let mut c = self.clone();
+        c.commit_id = commit_id.to_owned();
+        c.committed_date = committed_date.to_owned();
+        c
+    }
+}
+
+impl fmt::Display for Citation {
+    /// A compact single-line rendering used in logs and the CLI.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}). {} [{}] {}",
+            self.author_list.join(", "),
+            self.committed_date,
+            self.repo_name,
+            self.commit_id,
+            self.url
+        )
+    }
+}
+
+/// Fluent constructor for [`Citation`].
+#[derive(Debug, Clone)]
+pub struct CitationBuilder {
+    citation: Citation,
+}
+
+impl CitationBuilder {
+    /// Sets the commit id and ISO date.
+    pub fn commit(mut self, id: impl Into<String>, date: impl Into<String>) -> Self {
+        self.citation.commit_id = id.into();
+        self.citation.committed_date = date.into();
+        self
+    }
+
+    /// Sets the URL.
+    pub fn url(mut self, url: impl Into<String>) -> Self {
+        self.citation.url = url.into();
+        self
+    }
+
+    /// Adds one author.
+    pub fn author(mut self, author: impl Into<String>) -> Self {
+        self.citation.author_list.push(author.into());
+        self
+    }
+
+    /// Replaces the author list.
+    pub fn authors<I: IntoIterator<Item = S>, S: Into<String>>(mut self, authors: I) -> Self {
+        self.citation.author_list = authors.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the DOI.
+    pub fn doi(mut self, doi: impl Into<String>) -> Self {
+        self.citation.doi = Some(doi.into());
+        self
+    }
+
+    /// Sets the license.
+    pub fn license(mut self, license: impl Into<String>) -> Self {
+        self.citation.license = Some(license.into());
+        self
+    }
+
+    /// Sets the version name.
+    pub fn version(mut self, version: impl Into<String>) -> Self {
+        self.citation.version = Some(version.into());
+        self
+    }
+
+    /// Sets a free-text note.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.citation.note = Some(note.into());
+        self
+    }
+
+    /// Adds an extra key/value field.
+    pub fn extra(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.citation.extra.insert(key, value);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Citation {
+        self.citation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn listing1_root() -> Citation {
+        Citation::builder("Data_citation_demo", "Yinjun Wu")
+            .commit("bbd248a", "2018-09-04T02:35:20Z")
+            .url("https://github.com/thuwuyinjun/Data_citation_demo")
+            .author("Yinjun Wu")
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = listing1_root();
+        assert_eq!(c.repo_name, "Data_citation_demo");
+        assert_eq!(c.owner, "Yinjun Wu");
+        assert_eq!(c.commit_id, "bbd248a");
+        assert_eq!(c.committed_date, "2018-09-04T02:35:20Z");
+        assert_eq!(c.author_list, vec!["Yinjun Wu"]);
+        assert!(c.doi.is_none());
+    }
+
+    #[test]
+    fn json_round_trip_minimal() {
+        let c = listing1_root();
+        let v = c.to_value();
+        assert_eq!(Citation::from_value(&v).unwrap(), c);
+    }
+
+    #[test]
+    fn json_round_trip_full() {
+        let c = Citation::builder("r", "o")
+            .commit("abc1234", "2020-01-01T00:00:00Z")
+            .url("https://example.org/r")
+            .authors(["A", "B"])
+            .doi("10.5281/zenodo.1234")
+            .license("MIT")
+            .version("v1.2.0")
+            .note("imported")
+            .extra("stars", 42i64)
+            .build();
+        let v = c.to_value();
+        let back = Citation::from_value(&v).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.extra.get("stars").unwrap().as_i64(), Some(42));
+    }
+
+    #[test]
+    fn json_field_order_matches_listing1() {
+        let keys: Vec<String> = listing1_root()
+            .to_value()
+            .as_object()
+            .unwrap()
+            .keys()
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["repoName", "owner", "committedDate", "commitID", "url", "authorList"]
+        );
+    }
+
+    #[test]
+    fn from_value_tolerates_missing_fields() {
+        let v = sjson::parse(r#"{"repoName": "x"}"#).unwrap();
+        let c = Citation::from_value(&v).unwrap();
+        assert_eq!(c.repo_name, "x");
+        assert_eq!(c.owner, "");
+        assert!(c.author_list.is_empty());
+    }
+
+    #[test]
+    fn from_value_rejects_bad_shapes() {
+        assert!(Citation::from_value(&sjson::parse("[1]").unwrap()).is_err());
+        assert!(Citation::from_value(&sjson::parse(r#"{"repoName": 5}"#).unwrap()).is_err());
+        assert!(Citation::from_value(&sjson::parse(r#"{"authorList": "x"}"#).unwrap()).is_err());
+        assert!(Citation::from_value(&sjson::parse(r#"{"authorList": [1]}"#).unwrap()).is_err());
+        assert!(Citation::from_value(&sjson::parse(r#"{"doi": []}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_preserved() {
+        let v = sjson::parse(r#"{"repoName": "x", "customField": {"nested": true}}"#).unwrap();
+        let c = Citation::from_value(&v).unwrap();
+        assert!(c.extra.contains_key("customField"));
+        let back = c.to_value();
+        assert_eq!(back["customField"]["nested"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn stamped_overrides_version_fields_only() {
+        let c = listing1_root();
+        let s = c.stamped("1234567", "2019-01-01T00:00:00Z");
+        assert_eq!(s.commit_id, "1234567");
+        assert_eq!(s.committed_date, "2019-01-01T00:00:00Z");
+        assert_eq!(s.repo_name, c.repo_name);
+        assert_eq!(s.author_list, c.author_list);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let text = listing1_root().to_string();
+        assert!(text.contains("Yinjun Wu"));
+        assert!(text.contains("bbd248a"));
+        assert!(!text.contains('\n'));
+    }
+}

@@ -1,0 +1,269 @@
+//! `CopyCite` — copying a subtree between repositories along with its
+//! citations (paper §3).
+//!
+//! "CopyCite copies a directory from a remote repository version to the
+//! local repository version, and migrates their associated citations ...
+//! with the key paths modified to reflect the new location." Additionally,
+//! the running example (Figure 1) shows the copied subtree's root becoming
+//! explicitly cited in the destination — `C4`, the *effective* citation of
+//! the source subtree root — so extracted code keeps crediting its origin
+//! even when the source never cited that directory explicitly.
+
+use crate::citation::Citation;
+use crate::error::{CiteError, Result};
+use crate::file::{self, citation_path};
+use crate::ops::CitedRepo;
+use crate::time::format_iso8601;
+use gitlite::{ObjectId, RepoPath, Repository};
+
+/// What a `CopyCite` did.
+#[derive(Debug, Clone)]
+pub struct CopyReport {
+    /// Number of files copied into the destination worktree.
+    pub files_copied: usize,
+    /// Destination keys of citations migrated from the source subtree.
+    pub citations_migrated: Vec<RepoPath>,
+    /// The citation materialized at the destination root, when the source
+    /// subtree root had no explicit citation of its own (Figure 1's `C4`).
+    pub materialized: Option<Citation>,
+}
+
+impl CitedRepo {
+    /// `CopyCite(loc1, loc2)`: copies `src_path` (a directory or file) from
+    /// `src_version` of `src` into this repository's worktree at
+    /// `dst_path`, migrating citations.
+    ///
+    /// The copy is staged in the worktree; call [`CitedRepo::commit`] to
+    /// create the new version (the paper's V4).
+    pub fn copy_cite(
+        &mut self,
+        dst_path: &RepoPath,
+        src: &Repository,
+        src_version: ObjectId,
+        src_path: &RepoPath,
+    ) -> Result<CopyReport> {
+        if dst_path.is_root() || *dst_path == citation_path() {
+            return Err(CiteError::DestinationExists(dst_path.clone()));
+        }
+        if self.repo().worktree().exists(dst_path) {
+            return Err(CiteError::DestinationExists(dst_path.clone()));
+        }
+
+        // Collect the source files under src_path.
+        let snapshot = src.snapshot(src_version).map_err(CiteError::Git)?;
+        let cite = citation_path();
+        let files: Vec<(RepoPath, RepoPath)> = snapshot
+            .keys()
+            .filter(|p| p.starts_with(src_path) && **p != cite)
+            .map(|p| {
+                let rel = p.rebase(src_path, dst_path).expect("starts_with checked");
+                (p.clone(), rel)
+            })
+            .collect();
+        if files.is_empty() {
+            return Err(CiteError::SourceMissing(src_path.clone()));
+        }
+
+        // Copy file contents.
+        for (from, to) in &files {
+            let data = src.file_at(src_version, from).map_err(CiteError::Git)?;
+            self.repo_mut().worktree_mut().write(to, data).map_err(CiteError::Git)?;
+        }
+
+        // Load the source citation function for this version, if any.
+        let src_func = match src.file_at(src_version, &cite) {
+            Ok(text) => Some(file::parse(&String::from_utf8_lossy(&text))?),
+            Err(_) => None,
+        };
+
+        let mut migrated = Vec::new();
+        let mut materialized = None;
+        if let Some(src_func) = src_func {
+            // Migrate every explicit citation under the source subtree,
+            // re-keyed to the destination.
+            let mut func = self.function().clone();
+            let mut src_root_explicit = false;
+            for (key, entry) in src_func.iter() {
+                if key.is_root() || !key.starts_with(src_path) {
+                    continue;
+                }
+                let new_key = key.rebase(src_path, dst_path).expect("starts_with checked");
+                if *key == *src_path {
+                    src_root_explicit = true;
+                }
+                func.set(new_key.clone(), entry.citation.clone(), entry.is_dir);
+                migrated.push(new_key);
+            }
+            // Materialize the effective citation at the destination root
+            // when the source did not cite that directory explicitly: the
+            // closest-ancestor citation (stamped from the source version
+            // when it came from the source root).
+            if !src_root_explicit {
+                let (at, citation) = src_func.resolve(src_path);
+                let citation = if at.is_root() {
+                    let commit = src.commit_obj(src_version).map_err(CiteError::Git)?;
+                    citation.stamped(&src_version.short(), &format_iso8601(commit.author.timestamp))
+                } else {
+                    citation.clone()
+                };
+                let is_dir = self.repo().worktree().is_dir(dst_path);
+                func.set(dst_path.clone(), citation.clone(), is_dir);
+                materialized = Some(citation);
+            }
+            self.install_function(func)?;
+        }
+
+        Ok(CopyReport { files_copied: files.len(), citations_migrated: migrated, materialized })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gitlite::{path, Signature};
+
+    fn sig(n: &str, t: i64) -> Signature {
+        Signature::new(n, format!("{n}@x"), t)
+    }
+
+    fn cite(name: &str) -> Citation {
+        Citation::builder(name, "owner").url(format!("https://x/{name}")).build()
+    }
+
+    /// A source project P2 with a subtree `green/` holding two files, one
+    /// of which has its own citation C3; the directory itself is uncited
+    /// (its effective citation is the root's C4 in Figure 1 terms).
+    fn source_p2() -> (CitedRepo, ObjectId) {
+        let mut p2 = CitedRepo::init("P2", "Susan", "https://hub/P2");
+        p2.write_file(&path("green/f1.txt"), &b"green f1\n"[..]).unwrap();
+        p2.write_file(&path("green/f2.txt"), &b"green f2\n"[..]).unwrap();
+        p2.write_file(&path("unrelated.txt"), &b"other\n"[..]).unwrap();
+        p2.add_cite(&path("green/f1.txt"), cite("C3")).unwrap();
+        let v3 = p2.commit(sig("Susan", 300), "V3").unwrap().commit;
+        (p2, v3)
+    }
+
+    fn dest_p1() -> CitedRepo {
+        let mut p1 = CitedRepo::init("P1", "Leshang", "https://hub/P1");
+        p1.write_file(&path("f1.txt"), &b"p1 f1\n"[..]).unwrap();
+        p1.commit(sig("Leshang", 100), "V1").unwrap();
+        p1
+    }
+
+    #[test]
+    fn copies_files_and_migrates_citations() {
+        let (p2, v3) = source_p2();
+        let mut p1 = dest_p1();
+        let report = p1
+            .copy_cite(&path("imported"), p2.repo(), v3, &path("green"))
+            .unwrap();
+        assert_eq!(report.files_copied, 2);
+        // Files landed.
+        assert_eq!(p1.read_text(&path("imported/f1.txt")).unwrap(), "green f1\n");
+        assert_eq!(p1.read_text(&path("imported/f2.txt")).unwrap(), "green f2\n");
+        // C3 migrated with a re-keyed path.
+        assert!(report.citations_migrated.contains(&path("imported/f1.txt")));
+        assert_eq!(p1.function().get(&path("imported/f1.txt")).unwrap().repo_name, "C3");
+    }
+
+    #[test]
+    fn materializes_effective_citation_at_destination_root() {
+        // Figure 1: before copying, Cite(V3,P2)(f2) = C4 (the root); after
+        // copying into P1, Cite(V4,P1)(f2) is still C4 because the green
+        // subtree's root citation was added to V4's citation file.
+        let (p2, v3) = source_p2();
+        let f2_before = p2.cite_at(v3, &path("green/f2.txt")).unwrap();
+        assert_eq!(f2_before.repo_name, "P2"); // C4 comes from P2's root
+
+        let mut p1 = dest_p1();
+        let report = p1.copy_cite(&path("imported"), p2.repo(), v3, &path("green")).unwrap();
+        let c4 = report.materialized.expect("materialized C4");
+        assert_eq!(c4.repo_name, "P2");
+        assert_eq!(c4.owner, "Susan");
+        assert_eq!(c4.commit_id, v3.short()); // stamped from V3
+
+        let v4 = p1.commit(sig("Leshang", 400), "V4: CopyCite").unwrap().commit;
+        let f2_after = p1.cite_at(v4, &path("imported/f2.txt")).unwrap();
+        // Unchanged: still credits P2 (C4), not P1.
+        assert_eq!(f2_after.repo_name, "P2");
+        assert_eq!(f2_after.owner, "Susan");
+        // While P1's own files still credit P1.
+        let own = p1.cite_at(v4, &path("f1.txt")).unwrap();
+        assert_eq!(own.repo_name, "P1");
+    }
+
+    #[test]
+    fn explicit_source_root_citation_migrates_without_materialization() {
+        let (mut p2, _) = source_p2();
+        p2.add_cite(&path("green"), cite("explicit-green")).unwrap();
+        let v3b = p2.commit(sig("Susan", 350), "cite green").unwrap().commit;
+        let mut p1 = dest_p1();
+        let report = p1.copy_cite(&path("imported"), p2.repo(), v3b, &path("green")).unwrap();
+        assert!(report.materialized.is_none());
+        assert_eq!(p1.function().get(&path("imported")).unwrap().repo_name, "explicit-green");
+    }
+
+    #[test]
+    fn copy_single_file() {
+        let (p2, v3) = source_p2();
+        let mut p1 = dest_p1();
+        let report = p1
+            .copy_cite(&path("borrowed.txt"), p2.repo(), v3, &path("green/f1.txt"))
+            .unwrap();
+        assert_eq!(report.files_copied, 1);
+        // f1's explicit C3 rides along as the entry for the file itself.
+        assert_eq!(p1.function().get(&path("borrowed.txt")).unwrap().repo_name, "C3");
+        assert!(report.materialized.is_none());
+    }
+
+    #[test]
+    fn copy_from_uncited_source_still_copies_files() {
+        let mut src = gitlite::Repository::init("plain");
+        src.worktree_mut().write(&path("lib/a.txt"), &b"a\n"[..]).unwrap();
+        let v = src.commit(sig("X", 1), "c1").unwrap();
+        let mut p1 = dest_p1();
+        let report = p1.copy_cite(&path("vendored"), &src, v, &path("lib")).unwrap();
+        assert_eq!(report.files_copied, 1);
+        assert!(report.citations_migrated.is_empty());
+        assert!(report.materialized.is_none());
+        assert_eq!(p1.read_text(&path("vendored/a.txt")).unwrap(), "a\n");
+    }
+
+    #[test]
+    fn copy_validations() {
+        let (p2, v3) = source_p2();
+        let mut p1 = dest_p1();
+        // Destination exists.
+        assert!(matches!(
+            p1.copy_cite(&path("f1.txt"), p2.repo(), v3, &path("green")),
+            Err(CiteError::DestinationExists(_))
+        ));
+        // Source missing.
+        assert!(matches!(
+            p1.copy_cite(&path("x"), p2.repo(), v3, &path("nope")),
+            Err(CiteError::SourceMissing(_))
+        ));
+        // Root destination.
+        assert!(matches!(
+            p1.copy_cite(&RepoPath::root(), p2.repo(), v3, &path("green")),
+            Err(CiteError::DestinationExists(_))
+        ));
+    }
+
+    #[test]
+    fn source_citation_file_never_copied_as_content() {
+        let (p2, v3) = source_p2();
+        let mut p1 = dest_p1();
+        // Copy the whole source root: citation.cite must be skipped.
+        p1.copy_cite(&path("all-of-p2"), p2.repo(), v3, &RepoPath::root()).unwrap();
+        assert!(!p1.repo().worktree().is_file(&path("all-of-p2/citation.cite")));
+        assert!(p1.repo().worktree().is_file(&path("all-of-p2/green/f1.txt")));
+        // And the source's non-root citations migrated.
+        assert_eq!(
+            p1.function().get(&path("all-of-p2/green/f1.txt")).unwrap().repo_name,
+            "C3"
+        );
+    }
+
+    use gitlite::RepoPath;
+}

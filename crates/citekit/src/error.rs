@@ -1,0 +1,94 @@
+//! Error type for citation operations.
+
+use gitlite::{GitError, PathError, RepoPath};
+use std::fmt;
+
+/// Anything that can go wrong in the citation layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CiteError {
+    /// Underlying VCS error.
+    Git(GitError),
+    /// Invalid path.
+    Path(PathError),
+    /// `AddCite` on a path that already has an explicit citation
+    /// (use `ModifyCite`).
+    AlreadyCited(RepoPath),
+    /// `ModifyCite`/`DelCite` on a path with no explicit citation.
+    NotCited(RepoPath),
+    /// `DelCite` on the root: the root must stay in the active domain
+    /// (paper §2).
+    RootCitationRequired,
+    /// A citation operation named a path that does not exist in the
+    /// version's tree.
+    PathMissing(RepoPath),
+    /// Citations may not attach to the citation file itself.
+    ReservedPath(RepoPath),
+    /// `citation.cite` failed to parse or had an invalid shape.
+    BadCitationFile(String),
+    /// A `MergeCite` conflict the configured strategy refused to resolve.
+    UnresolvedConflict(RepoPath),
+    /// `CopyCite` destination already exists.
+    DestinationExists(RepoPath),
+    /// `CopyCite` source subtree empty/missing.
+    SourceMissing(RepoPath),
+    /// Caller lacks permission for the operation (hosted flows).
+    PermissionDenied(String),
+}
+
+impl fmt::Display for CiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiteError::Git(e) => write!(f, "{e}"),
+            CiteError::Path(e) => write!(f, "{e}"),
+            CiteError::AlreadyCited(p) => {
+                write!(f, "{:?} already has a citation (use ModifyCite)", p.to_cite_key(false))
+            }
+            CiteError::NotCited(p) => {
+                write!(f, "{:?} has no explicit citation", p.to_cite_key(false))
+            }
+            CiteError::RootCitationRequired => {
+                write!(f, "the root citation cannot be deleted")
+            }
+            CiteError::PathMissing(p) => {
+                write!(f, "path {:?} does not exist in this version", p.to_cite_key(false))
+            }
+            CiteError::ReservedPath(p) => {
+                write!(f, "citations cannot attach to {:?}", p.to_cite_key(false))
+            }
+            CiteError::BadCitationFile(msg) => write!(f, "invalid citation.cite: {msg}"),
+            CiteError::UnresolvedConflict(p) => {
+                write!(f, "unresolved citation conflict at {:?}", p.to_cite_key(false))
+            }
+            CiteError::DestinationExists(p) => {
+                write!(f, "copy destination {:?} already exists", p.to_cite_key(false))
+            }
+            CiteError::SourceMissing(p) => {
+                write!(f, "copy source {:?} is missing or empty", p.to_cite_key(false))
+            }
+            CiteError::PermissionDenied(msg) => write!(f, "permission denied: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CiteError {}
+
+impl From<GitError> for CiteError {
+    fn from(e: GitError) -> Self {
+        CiteError::Git(e)
+    }
+}
+
+impl From<PathError> for CiteError {
+    fn from(e: PathError) -> Self {
+        CiteError::Path(e)
+    }
+}
+
+impl From<sjson::ParseError> for CiteError {
+    fn from(e: sjson::ParseError) -> Self {
+        CiteError::BadCitationFile(e.to_string())
+    }
+}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CiteError>;

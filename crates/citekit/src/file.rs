@@ -1,0 +1,219 @@
+//! Reading and writing `citation.cite` — the special file GitCite keeps at
+//! the root of every project version (paper §3, "Storing Citation
+//! Functions").
+//!
+//! The file is a single JSON object whose keys are citation-function paths
+//! (`"/"` for the root, `"/CoreCover/"` for a directory, `"/src/main.rs"`
+//! for a file) and whose values are citation records. The rendering is
+//! deterministic: root first, remaining keys in path order, two-space
+//! pretty-printing — reproducing the shape of Listing 1.
+
+use crate::citation::Citation;
+use crate::error::{CiteError, Result};
+use crate::function::{CiteEntry, CitationFunction};
+use gitlite::{RepoPath, WorkTree};
+use sjson::{Object, Value};
+use std::collections::BTreeMap;
+
+/// Name of the citation file at the repository root.
+pub const CITATION_FILE: &str = "citation.cite";
+
+/// The citation file's path as a [`RepoPath`].
+pub fn citation_path() -> RepoPath {
+    RepoPath::parse(CITATION_FILE).expect("constant is valid")
+}
+
+/// Serializes a citation function to the JSON value form.
+pub fn to_value(func: &CitationFunction) -> Value {
+    let mut obj = Object::with_capacity(func.len());
+    // Root first (Listing 1 starts with "/"), then path order.
+    for (path, entry) in func.iter() {
+        let key = path.to_cite_key(entry.is_dir);
+        obj.insert(key, entry.citation.to_value());
+    }
+    Value::Object(obj)
+}
+
+/// Serializes a citation function to pretty JSON text (the on-disk form).
+pub fn to_text(func: &CitationFunction) -> String {
+    let mut text = to_value(func).to_string_pretty();
+    text.push('\n');
+    text
+}
+
+/// Parses citation-file text.
+pub fn parse(text: &str) -> Result<CitationFunction> {
+    let value = sjson::parse(text)?;
+    from_value(&value)
+}
+
+/// Converts the JSON value form back into a citation function.
+pub fn from_value(value: &Value) -> Result<CitationFunction> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| CiteError::BadCitationFile("top level must be an object".into()))?;
+    let mut entries: BTreeMap<RepoPath, CiteEntry> = BTreeMap::new();
+    for (key, v) in obj.iter() {
+        let path = RepoPath::parse(key)
+            .map_err(|e| CiteError::BadCitationFile(format!("bad key {key:?}: {e}")))?;
+        let is_dir = path.is_root() || key.ends_with('/');
+        let citation = Citation::from_value(v)?;
+        if entries
+            .insert(path.clone(), CiteEntry { citation, is_dir })
+            .is_some()
+        {
+            return Err(CiteError::BadCitationFile(format!(
+                "duplicate entry for path {:?}",
+                path.to_cite_key(is_dir)
+            )));
+        }
+    }
+    CitationFunction::from_entries(entries)
+}
+
+/// Reads the citation function from a worktree's `citation.cite`.
+/// Returns `Ok(None)` when the file does not exist (a repository that was
+/// never citation-enabled — the retrofit module handles those).
+pub fn read_worktree(wt: &WorkTree) -> Result<Option<CitationFunction>> {
+    let p = citation_path();
+    if !wt.is_file(&p) {
+        return Ok(None);
+    }
+    let text = wt.read_text(&p).map_err(CiteError::Git)?;
+    parse(&text).map(Some)
+}
+
+/// Writes the citation function into a worktree's `citation.cite`.
+pub fn write_worktree(wt: &mut WorkTree, func: &CitationFunction) -> Result<()> {
+    wt.write(&citation_path(), to_text(func).into_bytes())
+        .map_err(CiteError::Git)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gitlite::path;
+
+    fn cite(name: &str, authors: &[&str]) -> Citation {
+        Citation::builder(name, "owner")
+            .commit("abc1234", "2020-05-01T12:00:00Z")
+            .url(format!("https://x/{name}"))
+            .authors(authors.iter().copied())
+            .build()
+    }
+
+    fn sample() -> CitationFunction {
+        let mut f = CitationFunction::new(cite("proj", &["A"]));
+        f.set(path("CoreCover"), cite("corecover", &["Chen Li"]), true);
+        f.set(path("citation/GUI"), cite("gui", &["Yanssie"]), true);
+        f.set(path("src/main.rs"), cite("main", &["B"]), false);
+        f
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let f = sample();
+        let text = to_text(&f);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn keys_render_listing1_style() {
+        let text = to_text(&sample());
+        assert!(text.contains("\"/\""));
+        assert!(text.contains("\"/CoreCover/\""));
+        assert!(text.contains("\"/citation/GUI/\""));
+        assert!(text.contains("\"/src/main.rs\""));
+        // Root is the first key.
+        let first_key = text.find("\"/\"").unwrap();
+        let other = text.find("\"/CoreCover/\"").unwrap();
+        assert!(first_key < other);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(to_text(&sample()), to_text(&sample()));
+    }
+
+    #[test]
+    fn dir_flag_round_trips_via_trailing_slash() {
+        let f = sample();
+        let back = parse(&to_text(&f)).unwrap();
+        assert!(back.entry(&path("CoreCover")).unwrap().is_dir);
+        assert!(!back.entry(&path("src/main.rs")).unwrap().is_dir);
+    }
+
+    #[test]
+    fn parse_rejects_bad_shapes() {
+        assert!(matches!(parse("[1,2]"), Err(CiteError::BadCitationFile(_))));
+        assert!(matches!(parse("{"), Err(CiteError::BadCitationFile(_))));
+        // Missing root.
+        assert!(matches!(
+            parse(r#"{"/a": {"repoName": "x"}}"#),
+            Err(CiteError::BadCitationFile(_))
+        ));
+        // Duplicate after normalization: "/a" and "a".
+        assert!(matches!(
+            parse(r#"{"/": {"repoName": "r"}, "/a": {"repoName": "x"}, "a": {"repoName": "y"}}"#),
+            Err(CiteError::BadCitationFile(_))
+        ));
+        // Bad path key.
+        assert!(matches!(
+            parse(r#"{"/": {"repoName": "r"}, "/..": {"repoName": "x"}}"#),
+            Err(CiteError::BadCitationFile(_))
+        ));
+    }
+
+    #[test]
+    fn worktree_round_trip() {
+        let mut wt = WorkTree::new();
+        assert!(read_worktree(&wt).unwrap().is_none());
+        let f = sample();
+        write_worktree(&mut wt, &f).unwrap();
+        assert!(wt.is_file(&citation_path()));
+        let back = read_worktree(&wt).unwrap().unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn parses_listing1_fragment() {
+        // A cleaned-up version of Listing 1 (the paper's "..." prefixes
+        // normalized to absolute keys).
+        let text = r#"{
+  "/": {
+    "repoName": "Data_citation_demo",
+    "owner": "Yinjun Wu",
+    "committedDate": "2018-09-04T02:35:20Z",
+    "commitID": "bbd248a",
+    "url": "https://github.com/thuwuyinjun/Data_citation_demo",
+    "authorList": ["Yinjun Wu"]
+  },
+  "/CoreCover/": {
+    "repoName": "alu01-corecover",
+    "owner": "Chen Li",
+    "committedDate": "2018-03-24T00:29:45Z",
+    "commitID": "5cc951e",
+    "url": "https://github.com/chenlica/alu01-corecover",
+    "authorList": ["Chen Li"]
+  },
+  "/citation/GUI/": {
+    "repoName": "Data_citation_demo",
+    "owner": "Yinjun Wu",
+    "committedDate": "2017-06-16T20:57:06Z",
+    "commitID": "2dd6813",
+    "url": "https://github.com/thuwuyinjun/Data_citation_demo",
+    "authorList": ["Yanssie"]
+  }
+}"#;
+        let f = parse(text).unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.root().commit_id, "bbd248a");
+        let (_, c) = f.resolve(&path("CoreCover/algorithm.java"));
+        assert_eq!(c.owner, "Chen Li");
+        let (_, c) = f.resolve(&path("citation/GUI/app.js"));
+        assert_eq!(c.author_list, vec!["Yanssie"]);
+        let (_, c) = f.resolve(&path("citation/other.py"));
+        assert_eq!(c.owner, "Yinjun Wu");
+    }
+}

@@ -1,0 +1,186 @@
+//! `ForkCite` — forking a repository with its history and citations
+//! (paper §3).
+//!
+//! "ForkCite copies a version of a repository, along with its history, and
+//! creates a new repository. The citations in citation.cite are also
+//! copied. Our way of storing citations will naturally enable ForkCite
+//! through GitHub's Fork." Because the citation file lives in the tree,
+//! the clone alone is a correct ForkCite; [`ForkOptions::restamp_root`]
+//! additionally gives the fork its own root identity while preserving the
+//! origin's citation as `forkedFrom` provenance.
+
+use crate::citation::Citation;
+use crate::error::{CiteError, Result};
+use crate::ops::CitedRepo;
+use gitlite::{clone_repository, ObjectId, Repository, Signature};
+
+/// How a fork is created.
+#[derive(Debug, Clone)]
+pub struct ForkOptions {
+    /// Name of the new repository.
+    pub new_name: String,
+    /// Owner of the new repository.
+    pub new_owner: String,
+    /// URL of the new repository.
+    pub new_url: String,
+    /// When true (the default), the fork gets a fresh root citation
+    /// (new name/owner/url, original author credit preserved) committed on
+    /// top, with the origin's root citation kept under the `forkedFrom`
+    /// extra field. When false, the fork is a pure clone — the paper's
+    /// literal behavior.
+    pub restamp_root: bool,
+}
+
+impl ForkOptions {
+    /// Convenience constructor with `restamp_root = true`.
+    pub fn new(name: impl Into<String>, owner: impl Into<String>, url: impl Into<String>) -> Self {
+        ForkOptions {
+            new_name: name.into(),
+            new_owner: owner.into(),
+            new_url: url.into(),
+            restamp_root: true,
+        }
+    }
+}
+
+/// Result of a fork.
+#[derive(Debug)]
+pub struct ForkOutcome {
+    /// The new repository.
+    pub fork: CitedRepo,
+    /// The commit of the source the fork points at.
+    pub fork_point: ObjectId,
+    /// The restamp commit, when `restamp_root` was set.
+    pub restamp_commit: Option<ObjectId>,
+}
+
+/// `ForkCite(P1) → P3`: forks `src` (all branches, full history).
+pub fn fork_cite(src: &Repository, opts: &ForkOptions, author: Signature) -> Result<ForkOutcome> {
+    let fork_point = src.head_commit().map_err(CiteError::Git)?;
+    let clone = clone_repository(src, opts.new_name.clone()).map_err(CiteError::Git)?;
+    let mut fork = CitedRepo::open(clone)?;
+
+    let restamp_commit = if opts.restamp_root {
+        let old_root = fork.function().root().clone();
+        let new_root = Citation::builder(&opts.new_name, &opts.new_owner)
+            .url(&opts.new_url)
+            .authors(preserve_authors(&old_root, &opts.new_owner))
+            .extra("forkedFrom", old_root.to_value())
+            .build();
+        let mut func = fork.function().clone();
+        func.set_root(new_root);
+        fork.install_function(func)?;
+        let outcome = fork.commit(author, format!("fork from {}", src.name()))?;
+        Some(outcome.commit)
+    } else {
+        None
+    };
+
+    Ok(ForkOutcome { fork, fork_point, restamp_commit })
+}
+
+/// Original authors keep their credit; the forking owner is appended when
+/// not already present.
+fn preserve_authors(old_root: &Citation, new_owner: &str) -> Vec<String> {
+    let mut authors = old_root.author_list.clone();
+    if !authors.iter().any(|a| a == new_owner) {
+        authors.push(new_owner.to_owned());
+    }
+    authors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gitlite::path;
+
+    fn sig(n: &str, t: i64) -> Signature {
+        Signature::new(n, format!("{n}@x"), t)
+    }
+
+    fn cite(name: &str) -> Citation {
+        Citation::builder(name, "o").build()
+    }
+
+    fn source() -> CitedRepo {
+        let mut r = CitedRepo::init("P1", "Leshang", "https://hub/P1");
+        r.write_file(&path("a.txt"), &b"a\n"[..]).unwrap();
+        r.write_file(&path("lib/b.txt"), &b"b\n"[..]).unwrap();
+        r.add_cite(&path("lib"), cite("lib-cite")).unwrap();
+        r.commit(sig("Leshang", 100), "V1").unwrap();
+        r.write_file(&path("c.txt"), &b"c\n"[..]).unwrap();
+        r.commit(sig("Leshang", 200), "V2").unwrap();
+        r
+    }
+
+    #[test]
+    fn pure_fork_preserves_everything() {
+        let src = source();
+        let opts = ForkOptions {
+            new_name: "P3".into(),
+            new_owner: "Susan".into(),
+            new_url: "https://hub/P3".into(),
+            restamp_root: false,
+        };
+        let out = fork_cite(src.repo(), &opts, sig("Susan", 300)).unwrap();
+        assert!(out.restamp_commit.is_none());
+        assert_eq!(out.fork_point, src.repo().head_commit().unwrap());
+        // Identical tips, identical citation function — including the old
+        // root (pure GitHub-fork semantics).
+        assert_eq!(
+            out.fork.repo().head_commit().unwrap(),
+            src.repo().head_commit().unwrap()
+        );
+        assert_eq!(out.fork.function(), src.function());
+        assert_eq!(out.fork.repo().name(), "P3");
+        // Full history travelled.
+        assert_eq!(out.fork.repo().log_head().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn restamped_fork_gets_new_root_with_provenance() {
+        let src = source();
+        let opts = ForkOptions::new("P3", "Susan", "https://hub/P3");
+        let out = fork_cite(src.repo(), &opts, sig("Susan", 300)).unwrap();
+        let restamp = out.restamp_commit.expect("restamp commit");
+        // New root identity.
+        let root = out.fork.function().root();
+        assert_eq!(root.repo_name, "P3");
+        assert_eq!(root.owner, "Susan");
+        // Original author credit preserved, forker appended.
+        assert_eq!(root.author_list, vec!["Leshang".to_owned(), "Susan".to_owned()]);
+        // Provenance to the origin's root citation.
+        let fx = root.extra.get("forkedFrom").expect("provenance field");
+        assert_eq!(fx["repoName"].as_str(), Some("P1"));
+        // Non-root citations untouched.
+        assert_eq!(out.fork.function().get(&path("lib")).unwrap().repo_name, "lib-cite");
+        // History: restamp on top of the fork point.
+        let log = out.fork.repo().log_head().unwrap();
+        assert_eq!(log[0], restamp);
+        assert_eq!(log[1], out.fork_point);
+        // The source is untouched.
+        assert_eq!(src.function().root().repo_name, "P1");
+    }
+
+    #[test]
+    fn fork_of_uncited_repo_fails_cleanly() {
+        let mut plain = Repository::init("plain");
+        plain.worktree_mut().write(&path("x.txt"), &b"x\n"[..]).unwrap();
+        plain.commit(sig("X", 1), "c").unwrap();
+        let opts = ForkOptions::new("F", "Y", "https://hub/F");
+        assert!(matches!(
+            fork_cite(&plain, &opts, sig("Y", 2)),
+            Err(CiteError::BadCitationFile(_))
+        ));
+    }
+
+    #[test]
+    fn forker_not_duplicated_in_authors() {
+        let mut r = CitedRepo::init("P1", "Susan", "https://hub/P1");
+        r.write_file(&path("a.txt"), &b"a\n"[..]).unwrap();
+        r.commit(sig("Susan", 100), "V1").unwrap();
+        let opts = ForkOptions::new("P3", "Susan", "https://hub/P3");
+        let out = fork_cite(r.repo(), &opts, sig("Susan", 200)).unwrap();
+        assert_eq!(out.fork.function().root().author_list, vec!["Susan".to_owned()]);
+    }
+}

@@ -1,0 +1,159 @@
+//! A path-trie index for nearest-cited-ancestor resolution — the
+//! alternative resolver evaluated in the E7 ablation (DESIGN.md).
+//!
+//! [`CitationFunction::resolve`](crate::function::CitationFunction::resolve)
+//! walks a query path's ancestors and probes the entry map once per level:
+//! `O(depth)` map lookups, each hashing/comparing a full path. This trie
+//! descends the query path once, remembering the deepest cited node passed:
+//! `O(depth)` cheap single-component hops with no per-level full-path
+//! hashing, and it additionally supports bulk resolution of an entire tree
+//! in one traversal.
+
+use crate::citation::Citation;
+use crate::function::CitationFunction;
+use gitlite::RepoPath;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: HashMap<String, TrieNode>,
+    /// Index into `citations` when this exact node is cited.
+    cited: Option<usize>,
+}
+
+/// An immutable nearest-cited-ancestor index built from a
+/// [`CitationFunction`].
+#[derive(Debug)]
+pub struct CiteIndex {
+    root: TrieNode,
+    citations: Vec<(RepoPath, Citation)>,
+}
+
+impl CiteIndex {
+    /// Builds the index. `O(total key components)`.
+    pub fn build(func: &CitationFunction) -> Self {
+        let mut citations = Vec::with_capacity(func.len());
+        let mut root = TrieNode::default();
+        for (path, entry) in func.iter() {
+            let idx = citations.len();
+            citations.push((path.clone(), entry.citation.clone()));
+            let mut node = &mut root;
+            for comp in path.components() {
+                node = node.children.entry(comp.clone()).or_default();
+            }
+            node.cited = Some(idx);
+        }
+        CiteIndex { root, citations }
+    }
+
+    /// Number of indexed citations.
+    pub fn len(&self) -> usize {
+        self.citations.len()
+    }
+
+    /// True when no citations are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.citations.is_empty()
+    }
+
+    /// Resolves `path` to its nearest cited ancestor-or-self. Returns the
+    /// supplying key and citation; `None` only when even the root is
+    /// uncited (impossible for indexes built from a well-formed function).
+    pub fn resolve(&self, path: &RepoPath) -> Option<(&RepoPath, &Citation)> {
+        let mut best = self.root.cited;
+        let mut node = &self.root;
+        for comp in path.components() {
+            match node.children.get(comp) {
+                Some(child) => {
+                    node = child;
+                    if child.cited.is_some() {
+                        best = child.cited;
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|i| {
+            let (p, c) = &self.citations[i];
+            (p, c)
+        })
+    }
+
+    /// Resolves every path in `paths`, reusing the single trie descent per
+    /// path. Returned in input order.
+    pub fn resolve_all<'a, 'b>(
+        &'a self,
+        paths: impl IntoIterator<Item = &'b RepoPath>,
+    ) -> Vec<Option<(&'a RepoPath, &'a Citation)>> {
+        paths.into_iter().map(|p| self.resolve(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gitlite::path;
+
+    fn cite(name: &str) -> Citation {
+        Citation::builder(name, "o").build()
+    }
+
+    fn sample() -> CitationFunction {
+        let mut f = CitationFunction::new(cite("root"));
+        f.set(path("a"), cite("a"), true);
+        f.set(path("a/b/c"), cite("abc"), true);
+        f.set(path("x/file.rs"), cite("xf"), false);
+        f
+    }
+
+    #[test]
+    fn index_agrees_with_function_resolution() {
+        let f = sample();
+        let idx = CiteIndex::build(&f);
+        assert_eq!(idx.len(), 4);
+        for query in [
+            "", "a", "a/b", "a/b/c", "a/b/c/d/e", "a/sibling", "x", "x/file.rs", "x/other.rs",
+            "unrelated/deep/path",
+        ] {
+            let q = path(query);
+            let (fp, fc) = f.resolve(&q);
+            let (ip, ic) = idx.resolve(&q).expect("root always cited");
+            assert_eq!(fp, ip, "query {query:?}");
+            assert_eq!(fc, ic, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_all_bulk() {
+        let f = sample();
+        let idx = CiteIndex::build(&f);
+        let queries = [path("a/b"), path("x/file.rs"), path("zzz")];
+        let results = idx.resolve_all(queries.iter());
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].unwrap().1.repo_name, "a");
+        assert_eq!(results[1].unwrap().1.repo_name, "xf");
+        assert_eq!(results[2].unwrap().1.repo_name, "root");
+    }
+
+    #[test]
+    fn deep_chain_resolution() {
+        let mut f = CitationFunction::new(cite("root"));
+        // Cite every third level of a deep chain.
+        let mut p = RepoPath::root();
+        for i in 0..30 {
+            p = p.child(&format!("d{i}"));
+            if i % 3 == 0 {
+                f.set(p.clone(), cite(&format!("level{i}")), true);
+            }
+        }
+        let idx = CiteIndex::build(&f);
+        let deep = p.child("leaf.txt");
+        let (ip, ic) = idx.resolve(&deep).unwrap();
+        let (fp, fc) = f.resolve(&deep);
+        assert_eq!(ip, fp);
+        assert_eq!(ic, fc);
+        assert_eq!(ic.repo_name, "level27");
+    }
+
+    use gitlite::RepoPath;
+}

@@ -1,0 +1,495 @@
+//! Retroactive citations — the paper's future work #2: "since many
+//! software repositories have already been developed without being
+//! 'citation-enabled', we would like to explore ways of adding retroactive
+//! citations and ensuring their consistency and preservation through the
+//! project history" (§5).
+//!
+//! Two entry points:
+//!
+//! * [`retrofit`] — analyze an uncited repository's history, synthesize a
+//!   citation function from commit authorship (who touched what, when),
+//!   and commit a `citation.cite` at the tip.
+//! * [`retrofit_history`] — rewrite *every* version so each carries the
+//!   citation function consistent with the history up to that point
+//!   (à la `git filter-branch`; commit ids change, structure/authors/
+//!   timestamps are preserved).
+
+use crate::citation::Citation;
+use crate::error::{CiteError, Result};
+use crate::file::{self, citation_path};
+use crate::function::CitationFunction;
+use crate::ops::CitedRepo;
+use crate::time::format_iso8601;
+use gitlite::{
+    diff_listings, write_tree_from_listing, Commit, Object, ObjectId, RepoPath, Repository,
+    Signature,
+};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Tuning for citation synthesis.
+#[derive(Debug, Clone)]
+pub struct RetrofitOptions {
+    /// Cite directories up to this depth below the root (default 1:
+    /// top-level directories, which is where team ownership usually
+    /// splits — e.g. the `CoreCover/` and `citation/GUI` components of
+    /// the paper's demo project).
+    pub max_depth: usize,
+    /// Only cite a directory when at least this many files live beneath
+    /// it at the target version (default 1).
+    pub min_files: usize,
+    /// Owner recorded in the synthesized root citation.
+    pub owner: String,
+    /// URL recorded in the synthesized citations.
+    pub url: String,
+}
+
+impl RetrofitOptions {
+    /// Reasonable defaults for `owner`/`url`.
+    pub fn new(owner: impl Into<String>, url: impl Into<String>) -> Self {
+        RetrofitOptions { max_depth: 1, min_files: 1, owner: owner.into(), url: url.into() }
+    }
+}
+
+/// What [`retrofit`] produced.
+#[derive(Debug, Clone)]
+pub struct RetrofitReport {
+    /// Directories that received synthesized citations.
+    pub cited_dirs: Vec<RepoPath>,
+    /// The commit that introduced `citation.cite`.
+    pub commit: ObjectId,
+}
+
+/// Per-directory authorship accumulated over history.
+#[derive(Debug, Clone, Default)]
+struct DirStats {
+    /// Authors in order of first contribution.
+    authors: Vec<String>,
+    /// Last commit that touched the directory.
+    last_commit: Option<ObjectId>,
+    /// Timestamp of that commit.
+    last_ts: i64,
+}
+
+impl DirStats {
+    fn record(&mut self, author: &str, commit: ObjectId, ts: i64) {
+        if !self.authors.iter().any(|a| a == author) {
+            self.authors.push(author.to_owned());
+        }
+        if ts >= self.last_ts || self.last_commit.is_none() {
+            self.last_commit = Some(commit);
+            self.last_ts = ts;
+        }
+    }
+}
+
+/// Walks `commits` (oldest first) and accumulates per-directory stats.
+/// Attribution follows first-parent diffs, like `git log` defaults.
+fn accumulate_stats(
+    repo: &Repository,
+    commits: &[ObjectId],
+    max_depth: usize,
+) -> Result<BTreeMap<RepoPath, DirStats>> {
+    let mut stats: BTreeMap<RepoPath, DirStats> = BTreeMap::new();
+    let cite = citation_path();
+    for &id in commits {
+        let commit = repo.commit_obj(id).map_err(CiteError::Git)?;
+        let old = match commit.parents.first() {
+            Some(p) => repo.snapshot(*p).map_err(CiteError::Git)?,
+            None => BTreeMap::new(),
+        };
+        let new = repo.snapshot(id).map_err(CiteError::Git)?;
+        let diff = diff_listings(&old, &new, repo.odb(), false);
+        let touched = diff
+            .added
+            .keys()
+            .chain(diff.deleted.keys())
+            .chain(diff.modified.keys());
+        for path in touched {
+            if *path == cite {
+                continue;
+            }
+            // The root plus every ancestor directory down to max_depth.
+            stats
+                .entry(RepoPath::root())
+                .or_default()
+                .record(&commit.author.name, id, commit.author.timestamp);
+            let comps = path.components();
+            for depth in 1..comps.len().min(max_depth + 1) {
+                let dir = RepoPath::parse(&comps[..depth].join("/")).expect("valid components");
+                stats
+                    .entry(dir)
+                    .or_default()
+                    .record(&commit.author.name, id, commit.author.timestamp);
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Synthesizes the citation function for the version `at`, given stats
+/// accumulated up to it.
+fn synthesize_function(
+    repo: &Repository,
+    at: ObjectId,
+    stats: &BTreeMap<RepoPath, DirStats>,
+    opts: &RetrofitOptions,
+) -> Result<CitationFunction> {
+    let commit = repo.commit_obj(at).map_err(CiteError::Git)?;
+    let listing = repo.snapshot(at).map_err(CiteError::Git)?;
+
+    let root_stats = stats.get(&RepoPath::root());
+    let root = Citation::builder(repo.name(), &opts.owner)
+        .commit(at.short(), format_iso8601(commit.author.timestamp))
+        .url(&opts.url)
+        .authors(root_stats.map(|s| s.authors.clone()).unwrap_or_default())
+        .note("retroactive citation synthesized from commit history")
+        .build();
+    let mut func = CitationFunction::new(root);
+
+    for (dir, dir_stats) in stats {
+        if dir.is_root() || dir.depth() > opts.max_depth {
+            continue;
+        }
+        let files_under = listing.keys().filter(|p| p.starts_with(dir)).count();
+        if files_under < opts.min_files {
+            continue; // directory gone or too small at this version
+        }
+        // Only cite the directory when its authorship is a *proper*
+        // restriction of the whole project's: a dir touched by everyone
+        // adds no credit information beyond the root.
+        if let Some(rs) = root_stats {
+            if rs.authors == dir_stats.authors {
+                continue;
+            }
+        }
+        let citation = Citation::builder(repo.name(), &opts.owner)
+            .commit(
+                dir_stats.last_commit.map(|c| c.short()).unwrap_or_default(),
+                format_iso8601(dir_stats.last_ts),
+            )
+            .url(&opts.url)
+            .authors(dir_stats.authors.clone())
+            .note("retroactive citation synthesized from commit history")
+            .build();
+        func.set(dir.clone(), citation, true);
+    }
+    Ok(func)
+}
+
+/// Citation-enables an uncited repository: synthesizes citations from its
+/// history and commits the resulting `citation.cite` at the tip.
+pub fn retrofit(
+    repo: Repository,
+    opts: &RetrofitOptions,
+    author: Signature,
+) -> Result<(CitedRepo, RetrofitReport)> {
+    let head = repo.head_commit().map_err(CiteError::Git)?;
+    if repo.file_at(head, &citation_path()).is_ok() {
+        return Err(CiteError::BadCitationFile(
+            "repository is already citation-enabled".into(),
+        ));
+    }
+    let mut commits = repo.log(head).map_err(CiteError::Git)?;
+    commits.reverse(); // oldest first
+    let stats = accumulate_stats(&repo, &commits, opts.max_depth)?;
+    let func = synthesize_function(&repo, head, &stats, opts)?;
+    let cited_dirs: Vec<RepoPath> = func
+        .paths()
+        .filter(|p| !p.is_root())
+        .cloned()
+        .collect();
+
+    let mut repo = repo;
+    file::write_worktree(repo.worktree_mut(), &func)?;
+    let commit = repo
+        .commit(author, "retrofit: add retroactive citation.cite")
+        .map_err(CiteError::Git)?;
+    let cited = CitedRepo::open(repo)?;
+    Ok((cited, RetrofitReport { cited_dirs, commit }))
+}
+
+/// Rewrites the full history of `src` so *every* version carries a
+/// `citation.cite` consistent with the history up to that version.
+///
+/// Returns the rewritten repository plus the old-commit → new-commit map.
+/// All branches are rewritten; authors, messages and timestamps are
+/// preserved; every commit id necessarily changes (the tree changed).
+pub fn retrofit_history(
+    src: &Repository,
+    opts: &RetrofitOptions,
+) -> Result<(Repository, HashMap<ObjectId, ObjectId>)> {
+    // Collect every commit reachable from any branch, in parents-first
+    // topological order (Kahn's algorithm).
+    let mut all: HashSet<ObjectId> = HashSet::new();
+    let mut stack: Vec<ObjectId> = src.branches().map(|(_, tip)| tip).collect();
+    if stack.is_empty() {
+        return Err(CiteError::Git(gitlite::GitError::EmptyRepository));
+    }
+    while let Some(id) = stack.pop() {
+        if all.insert(id) {
+            for p in src.commit_obj(id).map_err(CiteError::Git)?.parents {
+                stack.push(p);
+            }
+        }
+    }
+    let mut children: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
+    let mut indegree: HashMap<ObjectId, usize> = HashMap::new();
+    for &id in &all {
+        let parents = src.commit_obj(id).map_err(CiteError::Git)?.parents;
+        indegree.insert(id, parents.len());
+        for p in parents {
+            children.entry(p).or_default().push(id);
+        }
+    }
+    let mut ready: VecDeque<ObjectId> = {
+        let mut roots: Vec<ObjectId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        roots.sort_by_key(|id| {
+            (src.commit_obj(*id).map(|c| c.author.timestamp).unwrap_or(0), *id)
+        });
+        roots.into()
+    };
+    let mut topo: Vec<ObjectId> = Vec::with_capacity(all.len());
+    while let Some(id) = ready.pop_front() {
+        topo.push(id);
+        if let Some(kids) = children.get(&id) {
+            let mut unlocked: Vec<ObjectId> = Vec::new();
+            for &k in kids {
+                let d = indegree.get_mut(&k).expect("known commit");
+                *d -= 1;
+                if *d == 0 {
+                    unlocked.push(k);
+                }
+            }
+            unlocked.sort_by_key(|id| {
+                (src.commit_obj(*id).map(|c| c.author.timestamp).unwrap_or(0), *id)
+            });
+            ready.extend(unlocked);
+        }
+    }
+
+    // Rewrite each commit: same listing plus a synthesized citation.cite.
+    let mut dst = Repository::init(src.name().to_owned());
+    let mut map: HashMap<ObjectId, ObjectId> = HashMap::new();
+    // Accumulate stats incrementally per topological prefix. Because
+    // attribution is first-parent, stats for a commit depend only on the
+    // path of first parents; to keep the rewrite single-pass we accumulate
+    // over the topological order, which visits every commit once.
+    let mut stats: BTreeMap<RepoPath, DirStats> = BTreeMap::new();
+    let cite = citation_path();
+    for &old_id in &topo {
+        let commit = src.commit_obj(old_id).map_err(CiteError::Git)?;
+        // Update stats with this commit's first-parent diff.
+        let old_listing = match commit.parents.first() {
+            Some(p) => src.snapshot(*p).map_err(CiteError::Git)?,
+            None => BTreeMap::new(),
+        };
+        let new_listing = src.snapshot(old_id).map_err(CiteError::Git)?;
+        let diff = diff_listings(&old_listing, &new_listing, src.odb(), false);
+        for path in diff.added.keys().chain(diff.deleted.keys()).chain(diff.modified.keys()) {
+            if *path == cite {
+                continue;
+            }
+            stats
+                .entry(RepoPath::root())
+                .or_default()
+                .record(&commit.author.name, old_id, commit.author.timestamp);
+            let comps = path.components();
+            for depth in 1..comps.len().min(opts.max_depth + 1) {
+                let dir = RepoPath::parse(&comps[..depth].join("/")).expect("valid components");
+                stats
+                    .entry(dir)
+                    .or_default()
+                    .record(&commit.author.name, old_id, commit.author.timestamp);
+            }
+        }
+
+        // Build the rewritten tree: original files + synthesized citations.
+        let func = synthesize_function(src, old_id, &stats, opts)?;
+        gitlite::transfer_objects(src.odb(), dst.odb_mut(), &[commit.tree])
+            .map_err(CiteError::Git)?;
+        let mut listing = new_listing;
+        let blob = dst.odb_mut().put_blob(file::to_text(&func).into_bytes());
+        listing.insert(cite.clone(), blob);
+        let tree = write_tree_from_listing(dst.odb_mut(), &listing);
+        let new_parents: Vec<ObjectId> = commit
+            .parents
+            .iter()
+            .map(|p| map[p])
+            .collect();
+        let new_commit = Commit {
+            tree,
+            parents: new_parents,
+            author: commit.author.clone(),
+            message: commit.message.clone(),
+        };
+        let new_id = dst.odb_mut().put(Object::Commit(new_commit));
+        map.insert(old_id, new_id);
+    }
+
+    // Recreate branches and check out the source's current branch.
+    for (branch, tip) in src.branches() {
+        dst.set_branch(branch, map[&tip]).map_err(CiteError::Git)?;
+    }
+    if let Some(b) = src.current_branch().map(str::to_owned) {
+        if dst.has_branch(&b) {
+            dst.checkout_branch(&b).map_err(CiteError::Git)?;
+        }
+    } else {
+        let first = dst.branches().next().map(|(b, _)| b.to_owned());
+        if let Some(b) = first {
+            dst.checkout_branch(&b).map_err(CiteError::Git)?;
+        }
+    }
+    Ok((dst, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gitlite::path;
+
+    fn sig(n: &str, t: i64) -> Signature {
+        Signature::new(n, format!("{n}@x"), t)
+    }
+
+    /// An uncited project: alice builds `core/`, bob builds `gui/`, both
+    /// touch the README.
+    fn legacy_repo() -> Repository {
+        let mut r = Repository::init("legacy");
+        r.worktree_mut().write(&path("README.md"), &b"v1\n"[..]).unwrap();
+        r.worktree_mut().write(&path("core/a.rs"), &b"a\n"[..]).unwrap();
+        r.commit(sig("alice", 100), "core start").unwrap();
+        r.worktree_mut().write(&path("gui/app.js"), &b"g\n"[..]).unwrap();
+        r.commit(sig("bob", 200), "gui start").unwrap();
+        r.worktree_mut().write(&path("core/b.rs"), &b"b\n"[..]).unwrap();
+        r.commit(sig("alice", 300), "more core").unwrap();
+        r.worktree_mut().write(&path("README.md"), &b"v2\n"[..]).unwrap();
+        r.commit(sig("bob", 400), "docs").unwrap();
+        r
+    }
+
+    #[test]
+    fn retrofit_synthesizes_per_directory_credit() {
+        let repo = legacy_repo();
+        let opts = RetrofitOptions::new("maintainer", "https://hub/legacy");
+        let (cited, report) = retrofit(repo, &opts, sig("maintainer", 500)).unwrap();
+        // Both component dirs got citations (each has a proper subset of
+        // the authors).
+        assert_eq!(report.cited_dirs, vec![path("core"), path("gui")]);
+        let core = cited.function().get(&path("core")).unwrap();
+        assert_eq!(core.author_list, vec!["alice".to_owned()]);
+        let gui = cited.function().get(&path("gui")).unwrap();
+        assert_eq!(gui.author_list, vec!["bob".to_owned()]);
+        // Root credits both, in order of first contribution.
+        assert_eq!(
+            cited.function().root().author_list,
+            vec!["alice".to_owned(), "bob".to_owned()]
+        );
+        // Resolution now credits the right team.
+        assert_eq!(cited.cite(&path("core/a.rs")).unwrap().author_list, vec!["alice".to_owned()]);
+        assert_eq!(cited.cite(&path("gui/app.js")).unwrap().author_list, vec!["bob".to_owned()]);
+    }
+
+    #[test]
+    fn retrofit_dir_last_commit_is_latest_touch() {
+        let repo = legacy_repo();
+        let expected = {
+            // alice's t=300 commit is the last to touch core/.
+            let log = repo.log_head().unwrap();
+            // log is newest first: [400 bob, 300 alice, 200 bob, 100 alice]
+            log[1]
+        };
+        let opts = RetrofitOptions::new("m", "https://hub/legacy");
+        let (cited, _) = retrofit(repo, &opts, sig("m", 500)).unwrap();
+        let core = cited.function().get(&path("core")).unwrap();
+        assert_eq!(core.commit_id, expected.short());
+        assert_eq!(core.committed_date, format_iso8601(300));
+    }
+
+    #[test]
+    fn retrofit_rejects_already_cited() {
+        let mut cited = CitedRepo::init("p", "o", "https://x");
+        cited.write_file(&path("a.txt"), &b"a\n"[..]).unwrap();
+        cited.commit(sig("o", 1), "c").unwrap();
+        let opts = RetrofitOptions::new("o", "https://x");
+        assert!(matches!(
+            retrofit(cited.repo().clone(), &opts, sig("o", 2)),
+            Err(CiteError::BadCitationFile(_))
+        ));
+    }
+
+    #[test]
+    fn retrofit_min_files_filters_small_dirs() {
+        let repo = legacy_repo();
+        let mut opts = RetrofitOptions::new("m", "https://x");
+        opts.min_files = 2; // core has 2 files, gui only 1
+        let (_, report) = retrofit(repo, &opts, sig("m", 500)).unwrap();
+        assert_eq!(report.cited_dirs, vec![path("core")]);
+    }
+
+    #[test]
+    fn retrofit_history_gives_every_version_a_citation_file() {
+        let repo = legacy_repo();
+        let original_log = repo.log_head().unwrap();
+        let opts = RetrofitOptions::new("m", "https://hub/legacy");
+        let (rewritten, map) = retrofit_history(&repo, &opts).unwrap();
+        // Same number of commits, all remapped.
+        let new_log = rewritten.log_head().unwrap();
+        assert_eq!(new_log.len(), original_log.len());
+        for old in &original_log {
+            assert!(map.contains_key(old));
+        }
+        // Every rewritten version has a parseable citation.cite.
+        for new_id in &new_log {
+            let text = rewritten.file_at(*new_id, &citation_path()).unwrap();
+            let func = file::parse(&String::from_utf8_lossy(&text)).unwrap();
+            assert!(func.len() >= 1);
+        }
+        // The first version (only alice, only core/) must NOT cite core
+        // separately — its authorship equals the whole project's then.
+        let first_new = map[original_log.last().unwrap()];
+        let text = rewritten.file_at(first_new, &citation_path()).unwrap();
+        let func = file::parse(&String::from_utf8_lossy(&text)).unwrap();
+        assert!(!func.contains(&path("core")));
+        // The final version cites both dirs.
+        let tip_func = file::parse(
+            &String::from_utf8_lossy(&rewritten.file_at(new_log[0], &citation_path()).unwrap()),
+        )
+        .unwrap();
+        assert!(tip_func.contains(&path("core")));
+        assert!(tip_func.contains(&path("gui")));
+        // Authors/messages/timestamps preserved.
+        let old_c = repo.commit_obj(original_log[0]).unwrap();
+        let new_c = rewritten.commit_obj(new_log[0]).unwrap();
+        assert_eq!(old_c.author, new_c.author);
+        assert_eq!(old_c.message, new_c.message);
+    }
+
+    #[test]
+    fn retrofit_history_preserves_branch_structure() {
+        let mut repo = legacy_repo();
+        repo.create_branch("feature").unwrap();
+        repo.checkout_branch("feature").unwrap();
+        repo.worktree_mut().write(&path("feat.txt"), &b"f\n"[..]).unwrap();
+        repo.commit(sig("carol", 500), "feature work").unwrap();
+        repo.checkout_branch("main").unwrap();
+        let opts = RetrofitOptions::new("m", "https://x");
+        let (rewritten, map) = retrofit_history(&repo, &opts).unwrap();
+        assert!(rewritten.has_branch("feature"));
+        assert_eq!(
+            rewritten.branch_tip("feature").unwrap(),
+            map[&repo.branch_tip("feature").unwrap()]
+        );
+        // The merge-commit-free DAG shape is preserved: feature tip's
+        // parent is main's old tip, remapped.
+        let feat_commit = rewritten.commit_obj(rewritten.branch_tip("feature").unwrap()).unwrap();
+        assert_eq!(feat_commit.parents, vec![map[&repo.branch_tip("main").unwrap()]]);
+        // The rewritten repo can be opened as a CitedRepo directly.
+        let cited = CitedRepo::open(rewritten).unwrap();
+        assert_eq!(cited.function().root().repo_name, "legacy");
+    }
+}

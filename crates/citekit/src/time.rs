@@ -1,0 +1,153 @@
+//! Minimal UTC timestamp ↔ ISO-8601 conversion.
+//!
+//! Citation records carry `committedDate` fields like
+//! `"2018-09-04T02:35:20Z"` (Listing 1). This module converts between Unix
+//! timestamps and that exact rendering, with no external dependencies. The
+//! date math uses the days-from-civil / civil-from-days algorithms from
+//! Howard Hinnant's calendrical notes, valid over the full `i64` range this
+//! project needs.
+
+/// Formats a Unix timestamp (seconds) as `YYYY-MM-DDTHH:MM:SSZ`.
+pub fn format_iso8601(ts: i64) -> String {
+    let days = ts.div_euclid(86_400);
+    let secs = ts.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    let hh = secs / 3600;
+    let mm = (secs % 3600) / 60;
+    let ss = secs % 60;
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
+/// Parses `YYYY-MM-DDTHH:MM:SSZ` back to a Unix timestamp. Returns `None`
+/// on malformed input or out-of-range fields.
+pub fn parse_iso8601(s: &str) -> Option<i64> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 20 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T'
+        || bytes[13] != b':' || bytes[16] != b':' || bytes[19] != b'Z'
+    {
+        return None;
+    }
+    let num = |range: std::ops::Range<usize>| -> Option<i64> { s.get(range)?.parse().ok() };
+    let y = num(0..4)?;
+    let m = num(5..7)?;
+    let d = num(8..10)?;
+    let hh = num(11..13)?;
+    let mm = num(14..16)?;
+    let ss = num(17..19)?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    if d > days_in_month(y, m as u32) as i64 {
+        return None;
+    }
+    if !(0..24).contains(&hh) || !(0..60).contains(&mm) || !(0..60).contains(&ss) {
+        return None;
+    }
+    Some(days_from_civil(y, m as u32, d as u32) * 86_400 + hh * 3600 + mm * 60 + ss)
+}
+
+fn is_leap(y: i64) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+fn days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a civil date.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch() {
+        assert_eq!(format_iso8601(0), "1970-01-01T00:00:00Z");
+        assert_eq!(parse_iso8601("1970-01-01T00:00:00Z"), Some(0));
+    }
+
+    #[test]
+    fn listing1_dates_round_trip() {
+        // The three committedDate values from Listing 1 of the paper.
+        for s in ["2018-09-04T02:35:20Z", "2018-03-24T00:29:45Z", "2017-06-16T20:57:06Z"] {
+            let ts = parse_iso8601(s).expect("parses");
+            assert_eq!(format_iso8601(ts), s);
+        }
+    }
+
+    #[test]
+    fn known_timestamps() {
+        // `date -u -d @1536028520` == 2018-09-04T02:35:20Z.
+        assert_eq!(format_iso8601(1_536_028_520), "2018-09-04T02:35:20Z");
+        assert_eq!(parse_iso8601("2018-09-04T02:35:20Z"), Some(1_536_028_520));
+        // Leap-year day.
+        assert_eq!(format_iso8601(1_582_934_400), "2020-02-29T00:00:00Z");
+    }
+
+    #[test]
+    fn pre_epoch() {
+        assert_eq!(format_iso8601(-1), "1969-12-31T23:59:59Z");
+        assert_eq!(parse_iso8601("1969-12-31T23:59:59Z"), Some(-1));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "2018-09-04 02:35:20Z",
+            "2018-09-04T02:35:20",
+            "2018-13-04T02:35:20Z",
+            "2018-02-30T02:35:20Z",
+            "2019-02-29T00:00:00Z", // not a leap year
+            "2018-09-04T24:00:00Z",
+            "garbage",
+            "",
+        ] {
+            assert_eq!(parse_iso8601(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn round_trip_sweep() {
+        // Every ~13 days across several decades, including leap years.
+        let mut ts = -2_000_000_000i64;
+        while ts < 3_000_000_000 {
+            let s = format_iso8601(ts);
+            assert_eq!(parse_iso8601(&s), Some(ts), "{s}");
+            ts += 86_400 * 13 + 12_345;
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Consistency checking for citation functions against a version's tree.
+//!
+//! The paper's model imposes two invariants (§2): the root must be in the
+//! active domain, and the citation function must stay consistent with the
+//! directory structure (keys name nodes that exist). The checker reports
+//! violations instead of failing fast so a whole file can be audited at
+//! once — the CLI's `gitcite validate` prints the list.
+
+use crate::file::citation_path;
+use crate::function::CitationFunction;
+use gitlite::{RepoPath, WorkTree};
+use std::fmt;
+
+/// One consistency violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The root entry is missing (cannot normally happen through the API;
+    /// guards hand-edited files).
+    MissingRoot,
+    /// A key names a node absent from the tree.
+    DanglingPath(RepoPath),
+    /// A key is flagged as a directory but the node is a file.
+    KindMismatch {
+        /// The offending key.
+        path: RepoPath,
+        /// What the entry claims (`true` = directory).
+        claims_dir: bool,
+    },
+    /// A key points at the citation file itself.
+    ReservedPath(RepoPath),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingRoot => write!(f, "root entry \"/\" is missing"),
+            Violation::DanglingPath(p) => {
+                write!(f, "entry {:?} names a path that does not exist", p.to_cite_key(false))
+            }
+            Violation::KindMismatch { path, claims_dir } => write!(
+                f,
+                "entry {:?} claims to be a {} but is a {}",
+                path.to_cite_key(*claims_dir),
+                if *claims_dir { "directory" } else { "file" },
+                if *claims_dir { "file" } else { "directory" },
+            ),
+            Violation::ReservedPath(p) => {
+                write!(f, "entry {:?} cites the citation file itself", p.to_cite_key(false))
+            }
+        }
+    }
+}
+
+/// Checks `func` against the tree represented by `wt`.
+pub fn validate(func: &CitationFunction, wt: &WorkTree) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !func.contains(&RepoPath::root()) {
+        out.push(Violation::MissingRoot);
+    }
+    let cite = citation_path();
+    for (path, entry) in func.iter() {
+        if path.is_root() {
+            continue;
+        }
+        if *path == cite {
+            out.push(Violation::ReservedPath(path.clone()));
+            continue;
+        }
+        if !wt.exists(path) {
+            out.push(Violation::DanglingPath(path.clone()));
+            continue;
+        }
+        let actual_dir = wt.is_dir(path);
+        if actual_dir != entry.is_dir {
+            out.push(Violation::KindMismatch { path: path.clone(), claims_dir: entry.is_dir });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citation::Citation;
+    use gitlite::path;
+
+    fn cite(name: &str) -> Citation {
+        Citation::builder(name, "o").build()
+    }
+
+    fn tree() -> WorkTree {
+        let mut wt = WorkTree::new();
+        wt.write(&path("src/main.rs"), &b"fn main(){}"[..]).unwrap();
+        wt.write(&path("README.md"), &b"# hi"[..]).unwrap();
+        wt
+    }
+
+    #[test]
+    fn clean_function_validates() {
+        let mut f = CitationFunction::new(cite("root"));
+        f.set(path("src"), cite("src"), true);
+        f.set(path("src/main.rs"), cite("main"), false);
+        assert!(validate(&f, &tree()).is_empty());
+    }
+
+    #[test]
+    fn dangling_path_reported() {
+        let mut f = CitationFunction::new(cite("root"));
+        f.set(path("gone.txt"), cite("x"), false);
+        let v = validate(&f, &tree());
+        assert_eq!(v, vec![Violation::DanglingPath(path("gone.txt"))]);
+        assert!(v[0].to_string().contains("does not exist"));
+    }
+
+    #[test]
+    fn kind_mismatch_reported() {
+        let mut f = CitationFunction::new(cite("root"));
+        f.set(path("src"), cite("x"), false); // src is a directory
+        f.set(path("README.md"), cite("y"), true); // README.md is a file
+        let v = validate(&f, &tree());
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&Violation::KindMismatch { path: path("src"), claims_dir: false }));
+        assert!(v.contains(&Violation::KindMismatch { path: path("README.md"), claims_dir: true }));
+    }
+
+    #[test]
+    fn reserved_path_reported() {
+        let mut wt = tree();
+        wt.write(&citation_path(), &b"{}"[..]).unwrap();
+        let mut f = CitationFunction::new(cite("root"));
+        f.set(citation_path(), cite("x"), false);
+        let v = validate(&f, &wt);
+        assert_eq!(v, vec![Violation::ReservedPath(citation_path())]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the citation model's invariants.
+
+use citekit::{
+    file, merge::merge_functions, Citation, CitationFunction, CiteIndex, FailOnConflict,
+    MergeStrategy, PreferOurs, ResolvePolicy,
+};
+use gitlite::RepoPath;
+use proptest::prelude::*;
+
+fn arb_citation() -> impl Strategy<Value = Citation> {
+    (
+        "[a-zA-Z0-9_ -]{1,16}",
+        "[a-zA-Z ]{1,12}",
+        prop::collection::vec("[a-zA-Z .]{1,10}", 0..4),
+        prop::option::of("[0-9./a-z]{4,16}"),
+    )
+        .prop_map(|(name, owner, authors, doi)| {
+            let mut b = Citation::builder(name, owner)
+                .commit("abc1234", "2020-01-01T00:00:00Z")
+                .url("https://example.org/x")
+                .authors(authors);
+            if let Some(d) = doi {
+                b = b.doi(d);
+            }
+            b.build()
+        })
+}
+
+fn arb_path() -> impl Strategy<Value = RepoPath> {
+    prop::collection::vec("[a-c]{1,2}", 0..4)
+        .prop_map(|parts| RepoPath::parse(&parts.join("/")).unwrap())
+}
+
+fn arb_function() -> impl Strategy<Value = CitationFunction> {
+    (
+        arb_citation(),
+        prop::collection::vec((arb_path(), arb_citation(), any::<bool>()), 0..10),
+    )
+        .prop_map(|(root, entries)| {
+            let mut f = CitationFunction::new(root);
+            for (p, c, d) in entries {
+                if !p.is_root() {
+                    f.set(p, c, d);
+                }
+            }
+            f
+        })
+}
+
+/// Reference implementation of closest-ancestor resolution.
+fn brute_force_resolve<'a>(f: &'a CitationFunction, q: &RepoPath) -> (&'a RepoPath, &'a Citation) {
+    let mut candidates: Vec<&RepoPath> = f
+        .paths()
+        .filter(|p| q.starts_with(p) || p.is_root())
+        .collect();
+    candidates.sort_by_key(|p| p.depth());
+    let best = candidates.last().expect("root always present");
+    (best, f.get(best).unwrap())
+}
+
+proptest! {
+    /// Citation JSON round trip.
+    #[test]
+    fn citation_round_trip(c in arb_citation()) {
+        let v = c.to_value();
+        prop_assert_eq!(Citation::from_value(&v).unwrap(), c);
+    }
+
+    /// citation.cite text round trip for whole functions.
+    #[test]
+    fn function_file_round_trip(f in arb_function()) {
+        let text = file::to_text(&f);
+        let back = file::parse(&text).expect("our own output parses");
+        prop_assert_eq!(back, f);
+    }
+
+    /// resolve is total and matches a brute-force reference.
+    #[test]
+    fn resolve_matches_brute_force(f in arb_function(), q in arb_path()) {
+        let (p, c) = f.resolve(&q);
+        let (bp, bc) = brute_force_resolve(&f, &q);
+        prop_assert_eq!(p, bp);
+        prop_assert_eq!(c, bc);
+    }
+
+    /// The trie index agrees with the map-walk resolver on every query.
+    #[test]
+    fn index_agrees_with_resolver(f in arb_function(), queries in prop::collection::vec(arb_path(), 1..12)) {
+        let idx = CiteIndex::build(&f);
+        for q in &queries {
+            let (p, c) = f.resolve(q);
+            let (ip, ic) = idx.resolve(q).expect("total");
+            prop_assert_eq!(p, ip);
+            prop_assert_eq!(c, ic);
+        }
+    }
+
+    /// PathUnion's first element is exactly the ClosestAncestor result and
+    /// its last is always the root.
+    #[test]
+    fn path_union_structure(f in arb_function(), q in arb_path()) {
+        let union = f.resolve_policy(&q, ResolvePolicy::PathUnion);
+        let closest = f.resolve(&q);
+        prop_assert!(!union.is_empty());
+        prop_assert_eq!(union[0].0, closest.0);
+        prop_assert!(union.last().unwrap().0.is_root());
+        // Nearest-first: depths strictly decrease.
+        for w in union.windows(2) {
+            prop_assert!(w[0].0.depth() > w[1].0.depth());
+        }
+    }
+
+    /// Union merge with everything kept: merged domain is exactly the key
+    /// union, and agreeing entries never consult the resolver.
+    #[test]
+    fn union_merge_domain(a in arb_function(), b in arb_function()) {
+        let conflict_free = {
+            // Count keys where both sides have different values — those
+            // need a resolver; use PreferOurs to absorb them.
+            let mut n = 0;
+            for p in a.paths() {
+                if let (Some(x), Some(y)) = (a.get(p), b.get(p)) {
+                    if x != y { n += 1; }
+                }
+            }
+            n
+        };
+        let mut resolver = PreferOurs;
+        let (merged, conflicts, dropped) = merge_functions(
+            &a, &b, None, MergeStrategy::Union, &mut resolver, |_, _| true,
+        ).unwrap();
+        prop_assert_eq!(conflicts.len(), conflict_free);
+        prop_assert!(dropped.is_empty());
+        for p in a.paths() {
+            prop_assert!(merged.contains(p), "missing ours key {:?}", p);
+        }
+        for p in b.paths() {
+            prop_assert!(merged.contains(p), "missing theirs key {:?}", p);
+        }
+        for p in merged.paths() {
+            prop_assert!(a.contains(p) || b.contains(p), "invented key {:?}", p);
+        }
+    }
+
+    /// Merging a function with itself is the identity and conflict-free,
+    /// under every strategy.
+    #[test]
+    fn self_merge_identity(f in arb_function()) {
+        for strategy in [MergeStrategy::Union, MergeStrategy::Ours, MergeStrategy::Theirs, MergeStrategy::ThreeWay] {
+            let (merged, conflicts, dropped) = merge_functions(
+                &f, &f, Some(&f), strategy, &mut FailOnConflict, |_, _| true,
+            ).unwrap();
+            prop_assert_eq!(&merged, &f);
+            prop_assert!(conflicts.is_empty());
+            prop_assert!(dropped.is_empty());
+        }
+    }
+
+    /// rebase_subtree then rebasing back is the identity on the function.
+    #[test]
+    fn rebase_round_trip(f in arb_function()) {
+        let from = RepoPath::parse("a").unwrap();
+        let to = RepoPath::parse("z/q").unwrap();
+        // Only meaningful when no key already lives under `to`.
+        prop_assume!(!f.paths().any(|p| p.starts_with(&to)));
+        let mut g = f.clone();
+        g.rebase_subtree(&from, &to);
+        g.rebase_subtree(&to, &from);
+        prop_assert_eq!(g, f);
+    }
+}

@@ -1,0 +1,445 @@
+//! # extension — the GitCite browser-extension popup, headless
+//!
+//! The paper's first component is "a browser extension which can be used
+//! online to enable users to get citations, and owners to
+//! create/modify/delete citations" (§1), deployed on Chrome against the
+//! GitHub REST API. This crate reproduces the popup of Figure 2 as a
+//! library: the same states, the same buttons, the same member/non-member
+//! behavior — driven against the [`hub`] platform instead of a browser.
+//!
+//! Behavior reproduced from §3:
+//!
+//! * "Users provide their credentials ... and may then click on a node."
+//! * Non-member: "the browser extension immediately generates the
+//!   citation (shown in the text window)"; Add/Delete are disabled.
+//! * Member: "the text box will display the citation explicitly attached
+//!   to the node, if it exists ... If such a citation does not exist, the
+//!   text box will remain empty. The user may then either enter a
+//!   citation, or use the 'Generate Citation' button to see the citation
+//!   of its closest ancestor, which can then be modified for the current
+//!   node."
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bibformat::Format;
+use citekit::Citation;
+use gitlite::RepoPath;
+use hub::{Hub, HubError, Token};
+use std::fmt;
+
+/// Extension-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtError {
+    /// No node is selected in the popup.
+    NoSelection,
+    /// The action needs a signed-in project member.
+    NotSignedIn,
+    /// The text box does not contain a parseable citation record.
+    BadCitationText(String),
+    /// The platform refused or failed.
+    Hub(HubError),
+}
+
+impl fmt::Display for ExtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtError::NoSelection => write!(f, "no node selected"),
+            ExtError::NotSignedIn => write!(f, "sign in with a personal access token first"),
+            ExtError::BadCitationText(msg) => write!(f, "invalid citation text: {msg}"),
+            ExtError::Hub(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtError {}
+
+impl From<HubError> for ExtError {
+    fn from(e: HubError) -> Self {
+        ExtError::Hub(e)
+    }
+}
+
+/// Result alias for extension operations.
+pub type Result<T> = std::result::Result<T, ExtError>;
+
+/// Which buttons the popup currently enables — Figure 2's Add / Delete /
+/// Generate Citation row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ButtonStates {
+    /// "Generate Citation" (always available once a node is selected).
+    pub generate: bool,
+    /// "Add" — members only, and only when no explicit citation exists.
+    pub add: bool,
+    /// "Modify" — members only, on explicitly cited nodes.
+    pub modify: bool,
+    /// "Delete" — members only, on explicitly cited nodes.
+    pub delete: bool,
+}
+
+/// What the popup window shows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopupView {
+    /// Repository the popup is open on.
+    pub repo_id: String,
+    /// Branch being browsed.
+    pub branch: String,
+    /// Signed-in user, if any.
+    pub signed_in_as: Option<String>,
+    /// Whether the signed-in user may edit citations here.
+    pub is_member: bool,
+    /// Currently selected node.
+    pub selected: Option<RepoPath>,
+    /// Contents of the citation text window.
+    pub text_box: String,
+    /// Button enablement.
+    pub buttons: ButtonStates,
+    /// One-line status message from the last action.
+    pub status: String,
+}
+
+enum Session {
+    Anonymous,
+    SignedIn { token: Token, is_member: bool },
+}
+
+/// The popup state machine, bound to one repository page.
+pub struct Popup<'h> {
+    hub: &'h Hub,
+    session: Session,
+    view: PopupView,
+}
+
+impl<'h> Popup<'h> {
+    /// Opens the popup on a repository page (anonymous).
+    pub fn open(hub: &'h Hub, repo_id: &str, branch: &str) -> Result<Popup<'h>> {
+        // Probe the repository so a bad id fails at open time.
+        hub.branches(repo_id)?;
+        Ok(Popup {
+            hub,
+            session: Session::Anonymous,
+            view: PopupView {
+                repo_id: repo_id.to_owned(),
+                branch: branch.to_owned(),
+                signed_in_as: None,
+                is_member: false,
+                selected: None,
+                text_box: String::new(),
+                buttons: ButtonStates::default(),
+                status: "ready".to_owned(),
+            },
+        })
+    }
+
+    /// Provides credentials ("Users provide their credentials on GitHub to
+    /// obtain access to the repository").
+    pub fn sign_in(&mut self, token: Token) -> Result<()> {
+        let user = self.hub.whoami(&token)?;
+        let is_member = self.hub.can_write(&token, &self.view.repo_id)?;
+        self.view.signed_in_as = Some(user.username.clone());
+        self.view.is_member = is_member;
+        self.view.status = format!("signed in as {}", user.username);
+        self.session = Session::SignedIn { token, is_member };
+        // Re-run the selection flow under the new identity.
+        if let Some(path) = self.view.selected.clone() {
+            self.select(&path)?;
+        }
+        Ok(())
+    }
+
+    /// Signs out, returning to the anonymous read-only view.
+    pub fn sign_out(&mut self) -> Result<()> {
+        self.session = Session::Anonymous;
+        self.view.signed_in_as = None;
+        self.view.is_member = false;
+        self.view.status = "signed out".to_owned();
+        if let Some(path) = self.view.selected.clone() {
+            self.select(&path)?;
+        }
+        Ok(())
+    }
+
+    /// The current rendering of the popup.
+    pub fn view(&self) -> &PopupView {
+        &self.view
+    }
+
+    /// Clicks a node in the repository tree.
+    ///
+    /// Non-members immediately see the generated citation; members see the
+    /// explicit citation if one exists, else an empty text box.
+    pub fn select(&mut self, path: &RepoPath) -> Result<()> {
+        self.view.selected = Some(path.clone());
+        let is_member = matches!(self.session, Session::SignedIn { is_member: true, .. });
+        if is_member {
+            let explicit = self.hub.citation_entry(&self.view.repo_id, &self.view.branch, path)?;
+            match explicit {
+                Some(c) => {
+                    self.view.text_box = c.to_value().to_string_pretty();
+                    self.view.buttons =
+                        ButtonStates { generate: true, add: false, modify: true, delete: true };
+                    self.view.status = "explicit citation shown; you may modify or delete it".into();
+                }
+                None => {
+                    self.view.text_box.clear();
+                    self.view.buttons =
+                        ButtonStates { generate: true, add: true, modify: false, delete: false };
+                    self.view.status =
+                        "no explicit citation; enter one or press Generate Citation".into();
+                }
+            }
+        } else {
+            // Non-member (or anonymous): immediate generation, no editing.
+            let citation =
+                self.hub.generate_citation(&self.view.repo_id, &self.view.branch, path)?;
+            self.view.text_box = citation.to_value().to_string_pretty();
+            self.view.buttons =
+                ButtonStates { generate: true, add: false, modify: false, delete: false };
+            self.view.status = "citation generated; copy it to your bibliography manager".into();
+        }
+        Ok(())
+    }
+
+    /// Presses "Generate Citation": fills the text box with the citation
+    /// of the node's closest cited ancestor, as a starting point the user
+    /// "can then modif\[y\] for the current node".
+    pub fn generate(&mut self) -> Result<Citation> {
+        let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
+        let citation = self.hub.generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
+        self.view.text_box = citation.to_value().to_string_pretty();
+        self.view.status = "generated from closest cited ancestor".into();
+        Ok(citation)
+    }
+
+    /// Types into the citation text window.
+    pub fn edit_text(&mut self, text: impl Into<String>) {
+        self.view.text_box = text.into();
+    }
+
+    fn parse_text_box(&self) -> Result<Citation> {
+        let value = sjson::parse(&self.view.text_box)
+            .map_err(|e| ExtError::BadCitationText(e.to_string()))?;
+        Citation::from_value(&value).map_err(|e| ExtError::BadCitationText(e.to_string()))
+    }
+
+    fn member_token(&self) -> Result<&Token> {
+        match &self.session {
+            Session::SignedIn { token, .. } => Ok(token),
+            Session::Anonymous => Err(ExtError::NotSignedIn),
+        }
+    }
+
+    /// Presses "Add": attaches the text box's citation to the selected
+    /// node. Fails for non-members (the hub enforces it even if a client
+    /// re-enabled the button).
+    pub fn add(&mut self) -> Result<()> {
+        let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
+        let citation = self.parse_text_box()?;
+        let token = self.member_token()?.clone();
+        self.hub.add_cite(&token, &self.view.repo_id, &self.view.branch, &path, citation)?;
+        self.view.status = format!("citation added to {}", path.to_cite_key(false));
+        self.select(&path)
+    }
+
+    /// Presses "Modify": replaces the explicit citation with the text
+    /// box's content.
+    pub fn modify(&mut self) -> Result<()> {
+        let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
+        let citation = self.parse_text_box()?;
+        let token = self.member_token()?.clone();
+        self.hub.modify_cite(&token, &self.view.repo_id, &self.view.branch, &path, citation)?;
+        self.view.status = format!("citation modified at {}", path.to_cite_key(false));
+        self.select(&path)
+    }
+
+    /// Presses "Delete": removes the explicit citation from the node.
+    pub fn delete(&mut self) -> Result<()> {
+        let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
+        let token = self.member_token()?.clone();
+        self.hub.del_cite(&token, &self.view.repo_id, &self.view.branch, &path)?;
+        self.view.status = format!("citation deleted from {}", path.to_cite_key(false));
+        self.select(&path)
+    }
+
+    /// Copies the current citation out of the popup in a bibliography
+    /// format (the "copy-pasted to their local bibliography manager" step).
+    pub fn export(&mut self, format: Format) -> Result<String> {
+        let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
+        let citation = self.hub.generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
+        Ok(bibformat::render(&citation, format))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gitlite::{path, Signature};
+
+    /// Hub with owner "leshang", repo P1 containing f1.txt (cited) and
+    /// d/f2.txt (uncited), plus registered non-member "visitor".
+    fn setup() -> (Hub, Token, Token, String) {
+        let hub = Hub::new("https://hub.example");
+        hub.register_user("leshang", "Leshang Chen").unwrap();
+        hub.register_user("visitor", "A Visitor").unwrap();
+        let owner = hub.login("leshang").unwrap();
+        let visitor = hub.login("visitor").unwrap();
+        let repo_id = hub.create_repo(&owner, "P1").unwrap();
+        let mut local = hub.clone_repo(&repo_id).unwrap();
+        local.worktree_mut().write(&path("f1.txt"), &b"f1\n"[..]).unwrap();
+        local.worktree_mut().write(&path("d/f2.txt"), &b"f2\n"[..]).unwrap();
+        local.commit(Signature::new("Leshang Chen", "l@x", 100), "files").unwrap();
+        hub.push(&owner, &repo_id, "main", &local, "main", false).unwrap();
+        let c2 = Citation::builder("C2", "Leshang Chen").author("Leshang Chen").build();
+        hub.add_cite(&owner, &repo_id, "main", &path("f1.txt"), c2).unwrap();
+        (hub, owner, visitor, repo_id)
+    }
+
+    #[test]
+    fn anonymous_selection_generates_immediately() {
+        let (hub, _, _, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.select(&path("d/f2.txt")).unwrap();
+        let v = popup.view();
+        // Text box holds the generated (root) citation.
+        assert!(v.text_box.contains("\"repoName\": \"P1\""));
+        // Only Generate is available.
+        assert_eq!(
+            v.buttons,
+            ButtonStates { generate: true, add: false, modify: false, delete: false }
+        );
+        assert!(v.signed_in_as.is_none());
+    }
+
+    #[test]
+    fn non_member_cannot_mutate_even_by_force() {
+        let (hub, _, visitor, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.sign_in(visitor).unwrap();
+        assert!(!popup.view().is_member);
+        popup.select(&path("d/f2.txt")).unwrap();
+        // Buttons disabled...
+        assert!(!popup.view().buttons.add);
+        // ...and the flow errors server-side when bypassed.
+        popup.edit_text(r#"{"repoName": "sneak"}"#);
+        assert!(matches!(popup.add(), Err(ExtError::Hub(HubError::PermissionDenied(_)))));
+    }
+
+    #[test]
+    fn member_sees_explicit_citation_or_empty_box() {
+        let (hub, owner, _, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.sign_in(owner).unwrap();
+        assert!(popup.view().is_member);
+        // Cited node: explicit citation shown, modify/delete enabled.
+        popup.select(&path("f1.txt")).unwrap();
+        assert!(popup.view().text_box.contains("\"repoName\": \"C2\""));
+        assert_eq!(
+            popup.view().buttons,
+            ButtonStates { generate: true, add: false, modify: true, delete: true }
+        );
+        // Uncited node: empty box, add enabled.
+        popup.select(&path("d/f2.txt")).unwrap();
+        assert!(popup.view().text_box.is_empty());
+        assert_eq!(
+            popup.view().buttons,
+            ButtonStates { generate: true, add: true, modify: false, delete: false }
+        );
+    }
+
+    #[test]
+    fn member_generate_then_modify_then_add() {
+        let (hub, owner, _, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.sign_in(owner).unwrap();
+        popup.select(&path("d/f2.txt")).unwrap();
+        // Generate fills the box with the closest ancestor's citation...
+        let generated = popup.generate().unwrap();
+        assert_eq!(generated.repo_name, "P1");
+        // ...which the user edits for the current node and adds.
+        let mut edited = generated.clone();
+        edited.note = Some("the f2 component".into());
+        popup.edit_text(edited.to_value().to_string_pretty());
+        popup.add().unwrap();
+        // The popup re-renders with the new explicit citation.
+        assert!(popup.view().buttons.delete);
+        assert!(popup.view().text_box.contains("the f2 component"));
+        // And the hub agrees.
+        let c = hub.generate_citation(&repo_id, "main", &path("d/f2.txt")).unwrap();
+        assert_eq!(c.note.as_deref(), Some("the f2 component"));
+    }
+
+    #[test]
+    fn member_delete_flow() {
+        let (hub, owner, _, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.sign_in(owner).unwrap();
+        popup.select(&path("f1.txt")).unwrap();
+        popup.delete().unwrap();
+        // Back to the uncited state.
+        assert!(popup.view().text_box.is_empty());
+        assert!(popup.view().buttons.add);
+        let c = hub.generate_citation(&repo_id, "main", &path("f1.txt")).unwrap();
+        assert_eq!(c.repo_name, "P1"); // falls back to the root
+    }
+
+    #[test]
+    fn add_requires_valid_citation_text() {
+        let (hub, owner, _, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.sign_in(owner).unwrap();
+        popup.select(&path("d/f2.txt")).unwrap();
+        popup.edit_text("not json at all");
+        assert!(matches!(popup.add(), Err(ExtError::BadCitationText(_))));
+        popup.edit_text("[1, 2]");
+        assert!(matches!(popup.add(), Err(ExtError::BadCitationText(_))));
+    }
+
+    #[test]
+    fn actions_need_selection_and_session() {
+        let (hub, owner, _, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        assert!(matches!(popup.generate(), Err(ExtError::NoSelection)));
+        popup.select(&path("f1.txt")).unwrap();
+        popup.edit_text("{}");
+        assert!(matches!(popup.add(), Err(ExtError::NotSignedIn)));
+        popup.sign_in(owner).unwrap();
+        popup.sign_out().unwrap();
+        assert!(matches!(popup.delete(), Err(ExtError::NotSignedIn)));
+    }
+
+    #[test]
+    fn export_formats() {
+        let (hub, _, _, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.select(&path("f1.txt")).unwrap();
+        let bib = popup.export(Format::Bibtex).unwrap();
+        assert!(bib.starts_with("@software{"));
+        assert!(bib.contains("C2"));
+        let cff = popup.export(Format::Cff).unwrap();
+        assert!(cff.starts_with("cff-version:"));
+        let plain = popup.export(Format::Plain).unwrap();
+        assert!(plain.contains("[Computer software]"));
+    }
+
+    #[test]
+    fn open_rejects_unknown_repo() {
+        let (hub, _, _, _) = setup();
+        assert!(matches!(
+            Popup::open(&hub, "nobody/none", "main"),
+            Err(ExtError::Hub(HubError::RepoNotFound(_)))
+        ));
+    }
+
+    #[test]
+    fn sign_in_rerenders_current_selection() {
+        let (hub, owner, _, repo_id) = setup();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.select(&path("d/f2.txt")).unwrap();
+        // Anonymous: generated citation in the box.
+        assert!(!popup.view().text_box.is_empty());
+        popup.sign_in(owner).unwrap();
+        // Member view of an uncited node: the box is now empty.
+        assert!(popup.view().text_box.is_empty());
+        assert!(popup.view().buttons.add);
+    }
+}

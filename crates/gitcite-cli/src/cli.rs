@@ -1,0 +1,636 @@
+//! Command-line surface of the local tool.
+//!
+//! Parsing is hand-rolled (no third-party argument parser): positional
+//! words first, then `--flag value` pairs in any order. Every command
+//! returns its human-readable output as a `String` so the whole surface is
+//! unit-testable without capturing stdout.
+
+use crate::storage;
+use bibformat::Format;
+use citekit::{
+    fork_cite, retrofit, validate, Citation, CitedRepo, FailOnConflict, ForkOptions,
+    MergeCiteOutcome, MergeStrategy, PreferOurs, PreferTheirs, ResolvePolicy, RetrofitOptions,
+};
+use gitlite::{RepoPath, Signature};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// CLI failure: either a usage problem (message + exit code 2) or an
+/// operational error (message + exit code 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself was malformed.
+    Usage(String),
+    /// The operation failed.
+    Op(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Op(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<citekit::CiteError> for CliError {
+    fn from(e: citekit::CiteError) -> Self {
+        CliError::Op(e.to_string())
+    }
+}
+
+impl From<gitlite::GitError> for CliError {
+    fn from(e: gitlite::GitError) -> Self {
+        CliError::Op(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Op(e.to_string())
+    }
+}
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Parsed invocation: positionals plus `--key value` flags.
+struct Parsed {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Parsed> {
+    let mut positionals = Vec::new();
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
+            flags.insert(key.to_owned(), value.clone());
+            i += 2;
+        } else if a == "-m" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage("-m needs a message".into()))?;
+            flags.insert("message".to_owned(), value.clone());
+            i += 2;
+        } else {
+            positionals.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Parsed { positionals, flags })
+}
+
+impl Parsed {
+    fn pos(&self, idx: usize, what: &str) -> Result<&str> {
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing <{what}>")))
+    }
+
+    fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn required_flag(&self, key: &str) -> Result<&str> {
+        self.flag(key).ok_or_else(|| CliError::Usage(format!("missing --{key}")))
+    }
+
+    fn path_pos(&self, idx: usize, what: &str) -> Result<RepoPath> {
+        RepoPath::parse(self.pos(idx, what)?).map_err(|e| CliError::Usage(e.to_string()))
+    }
+}
+
+/// Usage text shown by `gitcite help`.
+pub const USAGE: &str = "\
+gitcite — automating software citation with version control
+
+USAGE: gitcite <command> [args]
+
+repository
+  init <name> --owner <o> --url <u>     create a citation-enabled repository here
+  status                                summarize worktree and citations
+  log                                   list versions, newest first
+  commit -m <msg> --author <name> [--email <e>] [--date <ISO8601>]
+  branch <name>                         create a branch at HEAD
+  checkout <branch>                     switch branches
+  mv <from> <to>                        move/rename, carrying citations
+  rm <path>                             remove file/dir, dropping its citations
+
+citations
+  cite show <path> [--policy closest|path-union|root]
+  cite gen <path> [--format bibtex|cff|plain|json]
+  cite add <path> [--json <record>] [field flags]
+  cite modify <path> [--json <record>] [field flags]
+  cite del <path>
+  history <path>                        explicit-citation history of a node
+  credits                               all credited authors and their keys
+  annotate <path>                       per-line authorship of a file
+  validate                              check citation.cite against the tree
+  publish --author <name> [--version <v>] [--doi <d>]
+
+  field flags: --repo-name --owner --url --authors a,b --commit --date
+               --doi --license --version --note
+
+git-like citation operators
+  merge <branch> --author <name> [--strategy union|ours|theirs|three-way]
+        [--resolve ours|theirs|fail] [-m <msg>]
+  copy --from <dir> --src <path> --dst <path>
+  fork --to <dir> --name <n> --owner <o> --url <u> --author <name> [--no-restamp true]
+  retro --owner <o> --url <u> --author <name> [--max-depth <n>] [--min-files <n>]
+";
+
+/// Entry point: runs one invocation against the repository in `cwd`.
+pub fn run(args: &[String], cwd: &Path) -> Result<String> {
+    let Some(command) = args.first().map(String::as_str) else {
+        return Ok(USAGE.to_owned());
+    };
+    let rest = &args[1..];
+    match command {
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        "init" => cmd_init(rest, cwd),
+        "status" => with_repo(cwd, |repo, _| cmd_status(repo)),
+        "log" => with_repo(cwd, |repo, _| cmd_log(repo)),
+        "commit" => with_repo_mut(cwd, rest, cmd_commit),
+        "branch" => with_repo_mut(cwd, rest, |repo, p| {
+            repo.create_branch(p.pos(0, "name")?)?;
+            Ok(format!("created branch {}\n", p.pos(0, "name")?))
+        }),
+        "checkout" => with_repo_mut(cwd, rest, |repo, p| {
+            let b = p.pos(0, "branch")?;
+            repo.checkout_branch(b)?;
+            Ok(format!("switched to {b}\n"))
+        }),
+        "mv" => with_repo_mut(cwd, rest, |repo, p| {
+            let from = p.path_pos(0, "from")?;
+            let to = p.path_pos(1, "to")?;
+            repo.rename(&from, &to)?;
+            Ok(format!("moved {from} -> {to} (citations carried)\n"))
+        }),
+        "rm" => with_repo_mut(cwd, rest, |repo, p| {
+            let path = p.path_pos(0, "path")?;
+            let n = repo.remove(&path)?;
+            Ok(format!("removed {n} file(s) under {path}\n"))
+        }),
+        "cite" => cmd_cite(rest, cwd),
+        "history" => with_repo(cwd, |repo, _| {
+            let p = parse_args(rest)?;
+            cmd_history(repo, &p)
+        }),
+        "credits" => with_repo(cwd, |repo, _| cmd_credits(repo)),
+        "annotate" => with_repo(cwd, |repo, _| {
+            let p = parse_args(rest)?;
+            cmd_annotate(repo, &p)
+        }),
+        "validate" => with_repo(cwd, |repo, _| cmd_validate(repo)),
+        "publish" => with_repo_mut(cwd, rest, cmd_publish),
+        "merge" => with_repo_mut(cwd, rest, cmd_merge),
+        "copy" => with_repo_mut(cwd, rest, cmd_copy),
+        "fork" => cmd_fork(rest, cwd),
+        "retro" => cmd_retro(rest, cwd),
+        other => Err(CliError::Usage(format!("unknown command {other:?}; try `gitcite help`"))),
+    }
+}
+
+// ----- helpers ------------------------------------------------------------
+
+fn open(cwd: &Path) -> Result<CitedRepo> {
+    if !storage::exists(cwd) {
+        return Err(CliError::Op(format!(
+            "no gitcite repository in {} (run `gitcite init` first)",
+            cwd.display()
+        )));
+    }
+    let repo = storage::load(cwd)?;
+    CitedRepo::open(repo).map_err(CliError::from)
+}
+
+fn with_repo(cwd: &Path, f: impl FnOnce(&CitedRepo, &Path) -> Result<String>) -> Result<String> {
+    let repo = open(cwd)?;
+    f(&repo, cwd)
+}
+
+fn with_repo_mut(
+    cwd: &Path,
+    args: &[String],
+    f: impl FnOnce(&mut CitedRepo, &Parsed) -> Result<String>,
+) -> Result<String> {
+    let parsed = parse_args(args)?;
+    let mut repo = open(cwd)?;
+    let out = f(&mut repo, &parsed)?;
+    storage::save(cwd, repo.repo())?;
+    Ok(out)
+}
+
+fn signature(p: &Parsed, repo: &CitedRepo) -> Result<Signature> {
+    let author = p.required_flag("author")?;
+    let email = p
+        .flag("email")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}@local", author.replace(' ', ".").to_lowercase()));
+    let ts = match p.flag("date") {
+        Some(d) => citekit::parse_iso8601(d)
+            .ok_or_else(|| CliError::Usage(format!("--date {d:?} is not YYYY-MM-DDTHH:MM:SSZ")))?,
+        None => match repo.repo().head_commit() {
+            Ok(head) => repo.repo().commit_obj(head).map(|c| c.author.timestamp + 1).unwrap_or(1),
+            Err(_) => 1,
+        },
+    };
+    Ok(Signature::new(author, email, ts))
+}
+
+fn citation_from_flags(p: &Parsed) -> Result<Citation> {
+    if let Some(json) = p.flag("json") {
+        let v = sjson::parse(json).map_err(|e| CliError::Usage(format!("--json: {e}")))?;
+        return Citation::from_value(&v).map_err(|e| CliError::Usage(e.to_string()));
+    }
+    let mut b = Citation::builder(
+        p.flag("repo-name").unwrap_or_default(),
+        p.flag("owner").unwrap_or_default(),
+    );
+    if let Some(u) = p.flag("url") {
+        b = b.url(u);
+    }
+    if let (Some(c), Some(d)) = (p.flag("commit"), p.flag("date")) {
+        b = b.commit(c, d);
+    } else if let Some(c) = p.flag("commit") {
+        b = b.commit(c, "");
+    } else if let Some(d) = p.flag("date") {
+        b = b.commit("", d);
+    }
+    if let Some(a) = p.flag("authors") {
+        b = b.authors(a.split(',').map(str::trim).filter(|s| !s.is_empty()));
+    }
+    if let Some(x) = p.flag("doi") {
+        b = b.doi(x);
+    }
+    if let Some(x) = p.flag("license") {
+        b = b.license(x);
+    }
+    if let Some(x) = p.flag("version") {
+        b = b.version(x);
+    }
+    if let Some(x) = p.flag("note") {
+        b = b.note(x);
+    }
+    Ok(b.build())
+}
+
+// ----- commands -------------------------------------------------------------
+
+fn cmd_init(args: &[String], cwd: &Path) -> Result<String> {
+    let p = parse_args(args)?;
+    if storage::exists(cwd) {
+        return Err(CliError::Op("a gitcite repository already exists here".into()));
+    }
+    let name = p.pos(0, "name")?;
+    let owner = p.required_flag("owner")?;
+    let url = p.required_flag("url")?;
+    let repo = CitedRepo::init(name, owner, url);
+    storage::save(cwd, repo.repo())?;
+    Ok(format!(
+        "initialized citation-enabled repository {name} (owner {owner})\n\
+         default root citation written to citation.cite\n"
+    ))
+}
+
+fn cmd_status(repo: &CitedRepo) -> Result<String> {
+    let mut out = String::new();
+    out.push_str(&format!("repository: {}\n", repo.repo().name()));
+    match repo.repo().current_branch() {
+        Some(b) => out.push_str(&format!("branch: {b}\n")),
+        None => out.push_str("branch: (detached)\n"),
+    }
+    match repo.repo().head_commit() {
+        Ok(head) => out.push_str(&format!("HEAD: {}\n", head.short())),
+        Err(_) => out.push_str("HEAD: (no commits yet)\n"),
+    }
+    out.push_str(&format!(
+        "worktree: {} file(s)\ncitations: {} entries\n",
+        repo.repo().worktree().len(),
+        repo.function().len()
+    ));
+    for (path, entry) in repo.function().iter() {
+        out.push_str(&format!(
+            "  {}  -> {}\n",
+            path.to_cite_key(entry.is_dir),
+            entry.citation
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_log(repo: &CitedRepo) -> Result<String> {
+    let mut out = String::new();
+    for id in repo.repo().log_head()? {
+        let c = repo.repo().commit_obj(id)?;
+        out.push_str(&format!(
+            "{} {} <{}> {} {}\n",
+            id.short(),
+            c.author.name,
+            c.author.email,
+            citekit::format_iso8601(c.author.timestamp),
+            c.message.lines().next().unwrap_or("")
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_commit(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
+    let message = p
+        .flag("message")
+        .ok_or_else(|| CliError::Usage("missing -m <message>".into()))?
+        .to_owned();
+    let sig = signature(p, repo)?;
+    let outcome = repo.commit(sig, message)?;
+    let mut out = format!("committed {}\n", outcome.commit.short());
+    for (from, to) in &outcome.carry.renamed {
+        out.push_str(&format!("  citation carried: {from} -> {to}\n"));
+    }
+    for (from, to) in &outcome.carry.dir_renamed {
+        out.push_str(&format!("  citation subtree carried: {from}/ -> {to}/\n"));
+    }
+    for pruned in &outcome.carry.pruned {
+        out.push_str(&format!("  citation pruned (path deleted): {pruned}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_cite(args: &[String], cwd: &Path) -> Result<String> {
+    let Some(sub) = args.first().map(String::as_str) else {
+        return Err(CliError::Usage("cite needs a subcommand: show|gen|add|modify|del".into()));
+    };
+    let rest = &args[1..];
+    match sub {
+        "show" => with_repo(cwd, |repo, _| {
+            let p = parse_args(rest)?;
+            let path = p.path_pos(0, "path")?;
+            let policy = match p.flag("policy").unwrap_or("closest") {
+                "closest" => ResolvePolicy::ClosestAncestor,
+                "path-union" => ResolvePolicy::PathUnion,
+                "root" => ResolvePolicy::RootOnly,
+                other => return Err(CliError::Usage(format!("unknown policy {other:?}"))),
+            };
+            let citations = repo.cite_policy(&path, policy)?;
+            let mut out = String::new();
+            for c in citations {
+                out.push_str(&c.to_value().to_string_pretty());
+                out.push('\n');
+            }
+            Ok(out)
+        }),
+        "gen" => with_repo(cwd, |repo, _| {
+            let p = parse_args(rest)?;
+            let path = p.path_pos(0, "path")?;
+            let format = match p.flag("format") {
+                None => Format::Bibtex,
+                Some(f) => Format::parse(f)
+                    .ok_or_else(|| CliError::Usage(format!("unknown format {f:?}")))?,
+            };
+            let citation = repo.cite(&path)?;
+            Ok(bibformat::render(&citation, format))
+        }),
+        "add" => with_repo_mut(cwd, rest, |repo, p| {
+            let path = p.path_pos(0, "path")?;
+            let citation = citation_from_flags(p)?;
+            repo.add_cite(&path, citation)?;
+            Ok(format!("citation added at {}\n", path.to_cite_key(false)))
+        }),
+        "modify" => with_repo_mut(cwd, rest, |repo, p| {
+            let path = p.path_pos(0, "path")?;
+            let citation = citation_from_flags(p)?;
+            repo.modify_cite(&path, citation)?;
+            Ok(format!("citation modified at {}\n", path.to_cite_key(false)))
+        }),
+        "del" => with_repo_mut(cwd, rest, |repo, p| {
+            let path = p.path_pos(0, "path")?;
+            repo.del_cite(&path)?;
+            Ok(format!("citation deleted from {}\n", path.to_cite_key(false)))
+        }),
+        other => Err(CliError::Usage(format!("unknown cite subcommand {other:?}"))),
+    }
+}
+
+fn cmd_history(repo: &CitedRepo, p: &Parsed) -> Result<String> {
+    let path = p.path_pos(0, "path")?;
+    let events = repo.citation_log(&path)?;
+    if events.is_empty() {
+        return Ok(format!("{} was never explicitly cited\n", path.to_cite_key(false)));
+    }
+    let mut out = format!("citation history of {}:\n", path.to_cite_key(false));
+    for e in events {
+        match &e.explicit {
+            Some(c) => out.push_str(&format!(
+                "  {} {} by {}: {}\n",
+                e.commit.short(),
+                citekit::format_iso8601(e.timestamp),
+                e.author,
+                c
+            )),
+            None => out.push_str(&format!(
+                "  {} {} by {}: citation removed\n",
+                e.commit.short(),
+                citekit::format_iso8601(e.timestamp),
+                e.author
+            )),
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_credits(repo: &CitedRepo) -> Result<String> {
+    let mut out = String::from("credited authors:\n");
+    for (author, paths) in repo.credited_authors() {
+        let keys: Vec<String> = paths.iter().map(|p| p.to_cite_key(false)).collect();
+        out.push_str(&format!("  {author}: {}\n", keys.join(", ")));
+    }
+    Ok(out)
+}
+
+fn cmd_annotate(repo: &CitedRepo, p: &Parsed) -> Result<String> {
+    let path = p.path_pos(0, "path")?;
+    let head = repo.repo().head_commit()?;
+    let lines = gitlite::annotate(repo.repo(), head, &path)?;
+    let mut out = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(&format!(
+            "{} ({:>12} {}) {:>4}| {}\n",
+            line.commit.short(),
+            line.author,
+            citekit::format_iso8601(line.timestamp),
+            i + 1,
+            line.text
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_validate(repo: &CitedRepo) -> Result<String> {
+    let violations = validate(repo.function(), repo.repo().worktree());
+    if violations.is_empty() {
+        Ok("citation.cite is consistent with the tree\n".to_owned())
+    } else {
+        let mut out = format!("{} violation(s):\n", violations.len());
+        for v in violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+        Err(CliError::Op(out))
+    }
+}
+
+fn cmd_publish(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
+    let sig = signature(p, repo)?;
+    let outcome = repo.publish(sig, p.flag("version"), p.flag("doi"))?;
+    let root = repo.function().root();
+    Ok(format!(
+        "published: root citation now pins commit {} ({})\nnew version: {}\n",
+        root.commit_id,
+        root.committed_date,
+        outcome.commit.short()
+    ))
+}
+
+fn cmd_merge(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
+    let branch = p.pos(0, "branch")?.to_owned();
+    let sig = signature(p, repo)?;
+    let message = p
+        .flag("message")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("Merge branch '{branch}'"));
+    let strategy = match p.flag("strategy").unwrap_or("union") {
+        "union" => MergeStrategy::Union,
+        "ours" => MergeStrategy::Ours,
+        "theirs" => MergeStrategy::Theirs,
+        "three-way" => MergeStrategy::ThreeWay,
+        other => return Err(CliError::Usage(format!("unknown strategy {other:?}"))),
+    };
+    let report = match p.flag("resolve").unwrap_or("fail") {
+        "ours" => repo.merge_cite(&branch, sig, message, strategy, &mut PreferOurs),
+        "theirs" => repo.merge_cite(&branch, sig, message, strategy, &mut PreferTheirs),
+        "fail" => repo.merge_cite(&branch, sig, message, strategy, &mut FailOnConflict),
+        other => return Err(CliError::Usage(format!("unknown resolver {other:?}"))),
+    }?;
+    let mut out = String::new();
+    match &report.outcome {
+        MergeCiteOutcome::AlreadyUpToDate => out.push_str("already up to date\n"),
+        MergeCiteOutcome::FastForwarded(id) => {
+            out.push_str(&format!("fast-forwarded to {}\n", id.short()));
+        }
+        MergeCiteOutcome::Merged(id) => out.push_str(&format!("merged as {}\n", id.short())),
+        MergeCiteOutcome::FileConflicts { conflicts, .. } => {
+            out.push_str(&format!(
+                "merge stopped: {} file conflict(s); fix the marked files, then commit\n",
+                conflicts.len()
+            ));
+            for c in conflicts {
+                out.push_str(&format!("  conflict: {}\n", c.path));
+            }
+        }
+    }
+    for cc in &report.citation_conflicts {
+        out.push_str(&format!(
+            "  citation conflict at {} resolved: {:?}\n",
+            cc.path.to_cite_key(false),
+            cc.taken
+        ));
+    }
+    for d in &report.dropped {
+        out.push_str(&format!("  citation dropped (file deleted by merge): {d}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_copy(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
+    let from_dir = PathBuf::from(p.required_flag("from")?);
+    let src_path = RepoPath::parse(p.required_flag("src")?)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let dst_path = RepoPath::parse(p.required_flag("dst")?)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let src_repo = storage::load(&from_dir)?;
+    let src_version = src_repo.head_commit()?;
+    let report = repo.copy_cite(&dst_path, &src_repo, src_version, &src_path)?;
+    let mut out = format!(
+        "copied {} file(s) from {}:{} to {}\n",
+        report.files_copied,
+        from_dir.display(),
+        src_path.to_cite_key(false),
+        dst_path.to_cite_key(false)
+    );
+    for m in &report.citations_migrated {
+        out.push_str(&format!("  citation migrated: {}\n", m.to_cite_key(false)));
+    }
+    if let Some(c) = &report.materialized {
+        out.push_str(&format!("  effective citation materialized at destination: {c}\n"));
+    }
+    out.push_str("run `gitcite commit` to create the new version\n");
+    Ok(out)
+}
+
+fn cmd_fork(args: &[String], cwd: &Path) -> Result<String> {
+    let p = parse_args(args)?;
+    let to = PathBuf::from(p.required_flag("to")?);
+    let name = p.required_flag("name")?;
+    let owner = p.required_flag("owner")?;
+    let url = p.required_flag("url")?;
+    let src = open(cwd)?;
+    let sig = signature(&p, &src)?;
+    if storage::exists(&to) {
+        return Err(CliError::Op(format!("{} already holds a repository", to.display())));
+    }
+    std::fs::create_dir_all(&to)?;
+    let mut opts = ForkOptions::new(name, owner, url);
+    if p.flag("no-restamp").is_some() {
+        opts.restamp_root = false;
+    }
+    let outcome = fork_cite(src.repo(), &opts, sig).map_err(CliError::from)?;
+    storage::save(&to, outcome.fork.repo())?;
+    Ok(format!(
+        "forked {} at {} into {} (restamped: {})\n",
+        src.repo().name(),
+        outcome.fork_point.short(),
+        to.display(),
+        outcome.restamp_commit.is_some()
+    ))
+}
+
+fn cmd_retro(args: &[String], cwd: &Path) -> Result<String> {
+    let p = parse_args(args)?;
+    if !storage::exists(cwd) {
+        return Err(CliError::Op("no repository here".into()));
+    }
+    let repo = storage::load(cwd)?;
+    let mut opts = RetrofitOptions::new(p.required_flag("owner")?, p.required_flag("url")?);
+    if let Some(d) = p.flag("max-depth") {
+        opts.max_depth = d.parse().map_err(|_| CliError::Usage("--max-depth must be a number".into()))?;
+    }
+    if let Some(m) = p.flag("min-files") {
+        opts.min_files = m.parse().map_err(|_| CliError::Usage("--min-files must be a number".into()))?;
+    }
+    let author = p.required_flag("author")?;
+    let ts = repo
+        .head_commit()
+        .and_then(|h| repo.commit_obj(h))
+        .map(|c| c.author.timestamp + 1)
+        .unwrap_or(1);
+    let (cited, report) = retrofit(repo, &opts, Signature::new(author, format!("{author}@local"), ts))?;
+    storage::save(cwd, cited.repo())?;
+    let mut out = format!(
+        "retrofitted: citation.cite synthesized from history ({} directory citation(s))\n",
+        report.cited_dirs.len()
+    );
+    for d in &report.cited_dirs {
+        out.push_str(&format!("  cited: {}\n", d.to_cite_key(true)));
+    }
+    out.push_str(&format!("commit: {}\n", report.commit.short()));
+    Ok(out)
+}

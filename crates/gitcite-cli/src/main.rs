@@ -1,0 +1,28 @@
+//! The `gitcite` binary: thin wrapper over [`gitcite_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot determine working directory: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match gitcite_cli::run(&args, &cwd) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(gitcite_cli::CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(gitcite_cli::CliError::Op(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

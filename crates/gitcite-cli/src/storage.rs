@@ -1,0 +1,309 @@
+//! On-disk persistence for the local tool.
+//!
+//! The paper's second component is "a local executable tool" used "when a
+//! project member downloads a copy of the project repository" (§3). A real
+//! tool must survive process exits, so repositories are persisted under a
+//! `.gitcite/` directory next to the working files:
+//!
+//! ```text
+//! <workdir>/
+//!   .gitcite/
+//!     objects/ab/cdef...   # canonical object bytes, content-addressed
+//!     refs                 # "<branch> <hex>" per line
+//!     HEAD                 # "branch <name>" | "detached <hex>" | "unborn <name>"
+//!     name                 # repository name
+//!   src/main.rs ...        # the worktree, as real files
+//!   citation.cite
+//! ```
+//!
+//! Loading reads the worktree back from the real files, so edits made with
+//! any editor are picked up — exactly how Git behaves.
+
+use gitlite::codec::decode_object;
+use gitlite::{GitError, Head, ObjectId, RepoPath, Repository};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the metadata directory.
+pub const META_DIR: &str = ".gitcite";
+
+fn meta(dir: &Path) -> PathBuf {
+    dir.join(META_DIR)
+}
+
+/// True when `dir` holds a persisted repository.
+pub fn exists(dir: &Path) -> bool {
+    meta(dir).join("HEAD").is_file()
+}
+
+/// Persists `repo` into `dir`: metadata under `.gitcite/`, worktree as
+/// real files (stale files from a previous save are removed).
+pub fn save(dir: &Path, repo: &Repository) -> io::Result<()> {
+    let meta_dir = meta(dir);
+    fs::create_dir_all(meta_dir.join("objects"))?;
+
+    // Objects (skip ones already on disk — they are immutable).
+    for (id, obj) in repo.odb().iter() {
+        let hex = id.to_hex();
+        let bucket = meta_dir.join("objects").join(&hex[..2]);
+        let file = bucket.join(&hex[2..]);
+        if !file.exists() {
+            fs::create_dir_all(&bucket)?;
+            fs::write(&file, obj.canonical_bytes_owned())?;
+        }
+    }
+
+    // Refs.
+    let mut refs_text = String::new();
+    for (branch, tip) in repo.branches() {
+        refs_text.push_str(&format!("{branch} {}\n", tip.to_hex()));
+    }
+    fs::write(meta_dir.join("refs"), refs_text)?;
+
+    // HEAD.
+    let head_text = match repo.head() {
+        Head::Branch(b) => format!("branch {b}\n"),
+        Head::Unborn(b) => format!("unborn {b}\n"),
+        Head::Detached(id) => format!("detached {}\n", id.to_hex()),
+    };
+    fs::write(meta_dir.join("HEAD"), head_text)?;
+    fs::write(meta_dir.join("name"), repo.name())?;
+
+    // Worktree: remove files that disappeared, then write current ones.
+    let current: std::collections::BTreeSet<PathBuf> =
+        repo.worktree().paths().map(|p| dir.join(p.to_string())).collect();
+    let mut on_disk = Vec::new();
+    collect_files(dir, &mut on_disk)?;
+    for f in on_disk {
+        if !current.contains(&f) {
+            let _ = fs::remove_file(&f);
+        }
+    }
+    for (path, data) in repo.worktree().iter() {
+        let target = dir.join(path.to_string());
+        if let Some(parent) = target.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(target, data)?;
+    }
+    prune_empty_dirs(dir)?;
+    Ok(())
+}
+
+/// Loads the repository persisted in `dir`, reading the worktree from the
+/// real files on disk.
+pub fn load(dir: &Path) -> Result<Repository, GitError> {
+    let meta_dir = meta(dir);
+    let name = fs::read_to_string(meta_dir.join("name"))
+        .map_err(|e| GitError::Io(format!("read name: {e}")))?;
+    let mut repo = Repository::init(name.trim().to_owned());
+
+    // Objects.
+    let objects_dir = meta_dir.join("objects");
+    if objects_dir.is_dir() {
+        for bucket in fs::read_dir(&objects_dir).map_err(GitError::from)? {
+            let bucket = bucket.map_err(GitError::from)?.path();
+            if !bucket.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(&bucket).map_err(GitError::from)? {
+                let entry = entry.map_err(GitError::from)?.path();
+                let bytes = fs::read(&entry).map_err(GitError::from)?;
+                let obj = decode_object(&bytes)?;
+                repo.odb_mut().put(obj);
+            }
+        }
+    }
+
+    // Refs.
+    let refs_text = fs::read_to_string(meta_dir.join("refs")).unwrap_or_default();
+    for line in refs_text.lines() {
+        let Some((branch, hex)) = line.split_once(' ') else { continue };
+        let id = ObjectId::from_hex(hex.trim())
+            .ok_or_else(|| GitError::Corrupt(format!("bad ref line {line:?}")))?;
+        repo.set_branch(branch, id)?;
+    }
+
+    // HEAD — set before loading the worktree so commit parents line up.
+    let head_text = fs::read_to_string(meta_dir.join("HEAD"))
+        .map_err(|e| GitError::Io(format!("read HEAD: {e}")))?;
+    let head_text = head_text.trim();
+    match head_text.split_once(' ') {
+        Some(("branch", b)) => {
+            repo.checkout_branch(b)?;
+        }
+        Some(("unborn", _)) => {}
+        Some(("detached", hex)) => {
+            let id = ObjectId::from_hex(hex)
+                .ok_or_else(|| GitError::Corrupt(format!("bad HEAD {head_text:?}")))?;
+            repo.checkout_commit(id)?;
+        }
+        _ => return Err(GitError::Corrupt(format!("bad HEAD {head_text:?}"))),
+    }
+
+    // Worktree from the real files (user edits included).
+    let mut files = Vec::new();
+    collect_files(dir, &mut files).map_err(GitError::from)?;
+    let mut wt = gitlite::WorkTree::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(dir)
+            .expect("collected under dir")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let path = RepoPath::parse(&rel)?;
+        let data = fs::read(&file).map_err(GitError::from)?;
+        wt.write(&path, data)?;
+    }
+    *repo.worktree_mut() = wt;
+    Ok(repo)
+}
+
+/// Recursively collects files under `dir`, skipping `.gitcite/`.
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.file_name().map(|n| n == META_DIR).unwrap_or(false) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_files(&path, out)?;
+        } else if path.is_file() {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Removes directories that became empty after stale-file cleanup.
+fn prune_empty_dirs(dir: &Path) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() && path.file_name().map(|n| n != META_DIR).unwrap_or(false) {
+            prune_empty_dirs(&path)?;
+            if fs::read_dir(&path)?.next().is_none() {
+                fs::remove_dir(&path)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Helper trait so `save` can get canonical bytes from a shared object.
+trait CanonicalBytes {
+    fn canonical_bytes_owned(&self) -> Vec<u8>;
+}
+
+impl CanonicalBytes for std::sync::Arc<gitlite::Object> {
+    fn canonical_bytes_owned(&self) -> Vec<u8> {
+        match &**self {
+            gitlite::Object::Blob(b) => b.canonical_bytes(),
+            gitlite::Object::Tree(t) => t.canonical_bytes(),
+            gitlite::Object::Commit(c) => c.canonical_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gitlite::{path, Signature};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "gitcite-storage-test-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_repo() -> Repository {
+        let mut r = Repository::init("disk-test");
+        r.worktree_mut().write(&path("a.txt"), &b"alpha\n"[..]).unwrap();
+        r.worktree_mut().write(&path("src/lib.rs"), &b"pub fn x(){}\n"[..]).unwrap();
+        r.commit(Signature::new("alice", "a@x", 1), "c1").unwrap();
+        r.create_branch("dev").unwrap();
+        r.worktree_mut().write(&path("b.txt"), &b"beta\n"[..]).unwrap();
+        r.commit(Signature::new("alice", "a@x", 2), "c2").unwrap();
+        r
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir();
+        let repo = sample_repo();
+        save(&dir, &repo).unwrap();
+        assert!(exists(&dir));
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.name(), repo.name());
+        assert_eq!(loaded.head_commit().unwrap(), repo.head_commit().unwrap());
+        assert_eq!(
+            loaded.branches().collect::<Vec<_>>(),
+            repo.branches().collect::<Vec<_>>()
+        );
+        assert_eq!(loaded.worktree(), repo.worktree());
+        assert_eq!(loaded.log_head().unwrap(), repo.log_head().unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_picks_up_external_edits() {
+        let dir = temp_dir();
+        let repo = sample_repo();
+        save(&dir, &repo).unwrap();
+        // Simulate the user editing with a plain editor.
+        fs::write(dir.join("a.txt"), b"edited outside\n").unwrap();
+        fs::create_dir_all(dir.join("new")).unwrap();
+        fs::write(dir.join("new/file.md"), b"# new\n").unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.worktree().read_text(&path("a.txt")).unwrap(), "edited outside\n");
+        assert!(loaded.worktree().is_file(&path("new/file.md")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_removes_stale_worktree_files() {
+        let dir = temp_dir();
+        let mut repo = sample_repo();
+        save(&dir, &repo).unwrap();
+        assert!(dir.join("b.txt").is_file());
+        repo.worktree_mut().remove_file(&path("b.txt")).unwrap();
+        repo.worktree_mut().remove_file(&path("src/lib.rs")).unwrap();
+        save(&dir, &repo).unwrap();
+        assert!(!dir.join("b.txt").exists());
+        // Emptied directory is pruned.
+        assert!(!dir.join("src").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detached_head_round_trips() {
+        let dir = temp_dir();
+        let mut repo = sample_repo();
+        let first = *repo.log_head().unwrap().last().unwrap();
+        repo.checkout_commit(first).unwrap();
+        save(&dir, &repo).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.head(), &Head::Detached(first));
+        assert!(!loaded.worktree().is_file(&path("b.txt")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_fails() {
+        let dir = temp_dir();
+        assert!(!exists(&dir));
+        assert!(load(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,401 @@
+//! Tree-to-tree diffs with rename detection.
+//!
+//! The citation layer consumes these diffs to keep citation functions
+//! consistent across versions: deleted paths drop their citations, renamed
+//! paths carry their citations to the new key (paper §2), and directory
+//! renames are inferred so a citation attached to a *directory* follows the
+//! directory.
+
+use crate::error::Result;
+use crate::hash::ObjectId;
+use crate::path::RepoPath;
+use crate::snapshot::flatten_tree;
+use crate::store::Odb;
+use crate::textdiff::bag_similarity;
+use std::collections::BTreeMap;
+
+/// Minimum content similarity for a delete/add pair to count as a rename.
+pub const RENAME_THRESHOLD: f64 = 0.5;
+
+/// Rename-detection work cap: if `|deleted| × |added|` exceeds this, only
+/// exact (same blob id) renames are detected, mirroring Git's
+/// `merge.renameLimit` escape hatch.
+pub const RENAME_PAIR_LIMIT: usize = 10_000;
+
+/// A detected rename.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rename {
+    /// Path in the old tree.
+    pub from: RepoPath,
+    /// Path in the new tree.
+    pub to: RepoPath,
+    /// Content similarity in `[0, 1]`; `1.0` for exact (same blob) renames.
+    pub similarity: f64,
+}
+
+/// A tree-level diff between two versions.
+#[derive(Debug, Clone, Default)]
+pub struct TreeDiff {
+    /// Files present only in the new tree (after rename extraction).
+    pub added: BTreeMap<RepoPath, ObjectId>,
+    /// Files present only in the old tree (after rename extraction).
+    pub deleted: BTreeMap<RepoPath, ObjectId>,
+    /// Files at the same path with changed contents: `path → (old, new)`.
+    pub modified: BTreeMap<RepoPath, (ObjectId, ObjectId)>,
+    /// Delete/add pairs reinterpreted as renames.
+    pub renames: Vec<Rename>,
+}
+
+impl TreeDiff {
+    /// True when the two trees are identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.deleted.is_empty()
+            && self.modified.is_empty()
+            && self.renames.is_empty()
+    }
+
+    /// Total number of changed paths.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.deleted.len() + self.modified.len() + self.renames.len()
+    }
+
+    /// Infers directory-level renames from the file-level renames.
+    ///
+    /// A mapping `old_dir → new_dir` is reported when at least one file
+    /// moved from `old_dir/x` to `new_dir/x` (same relative remainder) and
+    /// `old_dir` no longer exists in the new tree. When several candidate
+    /// targets exist the one with the most supporting file moves wins.
+    /// Nested results are minimal: if `a → b` is reported, `a/sub → b/sub`
+    /// is implied and not listed separately.
+    pub fn directory_renames(&self, new_tree_paths: &BTreeMap<RepoPath, ObjectId>) -> Vec<(RepoPath, RepoPath)> {
+        // votes: old_dir → (new_dir → count)
+        let mut votes: BTreeMap<RepoPath, BTreeMap<RepoPath, usize>> = BTreeMap::new();
+        for r in &self.renames {
+            // For every ancestor pair (old_dir, new_dir) sharing the same
+            // relative remainder, cast a vote.
+            let from_comps = r.from.components();
+            let to_comps = r.to.components();
+            // Common suffix length (at least the file name must agree for a
+            // directory rename to be implied).
+            let mut s = 0;
+            while s < from_comps.len().saturating_sub(1)
+                && s < to_comps.len().saturating_sub(1)
+                && from_comps[from_comps.len() - 1 - s] == to_comps[to_comps.len() - 1 - s]
+            {
+                s += 1;
+            }
+            for keep in 1..=s {
+                let old_dir = RepoPath::parse(&from_comps[..from_comps.len() - keep].join("/"))
+                    .expect("components are valid");
+                let new_dir = RepoPath::parse(&to_comps[..to_comps.len() - keep].join("/"))
+                    .expect("components are valid");
+                if old_dir.is_root() || new_dir.is_root() || old_dir == new_dir {
+                    continue;
+                }
+                *votes.entry(old_dir).or_default().entry(new_dir).or_default() += 1;
+            }
+        }
+        let dir_still_exists = |dir: &RepoPath| new_tree_paths.keys().any(|p| p.starts_with(dir));
+        let mut out: Vec<(RepoPath, RepoPath)> = Vec::new();
+        for (old_dir, candidates) in votes {
+            if dir_still_exists(&old_dir) {
+                continue;
+            }
+            if let Some((new_dir, _)) = candidates.into_iter().max_by_key(|(_, n)| *n) {
+                out.push((old_dir, new_dir));
+            }
+        }
+        // Keep only the shallowest mappings; deeper ones are implied.
+        let shallow: Vec<(RepoPath, RepoPath)> = out
+            .iter()
+            .filter(|(old, new)| {
+                !out.iter().any(|(o2, n2)| {
+                    (o2, n2) != (old, new)
+                        && old.starts_with(o2)
+                        && new.starts_with(n2)
+                        && old.strip_prefix(o2) == new.strip_prefix(n2)
+                })
+            })
+            .cloned()
+            .collect();
+        shallow
+    }
+}
+
+/// Diffs two flattened listings (`path → blob id`).
+pub fn diff_listings(
+    old: &BTreeMap<RepoPath, ObjectId>,
+    new: &BTreeMap<RepoPath, ObjectId>,
+    odb: &Odb,
+    detect_renames: bool,
+) -> TreeDiff {
+    let mut diff = TreeDiff::default();
+    for (path, old_id) in old {
+        match new.get(path) {
+            None => {
+                diff.deleted.insert(path.clone(), *old_id);
+            }
+            Some(new_id) if new_id != old_id => {
+                diff.modified.insert(path.clone(), (*old_id, *new_id));
+            }
+            Some(_) => {}
+        }
+    }
+    for (path, new_id) in new {
+        if !old.contains_key(path) {
+            diff.added.insert(path.clone(), *new_id);
+        }
+    }
+    if detect_renames {
+        detect_rename_pairs(&mut diff, odb);
+    }
+    diff
+}
+
+/// Diffs two stored trees.
+pub fn diff_trees(odb: &Odb, old_tree: ObjectId, new_tree: ObjectId, detect_renames: bool) -> Result<TreeDiff> {
+    let old = flatten_tree(odb, old_tree)?;
+    let new = flatten_tree(odb, new_tree)?;
+    Ok(diff_listings(&old, &new, odb, detect_renames))
+}
+
+/// Moves matching delete/add pairs into `diff.renames`.
+fn detect_rename_pairs(diff: &mut TreeDiff, odb: &Odb) {
+    if diff.deleted.is_empty() || diff.added.is_empty() {
+        return;
+    }
+
+    let mut used_added: std::collections::HashSet<RepoPath> = std::collections::HashSet::new();
+    let mut renames: Vec<Rename> = Vec::new();
+
+    // Pass 1: exact renames — identical blob ids. Prefer targets with the
+    // same file name so `a/f.rs → b/f.rs` beats `a/f.rs → b/other.rs`.
+    let mut by_blob: BTreeMap<ObjectId, Vec<RepoPath>> = BTreeMap::new();
+    for (path, id) in &diff.added {
+        by_blob.entry(*id).or_default().push(path.clone());
+    }
+    let mut remaining_deleted: Vec<(RepoPath, ObjectId)> = Vec::new();
+    for (path, id) in &diff.deleted {
+        let candidates = by_blob.get(id);
+        let target = candidates.and_then(|cands| {
+            cands
+                .iter()
+                .filter(|c| !used_added.contains(*c))
+                .max_by_key(|c| usize::from(c.file_name() == path.file_name()))
+        });
+        match target {
+            Some(to) => {
+                used_added.insert(to.clone());
+                renames.push(Rename { from: path.clone(), to: to.clone(), similarity: 1.0 });
+            }
+            None => remaining_deleted.push((path.clone(), *id)),
+        }
+    }
+
+    // Pass 2: similarity renames over the leftovers, if affordable.
+    let open_added: Vec<(RepoPath, ObjectId)> = diff
+        .added
+        .iter()
+        .filter(|(p, _)| !used_added.contains(*p))
+        .map(|(p, id)| (p.clone(), *id))
+        .collect();
+    if !remaining_deleted.is_empty()
+        && !open_added.is_empty()
+        && remaining_deleted.len() * open_added.len() <= RENAME_PAIR_LIMIT
+    {
+        // Score all pairs and greedily take the best above threshold.
+        let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+        for (di, (_, d_id)) in remaining_deleted.iter().enumerate() {
+            let d_data = match odb.blob_data(*d_id) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            for (ai, (_, a_id)) in open_added.iter().enumerate() {
+                let a_data = match odb.blob_data(*a_id) {
+                    Ok(d) => d,
+                    Err(_) => continue,
+                };
+                let sim = bag_similarity(&d_data, &a_data);
+                if sim >= RENAME_THRESHOLD {
+                    scored.push((sim, di, ai));
+                }
+            }
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut used_d = vec![false; remaining_deleted.len()];
+        let mut used_a = vec![false; open_added.len()];
+        for (sim, di, ai) in scored {
+            if used_d[di] || used_a[ai] {
+                continue;
+            }
+            used_d[di] = true;
+            used_a[ai] = true;
+            let from = remaining_deleted[di].0.clone();
+            let to = open_added[ai].0.clone();
+            used_added.insert(to.clone());
+            renames.push(Rename { from, to, similarity: sim });
+        }
+        remaining_deleted = remaining_deleted
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !used_d[*i])
+            .map(|(_, x)| x)
+            .collect();
+    }
+
+    // Rebuild added/deleted without the matched pairs.
+    for r in &renames {
+        diff.added.remove(&r.to);
+    }
+    diff.deleted = remaining_deleted.into_iter().collect();
+    renames.sort_by(|a, b| a.from.cmp(&b.from));
+    diff.renames = renames;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::path;
+    use crate::snapshot::write_tree;
+    use crate::worktree::WorkTree;
+
+    fn tree_of(odb: &mut Odb, files: &[(&str, &str)]) -> ObjectId {
+        let mut wt = WorkTree::new();
+        for (p, c) in files {
+            wt.write(&path(p), c.as_bytes().to_vec()).unwrap();
+        }
+        write_tree(odb, &wt)
+    }
+
+    #[test]
+    fn identical_trees_empty_diff() {
+        let mut odb = Odb::new();
+        let t = tree_of(&mut odb, &[("a.txt", "x")]);
+        let d = diff_trees(&odb, t, t, true).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn add_delete_modify() {
+        let mut odb = Odb::new();
+        let t1 = tree_of(&mut odb, &[("keep.txt", "same"), ("mod.txt", "v1"), ("gone.txt", "bye")]);
+        let t2 = tree_of(&mut odb, &[("keep.txt", "same"), ("mod.txt", "v2"), ("new.txt", "hi")]);
+        let d = diff_trees(&odb, t1, t2, false).unwrap();
+        assert_eq!(d.added.len(), 1);
+        assert!(d.added.contains_key(&path("new.txt")));
+        assert_eq!(d.deleted.len(), 1);
+        assert!(d.deleted.contains_key(&path("gone.txt")));
+        assert_eq!(d.modified.len(), 1);
+        assert!(d.modified.contains_key(&path("mod.txt")));
+        assert!(d.renames.is_empty());
+    }
+
+    #[test]
+    fn exact_rename_detected() {
+        let mut odb = Odb::new();
+        let t1 = tree_of(&mut odb, &[("old/name.rs", "unique content here")]);
+        let t2 = tree_of(&mut odb, &[("new/name.rs", "unique content here")]);
+        let d = diff_trees(&odb, t1, t2, true).unwrap();
+        assert!(d.added.is_empty());
+        assert!(d.deleted.is_empty());
+        assert_eq!(d.renames.len(), 1);
+        assert_eq!(d.renames[0].from, path("old/name.rs"));
+        assert_eq!(d.renames[0].to, path("new/name.rs"));
+        assert_eq!(d.renames[0].similarity, 1.0);
+    }
+
+    #[test]
+    fn exact_rename_prefers_same_file_name() {
+        let mut odb = Odb::new();
+        let t1 = tree_of(&mut odb, &[("src/util.rs", "dup")]);
+        let t2 = tree_of(&mut odb, &[("lib/util.rs", "dup"), ("lib/other.rs", "dup")]);
+        let d = diff_trees(&odb, t1, t2, true).unwrap();
+        assert_eq!(d.renames.len(), 1);
+        assert_eq!(d.renames[0].to, path("lib/util.rs"));
+        // The other copy counts as an add.
+        assert!(d.added.contains_key(&path("lib/other.rs")));
+    }
+
+    #[test]
+    fn similar_rename_detected() {
+        let mut odb = Odb::new();
+        let original = "line1\nline2\nline3\nline4\nline5\nline6\nline7\nline8\n";
+        let edited = "line1\nline2\nline3\nline4\nline5\nline6\nline7\nEDITED\n";
+        let t1 = tree_of(&mut odb, &[("a/file.txt", original)]);
+        let t2 = tree_of(&mut odb, &[("b/file.txt", edited)]);
+        let d = diff_trees(&odb, t1, t2, true).unwrap();
+        assert_eq!(d.renames.len(), 1);
+        let r = &d.renames[0];
+        assert_eq!(r.from, path("a/file.txt"));
+        assert_eq!(r.to, path("b/file.txt"));
+        assert!(r.similarity >= RENAME_THRESHOLD && r.similarity < 1.0);
+    }
+
+    #[test]
+    fn dissimilar_files_not_renamed() {
+        let mut odb = Odb::new();
+        let t1 = tree_of(&mut odb, &[("a.txt", "alpha\nbeta\ngamma\n")]);
+        let t2 = tree_of(&mut odb, &[("b.txt", "one\ntwo\nthree\n")]);
+        let d = diff_trees(&odb, t1, t2, true).unwrap();
+        assert!(d.renames.is_empty());
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.deleted.len(), 1);
+    }
+
+    #[test]
+    fn rename_detection_can_be_disabled() {
+        let mut odb = Odb::new();
+        let t1 = tree_of(&mut odb, &[("old.rs", "zzz")]);
+        let t2 = tree_of(&mut odb, &[("new.rs", "zzz")]);
+        let d = diff_trees(&odb, t1, t2, false).unwrap();
+        assert!(d.renames.is_empty());
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.deleted.len(), 1);
+    }
+
+    #[test]
+    fn directory_rename_inferred() {
+        let mut odb = Odb::new();
+        let t1 = tree_of(
+            &mut odb,
+            &[("gui/app.js", "console.log(1)"), ("gui/style.css", "body{}"), ("main.rs", "fn main(){}")],
+        );
+        let t2 = tree_of(
+            &mut odb,
+            &[
+                ("citation/GUI/app.js", "console.log(1)"),
+                ("citation/GUI/style.css", "body{}"),
+                ("main.rs", "fn main(){}"),
+            ],
+        );
+        let d = diff_trees(&odb, t1, t2, true).unwrap();
+        assert_eq!(d.renames.len(), 2);
+        let new_listing = flatten_tree(&odb, t2).unwrap();
+        let dirs = d.directory_renames(&new_listing);
+        assert_eq!(dirs, vec![(path("gui"), path("citation/GUI"))]);
+    }
+
+    #[test]
+    fn no_directory_rename_when_dir_survives() {
+        let mut odb = Odb::new();
+        let t1 = tree_of(&mut odb, &[("d/a.txt", "aaa"), ("d/b.txt", "bbb")]);
+        // Only one file moved; d still exists.
+        let t2 = tree_of(&mut odb, &[("e/a.txt", "aaa"), ("d/b.txt", "bbb")]);
+        let d = diff_trees(&odb, t1, t2, true).unwrap();
+        let new_listing = flatten_tree(&odb, t2).unwrap();
+        assert!(d.directory_renames(&new_listing).is_empty());
+    }
+
+    #[test]
+    fn nested_directory_rename_is_minimal() {
+        let mut odb = Odb::new();
+        let t1 = tree_of(&mut odb, &[("a/x/f1.txt", "111"), ("a/x/y/f2.txt", "222")]);
+        let t2 = tree_of(&mut odb, &[("b/x/f1.txt", "111"), ("b/x/y/f2.txt", "222")]);
+        let d = diff_trees(&odb, t1, t2, true).unwrap();
+        let new_listing = flatten_tree(&odb, t2).unwrap();
+        let dirs = d.directory_renames(&new_listing);
+        assert_eq!(dirs, vec![(path("a"), path("b"))]);
+    }
+}

@@ -1,0 +1,255 @@
+//! SHA-1 (from scratch) and [`ObjectId`] content addresses.
+//!
+//! Git addresses every object by the SHA-1 of its canonical encoding; we do
+//! the same so `gitlite` exhibits the property the citation model relies on:
+//! *identical content ⇒ identical id*, across repositories. (SHA-1 is used
+//! for content addressing, exactly as in Git — not as a security boundary.)
+
+use std::fmt;
+
+/// A 20-byte object identifier (SHA-1 of the object's canonical bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub [u8; 20]);
+
+impl ObjectId {
+    /// The id consisting of all zero bytes; used as a sentinel ("no id").
+    pub const ZERO: ObjectId = ObjectId([0; 20]);
+
+    /// Hashes `data` directly (no object-type framing).
+    pub fn hash_bytes(data: &[u8]) -> ObjectId {
+        let mut h = Sha1::new();
+        h.update(data);
+        ObjectId(h.finalize())
+    }
+
+    /// Renders the full 40-char lowercase hex form.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// The 7-char abbreviated form Git shows by default (Listing 1 uses
+    /// abbreviated commit ids such as `bbd248a`).
+    pub fn short(self) -> String {
+        self.to_hex()[..7].to_owned()
+    }
+
+    /// Parses a 40-char hex string.
+    pub fn from_hex(s: &str) -> Option<ObjectId> {
+        if s.len() != 40 {
+            return None;
+        }
+        let mut out = [0u8; 20];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(ObjectId(out))
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectId({})", self.short())
+    }
+}
+
+/// Incremental SHA-1 hasher (FIPS 180-1).
+pub struct Sha1 {
+    state: [u32; 5],
+    len_bits: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len_bits: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len_bits = self.len_bits.wrapping_add((data.len() as u64) * 8);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Consumes the hasher and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let len_bits = self.len_bits;
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update_padding(0x80);
+        while self.buf_len != 56 {
+            self.update_padding(0x00);
+        }
+        let len_bytes = len_bits.to_be_bytes();
+        for b in len_bytes {
+            self.update_padding(b);
+        }
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Pushes one padding byte without counting it toward the message length.
+    fn update_padding(&mut self, byte: u8) {
+        self.buf[self.buf_len] = byte;
+        self.buf_len += 1;
+        if self.buf_len == 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        ObjectId::hash_bytes(data).to_hex()
+    }
+
+    /// Known-answer tests from FIPS 180-1 / RFC 3174.
+    #[test]
+    fn sha1_test_vectors() {
+        assert_eq!(hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            hex(b"The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn sha1_million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        let id = ObjectId(h.finalize());
+        assert_eq!(id.to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0u32..10_000).map(|i| (i % 251) as u8).collect();
+        // Hash in awkward chunk sizes crossing block boundaries.
+        for chunk_size in [1, 7, 63, 64, 65, 127, 1000] {
+            let mut h = Sha1::new();
+            for c in data.chunks(chunk_size) {
+                h.update(c);
+            }
+            assert_eq!(ObjectId(h.finalize()), ObjectId::hash_bytes(&data), "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn git_blob_framing_matches_real_git() {
+        // `echo -n 'hello' | git hash-object --stdin` == b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0
+        let mut h = Sha1::new();
+        h.update(b"blob 5\0hello");
+        assert_eq!(ObjectId(h.finalize()).to_hex(), "b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0");
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let id = ObjectId::hash_bytes(b"x");
+        assert_eq!(ObjectId::from_hex(&id.to_hex()), Some(id));
+        assert_eq!(ObjectId::from_hex("xyz"), None);
+        assert_eq!(ObjectId::from_hex(&"g".repeat(40)), None);
+        assert_eq!(id.short().len(), 7);
+    }
+
+    #[test]
+    fn zero_sentinel() {
+        assert_eq!(ObjectId::ZERO.to_hex(), "0".repeat(40));
+    }
+}

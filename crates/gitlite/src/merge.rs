@@ -1,0 +1,493 @@
+//! Three-way tree merge ("Git merge" for this substrate).
+//!
+//! Regular files follow Git's rules: unchanged-on-one-side changes win,
+//! both-sides-changed files go through the diff3 text merge, and
+//! irreconcilable regions produce conflict markers plus a [`Conflict`]
+//! record. Paths listed in [`MergeOptions::exclude`] are *left out of the
+//! merged tree entirely* — that is the hook the citation layer uses to keep
+//! `citation.cite` away from textual merging, as §3 of the paper requires
+//! ("we do not use them on citation.cite since it could leave the citation
+//! function inconsistent").
+
+use crate::error::{GitError, Result};
+use crate::hash::ObjectId;
+use crate::path::RepoPath;
+use crate::repo::Repository;
+use crate::snapshot::{flatten_tree, write_tree_from_listing};
+use crate::store::Odb;
+use crate::textdiff::{diff3_merge, MergeLabels};
+use crate::mergebase::merge_base;
+use crate::object::Signature;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a path could not be merged cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Both sides modified the file and diff3 found overlapping edits.
+    Content {
+        /// Number of conflicted regions in the marked-up file.
+        regions: usize,
+    },
+    /// One side deleted the file, the other modified it. The modified
+    /// content is kept in the merged listing.
+    DeleteModify {
+        /// True when *ours* deleted and *theirs* modified.
+        deleted_by_ours: bool,
+    },
+    /// Both sides added the same path with different contents.
+    AddAdd,
+}
+
+/// A single conflicted path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// The conflicted path.
+    pub path: RepoPath,
+    /// What kind of conflict.
+    pub kind: ConflictKind,
+}
+
+/// Options for [`merge_listings`] / [`Repository::merge_branch`].
+#[derive(Debug, Clone, Default)]
+pub struct MergeOptions {
+    /// Paths excluded from the merge; they are absent from the result and
+    /// produce no conflicts. The caller is responsible for re-adding them
+    /// (GitCite re-adds a freshly *union-merged* `citation.cite`).
+    pub exclude: Vec<RepoPath>,
+}
+
+/// Outcome of a tree-level three-way merge.
+#[derive(Debug, Clone)]
+pub struct TreeMerge {
+    /// The merged `path → blob id` listing (conflicted files carry their
+    /// marked-up blobs).
+    pub listing: BTreeMap<RepoPath, ObjectId>,
+    /// All conflicts, in path order.
+    pub conflicts: Vec<Conflict>,
+}
+
+impl TreeMerge {
+    /// True when no conflicts occurred.
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+/// Merges two flattened listings against a base listing.
+pub fn merge_listings(
+    odb: &mut Odb,
+    base: &BTreeMap<RepoPath, ObjectId>,
+    ours: &BTreeMap<RepoPath, ObjectId>,
+    theirs: &BTreeMap<RepoPath, ObjectId>,
+    labels: MergeLabels<'_>,
+    opts: &MergeOptions,
+) -> TreeMerge {
+    let mut listing = BTreeMap::new();
+    let mut conflicts = Vec::new();
+
+    let mut all_paths: BTreeSet<&RepoPath> = BTreeSet::new();
+    all_paths.extend(base.keys());
+    all_paths.extend(ours.keys());
+    all_paths.extend(theirs.keys());
+
+    'paths: for path in all_paths {
+        for ex in &opts.exclude {
+            if path.starts_with(ex) {
+                continue 'paths;
+            }
+        }
+        let b = base.get(path).copied();
+        let o = ours.get(path).copied();
+        let t = theirs.get(path).copied();
+        let chosen: Option<ObjectId> = if o == t {
+            o // same content, same deletion, same addition
+        } else if b == o {
+            t // only theirs changed (possibly deleted)
+        } else if b == t {
+            o // only ours changed
+        } else {
+            // Genuine three-way disagreement.
+            match (o, t) {
+                (Some(o_id), Some(t_id)) => {
+                    let base_text = match b {
+                        Some(b_id) => blob_text(odb, b_id),
+                        None => String::new(),
+                    };
+                    let ours_text = blob_text(odb, o_id);
+                    let theirs_text = blob_text(odb, t_id);
+                    let merged = diff3_merge(&base_text, &ours_text, &theirs_text, labels);
+                    if merged.conflicts > 0 {
+                        conflicts.push(Conflict {
+                            path: path.clone(),
+                            kind: if b.is_none() {
+                                ConflictKind::AddAdd
+                            } else {
+                                ConflictKind::Content { regions: merged.conflicts }
+                            },
+                        });
+                    }
+                    Some(odb.put_blob(merged.text.into_bytes()))
+                }
+                (Some(kept), None) => {
+                    conflicts.push(Conflict {
+                        path: path.clone(),
+                        kind: ConflictKind::DeleteModify { deleted_by_ours: false },
+                    });
+                    Some(kept)
+                }
+                (None, Some(kept)) => {
+                    conflicts.push(Conflict {
+                        path: path.clone(),
+                        kind: ConflictKind::DeleteModify { deleted_by_ours: true },
+                    });
+                    Some(kept)
+                }
+                (None, None) => unreachable!("o == t case handled above"),
+            }
+        };
+        if let Some(id) = chosen {
+            listing.insert(path.clone(), id);
+        }
+    }
+
+    TreeMerge { listing, conflicts }
+}
+
+fn blob_text(odb: &Odb, id: ObjectId) -> String {
+    match odb.blob_data(id) {
+        Ok(data) => String::from_utf8_lossy(&data).into_owned(),
+        Err(_) => String::new(),
+    }
+}
+
+/// Result of [`Repository::merge_branch`].
+#[derive(Debug, Clone)]
+pub enum MergeReport {
+    /// The other branch was already contained in ours; nothing changed.
+    AlreadyUpToDate,
+    /// Our branch was fast-forwarded to the other branch's tip.
+    FastForwarded(ObjectId),
+    /// A merge commit was created.
+    Merged(ObjectId),
+    /// Conflicts: the merged tree (with conflict markers) was loaded into
+    /// the worktree; the caller resolves and commits with
+    /// [`Repository::commit_merge`] passing `parents`.
+    Conflicted {
+        /// Conflicted paths with their kinds.
+        conflicts: Vec<Conflict>,
+        /// The parents the resolution commit must carry.
+        parents: Vec<ObjectId>,
+    },
+}
+
+impl Repository {
+    /// Merges `other` into the current branch — the paper's
+    /// `Merge(V1, V2)` within one repository.
+    ///
+    /// Clean merges create a merge commit authored by `author`; conflicted
+    /// merges load the marked-up tree into the worktree and return
+    /// [`MergeReport::Conflicted`]. Histories without a common ancestor are
+    /// merged against an empty base (like `git merge
+    /// --allow-unrelated-histories`).
+    pub fn merge_branch(
+        &mut self,
+        other: &str,
+        author: Signature,
+        message: impl Into<String>,
+        opts: &MergeOptions,
+    ) -> Result<MergeReport> {
+        let ours_tip = self.head_commit()?;
+        let theirs_tip = self.branch_tip(other)?;
+        let base = merge_base(self.odb(), ours_tip, theirs_tip)?;
+
+        if base == Some(theirs_tip) {
+            return Ok(MergeReport::AlreadyUpToDate);
+        }
+        if base == Some(ours_tip) {
+            // Fast-forward.
+            let branch = self
+                .current_branch()
+                .ok_or_else(|| GitError::BadBranchName("detached HEAD".into()))?
+                .to_owned();
+            self.set_branch(&branch, theirs_tip)?;
+            self.checkout_branch(&branch)?;
+            return Ok(MergeReport::FastForwarded(theirs_tip));
+        }
+
+        let base_listing = match base {
+            Some(b) => {
+                let tree = self.tree_of(b)?;
+                flatten_tree(self.odb(), tree)?
+            }
+            None => BTreeMap::new(),
+        };
+        let ours_listing = self.snapshot(ours_tip)?;
+        let theirs_listing = self.snapshot(theirs_tip)?;
+        let ours_label = self.current_branch().unwrap_or("HEAD").to_owned();
+        let labels = MergeLabels { ours: &ours_label, base: "base", theirs: other };
+        let merged = {
+            let odb = self.odb_mut();
+            merge_listings(odb, &base_listing, &ours_listing, &theirs_listing, labels, opts)
+        };
+        let tree = write_tree_from_listing(self.odb_mut(), &merged.listing);
+        let parents = vec![ours_tip, theirs_tip];
+        if merged.is_clean() {
+            let id = self.commit_merge(tree, parents, author, message)?;
+            Ok(MergeReport::Merged(id))
+        } else {
+            // Load the conflicted tree for manual resolution.
+            let wt = crate::snapshot::read_tree(self.odb(), tree)?;
+            *self.worktree_mut() = wt;
+            Ok(MergeReport::Conflicted { conflicts: merged.conflicts, parents })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::path;
+
+    fn sig(name: &str, t: i64) -> Signature {
+        Signature::new(name, format!("{name}@x"), t)
+    }
+
+    /// main: base commit with three files; dev edits one, main edits another.
+    fn two_branch_repo() -> Repository {
+        let mut r = Repository::init("p");
+        r.worktree_mut().write(&path("a.txt"), &b"a1\na2\na3\n"[..]).unwrap();
+        r.worktree_mut().write(&path("b.txt"), &b"b1\nb2\nb3\n"[..]).unwrap();
+        r.worktree_mut().write(&path("c.txt"), &b"c\n"[..]).unwrap();
+        r.commit(sig("alice", 1), "base").unwrap();
+        r.create_branch("dev").unwrap();
+        r
+    }
+
+    #[test]
+    fn merge_disjoint_edits_creates_merge_commit() {
+        let mut r = two_branch_repo();
+        // dev edits b.txt
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut().write(&path("b.txt"), &b"b1\nB2!\nb3\n"[..]).unwrap();
+        r.commit(sig("bob", 2), "dev edit").unwrap();
+        // main edits a.txt
+        r.checkout_branch("main").unwrap();
+        r.worktree_mut().write(&path("a.txt"), &b"A1!\na2\na3\n"[..]).unwrap();
+        let main_tip = r.commit(sig("alice", 3), "main edit").unwrap();
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge dev", &MergeOptions::default())
+            .unwrap();
+        let MergeReport::Merged(mc) = report else { panic!("expected clean merge: {report:?}") };
+        let commit = r.commit_obj(mc).unwrap();
+        assert_eq!(commit.parents.len(), 2);
+        assert_eq!(commit.parents[0], main_tip);
+        // Both edits present.
+        assert_eq!(r.worktree().read_text(&path("a.txt")).unwrap(), "A1!\na2\na3\n");
+        assert_eq!(r.worktree().read_text(&path("b.txt")).unwrap(), "b1\nB2!\nb3\n");
+    }
+
+    #[test]
+    fn merge_same_file_disjoint_regions_clean() {
+        let mut r = Repository::init("p");
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"l1\nl2\nl3\nl4\nl5\nl6\nl7\nl8\n"[..])
+            .unwrap();
+        r.commit(sig("alice", 1), "base").unwrap();
+        r.create_branch("dev").unwrap();
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"l1\nl2\nl3\nl4\nl5\nl6\nl7\nL8-dev\n"[..])
+            .unwrap();
+        r.commit(sig("bob", 2), "dev").unwrap();
+        r.checkout_branch("main").unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"L1-main\nl2\nl3\nl4\nl5\nl6\nl7\nl8\n"[..])
+            .unwrap();
+        r.commit(sig("alice", 3), "main").unwrap();
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
+            .unwrap();
+        assert!(matches!(report, MergeReport::Merged(_)));
+        assert_eq!(
+            r.worktree().read_text(&path("f.txt")).unwrap(),
+            "L1-main\nl2\nl3\nl4\nl5\nl6\nl7\nL8-dev\n"
+        );
+    }
+
+    #[test]
+    fn merge_overlapping_edits_conflict() {
+        let mut r = Repository::init("p");
+        r.worktree_mut().write(&path("f.txt"), &b"x\nmid\ny\n"[..]).unwrap();
+        r.commit(sig("alice", 1), "base").unwrap();
+        r.create_branch("dev").unwrap();
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut().write(&path("f.txt"), &b"x\ndev-mid\ny\n"[..]).unwrap();
+        r.commit(sig("bob", 2), "dev").unwrap();
+        r.checkout_branch("main").unwrap();
+        r.worktree_mut().write(&path("f.txt"), &b"x\nmain-mid\ny\n"[..]).unwrap();
+        let main_tip = r.commit(sig("alice", 3), "main").unwrap();
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
+            .unwrap();
+        let MergeReport::Conflicted { conflicts, parents } = report else {
+            panic!("expected conflict")
+        };
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].path, path("f.txt"));
+        assert!(matches!(conflicts[0].kind, ConflictKind::Content { regions: 1 }));
+        assert_eq!(parents, vec![main_tip, r.branch_tip("dev").unwrap()]);
+        // Worktree contains markers; resolve and commit.
+        let text = r.worktree().read_text(&path("f.txt")).unwrap();
+        assert!(text.contains("<<<<<<< main") && text.contains(">>>>>>> dev"));
+        r.worktree_mut().write(&path("f.txt"), &b"x\nresolved\ny\n"[..]).unwrap();
+        let listing: BTreeMap<_, _> = r
+            .worktree()
+            .iter()
+            .map(|(p, d)| (p.clone(), crate::object::Blob::new(d.clone()).id()))
+            .collect();
+        // Store blobs then the tree.
+        for (_, data) in r.worktree().iter().map(|(p, d)| (p.clone(), d.clone())).collect::<Vec<_>>() {
+            r.odb_mut().put_blob(data);
+        }
+        let tree = write_tree_from_listing(r.odb_mut(), &listing);
+        let mc = r.commit_merge(tree, parents, sig("alice", 5), "resolved merge").unwrap();
+        let c = r.commit_obj(mc).unwrap();
+        assert_eq!(c.parents.len(), 2);
+        assert_eq!(r.worktree().read_text(&path("f.txt")).unwrap(), "x\nresolved\ny\n");
+    }
+
+    #[test]
+    fn merge_delete_vs_modify_keeps_modified_and_conflicts() {
+        let mut r = two_branch_repo();
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut().remove_file(&path("c.txt")).unwrap();
+        r.commit(sig("bob", 2), "dev deletes c").unwrap();
+        r.checkout_branch("main").unwrap();
+        r.worktree_mut().write(&path("c.txt"), &b"c-modified\n"[..]).unwrap();
+        r.commit(sig("alice", 3), "main modifies c").unwrap();
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
+            .unwrap();
+        let MergeReport::Conflicted { conflicts, .. } = report else { panic!("expected conflict") };
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(
+            conflicts[0].kind,
+            ConflictKind::DeleteModify { deleted_by_ours: false }
+        );
+        // Modified side survives in the worktree.
+        assert_eq!(r.worktree().read_text(&path("c.txt")).unwrap(), "c-modified\n");
+    }
+
+    #[test]
+    fn merge_clean_delete_propagates() {
+        let mut r = two_branch_repo();
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut().remove_file(&path("c.txt")).unwrap();
+        r.commit(sig("bob", 2), "dev deletes c").unwrap();
+        r.checkout_branch("main").unwrap();
+        r.worktree_mut().write(&path("a.txt"), &b"a1\na2\nA3\n"[..]).unwrap();
+        r.commit(sig("alice", 3), "main edits a").unwrap();
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
+            .unwrap();
+        assert!(matches!(report, MergeReport::Merged(_)));
+        assert!(!r.worktree().is_file(&path("c.txt")));
+    }
+
+    #[test]
+    fn fast_forward_and_up_to_date() {
+        let mut r = two_branch_repo();
+        // dev advances; main does not.
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut().write(&path("d.txt"), &b"d\n"[..]).unwrap();
+        let dev_tip = r.commit(sig("bob", 2), "dev work").unwrap();
+        r.checkout_branch("main").unwrap();
+        let report = r
+            .merge_branch("dev", sig("alice", 3), "merge", &MergeOptions::default())
+            .unwrap();
+        assert!(matches!(report, MergeReport::FastForwarded(id) if id == dev_tip));
+        assert_eq!(r.branch_tip("main").unwrap(), dev_tip);
+        assert!(r.worktree().is_file(&path("d.txt")));
+        // Merging again: up to date.
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
+            .unwrap();
+        assert!(matches!(report, MergeReport::AlreadyUpToDate));
+    }
+
+    #[test]
+    fn add_add_same_content_clean() {
+        let mut r = two_branch_repo();
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut().write(&path("new.txt"), &b"same\n"[..]).unwrap();
+        r.commit(sig("bob", 2), "dev adds").unwrap();
+        r.checkout_branch("main").unwrap();
+        r.worktree_mut().write(&path("new.txt"), &b"same\n"[..]).unwrap();
+        r.commit(sig("alice", 3), "main adds same").unwrap();
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
+            .unwrap();
+        assert!(matches!(report, MergeReport::Merged(_)));
+    }
+
+    #[test]
+    fn add_add_different_content_conflicts() {
+        let mut r = two_branch_repo();
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut().write(&path("new.txt"), &b"dev version\n"[..]).unwrap();
+        r.commit(sig("bob", 2), "dev adds").unwrap();
+        r.checkout_branch("main").unwrap();
+        r.worktree_mut().write(&path("new.txt"), &b"main version\n"[..]).unwrap();
+        r.commit(sig("alice", 3), "main adds different").unwrap();
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
+            .unwrap();
+        let MergeReport::Conflicted { conflicts, .. } = report else { panic!("expected conflict") };
+        assert_eq!(conflicts[0].kind, ConflictKind::AddAdd);
+    }
+
+    #[test]
+    fn unrelated_histories_merge_against_empty_base() {
+        let mut r = Repository::init("p");
+        r.worktree_mut().write(&path("ours.txt"), &b"o\n"[..]).unwrap();
+        r.commit(sig("alice", 1), "ours root").unwrap();
+        // Build an unrelated root on another branch by detaching; simplest:
+        // create branch from scratch via a second repository and fetch is
+        // overkill — instead create an orphan-like branch by committing a
+        // distinct root with no parents through commit_merge.
+        let mut side_listing = BTreeMap::new();
+        let blob = r.odb_mut().put_blob(&b"t\n"[..]);
+        side_listing.insert(path("theirs.txt"), blob);
+        let tree = write_tree_from_listing(r.odb_mut(), &side_listing);
+        let orphan = crate::object::Commit {
+            tree,
+            parents: vec![],
+            author: sig("bob", 2),
+            message: "theirs root".into(),
+        };
+        let orphan_id = r.odb_mut().put(crate::object::Object::Commit(orphan));
+        r.create_branch_at("side", orphan_id).unwrap();
+        let report = r
+            .merge_branch("side", sig("alice", 3), "merge unrelated", &MergeOptions::default())
+            .unwrap();
+        assert!(matches!(report, MergeReport::Merged(_)));
+        assert!(r.worktree().is_file(&path("ours.txt")));
+        assert!(r.worktree().is_file(&path("theirs.txt")));
+    }
+
+    #[test]
+    fn excluded_paths_are_left_out() {
+        let mut r = two_branch_repo();
+        r.checkout_branch("dev").unwrap();
+        r.worktree_mut().write(&path("citation.cite"), &b"{\"dev\": 1}"[..]).unwrap();
+        r.commit(sig("bob", 2), "dev cites").unwrap();
+        r.checkout_branch("main").unwrap();
+        r.worktree_mut().write(&path("citation.cite"), &b"{\"main\": 1}"[..]).unwrap();
+        r.commit(sig("alice", 3), "main cites").unwrap();
+        let opts = MergeOptions { exclude: vec![path("citation.cite")] };
+        let report = r.merge_branch("dev", sig("alice", 4), "merge", &opts).unwrap();
+        // No conflict: the excluded file never goes through textual merge.
+        let MergeReport::Merged(_) = report else { panic!("expected clean merge: {report:?}") };
+        assert!(!r.worktree().is_file(&path("citation.cite")));
+    }
+}

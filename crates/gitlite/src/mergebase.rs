@@ -1,0 +1,183 @@
+//! Merge-base computation: the best common ancestor of two commits.
+
+use crate::error::Result;
+use crate::hash::ObjectId;
+use crate::store::Odb;
+use std::collections::{HashMap, HashSet};
+
+/// Finds the *best* common ancestor of `a` and `b`: among all common
+/// ancestors, the one with the greatest generation number (longest distance
+/// from a root commit), breaking ties by timestamp then id so the result is
+/// deterministic. Returns `None` for unrelated histories.
+pub fn merge_base(odb: &Odb, a: ObjectId, b: ObjectId) -> Result<Option<ObjectId>> {
+    if a == b {
+        return Ok(Some(a));
+    }
+    let ancestors_a = ancestor_set(odb, a)?;
+    if ancestors_a.contains(&b) {
+        return Ok(Some(b));
+    }
+    let ancestors_b = ancestor_set(odb, b)?;
+    if ancestors_b.contains(&a) {
+        return Ok(Some(a));
+    }
+    let common: Vec<ObjectId> = ancestors_a.intersection(&ancestors_b).copied().collect();
+    if common.is_empty() {
+        return Ok(None);
+    }
+    let gens = generations(odb, &common)?;
+    let mut best: Option<(u64, i64, ObjectId)> = None;
+    for id in common {
+        let gen = gens[&id];
+        let ts = odb.commit(id)?.author.timestamp;
+        let key = (gen, ts, id);
+        if best.as_ref().map(|b| key > *b).unwrap_or(true) {
+            best = Some(key);
+        }
+    }
+    Ok(best.map(|(_, _, id)| id))
+}
+
+/// All commits reachable from `from` (inclusive).
+pub fn ancestor_set(odb: &Odb, from: ObjectId) -> Result<HashSet<ObjectId>> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![from];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        for p in odb.commit(id)?.parents {
+            stack.push(p);
+        }
+    }
+    Ok(seen)
+}
+
+/// Generation numbers (longest path to a root commit) for `ids` and all of
+/// their ancestors. Iterative post-order to avoid recursion on deep
+/// histories.
+fn generations(odb: &Odb, ids: &[ObjectId]) -> Result<HashMap<ObjectId, u64>> {
+    let mut gen: HashMap<ObjectId, u64> = HashMap::new();
+    for &start in ids {
+        if gen.contains_key(&start) {
+            continue;
+        }
+        let mut stack: Vec<(ObjectId, bool)> = vec![(start, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if gen.contains_key(&id) {
+                continue;
+            }
+            let parents = odb.commit(id)?.parents;
+            if expanded {
+                let g = parents
+                    .iter()
+                    .map(|p| gen.get(p).copied().unwrap_or(0) + 1)
+                    .max()
+                    .unwrap_or(0);
+                gen.insert(id, g);
+            } else {
+                stack.push((id, true));
+                for p in parents {
+                    if !gen.contains_key(&p) {
+                        stack.push((p, false));
+                    }
+                }
+            }
+        }
+    }
+    Ok(gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Commit, Object, Signature, Tree};
+
+    /// Builds a commit with the given parents; message keeps ids distinct.
+    fn mk(odb: &mut Odb, msg: &str, ts: i64, parents: Vec<ObjectId>) -> ObjectId {
+        let tree = odb.put(Object::Tree(Tree::new()));
+        odb.put(Object::Commit(Commit {
+            tree,
+            parents,
+            author: Signature::new("t", "t@t", ts),
+            message: msg.into(),
+        }))
+    }
+
+    #[test]
+    fn identical_commits() {
+        let mut odb = Odb::new();
+        let c = mk(&mut odb, "c", 1, vec![]);
+        assert_eq!(merge_base(&odb, c, c).unwrap(), Some(c));
+    }
+
+    #[test]
+    fn linear_history_base_is_older() {
+        let mut odb = Odb::new();
+        let c1 = mk(&mut odb, "1", 1, vec![]);
+        let c2 = mk(&mut odb, "2", 2, vec![c1]);
+        let c3 = mk(&mut odb, "3", 3, vec![c2]);
+        assert_eq!(merge_base(&odb, c3, c1).unwrap(), Some(c1));
+        assert_eq!(merge_base(&odb, c1, c3).unwrap(), Some(c1));
+        assert_eq!(merge_base(&odb, c2, c3).unwrap(), Some(c2));
+    }
+
+    #[test]
+    fn simple_fork() {
+        let mut odb = Odb::new();
+        let base = mk(&mut odb, "base", 1, vec![]);
+        let left = mk(&mut odb, "left", 2, vec![base]);
+        let right = mk(&mut odb, "right", 3, vec![base]);
+        assert_eq!(merge_base(&odb, left, right).unwrap(), Some(base));
+    }
+
+    #[test]
+    fn unrelated_histories() {
+        let mut odb = Odb::new();
+        let a = mk(&mut odb, "a", 1, vec![]);
+        let b = mk(&mut odb, "b", 2, vec![]);
+        assert_eq!(merge_base(&odb, a, b).unwrap(), None);
+    }
+
+    #[test]
+    fn deeper_common_ancestor_wins() {
+        // base ── x ── left
+        //    \     \
+        //     \     right   (x reachable from both; base also common)
+        let mut odb = Odb::new();
+        let base = mk(&mut odb, "base", 1, vec![]);
+        let x = mk(&mut odb, "x", 2, vec![base]);
+        let left = mk(&mut odb, "left", 3, vec![x]);
+        let right = mk(&mut odb, "right", 4, vec![x, base]);
+        assert_eq!(merge_base(&odb, left, right).unwrap(), Some(x));
+    }
+
+    #[test]
+    fn criss_cross_picks_deterministically() {
+        // Classic criss-cross: two candidates with equal generation; the
+        // tie must break deterministically (timestamp, then id).
+        let mut odb = Odb::new();
+        let root = mk(&mut odb, "root", 1, vec![]);
+        let a = mk(&mut odb, "a", 2, vec![root]);
+        let b = mk(&mut odb, "b", 3, vec![root]);
+        let l = mk(&mut odb, "l", 4, vec![a, b]);
+        let r = mk(&mut odb, "r", 5, vec![b, a]);
+        let m1 = merge_base(&odb, l, r).unwrap().unwrap();
+        let m2 = merge_base(&odb, r, l).unwrap().unwrap();
+        assert_eq!(m1, m2);
+        // Both a and b have generation 1; b has the later timestamp.
+        assert_eq!(m1, b);
+    }
+
+    #[test]
+    fn deep_history_does_not_overflow_stack() {
+        let mut odb = Odb::new();
+        let mut tip = mk(&mut odb, "0", 0, vec![]);
+        for i in 1..5000 {
+            tip = mk(&mut odb, &i.to_string(), i, vec![tip]);
+        }
+        let side = mk(&mut odb, "side", 5001, vec![tip]);
+        let other = mk(&mut odb, "other", 5002, vec![tip]);
+        assert_eq!(merge_base(&odb, side, other).unwrap(), Some(tip));
+    }
+}

@@ -1,0 +1,335 @@
+//! The three object kinds — blob, tree, commit — and their canonical
+//! encodings.
+//!
+//! Encodings follow Git's framing (`"<kind> <len>\0<body>"`) so object ids
+//! are stable, content-derived, and identical content deduplicates across
+//! repositories — the property `ForkCite`/`CopyCite` rely on.
+
+use crate::hash::{ObjectId, Sha1};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What kind of node a tree entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryMode {
+    /// A regular file (blob).
+    File,
+    /// A directory (tree).
+    Dir,
+}
+
+impl EntryMode {
+    /// Git-compatible mode string used in the canonical tree encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EntryMode::File => "100644",
+            EntryMode::Dir => "40000",
+        }
+    }
+}
+
+/// One name → object mapping inside a [`Tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeEntry {
+    /// File or directory.
+    pub mode: EntryMode,
+    /// Id of the blob (for files) or subtree (for directories).
+    pub id: ObjectId,
+}
+
+/// File contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blob {
+    /// Raw bytes of the file.
+    pub data: Bytes,
+}
+
+impl Blob {
+    /// Creates a blob from anything byte-like.
+    pub fn new(data: impl Into<Bytes>) -> Self {
+        Blob { data: data.into() }
+    }
+
+    /// Canonical encoding: `blob <len>\0<data>`.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() + 16);
+        out.extend_from_slice(format!("blob {}\0", self.data.len()).as_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Content id of the blob.
+    pub fn id(&self) -> ObjectId {
+        let mut h = Sha1::new();
+        h.update(&self.canonical_bytes());
+        ObjectId(h.finalize())
+    }
+}
+
+/// A directory: a sorted map from child name to [`TreeEntry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tree {
+    entries: BTreeMap<String, TreeEntry>,
+}
+
+impl Tree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Tree { entries: BTreeMap::new() }
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&mut self, name: impl Into<String>, entry: TreeEntry) {
+        self.entries.insert(name.into(), entry);
+    }
+
+    /// Removes an entry by name.
+    pub fn remove(&mut self, name: &str) -> Option<TreeEntry> {
+        self.entries.remove(name)
+    }
+
+    /// Looks up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&TreeEntry> {
+        self.entries.get(name)
+    }
+
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the tree has no children.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, entry)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TreeEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Canonical encoding: `tree <len>\0` + `"<mode> <name>\0" + 20-byte id`
+    /// per entry, in name order.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        for (name, entry) in &self.entries {
+            body.extend_from_slice(entry.mode.as_str().as_bytes());
+            body.push(b' ');
+            body.extend_from_slice(name.as_bytes());
+            body.push(0);
+            body.extend_from_slice(&entry.id.0);
+        }
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.extend_from_slice(format!("tree {}\0", body.len()).as_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Content id of the tree.
+    pub fn id(&self) -> ObjectId {
+        let mut h = Sha1::new();
+        h.update(&self.canonical_bytes());
+        ObjectId(h.finalize())
+    }
+}
+
+/// Author/committer identity plus a timestamp.
+///
+/// Timestamps are caller-supplied (the hosting simulation uses a logical
+/// clock) so whole scenarios are deterministic and reproducible — a
+/// requirement for regenerating Listing 1 byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Display name, e.g. `"Yinjun Wu"`.
+    pub name: String,
+    /// Email address.
+    pub email: String,
+    /// Seconds since the epoch (logical time is fine).
+    pub timestamp: i64,
+}
+
+impl Signature {
+    /// Creates a signature.
+    pub fn new(name: impl Into<String>, email: impl Into<String>, timestamp: i64) -> Self {
+        Signature { name: name.into(), email: email.into(), timestamp }
+    }
+
+    fn canonical(&self) -> String {
+        format!("{} <{}> {}", self.name, self.email, self.timestamp)
+    }
+}
+
+/// A commit: a tree snapshot plus parents, author and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commit {
+    /// Root tree of this version.
+    pub tree: ObjectId,
+    /// Zero (root commit), one (normal) or two (merge) parents.
+    pub parents: Vec<ObjectId>,
+    /// Who created the version.
+    pub author: Signature,
+    /// Commit message.
+    pub message: String,
+}
+
+impl Commit {
+    /// Canonical encoding following Git's commit format.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut body = String::new();
+        body.push_str(&format!("tree {}\n", self.tree.to_hex()));
+        for p in &self.parents {
+            body.push_str(&format!("parent {}\n", p.to_hex()));
+        }
+        body.push_str(&format!("author {}\n", self.author.canonical()));
+        body.push_str(&format!("committer {}\n", self.author.canonical()));
+        body.push('\n');
+        body.push_str(&self.message);
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.extend_from_slice(format!("commit {}\0", body.len()).as_bytes());
+        out.extend_from_slice(body.as_bytes());
+        out
+    }
+
+    /// Content id of the commit.
+    pub fn id(&self) -> ObjectId {
+        let mut h = Sha1::new();
+        h.update(&self.canonical_bytes());
+        ObjectId(h.finalize())
+    }
+}
+
+/// Any of the three object kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Object {
+    /// File contents.
+    Blob(Blob),
+    /// Directory listing.
+    Tree(Tree),
+    /// Version snapshot.
+    Commit(Commit),
+}
+
+impl Object {
+    /// The object's content id.
+    pub fn id(&self) -> ObjectId {
+        match self {
+            Object::Blob(b) => b.id(),
+            Object::Tree(t) => t.id(),
+            Object::Commit(c) => c.id(),
+        }
+    }
+
+    /// Object kind name, as used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Object::Blob(_) => "blob",
+            Object::Tree(_) => "tree",
+            Object::Commit(_) => "commit",
+        }
+    }
+
+    /// Borrows the blob or `None`.
+    pub fn as_blob(&self) -> Option<&Blob> {
+        match self {
+            Object::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the tree or `None`.
+    pub fn as_tree(&self) -> Option<&Tree> {
+        match self {
+            Object::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Borrows the commit or `None`.
+    pub fn as_commit(&self) -> Option<&Commit> {
+        match self {
+            Object::Commit(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind(), self.id().short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_id_matches_git() {
+        // Matches `git hash-object`: blob "hello" →
+        // b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0
+        let b = Blob::new(&b"hello"[..]);
+        assert_eq!(b.id().to_hex(), "b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0");
+    }
+
+    #[test]
+    fn empty_blob_matches_git() {
+        let b = Blob::new(&b""[..]);
+        assert_eq!(b.id().to_hex(), "e69de29bb2d1d6434b8b29ae775ad8c2e48c5391");
+    }
+
+    #[test]
+    fn tree_entries_sorted_and_deterministic() {
+        let blob = Blob::new(&b"x"[..]);
+        let mut t1 = Tree::new();
+        t1.insert("b.txt", TreeEntry { mode: EntryMode::File, id: blob.id() });
+        t1.insert("a.txt", TreeEntry { mode: EntryMode::File, id: blob.id() });
+        let mut t2 = Tree::new();
+        t2.insert("a.txt", TreeEntry { mode: EntryMode::File, id: blob.id() });
+        t2.insert("b.txt", TreeEntry { mode: EntryMode::File, id: blob.id() });
+        assert_eq!(t1.id(), t2.id());
+        let names: Vec<_> = t1.iter().map(|(n, _)| n.to_owned()).collect();
+        assert_eq!(names, vec!["a.txt", "b.txt"]);
+    }
+
+    #[test]
+    fn tree_id_changes_with_content() {
+        let mut t = Tree::new();
+        t.insert("a", TreeEntry { mode: EntryMode::File, id: Blob::new(&b"1"[..]).id() });
+        let id1 = t.id();
+        t.insert("a", TreeEntry { mode: EntryMode::File, id: Blob::new(&b"2"[..]).id() });
+        assert_ne!(id1, t.id());
+    }
+
+    #[test]
+    fn commit_id_depends_on_everything() {
+        let tree = Tree::new().id();
+        let base = Commit {
+            tree,
+            parents: vec![],
+            author: Signature::new("A", "a@x", 1),
+            message: "m".into(),
+        };
+        let mut c2 = base.clone();
+        c2.message = "other".into();
+        assert_ne!(base.id(), c2.id());
+        let mut c3 = base.clone();
+        c3.author.timestamp = 2;
+        assert_ne!(base.id(), c3.id());
+        let mut c4 = base.clone();
+        c4.parents = vec![base.id()];
+        assert_ne!(base.id(), c4.id());
+    }
+
+    #[test]
+    fn object_accessors() {
+        let b = Object::Blob(Blob::new(&b"z"[..]));
+        assert!(b.as_blob().is_some());
+        assert!(b.as_tree().is_none());
+        assert!(b.as_commit().is_none());
+        assert_eq!(b.kind(), "blob");
+        let t = Object::Tree(Tree::new());
+        assert!(t.as_tree().is_some());
+        assert_eq!(t.id(), Tree::new().id());
+    }
+}

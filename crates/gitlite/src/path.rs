@@ -1,0 +1,285 @@
+//! [`RepoPath`] — normalized, repository-relative paths.
+//!
+//! Every node in a project version (paper §2: a rooted tree whose interior
+//! nodes are directories and leaves are files) is identified by a path from
+//! the root. Citation-function keys, tree-diff output and worktree files all
+//! use this one type so path normalization happens exactly once, at the
+//! boundary.
+
+use std::fmt;
+
+/// Errors produced when parsing/validating a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// A component was empty (`a//b`), `.` or `..`.
+    BadComponent(String),
+    /// The path contained a disallowed character (backslash or NUL).
+    BadCharacter(char),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::BadComponent(c) => write!(f, "invalid path component {c:?}"),
+            PathError::BadCharacter(c) => write!(f, "invalid character {c:?} in path"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A normalized `/`-separated path relative to the repository root.
+///
+/// The root itself is the empty path. Leading and trailing slashes are
+/// accepted on input and stripped, so `"/src/main.rs"`, `"src/main.rs"` and
+/// `"src/main.rs/"` all parse to the same value. `citation.cite` keys such
+/// as `"/"` and `"/CoreCover/"` (Listing 1) round-trip through
+/// [`RepoPath::to_cite_key`] / [`RepoPath::parse`].
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RepoPath {
+    components: Vec<String>,
+}
+
+impl RepoPath {
+    /// The repository root (empty path).
+    pub fn root() -> Self {
+        RepoPath { components: Vec::new() }
+    }
+
+    /// Parses and normalizes a path string.
+    pub fn parse(s: &str) -> Result<Self, PathError> {
+        if s.contains('\\') {
+            return Err(PathError::BadCharacter('\\'));
+        }
+        if s.contains('\0') {
+            return Err(PathError::BadCharacter('\0'));
+        }
+        let mut components = Vec::new();
+        for part in s.split('/') {
+            if part.is_empty() {
+                continue; // tolerate leading/trailing/duplicate slashes
+            }
+            if part == "." || part == ".." {
+                return Err(PathError::BadComponent(part.to_owned()));
+            }
+            components.push(part.to_owned());
+        }
+        Ok(RepoPath { components })
+    }
+
+    /// True for the repository root.
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Number of components.
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The path's components in order.
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// The final component, if any.
+    pub fn file_name(&self) -> Option<&str> {
+        self.components.last().map(String::as_str)
+    }
+
+    /// The parent path; `None` for the root.
+    pub fn parent(&self) -> Option<RepoPath> {
+        if self.is_root() {
+            None
+        } else {
+            Some(RepoPath { components: self.components[..self.components.len() - 1].to_vec() })
+        }
+    }
+
+    /// Appends a single component.
+    ///
+    /// # Panics
+    /// Panics if `name` contains `/`, which would silently change the
+    /// path's depth; use [`RepoPath::join`] for multi-component suffixes.
+    pub fn child(&self, name: &str) -> RepoPath {
+        assert!(!name.contains('/') && !name.is_empty(), "child() takes a single component");
+        let mut components = self.components.clone();
+        components.push(name.to_owned());
+        RepoPath { components }
+    }
+
+    /// Appends another path.
+    pub fn join(&self, other: &RepoPath) -> RepoPath {
+        let mut components = self.components.clone();
+        components.extend(other.components.iter().cloned());
+        RepoPath { components }
+    }
+
+    /// True when `self` is `prefix` or lies beneath it. The root is a prefix
+    /// of everything.
+    pub fn starts_with(&self, prefix: &RepoPath) -> bool {
+        self.components.len() >= prefix.components.len()
+            && self.components[..prefix.components.len()] == prefix.components[..]
+    }
+
+    /// Removes a leading `prefix`, returning the remainder.
+    pub fn strip_prefix(&self, prefix: &RepoPath) -> Option<RepoPath> {
+        if self.starts_with(prefix) {
+            Some(RepoPath { components: self.components[prefix.components.len()..].to_vec() })
+        } else {
+            None
+        }
+    }
+
+    /// Re-roots a path from `from` to `to`: `a/b/c` with `from=a`, `to=x/y`
+    /// becomes `x/y/b/c`. Returns `None` when `self` is not under `from`.
+    pub fn rebase(&self, from: &RepoPath, to: &RepoPath) -> Option<RepoPath> {
+        self.strip_prefix(from).map(|rest| to.join(&rest))
+    }
+
+    /// Iterates every ancestor from the immediate parent up to (and
+    /// including) the root. The path itself is not yielded.
+    pub fn ancestors(&self) -> impl Iterator<Item = RepoPath> + '_ {
+        (0..self.components.len()).rev().map(move |n| RepoPath {
+            components: self.components[..n].to_vec(),
+        })
+    }
+
+    /// Renders the `citation.cite` key form: `"/"` for the root and
+    /// `/a/b/` style (leading slash; trailing slash when `dir` is true)
+    /// otherwise.
+    pub fn to_cite_key(&self, dir: bool) -> String {
+        if self.is_root() {
+            return "/".to_owned();
+        }
+        let mut s = String::new();
+        for c in &self.components {
+            s.push('/');
+            s.push_str(c);
+        }
+        if dir {
+            s.push('/');
+        }
+        s
+    }
+}
+
+impl fmt::Display for RepoPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            f.write_str("")
+        } else {
+            f.write_str(&self.components.join("/"))
+        }
+    }
+}
+
+impl fmt::Debug for RepoPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RepoPath({:?})", self.to_string())
+    }
+}
+
+impl std::str::FromStr for RepoPath {
+    type Err = PathError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RepoPath::parse(s)
+    }
+}
+
+/// Convenience: `path("a/b")` with a panic on invalid input, for tests and
+/// literals. Library code paths use [`RepoPath::parse`].
+pub fn path(s: &str) -> RepoPath {
+    RepoPath::parse(s).expect("valid path literal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalizes_slashes() {
+        for s in ["a/b/c", "/a/b/c", "a/b/c/", "//a//b//c//"] {
+            assert_eq!(RepoPath::parse(s).unwrap().to_string(), "a/b/c");
+        }
+    }
+
+    #[test]
+    fn root_forms() {
+        for s in ["", "/", "//"] {
+            assert!(RepoPath::parse(s).unwrap().is_root());
+        }
+        assert_eq!(RepoPath::root().to_cite_key(true), "/");
+        assert_eq!(RepoPath::root().to_string(), "");
+    }
+
+    #[test]
+    fn rejects_dot_components_and_bad_chars() {
+        assert!(matches!(RepoPath::parse("a/./b"), Err(PathError::BadComponent(_))));
+        assert!(matches!(RepoPath::parse("../b"), Err(PathError::BadComponent(_))));
+        assert!(matches!(RepoPath::parse("a\\b"), Err(PathError::BadCharacter('\\'))));
+        assert!(matches!(RepoPath::parse("a\0b"), Err(PathError::BadCharacter('\0'))));
+    }
+
+    #[test]
+    fn parent_child_file_name() {
+        let p = path("src/lib.rs");
+        assert_eq!(p.file_name(), Some("lib.rs"));
+        assert_eq!(p.parent().unwrap(), path("src"));
+        assert_eq!(path("src").parent().unwrap(), RepoPath::root());
+        assert_eq!(RepoPath::root().parent(), None);
+        assert_eq!(RepoPath::root().child("x"), path("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "single component")]
+    fn child_rejects_slash() {
+        let _ = RepoPath::root().child("a/b");
+    }
+
+    #[test]
+    fn prefix_logic() {
+        let p = path("a/b/c");
+        assert!(p.starts_with(&RepoPath::root()));
+        assert!(p.starts_with(&path("a/b")));
+        assert!(p.starts_with(&path("a/b/c")));
+        assert!(!p.starts_with(&path("a/bc")));
+        assert!(!path("ab").starts_with(&path("a")));
+        assert_eq!(p.strip_prefix(&path("a")).unwrap(), path("b/c"));
+        assert_eq!(p.strip_prefix(&path("x")), None);
+    }
+
+    #[test]
+    fn rebase_moves_subtrees() {
+        let p = path("old/dir/file.txt");
+        assert_eq!(p.rebase(&path("old/dir"), &path("new/place")).unwrap(), path("new/place/file.txt"));
+        assert_eq!(p.rebase(&path("other"), &path("new")), None);
+        // Rebasing from the root prefixes everything.
+        assert_eq!(p.rebase(&RepoPath::root(), &path("x")).unwrap(), path("x/old/dir/file.txt"));
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let p = path("a/b/c");
+        let anc: Vec<String> = p.ancestors().map(|a| a.to_string()).collect();
+        assert_eq!(anc, vec!["a/b".to_owned(), "a".to_owned(), String::new()]);
+        assert_eq!(RepoPath::root().ancestors().count(), 0);
+    }
+
+    #[test]
+    fn cite_key_rendering() {
+        assert_eq!(path("CoreCover").to_cite_key(true), "/CoreCover/");
+        assert_eq!(path("citation/GUI").to_cite_key(true), "/citation/GUI/");
+        assert_eq!(path("src/main.rs").to_cite_key(false), "/src/main.rs");
+        // Keys parse back to the same path.
+        assert_eq!(RepoPath::parse("/CoreCover/").unwrap(), path("CoreCover"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_component() {
+        let mut v = vec![path("b"), path("a/z"), path("a"), RepoPath::root()];
+        v.sort();
+        let strs: Vec<String> = v.iter().map(|p| p.to_string()).collect();
+        assert_eq!(strs, vec!["", "a", "a/z", "b"]);
+    }
+}

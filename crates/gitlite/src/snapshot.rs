@@ -1,0 +1,224 @@
+//! Converting between worktrees and stored tree objects.
+//!
+//! * [`write_tree`] — snapshot a [`WorkTree`] into the object database,
+//!   returning the root tree id (the "version" of paper §2).
+//! * [`flatten_tree`] — list every file `(path → blob id)` under a tree.
+//! * [`read_tree`] — materialize a stored tree back into a [`WorkTree`].
+
+use crate::error::Result;
+use crate::hash::ObjectId;
+use crate::object::{EntryMode, Object, Tree, TreeEntry};
+use crate::path::RepoPath;
+use crate::store::Odb;
+use crate::worktree::WorkTree;
+use std::collections::BTreeMap;
+
+/// Snapshots the worktree into `odb`, creating blob and tree objects
+/// bottom-up, and returns the root tree id.
+pub fn write_tree(odb: &mut Odb, worktree: &WorkTree) -> ObjectId {
+    let mut listing = BTreeMap::new();
+    for (path, data) in worktree.iter() {
+        let blob_id = odb.put_blob(data.clone());
+        listing.insert(path.clone(), blob_id);
+    }
+    write_tree_from_listing(odb, &listing)
+}
+
+/// Builds tree objects from a flattened `path → blob id` listing (the blobs
+/// must already exist in `odb`) and returns the root tree id. This is the
+/// inverse of [`flatten_tree`] and is what the merge machinery uses to
+/// construct a merged tree without materializing file bytes.
+pub fn write_tree_from_listing(odb: &mut Odb, listing: &BTreeMap<RepoPath, ObjectId>) -> ObjectId {
+    let mut children: BTreeMap<RepoPath, Vec<(String, EntryMode, Option<ObjectId>)>> =
+        BTreeMap::new();
+    children.entry(RepoPath::root()).or_default();
+    for (path, blob_id) in listing {
+        let name = path.file_name().expect("files are never the root").to_owned();
+        let parent = path.parent().expect("files are never the root");
+        children
+            .entry(parent.clone())
+            .or_default()
+            .push((name, EntryMode::File, Some(*blob_id)));
+        let mut dir = parent;
+        while !dir.is_root() {
+            let dir_parent = dir.parent().expect("non-root");
+            let dir_name = dir.file_name().expect("non-root").to_owned();
+            let siblings = children.entry(dir_parent.clone()).or_default();
+            if !siblings.iter().any(|(n, m, _)| *m == EntryMode::Dir && *n == dir_name) {
+                siblings.push((dir_name, EntryMode::Dir, None));
+            }
+            children.entry(dir.clone()).or_default();
+            dir = dir_parent;
+        }
+    }
+    let mut tree_ids: BTreeMap<RepoPath, ObjectId> = BTreeMap::new();
+    for (dir, entries) in children.iter().rev() {
+        let mut tree = Tree::new();
+        for (name, mode, blob) in entries {
+            let id = match mode {
+                EntryMode::File => blob.expect("file entries carry blob ids"),
+                EntryMode::Dir => tree_ids[&dir.child(name)],
+            };
+            tree.insert(name.clone(), TreeEntry { mode: *mode, id });
+        }
+        tree_ids.insert(dir.clone(), odb.put(Object::Tree(tree)));
+    }
+    tree_ids[&RepoPath::root()]
+}
+
+/// Flattens a stored tree into `path → blob id` for every file beneath it.
+pub fn flatten_tree(odb: &Odb, root: ObjectId) -> Result<BTreeMap<RepoPath, ObjectId>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![(RepoPath::root(), root)];
+    while let Some((base, tree_id)) = stack.pop() {
+        let tree = odb.tree(tree_id)?;
+        for (name, entry) in tree.iter() {
+            let p = base.child(name);
+            match entry.mode {
+                EntryMode::File => {
+                    out.insert(p, entry.id);
+                }
+                EntryMode::Dir => stack.push((p, entry.id)),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lists every directory path beneath a stored tree (excluding the root).
+pub fn tree_directories(odb: &Odb, root: ObjectId) -> Result<Vec<RepoPath>> {
+    let mut out = Vec::new();
+    let mut stack = vec![(RepoPath::root(), root)];
+    while let Some((base, tree_id)) = stack.pop() {
+        let tree = odb.tree(tree_id)?;
+        for (name, entry) in tree.iter() {
+            if entry.mode == EntryMode::Dir {
+                let p = base.child(name);
+                out.push(p.clone());
+                stack.push((p, entry.id));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Materializes a stored tree into a fresh worktree (checkout).
+pub fn read_tree(odb: &Odb, root: ObjectId) -> Result<WorkTree> {
+    let mut wt = WorkTree::new();
+    for (path, blob_id) in flatten_tree(odb, root)? {
+        let data = odb.blob_data(blob_id)?;
+        wt.write(&path, data)?;
+    }
+    Ok(wt)
+}
+
+/// Resolves the entry at `path` within a stored tree: `Some((mode, id))`
+/// when a file or directory exists there, `None` otherwise. The root
+/// resolves to the tree itself.
+pub fn resolve_path(odb: &Odb, root: ObjectId, path: &RepoPath) -> Result<Option<(EntryMode, ObjectId)>> {
+    if path.is_root() {
+        return Ok(Some((EntryMode::Dir, root)));
+    }
+    let mut current = root;
+    let comps = path.components();
+    for (i, name) in comps.iter().enumerate() {
+        let tree = odb.tree(current)?;
+        match tree.get(name) {
+            None => return Ok(None),
+            Some(entry) => {
+                if i + 1 == comps.len() {
+                    return Ok(Some((entry.mode, entry.id)));
+                }
+                if entry.mode != EntryMode::Dir {
+                    return Ok(None); // a file in the middle of the path
+                }
+                current = entry.id;
+            }
+        }
+    }
+    unreachable!("loop returns");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::path;
+
+    fn sample() -> (Odb, WorkTree) {
+        let mut wt = WorkTree::new();
+        wt.write(&path("README.md"), &b"# p"[..]).unwrap();
+        wt.write(&path("src/main.rs"), &b"fn main(){}"[..]).unwrap();
+        wt.write(&path("src/util/mod.rs"), &b"pub fn u(){}"[..]).unwrap();
+        (Odb::new(), wt)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (mut odb, wt) = sample();
+        let root = write_tree(&mut odb, &wt);
+        let restored = read_tree(&odb, root).unwrap();
+        assert_eq!(restored, wt);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let (mut odb1, wt) = sample();
+        let mut odb2 = Odb::new();
+        assert_eq!(write_tree(&mut odb1, &wt), write_tree(&mut odb2, &wt));
+    }
+
+    #[test]
+    fn empty_worktree_gives_empty_tree() {
+        let mut odb = Odb::new();
+        let root = write_tree(&mut odb, &WorkTree::new());
+        assert_eq!(root, Tree::new().id());
+        assert!(flatten_tree(&odb, root).unwrap().is_empty());
+    }
+
+    #[test]
+    fn flatten_lists_all_files() {
+        let (mut odb, wt) = sample();
+        let root = write_tree(&mut odb, &wt);
+        let flat = flatten_tree(&odb, root).unwrap();
+        let paths: Vec<String> = flat.keys().map(|p| p.to_string()).collect();
+        assert_eq!(paths, vec!["README.md", "src/main.rs", "src/util/mod.rs"]);
+    }
+
+    #[test]
+    fn directories_listed() {
+        let (mut odb, wt) = sample();
+        let root = write_tree(&mut odb, &wt);
+        let dirs = tree_directories(&odb, root).unwrap();
+        assert_eq!(dirs, vec![path("src"), path("src/util")]);
+    }
+
+    #[test]
+    fn resolve_paths() {
+        let (mut odb, wt) = sample();
+        let root = write_tree(&mut odb, &wt);
+        let (mode, _) = resolve_path(&odb, root, &path("src")).unwrap().unwrap();
+        assert_eq!(mode, EntryMode::Dir);
+        let (mode, blob) = resolve_path(&odb, root, &path("src/main.rs")).unwrap().unwrap();
+        assert_eq!(mode, EntryMode::File);
+        assert_eq!(odb.blob_data(blob).unwrap().as_ref(), b"fn main(){}");
+        assert!(resolve_path(&odb, root, &path("missing")).unwrap().is_none());
+        assert!(resolve_path(&odb, root, &path("README.md/below")).unwrap().is_none());
+        let (mode, id) = resolve_path(&odb, root, &RepoPath::root()).unwrap().unwrap();
+        assert_eq!(mode, EntryMode::Dir);
+        assert_eq!(id, root);
+    }
+
+    #[test]
+    fn identical_subtrees_share_objects() {
+        let mut odb = Odb::new();
+        let mut wt = WorkTree::new();
+        wt.write(&path("a/f.txt"), &b"same"[..]).unwrap();
+        wt.write(&path("b/f.txt"), &b"same"[..]).unwrap();
+        let root = write_tree(&mut odb, &wt);
+        // Objects: root tree, one shared subtree, one shared blob.
+        assert_eq!(odb.len(), 3);
+        let flat = flatten_tree(&odb, root).unwrap();
+        assert_eq!(flat[&path("a/f.txt")], flat[&path("b/f.txt")]);
+    }
+}

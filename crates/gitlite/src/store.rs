@@ -1,0 +1,215 @@
+//! The object database: content-addressed storage for blobs, trees and
+//! commits.
+
+use crate::error::{GitError, Result};
+use crate::hash::ObjectId;
+use crate::object::{Blob, Commit, Object, Tree};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An in-memory content-addressed object database.
+///
+/// Objects are immutable once stored (they are keyed by the hash of their
+/// bytes), so they are kept behind `Arc` and shared freely — a clone of the
+/// store or a fetched object never copies object payloads.
+#[derive(Debug, Clone, Default)]
+pub struct Odb {
+    objects: HashMap<ObjectId, Arc<Object>>,
+}
+
+impl Odb {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Odb { objects: HashMap::new() }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Stores an object, returning its id. Idempotent.
+    pub fn put(&mut self, object: Object) -> ObjectId {
+        let id = object.id();
+        self.objects.entry(id).or_insert_with(|| Arc::new(object));
+        id
+    }
+
+    /// Stores an already-shared object (used by object transfer, avoids a
+    /// deep copy).
+    pub fn put_shared(&mut self, object: Arc<Object>) -> ObjectId {
+        let id = object.id();
+        self.objects.entry(id).or_insert(object);
+        id
+    }
+
+    /// True when the id is present.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Fetches an object.
+    pub fn get(&self, id: ObjectId) -> Result<Arc<Object>> {
+        self.objects.get(&id).cloned().ok_or(GitError::ObjectNotFound(id))
+    }
+
+    /// Fetches an object expected to be a blob.
+    pub fn blob(&self, id: ObjectId) -> Result<Arc<Object>> {
+        self.expect_kind(id, "blob")
+    }
+
+    /// Fetches and clones a tree (trees are small; mutation needs ownership).
+    pub fn tree(&self, id: ObjectId) -> Result<Tree> {
+        let obj = self.expect_kind(id, "tree")?;
+        Ok(obj.as_tree().expect("checked kind").clone())
+    }
+
+    /// Fetches and clones a commit.
+    pub fn commit(&self, id: ObjectId) -> Result<Commit> {
+        let obj = self.expect_kind(id, "commit")?;
+        Ok(obj.as_commit().expect("checked kind").clone())
+    }
+
+    /// Fetches blob data directly.
+    pub fn blob_data(&self, id: ObjectId) -> Result<bytes::Bytes> {
+        let obj = self.expect_kind(id, "blob")?;
+        Ok(obj.as_blob().expect("checked kind").data.clone())
+    }
+
+    fn expect_kind(&self, id: ObjectId, expected: &'static str) -> Result<Arc<Object>> {
+        let obj = self.get(id)?;
+        if obj.kind() != expected {
+            return Err(GitError::WrongKind { id, expected, actual: obj.kind() });
+        }
+        Ok(obj)
+    }
+
+    /// Iterates all `(id, object)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Arc<Object>)> {
+        self.objects.iter().map(|(id, obj)| (*id, obj))
+    }
+
+    /// Convenience: store raw bytes as a blob.
+    pub fn put_blob(&mut self, data: impl Into<bytes::Bytes>) -> ObjectId {
+        self.put(Object::Blob(Blob::new(data.into())))
+    }
+
+    /// Collects every object reachable from `roots` (commits walk to their
+    /// trees and parents; trees walk to entries). Missing objects are an
+    /// error — a reachable closure must be complete.
+    pub fn reachable_closure(&self, roots: &[ObjectId]) -> Result<Vec<ObjectId>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<ObjectId> = roots.to_vec();
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let obj = self.get(id)?;
+            out.push(id);
+            match &*obj {
+                Object::Blob(_) => {}
+                Object::Tree(t) => {
+                    for (_, entry) in t.iter() {
+                        stack.push(entry.id);
+                    }
+                }
+                Object::Commit(c) => {
+                    stack.push(c.tree);
+                    for p in &c.parents {
+                        stack.push(*p);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{EntryMode, Signature, TreeEntry};
+
+    fn sample_commit(odb: &mut Odb, msg: &str, parents: Vec<ObjectId>) -> ObjectId {
+        let blob = odb.put_blob(format!("content of {msg}"));
+        let mut tree = Tree::new();
+        tree.insert("f.txt", TreeEntry { mode: EntryMode::File, id: blob });
+        let tree_id = odb.put(Object::Tree(tree));
+        odb.put(Object::Commit(Commit {
+            tree: tree_id,
+            parents,
+            author: Signature::new("t", "t@t", 0),
+            message: msg.into(),
+        }))
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut odb = Odb::new();
+        let id = odb.put_blob("hello");
+        assert!(odb.contains(id));
+        assert_eq!(odb.blob_data(id).unwrap().as_ref(), b"hello");
+    }
+
+    #[test]
+    fn put_is_idempotent() {
+        let mut odb = Odb::new();
+        let a = odb.put_blob("same");
+        let b = odb.put_blob("same");
+        assert_eq!(a, b);
+        assert_eq!(odb.len(), 1);
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let odb = Odb::new();
+        let id = ObjectId::hash_bytes(b"nope");
+        assert_eq!(odb.get(id).unwrap_err(), GitError::ObjectNotFound(id));
+    }
+
+    #[test]
+    fn kind_mismatch_errors() {
+        let mut odb = Odb::new();
+        let id = odb.put_blob("x");
+        let err = odb.tree(id).unwrap_err();
+        assert_eq!(err, GitError::WrongKind { id, expected: "tree", actual: "blob" });
+    }
+
+    #[test]
+    fn reachable_closure_walks_commits_trees_blobs() {
+        let mut odb = Odb::new();
+        let c1 = sample_commit(&mut odb, "one", vec![]);
+        let c2 = sample_commit(&mut odb, "two", vec![c1]);
+        // Unreachable garbage:
+        odb.put_blob("garbage");
+        let closure = odb.reachable_closure(&[c2]).unwrap();
+        // c2 + c1 + 2 trees + 2 blobs = 6
+        assert_eq!(closure.len(), 6);
+        assert!(closure.contains(&c1));
+        assert!(closure.contains(&c2));
+    }
+
+    #[test]
+    fn reachable_closure_detects_missing() {
+        let mut odb = Odb::new();
+        let c1 = sample_commit(&mut odb, "one", vec![]);
+        // Commit referencing a parent we never stored.
+        let dangling = Commit {
+            tree: odb.commit(c1).unwrap().tree,
+            parents: vec![ObjectId::hash_bytes(b"missing")],
+            author: Signature::new("t", "t@t", 0),
+            message: "dangling".into(),
+        };
+        let c2 = odb.put(Object::Commit(dangling));
+        assert!(matches!(
+            odb.reachable_closure(&[c2]),
+            Err(GitError::ObjectNotFound(_))
+        ));
+    }
+}

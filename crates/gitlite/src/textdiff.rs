@@ -1,0 +1,469 @@
+//! Line-oriented diffing: Myers LCS matches, similarity scoring and the
+//! diff3 three-way text merge.
+//!
+//! Used in two places: rename detection (similarity between a deleted and
+//! an added file) and merge (three-way content merge with conflict
+//! markers). `citation.cite` never goes through this module — the paper is
+//! explicit that Git's textual conflict rules must not be applied to the
+//! citation file (§3, MergeCite).
+
+use std::borrow::Cow;
+
+/// A pair of matched line indexes `(index_in_a, index_in_b)`.
+pub type Match = (usize, usize);
+
+/// Maximum Myers edit distance explored before falling back to
+/// "no internal matches". Keeps worst-case time/memory bounded on inputs
+/// that share nothing; similar inputs (the common case for merges) stay
+/// well below it.
+const MAX_D: usize = 1024;
+
+/// Computes a longest-common-subsequence matching between `a` and `b`
+/// using Myers' O(ND) algorithm, with common prefix/suffix trimming.
+/// Returned pairs are strictly increasing in both components.
+pub fn lcs_matches<T: PartialEq>(a: &[T], b: &[T]) -> Vec<Match> {
+    // Trim common prefix.
+    let mut prefix = 0;
+    while prefix < a.len() && prefix < b.len() && a[prefix] == b[prefix] {
+        prefix += 1;
+    }
+    // Trim common suffix (not overlapping the prefix).
+    let mut suffix = 0;
+    while suffix < a.len() - prefix
+        && suffix < b.len() - prefix
+        && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+    let core_a = &a[prefix..a.len() - suffix];
+    let core_b = &b[prefix..b.len() - suffix];
+
+    let mut matches: Vec<Match> = (0..prefix).map(|i| (i, i)).collect();
+    matches.extend(
+        myers_core(core_a, core_b)
+            .into_iter()
+            .map(|(x, y)| (x + prefix, y + prefix)),
+    );
+    let a_tail = a.len() - suffix;
+    let b_tail = b.len() - suffix;
+    matches.extend((0..suffix).map(|i| (a_tail + i, b_tail + i)));
+    matches
+}
+
+/// Myers diff over the trimmed cores. Returns matched pairs.
+fn myers_core<T: PartialEq>(a: &[T], b: &[T]) -> Vec<Match> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let max = n + m;
+    let bound = max.min(MAX_D);
+    let width = 2 * bound + 1;
+    let off = bound as isize;
+    // v[k + off] = furthest x along diagonal k.
+    let mut v = vec![0usize; width];
+    let mut trace: Vec<Vec<usize>> = Vec::new();
+    let mut found_d = None;
+    'outer: for d in 0..=bound {
+        trace.push(v.clone());
+        let d_i = d as isize;
+        let mut k = -d_i;
+        while k <= d_i {
+            let idx = (k + off) as usize;
+            let mut x = if k == -d_i || (k != d_i && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1] // move down (insertion in b)
+            } else {
+                v[idx - 1] + 1 // move right (deletion from a)
+            };
+            let mut y = (x as isize - k) as usize;
+            while x < n && y < m && a[x] == b[y] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                found_d = Some(d);
+                break 'outer;
+            }
+            k += 2;
+        }
+    }
+    let Some(d_final) = found_d else {
+        // Inputs differ by more than MAX_D edits: treat as fully different.
+        return Vec::new();
+    };
+
+    // Backtrack from (n, m) through the trace, recording diagonal runs.
+    let mut matches = Vec::new();
+    let mut x = n as isize;
+    let mut y = m as isize;
+    for d in (0..=d_final).rev() {
+        let v = &trace[d];
+        let d_i = d as isize;
+        let k = x - y;
+        let (prev_x, prev_y) = if d == 0 {
+            (0isize, 0isize)
+        } else {
+            let idx = (k + off) as usize;
+            let prev_k = if k == -d_i || (k != d_i && v[idx - 1] < v[idx + 1]) {
+                k + 1
+            } else {
+                k - 1
+            };
+            let px = v[(prev_k + off) as usize] as isize;
+            (px, px - prev_k)
+        };
+        // Walk the snake back to the point reached from (prev_x, prev_y).
+        while x > prev_x && y > prev_y {
+            x -= 1;
+            y -= 1;
+            matches.push((x as usize, y as usize));
+        }
+        if d > 0 {
+            x = prev_x;
+            y = prev_y;
+        }
+    }
+    matches.reverse();
+    matches
+}
+
+/// Order-sensitive similarity in `[0, 1]`: `2·|LCS| / (|a| + |b|)`.
+/// Two empty sequences are fully similar.
+pub fn sequence_similarity<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let lcs = lcs_matches(a, b).len();
+    (2.0 * lcs as f64) / ((a.len() + b.len()) as f64)
+}
+
+/// Order-insensitive line-multiset similarity in `[0, 1]`, used for rename
+/// detection where it approximates Git's heuristic at much lower cost than
+/// a full LCS.
+pub fn bag_similarity(a: &[u8], b: &[u8]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut counts: std::collections::HashMap<&[u8], (usize, usize)> =
+        std::collections::HashMap::new();
+    let mut na = 0usize;
+    for line in a.split(|&c| c == b'\n') {
+        counts.entry(line).or_default().0 += 1;
+        na += 1;
+    }
+    let mut nb = 0usize;
+    for line in b.split(|&c| c == b'\n') {
+        counts.entry(line).or_default().1 += 1;
+        nb += 1;
+    }
+    let common: usize = counts.values().map(|&(x, y)| x.min(y)).sum();
+    (2.0 * common as f64) / ((na + nb) as f64)
+}
+
+/// Outcome of a three-way text merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diff3Result {
+    /// The merged text (with conflict markers when `conflicts > 0`).
+    pub text: String,
+    /// How many conflict regions were emitted.
+    pub conflicts: usize,
+}
+
+/// Conflict-marker labels for [`diff3_merge`].
+#[derive(Debug, Clone, Copy)]
+pub struct MergeLabels<'a> {
+    /// Label for "our" side (e.g. the current branch name).
+    pub ours: &'a str,
+    /// Label for the base version.
+    pub base: &'a str,
+    /// Label for "their" side (the branch being merged).
+    pub theirs: &'a str,
+}
+
+impl Default for MergeLabels<'_> {
+    fn default() -> Self {
+        MergeLabels { ours: "ours", base: "base", theirs: "theirs" }
+    }
+}
+
+/// Three-way line merge in the style of `diff3 -m` / Git's merge driver.
+///
+/// Regions where only one side diverged from the base take that side's
+/// text; regions where both sides made the *same* change take it once;
+/// regions where the sides disagree become conflict blocks delimited by
+/// `<<<<<<<`, `|||||||`, `=======`, `>>>>>>>`.
+pub fn diff3_merge(base: &str, ours: &str, theirs: &str, labels: MergeLabels<'_>) -> Diff3Result {
+    let b: Vec<&str> = lines_of(base);
+    let o: Vec<&str> = lines_of(ours);
+    let t: Vec<&str> = lines_of(theirs);
+
+    // Match maps base→ours and base→theirs.
+    let mo = index_map(&lcs_matches(&b, &o), b.len());
+    let mt = index_map(&lcs_matches(&b, &t), b.len());
+
+    let mut out: Vec<Cow<'_, str>> = Vec::new();
+    let mut conflicts = 0usize;
+    let (mut ib, mut io, mut it) = (0usize, 0usize, 0usize);
+
+    loop {
+        // Emit the stable run: base, ours and theirs are in sync.
+        while ib < b.len() && mo[ib] == Some(io) && mt[ib] == Some(it) {
+            out.push(Cow::Borrowed(b[ib]));
+            ib += 1;
+            io += 1;
+            it += 1;
+        }
+        if ib >= b.len() && io >= o.len() && it >= t.len() {
+            break;
+        }
+        // Find the next base index matched in both sides: the end of the
+        // unstable chunk.
+        let mut jb = ib;
+        let (jo, jt) = loop {
+            if jb >= b.len() {
+                break (o.len(), t.len());
+            }
+            match (mo[jb], mt[jb]) {
+                (Some(x), Some(y)) if x >= io && y >= it => break (x, y),
+                _ => jb += 1,
+            }
+        };
+        let chunk_b = &b[ib..jb];
+        let chunk_o = &o[io..jo];
+        let chunk_t = &t[it..jt];
+        if chunk_o == chunk_t {
+            // Both sides agree (includes both-deleted).
+            out.extend(chunk_o.iter().map(|s| Cow::Borrowed(*s)));
+        } else if chunk_o == chunk_b {
+            out.extend(chunk_t.iter().map(|s| Cow::Borrowed(*s)));
+        } else if chunk_t == chunk_b {
+            out.extend(chunk_o.iter().map(|s| Cow::Borrowed(*s)));
+        } else {
+            conflicts += 1;
+            out.push(Cow::Owned(format!("<<<<<<< {}", labels.ours)));
+            out.extend(chunk_o.iter().map(|s| Cow::Borrowed(*s)));
+            out.push(Cow::Owned(format!("||||||| {}", labels.base)));
+            out.extend(chunk_b.iter().map(|s| Cow::Borrowed(*s)));
+            out.push(Cow::Borrowed("======="));
+            out.extend(chunk_t.iter().map(|s| Cow::Borrowed(*s)));
+            out.push(Cow::Owned(format!(">>>>>>> {}", labels.theirs)));
+        }
+        ib = jb;
+        io = jo;
+        it = jt;
+    }
+
+    let mut text = out.join("\n");
+    // One line (possibly empty) or more ⇒ the output ends with a newline;
+    // zero lines ⇒ the empty file. Inputs without a trailing newline are
+    // normalized to trailing-newline form, as `diff3 -m` effectively does.
+    if !out.is_empty() {
+        text.push('\n');
+    }
+    Diff3Result { text, conflicts }
+}
+
+/// Splits text into lines without the trailing empty segment a final
+/// newline would otherwise produce.
+fn lines_of(text: &str) -> Vec<&str> {
+    if text.is_empty() {
+        Vec::new()
+    } else {
+        let trimmed = text.strip_suffix('\n').unwrap_or(text);
+        trimmed.split('\n').collect()
+    }
+}
+
+/// Converts a match list into `base_index → other_index` lookups.
+fn index_map(matches: &[Match], base_len: usize) -> Vec<Option<usize>> {
+    let mut map = vec![None; base_len];
+    for &(bi, oi) in matches {
+        map[bi] = Some(oi);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ml() -> MergeLabels<'static> {
+        MergeLabels::default()
+    }
+
+    #[test]
+    fn lcs_identity() {
+        let a = ["x", "y", "z"];
+        assert_eq!(lcs_matches(&a, &a), vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn lcs_disjoint() {
+        let a = ["a", "b"];
+        let b = ["c", "d"];
+        assert!(lcs_matches(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn lcs_classic_example() {
+        // ABCABBA vs CBABAC — LCS length 4.
+        let a: Vec<char> = "ABCABBA".chars().collect();
+        let b: Vec<char> = "CBABAC".chars().collect();
+        let m = lcs_matches(&a, &b);
+        assert_eq!(m.len(), 4);
+        // Matches must be strictly increasing and correct.
+        for w in m.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+        for &(i, j) in &m {
+            assert_eq!(a[i], b[j]);
+        }
+    }
+
+    #[test]
+    fn lcs_shifted_window() {
+        // b is a with one line inserted in front: all of a must match.
+        let a = ["1", "2", "3", "4"];
+        let b = ["0", "1", "2", "3", "4"];
+        let m = lcs_matches(&a, &b);
+        assert_eq!(m, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn lcs_empty_inputs() {
+        let a: [&str; 0] = [];
+        let b = ["x"];
+        assert!(lcs_matches(&a, &b).is_empty());
+        assert!(lcs_matches(&b, &a).is_empty());
+        assert!(lcs_matches::<&str>(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn similarity_scores() {
+        let a = ["l1", "l2", "l3", "l4"];
+        let b = ["l1", "l2", "changed", "l4"];
+        assert!((sequence_similarity(&a, &b) - 0.75).abs() < 1e-9);
+        assert_eq!(sequence_similarity(&a, &a), 1.0);
+        let empty: [&str; 0] = [];
+        assert_eq!(sequence_similarity::<&str>(&empty, &empty), 1.0);
+        assert_eq!(sequence_similarity(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn bag_similarity_ignores_order() {
+        assert_eq!(bag_similarity(b"a\nb\nc", b"c\nb\na"), 1.0);
+        assert_eq!(bag_similarity(b"", b""), 1.0);
+        assert!(bag_similarity(b"a\nb", b"a\nx") < 1.0);
+        assert!(bag_similarity(b"a\nb", b"a\nx") > 0.0);
+    }
+
+    #[test]
+    fn merge_no_changes() {
+        let r = diff3_merge("a\nb\n", "a\nb\n", "a\nb\n", ml());
+        assert_eq!(r.conflicts, 0);
+        assert_eq!(r.text, "a\nb\n");
+    }
+
+    #[test]
+    fn merge_one_side_changes() {
+        let base = "one\ntwo\nthree\n";
+        let ours = "one\nTWO\nthree\n";
+        let r = diff3_merge(base, ours, base, ml());
+        assert_eq!(r.conflicts, 0);
+        assert_eq!(r.text, ours);
+        let r = diff3_merge(base, base, ours, ml());
+        assert_eq!(r.text, ours);
+    }
+
+    #[test]
+    fn merge_disjoint_changes_both_taken() {
+        let base = "one\ntwo\nthree\nfour\n";
+        let ours = "ONE\ntwo\nthree\nfour\n";
+        let theirs = "one\ntwo\nthree\nFOUR\n";
+        let r = diff3_merge(base, ours, theirs, ml());
+        assert_eq!(r.conflicts, 0);
+        assert_eq!(r.text, "ONE\ntwo\nthree\nFOUR\n");
+    }
+
+    #[test]
+    fn merge_same_change_taken_once() {
+        let base = "a\nb\nc\n";
+        let both = "a\nB!\nc\n";
+        let r = diff3_merge(base, both, both, ml());
+        assert_eq!(r.conflicts, 0);
+        assert_eq!(r.text, both);
+    }
+
+    #[test]
+    fn merge_conflicting_changes_marked() {
+        let base = "a\nmid\nz\n";
+        let ours = "a\nours-mid\nz\n";
+        let theirs = "a\ntheirs-mid\nz\n";
+        let labels = MergeLabels { ours: "main", base: "base", theirs: "gui" };
+        let r = diff3_merge(base, ours, theirs, labels);
+        assert_eq!(r.conflicts, 1);
+        let expect =
+            "a\n<<<<<<< main\nours-mid\n||||||| base\nmid\n=======\ntheirs-mid\n>>>>>>> gui\nz\n";
+        assert_eq!(r.text, expect);
+    }
+
+    #[test]
+    fn merge_insertions_at_both_ends() {
+        let base = "m\n";
+        let ours = "start\nm\n";
+        let theirs = "m\nend\n";
+        let r = diff3_merge(base, ours, theirs, ml());
+        assert_eq!(r.conflicts, 0);
+        assert_eq!(r.text, "start\nm\nend\n");
+    }
+
+    #[test]
+    fn merge_delete_vs_keep() {
+        let base = "a\nb\nc\n";
+        let ours = "a\nc\n"; // deleted b
+        let theirs = base; // unchanged
+        let r = diff3_merge(base, ours, theirs, ml());
+        assert_eq!(r.conflicts, 0);
+        assert_eq!(r.text, "a\nc\n");
+    }
+
+    #[test]
+    fn merge_delete_vs_modify_conflicts() {
+        let base = "a\nb\nc\n";
+        let ours = "a\nc\n"; // deleted b
+        let theirs = "a\nB2\nc\n"; // modified b
+        let r = diff3_merge(base, ours, theirs, ml());
+        assert_eq!(r.conflicts, 1);
+        assert!(r.text.contains("<<<<<<<"));
+        assert!(r.text.contains("B2"));
+    }
+
+    #[test]
+    fn merge_empty_base_add_add() {
+        let r = diff3_merge("", "ours\n", "theirs\n", ml());
+        assert_eq!(r.conflicts, 1);
+        let r2 = diff3_merge("", "same\n", "same\n", ml());
+        assert_eq!(r2.conflicts, 0);
+        assert_eq!(r2.text, "same\n");
+    }
+
+    #[test]
+    fn merge_completely_rewritten_sides() {
+        let base: String = (0..50).map(|i| format!("base{i}\n")).collect();
+        let ours: String = (0..50).map(|i| format!("ours{i}\n")).collect();
+        let theirs: String = (0..50).map(|i| format!("theirs{i}\n")).collect();
+        let r = diff3_merge(&base, &ours, &theirs, ml());
+        assert_eq!(r.conflicts, 1);
+        assert!(r.text.contains("ours0"));
+        assert!(r.text.contains("theirs49"));
+    }
+
+    #[test]
+    fn merged_text_preserves_final_newline_absence() {
+        let r = diff3_merge("", "", "", ml());
+        assert_eq!(r.text, "");
+        assert_eq!(r.conflicts, 0);
+    }
+}

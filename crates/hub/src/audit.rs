@@ -1,0 +1,81 @@
+//! Append-only audit log of every hub operation.
+//!
+//! Credit and provenance systems need an answer to "who changed this
+//! citation, and when" beyond what the commit history shows (e.g. failed
+//! attempts, permission denials, token issuance). Every API call records
+//! an event here.
+
+/// One recorded API call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEvent {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Hub logical-clock timestamp (seconds).
+    pub timestamp: i64,
+    /// Acting user, when authenticated.
+    pub actor: Option<String>,
+    /// Operation name, e.g. `"add_cite"`.
+    pub action: String,
+    /// Operation target, e.g. `"leshang/P1"` or a path.
+    pub target: String,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+/// The log container.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    events: Vec<AuditEvent>,
+}
+
+impl AuditLog {
+    /// Appends an event, assigning its sequence number.
+    pub fn record(
+        &mut self,
+        timestamp: i64,
+        actor: Option<&str>,
+        action: &str,
+        target: &str,
+        ok: bool,
+    ) {
+        let seq = self.events.len() as u64;
+        self.events.push(AuditEvent {
+            seq,
+            timestamp,
+            actor: actor.map(str::to_owned),
+            action: action.to_owned(),
+            target: target.to_owned(),
+            ok,
+        });
+    }
+
+    /// All events, oldest first.
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Events touching a given target.
+    pub fn for_target<'a>(&'a self, target: &'a str) -> impl Iterator<Item = &'a AuditEvent> {
+        self.events.iter().filter(move |e| e.target == target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_sequence() {
+        let mut log = AuditLog::default();
+        log.record(1, Some("alice"), "create_repo", "alice/p", true);
+        log.record(2, None, "generate_citation", "alice/p", true);
+        log.record(3, Some("bob"), "add_cite", "alice/p", false);
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.events()[0].seq, 0);
+        assert_eq!(log.events()[2].seq, 2);
+        assert_eq!(log.events()[1].actor, None);
+        assert!(!log.events()[2].ok);
+        assert_eq!(log.for_target("alice/p").count(), 3);
+        assert_eq!(log.for_target("other").count(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the hosting platform.
+
+use std::fmt;
+
+/// Anything a hub API call can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HubError {
+    /// Token missing, unknown or revoked.
+    AuthFailed,
+    /// The authenticated user may not perform this operation — the check
+    /// behind Figure 2's disabled Add/Delete buttons for non-members.
+    PermissionDenied(String),
+    /// Unknown user.
+    UserNotFound(String),
+    /// Username already registered.
+    UserExists(String),
+    /// Unknown repository (`owner/name`).
+    RepoNotFound(String),
+    /// Repository already exists under that owner.
+    RepoExists(String),
+    /// Unknown DOI.
+    DoiNotFound(String),
+    /// Unknown Software Heritage identifier.
+    SwhidNotFound(String),
+    /// Malformed request (bad branch, bad path, ...).
+    BadRequest(String),
+    /// Underlying VCS failure.
+    Git(gitlite::GitError),
+    /// Underlying citation-layer failure.
+    Cite(citekit::CiteError),
+}
+
+impl fmt::Display for HubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HubError::AuthFailed => write!(f, "authentication failed"),
+            HubError::PermissionDenied(msg) => write!(f, "permission denied: {msg}"),
+            HubError::UserNotFound(u) => write!(f, "no such user: {u}"),
+            HubError::UserExists(u) => write!(f, "user already exists: {u}"),
+            HubError::RepoNotFound(r) => write!(f, "no such repository: {r}"),
+            HubError::RepoExists(r) => write!(f, "repository already exists: {r}"),
+            HubError::DoiNotFound(d) => write!(f, "no such DOI: {d}"),
+            HubError::SwhidNotFound(s) => write!(f, "no such SWHID: {s}"),
+            HubError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HubError::Git(e) => write!(f, "{e}"),
+            HubError::Cite(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HubError {}
+
+impl From<gitlite::GitError> for HubError {
+    fn from(e: gitlite::GitError) -> Self {
+        HubError::Git(e)
+    }
+}
+
+impl From<citekit::CiteError> for HubError {
+    fn from(e: citekit::CiteError) -> Self {
+        HubError::Cite(e)
+    }
+}
+
+/// Result alias for hub operations.
+pub type Result<T> = std::result::Result<T, HubError>;

@@ -1,0 +1,41 @@
+//! # hub — a simulated project-hosting platform (GitHub stand-in)
+//!
+//! GitCite's browser extension talks to "the GitHub servers using its REST
+//! API" and "directly modifies the citation file on the remote repository"
+//! (paper §3). This crate rebuilds the platform surface those flows need,
+//! in-process and deterministic:
+//!
+//! * **Users, tokens and roles** — registration, personal-access tokens,
+//!   per-repository owner/member/reader roles ([`server`], [`perm`]). The
+//!   member/non-member split drives exactly the capability gating Figure 2
+//!   shows in the popup.
+//! * **Hosted repositories** — citation-enabled repositories served over a
+//!   typed, REST-like API: list/read files, log, clone, push
+//!   (fast-forward checked), fork, server-side `AddCite`/`ModifyCite`/
+//!   `DelCite`/`GenCite`, and server-side `MergeCite`.
+//! * **Zenodo simulator** ([`zenodo`]) — deposit a released version,
+//!   mint a DOI, resolve it later (paper §1's release workflow).
+//! * **Software Heritage simulator** ([`heritage`]) — archive whole
+//!   repositories under intrinsic SWHIDs (future work #3).
+//! * **Audit log** ([`audit`]) — every API call recorded, successes and
+//!   denials alike.
+//!
+//! Thread-safe: all API methods take `&self` (state behind a
+//! `parking_lot::Mutex`), so one [`Hub`] serves many concurrent clients.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod error;
+pub mod heritage;
+pub mod perm;
+pub mod server;
+pub mod zenodo;
+
+pub use audit::{AuditEvent, AuditLog};
+pub use error::{HubError, Result};
+pub use heritage::{parse_swhid, swhid, ArchiveReport, Heritage, SwhKind};
+pub use perm::{Action, Role};
+pub use server::{Hub, LogEntry, Token, User};
+pub use zenodo::{Deposit, Zenodo, DOI_PREFIX};

@@ -1,0 +1,59 @@
+//! Roles and permission checks.
+//!
+//! The browser extension's behavior splits on project membership (paper
+//! §3): non-members may *generate* citations but "will not be allowed to
+//! use the Add/Delete button functionalities"; members may modify the
+//! citation file. The hub enforces exactly that split server-side.
+
+/// A user's role on one repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Role {
+    /// May read and generate citations (also the implicit role of any
+    /// authenticated user on a public repository).
+    Reader,
+    /// Project member: may modify files and citations, push, and merge.
+    Member,
+    /// Owner: member rights plus membership management and deletion.
+    Owner,
+}
+
+/// Operations the permission system distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Read files, history, citations; generate citations.
+    Read,
+    /// Add/modify/delete citations; push; merge.
+    Write,
+    /// Manage members, delete the repository.
+    Admin,
+}
+
+impl Role {
+    /// Whether this role permits `action`.
+    pub fn allows(self, action: Action) -> bool {
+        match action {
+            Action::Read => true,
+            Action::Write => self >= Role::Member,
+            Action::Admin => self >= Role::Owner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_ordering_and_rights() {
+        assert!(Role::Owner > Role::Member);
+        assert!(Role::Member > Role::Reader);
+        assert!(Role::Reader.allows(Action::Read));
+        assert!(!Role::Reader.allows(Action::Write));
+        assert!(!Role::Reader.allows(Action::Admin));
+        assert!(Role::Member.allows(Action::Write));
+        assert!(!Role::Member.allows(Action::Admin));
+        assert!(Role::Owner.allows(Action::Admin));
+        assert!(Role::Owner.allows(Action::Write));
+        assert!(Role::Owner.allows(Action::Read));
+    }
+}

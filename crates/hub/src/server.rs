@@ -1,0 +1,899 @@
+//! The hub itself: users, tokens, hosted repositories and the REST-like
+//! API surface (paper Figure 1's "Project Hosting Platform" + "Cloud
+//! Platform API").
+//!
+//! All methods take `&self`; state lives behind a `parking_lot::Mutex`, so
+//! one `Hub` can serve many clients concurrently — the browser extension,
+//! local tools pushing, and archive crawlers.
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::error::{HubError, Result};
+use crate::heritage::{ArchiveReport, Heritage, SwhKind};
+use crate::perm::{Action, Role};
+use crate::zenodo::{Deposit, Zenodo};
+use citekit::{Citation, CitedRepo, ForkOptions, MergeStrategy, Resolution};
+use gitlite::{ObjectId, RepoPath, Repository, Signature};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// An opaque personal-access token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token(String);
+
+impl Token {
+    /// The raw token string (for display in the popup's credential box).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A registered user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    /// Login name (unique).
+    pub username: String,
+    /// Display name used in citations and commit signatures.
+    pub display_name: String,
+    /// Email used in commit signatures.
+    pub email: String,
+}
+
+#[derive(Debug)]
+struct HostedRepo {
+    repo: Repository,
+    /// username → role. Absence means Reader (public repositories).
+    roles: BTreeMap<String, Role>,
+}
+
+#[derive(Default)]
+struct HubState {
+    users: BTreeMap<String, User>,
+    tokens: HashMap<String, String>, // token → username
+    repos: BTreeMap<String, HostedRepo>,
+    audit: AuditLog,
+    zenodo: Zenodo,
+    heritage: Heritage,
+    clock: i64,
+    next_token: u64,
+}
+
+/// The hosting platform.
+#[derive(Default)]
+pub struct Hub {
+    state: Mutex<HubState>,
+    /// Base URL used when synthesizing repository URLs.
+    base_url: String,
+}
+
+/// A log entry returned by [`Hub::log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Commit id.
+    pub id: ObjectId,
+    /// Author display name.
+    pub author: String,
+    /// Commit timestamp.
+    pub timestamp: i64,
+    /// Commit message.
+    pub message: String,
+}
+
+impl Hub {
+    /// Creates a hub whose repositories live under `base_url`
+    /// (e.g. `https://hub.example`).
+    pub fn new(base_url: impl Into<String>) -> Self {
+        Hub { state: Mutex::new(HubState::default()), base_url: base_url.into() }
+    }
+
+    /// Repository URL for an id.
+    pub fn repo_url(&self, repo_id: &str) -> String {
+        format!("{}/{}", self.base_url, repo_id)
+    }
+
+    /// Advances the hub clock to at least `ts` (used by deterministic
+    /// scenario scripts that want real dates, e.g. the CiteDB demo).
+    pub fn advance_clock_to(&self, ts: i64) {
+        let mut s = self.state.lock();
+        s.clock = s.clock.max(ts);
+    }
+
+    // ----- users & auth ----------------------------------------------------
+
+    /// Registers a user.
+    pub fn register_user(&self, username: &str, display_name: &str) -> Result<()> {
+        let mut s = self.state.lock();
+        if s.users.contains_key(username) {
+            return Err(HubError::UserExists(username.to_owned()));
+        }
+        if username.is_empty() || username.contains('/') || username.contains(char::is_whitespace) {
+            return Err(HubError::BadRequest(format!("invalid username {username:?}")));
+        }
+        s.users.insert(
+            username.to_owned(),
+            User {
+                username: username.to_owned(),
+                display_name: display_name.to_owned(),
+                email: format!("{username}@hub.example"),
+            },
+        );
+        let ts = tick(&mut s);
+        s.audit.record(ts, Some(username), "register_user", username, true);
+        Ok(())
+    }
+
+    /// Issues a personal-access token (the credential the popup asks for).
+    pub fn login(&self, username: &str) -> Result<Token> {
+        let mut s = self.state.lock();
+        if !s.users.contains_key(username) {
+            return Err(HubError::UserNotFound(username.to_owned()));
+        }
+        s.next_token += 1;
+        let token = format!("ghp_{:08x}_{}", s.next_token, username);
+        s.tokens.insert(token.clone(), username.to_owned());
+        let ts = tick(&mut s);
+        s.audit.record(ts, Some(username), "login", username, true);
+        Ok(Token(token))
+    }
+
+    /// Revokes a token.
+    pub fn revoke(&self, token: &Token) {
+        let mut s = self.state.lock();
+        s.tokens.remove(&token.0);
+    }
+
+    /// Resolves a token to its user.
+    pub fn whoami(&self, token: &Token) -> Result<User> {
+        let s = self.state.lock();
+        let username = s.tokens.get(&token.0).ok_or(HubError::AuthFailed)?;
+        Ok(s.users[username].clone())
+    }
+
+    // ----- repositories ------------------------------------------------------
+
+    /// Creates a citation-enabled repository owned by the token's user and
+    /// commits the initial version (default root citation). Returns the
+    /// repository id `owner/name`.
+    pub fn create_repo(&self, token: &Token, name: &str) -> Result<String> {
+        let mut s = self.state.lock();
+        let user = auth(&s, token)?.clone();
+        if name.is_empty() || name.contains('/') || name.contains(char::is_whitespace) {
+            return Err(HubError::BadRequest(format!("invalid repository name {name:?}")));
+        }
+        let repo_id = format!("{}/{}", user.username, name);
+        if s.repos.contains_key(&repo_id) {
+            return Err(HubError::RepoExists(repo_id));
+        }
+        let url = format!("{}/{}", self.base_url, repo_id);
+        let mut cited = CitedRepo::init(name, &user.display_name, &url);
+        let ts = tick(&mut s);
+        cited
+            .commit(Signature::new(&user.display_name, &user.email, ts), "initialize repository")
+            .map_err(HubError::Cite)?;
+        let mut roles = BTreeMap::new();
+        roles.insert(user.username.clone(), Role::Owner);
+        s.repos.insert(repo_id.clone(), HostedRepo { repo: cited.into_repository(), roles });
+        s.audit.record(ts, Some(&user.username), "create_repo", &repo_id, true);
+        Ok(repo_id)
+    }
+
+    /// Hosts an existing repository (e.g. a retrofitted one) under the
+    /// token's user.
+    pub fn import_repo(&self, token: &Token, name: &str, repo: Repository) -> Result<String> {
+        let mut s = self.state.lock();
+        let user = auth(&s, token)?.clone();
+        let repo_id = format!("{}/{}", user.username, name);
+        if s.repos.contains_key(&repo_id) {
+            return Err(HubError::RepoExists(repo_id));
+        }
+        repo.head_commit().map_err(HubError::Git)?; // must have content
+        let mut roles = BTreeMap::new();
+        roles.insert(user.username.clone(), Role::Owner);
+        s.repos.insert(repo_id.clone(), HostedRepo { repo, roles });
+        let ts = tick(&mut s);
+        s.audit.record(ts, Some(&user.username), "import_repo", &repo_id, true);
+        Ok(repo_id)
+    }
+
+    /// Grants `username` a role on a repository (owner only).
+    pub fn add_member(&self, token: &Token, repo_id: &str, username: &str, role: Role) -> Result<()> {
+        let mut s = self.state.lock();
+        let actor = auth(&s, token)?.username.clone();
+        if !s.users.contains_key(username) {
+            return Err(HubError::UserNotFound(username.to_owned()));
+        }
+        let hosted = s.repos.get_mut(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        check(hosted, &actor, Action::Admin)?;
+        hosted.roles.insert(username.to_owned(), role);
+        let ts = tick(&mut s);
+        s.audit.record(ts, Some(&actor), "add_member", repo_id, true);
+        Ok(())
+    }
+
+    /// The role a user has on a repository (`None` = implicit reader).
+    pub fn role_of(&self, repo_id: &str, username: &str) -> Result<Option<Role>> {
+        let s = self.state.lock();
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        Ok(hosted.roles.get(username).copied())
+    }
+
+    /// True when the token's user may modify citations on the repository —
+    /// the check that enables/disables the popup's Add/Delete buttons.
+    pub fn can_write(&self, token: &Token, repo_id: &str) -> Result<bool> {
+        let s = self.state.lock();
+        let user = auth(&s, token)?;
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        Ok(hosted
+            .roles
+            .get(&user.username)
+            .copied()
+            .unwrap_or(Role::Reader)
+            .allows(Action::Write))
+    }
+
+    /// All repository ids.
+    pub fn list_repos(&self) -> Vec<String> {
+        self.state.lock().repos.keys().cloned().collect()
+    }
+
+    // ----- public reads -------------------------------------------------------
+
+    /// Branch names of a repository.
+    pub fn branches(&self, repo_id: &str) -> Result<Vec<String>> {
+        let s = self.state.lock();
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        Ok(hosted.repo.branches().map(|(b, _)| b.to_owned()).collect())
+    }
+
+    /// File paths at a branch tip.
+    pub fn list_files(&self, repo_id: &str, branch: &str) -> Result<Vec<RepoPath>> {
+        let s = self.state.lock();
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
+        Ok(hosted.repo.snapshot(tip).map_err(HubError::Git)?.into_keys().collect())
+    }
+
+    /// Reads one file at a branch tip.
+    pub fn read_file(&self, repo_id: &str, branch: &str, path: &RepoPath) -> Result<Vec<u8>> {
+        let s = self.state.lock();
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
+        Ok(hosted.repo.file_at(tip, path).map_err(HubError::Git)?.to_vec())
+    }
+
+    /// Commit log of a branch, newest first.
+    pub fn log(&self, repo_id: &str, branch: &str) -> Result<Vec<LogEntry>> {
+        let s = self.state.lock();
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
+        let mut out = Vec::new();
+        for id in hosted.repo.log(tip).map_err(HubError::Git)? {
+            let c = hosted.repo.commit_obj(id).map_err(HubError::Git)?;
+            out.push(LogEntry {
+                id,
+                author: c.author.name,
+                timestamp: c.author.timestamp,
+                message: c.message,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Clones a hosted repository (public read — what `git clone` does).
+    pub fn clone_repo(&self, repo_id: &str) -> Result<Repository> {
+        let mut s = self.state.lock();
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let name = hosted.repo.name().to_owned();
+        let clone = gitlite::clone_repository(&hosted.repo, name).map_err(HubError::Git)?;
+        let ts = tick(&mut s);
+        s.audit.record(ts, None, "clone", repo_id, true);
+        Ok(clone)
+    }
+
+    /// `GenCite` — generates the citation for a node at a branch tip.
+    /// Anonymous: any visitor may do this (paper §3: "If the user is not a
+    /// project member, the browser extension immediately generates the
+    /// citation").
+    pub fn generate_citation(&self, repo_id: &str, branch: &str, path: &RepoPath) -> Result<Citation> {
+        let mut s = self.state.lock();
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
+        let cited = CitedRepo::open(hosted.repo.clone()).map_err(HubError::Cite)?;
+        let citation = cited.cite_at(tip, path).map_err(HubError::Cite)?;
+        let ts = tick(&mut s);
+        s.audit.record(ts, None, "generate_citation", repo_id, true);
+        Ok(citation)
+    }
+
+    /// The *explicit* citation entry at a path, if any — what the popup's
+    /// text box shows a project member before they edit (paper §3: "the
+    /// text box will display the citation explicitly attached to the node,
+    /// if it exists ... If such a citation does not exist, the text box
+    /// will remain empty").
+    pub fn citation_entry(&self, repo_id: &str, branch: &str, path: &RepoPath) -> Result<Option<Citation>> {
+        let s = self.state.lock();
+        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
+        let text = hosted
+            .repo
+            .file_at(tip, &citekit::citation_path())
+            .map_err(HubError::Git)?;
+        let func = citekit::file::parse(&String::from_utf8_lossy(&text)).map_err(HubError::Cite)?;
+        Ok(func.get(path).cloned())
+    }
+
+    // ----- member writes -------------------------------------------------------
+
+    /// `AddCite` on the remote repository (member+). Commits the updated
+    /// citation file on `branch` and returns the new commit.
+    pub fn add_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+        citation: Citation,
+    ) -> Result<ObjectId> {
+        self.cite_op(token, repo_id, branch, "add_cite", move |cited, p| {
+            cited.add_cite(p, citation)
+        }, path)
+    }
+
+    /// `ModifyCite` on the remote repository (member+).
+    pub fn modify_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+        citation: Citation,
+    ) -> Result<ObjectId> {
+        self.cite_op(token, repo_id, branch, "modify_cite", move |cited, p| {
+            cited.modify_cite(p, citation).map(|_| ())
+        }, path)
+    }
+
+    /// `DelCite` on the remote repository (member+).
+    pub fn del_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<ObjectId> {
+        self.cite_op(token, repo_id, branch, "del_cite", move |cited, p| {
+            cited.del_cite(p).map(|_| ())
+        }, path)
+    }
+
+    fn cite_op(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        op_name: &str,
+        op: impl FnOnce(&mut CitedRepo, &RepoPath) -> citekit::Result<()>,
+        path: &RepoPath,
+    ) -> Result<ObjectId> {
+        let mut s = self.state.lock();
+        let user = auth(&s, token)?.clone();
+        let ts = tick(&mut s);
+        let hosted = s
+            .repos
+            .get_mut(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let allowed = check(hosted, &user.username, Action::Write);
+        if let Err(e) = allowed {
+            s.audit.record(ts, Some(&user.username), op_name, repo_id, false);
+            return Err(e);
+        }
+        // Operate on a clone; replace on success so failures can't corrupt
+        // the hosted state.
+        let mut work = hosted.repo.clone();
+        work.checkout_branch(branch).map_err(HubError::Git)?;
+        let mut cited = CitedRepo::open(work).map_err(HubError::Cite)?;
+        let result = op(&mut cited, path).and_then(|()| {
+            cited.commit(
+                Signature::new(&user.display_name, &user.email, ts),
+                format!("{op_name} {}", path.to_cite_key(false)),
+            )
+        });
+        match result {
+            Ok(outcome) => {
+                let hosted = s.repos.get_mut(repo_id).expect("still present");
+                hosted.repo = cited.into_repository();
+                s.audit.record(ts, Some(&user.username), op_name, repo_id, true);
+                Ok(outcome.commit)
+            }
+            Err(e) => {
+                s.audit.record(ts, Some(&user.username), op_name, repo_id, false);
+                Err(HubError::Cite(e))
+            }
+        }
+    }
+
+    /// Pushes `local_branch` of `local` to `branch` of the hosted
+    /// repository (member+; fast-forward unless `force`).
+    pub fn push(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        local: &Repository,
+        local_branch: &str,
+        force: bool,
+    ) -> Result<ObjectId> {
+        let mut s = self.state.lock();
+        let user = auth(&s, token)?.clone();
+        let ts = tick(&mut s);
+        let hosted = s
+            .repos
+            .get_mut(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        check(hosted, &user.username, Action::Write)?;
+        let result = gitlite::push(local, &mut hosted.repo, local_branch, branch, force);
+        let ok = result.is_ok();
+        let out = result.map_err(HubError::Git);
+        s.audit.record(ts, Some(&user.username), "push", repo_id, ok);
+        out
+    }
+
+    /// `ForkCite` via the platform: forks `src_repo_id` into a new
+    /// repository under the token's user (paper §3: "ForkCite through
+    /// GitHub's Fork").
+    pub fn fork(&self, token: &Token, src_repo_id: &str, new_name: &str) -> Result<String> {
+        let mut s = self.state.lock();
+        let user = auth(&s, token)?.clone();
+        let new_repo_id = format!("{}/{}", user.username, new_name);
+        if s.repos.contains_key(&new_repo_id) {
+            return Err(HubError::RepoExists(new_repo_id));
+        }
+        let src_repo = s
+            .repos
+            .get(src_repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(src_repo_id.to_owned()))?
+            .repo
+            .clone();
+        let ts = tick(&mut s);
+        let opts = ForkOptions::new(
+            new_name,
+            &user.display_name,
+            format!("{}/{}", self.base_url, new_repo_id),
+        );
+        let outcome = citekit::fork_cite(
+            &src_repo,
+            &opts,
+            Signature::new(&user.display_name, &user.email, ts),
+        )
+        .map_err(HubError::Cite)?;
+        let mut roles = BTreeMap::new();
+        roles.insert(user.username.clone(), Role::Owner);
+        s.repos.insert(
+            new_repo_id.clone(),
+            HostedRepo { repo: outcome.fork.into_repository(), roles },
+        );
+        s.audit.record(ts, Some(&user.username), "fork", &new_repo_id, true);
+        Ok(new_repo_id)
+    }
+
+    /// Server-side `MergeCite` of `other_branch` into `branch` using the
+    /// given strategy; conflicts default to keeping ours (the interactive
+    /// path lives in the local tool).
+    pub fn merge_branches(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        other_branch: &str,
+        strategy: MergeStrategy,
+    ) -> Result<citekit::MergeCiteReport> {
+        let mut s = self.state.lock();
+        let user = auth(&s, token)?.clone();
+        let ts = tick(&mut s);
+        let hosted = s
+            .repos
+            .get_mut(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        check(hosted, &user.username, Action::Write)?;
+        let mut work = hosted.repo.clone();
+        work.checkout_branch(branch).map_err(HubError::Git)?;
+        let mut cited = CitedRepo::open(work).map_err(HubError::Cite)?;
+        let mut resolver = citekit::FnResolver(
+            |_: &RepoPath, o: Option<&Citation>, _: Option<&Citation>, _: Option<&Citation>| {
+                if o.is_some() {
+                    Resolution::Ours
+                } else {
+                    Resolution::Theirs
+                }
+            },
+        );
+        let report = cited
+            .merge_cite(
+                other_branch,
+                Signature::new(&user.display_name, &user.email, ts),
+                format!("Merge branch '{other_branch}' into {branch}"),
+                strategy,
+                &mut resolver,
+            )
+            .map_err(HubError::Cite)?;
+        if matches!(report.outcome, citekit::MergeCiteOutcome::FileConflicts { .. }) {
+            s.audit.record(ts, Some(&user.username), "merge", repo_id, false);
+            return Err(HubError::BadRequest(
+                "merge has file conflicts; resolve locally and push".into(),
+            ));
+        }
+        let hosted = s.repos.get_mut(repo_id).expect("still present");
+        hosted.repo = cited.into_repository();
+        s.audit.record(ts, Some(&user.username), "merge", repo_id, true);
+        Ok(report)
+    }
+
+    // ----- archives ---------------------------------------------------------
+
+    /// Deposits a branch tip with the Zenodo simulator, minting a DOI.
+    pub fn deposit(&self, token: &Token, repo_id: &str, branch: &str, title: &str) -> Result<Deposit> {
+        let mut s = self.state.lock();
+        let user = auth(&s, token)?.clone();
+        let ts = tick(&mut s);
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        check(hosted, &user.username, Action::Write)?;
+        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
+        let tree = hosted.repo.tree_of(tip).map_err(HubError::Git)?;
+        // Creators come from the root citation's author list.
+        let cited = CitedRepo::open(hosted.repo.clone()).map_err(HubError::Cite)?;
+        let creators = cited.function().root().author_list.clone();
+        let deposit = s
+            .zenodo
+            .deposit(repo_id, tip, tree, title, creators, ts)
+            .clone();
+        s.audit.record(ts, Some(&user.username), "deposit", repo_id, true);
+        Ok(deposit)
+    }
+
+    /// Resolves a DOI minted by [`Hub::deposit`].
+    pub fn resolve_doi(&self, doi: &str) -> Result<Deposit> {
+        let s = self.state.lock();
+        s.zenodo
+            .resolve(doi)
+            .cloned()
+            .ok_or_else(|| HubError::DoiNotFound(doi.to_owned()))
+    }
+
+    /// Archives a repository into the Software Heritage simulator.
+    pub fn archive(&self, repo_id: &str) -> Result<ArchiveReport> {
+        let mut s = self.state.lock();
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let origin = format!("{}/{}", self.base_url, repo_id);
+        let repo = hosted.repo.clone();
+        let report = s.heritage.archive(&origin, &repo)?;
+        let ts = tick(&mut s);
+        s.audit.record(ts, None, "archive", repo_id, true);
+        Ok(report)
+    }
+
+    /// Checks whether an SWHID is archived.
+    pub fn resolve_swhid(&self, swhid: &str) -> Result<(SwhKind, ObjectId)> {
+        self.state.lock().heritage.resolve(swhid)
+    }
+
+    /// Number of archive visits recorded for a repository.
+    pub fn archive_visits(&self, repo_id: &str) -> usize {
+        let origin = format!("{}/{}", self.base_url, repo_id);
+        self.state.lock().heritage.visits(&origin)
+    }
+
+    // ----- credit queries -----------------------------------------------------
+
+    /// Every author credited in a repository's citation function at a
+    /// branch tip, with the citing keys — the "give credit to the
+    /// appropriate contributors" view (paper §1).
+    pub fn credited_authors(&self, repo_id: &str, branch: &str) -> Result<Vec<(String, Vec<RepoPath>)>> {
+        let s = self.state.lock();
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let mut work = hosted.repo.clone();
+        work.checkout_branch(branch).map_err(HubError::Git)?;
+        let cited = CitedRepo::open(work).map_err(HubError::Cite)?;
+        Ok(cited.credited_authors())
+    }
+
+    /// All hosted repositories whose current citation function credits
+    /// `author`, with the citing keys per repository — a platform-wide
+    /// credit search.
+    pub fn find_repos_citing(&self, author: &str) -> Vec<(String, Vec<RepoPath>)> {
+        let s = self.state.lock();
+        let mut out = Vec::new();
+        for (repo_id, hosted) in &s.repos {
+            let Ok(cited) = CitedRepo::open(hosted.repo.clone()) else { continue };
+            let paths: Vec<RepoPath> = cited
+                .function()
+                .iter()
+                .filter(|(_, e)| e.citation.author_list.iter().any(|a| a == author))
+                .map(|(p, _)| p.clone())
+                .collect();
+            if !paths.is_empty() {
+                out.push((repo_id.clone(), paths));
+            }
+        }
+        out
+    }
+
+    // ----- audit -------------------------------------------------------------
+
+    /// A snapshot of the audit log.
+    pub fn audit_log(&self) -> Vec<AuditEvent> {
+        self.state.lock().audit.events().to_vec()
+    }
+}
+
+fn tick(s: &mut HubState) -> i64 {
+    s.clock += 1;
+    s.clock
+}
+
+fn auth<'a>(s: &'a HubState, token: &Token) -> Result<&'a User> {
+    let username = s.tokens.get(&token.0).ok_or(HubError::AuthFailed)?;
+    s.users.get(username).ok_or(HubError::AuthFailed)
+}
+
+fn check(hosted: &HostedRepo, username: &str, action: Action) -> Result<()> {
+    let role = hosted.roles.get(username).copied().unwrap_or(Role::Reader);
+    if role.allows(action) {
+        Ok(())
+    } else {
+        Err(HubError::PermissionDenied(format!(
+            "{username} lacks {action:?} rights on this repository"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gitlite::path;
+
+    fn hub_with_repo() -> (Hub, Token, String) {
+        let hub = Hub::new("https://hub.example");
+        hub.register_user("leshang", "Leshang Chen").unwrap();
+        let token = hub.login("leshang").unwrap();
+        let repo_id = hub.create_repo(&token, "P1").unwrap();
+        (hub, token, repo_id)
+    }
+
+    fn cite(name: &str) -> Citation {
+        Citation::builder(name, "someone").build()
+    }
+
+    #[test]
+    fn register_login_whoami() {
+        let hub = Hub::new("https://hub.example");
+        hub.register_user("alice", "Alice A").unwrap();
+        assert!(matches!(
+            hub.register_user("alice", "Again"),
+            Err(HubError::UserExists(_))
+        ));
+        assert!(matches!(
+            hub.register_user("bad name", "x"),
+            Err(HubError::BadRequest(_))
+        ));
+        let t = hub.login("alice").unwrap();
+        assert_eq!(hub.whoami(&t).unwrap().display_name, "Alice A");
+        assert!(matches!(hub.login("nobody"), Err(HubError::UserNotFound(_))));
+        hub.revoke(&t);
+        assert!(matches!(hub.whoami(&t), Err(HubError::AuthFailed)));
+    }
+
+    #[test]
+    fn create_repo_initializes_citation_file() {
+        let (hub, _, repo_id) = hub_with_repo();
+        assert_eq!(repo_id, "leshang/P1");
+        let files = hub.list_files(&repo_id, "main").unwrap();
+        assert_eq!(files, vec![citekit::citation_path()]);
+        let c = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+        assert_eq!(c.repo_name, "P1");
+        assert_eq!(c.owner, "Leshang Chen");
+        assert_eq!(c.url, "https://hub.example/leshang/P1");
+    }
+
+    use gitlite::RepoPath;
+
+    #[test]
+    fn member_writes_nonmember_reads() {
+        let (hub, owner_token, repo_id) = hub_with_repo();
+        hub.register_user("visitor", "A Visitor").unwrap();
+        let visitor = hub.login("visitor").unwrap();
+
+        // Owner pushes a file, then cites it.
+        let mut local = hub.clone_repo(&repo_id).unwrap();
+        local.worktree_mut().write(&path("f1.txt"), &b"data\n"[..]).unwrap();
+        local.commit(Signature::new("Leshang Chen", "l@x", 100), "add f1").unwrap();
+        hub.push(&owner_token, &repo_id, "main", &local, "main", false).unwrap();
+        hub.add_cite(&owner_token, &repo_id, "main", &path("f1.txt"), cite("C2")).unwrap();
+
+        // Visitor may generate but not modify — Figure 2's split.
+        assert!(!hub.can_write(&visitor, &repo_id).unwrap());
+        assert!(hub.can_write(&owner_token, &repo_id).unwrap());
+        let c = hub.generate_citation(&repo_id, "main", &path("f1.txt")).unwrap();
+        assert_eq!(c.repo_name, "C2");
+        assert!(matches!(
+            hub.add_cite(&visitor, &repo_id, "main", &path("f1.txt"), cite("X")),
+            Err(HubError::PermissionDenied(_))
+        ));
+        assert!(matches!(
+            hub.del_cite(&visitor, &repo_id, "main", &path("f1.txt")),
+            Err(HubError::PermissionDenied(_))
+        ));
+        // Visitor push is rejected too.
+        assert!(matches!(
+            hub.push(&visitor, &repo_id, "main", &local, "main", false),
+            Err(HubError::PermissionDenied(_))
+        ));
+    }
+
+    #[test]
+    fn membership_grants_write() {
+        let (hub, owner_token, repo_id) = hub_with_repo();
+        hub.register_user("yanssie", "Yanssie").unwrap();
+        let yanssie = hub.login("yanssie").unwrap();
+        // Non-owner cannot add members.
+        assert!(matches!(
+            hub.add_member(&yanssie, &repo_id, "yanssie", Role::Member),
+            Err(HubError::PermissionDenied(_))
+        ));
+        hub.add_member(&owner_token, &repo_id, "yanssie", Role::Member).unwrap();
+        assert_eq!(hub.role_of(&repo_id, "yanssie").unwrap(), Some(Role::Member));
+        assert!(hub.can_write(&yanssie, &repo_id).unwrap());
+        // Member can cite the root (ModifyCite).
+        let c = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+        hub.modify_cite(&yanssie, &repo_id, "main", &RepoPath::root(), c).unwrap();
+    }
+
+    #[test]
+    fn cite_ops_create_commits() {
+        let (hub, token, repo_id) = hub_with_repo();
+        let before = hub.log(&repo_id, "main").unwrap().len();
+        // Cite the root (always exists).
+        let mut c = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+        c.note = Some("updated".into());
+        hub.modify_cite(&token, &repo_id, "main", &RepoPath::root(), c).unwrap();
+        let log = hub.log(&repo_id, "main").unwrap();
+        assert_eq!(log.len(), before + 1);
+        assert!(log[0].message.contains("modify_cite"));
+        // The change is visible.
+        let entry = hub.citation_entry(&repo_id, "main", &RepoPath::root()).unwrap().unwrap();
+        assert_eq!(entry.note.as_deref(), Some("updated"));
+    }
+
+    #[test]
+    fn failed_cite_op_leaves_repo_untouched() {
+        let (hub, token, repo_id) = hub_with_repo();
+        let before = hub.log(&repo_id, "main").unwrap();
+        // AddCite on a missing path fails...
+        assert!(matches!(
+            hub.add_cite(&token, &repo_id, "main", &path("nope.txt"), cite("X")),
+            Err(HubError::Cite(_))
+        ));
+        // ...and no commit happened.
+        assert_eq!(hub.log(&repo_id, "main").unwrap(), before);
+        // The failure is audited.
+        let audit = hub.audit_log();
+        let last = audit.last().unwrap();
+        assert_eq!(last.action, "add_cite");
+        assert!(!last.ok);
+    }
+
+    #[test]
+    fn fork_creates_new_repo_with_provenance() {
+        let (hub, _, repo_id) = hub_with_repo();
+        hub.register_user("susan", "Susan Davidson").unwrap();
+        let susan = hub.login("susan").unwrap();
+        let fork_id = hub.fork(&susan, &repo_id, "P1-fork").unwrap();
+        assert_eq!(fork_id, "susan/P1-fork");
+        let root = hub.generate_citation(&fork_id, "main", &RepoPath::root()).unwrap();
+        assert_eq!(root.repo_name, "P1-fork");
+        assert_eq!(root.owner, "Susan Davidson");
+        assert_eq!(root.extra.get("forkedFrom").unwrap()["repoName"].as_str(), Some("P1"));
+        // Susan owns the fork and can write to it but not to the origin.
+        assert!(hub.can_write(&susan, &fork_id).unwrap());
+        assert!(!hub.can_write(&susan, &repo_id).unwrap());
+    }
+
+    #[test]
+    fn deposit_mints_doi_and_resolves() {
+        let (hub, token, repo_id) = hub_with_repo();
+        let dep = hub.deposit(&token, &repo_id, "main", "P1 v1.0").unwrap();
+        assert!(dep.doi.starts_with("10.5281/zenodo."));
+        let resolved = hub.resolve_doi(&dep.doi).unwrap();
+        assert_eq!(resolved.repo_id, repo_id);
+        assert_eq!(resolved.creators, vec!["Leshang Chen".to_owned()]);
+        assert!(matches!(hub.resolve_doi("10.1/nope"), Err(HubError::DoiNotFound(_))));
+    }
+
+    #[test]
+    fn heritage_archive_via_hub() {
+        let (hub, _, repo_id) = hub_with_repo();
+        let report = hub.archive(&repo_id).unwrap();
+        assert_eq!(report.heads.len(), 1);
+        assert!(hub.resolve_swhid(&report.heads[0]).is_ok());
+        assert_eq!(hub.archive_visits(&repo_id), 1);
+        hub.archive(&repo_id).unwrap();
+        assert_eq!(hub.archive_visits(&repo_id), 2);
+    }
+
+    #[test]
+    fn server_side_merge() {
+        let (hub, token, repo_id) = hub_with_repo();
+        // Build a branch with a cited file locally, push both branches.
+        let cloned = hub.clone_repo(&repo_id).unwrap();
+        let mut local = citekit::CitedRepo::open(cloned).unwrap();
+        local.write_file(&path("a.txt"), &b"a\n"[..]).unwrap();
+        local.commit(Signature::new("Leshang Chen", "l@x", 50), "a").unwrap();
+        local.create_branch("gui").unwrap();
+        local.checkout_branch("gui").unwrap();
+        local.write_file(&path("gui/app.js"), &b"app\n"[..]).unwrap();
+        local.add_cite(&path("gui"), cite("gui-cite")).unwrap();
+        local.commit(Signature::new("Yanssie", "y@x", 60), "gui work").unwrap();
+        local.checkout_branch("main").unwrap();
+        local.write_file(&path("b.txt"), &b"b\n"[..]).unwrap();
+        local.commit(Signature::new("Leshang Chen", "l@x", 70), "b").unwrap();
+        let local_repo = local.into_repository();
+        hub.push(&token, &repo_id, "main", &local_repo, "main", false).unwrap();
+        hub.push(&token, &repo_id, "gui", &local_repo, "gui", false).unwrap();
+
+        let report = hub
+            .merge_branches(&token, &repo_id, "main", "gui", MergeStrategy::Union)
+            .unwrap();
+        assert!(matches!(report.outcome, citekit::MergeCiteOutcome::Merged(_)));
+        // The merged branch resolves gui files to the gui citation.
+        let c = hub.generate_citation(&repo_id, "main", &path("gui/app.js")).unwrap();
+        assert_eq!(c.repo_name, "gui-cite");
+    }
+
+    #[test]
+    fn credit_queries() {
+        let (hub, token, repo_id) = hub_with_repo();
+        let mut local = citekit::CitedRepo::open(hub.clone_repo(&repo_id).unwrap()).unwrap();
+        local.write_file(&path("core/a.rs"), &b"a\n"[..]).unwrap();
+        let mut c = cite("core");
+        c.author_list = vec!["Ada".into(), "Grace".into()];
+        local.add_cite(&path("core"), c).unwrap();
+        local.commit(Signature::new("Leshang Chen", "l@x", 50), "core").unwrap();
+        hub.push(&token, &repo_id, "main", local.repo(), "main", false).unwrap();
+
+        let credits = hub.credited_authors(&repo_id, "main").unwrap();
+        let names: Vec<&str> = credits.iter().map(|(a, _)| a.as_str()).collect();
+        assert_eq!(names, vec!["Leshang Chen", "Ada", "Grace"]);
+
+        let found = hub.find_repos_citing("Ada");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, repo_id);
+        assert_eq!(found[0].1, vec![path("core")]);
+        assert!(hub.find_repos_citing("Nobody").is_empty());
+    }
+
+    #[test]
+    fn audit_log_tracks_operations() {
+        let (hub, token, repo_id) = hub_with_repo();
+        hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+        let mut c = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+        c.note = Some("x".into());
+        hub.modify_cite(&token, &repo_id, "main", &RepoPath::root(), c).unwrap();
+        let log = hub.audit_log();
+        let actions: Vec<&str> = log.iter().map(|e| e.action.as_str()).collect();
+        assert!(actions.contains(&"register_user"));
+        assert!(actions.contains(&"create_repo"));
+        assert!(actions.contains(&"generate_citation"));
+        assert!(actions.contains(&"modify_cite"));
+        // Sequence numbers are dense and increasing.
+        for (i, e) in log.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! A Zenodo-style deposit archive that mints DOIs for released versions.
+//!
+//! The paper motivates GitCite against the Zenodo workflow: "A released
+//! version of a software project may be treated as open-access data and
+//! uploaded to \[a\] public hosting platform like Zenodo which provides a
+//! DOI, thus enabling more traditional citations and ensuring
+//! persistence" (§1). This simulator freezes a version (commit + tree
+//! ids) under a deterministic DOI so root citations can carry real,
+//! resolvable DOIs end-to-end.
+
+use gitlite::ObjectId;
+use std::collections::BTreeMap;
+
+/// The DOI prefix used for minted identifiers (Zenodo's real prefix).
+pub const DOI_PREFIX: &str = "10.5281/zenodo";
+
+/// A frozen release record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deposit {
+    /// The minted DOI, e.g. `10.5281/zenodo.3`.
+    pub doi: String,
+    /// Hosted repository id (`owner/name`).
+    pub repo_id: String,
+    /// The released commit.
+    pub version: ObjectId,
+    /// The released root tree (content identity of the release).
+    pub tree: ObjectId,
+    /// Release title (repository name + version label).
+    pub title: String,
+    /// Credited creators.
+    pub creators: Vec<String>,
+    /// Hub timestamp of the deposit.
+    pub deposited_at: i64,
+}
+
+/// The deposit store.
+#[derive(Debug, Default)]
+pub struct Zenodo {
+    deposits: BTreeMap<String, Deposit>,
+    next_id: u64,
+}
+
+impl Zenodo {
+    /// Mints the next DOI and stores the deposit. Depositing the exact
+    /// same version of the same repository again returns the existing DOI
+    /// (idempotent releases).
+    pub fn deposit(
+        &mut self,
+        repo_id: &str,
+        version: ObjectId,
+        tree: ObjectId,
+        title: &str,
+        creators: Vec<String>,
+        timestamp: i64,
+    ) -> &Deposit {
+        let existing = self
+            .deposits
+            .values()
+            .find(|d| d.repo_id == repo_id && d.version == version)
+            .map(|d| d.doi.clone());
+        let doi = match existing {
+            Some(doi) => doi,
+            None => {
+                self.next_id += 1;
+                let doi = format!("{DOI_PREFIX}.{}", self.next_id);
+                self.deposits.insert(
+                    doi.clone(),
+                    Deposit {
+                        doi: doi.clone(),
+                        repo_id: repo_id.to_owned(),
+                        version,
+                        tree,
+                        title: title.to_owned(),
+                        creators,
+                        deposited_at: timestamp,
+                    },
+                );
+                doi
+            }
+        };
+        &self.deposits[&doi]
+    }
+
+    /// Resolves a DOI to its deposit.
+    pub fn resolve(&self, doi: &str) -> Option<&Deposit> {
+        self.deposits.get(doi)
+    }
+
+    /// All deposits, in DOI order.
+    pub fn deposits(&self) -> impl Iterator<Item = &Deposit> {
+        self.deposits.values()
+    }
+
+    /// Number of deposits.
+    pub fn len(&self) -> usize {
+        self.deposits.len()
+    }
+
+    /// True when nothing has been deposited.
+    pub fn is_empty(&self) -> bool {
+        self.deposits.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> ObjectId {
+        ObjectId::hash_bytes(&[n])
+    }
+
+    #[test]
+    fn mints_sequential_dois() {
+        let mut z = Zenodo::default();
+        let d1 = z.deposit("a/p", id(1), id(2), "p v1", vec!["alice".into()], 10).doi.clone();
+        let d2 = z.deposit("a/p", id(3), id(4), "p v2", vec!["alice".into()], 20).doi.clone();
+        assert_eq!(d1, "10.5281/zenodo.1");
+        assert_eq!(d2, "10.5281/zenodo.2");
+        assert_eq!(z.len(), 2);
+    }
+
+    #[test]
+    fn deposit_is_idempotent_per_version() {
+        let mut z = Zenodo::default();
+        let d1 = z.deposit("a/p", id(1), id(2), "p v1", vec![], 10).doi.clone();
+        let d2 = z.deposit("a/p", id(1), id(2), "p v1 again", vec![], 30).doi.clone();
+        assert_eq!(d1, d2);
+        assert_eq!(z.len(), 1);
+        // Same version in a *different* repo gets its own DOI.
+        let d3 = z.deposit("b/q", id(1), id(2), "q", vec![], 40).doi.clone();
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn resolve_round_trip() {
+        let mut z = Zenodo::default();
+        let doi = z
+            .deposit("a/p", id(1), id(2), "p v1", vec!["alice".into(), "bob".into()], 10)
+            .doi
+            .clone();
+        let dep = z.resolve(&doi).unwrap();
+        assert_eq!(dep.repo_id, "a/p");
+        assert_eq!(dep.version, id(1));
+        assert_eq!(dep.creators, vec!["alice".to_owned(), "bob".to_owned()]);
+        assert!(z.resolve("10.5281/zenodo.999").is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! Parse errors with precise source positions.
+
+use std::fmt;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended while a value was still open.
+    UnexpectedEof,
+    /// A byte that cannot start/continue the current production.
+    UnexpectedChar(char),
+    /// `"…` string never closed.
+    UnterminatedString,
+    /// A `\x` escape with an unknown `x`.
+    InvalidEscape(char),
+    /// `\uXXXX` with bad hex digits or an unpaired surrogate.
+    InvalidUnicodeEscape,
+    /// An unescaped control character (U+0000..U+001F) inside a string.
+    ControlCharacterInString,
+    /// Malformed number literal.
+    InvalidNumber,
+    /// A number that parses but is not representable (e.g. `1e999`).
+    NumberOutOfRange,
+    /// Nesting deeper than [`crate::ParseOptions::max_depth`].
+    TooDeep,
+    /// Non-whitespace bytes after the top-level value.
+    TrailingData,
+    /// Duplicate object key under `ParseOptions::reject_duplicate_keys`.
+    DuplicateKey(String),
+    /// Bare identifier that is not `true` / `false` / `null`.
+    InvalidLiteral,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string"),
+            ParseErrorKind::InvalidEscape(c) => write!(f, "invalid escape sequence \\{c}"),
+            ParseErrorKind::InvalidUnicodeEscape => write!(f, "invalid \\u escape"),
+            ParseErrorKind::ControlCharacterInString => {
+                write!(f, "unescaped control character in string")
+            }
+            ParseErrorKind::InvalidNumber => write!(f, "invalid number literal"),
+            ParseErrorKind::NumberOutOfRange => write!(f, "number out of range"),
+            ParseErrorKind::TooDeep => write!(f, "document nested too deeply"),
+            ParseErrorKind::TrailingData => write!(f, "trailing data after value"),
+            ParseErrorKind::DuplicateKey(k) => write!(f, "duplicate object key {k:?}"),
+            ParseErrorKind::InvalidLiteral => write!(f, "invalid literal"),
+        }
+    }
+}
+
+/// A JSON parse error, carrying the 1-based line/column where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The error category.
+    pub kind: ParseErrorKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters).
+    pub column: usize,
+    /// 0-based byte offset into the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+    }
+}
+
+impl std::error::Error for ParseError {}

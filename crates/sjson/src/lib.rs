@@ -1,0 +1,60 @@
+//! # sjson — a small, insertion-ordered JSON implementation
+//!
+//! `sjson` is the JSON substrate for the GitCite reproduction. The
+//! `citation.cite` file that GitCite stores at the root of every project
+//! version (see Listing 1 of the paper) is a JSON object mapping repository
+//! paths to citation records, and two properties matter for that use case:
+//!
+//! 1. **Insertion order is preserved.** Citation files are rendered
+//!    deterministically, entry order mirrors the order operations were
+//!    applied, and diffs between versions of `citation.cite` stay minimal.
+//! 2. **The pretty-printer matches the paper's rendering** (one key per
+//!    line, two-space indentation), so the reproduction of Listing 1 can be
+//!    compared byte-for-byte modulo whitespace.
+//!
+//! The crate is self-contained (no dependencies) and implements:
+//!
+//! * [`Value`] — the JSON data model with an insertion-ordered [`Object`],
+//! * [`parse`] / [`Value::parse`] — a recursive-descent parser with precise
+//!   error positions ([`ParseError`]),
+//! * [`Value::to_string_compact`] / [`Value::to_string_pretty`] — compact and
+//!   pretty serializers that round-trip every value.
+//!
+//! ```
+//! use sjson::{Value, Object};
+//!
+//! let v = sjson::parse(r#"{"repoName": "Data_citation_demo", "stars": 42}"#).unwrap();
+//! assert_eq!(v["repoName"].as_str(), Some("Data_citation_demo"));
+//! assert_eq!(v["stars"].as_i64(), Some(42));
+//!
+//! let mut obj = Object::new();
+//! obj.insert("owner", Value::from("Yinjun Wu"));
+//! assert_eq!(Value::Object(obj).to_string_compact(), r#"{"owner":"Yinjun Wu"}"#);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod parse;
+mod ser;
+mod value;
+
+pub use error::{ParseError, ParseErrorKind};
+pub use parse::{parse, parse_with, ParseOptions};
+pub use ser::{to_string_compact, to_string_pretty, PrettyConfig};
+pub use value::{Number, Object, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_surface_round_trip() {
+        let src = r#"{"a": [1, 2.5, true, null], "b": {"c": "d"}}"#;
+        let v = parse(src).unwrap();
+        let out = v.to_string_compact();
+        let v2 = parse(&out).unwrap();
+        assert_eq!(v, v2);
+    }
+}

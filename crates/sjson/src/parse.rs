@@ -1,0 +1,464 @@
+//! Recursive-descent JSON parser.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::value::{Number, Object, Value};
+
+/// Knobs for [`parse_with`].
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Maximum array/object nesting depth (default 128). Guards against
+    /// stack exhaustion on adversarial inputs.
+    pub max_depth: usize,
+    /// When true, a repeated key within one object is an error; when false
+    /// (the default, matching browser JSON) the last occurrence wins.
+    pub reject_duplicate_keys: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { max_depth: 128, reject_duplicate_keys: false }
+    }
+}
+
+/// Parses a complete JSON document with default options.
+pub fn parse(src: &str) -> Result<Value, ParseError> {
+    parse_with(src, &ParseOptions::default())
+}
+
+/// Parses a complete JSON document.
+pub fn parse_with(src: &str, opts: &ParseOptions) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: src.as_bytes(), pos: 0, opts };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error(ParseErrorKind::TrailingData));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    opts: &'a ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, kind: ParseErrorKind) -> ParseError {
+        self.error_at(kind, self.pos)
+    }
+
+    fn error_at(&self, kind: ParseErrorKind, offset: usize) -> ParseError {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..offset.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else if b & 0xC0 != 0x80 {
+                // Count characters, not continuation bytes.
+                column += 1;
+            }
+        }
+        ParseError { kind, line, column, offset }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => {
+                self.pos -= 1;
+                Err(self.error(ParseErrorKind::UnexpectedChar(b as char)))
+            }
+            None => Err(self.error(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > self.opts.max_depth {
+            return Err(self.error(ParseErrorKind::TooDeep));
+        }
+        match self.peek() {
+            None => Err(self.error(ParseErrorKind::UnexpectedEof)),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') | Some(b'f') | Some(b'n') => self.parse_literal(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.error(ParseErrorKind::UnexpectedChar(b as char))),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z')) {
+            self.pos += 1;
+        }
+        match &self.bytes[start..self.pos] {
+            b"true" => Ok(Value::Bool(true)),
+            b"false" => Ok(Value::Bool(false)),
+            b"null" => Ok(Value::Null),
+            _ => Err(self.error_at(ParseErrorKind::InvalidLiteral, start)),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut obj = Object::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(obj));
+        }
+        loop {
+            self.skip_ws();
+            let key_offset = self.pos;
+            if self.peek() != Some(b'"') {
+                return Err(match self.peek() {
+                    Some(b) => self.error(ParseErrorKind::UnexpectedChar(b as char)),
+                    None => self.error(ParseErrorKind::UnexpectedEof),
+                });
+            }
+            let key = self.parse_string()?;
+            if self.opts.reject_duplicate_keys && obj.contains_key(&key) {
+                return Err(self.error_at(ParseErrorKind::DuplicateKey(key), key_offset));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            obj.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(obj)),
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.error(ParseErrorKind::UnexpectedChar(b as char)));
+                }
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.error(ParseErrorKind::UnexpectedChar(b as char)));
+                }
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Safe: the source is valid UTF-8 and we only stopped on
+                // ASCII boundaries.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is str"));
+            }
+            match self.bump() {
+                None => return Err(self.error(ParseErrorKind::UnterminatedString)),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => self.parse_escape(&mut out)?,
+                Some(_) => {
+                    self.pos -= 1;
+                    return Err(self.error(ParseErrorKind::ControlCharacterInString));
+                }
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        match self.bump() {
+            None => Err(self.error(ParseErrorKind::UnexpectedEof)),
+            Some(b'"') => {
+                out.push('"');
+                Ok(())
+            }
+            Some(b'\\') => {
+                out.push('\\');
+                Ok(())
+            }
+            Some(b'/') => {
+                out.push('/');
+                Ok(())
+            }
+            Some(b'b') => {
+                out.push('\u{0008}');
+                Ok(())
+            }
+            Some(b'f') => {
+                out.push('\u{000C}');
+                Ok(())
+            }
+            Some(b'n') => {
+                out.push('\n');
+                Ok(())
+            }
+            Some(b'r') => {
+                out.push('\r');
+                Ok(())
+            }
+            Some(b't') => {
+                out.push('\t');
+                Ok(())
+            }
+            Some(b'u') => {
+                let hi = self.parse_hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a low surrogate must follow.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.error(ParseErrorKind::InvalidUnicodeEscape));
+                    }
+                    let lo = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.error(ParseErrorKind::InvalidUnicodeEscape));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.error(ParseErrorKind::InvalidUnicodeEscape))?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.error(ParseErrorKind::InvalidUnicodeEscape));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.error(ParseErrorKind::InvalidUnicodeEscape))?
+                };
+                out.push(c);
+                Ok(())
+            }
+            Some(b) => Err(self.error(ParseErrorKind::InvalidEscape(b as char))),
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.error(ParseErrorKind::UnexpectedEof))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error(ParseErrorKind::InvalidUnicodeEscape))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: either a lone 0 or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.error_at(ParseErrorKind::InvalidNumber, start));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error_at(ParseErrorKind::InvalidNumber, start)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error_at(ParseErrorKind::InvalidNumber, start));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error_at(ParseErrorKind::InvalidNumber, start));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is str");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            // Integer literal too large for i64: fall back to f64.
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| self.error_at(ParseErrorKind::InvalidNumber, start))?;
+        if f.is_infinite() {
+            return Err(self.error_at(ParseErrorKind::NumberOutOfRange, start));
+        }
+        Ok(Value::Number(Number::Float(f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind(src: &str) -> ParseErrorKind {
+        parse(src).unwrap_err().kind
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap().as_i64(), Some(42));
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(parse("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("-1.5e-2").unwrap().as_f64(), Some(-0.015));
+        assert_eq!(parse(r#""hi""#).unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": [true, null]}], "c": {}}"#).unwrap();
+        assert_eq!(v["a"][1]["b"][0].as_bool(), Some(true));
+        assert!(v["a"][1]["b"][1].is_null());
+        assert!(v["c"].as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn preserves_key_order() {
+        let v = parse(r#"{"/": 1, "/CoreCover/": 2, "/citation/GUI/": 3}"#).unwrap();
+        let keys: Vec<_> = v.as_object().unwrap().keys().collect();
+        assert_eq!(keys, vec!["/", "/CoreCover/", "/citation/GUI/"]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap().as_str(),
+            Some("a\"b\\c/d\u{8}\u{c}\n\r\t")
+        );
+        assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+        assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+        // Surrogate pair: U+1F600
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(parse("\"héllo — 世界\"").unwrap().as_str(), Some("héllo — 世界"));
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse("{\n  \"a\": x\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 8);
+        assert_eq!(e.kind, ParseErrorKind::UnexpectedChar('x'));
+    }
+
+    #[test]
+    fn error_kinds() {
+        assert_eq!(kind(""), ParseErrorKind::UnexpectedEof);
+        assert_eq!(kind("{"), ParseErrorKind::UnexpectedEof);
+        assert_eq!(kind("tru"), ParseErrorKind::InvalidLiteral);
+        assert_eq!(kind("01"), ParseErrorKind::InvalidNumber);
+        assert_eq!(kind("1."), ParseErrorKind::InvalidNumber);
+        assert_eq!(kind("1e"), ParseErrorKind::InvalidNumber);
+        assert_eq!(kind("-"), ParseErrorKind::InvalidNumber);
+        assert_eq!(kind("\"abc"), ParseErrorKind::UnterminatedString);
+        assert_eq!(kind(r#""\x""#), ParseErrorKind::InvalidEscape('x'));
+        assert_eq!(kind(r#""\ud83d""#), ParseErrorKind::InvalidUnicodeEscape);
+        assert_eq!(kind(r#""\ude00""#), ParseErrorKind::InvalidUnicodeEscape);
+        assert_eq!(kind("[1,2] x"), ParseErrorKind::TrailingData);
+        assert_eq!(kind("1e999"), ParseErrorKind::NumberOutOfRange);
+        assert_eq!(kind("\"a\u{1}b\""), ParseErrorKind::ControlCharacterInString);
+        assert_eq!(kind("[1,]"), ParseErrorKind::UnexpectedChar(']'));
+        assert_eq!(kind("{\"a\":1,}"), ParseErrorKind::UnexpectedChar('}'));
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert_eq!(kind(&deep), ParseErrorKind::TooDeep);
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins_by_default() {
+        let v = parse(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v["a"].as_i64(), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected_when_asked() {
+        let opts = ParseOptions { reject_duplicate_keys: true, ..Default::default() };
+        let e = parse_with(r#"{"a": 1, "a": 2}"#, &opts).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::DuplicateKey("a".into()));
+    }
+
+    #[test]
+    fn big_integer_falls_back_to_float() {
+        let v = parse("123456789012345678901234567890").unwrap();
+        assert!(v.as_i64().is_none());
+        assert!(v.as_f64().unwrap() > 1e29);
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let v = parse(" \t\r\n { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v["a"][1].as_i64(), Some(2));
+    }
+}

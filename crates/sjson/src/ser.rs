@@ -1,0 +1,188 @@
+//! Compact and pretty JSON serializers.
+
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Pretty-printer configuration.
+#[derive(Debug, Clone)]
+pub struct PrettyConfig {
+    /// String prepended once per nesting level (default two spaces, the
+    /// style used by Listing 1 of the paper).
+    pub indent: &'static str,
+    /// Put a space after `:` (default true).
+    pub space_after_colon: bool,
+}
+
+impl Default for PrettyConfig {
+    fn default() -> Self {
+        PrettyConfig { indent: "  ", space_after_colon: true }
+    }
+}
+
+/// Serializes `value` with no whitespace at all.
+pub fn to_string_compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    out
+}
+
+/// Serializes `value` with newlines and indentation.
+pub fn to_string_pretty(value: &Value, cfg: &PrettyConfig) -> String {
+    let mut out = String::new();
+    write_pretty(value, cfg, 0, &mut out);
+    out
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(obj) => {
+            out.push('{');
+            for (i, (k, v)) in obj.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &Value, cfg: &PrettyConfig, level: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(cfg, level + 1, out);
+                write_pretty(item, cfg, level + 1, out);
+            }
+            out.push('\n');
+            push_indent(cfg, level, out);
+            out.push(']');
+        }
+        Value::Object(obj) if !obj.is_empty() => {
+            out.push('{');
+            for (i, (k, v)) in obj.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(cfg, level + 1, out);
+                write_escaped(k, out);
+                out.push(':');
+                if cfg.space_after_colon {
+                    out.push(' ');
+                }
+                write_pretty(v, cfg, level + 1, out);
+            }
+            out.push('\n');
+            push_indent(cfg, level, out);
+            out.push('}');
+        }
+        // Scalars, empty arrays and empty objects render as in compact mode.
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(cfg: &PrettyConfig, level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str(cfg.indent);
+    }
+}
+
+/// Writes `s` as a JSON string literal, escaping the mandatory characters.
+/// Non-ASCII characters pass through verbatim (the files we write are UTF-8).
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_shapes() {
+        let v = parse(r#"{ "a" : [ 1 , 2.5 , true , null ] , "b" : { } }"#).unwrap();
+        assert_eq!(v.to_string_compact(), r#"{"a":[1,2.5,true,null],"b":{}}"#);
+    }
+
+    #[test]
+    fn pretty_shapes() {
+        let v = parse(r#"{"a":[1,2],"b":{},"c":{"d":null}}"#).unwrap();
+        let expect = "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {},\n  \"c\": {\n    \"d\": null\n  }\n}";
+        assert_eq!(v.to_string_pretty(), expect);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = Value::from("a\"b\\c\nd\te\u{0}f/😀");
+        let text = original.to_string_compact();
+        assert_eq!(parse(&text).unwrap(), original);
+        assert!(text.contains("\\u0000"));
+        // Forward slash is not escaped on output.
+        assert!(text.contains("f/"));
+    }
+
+    #[test]
+    fn scalar_pretty_equals_compact() {
+        for src in ["null", "true", "3.5", "\"x\"", "[]", "{}"] {
+            let v = parse(src).unwrap();
+            assert_eq!(v.to_string_pretty(), v.to_string_compact());
+        }
+    }
+
+    #[test]
+    fn float_round_trips_as_float() {
+        let v = parse("3.0").unwrap();
+        let text = v.to_string_compact();
+        assert_eq!(text, "3.0");
+        assert_eq!(parse(&text).unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn custom_pretty_config() {
+        let v = parse(r#"{"a":1}"#).unwrap();
+        let cfg = PrettyConfig { indent: "    ", space_after_colon: false };
+        assert_eq!(to_string_pretty(&v, &cfg), "{\n    \"a\":1\n}");
+    }
+}

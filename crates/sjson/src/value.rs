@@ -1,0 +1,473 @@
+//! The JSON data model: [`Value`], [`Number`] and the insertion-ordered
+//! [`Object`] map.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number.
+///
+/// JSON itself does not distinguish integers from floats; we keep the
+/// distinction made at parse/construction time so integers (commit counts,
+/// license ids such as `115490` in Figure 1) round-trip without a `.0`
+/// suffix.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A whole number that fits in an `i64`.
+    Int(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// Returns the value as `i64` when it is integral and in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Returns the value as `f64` (always possible).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    // Keep a trailing ".0" so the value re-parses as a float.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered JSON object.
+///
+/// Lookups are linear in the number of keys, which is the right trade-off
+/// here: citation records have under a dozen fields and `citation.cite`
+/// files are keyed by path through [`Object::get`] only on user-facing
+/// operations. (The hot path — closest-ancestor resolution — never touches
+/// `sjson`; it runs on `citekit`'s own indexes.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Object {
+    entries: Vec<(String, Value)>,
+}
+
+impl Object {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Object { entries: Vec::new() }
+    }
+
+    /// Creates an empty object with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Object { entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of key/value entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `value` under `key`.
+    ///
+    /// If the key already exists its value is replaced **in place** (the
+    /// entry keeps its original position); otherwise the entry is appended.
+    /// Returns the previous value if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        let key = key.into();
+        let value = value.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a key, mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True when the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes a key, preserving the order of the remaining entries.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates entries mutably in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Sorts entries by key (used to canonicalize citation files).
+    pub fn sort_keys(&mut self) {
+        self.entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+    }
+
+    /// Removes all entries for which `pred` returns false.
+    pub fn retain(&mut self, mut pred: impl FnMut(&str, &Value) -> bool) {
+        self.entries.retain(|(k, v)| pred(k, v));
+    }
+}
+
+impl FromIterator<(String, Value)> for Object {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut obj = Object::new();
+        for (k, v) in iter {
+            obj.insert(k, v);
+        }
+        obj
+    }
+}
+
+impl IntoIterator for Object {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (see [`Number`]).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Object),
+}
+
+impl Value {
+    /// Parses a JSON document (convenience wrapper over [`crate::parse`]).
+    pub fn parse(src: &str) -> Result<Value, crate::ParseError> {
+        crate::parse(src)
+    }
+
+    /// Serializes without any whitespace.
+    pub fn to_string_compact(&self) -> String {
+        crate::to_string_compact(self)
+    }
+
+    /// Serializes with the default pretty configuration (two-space indent).
+    pub fn to_string_pretty(&self) -> String {
+        crate::to_string_pretty(self, &crate::PrettyConfig::default())
+    }
+
+    /// Returns the string content if this is `Value::String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value as `f64` if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Returns the array if this is `Value::Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object if this is `Value::Object`.
+    pub fn as_object(&self) -> Option<&Object> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns the object mutably if this is `Value::Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Object> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field access that tolerates non-objects and missing keys by
+    /// returning `None`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+}
+
+/// Shared `null` used by the panicking-free `Index` impl below.
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Indexing a non-object or a missing key yields `Value::Null` rather
+    /// than panicking, mirroring the ergonomics of `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Number(Number::Int(i))
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Number(Number::Int(i64::from(i)))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Number(Number::Int(i64::from(i)))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        match i64::try_from(i) {
+            Ok(v) => Value::Number(Number::Int(v)),
+            Err(_) => Value::Number(Number::Float(i as f64)),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::Float(f))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<Object> for Value {
+    fn from(o: Object) -> Self {
+        Value::Object(o)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut o = Object::new();
+        o.insert("z", 1i64);
+        o.insert("a", 2i64);
+        o.insert("m", 3i64);
+        let keys: Vec<_> = o.keys().collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn object_insert_replaces_in_place() {
+        let mut o = Object::new();
+        o.insert("a", 1i64);
+        o.insert("b", 2i64);
+        let prev = o.insert("a", 10i64);
+        assert_eq!(prev, Some(Value::from(1i64)));
+        let keys: Vec<_> = o.keys().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(o.get("a").unwrap().as_i64(), Some(10));
+    }
+
+    #[test]
+    fn object_remove_preserves_order() {
+        let mut o = Object::new();
+        o.insert("a", 1i64);
+        o.insert("b", 2i64);
+        o.insert("c", 3i64);
+        assert_eq!(o.remove("b"), Some(Value::from(2i64)));
+        assert_eq!(o.remove("b"), None);
+        let keys: Vec<_> = o.keys().collect();
+        assert_eq!(keys, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn object_sort_keys() {
+        let mut o = Object::new();
+        o.insert("z", 1i64);
+        o.insert("a", 2i64);
+        o.sort_keys();
+        let keys: Vec<_> = o.keys().collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn object_retain() {
+        let mut o = Object::new();
+        o.insert("a", 1i64);
+        o.insert("b", 2i64);
+        o.insert("c", 3i64);
+        o.retain(|_, v| v.as_i64().unwrap() % 2 == 1);
+        let keys: Vec<_> = o.keys().collect();
+        assert_eq!(keys, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn number_int_float_equality() {
+        assert_eq!(Number::Int(3), Number::Float(3.0));
+        assert_ne!(Number::Int(3), Number::Float(3.5));
+        assert_eq!(Number::Int(3).as_i64(), Some(3));
+        assert_eq!(Number::Float(3.5).as_i64(), None);
+        assert_eq!(Number::Float(4.0).as_i64(), Some(4));
+    }
+
+    #[test]
+    fn number_display_keeps_float_suffix() {
+        assert_eq!(Number::Int(5).to_string(), "5");
+        assert_eq!(Number::Float(5.0).to_string(), "5.0");
+        assert_eq!(Number::Float(5.25).to_string(), "5.25");
+    }
+
+    #[test]
+    fn index_missing_returns_null() {
+        let v = Value::parse(r#"{"a": [10]}"#).unwrap();
+        assert!(v["missing"].is_null());
+        assert!(v["a"][3].is_null());
+        assert_eq!(v["a"][0].as_i64(), Some(10));
+        assert!(Value::Null["x"].is_null());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3i32).as_i64(), Some(3));
+        assert_eq!(Value::from(3u32).as_i64(), Some(3));
+        assert_eq!(Value::from(3usize).as_i64(), Some(3));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        let arr = Value::from(vec!["a", "b"]);
+        assert_eq!(arr.as_array().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: every `Value` the generator can produce must survive a
+//! serialize → parse round trip, in both compact and pretty form.
+
+use proptest::prelude::*;
+use sjson::{parse, Number, Object, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(|i| Value::Number(Number::Int(i))),
+        // Finite floats only: JSON has no NaN/Inf.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(|f| Value::Number(Number::Float(f))),
+        "[ -~]{0,20}".prop_map(Value::String),
+        // Exercise escapes and non-ASCII too.
+        prop::collection::vec(any::<char>(), 0..8)
+            .prop_map(|cs| Value::String(cs.into_iter().collect())),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-z/]{0,12}", inner), 0..6).prop_map(|kvs| {
+                let mut obj = Object::new();
+                for (k, v) in kvs {
+                    obj.insert(k, v);
+                }
+                Value::Object(obj)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(v in arb_value()) {
+        let text = v.to_string_compact();
+        let back = parse(&text).expect("serializer output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trip(v in arb_value()) {
+        let text = v.to_string_pretty();
+        let back = parse(&text).expect("pretty output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_and_compact_agree(v in arb_value()) {
+        let a = parse(&v.to_string_compact()).unwrap();
+        let b = parse(&v.to_string_pretty()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn object_insert_then_get(keys in prop::collection::vec("[a-z]{1,8}", 1..10)) {
+        let mut obj = Object::new();
+        for (i, k) in keys.iter().enumerate() {
+            obj.insert(k.clone(), i as i64);
+        }
+        // Last write wins for duplicate keys.
+        for (i, k) in keys.iter().enumerate() {
+            let last = keys.iter().rposition(|x| x == k).unwrap();
+            prop_assert_eq!(obj.get(k).unwrap().as_i64().unwrap(), last as i64);
+            let _ = i;
+        }
+    }
+}

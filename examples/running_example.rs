@@ -1,0 +1,97 @@
+//! Figure 1 (right half) of the paper, narrated: versions V1..V5 of
+//! projects P1 and P2 with AddCite, CopyCite and MergeCite, printing the
+//! citation state at every step.
+//!
+//! Run with: `cargo run --example running_example`
+
+use citekit::{Citation, CitedRepo, FailOnConflict, MergeCiteOutcome, MergeStrategy};
+use gitlite::{path, ObjectId, Signature};
+
+fn sig(name: &str, t: i64) -> Signature {
+    Signature::new(name, format!("{name}@example.org"), t)
+}
+
+fn show(label: &str, repo: &CitedRepo, version: ObjectId, queries: &[&str]) {
+    println!("--- {label} ({}) ---", version.short());
+    for q in queries {
+        let c = repo.cite_at(version, &path(q)).unwrap();
+        println!("  Cite({label})({q:24}) = {} by {:?}", c.repo_name, c.author_list);
+    }
+    println!();
+}
+
+fn main() {
+    // P1, owner Leshang (the figure annotates license 115490).
+    let mut p1 = CitedRepo::init_with_root(
+        "P1",
+        Citation::builder("P1", "Leshang")
+            .url("https://hub/Leshang/P1")
+            .author("Leshang")
+            .license("115490")
+            .build(),
+    );
+    p1.write_file(&path("f1.txt"), &b"f1\n"[..]).unwrap();
+    p1.write_file(&path("docs/readme.md"), &b"# P1\n"[..]).unwrap();
+    let v1 = p1.commit(sig("Leshang", 1_000), "V1").unwrap().commit;
+    show("V1,P1", &p1, v1, &["f1.txt", "docs/readme.md"]);
+    p1.create_branch("copy-arm").unwrap();
+
+    // V1 → V2: AddCite attaches C2 to f1.
+    p1.add_cite(
+        &path("f1.txt"),
+        Citation::builder("P1-f1-module", "Leshang").author("Leshang").build(),
+    )
+    .unwrap();
+    let v2 = p1.commit(sig("Leshang", 2_000), "V2: AddCite f1").unwrap().commit;
+    println!("AddCite(f1, C2):");
+    show("V2,P1", &p1, v2, &["f1.txt", "docs/readme.md"]);
+
+    // P2, owner Susan (license 256497), version V3 with the green subtree.
+    let mut p2 = CitedRepo::init_with_root(
+        "P2",
+        Citation::builder("P2", "Susan")
+            .url("https://hub/Susan/P2")
+            .author("Susan")
+            .license("256497")
+            .build(),
+    );
+    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..]).unwrap();
+    p2.write_file(&path("green/f2.txt"), &b"f2\n"[..]).unwrap();
+    p2.add_cite(
+        &path("green/inner.c"),
+        Citation::builder("P2-inner", "Susan").author("Susan").build(),
+    )
+    .unwrap();
+    let v3 = p2.commit(sig("Susan", 3_000), "V3").unwrap().commit;
+    show("V3,P2", &p2, v3, &["green/inner.c", "green/f2.txt"]);
+
+    // CopyCite the green subtree of P2@V3 into P1 → V4 (on the copy arm).
+    p1.checkout_branch("copy-arm").unwrap();
+    let report = p1.copy_cite(&path("green"), p2.repo(), v3, &path("green")).unwrap();
+    println!(
+        "CopyCite(P2@{}:green -> P1:green): {} files, {} citations migrated",
+        v3.short(),
+        report.files_copied,
+        report.citations_migrated.len()
+    );
+    if let Some(c4) = &report.materialized {
+        println!("  materialized C4 at the copied subtree root: {c4}");
+    }
+    let v4 = p1.commit(sig("Leshang", 4_000), "V4: CopyCite").unwrap().commit;
+    show("V4,P1", &p1, v4, &["green/f2.txt", "green/inner.c"]);
+
+    // MergeCite V2 + V4 → V5: union of the citation files, no conflicts.
+    p1.checkout_branch("main").unwrap();
+    let report = p1
+        .merge_cite("copy-arm", sig("Leshang", 5_000), "V5: Merge", MergeStrategy::Union, &mut FailOnConflict)
+        .unwrap();
+    let MergeCiteOutcome::Merged(v5) = report.outcome else { unreachable!("clean in the figure") };
+    println!(
+        "MergeCite(V2, V4) -> V5: {} citation conflicts, {} dropped entries",
+        report.citation_conflicts.len(),
+        report.dropped.len()
+    );
+    show("V5,P1", &p1, v5, &["f1.txt", "green/f2.txt", "green/inner.c", "docs/readme.md"]);
+
+    println!("final citation.cite of V5:\n{}", citekit::file::to_text(&p1.function_at(v5).unwrap()));
+}

@@ -1,0 +1,12 @@
+//! # gitcite — umbrella crate for the GitCite reproduction
+//!
+//! Re-exports the whole system. See README.md and DESIGN.md.
+
+#![forbid(unsafe_code)]
+
+pub use bibformat;
+pub use citekit;
+pub use extension;
+pub use gitlite;
+pub use hub;
+pub use sjson;

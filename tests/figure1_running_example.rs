@@ -1,0 +1,208 @@
+//! E1 — Figure 1 (right half): the paper's running example, reproduced
+//! end to end.
+//!
+//! Two projects: P1 (owner Leshang, license 115490) and P2 (owner Susan,
+//! license 256497). The versions and operations, exactly as drawn:
+//!
+//! * V1 of P1 — initial tree, only the root cited (citation C1).
+//! * V1 → V2 — `AddCite` attaches C2 to the leftmost leaf `f1`:
+//!   before, `Cite(V1,P1)(f1) = C1`; after, `Cite(V2,P1)(f1) = C2`.
+//! * V3 of P2 — holds the *green* subtree, one file of which carries C3;
+//!   the subtree root is uncited, so its effective citation is P2's root
+//!   citation C4: `Cite(V3,P2)(f2) = C4`.
+//! * V3 → V4 — `CopyCite` brings the green subtree into P1; C3 and C4 are
+//!   migrated, so `Cite(V4,P1)(f2) = C4` (unchanged credit).
+//! * V2 + V4 → V5 — `MergeCite` merges the branches; "in this example
+//!   there are no conflicts, so we simply take the union of the citation
+//!   files": V5 carries C1, C2, C3 and C4.
+
+use citekit::{Citation, CitedRepo, FailOnConflict, MergeCiteOutcome, MergeStrategy};
+use gitlite::{path, RepoPath, Signature};
+
+fn sig(name: &str, t: i64) -> Signature {
+    Signature::new(name, format!("{name}@example.org"), t)
+}
+
+#[test]
+fn figure1_running_example() {
+    // ---- P1, version V1: root citation C1 only -------------------------
+    let mut p1 = CitedRepo::init_with_root(
+        "P1",
+        Citation::builder("P1", "Leshang")
+            .url("https://hub/Leshang/P1")
+            .author("Leshang")
+            .license("115490")
+            .build(),
+    );
+    p1.write_file(&path("f1.txt"), &b"f1 contents\n"[..]).unwrap();
+    p1.write_file(&path("docs/readme.md"), &b"# P1\n"[..]).unwrap();
+    let v1 = p1.commit(sig("Leshang", 1_000), "V1").unwrap().commit;
+
+    // Before AddCite: Cite(V1,P1)(f1) = C1 (the root citation).
+    let c_before = p1.cite_at(v1, &path("f1.txt")).unwrap();
+    assert_eq!(c_before.repo_name, "P1");
+    assert_eq!(c_before.license.as_deref(), Some("115490"));
+    assert_eq!(c_before.commit_id, v1.short(), "root citation stamped with V1");
+
+    // Two arms grow from V1: main will hold V2 (AddCite), `copy-arm`
+    // will hold V4 (CopyCite) — the figure's two edges into V5.
+    p1.create_branch("copy-arm").unwrap();
+
+    // ---- V1 → V2: AddCite(f1, C2) --------------------------------------
+    let c2 = Citation::builder("P1-f1-module", "Leshang")
+        .url("https://hub/Leshang/P1/f1")
+        .author("Leshang")
+        .build();
+    p1.add_cite(&path("f1.txt"), c2).unwrap();
+    let v2 = p1.commit(sig("Leshang", 2_000), "V2: AddCite f1").unwrap().commit;
+    assert_eq!(p1.cite_at(v2, &path("f1.txt")).unwrap().repo_name, "P1-f1-module");
+    // The old version still answers with C1 — citations are per version.
+    assert_eq!(p1.cite_at(v1, &path("f1.txt")).unwrap().repo_name, "P1");
+
+    // ---- P2, version V3: green subtree with C3 inside, root C4 ---------
+    let mut p2 = CitedRepo::init_with_root(
+        "P2",
+        Citation::builder("P2", "Susan")
+            .url("https://hub/Susan/P2")
+            .author("Susan")
+            .license("256497")
+            .build(),
+    );
+    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..]).unwrap();
+    p2.write_file(&path("green/f2.txt"), &b"f2 contents\n"[..]).unwrap();
+    p2.write_file(&path("elsewhere.txt"), &b"not copied\n"[..]).unwrap();
+    let c3 = Citation::builder("P2-inner", "Susan")
+        .url("https://hub/Susan/P2/green/inner.c")
+        .author("Susan")
+        .build();
+    p2.add_cite(&path("green/inner.c"), c3).unwrap();
+    let v3 = p2.commit(sig("Susan", 3_000), "V3").unwrap().commit;
+
+    // Cite(V3,P2)(f2) = C4: f2 is uncited, its closest cited ancestor is
+    // the root of P2.
+    let c4_at_source = p2.cite_at(v3, &path("green/f2.txt")).unwrap();
+    assert_eq!(c4_at_source.repo_name, "P2");
+    assert_eq!(c4_at_source.owner, "Susan");
+    assert_eq!(c4_at_source.license.as_deref(), Some("256497"));
+
+    // ---- V1 → V4 (on copy-arm): CopyCite(green subtree of P2@V3) -------
+    p1.checkout_branch("copy-arm").unwrap();
+    let report = p1.copy_cite(&path("green"), p2.repo(), v3, &path("green")).unwrap();
+    assert_eq!(report.files_copied, 2);
+    // C3 migrated under the new key; C4 materialized at the subtree root
+    // (the green box's root turning solid blue in the figure).
+    assert!(report.citations_migrated.contains(&path("green/inner.c")));
+    let c4 = report.materialized.expect("C4 materialized");
+    assert_eq!(c4.repo_name, "P2");
+    assert_eq!(c4.commit_id, v3.short(), "C4 pins P2's V3");
+    let v4 = p1.commit(sig("Leshang", 4_000), "V4: CopyCite green from P2").unwrap().commit;
+
+    // Cite(V4,P1)(f2) = C4 — the copy did not change f2's credit.
+    let c_after_copy = p1.cite_at(v4, &path("green/f2.txt")).unwrap();
+    assert_eq!(c_after_copy.repo_name, "P2");
+    assert_eq!(c_after_copy.owner, "Susan");
+    // And the explicitly cited file kept C3.
+    assert_eq!(p1.cite_at(v4, &path("green/inner.c")).unwrap().repo_name, "P2-inner");
+
+    // ---- V2 + V4 → V5: MergeCite ---------------------------------------
+    p1.checkout_branch("main").unwrap();
+    let report = p1
+        .merge_cite("copy-arm", sig("Leshang", 5_000), "V5: Merge", MergeStrategy::Union, &mut FailOnConflict)
+        .unwrap();
+    // "In this example there are no conflicts, so we simply take the
+    // union of the citation files."
+    let MergeCiteOutcome::Merged(v5) = report.outcome else {
+        panic!("expected clean union merge, got {:?}", report.outcome)
+    };
+    assert!(report.citation_conflicts.is_empty());
+    assert!(report.dropped.is_empty());
+
+    // V5 carries all four citations.
+    let func = p1.function_at(v5).unwrap();
+    assert_eq!(func.len(), 4, "C1 root, C2, C3, C4");
+    assert!(func.contains(&RepoPath::root())); // C1
+    assert!(func.contains(&path("f1.txt"))); // C2
+    assert!(func.contains(&path("green/inner.c"))); // C3
+    assert!(func.contains(&path("green"))); // C4
+    // Resolution in V5 matches the figure's final state.
+    assert_eq!(p1.cite_at(v5, &path("f1.txt")).unwrap().repo_name, "P1-f1-module");
+    assert_eq!(p1.cite_at(v5, &path("green/f2.txt")).unwrap().repo_name, "P2");
+    assert_eq!(p1.cite_at(v5, &path("green/inner.c")).unwrap().repo_name, "P2-inner");
+    assert_eq!(p1.cite_at(v5, &path("docs/readme.md")).unwrap().repo_name, "P1");
+
+    // The version DAG has the drawn shape: V5 is a merge of the two arms.
+    let v5_commit = p1.repo().commit_obj(v5).unwrap();
+    assert_eq!(v5_commit.parents.len(), 2);
+    assert!(v5_commit.parents.contains(&v2));
+    assert!(v5_commit.parents.contains(&v4));
+}
+
+/// The same scenario driven entirely through the hosted platform, to show
+/// the operations compose identically through the API path.
+#[test]
+fn figure1_on_the_platform() {
+    let hub = hub::Hub::new("https://hub.example");
+    hub.register_user("leshang", "Leshang").unwrap();
+    hub.register_user("susan", "Susan").unwrap();
+    let leshang = hub.login("leshang").unwrap();
+    let susan = hub.login("susan").unwrap();
+
+    // P2 with the green subtree.
+    let p2_id = hub.create_repo(&susan, "P2").unwrap();
+    let mut p2_local = CitedRepo::open(hub.clone_repo(&p2_id).unwrap()).unwrap();
+    p2_local.write_file(&path("green/inner.c"), &b"int inner;\n"[..]).unwrap();
+    p2_local.write_file(&path("green/f2.txt"), &b"f2\n"[..]).unwrap();
+    p2_local
+        .add_cite(
+            &path("green/inner.c"),
+            Citation::builder("P2-inner", "Susan").author("Susan").build(),
+        )
+        .unwrap();
+    p2_local.commit(sig("Susan", 3_000), "V3").unwrap();
+    hub.push(&susan, &p2_id, "main", p2_local.repo(), "main", false).unwrap();
+
+    // P1: V1, then V2 via the *hub-side* AddCite.
+    let p1_id = hub.create_repo(&leshang, "P1").unwrap();
+    let mut p1_local = CitedRepo::open(hub.clone_repo(&p1_id).unwrap()).unwrap();
+    p1_local.write_file(&path("f1.txt"), &b"f1\n"[..]).unwrap();
+    p1_local.commit(sig("Leshang", 1_000), "V1").unwrap();
+    hub.push(&leshang, &p1_id, "main", p1_local.repo(), "main", false).unwrap();
+    hub.add_cite(
+        &leshang,
+        &p1_id,
+        "main",
+        &path("f1.txt"),
+        Citation::builder("P1-f1-module", "Leshang").author("Leshang").build(),
+    )
+    .unwrap();
+
+    // Pull V2, branch, CopyCite from the hosted P2, push both arms.
+    let mut work = CitedRepo::open(hub.clone_repo(&p1_id).unwrap()).unwrap();
+    work.create_branch("copy-arm").unwrap();
+    work.checkout_branch("copy-arm").unwrap();
+    let p2_hosted = hub.clone_repo(&p2_id).unwrap();
+    let v3 = p2_hosted.head_commit().unwrap();
+    work.copy_cite(&path("green"), &p2_hosted, v3, &path("green")).unwrap();
+    work.commit(sig("Leshang", 4_000), "V4: CopyCite").unwrap();
+    hub.push(&leshang, &p1_id, "copy-arm", work.repo(), "copy-arm", false).unwrap();
+
+    // Main advances too, so the merge is a true two-parent merge (the
+    // figure's two arms), not a fast-forward.
+    work.checkout_branch("main").unwrap();
+    work.write_file(&path("docs/notes.md"), &b"# notes\n"[..]).unwrap();
+    work.commit(sig("Leshang", 4_500), "main-arm work").unwrap();
+    hub.push(&leshang, &p1_id, "main", work.repo(), "main", false).unwrap();
+
+    // Server-side MergeCite of the two arms.
+    let report = hub
+        .merge_branches(&leshang, &p1_id, "main", "copy-arm", MergeStrategy::Union)
+        .unwrap();
+    assert!(matches!(report.outcome, MergeCiteOutcome::Merged(_)));
+
+    // Final resolution through the public GenCite API.
+    let f2 = hub.generate_citation(&p1_id, "main", &path("green/f2.txt")).unwrap();
+    assert_eq!(f2.repo_name, "P2");
+    assert_eq!(f2.owner, "Susan");
+    let f1 = hub.generate_citation(&p1_id, "main", &path("f1.txt")).unwrap();
+    assert_eq!(f1.repo_name, "P1-f1-module");
+}

@@ -1,0 +1,157 @@
+//! E2 — Figure 2: the browser-extension popup, driven end to end against
+//! the hosted platform.
+//!
+//! Reproduces every behavior §3 describes for the popup: credential entry,
+//! clicking a node, the non-member's immediate citation generation with
+//! disabled Add/Delete, the member's explicit-citation text box, the
+//! "Generate Citation" button showing the closest ancestor's citation as
+//! an editable starting point, and the copy-to-bibliography-manager step.
+
+use citekit::{Citation, CitedRepo};
+use extension::{ButtonStates, ExtError, Popup};
+use gitlite::{path, RepoPath, Signature};
+use hub::{Hub, HubError, Role, Token};
+
+/// Demo platform: leshang owns `leshang/demo` with a cited `core/` dir and
+/// an uncited `tools/` dir; yanssie is a member; visitor is not.
+fn platform() -> (Hub, Token, Token, Token, String) {
+    let hub = Hub::new("https://hub.example");
+    for (u, d) in [("leshang", "Leshang Chen"), ("yanssie", "Yanssie"), ("visitor", "A Visitor")] {
+        hub.register_user(u, d).unwrap();
+    }
+    let leshang = hub.login("leshang").unwrap();
+    let yanssie = hub.login("yanssie").unwrap();
+    let visitor = hub.login("visitor").unwrap();
+    let repo_id = hub.create_repo(&leshang, "demo").unwrap();
+    hub.add_member(&leshang, &repo_id, "yanssie", Role::Member).unwrap();
+
+    let mut local = CitedRepo::open(hub.clone_repo(&repo_id).unwrap()).unwrap();
+    local.write_file(&path("core/algo.rs"), &b"// core\n"[..]).unwrap();
+    local.write_file(&path("tools/gen.py"), &b"# tool\n"[..]).unwrap();
+    local
+        .add_cite(
+            &path("core"),
+            Citation::builder("demo-core", "Leshang Chen")
+                .author("Leshang Chen")
+                .commit("1111111", "2019-01-01T00:00:00Z")
+                .build(),
+        )
+        .unwrap();
+    local.commit(Signature::new("Leshang Chen", "l@x", 1000), "seed").unwrap();
+    hub.push(&leshang, &repo_id, "main", local.repo(), "main", false).unwrap();
+    (hub, leshang, yanssie, visitor, repo_id)
+}
+
+#[test]
+fn anonymous_user_gets_citation_immediately() {
+    let (hub, _, _, _, repo_id) = platform();
+    let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+    // Click a node without signing in: citation appears at once.
+    popup.select(&path("core/algo.rs")).unwrap();
+    let v = popup.view();
+    assert!(v.text_box.contains("demo-core"));
+    assert_eq!(v.buttons, ButtonStates { generate: true, add: false, modify: false, delete: false });
+    // Copy-paste step: export for the bibliography manager.
+    let bib = popup.export(bibformat::Format::Bibtex).unwrap();
+    assert!(bib.contains("@software{"));
+    assert!(bib.contains("demo-core"));
+}
+
+#[test]
+fn non_member_cannot_use_add_delete() {
+    let (hub, _, _, visitor, repo_id) = platform();
+    let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+    popup.sign_in(visitor).unwrap();
+    assert!(!popup.view().is_member);
+    popup.select(&path("tools/gen.py")).unwrap();
+    // The uncited node still shows a *generated* citation for non-members.
+    assert!(popup.view().text_box.contains("\"repoName\": \"demo\""));
+    assert!(!popup.view().buttons.add);
+    assert!(!popup.view().buttons.delete);
+    // Forcing the action is rejected by the server, not just the UI.
+    popup.edit_text(r#"{"repoName": "evil"}"#);
+    assert!(matches!(popup.add(), Err(ExtError::Hub(HubError::PermissionDenied(_)))));
+}
+
+#[test]
+fn member_full_cycle_generate_edit_add_modify_delete() {
+    let (hub, _, yanssie, _, repo_id) = platform();
+    let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+    popup.sign_in(yanssie).unwrap();
+    assert!(popup.view().is_member);
+
+    // Uncited node: empty text box, Add enabled.
+    popup.select(&path("tools/gen.py")).unwrap();
+    assert!(popup.view().text_box.is_empty());
+    assert!(popup.view().buttons.add);
+
+    // "Generate Citation" shows the closest ancestor's citation (the
+    // root), which the member edits for this node and adds.
+    let generated = popup.generate().unwrap();
+    assert_eq!(generated.repo_name, "demo");
+    let mut edited = generated;
+    edited.repo_name = "demo-tools".into();
+    edited.author_list = vec!["Yanssie".into()];
+    popup.edit_text(edited.to_value().to_string_pretty());
+    popup.add().unwrap();
+
+    // Now the node is explicitly cited: Modify/Delete enabled, Add not.
+    assert_eq!(
+        popup.view().buttons,
+        ButtonStates { generate: true, add: false, modify: true, delete: true }
+    );
+    // Modify it...
+    let mut again = hub.generate_citation(&repo_id, "main", &path("tools/gen.py")).unwrap();
+    assert_eq!(again.repo_name, "demo-tools");
+    again.note = Some("v2 of the tools citation".into());
+    popup.edit_text(again.to_value().to_string_pretty());
+    popup.modify().unwrap();
+    assert!(popup.view().text_box.contains("v2 of the tools citation"));
+    // ...and delete it: resolution falls back to the root.
+    popup.delete().unwrap();
+    assert!(popup.view().text_box.is_empty());
+    let c = hub.generate_citation(&repo_id, "main", &path("tools/gen.py")).unwrap();
+    assert_eq!(c.repo_name, "demo");
+
+    // Every mutation landed as a commit on the hosted branch.
+    let log = hub.log(&repo_id, "main").unwrap();
+    let messages: Vec<&str> = log.iter().map(|e| e.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.starts_with("add_cite")));
+    assert!(messages.iter().any(|m| m.starts_with("modify_cite")));
+    assert!(messages.iter().any(|m| m.starts_with("del_cite")));
+}
+
+#[test]
+fn generate_citation_is_closest_ancestor_per_node() {
+    let (hub, _, _, _, repo_id) = platform();
+    let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+    // Inside the cited dir → the dir's citation.
+    popup.select(&path("core/algo.rs")).unwrap();
+    let inside = popup.generate().unwrap();
+    assert_eq!(inside.repo_name, "demo-core");
+    // Outside → the root's, stamped with the served version.
+    popup.select(&path("tools/gen.py")).unwrap();
+    let outside = popup.generate().unwrap();
+    assert_eq!(outside.repo_name, "demo");
+    assert_eq!(outside.commit_id.len(), 7);
+    // Root itself.
+    popup.select(&RepoPath::root()).unwrap();
+    let root = popup.generate().unwrap();
+    assert_eq!(root.repo_name, "demo");
+}
+
+#[test]
+fn owner_and_member_and_visitor_capability_matrix() {
+    let (hub, leshang, yanssie, visitor, repo_id) = platform();
+    for (token, expect_member) in [(leshang, true), (yanssie, true), (visitor, false)] {
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.sign_in(token).unwrap();
+        popup.select(&path("core")).unwrap();
+        let v = popup.view();
+        assert_eq!(v.is_member, expect_member, "user {:?}", v.signed_in_as);
+        // core is explicitly cited: members may modify/delete it.
+        assert_eq!(v.buttons.modify, expect_member);
+        assert_eq!(v.buttons.delete, expect_member);
+        assert!(v.buttons.generate);
+    }
+}

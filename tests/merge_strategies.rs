@@ -1,0 +1,145 @@
+//! E8 — conflict-strategy comparison (the paper's future work #1):
+//! the union strategy of §3 vs the three-way strategy "that mirror[s] the
+//! three-way merge method used in Git", measured by how many conflicts
+//! each surfaces to the user on the same branch histories.
+
+use citekit::{
+    Citation, CitedRepo, ConflictResolver, MergeCiteOutcome, MergeStrategy, Resolution,
+};
+use gitlite::{path, RepoPath, Signature};
+
+fn sig(n: &str, t: i64) -> Signature {
+    Signature::new(n, format!("{n}@x"), t)
+}
+
+fn cite(name: &str) -> Citation {
+    Citation::builder(name, "o").build()
+}
+
+/// Counts how often the resolver is consulted.
+struct CountingResolver {
+    calls: usize,
+}
+
+impl ConflictResolver for CountingResolver {
+    fn resolve(
+        &mut self,
+        _: &RepoPath,
+        ours: Option<&Citation>,
+        _: Option<&Citation>,
+        _: Option<&Citation>,
+    ) -> Resolution {
+        self.calls += 1;
+        if ours.is_some() {
+            Resolution::Ours
+        } else {
+            Resolution::Theirs
+        }
+    }
+}
+
+/// A repository whose branches make, per file:
+/// * f0 — an edit on `dev` only (one-sided edit),
+/// * f1 — a citation deletion on `dev` only (one-sided delete),
+/// * f2 — different edits on both branches (double edit).
+fn scenario() -> CitedRepo {
+    let mut r = CitedRepo::init("P", "Owner", "https://x/P");
+    for i in 0..3 {
+        r.write_file(&path(&format!("f{i}.txt")), format!("{i}\n").into_bytes()).unwrap();
+        r.add_cite(&path(&format!("f{i}.txt")), cite(&format!("base{i}"))).unwrap();
+    }
+    r.commit(sig("Owner", 100), "base").unwrap();
+    r.create_branch("dev").unwrap();
+
+    r.checkout_branch("dev").unwrap();
+    r.modify_cite(&path("f0.txt"), cite("dev-edit")).unwrap();
+    r.del_cite(&path("f1.txt")).unwrap();
+    r.modify_cite(&path("f2.txt"), cite("dev-f2")).unwrap();
+    r.commit(sig("Dev", 200), "dev changes").unwrap();
+
+    r.checkout_branch("main").unwrap();
+    r.modify_cite(&path("f2.txt"), cite("main-f2")).unwrap();
+    // An unrelated file edit so the merge is never a fast-forward.
+    r.write_file(&path("main.txt"), &b"m\n"[..]).unwrap();
+    r.commit(sig("Owner", 300), "main changes").unwrap();
+    r
+}
+
+#[test]
+fn union_surfaces_more_conflicts_than_three_way() {
+    // Union: f0 (edit vs unchanged) and f2 (double edit) are same-key
+    // conflicts; f1's deletion is silently resurrected.
+    let mut union_repo = scenario();
+    let mut union_resolver = CountingResolver { calls: 0 };
+    let union_report = union_repo
+        .merge_cite("dev", sig("Owner", 400), "merge", MergeStrategy::Union, &mut union_resolver)
+        .unwrap();
+    assert!(matches!(union_report.outcome, MergeCiteOutcome::Merged(_)));
+    assert_eq!(union_resolver.calls, 2, "f0 and f2 ask the user under union");
+    assert_eq!(union_report.citation_conflicts.len(), 2);
+    // The union resurrects the deleted citation (paper's simplification).
+    assert!(union_repo.function().contains(&path("f1.txt")));
+
+    // Three-way: f0 auto-resolves (one-sided edit), f1's deletion is
+    // honored, only f2's genuine double edit asks the user.
+    let mut tw_repo = scenario();
+    let mut tw_resolver = CountingResolver { calls: 0 };
+    let tw_report = tw_repo
+        .merge_cite("dev", sig("Owner", 400), "merge", MergeStrategy::ThreeWay, &mut tw_resolver)
+        .unwrap();
+    assert!(matches!(tw_report.outcome, MergeCiteOutcome::Merged(_)));
+    assert_eq!(tw_resolver.calls, 1, "only f2's double edit needs the user");
+    assert_eq!(tw_report.citation_conflicts.len(), 1);
+    assert_eq!(tw_report.citation_conflicts[0].path, path("f2.txt"));
+    // One-sided edit applied automatically.
+    assert_eq!(tw_repo.function().get(&path("f0.txt")).unwrap().repo_name, "dev-edit");
+    // One-sided deletion honored.
+    assert!(!tw_repo.function().contains(&path("f1.txt")));
+}
+
+#[test]
+fn ours_theirs_never_ask_the_user() {
+    for (strategy, f2_expect) in [(MergeStrategy::Ours, "main-f2"), (MergeStrategy::Theirs, "dev-f2")] {
+        let mut repo = scenario();
+        let mut resolver = CountingResolver { calls: 0 };
+        repo.merge_cite("dev", sig("Owner", 400), "merge", strategy, &mut resolver).unwrap();
+        assert_eq!(resolver.calls, 0, "{strategy:?} must not consult the resolver");
+        assert_eq!(repo.function().get(&path("f2.txt")).unwrap().repo_name, f2_expect);
+    }
+}
+
+#[test]
+fn strategies_agree_when_there_is_nothing_to_disagree_about() {
+    // Branches with disjoint citation edits: all four strategies produce
+    // the same merged function.
+    let build = || {
+        let mut r = CitedRepo::init("P", "Owner", "https://x/P");
+        r.write_file(&path("a.txt"), &b"a\n"[..]).unwrap();
+        r.write_file(&path("b.txt"), &b"b\n"[..]).unwrap();
+        r.commit(sig("Owner", 100), "base").unwrap();
+        r.create_branch("dev").unwrap();
+        r.checkout_branch("dev").unwrap();
+        r.add_cite(&path("a.txt"), cite("dev-a")).unwrap();
+        r.commit(sig("Dev", 200), "dev").unwrap();
+        r.checkout_branch("main").unwrap();
+        r.add_cite(&path("b.txt"), cite("main-b")).unwrap();
+        r.commit(sig("Owner", 300), "main").unwrap();
+        r
+    };
+    let mut results = Vec::new();
+    for strategy in [
+        MergeStrategy::Union,
+        MergeStrategy::Ours,
+        MergeStrategy::Theirs,
+        MergeStrategy::ThreeWay,
+    ] {
+        let mut repo = build();
+        let mut resolver = CountingResolver { calls: 0 };
+        repo.merge_cite("dev", sig("Owner", 400), "merge", strategy, &mut resolver).unwrap();
+        assert_eq!(resolver.calls, 0);
+        results.push(repo.function().clone());
+    }
+    for pair in results.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+}
