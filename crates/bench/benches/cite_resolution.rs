@@ -20,9 +20,11 @@ fn bench(c: &mut Criterion) {
     // Density sweep at fixed depth 64.
     for density in [0usize, 1, 10, 50, 100] {
         let (func, query) = chain_function(64, density);
-        g.bench_with_input(BenchmarkId::new("density_pct", density), &density, |b, _| {
-            b.iter(|| func.resolve(std::hint::black_box(&query)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("density_pct", density),
+            &density,
+            |b, _| b.iter(|| func.resolve(std::hint::black_box(&query))),
+        );
     }
 
     // Policy comparison at depth 64, 50% density.

@@ -11,26 +11,39 @@ fn bench(c: &mut Criterion) {
 
     for files in [10usize, 100, 1_000] {
         let (src, v, dst) = copy_workload(files);
-        g.bench_with_input(BenchmarkId::new("copy_cite_files", files), &files, |b, _| {
-            b.iter_batched(
-                || dst.clone(),
-                |mut d| d.copy_cite(&path("vendored"), src.repo(), v, &path("lib")).unwrap(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("copy_cite_files", files),
+            &files,
+            |b, _| {
+                b.iter_batched(
+                    || dst.clone(),
+                    |mut d| {
+                        d.copy_cite(&path("vendored"), src.repo(), v, &path("lib"))
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
 
     for commits in [10usize, 100, 500] {
         let mut src = cited_repo(16).0;
         for i in 0..commits {
-            src.write_file(&path(&format!("hist/f{i}.txt")), format!("{i}\n").into_bytes())
+            src.write_file(
+                &path(&format!("hist/f{i}.txt")),
+                format!("{i}\n").into_bytes(),
+            )
+            .unwrap();
+            src.commit(sig("author", i as i64 + 10), format!("c{i}"))
                 .unwrap();
-            src.commit(sig("author", i as i64 + 10), format!("c{i}")).unwrap();
         }
         let opts = ForkOptions::new("fork", "Forker", "https://hub.example/forker/fork");
-        g.bench_with_input(BenchmarkId::new("fork_cite_history", commits), &commits, |b, _| {
-            b.iter(|| fork_cite(src.repo(), &opts, sig("Forker", 10_000)).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("fork_cite_history", commits),
+            &commits,
+            |b, _| b.iter(|| fork_cite(src.repo(), &opts, sig("Forker", 10_000)).unwrap()),
+        );
     }
 
     g.finish();

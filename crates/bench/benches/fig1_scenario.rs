@@ -9,7 +9,8 @@ use std::time::Duration;
 
 fn build_p2() -> (CitedRepo, gitlite::ObjectId) {
     let mut p2 = CitedRepo::init("P2", "Susan", "https://hub/Susan/P2");
-    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..]).unwrap();
+    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..])
+        .unwrap();
     p2.write_file(&path("green/f2.txt"), &b"f2\n"[..]).unwrap();
     p2.add_cite(&path("green/inner.c"), citation("C3")).unwrap();
     let v3 = p2.commit(sig("Susan", 3_000), "V3").unwrap().commit;
@@ -25,11 +26,18 @@ fn full_scenario() -> gitlite::ObjectId {
     p1.commit(sig("Leshang", 2_000), "V2").unwrap();
     let (p2, v3) = build_p2();
     p1.checkout_branch("copy-arm").unwrap();
-    p1.copy_cite(&path("green"), p2.repo(), v3, &path("green")).unwrap();
+    p1.copy_cite(&path("green"), p2.repo(), v3, &path("green"))
+        .unwrap();
     p1.commit(sig("Leshang", 4_000), "V4").unwrap();
     p1.checkout_branch("main").unwrap();
     let report = p1
-        .merge_cite("copy-arm", sig("Leshang", 5_000), "V5", MergeStrategy::Union, &mut FailOnConflict)
+        .merge_cite(
+            "copy-arm",
+            sig("Leshang", 5_000),
+            "V5",
+            MergeStrategy::Union,
+            &mut FailOnConflict,
+        )
         .unwrap();
     match report.outcome {
         citekit::MergeCiteOutcome::Merged(v5) => v5,
@@ -65,7 +73,8 @@ fn bench(c: &mut Criterion) {
                 p1
             },
             |mut p1| {
-                p1.copy_cite(&path("green"), p2.repo(), v3, &path("green")).unwrap();
+                p1.copy_cite(&path("green"), p2.repo(), v3, &path("green"))
+                    .unwrap();
                 p1.commit(sig("Leshang", 4_000), "V4").unwrap();
             },
             criterion::BatchSize::SmallInput,

@@ -15,16 +15,21 @@ fn platform() -> (Hub, Token, String) {
     hub.register_user("member", "A Member").unwrap();
     let owner = hub.login("owner").unwrap();
     let repo_id = hub.create_repo(&owner, "demo").unwrap();
-    hub.add_member(&owner, &repo_id, "member", Role::Member).unwrap();
+    hub.add_member(&owner, &repo_id, "member", Role::Member)
+        .unwrap();
     let mut local = CitedRepo::open(hub.clone_repo(&repo_id).unwrap()).unwrap();
     for i in 0..32 {
         local
-            .write_file(&path(&format!("src/m{}/f{i}.rs", i % 4)), format!("// {i}\n").into_bytes())
+            .write_file(
+                &path(&format!("src/m{}/f{i}.rs", i % 4)),
+                format!("// {i}\n").into_bytes(),
+            )
             .unwrap();
     }
     local.add_cite(&path("src"), citation("core")).unwrap();
     local.commit(sig("owner", 100), "seed").unwrap();
-    hub.push(&owner, &repo_id, "main", local.repo(), "main", false).unwrap();
+    hub.push(&owner, &repo_id, "main", local.repo(), "main", false)
+        .unwrap();
     let member = hub.login("member").unwrap();
     (hub, member, repo_id)
 }
@@ -42,7 +47,10 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("gencite_api_only", |b| {
-        b.iter(|| hub.generate_citation(&repo_id, "main", &path("src/m2/f2.rs")).unwrap())
+        b.iter(|| {
+            hub.generate_citation(&repo_id, "main", &path("src/m2/f2.rs"))
+                .unwrap()
+        })
     });
 
     g.bench_function("member_sign_in_and_select", |b| {

@@ -38,7 +38,8 @@ fn bench(c: &mut Criterion) {
             wt2.write(p, b"modified contents\nline\n".to_vec()).unwrap();
         }
         for (i, p) in paths.iter().skip(900).take(20).enumerate() {
-            wt2.rename(p, &gitlite::path(&format!("renamed/r{i}.txt"))).unwrap();
+            wt2.rename(p, &gitlite::path(&format!("renamed/r{i}.txt")))
+                .unwrap();
         }
         let t2 = write_tree(&mut odb, &wt2);
         g.bench_function("diff_1000_files_no_renames", |b| {
@@ -54,11 +55,11 @@ fn bench(c: &mut Criterion) {
         let base: String = (0..400).map(|i| format!("line {i}\n")).collect();
         let mut ours_lines: Vec<String> = (0..400).map(|i| format!("line {i}")).collect();
         let mut theirs_lines = ours_lines.clone();
-        for i in 10..20 {
-            ours_lines[i] = format!("ours {i}");
+        for (i, line) in ours_lines.iter_mut().enumerate().take(20).skip(10) {
+            *line = format!("ours {i}");
         }
-        for i in 300..310 {
-            theirs_lines[i] = format!("theirs {i}");
+        for (i, line) in theirs_lines.iter_mut().enumerate().take(310).skip(300) {
+            *line = format!("theirs {i}");
         }
         let ours = ours_lines.join("\n") + "\n";
         let theirs = theirs_lines.join("\n") + "\n";
@@ -75,17 +76,26 @@ fn bench(c: &mut Criterion) {
         repo.commit(sig("a", 1), "base").unwrap();
         repo.create_branch("dev").unwrap();
         repo.checkout_branch("dev").unwrap();
-        repo.worktree_mut().write(&paths[0], b"dev change\n".to_vec()).unwrap();
+        repo.worktree_mut()
+            .write(&paths[0], b"dev change\n".to_vec())
+            .unwrap();
         repo.commit(sig("b", 2), "dev").unwrap();
         repo.checkout_branch("main").unwrap();
-        repo.worktree_mut().write(&paths[499], b"main change\n".to_vec()).unwrap();
+        repo.worktree_mut()
+            .write(&paths[499], b"main change\n".to_vec())
+            .unwrap();
         repo.commit(sig("a", 3), "main").unwrap();
         g.bench_function("merge_branch_500_files", |b| {
             b.iter_batched(
                 || repo.clone(),
                 |mut r| {
-                    r.merge_branch("dev", sig("a", 4), "merge", &gitlite::MergeOptions::default())
-                        .unwrap()
+                    r.merge_branch(
+                        "dev",
+                        sig("a", 4),
+                        "merge",
+                        &gitlite::MergeOptions::default(),
+                    )
+                    .unwrap()
                 },
                 criterion::BatchSize::LargeInput,
             )
@@ -95,7 +105,10 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_function("push_incremental", |b| {
             let mut local = clone_repository(&repo, "local").unwrap();
-            local.worktree_mut().write(&paths[10], b"pushed\n".to_vec()).unwrap();
+            local
+                .worktree_mut()
+                .write(&paths[10], b"pushed\n".to_vec())
+                .unwrap();
             local.commit(sig("a", 9), "to push").unwrap();
             b.iter_batched(
                 || clone_repository(&repo, "remote").unwrap(),

@@ -19,9 +19,14 @@ fn scenario() -> (CitedRepo, gitlite::ObjectId) {
             .author("Chen Li")
             .build(),
     );
-    corecover.write_file(&path("CoreCover/CoreCover.java"), &b"// algo\n"[..]).unwrap();
     corecover
-        .commit(Signature::new("Chen Li", "c@x", ts("2018-03-24T00:29:45Z")), "CoreCover")
+        .write_file(&path("CoreCover/CoreCover.java"), &b"// algo\n"[..])
+        .unwrap();
+    corecover
+        .commit(
+            Signature::new("Chen Li", "c@x", ts("2018-03-24T00:29:45Z")),
+            "CoreCover",
+        )
         .unwrap();
     let v_cc = corecover.repo().head_commit().unwrap();
 
@@ -32,11 +37,17 @@ fn scenario() -> (CitedRepo, gitlite::ObjectId) {
             .author("Yinjun Wu")
             .build(),
     );
-    demo.write_file(&path("citation/engine.py"), &b"# engine\n"[..]).unwrap();
-    demo.commit(Signature::new("Yinjun Wu", "w@x", ts("2017-05-01T00:00:00Z")), "init").unwrap();
+    demo.write_file(&path("citation/engine.py"), &b"# engine\n"[..])
+        .unwrap();
+    demo.commit(
+        Signature::new("Yinjun Wu", "w@x", ts("2017-05-01T00:00:00Z")),
+        "init",
+    )
+    .unwrap();
     demo.create_branch("gui").unwrap();
     demo.checkout_branch("gui").unwrap();
-    demo.write_file(&path("citation/GUI/app.js"), &b"// gui\n"[..]).unwrap();
+    demo.write_file(&path("citation/GUI/app.js"), &b"// gui\n"[..])
+        .unwrap();
     demo.add_cite(
         &path("citation/GUI"),
         Citation::builder("Data_citation_demo", "Yinjun Wu")
@@ -45,9 +56,19 @@ fn scenario() -> (CitedRepo, gitlite::ObjectId) {
             .build(),
     )
     .unwrap();
-    demo.commit(Signature::new("Yanssie", "y@x", ts("2017-06-16T20:57:06Z")), "GUI").unwrap();
+    demo.commit(
+        Signature::new("Yanssie", "y@x", ts("2017-06-16T20:57:06Z")),
+        "GUI",
+    )
+    .unwrap();
     demo.checkout_branch("main").unwrap();
-    demo.copy_cite(&path("CoreCover"), corecover.repo(), v_cc, &path("CoreCover")).unwrap();
+    demo.copy_cite(
+        &path("CoreCover"),
+        corecover.repo(),
+        v_cc,
+        &path("CoreCover"),
+    )
+    .unwrap();
     demo.commit(
         Signature::new("Yinjun Wu", "w@x", ts("2018-03-24T00:29:45Z") + 3600),
         "import CoreCover",
@@ -62,7 +83,11 @@ fn scenario() -> (CitedRepo, gitlite::ObjectId) {
     )
     .unwrap();
     let out = demo
-        .publish(Signature::new("Yinjun Wu", "w@x", ts("2018-09-04T02:35:20Z")), None, None)
+        .publish(
+            Signature::new("Yinjun Wu", "w@x", ts("2018-09-04T02:35:20Z")),
+            None,
+            None,
+        )
         .unwrap();
     (demo, out.commit)
 }
@@ -75,12 +100,16 @@ fn bench(c: &mut Criterion) {
     let func = demo.function_at(released).unwrap();
     g.bench_function("render_citation_file", |b| b.iter(|| file::to_text(&func)));
     let text = file::to_text(&func);
-    g.bench_function("parse_citation_file", |b| b.iter(|| file::parse(&text).unwrap()));
+    g.bench_function("parse_citation_file", |b| {
+        b.iter(|| file::parse(&text).unwrap())
+    });
     g.bench_function("resolve_all_three_entries", |b| {
         b.iter(|| {
             (
-                demo.cite_at(released, &path("CoreCover/CoreCover.java")).unwrap(),
-                demo.cite_at(released, &path("citation/GUI/app.js")).unwrap(),
+                demo.cite_at(released, &path("CoreCover/CoreCover.java"))
+                    .unwrap(),
+                demo.cite_at(released, &path("citation/GUI/app.js"))
+                    .unwrap(),
                 demo.cite_at(released, &path("citation/engine.py")).unwrap(),
             )
         })

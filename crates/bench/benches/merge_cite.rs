@@ -14,19 +14,23 @@ fn bench(c: &mut Criterion) {
     // Entry-count sweep, no conflicts.
     for entries in [10usize, 100, 1_000, 10_000] {
         let (base, ours, theirs) = merge_functions_workload(entries, 0);
-        g.bench_with_input(BenchmarkId::new("entries_union", entries), &entries, |b, _| {
-            b.iter(|| {
-                merge_functions(
-                    &ours,
-                    &theirs,
-                    Some(&base),
-                    MergeStrategy::Union,
-                    &mut PreferOurs,
-                    |_, _| true,
-                )
-                .unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("entries_union", entries),
+            &entries,
+            |b, _| {
+                b.iter(|| {
+                    merge_functions(
+                        &ours,
+                        &theirs,
+                        Some(&base),
+                        MergeStrategy::Union,
+                        &mut PreferOurs,
+                        |_, _| true,
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
 
     // Conflict-rate sweep at 1000 entries, under union (resolver pays per
@@ -78,14 +82,20 @@ fn bench(c: &mut Criterion) {
         let entries = 1_000;
         let (base, _, theirs) = merge_functions_workload(entries, 200);
         let ours = base.clone(); // ours unchanged since base: one-sided
-        for (name, strategy) in
-            [("union", MergeStrategy::Union), ("three_way", MergeStrategy::ThreeWay)]
-        {
+        for (name, strategy) in [
+            ("union", MergeStrategy::Union),
+            ("three_way", MergeStrategy::ThreeWay),
+        ] {
             g.bench_function(BenchmarkId::new("one_sided_edits", name), |b| {
                 b.iter(|| {
-                    merge_functions(&ours, &theirs, Some(&base), strategy, &mut PreferOurs, |_, _| {
-                        true
-                    })
+                    merge_functions(
+                        &ours,
+                        &theirs,
+                        Some(&base),
+                        strategy,
+                        &mut PreferOurs,
+                        |_, _| true,
+                    )
                     .unwrap()
                 })
             });

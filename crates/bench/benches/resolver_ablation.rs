@@ -39,7 +39,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| index.resolve_all(queries.iter()).len())
     });
     // Include build cost for fairness: trie amortizes over many queries.
-    g.bench_function("trie_build_4096", |b| b.iter(|| CiteIndex::build(&func).len()));
+    g.bench_function("trie_build_4096", |b| {
+        b.iter(|| CiteIndex::build(&func).len())
+    });
 
     g.finish();
 }

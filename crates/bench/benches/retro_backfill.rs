@@ -12,27 +12,37 @@ fn bench(c: &mut Criterion) {
 
     for commits in [10usize, 100, 300] {
         let repo = legacy_history(commits, 4, 6);
-        g.bench_with_input(BenchmarkId::new("retrofit_tip", commits), &commits, |b, _| {
-            b.iter_batched(
-                || repo.clone(),
-                |r| retrofit(r, &opts, sig("maintainer", 1_000_000)).unwrap(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        g.bench_with_input(BenchmarkId::new("retrofit_history", commits), &commits, |b, _| {
-            b.iter(|| retrofit_history(&repo, &opts).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("retrofit_tip", commits),
+            &commits,
+            |b, _| {
+                b.iter_batched(
+                    || repo.clone(),
+                    |r| retrofit(r, &opts, sig("maintainer", 1_000_000)).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("retrofit_history", commits),
+            &commits,
+            |b, _| b.iter(|| retrofit_history(&repo, &opts).unwrap()),
+        );
     }
 
     for authors in [1usize, 8, 32] {
         let repo = legacy_history(100, authors, 6);
-        g.bench_with_input(BenchmarkId::new("retrofit_tip_authors", authors), &authors, |b, _| {
-            b.iter_batched(
-                || repo.clone(),
-                |r| retrofit(r, &opts, sig("maintainer", 1_000_000)).unwrap(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("retrofit_tip_authors", authors),
+            &authors,
+            |b, _| {
+                b.iter_batched(
+                    || repo.clone(),
+                    |r| retrofit(r, &opts, sig("maintainer", 1_000_000)).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
 
     g.finish();

@@ -42,8 +42,11 @@ pub fn synthetic_tree(files: usize, depth: usize, fanout: usize) -> (WorkTree, V
         }
         components.push(format!("file{i}.txt"));
         let path = RepoPath::parse(&components.join("/")).expect("valid");
-        wt.write(&path, format!("contents of file {i}\nline 2\nline 3\n").into_bytes())
-            .expect("no collisions in synthetic tree");
+        wt.write(
+            &path,
+            format!("contents of file {i}\nline 2\nline 3\n").into_bytes(),
+        )
+        .expect("no collisions in synthetic tree");
         paths.push(path);
     }
     (wt, paths)
@@ -134,8 +137,16 @@ pub fn merge_functions_workload(
     }
     // Disjoint additions on both sides (merge must union them).
     for i in 0..entries / 4 {
-        ours.set(RepoPath::parse(&format!("ours-only/f{i}.txt")).unwrap(), citation("o"), false);
-        theirs.set(RepoPath::parse(&format!("theirs-only/f{i}.txt")).unwrap(), citation("t"), false);
+        ours.set(
+            RepoPath::parse(&format!("ours-only/f{i}.txt")).unwrap(),
+            citation("o"),
+            false,
+        );
+        theirs.set(
+            RepoPath::parse(&format!("theirs-only/f{i}.txt")).unwrap(),
+            citation("t"),
+            false,
+        );
     }
     (base, ours, theirs)
 }
@@ -154,7 +165,8 @@ pub fn legacy_history(commits: usize, authors: usize, dirs: usize) -> Repository
                 format!("content {i}\n").into_bytes(),
             )
             .expect("fresh path");
-        repo.commit(sig(&author, i as i64 + 1), format!("commit {i}")).expect("commit");
+        repo.commit(sig(&author, i as i64 + 1), format!("commit {i}"))
+            .expect("commit");
     }
     repo
 }
@@ -166,14 +178,16 @@ pub fn copy_workload(subtree_files: usize) -> (CitedRepo, gitlite::ObjectId, Cit
     let mut src = CitedRepo::init("src", "Src Owner", "https://hub.example/src");
     for i in 0..subtree_files {
         let p = RepoPath::parse(&format!("lib/m{}/f{i}.txt", i % 8)).unwrap();
-        src.write_file(&p, format!("file {i}\n").into_bytes()).unwrap();
+        src.write_file(&p, format!("file {i}\n").into_bytes())
+            .unwrap();
         if i % 8 == 0 {
             src.add_cite(&p, citation(&format!("s{i}"))).unwrap();
         }
     }
     let v = src.commit(sig("src", 1), "source").unwrap().commit;
     let mut dst = CitedRepo::init("dst", "Dst Owner", "https://hub.example/dst");
-    dst.write_file(&gitlite::path("own.txt"), &b"own\n"[..]).unwrap();
+    dst.write_file(&gitlite::path("own.txt"), &b"own\n"[..])
+        .unwrap();
     dst.commit(sig("dst", 1), "dest").unwrap();
     (src, v, dst)
 }

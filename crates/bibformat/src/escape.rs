@@ -33,7 +33,8 @@ pub fn yaml(s: &str) -> String {
     let needs_quoting = s.is_empty()
         || s.starts_with(char::is_whitespace)
         || s.ends_with(char::is_whitespace)
-        || s.chars().any(|c| ":#{}[]&*!|>'\"%@`,".contains(c) || c == '\n')
+        || s.chars()
+            .any(|c| ":#{}[]&*!|>'\"%@`,".contains(c) || c == '\n')
         || matches!(s, "true" | "false" | "null" | "yes" | "no" | "~")
         || s.parse::<f64>().is_ok();
     if needs_quoting {
@@ -79,7 +80,10 @@ mod tests {
     fn bibtex_specials() {
         assert_eq!(bibtex("a_b & c%"), "a\\_b \\& c\\%");
         assert_eq!(bibtex("{x}"), "\\{x\\}");
-        assert_eq!(bibtex("50$ #1 ~x ^y"), "50\\$ \\#1 \\textasciitilde{}x \\textasciicircum{}y");
+        assert_eq!(
+            bibtex("50$ #1 ~x ^y"),
+            "50\\$ \\#1 \\textasciitilde{}x \\textasciicircum{}y"
+        );
         assert_eq!(bibtex("back\\slash"), "back\\textbackslash{}slash");
         assert_eq!(bibtex("plain text é"), "plain text é");
     }
@@ -103,8 +107,14 @@ mod tests {
 
     #[test]
     fn key_generation() {
-        assert_eq!(bibtex_key("Yinjun Wu", "2018", "Data_citation_demo"), "wu2018datacitationdemo");
-        assert_eq!(bibtex_key("Chen Li", "2018", "alu01-corecover"), "li2018alu01corecover");
+        assert_eq!(
+            bibtex_key("Yinjun Wu", "2018", "Data_citation_demo"),
+            "wu2018datacitationdemo"
+        );
+        assert_eq!(
+            bibtex_key("Chen Li", "2018", "alu01-corecover"),
+            "li2018alu01corecover"
+        );
         assert_eq!(bibtex_key("", "", ""), "software");
     }
 }

@@ -200,7 +200,10 @@ mod tests {
     #[test]
     fn bibtex_shape() {
         let out = render(&listing1_root(), Format::Bibtex);
-        assert!(out.starts_with("@software{wu2018datacitationdemo,\n"), "{out}");
+        assert!(
+            out.starts_with("@software{wu2018datacitationdemo,\n"),
+            "{out}"
+        );
         assert!(out.contains("author  = {Yinjun Wu}"));
         assert!(out.contains("title   = {Data\\_citation\\_demo}"));
         assert!(out.contains("year    = {2018}"));

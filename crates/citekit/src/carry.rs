@@ -10,7 +10,7 @@
 
 use crate::file::citation_path;
 use crate::function::CitationFunction;
-use gitlite::{diff_listings, Blob, Odb, ObjectId, RepoPath, WorkTree};
+use gitlite::{diff_listings, Blob, ObjectId, ObjectStore, RepoPath, WorkTree};
 use std::collections::BTreeMap;
 
 /// What [`reconcile`] changed.
@@ -35,28 +35,34 @@ impl CarryReport {
 /// `odb` (they are needed both for rename similarity scoring and by the
 /// commit that follows). The citation file itself is excluded — its keys
 /// are what we are maintaining.
-pub fn worktree_listing(odb: &mut Odb, wt: &WorkTree) -> BTreeMap<RepoPath, ObjectId> {
+pub fn worktree_listing<S: ObjectStore + ?Sized>(
+    odb: &mut S,
+    wt: &WorkTree,
+) -> BTreeMap<RepoPath, ObjectId> {
     let cite = citation_path();
     let mut listing = BTreeMap::new();
     for (path, data) in wt.iter() {
         if *path == cite {
             continue;
         }
-        listing.insert(path.clone(), odb.put(gitlite::Object::Blob(Blob::new(data.clone()))));
+        listing.insert(
+            path.clone(),
+            odb.put(gitlite::Object::Blob(Blob::new(data.clone()))),
+        );
     }
     listing
 }
 
 /// Reconciles `func` with the edits between `old_listing` (the previous
 /// version, without its citation file) and the current worktree.
-pub fn reconcile(
+pub fn reconcile<S: ObjectStore + ?Sized>(
     func: &mut CitationFunction,
     old_listing: &BTreeMap<RepoPath, ObjectId>,
     wt: &WorkTree,
-    odb: &mut Odb,
+    odb: &mut S,
 ) -> CarryReport {
     let new_listing = worktree_listing(odb, wt);
-    let diff = diff_listings(old_listing, &new_listing, odb, true);
+    let diff = diff_listings(old_listing, &new_listing, &*odb, true);
 
     let mut report = CarryReport::default();
 
@@ -101,18 +107,29 @@ mod tests {
     use super::*;
     use crate::citation::Citation;
     use gitlite::path;
+    use gitlite::Odb;
 
     fn cite(name: &str) -> Citation {
         Citation::builder(name, "o").build()
     }
 
-    fn setup() -> (Odb, WorkTree, CitationFunction, BTreeMap<RepoPath, ObjectId>) {
+    fn setup() -> (
+        Odb,
+        WorkTree,
+        CitationFunction,
+        BTreeMap<RepoPath, ObjectId>,
+    ) {
         let mut odb = Odb::new();
         let mut wt = WorkTree::new();
         wt.write(&path("keep.txt"), &b"keep\n"[..]).unwrap();
-        wt.write(&path("old/name.rs"), &b"some unique content\nwith lines\n"[..]).unwrap();
+        wt.write(
+            &path("old/name.rs"),
+            &b"some unique content\nwith lines\n"[..],
+        )
+        .unwrap();
         wt.write(&path("gui/app.js"), &b"app\n"[..]).unwrap();
-        wt.write(&path("gui/css/style.css"), &b"style\n"[..]).unwrap();
+        wt.write(&path("gui/css/style.css"), &b"style\n"[..])
+            .unwrap();
         let mut func = CitationFunction::new(cite("root"));
         func.set(path("old/name.rs"), cite("file-cite"), false);
         func.set(path("gui"), cite("gui-cite"), true);
@@ -132,12 +149,19 @@ mod tests {
     #[test]
     fn file_rename_carries_citation() {
         let (mut odb, mut wt, mut func, old) = setup();
-        wt.rename(&path("old/name.rs"), &path("new/renamed.rs")).unwrap();
+        wt.rename(&path("old/name.rs"), &path("new/renamed.rs"))
+            .unwrap();
         let report = reconcile(&mut func, &old, &wt, &mut odb);
-        assert_eq!(report.renamed, vec![(path("old/name.rs"), path("new/renamed.rs"))]);
+        assert_eq!(
+            report.renamed,
+            vec![(path("old/name.rs"), path("new/renamed.rs"))]
+        );
         assert!(func.contains(&path("new/renamed.rs")));
         assert!(!func.contains(&path("old/name.rs")));
-        assert_eq!(func.get(&path("new/renamed.rs")).unwrap().repo_name, "file-cite");
+        assert_eq!(
+            func.get(&path("new/renamed.rs")).unwrap().repo_name,
+            "file-cite"
+        );
     }
 
     #[test]
@@ -145,8 +169,11 @@ mod tests {
         let (mut odb, mut wt, mut func, old) = setup();
         // Move and lightly edit: similarity rename.
         wt.remove_file(&path("old/name.rs")).unwrap();
-        wt.write(&path("moved/name.rs"), &b"some unique content\nwith lines\nplus one\n"[..])
-            .unwrap();
+        wt.write(
+            &path("moved/name.rs"),
+            &b"some unique content\nwith lines\nplus one\n"[..],
+        )
+        .unwrap();
         let report = reconcile(&mut func, &old, &wt, &mut odb);
         // Carried either as a file rename or via the inferred directory
         // rename old/ → moved/ (both are correct carryings).
@@ -160,9 +187,15 @@ mod tests {
         let (mut odb, mut wt, mut func, old) = setup();
         wt.rename(&path("gui"), &path("citation/GUI")).unwrap();
         let report = reconcile(&mut func, &old, &wt, &mut odb);
-        assert_eq!(report.dir_renamed, vec![(path("gui"), path("citation/GUI"))]);
+        assert_eq!(
+            report.dir_renamed,
+            vec![(path("gui"), path("citation/GUI"))]
+        );
         assert!(func.contains(&path("citation/GUI")));
-        assert_eq!(func.get(&path("citation/GUI")).unwrap().repo_name, "gui-cite");
+        assert_eq!(
+            func.get(&path("citation/GUI")).unwrap().repo_name,
+            "gui-cite"
+        );
         assert!(!func.contains(&path("gui")));
     }
 

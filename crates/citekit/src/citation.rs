@@ -59,7 +59,12 @@ impl Citation {
         o.insert("url", self.url.as_str());
         o.insert(
             "authorList",
-            Value::Array(self.author_list.iter().map(|a| Value::from(a.as_str())).collect()),
+            Value::Array(
+                self.author_list
+                    .iter()
+                    .map(|a| Value::from(a.as_str()))
+                    .collect(),
+            ),
         );
         if let Some(doi) = &self.doi {
             o.insert("doi", doi.as_str());
@@ -93,14 +98,16 @@ impl Citation {
             match obj.get(key) {
                 None | Some(Value::Null) => Ok(String::new()),
                 Some(Value::String(s)) => Ok(s.clone()),
-                Some(_) => Err(CiteError::BadCitationFile(format!("field {key:?} must be a string"))),
+                Some(_) => Err(CiteError::BadCitationFile(format!(
+                    "field {key:?} must be a string"
+                ))),
             }
         };
         let mut authors = Vec::new();
         if let Some(v) = obj.get("authorList") {
-            let arr = v.as_array().ok_or_else(|| {
-                CiteError::BadCitationFile("authorList must be an array".into())
-            })?;
+            let arr = v
+                .as_array()
+                .ok_or_else(|| CiteError::BadCitationFile("authorList must be an array".into()))?;
             for a in arr {
                 let s = a.as_str().ok_or_else(|| {
                     CiteError::BadCitationFile("authorList entries must be strings".into())
@@ -112,12 +119,22 @@ impl Citation {
             match obj.get(key) {
                 None | Some(Value::Null) => Ok(None),
                 Some(Value::String(s)) => Ok(Some(s.clone())),
-                Some(_) => Err(CiteError::BadCitationFile(format!("field {key:?} must be a string"))),
+                Some(_) => Err(CiteError::BadCitationFile(format!(
+                    "field {key:?} must be a string"
+                ))),
             }
         };
         const KNOWN: [&str; 10] = [
-            "repoName", "owner", "committedDate", "commitID", "url", "authorList", "doi",
-            "license", "version", "note",
+            "repoName",
+            "owner",
+            "committedDate",
+            "commitID",
+            "url",
+            "authorList",
+            "doi",
+            "license",
+            "version",
+            "note",
         ];
         let mut extra = Object::new();
         for (k, v) in obj.iter() {
@@ -294,7 +311,14 @@ mod tests {
             .collect();
         assert_eq!(
             keys,
-            vec!["repoName", "owner", "committedDate", "commitID", "url", "authorList"]
+            vec![
+                "repoName",
+                "owner",
+                "committedDate",
+                "commitID",
+                "url",
+                "authorList"
+            ]
         );
     }
 

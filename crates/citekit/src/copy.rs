@@ -67,7 +67,10 @@ impl CitedRepo {
         // Copy file contents.
         for (from, to) in &files {
             let data = src.file_at(src_version, from).map_err(CiteError::Git)?;
-            self.repo_mut().worktree_mut().write(to, data).map_err(CiteError::Git)?;
+            self.repo_mut()
+                .worktree_mut()
+                .write(to, data)
+                .map_err(CiteError::Git)?;
         }
 
         // Load the source citation function for this version, if any.
@@ -102,7 +105,10 @@ impl CitedRepo {
                 let (at, citation) = src_func.resolve(src_path);
                 let citation = if at.is_root() {
                     let commit = src.commit_obj(src_version).map_err(CiteError::Git)?;
-                    citation.stamped(&src_version.short(), &format_iso8601(commit.author.timestamp))
+                    citation.stamped(
+                        &src_version.short(),
+                        &format_iso8601(commit.author.timestamp),
+                    )
                 } else {
                     citation.clone()
                 };
@@ -113,7 +119,11 @@ impl CitedRepo {
             self.install_function(func)?;
         }
 
-        Ok(CopyReport { files_copied: files.len(), citations_migrated: migrated, materialized })
+        Ok(CopyReport {
+            files_copied: files.len(),
+            citations_migrated: migrated,
+            materialized,
+        })
     }
 }
 
@@ -127,7 +137,9 @@ mod tests {
     }
 
     fn cite(name: &str) -> Citation {
-        Citation::builder(name, "owner").url(format!("https://x/{name}")).build()
+        Citation::builder(name, "owner")
+            .url(format!("https://x/{name}"))
+            .build()
     }
 
     /// A source project P2 with a subtree `green/` holding two files, one
@@ -135,9 +147,12 @@ mod tests {
     /// (its effective citation is the root's C4 in Figure 1 terms).
     fn source_p2() -> (CitedRepo, ObjectId) {
         let mut p2 = CitedRepo::init("P2", "Susan", "https://hub/P2");
-        p2.write_file(&path("green/f1.txt"), &b"green f1\n"[..]).unwrap();
-        p2.write_file(&path("green/f2.txt"), &b"green f2\n"[..]).unwrap();
-        p2.write_file(&path("unrelated.txt"), &b"other\n"[..]).unwrap();
+        p2.write_file(&path("green/f1.txt"), &b"green f1\n"[..])
+            .unwrap();
+        p2.write_file(&path("green/f2.txt"), &b"green f2\n"[..])
+            .unwrap();
+        p2.write_file(&path("unrelated.txt"), &b"other\n"[..])
+            .unwrap();
         p2.add_cite(&path("green/f1.txt"), cite("C3")).unwrap();
         let v3 = p2.commit(sig("Susan", 300), "V3").unwrap().commit;
         (p2, v3)
@@ -159,11 +174,23 @@ mod tests {
             .unwrap();
         assert_eq!(report.files_copied, 2);
         // Files landed.
-        assert_eq!(p1.read_text(&path("imported/f1.txt")).unwrap(), "green f1\n");
-        assert_eq!(p1.read_text(&path("imported/f2.txt")).unwrap(), "green f2\n");
+        assert_eq!(
+            p1.read_text(&path("imported/f1.txt")).unwrap(),
+            "green f1\n"
+        );
+        assert_eq!(
+            p1.read_text(&path("imported/f2.txt")).unwrap(),
+            "green f2\n"
+        );
         // C3 migrated with a re-keyed path.
         assert!(report.citations_migrated.contains(&path("imported/f1.txt")));
-        assert_eq!(p1.function().get(&path("imported/f1.txt")).unwrap().repo_name, "C3");
+        assert_eq!(
+            p1.function()
+                .get(&path("imported/f1.txt"))
+                .unwrap()
+                .repo_name,
+            "C3"
+        );
     }
 
     #[test]
@@ -176,13 +203,18 @@ mod tests {
         assert_eq!(f2_before.repo_name, "P2"); // C4 comes from P2's root
 
         let mut p1 = dest_p1();
-        let report = p1.copy_cite(&path("imported"), p2.repo(), v3, &path("green")).unwrap();
+        let report = p1
+            .copy_cite(&path("imported"), p2.repo(), v3, &path("green"))
+            .unwrap();
         let c4 = report.materialized.expect("materialized C4");
         assert_eq!(c4.repo_name, "P2");
         assert_eq!(c4.owner, "Susan");
         assert_eq!(c4.commit_id, v3.short()); // stamped from V3
 
-        let v4 = p1.commit(sig("Leshang", 400), "V4: CopyCite").unwrap().commit;
+        let v4 = p1
+            .commit(sig("Leshang", 400), "V4: CopyCite")
+            .unwrap()
+            .commit;
         let f2_after = p1.cite_at(v4, &path("imported/f2.txt")).unwrap();
         // Unchanged: still credits P2 (C4), not P1.
         assert_eq!(f2_after.repo_name, "P2");
@@ -198,9 +230,14 @@ mod tests {
         p2.add_cite(&path("green"), cite("explicit-green")).unwrap();
         let v3b = p2.commit(sig("Susan", 350), "cite green").unwrap().commit;
         let mut p1 = dest_p1();
-        let report = p1.copy_cite(&path("imported"), p2.repo(), v3b, &path("green")).unwrap();
+        let report = p1
+            .copy_cite(&path("imported"), p2.repo(), v3b, &path("green"))
+            .unwrap();
         assert!(report.materialized.is_none());
-        assert_eq!(p1.function().get(&path("imported")).unwrap().repo_name, "explicit-green");
+        assert_eq!(
+            p1.function().get(&path("imported")).unwrap().repo_name,
+            "explicit-green"
+        );
     }
 
     #[test]
@@ -212,17 +249,24 @@ mod tests {
             .unwrap();
         assert_eq!(report.files_copied, 1);
         // f1's explicit C3 rides along as the entry for the file itself.
-        assert_eq!(p1.function().get(&path("borrowed.txt")).unwrap().repo_name, "C3");
+        assert_eq!(
+            p1.function().get(&path("borrowed.txt")).unwrap().repo_name,
+            "C3"
+        );
         assert!(report.materialized.is_none());
     }
 
     #[test]
     fn copy_from_uncited_source_still_copies_files() {
         let mut src = gitlite::Repository::init("plain");
-        src.worktree_mut().write(&path("lib/a.txt"), &b"a\n"[..]).unwrap();
+        src.worktree_mut()
+            .write(&path("lib/a.txt"), &b"a\n"[..])
+            .unwrap();
         let v = src.commit(sig("X", 1), "c1").unwrap();
         let mut p1 = dest_p1();
-        let report = p1.copy_cite(&path("vendored"), &src, v, &path("lib")).unwrap();
+        let report = p1
+            .copy_cite(&path("vendored"), &src, v, &path("lib"))
+            .unwrap();
         assert_eq!(report.files_copied, 1);
         assert!(report.citations_migrated.is_empty());
         assert!(report.materialized.is_none());
@@ -255,12 +299,22 @@ mod tests {
         let (p2, v3) = source_p2();
         let mut p1 = dest_p1();
         // Copy the whole source root: citation.cite must be skipped.
-        p1.copy_cite(&path("all-of-p2"), p2.repo(), v3, &RepoPath::root()).unwrap();
-        assert!(!p1.repo().worktree().is_file(&path("all-of-p2/citation.cite")));
-        assert!(p1.repo().worktree().is_file(&path("all-of-p2/green/f1.txt")));
+        p1.copy_cite(&path("all-of-p2"), p2.repo(), v3, &RepoPath::root())
+            .unwrap();
+        assert!(!p1
+            .repo()
+            .worktree()
+            .is_file(&path("all-of-p2/citation.cite")));
+        assert!(p1
+            .repo()
+            .worktree()
+            .is_file(&path("all-of-p2/green/f1.txt")));
         // And the source's non-root citations migrated.
         assert_eq!(
-            p1.function().get(&path("all-of-p2/green/f1.txt")).unwrap().repo_name,
+            p1.function()
+                .get(&path("all-of-p2/green/f1.txt"))
+                .unwrap()
+                .repo_name,
             "C3"
         );
     }

@@ -41,7 +41,11 @@ impl fmt::Display for CiteError {
             CiteError::Git(e) => write!(f, "{e}"),
             CiteError::Path(e) => write!(f, "{e}"),
             CiteError::AlreadyCited(p) => {
-                write!(f, "{:?} already has a citation (use ModifyCite)", p.to_cite_key(false))
+                write!(
+                    f,
+                    "{:?} already has a citation (use ModifyCite)",
+                    p.to_cite_key(false)
+                )
             }
             CiteError::NotCited(p) => {
                 write!(f, "{:?} has no explicit citation", p.to_cite_key(false))
@@ -50,20 +54,36 @@ impl fmt::Display for CiteError {
                 write!(f, "the root citation cannot be deleted")
             }
             CiteError::PathMissing(p) => {
-                write!(f, "path {:?} does not exist in this version", p.to_cite_key(false))
+                write!(
+                    f,
+                    "path {:?} does not exist in this version",
+                    p.to_cite_key(false)
+                )
             }
             CiteError::ReservedPath(p) => {
                 write!(f, "citations cannot attach to {:?}", p.to_cite_key(false))
             }
             CiteError::BadCitationFile(msg) => write!(f, "invalid citation.cite: {msg}"),
             CiteError::UnresolvedConflict(p) => {
-                write!(f, "unresolved citation conflict at {:?}", p.to_cite_key(false))
+                write!(
+                    f,
+                    "unresolved citation conflict at {:?}",
+                    p.to_cite_key(false)
+                )
             }
             CiteError::DestinationExists(p) => {
-                write!(f, "copy destination {:?} already exists", p.to_cite_key(false))
+                write!(
+                    f,
+                    "copy destination {:?} already exists",
+                    p.to_cite_key(false)
+                )
             }
             CiteError::SourceMissing(p) => {
-                write!(f, "copy source {:?} is missing or empty", p.to_cite_key(false))
+                write!(
+                    f,
+                    "copy source {:?} is missing or empty",
+                    p.to_cite_key(false)
+                )
             }
             CiteError::PermissionDenied(msg) => write!(f, "permission denied: {msg}"),
         }

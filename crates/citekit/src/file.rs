@@ -10,7 +10,7 @@
 
 use crate::citation::Citation;
 use crate::error::{CiteError, Result};
-use crate::function::{CiteEntry, CitationFunction};
+use crate::function::{CitationFunction, CiteEntry};
 use gitlite::{RepoPath, WorkTree};
 use sjson::{Object, Value};
 use std::collections::BTreeMap;

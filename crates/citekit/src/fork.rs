@@ -12,7 +12,7 @@
 use crate::citation::Citation;
 use crate::error::{CiteError, Result};
 use crate::ops::CitedRepo;
-use gitlite::{clone_repository, ObjectId, Repository, Signature};
+use gitlite::{clone_repository_into, MemStore, ObjectId, ObjectStore, Repository, Signature};
 
 /// How a fork is created.
 #[derive(Debug, Clone)]
@@ -56,8 +56,19 @@ pub struct ForkOutcome {
 
 /// `ForkCite(P1) → P3`: forks `src` (all branches, full history).
 pub fn fork_cite(src: &Repository, opts: &ForkOptions, author: Signature) -> Result<ForkOutcome> {
+    fork_cite_into(src, opts, author, Box::new(MemStore::new()))
+}
+
+/// [`fork_cite`] with the fork created on a caller-supplied object-store
+/// backend (e.g. the hosting platform's configured store).
+pub fn fork_cite_into(
+    src: &Repository,
+    opts: &ForkOptions,
+    author: Signature,
+    store: Box<dyn ObjectStore>,
+) -> Result<ForkOutcome> {
     let fork_point = src.head_commit().map_err(CiteError::Git)?;
-    let clone = clone_repository(src, opts.new_name.clone()).map_err(CiteError::Git)?;
+    let clone = clone_repository_into(src, opts.new_name.clone(), store).map_err(CiteError::Git)?;
     let mut fork = CitedRepo::open(clone)?;
 
     let restamp_commit = if opts.restamp_root {
@@ -76,7 +87,11 @@ pub fn fork_cite(src: &Repository, opts: &ForkOptions, author: Signature) -> Res
         None
     };
 
-    Ok(ForkOutcome { fork, fork_point, restamp_commit })
+    Ok(ForkOutcome {
+        fork,
+        fork_point,
+        restamp_commit,
+    })
 }
 
 /// Original authors keep their credit; the forking owner is appended when
@@ -148,12 +163,18 @@ mod tests {
         assert_eq!(root.repo_name, "P3");
         assert_eq!(root.owner, "Susan");
         // Original author credit preserved, forker appended.
-        assert_eq!(root.author_list, vec!["Leshang".to_owned(), "Susan".to_owned()]);
+        assert_eq!(
+            root.author_list,
+            vec!["Leshang".to_owned(), "Susan".to_owned()]
+        );
         // Provenance to the origin's root citation.
         let fx = root.extra.get("forkedFrom").expect("provenance field");
         assert_eq!(fx["repoName"].as_str(), Some("P1"));
         // Non-root citations untouched.
-        assert_eq!(out.fork.function().get(&path("lib")).unwrap().repo_name, "lib-cite");
+        assert_eq!(
+            out.fork.function().get(&path("lib")).unwrap().repo_name,
+            "lib-cite"
+        );
         // History: restamp on top of the fork point.
         let log = out.fork.repo().log_head().unwrap();
         assert_eq!(log[0], restamp);
@@ -165,7 +186,10 @@ mod tests {
     #[test]
     fn fork_of_uncited_repo_fails_cleanly() {
         let mut plain = Repository::init("plain");
-        plain.worktree_mut().write(&path("x.txt"), &b"x\n"[..]).unwrap();
+        plain
+            .worktree_mut()
+            .write(&path("x.txt"), &b"x\n"[..])
+            .unwrap();
         plain.commit(sig("X", 1), "c").unwrap();
         let opts = ForkOptions::new("F", "Y", "https://hub/F");
         assert!(matches!(
@@ -181,6 +205,9 @@ mod tests {
         r.commit(sig("Susan", 100), "V1").unwrap();
         let opts = ForkOptions::new("P3", "Susan", "https://hub/P3");
         let out = fork_cite(r.repo(), &opts, sig("Susan", 200)).unwrap();
-        assert_eq!(out.fork.function().root().author_list, vec!["Susan".to_owned()]);
+        assert_eq!(
+            out.fork.function().root().author_list,
+            vec!["Susan".to_owned()]
+        );
     }
 }

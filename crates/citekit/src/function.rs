@@ -43,7 +43,13 @@ impl CitationFunction {
     /// Creates a citation function whose active domain is just the root.
     pub fn new(root: Citation) -> Self {
         let mut entries = BTreeMap::new();
-        entries.insert(RepoPath::root(), CiteEntry { citation: root, is_dir: true });
+        entries.insert(
+            RepoPath::root(),
+            CiteEntry {
+                citation: root,
+                is_dir: true,
+            },
+        );
         CitationFunction { entries }
     }
 
@@ -74,8 +80,13 @@ impl CitationFunction {
 
     /// Replaces the root citation.
     pub fn set_root(&mut self, citation: Citation) {
-        self.entries
-            .insert(RepoPath::root(), CiteEntry { citation, is_dir: true });
+        self.entries.insert(
+            RepoPath::root(),
+            CiteEntry {
+                citation,
+                is_dir: true,
+            },
+        );
     }
 
     /// The explicit citation at `path`, if `path` is in the active domain.
@@ -148,7 +159,11 @@ impl CitationFunction {
 
     /// Resolution under an explicit [`ResolvePolicy`]. Returns matched
     /// entries nearest-first (always at least one).
-    pub fn resolve_policy(&self, path: &RepoPath, policy: ResolvePolicy) -> Vec<(&RepoPath, &Citation)> {
+    pub fn resolve_policy(
+        &self,
+        path: &RepoPath,
+        policy: ResolvePolicy,
+    ) -> Vec<(&RepoPath, &Citation)> {
         match policy {
             ResolvePolicy::ClosestAncestor => vec![self.resolve(path)],
             ResolvePolicy::RootOnly => {
@@ -234,7 +249,9 @@ mod tests {
     use gitlite::path;
 
     fn cite(name: &str) -> Citation {
-        Citation::builder(name, "owner").url(format!("https://x/{name}")).build()
+        Citation::builder(name, "owner")
+            .url(format!("https://x/{name}"))
+            .build()
     }
 
     fn sample() -> CitationFunction {
@@ -255,7 +272,13 @@ mod tests {
     #[test]
     fn from_entries_requires_root() {
         let mut entries = BTreeMap::new();
-        entries.insert(path("a"), CiteEntry { citation: cite("a"), is_dir: false });
+        entries.insert(
+            path("a"),
+            CiteEntry {
+                citation: cite("a"),
+                is_dir: false,
+            },
+        );
         assert!(matches!(
             CitationFunction::from_entries(entries),
             Err(CiteError::BadCitationFile(_))
@@ -265,9 +288,15 @@ mod tests {
     #[test]
     fn root_cannot_be_removed() {
         let mut f = sample();
-        assert_eq!(f.remove(&RepoPath::root()).unwrap_err(), CiteError::RootCitationRequired);
+        assert_eq!(
+            f.remove(&RepoPath::root()).unwrap_err(),
+            CiteError::RootCitationRequired
+        );
         assert!(f.remove(&path("src")).is_ok());
-        assert_eq!(f.remove(&path("src")).unwrap_err(), CiteError::NotCited(path("src")));
+        assert_eq!(
+            f.remove(&path("src")).unwrap_err(),
+            CiteError::NotCited(path("src"))
+        );
     }
 
     #[test]

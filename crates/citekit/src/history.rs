@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 
 /// One changed key between two citation functions.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
 pub enum CiteChange {
     /// The key entered the active domain.
     Added {

@@ -112,7 +112,15 @@ mod tests {
         let idx = CiteIndex::build(&f);
         assert_eq!(idx.len(), 4);
         for query in [
-            "", "a", "a/b", "a/b/c", "a/b/c/d/e", "a/sibling", "x", "x/file.rs", "x/other.rs",
+            "",
+            "a",
+            "a/b",
+            "a/b/c",
+            "a/b/c/d/e",
+            "a/sibling",
+            "x",
+            "x/file.rs",
+            "x/other.rs",
             "unrelated/deep/path",
         ] {
             let q = path(query);

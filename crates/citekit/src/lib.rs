@@ -74,8 +74,8 @@ pub use citation::{Citation, CitationBuilder};
 pub use copy::CopyReport;
 pub use error::{CiteError, Result};
 pub use file::{citation_path, CITATION_FILE};
-pub use fork::{fork_cite, ForkOptions, ForkOutcome};
-pub use function::{CiteEntry, CitationFunction, ResolvePolicy};
+pub use fork::{fork_cite, fork_cite_into, ForkOptions, ForkOutcome};
+pub use function::{CitationFunction, CiteEntry, ResolvePolicy};
 pub use history::{diff_functions, CitationEvent, CiteChange};
 pub use index::CiteIndex;
 pub use merge::{

@@ -18,7 +18,8 @@ use crate::function::CitationFunction;
 use crate::ops::CitedRepo;
 use gitlite::merge::{merge_listings, Conflict, MergeOptions};
 use gitlite::{
-    merge_base, read_tree, write_tree_from_listing, MergeLabels, ObjectId, RepoPath, Signature,
+    merge_base, read_tree, write_tree_from_listing, MergeLabels, ObjectId, ObjectStoreExt,
+    RepoPath, Signature,
 };
 use std::collections::BTreeMap;
 
@@ -41,6 +42,7 @@ pub enum MergeStrategy {
 
 /// A resolver's verdict on one conflicted key.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
 pub enum Resolution {
     /// Keep our side's citation.
     Ours,
@@ -74,7 +76,13 @@ pub trait ConflictResolver {
 pub struct PreferOurs;
 
 impl ConflictResolver for PreferOurs {
-    fn resolve(&mut self, _: &RepoPath, ours: Option<&Citation>, _: Option<&Citation>, _: Option<&Citation>) -> Resolution {
+    fn resolve(
+        &mut self,
+        _: &RepoPath,
+        ours: Option<&Citation>,
+        _: Option<&Citation>,
+        _: Option<&Citation>,
+    ) -> Resolution {
         if ours.is_some() {
             Resolution::Ours
         } else {
@@ -88,7 +96,13 @@ impl ConflictResolver for PreferOurs {
 pub struct PreferTheirs;
 
 impl ConflictResolver for PreferTheirs {
-    fn resolve(&mut self, _: &RepoPath, _: Option<&Citation>, theirs: Option<&Citation>, _: Option<&Citation>) -> Resolution {
+    fn resolve(
+        &mut self,
+        _: &RepoPath,
+        _: Option<&Citation>,
+        theirs: Option<&Citation>,
+        _: Option<&Citation>,
+    ) -> Resolution {
         if theirs.is_some() {
             Resolution::Theirs
         } else {
@@ -102,7 +116,13 @@ impl ConflictResolver for PreferTheirs {
 pub struct FailOnConflict;
 
 impl ConflictResolver for FailOnConflict {
-    fn resolve(&mut self, _: &RepoPath, _: Option<&Citation>, _: Option<&Citation>, _: Option<&Citation>) -> Resolution {
+    fn resolve(
+        &mut self,
+        _: &RepoPath,
+        _: Option<&Citation>,
+        _: Option<&Citation>,
+        _: Option<&Citation>,
+    ) -> Resolution {
         Resolution::Unresolved
     }
 }
@@ -218,7 +238,10 @@ pub fn merge_functions(
                 };
                 apply_resolution(&mut merged, &key, is_dir, &taken, o, t)?;
                 if record {
-                    conflicts.push(CitationConflict { path: key.clone(), taken });
+                    conflicts.push(CitationConflict {
+                        path: key.clone(),
+                        taken,
+                    });
                 }
             }
             (Some(oc), None) => {
@@ -237,7 +260,10 @@ pub fn merge_functions(
                             // ours edited, theirs deleted → conflict.
                             let taken = resolver.resolve(&key, Some(oc), None, b);
                             apply_resolution(&mut merged, &key, is_dir, &taken, o, t)?;
-                            conflicts.push(CitationConflict { path: key.clone(), taken });
+                            conflicts.push(CitationConflict {
+                                path: key.clone(),
+                                taken,
+                            });
                         }
                         None => {} // we added it; keep
                     }
@@ -252,7 +278,10 @@ pub fn merge_functions(
                         Some(_) => {
                             let taken = resolver.resolve(&key, None, Some(tc), b);
                             apply_resolution(&mut merged, &key, is_dir, &taken, o, t)?;
-                            conflicts.push(CitationConflict { path: key.clone(), taken });
+                            conflicts.push(CitationConflict {
+                                path: key.clone(),
+                                taken,
+                            });
                         }
                         None => {
                             merged.set(key.clone(), tc.clone(), is_dir);
@@ -348,9 +377,13 @@ impl CitedRepo {
             let branch = self
                 .repo()
                 .current_branch()
-                .ok_or_else(|| CiteError::Git(gitlite::GitError::BadBranchName("detached HEAD".into())))?
+                .ok_or_else(|| {
+                    CiteError::Git(gitlite::GitError::BadBranchName("detached HEAD".into()))
+                })?
                 .to_owned();
-            self.repo_mut().set_branch(&branch, theirs_tip).map_err(CiteError::Git)?;
+            self.repo_mut()
+                .set_branch(&branch, theirs_tip)
+                .map_err(CiteError::Git)?;
             self.checkout_branch(&branch)?;
             return Ok(MergeCiteReport {
                 outcome: MergeCiteOutcome::FastForwarded(theirs_tip),
@@ -380,8 +413,14 @@ impl CitedRepo {
         let ours_listing = strip(self.repo().snapshot(ours_tip).map_err(CiteError::Git)?);
         let theirs_listing = strip(self.repo().snapshot(theirs_tip).map_err(CiteError::Git)?);
         let branch_name = self.repo().current_branch().unwrap_or("HEAD").to_owned();
-        let labels = MergeLabels { ours: &branch_name, base: "base", theirs: other };
-        let opts = MergeOptions { exclude: vec![cite.clone()] };
+        let labels = MergeLabels {
+            ours: &branch_name,
+            base: "base",
+            theirs: other,
+        };
+        let opts = MergeOptions {
+            exclude: vec![cite.clone()],
+        };
         let tree_merge = merge_listings(
             self.repo_mut().odb_mut(),
             &base_listing,
@@ -440,7 +479,10 @@ impl CitedRepo {
             *self.repo_mut().worktree_mut() = wt;
             self.install_function(merged_func)?;
             Ok(MergeCiteReport {
-                outcome: MergeCiteOutcome::FileConflicts { conflicts: tree_merge.conflicts, parents },
+                outcome: MergeCiteOutcome::FileConflicts {
+                    conflicts: tree_merge.conflicts,
+                    parents,
+                },
                 citation_conflicts,
                 dropped,
             })
@@ -472,10 +514,12 @@ impl CitedRepo {
         let text = self
             .repo()
             .file_at(version, &citation_path())
-            .map_err(|_| CiteError::BadCitationFile(format!(
-                "version {} has no citation.cite",
-                version.short()
-            )))?;
+            .map_err(|_| {
+                CiteError::BadCitationFile(format!(
+                    "version {} has no citation.cite",
+                    version.short()
+                ))
+            })?;
         file::parse(&String::from_utf8_lossy(&text))
     }
 }
@@ -491,15 +535,19 @@ mod tests {
     }
 
     fn cite(name: &str) -> Citation {
-        Citation::builder(name, "o").url(format!("https://x/{name}")).build()
+        Citation::builder(name, "o")
+            .url(format!("https://x/{name}"))
+            .build()
     }
 
     /// Repo with a base commit, a `dev` branch, both carrying citations.
     fn repo_with_branches() -> CitedRepo {
         let mut r = CitedRepo::init("P1", "Leshang", "https://hub/P1");
-        r.write_file(&path("shared.txt"), &b"s1\ns2\ns3\n"[..]).unwrap();
+        r.write_file(&path("shared.txt"), &b"s1\ns2\ns3\n"[..])
+            .unwrap();
         r.write_file(&path("main-only.txt"), &b"m\n"[..]).unwrap();
-        r.add_cite(&path("shared.txt"), cite("base-shared")).unwrap();
+        r.add_cite(&path("shared.txt"), cite("base-shared"))
+            .unwrap();
         r.commit(sig("L", 100), "base").unwrap();
         r.create_branch("dev").unwrap();
         r
@@ -515,19 +563,35 @@ mod tests {
         r.commit(sig("Yanssie", 200), "dev work").unwrap();
         // main adds a different citation.
         r.checkout_branch("main").unwrap();
-        r.add_cite(&path("main-only.txt"), cite("main-cite")).unwrap();
+        r.add_cite(&path("main-only.txt"), cite("main-cite"))
+            .unwrap();
         r.commit(sig("L", 300), "main work").unwrap();
 
         let report = r
-            .merge_cite("dev", sig("L", 400), "merge dev", MergeStrategy::Union, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge dev",
+                MergeStrategy::Union,
+                &mut FailOnConflict,
+            )
             .unwrap();
         assert!(matches!(report.outcome, MergeCiteOutcome::Merged(_)));
         assert!(report.citation_conflicts.is_empty());
         assert!(report.dropped.is_empty());
         // Union holds all three non-root citations.
-        assert_eq!(r.function().get(&path("dev.txt")).unwrap().repo_name, "dev-cite");
-        assert_eq!(r.function().get(&path("main-only.txt")).unwrap().repo_name, "main-cite");
-        assert_eq!(r.function().get(&path("shared.txt")).unwrap().repo_name, "base-shared");
+        assert_eq!(
+            r.function().get(&path("dev.txt")).unwrap().repo_name,
+            "dev-cite"
+        );
+        assert_eq!(
+            r.function().get(&path("main-only.txt")).unwrap().repo_name,
+            "main-cite"
+        );
+        assert_eq!(
+            r.function().get(&path("shared.txt")).unwrap().repo_name,
+            "base-shared"
+        );
         // And both files exist.
         assert!(r.repo().worktree().is_file(&path("dev.txt")));
     }
@@ -536,39 +600,60 @@ mod tests {
     fn union_key_conflict_goes_to_resolver() {
         let mut r = repo_with_branches();
         r.checkout_branch("dev").unwrap();
-        r.modify_cite(&path("shared.txt"), cite("dev-version")).unwrap();
+        r.modify_cite(&path("shared.txt"), cite("dev-version"))
+            .unwrap();
         r.commit(sig("Yanssie", 200), "dev recites").unwrap();
         r.checkout_branch("main").unwrap();
-        r.modify_cite(&path("shared.txt"), cite("main-version")).unwrap();
+        r.modify_cite(&path("shared.txt"), cite("main-version"))
+            .unwrap();
         r.commit(sig("L", 300), "main recites").unwrap();
 
         // Resolver picks theirs.
-        let mut resolver = FnResolver(|p: &RepoPath, o: Option<&Citation>, t: Option<&Citation>, b: Option<&Citation>| {
-            assert_eq!(p, &path("shared.txt"));
-            assert_eq!(o.unwrap().repo_name, "main-version");
-            assert_eq!(t.unwrap().repo_name, "dev-version");
-            assert_eq!(b.unwrap().repo_name, "base-shared");
-            Resolution::Theirs
-        });
+        let mut resolver = FnResolver(
+            |p: &RepoPath, o: Option<&Citation>, t: Option<&Citation>, b: Option<&Citation>| {
+                assert_eq!(p, &path("shared.txt"));
+                assert_eq!(o.unwrap().repo_name, "main-version");
+                assert_eq!(t.unwrap().repo_name, "dev-version");
+                assert_eq!(b.unwrap().repo_name, "base-shared");
+                Resolution::Theirs
+            },
+        );
         let report = r
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::Union, &mut resolver)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::Union,
+                &mut resolver,
+            )
             .unwrap();
         assert_eq!(report.citation_conflicts.len(), 1);
         assert_eq!(report.citation_conflicts[0].taken, Resolution::Theirs);
-        assert_eq!(r.function().get(&path("shared.txt")).unwrap().repo_name, "dev-version");
+        assert_eq!(
+            r.function().get(&path("shared.txt")).unwrap().repo_name,
+            "dev-version"
+        );
     }
 
     #[test]
     fn unresolved_conflict_fails_merge() {
         let mut r = repo_with_branches();
         r.checkout_branch("dev").unwrap();
-        r.modify_cite(&path("shared.txt"), cite("dev-version")).unwrap();
+        r.modify_cite(&path("shared.txt"), cite("dev-version"))
+            .unwrap();
         r.commit(sig("Y", 200), "dev").unwrap();
         r.checkout_branch("main").unwrap();
-        r.modify_cite(&path("shared.txt"), cite("main-version")).unwrap();
+        r.modify_cite(&path("shared.txt"), cite("main-version"))
+            .unwrap();
         r.commit(sig("L", 300), "main").unwrap();
         let err = r
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::Union, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::Union,
+                &mut FailOnConflict,
+            )
             .unwrap_err();
         assert_eq!(err, CiteError::UnresolvedConflict(path("shared.txt")));
     }
@@ -581,16 +666,21 @@ mod tests {
         ] {
             let mut r = repo_with_branches();
             r.checkout_branch("dev").unwrap();
-            r.modify_cite(&path("shared.txt"), cite("dev-version")).unwrap();
+            r.modify_cite(&path("shared.txt"), cite("dev-version"))
+                .unwrap();
             r.commit(sig("Y", 200), "dev").unwrap();
             r.checkout_branch("main").unwrap();
-            r.modify_cite(&path("shared.txt"), cite("main-version")).unwrap();
+            r.modify_cite(&path("shared.txt"), cite("main-version"))
+                .unwrap();
             r.commit(sig("L", 300), "main").unwrap();
             let report = r
                 .merge_cite("dev", sig("L", 400), "merge", strategy, &mut FailOnConflict)
                 .unwrap();
             assert_eq!(report.citation_conflicts.len(), 1);
-            assert_eq!(r.function().get(&path("shared.txt")).unwrap().repo_name, expect);
+            assert_eq!(
+                r.function().get(&path("shared.txt")).unwrap().repo_name,
+                expect
+            );
         }
     }
 
@@ -598,18 +688,28 @@ mod tests {
     fn three_way_auto_resolves_one_sided_edit() {
         let mut r = repo_with_branches();
         r.checkout_branch("dev").unwrap();
-        r.modify_cite(&path("shared.txt"), cite("dev-version")).unwrap();
+        r.modify_cite(&path("shared.txt"), cite("dev-version"))
+            .unwrap();
         r.commit(sig("Y", 200), "dev").unwrap();
         r.checkout_branch("main").unwrap();
         // main makes an unrelated change so the merge is non-trivial.
         r.write_file(&path("other.txt"), &b"x\n"[..]).unwrap();
         r.commit(sig("L", 300), "main").unwrap();
         let report = r
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::ThreeWay, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::ThreeWay,
+                &mut FailOnConflict,
+            )
             .unwrap();
         // One-sided edit resolves without the resolver (which would fail).
         assert!(matches!(report.outcome, MergeCiteOutcome::Merged(_)));
-        assert_eq!(r.function().get(&path("shared.txt")).unwrap().repo_name, "dev-version");
+        assert_eq!(
+            r.function().get(&path("shared.txt")).unwrap().repo_name,
+            "dev-version"
+        );
         // It is not even recorded as a conflict (base == ours).
         assert!(report.citation_conflicts.is_empty());
     }
@@ -628,13 +728,25 @@ mod tests {
         // Union resurrects the entry (the paper's known simplification)...
         let mut union_repo = r.clone();
         union_repo
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::Union, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::Union,
+                &mut FailOnConflict,
+            )
             .unwrap();
         assert!(union_repo.function().contains(&path("shared.txt")));
 
         // ...while ThreeWay honors the deletion.
         let report = r
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::ThreeWay, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::ThreeWay,
+                &mut FailOnConflict,
+            )
             .unwrap();
         assert!(matches!(report.outcome, MergeCiteOutcome::Merged(_)));
         assert!(!r.function().contains(&path("shared.txt")));
@@ -647,17 +759,26 @@ mod tests {
         r.del_cite(&path("shared.txt")).unwrap();
         r.commit(sig("Y", 200), "dev uncites").unwrap();
         r.checkout_branch("main").unwrap();
-        r.modify_cite(&path("shared.txt"), cite("main-edit")).unwrap();
+        r.modify_cite(&path("shared.txt"), cite("main-edit"))
+            .unwrap();
         r.commit(sig("L", 300), "main recites").unwrap();
         let mut called = false;
-        let mut resolver = FnResolver(|_: &RepoPath, o: Option<&Citation>, t: Option<&Citation>, _: Option<&Citation>| {
-            called = true;
-            assert!(o.is_some());
-            assert!(t.is_none());
-            Resolution::Drop
-        });
+        let mut resolver = FnResolver(
+            |_: &RepoPath, o: Option<&Citation>, t: Option<&Citation>, _: Option<&Citation>| {
+                called = true;
+                assert!(o.is_some());
+                assert!(t.is_none());
+                Resolution::Drop
+            },
+        );
         let report = r
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::ThreeWay, &mut resolver)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::ThreeWay,
+                &mut resolver,
+            )
             .unwrap();
         assert!(called);
         assert!(!r.function().contains(&path("shared.txt")));
@@ -673,12 +794,20 @@ mod tests {
         r.remove(&path("main-only.txt")).unwrap();
         r.commit(sig("Y", 200), "dev deletes file").unwrap();
         r.checkout_branch("main").unwrap();
-        r.add_cite(&path("main-only.txt"), cite("late-cite")).unwrap();
+        r.add_cite(&path("main-only.txt"), cite("late-cite"))
+            .unwrap();
         // Also make a content change so merge isn't FF.
         r.write_file(&path("other.txt"), &b"x\n"[..]).unwrap();
-        r.commit(sig("L", 300), "main cites the doomed file").unwrap();
+        r.commit(sig("L", 300), "main cites the doomed file")
+            .unwrap();
         let report = r
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::Union, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::Union,
+                &mut FailOnConflict,
+            )
             .unwrap();
         // Clean delete (file unmodified on main), so no file conflict; and
         // the citation entry is dropped with it.
@@ -692,15 +821,23 @@ mod tests {
     fn file_conflicts_surface_with_merged_citations() {
         let mut r = repo_with_branches();
         r.checkout_branch("dev").unwrap();
-        r.write_file(&path("shared.txt"), &b"s1\nDEV\ns3\n"[..]).unwrap();
+        r.write_file(&path("shared.txt"), &b"s1\nDEV\ns3\n"[..])
+            .unwrap();
         r.write_file(&path("dev.txt"), &b"d\n"[..]).unwrap();
         r.add_cite(&path("dev.txt"), cite("dev-cite")).unwrap();
         r.commit(sig("Y", 200), "dev").unwrap();
         r.checkout_branch("main").unwrap();
-        r.write_file(&path("shared.txt"), &b"s1\nMAIN\ns3\n"[..]).unwrap();
+        r.write_file(&path("shared.txt"), &b"s1\nMAIN\ns3\n"[..])
+            .unwrap();
         r.commit(sig("L", 300), "main").unwrap();
         let report = r
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::Union, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::Union,
+                &mut FailOnConflict,
+            )
             .unwrap();
         let MergeCiteOutcome::FileConflicts { conflicts, parents } = report.outcome else {
             panic!("expected file conflicts");
@@ -710,7 +847,8 @@ mod tests {
         // The merged citation function is already installed.
         assert!(r.function().contains(&path("dev.txt")));
         // Resolve and complete.
-        r.write_file(&path("shared.txt"), &b"s1\nRESOLVED\ns3\n"[..]).unwrap();
+        r.write_file(&path("shared.txt"), &b"s1\nRESOLVED\ns3\n"[..])
+            .unwrap();
         let mc = r
             .commit_resolved_merge(parents, sig("L", 500), "resolved")
             .unwrap();
@@ -734,13 +872,25 @@ mod tests {
         r.commit(sig("Y", 200), "dev").unwrap();
         r.checkout_branch("main").unwrap();
         let report = r
-            .merge_cite("dev", sig("L", 300), "merge", MergeStrategy::Union, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 300),
+                "merge",
+                MergeStrategy::Union,
+                &mut FailOnConflict,
+            )
             .unwrap();
         assert!(matches!(report.outcome, MergeCiteOutcome::FastForwarded(_)));
         // Citation function followed the fast-forward.
         assert!(r.function().contains(&path("dev.txt")));
         let report = r
-            .merge_cite("dev", sig("L", 400), "again", MergeStrategy::Union, &mut FailOnConflict)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "again",
+                MergeStrategy::Union,
+                &mut FailOnConflict,
+            )
             .unwrap();
         assert!(matches!(report.outcome, MergeCiteOutcome::AlreadyUpToDate));
     }
@@ -759,7 +909,13 @@ mod tests {
         r.modify_cite(&RepoPath::root(), main_root).unwrap();
         r.commit(sig("L", 300), "main root").unwrap();
         let report = r
-            .merge_cite("dev", sig("L", 400), "merge", MergeStrategy::Union, &mut PreferOurs)
+            .merge_cite(
+                "dev",
+                sig("L", 400),
+                "merge",
+                MergeStrategy::Union,
+                &mut PreferOurs,
+            )
             .unwrap();
         assert_eq!(report.citation_conflicts.len(), 1);
         assert!(report.citation_conflicts[0].path.is_root());

@@ -52,19 +52,44 @@ impl CitedRepo {
     /// citation built from `name`, `owner` and `url` (paper §2: "All
     /// versions have a default citation attached to the root").
     pub fn init(name: &str, owner: &str, url: &str) -> Self {
-        let root = Citation::builder(name, owner)
-            .url(url)
-            .author(owner)
-            .build();
-        Self::init_with_root(name, root)
+        Self::init_with_root(name, Self::default_root(name, owner, url))
+    }
+
+    /// [`CitedRepo::init`] on a caller-supplied object-store backend
+    /// (e.g. a [`gitlite::DiskStore`] or [`gitlite::CachedStore`]); the
+    /// citation model is backend-agnostic.
+    pub fn init_with_store(
+        name: &str,
+        owner: &str,
+        url: &str,
+        store: Box<dyn gitlite::ObjectStore>,
+    ) -> Self {
+        Self::wrap_fresh(
+            Repository::init_with(name, store),
+            Self::default_root(name, owner, url),
+        )
     }
 
     /// [`CitedRepo::init`] with a fully caller-specified root citation.
     pub fn init_with_root(name: &str, root: Citation) -> Self {
-        let mut repo = Repository::init(name);
+        Self::wrap_fresh(Repository::init(name), root)
+    }
+
+    fn default_root(name: &str, owner: &str, url: &str) -> Citation {
+        Citation::builder(name, owner)
+            .url(url)
+            .author(owner)
+            .build()
+    }
+
+    fn wrap_fresh(mut repo: Repository, root: Citation) -> Self {
         let func = CitationFunction::new(root);
         file::write_worktree(repo.worktree_mut(), &func).expect("fresh worktree accepts the file");
-        CitedRepo { repo, func, prune_policy: PrunePolicy::default() }
+        CitedRepo {
+            repo,
+            func,
+            prune_policy: PrunePolicy::default(),
+        }
     }
 
     /// Wraps an existing repository whose worktree already carries a
@@ -77,7 +102,11 @@ impl CitedRepo {
                 "citation.cite not found; use retrofit to citation-enable this repository".into(),
             )
         })?;
-        Ok(CitedRepo { repo, func, prune_policy: PrunePolicy::default() })
+        Ok(CitedRepo {
+            repo,
+            func,
+            prune_policy: PrunePolicy::default(),
+        })
     }
 
     /// Sets the stale-citation policy applied at commit time.
@@ -118,7 +147,10 @@ impl CitedRepo {
         if *path == citation_path() {
             return Err(CiteError::ReservedPath(path.clone()));
         }
-        self.repo.worktree_mut().write(path, data).map_err(CiteError::Git)
+        self.repo
+            .worktree_mut()
+            .write(path, data)
+            .map_err(CiteError::Git)
     }
 
     /// Removes a file or directory subtree; citations beneath it are
@@ -127,7 +159,11 @@ impl CitedRepo {
         if *path == citation_path() {
             return Err(CiteError::ReservedPath(path.clone()));
         }
-        let n = self.repo.worktree_mut().remove(path).map_err(CiteError::Git)?;
+        let n = self
+            .repo
+            .worktree_mut()
+            .remove(path)
+            .map_err(CiteError::Git)?;
         self.func.retain(|p, _| !p.starts_with(path));
         self.sync_file()?;
         Ok(n)
@@ -141,7 +177,10 @@ impl CitedRepo {
             return Err(CiteError::ReservedPath(citation_path()));
         }
         let was_dir = self.repo.worktree().is_dir(from);
-        self.repo.worktree_mut().rename(from, to).map_err(CiteError::Git)?;
+        self.repo
+            .worktree_mut()
+            .rename(from, to)
+            .map_err(CiteError::Git)?;
         if was_dir {
             self.func.rebase_subtree(from, to);
         } else {
@@ -177,7 +216,10 @@ impl CitedRepo {
             return Err(CiteError::NotCited(path.clone()));
         }
         let is_dir = path.is_root() || self.repo.worktree().is_dir(path);
-        let prev = self.func.set(path.clone(), citation, is_dir).expect("checked contains");
+        let prev = self
+            .func
+            .set(path.clone(), citation, is_dir)
+            .expect("checked contains");
         self.sync_file()?;
         Ok(prev)
     }
@@ -231,16 +273,16 @@ impl CitedRepo {
     /// `Cite(V,P)(n)` for a committed version `V`.
     pub fn cite_at(&self, version: ObjectId, path: &RepoPath) -> Result<Citation> {
         let commit = self.repo.commit_obj(version).map_err(CiteError::Git)?;
-        if !self.repo.path_exists_at(version, path).map_err(CiteError::Git)? {
+        if !self
+            .repo
+            .path_exists_at(version, path)
+            .map_err(CiteError::Git)?
+        {
             return Err(CiteError::PathMissing(path.clone()));
         }
-        let text = self
-            .repo
-            .file_at(version, &citation_path())
-            .map_err(|_| CiteError::BadCitationFile(format!(
-                "version {} has no citation.cite",
-                version.short()
-            )))?;
+        let text = self.repo.file_at(version, &citation_path()).map_err(|_| {
+            CiteError::BadCitationFile(format!("version {} has no citation.cite", version.short()))
+        })?;
         let func = file::parse(&String::from_utf8_lossy(&text))?;
         let (at, citation) = func.resolve(path);
         if at.is_root() {
@@ -304,7 +346,11 @@ impl CitedRepo {
     /// previous version (renames carried, stale entries pruned per the
     /// [`PrunePolicy`]), and the refreshed `citation.cite` is written into
     /// the snapshot.
-    pub fn commit(&mut self, author: Signature, message: impl Into<String>) -> Result<CommitOutcome> {
+    pub fn commit(
+        &mut self,
+        author: Signature,
+        message: impl Into<String>,
+    ) -> Result<CommitOutcome> {
         let carry = match self.repo.head_commit() {
             Ok(head) => {
                 let mut old_listing = self.repo.snapshot(head).map_err(CiteError::Git)?;
@@ -389,13 +435,16 @@ mod tests {
     }
 
     fn cite(name: &str) -> Citation {
-        Citation::builder(name, "someone").url(format!("https://x/{name}")).build()
+        Citation::builder(name, "someone")
+            .url(format!("https://x/{name}"))
+            .build()
     }
 
     fn demo_repo() -> CitedRepo {
         let mut r = CitedRepo::init("P1", "Leshang", "https://hub/P1");
         r.write_file(&path("f1.txt"), &b"f1 content\n"[..]).unwrap();
-        r.write_file(&path("d/f2.txt"), &b"f2 content\n"[..]).unwrap();
+        r.write_file(&path("d/f2.txt"), &b"f2 content\n"[..])
+            .unwrap();
         r.commit(sig("Leshang", 100), "V1").unwrap();
         r
     }
@@ -411,7 +460,10 @@ mod tests {
     #[test]
     fn open_requires_citation_file() {
         let repo = Repository::init("bare");
-        assert!(matches!(CitedRepo::open(repo), Err(CiteError::BadCitationFile(_))));
+        assert!(matches!(
+            CitedRepo::open(repo),
+            Err(CiteError::BadCitationFile(_))
+        ));
         let demo = demo_repo();
         let reopened = CitedRepo::open(demo.repo().clone()).unwrap();
         assert_eq!(reopened.function(), demo.function());
@@ -461,8 +513,14 @@ mod tests {
         assert_eq!(r.cite(&path("f1.txt")).unwrap().repo_name, "v2");
         let removed = r.del_cite(&path("f1.txt")).unwrap();
         assert_eq!(removed.repo_name, "v2");
-        assert_eq!(r.del_cite(&path("f1.txt")).unwrap_err(), CiteError::NotCited(path("f1.txt")));
-        assert_eq!(r.del_cite(&RepoPath::root()).unwrap_err(), CiteError::RootCitationRequired);
+        assert_eq!(
+            r.del_cite(&path("f1.txt")).unwrap_err(),
+            CiteError::NotCited(path("f1.txt"))
+        );
+        assert_eq!(
+            r.del_cite(&RepoPath::root()).unwrap_err(),
+            CiteError::RootCitationRequired
+        );
     }
 
     use gitlite::RepoPath;
@@ -476,7 +534,10 @@ mod tests {
         let before = r.cite_at(v1, &path("f1.txt")).unwrap();
         assert_eq!(before.repo_name, "P1"); // C1 = root citation
         r.add_cite(&path("f1.txt"), cite("C2")).unwrap();
-        let v2 = r.commit(sig("Leshang", 200), "V2: AddCite f1").unwrap().commit;
+        let v2 = r
+            .commit(sig("Leshang", 200), "V2: AddCite f1")
+            .unwrap()
+            .commit;
         let after = r.cite_at(v2, &path("f1.txt")).unwrap();
         assert_eq!(after.repo_name, "C2");
         // V1's resolution is unchanged (citations are per version).
@@ -517,8 +578,17 @@ mod tests {
         r.add_cite(&path("d"), cite("dir")).unwrap();
         r.add_cite(&path("d/f2.txt"), cite("file")).unwrap();
         r.rename(&path("d"), &path("moved/dir")).unwrap();
-        assert_eq!(r.function().get(&path("moved/dir")).unwrap().repo_name, "dir");
-        assert_eq!(r.function().get(&path("moved/dir/f2.txt")).unwrap().repo_name, "file");
+        assert_eq!(
+            r.function().get(&path("moved/dir")).unwrap().repo_name,
+            "dir"
+        );
+        assert_eq!(
+            r.function()
+                .get(&path("moved/dir/f2.txt"))
+                .unwrap()
+                .repo_name,
+            "file"
+        );
     }
 
     #[test]
@@ -526,9 +596,15 @@ mod tests {
         let mut r = demo_repo();
         r.add_cite(&path("f1.txt"), cite("c")).unwrap();
         // Bypass the wrapper: rename directly on the worktree.
-        r.repo_mut().worktree_mut().rename(&path("f1.txt"), &path("sneaky.txt")).unwrap();
+        r.repo_mut()
+            .worktree_mut()
+            .rename(&path("f1.txt"), &path("sneaky.txt"))
+            .unwrap();
         let out = r.commit(sig("Leshang", 200), "sneaky rename").unwrap();
-        assert_eq!(out.carry.renamed, vec![(path("f1.txt"), path("sneaky.txt"))]);
+        assert_eq!(
+            out.carry.renamed,
+            vec![(path("f1.txt"), path("sneaky.txt"))]
+        );
         assert!(r.function().contains(&path("sneaky.txt")));
     }
 
@@ -544,7 +620,10 @@ mod tests {
         r2.add_cite(&path("f1.txt"), cite("c")).unwrap();
         r2.commit(sig("L", 150), "cited").unwrap();
         r2.set_prune_policy(PrunePolicy::Strict);
-        r2.repo_mut().worktree_mut().remove_file(&path("f1.txt")).unwrap();
+        r2.repo_mut()
+            .worktree_mut()
+            .remove_file(&path("f1.txt"))
+            .unwrap();
         assert_eq!(
             r2.commit(sig("L", 200), "bad").unwrap_err(),
             CiteError::PathMissing(path("f1.txt"))
@@ -558,7 +637,10 @@ mod tests {
             r.write_file(&citation_path(), &b"{}"[..]),
             Err(CiteError::ReservedPath(_))
         ));
-        assert!(matches!(r.remove(&citation_path()), Err(CiteError::ReservedPath(_))));
+        assert!(matches!(
+            r.remove(&citation_path()),
+            Err(CiteError::ReservedPath(_))
+        ));
         assert!(matches!(
             r.rename(&citation_path(), &path("x")),
             Err(CiteError::ReservedPath(_))
@@ -602,7 +684,9 @@ mod tests {
         let mut r = demo_repo();
         r.add_cite(&path("d"), cite("dir")).unwrap();
         r.add_cite(&path("d/f2.txt"), cite("file")).unwrap();
-        let chain = r.cite_policy(&path("d/f2.txt"), ResolvePolicy::PathUnion).unwrap();
+        let chain = r
+            .cite_policy(&path("d/f2.txt"), ResolvePolicy::PathUnion)
+            .unwrap();
         let names: Vec<&str> = chain.iter().map(|c| c.repo_name.as_str()).collect();
         assert_eq!(names, vec!["file", "dir", "P1"]);
     }

@@ -21,8 +21,8 @@ use crate::function::CitationFunction;
 use crate::ops::CitedRepo;
 use crate::time::format_iso8601;
 use gitlite::{
-    diff_listings, write_tree_from_listing, Commit, Object, ObjectId, RepoPath, Repository,
-    Signature,
+    diff_listings, write_tree_from_listing, Commit, Object, ObjectId, ObjectStoreExt, RepoPath,
+    Repository, Signature,
 };
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -46,7 +46,12 @@ pub struct RetrofitOptions {
 impl RetrofitOptions {
     /// Reasonable defaults for `owner`/`url`.
     pub fn new(owner: impl Into<String>, url: impl Into<String>) -> Self {
-        RetrofitOptions { max_depth: 1, min_files: 1, owner: owner.into(), url: url.into() }
+        RetrofitOptions {
+            max_depth: 1,
+            min_files: 1,
+            owner: owner.into(),
+            url: url.into(),
+        }
     }
 }
 
@@ -109,17 +114,19 @@ fn accumulate_stats(
                 continue;
             }
             // The root plus every ancestor directory down to max_depth.
-            stats
-                .entry(RepoPath::root())
-                .or_default()
-                .record(&commit.author.name, id, commit.author.timestamp);
+            stats.entry(RepoPath::root()).or_default().record(
+                &commit.author.name,
+                id,
+                commit.author.timestamp,
+            );
             let comps = path.components();
             for depth in 1..comps.len().min(max_depth + 1) {
                 let dir = RepoPath::parse(&comps[..depth].join("/")).expect("valid components");
-                stats
-                    .entry(dir)
-                    .or_default()
-                    .record(&commit.author.name, id, commit.author.timestamp);
+                stats.entry(dir).or_default().record(
+                    &commit.author.name,
+                    id,
+                    commit.author.timestamp,
+                );
             }
         }
     }
@@ -193,11 +200,7 @@ pub fn retrofit(
     commits.reverse(); // oldest first
     let stats = accumulate_stats(&repo, &commits, opts.max_depth)?;
     let func = synthesize_function(&repo, head, &stats, opts)?;
-    let cited_dirs: Vec<RepoPath> = func
-        .paths()
-        .filter(|p| !p.is_root())
-        .cloned()
-        .collect();
+    let cited_dirs: Vec<RepoPath> = func.paths().filter(|p| !p.is_root()).cloned().collect();
 
     let mut repo = repo;
     file::write_worktree(repo.worktree_mut(), &func)?;
@@ -248,7 +251,10 @@ pub fn retrofit_history(
             .map(|(&id, _)| id)
             .collect();
         roots.sort_by_key(|id| {
-            (src.commit_obj(*id).map(|c| c.author.timestamp).unwrap_or(0), *id)
+            (
+                src.commit_obj(*id).map(|c| c.author.timestamp).unwrap_or(0),
+                *id,
+            )
         });
         roots.into()
     };
@@ -265,7 +271,10 @@ pub fn retrofit_history(
                 }
             }
             unlocked.sort_by_key(|id| {
-                (src.commit_obj(*id).map(|c| c.author.timestamp).unwrap_or(0), *id)
+                (
+                    src.commit_obj(*id).map(|c| c.author.timestamp).unwrap_or(0),
+                    *id,
+                )
             });
             ready.extend(unlocked);
         }
@@ -289,21 +298,28 @@ pub fn retrofit_history(
         };
         let new_listing = src.snapshot(old_id).map_err(CiteError::Git)?;
         let diff = diff_listings(&old_listing, &new_listing, src.odb(), false);
-        for path in diff.added.keys().chain(diff.deleted.keys()).chain(diff.modified.keys()) {
+        for path in diff
+            .added
+            .keys()
+            .chain(diff.deleted.keys())
+            .chain(diff.modified.keys())
+        {
             if *path == cite {
                 continue;
             }
-            stats
-                .entry(RepoPath::root())
-                .or_default()
-                .record(&commit.author.name, old_id, commit.author.timestamp);
+            stats.entry(RepoPath::root()).or_default().record(
+                &commit.author.name,
+                old_id,
+                commit.author.timestamp,
+            );
             let comps = path.components();
             for depth in 1..comps.len().min(opts.max_depth + 1) {
                 let dir = RepoPath::parse(&comps[..depth].join("/")).expect("valid components");
-                stats
-                    .entry(dir)
-                    .or_default()
-                    .record(&commit.author.name, old_id, commit.author.timestamp);
+                stats.entry(dir).or_default().record(
+                    &commit.author.name,
+                    old_id,
+                    commit.author.timestamp,
+                );
             }
         }
 
@@ -315,11 +331,7 @@ pub fn retrofit_history(
         let blob = dst.odb_mut().put_blob(file::to_text(&func).into_bytes());
         listing.insert(cite.clone(), blob);
         let tree = write_tree_from_listing(dst.odb_mut(), &listing);
-        let new_parents: Vec<ObjectId> = commit
-            .parents
-            .iter()
-            .map(|p| map[p])
-            .collect();
+        let new_parents: Vec<ObjectId> = commit.parents.iter().map(|p| map[p]).collect();
         let new_commit = Commit {
             tree,
             parents: new_parents,
@@ -360,14 +372,24 @@ mod tests {
     /// touch the README.
     fn legacy_repo() -> Repository {
         let mut r = Repository::init("legacy");
-        r.worktree_mut().write(&path("README.md"), &b"v1\n"[..]).unwrap();
-        r.worktree_mut().write(&path("core/a.rs"), &b"a\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("README.md"), &b"v1\n"[..])
+            .unwrap();
+        r.worktree_mut()
+            .write(&path("core/a.rs"), &b"a\n"[..])
+            .unwrap();
         r.commit(sig("alice", 100), "core start").unwrap();
-        r.worktree_mut().write(&path("gui/app.js"), &b"g\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("gui/app.js"), &b"g\n"[..])
+            .unwrap();
         r.commit(sig("bob", 200), "gui start").unwrap();
-        r.worktree_mut().write(&path("core/b.rs"), &b"b\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("core/b.rs"), &b"b\n"[..])
+            .unwrap();
         r.commit(sig("alice", 300), "more core").unwrap();
-        r.worktree_mut().write(&path("README.md"), &b"v2\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("README.md"), &b"v2\n"[..])
+            .unwrap();
         r.commit(sig("bob", 400), "docs").unwrap();
         r
     }
@@ -390,8 +412,14 @@ mod tests {
             vec!["alice".to_owned(), "bob".to_owned()]
         );
         // Resolution now credits the right team.
-        assert_eq!(cited.cite(&path("core/a.rs")).unwrap().author_list, vec!["alice".to_owned()]);
-        assert_eq!(cited.cite(&path("gui/app.js")).unwrap().author_list, vec!["bob".to_owned()]);
+        assert_eq!(
+            cited.cite(&path("core/a.rs")).unwrap().author_list,
+            vec!["alice".to_owned()]
+        );
+        assert_eq!(
+            cited.cite(&path("gui/app.js")).unwrap().author_list,
+            vec!["bob".to_owned()]
+        );
     }
 
     #[test]
@@ -447,7 +475,7 @@ mod tests {
         for new_id in &new_log {
             let text = rewritten.file_at(*new_id, &citation_path()).unwrap();
             let func = file::parse(&String::from_utf8_lossy(&text)).unwrap();
-            assert!(func.len() >= 1);
+            assert!(!func.is_empty());
         }
         // The first version (only alice, only core/) must NOT cite core
         // separately — its authorship equals the whole project's then.
@@ -456,9 +484,9 @@ mod tests {
         let func = file::parse(&String::from_utf8_lossy(&text)).unwrap();
         assert!(!func.contains(&path("core")));
         // The final version cites both dirs.
-        let tip_func = file::parse(
-            &String::from_utf8_lossy(&rewritten.file_at(new_log[0], &citation_path()).unwrap()),
-        )
+        let tip_func = file::parse(&String::from_utf8_lossy(
+            &rewritten.file_at(new_log[0], &citation_path()).unwrap(),
+        ))
         .unwrap();
         assert!(tip_func.contains(&path("core")));
         assert!(tip_func.contains(&path("gui")));
@@ -474,7 +502,9 @@ mod tests {
         let mut repo = legacy_repo();
         repo.create_branch("feature").unwrap();
         repo.checkout_branch("feature").unwrap();
-        repo.worktree_mut().write(&path("feat.txt"), &b"f\n"[..]).unwrap();
+        repo.worktree_mut()
+            .write(&path("feat.txt"), &b"f\n"[..])
+            .unwrap();
         repo.commit(sig("carol", 500), "feature work").unwrap();
         repo.checkout_branch("main").unwrap();
         let opts = RetrofitOptions::new("m", "https://x");
@@ -486,8 +516,13 @@ mod tests {
         );
         // The merge-commit-free DAG shape is preserved: feature tip's
         // parent is main's old tip, remapped.
-        let feat_commit = rewritten.commit_obj(rewritten.branch_tip("feature").unwrap()).unwrap();
-        assert_eq!(feat_commit.parents, vec![map[&repo.branch_tip("main").unwrap()]]);
+        let feat_commit = rewritten
+            .commit_obj(rewritten.branch_tip("feature").unwrap())
+            .unwrap();
+        assert_eq!(
+            feat_commit.parents,
+            vec![map[&repo.branch_tip("main").unwrap()]]
+        );
         // The rewritten repo can be opened as a CitedRepo directly.
         let cited = CitedRepo::open(rewritten).unwrap();
         assert_eq!(cited.function().root().repo_name, "legacy");

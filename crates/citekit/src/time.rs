@@ -22,8 +22,13 @@ pub fn format_iso8601(ts: i64) -> String {
 /// on malformed input or out-of-range fields.
 pub fn parse_iso8601(s: &str) -> Option<i64> {
     let bytes = s.as_bytes();
-    if bytes.len() != 20 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T'
-        || bytes[13] != b':' || bytes[16] != b':' || bytes[19] != b'Z'
+    if bytes.len() != 20
+        || bytes[4] != b'-'
+        || bytes[7] != b'-'
+        || bytes[10] != b'T'
+        || bytes[13] != b':'
+        || bytes[16] != b':'
+        || bytes[19] != b'Z'
     {
         return None;
     }
@@ -103,7 +108,11 @@ mod tests {
     #[test]
     fn listing1_dates_round_trip() {
         // The three committedDate values from Listing 1 of the paper.
-        for s in ["2018-09-04T02:35:20Z", "2018-03-24T00:29:45Z", "2017-06-16T20:57:06Z"] {
+        for s in [
+            "2018-09-04T02:35:20Z",
+            "2018-03-24T00:29:45Z",
+            "2017-06-16T20:57:06Z",
+        ] {
             let ts = parse_iso8601(s).expect("parses");
             assert_eq!(format_iso8601(ts), s);
         }

@@ -35,7 +35,11 @@ impl fmt::Display for Violation {
         match self {
             Violation::MissingRoot => write!(f, "root entry \"/\" is missing"),
             Violation::DanglingPath(p) => {
-                write!(f, "entry {:?} names a path that does not exist", p.to_cite_key(false))
+                write!(
+                    f,
+                    "entry {:?} names a path that does not exist",
+                    p.to_cite_key(false)
+                )
             }
             Violation::KindMismatch { path, claims_dir } => write!(
                 f,
@@ -45,7 +49,11 @@ impl fmt::Display for Violation {
                 if *claims_dir { "file" } else { "directory" },
             ),
             Violation::ReservedPath(p) => {
-                write!(f, "entry {:?} cites the citation file itself", p.to_cite_key(false))
+                write!(
+                    f,
+                    "entry {:?} cites the citation file itself",
+                    p.to_cite_key(false)
+                )
             }
         }
     }
@@ -72,7 +80,10 @@ pub fn validate(func: &CitationFunction, wt: &WorkTree) -> Vec<Violation> {
         }
         let actual_dir = wt.is_dir(path);
         if actual_dir != entry.is_dir {
-            out.push(Violation::KindMismatch { path: path.clone(), claims_dir: entry.is_dir });
+            out.push(Violation::KindMismatch {
+                path: path.clone(),
+                claims_dir: entry.is_dir,
+            });
         }
     }
     out
@@ -119,8 +130,14 @@ mod tests {
         f.set(path("README.md"), cite("y"), true); // README.md is a file
         let v = validate(&f, &tree());
         assert_eq!(v.len(), 2);
-        assert!(v.contains(&Violation::KindMismatch { path: path("src"), claims_dir: false }));
-        assert!(v.contains(&Violation::KindMismatch { path: path("README.md"), claims_dir: true }));
+        assert!(v.contains(&Violation::KindMismatch {
+            path: path("src"),
+            claims_dir: false
+        }));
+        assert!(v.contains(&Violation::KindMismatch {
+            path: path("README.md"),
+            claims_dir: true
+        }));
     }
 
     #[test]

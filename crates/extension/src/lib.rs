@@ -170,20 +170,37 @@ impl<'h> Popup<'h> {
     /// explicit citation if one exists, else an empty text box.
     pub fn select(&mut self, path: &RepoPath) -> Result<()> {
         self.view.selected = Some(path.clone());
-        let is_member = matches!(self.session, Session::SignedIn { is_member: true, .. });
+        let is_member = matches!(
+            self.session,
+            Session::SignedIn {
+                is_member: true,
+                ..
+            }
+        );
         if is_member {
-            let explicit = self.hub.citation_entry(&self.view.repo_id, &self.view.branch, path)?;
+            let explicit = self
+                .hub
+                .citation_entry(&self.view.repo_id, &self.view.branch, path)?;
             match explicit {
                 Some(c) => {
                     self.view.text_box = c.to_value().to_string_pretty();
-                    self.view.buttons =
-                        ButtonStates { generate: true, add: false, modify: true, delete: true };
-                    self.view.status = "explicit citation shown; you may modify or delete it".into();
+                    self.view.buttons = ButtonStates {
+                        generate: true,
+                        add: false,
+                        modify: true,
+                        delete: true,
+                    };
+                    self.view.status =
+                        "explicit citation shown; you may modify or delete it".into();
                 }
                 None => {
                     self.view.text_box.clear();
-                    self.view.buttons =
-                        ButtonStates { generate: true, add: true, modify: false, delete: false };
+                    self.view.buttons = ButtonStates {
+                        generate: true,
+                        add: true,
+                        modify: false,
+                        delete: false,
+                    };
                     self.view.status =
                         "no explicit citation; enter one or press Generate Citation".into();
                 }
@@ -191,10 +208,15 @@ impl<'h> Popup<'h> {
         } else {
             // Non-member (or anonymous): immediate generation, no editing.
             let citation =
-                self.hub.generate_citation(&self.view.repo_id, &self.view.branch, path)?;
+                self.hub
+                    .generate_citation(&self.view.repo_id, &self.view.branch, path)?;
             self.view.text_box = citation.to_value().to_string_pretty();
-            self.view.buttons =
-                ButtonStates { generate: true, add: false, modify: false, delete: false };
+            self.view.buttons = ButtonStates {
+                generate: true,
+                add: false,
+                modify: false,
+                delete: false,
+            };
             self.view.status = "citation generated; copy it to your bibliography manager".into();
         }
         Ok(())
@@ -205,7 +227,9 @@ impl<'h> Popup<'h> {
     /// "can then modif\[y\] for the current node".
     pub fn generate(&mut self) -> Result<Citation> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
-        let citation = self.hub.generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
+        let citation = self
+            .hub
+            .generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
         self.view.text_box = citation.to_value().to_string_pretty();
         self.view.status = "generated from closest cited ancestor".into();
         Ok(citation)
@@ -236,7 +260,13 @@ impl<'h> Popup<'h> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
         let citation = self.parse_text_box()?;
         let token = self.member_token()?.clone();
-        self.hub.add_cite(&token, &self.view.repo_id, &self.view.branch, &path, citation)?;
+        self.hub.add_cite(
+            &token,
+            &self.view.repo_id,
+            &self.view.branch,
+            &path,
+            citation,
+        )?;
         self.view.status = format!("citation added to {}", path.to_cite_key(false));
         self.select(&path)
     }
@@ -247,7 +277,13 @@ impl<'h> Popup<'h> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
         let citation = self.parse_text_box()?;
         let token = self.member_token()?.clone();
-        self.hub.modify_cite(&token, &self.view.repo_id, &self.view.branch, &path, citation)?;
+        self.hub.modify_cite(
+            &token,
+            &self.view.repo_id,
+            &self.view.branch,
+            &path,
+            citation,
+        )?;
         self.view.status = format!("citation modified at {}", path.to_cite_key(false));
         self.select(&path)
     }
@@ -256,7 +292,8 @@ impl<'h> Popup<'h> {
     pub fn delete(&mut self) -> Result<()> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
         let token = self.member_token()?.clone();
-        self.hub.del_cite(&token, &self.view.repo_id, &self.view.branch, &path)?;
+        self.hub
+            .del_cite(&token, &self.view.repo_id, &self.view.branch, &path)?;
         self.view.status = format!("citation deleted from {}", path.to_cite_key(false));
         self.select(&path)
     }
@@ -265,7 +302,9 @@ impl<'h> Popup<'h> {
     /// format (the "copy-pasted to their local bibliography manager" step).
     pub fn export(&mut self, format: Format) -> Result<String> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
-        let citation = self.hub.generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
+        let citation = self
+            .hub
+            .generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
         Ok(bibformat::render(&citation, format))
     }
 }
@@ -285,12 +324,24 @@ mod tests {
         let visitor = hub.login("visitor").unwrap();
         let repo_id = hub.create_repo(&owner, "P1").unwrap();
         let mut local = hub.clone_repo(&repo_id).unwrap();
-        local.worktree_mut().write(&path("f1.txt"), &b"f1\n"[..]).unwrap();
-        local.worktree_mut().write(&path("d/f2.txt"), &b"f2\n"[..]).unwrap();
-        local.commit(Signature::new("Leshang Chen", "l@x", 100), "files").unwrap();
-        hub.push(&owner, &repo_id, "main", &local, "main", false).unwrap();
-        let c2 = Citation::builder("C2", "Leshang Chen").author("Leshang Chen").build();
-        hub.add_cite(&owner, &repo_id, "main", &path("f1.txt"), c2).unwrap();
+        local
+            .worktree_mut()
+            .write(&path("f1.txt"), &b"f1\n"[..])
+            .unwrap();
+        local
+            .worktree_mut()
+            .write(&path("d/f2.txt"), &b"f2\n"[..])
+            .unwrap();
+        local
+            .commit(Signature::new("Leshang Chen", "l@x", 100), "files")
+            .unwrap();
+        hub.push(&owner, &repo_id, "main", &local, "main", false)
+            .unwrap();
+        let c2 = Citation::builder("C2", "Leshang Chen")
+            .author("Leshang Chen")
+            .build();
+        hub.add_cite(&owner, &repo_id, "main", &path("f1.txt"), c2)
+            .unwrap();
         (hub, owner, visitor, repo_id)
     }
 
@@ -305,7 +356,12 @@ mod tests {
         // Only Generate is available.
         assert_eq!(
             v.buttons,
-            ButtonStates { generate: true, add: false, modify: false, delete: false }
+            ButtonStates {
+                generate: true,
+                add: false,
+                modify: false,
+                delete: false
+            }
         );
         assert!(v.signed_in_as.is_none());
     }
@@ -321,7 +377,10 @@ mod tests {
         assert!(!popup.view().buttons.add);
         // ...and the flow errors server-side when bypassed.
         popup.edit_text(r#"{"repoName": "sneak"}"#);
-        assert!(matches!(popup.add(), Err(ExtError::Hub(HubError::PermissionDenied(_)))));
+        assert!(matches!(
+            popup.add(),
+            Err(ExtError::Hub(HubError::PermissionDenied(_)))
+        ));
     }
 
     #[test]
@@ -335,14 +394,24 @@ mod tests {
         assert!(popup.view().text_box.contains("\"repoName\": \"C2\""));
         assert_eq!(
             popup.view().buttons,
-            ButtonStates { generate: true, add: false, modify: true, delete: true }
+            ButtonStates {
+                generate: true,
+                add: false,
+                modify: true,
+                delete: true
+            }
         );
         // Uncited node: empty box, add enabled.
         popup.select(&path("d/f2.txt")).unwrap();
         assert!(popup.view().text_box.is_empty());
         assert_eq!(
             popup.view().buttons,
-            ButtonStates { generate: true, add: true, modify: false, delete: false }
+            ButtonStates {
+                generate: true,
+                add: true,
+                modify: false,
+                delete: false
+            }
         );
     }
 
@@ -364,7 +433,9 @@ mod tests {
         assert!(popup.view().buttons.delete);
         assert!(popup.view().text_box.contains("the f2 component"));
         // And the hub agrees.
-        let c = hub.generate_citation(&repo_id, "main", &path("d/f2.txt")).unwrap();
+        let c = hub
+            .generate_citation(&repo_id, "main", &path("d/f2.txt"))
+            .unwrap();
         assert_eq!(c.note.as_deref(), Some("the f2 component"));
     }
 
@@ -378,7 +449,9 @@ mod tests {
         // Back to the uncited state.
         assert!(popup.view().text_box.is_empty());
         assert!(popup.view().buttons.add);
-        let c = hub.generate_citation(&repo_id, "main", &path("f1.txt")).unwrap();
+        let c = hub
+            .generate_citation(&repo_id, "main", &path("f1.txt"))
+            .unwrap();
         assert_eq!(c.repo_name, "P1"); // falls back to the root
     }
 

@@ -103,7 +103,8 @@ impl Parsed {
     }
 
     fn required_flag(&self, key: &str) -> Result<&str> {
-        self.flag(key).ok_or_else(|| CliError::Usage(format!("missing --{key}")))
+        self.flag(key)
+            .ok_or_else(|| CliError::Usage(format!("missing --{key}")))
     }
 
     fn path_pos(&self, idx: usize, what: &str) -> Result<RepoPath> {
@@ -198,7 +199,9 @@ pub fn run(args: &[String], cwd: &Path) -> Result<String> {
         "copy" => with_repo_mut(cwd, rest, cmd_copy),
         "fork" => cmd_fork(rest, cwd),
         "retro" => cmd_retro(rest, cwd),
-        other => Err(CliError::Usage(format!("unknown command {other:?}; try `gitcite help`"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}; try `gitcite help`"
+        ))),
     }
 }
 
@@ -242,7 +245,11 @@ fn signature(p: &Parsed, repo: &CitedRepo) -> Result<Signature> {
         Some(d) => citekit::parse_iso8601(d)
             .ok_or_else(|| CliError::Usage(format!("--date {d:?} is not YYYY-MM-DDTHH:MM:SSZ")))?,
         None => match repo.repo().head_commit() {
-            Ok(head) => repo.repo().commit_obj(head).map(|c| c.author.timestamp + 1).unwrap_or(1),
+            Ok(head) => repo
+                .repo()
+                .commit_obj(head)
+                .map(|c| c.author.timestamp + 1)
+                .unwrap_or(1),
             Err(_) => 1,
         },
     };
@@ -291,7 +298,9 @@ fn citation_from_flags(p: &Parsed) -> Result<Citation> {
 fn cmd_init(args: &[String], cwd: &Path) -> Result<String> {
     let p = parse_args(args)?;
     if storage::exists(cwd) {
-        return Err(CliError::Op("a gitcite repository already exists here".into()));
+        return Err(CliError::Op(
+            "a gitcite repository already exists here".into(),
+        ));
     }
     let name = p.pos(0, "name")?;
     let owner = p.required_flag("owner")?;
@@ -368,7 +377,9 @@ fn cmd_commit(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
 
 fn cmd_cite(args: &[String], cwd: &Path) -> Result<String> {
     let Some(sub) = args.first().map(String::as_str) else {
-        return Err(CliError::Usage("cite needs a subcommand: show|gen|add|modify|del".into()));
+        return Err(CliError::Usage(
+            "cite needs a subcommand: show|gen|add|modify|del".into(),
+        ));
     };
     let rest = &args[1..];
     match sub {
@@ -410,14 +421,22 @@ fn cmd_cite(args: &[String], cwd: &Path) -> Result<String> {
             let path = p.path_pos(0, "path")?;
             let citation = citation_from_flags(p)?;
             repo.modify_cite(&path, citation)?;
-            Ok(format!("citation modified at {}\n", path.to_cite_key(false)))
+            Ok(format!(
+                "citation modified at {}\n",
+                path.to_cite_key(false)
+            ))
         }),
         "del" => with_repo_mut(cwd, rest, |repo, p| {
             let path = p.path_pos(0, "path")?;
             repo.del_cite(&path)?;
-            Ok(format!("citation deleted from {}\n", path.to_cite_key(false)))
+            Ok(format!(
+                "citation deleted from {}\n",
+                path.to_cite_key(false)
+            ))
         }),
-        other => Err(CliError::Usage(format!("unknown cite subcommand {other:?}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown cite subcommand {other:?}"
+        ))),
     }
 }
 
@@ -425,7 +444,10 @@ fn cmd_history(repo: &CitedRepo, p: &Parsed) -> Result<String> {
     let path = p.path_pos(0, "path")?;
     let events = repo.citation_log(&path)?;
     if events.is_empty() {
-        return Ok(format!("{} was never explicitly cited\n", path.to_cite_key(false)));
+        return Ok(format!(
+            "{} was never explicitly cited\n",
+            path.to_cite_key(false)
+        ));
     }
     let mut out = format!("citation history of {}:\n", path.to_cite_key(false));
     for e in events {
@@ -545,17 +567,19 @@ fn cmd_merge(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
         ));
     }
     for d in &report.dropped {
-        out.push_str(&format!("  citation dropped (file deleted by merge): {d}\n"));
+        out.push_str(&format!(
+            "  citation dropped (file deleted by merge): {d}\n"
+        ));
     }
     Ok(out)
 }
 
 fn cmd_copy(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
     let from_dir = PathBuf::from(p.required_flag("from")?);
-    let src_path = RepoPath::parse(p.required_flag("src")?)
-        .map_err(|e| CliError::Usage(e.to_string()))?;
-    let dst_path = RepoPath::parse(p.required_flag("dst")?)
-        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let src_path =
+        RepoPath::parse(p.required_flag("src")?).map_err(|e| CliError::Usage(e.to_string()))?;
+    let dst_path =
+        RepoPath::parse(p.required_flag("dst")?).map_err(|e| CliError::Usage(e.to_string()))?;
     let src_repo = storage::load(&from_dir)?;
     let src_version = src_repo.head_commit()?;
     let report = repo.copy_cite(&dst_path, &src_repo, src_version, &src_path)?;
@@ -570,7 +594,9 @@ fn cmd_copy(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
         out.push_str(&format!("  citation migrated: {}\n", m.to_cite_key(false)));
     }
     if let Some(c) = &report.materialized {
-        out.push_str(&format!("  effective citation materialized at destination: {c}\n"));
+        out.push_str(&format!(
+            "  effective citation materialized at destination: {c}\n"
+        ));
     }
     out.push_str("run `gitcite commit` to create the new version\n");
     Ok(out)
@@ -585,7 +611,10 @@ fn cmd_fork(args: &[String], cwd: &Path) -> Result<String> {
     let src = open(cwd)?;
     let sig = signature(&p, &src)?;
     if storage::exists(&to) {
-        return Err(CliError::Op(format!("{} already holds a repository", to.display())));
+        return Err(CliError::Op(format!(
+            "{} already holds a repository",
+            to.display()
+        )));
     }
     std::fs::create_dir_all(&to)?;
     let mut opts = ForkOptions::new(name, owner, url);
@@ -611,10 +640,14 @@ fn cmd_retro(args: &[String], cwd: &Path) -> Result<String> {
     let repo = storage::load(cwd)?;
     let mut opts = RetrofitOptions::new(p.required_flag("owner")?, p.required_flag("url")?);
     if let Some(d) = p.flag("max-depth") {
-        opts.max_depth = d.parse().map_err(|_| CliError::Usage("--max-depth must be a number".into()))?;
+        opts.max_depth = d
+            .parse()
+            .map_err(|_| CliError::Usage("--max-depth must be a number".into()))?;
     }
     if let Some(m) = p.flag("min-files") {
-        opts.min_files = m.parse().map_err(|_| CliError::Usage("--min-files must be a number".into()))?;
+        opts.min_files = m
+            .parse()
+            .map_err(|_| CliError::Usage("--min-files must be a number".into()))?;
     }
     let author = p.required_flag("author")?;
     let ts = repo
@@ -622,7 +655,11 @@ fn cmd_retro(args: &[String], cwd: &Path) -> Result<String> {
         .and_then(|h| repo.commit_obj(h))
         .map(|c| c.author.timestamp + 1)
         .unwrap_or(1);
-    let (cited, report) = retrofit(repo, &opts, Signature::new(author, format!("{author}@local"), ts))?;
+    let (cited, report) = retrofit(
+        repo,
+        &opts,
+        Signature::new(author, format!("{author}@local"), ts),
+    )?;
     storage::save(cwd, cited.repo())?;
     let mut out = format!(
         "retrofitted: citation.cite synthesized from history ({} directory citation(s))\n",

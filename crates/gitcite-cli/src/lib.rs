@@ -28,44 +28,53 @@ pub use cli::{run, CliError, USAGE};
 #[cfg(test)]
 mod tests {
     use super::cli::run;
-    use std::path::PathBuf;
+    use std::path::{Path, PathBuf};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static COUNTER: AtomicU64 = AtomicU64::new(0);
 
     fn temp_dir() -> PathBuf {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir()
-            .join(format!("gitcite-cli-test-{}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("gitcite-cli-test-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
 
-    fn cleanup(dir: &PathBuf) {
+    fn cleanup(dir: &Path) {
         let _ = std::fs::remove_dir_all(dir);
     }
 
-    fn gc(dir: &PathBuf, args: &[&str]) -> Result<String, super::CliError> {
+    fn gc(dir: &Path, args: &[&str]) -> Result<String, super::CliError> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         run(&args, dir)
     }
 
-    fn ok(dir: &PathBuf, args: &[&str]) -> String {
+    fn ok(dir: &Path, args: &[&str]) -> String {
         match gc(dir, args) {
             Ok(out) => out,
             Err(e) => panic!("command {args:?} failed: {e}"),
         }
     }
 
-    fn write(dir: &PathBuf, rel: &str, content: &str) {
+    fn write(dir: &Path, rel: &str, content: &str) {
         let p = dir.join(rel);
         std::fs::create_dir_all(p.parent().unwrap()).unwrap();
         std::fs::write(p, content).unwrap();
     }
 
-    fn init_repo(dir: &PathBuf) {
-        ok(dir, &["init", "P1", "--owner", "Leshang", "--url", "https://hub/P1"]);
+    fn init_repo(dir: &Path) {
+        ok(
+            dir,
+            &[
+                "init",
+                "P1",
+                "--owner",
+                "Leshang",
+                "--url",
+                "https://hub/P1",
+            ],
+        );
     }
 
     #[test]
@@ -88,9 +97,18 @@ mod tests {
         assert!(status.contains("no commits yet"));
 
         write(&dir, "f1.txt", "hello\n");
-        let out = ok(&dir, &[
-            "commit", "-m", "V1", "--author", "Leshang", "--date", "2018-09-01T00:00:00Z",
-        ]);
+        let out = ok(
+            &dir,
+            &[
+                "commit",
+                "-m",
+                "V1",
+                "--author",
+                "Leshang",
+                "--date",
+                "2018-09-01T00:00:00Z",
+            ],
+        );
         assert!(out.starts_with("committed "));
         let log = ok(&dir, &["log"]);
         assert!(log.contains("V1"));
@@ -112,13 +130,26 @@ mod tests {
         let shown = ok(&dir, &["cite", "show", "f1.txt"]);
         assert!(shown.contains("\"repoName\": \"P1\""));
 
-        ok(&dir, &[
-            "cite", "add", "f1.txt",
-            "--repo-name", "C2", "--owner", "Leshang",
-            "--authors", "Leshang,Susan",
-            "--commit", "abc1234", "--date", "2018-09-02T00:00:00Z",
-            "--url", "https://hub/P1/f1",
-        ]);
+        ok(
+            &dir,
+            &[
+                "cite",
+                "add",
+                "f1.txt",
+                "--repo-name",
+                "C2",
+                "--owner",
+                "Leshang",
+                "--authors",
+                "Leshang,Susan",
+                "--commit",
+                "abc1234",
+                "--date",
+                "2018-09-02T00:00:00Z",
+                "--url",
+                "https://hub/P1/f1",
+            ],
+        );
         let shown = ok(&dir, &["cite", "show", "f1.txt"]);
         assert!(shown.contains("\"repoName\": \"C2\""));
         assert!(shown.contains("\"Susan\""));
@@ -135,7 +166,10 @@ mod tests {
 
         // Add twice fails; modify works; delete works.
         assert!(gc(&dir, &["cite", "add", "f1.txt", "--repo-name", "X"]).is_err());
-        ok(&dir, &["cite", "modify", "f1.txt", "--json", r#"{"repoName":"C3"}"#]);
+        ok(
+            &dir,
+            &["cite", "modify", "f1.txt", "--json", r#"{"repoName":"C3"}"#],
+        );
         let shown = ok(&dir, &["cite", "show", "f1.txt"]);
         assert!(shown.contains("C3"));
         ok(&dir, &["cite", "del", "f1.txt"]);
@@ -170,7 +204,18 @@ mod tests {
         ok(&dir, &["branch", "gui"]);
         ok(&dir, &["checkout", "gui"]);
         write(&dir, "gui/app.js", "app\n");
-        ok(&dir, &["cite", "add", "gui", "--repo-name", "GUI", "--authors", "Yanssie"]);
+        ok(
+            &dir,
+            &[
+                "cite",
+                "add",
+                "gui",
+                "--repo-name",
+                "GUI",
+                "--authors",
+                "Yanssie",
+            ],
+        );
         ok(&dir, &["commit", "-m", "gui work", "--author", "Yanssie"]);
         ok(&dir, &["checkout", "main"]);
         write(&dir, "main.txt", "main\n");
@@ -190,23 +235,59 @@ mod tests {
         let src = temp_dir();
         let dst = temp_dir();
         // Source project with a cited subtree.
-        ok(&src, &["init", "P2", "--owner", "Susan", "--url", "https://hub/P2"]);
+        ok(
+            &src,
+            &["init", "P2", "--owner", "Susan", "--url", "https://hub/P2"],
+        );
         write(&src, "green/f1.txt", "g1\n");
         write(&src, "green/f2.txt", "g2\n");
-        ok(&src, &["cite", "add", "green/f1.txt", "--repo-name", "C3", "--owner", "Susan"]);
+        ok(
+            &src,
+            &[
+                "cite",
+                "add",
+                "green/f1.txt",
+                "--repo-name",
+                "C3",
+                "--owner",
+                "Susan",
+            ],
+        );
         ok(&src, &["commit", "-m", "V3", "--author", "Susan"]);
 
-        ok(&dst, &["init", "P1", "--owner", "Leshang", "--url", "https://hub/P1"]);
+        ok(
+            &dst,
+            &[
+                "init",
+                "P1",
+                "--owner",
+                "Leshang",
+                "--url",
+                "https://hub/P1",
+            ],
+        );
         write(&dst, "f1.txt", "p1\n");
         ok(&dst, &["commit", "-m", "V1", "--author", "Leshang"]);
 
-        let out = ok(&dst, &[
-            "copy", "--from", src.to_str().unwrap(), "--src", "green", "--dst", "imported",
-        ]);
+        let out = ok(
+            &dst,
+            &[
+                "copy",
+                "--from",
+                src.to_str().unwrap(),
+                "--src",
+                "green",
+                "--dst",
+                "imported",
+            ],
+        );
         assert!(out.contains("copied 2 file(s)"));
         assert!(out.contains("materialized"));
         assert!(dst.join("imported/f1.txt").is_file());
-        ok(&dst, &["commit", "-m", "V4: CopyCite", "--author", "Leshang"]);
+        ok(
+            &dst,
+            &["commit", "-m", "V4: CopyCite", "--author", "Leshang"],
+        );
         let shown = ok(&dst, &["cite", "show", "imported/f1.txt"]);
         assert!(shown.contains("C3"));
         let shown = ok(&dst, &["cite", "show", "imported/f2.txt"]);
@@ -220,13 +301,35 @@ mod tests {
         let src = temp_dir();
         let dst = temp_dir();
         std::fs::remove_dir_all(&dst).unwrap();
-        ok(&src, &["init", "P1", "--owner", "Leshang", "--url", "https://hub/P1"]);
+        ok(
+            &src,
+            &[
+                "init",
+                "P1",
+                "--owner",
+                "Leshang",
+                "--url",
+                "https://hub/P1",
+            ],
+        );
         write(&src, "a.txt", "a\n");
         ok(&src, &["commit", "-m", "V1", "--author", "Leshang"]);
-        let out = ok(&src, &[
-            "fork", "--to", dst.to_str().unwrap(), "--name", "P3", "--owner", "Susan",
-            "--url", "https://hub/P3", "--author", "Susan",
-        ]);
+        let out = ok(
+            &src,
+            &[
+                "fork",
+                "--to",
+                dst.to_str().unwrap(),
+                "--name",
+                "P3",
+                "--owner",
+                "Susan",
+                "--url",
+                "https://hub/P3",
+                "--author",
+                "Susan",
+            ],
+        );
         assert!(out.contains("restamped: true"));
         // The fork is a working repository.
         let status = ok(&dst, &["status"]);
@@ -243,10 +346,30 @@ mod tests {
         let dir = temp_dir();
         init_repo(&dir);
         write(&dir, "a.txt", "a\n");
-        ok(&dir, &["commit", "-m", "V1", "--author", "L", "--date", "2018-09-04T02:35:20Z"]);
-        let out = ok(&dir, &[
-            "publish", "--author", "L", "--version", "v1.0", "--doi", "10.5281/zenodo.7",
-        ]);
+        ok(
+            &dir,
+            &[
+                "commit",
+                "-m",
+                "V1",
+                "--author",
+                "L",
+                "--date",
+                "2018-09-04T02:35:20Z",
+            ],
+        );
+        let out = ok(
+            &dir,
+            &[
+                "publish",
+                "--author",
+                "L",
+                "--version",
+                "v1.0",
+                "--doi",
+                "10.5281/zenodo.7",
+            ],
+        );
         assert!(out.contains("2018-09-04T02:35:20Z"));
         let root = ok(&dir, &["cite", "show", ""]);
         assert!(root.contains("10.5281/zenodo.7"));
@@ -259,15 +382,30 @@ mod tests {
         let dir = temp_dir();
         // Build an *uncited* repository by hand through storage.
         let mut repo = gitlite::Repository::init("legacy");
-        repo.worktree_mut().write(&gitlite::path("core/a.rs"), &b"a\n"[..]).unwrap();
-        repo.commit(gitlite::Signature::new("alice", "a@x", 100), "core").unwrap();
-        repo.worktree_mut().write(&gitlite::path("gui/b.js"), &b"b\n"[..]).unwrap();
-        repo.commit(gitlite::Signature::new("bob", "b@x", 200), "gui").unwrap();
+        repo.worktree_mut()
+            .write(&gitlite::path("core/a.rs"), &b"a\n"[..])
+            .unwrap();
+        repo.commit(gitlite::Signature::new("alice", "a@x", 100), "core")
+            .unwrap();
+        repo.worktree_mut()
+            .write(&gitlite::path("gui/b.js"), &b"b\n"[..])
+            .unwrap();
+        repo.commit(gitlite::Signature::new("bob", "b@x", 200), "gui")
+            .unwrap();
         super::storage::save(&dir, &repo).unwrap();
 
-        let out = ok(&dir, &[
-            "retro", "--owner", "maintainer", "--url", "https://hub/legacy", "--author", "m",
-        ]);
+        let out = ok(
+            &dir,
+            &[
+                "retro",
+                "--owner",
+                "maintainer",
+                "--url",
+                "https://hub/legacy",
+                "--author",
+                "m",
+            ],
+        );
         assert!(out.contains("retrofitted"));
         assert!(out.contains("/core/"));
         assert!(out.contains("/gui/"));
@@ -282,12 +420,45 @@ mod tests {
         let dir = temp_dir();
         init_repo(&dir);
         write(&dir, "f.txt", "line one\nline two\n");
-        ok(&dir, &["commit", "-m", "V1", "--author", "Ada", "--date", "2020-01-01T00:00:00Z"]);
+        ok(
+            &dir,
+            &[
+                "commit",
+                "-m",
+                "V1",
+                "--author",
+                "Ada",
+                "--date",
+                "2020-01-01T00:00:00Z",
+            ],
+        );
         // Never cited yet.
         assert!(ok(&dir, &["history", "f.txt"]).contains("never explicitly cited"));
-        ok(&dir, &["cite", "add", "f.txt", "--repo-name", "C1", "--authors", "Ada"]);
+        ok(
+            &dir,
+            &[
+                "cite",
+                "add",
+                "f.txt",
+                "--repo-name",
+                "C1",
+                "--authors",
+                "Ada",
+            ],
+        );
         ok(&dir, &["commit", "-m", "cite", "--author", "Ada"]);
-        ok(&dir, &["cite", "modify", "f.txt", "--repo-name", "C2", "--authors", "Grace"]);
+        ok(
+            &dir,
+            &[
+                "cite",
+                "modify",
+                "f.txt",
+                "--repo-name",
+                "C2",
+                "--authors",
+                "Grace",
+            ],
+        );
         ok(&dir, &["commit", "-m", "recite", "--author", "Grace"]);
         let hist = ok(&dir, &["history", "f.txt"]);
         assert!(hist.contains("repo-C1") || hist.contains("C1"), "{hist}");

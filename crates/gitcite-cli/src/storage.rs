@@ -16,11 +16,23 @@
 //!   citation.cite
 //! ```
 //!
+//! Object persistence is **not** implemented here: the `objects/`
+//! directory is a [`gitlite::DiskStore`] — the same pluggable
+//! [`gitlite::ObjectStore`] backend the substrate defines — so encoding,
+//! sharding, integrity checking and durability live in one place.
+//! [`load`] hands the repository a `CachedStore<DiskStore>` backend,
+//! which means objects are read lazily from disk (with an LRU for hot
+//! trees/blobs) and every object written by a later commit is already
+//! durable by the time [`save`] runs; `save` only records refs, HEAD,
+//! the repository name and the worktree files, plus any objects a
+//! memory-backed repository brought along.
+//!
 //! Loading reads the worktree back from the real files, so edits made with
 //! any editor are picked up — exactly how Git behaves.
 
-use gitlite::codec::decode_object;
-use gitlite::{GitError, Head, ObjectId, RepoPath, Repository};
+use gitlite::{
+    CachedStore, DiskStore, GitError, Head, ObjectId, ObjectStore, RepoPath, Repository,
+};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -32,26 +44,53 @@ fn meta(dir: &Path) -> PathBuf {
     dir.join(META_DIR)
 }
 
+fn objects_dir(dir: &Path) -> PathBuf {
+    meta(dir).join("objects")
+}
+
 /// True when `dir` holds a persisted repository.
 pub fn exists(dir: &Path) -> bool {
     meta(dir).join("HEAD").is_file()
 }
 
+/// Opens the object-store backend persisted under `dir`: a
+/// [`DiskStore`] over `.gitcite/objects`, wrapped in a read-through LRU
+/// for the hot resolution paths (snapshot, cite, diff/merge walks).
+pub fn open_store(dir: &Path) -> Result<CachedStore<DiskStore>, GitError> {
+    Ok(CachedStore::new(DiskStore::open(objects_dir(dir))?))
+}
+
 /// Persists `repo` into `dir`: metadata under `.gitcite/`, worktree as
 /// real files (stale files from a previous save are removed).
+///
+/// Works for any backend: objects the on-disk store does not yet hold
+/// (e.g. from a memory-backed repository being saved for the first time)
+/// are copied in; a disk-backed repository's objects are already there.
 pub fn save(dir: &Path, repo: &Repository) -> io::Result<()> {
     let meta_dir = meta(dir);
-    fs::create_dir_all(meta_dir.join("objects"))?;
+    fs::create_dir_all(&meta_dir)?;
 
-    // Objects (skip ones already on disk — they are immutable).
-    for (id, obj) in repo.odb().iter() {
-        let hex = id.to_hex();
-        let bucket = meta_dir.join("objects").join(&hex[..2]);
-        let file = bucket.join(&hex[2..]);
-        if !file.exists() {
-            fs::create_dir_all(&bucket)?;
-            fs::write(&file, obj.canonical_bytes_owned())?;
+    // Objects. Fast path: a repository loaded from this very directory
+    // is already write-through onto its DiskStore — re-opening the store
+    // (a full shard scan) and re-checking every id would find nothing to
+    // do. Recognize that case and skip it.
+    let objects = objects_dir(dir);
+    let already_durable_here = repo
+        .odb()
+        .as_any()
+        .downcast_ref::<CachedStore<DiskStore>>()
+        .is_some_and(|c| c.inner().root() == objects && c.inner().is_durable());
+    if !already_durable_here {
+        // Sync through the DiskStore backend (skips ids already on disk —
+        // objects are immutable).
+        let mut disk = DiskStore::open(&objects).map_err(io_err)?;
+        for id in repo.odb().ids() {
+            if !disk.contains(id) {
+                let obj = repo.odb().get(id).map_err(io_err)?;
+                disk.put_with_id(id, obj);
+            }
         }
+        disk.flush().map_err(io_err)?;
     }
 
     // Refs.
@@ -71,8 +110,11 @@ pub fn save(dir: &Path, repo: &Repository) -> io::Result<()> {
     fs::write(meta_dir.join("name"), repo.name())?;
 
     // Worktree: remove files that disappeared, then write current ones.
-    let current: std::collections::BTreeSet<PathBuf> =
-        repo.worktree().paths().map(|p| dir.join(p.to_string())).collect();
+    let current: std::collections::BTreeSet<PathBuf> = repo
+        .worktree()
+        .paths()
+        .map(|p| dir.join(p.to_string()))
+        .collect();
     let mut on_disk = Vec::new();
     collect_files(dir, &mut on_disk)?;
     for f in on_disk {
@@ -91,35 +133,29 @@ pub fn save(dir: &Path, repo: &Repository) -> io::Result<()> {
     Ok(())
 }
 
+fn io_err(e: GitError) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
 /// Loads the repository persisted in `dir`, reading the worktree from the
 /// real files on disk.
+///
+/// The returned repository stays backed by the on-disk object store (via
+/// [`open_store`]): objects are fetched lazily and new commits write
+/// through to `.gitcite/objects` immediately.
 pub fn load(dir: &Path) -> Result<Repository, GitError> {
     let meta_dir = meta(dir);
     let name = fs::read_to_string(meta_dir.join("name"))
         .map_err(|e| GitError::Io(format!("read name: {e}")))?;
-    let mut repo = Repository::init(name.trim().to_owned());
-
-    // Objects.
-    let objects_dir = meta_dir.join("objects");
-    if objects_dir.is_dir() {
-        for bucket in fs::read_dir(&objects_dir).map_err(GitError::from)? {
-            let bucket = bucket.map_err(GitError::from)?.path();
-            if !bucket.is_dir() {
-                continue;
-            }
-            for entry in fs::read_dir(&bucket).map_err(GitError::from)? {
-                let entry = entry.map_err(GitError::from)?.path();
-                let bytes = fs::read(&entry).map_err(GitError::from)?;
-                let obj = decode_object(&bytes)?;
-                repo.odb_mut().put(obj);
-            }
-        }
-    }
+    let store = open_store(dir)?;
+    let mut repo = Repository::init_with(name.trim().to_owned(), Box::new(store));
 
     // Refs.
     let refs_text = fs::read_to_string(meta_dir.join("refs")).unwrap_or_default();
     for line in refs_text.lines() {
-        let Some((branch, hex)) = line.split_once(' ') else { continue };
+        let Some((branch, hex)) = line.split_once(' ') else {
+            continue;
+        };
         let id = ObjectId::from_hex(hex.trim())
             .ok_or_else(|| GitError::Corrupt(format!("bad ref line {line:?}")))?;
         repo.set_branch(branch, id)?;
@@ -193,21 +229,6 @@ fn prune_empty_dirs(dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Helper trait so `save` can get canonical bytes from a shared object.
-trait CanonicalBytes {
-    fn canonical_bytes_owned(&self) -> Vec<u8>;
-}
-
-impl CanonicalBytes for std::sync::Arc<gitlite::Object> {
-    fn canonical_bytes_owned(&self) -> Vec<u8> {
-        match &**self {
-            gitlite::Object::Blob(b) => b.canonical_bytes(),
-            gitlite::Object::Tree(t) => t.canonical_bytes(),
-            gitlite::Object::Commit(c) => c.canonical_bytes(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,10 +239,8 @@ mod tests {
 
     fn temp_dir() -> PathBuf {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "gitcite-storage-test-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("gitcite-storage-test-{}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -229,11 +248,17 @@ mod tests {
 
     fn sample_repo() -> Repository {
         let mut r = Repository::init("disk-test");
-        r.worktree_mut().write(&path("a.txt"), &b"alpha\n"[..]).unwrap();
-        r.worktree_mut().write(&path("src/lib.rs"), &b"pub fn x(){}\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("a.txt"), &b"alpha\n"[..])
+            .unwrap();
+        r.worktree_mut()
+            .write(&path("src/lib.rs"), &b"pub fn x(){}\n"[..])
+            .unwrap();
         r.commit(Signature::new("alice", "a@x", 1), "c1").unwrap();
         r.create_branch("dev").unwrap();
-        r.worktree_mut().write(&path("b.txt"), &b"beta\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("b.txt"), &b"beta\n"[..])
+            .unwrap();
         r.commit(Signature::new("alice", "a@x", 2), "c2").unwrap();
         r
     }
@@ -257,6 +282,33 @@ mod tests {
     }
 
     #[test]
+    fn loaded_repo_is_disk_backed_and_lazy() {
+        let dir = temp_dir();
+        let repo = sample_repo();
+        save(&dir, &repo).unwrap();
+        let loaded = load(&dir).unwrap();
+        // Every object the memory-backed original held is visible through
+        // the disk backend without having been eagerly decoded.
+        assert_eq!(loaded.odb().len(), repo.odb().len());
+        // A commit made on the loaded repo is durable *before* save:
+        // write-through means a fresh DiskStore already sees it.
+        let mut loaded = loaded;
+        loaded
+            .worktree_mut()
+            .write(&path("new.txt"), &b"fresh\n"[..])
+            .unwrap();
+        let c = loaded
+            .commit(Signature::new("bob", "b@x", 3), "c3")
+            .unwrap();
+        let fresh = DiskStore::open(objects_dir(&dir)).unwrap();
+        assert!(
+            fresh.contains(c),
+            "new commit object persisted at commit time"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn load_picks_up_external_edits() {
         let dir = temp_dir();
         let repo = sample_repo();
@@ -266,7 +318,10 @@ mod tests {
         fs::create_dir_all(dir.join("new")).unwrap();
         fs::write(dir.join("new/file.md"), b"# new\n").unwrap();
         let loaded = load(&dir).unwrap();
-        assert_eq!(loaded.worktree().read_text(&path("a.txt")).unwrap(), "edited outside\n");
+        assert_eq!(
+            loaded.worktree().read_text(&path("a.txt")).unwrap(),
+            "edited outside\n"
+        );
         assert!(loaded.worktree().is_file(&path("new/file.md")));
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -278,7 +333,9 @@ mod tests {
         save(&dir, &repo).unwrap();
         assert!(dir.join("b.txt").is_file());
         repo.worktree_mut().remove_file(&path("b.txt")).unwrap();
-        repo.worktree_mut().remove_file(&path("src/lib.rs")).unwrap();
+        repo.worktree_mut()
+            .remove_file(&path("src/lib.rs"))
+            .unwrap();
         save(&dir, &repo).unwrap();
         assert!(!dir.join("b.txt").exists());
         // Emptied directory is pruned.

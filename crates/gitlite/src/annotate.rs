@@ -108,9 +108,13 @@ pub fn annotate(repo: &Repository, from: ObjectId, path: &RepoPath) -> Result<Ve
         .into_iter()
         .zip(origins)
         .map(|(text, o)| {
-            let (commit, author, timestamp) =
-                o.expect("every line attributed by construction");
-            LineOrigin { text, commit, author, timestamp }
+            let (commit, author, timestamp) = o.expect("every line attributed by construction");
+            LineOrigin {
+                text,
+                commit,
+                author,
+                timestamp,
+            }
         })
         .collect())
 }
@@ -140,7 +144,9 @@ mod tests {
     #[test]
     fn single_commit_all_lines_attributed_to_it() {
         let mut r = Repository::init("p");
-        r.worktree_mut().write(&path("f.txt"), &b"a\nb\nc\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"a\nb\nc\n"[..])
+            .unwrap();
         let c1 = r.commit(sig("alice", 1), "c1").unwrap();
         let ann = annotate(&r, c1, &path("f.txt")).unwrap();
         assert_eq!(ann.len(), 3);
@@ -154,9 +160,13 @@ mod tests {
     #[test]
     fn edits_attributed_to_editing_commit() {
         let mut r = Repository::init("p");
-        r.worktree_mut().write(&path("f.txt"), &b"one\ntwo\nthree\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"one\ntwo\nthree\n"[..])
+            .unwrap();
         let c1 = r.commit(sig("alice", 1), "c1").unwrap();
-        r.worktree_mut().write(&path("f.txt"), &b"one\nTWO!\nthree\nfour\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"one\nTWO!\nthree\nfour\n"[..])
+            .unwrap();
         let c2 = r.commit(sig("bob", 2), "c2").unwrap();
         let ann = annotate(&r, c2, &path("f.txt")).unwrap();
         assert_eq!(ann.len(), 4);
@@ -169,15 +179,20 @@ mod tests {
     #[test]
     fn multi_generation_attribution() {
         let mut r = Repository::init("p");
-        r.worktree_mut().write(&path("f.txt"), &b"l1\nl2\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"l1\nl2\n"[..])
+            .unwrap();
         let c1 = r.commit(sig("alice", 1), "c1").unwrap();
-        r.worktree_mut().write(&path("f.txt"), &b"l0\nl1\nl2\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"l0\nl1\nl2\n"[..])
+            .unwrap();
         let c2 = r.commit(sig("bob", 2), "c2").unwrap();
-        r.worktree_mut().write(&path("f.txt"), &b"l0\nl1\nl2\nl3\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"l0\nl1\nl2\nl3\n"[..])
+            .unwrap();
         let c3 = r.commit(sig("carol", 3), "c3").unwrap();
         let ann = annotate(&r, c3, &path("f.txt")).unwrap();
-        let got: Vec<(&str, ObjectId)> =
-            ann.iter().map(|l| (l.text.as_str(), l.commit)).collect();
+        let got: Vec<(&str, ObjectId)> = ann.iter().map(|l| (l.text.as_str(), l.commit)).collect();
         assert_eq!(got, vec![("l0", c2), ("l1", c1), ("l2", c1), ("l3", c3)]);
     }
 
@@ -186,7 +201,9 @@ mod tests {
         let mut r = Repository::init("p");
         r.worktree_mut().write(&path("f.txt"), &b"x\n"[..]).unwrap();
         let c1 = r.commit(sig("alice", 1), "c1").unwrap();
-        r.worktree_mut().write(&path("f.txt"), &b"x\ny\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"x\ny\n"[..])
+            .unwrap();
         r.commit(sig("bob", 2), "c2").unwrap();
         // Annotating at C1 sees only alice's line.
         let ann = annotate(&r, c1, &path("f.txt")).unwrap();
@@ -197,11 +214,15 @@ mod tests {
     #[test]
     fn file_recreated_after_deletion() {
         let mut r = Repository::init("p");
-        r.worktree_mut().write(&path("f.txt"), &b"old\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"old\n"[..])
+            .unwrap();
         r.commit(sig("alice", 1), "c1").unwrap();
         r.worktree_mut().remove_file(&path("f.txt")).unwrap();
         r.commit(sig("alice", 2), "delete").unwrap();
-        r.worktree_mut().write(&path("f.txt"), &b"old\nnew\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"old\nnew\n"[..])
+            .unwrap();
         let c3 = r.commit(sig("bob", 3), "recreate").unwrap();
         // The deletion breaks the chain: everything belongs to c3.
         let ann = annotate(&r, c3, &path("f.txt")).unwrap();

@@ -70,14 +70,20 @@ fn decode_tree(mut body: &[u8]) -> Result<Tree> {
         let mut id = [0u8; 20];
         id.copy_from_slice(&body[..20]);
         body = &body[20..];
-        tree.insert(name, TreeEntry { mode, id: ObjectId(id) });
+        tree.insert(
+            name,
+            TreeEntry {
+                mode,
+                id: ObjectId(id),
+            },
+        );
     }
     Ok(tree)
 }
 
 fn decode_commit(body: &[u8]) -> Result<Commit> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| GitError::Corrupt("non-utf8 commit body".into()))?;
+    let text =
+        std::str::from_utf8(body).map_err(|_| GitError::Corrupt("non-utf8 commit body".into()))?;
     let (headers, message) = text
         .split_once("\n\n")
         .ok_or_else(|| GitError::Corrupt("commit missing message separator".into()))?;
@@ -103,7 +109,11 @@ fn decode_commit(body: &[u8]) -> Result<Commit> {
             }
             "author" => author = Some(decode_signature(rest)?),
             "committer" => {} // same as author in this substrate
-            other => return Err(GitError::Corrupt(format!("unknown commit header {other:?}"))),
+            other => {
+                return Err(GitError::Corrupt(format!(
+                    "unknown commit header {other:?}"
+                )))
+            }
         }
     }
     Ok(Commit {
@@ -131,7 +141,11 @@ fn decode_signature(s: &str) -> Result<Signature> {
         .trim()
         .parse()
         .map_err(|_| GitError::Corrupt(format!("bad signature timestamp in {s:?}")))?;
-    Ok(Signature { name, email, timestamp })
+    Ok(Signature {
+        name,
+        email,
+        timestamp,
+    })
 }
 
 #[cfg(test)]
@@ -148,8 +162,20 @@ mod tests {
     #[test]
     fn tree_round_trip() {
         let mut tree = Tree::new();
-        tree.insert("file.txt", TreeEntry { mode: EntryMode::File, id: Blob::new(&b"a"[..]).id() });
-        tree.insert("dir", TreeEntry { mode: EntryMode::Dir, id: Tree::new().id() });
+        tree.insert(
+            "file.txt",
+            TreeEntry {
+                mode: EntryMode::File,
+                id: Blob::new(&b"a"[..]).id(),
+            },
+        );
+        tree.insert(
+            "dir",
+            TreeEntry {
+                mode: EntryMode::Dir,
+                id: Tree::new().id(),
+            },
+        );
         let obj = decode_object(&tree.canonical_bytes()).unwrap();
         assert_eq!(obj.id(), tree.id());
         assert_eq!(obj, Object::Tree(tree));
@@ -181,7 +207,7 @@ mod tests {
         assert!(decode_object(b"blob 5\0ab").is_err()); // length mismatch
         assert!(decode_object(b"weird 0\0").is_err());
         // Tree with truncated id.
-        let mut bad = b"tree 10\0100644 a\0x".to_vec();
+        let mut bad = b"tree 10\x00100644 a\0x".to_vec();
         bad.truncate(bad.len() - 1);
         assert!(decode_object(&bad).is_err());
     }

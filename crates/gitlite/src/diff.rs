@@ -10,7 +10,7 @@ use crate::error::Result;
 use crate::hash::ObjectId;
 use crate::path::RepoPath;
 use crate::snapshot::flatten_tree;
-use crate::store::Odb;
+use crate::store::ObjectStore;
 use crate::textdiff::bag_similarity;
 use std::collections::BTreeMap;
 
@@ -68,7 +68,10 @@ impl TreeDiff {
     /// targets exist the one with the most supporting file moves wins.
     /// Nested results are minimal: if `a → b` is reported, `a/sub → b/sub`
     /// is implied and not listed separately.
-    pub fn directory_renames(&self, new_tree_paths: &BTreeMap<RepoPath, ObjectId>) -> Vec<(RepoPath, RepoPath)> {
+    pub fn directory_renames(
+        &self,
+        new_tree_paths: &BTreeMap<RepoPath, ObjectId>,
+    ) -> Vec<(RepoPath, RepoPath)> {
         // votes: old_dir → (new_dir → count)
         let mut votes: BTreeMap<RepoPath, BTreeMap<RepoPath, usize>> = BTreeMap::new();
         for r in &self.renames {
@@ -93,7 +96,11 @@ impl TreeDiff {
                 if old_dir.is_root() || new_dir.is_root() || old_dir == new_dir {
                     continue;
                 }
-                *votes.entry(old_dir).or_default().entry(new_dir).or_default() += 1;
+                *votes
+                    .entry(old_dir)
+                    .or_default()
+                    .entry(new_dir)
+                    .or_default() += 1;
             }
         }
         let dir_still_exists = |dir: &RepoPath| new_tree_paths.keys().any(|p| p.starts_with(dir));
@@ -124,10 +131,10 @@ impl TreeDiff {
 }
 
 /// Diffs two flattened listings (`path → blob id`).
-pub fn diff_listings(
+pub fn diff_listings<S: ObjectStore + ?Sized>(
     old: &BTreeMap<RepoPath, ObjectId>,
     new: &BTreeMap<RepoPath, ObjectId>,
-    odb: &Odb,
+    odb: &S,
     detect_renames: bool,
 ) -> TreeDiff {
     let mut diff = TreeDiff::default();
@@ -154,14 +161,19 @@ pub fn diff_listings(
 }
 
 /// Diffs two stored trees.
-pub fn diff_trees(odb: &Odb, old_tree: ObjectId, new_tree: ObjectId, detect_renames: bool) -> Result<TreeDiff> {
+pub fn diff_trees<S: ObjectStore + ?Sized>(
+    odb: &S,
+    old_tree: ObjectId,
+    new_tree: ObjectId,
+    detect_renames: bool,
+) -> Result<TreeDiff> {
     let old = flatten_tree(odb, old_tree)?;
     let new = flatten_tree(odb, new_tree)?;
     Ok(diff_listings(&old, &new, odb, detect_renames))
 }
 
 /// Moves matching delete/add pairs into `diff.renames`.
-fn detect_rename_pairs(diff: &mut TreeDiff, odb: &Odb) {
+fn detect_rename_pairs<S: ObjectStore + ?Sized>(diff: &mut TreeDiff, odb: &S) {
     if diff.deleted.is_empty() || diff.added.is_empty() {
         return;
     }
@@ -187,7 +199,11 @@ fn detect_rename_pairs(diff: &mut TreeDiff, odb: &Odb) {
         match target {
             Some(to) => {
                 used_added.insert(to.clone());
-                renames.push(Rename { from: path.clone(), to: to.clone(), similarity: 1.0 });
+                renames.push(Rename {
+                    from: path.clone(),
+                    to: to.clone(),
+                    similarity: 1.0,
+                });
             }
             None => remaining_deleted.push((path.clone(), *id)),
         }
@@ -234,7 +250,11 @@ fn detect_rename_pairs(diff: &mut TreeDiff, odb: &Odb) {
             let from = remaining_deleted[di].0.clone();
             let to = open_added[ai].0.clone();
             used_added.insert(to.clone());
-            renames.push(Rename { from, to, similarity: sim });
+            renames.push(Rename {
+                from,
+                to,
+                similarity: sim,
+            });
         }
         remaining_deleted = remaining_deleted
             .into_iter()
@@ -258,6 +278,7 @@ mod tests {
     use super::*;
     use crate::path::path;
     use crate::snapshot::write_tree;
+    use crate::store::Odb;
     use crate::worktree::WorkTree;
 
     fn tree_of(odb: &mut Odb, files: &[(&str, &str)]) -> ObjectId {
@@ -280,8 +301,14 @@ mod tests {
     #[test]
     fn add_delete_modify() {
         let mut odb = Odb::new();
-        let t1 = tree_of(&mut odb, &[("keep.txt", "same"), ("mod.txt", "v1"), ("gone.txt", "bye")]);
-        let t2 = tree_of(&mut odb, &[("keep.txt", "same"), ("mod.txt", "v2"), ("new.txt", "hi")]);
+        let t1 = tree_of(
+            &mut odb,
+            &[("keep.txt", "same"), ("mod.txt", "v1"), ("gone.txt", "bye")],
+        );
+        let t2 = tree_of(
+            &mut odb,
+            &[("keep.txt", "same"), ("mod.txt", "v2"), ("new.txt", "hi")],
+        );
         let d = diff_trees(&odb, t1, t2, false).unwrap();
         assert_eq!(d.added.len(), 1);
         assert!(d.added.contains_key(&path("new.txt")));
@@ -360,7 +387,11 @@ mod tests {
         let mut odb = Odb::new();
         let t1 = tree_of(
             &mut odb,
-            &[("gui/app.js", "console.log(1)"), ("gui/style.css", "body{}"), ("main.rs", "fn main(){}")],
+            &[
+                ("gui/app.js", "console.log(1)"),
+                ("gui/style.css", "body{}"),
+                ("main.rs", "fn main(){}"),
+            ],
         );
         let t2 = tree_of(
             &mut odb,

@@ -55,8 +55,16 @@ impl fmt::Display for GitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GitError::ObjectNotFound(id) => write!(f, "object {} not found", id.short()),
-            GitError::WrongKind { id, expected, actual } => {
-                write!(f, "object {} is a {actual}, expected a {expected}", id.short())
+            GitError::WrongKind {
+                id,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "object {} is a {actual}, expected a {expected}",
+                    id.short()
+                )
             }
             GitError::BranchNotFound(b) => write!(f, "branch {b:?} not found"),
             GitError::BranchExists(b) => write!(f, "branch {b:?} already exists"),

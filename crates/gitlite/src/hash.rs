@@ -227,7 +227,11 @@ mod tests {
             for c in data.chunks(chunk_size) {
                 h.update(c);
             }
-            assert_eq!(ObjectId(h.finalize()), ObjectId::hash_bytes(&data), "chunk {chunk_size}");
+            assert_eq!(
+                ObjectId(h.finalize()),
+                ObjectId::hash_bytes(&data),
+                "chunk {chunk_size}"
+            );
         }
     }
 
@@ -236,7 +240,10 @@ mod tests {
         // `echo -n 'hello' | git hash-object --stdin` == b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0
         let mut h = Sha1::new();
         h.update(b"blob 5\0hello");
-        assert_eq!(ObjectId(h.finalize()).to_hex(), "b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0");
+        assert_eq!(
+            ObjectId(h.finalize()).to_hex(),
+            "b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0"
+        );
     }
 
     #[test]

@@ -58,9 +58,15 @@ pub use merge::{merge_listings, Conflict, ConflictKind, MergeOptions, MergeRepor
 pub use mergebase::merge_base;
 pub use object::{Blob, Commit, EntryMode, Object, Signature, Tree, TreeEntry};
 pub use path::{path, PathError, RepoPath};
-pub use remote::{clone_repository, fetch, push, transfer_objects};
+pub use remote::{clone_repository, clone_repository_into, fetch, push, transfer_objects};
 pub use repo::{Head, Repository, DEFAULT_BRANCH};
-pub use snapshot::{flatten_tree, read_tree, resolve_path, tree_directories, write_tree, write_tree_from_listing};
-pub use store::Odb;
-pub use textdiff::{bag_similarity, diff3_merge, lcs_matches, sequence_similarity, Diff3Result, MergeLabels};
+pub use snapshot::{
+    flatten_tree, read_tree, resolve_path, tree_directories, write_tree, write_tree_from_listing,
+};
+pub use store::{
+    CachedStore, DiskStore, MemStore, ObjectStore, ObjectStoreExt, Odb, DEFAULT_CACHE_CAPACITY,
+};
+pub use textdiff::{
+    bag_similarity, diff3_merge, lcs_matches, sequence_similarity, Diff3Result, MergeLabels,
+};
 pub use worktree::WorkTree;

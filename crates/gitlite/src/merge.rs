@@ -11,13 +11,13 @@
 
 use crate::error::{GitError, Result};
 use crate::hash::ObjectId;
+use crate::mergebase::merge_base;
+use crate::object::Signature;
 use crate::path::RepoPath;
 use crate::repo::Repository;
 use crate::snapshot::{flatten_tree, write_tree_from_listing};
-use crate::store::Odb;
+use crate::store::{ObjectStore, ObjectStoreExt};
 use crate::textdiff::{diff3_merge, MergeLabels};
-use crate::mergebase::merge_base;
-use crate::object::Signature;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Why a path could not be merged cleanly.
@@ -74,8 +74,8 @@ impl TreeMerge {
 }
 
 /// Merges two flattened listings against a base listing.
-pub fn merge_listings(
-    odb: &mut Odb,
+pub fn merge_listings<S: ObjectStore + ?Sized>(
+    odb: &mut S,
     base: &BTreeMap<RepoPath, ObjectId>,
     ours: &BTreeMap<RepoPath, ObjectId>,
     theirs: &BTreeMap<RepoPath, ObjectId>,
@@ -122,7 +122,9 @@ pub fn merge_listings(
                             kind: if b.is_none() {
                                 ConflictKind::AddAdd
                             } else {
-                                ConflictKind::Content { regions: merged.conflicts }
+                                ConflictKind::Content {
+                                    regions: merged.conflicts,
+                                }
                             },
                         });
                     }
@@ -131,14 +133,18 @@ pub fn merge_listings(
                 (Some(kept), None) => {
                     conflicts.push(Conflict {
                         path: path.clone(),
-                        kind: ConflictKind::DeleteModify { deleted_by_ours: false },
+                        kind: ConflictKind::DeleteModify {
+                            deleted_by_ours: false,
+                        },
                     });
                     Some(kept)
                 }
                 (None, Some(kept)) => {
                     conflicts.push(Conflict {
                         path: path.clone(),
-                        kind: ConflictKind::DeleteModify { deleted_by_ours: true },
+                        kind: ConflictKind::DeleteModify {
+                            deleted_by_ours: true,
+                        },
                     });
                     Some(kept)
                 }
@@ -153,7 +159,7 @@ pub fn merge_listings(
     TreeMerge { listing, conflicts }
 }
 
-fn blob_text(odb: &Odb, id: ObjectId) -> String {
+fn blob_text<S: ObjectStore + ?Sized>(odb: &S, id: ObjectId) -> String {
     match odb.blob_data(id) {
         Ok(data) => String::from_utf8_lossy(&data).into_owned(),
         Err(_) => String::new(),
@@ -224,10 +230,21 @@ impl Repository {
         let ours_listing = self.snapshot(ours_tip)?;
         let theirs_listing = self.snapshot(theirs_tip)?;
         let ours_label = self.current_branch().unwrap_or("HEAD").to_owned();
-        let labels = MergeLabels { ours: &ours_label, base: "base", theirs: other };
+        let labels = MergeLabels {
+            ours: &ours_label,
+            base: "base",
+            theirs: other,
+        };
         let merged = {
             let odb = self.odb_mut();
-            merge_listings(odb, &base_listing, &ours_listing, &theirs_listing, labels, opts)
+            merge_listings(
+                odb,
+                &base_listing,
+                &ours_listing,
+                &theirs_listing,
+                labels,
+                opts,
+            )
         };
         let tree = write_tree_from_listing(self.odb_mut(), &merged.listing);
         let parents = vec![ours_tip, theirs_tip];
@@ -238,7 +255,10 @@ impl Repository {
             // Load the conflicted tree for manual resolution.
             let wt = crate::snapshot::read_tree(self.odb(), tree)?;
             *self.worktree_mut() = wt;
-            Ok(MergeReport::Conflicted { conflicts: merged.conflicts, parents })
+            Ok(MergeReport::Conflicted {
+                conflicts: merged.conflicts,
+                parents,
+            })
         }
     }
 }
@@ -255,8 +275,12 @@ mod tests {
     /// main: base commit with three files; dev edits one, main edits another.
     fn two_branch_repo() -> Repository {
         let mut r = Repository::init("p");
-        r.worktree_mut().write(&path("a.txt"), &b"a1\na2\na3\n"[..]).unwrap();
-        r.worktree_mut().write(&path("b.txt"), &b"b1\nb2\nb3\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("a.txt"), &b"a1\na2\na3\n"[..])
+            .unwrap();
+        r.worktree_mut()
+            .write(&path("b.txt"), &b"b1\nb2\nb3\n"[..])
+            .unwrap();
         r.worktree_mut().write(&path("c.txt"), &b"c\n"[..]).unwrap();
         r.commit(sig("alice", 1), "base").unwrap();
         r.create_branch("dev").unwrap();
@@ -268,22 +292,39 @@ mod tests {
         let mut r = two_branch_repo();
         // dev edits b.txt
         r.checkout_branch("dev").unwrap();
-        r.worktree_mut().write(&path("b.txt"), &b"b1\nB2!\nb3\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("b.txt"), &b"b1\nB2!\nb3\n"[..])
+            .unwrap();
         r.commit(sig("bob", 2), "dev edit").unwrap();
         // main edits a.txt
         r.checkout_branch("main").unwrap();
-        r.worktree_mut().write(&path("a.txt"), &b"A1!\na2\na3\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("a.txt"), &b"A1!\na2\na3\n"[..])
+            .unwrap();
         let main_tip = r.commit(sig("alice", 3), "main edit").unwrap();
         let report = r
-            .merge_branch("dev", sig("alice", 4), "merge dev", &MergeOptions::default())
+            .merge_branch(
+                "dev",
+                sig("alice", 4),
+                "merge dev",
+                &MergeOptions::default(),
+            )
             .unwrap();
-        let MergeReport::Merged(mc) = report else { panic!("expected clean merge: {report:?}") };
+        let MergeReport::Merged(mc) = report else {
+            panic!("expected clean merge: {report:?}")
+        };
         let commit = r.commit_obj(mc).unwrap();
         assert_eq!(commit.parents.len(), 2);
         assert_eq!(commit.parents[0], main_tip);
         // Both edits present.
-        assert_eq!(r.worktree().read_text(&path("a.txt")).unwrap(), "A1!\na2\na3\n");
-        assert_eq!(r.worktree().read_text(&path("b.txt")).unwrap(), "b1\nB2!\nb3\n");
+        assert_eq!(
+            r.worktree().read_text(&path("a.txt")).unwrap(),
+            "A1!\na2\na3\n"
+        );
+        assert_eq!(
+            r.worktree().read_text(&path("b.txt")).unwrap(),
+            "b1\nB2!\nb3\n"
+        );
     }
 
     #[test]
@@ -301,7 +342,10 @@ mod tests {
         r.commit(sig("bob", 2), "dev").unwrap();
         r.checkout_branch("main").unwrap();
         r.worktree_mut()
-            .write(&path("f.txt"), &b"L1-main\nl2\nl3\nl4\nl5\nl6\nl7\nl8\n"[..])
+            .write(
+                &path("f.txt"),
+                &b"L1-main\nl2\nl3\nl4\nl5\nl6\nl7\nl8\n"[..],
+            )
             .unwrap();
         r.commit(sig("alice", 3), "main").unwrap();
         let report = r
@@ -317,14 +361,20 @@ mod tests {
     #[test]
     fn merge_overlapping_edits_conflict() {
         let mut r = Repository::init("p");
-        r.worktree_mut().write(&path("f.txt"), &b"x\nmid\ny\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"x\nmid\ny\n"[..])
+            .unwrap();
         r.commit(sig("alice", 1), "base").unwrap();
         r.create_branch("dev").unwrap();
         r.checkout_branch("dev").unwrap();
-        r.worktree_mut().write(&path("f.txt"), &b"x\ndev-mid\ny\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"x\ndev-mid\ny\n"[..])
+            .unwrap();
         r.commit(sig("bob", 2), "dev").unwrap();
         r.checkout_branch("main").unwrap();
-        r.worktree_mut().write(&path("f.txt"), &b"x\nmain-mid\ny\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"x\nmain-mid\ny\n"[..])
+            .unwrap();
         let main_tip = r.commit(sig("alice", 3), "main").unwrap();
         let report = r
             .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
@@ -334,26 +384,41 @@ mod tests {
         };
         assert_eq!(conflicts.len(), 1);
         assert_eq!(conflicts[0].path, path("f.txt"));
-        assert!(matches!(conflicts[0].kind, ConflictKind::Content { regions: 1 }));
+        assert!(matches!(
+            conflicts[0].kind,
+            ConflictKind::Content { regions: 1 }
+        ));
         assert_eq!(parents, vec![main_tip, r.branch_tip("dev").unwrap()]);
         // Worktree contains markers; resolve and commit.
         let text = r.worktree().read_text(&path("f.txt")).unwrap();
         assert!(text.contains("<<<<<<< main") && text.contains(">>>>>>> dev"));
-        r.worktree_mut().write(&path("f.txt"), &b"x\nresolved\ny\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("f.txt"), &b"x\nresolved\ny\n"[..])
+            .unwrap();
         let listing: BTreeMap<_, _> = r
             .worktree()
             .iter()
             .map(|(p, d)| (p.clone(), crate::object::Blob::new(d.clone()).id()))
             .collect();
         // Store blobs then the tree.
-        for (_, data) in r.worktree().iter().map(|(p, d)| (p.clone(), d.clone())).collect::<Vec<_>>() {
+        for (_, data) in r
+            .worktree()
+            .iter()
+            .map(|(p, d)| (p.clone(), d.clone()))
+            .collect::<Vec<_>>()
+        {
             r.odb_mut().put_blob(data);
         }
         let tree = write_tree_from_listing(r.odb_mut(), &listing);
-        let mc = r.commit_merge(tree, parents, sig("alice", 5), "resolved merge").unwrap();
+        let mc = r
+            .commit_merge(tree, parents, sig("alice", 5), "resolved merge")
+            .unwrap();
         let c = r.commit_obj(mc).unwrap();
         assert_eq!(c.parents.len(), 2);
-        assert_eq!(r.worktree().read_text(&path("f.txt")).unwrap(), "x\nresolved\ny\n");
+        assert_eq!(
+            r.worktree().read_text(&path("f.txt")).unwrap(),
+            "x\nresolved\ny\n"
+        );
     }
 
     #[test]
@@ -363,19 +428,28 @@ mod tests {
         r.worktree_mut().remove_file(&path("c.txt")).unwrap();
         r.commit(sig("bob", 2), "dev deletes c").unwrap();
         r.checkout_branch("main").unwrap();
-        r.worktree_mut().write(&path("c.txt"), &b"c-modified\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("c.txt"), &b"c-modified\n"[..])
+            .unwrap();
         r.commit(sig("alice", 3), "main modifies c").unwrap();
         let report = r
             .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
             .unwrap();
-        let MergeReport::Conflicted { conflicts, .. } = report else { panic!("expected conflict") };
+        let MergeReport::Conflicted { conflicts, .. } = report else {
+            panic!("expected conflict")
+        };
         assert_eq!(conflicts.len(), 1);
         assert_eq!(
             conflicts[0].kind,
-            ConflictKind::DeleteModify { deleted_by_ours: false }
+            ConflictKind::DeleteModify {
+                deleted_by_ours: false
+            }
         );
         // Modified side survives in the worktree.
-        assert_eq!(r.worktree().read_text(&path("c.txt")).unwrap(), "c-modified\n");
+        assert_eq!(
+            r.worktree().read_text(&path("c.txt")).unwrap(),
+            "c-modified\n"
+        );
     }
 
     #[test]
@@ -385,7 +459,9 @@ mod tests {
         r.worktree_mut().remove_file(&path("c.txt")).unwrap();
         r.commit(sig("bob", 2), "dev deletes c").unwrap();
         r.checkout_branch("main").unwrap();
-        r.worktree_mut().write(&path("a.txt"), &b"a1\na2\nA3\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("a.txt"), &b"a1\na2\nA3\n"[..])
+            .unwrap();
         r.commit(sig("alice", 3), "main edits a").unwrap();
         let report = r
             .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
@@ -419,10 +495,14 @@ mod tests {
     fn add_add_same_content_clean() {
         let mut r = two_branch_repo();
         r.checkout_branch("dev").unwrap();
-        r.worktree_mut().write(&path("new.txt"), &b"same\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("new.txt"), &b"same\n"[..])
+            .unwrap();
         r.commit(sig("bob", 2), "dev adds").unwrap();
         r.checkout_branch("main").unwrap();
-        r.worktree_mut().write(&path("new.txt"), &b"same\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("new.txt"), &b"same\n"[..])
+            .unwrap();
         r.commit(sig("alice", 3), "main adds same").unwrap();
         let report = r
             .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
@@ -434,22 +514,30 @@ mod tests {
     fn add_add_different_content_conflicts() {
         let mut r = two_branch_repo();
         r.checkout_branch("dev").unwrap();
-        r.worktree_mut().write(&path("new.txt"), &b"dev version\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("new.txt"), &b"dev version\n"[..])
+            .unwrap();
         r.commit(sig("bob", 2), "dev adds").unwrap();
         r.checkout_branch("main").unwrap();
-        r.worktree_mut().write(&path("new.txt"), &b"main version\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("new.txt"), &b"main version\n"[..])
+            .unwrap();
         r.commit(sig("alice", 3), "main adds different").unwrap();
         let report = r
             .merge_branch("dev", sig("alice", 4), "merge", &MergeOptions::default())
             .unwrap();
-        let MergeReport::Conflicted { conflicts, .. } = report else { panic!("expected conflict") };
+        let MergeReport::Conflicted { conflicts, .. } = report else {
+            panic!("expected conflict")
+        };
         assert_eq!(conflicts[0].kind, ConflictKind::AddAdd);
     }
 
     #[test]
     fn unrelated_histories_merge_against_empty_base() {
         let mut r = Repository::init("p");
-        r.worktree_mut().write(&path("ours.txt"), &b"o\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("ours.txt"), &b"o\n"[..])
+            .unwrap();
         r.commit(sig("alice", 1), "ours root").unwrap();
         // Build an unrelated root on another branch by detaching; simplest:
         // create branch from scratch via a second repository and fetch is
@@ -468,7 +556,12 @@ mod tests {
         let orphan_id = r.odb_mut().put(crate::object::Object::Commit(orphan));
         r.create_branch_at("side", orphan_id).unwrap();
         let report = r
-            .merge_branch("side", sig("alice", 3), "merge unrelated", &MergeOptions::default())
+            .merge_branch(
+                "side",
+                sig("alice", 3),
+                "merge unrelated",
+                &MergeOptions::default(),
+            )
             .unwrap();
         assert!(matches!(report, MergeReport::Merged(_)));
         assert!(r.worktree().is_file(&path("ours.txt")));
@@ -479,15 +572,25 @@ mod tests {
     fn excluded_paths_are_left_out() {
         let mut r = two_branch_repo();
         r.checkout_branch("dev").unwrap();
-        r.worktree_mut().write(&path("citation.cite"), &b"{\"dev\": 1}"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("citation.cite"), &b"{\"dev\": 1}"[..])
+            .unwrap();
         r.commit(sig("bob", 2), "dev cites").unwrap();
         r.checkout_branch("main").unwrap();
-        r.worktree_mut().write(&path("citation.cite"), &b"{\"main\": 1}"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("citation.cite"), &b"{\"main\": 1}"[..])
+            .unwrap();
         r.commit(sig("alice", 3), "main cites").unwrap();
-        let opts = MergeOptions { exclude: vec![path("citation.cite")] };
-        let report = r.merge_branch("dev", sig("alice", 4), "merge", &opts).unwrap();
+        let opts = MergeOptions {
+            exclude: vec![path("citation.cite")],
+        };
+        let report = r
+            .merge_branch("dev", sig("alice", 4), "merge", &opts)
+            .unwrap();
         // No conflict: the excluded file never goes through textual merge.
-        let MergeReport::Merged(_) = report else { panic!("expected clean merge: {report:?}") };
+        let MergeReport::Merged(_) = report else {
+            panic!("expected clean merge: {report:?}")
+        };
         assert!(!r.worktree().is_file(&path("citation.cite")));
     }
 }

@@ -2,14 +2,18 @@
 
 use crate::error::Result;
 use crate::hash::ObjectId;
-use crate::store::Odb;
+use crate::store::ObjectStore;
 use std::collections::{HashMap, HashSet};
 
 /// Finds the *best* common ancestor of `a` and `b`: among all common
 /// ancestors, the one with the greatest generation number (longest distance
 /// from a root commit), breaking ties by timestamp then id so the result is
 /// deterministic. Returns `None` for unrelated histories.
-pub fn merge_base(odb: &Odb, a: ObjectId, b: ObjectId) -> Result<Option<ObjectId>> {
+pub fn merge_base<S: ObjectStore + ?Sized>(
+    odb: &S,
+    a: ObjectId,
+    b: ObjectId,
+) -> Result<Option<ObjectId>> {
     if a == b {
         return Ok(Some(a));
     }
@@ -39,7 +43,7 @@ pub fn merge_base(odb: &Odb, a: ObjectId, b: ObjectId) -> Result<Option<ObjectId
 }
 
 /// All commits reachable from `from` (inclusive).
-pub fn ancestor_set(odb: &Odb, from: ObjectId) -> Result<HashSet<ObjectId>> {
+pub fn ancestor_set<S: ObjectStore + ?Sized>(odb: &S, from: ObjectId) -> Result<HashSet<ObjectId>> {
     let mut seen = HashSet::new();
     let mut stack = vec![from];
     while let Some(id) = stack.pop() {
@@ -56,7 +60,10 @@ pub fn ancestor_set(odb: &Odb, from: ObjectId) -> Result<HashSet<ObjectId>> {
 /// Generation numbers (longest path to a root commit) for `ids` and all of
 /// their ancestors. Iterative post-order to avoid recursion on deep
 /// histories.
-fn generations(odb: &Odb, ids: &[ObjectId]) -> Result<HashMap<ObjectId, u64>> {
+fn generations<S: ObjectStore + ?Sized>(
+    odb: &S,
+    ids: &[ObjectId],
+) -> Result<HashMap<ObjectId, u64>> {
     let mut gen: HashMap<ObjectId, u64> = HashMap::new();
     for &start in ids {
         if gen.contains_key(&start) {
@@ -92,6 +99,7 @@ fn generations(odb: &Odb, ids: &[ObjectId]) -> Result<HashMap<ObjectId, u64>> {
 mod tests {
     use super::*;
     use crate::object::{Commit, Object, Signature, Tree};
+    use crate::store::Odb;
 
     /// Builds a commit with the given parents; message keeps ids distinct.
     fn mk(odb: &mut Odb, msg: &str, ts: i64, parents: Vec<ObjectId>) -> ObjectId {

@@ -76,7 +76,9 @@ pub struct Tree {
 impl Tree {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        Tree { entries: BTreeMap::new() }
+        Tree {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Inserts or replaces an entry.
@@ -152,7 +154,11 @@ pub struct Signature {
 impl Signature {
     /// Creates a signature.
     pub fn new(name: impl Into<String>, email: impl Into<String>, timestamp: i64) -> Self {
-        Signature { name: name.into(), email: email.into(), timestamp }
+        Signature {
+            name: name.into(),
+            email: email.into(),
+            timestamp,
+        }
     }
 
     fn canonical(&self) -> String {
@@ -220,6 +226,16 @@ impl Object {
         }
     }
 
+    /// The object's canonical encoding (what its id hashes, and what the
+    /// on-disk store persists).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        match self {
+            Object::Blob(b) => b.canonical_bytes(),
+            Object::Tree(t) => t.canonical_bytes(),
+            Object::Commit(c) => c.canonical_bytes(),
+        }
+    }
+
     /// Object kind name, as used in error messages.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -282,11 +298,35 @@ mod tests {
     fn tree_entries_sorted_and_deterministic() {
         let blob = Blob::new(&b"x"[..]);
         let mut t1 = Tree::new();
-        t1.insert("b.txt", TreeEntry { mode: EntryMode::File, id: blob.id() });
-        t1.insert("a.txt", TreeEntry { mode: EntryMode::File, id: blob.id() });
+        t1.insert(
+            "b.txt",
+            TreeEntry {
+                mode: EntryMode::File,
+                id: blob.id(),
+            },
+        );
+        t1.insert(
+            "a.txt",
+            TreeEntry {
+                mode: EntryMode::File,
+                id: blob.id(),
+            },
+        );
         let mut t2 = Tree::new();
-        t2.insert("a.txt", TreeEntry { mode: EntryMode::File, id: blob.id() });
-        t2.insert("b.txt", TreeEntry { mode: EntryMode::File, id: blob.id() });
+        t2.insert(
+            "a.txt",
+            TreeEntry {
+                mode: EntryMode::File,
+                id: blob.id(),
+            },
+        );
+        t2.insert(
+            "b.txt",
+            TreeEntry {
+                mode: EntryMode::File,
+                id: blob.id(),
+            },
+        );
         assert_eq!(t1.id(), t2.id());
         let names: Vec<_> = t1.iter().map(|(n, _)| n.to_owned()).collect();
         assert_eq!(names, vec!["a.txt", "b.txt"]);
@@ -295,9 +335,21 @@ mod tests {
     #[test]
     fn tree_id_changes_with_content() {
         let mut t = Tree::new();
-        t.insert("a", TreeEntry { mode: EntryMode::File, id: Blob::new(&b"1"[..]).id() });
+        t.insert(
+            "a",
+            TreeEntry {
+                mode: EntryMode::File,
+                id: Blob::new(&b"1"[..]).id(),
+            },
+        );
         let id1 = t.id();
-        t.insert("a", TreeEntry { mode: EntryMode::File, id: Blob::new(&b"2"[..]).id() });
+        t.insert(
+            "a",
+            TreeEntry {
+                mode: EntryMode::File,
+                id: Blob::new(&b"2"[..]).id(),
+            },
+        );
         assert_ne!(id1, t.id());
     }
 

@@ -43,7 +43,9 @@ pub struct RepoPath {
 impl RepoPath {
     /// The repository root (empty path).
     pub fn root() -> Self {
-        RepoPath { components: Vec::new() }
+        RepoPath {
+            components: Vec::new(),
+        }
     }
 
     /// Parses and normalizes a path string.
@@ -92,7 +94,9 @@ impl RepoPath {
         if self.is_root() {
             None
         } else {
-            Some(RepoPath { components: self.components[..self.components.len() - 1].to_vec() })
+            Some(RepoPath {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
         }
     }
 
@@ -102,7 +106,10 @@ impl RepoPath {
     /// Panics if `name` contains `/`, which would silently change the
     /// path's depth; use [`RepoPath::join`] for multi-component suffixes.
     pub fn child(&self, name: &str) -> RepoPath {
-        assert!(!name.contains('/') && !name.is_empty(), "child() takes a single component");
+        assert!(
+            !name.contains('/') && !name.is_empty(),
+            "child() takes a single component"
+        );
         let mut components = self.components.clone();
         components.push(name.to_owned());
         RepoPath { components }
@@ -125,7 +132,9 @@ impl RepoPath {
     /// Removes a leading `prefix`, returning the remainder.
     pub fn strip_prefix(&self, prefix: &RepoPath) -> Option<RepoPath> {
         if self.starts_with(prefix) {
-            Some(RepoPath { components: self.components[prefix.components.len()..].to_vec() })
+            Some(RepoPath {
+                components: self.components[prefix.components.len()..].to_vec(),
+            })
         } else {
             None
         }
@@ -215,10 +224,22 @@ mod tests {
 
     #[test]
     fn rejects_dot_components_and_bad_chars() {
-        assert!(matches!(RepoPath::parse("a/./b"), Err(PathError::BadComponent(_))));
-        assert!(matches!(RepoPath::parse("../b"), Err(PathError::BadComponent(_))));
-        assert!(matches!(RepoPath::parse("a\\b"), Err(PathError::BadCharacter('\\'))));
-        assert!(matches!(RepoPath::parse("a\0b"), Err(PathError::BadCharacter('\0'))));
+        assert!(matches!(
+            RepoPath::parse("a/./b"),
+            Err(PathError::BadComponent(_))
+        ));
+        assert!(matches!(
+            RepoPath::parse("../b"),
+            Err(PathError::BadComponent(_))
+        ));
+        assert!(matches!(
+            RepoPath::parse("a\\b"),
+            Err(PathError::BadCharacter('\\'))
+        ));
+        assert!(matches!(
+            RepoPath::parse("a\0b"),
+            Err(PathError::BadCharacter('\0'))
+        ));
     }
 
     #[test]
@@ -252,10 +273,16 @@ mod tests {
     #[test]
     fn rebase_moves_subtrees() {
         let p = path("old/dir/file.txt");
-        assert_eq!(p.rebase(&path("old/dir"), &path("new/place")).unwrap(), path("new/place/file.txt"));
+        assert_eq!(
+            p.rebase(&path("old/dir"), &path("new/place")).unwrap(),
+            path("new/place/file.txt")
+        );
         assert_eq!(p.rebase(&path("other"), &path("new")), None);
         // Rebasing from the root prefixes everything.
-        assert_eq!(p.rebase(&RepoPath::root(), &path("x")).unwrap(), path("x/old/dir/file.txt"));
+        assert_eq!(
+            p.rebase(&RepoPath::root(), &path("x")).unwrap(),
+            path("x/old/dir/file.txt")
+        );
     }
 
     #[test]
@@ -277,7 +304,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic_by_component() {
-        let mut v = vec![path("b"), path("a/z"), path("a"), RepoPath::root()];
+        let mut v = [path("b"), path("a/z"), path("a"), RepoPath::root()];
         v.sort();
         let strs: Vec<String> = v.iter().map(|p| p.to_string()).collect();
         assert_eq!(strs, vec!["", "a", "a/z", "b"]);

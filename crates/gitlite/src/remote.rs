@@ -8,14 +8,18 @@
 use crate::error::{GitError, Result};
 use crate::hash::ObjectId;
 use crate::repo::Repository;
-use crate::store::Odb;
+use crate::store::ObjectStore;
 use std::collections::HashSet;
 
 /// Copies every object reachable from `roots` that `dst` is missing.
 /// Returns how many objects were transferred. Traversal stops at objects
 /// the destination already has (their closures are complete by
 /// construction), which is what makes incremental fetch cheap.
-pub fn transfer_objects(src: &Odb, dst: &mut Odb, roots: &[ObjectId]) -> Result<usize> {
+pub fn transfer_objects<A: ObjectStore + ?Sized, B: ObjectStore + ?Sized>(
+    src: &A,
+    dst: &mut B,
+    roots: &[ObjectId],
+) -> Result<usize> {
     let mut moved = 0usize;
     let mut seen: HashSet<ObjectId> = HashSet::new();
     let mut stack: Vec<ObjectId> = roots.to_vec();
@@ -38,7 +42,9 @@ pub fn transfer_objects(src: &Odb, dst: &mut Odb, roots: &[ObjectId]) -> Result<
                 }
             }
         }
-        dst.put_shared(obj);
+        // The traversal already knows each object's id; inserting with it
+        // skips a full re-hash per transferred object.
+        dst.put_with_id(id, obj);
         moved += 1;
     }
     Ok(moved)
@@ -48,7 +54,17 @@ pub fn transfer_objects(src: &Odb, dst: &mut Odb, roots: &[ObjectId]) -> Result<
 /// repository named `name`. The clone's HEAD checks out the same branch as
 /// the source when possible, else the default branch.
 pub fn clone_repository(src: &Repository, name: impl Into<String>) -> Result<Repository> {
-    let mut dst = Repository::init(name);
+    clone_repository_into(src, name, Box::new(crate::store::MemStore::new()))
+}
+
+/// [`clone_repository`] onto a caller-supplied object-store backend, so a
+/// clone can be durable or cached from birth.
+pub fn clone_repository_into(
+    src: &Repository,
+    name: impl Into<String>,
+    store: Box<dyn ObjectStore>,
+) -> Result<Repository> {
+    let mut dst = Repository::init_with(name, store);
     let roots: Vec<ObjectId> = src.branches().map(|(_, tip)| tip).collect();
     transfer_objects(src.odb(), dst.odb_mut(), &roots)?;
     for (branch, tip) in src.branches() {
@@ -90,7 +106,9 @@ pub fn push(
     if let Ok(old_tip) = dst.branch_tip(dst_branch) {
         let ff = dst.is_ancestor(old_tip, new_tip)?;
         if !ff && !force {
-            return Err(GitError::NonFastForward { branch: dst_branch.to_owned() });
+            return Err(GitError::NonFastForward {
+                branch: dst_branch.to_owned(),
+            });
         }
     }
     dst.set_branch(dst_branch, new_tip)?;
@@ -107,6 +125,7 @@ mod tests {
     use super::*;
     use crate::object::Signature;
     use crate::path::path;
+    use crate::store::Odb;
 
     fn sig(n: &str, t: i64) -> Signature {
         Signature::new(n, format!("{n}@x"), t)
@@ -114,9 +133,13 @@ mod tests {
 
     fn seeded_repo() -> Repository {
         let mut r = Repository::init("origin");
-        r.worktree_mut().write(&path("a.txt"), &b"one\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("a.txt"), &b"one\n"[..])
+            .unwrap();
         r.commit(sig("alice", 1), "c1").unwrap();
-        r.worktree_mut().write(&path("b.txt"), &b"two\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("b.txt"), &b"two\n"[..])
+            .unwrap();
         r.commit(sig("alice", 2), "c2").unwrap();
         r
     }
@@ -126,11 +149,20 @@ mod tests {
         let src = seeded_repo();
         let clone = clone_repository(&src, "fork").unwrap();
         assert_eq!(clone.name(), "fork");
-        assert_eq!(clone.branch_tip("main").unwrap(), src.branch_tip("main").unwrap());
+        assert_eq!(
+            clone.branch_tip("main").unwrap(),
+            src.branch_tip("main").unwrap()
+        );
         assert_eq!(clone.log_head().unwrap(), src.log_head().unwrap());
         assert_eq!(clone.worktree().read_text(&path("a.txt")).unwrap(), "one\n");
         // Objects deduplicate: same count.
-        assert_eq!(clone.odb().len(), src.odb().reachable_closure(&[src.branch_tip("main").unwrap()]).unwrap().len());
+        assert_eq!(
+            clone.odb().len(),
+            src.odb()
+                .reachable_closure(&[src.branch_tip("main").unwrap()])
+                .unwrap()
+                .len()
+        );
     }
 
     #[test]
@@ -138,11 +170,16 @@ mod tests {
         let mut src = seeded_repo();
         src.create_branch("dev").unwrap();
         src.checkout_branch("dev").unwrap();
-        src.worktree_mut().write(&path("d.txt"), &b"dev\n"[..]).unwrap();
+        src.worktree_mut()
+            .write(&path("d.txt"), &b"dev\n"[..])
+            .unwrap();
         src.commit(sig("bob", 3), "dev work").unwrap();
         let clone = clone_repository(&src, "fork").unwrap();
         assert!(clone.has_branch("dev"));
-        assert_eq!(clone.branch_tip("dev").unwrap(), src.branch_tip("dev").unwrap());
+        assert_eq!(
+            clone.branch_tip("dev").unwrap(),
+            src.branch_tip("dev").unwrap()
+        );
         // Clone follows the source's checked-out branch.
         assert_eq!(clone.current_branch(), Some("dev"));
     }
@@ -171,7 +208,10 @@ mod tests {
     fn push_fast_forward_succeeds() {
         let mut local = seeded_repo();
         let mut remote = clone_repository(&local, "origin").unwrap();
-        local.worktree_mut().write(&path("c.txt"), &b"three\n"[..]).unwrap();
+        local
+            .worktree_mut()
+            .write(&path("c.txt"), &b"three\n"[..])
+            .unwrap();
         let new_tip = local.commit(sig("alice", 3), "c3").unwrap();
         let pushed = push(&local, &mut remote, "main", "main", false).unwrap();
         assert_eq!(pushed, new_tip);
@@ -185,14 +225,25 @@ mod tests {
         let base = seeded_repo();
         let mut remote = clone_repository(&base, "origin").unwrap();
         // Remote gains its own commit.
-        remote.worktree_mut().write(&path("r.txt"), &b"remote\n"[..]).unwrap();
+        remote
+            .worktree_mut()
+            .write(&path("r.txt"), &b"remote\n"[..])
+            .unwrap();
         remote.commit(sig("carol", 3), "remote work").unwrap();
         // Local diverges.
         let mut local = clone_repository(&base, "local").unwrap();
-        local.worktree_mut().write(&path("l.txt"), &b"local\n"[..]).unwrap();
+        local
+            .worktree_mut()
+            .write(&path("l.txt"), &b"local\n"[..])
+            .unwrap();
         let local_tip = local.commit(sig("alice", 4), "local work").unwrap();
         let err = push(&local, &mut remote, "main", "main", false).unwrap_err();
-        assert_eq!(err, GitError::NonFastForward { branch: "main".into() });
+        assert_eq!(
+            err,
+            GitError::NonFastForward {
+                branch: "main".into()
+            }
+        );
         // Forced push moves the ref anyway.
         let pushed = push(&local, &mut remote, "main", "main", true).unwrap();
         assert_eq!(pushed, local_tip);

@@ -12,7 +12,7 @@ use crate::hash::ObjectId;
 use crate::object::{Commit, Object, Signature};
 use crate::path::RepoPath;
 use crate::snapshot::{flatten_tree, read_tree, resolve_path, write_tree};
-use crate::store::Odb;
+use crate::store::{MemStore, ObjectStore};
 use crate::worktree::WorkTree;
 use bytes::Bytes;
 use std::collections::{BTreeMap, BinaryHeap, HashSet};
@@ -32,10 +32,16 @@ pub enum Head {
 pub const DEFAULT_BRANCH: &str = "main";
 
 /// A version-controlled project repository.
+///
+/// The object database behind it is pluggable: [`Repository::init`]
+/// starts on the in-memory [`MemStore`], while [`Repository::init_with`]
+/// accepts any [`ObjectStore`] backend (durable, cached, ...). All
+/// repository operations go through the trait, so behavior is identical
+/// across backends.
 #[derive(Debug, Clone)]
 pub struct Repository {
     name: String,
-    odb: Odb,
+    odb: Box<dyn ObjectStore>,
     refs: BTreeMap<String, ObjectId>,
     head: Head,
     worktree: WorkTree,
@@ -44,11 +50,19 @@ pub struct Repository {
 
 impl Repository {
     /// Creates an empty repository named `name`, on an unborn default
-    /// branch.
+    /// branch, backed by an in-memory [`MemStore`].
     pub fn init(name: impl Into<String>) -> Self {
+        Self::init_with(name, Box::new(MemStore::new()))
+    }
+
+    /// Creates an empty repository on a caller-supplied object-store
+    /// backend. The store may already hold objects (e.g. a reopened
+    /// [`crate::DiskStore`]); they become reachable once refs point at
+    /// them.
+    pub fn init_with(name: impl Into<String>, store: Box<dyn ObjectStore>) -> Self {
         Repository {
             name: name.into(),
-            odb: Odb::new(),
+            odb: store,
             refs: BTreeMap::new(),
             head: Head::Unborn(DEFAULT_BRANCH.to_owned()),
             worktree: WorkTree::new(),
@@ -67,13 +81,13 @@ impl Repository {
     }
 
     /// Immutable access to the object database.
-    pub fn odb(&self) -> &Odb {
-        &self.odb
+    pub fn odb(&self) -> &dyn ObjectStore {
+        &*self.odb
     }
 
     /// Mutable access to the object database (object transfer uses this).
-    pub fn odb_mut(&mut self) -> &mut Odb {
-        &mut self.odb
+    pub fn odb_mut(&mut self) -> &mut dyn ObjectStore {
+        &mut *self.odb
     }
 
     /// The working tree.
@@ -102,9 +116,11 @@ impl Repository {
     /// The commit HEAD points at.
     pub fn head_commit(&self) -> Result<ObjectId> {
         match &self.head {
-            Head::Branch(b) => {
-                self.refs.get(b).copied().ok_or_else(|| GitError::BranchNotFound(b.clone()))
-            }
+            Head::Branch(b) => self
+                .refs
+                .get(b)
+                .copied()
+                .ok_or_else(|| GitError::BranchNotFound(b.clone())),
             Head::Unborn(_) => Err(GitError::EmptyRepository),
             Head::Detached(id) => Ok(*id),
         }
@@ -126,7 +142,10 @@ impl Repository {
 
     /// Tip commit of a branch.
     pub fn branch_tip(&self, name: &str) -> Result<ObjectId> {
-        self.refs.get(name).copied().ok_or_else(|| GitError::BranchNotFound(name.to_owned()))
+        self.refs
+            .get(name)
+            .copied()
+            .ok_or_else(|| GitError::BranchNotFound(name.to_owned()))
     }
 
     /// True when the branch exists.
@@ -200,7 +219,7 @@ impl Repository {
         message: impl Into<String>,
         allow_empty: bool,
     ) -> Result<ObjectId> {
-        let tree = write_tree(&mut self.odb, &self.worktree);
+        let tree = write_tree(&mut *self.odb, &self.worktree);
         let parents = match self.head_commit() {
             Ok(head) => {
                 let head_tree = self.odb.commit(head)?.tree;
@@ -224,7 +243,7 @@ impl Repository {
         author: Signature,
         message: impl Into<String>,
     ) -> Result<ObjectId> {
-        self.worktree = read_tree(&self.odb, tree)?;
+        self.worktree = read_tree(&*self.odb, tree)?;
         self.finish_commit(tree, parents, author, message.into())
     }
 
@@ -236,7 +255,12 @@ impl Repository {
         message: String,
     ) -> Result<ObjectId> {
         self.clock = self.clock.max(author.timestamp);
-        let commit = Commit { tree, parents, author, message };
+        let commit = Commit {
+            tree,
+            parents,
+            author,
+            message,
+        };
         let id = self.odb.put(Object::Commit(commit));
         match self.head.clone() {
             Head::Branch(b) | Head::Unborn(b) => {
@@ -261,7 +285,7 @@ impl Repository {
     pub fn checkout_branch(&mut self, name: &str) -> Result<()> {
         let tip = self.branch_tip(name)?;
         let tree = self.odb.commit(tip)?.tree;
-        self.worktree = read_tree(&self.odb, tree)?;
+        self.worktree = read_tree(&*self.odb, tree)?;
         self.head = Head::Branch(name.to_owned());
         Ok(())
     }
@@ -269,7 +293,7 @@ impl Repository {
     /// Detaches HEAD at a commit and loads its tree into the worktree.
     pub fn checkout_commit(&mut self, id: ObjectId) -> Result<()> {
         let tree = self.odb.commit(id)?.tree;
-        self.worktree = read_tree(&self.odb, tree)?;
+        self.worktree = read_tree(&*self.odb, tree)?;
         self.head = Head::Detached(id);
         Ok(())
     }
@@ -322,13 +346,13 @@ impl Repository {
 
     /// Flattened `path → blob id` listing of a commit's tree.
     pub fn snapshot(&self, commit: ObjectId) -> Result<BTreeMap<RepoPath, ObjectId>> {
-        flatten_tree(&self.odb, self.tree_of(commit)?)
+        flatten_tree(&*self.odb, self.tree_of(commit)?)
     }
 
     /// Reads a file's bytes as of a commit.
     pub fn file_at(&self, commit: ObjectId, path: &RepoPath) -> Result<Bytes> {
         let tree = self.tree_of(commit)?;
-        match resolve_path(&self.odb, tree, path)? {
+        match resolve_path(&*self.odb, tree, path)? {
             Some((crate::object::EntryMode::File, id)) => self.odb.blob_data(id),
             Some(_) => Err(GitError::NotAFile(path.clone())),
             None => Err(GitError::FileNotFound(path.clone())),
@@ -338,7 +362,7 @@ impl Repository {
     /// True when `path` exists (as file or directory) in `commit`'s tree.
     pub fn path_exists_at(&self, commit: ObjectId, path: &RepoPath) -> Result<bool> {
         let tree = self.tree_of(commit)?;
-        Ok(resolve_path(&self.odb, tree, path)?.is_some())
+        Ok(resolve_path(&*self.odb, tree, path)?.is_some())
     }
 
     /// True when `ancestor` is reachable from `descendant` (or equal):
@@ -411,7 +435,10 @@ mod tests {
     #[test]
     fn empty_commit_rejected_unless_allowed() {
         let (mut r, _) = repo_with_commit();
-        assert_eq!(r.commit(sig("alice", 2), "noop").unwrap_err(), GitError::NothingToCommit);
+        assert_eq!(
+            r.commit(sig("alice", 2), "noop").unwrap_err(),
+            GitError::NothingToCommit
+        );
         let c = r.commit_with(sig("alice", 2), "forced", true).unwrap();
         assert_eq!(r.head_commit().unwrap(), c);
     }
@@ -421,7 +448,10 @@ mod tests {
         let (mut r, c1) = repo_with_commit();
         r.create_branch("dev").unwrap();
         assert_eq!(r.branch_tip("dev").unwrap(), c1);
-        assert_eq!(r.create_branch("dev").unwrap_err(), GitError::BranchExists("dev".into()));
+        assert_eq!(
+            r.create_branch("dev").unwrap_err(),
+            GitError::BranchExists("dev".into())
+        );
         r.checkout_branch("dev").unwrap();
         r.worktree_mut().write(&path("dev.txt"), &b"d"[..]).unwrap();
         let c2 = r.commit(sig("bob", 2), "on dev").unwrap();
@@ -440,7 +470,10 @@ mod tests {
     fn bad_branch_names_rejected() {
         let (mut r, _) = repo_with_commit();
         for bad in ["", "a b", "x/y"] {
-            assert!(matches!(r.create_branch(bad), Err(GitError::BadBranchName(_))));
+            assert!(matches!(
+                r.create_branch(bad),
+                Err(GitError::BadBranchName(_))
+            ));
         }
     }
 
@@ -473,12 +506,20 @@ mod tests {
     #[test]
     fn file_at_and_path_exists() {
         let (mut r, c1) = repo_with_commit();
-        r.worktree_mut().write(&path("dir/b.txt"), &b"2"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("dir/b.txt"), &b"2"[..])
+            .unwrap();
         let c2 = r.commit(sig("alice", 2), "c2").unwrap();
         assert_eq!(r.file_at(c1, &path("a.txt")).unwrap().as_ref(), b"one");
-        assert!(matches!(r.file_at(c1, &path("dir/b.txt")), Err(GitError::FileNotFound(_))));
+        assert!(matches!(
+            r.file_at(c1, &path("dir/b.txt")),
+            Err(GitError::FileNotFound(_))
+        ));
         assert!(r.path_exists_at(c2, &path("dir")).unwrap());
-        assert!(matches!(r.file_at(c2, &path("dir")), Err(GitError::NotAFile(_))));
+        assert!(matches!(
+            r.file_at(c2, &path("dir")),
+            Err(GitError::NotAFile(_))
+        ));
         assert_eq!(r.snapshot(c2).unwrap().len(), 2);
     }
 

@@ -9,13 +9,13 @@ use crate::error::Result;
 use crate::hash::ObjectId;
 use crate::object::{EntryMode, Object, Tree, TreeEntry};
 use crate::path::RepoPath;
-use crate::store::Odb;
+use crate::store::{ObjectStore, ObjectStoreExt};
 use crate::worktree::WorkTree;
 use std::collections::BTreeMap;
 
 /// Snapshots the worktree into `odb`, creating blob and tree objects
 /// bottom-up, and returns the root tree id.
-pub fn write_tree(odb: &mut Odb, worktree: &WorkTree) -> ObjectId {
+pub fn write_tree<S: ObjectStore + ?Sized>(odb: &mut S, worktree: &WorkTree) -> ObjectId {
     let mut listing = BTreeMap::new();
     for (path, data) in worktree.iter() {
         let blob_id = odb.put_blob(data.clone());
@@ -28,12 +28,18 @@ pub fn write_tree(odb: &mut Odb, worktree: &WorkTree) -> ObjectId {
 /// must already exist in `odb`) and returns the root tree id. This is the
 /// inverse of [`flatten_tree`] and is what the merge machinery uses to
 /// construct a merged tree without materializing file bytes.
-pub fn write_tree_from_listing(odb: &mut Odb, listing: &BTreeMap<RepoPath, ObjectId>) -> ObjectId {
+pub fn write_tree_from_listing<S: ObjectStore + ?Sized>(
+    odb: &mut S,
+    listing: &BTreeMap<RepoPath, ObjectId>,
+) -> ObjectId {
     let mut children: BTreeMap<RepoPath, Vec<(String, EntryMode, Option<ObjectId>)>> =
         BTreeMap::new();
     children.entry(RepoPath::root()).or_default();
     for (path, blob_id) in listing {
-        let name = path.file_name().expect("files are never the root").to_owned();
+        let name = path
+            .file_name()
+            .expect("files are never the root")
+            .to_owned();
         let parent = path.parent().expect("files are never the root");
         children
             .entry(parent.clone())
@@ -44,7 +50,10 @@ pub fn write_tree_from_listing(odb: &mut Odb, listing: &BTreeMap<RepoPath, Objec
             let dir_parent = dir.parent().expect("non-root");
             let dir_name = dir.file_name().expect("non-root").to_owned();
             let siblings = children.entry(dir_parent.clone()).or_default();
-            if !siblings.iter().any(|(n, m, _)| *m == EntryMode::Dir && *n == dir_name) {
+            if !siblings
+                .iter()
+                .any(|(n, m, _)| *m == EntryMode::Dir && *n == dir_name)
+            {
                 siblings.push((dir_name, EntryMode::Dir, None));
             }
             children.entry(dir.clone()).or_default();
@@ -67,7 +76,10 @@ pub fn write_tree_from_listing(odb: &mut Odb, listing: &BTreeMap<RepoPath, Objec
 }
 
 /// Flattens a stored tree into `path → blob id` for every file beneath it.
-pub fn flatten_tree(odb: &Odb, root: ObjectId) -> Result<BTreeMap<RepoPath, ObjectId>> {
+pub fn flatten_tree<S: ObjectStore + ?Sized>(
+    odb: &S,
+    root: ObjectId,
+) -> Result<BTreeMap<RepoPath, ObjectId>> {
     let mut out = BTreeMap::new();
     let mut stack = vec![(RepoPath::root(), root)];
     while let Some((base, tree_id)) = stack.pop() {
@@ -86,7 +98,7 @@ pub fn flatten_tree(odb: &Odb, root: ObjectId) -> Result<BTreeMap<RepoPath, Obje
 }
 
 /// Lists every directory path beneath a stored tree (excluding the root).
-pub fn tree_directories(odb: &Odb, root: ObjectId) -> Result<Vec<RepoPath>> {
+pub fn tree_directories<S: ObjectStore + ?Sized>(odb: &S, root: ObjectId) -> Result<Vec<RepoPath>> {
     let mut out = Vec::new();
     let mut stack = vec![(RepoPath::root(), root)];
     while let Some((base, tree_id)) = stack.pop() {
@@ -104,7 +116,7 @@ pub fn tree_directories(odb: &Odb, root: ObjectId) -> Result<Vec<RepoPath>> {
 }
 
 /// Materializes a stored tree into a fresh worktree (checkout).
-pub fn read_tree(odb: &Odb, root: ObjectId) -> Result<WorkTree> {
+pub fn read_tree<S: ObjectStore + ?Sized>(odb: &S, root: ObjectId) -> Result<WorkTree> {
     let mut wt = WorkTree::new();
     for (path, blob_id) in flatten_tree(odb, root)? {
         let data = odb.blob_data(blob_id)?;
@@ -116,7 +128,11 @@ pub fn read_tree(odb: &Odb, root: ObjectId) -> Result<WorkTree> {
 /// Resolves the entry at `path` within a stored tree: `Some((mode, id))`
 /// when a file or directory exists there, `None` otherwise. The root
 /// resolves to the tree itself.
-pub fn resolve_path(odb: &Odb, root: ObjectId, path: &RepoPath) -> Result<Option<(EntryMode, ObjectId)>> {
+pub fn resolve_path<S: ObjectStore + ?Sized>(
+    odb: &S,
+    root: ObjectId,
+    path: &RepoPath,
+) -> Result<Option<(EntryMode, ObjectId)>> {
     if path.is_root() {
         return Ok(Some((EntryMode::Dir, root)));
     }
@@ -144,12 +160,14 @@ pub fn resolve_path(odb: &Odb, root: ObjectId, path: &RepoPath) -> Result<Option
 mod tests {
     use super::*;
     use crate::path::path;
+    use crate::store::Odb;
 
     fn sample() -> (Odb, WorkTree) {
         let mut wt = WorkTree::new();
         wt.write(&path("README.md"), &b"# p"[..]).unwrap();
         wt.write(&path("src/main.rs"), &b"fn main(){}"[..]).unwrap();
-        wt.write(&path("src/util/mod.rs"), &b"pub fn u(){}"[..]).unwrap();
+        wt.write(&path("src/util/mod.rs"), &b"pub fn u(){}"[..])
+            .unwrap();
         (Odb::new(), wt)
     }
 
@@ -199,12 +217,20 @@ mod tests {
         let root = write_tree(&mut odb, &wt);
         let (mode, _) = resolve_path(&odb, root, &path("src")).unwrap().unwrap();
         assert_eq!(mode, EntryMode::Dir);
-        let (mode, blob) = resolve_path(&odb, root, &path("src/main.rs")).unwrap().unwrap();
+        let (mode, blob) = resolve_path(&odb, root, &path("src/main.rs"))
+            .unwrap()
+            .unwrap();
         assert_eq!(mode, EntryMode::File);
         assert_eq!(odb.blob_data(blob).unwrap().as_ref(), b"fn main(){}");
-        assert!(resolve_path(&odb, root, &path("missing")).unwrap().is_none());
-        assert!(resolve_path(&odb, root, &path("README.md/below")).unwrap().is_none());
-        let (mode, id) = resolve_path(&odb, root, &RepoPath::root()).unwrap().unwrap();
+        assert!(resolve_path(&odb, root, &path("missing"))
+            .unwrap()
+            .is_none());
+        assert!(resolve_path(&odb, root, &path("README.md/below"))
+            .unwrap()
+            .is_none());
+        let (mode, id) = resolve_path(&odb, root, &RepoPath::root())
+            .unwrap()
+            .unwrap();
         assert_eq!(mode, EntryMode::Dir);
         assert_eq!(id, root);
     }

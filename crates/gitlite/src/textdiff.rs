@@ -184,7 +184,11 @@ pub struct MergeLabels<'a> {
 
 impl Default for MergeLabels<'_> {
     fn default() -> Self {
-        MergeLabels { ours: "ours", base: "base", theirs: "theirs" }
+        MergeLabels {
+            ours: "ours",
+            base: "base",
+            theirs: "theirs",
+        }
     }
 }
 
@@ -401,7 +405,11 @@ mod tests {
         let base = "a\nmid\nz\n";
         let ours = "a\nours-mid\nz\n";
         let theirs = "a\ntheirs-mid\nz\n";
-        let labels = MergeLabels { ours: "main", base: "base", theirs: "gui" };
+        let labels = MergeLabels {
+            ours: "main",
+            base: "base",
+            theirs: "gui",
+        };
         let r = diff3_merge(base, ours, theirs, labels);
         assert_eq!(r.conflicts, 1);
         let expect =

@@ -25,7 +25,9 @@ pub struct WorkTree {
 impl WorkTree {
     /// Creates an empty worktree.
     pub fn new() -> Self {
-        WorkTree { files: BTreeMap::new() }
+        WorkTree {
+            files: BTreeMap::new(),
+        }
     }
 
     /// Number of files.
@@ -66,7 +68,9 @@ impl WorkTree {
 
     /// Reads a file's bytes.
     pub fn read(&self, path: &RepoPath) -> Result<&Bytes> {
-        self.files.get(path).ok_or_else(|| GitError::FileNotFound(path.clone()))
+        self.files
+            .get(path)
+            .ok_or_else(|| GitError::FileNotFound(path.clone()))
     }
 
     /// Reads a file as UTF-8 text (lossy).
@@ -98,7 +102,9 @@ impl WorkTree {
 
     /// Deletes a file. Errors when the path is not a file.
     pub fn remove_file(&mut self, path: &RepoPath) -> Result<Bytes> {
-        self.files.remove(path).ok_or_else(|| GitError::FileNotFound(path.clone()))
+        self.files
+            .remove(path)
+            .ok_or_else(|| GitError::FileNotFound(path.clone()))
     }
 
     /// Deletes a directory subtree, returning how many files were removed.
@@ -181,7 +187,11 @@ impl WorkTree {
 
     /// All file paths under `prefix` (including `prefix` itself if a file).
     pub fn files_under(&self, prefix: &RepoPath) -> Vec<RepoPath> {
-        self.files.keys().filter(|p| p.starts_with(prefix)).cloned().collect()
+        self.files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
     }
 
     /// The set of directories implied by the current files (excluding root).
@@ -219,7 +229,10 @@ mod tests {
         assert_eq!(w.read_text(&path("a/b.txt")).unwrap(), "hi");
         w.remove_file(&path("a/b.txt")).unwrap();
         assert!(w.is_empty());
-        assert!(matches!(w.read(&path("a/b.txt")), Err(GitError::FileNotFound(_))));
+        assert!(matches!(
+            w.read(&path("a/b.txt")),
+            Err(GitError::FileNotFound(_))
+        ));
     }
 
     #[test]
@@ -275,7 +288,11 @@ mod tests {
 
     #[test]
     fn rename_directory_subtree() {
-        let mut w = wt(&[("gui/a.js", "1"), ("gui/css/b.css", "2"), ("other.txt", "3")]);
+        let mut w = wt(&[
+            ("gui/a.js", "1"),
+            ("gui/css/b.css", "2"),
+            ("other.txt", "3"),
+        ]);
         let mut moves = w.rename(&path("gui"), &path("citation/GUI")).unwrap();
         moves.sort();
         assert_eq!(

@@ -16,7 +16,9 @@ fn arb_worktree() -> impl Strategy<Value = WorkTree> {
     .prop_map(|files| {
         let mut wt = WorkTree::new();
         for (p, data) in files {
-            let Ok(path) = RepoPath::parse(&p) else { continue };
+            let Ok(path) = RepoPath::parse(&p) else {
+                continue;
+            };
             if path.is_root() {
                 continue;
             }
@@ -72,7 +74,7 @@ proptest! {
         let fa = flatten_tree(&odb, ta).unwrap();
         let fb = flatten_tree(&odb, tb).unwrap();
         let mut reconstructed = fa.clone();
-        for (p, _) in &d.deleted { reconstructed.remove(p); }
+        for p in d.deleted.keys() { reconstructed.remove(p); }
         for r in &d.renames {
             reconstructed.remove(&r.from);
             reconstructed.insert(r.to.clone(), fb[&r.to]);

@@ -78,7 +78,9 @@ impl Heritage {
     pub fn archive(&mut self, origin: &str, repo: &Repository) -> Result<ArchiveReport> {
         let tips: Vec<ObjectId> = repo.branches().map(|(_, tip)| tip).collect();
         if tips.is_empty() {
-            return Err(HubError::BadRequest("repository has no commits to archive".into()));
+            return Err(HubError::BadRequest(
+                "repository has no commits to archive".into(),
+            ));
         }
         let closure = repo.odb().reachable_closure(&tips).map_err(HubError::Git)?;
         let mut new_objects = (0usize, 0usize, 0usize);
@@ -103,8 +105,15 @@ impl Heritage {
             }
         }
         let heads: Vec<String> = tips.iter().map(|t| swhid(SwhKind::Revision, *t)).collect();
-        self.origins.entry(origin.to_owned()).or_default().push(heads.clone());
-        Ok(ArchiveReport { origin: origin.to_owned(), heads, new_objects })
+        self.origins
+            .entry(origin.to_owned())
+            .or_default()
+            .push(heads.clone());
+        Ok(ArchiveReport {
+            origin: origin.to_owned(),
+            heads,
+            new_objects,
+        })
     }
 
     /// True when the archive holds the object behind an SWHID.
@@ -135,7 +144,11 @@ impl Heritage {
 
     /// Archive-wide object counts `(contents, directories, revisions)`.
     pub fn counts(&self) -> (usize, usize, usize) {
-        (self.contents.len(), self.directories.len(), self.revisions.len())
+        (
+            self.contents.len(),
+            self.directories.len(),
+            self.revisions.len(),
+        )
     }
 }
 
@@ -148,7 +161,9 @@ mod tests {
         let mut r = Repository::init("arch");
         r.worktree_mut().write(&path("a.txt"), &b"a\n"[..]).unwrap();
         r.commit(Signature::new("x", "x@x", 1), "c1").unwrap();
-        r.worktree_mut().write(&path("b/c.txt"), &b"c\n"[..]).unwrap();
+        r.worktree_mut()
+            .write(&path("b/c.txt"), &b"c\n"[..])
+            .unwrap();
         r.commit(Signature::new("x", "x@x", 2), "c2").unwrap();
         r
     }
@@ -197,7 +212,10 @@ mod tests {
         h.archive("o", &repo).unwrap();
         let bogus = swhid(SwhKind::Content, ObjectId::hash_bytes(b"never stored"));
         assert!(matches!(h.resolve(&bogus), Err(HubError::SwhidNotFound(_))));
-        assert!(matches!(h.resolve("garbage"), Err(HubError::SwhidNotFound(_))));
+        assert!(matches!(
+            h.resolve("garbage"),
+            Err(HubError::SwhidNotFound(_))
+        ));
     }
 
     #[test]
@@ -207,7 +225,9 @@ mod tests {
         let r1 = sample_repo();
         h.archive("o1", &r1).unwrap();
         let mut r2 = Repository::init("other");
-        r2.worktree_mut().write(&path("same.txt"), &b"a\n"[..]).unwrap();
+        r2.worktree_mut()
+            .write(&path("same.txt"), &b"a\n"[..])
+            .unwrap();
         r2.commit(Signature::new("y", "y@y", 9), "c").unwrap();
         let report = h.archive("o2", &r2).unwrap();
         // The blob "a\n" was already archived from r1.

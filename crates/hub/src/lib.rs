@@ -37,5 +37,5 @@ pub use audit::{AuditEvent, AuditLog};
 pub use error::{HubError, Result};
 pub use heritage::{parse_swhid, swhid, ArchiveReport, Heritage, SwhKind};
 pub use perm::{Action, Role};
-pub use server::{Hub, LogEntry, Token, User};
+pub use server::{Hub, LogEntry, StoreFactory, Token, User};
 pub use zenodo::{Deposit, Zenodo, DOI_PREFIX};

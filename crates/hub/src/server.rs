@@ -57,12 +57,26 @@ struct HubState {
     next_token: u64,
 }
 
+/// Factory producing the object-store backend for each newly created
+/// hosted repository. Defaults to in-memory [`gitlite::MemStore`]s; a
+/// deployment can plug in durable or cached backends without touching
+/// any server logic (every repository operation goes through the
+/// [`gitlite::ObjectStore`] trait).
+pub type StoreFactory = Box<dyn Fn() -> Box<dyn gitlite::ObjectStore> + Send + Sync>;
+
 /// The hosting platform.
-#[derive(Default)]
 pub struct Hub {
     state: Mutex<HubState>,
     /// Base URL used when synthesizing repository URLs.
     base_url: String,
+    /// Backend factory for server-side repositories.
+    store_factory: StoreFactory,
+}
+
+impl Default for Hub {
+    fn default() -> Self {
+        Hub::new("")
+    }
 }
 
 /// A log entry returned by [`Hub::log`].
@@ -82,7 +96,18 @@ impl Hub {
     /// Creates a hub whose repositories live under `base_url`
     /// (e.g. `https://hub.example`).
     pub fn new(base_url: impl Into<String>) -> Self {
-        Hub { state: Mutex::new(HubState::default()), base_url: base_url.into() }
+        Self::with_store_factory(base_url, Box::new(|| Box::new(gitlite::MemStore::new())))
+    }
+
+    /// [`Hub::new`] with a custom object-store backend per repository —
+    /// e.g. `DiskStore`s under a data directory, or `CachedStore`s for
+    /// read-heavy serving.
+    pub fn with_store_factory(base_url: impl Into<String>, store_factory: StoreFactory) -> Self {
+        Hub {
+            state: Mutex::new(HubState::default()),
+            base_url: base_url.into(),
+            store_factory,
+        }
     }
 
     /// Repository URL for an id.
@@ -106,7 +131,9 @@ impl Hub {
             return Err(HubError::UserExists(username.to_owned()));
         }
         if username.is_empty() || username.contains('/') || username.contains(char::is_whitespace) {
-            return Err(HubError::BadRequest(format!("invalid username {username:?}")));
+            return Err(HubError::BadRequest(format!(
+                "invalid username {username:?}"
+            )));
         }
         s.users.insert(
             username.to_owned(),
@@ -117,7 +144,8 @@ impl Hub {
             },
         );
         let ts = tick(&mut s);
-        s.audit.record(ts, Some(username), "register_user", username, true);
+        s.audit
+            .record(ts, Some(username), "register_user", username, true);
         Ok(())
     }
 
@@ -157,27 +185,42 @@ impl Hub {
         let mut s = self.state.lock();
         let user = auth(&s, token)?.clone();
         if name.is_empty() || name.contains('/') || name.contains(char::is_whitespace) {
-            return Err(HubError::BadRequest(format!("invalid repository name {name:?}")));
+            return Err(HubError::BadRequest(format!(
+                "invalid repository name {name:?}"
+            )));
         }
         let repo_id = format!("{}/{}", user.username, name);
         if s.repos.contains_key(&repo_id) {
             return Err(HubError::RepoExists(repo_id));
         }
         let url = format!("{}/{}", self.base_url, repo_id);
-        let mut cited = CitedRepo::init(name, &user.display_name, &url);
+        let mut cited =
+            CitedRepo::init_with_store(name, &user.display_name, &url, (self.store_factory)());
         let ts = tick(&mut s);
         cited
-            .commit(Signature::new(&user.display_name, &user.email, ts), "initialize repository")
+            .commit(
+                Signature::new(&user.display_name, &user.email, ts),
+                "initialize repository",
+            )
             .map_err(HubError::Cite)?;
         let mut roles = BTreeMap::new();
         roles.insert(user.username.clone(), Role::Owner);
-        s.repos.insert(repo_id.clone(), HostedRepo { repo: cited.into_repository(), roles });
-        s.audit.record(ts, Some(&user.username), "create_repo", &repo_id, true);
+        s.repos.insert(
+            repo_id.clone(),
+            HostedRepo {
+                repo: cited.into_repository(),
+                roles,
+            },
+        );
+        s.audit
+            .record(ts, Some(&user.username), "create_repo", &repo_id, true);
         Ok(repo_id)
     }
 
     /// Hosts an existing repository (e.g. a retrofitted one) under the
-    /// token's user.
+    /// token's user. The repository is re-homed onto the hub's configured
+    /// store backend (all branches and their histories are transferred),
+    /// so imported repositories get the same durability as created ones.
     pub fn import_repo(&self, token: &Token, name: &str, repo: Repository) -> Result<String> {
         let mut s = self.state.lock();
         let user = auth(&s, token)?.clone();
@@ -186,33 +229,56 @@ impl Hub {
             return Err(HubError::RepoExists(repo_id));
         }
         repo.head_commit().map_err(HubError::Git)?; // must have content
+        let mut rehomed = gitlite::clone_repository_into(&repo, name, (self.store_factory)())
+            .map_err(HubError::Git)?;
+        rehomed.set_name(repo.name());
         let mut roles = BTreeMap::new();
         roles.insert(user.username.clone(), Role::Owner);
-        s.repos.insert(repo_id.clone(), HostedRepo { repo, roles });
+        s.repos.insert(
+            repo_id.clone(),
+            HostedRepo {
+                repo: rehomed,
+                roles,
+            },
+        );
         let ts = tick(&mut s);
-        s.audit.record(ts, Some(&user.username), "import_repo", &repo_id, true);
+        s.audit
+            .record(ts, Some(&user.username), "import_repo", &repo_id, true);
         Ok(repo_id)
     }
 
     /// Grants `username` a role on a repository (owner only).
-    pub fn add_member(&self, token: &Token, repo_id: &str, username: &str, role: Role) -> Result<()> {
+    pub fn add_member(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        username: &str,
+        role: Role,
+    ) -> Result<()> {
         let mut s = self.state.lock();
         let actor = auth(&s, token)?.username.clone();
         if !s.users.contains_key(username) {
             return Err(HubError::UserNotFound(username.to_owned()));
         }
-        let hosted = s.repos.get_mut(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get_mut(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         check(hosted, &actor, Action::Admin)?;
         hosted.roles.insert(username.to_owned(), role);
         let ts = tick(&mut s);
-        s.audit.record(ts, Some(&actor), "add_member", repo_id, true);
+        s.audit
+            .record(ts, Some(&actor), "add_member", repo_id, true);
         Ok(())
     }
 
     /// The role a user has on a repository (`None` = implicit reader).
     pub fn role_of(&self, repo_id: &str, username: &str) -> Result<Option<Role>> {
         let s = self.state.lock();
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         Ok(hosted.roles.get(username).copied())
     }
 
@@ -221,7 +287,10 @@ impl Hub {
     pub fn can_write(&self, token: &Token, repo_id: &str) -> Result<bool> {
         let s = self.state.lock();
         let user = auth(&s, token)?;
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         Ok(hosted
             .roles
             .get(&user.username)
@@ -240,30 +309,51 @@ impl Hub {
     /// Branch names of a repository.
     pub fn branches(&self, repo_id: &str) -> Result<Vec<String>> {
         let s = self.state.lock();
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         Ok(hosted.repo.branches().map(|(b, _)| b.to_owned()).collect())
     }
 
     /// File paths at a branch tip.
     pub fn list_files(&self, repo_id: &str, branch: &str) -> Result<Vec<RepoPath>> {
         let s = self.state.lock();
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
-        Ok(hosted.repo.snapshot(tip).map_err(HubError::Git)?.into_keys().collect())
+        Ok(hosted
+            .repo
+            .snapshot(tip)
+            .map_err(HubError::Git)?
+            .into_keys()
+            .collect())
     }
 
     /// Reads one file at a branch tip.
     pub fn read_file(&self, repo_id: &str, branch: &str, path: &RepoPath) -> Result<Vec<u8>> {
         let s = self.state.lock();
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
-        Ok(hosted.repo.file_at(tip, path).map_err(HubError::Git)?.to_vec())
+        Ok(hosted
+            .repo
+            .file_at(tip, path)
+            .map_err(HubError::Git)?
+            .to_vec())
     }
 
     /// Commit log of a branch, newest first.
     pub fn log(&self, repo_id: &str, branch: &str) -> Result<Vec<LogEntry>> {
         let s = self.state.lock();
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
         let mut out = Vec::new();
         for id in hosted.repo.log(tip).map_err(HubError::Git)? {
@@ -281,7 +371,10 @@ impl Hub {
     /// Clones a hosted repository (public read — what `git clone` does).
     pub fn clone_repo(&self, repo_id: &str) -> Result<Repository> {
         let mut s = self.state.lock();
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         let name = hosted.repo.name().to_owned();
         let clone = gitlite::clone_repository(&hosted.repo, name).map_err(HubError::Git)?;
         let ts = tick(&mut s);
@@ -293,9 +386,17 @@ impl Hub {
     /// Anonymous: any visitor may do this (paper §3: "If the user is not a
     /// project member, the browser extension immediately generates the
     /// citation").
-    pub fn generate_citation(&self, repo_id: &str, branch: &str, path: &RepoPath) -> Result<Citation> {
+    pub fn generate_citation(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<Citation> {
         let mut s = self.state.lock();
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
         let cited = CitedRepo::open(hosted.repo.clone()).map_err(HubError::Cite)?;
         let citation = cited.cite_at(tip, path).map_err(HubError::Cite)?;
@@ -309,9 +410,17 @@ impl Hub {
     /// text box will display the citation explicitly attached to the node,
     /// if it exists ... If such a citation does not exist, the text box
     /// will remain empty").
-    pub fn citation_entry(&self, repo_id: &str, branch: &str, path: &RepoPath) -> Result<Option<Citation>> {
+    pub fn citation_entry(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<Option<Citation>> {
         let s = self.state.lock();
-        let hosted = s.repos.get(repo_id).ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+        let hosted = s
+            .repos
+            .get(repo_id)
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
         let text = hosted
             .repo
@@ -333,9 +442,14 @@ impl Hub {
         path: &RepoPath,
         citation: Citation,
     ) -> Result<ObjectId> {
-        self.cite_op(token, repo_id, branch, "add_cite", move |cited, p| {
-            cited.add_cite(p, citation)
-        }, path)
+        self.cite_op(
+            token,
+            repo_id,
+            branch,
+            "add_cite",
+            move |cited, p| cited.add_cite(p, citation),
+            path,
+        )
     }
 
     /// `ModifyCite` on the remote repository (member+).
@@ -347,9 +461,14 @@ impl Hub {
         path: &RepoPath,
         citation: Citation,
     ) -> Result<ObjectId> {
-        self.cite_op(token, repo_id, branch, "modify_cite", move |cited, p| {
-            cited.modify_cite(p, citation).map(|_| ())
-        }, path)
+        self.cite_op(
+            token,
+            repo_id,
+            branch,
+            "modify_cite",
+            move |cited, p| cited.modify_cite(p, citation).map(|_| ()),
+            path,
+        )
     }
 
     /// `DelCite` on the remote repository (member+).
@@ -360,9 +479,14 @@ impl Hub {
         branch: &str,
         path: &RepoPath,
     ) -> Result<ObjectId> {
-        self.cite_op(token, repo_id, branch, "del_cite", move |cited, p| {
-            cited.del_cite(p).map(|_| ())
-        }, path)
+        self.cite_op(
+            token,
+            repo_id,
+            branch,
+            "del_cite",
+            move |cited, p| cited.del_cite(p).map(|_| ()),
+            path,
+        )
     }
 
     fn cite_op(
@@ -383,7 +507,8 @@ impl Hub {
             .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
         let allowed = check(hosted, &user.username, Action::Write);
         if let Err(e) = allowed {
-            s.audit.record(ts, Some(&user.username), op_name, repo_id, false);
+            s.audit
+                .record(ts, Some(&user.username), op_name, repo_id, false);
             return Err(e);
         }
         // Operate on a clone; replace on success so failures can't corrupt
@@ -401,11 +526,13 @@ impl Hub {
             Ok(outcome) => {
                 let hosted = s.repos.get_mut(repo_id).expect("still present");
                 hosted.repo = cited.into_repository();
-                s.audit.record(ts, Some(&user.username), op_name, repo_id, true);
+                s.audit
+                    .record(ts, Some(&user.username), op_name, repo_id, true);
                 Ok(outcome.commit)
             }
             Err(e) => {
-                s.audit.record(ts, Some(&user.username), op_name, repo_id, false);
+                s.audit
+                    .record(ts, Some(&user.username), op_name, repo_id, false);
                 Err(HubError::Cite(e))
             }
         }
@@ -433,7 +560,8 @@ impl Hub {
         let result = gitlite::push(local, &mut hosted.repo, local_branch, branch, force);
         let ok = result.is_ok();
         let out = result.map_err(HubError::Git);
-        s.audit.record(ts, Some(&user.username), "push", repo_id, ok);
+        s.audit
+            .record(ts, Some(&user.username), "push", repo_id, ok);
         out
     }
 
@@ -459,19 +587,24 @@ impl Hub {
             &user.display_name,
             format!("{}/{}", self.base_url, new_repo_id),
         );
-        let outcome = citekit::fork_cite(
+        let outcome = citekit::fork_cite_into(
             &src_repo,
             &opts,
             Signature::new(&user.display_name, &user.email, ts),
+            (self.store_factory)(),
         )
         .map_err(HubError::Cite)?;
         let mut roles = BTreeMap::new();
         roles.insert(user.username.clone(), Role::Owner);
         s.repos.insert(
             new_repo_id.clone(),
-            HostedRepo { repo: outcome.fork.into_repository(), roles },
+            HostedRepo {
+                repo: outcome.fork.into_repository(),
+                roles,
+            },
         );
-        s.audit.record(ts, Some(&user.username), "fork", &new_repo_id, true);
+        s.audit
+            .record(ts, Some(&user.username), "fork", &new_repo_id, true);
         Ok(new_repo_id)
     }
 
@@ -515,22 +648,33 @@ impl Hub {
                 &mut resolver,
             )
             .map_err(HubError::Cite)?;
-        if matches!(report.outcome, citekit::MergeCiteOutcome::FileConflicts { .. }) {
-            s.audit.record(ts, Some(&user.username), "merge", repo_id, false);
+        if matches!(
+            report.outcome,
+            citekit::MergeCiteOutcome::FileConflicts { .. }
+        ) {
+            s.audit
+                .record(ts, Some(&user.username), "merge", repo_id, false);
             return Err(HubError::BadRequest(
                 "merge has file conflicts; resolve locally and push".into(),
             ));
         }
         let hosted = s.repos.get_mut(repo_id).expect("still present");
         hosted.repo = cited.into_repository();
-        s.audit.record(ts, Some(&user.username), "merge", repo_id, true);
+        s.audit
+            .record(ts, Some(&user.username), "merge", repo_id, true);
         Ok(report)
     }
 
     // ----- archives ---------------------------------------------------------
 
     /// Deposits a branch tip with the Zenodo simulator, minting a DOI.
-    pub fn deposit(&self, token: &Token, repo_id: &str, branch: &str, title: &str) -> Result<Deposit> {
+    pub fn deposit(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        title: &str,
+    ) -> Result<Deposit> {
         let mut s = self.state.lock();
         let user = auth(&s, token)?.clone();
         let ts = tick(&mut s);
@@ -548,7 +692,8 @@ impl Hub {
             .zenodo
             .deposit(repo_id, tip, tree, title, creators, ts)
             .clone();
-        s.audit.record(ts, Some(&user.username), "deposit", repo_id, true);
+        s.audit
+            .record(ts, Some(&user.username), "deposit", repo_id, true);
         Ok(deposit)
     }
 
@@ -592,7 +737,11 @@ impl Hub {
     /// Every author credited in a repository's citation function at a
     /// branch tip, with the citing keys — the "give credit to the
     /// appropriate contributors" view (paper §1).
-    pub fn credited_authors(&self, repo_id: &str, branch: &str) -> Result<Vec<(String, Vec<RepoPath>)>> {
+    pub fn credited_authors(
+        &self,
+        repo_id: &str,
+        branch: &str,
+    ) -> Result<Vec<(String, Vec<RepoPath>)>> {
         let s = self.state.lock();
         let hosted = s
             .repos
@@ -611,7 +760,9 @@ impl Hub {
         let s = self.state.lock();
         let mut out = Vec::new();
         for (repo_id, hosted) in &s.repos {
-            let Ok(cited) = CitedRepo::open(hosted.repo.clone()) else { continue };
+            let Ok(cited) = CitedRepo::open(hosted.repo.clone()) else {
+                continue;
+            };
             let paths: Vec<RepoPath> = cited
                 .function()
                 .iter()
@@ -685,7 +836,10 @@ mod tests {
         ));
         let t = hub.login("alice").unwrap();
         assert_eq!(hub.whoami(&t).unwrap().display_name, "Alice A");
-        assert!(matches!(hub.login("nobody"), Err(HubError::UserNotFound(_))));
+        assert!(matches!(
+            hub.login("nobody"),
+            Err(HubError::UserNotFound(_))
+        ));
         hub.revoke(&t);
         assert!(matches!(hub.whoami(&t), Err(HubError::AuthFailed)));
     }
@@ -696,7 +850,9 @@ mod tests {
         assert_eq!(repo_id, "leshang/P1");
         let files = hub.list_files(&repo_id, "main").unwrap();
         assert_eq!(files, vec![citekit::citation_path()]);
-        let c = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+        let c = hub
+            .generate_citation(&repo_id, "main", &RepoPath::root())
+            .unwrap();
         assert_eq!(c.repo_name, "P1");
         assert_eq!(c.owner, "Leshang Chen");
         assert_eq!(c.url, "https://hub.example/leshang/P1");
@@ -712,15 +868,24 @@ mod tests {
 
         // Owner pushes a file, then cites it.
         let mut local = hub.clone_repo(&repo_id).unwrap();
-        local.worktree_mut().write(&path("f1.txt"), &b"data\n"[..]).unwrap();
-        local.commit(Signature::new("Leshang Chen", "l@x", 100), "add f1").unwrap();
-        hub.push(&owner_token, &repo_id, "main", &local, "main", false).unwrap();
-        hub.add_cite(&owner_token, &repo_id, "main", &path("f1.txt"), cite("C2")).unwrap();
+        local
+            .worktree_mut()
+            .write(&path("f1.txt"), &b"data\n"[..])
+            .unwrap();
+        local
+            .commit(Signature::new("Leshang Chen", "l@x", 100), "add f1")
+            .unwrap();
+        hub.push(&owner_token, &repo_id, "main", &local, "main", false)
+            .unwrap();
+        hub.add_cite(&owner_token, &repo_id, "main", &path("f1.txt"), cite("C2"))
+            .unwrap();
 
         // Visitor may generate but not modify — Figure 2's split.
         assert!(!hub.can_write(&visitor, &repo_id).unwrap());
         assert!(hub.can_write(&owner_token, &repo_id).unwrap());
-        let c = hub.generate_citation(&repo_id, "main", &path("f1.txt")).unwrap();
+        let c = hub
+            .generate_citation(&repo_id, "main", &path("f1.txt"))
+            .unwrap();
         assert_eq!(c.repo_name, "C2");
         assert!(matches!(
             hub.add_cite(&visitor, &repo_id, "main", &path("f1.txt"), cite("X")),
@@ -747,12 +912,19 @@ mod tests {
             hub.add_member(&yanssie, &repo_id, "yanssie", Role::Member),
             Err(HubError::PermissionDenied(_))
         ));
-        hub.add_member(&owner_token, &repo_id, "yanssie", Role::Member).unwrap();
-        assert_eq!(hub.role_of(&repo_id, "yanssie").unwrap(), Some(Role::Member));
+        hub.add_member(&owner_token, &repo_id, "yanssie", Role::Member)
+            .unwrap();
+        assert_eq!(
+            hub.role_of(&repo_id, "yanssie").unwrap(),
+            Some(Role::Member)
+        );
         assert!(hub.can_write(&yanssie, &repo_id).unwrap());
         // Member can cite the root (ModifyCite).
-        let c = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
-        hub.modify_cite(&yanssie, &repo_id, "main", &RepoPath::root(), c).unwrap();
+        let c = hub
+            .generate_citation(&repo_id, "main", &RepoPath::root())
+            .unwrap();
+        hub.modify_cite(&yanssie, &repo_id, "main", &RepoPath::root(), c)
+            .unwrap();
     }
 
     #[test]
@@ -760,14 +932,20 @@ mod tests {
         let (hub, token, repo_id) = hub_with_repo();
         let before = hub.log(&repo_id, "main").unwrap().len();
         // Cite the root (always exists).
-        let mut c = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+        let mut c = hub
+            .generate_citation(&repo_id, "main", &RepoPath::root())
+            .unwrap();
         c.note = Some("updated".into());
-        hub.modify_cite(&token, &repo_id, "main", &RepoPath::root(), c).unwrap();
+        hub.modify_cite(&token, &repo_id, "main", &RepoPath::root(), c)
+            .unwrap();
         let log = hub.log(&repo_id, "main").unwrap();
         assert_eq!(log.len(), before + 1);
         assert!(log[0].message.contains("modify_cite"));
         // The change is visible.
-        let entry = hub.citation_entry(&repo_id, "main", &RepoPath::root()).unwrap().unwrap();
+        let entry = hub
+            .citation_entry(&repo_id, "main", &RepoPath::root())
+            .unwrap()
+            .unwrap();
         assert_eq!(entry.note.as_deref(), Some("updated"));
     }
 
@@ -790,16 +968,62 @@ mod tests {
     }
 
     #[test]
+    fn store_factory_backs_created_and_forked_repos() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let data_dir =
+            std::env::temp_dir().join(format!("hub-store-factory-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let counter = std::sync::Arc::new(AtomicUsize::new(0));
+        let factory_dir = data_dir.clone();
+        let factory_counter = counter.clone();
+        let hub = Hub::with_store_factory(
+            "https://hub.example",
+            Box::new(move || {
+                let n = factory_counter.fetch_add(1, Ordering::SeqCst);
+                Box::new(gitlite::DiskStore::open(factory_dir.join(format!("repo{n}"))).unwrap())
+            }),
+        );
+        hub.register_user("ann", "Ann").unwrap();
+        let ann = hub.login("ann").unwrap();
+        let repo_id = hub.create_repo(&ann, "durable").unwrap();
+        let fork_id = hub.fork(&ann, &repo_id, "durable-fork").unwrap();
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            2,
+            "create and fork each drew a store"
+        );
+        // Both repositories' objects are actually on disk, not in memory.
+        for n in 0..2 {
+            let store = gitlite::DiskStore::open(data_dir.join(format!("repo{n}"))).unwrap();
+            assert!(
+                !gitlite::ObjectStore::is_empty(&store),
+                "repo{n} store persisted objects"
+            );
+        }
+        // And both still serve reads through the platform API.
+        let c = hub
+            .generate_citation(&fork_id, "main", &gitlite::RepoPath::root())
+            .unwrap();
+        assert_eq!(c.repo_name, "durable-fork");
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+
+    #[test]
     fn fork_creates_new_repo_with_provenance() {
         let (hub, _, repo_id) = hub_with_repo();
         hub.register_user("susan", "Susan Davidson").unwrap();
         let susan = hub.login("susan").unwrap();
         let fork_id = hub.fork(&susan, &repo_id, "P1-fork").unwrap();
         assert_eq!(fork_id, "susan/P1-fork");
-        let root = hub.generate_citation(&fork_id, "main", &RepoPath::root()).unwrap();
+        let root = hub
+            .generate_citation(&fork_id, "main", &RepoPath::root())
+            .unwrap();
         assert_eq!(root.repo_name, "P1-fork");
         assert_eq!(root.owner, "Susan Davidson");
-        assert_eq!(root.extra.get("forkedFrom").unwrap()["repoName"].as_str(), Some("P1"));
+        assert_eq!(
+            root.extra.get("forkedFrom").unwrap()["repoName"].as_str(),
+            Some("P1")
+        );
         // Susan owns the fork and can write to it but not to the origin.
         assert!(hub.can_write(&susan, &fork_id).unwrap());
         assert!(!hub.can_write(&susan, &repo_id).unwrap());
@@ -813,7 +1037,10 @@ mod tests {
         let resolved = hub.resolve_doi(&dep.doi).unwrap();
         assert_eq!(resolved.repo_id, repo_id);
         assert_eq!(resolved.creators, vec!["Leshang Chen".to_owned()]);
-        assert!(matches!(hub.resolve_doi("10.1/nope"), Err(HubError::DoiNotFound(_))));
+        assert!(matches!(
+            hub.resolve_doi("10.1/nope"),
+            Err(HubError::DoiNotFound(_))
+        ));
     }
 
     #[test]
@@ -834,25 +1061,40 @@ mod tests {
         let cloned = hub.clone_repo(&repo_id).unwrap();
         let mut local = citekit::CitedRepo::open(cloned).unwrap();
         local.write_file(&path("a.txt"), &b"a\n"[..]).unwrap();
-        local.commit(Signature::new("Leshang Chen", "l@x", 50), "a").unwrap();
+        local
+            .commit(Signature::new("Leshang Chen", "l@x", 50), "a")
+            .unwrap();
         local.create_branch("gui").unwrap();
         local.checkout_branch("gui").unwrap();
-        local.write_file(&path("gui/app.js"), &b"app\n"[..]).unwrap();
+        local
+            .write_file(&path("gui/app.js"), &b"app\n"[..])
+            .unwrap();
         local.add_cite(&path("gui"), cite("gui-cite")).unwrap();
-        local.commit(Signature::new("Yanssie", "y@x", 60), "gui work").unwrap();
+        local
+            .commit(Signature::new("Yanssie", "y@x", 60), "gui work")
+            .unwrap();
         local.checkout_branch("main").unwrap();
         local.write_file(&path("b.txt"), &b"b\n"[..]).unwrap();
-        local.commit(Signature::new("Leshang Chen", "l@x", 70), "b").unwrap();
+        local
+            .commit(Signature::new("Leshang Chen", "l@x", 70), "b")
+            .unwrap();
         let local_repo = local.into_repository();
-        hub.push(&token, &repo_id, "main", &local_repo, "main", false).unwrap();
-        hub.push(&token, &repo_id, "gui", &local_repo, "gui", false).unwrap();
+        hub.push(&token, &repo_id, "main", &local_repo, "main", false)
+            .unwrap();
+        hub.push(&token, &repo_id, "gui", &local_repo, "gui", false)
+            .unwrap();
 
         let report = hub
             .merge_branches(&token, &repo_id, "main", "gui", MergeStrategy::Union)
             .unwrap();
-        assert!(matches!(report.outcome, citekit::MergeCiteOutcome::Merged(_)));
+        assert!(matches!(
+            report.outcome,
+            citekit::MergeCiteOutcome::Merged(_)
+        ));
         // The merged branch resolves gui files to the gui citation.
-        let c = hub.generate_citation(&repo_id, "main", &path("gui/app.js")).unwrap();
+        let c = hub
+            .generate_citation(&repo_id, "main", &path("gui/app.js"))
+            .unwrap();
         assert_eq!(c.repo_name, "gui-cite");
     }
 
@@ -864,8 +1106,11 @@ mod tests {
         let mut c = cite("core");
         c.author_list = vec!["Ada".into(), "Grace".into()];
         local.add_cite(&path("core"), c).unwrap();
-        local.commit(Signature::new("Leshang Chen", "l@x", 50), "core").unwrap();
-        hub.push(&token, &repo_id, "main", local.repo(), "main", false).unwrap();
+        local
+            .commit(Signature::new("Leshang Chen", "l@x", 50), "core")
+            .unwrap();
+        hub.push(&token, &repo_id, "main", local.repo(), "main", false)
+            .unwrap();
 
         let credits = hub.credited_authors(&repo_id, "main").unwrap();
         let names: Vec<&str> = credits.iter().map(|(a, _)| a.as_str()).collect();
@@ -881,10 +1126,14 @@ mod tests {
     #[test]
     fn audit_log_tracks_operations() {
         let (hub, token, repo_id) = hub_with_repo();
-        hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
-        let mut c = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+        hub.generate_citation(&repo_id, "main", &RepoPath::root())
+            .unwrap();
+        let mut c = hub
+            .generate_citation(&repo_id, "main", &RepoPath::root())
+            .unwrap();
         c.note = Some("x".into());
-        hub.modify_cite(&token, &repo_id, "main", &RepoPath::root(), c).unwrap();
+        hub.modify_cite(&token, &repo_id, "main", &RepoPath::root(), c)
+            .unwrap();
         let log = hub.audit_log();
         let actions: Vec<&str> = log.iter().map(|e| e.action.as_str()).collect();
         assert!(actions.contains(&"register_user"));

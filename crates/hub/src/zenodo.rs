@@ -113,8 +113,14 @@ mod tests {
     #[test]
     fn mints_sequential_dois() {
         let mut z = Zenodo::default();
-        let d1 = z.deposit("a/p", id(1), id(2), "p v1", vec!["alice".into()], 10).doi.clone();
-        let d2 = z.deposit("a/p", id(3), id(4), "p v2", vec!["alice".into()], 20).doi.clone();
+        let d1 = z
+            .deposit("a/p", id(1), id(2), "p v1", vec!["alice".into()], 10)
+            .doi
+            .clone();
+        let d2 = z
+            .deposit("a/p", id(3), id(4), "p v2", vec!["alice".into()], 20)
+            .doi
+            .clone();
         assert_eq!(d1, "10.5281/zenodo.1");
         assert_eq!(d2, "10.5281/zenodo.2");
         assert_eq!(z.len(), 2);
@@ -123,8 +129,14 @@ mod tests {
     #[test]
     fn deposit_is_idempotent_per_version() {
         let mut z = Zenodo::default();
-        let d1 = z.deposit("a/p", id(1), id(2), "p v1", vec![], 10).doi.clone();
-        let d2 = z.deposit("a/p", id(1), id(2), "p v1 again", vec![], 30).doi.clone();
+        let d1 = z
+            .deposit("a/p", id(1), id(2), "p v1", vec![], 10)
+            .doi
+            .clone();
+        let d2 = z
+            .deposit("a/p", id(1), id(2), "p v1 again", vec![], 30)
+            .doi
+            .clone();
         assert_eq!(d1, d2);
         assert_eq!(z.len(), 1);
         // Same version in a *different* repo gets its own DOI.
@@ -136,7 +148,14 @@ mod tests {
     fn resolve_round_trip() {
         let mut z = Zenodo::default();
         let doi = z
-            .deposit("a/p", id(1), id(2), "p v1", vec!["alice".into(), "bob".into()], 10)
+            .deposit(
+                "a/p",
+                id(1),
+                id(2),
+                "p v1",
+                vec!["alice".into(), "bob".into()],
+                10,
+            )
             .doi
             .clone();
         let dep = z.resolve(&doi).unwrap();

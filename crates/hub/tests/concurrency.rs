@@ -21,17 +21,24 @@ fn concurrent_readers_and_writers() {
     for i in 0..8 {
         local
             .worktree_mut()
-            .write(&path(&format!("f{i}.txt")), format!("file {i}\n").into_bytes())
+            .write(
+                &path(&format!("f{i}.txt")),
+                format!("file {i}\n").into_bytes(),
+            )
             .unwrap();
     }
-    local.commit(Signature::new("The Owner", "o@x", 100), "seed").unwrap();
-    hub.push(&owner, &repo_id, "main", &local, "main", false).unwrap();
+    local
+        .commit(Signature::new("The Owner", "o@x", 100), "seed")
+        .unwrap();
+    hub.push(&owner, &repo_id, "main", &local, "main", false)
+        .unwrap();
 
     // Writers: four members each repeatedly cite "their" files.
     for w in 0..4 {
         let name = format!("member{w}");
         hub.register_user(&name, &format!("Member {w}")).unwrap();
-        hub.add_member(&owner, &repo_id, &name, Role::Member).unwrap();
+        hub.add_member(&owner, &repo_id, &name, Role::Member)
+            .unwrap();
     }
 
     let successes = AtomicUsize::new(0);
@@ -47,8 +54,8 @@ fn concurrent_readers_and_writers() {
                 let token = hub.login(&format!("member{w}")).unwrap();
                 for round in 0..10 {
                     let file = path(&format!("f{}.txt", w * 2 + round % 2));
-                    let citation = Citation::builder(format!("c-{w}-{round}"), format!("Member {w}"))
-                        .build();
+                    let citation =
+                        Citation::builder(format!("c-{w}-{round}"), format!("Member {w}")).build();
                     // Add or modify depending on current state; both are
                     // legitimate outcomes under concurrency.
                     let added = hub.add_cite(&token, repo_id, "main", &file, citation.clone());
@@ -106,7 +113,9 @@ fn concurrent_readers_and_writers() {
     let log = hub.log(&repo_id, "main").unwrap();
     assert!(log.len() > 2, "writes landed as commits");
     for i in 0..8 {
-        let c = hub.generate_citation(&repo_id, "main", &path(&format!("f{i}.txt"))).unwrap();
+        let c = hub
+            .generate_citation(&repo_id, "main", &path(&format!("f{i}.txt")))
+            .unwrap();
         assert!(!c.repo_name.is_empty());
     }
     // Audit log is dense and includes the denials.
@@ -114,6 +123,9 @@ fn concurrent_readers_and_writers() {
     for (i, e) in audit.iter().enumerate() {
         assert_eq!(e.seq, i as u64);
     }
-    let denied = audit.iter().filter(|e| e.action == "add_cite" && !e.ok).count();
+    let denied = audit
+        .iter()
+        .filter(|e| e.action == "add_cite" && !e.ok)
+        .count();
     assert!(denied >= 20, "intruder denials audited (got {denied})");
 }

@@ -67,7 +67,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.kind, self.line, self.column
+        )
     }
 }
 

@@ -16,7 +16,10 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { max_depth: 128, reject_duplicate_keys: false }
+        ParseOptions {
+            max_depth: 128,
+            reject_duplicate_keys: false,
+        }
     }
 }
 
@@ -27,7 +30,11 @@ pub fn parse(src: &str) -> Result<Value, ParseError> {
 
 /// Parses a complete JSON document.
 pub fn parse_with(src: &str, opts: &ParseOptions) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: src.as_bytes(), pos: 0, opts };
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+        opts,
+    };
     p.skip_ws();
     let value = p.parse_value(0)?;
     p.skip_ws();
@@ -60,7 +67,12 @@ impl<'a> Parser<'a> {
                 column += 1;
             }
         }
-        ParseError { kind, line, column, offset }
+        ParseError {
+            kind,
+            line,
+            column,
+            offset,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -199,7 +211,9 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // Safe: the source is valid UTF-8 and we only stopped on
                 // ASCII boundaries.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is str"));
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is str"),
+                );
             }
             match self.bump() {
                 None => return Err(self.error(ParseErrorKind::UnterminatedString)),
@@ -260,11 +274,13 @@ impl<'a> Parser<'a> {
                         return Err(self.error(ParseErrorKind::InvalidUnicodeEscape));
                     }
                     let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                    char::from_u32(code).ok_or_else(|| self.error(ParseErrorKind::InvalidUnicodeEscape))?
+                    char::from_u32(code)
+                        .ok_or_else(|| self.error(ParseErrorKind::InvalidUnicodeEscape))?
                 } else if (0xDC00..0xE000).contains(&hi) {
                     return Err(self.error(ParseErrorKind::InvalidUnicodeEscape));
                 } else {
-                    char::from_u32(hi).ok_or_else(|| self.error(ParseErrorKind::InvalidUnicodeEscape))?
+                    char::from_u32(hi)
+                        .ok_or_else(|| self.error(ParseErrorKind::InvalidUnicodeEscape))?
                 };
                 out.push(c);
                 Ok(())
@@ -276,7 +292,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.error(ParseErrorKind::UnexpectedEof))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error(ParseErrorKind::UnexpectedEof))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.error(ParseErrorKind::InvalidUnicodeEscape))?;
@@ -396,7 +414,10 @@ mod tests {
 
     #[test]
     fn unicode_passthrough() {
-        assert_eq!(parse("\"héllo — 世界\"").unwrap().as_str(), Some("héllo — 世界"));
+        assert_eq!(
+            parse("\"héllo — 世界\"").unwrap().as_str(),
+            Some("héllo — 世界")
+        );
     }
 
     #[test]
@@ -422,7 +443,10 @@ mod tests {
         assert_eq!(kind(r#""\ude00""#), ParseErrorKind::InvalidUnicodeEscape);
         assert_eq!(kind("[1,2] x"), ParseErrorKind::TrailingData);
         assert_eq!(kind("1e999"), ParseErrorKind::NumberOutOfRange);
-        assert_eq!(kind("\"a\u{1}b\""), ParseErrorKind::ControlCharacterInString);
+        assert_eq!(
+            kind("\"a\u{1}b\""),
+            ParseErrorKind::ControlCharacterInString
+        );
         assert_eq!(kind("[1,]"), ParseErrorKind::UnexpectedChar(']'));
         assert_eq!(kind("{\"a\":1,}"), ParseErrorKind::UnexpectedChar('}'));
     }
@@ -444,7 +468,10 @@ mod tests {
 
     #[test]
     fn duplicate_keys_rejected_when_asked() {
-        let opts = ParseOptions { reject_duplicate_keys: true, ..Default::default() };
+        let opts = ParseOptions {
+            reject_duplicate_keys: true,
+            ..Default::default()
+        };
         let e = parse_with(r#"{"a": 1, "a": 2}"#, &opts).unwrap_err();
         assert_eq!(e.kind, ParseErrorKind::DuplicateKey("a".into()));
     }

@@ -15,7 +15,10 @@ pub struct PrettyConfig {
 
 impl Default for PrettyConfig {
     fn default() -> Self {
-        PrettyConfig { indent: "  ", space_after_colon: true }
+        PrettyConfig {
+            indent: "  ",
+            space_after_colon: true,
+        }
     }
 }
 
@@ -149,7 +152,8 @@ mod tests {
     #[test]
     fn pretty_shapes() {
         let v = parse(r#"{"a":[1,2],"b":{},"c":{"d":null}}"#).unwrap();
-        let expect = "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {},\n  \"c\": {\n    \"d\": null\n  }\n}";
+        let expect =
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {},\n  \"c\": {\n    \"d\": null\n  }\n}";
         assert_eq!(v.to_string_pretty(), expect);
     }
 
@@ -182,7 +186,10 @@ mod tests {
     #[test]
     fn custom_pretty_config() {
         let v = parse(r#"{"a":1}"#).unwrap();
-        let cfg = PrettyConfig { indent: "    ", space_after_colon: false };
+        let cfg = PrettyConfig {
+            indent: "    ",
+            space_after_colon: false,
+        };
         assert_eq!(to_string_pretty(&v, &cfg), "{\n    \"a\":1\n}");
     }
 }

@@ -23,7 +23,9 @@ impl Number {
     pub fn as_i64(self) -> Option<i64> {
         match self {
             Number::Int(i) => Some(i),
-            Number::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+            Number::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
                 Some(f as i64)
             }
             Number::Float(_) => None,
@@ -79,12 +81,16 @@ pub struct Object {
 impl Object {
     /// Creates an empty object.
     pub fn new() -> Self {
-        Object { entries: Vec::new() }
+        Object {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty object with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        Object { entries: Vec::with_capacity(cap) }
+        Object {
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of key/value entries.
@@ -121,7 +127,10 @@ impl Object {
 
     /// Looks up a key, mutably.
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
-        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// True when the key is present.

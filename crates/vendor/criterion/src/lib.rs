@@ -1,0 +1,334 @@
+//! Vendored stand-in for `criterion` (see `crates/vendor/README.md`).
+//!
+//! A minimal wall-clock harness behind Criterion's API shape: groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark does a
+//! short warm-up, then runs for the configured measurement time and prints
+//! the mean time per iteration. No statistics, plots, or comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation; recorded for the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup
+/// per iteration regardless; the variant only matches the upstream API.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Explicit batch count.
+    NumBatches(u64),
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples (kept for API compatibility; the
+    /// stand-in measures by time, not sample count).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_benchmark(&cfg, None, &id.into().id, None, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            self.criterion,
+            Some(&self.name),
+            &id.into().id,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            self.criterion,
+            Some(&self.name),
+            &id.into().id,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the measured loop.
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` repeatedly until the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + self.cfg.warm_up;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let measure_until = Instant::now() + self.cfg.measurement;
+        while Instant::now() < measure_until {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.cfg.warm_up;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+        let measure_until = Instant::now() + self.cfg.measurement;
+        while Instant::now() < measure_until {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    cfg: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        cfg,
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    if bencher.iters == 0 {
+        println!("{label:<56} (no iterations measured)");
+        return;
+    }
+    let mean_ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let mut line = format!(
+        "{label:<56} {:>14}/iter  ({} iters)",
+        fmt_ns(mean_ns),
+        bencher.iters
+    );
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Bytes(n) => format!("{}/s", fmt_bytes(n as f64 * 1e9 / mean_ns)),
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 * 1e9 / mean_ns),
+        };
+        line.push_str(&format!("  {per_sec}"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_bytes(bps: f64) -> String {
+    if bps < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_iterations() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &n| {
+            b.iter_batched(
+                || n,
+                |v| {
+                    ran += v as u64;
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,757 @@
+//! Vendored stand-in for `proptest` (see `crates/vendor/README.md`).
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use: `proptest!`, `prop_assert*`, `prop_assume!`, `prop_oneof!`,
+//! `Just`, `any`, tuple/collection/option strategies, `prop_map`,
+//! `prop_filter`, `prop_recursive`, and a regex-lite string strategy
+//! supporting the `[class]{m,n}` and `\PC{m,n}` patterns found in tests.
+//!
+//! Each property runs a fixed number of cases from a deterministic
+//! per-test seed. There is no shrinking: a failing case reports its seed
+//! and case number, which is enough to reproduce it (the generator is
+//! fully deterministic).
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG and case-runner plumbing.
+pub mod test_runner {
+    /// Cases run per property.
+    pub const CASES: u64 = 64;
+
+    /// SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5851_f42d_4c95_7f2d,
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            ((self.next_u64() as u128 * n as u128) >> 64) as usize
+        }
+
+        /// Uniform value in `[lo, hi)`.
+        pub fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo < hi);
+            lo + self.below(hi - lo)
+        }
+
+        /// True with probability `num/denom`.
+        pub fn chance(&mut self, num: usize, denom: usize) -> bool {
+            self.below(denom) < num
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property is violated.
+        Fail(String),
+        /// The generated inputs do not satisfy a precondition
+        /// (`prop_assume!`); the case is skipped, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection (skipped case) with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    fn fnv(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `CASES` deterministic cases of a property, panicking on the
+    /// first failure. Used by the `proptest!` macro.
+    pub fn run_cases<F>(name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv(name);
+        let mut rejected = 0u64;
+        for i in 0..CASES {
+            let seed = base.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property '{name}' failed at case {i} (seed {seed:#x}): {msg}")
+                }
+            }
+        }
+        if rejected == CASES {
+            panic!("property '{name}': every generated case was rejected by prop_assume!");
+        }
+    }
+}
+
+/// The `Strategy` trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred` (regenerating otherwise).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves and `f`
+        /// wraps an inner strategy into branches, nested up to `depth`.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut level = leaf.clone();
+            for _ in 0..depth {
+                let branch = f(level).boxed();
+                level = LeafOrBranch {
+                    leaf: leaf.clone(),
+                    branch,
+                }
+                .boxed();
+            }
+            level
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A cheaply clonable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({:?}): 1000 consecutive values rejected",
+                self.whence
+            )
+        }
+    }
+
+    /// Chooses uniformly among type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `arms` must be nonempty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    struct LeafOrBranch<T> {
+        leaf: BoxedStrategy<T>,
+        branch: BoxedStrategy<T>,
+    }
+
+    impl<T> Strategy for LeafOrBranch<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            if rng.chance(1, 2) {
+                self.leaf.generate(rng)
+            } else {
+                self.branch.generate(rng)
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident/$idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+    /// Regex-lite string strategy: `&str` patterns of the shapes
+    /// `[class]{m,n}`, `[class]{n}`, `[class]`, or `\PC{m,n}`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (ranges, min, max) = parse_pattern(self);
+            let len = if max > min {
+                rng.in_range(min, max + 1)
+            } else {
+                min
+            };
+            let mut out = String::with_capacity(len);
+            for _ in 0..len {
+                let (lo, hi) = ranges[rng.below(ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                let mut c = char::from_u32(lo as u32 + rng.below(span as usize) as u32);
+                while c.is_none() {
+                    // Skipped a surrogate gap; retry within the range.
+                    c = char::from_u32(lo as u32 + rng.below(span as usize) as u32);
+                }
+                out.push(c.unwrap());
+            }
+            out
+        }
+    }
+
+    /// Parses the supported pattern subset into inclusive char ranges plus
+    /// a length interval.
+    fn parse_pattern(pat: &str) -> (Vec<(char, char)>, usize, usize) {
+        let (ranges, rest) = if let Some(rest) = pat.strip_prefix("\\PC") {
+            // "Not control": printable ASCII plus a slice of the BMP.
+            (
+                vec![(' ', '~'), ('\u{a1}', '\u{2ff}'), ('\u{400}', '\u{4ff}')],
+                rest,
+            )
+        } else if let Some(body) = pat.strip_prefix('[') {
+            let close = body.find(']').unwrap_or_else(|| bad(pat));
+            (parse_class(&body[..close]), &body[close + 1..])
+        } else {
+            bad(pat)
+        };
+        let (min, max) = parse_counts(rest, pat);
+        (ranges, min, max)
+    }
+
+    fn parse_class(class: &str) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((chars[i], chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((chars[i], chars[i]));
+                i += 1;
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        ranges
+    }
+
+    fn parse_counts(rest: &str, pat: &str) -> (usize, usize) {
+        if rest.is_empty() {
+            return (1, 1);
+        }
+        let body = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| bad(pat));
+        match body.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().unwrap_or_else(|_| bad(pat)),
+                n.trim().parse().unwrap_or_else(|_| bad(pat)),
+            ),
+            None => {
+                let n = body.trim().parse().unwrap_or_else(|_| bad(pat));
+                (n, n)
+            }
+        }
+    }
+
+    fn bad(pat: &str) -> ! {
+        panic!(
+            "string pattern {pat:?} is outside the vendored proptest subset \
+             ([class]{{m,n}} or \\PC{{m,n}})"
+        )
+    }
+}
+
+/// `any::<T>()` for primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// A strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mix raw bit patterns (extremes, subnormals, NaN/Inf — callers
+            // filter) with tame magnitudes so both regimes get exercised.
+            if rng.chance(1, 2) {
+                f64::from_bits(rng.next_u64())
+            } else {
+                let mantissa = (rng.next_u64() % 2_000_001) as f64 - 1_000_000.0;
+                let scale = [1.0, 0.001, 1000.0][rng.below(3)];
+                mantissa * scale
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            match rng.below(10) {
+                // Mostly printable ASCII...
+                0..=5 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+                // ...escape-relevant controls and specials...
+                6 => ['\n', '\t', '\r', '"', '\\', '\u{0}', '\u{8}', '\u{c}'][rng.below(8)],
+                // ...BMP text...
+                7 | 8 => {
+                    let mut c = char::from_u32(0xa1 + rng.below(0xd7ff - 0xa1) as u32);
+                    while c.is_none() {
+                        c = char::from_u32(0xa1 + rng.below(0xd7ff - 0xa1) as u32);
+                    }
+                    c.unwrap()
+                }
+                // ...and the occasional astral-plane scalar.
+                _ => {
+                    let mut c = char::from_u32(0x1_0000 + rng.below(0x10_0000) as u32);
+                    while c.is_none() {
+                        c = char::from_u32(0x1_0000 + rng.below(0x10_0000) as u32);
+                    }
+                    c.unwrap()
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.in_range(self.size.start, self.size.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`; duplicate keys collapse, so maps may
+    /// come out smaller than the drawn size (as with upstream proptest).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Generates ordered maps from key/value strategies.
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.in_range(self.size.start, self.size.end);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<T>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.chance(3, 4) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace for collection/option strategies (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running [`test_runner::CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __result
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not
+/// panicking) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = crate::test_runner::TestRng::new(42);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = Strategy::generate(&"[a-zA-Z0-9_ -]{1,16}", &mut rng);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _-".contains(c)));
+            let u = Strategy::generate(&"\\PC{0,8}", &mut rng);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in any::<u8>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_recursion_terminate(n in prop_oneof![Just(1usize), Just(2usize)]) {
+            prop_assert!(n == 1 || n == 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_seed() {
+        crate::test_runner::run_cases("always_fails", |_rng| Err(TestCaseError::fail("nope")));
+    }
+}

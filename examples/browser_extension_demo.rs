@@ -12,9 +12,19 @@ use hub::{Hub, Role};
 fn render(popup: &Popup<'_>) {
     let v = popup.view();
     println!("+--------------------------- GitCite ---------------------------+");
-    println!("| repo: {:<20} branch: {:<10} user: {:<10}|", v.repo_id, v.branch,
-        v.signed_in_as.as_deref().unwrap_or("(anonymous)"));
-    println!("| selected: {:<52}|", v.selected.as_ref().map(|p| p.to_string()).unwrap_or_default());
+    println!(
+        "| repo: {:<20} branch: {:<10} user: {:<10}|",
+        v.repo_id,
+        v.branch,
+        v.signed_in_as.as_deref().unwrap_or("(anonymous)")
+    );
+    println!(
+        "| selected: {:<52}|",
+        v.selected
+            .as_ref()
+            .map(|p| p.to_string())
+            .unwrap_or_default()
+    );
     println!("+----------------------------------------------------------------+");
     for line in v.text_box.lines().take(8) {
         println!("| {line:<63}|");
@@ -23,7 +33,13 @@ fn render(popup: &Popup<'_>) {
         println!("| (empty citation text box){:<38}|", "");
     }
     println!("+----------------------------------------------------------------+");
-    let b = |on: bool, name: &str| if on { format!("[{name}]") } else { format!(" {name} ") };
+    let b = |on: bool, name: &str| {
+        if on {
+            format!("[{name}]")
+        } else {
+            format!(" {name} ")
+        }
+    };
     println!(
         "| {} {} {} {}            |",
         b(v.buttons.generate, "Generate Citation"),
@@ -43,19 +59,29 @@ fn main() {
     hub.register_user("visitor", "A Visitor").unwrap();
     let leshang = hub.login("leshang").unwrap();
     let repo_id = hub.create_repo(&leshang, "demo").unwrap();
-    hub.add_member(&leshang, &repo_id, "yanssie", Role::Member).unwrap();
+    hub.add_member(&leshang, &repo_id, "yanssie", Role::Member)
+        .unwrap();
 
     let mut local = CitedRepo::open(hub.clone_repo(&repo_id).unwrap()).unwrap();
-    local.write_file(&path("core/algo.rs"), &b"// core\n"[..]).unwrap();
-    local.write_file(&path("tools/gen.py"), &b"# tool\n"[..]).unwrap();
+    local
+        .write_file(&path("core/algo.rs"), &b"// core\n"[..])
+        .unwrap();
+    local
+        .write_file(&path("tools/gen.py"), &b"# tool\n"[..])
+        .unwrap();
     local
         .add_cite(
             &path("core"),
-            Citation::builder("demo-core", "Leshang Chen").author("Leshang Chen").build(),
+            Citation::builder("demo-core", "Leshang Chen")
+                .author("Leshang Chen")
+                .build(),
         )
         .unwrap();
-    local.commit(Signature::new("Leshang Chen", "l@x", 1000), "seed").unwrap();
-    hub.push(&leshang, &repo_id, "main", local.repo(), "main", false).unwrap();
+    local
+        .commit(Signature::new("Leshang Chen", "l@x", 1000), "seed")
+        .unwrap();
+    hub.push(&leshang, &repo_id, "main", local.repo(), "main", false)
+        .unwrap();
 
     // --- Non-member flow -------------------------------------------------
     println!("### A visitor clicks core/algo.rs — citation appears at once:\n");

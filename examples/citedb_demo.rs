@@ -21,10 +21,16 @@ fn main() {
             .build(),
     );
     corecover
-        .write_file(&path("CoreCover/CoreCover.java"), &b"// CoreCover algorithm\n"[..])
+        .write_file(
+            &path("CoreCover/CoreCover.java"),
+            &b"// CoreCover algorithm\n"[..],
+        )
         .unwrap();
     corecover
-        .write_file(&path("CoreCover/Rewriter.java"), &b"// rewriting using views\n"[..])
+        .write_file(
+            &path("CoreCover/Rewriter.java"),
+            &b"// rewriting using views\n"[..],
+        )
         .unwrap();
     corecover
         .commit(
@@ -43,7 +49,8 @@ fn main() {
             .author("Yinjun Wu")
             .build(),
     );
-    demo.write_file(&path("citation/engine.py"), &b"# citation engine\n"[..]).unwrap();
+    demo.write_file(&path("citation/engine.py"), &b"# citation engine\n"[..])
+        .unwrap();
     demo.commit(
         Signature::new("Yinjun Wu", "wu@example.org", ts("2017-05-01T00:00:00Z")),
         "initial CiteDB code",
@@ -53,7 +60,8 @@ fn main() {
     // Yanssie's summer GUI, on its own branch.
     demo.create_branch("gui").unwrap();
     demo.checkout_branch("gui").unwrap();
-    demo.write_file(&path("citation/GUI/app.js"), &b"// CiteDB demo GUI\n"[..]).unwrap();
+    demo.write_file(&path("citation/GUI/app.js"), &b"// CiteDB demo GUI\n"[..])
+        .unwrap();
     demo.add_cite(
         &path("citation/GUI"),
         Citation::builder("Data_citation_demo", "Yinjun Wu")
@@ -74,7 +82,11 @@ fn main() {
     pinned.commit_id = gui_commit.short();
     demo.modify_cite(&path("citation/GUI"), pinned).unwrap();
     demo.commit(
-        Signature::new("Yanssie", "yanssie@example.org", ts("2017-06-16T20:57:06Z") + 60),
+        Signature::new(
+            "Yanssie",
+            "yanssie@example.org",
+            ts("2017-06-16T20:57:06Z") + 60,
+        ),
         "pin GUI citation",
     )
     .unwrap();
@@ -83,16 +95,30 @@ fn main() {
     // Main continues; CopyCite brings CoreCover in.
     demo.checkout_branch("main").unwrap();
     let report = demo
-        .copy_cite(&path("CoreCover"), corecover.repo(), v_cc, &path("CoreCover"))
+        .copy_cite(
+            &path("CoreCover"),
+            corecover.repo(),
+            v_cc,
+            &path("CoreCover"),
+        )
         .unwrap();
     println!(
         "CopyCite imported {} files; materialized: {}",
         report.files_copied,
-        report.materialized.as_ref().map(|c| c.to_string()).unwrap_or_default()
+        report
+            .materialized
+            .as_ref()
+            .map(|c| c.to_string())
+            .unwrap_or_default()
     );
-    demo.write_file(&path("CoreCover/glue.py"), &b"# dovetail with CiteDB\n"[..]).unwrap();
+    demo.write_file(&path("CoreCover/glue.py"), &b"# dovetail with CiteDB\n"[..])
+        .unwrap();
     demo.commit(
-        Signature::new("Yinjun Wu", "wu@example.org", ts("2018-03-24T00:29:45Z") + 3600),
+        Signature::new(
+            "Yinjun Wu",
+            "wu@example.org",
+            ts("2018-03-24T00:29:45Z") + 3600,
+        ),
         "import CoreCover",
     )
     .unwrap();
@@ -107,10 +133,14 @@ fn main() {
             &mut FailOnConflict,
         )
         .unwrap();
-    println!("MergeCite: {} citation conflicts", report.citation_conflicts.len());
+    println!(
+        "MergeCite: {} citation conflicts",
+        report.citation_conflicts.len()
+    );
 
     // Release commit of 2018-09-04, stamped into the root by publish.
-    demo.write_file(&path("RELEASE.md"), &b"CiteDB demo release\n"[..]).unwrap();
+    demo.write_file(&path("RELEASE.md"), &b"CiteDB demo release\n"[..])
+        .unwrap();
     demo.commit(
         Signature::new("Yinjun Wu", "wu@example.org", ts("2018-09-04T02:35:20Z")),
         "release",
@@ -118,17 +148,28 @@ fn main() {
     .unwrap();
     let outcome = demo
         .publish(
-            Signature::new("Yinjun Wu", "wu@example.org", ts("2018-09-04T02:35:20Z") + 1),
+            Signature::new(
+                "Yinjun Wu",
+                "wu@example.org",
+                ts("2018-09-04T02:35:20Z") + 1,
+            ),
             None,
             None,
         )
         .unwrap();
 
     println!("\n=== final citation.cite (compare with Listing 1 of the paper) ===\n");
-    println!("{}", file::to_text(&demo.function_at(outcome.commit).unwrap()));
+    println!(
+        "{}",
+        file::to_text(&demo.function_at(outcome.commit).unwrap())
+    );
 
     println!("=== resolution checks ===");
-    for q in ["CoreCover/CoreCover.java", "citation/GUI/app.js", "citation/engine.py"] {
+    for q in [
+        "CoreCover/CoreCover.java",
+        "citation/GUI/app.js",
+        "citation/engine.py",
+    ] {
         let c = demo.cite_at(outcome.commit, &path(q)).unwrap();
         println!("  {q:28} -> {} {:?}", c.repo_name, c.author_list);
     }

@@ -9,12 +9,22 @@ use gitlite::{path, Signature};
 fn main() {
     // A citation-enabled repository starts with a default root citation —
     // every node is citable from the first commit.
-    let mut repo = CitedRepo::init("my-solver", "Ada Lovelace", "https://hub.example/ada/my-solver");
-    repo.write_file(&path("src/simplex.rs"), &b"pub fn solve() {}\n"[..]).unwrap();
-    repo.write_file(&path("src/presolve.rs"), &b"pub fn presolve() {}\n"[..]).unwrap();
-    repo.write_file(&path("README.md"), &b"# my-solver\n"[..]).unwrap();
+    let mut repo = CitedRepo::init(
+        "my-solver",
+        "Ada Lovelace",
+        "https://hub.example/ada/my-solver",
+    );
+    repo.write_file(&path("src/simplex.rs"), &b"pub fn solve() {}\n"[..])
+        .unwrap();
+    repo.write_file(&path("src/presolve.rs"), &b"pub fn presolve() {}\n"[..])
+        .unwrap();
+    repo.write_file(&path("README.md"), &b"# my-solver\n"[..])
+        .unwrap();
     let v1 = repo
-        .commit(Signature::new("Ada Lovelace", "ada@example.org", 1_700_000_000), "first version")
+        .commit(
+            Signature::new("Ada Lovelace", "ada@example.org", 1_700_000_000),
+            "first version",
+        )
         .unwrap()
         .commit;
     println!("committed V1 = {}", v1.short());
@@ -30,7 +40,10 @@ fn main() {
         .build();
     repo.add_cite(&path("src"), solver_cite).unwrap();
     let v2 = repo
-        .commit(Signature::new("Ada Lovelace", "ada@example.org", 1_700_000_100), "cite the core")
+        .commit(
+            Signature::new("Ada Lovelace", "ada@example.org", 1_700_000_100),
+            "cite the core",
+        )
         .unwrap()
         .commit;
 
@@ -38,17 +51,34 @@ fn main() {
     println!("\nAfter AddCite(src), V2 = {}:\n  {c}", v2.short());
 
     // The alternative resolution policies from §2 of the paper:
-    let chain = repo.cite_policy(&path("src/simplex.rs"), ResolvePolicy::PathUnion).unwrap();
-    println!("\nPathUnion policy returns the whole chain ({} citations):", chain.len());
+    let chain = repo
+        .cite_policy(&path("src/simplex.rs"), ResolvePolicy::PathUnion)
+        .unwrap();
+    println!(
+        "\nPathUnion policy returns the whole chain ({} citations):",
+        chain.len()
+    );
     for c in &chain {
         println!("  - {c}");
     }
 
     // Render for a bibliography manager.
-    println!("\nBibTeX:\n{}", bibformat::render(&chain[0], bibformat::Format::Bibtex));
-    println!("CFF:\n{}", bibformat::render(&chain[0], bibformat::Format::Cff));
-    println!("Plain:\n{}", bibformat::render(&chain[0], bibformat::Format::Plain));
+    println!(
+        "\nBibTeX:\n{}",
+        bibformat::render(&chain[0], bibformat::Format::Bibtex)
+    );
+    println!(
+        "CFF:\n{}",
+        bibformat::render(&chain[0], bibformat::Format::Cff)
+    );
+    println!(
+        "Plain:\n{}",
+        bibformat::render(&chain[0], bibformat::Format::Plain)
+    );
 
     // The citation file is versioned with the project, Listing-1 style.
-    println!("citation.cite as stored in V2:\n{}", citekit::file::to_text(repo.function()));
+    println!(
+        "citation.cite as stored in V2:\n{}",
+        citekit::file::to_text(repo.function())
+    );
 }

@@ -11,15 +11,50 @@ use hub::Hub;
 fn main() {
     // A legacy project: three years of history, no citation files at all.
     let mut legacy = Repository::init("climate-sim");
-    legacy.worktree_mut().write(&path("solver/core.f90"), &b"! solver\n"[..]).unwrap();
-    legacy.commit(Signature::new("Ada", "ada@lab", 1_500_000_000), "solver core").unwrap();
-    legacy.worktree_mut().write(&path("viz/plots.py"), &b"# plots\n"[..]).unwrap();
-    legacy.commit(Signature::new("Grace", "grace@lab", 1_540_000_000), "visualization").unwrap();
-    legacy.worktree_mut().write(&path("solver/radiation.f90"), &b"! radiation\n"[..]).unwrap();
-    legacy.commit(Signature::new("Ada", "ada@lab", 1_580_000_000), "radiation model").unwrap();
-    legacy.worktree_mut().write(&path("viz/maps.py"), &b"# maps\n"[..]).unwrap();
-    legacy.commit(Signature::new("Grace", "grace@lab", 1_600_000_000), "map rendering").unwrap();
-    println!("legacy project: {} commits, no citation.cite", legacy.log_head().unwrap().len());
+    legacy
+        .worktree_mut()
+        .write(&path("solver/core.f90"), &b"! solver\n"[..])
+        .unwrap();
+    legacy
+        .commit(
+            Signature::new("Ada", "ada@lab", 1_500_000_000),
+            "solver core",
+        )
+        .unwrap();
+    legacy
+        .worktree_mut()
+        .write(&path("viz/plots.py"), &b"# plots\n"[..])
+        .unwrap();
+    legacy
+        .commit(
+            Signature::new("Grace", "grace@lab", 1_540_000_000),
+            "visualization",
+        )
+        .unwrap();
+    legacy
+        .worktree_mut()
+        .write(&path("solver/radiation.f90"), &b"! radiation\n"[..])
+        .unwrap();
+    legacy
+        .commit(
+            Signature::new("Ada", "ada@lab", 1_580_000_000),
+            "radiation model",
+        )
+        .unwrap();
+    legacy
+        .worktree_mut()
+        .write(&path("viz/maps.py"), &b"# maps\n"[..])
+        .unwrap();
+    legacy
+        .commit(
+            Signature::new("Grace", "grace@lab", 1_600_000_000),
+            "map rendering",
+        )
+        .unwrap();
+    println!(
+        "legacy project: {} commits, no citation.cite",
+        legacy.log_head().unwrap().len()
+    );
 
     // --- Future work #2a: retrofit the tip -------------------------------
     let opts = RetrofitOptions::new("The Climate Lab", "https://hub.example/lab/climate-sim");
@@ -29,15 +64,28 @@ fn main() {
         Signature::new("maintainer", "m@lab", 1_650_000_000),
     )
     .unwrap();
-    println!("\nretrofit synthesized citations for {:?}", report.cited_dirs.iter().map(|d| d.to_string()).collect::<Vec<_>>());
+    println!(
+        "\nretrofit synthesized citations for {:?}",
+        report
+            .cited_dirs
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+    );
     for q in ["solver/core.f90", "viz/plots.py"] {
         let c = cited.cite(&path(q)).unwrap();
-        println!("  {q:20} now credits {:?} (last touched {})", c.author_list, c.committed_date);
+        println!(
+            "  {q:20} now credits {:?} (last touched {})",
+            c.author_list, c.committed_date
+        );
     }
 
     // --- Future work #2b: rewrite the whole history ----------------------
     let (rewritten, map) = retrofit_history(&legacy, &opts).unwrap();
-    println!("\nretrofit_history rewrote {} versions; every one carries citation.cite:", map.len());
+    println!(
+        "\nretrofit_history rewrote {} versions; every one carries citation.cite:",
+        map.len()
+    );
     for id in rewritten.log_head().unwrap() {
         let has = rewritten.file_at(id, &citekit::citation_path()).is_ok();
         let msg = rewritten.commit_obj(id).unwrap().message;
@@ -49,18 +97,35 @@ fn main() {
     hub.register_user("lab", "The Climate Lab").unwrap();
     let lab = hub.login("lab").unwrap();
     let repo_id = hub
-        .import_repo(&lab, "climate-sim", CitedRepo::open(rewritten).unwrap().into_repository())
+        .import_repo(
+            &lab,
+            "climate-sim",
+            CitedRepo::open(rewritten).unwrap().into_repository(),
+        )
         .unwrap();
 
     // Zenodo-style release: mint a DOI, publish it into the root citation.
-    let deposit = hub.deposit(&lab, &repo_id, "main", "climate-sim v1.0").unwrap();
-    println!("\nZenodo deposit: DOI {} for commit {}", deposit.doi, deposit.version.short());
+    let deposit = hub
+        .deposit(&lab, &repo_id, "main", "climate-sim v1.0")
+        .unwrap();
+    println!(
+        "\nZenodo deposit: DOI {} for commit {}",
+        deposit.doi,
+        deposit.version.short()
+    );
     let mut local = CitedRepo::open(hub.clone_repo(&repo_id).unwrap()).unwrap();
     local
-        .publish(Signature::new("maintainer", "m@lab", 1_660_000_000), Some("v1.0"), Some(&deposit.doi))
+        .publish(
+            Signature::new("maintainer", "m@lab", 1_660_000_000),
+            Some("v1.0"),
+            Some(&deposit.doi),
+        )
         .unwrap();
-    hub.push(&lab, &repo_id, "main", local.repo(), "main", false).unwrap();
-    let root = hub.generate_citation(&repo_id, "main", &RepoPath::root()).unwrap();
+    hub.push(&lab, &repo_id, "main", local.repo(), "main", false)
+        .unwrap();
+    let root = hub
+        .generate_citation(&repo_id, "main", &RepoPath::root())
+        .unwrap();
     println!("root citation now carries the DOI: {:?}", root.doi);
 
     // Software Heritage-style archival with intrinsic identifiers.
@@ -73,5 +138,8 @@ fn main() {
         println!("  head: {head}");
         assert!(hub.resolve_swhid(head).is_ok());
     }
-    println!("\nBibTeX for the released root:\n\n{}", bibformat::render(&root, bibformat::Format::Bibtex));
+    println!(
+        "\nBibTeX for the released root:\n\n{}",
+        bibformat::render(&root, bibformat::Format::Bibtex)
+    );
 }

@@ -15,7 +15,10 @@ fn show(label: &str, repo: &CitedRepo, version: ObjectId, queries: &[&str]) {
     println!("--- {label} ({}) ---", version.short());
     for q in queries {
         let c = repo.cite_at(version, &path(q)).unwrap();
-        println!("  Cite({label})({q:24}) = {} by {:?}", c.repo_name, c.author_list);
+        println!(
+            "  Cite({label})({q:24}) = {} by {:?}",
+            c.repo_name, c.author_list
+        );
     }
     println!();
 }
@@ -31,7 +34,8 @@ fn main() {
             .build(),
     );
     p1.write_file(&path("f1.txt"), &b"f1\n"[..]).unwrap();
-    p1.write_file(&path("docs/readme.md"), &b"# P1\n"[..]).unwrap();
+    p1.write_file(&path("docs/readme.md"), &b"# P1\n"[..])
+        .unwrap();
     let v1 = p1.commit(sig("Leshang", 1_000), "V1").unwrap().commit;
     show("V1,P1", &p1, v1, &["f1.txt", "docs/readme.md"]);
     p1.create_branch("copy-arm").unwrap();
@@ -39,10 +43,15 @@ fn main() {
     // V1 → V2: AddCite attaches C2 to f1.
     p1.add_cite(
         &path("f1.txt"),
-        Citation::builder("P1-f1-module", "Leshang").author("Leshang").build(),
+        Citation::builder("P1-f1-module", "Leshang")
+            .author("Leshang")
+            .build(),
     )
     .unwrap();
-    let v2 = p1.commit(sig("Leshang", 2_000), "V2: AddCite f1").unwrap().commit;
+    let v2 = p1
+        .commit(sig("Leshang", 2_000), "V2: AddCite f1")
+        .unwrap()
+        .commit;
     println!("AddCite(f1, C2):");
     show("V2,P1", &p1, v2, &["f1.txt", "docs/readme.md"]);
 
@@ -55,11 +64,14 @@ fn main() {
             .license("256497")
             .build(),
     );
-    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..]).unwrap();
+    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..])
+        .unwrap();
     p2.write_file(&path("green/f2.txt"), &b"f2\n"[..]).unwrap();
     p2.add_cite(
         &path("green/inner.c"),
-        Citation::builder("P2-inner", "Susan").author("Susan").build(),
+        Citation::builder("P2-inner", "Susan")
+            .author("Susan")
+            .build(),
     )
     .unwrap();
     let v3 = p2.commit(sig("Susan", 3_000), "V3").unwrap().commit;
@@ -67,7 +79,9 @@ fn main() {
 
     // CopyCite the green subtree of P2@V3 into P1 → V4 (on the copy arm).
     p1.checkout_branch("copy-arm").unwrap();
-    let report = p1.copy_cite(&path("green"), p2.repo(), v3, &path("green")).unwrap();
+    let report = p1
+        .copy_cite(&path("green"), p2.repo(), v3, &path("green"))
+        .unwrap();
     println!(
         "CopyCite(P2@{}:green -> P1:green): {} files, {} citations migrated",
         v3.short(),
@@ -77,21 +91,40 @@ fn main() {
     if let Some(c4) = &report.materialized {
         println!("  materialized C4 at the copied subtree root: {c4}");
     }
-    let v4 = p1.commit(sig("Leshang", 4_000), "V4: CopyCite").unwrap().commit;
+    let v4 = p1
+        .commit(sig("Leshang", 4_000), "V4: CopyCite")
+        .unwrap()
+        .commit;
     show("V4,P1", &p1, v4, &["green/f2.txt", "green/inner.c"]);
 
     // MergeCite V2 + V4 → V5: union of the citation files, no conflicts.
     p1.checkout_branch("main").unwrap();
     let report = p1
-        .merge_cite("copy-arm", sig("Leshang", 5_000), "V5: Merge", MergeStrategy::Union, &mut FailOnConflict)
+        .merge_cite(
+            "copy-arm",
+            sig("Leshang", 5_000),
+            "V5: Merge",
+            MergeStrategy::Union,
+            &mut FailOnConflict,
+        )
         .unwrap();
-    let MergeCiteOutcome::Merged(v5) = report.outcome else { unreachable!("clean in the figure") };
+    let MergeCiteOutcome::Merged(v5) = report.outcome else {
+        unreachable!("clean in the figure")
+    };
     println!(
         "MergeCite(V2, V4) -> V5: {} citation conflicts, {} dropped entries",
         report.citation_conflicts.len(),
         report.dropped.len()
     );
-    show("V5,P1", &p1, v5, &["f1.txt", "green/f2.txt", "green/inner.c", "docs/readme.md"]);
+    show(
+        "V5,P1",
+        &p1,
+        v5,
+        &["f1.txt", "green/f2.txt", "green/inner.c", "docs/readme.md"],
+    );
 
-    println!("final citation.cite of V5:\n{}", citekit::file::to_text(&p1.function_at(v5).unwrap()));
+    println!(
+        "final citation.cite of V5:\n{}",
+        citekit::file::to_text(&p1.function_at(v5).unwrap())
+    );
 }

@@ -34,15 +34,21 @@ fn figure1_running_example() {
             .license("115490")
             .build(),
     );
-    p1.write_file(&path("f1.txt"), &b"f1 contents\n"[..]).unwrap();
-    p1.write_file(&path("docs/readme.md"), &b"# P1\n"[..]).unwrap();
+    p1.write_file(&path("f1.txt"), &b"f1 contents\n"[..])
+        .unwrap();
+    p1.write_file(&path("docs/readme.md"), &b"# P1\n"[..])
+        .unwrap();
     let v1 = p1.commit(sig("Leshang", 1_000), "V1").unwrap().commit;
 
     // Before AddCite: Cite(V1,P1)(f1) = C1 (the root citation).
     let c_before = p1.cite_at(v1, &path("f1.txt")).unwrap();
     assert_eq!(c_before.repo_name, "P1");
     assert_eq!(c_before.license.as_deref(), Some("115490"));
-    assert_eq!(c_before.commit_id, v1.short(), "root citation stamped with V1");
+    assert_eq!(
+        c_before.commit_id,
+        v1.short(),
+        "root citation stamped with V1"
+    );
 
     // Two arms grow from V1: main will hold V2 (AddCite), `copy-arm`
     // will hold V4 (CopyCite) — the figure's two edges into V5.
@@ -54,8 +60,14 @@ fn figure1_running_example() {
         .author("Leshang")
         .build();
     p1.add_cite(&path("f1.txt"), c2).unwrap();
-    let v2 = p1.commit(sig("Leshang", 2_000), "V2: AddCite f1").unwrap().commit;
-    assert_eq!(p1.cite_at(v2, &path("f1.txt")).unwrap().repo_name, "P1-f1-module");
+    let v2 = p1
+        .commit(sig("Leshang", 2_000), "V2: AddCite f1")
+        .unwrap()
+        .commit;
+    assert_eq!(
+        p1.cite_at(v2, &path("f1.txt")).unwrap().repo_name,
+        "P1-f1-module"
+    );
     // The old version still answers with C1 — citations are per version.
     assert_eq!(p1.cite_at(v1, &path("f1.txt")).unwrap().repo_name, "P1");
 
@@ -68,9 +80,12 @@ fn figure1_running_example() {
             .license("256497")
             .build(),
     );
-    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..]).unwrap();
-    p2.write_file(&path("green/f2.txt"), &b"f2 contents\n"[..]).unwrap();
-    p2.write_file(&path("elsewhere.txt"), &b"not copied\n"[..]).unwrap();
+    p2.write_file(&path("green/inner.c"), &b"int inner;\n"[..])
+        .unwrap();
+    p2.write_file(&path("green/f2.txt"), &b"f2 contents\n"[..])
+        .unwrap();
+    p2.write_file(&path("elsewhere.txt"), &b"not copied\n"[..])
+        .unwrap();
     let c3 = Citation::builder("P2-inner", "Susan")
         .url("https://hub/Susan/P2/green/inner.c")
         .author("Susan")
@@ -87,7 +102,9 @@ fn figure1_running_example() {
 
     // ---- V1 → V4 (on copy-arm): CopyCite(green subtree of P2@V3) -------
     p1.checkout_branch("copy-arm").unwrap();
-    let report = p1.copy_cite(&path("green"), p2.repo(), v3, &path("green")).unwrap();
+    let report = p1
+        .copy_cite(&path("green"), p2.repo(), v3, &path("green"))
+        .unwrap();
     assert_eq!(report.files_copied, 2);
     // C3 migrated under the new key; C4 materialized at the subtree root
     // (the green box's root turning solid blue in the figure).
@@ -95,19 +112,31 @@ fn figure1_running_example() {
     let c4 = report.materialized.expect("C4 materialized");
     assert_eq!(c4.repo_name, "P2");
     assert_eq!(c4.commit_id, v3.short(), "C4 pins P2's V3");
-    let v4 = p1.commit(sig("Leshang", 4_000), "V4: CopyCite green from P2").unwrap().commit;
+    let v4 = p1
+        .commit(sig("Leshang", 4_000), "V4: CopyCite green from P2")
+        .unwrap()
+        .commit;
 
     // Cite(V4,P1)(f2) = C4 — the copy did not change f2's credit.
     let c_after_copy = p1.cite_at(v4, &path("green/f2.txt")).unwrap();
     assert_eq!(c_after_copy.repo_name, "P2");
     assert_eq!(c_after_copy.owner, "Susan");
     // And the explicitly cited file kept C3.
-    assert_eq!(p1.cite_at(v4, &path("green/inner.c")).unwrap().repo_name, "P2-inner");
+    assert_eq!(
+        p1.cite_at(v4, &path("green/inner.c")).unwrap().repo_name,
+        "P2-inner"
+    );
 
     // ---- V2 + V4 → V5: MergeCite ---------------------------------------
     p1.checkout_branch("main").unwrap();
     let report = p1
-        .merge_cite("copy-arm", sig("Leshang", 5_000), "V5: Merge", MergeStrategy::Union, &mut FailOnConflict)
+        .merge_cite(
+            "copy-arm",
+            sig("Leshang", 5_000),
+            "V5: Merge",
+            MergeStrategy::Union,
+            &mut FailOnConflict,
+        )
         .unwrap();
     // "In this example there are no conflicts, so we simply take the
     // union of the citation files."
@@ -124,11 +153,23 @@ fn figure1_running_example() {
     assert!(func.contains(&path("f1.txt"))); // C2
     assert!(func.contains(&path("green/inner.c"))); // C3
     assert!(func.contains(&path("green"))); // C4
-    // Resolution in V5 matches the figure's final state.
-    assert_eq!(p1.cite_at(v5, &path("f1.txt")).unwrap().repo_name, "P1-f1-module");
-    assert_eq!(p1.cite_at(v5, &path("green/f2.txt")).unwrap().repo_name, "P2");
-    assert_eq!(p1.cite_at(v5, &path("green/inner.c")).unwrap().repo_name, "P2-inner");
-    assert_eq!(p1.cite_at(v5, &path("docs/readme.md")).unwrap().repo_name, "P1");
+                                            // Resolution in V5 matches the figure's final state.
+    assert_eq!(
+        p1.cite_at(v5, &path("f1.txt")).unwrap().repo_name,
+        "P1-f1-module"
+    );
+    assert_eq!(
+        p1.cite_at(v5, &path("green/f2.txt")).unwrap().repo_name,
+        "P2"
+    );
+    assert_eq!(
+        p1.cite_at(v5, &path("green/inner.c")).unwrap().repo_name,
+        "P2-inner"
+    );
+    assert_eq!(
+        p1.cite_at(v5, &path("docs/readme.md")).unwrap().repo_name,
+        "P1"
+    );
 
     // The version DAG has the drawn shape: V5 is a merge of the two arms.
     let v5_commit = p1.repo().commit_obj(v5).unwrap();
@@ -150,29 +191,39 @@ fn figure1_on_the_platform() {
     // P2 with the green subtree.
     let p2_id = hub.create_repo(&susan, "P2").unwrap();
     let mut p2_local = CitedRepo::open(hub.clone_repo(&p2_id).unwrap()).unwrap();
-    p2_local.write_file(&path("green/inner.c"), &b"int inner;\n"[..]).unwrap();
-    p2_local.write_file(&path("green/f2.txt"), &b"f2\n"[..]).unwrap();
+    p2_local
+        .write_file(&path("green/inner.c"), &b"int inner;\n"[..])
+        .unwrap();
+    p2_local
+        .write_file(&path("green/f2.txt"), &b"f2\n"[..])
+        .unwrap();
     p2_local
         .add_cite(
             &path("green/inner.c"),
-            Citation::builder("P2-inner", "Susan").author("Susan").build(),
+            Citation::builder("P2-inner", "Susan")
+                .author("Susan")
+                .build(),
         )
         .unwrap();
     p2_local.commit(sig("Susan", 3_000), "V3").unwrap();
-    hub.push(&susan, &p2_id, "main", p2_local.repo(), "main", false).unwrap();
+    hub.push(&susan, &p2_id, "main", p2_local.repo(), "main", false)
+        .unwrap();
 
     // P1: V1, then V2 via the *hub-side* AddCite.
     let p1_id = hub.create_repo(&leshang, "P1").unwrap();
     let mut p1_local = CitedRepo::open(hub.clone_repo(&p1_id).unwrap()).unwrap();
     p1_local.write_file(&path("f1.txt"), &b"f1\n"[..]).unwrap();
     p1_local.commit(sig("Leshang", 1_000), "V1").unwrap();
-    hub.push(&leshang, &p1_id, "main", p1_local.repo(), "main", false).unwrap();
+    hub.push(&leshang, &p1_id, "main", p1_local.repo(), "main", false)
+        .unwrap();
     hub.add_cite(
         &leshang,
         &p1_id,
         "main",
         &path("f1.txt"),
-        Citation::builder("P1-f1-module", "Leshang").author("Leshang").build(),
+        Citation::builder("P1-f1-module", "Leshang")
+            .author("Leshang")
+            .build(),
     )
     .unwrap();
 
@@ -182,16 +233,20 @@ fn figure1_on_the_platform() {
     work.checkout_branch("copy-arm").unwrap();
     let p2_hosted = hub.clone_repo(&p2_id).unwrap();
     let v3 = p2_hosted.head_commit().unwrap();
-    work.copy_cite(&path("green"), &p2_hosted, v3, &path("green")).unwrap();
+    work.copy_cite(&path("green"), &p2_hosted, v3, &path("green"))
+        .unwrap();
     work.commit(sig("Leshang", 4_000), "V4: CopyCite").unwrap();
-    hub.push(&leshang, &p1_id, "copy-arm", work.repo(), "copy-arm", false).unwrap();
+    hub.push(&leshang, &p1_id, "copy-arm", work.repo(), "copy-arm", false)
+        .unwrap();
 
     // Main advances too, so the merge is a true two-parent merge (the
     // figure's two arms), not a fast-forward.
     work.checkout_branch("main").unwrap();
-    work.write_file(&path("docs/notes.md"), &b"# notes\n"[..]).unwrap();
+    work.write_file(&path("docs/notes.md"), &b"# notes\n"[..])
+        .unwrap();
     work.commit(sig("Leshang", 4_500), "main-arm work").unwrap();
-    hub.push(&leshang, &p1_id, "main", work.repo(), "main", false).unwrap();
+    hub.push(&leshang, &p1_id, "main", work.repo(), "main", false)
+        .unwrap();
 
     // Server-side MergeCite of the two arms.
     let report = hub
@@ -200,9 +255,13 @@ fn figure1_on_the_platform() {
     assert!(matches!(report.outcome, MergeCiteOutcome::Merged(_)));
 
     // Final resolution through the public GenCite API.
-    let f2 = hub.generate_citation(&p1_id, "main", &path("green/f2.txt")).unwrap();
+    let f2 = hub
+        .generate_citation(&p1_id, "main", &path("green/f2.txt"))
+        .unwrap();
     assert_eq!(f2.repo_name, "P2");
     assert_eq!(f2.owner, "Susan");
-    let f1 = hub.generate_citation(&p1_id, "main", &path("f1.txt")).unwrap();
+    let f1 = hub
+        .generate_citation(&p1_id, "main", &path("f1.txt"))
+        .unwrap();
     assert_eq!(f1.repo_name, "P1-f1-module");
 }

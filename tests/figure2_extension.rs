@@ -16,18 +16,27 @@ use hub::{Hub, HubError, Role, Token};
 /// an uncited `tools/` dir; yanssie is a member; visitor is not.
 fn platform() -> (Hub, Token, Token, Token, String) {
     let hub = Hub::new("https://hub.example");
-    for (u, d) in [("leshang", "Leshang Chen"), ("yanssie", "Yanssie"), ("visitor", "A Visitor")] {
+    for (u, d) in [
+        ("leshang", "Leshang Chen"),
+        ("yanssie", "Yanssie"),
+        ("visitor", "A Visitor"),
+    ] {
         hub.register_user(u, d).unwrap();
     }
     let leshang = hub.login("leshang").unwrap();
     let yanssie = hub.login("yanssie").unwrap();
     let visitor = hub.login("visitor").unwrap();
     let repo_id = hub.create_repo(&leshang, "demo").unwrap();
-    hub.add_member(&leshang, &repo_id, "yanssie", Role::Member).unwrap();
+    hub.add_member(&leshang, &repo_id, "yanssie", Role::Member)
+        .unwrap();
 
     let mut local = CitedRepo::open(hub.clone_repo(&repo_id).unwrap()).unwrap();
-    local.write_file(&path("core/algo.rs"), &b"// core\n"[..]).unwrap();
-    local.write_file(&path("tools/gen.py"), &b"# tool\n"[..]).unwrap();
+    local
+        .write_file(&path("core/algo.rs"), &b"// core\n"[..])
+        .unwrap();
+    local
+        .write_file(&path("tools/gen.py"), &b"# tool\n"[..])
+        .unwrap();
     local
         .add_cite(
             &path("core"),
@@ -37,8 +46,11 @@ fn platform() -> (Hub, Token, Token, Token, String) {
                 .build(),
         )
         .unwrap();
-    local.commit(Signature::new("Leshang Chen", "l@x", 1000), "seed").unwrap();
-    hub.push(&leshang, &repo_id, "main", local.repo(), "main", false).unwrap();
+    local
+        .commit(Signature::new("Leshang Chen", "l@x", 1000), "seed")
+        .unwrap();
+    hub.push(&leshang, &repo_id, "main", local.repo(), "main", false)
+        .unwrap();
     (hub, leshang, yanssie, visitor, repo_id)
 }
 
@@ -50,7 +62,15 @@ fn anonymous_user_gets_citation_immediately() {
     popup.select(&path("core/algo.rs")).unwrap();
     let v = popup.view();
     assert!(v.text_box.contains("demo-core"));
-    assert_eq!(v.buttons, ButtonStates { generate: true, add: false, modify: false, delete: false });
+    assert_eq!(
+        v.buttons,
+        ButtonStates {
+            generate: true,
+            add: false,
+            modify: false,
+            delete: false
+        }
+    );
     // Copy-paste step: export for the bibliography manager.
     let bib = popup.export(bibformat::Format::Bibtex).unwrap();
     assert!(bib.contains("@software{"));
@@ -70,7 +90,10 @@ fn non_member_cannot_use_add_delete() {
     assert!(!popup.view().buttons.delete);
     // Forcing the action is rejected by the server, not just the UI.
     popup.edit_text(r#"{"repoName": "evil"}"#);
-    assert!(matches!(popup.add(), Err(ExtError::Hub(HubError::PermissionDenied(_)))));
+    assert!(matches!(
+        popup.add(),
+        Err(ExtError::Hub(HubError::PermissionDenied(_)))
+    ));
 }
 
 #[test]
@@ -98,10 +121,17 @@ fn member_full_cycle_generate_edit_add_modify_delete() {
     // Now the node is explicitly cited: Modify/Delete enabled, Add not.
     assert_eq!(
         popup.view().buttons,
-        ButtonStates { generate: true, add: false, modify: true, delete: true }
+        ButtonStates {
+            generate: true,
+            add: false,
+            modify: true,
+            delete: true
+        }
     );
     // Modify it...
-    let mut again = hub.generate_citation(&repo_id, "main", &path("tools/gen.py")).unwrap();
+    let mut again = hub
+        .generate_citation(&repo_id, "main", &path("tools/gen.py"))
+        .unwrap();
     assert_eq!(again.repo_name, "demo-tools");
     again.note = Some("v2 of the tools citation".into());
     popup.edit_text(again.to_value().to_string_pretty());
@@ -110,7 +140,9 @@ fn member_full_cycle_generate_edit_add_modify_delete() {
     // ...and delete it: resolution falls back to the root.
     popup.delete().unwrap();
     assert!(popup.view().text_box.is_empty());
-    let c = hub.generate_citation(&repo_id, "main", &path("tools/gen.py")).unwrap();
+    let c = hub
+        .generate_citation(&repo_id, "main", &path("tools/gen.py"))
+        .unwrap();
     assert_eq!(c.repo_name, "demo");
 
     // Every mutation landed as a commit on the hosted branch.

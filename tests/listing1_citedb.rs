@@ -43,10 +43,16 @@ fn chenli_corecover() -> CitedRepo {
             .author("Chen Li")
             .build(),
     );
-    repo.write_file(&path("CoreCover/CoreCover.java"), &b"// CoreCover algorithm\n"[..])
-        .unwrap();
-    repo.write_file(&path("CoreCover/Rewriter.java"), &b"// query rewriting using views\n"[..])
-        .unwrap();
+    repo.write_file(
+        &path("CoreCover/CoreCover.java"),
+        &b"// CoreCover algorithm\n"[..],
+    )
+    .unwrap();
+    repo.write_file(
+        &path("CoreCover/Rewriter.java"),
+        &b"// query rewriting using views\n"[..],
+    )
+    .unwrap();
     repo.commit(
         Signature::new("Chen Li", "chenli@example.org", ts(CORECOVER_DATE)),
         "CoreCover implementation",
@@ -65,8 +71,10 @@ fn run_scenario() -> (CitedRepo, gitlite::ObjectId) {
             .author("Yinjun Wu")
             .build(),
     );
-    demo.write_file(&path("citation/engine.py"), &b"# citation engine\n"[..]).unwrap();
-    demo.write_file(&path("README.md"), &b"# CiteDB demo\n"[..]).unwrap();
+    demo.write_file(&path("citation/engine.py"), &b"# citation engine\n"[..])
+        .unwrap();
+    demo.write_file(&path("README.md"), &b"# CiteDB demo\n"[..])
+        .unwrap();
     demo.commit(
         Signature::new("Yinjun Wu", "wu@example.org", ts("2017-05-01T00:00:00Z")),
         "initial CiteDB code",
@@ -76,8 +84,10 @@ fn run_scenario() -> (CitedRepo, gitlite::ObjectId) {
     // Yanssie's GUI branch (summer 2017), merged later.
     demo.create_branch("gui").unwrap();
     demo.checkout_branch("gui").unwrap();
-    demo.write_file(&path("citation/GUI/app.js"), &b"// CiteDB demo GUI\n"[..]).unwrap();
-    demo.write_file(&path("citation/GUI/index.html"), &b"<html></html>\n"[..]).unwrap();
+    demo.write_file(&path("citation/GUI/app.js"), &b"// CiteDB demo GUI\n"[..])
+        .unwrap();
+    demo.write_file(&path("citation/GUI/index.html"), &b"<html></html>\n"[..])
+        .unwrap();
     let gui_cite = Citation::builder("Data_citation_demo", "Yinjun Wu")
         .url("https://github.com/thuwuyinjun/Data_citation_demo")
         .author("Yanssie")
@@ -104,7 +114,8 @@ fn run_scenario() -> (CitedRepo, gitlite::ObjectId) {
 
     // Meanwhile main work continues.
     demo.checkout_branch("main").unwrap();
-    demo.write_file(&path("citation/views.py"), &b"# view selection\n"[..]).unwrap();
+    demo.write_file(&path("citation/views.py"), &b"# view selection\n"[..])
+        .unwrap();
     demo.commit(
         Signature::new("Yinjun Wu", "wu@example.org", ts("2018-03-01T00:00:00Z")),
         "view selection",
@@ -114,9 +125,16 @@ fn run_scenario() -> (CitedRepo, gitlite::ObjectId) {
     // CopyCite the CoreCover directory from Chen Li's repository.
     let corecover = chenli_corecover();
     let v_cc = corecover.repo().head_commit().unwrap();
-    demo.copy_cite(&path("CoreCover"), corecover.repo(), v_cc, &path("CoreCover")).unwrap();
+    demo.copy_cite(
+        &path("CoreCover"),
+        corecover.repo(),
+        v_cc,
+        &path("CoreCover"),
+    )
+    .unwrap();
     // "modified to dovetail with other parts of the project"
-    demo.write_file(&path("CoreCover/glue.py"), &b"# dovetail with CiteDB\n"[..]).unwrap();
+    demo.write_file(&path("CoreCover/glue.py"), &b"# dovetail with CiteDB\n"[..])
+        .unwrap();
     demo.commit(
         Signature::new("Yinjun Wu", "wu@example.org", ts(CORECOVER_DATE) + 3600),
         "import CoreCover from chenlica/alu01-corecover",
@@ -138,7 +156,8 @@ fn run_scenario() -> (CitedRepo, gitlite::ObjectId) {
 
     // Release: the 2018-09-04 commit is the version Listing 1's root entry
     // pins; `publish` stamps it into the root citation.
-    demo.write_file(&path("RELEASE.md"), &b"CiteDB demo release\n"[..]).unwrap();
+    demo.write_file(&path("RELEASE.md"), &b"CiteDB demo release\n"[..])
+        .unwrap();
     demo.commit(
         Signature::new("Yinjun Wu", "wu@example.org", ts(RELEASE_DATE)),
         "release",
@@ -160,17 +179,17 @@ fn listing1_structure_and_fields() {
     let func = demo.function_at(released).unwrap();
 
     // Exactly the three entries of Listing 1 (plus nothing else).
-    let keys: Vec<String> = func
-        .iter()
-        .map(|(p, e)| p.to_cite_key(e.is_dir))
-        .collect();
+    let keys: Vec<String> = func.iter().map(|(p, e)| p.to_cite_key(e.is_dir)).collect();
     assert_eq!(keys, vec!["/", "/CoreCover/", "/citation/GUI/"]);
 
     // "/" — lines 1–7.
     let root = func.root();
     assert_eq!(root.repo_name, "Data_citation_demo");
     assert_eq!(root.owner, "Yinjun Wu");
-    assert_eq!(root.url, "https://github.com/thuwuyinjun/Data_citation_demo");
+    assert_eq!(
+        root.url,
+        "https://github.com/thuwuyinjun/Data_citation_demo"
+    );
     assert_eq!(root.author_list, vec!["Yinjun Wu"]);
     // The root pins the release commit, dated exactly as in Listing 1.
     assert_eq!(root.committed_date, RELEASE_DATE);
@@ -200,10 +219,14 @@ fn listing1_structure_and_fields() {
 fn listing1_resolution_credits_the_right_people() {
     let (demo, released) = run_scenario();
     // Code inside CoreCover credits Chen Li...
-    let c = demo.cite_at(released, &path("CoreCover/CoreCover.java")).unwrap();
+    let c = demo
+        .cite_at(released, &path("CoreCover/CoreCover.java"))
+        .unwrap();
     assert_eq!(c.owner, "Chen Li");
     // ...the GUI credits Yanssie...
-    let c = demo.cite_at(released, &path("citation/GUI/app.js")).unwrap();
+    let c = demo
+        .cite_at(released, &path("citation/GUI/app.js"))
+        .unwrap();
     assert_eq!(c.author_list, vec!["Yanssie"]);
     // ...and everything else credits Yinjun Wu's project root, stamped
     // with the released version.
@@ -226,8 +249,18 @@ fn listing1_file_text_round_trips_and_is_deterministic() {
     let cc_pos = text.find("\"/CoreCover/\"").unwrap();
     let gui_pos = text.find("\"/citation/GUI/\"").unwrap();
     assert!(root_pos < cc_pos && cc_pos < gui_pos);
-    for field in ["repoName", "owner", "committedDate", "commitID", "url", "authorList"] {
-        assert!(text.contains(&format!("\"{field}\"")), "missing field {field}");
+    for field in [
+        "repoName",
+        "owner",
+        "committedDate",
+        "commitID",
+        "url",
+        "authorList",
+    ] {
+        assert!(
+            text.contains(&format!("\"{field}\"")),
+            "missing field {field}"
+        );
     }
     // And parses back to the same function.
     let reparsed = file::parse(&text).unwrap();
@@ -237,7 +270,9 @@ fn listing1_file_text_round_trips_and_is_deterministic() {
 #[test]
 fn listing1_bibliography_rendering() {
     let (demo, released) = run_scenario();
-    let cc = demo.cite_at(released, &path("CoreCover/Rewriter.java")).unwrap();
+    let cc = demo
+        .cite_at(released, &path("CoreCover/Rewriter.java"))
+        .unwrap();
     let bib = bibformat::render(&cc, bibformat::Format::Bibtex);
     assert!(bib.starts_with("@software{li2018alu01corecover,"), "{bib}");
     assert!(bib.contains("author  = {Chen Li}"));

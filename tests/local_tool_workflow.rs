@@ -12,7 +12,7 @@ use citekit::CitedRepo;
 use gitcite_cli::{run, storage};
 use gitlite::{path, Signature};
 use hub::Hub;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("gitcite-workflow-{tag}-{}", std::process::id()));
@@ -21,7 +21,7 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn cli(dir: &PathBuf, args: &[&str]) -> String {
+fn cli(dir: &Path, args: &[&str]) -> String {
     let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
     match run(&args, dir) {
         Ok(out) => out,
@@ -37,9 +37,12 @@ fn download_manage_push_cycle() {
     let token = hub.login("leshang").unwrap();
     let repo_id = hub.create_repo(&token, "P1").unwrap();
     let mut seed = CitedRepo::open(hub.clone_repo(&repo_id).unwrap()).unwrap();
-    seed.write_file(&path("src/engine.rs"), &b"pub fn run() {}\n"[..]).unwrap();
-    seed.commit(Signature::new("Leshang Chen", "l@x", 100), "engine").unwrap();
-    hub.push(&token, &repo_id, "main", seed.repo(), "main", false).unwrap();
+    seed.write_file(&path("src/engine.rs"), &b"pub fn run() {}\n"[..])
+        .unwrap();
+    seed.commit(Signature::new("Leshang Chen", "l@x", 100), "engine")
+        .unwrap();
+    hub.push(&token, &repo_id, "main", seed.repo(), "main", false)
+        .unwrap();
 
     // 1. "Downloads a copy of the project repository with Git": the clone
     //    is persisted to a working directory the local tool owns.
@@ -50,19 +53,42 @@ fn download_manage_push_cycle() {
     assert!(workdir.join("citation.cite").is_file());
 
     // 2. Manage the citation file in the download with the local tool.
-    cli(&workdir, &["cite", "add", "src", "--repo-name", "P1-core", "--authors", "Leshang Chen"]);
+    cli(
+        &workdir,
+        &[
+            "cite",
+            "add",
+            "src",
+            "--repo-name",
+            "P1-core",
+            "--authors",
+            "Leshang Chen",
+        ],
+    );
     // The user also edits a file with their editor.
     std::fs::write(workdir.join("src/util.rs"), b"pub fn util() {}\n").unwrap();
-    cli(&workdir, &["commit", "-m", "cite core, add util", "--author", "Leshang Chen"]);
+    cli(
+        &workdir,
+        &[
+            "commit",
+            "-m",
+            "cite core, add util",
+            "--author",
+            "Leshang Chen",
+        ],
+    );
     let shown = cli(&workdir, &["cite", "show", "src/util.rs"]);
     assert!(shown.contains("P1-core"));
 
     // 3. Push the local copy (which contains citation.cite) back.
     let local = storage::load(&workdir).unwrap();
-    hub.push(&token, &repo_id, "main", &local, "main", false).unwrap();
+    hub.push(&token, &repo_id, "main", &local, "main", false)
+        .unwrap();
 
     // The hosted repository now serves the new citation to everyone.
-    let c = hub.generate_citation(&repo_id, "main", &path("src/util.rs")).unwrap();
+    let c = hub
+        .generate_citation(&repo_id, "main", &path("src/util.rs"))
+        .unwrap();
     assert_eq!(c.repo_name, "P1-core");
     let files = hub.list_files(&repo_id, "main").unwrap();
     assert!(files.contains(&path("src/util.rs")));
@@ -73,12 +99,18 @@ fn download_manage_push_cycle() {
 #[test]
 fn corrupted_citation_file_is_rejected() {
     let workdir = temp_dir("badcite");
-    cli(&workdir, &["init", "P", "--owner", "O", "--url", "https://x/P"]);
+    cli(
+        &workdir,
+        &["init", "P", "--owner", "O", "--url", "https://x/P"],
+    );
     std::fs::write(workdir.join("f.txt"), b"x\n").unwrap();
     cli(&workdir, &["commit", "-m", "v1", "--author", "O"]);
     // Vandalize the citation file on disk.
     std::fs::write(workdir.join("citation.cite"), b"{ not json").unwrap();
-    let args: Vec<String> = ["cite", "show", "f.txt"].iter().map(|s| s.to_string()).collect();
+    let args: Vec<String> = ["cite", "show", "f.txt"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let err = run(&args, &workdir).unwrap_err();
     assert!(err.to_string().contains("citation.cite"), "{err}");
     let _ = std::fs::remove_dir_all(&workdir);
@@ -87,12 +119,18 @@ fn corrupted_citation_file_is_rejected() {
 #[test]
 fn missing_root_entry_is_rejected() {
     let workdir = temp_dir("noroot");
-    cli(&workdir, &["init", "P", "--owner", "O", "--url", "https://x/P"]);
+    cli(
+        &workdir,
+        &["init", "P", "--owner", "O", "--url", "https://x/P"],
+    );
     std::fs::write(workdir.join("f.txt"), b"x\n").unwrap();
     cli(&workdir, &["commit", "-m", "v1", "--author", "O"]);
     // A syntactically valid citation file without the mandatory "/" entry.
-    std::fs::write(workdir.join("citation.cite"), b"{\"/f.txt\": {\"repoName\": \"x\"}}\n")
-        .unwrap();
+    std::fs::write(
+        workdir.join("citation.cite"),
+        b"{\"/f.txt\": {\"repoName\": \"x\"}}\n",
+    )
+    .unwrap();
     let args: Vec<String> = ["status"].iter().map(|s| s.to_string()).collect();
     let err = run(&args, &workdir).unwrap_err();
     assert!(err.to_string().contains("root"), "{err}");
@@ -102,7 +140,10 @@ fn missing_root_entry_is_rejected() {
 #[test]
 fn corrupted_object_store_fails_loudly() {
     let workdir = temp_dir("badodb");
-    cli(&workdir, &["init", "P", "--owner", "O", "--url", "https://x/P"]);
+    cli(
+        &workdir,
+        &["init", "P", "--owner", "O", "--url", "https://x/P"],
+    );
     std::fs::write(workdir.join("f.txt"), b"x\n").unwrap();
     cli(&workdir, &["commit", "-m", "v1", "--author", "O"]);
     // Truncate every stored object file.
@@ -126,30 +167,82 @@ fn two_members_working_copies_converge_via_hub() {
     let alice = hub.login("alice").unwrap();
     let bob = hub.login("bob").unwrap();
     let repo_id = hub.create_repo(&alice, "shared").unwrap();
-    hub.add_member(&alice, &repo_id, "bob", hub::Role::Member).unwrap();
+    hub.add_member(&alice, &repo_id, "bob", hub::Role::Member)
+        .unwrap();
 
     // Alice's working copy adds a cited file and pushes.
     let dir_a = temp_dir("alice");
     storage::save(&dir_a, &hub.clone_repo(&repo_id).unwrap()).unwrap();
     std::fs::write(dir_a.join("a.txt"), b"alice's file\n").unwrap();
     cli(&dir_a, &["commit", "-m", "a", "--author", "Alice"]);
-    cli(&dir_a, &["cite", "add", "a.txt", "--repo-name", "A-part", "--authors", "Alice"]);
+    cli(
+        &dir_a,
+        &[
+            "cite",
+            "add",
+            "a.txt",
+            "--repo-name",
+            "A-part",
+            "--authors",
+            "Alice",
+        ],
+    );
     cli(&dir_a, &["commit", "-m", "cite a", "--author", "Alice"]);
-    hub.push(&alice, &repo_id, "main", &storage::load(&dir_a).unwrap(), "main", false).unwrap();
+    hub.push(
+        &alice,
+        &repo_id,
+        "main",
+        &storage::load(&dir_a).unwrap(),
+        "main",
+        false,
+    )
+    .unwrap();
 
     // Bob downloads after Alice's push, adds his own cited file, pushes.
     let dir_b = temp_dir("bob");
     storage::save(&dir_b, &hub.clone_repo(&repo_id).unwrap()).unwrap();
-    assert!(dir_b.join("a.txt").is_file(), "bob's download includes alice's work");
+    assert!(
+        dir_b.join("a.txt").is_file(),
+        "bob's download includes alice's work"
+    );
     std::fs::write(dir_b.join("b.txt"), b"bob's file\n").unwrap();
     cli(&dir_b, &["commit", "-m", "b", "--author", "Bob"]);
-    cli(&dir_b, &["cite", "add", "b.txt", "--repo-name", "B-part", "--authors", "Bob"]);
+    cli(
+        &dir_b,
+        &[
+            "cite",
+            "add",
+            "b.txt",
+            "--repo-name",
+            "B-part",
+            "--authors",
+            "Bob",
+        ],
+    );
     cli(&dir_b, &["commit", "-m", "cite b", "--author", "Bob"]);
-    hub.push(&bob, &repo_id, "main", &storage::load(&dir_b).unwrap(), "main", false).unwrap();
+    hub.push(
+        &bob,
+        &repo_id,
+        "main",
+        &storage::load(&dir_b).unwrap(),
+        "main",
+        false,
+    )
+    .unwrap();
 
     // The hosted project credits both.
-    assert_eq!(hub.generate_citation(&repo_id, "main", &path("a.txt")).unwrap().repo_name, "A-part");
-    assert_eq!(hub.generate_citation(&repo_id, "main", &path("b.txt")).unwrap().repo_name, "B-part");
+    assert_eq!(
+        hub.generate_citation(&repo_id, "main", &path("a.txt"))
+            .unwrap()
+            .repo_name,
+        "A-part"
+    );
+    assert_eq!(
+        hub.generate_citation(&repo_id, "main", &path("b.txt"))
+            .unwrap()
+            .repo_name,
+        "B-part"
+    );
     let credits = hub.credited_authors(&repo_id, "main").unwrap();
     let names: Vec<&str> = credits.iter().map(|(a, _)| a.as_str()).collect();
     assert!(names.contains(&"Alice") && names.contains(&"Bob"));

@@ -3,9 +3,7 @@
 //! three-way merge method used in Git", measured by how many conflicts
 //! each surfaces to the user on the same branch histories.
 
-use citekit::{
-    Citation, CitedRepo, ConflictResolver, MergeCiteOutcome, MergeStrategy, Resolution,
-};
+use citekit::{Citation, CitedRepo, ConflictResolver, MergeCiteOutcome, MergeStrategy, Resolution};
 use gitlite::{path, RepoPath, Signature};
 
 fn sig(n: &str, t: i64) -> Signature {
@@ -45,8 +43,10 @@ impl ConflictResolver for CountingResolver {
 fn scenario() -> CitedRepo {
     let mut r = CitedRepo::init("P", "Owner", "https://x/P");
     for i in 0..3 {
-        r.write_file(&path(&format!("f{i}.txt")), format!("{i}\n").into_bytes()).unwrap();
-        r.add_cite(&path(&format!("f{i}.txt")), cite(&format!("base{i}"))).unwrap();
+        r.write_file(&path(&format!("f{i}.txt")), format!("{i}\n").into_bytes())
+            .unwrap();
+        r.add_cite(&path(&format!("f{i}.txt")), cite(&format!("base{i}")))
+            .unwrap();
     }
     r.commit(sig("Owner", 100), "base").unwrap();
     r.create_branch("dev").unwrap();
@@ -72,10 +72,19 @@ fn union_surfaces_more_conflicts_than_three_way() {
     let mut union_repo = scenario();
     let mut union_resolver = CountingResolver { calls: 0 };
     let union_report = union_repo
-        .merge_cite("dev", sig("Owner", 400), "merge", MergeStrategy::Union, &mut union_resolver)
+        .merge_cite(
+            "dev",
+            sig("Owner", 400),
+            "merge",
+            MergeStrategy::Union,
+            &mut union_resolver,
+        )
         .unwrap();
     assert!(matches!(union_report.outcome, MergeCiteOutcome::Merged(_)));
-    assert_eq!(union_resolver.calls, 2, "f0 and f2 ask the user under union");
+    assert_eq!(
+        union_resolver.calls, 2,
+        "f0 and f2 ask the user under union"
+    );
     assert_eq!(union_report.citation_conflicts.len(), 2);
     // The union resurrects the deleted citation (paper's simplification).
     assert!(union_repo.function().contains(&path("f1.txt")));
@@ -85,26 +94,45 @@ fn union_surfaces_more_conflicts_than_three_way() {
     let mut tw_repo = scenario();
     let mut tw_resolver = CountingResolver { calls: 0 };
     let tw_report = tw_repo
-        .merge_cite("dev", sig("Owner", 400), "merge", MergeStrategy::ThreeWay, &mut tw_resolver)
+        .merge_cite(
+            "dev",
+            sig("Owner", 400),
+            "merge",
+            MergeStrategy::ThreeWay,
+            &mut tw_resolver,
+        )
         .unwrap();
     assert!(matches!(tw_report.outcome, MergeCiteOutcome::Merged(_)));
     assert_eq!(tw_resolver.calls, 1, "only f2's double edit needs the user");
     assert_eq!(tw_report.citation_conflicts.len(), 1);
     assert_eq!(tw_report.citation_conflicts[0].path, path("f2.txt"));
     // One-sided edit applied automatically.
-    assert_eq!(tw_repo.function().get(&path("f0.txt")).unwrap().repo_name, "dev-edit");
+    assert_eq!(
+        tw_repo.function().get(&path("f0.txt")).unwrap().repo_name,
+        "dev-edit"
+    );
     // One-sided deletion honored.
     assert!(!tw_repo.function().contains(&path("f1.txt")));
 }
 
 #[test]
 fn ours_theirs_never_ask_the_user() {
-    for (strategy, f2_expect) in [(MergeStrategy::Ours, "main-f2"), (MergeStrategy::Theirs, "dev-f2")] {
+    for (strategy, f2_expect) in [
+        (MergeStrategy::Ours, "main-f2"),
+        (MergeStrategy::Theirs, "dev-f2"),
+    ] {
         let mut repo = scenario();
         let mut resolver = CountingResolver { calls: 0 };
-        repo.merge_cite("dev", sig("Owner", 400), "merge", strategy, &mut resolver).unwrap();
-        assert_eq!(resolver.calls, 0, "{strategy:?} must not consult the resolver");
-        assert_eq!(repo.function().get(&path("f2.txt")).unwrap().repo_name, f2_expect);
+        repo.merge_cite("dev", sig("Owner", 400), "merge", strategy, &mut resolver)
+            .unwrap();
+        assert_eq!(
+            resolver.calls, 0,
+            "{strategy:?} must not consult the resolver"
+        );
+        assert_eq!(
+            repo.function().get(&path("f2.txt")).unwrap().repo_name,
+            f2_expect
+        );
     }
 }
 
@@ -135,7 +163,8 @@ fn strategies_agree_when_there_is_nothing_to_disagree_about() {
     ] {
         let mut repo = build();
         let mut resolver = CountingResolver { calls: 0 };
-        repo.merge_cite("dev", sig("Owner", 400), "merge", strategy, &mut resolver).unwrap();
+        repo.merge_cite("dev", sig("Owner", 400), "merge", strategy, &mut resolver)
+            .unwrap();
         assert_eq!(resolver.calls, 0);
         results.push(repo.function().clone());
     }
