@@ -1,13 +1,18 @@
 //! Storage-backend bench: cold and warm object reads across `MemStore`,
-//! `DiskStore`, and `CachedStore<DiskStore>`, over the reachable closure
-//! of a synthetic repository. This is the experiment behind choosing the
-//! local tool's default backend (`CachedStore<DiskStore>`): disk pays a
-//! decode per read, the cache amortizes it on hot paths, memory is the
-//! ceiling.
+//! `DiskStore`, `PackStore`, and their cached wrappers, over the
+//! reachable closure of a synthetic repository. This is the experiment
+//! behind choosing the local tool's default backend
+//! (`CachedStore<PackStore>`): loose disk pays a file open + decode per
+//! read, packs replace the per-object opens with one buffered file read,
+//! the cache amortizes decodes on hot paths, memory is the ceiling.
+//!
+//! Cache effectiveness (hits/misses/evictions, per the ROADMAP's
+//! capacity-planning note) is printed for the cached variants after
+//! their measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gitcite_bench::{sig, synthetic_tree};
-use gitlite::{CachedStore, DiskStore, MemStore, ObjectId, ObjectStore, Repository};
+use gitlite::{CachedStore, DiskStore, MemStore, ObjectId, ObjectStore, PackStore, Repository};
 use std::time::Duration;
 
 /// Builds a repository with `files` files plus a short history, on the
@@ -42,6 +47,10 @@ fn bench(c: &mut Criterion) {
         let disk_dir = temp_dir(&format!("d{files}"));
         let (_disk_repo, ids) = populate(Box::new(DiskStore::open(&disk_dir).unwrap()), files);
         let (mem_repo, _) = populate(Box::new(MemStore::new()), files);
+        // The packed twin: same objects, consolidated into one pack.
+        let pack_dir = temp_dir(&format!("p{files}"));
+        let (_pack_repo, _) = populate(Box::new(PackStore::open(&pack_dir).unwrap()), files);
+        PackStore::open(&pack_dir).unwrap().repack().unwrap();
 
         // Warm reads: repeatedly fetch the whole closure from one handle.
         g.bench_with_input(BenchmarkId::new("warm_mem", files), &files, |b, _| {
@@ -54,6 +63,14 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("warm_disk", files), &files, |b, _| {
             let store = DiskStore::open(&disk_dir).unwrap();
+            b.iter(|| {
+                for &id in &ids {
+                    criterion::black_box(store.get(id).unwrap());
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("warm_pack", files), &files, |b, _| {
+            let store = PackStore::open(&pack_dir).unwrap();
             b.iter(|| {
                 for &id in &ids {
                     criterion::black_box(store.get(id).unwrap());
@@ -73,15 +90,44 @@ fn bench(c: &mut Criterion) {
                     for &id in &ids {
                         criterion::black_box(store.get(id).unwrap());
                     }
-                })
+                });
+                report_cache("warm_cached_disk", files, store.stats());
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("warm_cached_pack", files),
+            &files,
+            |b, _| {
+                let store = CachedStore::new(PackStore::open(&pack_dir).unwrap());
+                for &id in &ids {
+                    store.get(id).unwrap();
+                }
+                b.iter(|| {
+                    for &id in &ids {
+                        criterion::black_box(store.get(id).unwrap());
+                    }
+                });
+                report_cache("warm_cached_pack", files, store.stats());
             },
         );
 
         // Cold reads: a fresh handle per iteration (caches start empty;
-        // for the disk variants every object decode is paid once).
+        // the disk variants pay a file open + decode per object, the
+        // pack variant one buffered file read for the whole set).
         g.bench_with_input(BenchmarkId::new("cold_disk", files), &files, |b, _| {
             b.iter_batched(
                 || DiskStore::open(&disk_dir).unwrap(),
+                |store| {
+                    for &id in &ids {
+                        criterion::black_box(store.get(id).unwrap());
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("cold_pack", files), &files, |b, _| {
+            b.iter_batched(
+                || PackStore::open(&pack_dir).unwrap(),
                 |store| {
                     for &id in &ids {
                         criterion::black_box(store.get(id).unwrap());
@@ -105,8 +151,38 @@ fn bench(c: &mut Criterion) {
                 )
             },
         );
+        g.bench_with_input(
+            BenchmarkId::new("cold_cached_pack", files),
+            &files,
+            |b, _| {
+                b.iter_batched(
+                    || CachedStore::new(PackStore::open(&pack_dir).unwrap()),
+                    |store| {
+                        for &id in &ids {
+                            criterion::black_box(store.get(id).unwrap());
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     g.finish();
+}
+
+/// Prints cache-effectiveness counters for a cached variant (the
+/// ROADMAP's capacity-planning note: hit rate vs evictions tells whether
+/// the default capacity fits the working set).
+fn report_cache(name: &str, files: usize, stats: gitlite::CacheStats) {
+    eprintln!(
+        "cache {name}/{files}: {} hits, {} misses, {} evictions ({}/{} cached, hit rate {:.1}%)",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.len,
+        stats.capacity,
+        stats.hit_rate() * 100.0
+    );
 }
 
 fn config() -> Criterion {

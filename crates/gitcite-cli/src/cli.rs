@@ -127,6 +127,7 @@ repository
   checkout <branch>                     switch branches
   mv <from> <to>                        move/rename, carrying citations
   rm <path>                             remove file/dir, dropping its citations
+  gc                                    pack loose objects, drop unreachable ones
 
 citations
   cite show <path> [--policy closest|path-union|root]
@@ -183,6 +184,7 @@ pub fn run(args: &[String], cwd: &Path) -> Result<String> {
             let n = repo.remove(&path)?;
             Ok(format!("removed {n} file(s) under {path}\n"))
         }),
+        "gc" => cmd_gc(cwd),
         "cite" => cmd_cite(rest, cwd),
         "history" => with_repo(cwd, |repo, _| {
             let p = parse_args(rest)?;
@@ -372,6 +374,37 @@ fn cmd_commit(repo: &mut CitedRepo, p: &Parsed) -> Result<String> {
     for pruned in &outcome.carry.pruned {
         out.push_str(&format!("  citation pruned (path deleted): {pruned}\n"));
     }
+    Ok(out)
+}
+
+fn cmd_gc(cwd: &Path) -> Result<String> {
+    if !storage::exists(cwd) {
+        return Err(CliError::Op(format!(
+            "no gitcite repository in {} (run `gitcite init` first)",
+            cwd.display()
+        )));
+    }
+    // Roots: every branch tip, plus HEAD when detached. Everything else
+    // is unreachable and gets dropped.
+    let repo = storage::load(cwd)?;
+    let mut roots: Vec<gitlite::ObjectId> = repo.branches().map(|(_, tip)| tip).collect();
+    if let gitlite::Head::Detached(id) = repo.head() {
+        roots.push(*id);
+    }
+    drop(repo); // release the store handle before rewriting its files
+    let report = storage::gc(cwd, &roots)?;
+    let mut out = match &report.pack_path {
+        Some(path) => format!(
+            "packed {} object(s) into {}\n",
+            report.packed,
+            path.file_name().unwrap_or_default().to_string_lossy()
+        ),
+        None => "nothing to pack (empty repository)\n".to_owned(),
+    };
+    out.push_str(&format!(
+        "dropped {} unreachable object(s); removed {} loose file(s) and {} old pack(s)\n",
+        report.dropped, report.loose_removed, report.packs_removed
+    ));
     Ok(out)
 }
 

@@ -479,6 +479,77 @@ mod tests {
     }
 
     #[test]
+    fn gc_consolidates_loose_objects_and_keeps_citations_resolving() {
+        let dir = temp_dir();
+        init_repo(&dir);
+        // Enough files that the loose layout holds well over 500 objects
+        // (blobs + per-directory trees + commit objects).
+        for i in 0..520 {
+            write(
+                &dir,
+                &format!("d{}/f{i}.txt", i % 10),
+                &format!("content {i}\n"),
+            );
+        }
+        ok(&dir, &["commit", "-m", "V1", "--author", "L"]);
+        ok(&dir, &["cite", "add", "d0/f0.txt", "--repo-name", "C9"]);
+        ok(&dir, &["commit", "-m", "V2", "--author", "L"]);
+        // One abandoned branch commit so gc has something unreachable
+        // after the branch is deleted... branches can't be deleted here,
+        // so instead orphan objects via an external loose write.
+        let objects = dir.join(".gitcite/objects");
+        let orphan = gitlite::Blob::new(&b"orphan"[..]);
+        {
+            use gitlite::ObjectStore;
+            let mut loose = gitlite::DiskStore::open(&objects).unwrap();
+            loose.put_with_id(
+                orphan.id(),
+                std::sync::Arc::new(gitlite::Object::Blob(orphan.clone())),
+            );
+        }
+
+        let loose_before = count_files(&objects);
+        assert!(loose_before > 500, "got {loose_before} loose files");
+
+        let out = ok(&dir, &["gc"]);
+        assert!(out.contains("packed "), "{out}");
+        assert!(out.contains("dropped 1 unreachable object(s)"), "{out}");
+
+        // A handful of files remain: 1 pack + 1 idx under objects/.
+        assert_eq!(count_files(&objects), 2, "pack + idx only");
+
+        // Everything still works: log, resolution, new commits.
+        assert!(ok(&dir, &["log"]).contains("V2"));
+        let shown = ok(&dir, &["cite", "show", "d0/f0.txt"]);
+        assert!(shown.contains("\"repoName\": \"C9\""));
+        let shown = ok(&dir, &["cite", "show", "d1/f1.txt"]);
+        assert!(shown.contains("\"repoName\": \"P1\""));
+        write(&dir, "after-gc.txt", "fresh\n");
+        ok(&dir, &["commit", "-m", "V3", "--author", "L"]);
+        assert!(ok(&dir, &["log"]).contains("V3"));
+        // The orphan really is gone.
+        {
+            use gitlite::ObjectStore;
+            let store = gitlite::PackStore::open(&objects).unwrap();
+            assert!(!store.contains(orphan.id()));
+        }
+        cleanup(&dir);
+    }
+
+    fn count_files(dir: &Path) -> usize {
+        let mut n = 0;
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                n += count_files(&path);
+            } else {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    #[test]
     fn usage_errors_are_reported() {
         let dir = temp_dir();
         init_repo(&dir);

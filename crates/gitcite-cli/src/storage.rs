@@ -8,7 +8,9 @@
 //! ```text
 //! <workdir>/
 //!   .gitcite/
-//!     objects/ab/cdef...   # canonical object bytes, content-addressed
+//!     objects/pack/pack-<checksum>.pack   # consolidated objects
+//!     objects/pack/pack-<checksum>.idx    # fanout index into the pack
+//!     objects/ab/cdef...                  # loose overflow (new writes)
 //!     refs                 # "<branch> <hex>" per line
 //!     HEAD                 # "branch <name>" | "detached <hex>" | "unborn <name>"
 //!     name                 # repository name
@@ -17,21 +19,29 @@
 //! ```
 //!
 //! Object persistence is **not** implemented here: the `objects/`
-//! directory is a [`gitlite::DiskStore`] — the same pluggable
+//! directory is a [`gitlite::PackStore`] — the same pluggable
 //! [`gitlite::ObjectStore`] backend the substrate defines — so encoding,
-//! sharding, integrity checking and durability live in one place.
-//! [`load`] hands the repository a `CachedStore<DiskStore>` backend,
-//! which means objects are read lazily from disk (with an LRU for hot
-//! trees/blobs) and every object written by a later commit is already
-//! durable by the time [`save`] runs; `save` only records refs, HEAD,
-//! the repository name and the worktree files, plus any objects a
-//! memory-backed repository brought along.
+//! packing, sharding, integrity checking and durability live in one
+//! place. [`load`] hands the repository a `CachedStore<PackStore>`
+//! backend, which means objects are read lazily (buffered packs + loose
+//! files, with an LRU for hot trees/blobs) and every object written by a
+//! later commit is already durable by the time [`save`] runs; `save`
+//! only records refs, HEAD, the repository name and the worktree files,
+//! plus any objects a memory-backed repository brought along. Metadata
+//! files (refs/HEAD/name) are written atomically (temp file + rename),
+//! so a crash mid-save can never leave a truncated ref file behind.
+//!
+//! New commits always write *loose* objects; `gitcite gc` ([`gc`])
+//! consolidates them into a fresh pack and drops unreachable objects. A
+//! repository persisted by the older loose-only layout opens unchanged
+//! (packs simply do not exist until the first `gc`).
 //!
 //! Loading reads the worktree back from the real files, so edits made with
 //! any editor are picked up — exactly how Git behaves.
 
 use gitlite::{
-    CachedStore, DiskStore, GitError, Head, ObjectId, ObjectStore, RepoPath, Repository,
+    CachedStore, GitError, Head, MaintenanceReport, ObjectId, ObjectStore, PackStore, RepoPath,
+    Repository,
 };
 use std::fs;
 use std::io;
@@ -54,10 +64,21 @@ pub fn exists(dir: &Path) -> bool {
 }
 
 /// Opens the object-store backend persisted under `dir`: a
-/// [`DiskStore`] over `.gitcite/objects`, wrapped in a read-through LRU
-/// for the hot resolution paths (snapshot, cite, diff/merge walks).
-pub fn open_store(dir: &Path) -> Result<CachedStore<DiskStore>, GitError> {
-    Ok(CachedStore::new(DiskStore::open(objects_dir(dir))?))
+/// [`PackStore`] over `.gitcite/objects` (buffered packs + loose
+/// overflow), wrapped in a read-through LRU for the hot resolution paths
+/// (snapshot, cite, diff/merge walks).
+pub fn open_store(dir: &Path) -> Result<CachedStore<PackStore>, GitError> {
+    Ok(CachedStore::new(PackStore::open(objects_dir(dir))?))
+}
+
+/// Repacks the repository under `dir`: consolidates every object
+/// reachable from `roots` into one fresh pack and drops the rest (see
+/// [`PackStore::gc`]). Run via `gitcite gc` once enough loose objects
+/// accumulate to matter — on the order of hundreds, e.g. after importing
+/// or retrofitting a large history.
+pub fn gc(dir: &Path, roots: &[ObjectId]) -> Result<MaintenanceReport, GitError> {
+    let mut store = PackStore::open(objects_dir(dir))?;
+    store.gc(roots)
 }
 
 /// Persists `repo` into `dir`: metadata under `.gitcite/`, worktree as
@@ -71,34 +92,36 @@ pub fn save(dir: &Path, repo: &Repository) -> io::Result<()> {
     fs::create_dir_all(&meta_dir)?;
 
     // Objects. Fast path: a repository loaded from this very directory
-    // is already write-through onto its DiskStore — re-opening the store
-    // (a full shard scan) and re-checking every id would find nothing to
-    // do. Recognize that case and skip it.
+    // is already write-through onto its PackStore — re-opening the store
+    // (a shard scan plus pack verification) and re-checking every id
+    // would find nothing to do. Recognize that case and skip it.
     let objects = objects_dir(dir);
     let already_durable_here = repo
         .odb()
         .as_any()
-        .downcast_ref::<CachedStore<DiskStore>>()
+        .downcast_ref::<CachedStore<PackStore>>()
         .is_some_and(|c| c.inner().root() == objects && c.inner().is_durable());
     if !already_durable_here {
-        // Sync through the DiskStore backend (skips ids already on disk —
-        // objects are immutable).
-        let mut disk = DiskStore::open(&objects).map_err(io_err)?;
+        // Sync through the PackStore backend (skips ids already packed or
+        // on disk — objects are immutable), batching the inserts.
+        let mut store = PackStore::open(&objects).map_err(io_err)?;
+        let mut missing = Vec::new();
         for id in repo.odb().ids() {
-            if !disk.contains(id) {
-                let obj = repo.odb().get(id).map_err(io_err)?;
-                disk.put_with_id(id, obj);
+            if !store.contains(id) {
+                missing.push((id, repo.odb().get(id).map_err(io_err)?));
             }
         }
-        disk.flush().map_err(io_err)?;
+        store.put_many(missing);
+        store.flush().map_err(io_err)?;
     }
 
-    // Refs.
+    // Refs. All metadata writes are temp-file + rename, so a crash can
+    // truncate neither the ref list nor HEAD.
     let mut refs_text = String::new();
     for (branch, tip) in repo.branches() {
         refs_text.push_str(&format!("{branch} {}\n", tip.to_hex()));
     }
-    fs::write(meta_dir.join("refs"), refs_text)?;
+    write_atomic(&meta_dir.join("refs"), refs_text.as_bytes())?;
 
     // HEAD.
     let head_text = match repo.head() {
@@ -106,8 +129,8 @@ pub fn save(dir: &Path, repo: &Repository) -> io::Result<()> {
         Head::Unborn(b) => format!("unborn {b}\n"),
         Head::Detached(id) => format!("detached {}\n", id.to_hex()),
     };
-    fs::write(meta_dir.join("HEAD"), head_text)?;
-    fs::write(meta_dir.join("name"), repo.name())?;
+    write_atomic(&meta_dir.join("HEAD"), head_text.as_bytes())?;
+    write_atomic(&meta_dir.join("name"), repo.name().as_bytes())?;
 
     // Worktree: remove files that disappeared, then write current ones.
     let current: std::collections::BTreeSet<PathBuf> = repo
@@ -135,6 +158,25 @@ pub fn save(dir: &Path, repo: &Repository) -> io::Result<()> {
 
 fn io_err(e: GitError) -> io::Error {
     io::Error::other(e.to_string())
+}
+
+/// Writes `bytes` to `file` via a temp file in the same directory plus a
+/// rename, so readers (and crash recovery) never see a partial file.
+fn write_atomic(file: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = file.parent().expect("metadata files live in .gitcite/");
+    let tmp = dir.join(format!(
+        ".tmp-{}-{:x}",
+        std::process::id(),
+        bytes.as_ptr() as usize
+    ));
+    fs::write(&tmp, bytes)?;
+    match fs::rename(&tmp, file) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// Loads the repository persisted in `dir`, reading the worktree from the
@@ -300,7 +342,7 @@ mod tests {
         let c = loaded
             .commit(Signature::new("bob", "b@x", 3), "c3")
             .unwrap();
-        let fresh = DiskStore::open(objects_dir(&dir)).unwrap();
+        let fresh = PackStore::open(objects_dir(&dir)).unwrap();
         assert!(
             fresh.contains(c),
             "new commit object persisted at commit time"

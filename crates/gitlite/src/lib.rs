@@ -11,7 +11,8 @@
 //!   encodings ([`hash`], [`object`], [`codec`]); identical content has the
 //!   same id in every repository, which is what lets `CopyCite`/`ForkCite`
 //!   deduplicate and track content across projects.
-//! * **Object database** — blobs, trees, commits ([`store`]).
+//! * **Object database** — blobs, trees, commits ([`store`]), including a
+//!   packfile backend with fanout-indexed consolidated storage ([`pack`]).
 //! * **Repositories** — branches, HEAD, worktree, commit/checkout/log
 //!   ([`repo`], [`worktree`], [`snapshot`]).
 //! * **Diffs** — tree diffs with rename detection, including inferred
@@ -42,6 +43,7 @@ pub mod hash;
 pub mod merge;
 pub mod mergebase;
 pub mod object;
+pub mod pack;
 pub mod path;
 pub mod remote;
 pub mod repo;
@@ -57,6 +59,9 @@ pub use hash::{ObjectId, Sha1};
 pub use merge::{merge_listings, Conflict, ConflictKind, MergeOptions, MergeReport, TreeMerge};
 pub use mergebase::merge_base;
 pub use object::{Blob, Commit, EntryMode, Object, Signature, Tree, TreeEntry};
+pub use pack::{
+    encode_pack, index_pack, EncodedPack, MaintenanceReport, Pack, PackIndex, PackStore, PACK_DIR,
+};
 pub use path::{path, PathError, RepoPath};
 pub use remote::{clone_repository, clone_repository_into, fetch, push, transfer_objects};
 pub use repo::{Head, Repository, DEFAULT_BRANCH};
@@ -64,7 +69,8 @@ pub use snapshot::{
     flatten_tree, read_tree, resolve_path, tree_directories, write_tree, write_tree_from_listing,
 };
 pub use store::{
-    CachedStore, DiskStore, MemStore, ObjectStore, ObjectStoreExt, Odb, DEFAULT_CACHE_CAPACITY,
+    CacheStats, CachedStore, DiskStore, MemStore, ObjectStore, ObjectStoreExt, Odb,
+    DEFAULT_CACHE_CAPACITY,
 };
 pub use textdiff::{
     bag_similarity, diff3_merge, lcs_matches, sequence_similarity, Diff3Result, MergeLabels,

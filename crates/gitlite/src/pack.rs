@@ -1,0 +1,1015 @@
+//! Packfiles: many objects per file, plus a sorted fanout index.
+//!
+//! Loose `objects/ab/cdef...` storage pays one inode and one file open per
+//! object, which dominates cold-start object loading — and citation
+//! resolution walks commit/tree history on every lookup, so cold loads are
+//! on the hot path for both the local tool and the hub. A *pack*
+//! consolidates a whole object set into two files:
+//!
+//! * **`pack-<checksum>.pack`** — the objects themselves, as
+//!   length-prefixed records of canonical bytes, framed by a header and a
+//!   SHA-1 trailer over everything before it:
+//!
+//!   ```text
+//!   "GLPK" | u32 version | u32 count
+//!   count × ( 20-byte id | u32 len | canonical bytes )
+//!   20-byte SHA-1 trailer
+//!   ```
+//!
+//! * **`pack-<checksum>.idx`** — the lookup structure: a 256-entry fanout
+//!   table (cumulative counts by leading id byte) over the sorted id list,
+//!   parallel byte offsets into the pack, the pack's trailer checksum (so
+//!   an index can never be paired with the wrong pack), and its own SHA-1
+//!   trailer:
+//!
+//!   ```text
+//!   "GLIX" | u32 version | u32 count
+//!   256 × u32 cumulative fanout
+//!   count × 20-byte id (sorted ascending)
+//!   count × u64 record offset
+//!   20-byte pack checksum | 20-byte SHA-1 trailer
+//!   ```
+//!
+//! Lookup is O(log n): the fanout narrows an id to its leading-byte bucket,
+//! then a binary search over that bucket finds the offset. All integers are
+//! big-endian. `<checksum>` in the file names is the pack trailer in hex,
+//! so pack names are content addresses too.
+//!
+//! [`PackStore`] is the [`ObjectStore`] backend over this format: reads are
+//! served from buffered in-memory pack data (one sequential file read per
+//! pack at open, no per-object file opens), while new writes overflow into
+//! a loose [`DiskStore`] area sharing the same root directory (packs live
+//! under `<root>/pack/`, loose objects under `<root>/ab/...`, so a
+//! `PackStore` opens any existing loose-object directory unchanged).
+//! [`PackStore::repack`] and [`PackStore::gc`] consolidate the overflow
+//! back into a single fresh pack — `gc` additionally drops objects not
+//! reachable from the given roots.
+
+use crate::codec::decode_object;
+use crate::error::{GitError, Result};
+use crate::hash::ObjectId;
+use crate::object::Object;
+use crate::store::{DiskStore, ObjectStore};
+use std::collections::HashSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic bytes opening every pack file.
+pub const PACK_MAGIC: &[u8; 4] = b"GLPK";
+/// Magic bytes opening every pack index file.
+pub const INDEX_MAGIC: &[u8; 4] = b"GLIX";
+/// Current version of both on-disk formats.
+pub const PACK_VERSION: u32 = 1;
+/// Subdirectory of a [`PackStore`] root holding `*.pack` / `*.idx` files.
+pub const PACK_DIR: &str = "pack";
+
+const HEADER_LEN: usize = 12; // magic + version + count
+const TRAILER_LEN: usize = 20; // SHA-1
+const RECORD_PREFIX: usize = 24; // 20-byte id + u32 len
+
+/// A pack plus its index, encoded and ready to hit disk.
+#[derive(Debug, Clone)]
+pub struct EncodedPack {
+    /// The `.pack` file bytes.
+    pub pack: Vec<u8>,
+    /// The `.idx` file bytes.
+    pub index: Vec<u8>,
+    /// The pack's trailer checksum — also its file-name stem
+    /// (`pack-<checksum>`).
+    pub checksum: ObjectId,
+}
+
+/// Encodes `objects` (id + canonical bytes) into a pack and its index.
+///
+/// Records are sorted by id and deduplicated, so the same object set
+/// always encodes to byte-identical files regardless of insertion order —
+/// pack files are content addresses of their object sets.
+pub fn encode_pack(mut objects: Vec<(ObjectId, Vec<u8>)>) -> EncodedPack {
+    objects.sort_by_key(|entry| entry.0);
+    objects.dedup_by(|a, b| a.0 == b.0);
+
+    let mut pack = Vec::with_capacity(
+        HEADER_LEN
+            + TRAILER_LEN
+            + objects
+                .iter()
+                .map(|(_, b)| RECORD_PREFIX + b.len())
+                .sum::<usize>(),
+    );
+    pack.extend_from_slice(PACK_MAGIC);
+    pack.extend_from_slice(&PACK_VERSION.to_be_bytes());
+    pack.extend_from_slice(&(objects.len() as u32).to_be_bytes());
+    let mut ids = Vec::with_capacity(objects.len());
+    let mut offsets = Vec::with_capacity(objects.len());
+    for (id, bytes) in &objects {
+        debug_assert!(
+            bytes.len() <= u32::MAX as usize,
+            "pack record lengths are u32; callers must reject larger objects"
+        );
+        ids.push(*id);
+        offsets.push(pack.len() as u64);
+        pack.extend_from_slice(&id.0);
+        pack.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        pack.extend_from_slice(bytes);
+    }
+    let checksum = ObjectId::hash_bytes(&pack);
+    pack.extend_from_slice(&checksum.0);
+
+    let index = encode_index(&ids, &offsets, checksum);
+    EncodedPack {
+        pack,
+        index,
+        checksum,
+    }
+}
+
+fn encode_index(ids: &[ObjectId], offsets: &[u64], pack_checksum: ObjectId) -> Vec<u8> {
+    let mut fanout = [0u32; 256];
+    for id in ids {
+        fanout[id.0[0] as usize] += 1;
+    }
+    for i in 1..256 {
+        fanout[i] += fanout[i - 1];
+    }
+    let mut index =
+        Vec::with_capacity(HEADER_LEN + 1024 + ids.len() * 28 + TRAILER_LEN + TRAILER_LEN);
+    index.extend_from_slice(INDEX_MAGIC);
+    index.extend_from_slice(&PACK_VERSION.to_be_bytes());
+    index.extend_from_slice(&(ids.len() as u32).to_be_bytes());
+    for f in fanout {
+        index.extend_from_slice(&f.to_be_bytes());
+    }
+    for id in ids {
+        index.extend_from_slice(&id.0);
+    }
+    for off in offsets {
+        index.extend_from_slice(&off.to_be_bytes());
+    }
+    index.extend_from_slice(&pack_checksum.0);
+    let trailer = ObjectId::hash_bytes(&index);
+    index.extend_from_slice(&trailer.0);
+    index
+}
+
+/// The parsed lookup structure of one pack: sorted ids, parallel offsets,
+/// and the fanout table narrowing binary searches to one leading-byte
+/// bucket.
+#[derive(Debug, Clone)]
+pub struct PackIndex {
+    fanout: [u32; 256],
+    ids: Vec<ObjectId>,
+    offsets: Vec<u64>,
+    /// Trailer checksum of the pack this index describes.
+    pub pack_checksum: ObjectId,
+}
+
+impl PackIndex {
+    /// Parses and validates `.idx` bytes: magic, version, structural
+    /// sizes, fanout monotonicity, id ordering, and the SHA-1 trailer.
+    pub fn parse(bytes: &[u8]) -> Result<PackIndex> {
+        let corrupt = |msg: &str| GitError::Corrupt(format!("pack index: {msg}"));
+        if bytes.len() < HEADER_LEN + 1024 + TRAILER_LEN + TRAILER_LEN {
+            return Err(corrupt("truncated"));
+        }
+        if &bytes[..4] != INDEX_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
+        if version != PACK_VERSION {
+            return Err(corrupt(&format!("unsupported version {version}")));
+        }
+        let count = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let expected = HEADER_LEN + 1024 + count * 28 + TRAILER_LEN + TRAILER_LEN;
+        if bytes.len() != expected {
+            return Err(corrupt(&format!(
+                "size mismatch: {} bytes for {count} entries, expected {expected}",
+                bytes.len()
+            )));
+        }
+        let body = &bytes[..bytes.len() - TRAILER_LEN];
+        let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+        if ObjectId::hash_bytes(body).0 != trailer {
+            return Err(corrupt("trailer checksum mismatch"));
+        }
+
+        let mut fanout = [0u32; 256];
+        for i in 0..256 {
+            let at = HEADER_LEN + i * 4;
+            fanout[i] = u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap());
+            if i > 0 && fanout[i] < fanout[i - 1] {
+                return Err(corrupt("fanout not monotone"));
+            }
+        }
+        if fanout[255] as usize != count {
+            return Err(corrupt("fanout total disagrees with count"));
+        }
+        let ids_at = HEADER_LEN + 1024;
+        let mut ids = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = ids_at + i * 20;
+            let mut id = [0u8; 20];
+            id.copy_from_slice(&bytes[at..at + 20]);
+            let id = ObjectId(id);
+            if let Some(prev) = ids.last() {
+                if *prev >= id {
+                    return Err(corrupt("ids not strictly ascending"));
+                }
+            }
+            ids.push(id);
+        }
+        let offs_at = ids_at + count * 20;
+        let offsets = (0..count)
+            .map(|i| {
+                let at = offs_at + i * 8;
+                u64::from_be_bytes(bytes[at..at + 8].try_into().unwrap())
+            })
+            .collect();
+        let mut pack_checksum = [0u8; 20];
+        pack_checksum.copy_from_slice(&bytes[offs_at + count * 8..offs_at + count * 8 + 20]);
+        Ok(PackIndex {
+            fanout,
+            ids,
+            offsets,
+            pack_checksum: ObjectId(pack_checksum),
+        })
+    }
+
+    /// Number of objects indexed.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the index describes an empty pack.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The indexed ids, ascending.
+    pub fn ids(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// Byte offset of `id`'s record within the pack, if present: fanout
+    /// bucket, then binary search inside it.
+    pub fn offset_of(&self, id: ObjectId) -> Option<u64> {
+        let bucket = id.0[0] as usize;
+        let lo = if bucket == 0 {
+            0
+        } else {
+            self.fanout[bucket - 1] as usize
+        };
+        let hi = self.fanout[bucket] as usize;
+        let i = self.ids[lo..hi].binary_search(&id).ok()?;
+        Some(self.offsets[lo + i])
+    }
+}
+
+/// Validates a pack's framing — magic, version, and the SHA-1 trailer
+/// over the whole body — returning the record count and the trailer
+/// checksum. Because the trailer covers every byte, a pack that passes
+/// this check (and is then held immutable in memory) needs no further
+/// per-object hashing on reads.
+fn validate_pack_framing(data: &[u8]) -> Result<(usize, ObjectId)> {
+    let corrupt = |msg: String| GitError::Corrupt(format!("pack file: {msg}"));
+    if data.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(corrupt("truncated".into()));
+    }
+    if &data[..4] != PACK_MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    let version = u32::from_be_bytes(data[4..8].try_into().unwrap());
+    if version != PACK_VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let body = &data[..data.len() - TRAILER_LEN];
+    let trailer = &data[data.len() - TRAILER_LEN..];
+    let checksum = ObjectId::hash_bytes(body);
+    if checksum.0 != trailer {
+        return Err(corrupt("trailer checksum mismatch".into()));
+    }
+    let count = u32::from_be_bytes(data[8..12].try_into().unwrap()) as usize;
+    Ok((count, checksum))
+}
+
+/// Validates `.pack` bytes (magic, version, trailer) and rebuilds a
+/// [`PackIndex`] by scanning its records — the recovery path for a pack
+/// whose `.idx` file is missing or damaged.
+pub fn index_pack(data: &[u8]) -> Result<PackIndex> {
+    let corrupt = |msg: String| GitError::Corrupt(format!("pack file: {msg}"));
+    let (count, checksum) = validate_pack_framing(data)?;
+    let body = &data[..data.len() - TRAILER_LEN];
+    let mut entries = Vec::with_capacity(count);
+    let mut at = HEADER_LEN;
+    for i in 0..count {
+        if at + RECORD_PREFIX > body.len() {
+            return Err(corrupt(format!("record {i} truncated")));
+        }
+        let mut id = [0u8; 20];
+        id.copy_from_slice(&data[at..at + 20]);
+        let len = u32::from_be_bytes(data[at + 20..at + 24].try_into().unwrap()) as usize;
+        if at + RECORD_PREFIX + len > body.len() {
+            return Err(corrupt(format!("record {i} body truncated")));
+        }
+        entries.push((ObjectId(id), at as u64));
+        at += RECORD_PREFIX + len;
+    }
+    if at != body.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the last record",
+            body.len() - at
+        )));
+    }
+    entries.sort_by_key(|entry| entry.0);
+    if entries.windows(2).any(|w| w[0].0 == w[1].0) {
+        return Err(corrupt("duplicate object id".into()));
+    }
+    let ids: Vec<ObjectId> = entries.iter().map(|(id, _)| *id).collect();
+    let offsets: Vec<u64> = entries.iter().map(|(_, off)| *off).collect();
+    Ok(PackIndex {
+        fanout: fanout_of(&ids),
+        ids,
+        offsets,
+        pack_checksum: checksum,
+    })
+}
+
+fn fanout_of(sorted_ids: &[ObjectId]) -> [u32; 256] {
+    let mut fanout = [0u32; 256];
+    for id in sorted_ids {
+        fanout[id.0[0] as usize] += 1;
+    }
+    for i in 1..256 {
+        fanout[i] += fanout[i - 1];
+    }
+    fanout
+}
+
+/// One opened pack: buffered file bytes plus the parsed index.
+pub struct Pack {
+    data: Vec<u8>,
+    index: PackIndex,
+    path: PathBuf,
+}
+
+impl fmt::Debug for Pack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pack")
+            .field("path", &self.path)
+            .field("objects", &self.index.len())
+            .field("bytes", &self.data.len())
+            .finish()
+    }
+}
+
+impl Pack {
+    /// Opens pack bytes with an optional pre-built index. With `idx`
+    /// bytes, the pack's trailer is verified and checked against the
+    /// index's recorded checksum, and every indexed offset is cheaply
+    /// bounds- and identity-checked (the id at the offset must match the
+    /// indexed id) — no record walk or re-sort, which is what the `.idx`
+    /// file buys over rescanning. Without `idx`, the index is rebuilt by
+    /// scanning the records ([`index_pack`]).
+    pub fn parse(data: Vec<u8>, idx: Option<&[u8]>, path: PathBuf) -> Result<Pack> {
+        let index = match idx {
+            None => index_pack(&data)?,
+            Some(bytes) => {
+                let index = PackIndex::parse(bytes)?;
+                let (count, checksum) = validate_pack_framing(&data)?;
+                if checksum != index.pack_checksum {
+                    return Err(GitError::Corrupt(format!(
+                        "index for pack {} paired with pack {}",
+                        index.pack_checksum.short(),
+                        checksum.short()
+                    )));
+                }
+                if count != index.len() {
+                    return Err(GitError::Corrupt(format!(
+                        "pack holds {count} records, index lists {}",
+                        index.len()
+                    )));
+                }
+                let body_len = data.len() - TRAILER_LEN;
+                for (id, &off) in index.ids.iter().zip(&index.offsets) {
+                    let off = off as usize;
+                    if off + RECORD_PREFIX > body_len {
+                        return Err(GitError::Corrupt(format!(
+                            "indexed offset for {} is out of bounds",
+                            id.short()
+                        )));
+                    }
+                    if data[off..off + 20] != id.0 {
+                        return Err(GitError::Corrupt(format!(
+                            "indexed offset for {} points at another record",
+                            id.short()
+                        )));
+                    }
+                    let len =
+                        u32::from_be_bytes(data[off + 20..off + 24].try_into().unwrap()) as usize;
+                    if off + RECORD_PREFIX + len > body_len {
+                        return Err(GitError::Corrupt(format!(
+                            "indexed record for {} overruns the pack",
+                            id.short()
+                        )));
+                    }
+                }
+                index
+            }
+        };
+        Ok(Pack { data, index, path })
+    }
+
+    /// The parsed index.
+    pub fn index(&self) -> &PackIndex {
+        &self.index
+    }
+
+    /// The pack's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The canonical bytes of `id`, if this pack holds it.
+    pub fn raw(&self, id: ObjectId) -> Option<&[u8]> {
+        let off = self.index.offset_of(id)? as usize;
+        let len = u32::from_be_bytes(self.data[off + 20..off + 24].try_into().unwrap()) as usize;
+        Some(&self.data[off + RECORD_PREFIX..off + RECORD_PREFIX + len])
+    }
+}
+
+/// What a [`PackStore::repack`] / [`PackStore::gc`] pass did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Objects written into the fresh pack.
+    pub packed: usize,
+    /// Unreachable objects discarded (always 0 for `repack`).
+    pub dropped: usize,
+    /// Old pack files deleted (their `.idx` files go with them).
+    pub packs_removed: usize,
+    /// Loose object files deleted after being packed.
+    pub loose_removed: usize,
+    /// Path of the fresh pack, or `None` when the store ended up empty.
+    pub pack_path: Option<PathBuf>,
+}
+
+/// An [`ObjectStore`] serving reads from buffered packs, with a loose
+/// [`DiskStore`] overflow area for new writes.
+///
+/// Layout under the root directory:
+///
+/// ```text
+/// <root>/pack/pack-<checksum>.pack   # consolidated objects
+/// <root>/pack/pack-<checksum>.idx    # fanout index
+/// <root>/ab/cdef...                  # loose overflow (DiskStore layout)
+/// ```
+///
+/// The loose area *is* a [`DiskStore`] over the same root (`pack/` is not
+/// a two-hex-char shard, so the loose scan ignores it), which means a
+/// `PackStore` opens any pre-existing loose-object directory unchanged and
+/// [`PackStore::repack`] is a pure layout migration. Reads prefer packs;
+/// writes always land loose until the next [`PackStore::repack`] /
+/// [`PackStore::gc`] consolidates them.
+#[derive(Debug, Clone)]
+pub struct PackStore {
+    packs: Vec<Arc<Pack>>,
+    /// Union of every pack index, for O(1) `contains`.
+    packed: Arc<HashSet<ObjectId>>,
+    loose: DiskStore,
+}
+
+impl PackStore {
+    /// Opens (creating if needed) the store rooted at `root`: loads and
+    /// verifies every pack under `<root>/pack/` (rebuilding any missing
+    /// or damaged `.idx` from its pack) and indexes the loose overflow.
+    pub fn open(root: impl Into<PathBuf>) -> Result<PackStore> {
+        let root = root.into();
+        let loose = DiskStore::open(&root)?;
+        let pack_dir = root.join(PACK_DIR);
+        let mut pack_paths = Vec::new();
+        if pack_dir.is_dir() {
+            for entry in fs::read_dir(&pack_dir)? {
+                let path = entry?.path();
+                if path.extension().map(|e| e == "pack").unwrap_or(false) {
+                    pack_paths.push(path);
+                }
+            }
+        }
+        pack_paths.sort();
+        let mut packs = Vec::with_capacity(pack_paths.len());
+        let mut packed = HashSet::new();
+        for path in pack_paths {
+            let data = fs::read(&path)?;
+            let idx_bytes = fs::read(path.with_extension("idx")).ok();
+            let pack = match Pack::parse(data, idx_bytes.as_deref(), path.clone()) {
+                Ok(p) => p,
+                // A bad .idx is recoverable as long as the pack itself is
+                // intact: fall back to scanning the pack.
+                Err(_) if idx_bytes.is_some() => Pack::parse(fs::read(&path)?, None, path.clone())?,
+                Err(e) => return Err(e),
+            };
+            packed.extend(pack.index().ids().iter().copied());
+            packs.push(Arc::new(pack));
+        }
+        Ok(PackStore {
+            packs,
+            packed: Arc::new(packed),
+            loose,
+        })
+    }
+
+    /// The directory the store lives under.
+    pub fn root(&self) -> &Path {
+        self.loose.root()
+    }
+
+    /// Number of opened packs.
+    pub fn pack_count(&self) -> usize {
+        self.packs.len()
+    }
+
+    /// Objects currently served from packs.
+    pub fn packed_len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Objects currently in the loose overflow area.
+    pub fn loose_len(&self) -> usize {
+        self.loose
+            .ids()
+            .into_iter()
+            .filter(|id| !self.packed.contains(id))
+            .count()
+    }
+
+    /// True when every write this handle accepted has reached disk.
+    pub fn is_durable(&self) -> bool {
+        self.loose.is_durable()
+    }
+
+    /// Retries any failed overflow writes (see [`DiskStore::flush`]).
+    pub fn flush(&mut self) -> Result<()> {
+        self.loose.flush()
+    }
+
+    /// Consolidates everything — packed and loose — into one fresh pack,
+    /// dropping nothing. Old packs and loose files are removed once the
+    /// new pack is durable.
+    pub fn repack(&mut self) -> Result<MaintenanceReport> {
+        self.consolidate(None)
+    }
+
+    /// Garbage collection: packs exactly the closure reachable from
+    /// `roots` (commits walk to trees and parents, trees to entries) into
+    /// one fresh pack and drops every other object. Old packs and loose
+    /// files are removed once the new pack is durable.
+    pub fn gc(&mut self, roots: &[ObjectId]) -> Result<MaintenanceReport> {
+        self.consolidate(Some(roots))
+    }
+
+    fn consolidate(&mut self, roots: Option<&[ObjectId]>) -> Result<MaintenanceReport> {
+        // Everything must be readable from disk state before we rewrite it.
+        self.loose.flush()?;
+        let total = self.len();
+        let keep = match roots {
+            Some(roots) => self.reachable_closure(roots)?,
+            None => self.ids(),
+        };
+        let dropped = total - keep.len();
+
+        let mut objects = Vec::with_capacity(keep.len());
+        for id in &keep {
+            let bytes = self.canonical_bytes_of(*id)?;
+            // Abort before anything is written or deleted: a record length
+            // is a u32, and silently truncating would corrupt the fresh
+            // pack while the loose originals get removed underneath it.
+            if bytes.len() > u32::MAX as usize {
+                return Err(GitError::Io(format!(
+                    "object {} is {} bytes, exceeding the 4 GiB pack record \
+                     limit; repack aborted (the object stays loose)",
+                    id.short(),
+                    bytes.len()
+                )));
+            }
+            objects.push((*id, bytes));
+        }
+        let old_packs: Vec<PathBuf> = self.packs.iter().map(|p| p.path.clone()).collect();
+        let old_loose = self.loose.ids();
+
+        let packed = objects.len();
+        let mut pack_path = None;
+        if !objects.is_empty() {
+            let encoded = encode_pack(objects);
+            let pack_dir = self.root().join(PACK_DIR);
+            fs::create_dir_all(&pack_dir)?;
+            let stem = pack_dir.join(format!("pack-{}", encoded.checksum.to_hex()));
+            // Pack before index: a pack without its index is recoverable
+            // (reindexed at open), an index without its pack is garbage.
+            write_atomic(&stem.with_extension("pack"), &encoded.pack)?;
+            write_atomic(&stem.with_extension("idx"), &encoded.index)?;
+            pack_path = Some(stem.with_extension("pack"));
+        }
+
+        // The fresh pack is durable; retire the old layout.
+        let mut packs_removed = 0;
+        for old in old_packs {
+            if Some(&old) != pack_path.as_ref() {
+                fs::remove_file(&old)?;
+                let _ = fs::remove_file(old.with_extension("idx"));
+                packs_removed += 1;
+            }
+        }
+        let mut loose_removed = 0;
+        for id in old_loose {
+            let hex = id.to_hex();
+            let file = self.root().join(&hex[..2]).join(&hex[2..]);
+            if fs::remove_file(file).is_ok() {
+                loose_removed += 1;
+            }
+        }
+        prune_empty_shards(&self.root().to_path_buf())?;
+
+        *self = PackStore::open(self.root().to_path_buf())?;
+        Ok(MaintenanceReport {
+            packed,
+            dropped,
+            packs_removed,
+            loose_removed,
+            pack_path,
+        })
+    }
+
+    /// Canonical bytes of `id` from whichever layer holds it.
+    fn canonical_bytes_of(&self, id: ObjectId) -> Result<Vec<u8>> {
+        for pack in &self.packs {
+            if let Some(bytes) = pack.raw(id) {
+                return Ok(bytes.to_vec());
+            }
+        }
+        Ok(self.loose.get(id)?.canonical_bytes())
+    }
+}
+
+/// Removes loose shard directories that became empty after consolidation.
+fn prune_empty_shards(root: &PathBuf) -> Result<()> {
+    for entry in fs::read_dir(root)? {
+        let path = entry?.path();
+        let is_shard = path.is_dir()
+            && path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.len() == 2)
+                .unwrap_or(false);
+        if is_shard && fs::read_dir(&path)?.next().is_none() {
+            fs::remove_dir(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `bytes` to `file` via a temp file + rename, so readers never see
+/// a partial pack or index. (Racing writers of the same content-named file
+/// are benign — they write identical bytes.)
+fn write_atomic(file: &Path, bytes: &[u8]) -> Result<()> {
+    let dir = file.parent().expect("pack files live in a directory");
+    crate::store::write_via_rename(dir, file, bytes).map_err(Into::into)
+}
+
+impl ObjectStore for PackStore {
+    fn get(&self, id: ObjectId) -> Result<Arc<Object>> {
+        // No per-read hash check (unlike DiskStore, whose files can change
+        // between reads): the pack's SHA-1 trailer was verified over every
+        // byte at open, and the buffer is immutable from then on.
+        for pack in &self.packs {
+            if let Some(bytes) = pack.raw(id) {
+                return Ok(Arc::new(decode_object(bytes)?));
+            }
+        }
+        self.loose.get(id)
+    }
+
+    fn put_with_id(&mut self, id: ObjectId, object: Arc<Object>) {
+        debug_assert_eq!(object.id(), id, "put_with_id called with a mismatched id");
+        if self.packed.contains(&id) {
+            return;
+        }
+        self.loose.put_with_id(id, object);
+    }
+
+    fn put_raw(&mut self, id: ObjectId, bytes: &[u8]) -> Result<ObjectId> {
+        if self.packed.contains(&id) {
+            return Ok(id);
+        }
+        self.loose.put_raw(id, bytes)
+    }
+
+    fn put_many(&mut self, objects: Vec<(ObjectId, Arc<Object>)>) {
+        let packed = Arc::clone(&self.packed);
+        self.loose.put_many(
+            objects
+                .into_iter()
+                .filter(|(id, _)| !packed.contains(id))
+                .collect(),
+        );
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.packed.contains(&id) || self.loose.contains(id)
+    }
+
+    fn len(&self) -> usize {
+        self.packed.len() + self.loose_len()
+    }
+
+    fn ids(&self) -> Vec<ObjectId> {
+        self.packed
+            .iter()
+            .copied()
+            .chain(
+                self.loose
+                    .ids()
+                    .into_iter()
+                    .filter(|id| !self.packed.contains(id)),
+            )
+            .collect()
+    }
+
+    fn clone_box(&self) -> Box<dyn ObjectStore> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Blob, Commit, EntryMode, Signature, Tree, TreeEntry};
+    use crate::store::ObjectStoreExt;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "gitlite-pack-test-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_objects(n: usize) -> Vec<(ObjectId, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                let blob = Blob::new(format!("payload {i}").into_bytes());
+                (blob.id(), blob.canonical_bytes())
+            })
+            .collect()
+    }
+
+    fn sample_commit<S: ObjectStore + ?Sized>(
+        store: &mut S,
+        msg: &str,
+        parents: Vec<ObjectId>,
+    ) -> ObjectId {
+        let blob = store.put_blob(format!("content of {msg}"));
+        let mut tree = Tree::new();
+        tree.insert(
+            "f.txt",
+            TreeEntry {
+                mode: EntryMode::File,
+                id: blob,
+            },
+        );
+        let tree_id = store.put(Object::Tree(tree));
+        store.put(Object::Commit(Commit {
+            tree: tree_id,
+            parents,
+            author: Signature::new("t", "t@t", 0),
+            message: msg.into(),
+        }))
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_order_independent() {
+        let objects = sample_objects(10);
+        let mut shuffled = objects.clone();
+        shuffled.reverse();
+        let a = encode_pack(objects);
+        let b = encode_pack(shuffled);
+        assert_eq!(a.pack, b.pack);
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn index_lookup_finds_every_object() {
+        let objects = sample_objects(100);
+        let encoded = encode_pack(objects.clone());
+        let pack = Pack::parse(encoded.pack, Some(&encoded.index), PathBuf::new()).unwrap();
+        for (id, bytes) in &objects {
+            assert_eq!(pack.raw(*id).unwrap(), &bytes[..]);
+        }
+        assert_eq!(
+            pack.index().offset_of(ObjectId::hash_bytes(b"absent")),
+            None
+        );
+        assert_eq!(pack.index().len(), 100);
+    }
+
+    #[test]
+    fn reindexing_a_pack_matches_its_encoded_index() {
+        let encoded = encode_pack(sample_objects(25));
+        let scanned = index_pack(&encoded.pack).unwrap();
+        let parsed = PackIndex::parse(&encoded.index).unwrap();
+        assert_eq!(scanned.ids, parsed.ids);
+        assert_eq!(scanned.offsets, parsed.offsets);
+        assert_eq!(scanned.pack_checksum, parsed.pack_checksum);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let encoded = encode_pack(sample_objects(5));
+        // Flipped byte in the pack body.
+        let mut bad_pack = encoded.pack.clone();
+        bad_pack[HEADER_LEN + 30] ^= 0xff;
+        assert!(matches!(index_pack(&bad_pack), Err(GitError::Corrupt(_))));
+        // Flipped byte in the index.
+        let mut bad_idx = encoded.index.clone();
+        let at = bad_idx.len() / 2;
+        bad_idx[at] ^= 0xff;
+        assert!(matches!(
+            PackIndex::parse(&bad_idx),
+            Err(GitError::Corrupt(_))
+        ));
+        // Index paired with the wrong pack.
+        let other = encode_pack(sample_objects(6));
+        assert!(matches!(
+            Pack::parse(other.pack, Some(&encoded.index), PathBuf::new()),
+            Err(GitError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pack_store_reads_packs_and_overflows_loose() {
+        let dir = temp_dir("overflow");
+        let mut store = PackStore::open(&dir).unwrap();
+        let c1 = sample_commit(&mut store, "one", vec![]);
+        assert_eq!(store.pack_count(), 0);
+        assert_eq!(store.loose_len(), 3);
+        store.repack().unwrap();
+        assert_eq!(store.pack_count(), 1);
+        assert_eq!(store.loose_len(), 0);
+        assert!(store.contains(c1));
+        assert_eq!(store.commit(c1).unwrap().message, "one");
+
+        // New writes land loose; packed reads keep working.
+        let extra = store.put_blob("fresh overflow");
+        assert_eq!(store.loose_len(), 1);
+        assert_eq!(store.blob_data(extra).unwrap().as_ref(), b"fresh overflow");
+        assert_eq!(store.len(), 4);
+
+        // A fresh handle sees both layers.
+        let reopened = PackStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert!(reopened.contains(c1));
+        assert!(reopened.contains(extra));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repack_consolidates_and_gc_drops_unreachable() {
+        let dir = temp_dir("gc");
+        let mut store = PackStore::open(&dir).unwrap();
+        let c1 = sample_commit(&mut store, "one", vec![]);
+        let c2 = sample_commit(&mut store, "two", vec![c1]);
+        let garbage = store.put_blob("unreachable");
+        let report = store.repack().unwrap();
+        assert_eq!(report.packed, 7);
+        assert_eq!(report.dropped, 0);
+        assert!(store.contains(garbage));
+
+        // More loose writes, then a gc keeping only c2's closure.
+        store.put_blob("more garbage");
+        let report = store.gc(&[c2]).unwrap();
+        assert_eq!(report.packed, 6); // c1+c2, 2 trees, 2 blobs
+        assert_eq!(report.dropped, 2);
+        assert_eq!(report.packs_removed, 1);
+        assert!(!store.contains(garbage));
+        assert_eq!(
+            store.get(garbage).unwrap_err(),
+            GitError::ObjectNotFound(garbage)
+        );
+        assert_eq!(store.commit(c2).unwrap().message, "two");
+        assert_eq!(store.len(), 6);
+
+        // On disk: exactly one pack + one idx, no loose shards.
+        let files: Vec<_> = fs::read_dir(dir.join(PACK_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(files.len(), 2);
+        let shards = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.is_dir() && p.file_name().unwrap().len() == 2)
+            .count();
+        assert_eq!(shards, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_is_idempotent_and_reopen_preserves_the_result() {
+        let dir = temp_dir("idempotent");
+        let mut store = PackStore::open(&dir).unwrap();
+        let c = sample_commit(&mut store, "keep", vec![]);
+        store.put_blob("drop me");
+        store.gc(&[c]).unwrap();
+        let first = store.ids();
+        // A second gc finds nothing to drop and reuses the same pack name
+        // (content-addressed), leaving the store unchanged.
+        let report = store.gc(&[c]).unwrap();
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.packs_removed, 0);
+        let reopened = PackStore::open(&dir).unwrap();
+        let mut a = first;
+        let mut b = reopened.ids();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_index_is_rebuilt_from_the_pack() {
+        let dir = temp_dir("reindex");
+        let mut store = PackStore::open(&dir).unwrap();
+        let c = sample_commit(&mut store, "one", vec![]);
+        store.repack().unwrap();
+        let idx = fs::read_dir(dir.join(PACK_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().map(|e| e == "idx").unwrap_or(false))
+            .unwrap();
+        fs::remove_file(&idx).unwrap();
+        let reopened = PackStore::open(&dir).unwrap();
+        assert!(reopened.contains(c));
+        assert_eq!(reopened.commit(c).unwrap().message, "one");
+
+        // A damaged index is likewise survivable.
+        store.repack().unwrap();
+        let idx_path = fs::read_dir(dir.join(PACK_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().map(|e| e == "idx").unwrap_or(false))
+            .unwrap();
+        let mut bytes = fs::read(&idx_path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xff;
+        fs::write(&idx_path, bytes).unwrap();
+        let reopened = PackStore::open(&dir).unwrap();
+        assert!(reopened.contains(c));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn packed_reads_detect_tampering() {
+        let dir = temp_dir("tamper");
+        let mut store = PackStore::open(&dir).unwrap();
+        store.put_blob("pristine");
+        store.repack().unwrap();
+        // Tampering invalidates the trailer, which open() rejects.
+        let pack_file = fs::read_dir(dir.join(PACK_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().map(|e| e == "pack").unwrap_or(false))
+            .unwrap();
+        let mut bytes = fs::read(&pack_file).unwrap();
+        bytes[HEADER_LEN + 25] ^= 0xff;
+        fs::write(&pack_file, bytes).unwrap();
+        assert!(matches!(PackStore::open(&dir), Err(GitError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pack_store_opens_a_plain_loose_directory() {
+        // Migration path: a directory written by DiskStore alone.
+        let dir = temp_dir("migrate");
+        let mut disk = DiskStore::open(&dir).unwrap();
+        let c = sample_commit(&mut disk, "legacy", vec![]);
+        drop(disk);
+        let mut store = PackStore::open(&dir).unwrap();
+        assert!(store.contains(c));
+        let report = store.gc(&[c]).unwrap();
+        assert_eq!(report.packed, 3);
+        // And DiskStore handles simply no longer see the packed objects —
+        // the overflow area is empty, not corrupt.
+        let disk = DiskStore::open(&dir).unwrap();
+        assert_eq!(disk.len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -15,14 +15,18 @@ use std::collections::HashSet;
 /// Returns how many objects were transferred. Traversal stops at objects
 /// the destination already has (their closures are complete by
 /// construction), which is what makes incremental fetch cheap.
+///
+/// The whole batch is inserted in one [`ObjectStore::put_many`] call, so
+/// backends amortize per-insert overhead; and because the traversal
+/// already knows each object's id, no object is re-hashed.
 pub fn transfer_objects<A: ObjectStore + ?Sized, B: ObjectStore + ?Sized>(
     src: &A,
     dst: &mut B,
     roots: &[ObjectId],
 ) -> Result<usize> {
-    let mut moved = 0usize;
     let mut seen: HashSet<ObjectId> = HashSet::new();
     let mut stack: Vec<ObjectId> = roots.to_vec();
+    let mut batch: Vec<(ObjectId, std::sync::Arc<crate::object::Object>)> = Vec::new();
     while let Some(id) = stack.pop() {
         if !seen.insert(id) || dst.contains(id) {
             continue;
@@ -42,11 +46,10 @@ pub fn transfer_objects<A: ObjectStore + ?Sized, B: ObjectStore + ?Sized>(
                 }
             }
         }
-        // The traversal already knows each object's id; inserting with it
-        // skips a full re-hash per transferred object.
-        dst.put_with_id(id, obj);
-        moved += 1;
+        batch.push((id, obj));
     }
+    let moved = batch.len();
+    dst.put_many(batch);
     Ok(moved)
 }
 

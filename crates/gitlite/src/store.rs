@@ -4,7 +4,7 @@
 //! Storage is defined by the [`ObjectStore`] trait — get/put/contains/
 //! len/ids over canonical object bytes, keyed by [`ObjectId`] — so the
 //! rest of the system ([`crate::Repository`], snapshots, diffs, merges,
-//! remotes, and every layer above) is backend-agnostic. Three backends
+//! remotes, and every layer above) is backend-agnostic. Four backends
 //! ship with the crate:
 //!
 //! * [`MemStore`] — a `HashMap` of `Arc<Object>`s; the default backend
@@ -13,12 +13,21 @@
 //! * [`DiskStore`] — durable loose objects in a sharded
 //!   `objects/ab/cdef...` layout holding each object's canonical bytes
 //!   (`"<kind> <len>\0<body>"`, hashed to its id). Writes go straight to
-//!   disk; reads decode on demand. This is what the local tool persists
-//!   repositories with.
+//!   disk (atomically, via temp file + rename); reads decode on demand.
+//! * [`crate::PackStore`] — the packfile backend ([`crate::pack`]): reads
+//!   served from buffered `pack-<checksum>.pack` files through a sorted
+//!   fanout index (O(log n) id→offset, one file read per pack instead of
+//!   one per object), with new writes overflowing into a loose
+//!   [`DiskStore`] area under the same root. `PackStore::repack`/`gc`
+//!   consolidate the overflow into a fresh pack (and `gc` drops objects
+//!   unreachable from the given roots) — run `gitcite gc` after enough
+//!   loose objects accumulate to matter (hundreds). This is what the
+//!   local tool persists repositories with.
 //! * [`CachedStore<S>`] — an LRU read-through cache over any other
 //!   backend, for hot resolution paths (snapshot listing, citation
 //!   resolution, diff/merge walks) where the same trees and blobs are
-//!   fetched repeatedly.
+//!   fetched repeatedly. [`CachedStore::stats`] reports hits, misses and
+//!   evictions for capacity planning.
 //!
 //! Objects are immutable once stored (they are keyed by the hash of
 //! their bytes), so stores hand out `Arc<Object>` and never copy object
@@ -113,6 +122,19 @@ pub trait ObjectStore: fmt::Debug + Send + Sync {
             self.put_with_id(id, Arc::new(object));
         }
         Ok(id)
+    }
+
+    /// Stores a batch of objects under caller-supplied ids (the same
+    /// contract as [`ObjectStore::put_with_id`], object by object).
+    /// Object transfer (clone/fetch/push) inserts through this so
+    /// backends can amortize per-insert overhead — [`DiskStore`] creates
+    /// each shard directory once per batch instead of once per object.
+    fn put_many(&mut self, objects: Vec<(ObjectId, Arc<Object>)>) {
+        for (id, object) in objects {
+            if !self.contains(id) {
+                self.put_with_id(id, object);
+            }
+        }
     }
 
     /// Fetches an object expected to be a blob.
@@ -239,6 +261,9 @@ impl ObjectStore for Box<dyn ObjectStore> {
     // so e.g. `DiskStore`'s no-decode `put_raw` survives boxing.
     fn put_raw(&mut self, id: ObjectId, bytes: &[u8]) -> Result<ObjectId> {
         (**self).put_raw(id, bytes)
+    }
+    fn put_many(&mut self, objects: Vec<(ObjectId, Arc<Object>)>) {
+        (**self).put_many(objects)
     }
     fn clone_box(&self) -> Box<dyn ObjectStore> {
         (**self).clone_box()
@@ -449,24 +474,30 @@ impl DiskStore {
         let file = self.object_file(id);
         let bucket = file.parent().expect("object files live in a bucket");
         fs::create_dir_all(bucket)?;
-        // Temp-then-rename keeps readers (and racing writers of the same
-        // object, which by content addressing write identical bytes) from
-        // ever seeing a partial file.
-        let tmp = bucket.join(format!(
-            ".tmp-{}-{:x}",
-            std::process::id(),
-            bytes.as_ptr() as usize
-        ));
-        fs::write(&tmp, bytes)?;
-        match fs::rename(&tmp, &file) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = fs::remove_file(&tmp);
-                if file.exists() {
-                    Ok(()) // lost a benign race to an identical writer
-                } else {
-                    Err(e)
-                }
+        write_via_rename(bucket, &file, bytes)
+    }
+}
+
+/// Temp-then-rename write, keeping readers (and racing writers of the
+/// same object, which by content addressing write identical bytes) from
+/// ever seeing a partial file. The bucket directory must already exist.
+/// Shared with [`crate::pack`], whose pack/idx files are content-named
+/// and need the same atomicity.
+pub(crate) fn write_via_rename(bucket: &Path, file: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = bucket.join(format!(
+        ".tmp-{}-{:x}",
+        std::process::id(),
+        bytes.as_ptr() as usize
+    ));
+    fs::write(&tmp, bytes)?;
+    match fs::rename(&tmp, file) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            if file.exists() {
+                Ok(()) // lost a benign race to an identical writer
+            } else {
+                Err(e)
             }
         }
     }
@@ -528,6 +559,41 @@ impl ObjectStore for DiskStore {
             Err(e) => {
                 self.first_error.get_or_insert_with(|| e.to_string());
                 self.staged.insert(id, object);
+            }
+        }
+    }
+
+    /// Batch insert, amortizing the per-object `create_dir_all` syscall:
+    /// each shard directory is created once per batch, and subsequent
+    /// writes into it skip the directory check entirely.
+    fn put_many(&mut self, objects: Vec<(ObjectId, Arc<Object>)>) {
+        let mut made_buckets: HashSet<PathBuf> = HashSet::new();
+        for (id, object) in objects {
+            debug_assert_eq!(object.id(), id, "put_many called with a mismatched id");
+            if self.known(id) {
+                continue;
+            }
+            let file = self.object_file(id);
+            let bucket = file.parent().expect("object files live in a bucket");
+            let result = if made_buckets.contains(bucket) {
+                write_via_rename(bucket, &file, &object.canonical_bytes())
+            } else {
+                match fs::create_dir_all(bucket) {
+                    Ok(()) => {
+                        made_buckets.insert(bucket.to_path_buf());
+                        write_via_rename(bucket, &file, &object.canonical_bytes())
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            match result {
+                Ok(()) => {
+                    self.ids.insert(id);
+                }
+                Err(e) => {
+                    self.first_error.get_or_insert_with(|| e.to_string());
+                    self.staged.insert(id, object);
+                }
             }
         }
     }
@@ -602,8 +668,50 @@ impl<S: ObjectStore> CachedStore<S> {
     /// `(hits, misses)` since creation — used by benchmarks and tests to
     /// verify the cache is actually serving hot reads.
     pub fn cache_stats(&self) -> (u64, u64) {
+        let stats = self.stats();
+        (stats.hits, stats.misses)
+    }
+
+    /// Full cache-effectiveness counters since creation. The hub and the
+    /// `store_backends` bench surface these for capacity planning: a high
+    /// eviction count with a low hit rate means the capacity is too small
+    /// for the working set.
+    pub fn stats(&self) -> CacheStats {
         let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-        (cache.hits, cache.misses)
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            len: cache.map.len(),
+            capacity: cache.capacity,
+        }
+    }
+}
+
+/// Counters reported by [`CachedStore::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from memory.
+    pub hits: u64,
+    /// Reads that fell through to the inner store.
+    pub misses: u64,
+    /// Objects pushed out by the LRU policy.
+    pub evictions: u64,
+    /// Objects currently cached.
+    pub len: usize,
+    /// Maximum objects the cache will hold.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when nothing was read yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -666,6 +774,18 @@ impl<S: ObjectStore + Clone + 'static> ObjectStore for CachedStore<S> {
         self.inner.put_raw(id, bytes)
     }
 
+    /// Delegates the batch to the inner backend (keeping its amortized
+    /// path) and primes the cache with the freshly written objects.
+    fn put_many(&mut self, objects: Vec<(ObjectId, Arc<Object>)>) {
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            for (id, object) in &objects {
+                cache.insert(*id, Arc::clone(object));
+            }
+        }
+        self.inner.put_many(objects);
+    }
+
     fn clone_box(&self) -> Box<dyn ObjectStore> {
         Box::new(self.clone())
     }
@@ -684,6 +804,7 @@ struct Lru {
     recency: BTreeMap<u64, ObjectId>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl Lru {
@@ -695,6 +816,7 @@ impl Lru {
             recency: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -730,6 +852,7 @@ impl Lru {
         while self.map.len() > self.capacity {
             let (_, evicted) = self.recency.pop_first().expect("recency tracks map");
             self.map.remove(&evicted);
+            self.evictions += 1;
         }
     }
 }
@@ -947,6 +1070,63 @@ mod tests {
         assert!(a.ids().contains(&id));
         assert_eq!(a.len(), 1);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_many_batches_across_backends() {
+        let dir = temp_dir("put-many");
+        let blobs: Vec<(ObjectId, Arc<Object>)> = (0..20)
+            .map(|i| {
+                let blob = Blob::new(format!("batch {i}").into_bytes());
+                (blob.id(), Arc::new(Object::Blob(blob)))
+            })
+            .collect();
+
+        // Default impl (MemStore) and the DiskStore override agree.
+        let mut mem = MemStore::new();
+        mem.put_many(blobs.clone());
+        let mut disk = DiskStore::open(&dir).unwrap();
+        disk.put_many(blobs.clone());
+        assert_eq!(mem.len(), 20);
+        assert_eq!(disk.len(), 20);
+        for (id, _) in &blobs {
+            assert!(disk.contains(*id));
+            assert_eq!(mem.get(*id).unwrap(), disk.get(*id).unwrap());
+        }
+        // Batches are idempotent, and re-batching indexes nothing twice.
+        disk.put_many(blobs.clone());
+        assert_eq!(disk.len(), 20);
+        // A fresh handle sees everything (the writes really hit disk).
+        assert_eq!(DiskStore::open(&dir).unwrap().len(), 20);
+
+        // The cached wrapper primes its cache from the batch: reading
+        // every object back is pure hits.
+        let mut cached = CachedStore::new(MemStore::new());
+        cached.put_many(blobs.clone());
+        for (id, _) in &blobs {
+            cached.get(*id).unwrap();
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 20);
+        assert_eq!(stats.misses, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_stats_count_evictions() {
+        let mut cached = CachedStore::with_capacity(MemStore::new(), 2);
+        let ids: Vec<ObjectId> = (0..5).map(|i| cached.put_blob(format!("v{i}"))).collect();
+        let stats = cached.stats();
+        assert_eq!(stats.evictions, 3, "capacity 2, 5 inserts");
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.capacity, 2);
+        // Hit rate reflects a miss (evicted) then hits (recached).
+        cached.get(ids[0]).unwrap();
+        cached.get(ids[0]).unwrap();
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

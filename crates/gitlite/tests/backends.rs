@@ -5,7 +5,7 @@
 
 use gitlite::{
     clone_repository, path, push, CachedStore, DiskStore, MemStore, MergeOptions, MergeReport,
-    ObjectId, ObjectStore, Repository, Signature,
+    ObjectId, ObjectStore, PackStore, Repository, Signature,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -93,16 +93,29 @@ fn observe(repo: &Repository) -> (Vec<ObjectId>, BTreeMap<String, String>, usize
 fn all_backends_produce_identical_repositories() {
     let disk_dir = temp_dir("equiv-disk");
     let cached_dir = temp_dir("equiv-cached");
+    let pack_dir = temp_dir("equiv-pack");
+    let cached_pack_dir = temp_dir("equiv-cached-pack");
 
     let (mem_repo, mem_commits) = run_scenario(Repository::init("proj"));
     let (disk_repo, disk_commits) = run_scenario(Repository::init_with(
         "proj",
         Box::new(DiskStore::open(&disk_dir).unwrap()),
     ));
+    let (pack_repo, pack_commits) = run_scenario(Repository::init_with(
+        "proj",
+        Box::new(PackStore::open(&pack_dir).unwrap()),
+    ));
     let (cached_disk_repo, cached_disk_commits) = run_scenario(Repository::init_with(
         "proj",
         Box::new(CachedStore::with_capacity(
             DiskStore::open(&cached_dir).unwrap(),
+            16,
+        )),
+    ));
+    let (cached_pack_repo, cached_pack_commits) = run_scenario(Repository::init_with(
+        "proj",
+        Box::new(CachedStore::with_capacity(
+            PackStore::open(&cached_pack_dir).unwrap(),
             16,
         )),
     ));
@@ -114,16 +127,64 @@ fn all_backends_produce_identical_repositories() {
     // Content addressing: the same edits yield the same commit ids on
     // every backend.
     assert_eq!(mem_commits, disk_commits);
+    assert_eq!(mem_commits, pack_commits);
     assert_eq!(mem_commits, cached_disk_commits);
+    assert_eq!(mem_commits, cached_pack_commits);
     assert_eq!(mem_commits, cached_mem_commits);
 
     let reference = observe(&mem_repo);
-    for repo in [&disk_repo, &cached_disk_repo, &cached_mem_repo] {
+    for repo in [
+        &disk_repo,
+        &pack_repo,
+        &cached_disk_repo,
+        &cached_pack_repo,
+        &cached_mem_repo,
+    ] {
         assert_eq!(observe(repo), reference);
     }
 
     std::fs::remove_dir_all(&disk_dir).unwrap();
     std::fs::remove_dir_all(&cached_dir).unwrap();
+    std::fs::remove_dir_all(&pack_dir).unwrap();
+    std::fs::remove_dir_all(&cached_pack_dir).unwrap();
+}
+
+#[test]
+fn pack_backed_history_survives_repack_gc_and_reopen() {
+    let dir = temp_dir("pack-reopen");
+    let (repo, commits) = run_scenario(Repository::init_with(
+        "proj",
+        Box::new(PackStore::open(&dir).unwrap()),
+    ));
+    let reference = observe(&repo);
+    let head = repo.head_commit().unwrap();
+    let gui_tip = repo.branch_tip("gui").unwrap();
+    drop(repo);
+
+    // Consolidate the loose objects into a pack, keeping both branches.
+    let mut store = PackStore::open(&dir).unwrap();
+    let report = store.gc(&[head, gui_tip]).unwrap();
+    assert_eq!(report.dropped, 0, "everything is reachable from the tips");
+    assert_eq!(store.loose_len(), 0);
+    drop(store);
+
+    // A fresh handle over the packed layout sees the whole DAG.
+    let mut reopened = Repository::init_with("proj", Box::new(PackStore::open(&dir).unwrap()));
+    reopened.set_branch("main", head).unwrap();
+    reopened.checkout_branch("main").unwrap();
+    assert_eq!(observe(&reopened), reference);
+    assert_eq!(reopened.log_head().unwrap().len(), commits.len());
+
+    // New commits overflow loose on top of the pack, and both layers
+    // compose into one complete closure.
+    reopened
+        .worktree_mut()
+        .write(&path("post-gc.txt"), &b"fresh\n"[..])
+        .unwrap();
+    let tip = reopened.commit(sig("alice", 20), "post gc").unwrap();
+    let closure = reopened.odb().reachable_closure(&[tip]).unwrap();
+    assert!(closure.len() > commits.len());
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

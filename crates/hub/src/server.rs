@@ -110,6 +110,43 @@ impl Hub {
         }
     }
 
+    /// [`Hub::new`] with durable packfile storage: each hosted repository
+    /// is created on a `CachedStore<PackStore>` rooted under its own
+    /// subdirectory of `data_dir` (`repo-0`, `repo-1`, ...). Reads hit
+    /// the LRU, cold loads come from buffered packs, and new pushes land
+    /// as loose objects until maintenance repacks them — the server-side
+    /// counterpart of the local tool's `.gitcite/objects` layout.
+    ///
+    /// Errors if `data_dir` cannot be created; per-repository stores are
+    /// then created lazily by the factory. Directories left behind by an
+    /// earlier hub over the same `data_dir` are skipped, never reused —
+    /// the repo registry itself is in-memory, so a fresh hub must not
+    /// silently adopt (or trip over) a previous run's objects.
+    pub fn with_pack_storage(
+        base_url: impl Into<String>,
+        data_dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Self> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let data_dir = data_dir.into();
+        std::fs::create_dir_all(&data_dir)?;
+        let next = AtomicU64::new(0);
+        Ok(Self::with_store_factory(
+            base_url,
+            Box::new(move || {
+                let root = loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    let candidate = data_dir.join(format!("repo-{n}"));
+                    if !candidate.exists() {
+                        break candidate;
+                    }
+                };
+                let store =
+                    gitlite::PackStore::open(root).expect("hub data directory must stay writable");
+                Box::new(gitlite::CachedStore::new(store))
+            }),
+        ))
+    }
+
     /// Repository URL for an id.
     pub fn repo_url(&self, repo_id: &str) -> String {
         format!("{}/{}", self.base_url, repo_id)

@@ -1,0 +1,74 @@
+//! Hub on durable packfile storage: server-side repositories created
+//! through `Hub::with_pack_storage` live on `CachedStore<PackStore>`, so
+//! pushed objects are durable on disk, survive maintenance repacks, and
+//! keep serving clones and citation generation.
+
+use gitlite::{path, ObjectStore, PackStore, Signature};
+use hub::Hub;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("hub-pack-storage-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn hosted_repos_persist_through_pack_storage() {
+    let data_dir = temp_dir("hosted");
+    let hub = Hub::with_pack_storage("https://hub.example", &data_dir).unwrap();
+    hub.register_user("owner", "The Owner").unwrap();
+    let token = hub.login("owner").unwrap();
+    let repo_id = hub.create_repo(&token, "packed").unwrap();
+
+    // Push a commit; its objects must land on disk, not just in memory.
+    let mut local = hub.clone_repo(&repo_id).unwrap();
+    local
+        .worktree_mut()
+        .write(&path("src/lib.rs"), &b"pub fn f() {}\n"[..])
+        .unwrap();
+    local
+        .commit(Signature::new("The Owner", "o@x", 100), "server work")
+        .unwrap();
+    let tip = hub
+        .push(&token, &repo_id, "main", &local, "main", false)
+        .unwrap();
+
+    let repo_root = data_dir.join("repo-0");
+    let fresh = PackStore::open(&repo_root).unwrap();
+    assert!(fresh.contains(tip), "pushed tip is durable on disk");
+
+    // Server-side maintenance: repack the repository's store, then make
+    // sure the hub still serves reads (its buffered handle is
+    // content-addressed, so the rewrite is invisible to it).
+    let mut maintenance = PackStore::open(&repo_root).unwrap();
+    let report = maintenance.gc(&[tip]).unwrap();
+    assert!(report.packed > 0);
+    assert_eq!(maintenance.loose_len(), 0);
+
+    let clone = hub.clone_repo(&repo_id).unwrap();
+    assert_eq!(clone.head_commit().unwrap(), tip);
+    let citation = hub.generate_citation(&repo_id, "main", &path("src/lib.rs"));
+    assert!(citation.is_ok());
+
+    // And a store reopened after the repack serves the same history.
+    let reopened = PackStore::open(&repo_root).unwrap();
+    assert!(reopened.contains(tip));
+    assert_eq!(reopened.pack_count(), 1);
+
+    // A later hub over the same data directory must not adopt (or clobber)
+    // the previous run's repo-0: its first repository skips to repo-1.
+    let hub2 = Hub::with_pack_storage("https://hub.example", &data_dir).unwrap();
+    hub2.register_user("owner", "The Owner").unwrap();
+    let token2 = hub2.login("owner").unwrap();
+    hub2.create_repo(&token2, "second-run").unwrap();
+    assert!(data_dir.join("repo-1").exists());
+    let untouched = PackStore::open(&repo_root).unwrap();
+    assert!(untouched.contains(tip), "first run's objects are untouched");
+    std::fs::remove_dir_all(&data_dir).unwrap();
+}
