@@ -1,0 +1,293 @@
+//! Hub concurrency bench: read-heavy traffic against the sharded hub
+//! (per-repo `RwLock`s, PR 3) versus the pre-redesign locking shape
+//! (every operation serialized behind one global mutex).
+//!
+//! Two experiments, both pure-read on the measured side (the Software
+//! Citation Station observation: citation lookup traffic is
+//! overwhelmingly read-heavy):
+//!
+//! * **Throughput** — N threads hammer reads, each on its own repository
+//!   and then all on one repository. Under sharding the distinct-repo
+//!   threads share no lock at all; under a global mutex everything
+//!   serializes. (On a single-core runner the wall-clock gap compresses
+//!   to scheduling noise — the latency experiment below is the
+//!   conclusive one there.)
+//! * **Read latency under a writer** — a writer loops multi-millisecond
+//!   citation commits on repository A while a reader times individual
+//!   reads on repository B. Sharded: the reader never touches the
+//!   writer's lock, so its latency stays at the cost of the read itself.
+//!   Global mutex: every read queues behind the in-flight write, so
+//!   read latency inflates toward the write duration. This shows the
+//!   lock structure directly, independent of core count.
+//!
+//! Besides the criterion timings, each experiment prints reads/second or
+//! per-read latency for the two locking shapes side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gitlite::{path, RepoPath, Signature};
+use hub::{Hub, Token};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 60;
+const FILES_PER_REPO: usize = 8;
+/// File count of the repository the latency experiment's writer churns —
+/// big enough that one citation commit costs milliseconds.
+const BIG_REPO_FILES: usize = 600;
+
+/// The pre-redesign locking shape: the same hub, but every call funneled
+/// through one global mutex — exactly what `Mutex<HubState>` used to do
+/// to concurrent readers.
+struct GlobalLockHub {
+    hub: Hub,
+    lock: Mutex<()>,
+}
+
+impl GlobalLockHub {
+    fn read_file(&self, repo_id: &str, branch: &str, p: &RepoPath) -> Vec<u8> {
+        let _g = self.lock.lock().unwrap();
+        self.hub.read_file(repo_id, branch, p).unwrap()
+    }
+
+    fn log_len(&self, repo_id: &str) -> usize {
+        let _g = self.lock.lock().unwrap();
+        self.hub.log(repo_id, "main").unwrap().len()
+    }
+
+    fn modify_root_note(&self, token: &Token, repo_id: &str, note: &str) {
+        let _g = self.lock.lock().unwrap();
+        modify_root_note(&self.hub, token, repo_id, note);
+    }
+}
+
+fn modify_root_note(hub: &Hub, token: &Token, repo_id: &str, note: &str) {
+    let mut c = hub
+        .generate_citation(repo_id, "main", &RepoPath::root())
+        .unwrap();
+    c.note = Some(note.to_owned());
+    hub.modify_cite(token, repo_id, "main", &RepoPath::root(), c)
+        .unwrap();
+}
+
+/// Builds a hub with `repos` small repositories plus one big one, each
+/// holding cited files; returns the hub, the small repo ids, the big
+/// repo id, and an owner token.
+fn populate(repos: usize) -> (Hub, Vec<String>, String, Token) {
+    let hub = Hub::new("https://bench.example");
+    hub.register_user("owner", "The Owner").unwrap();
+    let token = hub.login("owner").unwrap();
+    let mut ids = Vec::new();
+    for r in 0..repos {
+        let repo_id = hub.create_repo(&token, &format!("r{r}")).unwrap();
+        seed_files(&hub, &token, &repo_id, FILES_PER_REPO);
+        ids.push(repo_id);
+    }
+    let big = hub.create_repo(&token, "big").unwrap();
+    seed_files(&hub, &token, &big, BIG_REPO_FILES);
+    (hub, ids, big, token)
+}
+
+fn seed_files(hub: &Hub, token: &Token, repo_id: &str, files: usize) {
+    let mut local = hub.clone_repo(repo_id).unwrap();
+    for f in 0..files {
+        local
+            .worktree_mut()
+            .write(
+                &path(&format!("src/d{}/f{f}.txt", f % 16)),
+                format!("contents {repo_id}/{f}\n").into_bytes(),
+            )
+            .unwrap();
+    }
+    local
+        .commit(Signature::new("The Owner", "o@x", 100), "seed")
+        .unwrap();
+    hub.push(token, repo_id, "main", &local, "main", false)
+        .unwrap();
+}
+
+/// One thread's worth of read traffic against `repo_id` through the
+/// sharded surface.
+fn reader_sharded(hub: &Hub, repo_id: &str) {
+    for i in 0..OPS_PER_THREAD {
+        let f = i % FILES_PER_REPO;
+        criterion::black_box(
+            hub.read_file(repo_id, "main", &path(&format!("src/d{f}/f{f}.txt")))
+                .unwrap(),
+        );
+        if i % 16 == 0 {
+            criterion::black_box(hub.log(repo_id, "main").unwrap());
+        }
+    }
+}
+
+/// The same traffic through the global-mutex shape.
+fn reader_global(hub: &GlobalLockHub, repo_id: &str) {
+    for i in 0..OPS_PER_THREAD {
+        let f = i % FILES_PER_REPO;
+        criterion::black_box(hub.read_file(repo_id, "main", &path(&format!("src/d{f}/f{f}.txt"))));
+        if i % 16 == 0 {
+            criterion::black_box(hub.log_len(repo_id));
+        }
+    }
+}
+
+/// Runs `THREADS` reader threads; each gets its thread index.
+fn run_threads(f: impl Fn(usize) + Sync) {
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let f = &f;
+            scope.spawn(move || f(t));
+        }
+    });
+}
+
+fn throughput(label: &str, runs: usize, work: impl Fn()) {
+    work(); // warm-up
+    let start = Instant::now();
+    for _ in 0..runs {
+        work();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_ops = (runs * THREADS * OPS_PER_THREAD) as f64;
+    eprintln!(
+        "hub_concurrency {label}: {:.0} reads/s ({THREADS} threads x {OPS_PER_THREAD} ops x {runs} runs in {:.3}s)",
+        total_ops / elapsed,
+        elapsed
+    );
+}
+
+/// Times individual reads on `read` while `write` loops in a background
+/// thread; returns (mean, max) read latency.
+fn latency_under_writer(
+    write: impl Fn(usize) + Send,
+    read: impl Fn(),
+    samples: usize,
+) -> (Duration, Duration) {
+    let stop = AtomicBool::new(false);
+    let mut latencies = Vec::with_capacity(samples);
+    std::thread::scope(|scope| {
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut i = 0;
+            while !stop_ref.load(Ordering::Relaxed) {
+                write(i);
+                i += 1;
+            }
+        });
+        // Let the writer get in flight, then probe.
+        std::thread::sleep(Duration::from_millis(20));
+        for _ in 0..samples {
+            let t = Instant::now();
+            read();
+            latencies.push(t.elapsed());
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let total: Duration = latencies.iter().sum();
+    let max = latencies.iter().copied().max().unwrap_or_default();
+    (total / latencies.len() as u32, max)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hub_concurrency");
+
+    // --- throughput: distinct repos then one shared repo --------------------
+    let (hub, ids, big, token) = populate(THREADS);
+    g.bench_with_input(
+        BenchmarkId::new("distinct_repos", "sharded"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                run_threads(|t| reader_sharded(&hub, &ids[t]));
+            })
+        },
+    );
+    let (ghub, gids, gbig, gtoken) = populate(THREADS);
+    let global = GlobalLockHub {
+        hub: ghub,
+        lock: Mutex::new(()),
+    };
+    g.bench_with_input(
+        BenchmarkId::new("distinct_repos", "global_mutex"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                run_threads(|t| reader_global(&global, &gids[t]));
+            })
+        },
+    );
+    g.bench_with_input(BenchmarkId::new("same_repo", "sharded"), &(), |b, _| {
+        b.iter(|| {
+            run_threads(|_| reader_sharded(&hub, &ids[0]));
+        })
+    });
+    g.bench_with_input(
+        BenchmarkId::new("same_repo", "global_mutex"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                run_threads(|_| reader_global(&global, &gids[0]));
+            })
+        },
+    );
+    throughput("distinct_repos/sharded", 8, || {
+        run_threads(|t| reader_sharded(&hub, &ids[t]))
+    });
+    throughput("distinct_repos/global_mutex", 8, || {
+        run_threads(|t| reader_global(&global, &gids[t]))
+    });
+    throughput("same_repo/sharded", 8, || {
+        run_threads(|_| reader_sharded(&hub, &ids[0]))
+    });
+    throughput("same_repo/global_mutex", 8, || {
+        run_threads(|_| reader_global(&global, &gids[0]))
+    });
+    g.finish();
+
+    // --- read latency on repo B while a writer churns repo A ----------------
+    // The decisive experiment for "reads no longer contend on a global
+    // lock": the sharded reader's latency is the read cost alone, while
+    // the global-mutex reader queues behind multi-ms citation commits.
+    let (sharded_mean, sharded_max) = latency_under_writer(
+        |i| modify_root_note(&hub, &token, &big, &format!("rev {i}")),
+        || {
+            criterion::black_box(
+                hub.read_file(&ids[0], "main", &path("src/d0/f0.txt"))
+                    .unwrap(),
+            );
+        },
+        100,
+    );
+    let (global_mean, global_max) = latency_under_writer(
+        |i| global.modify_root_note(&gtoken, &gbig, &format!("rev {i}")),
+        || {
+            criterion::black_box(global.read_file(&gids[0], "main", &path("src/d0/f0.txt")));
+        },
+        100,
+    );
+    eprintln!(
+        "hub_concurrency read_latency_under_writer/sharded:      mean {:>9.1?}  max {:>9.1?}",
+        sharded_mean, sharded_max
+    );
+    eprintln!(
+        "hub_concurrency read_latency_under_writer/global_mutex: mean {:>9.1?}  max {:>9.1?}",
+        global_mean, global_max
+    );
+    eprintln!(
+        "hub_concurrency: sharding keeps cross-repo read latency {}x lower under write load",
+        (global_mean.as_nanos().max(1) / sharded_mean.as_nanos().max(1)).max(1)
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

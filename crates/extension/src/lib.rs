@@ -25,7 +25,7 @@
 use bibformat::Format;
 use citekit::Citation;
 use gitlite::RepoPath;
-use hub::{Hub, HubError, Token};
+use hub::{Hub, HubClient, HubError, InProcess, Token};
 use std::fmt;
 
 /// Extension-level errors.
@@ -104,8 +104,13 @@ enum Session {
 }
 
 /// The popup state machine, bound to one repository page.
+///
+/// All platform traffic goes through a [`HubClient`] speaking the
+/// versioned wire protocol ([`hub::api`]) — the popup never calls the
+/// hub's typed methods directly, exactly as the real extension only ever
+/// sees the REST API.
 pub struct Popup<'h> {
-    hub: &'h Hub,
+    client: HubClient<InProcess<'h>>,
     session: Session,
     view: PopupView,
 }
@@ -113,10 +118,11 @@ pub struct Popup<'h> {
 impl<'h> Popup<'h> {
     /// Opens the popup on a repository page (anonymous).
     pub fn open(hub: &'h Hub, repo_id: &str, branch: &str) -> Result<Popup<'h>> {
+        let client = HubClient::in_process(hub);
         // Probe the repository so a bad id fails at open time.
-        hub.branches(repo_id)?;
+        client.branches(repo_id)?;
         Ok(Popup {
-            hub,
+            client,
             session: Session::Anonymous,
             view: PopupView {
                 repo_id: repo_id.to_owned(),
@@ -134,8 +140,8 @@ impl<'h> Popup<'h> {
     /// Provides credentials ("Users provide their credentials on GitHub to
     /// obtain access to the repository").
     pub fn sign_in(&mut self, token: Token) -> Result<()> {
-        let user = self.hub.whoami(&token)?;
-        let is_member = self.hub.can_write(&token, &self.view.repo_id)?;
+        let user = self.client.whoami(&token)?;
+        let is_member = self.client.can_write(&token, &self.view.repo_id)?;
         self.view.signed_in_as = Some(user.username.clone());
         self.view.is_member = is_member;
         self.view.status = format!("signed in as {}", user.username);
@@ -178,9 +184,9 @@ impl<'h> Popup<'h> {
             }
         );
         if is_member {
-            let explicit = self
-                .hub
-                .citation_entry(&self.view.repo_id, &self.view.branch, path)?;
+            let explicit =
+                self.client
+                    .citation_entry(&self.view.repo_id, &self.view.branch, path)?;
             match explicit {
                 Some(c) => {
                     self.view.text_box = c.to_value().to_string_pretty();
@@ -208,7 +214,7 @@ impl<'h> Popup<'h> {
         } else {
             // Non-member (or anonymous): immediate generation, no editing.
             let citation =
-                self.hub
+                self.client
                     .generate_citation(&self.view.repo_id, &self.view.branch, path)?;
             self.view.text_box = citation.to_value().to_string_pretty();
             self.view.buttons = ButtonStates {
@@ -227,9 +233,9 @@ impl<'h> Popup<'h> {
     /// "can then modif\[y\] for the current node".
     pub fn generate(&mut self) -> Result<Citation> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
-        let citation = self
-            .hub
-            .generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
+        let citation =
+            self.client
+                .generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
         self.view.text_box = citation.to_value().to_string_pretty();
         self.view.status = "generated from closest cited ancestor".into();
         Ok(citation)
@@ -260,7 +266,7 @@ impl<'h> Popup<'h> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
         let citation = self.parse_text_box()?;
         let token = self.member_token()?.clone();
-        self.hub.add_cite(
+        self.client.add_cite(
             &token,
             &self.view.repo_id,
             &self.view.branch,
@@ -277,7 +283,7 @@ impl<'h> Popup<'h> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
         let citation = self.parse_text_box()?;
         let token = self.member_token()?.clone();
-        self.hub.modify_cite(
+        self.client.modify_cite(
             &token,
             &self.view.repo_id,
             &self.view.branch,
@@ -292,7 +298,7 @@ impl<'h> Popup<'h> {
     pub fn delete(&mut self) -> Result<()> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
         let token = self.member_token()?.clone();
-        self.hub
+        self.client
             .del_cite(&token, &self.view.repo_id, &self.view.branch, &path)?;
         self.view.status = format!("citation deleted from {}", path.to_cite_key(false));
         self.select(&path)
@@ -302,9 +308,9 @@ impl<'h> Popup<'h> {
     /// format (the "copy-pasted to their local bibliography manager" step).
     pub fn export(&mut self, format: Format) -> Result<String> {
         let path = self.view.selected.clone().ok_or(ExtError::NoSelection)?;
-        let citation = self
-            .hub
-            .generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
+        let citation =
+            self.client
+                .generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
         Ok(bibformat::render(&citation, format))
     }
 }

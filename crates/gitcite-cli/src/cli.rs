@@ -232,9 +232,28 @@ fn with_repo_mut(
 ) -> Result<String> {
     let parsed = parse_args(args)?;
     let mut repo = open(cwd)?;
-    let out = f(&mut repo, &parsed)?;
+    let mut out = f(&mut repo, &parsed)?;
     storage::save(cwd, repo.repo())?;
+    // Long edit sessions self-compact: once enough loose objects pile up,
+    // the save path runs the same gc `gitcite gc` would.
+    let roots = gc_roots(repo.repo());
+    drop(repo); // release the store handle before rewriting its files
+    if let Some(report) = storage::maybe_gc(cwd, &roots)? {
+        out.push_str(&format!(
+            "auto-gc: packed {} object(s), dropped {} unreachable\n",
+            report.packed, report.dropped
+        ));
+    }
     Ok(out)
+}
+
+/// Everything a gc must keep: every branch tip, plus HEAD when detached.
+fn gc_roots(repo: &gitlite::Repository) -> Vec<gitlite::ObjectId> {
+    let mut roots: Vec<gitlite::ObjectId> = repo.branches().map(|(_, tip)| tip).collect();
+    if let gitlite::Head::Detached(id) = repo.head() {
+        roots.push(*id);
+    }
+    roots
 }
 
 fn signature(p: &Parsed, repo: &CitedRepo) -> Result<Signature> {
@@ -387,10 +406,7 @@ fn cmd_gc(cwd: &Path) -> Result<String> {
     // Roots: every branch tip, plus HEAD when detached. Everything else
     // is unreachable and gets dropped.
     let repo = storage::load(cwd)?;
-    let mut roots: Vec<gitlite::ObjectId> = repo.branches().map(|(_, tip)| tip).collect();
-    if let gitlite::Head::Detached(id) = repo.head() {
-        roots.push(*id);
-    }
+    let roots = gc_roots(&repo);
     drop(repo); // release the store handle before rewriting its files
     let report = storage::gc(cwd, &roots)?;
     let mut out = match &report.pack_path {

@@ -483,7 +483,8 @@ mod tests {
         let dir = temp_dir();
         init_repo(&dir);
         // Enough files that the loose layout holds well over 500 objects
-        // (blobs + per-directory trees + commit objects).
+        // (blobs + per-directory trees + commit objects) — far past the
+        // auto-gc threshold, so the commit itself self-compacts.
         for i in 0..520 {
             write(
                 &dir,
@@ -491,13 +492,15 @@ mod tests {
                 &format!("content {i}\n"),
             );
         }
-        ok(&dir, &["commit", "-m", "V1", "--author", "L"]);
+        let out = ok(&dir, &["commit", "-m", "V1", "--author", "L"]);
+        assert!(out.contains("auto-gc: packed "), "{out}");
+        let objects = dir.join(".gitcite/objects");
+        assert!(count_files(&objects) < 10, "auto-gc left the store compact");
         ok(&dir, &["cite", "add", "d0/f0.txt", "--repo-name", "C9"]);
         ok(&dir, &["commit", "-m", "V2", "--author", "L"]);
         // One abandoned branch commit so gc has something unreachable
         // after the branch is deleted... branches can't be deleted here,
         // so instead orphan objects via an external loose write.
-        let objects = dir.join(".gitcite/objects");
         let orphan = gitlite::Blob::new(&b"orphan"[..]);
         {
             use gitlite::ObjectStore;
@@ -507,9 +510,6 @@ mod tests {
                 std::sync::Arc::new(gitlite::Object::Blob(orphan.clone())),
             );
         }
-
-        let loose_before = count_files(&objects);
-        assert!(loose_before > 500, "got {loose_before} loose files");
 
         let out = ok(&dir, &["gc"]);
         assert!(out.contains("packed "), "{out}");
@@ -547,6 +547,51 @@ mod tests {
             }
         }
         n
+    }
+
+    #[test]
+    fn long_edit_session_self_compacts() {
+        use super::storage::AUTO_GC_THRESHOLD;
+        let dir = temp_dir();
+        init_repo(&dir);
+        write(&dir, "notes.txt", "revision -1\n");
+        ok(&dir, &["commit", "-m", "start", "--author", "L"]);
+        ok(
+            &dir,
+            &["cite", "add", "notes.txt", "--repo-name", "P1-notes"],
+        );
+        // A long session of small commits (~3 loose objects each). The
+        // save path must trigger gc on its own once the loose overflow
+        // crosses the threshold — the user never runs `gitcite gc`.
+        let mut auto_gc_runs = 0;
+        for i in 0..30 {
+            write(&dir, "notes.txt", &format!("revision {i}\n"));
+            let out = ok(
+                &dir,
+                &["commit", "-m", &format!("edit {i}"), "--author", "L"],
+            );
+            if out.contains("auto-gc: packed ") {
+                auto_gc_runs += 1;
+            }
+        }
+        assert!(
+            auto_gc_runs >= 1,
+            "30 commits crossed the {AUTO_GC_THRESHOLD}-object threshold at least once"
+        );
+        // The store stays bounded: at most one pack + idx plus fewer than
+        // a threshold's worth of fresh loose objects.
+        let objects = dir.join(".gitcite/objects");
+        assert!(
+            count_files(&objects) < AUTO_GC_THRESHOLD + 2,
+            "store self-compacted (found {} files)",
+            count_files(&objects)
+        );
+        // Nothing was lost: full history and citations still resolve.
+        let log = ok(&dir, &["log"]);
+        assert!(log.contains("edit 0") && log.contains("edit 29"));
+        let shown = ok(&dir, &["cite", "show", "notes.txt"]);
+        assert!(shown.contains("\"repoName\": \"P1-notes\""));
+        cleanup(&dir);
     }
 
     #[test]

@@ -81,6 +81,26 @@ pub fn gc(dir: &Path, roots: &[ObjectId]) -> Result<MaintenanceReport, GitError>
     store.gc(roots)
 }
 
+/// Loose-object count at which the CLI's write paths trigger an
+/// automatic [`gc`] after saving: a long edit session (each commit lands
+/// ~3-4 loose objects) self-compacts instead of accumulating thousands
+/// of files that slow every subsequent load.
+pub const AUTO_GC_THRESHOLD: usize = 64;
+
+/// Runs [`gc`] when the loose overflow has grown past
+/// [`AUTO_GC_THRESHOLD`]; returns `None` (cheaply — only the loose area
+/// is scanned, no pack is read) when below it.
+pub fn maybe_gc(dir: &Path, roots: &[ObjectId]) -> Result<Option<MaintenanceReport>, GitError> {
+    // The loose overflow *is* a DiskStore over the same root, so its
+    // object count is exactly the loose count — no pack buffering needed
+    // for the common no-op case.
+    let loose = gitlite::DiskStore::open(objects_dir(dir))?.len();
+    if loose < AUTO_GC_THRESHOLD {
+        return Ok(None);
+    }
+    gc(dir, roots).map(Some)
+}
+
 /// Persists `repo` into `dir`: metadata under `.gitcite/`, worktree as
 /// real files (stale files from a previous save are removed).
 ///

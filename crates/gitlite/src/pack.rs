@@ -734,6 +734,13 @@ impl ObjectStore for PackStore {
             .collect()
     }
 
+    /// Maintenance *is* [`PackStore::gc`]: consolidate packs + loose
+    /// overflow into one fresh pack holding exactly the closure of
+    /// `roots`, dropping everything unreachable.
+    fn maintain(&mut self, roots: &[ObjectId]) -> Option<Result<MaintenanceReport>> {
+        Some(self.gc(roots))
+    }
+
     fn clone_box(&self) -> Box<dyn ObjectStore> {
         Box::new(self.clone())
     }

@@ -161,6 +161,26 @@ pub trait ObjectStore: fmt::Debug + Send + Sync {
         Ok(obj.as_blob().expect("checked kind").data.clone())
     }
 
+    /// Cache-effectiveness counters, when a read cache sits in this
+    /// backend's stack ([`CachedStore`] reports its LRU; everything else
+    /// returns `None`). This is the introspection hook that lets code
+    /// holding a `&dyn ObjectStore` — e.g. the hub's `store_stats`
+    /// endpoint — surface cache metrics without knowing the backend.
+    fn cache_metrics(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Runs storage maintenance, keeping only objects reachable from
+    /// `roots`: [`crate::PackStore`] consolidates packs + loose overflow
+    /// into one fresh pack and drops the rest ([`crate::PackStore::gc`]);
+    /// wrappers forward to their inner backend. Returns `None` when the
+    /// backend has no maintenance concept (in-memory and plain loose
+    /// stores).
+    fn maintain(&mut self, roots: &[ObjectId]) -> Option<Result<crate::pack::MaintenanceReport>> {
+        let _ = roots;
+        None
+    }
+
     /// Collects every object reachable from `roots` (commits walk to
     /// their trees and parents; trees walk to entries). Missing objects
     /// are an error — a reachable closure must be complete.
@@ -264,6 +284,12 @@ impl ObjectStore for Box<dyn ObjectStore> {
     }
     fn put_many(&mut self, objects: Vec<(ObjectId, Arc<Object>)>) {
         (**self).put_many(objects)
+    }
+    fn cache_metrics(&self) -> Option<CacheStats> {
+        (**self).cache_metrics()
+    }
+    fn maintain(&mut self, roots: &[ObjectId]) -> Option<Result<crate::pack::MaintenanceReport>> {
+        (**self).maintain(roots)
     }
     fn clone_box(&self) -> Box<dyn ObjectStore> {
         (**self).clone_box()
@@ -786,6 +812,19 @@ impl<S: ObjectStore + Clone + 'static> ObjectStore for CachedStore<S> {
         self.inner.put_many(objects);
     }
 
+    fn cache_metrics(&self) -> Option<CacheStats> {
+        Some(self.stats())
+    }
+
+    /// Forwards to the inner backend and, when maintenance actually ran,
+    /// drops every cached object: gc may have discarded unreachable ids,
+    /// and the cache must not keep serving them.
+    fn maintain(&mut self, roots: &[ObjectId]) -> Option<Result<crate::pack::MaintenanceReport>> {
+        let report = self.inner.maintain(roots)?;
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        Some(report)
+    }
+
     fn clone_box(&self) -> Box<dyn ObjectStore> {
         Box::new(self.clone())
     }
@@ -854,6 +893,14 @@ impl Lru {
             self.map.remove(&evicted);
             self.evictions += 1;
         }
+    }
+
+    /// Empties the cache, keeping the counters (an invalidation, not a
+    /// reset — hit/miss history is still meaningful for capacity
+    /// planning).
+    fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
     }
 }
 

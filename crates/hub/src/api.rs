@@ -1,0 +1,2101 @@
+//! The versioned wire protocol of the Cloud Platform API.
+//!
+//! The paper's Figure 1 places a "Cloud Platform API" between the browser
+//! extension, the local tool and the hosting platform. This module is that
+//! seam made concrete: every hub operation is a typed [`ApiRequest`], every
+//! outcome a typed [`ApiResponse`], and both are sjson-encodable so any
+//! transport that can move strings (in-process call, socket, HTTP body)
+//! can carry the full platform surface. [`crate::Hub::dispatch`] routes
+//! requests; [`crate::HubClient`] speaks the protocol from the client side
+//! through a [`crate::Transport`].
+//!
+//! # Wire format
+//!
+//! A request is one JSON object:
+//!
+//! ```text
+//! {"v": 1, "method": "add_cite", "params": {"token": "...", "repo_id":
+//!  "alice/p", "branch": "main", "path": "src/lib.rs", "citation": {...}}}
+//! ```
+//!
+//! A response is one JSON object carrying either a `result` or an `error`,
+//! never both:
+//!
+//! ```text
+//! {"v": 1, "result": {"type": "commit", "id": "<40-hex>"}}
+//! {"v": 1, "error": {"code": "permission_denied", "message": "...",
+//!  "detail": "bob"}}
+//! ```
+//!
+//! Results are self-describing (`type` tag), so responses parse without
+//! knowing which request produced them. Binary payloads (file contents,
+//! object bytes in a [`RepoBundle`]) travel hex-encoded; object ids are
+//! their 40-char hex form; repository paths are `/`-joined strings with
+//! `""` meaning the root.
+//!
+//! # Versioning rules
+//!
+//! * `v` is the protocol major version ([`PROTOCOL_VERSION`], currently 1).
+//!   A peer receiving a different `v` MUST refuse with a `protocol` error —
+//!   there is no cross-version negotiation inside a version envelope.
+//! * Within a version, *adding* a method or a new optional param is
+//!   compatible; renaming/removing methods, changing a param's type, or
+//!   changing a result's shape requires bumping `v`.
+//! * Unknown methods fail with `protocol`; unknown params are ignored
+//!   (callers from a newer minor revision may send extras).
+//!
+//! # Error codes
+//!
+//! Structured codes replace stringly errors. `detail` carries the variant
+//! payload (a username, repository id, path, ...) verbatim, so clients can
+//! reconstruct a typed [`HubError`] without parsing prose:
+//!
+//! | code                     | meaning                                       |
+//! |--------------------------|-----------------------------------------------|
+//! | `auth_failed`            | token missing, unknown or revoked             |
+//! | `permission_denied`      | authenticated but not allowed                 |
+//! | `user_not_found`         | unknown user (`detail` = username)            |
+//! | `user_exists`            | username taken (`detail` = username)          |
+//! | `repo_not_found`         | unknown repository (`detail` = repo id)       |
+//! | `repo_exists`            | repository id taken (`detail` = repo id)      |
+//! | `doi_not_found`          | unknown DOI (`detail` = doi)                  |
+//! | `swhid_not_found`        | unknown SWHID (`detail` = swhid)              |
+//! | `bad_request`            | malformed operation (bad name, branch, ...)   |
+//! | `branch_not_found`       | VCS: no such branch (`detail` = branch)       |
+//! | `branch_exists`          | VCS: branch taken (`detail` = branch)         |
+//! | `non_fast_forward`       | VCS: push rejected (`detail` = branch)        |
+//! | `file_not_found`         | VCS: no such file (`detail` = path)           |
+//! | `object_not_found`       | VCS: missing object (`detail` = hex id)       |
+//! | `nothing_to_commit`      | VCS: worktree identical to HEAD               |
+//! | `merge_conflicts`        | VCS: conflicted merge (`detail` = count)      |
+//! | `empty_repository`       | VCS: repository has no commits                |
+//! | `git`                    | any other VCS failure                         |
+//! | `already_cited`          | AddCite on a cited path (`detail` = path)     |
+//! | `not_cited`              | Modify/DelCite on uncited path (`detail`)     |
+//! | `root_citation_required` | DelCite on the root                           |
+//! | `path_missing`           | cite op on absent path (`detail` = path)      |
+//! | `reserved_path`          | cite op on `citation.cite` (`detail` = path)  |
+//! | `unresolved_conflict`    | merge conflict refused (`detail` = path)      |
+//! | `destination_exists`     | CopyCite target taken (`detail` = path)       |
+//! | `source_missing`         | CopyCite source absent (`detail` = path)      |
+//! | `bad_citation_file`      | citation.cite failed to parse (`detail` = why)|
+//! | `cite`                   | any other citation-layer failure              |
+//! | `protocol`               | envelope/method/params malformed              |
+//!
+//! Codes whose `detail` is structurally required (the path/id-carrying
+//! ones) reconstruct to a `protocol` error when a peer omits it — a
+//! typed error naming an invented payload would be worse than refusing.
+//! The residual `git`/`cite` codes reconstruct as message-carrying
+//! variants (`GitError::Io`, `CiteError::BadCitationFile`): the family
+//! survives the wire, the exact variant does not.
+
+use crate::audit::AuditEvent;
+use crate::error::HubError;
+use crate::heritage::{ArchiveReport, SwhKind};
+use crate::perm::Role;
+use crate::server::{LogEntry, User};
+use crate::zenodo::Deposit;
+use citekit::{Citation, MergeStrategy, Resolution};
+use gitlite::{CacheStats, ObjectId, ObjectStore, RepoPath, Repository};
+use sjson::{Object, Value};
+use std::fmt;
+
+/// The protocol major version this build speaks.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// Result alias for wire-level operations.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------
+// Error codes
+// ---------------------------------------------------------------------
+
+/// Stable machine-readable failure categories (see the module-level
+/// error-code table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the table in the module docs is the documentation
+pub enum ErrorCode {
+    AuthFailed,
+    PermissionDenied,
+    UserNotFound,
+    UserExists,
+    RepoNotFound,
+    RepoExists,
+    DoiNotFound,
+    SwhidNotFound,
+    BadRequest,
+    BranchNotFound,
+    BranchExists,
+    NonFastForward,
+    FileNotFound,
+    ObjectNotFound,
+    NothingToCommit,
+    MergeConflicts,
+    EmptyRepository,
+    Git,
+    AlreadyCited,
+    NotCited,
+    RootCitationRequired,
+    PathMissing,
+    ReservedPath,
+    UnresolvedConflict,
+    DestinationExists,
+    SourceMissing,
+    BadCitationFile,
+    Cite,
+    Protocol,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::AuthFailed => "auth_failed",
+            ErrorCode::PermissionDenied => "permission_denied",
+            ErrorCode::UserNotFound => "user_not_found",
+            ErrorCode::UserExists => "user_exists",
+            ErrorCode::RepoNotFound => "repo_not_found",
+            ErrorCode::RepoExists => "repo_exists",
+            ErrorCode::DoiNotFound => "doi_not_found",
+            ErrorCode::SwhidNotFound => "swhid_not_found",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::BranchNotFound => "branch_not_found",
+            ErrorCode::BranchExists => "branch_exists",
+            ErrorCode::NonFastForward => "non_fast_forward",
+            ErrorCode::FileNotFound => "file_not_found",
+            ErrorCode::ObjectNotFound => "object_not_found",
+            ErrorCode::NothingToCommit => "nothing_to_commit",
+            ErrorCode::MergeConflicts => "merge_conflicts",
+            ErrorCode::EmptyRepository => "empty_repository",
+            ErrorCode::Git => "git",
+            ErrorCode::AlreadyCited => "already_cited",
+            ErrorCode::NotCited => "not_cited",
+            ErrorCode::RootCitationRequired => "root_citation_required",
+            ErrorCode::PathMissing => "path_missing",
+            ErrorCode::ReservedPath => "reserved_path",
+            ErrorCode::UnresolvedConflict => "unresolved_conflict",
+            ErrorCode::DestinationExists => "destination_exists",
+            ErrorCode::SourceMissing => "source_missing",
+            ErrorCode::BadCitationFile => "bad_citation_file",
+            ErrorCode::Cite => "cite",
+            ErrorCode::Protocol => "protocol",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "auth_failed" => ErrorCode::AuthFailed,
+            "permission_denied" => ErrorCode::PermissionDenied,
+            "user_not_found" => ErrorCode::UserNotFound,
+            "user_exists" => ErrorCode::UserExists,
+            "repo_not_found" => ErrorCode::RepoNotFound,
+            "repo_exists" => ErrorCode::RepoExists,
+            "doi_not_found" => ErrorCode::DoiNotFound,
+            "swhid_not_found" => ErrorCode::SwhidNotFound,
+            "bad_request" => ErrorCode::BadRequest,
+            "branch_not_found" => ErrorCode::BranchNotFound,
+            "branch_exists" => ErrorCode::BranchExists,
+            "non_fast_forward" => ErrorCode::NonFastForward,
+            "file_not_found" => ErrorCode::FileNotFound,
+            "object_not_found" => ErrorCode::ObjectNotFound,
+            "nothing_to_commit" => ErrorCode::NothingToCommit,
+            "merge_conflicts" => ErrorCode::MergeConflicts,
+            "empty_repository" => ErrorCode::EmptyRepository,
+            "git" => ErrorCode::Git,
+            "already_cited" => ErrorCode::AlreadyCited,
+            "not_cited" => ErrorCode::NotCited,
+            "root_citation_required" => ErrorCode::RootCitationRequired,
+            "path_missing" => ErrorCode::PathMissing,
+            "reserved_path" => ErrorCode::ReservedPath,
+            "unresolved_conflict" => ErrorCode::UnresolvedConflict,
+            "destination_exists" => ErrorCode::DestinationExists,
+            "source_missing" => ErrorCode::SourceMissing,
+            "bad_citation_file" => ErrorCode::BadCitationFile,
+            "cite" => ErrorCode::Cite,
+            "protocol" => ErrorCode::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A failure as it travels on the wire: a stable code, a human-readable
+/// message, and (when the originating error carried one) the raw variant
+/// payload in `detail`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable description (the originating error's `Display`).
+    pub message: String,
+    /// The originating variant's payload, verbatim (username, repo id,
+    /// path, ...), when it had one.
+    pub detail: Option<String>,
+}
+
+impl WireError {
+    /// Classifies a [`HubError`] into its wire form.
+    pub fn from_hub(e: &HubError) -> WireError {
+        let message = e.to_string();
+        let (code, detail) = match e {
+            HubError::AuthFailed => (ErrorCode::AuthFailed, None),
+            HubError::PermissionDenied(s) => (ErrorCode::PermissionDenied, Some(s.clone())),
+            HubError::UserNotFound(s) => (ErrorCode::UserNotFound, Some(s.clone())),
+            HubError::UserExists(s) => (ErrorCode::UserExists, Some(s.clone())),
+            HubError::RepoNotFound(s) => (ErrorCode::RepoNotFound, Some(s.clone())),
+            HubError::RepoExists(s) => (ErrorCode::RepoExists, Some(s.clone())),
+            HubError::DoiNotFound(s) => (ErrorCode::DoiNotFound, Some(s.clone())),
+            HubError::SwhidNotFound(s) => (ErrorCode::SwhidNotFound, Some(s.clone())),
+            HubError::BadRequest(s) => (ErrorCode::BadRequest, Some(s.clone())),
+            HubError::Protocol(s) => (ErrorCode::Protocol, Some(s.clone())),
+            HubError::Git(g) => classify_git(g),
+            HubError::Cite(c) => match c {
+                citekit::CiteError::Git(g) => classify_git(g),
+                citekit::CiteError::AlreadyCited(p) => {
+                    (ErrorCode::AlreadyCited, Some(p.to_string()))
+                }
+                citekit::CiteError::NotCited(p) => (ErrorCode::NotCited, Some(p.to_string())),
+                citekit::CiteError::RootCitationRequired => (ErrorCode::RootCitationRequired, None),
+                citekit::CiteError::PathMissing(p) => (ErrorCode::PathMissing, Some(p.to_string())),
+                citekit::CiteError::ReservedPath(p) => {
+                    (ErrorCode::ReservedPath, Some(p.to_string()))
+                }
+                citekit::CiteError::UnresolvedConflict(p) => {
+                    (ErrorCode::UnresolvedConflict, Some(p.to_string()))
+                }
+                citekit::CiteError::DestinationExists(p) => {
+                    (ErrorCode::DestinationExists, Some(p.to_string()))
+                }
+                citekit::CiteError::SourceMissing(p) => {
+                    (ErrorCode::SourceMissing, Some(p.to_string()))
+                }
+                citekit::CiteError::BadCitationFile(msg) => {
+                    (ErrorCode::BadCitationFile, Some(msg.clone()))
+                }
+                _ => (ErrorCode::Cite, None),
+            },
+        };
+        WireError {
+            code,
+            message,
+            detail,
+        }
+    }
+
+    /// Reconstructs the closest typed [`HubError`]. Hub-level variants
+    /// come back exactly (their payload rides in `detail`); the VCS and
+    /// citation-layer variants a caller can act on have their own codes
+    /// and reconstruct precisely, while the residual `git`/`cite` codes
+    /// come back in the right family carrying the wire message. A
+    /// path/id-carrying code whose `detail` is missing or unparseable
+    /// becomes a `protocol` error — a typed error naming an invented
+    /// payload would mislead.
+    pub fn into_hub(self) -> HubError {
+        let WireError {
+            code,
+            message,
+            detail,
+        } = self;
+        let payload = |d: Option<String>| d.unwrap_or_else(|| message.clone());
+        // Required structured details; `Err` is the honest protocol error.
+        let path = |d: Option<String>| -> Result<RepoPath, HubError> {
+            d.as_deref()
+                .and_then(|s| RepoPath::parse(s).ok())
+                .ok_or_else(|| {
+                    HubError::Protocol(format!(
+                        "error code {code} requires a path detail ({message})"
+                    ))
+                })
+        };
+        let cite = |r: Result<RepoPath, HubError>, make: fn(RepoPath) -> citekit::CiteError| match r
+        {
+            Ok(p) => HubError::Cite(make(p)),
+            Err(e) => e,
+        };
+        match code {
+            ErrorCode::AuthFailed => HubError::AuthFailed,
+            ErrorCode::PermissionDenied => HubError::PermissionDenied(payload(detail)),
+            ErrorCode::UserNotFound => HubError::UserNotFound(payload(detail)),
+            ErrorCode::UserExists => HubError::UserExists(payload(detail)),
+            ErrorCode::RepoNotFound => HubError::RepoNotFound(payload(detail)),
+            ErrorCode::RepoExists => HubError::RepoExists(payload(detail)),
+            ErrorCode::DoiNotFound => HubError::DoiNotFound(payload(detail)),
+            ErrorCode::SwhidNotFound => HubError::SwhidNotFound(payload(detail)),
+            ErrorCode::BadRequest => HubError::BadRequest(payload(detail)),
+            ErrorCode::Protocol => HubError::Protocol(payload(detail)),
+            ErrorCode::BranchNotFound => {
+                HubError::Git(gitlite::GitError::BranchNotFound(payload(detail)))
+            }
+            ErrorCode::BranchExists => {
+                HubError::Git(gitlite::GitError::BranchExists(payload(detail)))
+            }
+            ErrorCode::NonFastForward => HubError::Git(gitlite::GitError::NonFastForward {
+                branch: payload(detail),
+            }),
+            ErrorCode::FileNotFound => match path(detail) {
+                Ok(p) => HubError::Git(gitlite::GitError::FileNotFound(p)),
+                Err(e) => e,
+            },
+            ErrorCode::ObjectNotFound => {
+                match detail.as_deref().and_then(gitlite::ObjectId::from_hex) {
+                    Some(id) => HubError::Git(gitlite::GitError::ObjectNotFound(id)),
+                    None => HubError::Protocol(format!(
+                        "error code object_not_found requires a hex id detail ({message})"
+                    )),
+                }
+            }
+            ErrorCode::NothingToCommit => HubError::Git(gitlite::GitError::NothingToCommit),
+            ErrorCode::MergeConflicts => match detail.as_deref().and_then(|d| d.parse().ok()) {
+                Some(n) => HubError::Git(gitlite::GitError::MergeConflicts(n)),
+                None => HubError::Protocol(format!(
+                    "error code merge_conflicts requires a count detail ({message})"
+                )),
+            },
+            ErrorCode::EmptyRepository => HubError::Git(gitlite::GitError::EmptyRepository),
+            ErrorCode::Git => HubError::Git(gitlite::GitError::Io(message)),
+            ErrorCode::AlreadyCited => cite(path(detail), citekit::CiteError::AlreadyCited),
+            ErrorCode::NotCited => cite(path(detail), citekit::CiteError::NotCited),
+            ErrorCode::RootCitationRequired => {
+                HubError::Cite(citekit::CiteError::RootCitationRequired)
+            }
+            ErrorCode::PathMissing => cite(path(detail), citekit::CiteError::PathMissing),
+            ErrorCode::ReservedPath => cite(path(detail), citekit::CiteError::ReservedPath),
+            ErrorCode::UnresolvedConflict => {
+                cite(path(detail), citekit::CiteError::UnresolvedConflict)
+            }
+            ErrorCode::DestinationExists => {
+                cite(path(detail), citekit::CiteError::DestinationExists)
+            }
+            ErrorCode::SourceMissing => cite(path(detail), citekit::CiteError::SourceMissing),
+            ErrorCode::BadCitationFile => {
+                HubError::Cite(citekit::CiteError::BadCitationFile(payload(detail)))
+            }
+            ErrorCode::Cite => HubError::Cite(citekit::CiteError::BadCitationFile(message)),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("code", self.code.as_str());
+        o.insert("message", self.message.as_str());
+        if let Some(d) = &self.detail {
+            o.insert("detail", d.as_str());
+        }
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<WireError> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("error must be an object"))?;
+        let code_str = req_str(o, "code")?;
+        let code = ErrorCode::parse(&code_str)
+            .ok_or_else(|| proto(format!("unknown error code {code_str:?}")))?;
+        Ok(WireError {
+            code,
+            message: req_str(o, "message")?,
+            detail: opt_str(o, "detail")?,
+        })
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn classify_git(g: &gitlite::GitError) -> (ErrorCode, Option<String>) {
+    match g {
+        gitlite::GitError::BranchNotFound(b) => (ErrorCode::BranchNotFound, Some(b.clone())),
+        gitlite::GitError::BranchExists(b) => (ErrorCode::BranchExists, Some(b.clone())),
+        gitlite::GitError::NonFastForward { branch } => {
+            (ErrorCode::NonFastForward, Some(branch.clone()))
+        }
+        gitlite::GitError::FileNotFound(p) => (ErrorCode::FileNotFound, Some(p.to_string())),
+        gitlite::GitError::ObjectNotFound(id) => (ErrorCode::ObjectNotFound, Some(id.to_hex())),
+        gitlite::GitError::NothingToCommit => (ErrorCode::NothingToCommit, None),
+        gitlite::GitError::MergeConflicts(n) => (ErrorCode::MergeConflicts, Some(n.to_string())),
+        gitlite::GitError::EmptyRepository => (ErrorCode::EmptyRepository, None),
+        _ => (ErrorCode::Git, None),
+    }
+}
+
+fn proto(msg: impl Into<String>) -> WireError {
+    WireError {
+        code: ErrorCode::Protocol,
+        message: msg.into(),
+        detail: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire-level compound types
+// ---------------------------------------------------------------------
+
+/// A repository serialized for transfer: the payload of `clone_repo`
+/// responses and `push` / `import_repo` requests. Object bytes are the
+/// canonical content-addressed encoding, so the receiving side verifies
+/// every object against its claimed id while loading (`put_raw`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepoBundle {
+    /// Repository name.
+    pub name: String,
+    /// Branch the receiver should check out, when known.
+    pub head: Option<String>,
+    /// `(branch, tip)` pairs.
+    pub refs: Vec<(String, ObjectId)>,
+    /// `(id, canonical bytes)` for every transferred object.
+    pub objects: Vec<(ObjectId, Vec<u8>)>,
+}
+
+impl RepoBundle {
+    /// Bundles every branch of `repo` (the `clone` / `import` payload).
+    pub fn from_repository(repo: &Repository) -> gitlite::Result<RepoBundle> {
+        let refs: Vec<(String, ObjectId)> = repo
+            .branches()
+            .map(|(b, tip)| (b.to_owned(), tip))
+            .collect();
+        let roots: Vec<ObjectId> = refs.iter().map(|(_, tip)| *tip).collect();
+        Self::bundle(repo, refs, &roots, repo.current_branch().map(str::to_owned))
+    }
+
+    /// Bundles a single branch of `repo` (the `push` payload).
+    pub fn from_branch(repo: &Repository, branch: &str) -> gitlite::Result<RepoBundle> {
+        let tip = repo.branch_tip(branch)?;
+        Self::bundle(
+            repo,
+            vec![(branch.to_owned(), tip)],
+            &[tip],
+            Some(branch.to_owned()),
+        )
+    }
+
+    fn bundle(
+        repo: &Repository,
+        refs: Vec<(String, ObjectId)>,
+        roots: &[ObjectId],
+        head: Option<String>,
+    ) -> gitlite::Result<RepoBundle> {
+        let mut objects = Vec::new();
+        for id in repo.odb().reachable_closure(roots)? {
+            objects.push((id, repo.odb().get(id)?.canonical_bytes()));
+        }
+        Ok(RepoBundle {
+            name: repo.name().to_owned(),
+            head,
+            refs,
+            objects,
+        })
+    }
+
+    /// Materializes the bundle as a repository on `store`, verifying
+    /// every object's bytes against its claimed id.
+    pub fn into_repository(&self, store: Box<dyn ObjectStore>) -> gitlite::Result<Repository> {
+        let mut repo = Repository::init_with(self.name.clone(), store);
+        for (id, bytes) in &self.objects {
+            repo.odb_mut().put_raw(*id, bytes)?;
+        }
+        for (branch, tip) in &self.refs {
+            repo.set_branch(branch, *tip)?;
+        }
+        let head = self
+            .head
+            .clone()
+            .filter(|b| repo.has_branch(b))
+            .or_else(|| self.refs.first().map(|(b, _)| b.clone()));
+        if let Some(b) = head {
+            repo.checkout_branch(&b)?;
+        }
+        Ok(repo)
+    }
+
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("name", self.name.as_str());
+        if let Some(h) = &self.head {
+            o.insert("head", h.as_str());
+        }
+        o.insert(
+            "refs",
+            Value::Array(
+                self.refs
+                    .iter()
+                    .map(|(b, tip)| Value::Array(vec![Value::from(b.as_str()), id_value(*tip)]))
+                    .collect(),
+            ),
+        );
+        o.insert(
+            "objects",
+            Value::Array(
+                self.objects
+                    .iter()
+                    .map(|(id, bytes)| {
+                        Value::Array(vec![id_value(*id), Value::from(hex_encode(bytes))])
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<RepoBundle> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("bundle must be an object"))?;
+        let mut refs = Vec::new();
+        for pair in req_arr(o, "refs")? {
+            let [b, tip] = two(pair, "ref")?;
+            refs.push((str_of(b, "ref branch")?, parse_id(tip, "ref tip")?));
+        }
+        let mut objects = Vec::new();
+        for pair in req_arr(o, "objects")? {
+            let [id, bytes] = two(pair, "object")?;
+            let bytes = hex_decode(
+                bytes
+                    .as_str()
+                    .ok_or_else(|| proto("object bytes must be hex"))?,
+            )
+            .ok_or_else(|| proto("object bytes must be hex"))?;
+            objects.push((parse_id(id, "object id")?, bytes));
+        }
+        Ok(RepoBundle {
+            name: req_str(o, "name")?,
+            head: opt_str(o, "head")?,
+            refs,
+            objects,
+        })
+    }
+}
+
+/// Version-level outcome of a server-side merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The other branch is already contained in ours.
+    AlreadyUpToDate,
+    /// Our branch simply advanced to the given commit.
+    FastForwarded(ObjectId),
+    /// A merge commit was created.
+    Merged(ObjectId),
+}
+
+/// Wire form of a server-side `MergeCite` report: the outcome plus how
+/// each citation-key conflict was settled and which entries were dropped
+/// because the Git merge deleted their paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeSummary {
+    /// What happened at the version level.
+    pub outcome: MergeOutcome,
+    /// `(path, resolution taken)` per conflicted citation key.
+    pub citation_conflicts: Vec<(RepoPath, Resolution)>,
+    /// Citation entries dropped because their paths were deleted.
+    pub dropped: Vec<RepoPath>,
+}
+
+fn resolution_to_value(r: &Resolution) -> Value {
+    let mut o = Object::new();
+    let kind = match r {
+        Resolution::Ours => "ours",
+        Resolution::Theirs => "theirs",
+        Resolution::Drop => "drop",
+        Resolution::Unresolved => "unresolved",
+        Resolution::Custom(_) => "custom",
+    };
+    o.insert("kind", kind);
+    if let Resolution::Custom(c) = r {
+        o.insert("citation", c.to_value());
+    }
+    Value::Object(o)
+}
+
+fn resolution_from_value(v: &Value) -> WireResult<Resolution> {
+    let o = v
+        .as_object()
+        .ok_or_else(|| proto("resolution must be an object"))?;
+    Ok(match req_str(o, "kind")?.as_str() {
+        "ours" => Resolution::Ours,
+        "theirs" => Resolution::Theirs,
+        "drop" => Resolution::Drop,
+        "unresolved" => Resolution::Unresolved,
+        "custom" => Resolution::Custom(parse_citation(
+            o.get("citation")
+                .ok_or_else(|| proto("custom resolution needs a citation"))?,
+        )?),
+        other => return Err(proto(format!("unknown resolution kind {other:?}"))),
+    })
+}
+
+impl MergeSummary {
+    fn to_value(&self) -> Value {
+        let mut outcome = Object::new();
+        match self.outcome {
+            MergeOutcome::AlreadyUpToDate => {
+                outcome.insert("kind", "already_up_to_date");
+            }
+            MergeOutcome::FastForwarded(id) => {
+                outcome.insert("kind", "fast_forwarded");
+                outcome.insert("commit", id.to_hex());
+            }
+            MergeOutcome::Merged(id) => {
+                outcome.insert("kind", "merged");
+                outcome.insert("commit", id.to_hex());
+            }
+        }
+        let mut o = Object::new();
+        o.insert("outcome", Value::Object(outcome));
+        o.insert(
+            "citation_conflicts",
+            Value::Array(
+                self.citation_conflicts
+                    .iter()
+                    .map(|(p, r)| Value::Array(vec![path_value(p), resolution_to_value(r)]))
+                    .collect(),
+            ),
+        );
+        o.insert(
+            "dropped",
+            Value::Array(self.dropped.iter().map(path_value).collect()),
+        );
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<MergeSummary> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("merge summary must be an object"))?;
+        let oc = req_obj(o, "outcome")?;
+        let outcome = match req_str(oc, "kind")?.as_str() {
+            "already_up_to_date" => MergeOutcome::AlreadyUpToDate,
+            "fast_forwarded" => MergeOutcome::FastForwarded(parse_id(
+                oc.get("commit").ok_or_else(|| proto("missing commit"))?,
+                "merge commit",
+            )?),
+            "merged" => MergeOutcome::Merged(parse_id(
+                oc.get("commit").ok_or_else(|| proto("missing commit"))?,
+                "merge commit",
+            )?),
+            other => return Err(proto(format!("unknown merge outcome {other:?}"))),
+        };
+        let mut citation_conflicts = Vec::new();
+        for pair in req_arr(o, "citation_conflicts")? {
+            let [p, r] = two(pair, "citation conflict")?;
+            citation_conflicts.push((parse_path_value(p)?, resolution_from_value(r)?));
+        }
+        let mut dropped = Vec::new();
+        for p in req_arr(o, "dropped")? {
+            dropped.push(parse_path_value(p)?);
+        }
+        Ok(MergeSummary {
+            outcome,
+            citation_conflicts,
+            dropped,
+        })
+    }
+}
+
+/// Object-store statistics for one hosted repository — the wire surface
+/// of [`gitlite::CacheStats`] plus the store's object count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Repository the stats describe.
+    pub repo_id: String,
+    /// Objects in the backing store.
+    pub objects: u64,
+    /// Cache counters, when the backend stack contains a read cache.
+    pub cache: Option<CacheStats>,
+}
+
+impl StoreStats {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("repo_id", self.repo_id.as_str());
+        o.insert("objects", self.objects as i64);
+        if let Some(c) = &self.cache {
+            let mut co = Object::new();
+            co.insert("hits", c.hits as i64);
+            co.insert("misses", c.misses as i64);
+            co.insert("evictions", c.evictions as i64);
+            co.insert("len", c.len as i64);
+            co.insert("capacity", c.capacity as i64);
+            o.insert("cache", Value::Object(co));
+        }
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<StoreStats> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("stats must be an object"))?;
+        let cache = match o.get("cache") {
+            None | Some(Value::Null) => None,
+            Some(Value::Object(co)) => Some(CacheStats {
+                hits: req_i64(co, "hits")? as u64,
+                misses: req_i64(co, "misses")? as u64,
+                evictions: req_i64(co, "evictions")? as u64,
+                len: req_i64(co, "len")? as usize,
+                capacity: req_i64(co, "capacity")? as usize,
+            }),
+            Some(_) => return Err(proto("cache must be an object")),
+        };
+        Ok(StoreStats {
+            repo_id: req_str(o, "repo_id")?,
+            objects: req_i64(o, "objects")? as u64,
+            cache,
+        })
+    }
+}
+
+/// What hub-side maintenance did to one hosted repository. A failed gc
+/// is reported per-repository (`error`), never aborting the sweep —
+/// one sick repository must not stop the rest from compacting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepoMaintenance {
+    /// Repository the pass visited.
+    pub repo_id: String,
+    /// Whether the repository's backend supports maintenance at all
+    /// (in-memory stores do not).
+    pub supported: bool,
+    /// Objects written into the fresh pack.
+    pub packed: u64,
+    /// Unreachable objects discarded.
+    pub dropped: u64,
+    /// Why this repository's gc failed, when it did.
+    pub error: Option<String>,
+}
+
+impl RepoMaintenance {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("repo_id", self.repo_id.as_str());
+        o.insert("supported", self.supported);
+        o.insert("packed", self.packed as i64);
+        o.insert("dropped", self.dropped as i64);
+        if let Some(e) = &self.error {
+            o.insert("error", e.as_str());
+        }
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<RepoMaintenance> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("maintenance entry must be an object"))?;
+        Ok(RepoMaintenance {
+            repo_id: req_str(o, "repo_id")?,
+            supported: req_bool(o, "supported")?,
+            packed: req_i64(o, "packed")? as u64,
+            dropped: req_i64(o, "dropped")? as u64,
+            error: opt_str(o, "error")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Every operation the platform exposes, as a typed request.
+///
+/// Tokens travel as their raw string form (the credential itself);
+/// repositories travel as [`RepoBundle`]s.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings match the typed `Hub` methods
+pub enum ApiRequest {
+    // auth
+    RegisterUser {
+        username: String,
+        display_name: String,
+    },
+    Login {
+        username: String,
+    },
+    Revoke {
+        token: String,
+    },
+    Whoami {
+        token: String,
+    },
+    // repositories
+    CreateRepo {
+        token: String,
+        name: String,
+    },
+    ImportRepo {
+        token: String,
+        name: String,
+        bundle: RepoBundle,
+    },
+    AddMember {
+        token: String,
+        repo_id: String,
+        username: String,
+        role: Role,
+    },
+    RoleOf {
+        repo_id: String,
+        username: String,
+    },
+    CanWrite {
+        token: String,
+        repo_id: String,
+    },
+    ListRepos,
+    // public reads
+    Branches {
+        repo_id: String,
+    },
+    ListFiles {
+        repo_id: String,
+        branch: String,
+    },
+    ReadFile {
+        repo_id: String,
+        branch: String,
+        path: RepoPath,
+    },
+    Log {
+        repo_id: String,
+        branch: String,
+    },
+    CloneRepo {
+        repo_id: String,
+    },
+    // citations
+    GenerateCitation {
+        repo_id: String,
+        branch: String,
+        path: RepoPath,
+    },
+    CitationEntry {
+        repo_id: String,
+        branch: String,
+        path: RepoPath,
+    },
+    AddCite {
+        token: String,
+        repo_id: String,
+        branch: String,
+        path: RepoPath,
+        citation: Citation,
+    },
+    ModifyCite {
+        token: String,
+        repo_id: String,
+        branch: String,
+        path: RepoPath,
+        citation: Citation,
+    },
+    DelCite {
+        token: String,
+        repo_id: String,
+        branch: String,
+        path: RepoPath,
+    },
+    // sync
+    Push {
+        token: String,
+        repo_id: String,
+        branch: String,
+        force: bool,
+        bundle: RepoBundle,
+    },
+    Fork {
+        token: String,
+        src_repo_id: String,
+        new_name: String,
+    },
+    MergeBranches {
+        token: String,
+        repo_id: String,
+        branch: String,
+        other_branch: String,
+        strategy: MergeStrategy,
+    },
+    // archives
+    Deposit {
+        token: String,
+        repo_id: String,
+        branch: String,
+        title: String,
+    },
+    ResolveDoi {
+        doi: String,
+    },
+    Archive {
+        repo_id: String,
+    },
+    ResolveSwhid {
+        swhid: String,
+    },
+    ArchiveVisits {
+        repo_id: String,
+    },
+    // credit
+    CreditedAuthors {
+        repo_id: String,
+        branch: String,
+    },
+    FindReposCiting {
+        author: String,
+    },
+    // operations
+    AuditLog,
+    StoreStats {
+        repo_id: String,
+    },
+    Maintenance,
+    AdvanceClock {
+        ts: i64,
+    },
+}
+
+fn strategy_str(s: MergeStrategy) -> &'static str {
+    match s {
+        MergeStrategy::Union => "union",
+        MergeStrategy::Ours => "ours",
+        MergeStrategy::Theirs => "theirs",
+        MergeStrategy::ThreeWay => "three-way",
+    }
+}
+
+fn strategy_parse(s: &str) -> WireResult<MergeStrategy> {
+    Ok(match s {
+        "union" => MergeStrategy::Union,
+        "ours" => MergeStrategy::Ours,
+        "theirs" => MergeStrategy::Theirs,
+        "three-way" => MergeStrategy::ThreeWay,
+        other => return Err(proto(format!("unknown merge strategy {other:?}"))),
+    })
+}
+
+fn role_str(r: Role) -> &'static str {
+    match r {
+        Role::Reader => "reader",
+        Role::Member => "member",
+        Role::Owner => "owner",
+    }
+}
+
+fn role_parse(s: &str) -> WireResult<Role> {
+    Ok(match s {
+        "reader" => Role::Reader,
+        "member" => Role::Member,
+        "owner" => Role::Owner,
+        other => return Err(proto(format!("unknown role {other:?}"))),
+    })
+}
+
+impl ApiRequest {
+    /// The wire method name.
+    pub fn method(&self) -> &'static str {
+        match self {
+            ApiRequest::RegisterUser { .. } => "register_user",
+            ApiRequest::Login { .. } => "login",
+            ApiRequest::Revoke { .. } => "revoke",
+            ApiRequest::Whoami { .. } => "whoami",
+            ApiRequest::CreateRepo { .. } => "create_repo",
+            ApiRequest::ImportRepo { .. } => "import_repo",
+            ApiRequest::AddMember { .. } => "add_member",
+            ApiRequest::RoleOf { .. } => "role_of",
+            ApiRequest::CanWrite { .. } => "can_write",
+            ApiRequest::ListRepos => "list_repos",
+            ApiRequest::Branches { .. } => "branches",
+            ApiRequest::ListFiles { .. } => "list_files",
+            ApiRequest::ReadFile { .. } => "read_file",
+            ApiRequest::Log { .. } => "log",
+            ApiRequest::CloneRepo { .. } => "clone_repo",
+            ApiRequest::GenerateCitation { .. } => "generate_citation",
+            ApiRequest::CitationEntry { .. } => "citation_entry",
+            ApiRequest::AddCite { .. } => "add_cite",
+            ApiRequest::ModifyCite { .. } => "modify_cite",
+            ApiRequest::DelCite { .. } => "del_cite",
+            ApiRequest::Push { .. } => "push",
+            ApiRequest::Fork { .. } => "fork",
+            ApiRequest::MergeBranches { .. } => "merge_branches",
+            ApiRequest::Deposit { .. } => "deposit",
+            ApiRequest::ResolveDoi { .. } => "resolve_doi",
+            ApiRequest::Archive { .. } => "archive",
+            ApiRequest::ResolveSwhid { .. } => "resolve_swhid",
+            ApiRequest::ArchiveVisits { .. } => "archive_visits",
+            ApiRequest::CreditedAuthors { .. } => "credited_authors",
+            ApiRequest::FindReposCiting { .. } => "find_repos_citing",
+            ApiRequest::AuditLog => "audit_log",
+            ApiRequest::StoreStats { .. } => "store_stats",
+            ApiRequest::Maintenance => "maintenance",
+            ApiRequest::AdvanceClock { .. } => "advance_clock",
+        }
+    }
+
+    fn params_value(&self) -> Value {
+        let mut p = Object::new();
+        match self {
+            ApiRequest::RegisterUser {
+                username,
+                display_name,
+            } => {
+                p.insert("username", username.as_str());
+                p.insert("display_name", display_name.as_str());
+            }
+            ApiRequest::Login { username } => {
+                p.insert("username", username.as_str());
+            }
+            ApiRequest::Revoke { token } | ApiRequest::Whoami { token } => {
+                p.insert("token", token.as_str());
+            }
+            ApiRequest::CreateRepo { token, name } => {
+                p.insert("token", token.as_str());
+                p.insert("name", name.as_str());
+            }
+            ApiRequest::ImportRepo {
+                token,
+                name,
+                bundle,
+            } => {
+                p.insert("token", token.as_str());
+                p.insert("name", name.as_str());
+                p.insert("bundle", bundle.to_value());
+            }
+            ApiRequest::AddMember {
+                token,
+                repo_id,
+                username,
+                role,
+            } => {
+                p.insert("token", token.as_str());
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("username", username.as_str());
+                p.insert("role", role_str(*role));
+            }
+            ApiRequest::RoleOf { repo_id, username } => {
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("username", username.as_str());
+            }
+            ApiRequest::CanWrite { token, repo_id } => {
+                p.insert("token", token.as_str());
+                p.insert("repo_id", repo_id.as_str());
+            }
+            ApiRequest::ListRepos | ApiRequest::AuditLog | ApiRequest::Maintenance => {}
+            ApiRequest::Branches { repo_id }
+            | ApiRequest::CloneRepo { repo_id }
+            | ApiRequest::Archive { repo_id }
+            | ApiRequest::ArchiveVisits { repo_id }
+            | ApiRequest::StoreStats { repo_id } => {
+                p.insert("repo_id", repo_id.as_str());
+            }
+            ApiRequest::ListFiles { repo_id, branch }
+            | ApiRequest::Log { repo_id, branch }
+            | ApiRequest::CreditedAuthors { repo_id, branch } => {
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+            }
+            ApiRequest::ReadFile {
+                repo_id,
+                branch,
+                path,
+            }
+            | ApiRequest::GenerateCitation {
+                repo_id,
+                branch,
+                path,
+            }
+            | ApiRequest::CitationEntry {
+                repo_id,
+                branch,
+                path,
+            } => {
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+                p.insert("path", path_value(path));
+            }
+            ApiRequest::AddCite {
+                token,
+                repo_id,
+                branch,
+                path,
+                citation,
+            }
+            | ApiRequest::ModifyCite {
+                token,
+                repo_id,
+                branch,
+                path,
+                citation,
+            } => {
+                p.insert("token", token.as_str());
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+                p.insert("path", path_value(path));
+                p.insert("citation", citation.to_value());
+            }
+            ApiRequest::DelCite {
+                token,
+                repo_id,
+                branch,
+                path,
+            } => {
+                p.insert("token", token.as_str());
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+                p.insert("path", path_value(path));
+            }
+            ApiRequest::Push {
+                token,
+                repo_id,
+                branch,
+                force,
+                bundle,
+            } => {
+                p.insert("token", token.as_str());
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+                p.insert("force", *force);
+                p.insert("bundle", bundle.to_value());
+            }
+            ApiRequest::Fork {
+                token,
+                src_repo_id,
+                new_name,
+            } => {
+                p.insert("token", token.as_str());
+                p.insert("src_repo_id", src_repo_id.as_str());
+                p.insert("new_name", new_name.as_str());
+            }
+            ApiRequest::MergeBranches {
+                token,
+                repo_id,
+                branch,
+                other_branch,
+                strategy,
+            } => {
+                p.insert("token", token.as_str());
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+                p.insert("other_branch", other_branch.as_str());
+                p.insert("strategy", strategy_str(*strategy));
+            }
+            ApiRequest::Deposit {
+                token,
+                repo_id,
+                branch,
+                title,
+            } => {
+                p.insert("token", token.as_str());
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+                p.insert("title", title.as_str());
+            }
+            ApiRequest::ResolveDoi { doi } => {
+                p.insert("doi", doi.as_str());
+            }
+            ApiRequest::ResolveSwhid { swhid } => {
+                p.insert("swhid", swhid.as_str());
+            }
+            ApiRequest::FindReposCiting { author } => {
+                p.insert("author", author.as_str());
+            }
+            ApiRequest::AdvanceClock { ts } => {
+                p.insert("ts", *ts);
+            }
+        }
+        Value::Object(p)
+    }
+
+    /// Serializes to the one-line wire envelope.
+    pub fn encode(&self) -> String {
+        let mut o = Object::new();
+        o.insert("v", PROTOCOL_VERSION);
+        o.insert("method", self.method());
+        o.insert("params", self.params_value());
+        Value::Object(o).to_string_compact()
+    }
+
+    /// Parses a wire envelope.
+    pub fn parse(text: &str) -> WireResult<ApiRequest> {
+        let v = sjson::parse(text).map_err(|e| proto(format!("unparseable request: {e}")))?;
+        Self::from_value(&v)
+    }
+
+    /// Reads a request out of an already-parsed envelope value.
+    pub fn from_value(v: &Value) -> WireResult<ApiRequest> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("request must be an object"))?;
+        check_version(o)?;
+        let method = req_str(o, "method")?;
+        let empty = Object::new();
+        let p = match o.get("params") {
+            None | Some(Value::Null) => &empty,
+            Some(Value::Object(p)) => p,
+            Some(_) => return Err(proto("params must be an object")),
+        };
+        Ok(match method.as_str() {
+            "register_user" => ApiRequest::RegisterUser {
+                username: req_str(p, "username")?,
+                display_name: req_str(p, "display_name")?,
+            },
+            "login" => ApiRequest::Login {
+                username: req_str(p, "username")?,
+            },
+            "revoke" => ApiRequest::Revoke {
+                token: req_str(p, "token")?,
+            },
+            "whoami" => ApiRequest::Whoami {
+                token: req_str(p, "token")?,
+            },
+            "create_repo" => ApiRequest::CreateRepo {
+                token: req_str(p, "token")?,
+                name: req_str(p, "name")?,
+            },
+            "import_repo" => ApiRequest::ImportRepo {
+                token: req_str(p, "token")?,
+                name: req_str(p, "name")?,
+                bundle: RepoBundle::from_value(
+                    p.get("bundle").ok_or_else(|| proto("missing bundle"))?,
+                )?,
+            },
+            "add_member" => ApiRequest::AddMember {
+                token: req_str(p, "token")?,
+                repo_id: req_str(p, "repo_id")?,
+                username: req_str(p, "username")?,
+                role: role_parse(&req_str(p, "role")?)?,
+            },
+            "role_of" => ApiRequest::RoleOf {
+                repo_id: req_str(p, "repo_id")?,
+                username: req_str(p, "username")?,
+            },
+            "can_write" => ApiRequest::CanWrite {
+                token: req_str(p, "token")?,
+                repo_id: req_str(p, "repo_id")?,
+            },
+            "list_repos" => ApiRequest::ListRepos,
+            "branches" => ApiRequest::Branches {
+                repo_id: req_str(p, "repo_id")?,
+            },
+            "list_files" => ApiRequest::ListFiles {
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+            },
+            "read_file" => ApiRequest::ReadFile {
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                path: req_path(p)?,
+            },
+            "log" => ApiRequest::Log {
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+            },
+            "clone_repo" => ApiRequest::CloneRepo {
+                repo_id: req_str(p, "repo_id")?,
+            },
+            "generate_citation" => ApiRequest::GenerateCitation {
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                path: req_path(p)?,
+            },
+            "citation_entry" => ApiRequest::CitationEntry {
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                path: req_path(p)?,
+            },
+            "add_cite" => ApiRequest::AddCite {
+                token: req_str(p, "token")?,
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                path: req_path(p)?,
+                citation: parse_citation(
+                    p.get("citation").ok_or_else(|| proto("missing citation"))?,
+                )?,
+            },
+            "modify_cite" => ApiRequest::ModifyCite {
+                token: req_str(p, "token")?,
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                path: req_path(p)?,
+                citation: parse_citation(
+                    p.get("citation").ok_or_else(|| proto("missing citation"))?,
+                )?,
+            },
+            "del_cite" => ApiRequest::DelCite {
+                token: req_str(p, "token")?,
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                path: req_path(p)?,
+            },
+            "push" => ApiRequest::Push {
+                token: req_str(p, "token")?,
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                force: req_bool(p, "force")?,
+                bundle: RepoBundle::from_value(
+                    p.get("bundle").ok_or_else(|| proto("missing bundle"))?,
+                )?,
+            },
+            "fork" => ApiRequest::Fork {
+                token: req_str(p, "token")?,
+                src_repo_id: req_str(p, "src_repo_id")?,
+                new_name: req_str(p, "new_name")?,
+            },
+            "merge_branches" => ApiRequest::MergeBranches {
+                token: req_str(p, "token")?,
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                other_branch: req_str(p, "other_branch")?,
+                strategy: strategy_parse(&req_str(p, "strategy")?)?,
+            },
+            "deposit" => ApiRequest::Deposit {
+                token: req_str(p, "token")?,
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+                title: req_str(p, "title")?,
+            },
+            "resolve_doi" => ApiRequest::ResolveDoi {
+                doi: req_str(p, "doi")?,
+            },
+            "archive" => ApiRequest::Archive {
+                repo_id: req_str(p, "repo_id")?,
+            },
+            "resolve_swhid" => ApiRequest::ResolveSwhid {
+                swhid: req_str(p, "swhid")?,
+            },
+            "archive_visits" => ApiRequest::ArchiveVisits {
+                repo_id: req_str(p, "repo_id")?,
+            },
+            "credited_authors" => ApiRequest::CreditedAuthors {
+                repo_id: req_str(p, "repo_id")?,
+                branch: req_str(p, "branch")?,
+            },
+            "find_repos_citing" => ApiRequest::FindReposCiting {
+                author: req_str(p, "author")?,
+            },
+            "audit_log" => ApiRequest::AuditLog,
+            "store_stats" => ApiRequest::StoreStats {
+                repo_id: req_str(p, "repo_id")?,
+            },
+            "maintenance" => ApiRequest::Maintenance,
+            "advance_clock" => ApiRequest::AdvanceClock {
+                ts: req_i64(p, "ts")?,
+            },
+            other => return Err(proto(format!("unknown method {other:?}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// Every result shape the platform returns. Self-describing on the wire
+/// (each carries a `type` tag), so responses parse independently of the
+/// request that produced them.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // shapes mirror the typed `Hub` method returns
+pub enum ApiResponse {
+    Unit,
+    Token(String),
+    User(User),
+    /// A repository id, username or similar identifier.
+    Id(String),
+    Names(Vec<String>),
+    Paths(Vec<RepoPath>),
+    FileData(Vec<u8>),
+    Log(Vec<LogEntry>),
+    Citation(Citation),
+    CitationOpt(Option<Citation>),
+    Commit(ObjectId),
+    Bool(bool),
+    RoleOpt(Option<Role>),
+    Merge(MergeSummary),
+    Deposit(Deposit),
+    Archive(ArchiveReport),
+    Swhid(SwhKind, ObjectId),
+    Count(u64),
+    /// `(name, citing paths)` pairs — credited authors of one repository,
+    /// or repositories citing one author.
+    Credits(Vec<(String, Vec<RepoPath>)>),
+    Audit(Vec<AuditEvent>),
+    Stats(StoreStats),
+    Maintenance(Vec<RepoMaintenance>),
+    Bundle(RepoBundle),
+    Error(WireError),
+}
+
+impl ApiResponse {
+    /// Wraps a failed operation.
+    pub fn from_error(e: &HubError) -> ApiResponse {
+        ApiResponse::Error(WireError::from_hub(e))
+    }
+
+    /// The wire discriminant: the `type` tag a result serializes under
+    /// (`"error"` for the error variant). Single source for the
+    /// serializer and for shape-mismatch diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApiResponse::Unit => "unit",
+            ApiResponse::Token(_) => "token",
+            ApiResponse::User(_) => "user",
+            ApiResponse::Id(_) => "id",
+            ApiResponse::Names(_) => "names",
+            ApiResponse::Paths(_) => "paths",
+            ApiResponse::FileData(_) => "file",
+            ApiResponse::Log(_) => "log",
+            ApiResponse::Citation(_) => "citation",
+            ApiResponse::CitationOpt(_) => "citation_opt",
+            ApiResponse::Commit(_) => "commit",
+            ApiResponse::Bool(_) => "bool",
+            ApiResponse::RoleOpt(_) => "role",
+            ApiResponse::Merge(_) => "merge",
+            ApiResponse::Deposit(_) => "deposit",
+            ApiResponse::Archive(_) => "archive",
+            ApiResponse::Swhid(..) => "swhid",
+            ApiResponse::Count(_) => "count",
+            ApiResponse::Credits(_) => "credits",
+            ApiResponse::Audit(_) => "audit",
+            ApiResponse::Stats(_) => "stats",
+            ApiResponse::Maintenance(_) => "maintenance",
+            ApiResponse::Bundle(_) => "bundle",
+            ApiResponse::Error(_) => "error",
+        }
+    }
+
+    /// Splits success from failure, reconstructing a typed [`HubError`]
+    /// for the failure side.
+    pub fn into_result(self) -> Result<ApiResponse, HubError> {
+        match self {
+            ApiResponse::Error(e) => Err(e.into_hub()),
+            ok => Ok(ok),
+        }
+    }
+
+    fn result_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("type", self.kind());
+        match self {
+            ApiResponse::Unit => {}
+            ApiResponse::Token(t) => {
+                o.insert("token", t.as_str());
+            }
+            ApiResponse::User(u) => {
+                o.insert("username", u.username.as_str());
+                o.insert("display_name", u.display_name.as_str());
+                o.insert("email", u.email.as_str());
+            }
+            ApiResponse::Id(id) => {
+                o.insert("id", id.as_str());
+            }
+            ApiResponse::Names(ns) => {
+                o.insert(
+                    "names",
+                    Value::Array(ns.iter().map(|n| Value::from(n.as_str())).collect()),
+                );
+            }
+            ApiResponse::Paths(ps) => {
+                o.insert("paths", Value::Array(ps.iter().map(path_value).collect()));
+            }
+            ApiResponse::FileData(bytes) => {
+                o.insert("data", hex_encode(bytes));
+            }
+            ApiResponse::Log(entries) => {
+                o.insert(
+                    "entries",
+                    Value::Array(
+                        entries
+                            .iter()
+                            .map(|e| {
+                                let mut eo = Object::new();
+                                eo.insert("id", e.id.to_hex());
+                                eo.insert("author", e.author.as_str());
+                                eo.insert("timestamp", e.timestamp);
+                                eo.insert("message", e.message.as_str());
+                                Value::Object(eo)
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            ApiResponse::Citation(c) => {
+                o.insert("citation", c.to_value());
+            }
+            ApiResponse::CitationOpt(c) => {
+                match c {
+                    Some(c) => o.insert("citation", c.to_value()),
+                    None => o.insert("citation", Value::Null),
+                };
+            }
+            ApiResponse::Commit(id) => {
+                o.insert("id", id.to_hex());
+            }
+            ApiResponse::Bool(b) => {
+                o.insert("value", *b);
+            }
+            ApiResponse::RoleOpt(r) => {
+                match r {
+                    Some(r) => o.insert("role", role_str(*r)),
+                    None => o.insert("role", Value::Null),
+                };
+            }
+            ApiResponse::Merge(m) => {
+                o.insert("report", m.to_value());
+            }
+            ApiResponse::Deposit(d) => {
+                o.insert("doi", d.doi.as_str());
+                o.insert("repo_id", d.repo_id.as_str());
+                o.insert("version", d.version.to_hex());
+                o.insert("tree", d.tree.to_hex());
+                o.insert("title", d.title.as_str());
+                o.insert(
+                    "creators",
+                    Value::Array(d.creators.iter().map(|c| Value::from(c.as_str())).collect()),
+                );
+                o.insert("deposited_at", d.deposited_at);
+            }
+            ApiResponse::Archive(a) => {
+                o.insert("origin", a.origin.as_str());
+                o.insert(
+                    "heads",
+                    Value::Array(a.heads.iter().map(|h| Value::from(h.as_str())).collect()),
+                );
+                o.insert(
+                    "new_objects",
+                    Value::Array(vec![
+                        Value::from(a.new_objects.0 as i64),
+                        Value::from(a.new_objects.1 as i64),
+                        Value::from(a.new_objects.2 as i64),
+                    ]),
+                );
+            }
+            ApiResponse::Swhid(kind, id) => {
+                o.insert(
+                    "kind",
+                    match kind {
+                        SwhKind::Content => "cnt",
+                        SwhKind::Directory => "dir",
+                        SwhKind::Revision => "rev",
+                    },
+                );
+                o.insert("id", id.to_hex());
+            }
+            ApiResponse::Count(n) => {
+                o.insert("count", *n as i64);
+            }
+            ApiResponse::Credits(cs) => {
+                o.insert(
+                    "credits",
+                    Value::Array(
+                        cs.iter()
+                            .map(|(name, paths)| {
+                                Value::Array(vec![
+                                    Value::from(name.as_str()),
+                                    Value::Array(paths.iter().map(path_value).collect()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            ApiResponse::Audit(events) => {
+                o.insert(
+                    "events",
+                    Value::Array(
+                        events
+                            .iter()
+                            .map(|e| {
+                                let mut eo = Object::new();
+                                eo.insert("seq", e.seq as i64);
+                                eo.insert("timestamp", e.timestamp);
+                                match &e.actor {
+                                    Some(a) => eo.insert("actor", Value::from(a.as_str())),
+                                    None => eo.insert("actor", Value::Null),
+                                };
+                                eo.insert("action", e.action.as_str());
+                                eo.insert("target", e.target.as_str());
+                                eo.insert("ok", e.ok);
+                                Value::Object(eo)
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            ApiResponse::Stats(s) => {
+                o.insert("stats", s.to_value());
+            }
+            ApiResponse::Maintenance(entries) => {
+                o.insert(
+                    "repos",
+                    Value::Array(entries.iter().map(|e| e.to_value()).collect()),
+                );
+            }
+            ApiResponse::Bundle(b) => {
+                o.insert("bundle", b.to_value());
+            }
+            ApiResponse::Error(_) => unreachable!("errors are encoded by encode()"),
+        }
+        Value::Object(o)
+    }
+
+    /// Serializes to the one-line wire envelope.
+    pub fn encode(&self) -> String {
+        let mut o = Object::new();
+        o.insert("v", PROTOCOL_VERSION);
+        match self {
+            ApiResponse::Error(e) => o.insert("error", e.to_value()),
+            ok => o.insert("result", ok.result_value()),
+        };
+        Value::Object(o).to_string_compact()
+    }
+
+    /// Parses a wire envelope.
+    pub fn parse(text: &str) -> WireResult<ApiResponse> {
+        let v = sjson::parse(text).map_err(|e| proto(format!("unparseable response: {e}")))?;
+        Self::from_value(&v)
+    }
+
+    /// Reads a response out of an already-parsed envelope value.
+    pub fn from_value(v: &Value) -> WireResult<ApiResponse> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("response must be an object"))?;
+        check_version(o)?;
+        if let Some(err) = o.get("error") {
+            return Ok(ApiResponse::Error(WireError::from_value(err)?));
+        }
+        let r = req_obj(o, "result")?;
+        Ok(match req_str(r, "type")?.as_str() {
+            "unit" => ApiResponse::Unit,
+            "token" => ApiResponse::Token(req_str(r, "token")?),
+            "user" => ApiResponse::User(User {
+                username: req_str(r, "username")?,
+                display_name: req_str(r, "display_name")?,
+                email: req_str(r, "email")?,
+            }),
+            "id" => ApiResponse::Id(req_str(r, "id")?),
+            "names" => {
+                let mut names = Vec::new();
+                for n in req_arr(r, "names")? {
+                    names.push(str_of(n, "name")?);
+                }
+                ApiResponse::Names(names)
+            }
+            "paths" => {
+                let mut paths = Vec::new();
+                for p in req_arr(r, "paths")? {
+                    paths.push(parse_path_value(p)?);
+                }
+                ApiResponse::Paths(paths)
+            }
+            "file" => ApiResponse::FileData(
+                hex_decode(&req_str(r, "data")?).ok_or_else(|| proto("file data must be hex"))?,
+            ),
+            "log" => {
+                let mut entries = Vec::new();
+                for e in req_arr(r, "entries")? {
+                    let eo = e
+                        .as_object()
+                        .ok_or_else(|| proto("log entry must be an object"))?;
+                    entries.push(LogEntry {
+                        id: parse_id(
+                            eo.get("id").ok_or_else(|| proto("missing log id"))?,
+                            "log id",
+                        )?,
+                        author: req_str(eo, "author")?,
+                        timestamp: req_i64(eo, "timestamp")?,
+                        message: req_str(eo, "message")?,
+                    });
+                }
+                ApiResponse::Log(entries)
+            }
+            "citation" => ApiResponse::Citation(parse_citation(
+                r.get("citation").ok_or_else(|| proto("missing citation"))?,
+            )?),
+            "citation_opt" => match r.get("citation") {
+                None | Some(Value::Null) => ApiResponse::CitationOpt(None),
+                Some(v) => ApiResponse::CitationOpt(Some(parse_citation(v)?)),
+            },
+            "commit" => ApiResponse::Commit(parse_id(
+                r.get("id").ok_or_else(|| proto("missing commit id"))?,
+                "commit id",
+            )?),
+            "bool" => ApiResponse::Bool(req_bool(r, "value")?),
+            "role" => match r.get("role") {
+                None | Some(Value::Null) => ApiResponse::RoleOpt(None),
+                Some(v) => ApiResponse::RoleOpt(Some(role_parse(
+                    v.as_str().ok_or_else(|| proto("role must be a string"))?,
+                )?)),
+            },
+            "merge" => ApiResponse::Merge(MergeSummary::from_value(
+                r.get("report")
+                    .ok_or_else(|| proto("missing merge report"))?,
+            )?),
+            "deposit" => {
+                let mut creators = Vec::new();
+                for c in req_arr(r, "creators")? {
+                    creators.push(str_of(c, "creator")?);
+                }
+                ApiResponse::Deposit(Deposit {
+                    doi: req_str(r, "doi")?,
+                    repo_id: req_str(r, "repo_id")?,
+                    version: parse_id(
+                        r.get("version").ok_or_else(|| proto("missing version"))?,
+                        "deposit version",
+                    )?,
+                    tree: parse_id(
+                        r.get("tree").ok_or_else(|| proto("missing tree"))?,
+                        "deposit tree",
+                    )?,
+                    title: req_str(r, "title")?,
+                    creators,
+                    deposited_at: req_i64(r, "deposited_at")?,
+                })
+            }
+            "archive" => {
+                let mut heads = Vec::new();
+                for h in req_arr(r, "heads")? {
+                    heads.push(str_of(h, "head")?);
+                }
+                let counts = req_arr(r, "new_objects")?;
+                if counts.len() != 3 {
+                    return Err(proto("new_objects must have three counts"));
+                }
+                let n = |v: &Value| -> WireResult<usize> {
+                    v.as_i64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| proto("new_objects entries must be integers"))
+                };
+                ApiResponse::Archive(ArchiveReport {
+                    origin: req_str(r, "origin")?,
+                    heads,
+                    new_objects: (n(&counts[0])?, n(&counts[1])?, n(&counts[2])?),
+                })
+            }
+            "swhid" => {
+                let kind = match req_str(r, "kind")?.as_str() {
+                    "cnt" => SwhKind::Content,
+                    "dir" => SwhKind::Directory,
+                    "rev" => SwhKind::Revision,
+                    other => return Err(proto(format!("unknown swhid kind {other:?}"))),
+                };
+                ApiResponse::Swhid(
+                    kind,
+                    parse_id(
+                        r.get("id").ok_or_else(|| proto("missing swhid id"))?,
+                        "swhid id",
+                    )?,
+                )
+            }
+            "count" => ApiResponse::Count(req_i64(r, "count")? as u64),
+            "credits" => {
+                let mut credits = Vec::new();
+                for pair in req_arr(r, "credits")? {
+                    let [name, paths] = two(pair, "credit")?;
+                    let paths = paths
+                        .as_array()
+                        .ok_or_else(|| proto("credit paths must be an array"))?;
+                    let mut ps = Vec::new();
+                    for p in paths {
+                        ps.push(parse_path_value(p)?);
+                    }
+                    credits.push((str_of(name, "credited name")?, ps));
+                }
+                ApiResponse::Credits(credits)
+            }
+            "audit" => {
+                let mut events = Vec::new();
+                for e in req_arr(r, "events")? {
+                    let eo = e
+                        .as_object()
+                        .ok_or_else(|| proto("audit event must be an object"))?;
+                    events.push(AuditEvent {
+                        seq: req_i64(eo, "seq")? as u64,
+                        timestamp: req_i64(eo, "timestamp")?,
+                        actor: opt_str(eo, "actor")?,
+                        action: req_str(eo, "action")?,
+                        target: req_str(eo, "target")?,
+                        ok: req_bool(eo, "ok")?,
+                    });
+                }
+                ApiResponse::Audit(events)
+            }
+            "stats" => ApiResponse::Stats(StoreStats::from_value(
+                r.get("stats").ok_or_else(|| proto("missing stats"))?,
+            )?),
+            "maintenance" => {
+                let mut repos = Vec::new();
+                for e in req_arr(r, "repos")? {
+                    repos.push(RepoMaintenance::from_value(e)?);
+                }
+                ApiResponse::Maintenance(repos)
+            }
+            "bundle" => ApiResponse::Bundle(RepoBundle::from_value(
+                r.get("bundle").ok_or_else(|| proto("missing bundle"))?,
+            )?),
+            other => return Err(proto(format!("unknown result type {other:?}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing helpers
+// ---------------------------------------------------------------------
+
+fn check_version(o: &Object) -> WireResult<()> {
+    let v = req_i64(o, "v")?;
+    if v != PROTOCOL_VERSION {
+        return Err(proto(format!(
+            "unsupported protocol version {v} (this peer speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+fn req_str(o: &Object, key: &str) -> WireResult<String> {
+    o.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| proto(format!("missing or non-string field {key:?}")))
+}
+
+fn opt_str(o: &Object, key: &str) -> WireResult<Option<String>> {
+    match o.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(proto(format!("field {key:?} must be a string or null"))),
+    }
+}
+
+fn req_i64(o: &Object, key: &str) -> WireResult<i64> {
+    o.get(key)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| proto(format!("missing or non-integer field {key:?}")))
+}
+
+fn req_bool(o: &Object, key: &str) -> WireResult<bool> {
+    o.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| proto(format!("missing or non-boolean field {key:?}")))
+}
+
+fn req_arr<'a>(o: &'a Object, key: &str) -> WireResult<&'a [Value]> {
+    o.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| proto(format!("missing or non-array field {key:?}")))
+}
+
+fn req_obj<'a>(o: &'a Object, key: &str) -> WireResult<&'a Object> {
+    o.get(key)
+        .and_then(Value::as_object)
+        .ok_or_else(|| proto(format!("missing or non-object field {key:?}")))
+}
+
+fn str_of(v: &Value, what: &str) -> WireResult<String> {
+    v.as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| proto(format!("{what} must be a string")))
+}
+
+fn two<'a>(v: &'a Value, what: &str) -> WireResult<[&'a Value; 2]> {
+    match v.as_array() {
+        Some([a, b]) => Ok([a, b]),
+        _ => Err(proto(format!("{what} must be a two-element array"))),
+    }
+}
+
+fn path_value(p: &RepoPath) -> Value {
+    Value::from(p.to_string())
+}
+
+fn parse_path_value(v: &Value) -> WireResult<RepoPath> {
+    let s = v.as_str().ok_or_else(|| proto("path must be a string"))?;
+    RepoPath::parse(s).map_err(|e| proto(format!("bad path {s:?}: {e}")))
+}
+
+fn req_path(o: &Object) -> WireResult<RepoPath> {
+    parse_path_value(
+        o.get("path")
+            .ok_or_else(|| proto("missing field \"path\""))?,
+    )
+}
+
+fn id_value(id: ObjectId) -> Value {
+    Value::from(id.to_hex())
+}
+
+fn parse_id(v: &Value, what: &str) -> WireResult<ObjectId> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| proto(format!("{what} must be a hex string")))?;
+    ObjectId::from_hex(s).ok_or_else(|| proto(format!("{what} is not a 40-char hex id")))
+}
+
+fn parse_citation(v: &Value) -> WireResult<Citation> {
+    Citation::from_value(v).map_err(|e| proto(format!("bad citation: {e}")))
+}
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)).unwrap(), bytes);
+        assert_eq!(hex_decode("0g"), None);
+        assert_eq!(hex_decode("abc"), None);
+        assert_eq!(hex_decode(""), Some(Vec::new()));
+    }
+
+    #[test]
+    fn request_envelope_round_trip() {
+        let req = ApiRequest::AddCite {
+            token: "ghp_x".into(),
+            repo_id: "a/p".into(),
+            branch: "main".into(),
+            path: RepoPath::parse("src/lib.rs").unwrap(),
+            citation: Citation::builder("p", "A").author("A").build(),
+        };
+        let text = req.encode();
+        assert!(text.contains("\"v\":1"));
+        assert!(text.contains("\"method\":\"add_cite\""));
+        assert_eq!(ApiRequest::parse(&text).unwrap(), req);
+    }
+
+    #[test]
+    fn response_envelope_round_trip() {
+        let resp = ApiResponse::Commit(ObjectId::hash_bytes(b"x"));
+        let text = resp.encode();
+        assert_eq!(ApiResponse::parse(&text).unwrap(), resp);
+    }
+
+    #[test]
+    fn wrong_version_is_refused() {
+        let text = r#"{"v": 2, "method": "list_repos", "params": {}}"#;
+        let err = ApiRequest::parse(text).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("version"));
+    }
+
+    #[test]
+    fn unknown_method_is_refused() {
+        let text = r#"{"v": 1, "method": "frobnicate", "params": {}}"#;
+        let err = ApiRequest::parse(text).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn unknown_params_are_ignored() {
+        let text = r#"{"v": 1, "method": "login", "params": {"username": "a", "extra": 1}}"#;
+        assert_eq!(
+            ApiRequest::parse(text).unwrap(),
+            ApiRequest::Login {
+                username: "a".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_codes_reconstruct_hub_errors() {
+        let original = HubError::PermissionDenied("bob lacks Write".into());
+        let wire = WireError::from_hub(&original);
+        assert_eq!(wire.code, ErrorCode::PermissionDenied);
+        assert_eq!(wire.into_hub(), original);
+
+        let original = HubError::Cite(citekit::CiteError::AlreadyCited(
+            RepoPath::parse("src/lib.rs").unwrap(),
+        ));
+        let wire = WireError::from_hub(&original);
+        assert_eq!(wire.code, ErrorCode::AlreadyCited);
+        assert_eq!(wire.into_hub(), original);
+
+        let original = HubError::Git(gitlite::GitError::NonFastForward {
+            branch: "main".into(),
+        });
+        let wire = WireError::from_hub(&original);
+        assert_eq!(wire.code, ErrorCode::NonFastForward);
+        assert_eq!(wire.into_hub(), original);
+
+        // The common read failure keeps its exact variant in-process.
+        let original = HubError::Git(gitlite::GitError::FileNotFound(
+            RepoPath::parse("src/lib.rs").unwrap(),
+        ));
+        let wire = WireError::from_hub(&original);
+        assert_eq!(wire.code, ErrorCode::FileNotFound);
+        assert_eq!(wire.into_hub(), original);
+
+        let original = HubError::Git(gitlite::GitError::NothingToCommit);
+        assert_eq!(WireError::from_hub(&original).into_hub(), original);
+
+        let original = HubError::Cite(citekit::CiteError::BadCitationFile("bad json".into()));
+        let wire = WireError::from_hub(&original);
+        assert_eq!(wire.code, ErrorCode::BadCitationFile);
+        assert_eq!(wire.into_hub(), original);
+    }
+
+    #[test]
+    fn missing_required_detail_reconstructs_as_protocol_error() {
+        // A peer that strips the structured payload gets an honest
+        // protocol error, not a typed error naming an invented path.
+        let wire = WireError {
+            code: ErrorCode::AlreadyCited,
+            message: "already cited".into(),
+            detail: None,
+        };
+        assert!(matches!(wire.into_hub(), HubError::Protocol(_)));
+        let wire = WireError {
+            code: ErrorCode::ObjectNotFound,
+            message: "object gone".into(),
+            detail: Some("not-hex".into()),
+        };
+        assert!(matches!(wire.into_hub(), HubError::Protocol(_)));
+    }
+
+    #[test]
+    fn error_envelope_round_trip() {
+        let resp = ApiResponse::from_error(&HubError::RepoNotFound("a/p".into()));
+        let text = resp.encode();
+        assert!(text.contains("\"error\""));
+        assert!(!text.contains("\"result\""));
+        let back = ApiResponse::parse(&text).unwrap();
+        assert_eq!(back, resp);
+        assert!(matches!(
+            back.into_result(),
+            Err(HubError::RepoNotFound(r)) if r == "a/p"
+        ));
+    }
+}

@@ -1,0 +1,534 @@
+//! Client side of the Cloud Platform API: a typed [`HubClient`] speaking
+//! the [`crate::api`] wire protocol through a pluggable [`Transport`].
+//!
+//! The client never touches [`Hub`] methods — every call is encoded to the
+//! sjson wire envelope, handed to the transport as a string, and the
+//! response string parsed back. [`InProcess`] is the transport used by the
+//! in-repo simulation (the browser extension drives the hub through it);
+//! a socket or HTTP transport slots in behind the same one-method trait
+//! without touching any client logic.
+
+use crate::api::{ApiRequest, ApiResponse, MergeSummary, RepoMaintenance, StoreStats};
+use crate::audit::AuditEvent;
+use crate::error::{HubError, Result};
+use crate::heritage::{ArchiveReport, SwhKind};
+use crate::perm::Role;
+use crate::server::{Hub, LogEntry, Token, User};
+use crate::zenodo::Deposit;
+use citekit::{Citation, MergeStrategy};
+use gitlite::{ObjectId, RepoPath, Repository};
+
+/// Moves one request envelope to a hub and returns its response envelope.
+///
+/// The whole protocol rides on strings, so implementations range from a
+/// function call ([`InProcess`]) to a socket round trip.
+pub trait Transport {
+    /// Sends an encoded [`ApiRequest`]; returns an encoded
+    /// [`ApiResponse`].
+    fn send(&self, request: &str) -> String;
+}
+
+/// The in-process transport: requests go straight to
+/// [`Hub::handle_wire`]. Still a full encode → parse → dispatch →
+/// encode → parse round trip, so anything that works here works over a
+/// real wire.
+pub struct InProcess<'h> {
+    hub: &'h Hub,
+}
+
+impl<'h> InProcess<'h> {
+    /// Binds the transport to a hub.
+    pub fn new(hub: &'h Hub) -> Self {
+        InProcess { hub }
+    }
+}
+
+impl Transport for InProcess<'_> {
+    fn send(&self, request: &str) -> String {
+        self.hub.handle_wire(request)
+    }
+}
+
+/// A typed client over the wire protocol. Method-for-method equivalent to
+/// the hub's typed surface, but every call crosses the protocol boundary.
+pub struct HubClient<T> {
+    transport: T,
+}
+
+impl<'h> HubClient<InProcess<'h>> {
+    /// Client over the in-process transport.
+    pub fn in_process(hub: &'h Hub) -> Self {
+        HubClient::new(InProcess::new(hub))
+    }
+}
+
+impl<T: Transport> HubClient<T> {
+    /// Client over an arbitrary transport.
+    pub fn new(transport: T) -> Self {
+        HubClient { transport }
+    }
+
+    /// Sends one typed request and returns the typed response, with
+    /// errors reconstructed from their wire codes.
+    pub fn call(&self, request: ApiRequest) -> Result<ApiResponse> {
+        let reply = self.transport.send(&request.encode());
+        ApiResponse::parse(&reply)
+            .map_err(|e| HubError::Protocol(e.message))?
+            .into_result()
+    }
+
+    // ----- users & auth ------------------------------------------------------
+
+    /// Registers a user.
+    pub fn register_user(&self, username: &str, display_name: &str) -> Result<()> {
+        match self.call(ApiRequest::RegisterUser {
+            username: username.to_owned(),
+            display_name: display_name.to_owned(),
+        })? {
+            ApiResponse::Unit => Ok(()),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Obtains a personal-access token.
+    pub fn login(&self, username: &str) -> Result<Token> {
+        match self.call(ApiRequest::Login {
+            username: username.to_owned(),
+        })? {
+            ApiResponse::Token(t) => Ok(Token::new(t)),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Revokes a token.
+    pub fn revoke(&self, token: &Token) -> Result<()> {
+        match self.call(ApiRequest::Revoke {
+            token: token.as_str().to_owned(),
+        })? {
+            ApiResponse::Unit => Ok(()),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Resolves a token to its user.
+    pub fn whoami(&self, token: &Token) -> Result<User> {
+        match self.call(ApiRequest::Whoami {
+            token: token.as_str().to_owned(),
+        })? {
+            ApiResponse::User(u) => Ok(u),
+            other => Err(shape(&other)),
+        }
+    }
+
+    // ----- repositories ------------------------------------------------------
+
+    /// Creates a repository; returns its id.
+    pub fn create_repo(&self, token: &Token, name: &str) -> Result<String> {
+        match self.call(ApiRequest::CreateRepo {
+            token: token.as_str().to_owned(),
+            name: name.to_owned(),
+        })? {
+            ApiResponse::Id(id) => Ok(id),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Imports an existing repository; returns its id.
+    pub fn import_repo(&self, token: &Token, name: &str, repo: &Repository) -> Result<String> {
+        let bundle = crate::api::RepoBundle::from_repository(repo).map_err(HubError::Git)?;
+        match self.call(ApiRequest::ImportRepo {
+            token: token.as_str().to_owned(),
+            name: name.to_owned(),
+            bundle,
+        })? {
+            ApiResponse::Id(id) => Ok(id),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Grants a role (owner only).
+    pub fn add_member(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        username: &str,
+        role: Role,
+    ) -> Result<()> {
+        match self.call(ApiRequest::AddMember {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+            username: username.to_owned(),
+            role,
+        })? {
+            ApiResponse::Unit => Ok(()),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// The role a user holds on a repository.
+    pub fn role_of(&self, repo_id: &str, username: &str) -> Result<Option<Role>> {
+        match self.call(ApiRequest::RoleOf {
+            repo_id: repo_id.to_owned(),
+            username: username.to_owned(),
+        })? {
+            ApiResponse::RoleOpt(r) => Ok(r),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Whether the token's user may modify citations on the repository.
+    pub fn can_write(&self, token: &Token, repo_id: &str) -> Result<bool> {
+        match self.call(ApiRequest::CanWrite {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Bool(b) => Ok(b),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// All repository ids.
+    pub fn list_repos(&self) -> Result<Vec<String>> {
+        match self.call(ApiRequest::ListRepos)? {
+            ApiResponse::Names(names) => Ok(names),
+            other => Err(shape(&other)),
+        }
+    }
+
+    // ----- public reads ------------------------------------------------------
+
+    /// Branch names.
+    pub fn branches(&self, repo_id: &str) -> Result<Vec<String>> {
+        match self.call(ApiRequest::Branches {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Names(names) => Ok(names),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// File paths at a branch tip.
+    pub fn list_files(&self, repo_id: &str, branch: &str) -> Result<Vec<RepoPath>> {
+        match self.call(ApiRequest::ListFiles {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+        })? {
+            ApiResponse::Paths(paths) => Ok(paths),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// One file's bytes at a branch tip.
+    pub fn read_file(&self, repo_id: &str, branch: &str, path: &RepoPath) -> Result<Vec<u8>> {
+        match self.call(ApiRequest::ReadFile {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+        })? {
+            ApiResponse::FileData(data) => Ok(data),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Commit log of a branch, newest first.
+    pub fn log(&self, repo_id: &str, branch: &str) -> Result<Vec<LogEntry>> {
+        match self.call(ApiRequest::Log {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+        })? {
+            ApiResponse::Log(entries) => Ok(entries),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Clones a hosted repository over the wire into a fresh in-memory
+    /// repository.
+    pub fn clone_repo(&self, repo_id: &str) -> Result<Repository> {
+        match self.call(ApiRequest::CloneRepo {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Bundle(bundle) => bundle
+                .into_repository(Box::new(gitlite::MemStore::new()))
+                .map_err(HubError::Git),
+            other => Err(shape(&other)),
+        }
+    }
+
+    // ----- citations ---------------------------------------------------------
+
+    /// `GenCite` for a node at a branch tip (anonymous).
+    pub fn generate_citation(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<Citation> {
+        match self.call(ApiRequest::GenerateCitation {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+        })? {
+            ApiResponse::Citation(c) => Ok(c),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// The explicit citation entry at a path, if any.
+    pub fn citation_entry(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<Option<Citation>> {
+        match self.call(ApiRequest::CitationEntry {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+        })? {
+            ApiResponse::CitationOpt(c) => Ok(c),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// `AddCite` on the remote repository (member+).
+    pub fn add_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+        citation: Citation,
+    ) -> Result<ObjectId> {
+        match self.call(ApiRequest::AddCite {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+            citation,
+        })? {
+            ApiResponse::Commit(id) => Ok(id),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// `ModifyCite` on the remote repository (member+).
+    pub fn modify_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+        citation: Citation,
+    ) -> Result<ObjectId> {
+        match self.call(ApiRequest::ModifyCite {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+            citation,
+        })? {
+            ApiResponse::Commit(id) => Ok(id),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// `DelCite` on the remote repository (member+).
+    pub fn del_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<ObjectId> {
+        match self.call(ApiRequest::DelCite {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+        })? {
+            ApiResponse::Commit(id) => Ok(id),
+            other => Err(shape(&other)),
+        }
+    }
+
+    // ----- sync --------------------------------------------------------------
+
+    /// Pushes `local_branch` of `local` to `branch` of the hosted
+    /// repository, shipping the branch's objects in the request.
+    pub fn push(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        local: &Repository,
+        local_branch: &str,
+        force: bool,
+    ) -> Result<ObjectId> {
+        let bundle =
+            crate::api::RepoBundle::from_branch(local, local_branch).map_err(HubError::Git)?;
+        match self.call(ApiRequest::Push {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            force,
+            bundle,
+        })? {
+            ApiResponse::Commit(id) => Ok(id),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Forks a repository under the token's user.
+    pub fn fork(&self, token: &Token, src_repo_id: &str, new_name: &str) -> Result<String> {
+        match self.call(ApiRequest::Fork {
+            token: token.as_str().to_owned(),
+            src_repo_id: src_repo_id.to_owned(),
+            new_name: new_name.to_owned(),
+        })? {
+            ApiResponse::Id(id) => Ok(id),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Server-side `MergeCite`.
+    pub fn merge_branches(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        other_branch: &str,
+        strategy: MergeStrategy,
+    ) -> Result<MergeSummary> {
+        match self.call(ApiRequest::MergeBranches {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            other_branch: other_branch.to_owned(),
+            strategy,
+        })? {
+            ApiResponse::Merge(m) => Ok(m),
+            other => Err(shape(&other)),
+        }
+    }
+
+    // ----- archives ----------------------------------------------------------
+
+    /// Deposits a branch tip, minting a DOI.
+    pub fn deposit(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        title: &str,
+    ) -> Result<Deposit> {
+        match self.call(ApiRequest::Deposit {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            title: title.to_owned(),
+        })? {
+            ApiResponse::Deposit(d) => Ok(d),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Resolves a minted DOI.
+    pub fn resolve_doi(&self, doi: &str) -> Result<Deposit> {
+        match self.call(ApiRequest::ResolveDoi {
+            doi: doi.to_owned(),
+        })? {
+            ApiResponse::Deposit(d) => Ok(d),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Archives a repository into the Software Heritage simulator.
+    pub fn archive(&self, repo_id: &str) -> Result<ArchiveReport> {
+        match self.call(ApiRequest::Archive {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Archive(report) => Ok(report),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Resolves an archived SWHID.
+    pub fn resolve_swhid(&self, swhid: &str) -> Result<(SwhKind, ObjectId)> {
+        match self.call(ApiRequest::ResolveSwhid {
+            swhid: swhid.to_owned(),
+        })? {
+            ApiResponse::Swhid(kind, id) => Ok((kind, id)),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Archive visits recorded for a repository.
+    pub fn archive_visits(&self, repo_id: &str) -> Result<u64> {
+        match self.call(ApiRequest::ArchiveVisits {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Count(n) => Ok(n),
+            other => Err(shape(&other)),
+        }
+    }
+
+    // ----- credit & operations -----------------------------------------------
+
+    /// Credited authors of a repository at a branch tip.
+    pub fn credited_authors(
+        &self,
+        repo_id: &str,
+        branch: &str,
+    ) -> Result<Vec<(String, Vec<RepoPath>)>> {
+        match self.call(ApiRequest::CreditedAuthors {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+        })? {
+            ApiResponse::Credits(c) => Ok(c),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Repositories citing an author.
+    pub fn find_repos_citing(&self, author: &str) -> Result<Vec<(String, Vec<RepoPath>)>> {
+        match self.call(ApiRequest::FindReposCiting {
+            author: author.to_owned(),
+        })? {
+            ApiResponse::Credits(c) => Ok(c),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// The audit log.
+    pub fn audit_log(&self) -> Result<Vec<AuditEvent>> {
+        match self.call(ApiRequest::AuditLog)? {
+            ApiResponse::Audit(events) => Ok(events),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Store statistics for one repository.
+    pub fn store_stats(&self, repo_id: &str) -> Result<StoreStats> {
+        match self.call(ApiRequest::StoreStats {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Stats(s) => Ok(s),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Runs storage maintenance over every hosted repository.
+    pub fn maintenance(&self) -> Result<Vec<RepoMaintenance>> {
+        match self.call(ApiRequest::Maintenance)? {
+            ApiResponse::Maintenance(repos) => Ok(repos),
+            other => Err(shape(&other)),
+        }
+    }
+}
+
+fn shape(response: &ApiResponse) -> HubError {
+    HubError::Protocol(format!(
+        "response shape does not match the request (got {})",
+        response.kind()
+    ))
+}

@@ -24,6 +24,10 @@ pub enum HubError {
     SwhidNotFound(String),
     /// Malformed request (bad branch, bad path, ...).
     BadRequest(String),
+    /// The wire protocol itself failed: unknown version, unknown method,
+    /// malformed params, or a response of an unexpected shape (see
+    /// [`crate::api`]).
+    Protocol(String),
     /// Underlying VCS failure.
     Git(gitlite::GitError),
     /// Underlying citation-layer failure.
@@ -42,6 +46,7 @@ impl fmt::Display for HubError {
             HubError::DoiNotFound(d) => write!(f, "no such DOI: {d}"),
             HubError::SwhidNotFound(s) => write!(f, "no such SWHID: {s}"),
             HubError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HubError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             HubError::Git(e) => write!(f, "{e}"),
             HubError::Cite(e) => write!(f, "{e}"),
         }

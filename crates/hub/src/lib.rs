@@ -19,21 +19,34 @@
 //!   repositories under intrinsic SWHIDs (future work #3).
 //! * **Audit log** ([`audit`]) — every API call recorded, successes and
 //!   denials alike.
+//! * **Versioned wire protocol** ([`api`]) — every operation above is a
+//!   typed, sjson-encodable [`ApiRequest`]/[`ApiResponse`] pair routed
+//!   through [`Hub::dispatch`]; [`HubClient`] speaks the protocol from
+//!   the client side through a pluggable [`Transport`].
 //!
-//! Thread-safe: all API methods take `&self` (state behind a
-//! `parking_lot::Mutex`), so one [`Hub`] serves many concurrent clients.
+//! Thread-safe: all API methods take `&self`. State is sharded — user and
+//! token tables behind `RwLock`s, each hosted repository behind its own
+//! `Arc<RwLock<_>>` — so reads on different repositories (and shared
+//! reads on the same repository) proceed concurrently; see [`server`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod audit;
+pub mod client;
 pub mod error;
 pub mod heritage;
 pub mod perm;
 pub mod server;
 pub mod zenodo;
 
+pub use api::{
+    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, RepoBundle, RepoMaintenance,
+    StoreStats, WireError, PROTOCOL_VERSION,
+};
 pub use audit::{AuditEvent, AuditLog};
+pub use client::{HubClient, InProcess, Transport};
 pub use error::{HubError, Result};
 pub use heritage::{parse_swhid, swhid, ArchiveReport, Heritage, SwhKind};
 pub use perm::{Action, Role};

@@ -1,11 +1,38 @@
-//! The hub itself: users, tokens, hosted repositories and the REST-like
-//! API surface (paper Figure 1's "Project Hosting Platform" + "Cloud
-//! Platform API").
+//! The hub itself: users, tokens, hosted repositories and the versioned
+//! Cloud Platform API (paper Figure 1's "Project Hosting Platform" +
+//! "Cloud Platform API").
 //!
-//! All methods take `&self`; state lives behind a `parking_lot::Mutex`, so
-//! one `Hub` can serve many clients concurrently — the browser extension,
-//! local tools pushing, and archive crawlers.
+//! # API surface
+//!
+//! Every operation is a [`crate::api::ApiRequest`] routed through
+//! [`Hub::dispatch`]; [`Hub::handle_wire`] is the same router behind the
+//! sjson wire encoding (what a socket transport would call). The typed
+//! methods (`login`, `add_cite`, `push`, ...) are thin wrappers that build
+//! the request, dispatch it, and unpack the typed result — so the wire
+//! protocol is, by construction, the complete surface.
+//!
+//! # Locking
+//!
+//! State is sharded so the read-heavy citation workload scales:
+//!
+//! * `users` / `tokens` — `RwLock`ed tables (auth is a shared read).
+//! * `repos` — an `RwLock` map of `Arc<RwLock<HostedRepo>>`. Reads on
+//!   different repositories touch different locks entirely; shared reads
+//!   on the *same* repository (generate_citation, read_file, log, ...)
+//!   proceed concurrently under one read guard.
+//! * `audit` / `zenodo` / `heritage` — leaf `Mutex`es around append-mostly
+//!   simulators.
+//! * `clock` / token counter — atomics.
+//!
+//! Lock order: a repository lock is only ever taken *after* the `repos`
+//! map guard has been dropped (the `Arc` is cloned out), and the leaf
+//! mutexes never take any other lock — so the order
+//! `users/tokens → repos map → one repository → leaf` is acyclic and
+//! deadlock-free.
 
+use crate::api::{
+    ApiRequest, ApiResponse, MergeOutcome, MergeSummary, RepoBundle, RepoMaintenance, StoreStats,
+};
 use crate::audit::{AuditEvent, AuditLog};
 use crate::error::{HubError, Result};
 use crate::heritage::{ArchiveReport, Heritage, SwhKind};
@@ -13,14 +40,22 @@ use crate::perm::{Action, Role};
 use crate::zenodo::{Deposit, Zenodo};
 use citekit::{Citation, CitedRepo, ForkOptions, MergeStrategy, Resolution};
 use gitlite::{ObjectId, RepoPath, Repository, Signature};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An opaque personal-access token.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Token(String);
 
 impl Token {
+    /// Wraps a raw token string (e.g. one pasted into the popup's
+    /// credential box, or received over the wire).
+    pub fn new(raw: impl Into<String>) -> Token {
+        Token(raw.into())
+    }
+
     /// The raw token string (for display in the popup's credential box).
     pub fn as_str(&self) -> &str {
         &self.0
@@ -45,17 +80,7 @@ struct HostedRepo {
     roles: BTreeMap<String, Role>,
 }
 
-#[derive(Default)]
-struct HubState {
-    users: BTreeMap<String, User>,
-    tokens: HashMap<String, String>, // token → username
-    repos: BTreeMap<String, HostedRepo>,
-    audit: AuditLog,
-    zenodo: Zenodo,
-    heritage: Heritage,
-    clock: i64,
-    next_token: u64,
-}
+type RepoCell = Arc<RwLock<HostedRepo>>;
 
 /// Factory producing the object-store backend for each newly created
 /// hosted repository. Defaults to in-memory [`gitlite::MemStore`]s; a
@@ -66,7 +91,14 @@ pub type StoreFactory = Box<dyn Fn() -> Box<dyn gitlite::ObjectStore> + Send + S
 
 /// The hosting platform.
 pub struct Hub {
-    state: Mutex<HubState>,
+    users: RwLock<BTreeMap<String, User>>,
+    tokens: RwLock<HashMap<String, String>>, // token → username
+    repos: RwLock<BTreeMap<String, RepoCell>>,
+    audit: Mutex<AuditLog>,
+    zenodo: Mutex<Zenodo>,
+    heritage: Mutex<Heritage>,
+    clock: AtomicI64,
+    next_token: AtomicU64,
     /// Base URL used when synthesizing repository URLs.
     base_url: String,
     /// Backend factory for server-side repositories.
@@ -104,7 +136,14 @@ impl Hub {
     /// read-heavy serving.
     pub fn with_store_factory(base_url: impl Into<String>, store_factory: StoreFactory) -> Self {
         Hub {
-            state: Mutex::new(HubState::default()),
+            users: RwLock::new(BTreeMap::new()),
+            tokens: RwLock::new(HashMap::new()),
+            repos: RwLock::new(BTreeMap::new()),
+            audit: Mutex::new(AuditLog::default()),
+            zenodo: Mutex::new(Zenodo::default()),
+            heritage: Mutex::new(Heritage::default()),
+            clock: AtomicI64::new(0),
+            next_token: AtomicU64::new(0),
             base_url: base_url.into(),
             store_factory,
         }
@@ -126,7 +165,6 @@ impl Hub {
         base_url: impl Into<String>,
         data_dir: impl Into<std::path::PathBuf>,
     ) -> std::io::Result<Self> {
-        use std::sync::atomic::{AtomicU64, Ordering};
         let data_dir = data_dir.into();
         std::fs::create_dir_all(&data_dir)?;
         let next = AtomicU64::new(0);
@@ -152,106 +190,323 @@ impl Hub {
         format!("{}/{}", self.base_url, repo_id)
     }
 
-    /// Advances the hub clock to at least `ts` (used by deterministic
-    /// scenario scripts that want real dates, e.g. the CiteDB demo).
-    pub fn advance_clock_to(&self, ts: i64) {
-        let mut s = self.state.lock();
-        s.clock = s.clock.max(ts);
+    // ----- the router --------------------------------------------------------
+
+    /// Routes one typed request to its operation. Every public hub
+    /// operation is reachable here; the typed methods below are wrappers
+    /// over this single entry point.
+    pub fn dispatch(&self, request: ApiRequest) -> ApiResponse {
+        match self.route(request) {
+            Ok(response) => response,
+            Err(e) => ApiResponse::from_error(&e),
+        }
     }
 
-    // ----- users & auth ----------------------------------------------------
+    /// [`Hub::dispatch`] behind the sjson wire encoding: parses the
+    /// request envelope, routes it, and encodes the response envelope.
+    /// This is the function a socket/HTTP transport would expose.
+    pub fn handle_wire(&self, request: &str) -> String {
+        match ApiRequest::parse(request) {
+            Ok(req) => self.dispatch(req).encode(),
+            Err(e) => ApiResponse::Error(e).encode(),
+        }
+    }
+
+    fn route(&self, request: ApiRequest) -> Result<ApiResponse> {
+        use ApiRequest as Q;
+        use ApiResponse as R;
+        Ok(match request {
+            Q::RegisterUser {
+                username,
+                display_name,
+            } => {
+                self.op_register_user(&username, &display_name)?;
+                R::Unit
+            }
+            Q::Login { username } => R::Token(self.op_login(&username)?),
+            Q::Revoke { token } => {
+                self.tokens.write().remove(&token);
+                R::Unit
+            }
+            Q::Whoami { token } => R::User(self.auth(&token)?),
+            Q::CreateRepo { token, name } => R::Id(self.op_create_repo(&token, &name)?),
+            Q::ImportRepo {
+                token,
+                name,
+                bundle,
+            } => R::Id(self.op_import_repo(&token, &name, &bundle)?),
+            Q::AddMember {
+                token,
+                repo_id,
+                username,
+                role,
+            } => {
+                self.op_add_member(&token, &repo_id, &username, role)?;
+                R::Unit
+            }
+            Q::RoleOf { repo_id, username } => {
+                let cell = self.repo(&repo_id)?;
+                let role = cell.read().roles.get(&username).copied();
+                R::RoleOpt(role)
+            }
+            Q::CanWrite { token, repo_id } => {
+                let user = self.auth(&token)?;
+                let cell = self.repo(&repo_id)?;
+                let allowed = cell
+                    .read()
+                    .roles
+                    .get(&user.username)
+                    .copied()
+                    .unwrap_or(Role::Reader)
+                    .allows(Action::Write);
+                R::Bool(allowed)
+            }
+            Q::ListRepos => R::Names(self.repos.read().keys().cloned().collect()),
+            Q::Branches { repo_id } => {
+                let cell = self.repo(&repo_id)?;
+                let names = cell
+                    .read()
+                    .repo
+                    .branches()
+                    .map(|(b, _)| b.to_owned())
+                    .collect();
+                R::Names(names)
+            }
+            Q::ListFiles { repo_id, branch } => {
+                let cell = self.repo(&repo_id)?;
+                let hosted = cell.read();
+                let tip = hosted.repo.branch_tip(&branch).map_err(HubError::Git)?;
+                R::Paths(
+                    hosted
+                        .repo
+                        .snapshot(tip)
+                        .map_err(HubError::Git)?
+                        .into_keys()
+                        .collect(),
+                )
+            }
+            Q::ReadFile {
+                repo_id,
+                branch,
+                path,
+            } => {
+                let cell = self.repo(&repo_id)?;
+                let hosted = cell.read();
+                let tip = hosted.repo.branch_tip(&branch).map_err(HubError::Git)?;
+                R::FileData(
+                    hosted
+                        .repo
+                        .file_at(tip, &path)
+                        .map_err(HubError::Git)?
+                        .to_vec(),
+                )
+            }
+            Q::Log { repo_id, branch } => R::Log(self.op_log(&repo_id, &branch)?),
+            Q::CloneRepo { repo_id } => {
+                let cell = self.repo(&repo_id)?;
+                let bundle = {
+                    let hosted = cell.read();
+                    RepoBundle::from_repository(&hosted.repo).map_err(HubError::Git)?
+                };
+                let ts = self.tick();
+                self.record(ts, None, "clone", &repo_id, true);
+                R::Bundle(bundle)
+            }
+            Q::GenerateCitation {
+                repo_id,
+                branch,
+                path,
+            } => {
+                let cell = self.repo(&repo_id)?;
+                let citation = {
+                    let hosted = cell.read();
+                    let tip = hosted.repo.branch_tip(&branch).map_err(HubError::Git)?;
+                    let cited = CitedRepo::open(hosted.repo.clone()).map_err(HubError::Cite)?;
+                    cited.cite_at(tip, &path).map_err(HubError::Cite)?
+                };
+                let ts = self.tick();
+                self.record(ts, None, "generate_citation", &repo_id, true);
+                R::Citation(citation)
+            }
+            Q::CitationEntry {
+                repo_id,
+                branch,
+                path,
+            } => {
+                let cell = self.repo(&repo_id)?;
+                let hosted = cell.read();
+                let tip = hosted.repo.branch_tip(&branch).map_err(HubError::Git)?;
+                let text = hosted
+                    .repo
+                    .file_at(tip, &citekit::citation_path())
+                    .map_err(HubError::Git)?;
+                let func = citekit::file::parse(&String::from_utf8_lossy(&text))
+                    .map_err(HubError::Cite)?;
+                R::CitationOpt(func.get(&path).cloned())
+            }
+            Q::AddCite {
+                token,
+                repo_id,
+                branch,
+                path,
+                citation,
+            } => R::Commit(self.cite_op(
+                &token,
+                &repo_id,
+                &branch,
+                "add_cite",
+                move |cited, p| cited.add_cite(p, citation),
+                &path,
+            )?),
+            Q::ModifyCite {
+                token,
+                repo_id,
+                branch,
+                path,
+                citation,
+            } => R::Commit(self.cite_op(
+                &token,
+                &repo_id,
+                &branch,
+                "modify_cite",
+                move |cited, p| cited.modify_cite(p, citation).map(|_| ()),
+                &path,
+            )?),
+            Q::DelCite {
+                token,
+                repo_id,
+                branch,
+                path,
+            } => R::Commit(self.cite_op(
+                &token,
+                &repo_id,
+                &branch,
+                "del_cite",
+                move |cited, p| cited.del_cite(p).map(|_| ()),
+                &path,
+            )?),
+            Q::Push {
+                token,
+                repo_id,
+                branch,
+                force,
+                bundle,
+            } => R::Commit(self.op_push(&token, &repo_id, &branch, force, &bundle)?),
+            Q::Fork {
+                token,
+                src_repo_id,
+                new_name,
+            } => R::Id(self.op_fork(&token, &src_repo_id, &new_name)?),
+            Q::MergeBranches {
+                token,
+                repo_id,
+                branch,
+                other_branch,
+                strategy,
+            } => R::Merge(self.op_merge(&token, &repo_id, &branch, &other_branch, strategy)?),
+            Q::Deposit {
+                token,
+                repo_id,
+                branch,
+                title,
+            } => R::Deposit(self.op_deposit(&token, &repo_id, &branch, &title)?),
+            Q::ResolveDoi { doi } => R::Deposit(
+                self.zenodo
+                    .lock()
+                    .resolve(&doi)
+                    .cloned()
+                    .ok_or(HubError::DoiNotFound(doi))?,
+            ),
+            Q::Archive { repo_id } => {
+                let cell = self.repo(&repo_id)?;
+                let repo = cell.read().repo.clone();
+                let origin = format!("{}/{}", self.base_url, repo_id);
+                let report = self.heritage.lock().archive(&origin, &repo)?;
+                let ts = self.tick();
+                self.record(ts, None, "archive", &repo_id, true);
+                R::Archive(report)
+            }
+            Q::ResolveSwhid { swhid } => {
+                let (kind, id) = self.heritage.lock().resolve(&swhid)?;
+                R::Swhid(kind, id)
+            }
+            Q::ArchiveVisits { repo_id } => {
+                let origin = format!("{}/{}", self.base_url, repo_id);
+                R::Count(self.heritage.lock().visits(&origin) as u64)
+            }
+            Q::CreditedAuthors { repo_id, branch } => {
+                let cell = self.repo(&repo_id)?;
+                let mut work = cell.read().repo.clone();
+                work.checkout_branch(&branch).map_err(HubError::Git)?;
+                let cited = CitedRepo::open(work).map_err(HubError::Cite)?;
+                R::Credits(cited.credited_authors())
+            }
+            Q::FindReposCiting { author } => R::Credits(self.op_find_repos_citing(&author)),
+            Q::AuditLog => R::Audit(self.audit.lock().events().to_vec()),
+            Q::StoreStats { repo_id } => {
+                let cell = self.repo(&repo_id)?;
+                let hosted = cell.read();
+                R::Stats(StoreStats {
+                    repo_id,
+                    objects: hosted.repo.odb().len() as u64,
+                    cache: hosted.repo.odb().cache_metrics(),
+                })
+            }
+            Q::Maintenance => R::Maintenance(self.op_maintenance()?),
+            Q::AdvanceClock { ts } => {
+                self.clock.fetch_max(ts, Ordering::SeqCst);
+                R::Unit
+            }
+        })
+    }
+
+    // ----- typed wrappers: users & auth --------------------------------------
 
     /// Registers a user.
     pub fn register_user(&self, username: &str, display_name: &str) -> Result<()> {
-        let mut s = self.state.lock();
-        if s.users.contains_key(username) {
-            return Err(HubError::UserExists(username.to_owned()));
-        }
-        if username.is_empty() || username.contains('/') || username.contains(char::is_whitespace) {
-            return Err(HubError::BadRequest(format!(
-                "invalid username {username:?}"
-            )));
-        }
-        s.users.insert(
-            username.to_owned(),
-            User {
-                username: username.to_owned(),
-                display_name: display_name.to_owned(),
-                email: format!("{username}@hub.example"),
-            },
-        );
-        let ts = tick(&mut s);
-        s.audit
-            .record(ts, Some(username), "register_user", username, true);
-        Ok(())
+        self.expect_unit(ApiRequest::RegisterUser {
+            username: username.to_owned(),
+            display_name: display_name.to_owned(),
+        })
     }
 
     /// Issues a personal-access token (the credential the popup asks for).
     pub fn login(&self, username: &str) -> Result<Token> {
-        let mut s = self.state.lock();
-        if !s.users.contains_key(username) {
-            return Err(HubError::UserNotFound(username.to_owned()));
+        match self.unwrap(ApiRequest::Login {
+            username: username.to_owned(),
+        })? {
+            ApiResponse::Token(t) => Ok(Token(t)),
+            other => Err(unexpected(&other)),
         }
-        s.next_token += 1;
-        let token = format!("ghp_{:08x}_{}", s.next_token, username);
-        s.tokens.insert(token.clone(), username.to_owned());
-        let ts = tick(&mut s);
-        s.audit.record(ts, Some(username), "login", username, true);
-        Ok(Token(token))
     }
 
     /// Revokes a token.
     pub fn revoke(&self, token: &Token) {
-        let mut s = self.state.lock();
-        s.tokens.remove(&token.0);
+        let _ = self.unwrap(ApiRequest::Revoke {
+            token: token.0.clone(),
+        });
     }
 
     /// Resolves a token to its user.
     pub fn whoami(&self, token: &Token) -> Result<User> {
-        let s = self.state.lock();
-        let username = s.tokens.get(&token.0).ok_or(HubError::AuthFailed)?;
-        Ok(s.users[username].clone())
+        match self.unwrap(ApiRequest::Whoami {
+            token: token.0.clone(),
+        })? {
+            ApiResponse::User(u) => Ok(u),
+            other => Err(unexpected(&other)),
+        }
     }
 
-    // ----- repositories ------------------------------------------------------
+    // ----- typed wrappers: repositories --------------------------------------
 
     /// Creates a citation-enabled repository owned by the token's user and
     /// commits the initial version (default root citation). Returns the
     /// repository id `owner/name`.
     pub fn create_repo(&self, token: &Token, name: &str) -> Result<String> {
-        let mut s = self.state.lock();
-        let user = auth(&s, token)?.clone();
-        if name.is_empty() || name.contains('/') || name.contains(char::is_whitespace) {
-            return Err(HubError::BadRequest(format!(
-                "invalid repository name {name:?}"
-            )));
-        }
-        let repo_id = format!("{}/{}", user.username, name);
-        if s.repos.contains_key(&repo_id) {
-            return Err(HubError::RepoExists(repo_id));
-        }
-        let url = format!("{}/{}", self.base_url, repo_id);
-        let mut cited =
-            CitedRepo::init_with_store(name, &user.display_name, &url, (self.store_factory)());
-        let ts = tick(&mut s);
-        cited
-            .commit(
-                Signature::new(&user.display_name, &user.email, ts),
-                "initialize repository",
-            )
-            .map_err(HubError::Cite)?;
-        let mut roles = BTreeMap::new();
-        roles.insert(user.username.clone(), Role::Owner);
-        s.repos.insert(
-            repo_id.clone(),
-            HostedRepo {
-                repo: cited.into_repository(),
-                roles,
-            },
-        );
-        s.audit
-            .record(ts, Some(&user.username), "create_repo", &repo_id, true);
-        Ok(repo_id)
+        self.expect_id(ApiRequest::CreateRepo {
+            token: token.0.clone(),
+            name: name.to_owned(),
+        })
     }
 
     /// Hosts an existing repository (e.g. a retrofitted one) under the
@@ -259,29 +514,12 @@ impl Hub {
     /// store backend (all branches and their histories are transferred),
     /// so imported repositories get the same durability as created ones.
     pub fn import_repo(&self, token: &Token, name: &str, repo: Repository) -> Result<String> {
-        let mut s = self.state.lock();
-        let user = auth(&s, token)?.clone();
-        let repo_id = format!("{}/{}", user.username, name);
-        if s.repos.contains_key(&repo_id) {
-            return Err(HubError::RepoExists(repo_id));
-        }
-        repo.head_commit().map_err(HubError::Git)?; // must have content
-        let mut rehomed = gitlite::clone_repository_into(&repo, name, (self.store_factory)())
-            .map_err(HubError::Git)?;
-        rehomed.set_name(repo.name());
-        let mut roles = BTreeMap::new();
-        roles.insert(user.username.clone(), Role::Owner);
-        s.repos.insert(
-            repo_id.clone(),
-            HostedRepo {
-                repo: rehomed,
-                roles,
-            },
-        );
-        let ts = tick(&mut s);
-        s.audit
-            .record(ts, Some(&user.username), "import_repo", &repo_id, true);
-        Ok(repo_id)
+        let bundle = RepoBundle::from_repository(&repo).map_err(HubError::Git)?;
+        self.expect_id(ApiRequest::ImportRepo {
+            token: token.0.clone(),
+            name: name.to_owned(),
+            bundle,
+        })
     }
 
     /// Grants `username` a role on a repository (owner only).
@@ -292,105 +530,583 @@ impl Hub {
         username: &str,
         role: Role,
     ) -> Result<()> {
-        let mut s = self.state.lock();
-        let actor = auth(&s, token)?.username.clone();
-        if !s.users.contains_key(username) {
-            return Err(HubError::UserNotFound(username.to_owned()));
-        }
-        let hosted = s
-            .repos
-            .get_mut(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        check(hosted, &actor, Action::Admin)?;
-        hosted.roles.insert(username.to_owned(), role);
-        let ts = tick(&mut s);
-        s.audit
-            .record(ts, Some(&actor), "add_member", repo_id, true);
-        Ok(())
+        self.expect_unit(ApiRequest::AddMember {
+            token: token.0.clone(),
+            repo_id: repo_id.to_owned(),
+            username: username.to_owned(),
+            role,
+        })
     }
 
     /// The role a user has on a repository (`None` = implicit reader).
     pub fn role_of(&self, repo_id: &str, username: &str) -> Result<Option<Role>> {
-        let s = self.state.lock();
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        Ok(hosted.roles.get(username).copied())
+        match self.unwrap(ApiRequest::RoleOf {
+            repo_id: repo_id.to_owned(),
+            username: username.to_owned(),
+        })? {
+            ApiResponse::RoleOpt(r) => Ok(r),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// True when the token's user may modify citations on the repository —
     /// the check that enables/disables the popup's Add/Delete buttons.
     pub fn can_write(&self, token: &Token, repo_id: &str) -> Result<bool> {
-        let s = self.state.lock();
-        let user = auth(&s, token)?;
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        Ok(hosted
-            .roles
-            .get(&user.username)
-            .copied()
-            .unwrap_or(Role::Reader)
-            .allows(Action::Write))
+        match self.unwrap(ApiRequest::CanWrite {
+            token: token.0.clone(),
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Bool(b) => Ok(b),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// All repository ids.
     pub fn list_repos(&self) -> Vec<String> {
-        self.state.lock().repos.keys().cloned().collect()
+        match self.unwrap(ApiRequest::ListRepos) {
+            Ok(ApiResponse::Names(names)) => names,
+            _ => Vec::new(),
+        }
     }
 
-    // ----- public reads -------------------------------------------------------
+    // ----- typed wrappers: public reads ---------------------------------------
 
     /// Branch names of a repository.
     pub fn branches(&self, repo_id: &str) -> Result<Vec<String>> {
-        let s = self.state.lock();
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        Ok(hosted.repo.branches().map(|(b, _)| b.to_owned()).collect())
+        match self.unwrap(ApiRequest::Branches {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Names(names) => Ok(names),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// File paths at a branch tip.
     pub fn list_files(&self, repo_id: &str, branch: &str) -> Result<Vec<RepoPath>> {
-        let s = self.state.lock();
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
-        Ok(hosted
-            .repo
-            .snapshot(tip)
-            .map_err(HubError::Git)?
-            .into_keys()
-            .collect())
+        match self.unwrap(ApiRequest::ListFiles {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+        })? {
+            ApiResponse::Paths(paths) => Ok(paths),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// Reads one file at a branch tip.
     pub fn read_file(&self, repo_id: &str, branch: &str, path: &RepoPath) -> Result<Vec<u8>> {
-        let s = self.state.lock();
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
-        Ok(hosted
-            .repo
-            .file_at(tip, path)
-            .map_err(HubError::Git)?
-            .to_vec())
+        match self.unwrap(ApiRequest::ReadFile {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+        })? {
+            ApiResponse::FileData(data) => Ok(data),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// Commit log of a branch, newest first.
     pub fn log(&self, repo_id: &str, branch: &str) -> Result<Vec<LogEntry>> {
-        let s = self.state.lock();
-        let hosted = s
-            .repos
+        match self.unwrap(ApiRequest::Log {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+        })? {
+            ApiResponse::Log(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Clones a hosted repository (public read — what `git clone` does).
+    pub fn clone_repo(&self, repo_id: &str) -> Result<Repository> {
+        match self.unwrap(ApiRequest::CloneRepo {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Bundle(bundle) => bundle
+                .into_repository(Box::new(gitlite::MemStore::new()))
+                .map_err(HubError::Git),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    // ----- typed wrappers: citations ------------------------------------------
+
+    /// `GenCite` — generates the citation for a node at a branch tip.
+    /// Anonymous: any visitor may do this (paper §3: "If the user is not a
+    /// project member, the browser extension immediately generates the
+    /// citation").
+    pub fn generate_citation(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<Citation> {
+        match self.unwrap(ApiRequest::GenerateCitation {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+        })? {
+            ApiResponse::Citation(c) => Ok(c),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The *explicit* citation entry at a path, if any — what the popup's
+    /// text box shows a project member before they edit (paper §3: "the
+    /// text box will display the citation explicitly attached to the node,
+    /// if it exists ... If such a citation does not exist, the text box
+    /// will remain empty").
+    pub fn citation_entry(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<Option<Citation>> {
+        match self.unwrap(ApiRequest::CitationEntry {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+        })? {
+            ApiResponse::CitationOpt(c) => Ok(c),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `AddCite` on the remote repository (member+). Commits the updated
+    /// citation file on `branch` and returns the new commit.
+    pub fn add_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+        citation: Citation,
+    ) -> Result<ObjectId> {
+        self.expect_commit(ApiRequest::AddCite {
+            token: token.0.clone(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+            citation,
+        })
+    }
+
+    /// `ModifyCite` on the remote repository (member+).
+    pub fn modify_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+        citation: Citation,
+    ) -> Result<ObjectId> {
+        self.expect_commit(ApiRequest::ModifyCite {
+            token: token.0.clone(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+            citation,
+        })
+    }
+
+    /// `DelCite` on the remote repository (member+).
+    pub fn del_cite(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        path: &RepoPath,
+    ) -> Result<ObjectId> {
+        self.expect_commit(ApiRequest::DelCite {
+            token: token.0.clone(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            path: path.clone(),
+        })
+    }
+
+    // ----- typed wrappers: sync -----------------------------------------------
+
+    /// Pushes `local_branch` of `local` to `branch` of the hosted
+    /// repository (member+; fast-forward unless `force`).
+    pub fn push(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        local: &Repository,
+        local_branch: &str,
+        force: bool,
+    ) -> Result<ObjectId> {
+        let bundle = RepoBundle::from_branch(local, local_branch).map_err(HubError::Git)?;
+        self.expect_commit(ApiRequest::Push {
+            token: token.0.clone(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            force,
+            bundle,
+        })
+    }
+
+    /// `ForkCite` via the platform: forks `src_repo_id` into a new
+    /// repository under the token's user (paper §3: "ForkCite through
+    /// GitHub's Fork").
+    pub fn fork(&self, token: &Token, src_repo_id: &str, new_name: &str) -> Result<String> {
+        self.expect_id(ApiRequest::Fork {
+            token: token.0.clone(),
+            src_repo_id: src_repo_id.to_owned(),
+            new_name: new_name.to_owned(),
+        })
+    }
+
+    /// Server-side `MergeCite` of `other_branch` into `branch` using the
+    /// given strategy; conflicts default to keeping ours (the interactive
+    /// path lives in the local tool).
+    pub fn merge_branches(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        other_branch: &str,
+        strategy: MergeStrategy,
+    ) -> Result<MergeSummary> {
+        match self.unwrap(ApiRequest::MergeBranches {
+            token: token.0.clone(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            other_branch: other_branch.to_owned(),
+            strategy,
+        })? {
+            ApiResponse::Merge(m) => Ok(m),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    // ----- typed wrappers: archives -------------------------------------------
+
+    /// Deposits a branch tip with the Zenodo simulator, minting a DOI.
+    pub fn deposit(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        title: &str,
+    ) -> Result<Deposit> {
+        match self.unwrap(ApiRequest::Deposit {
+            token: token.0.clone(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            title: title.to_owned(),
+        })? {
+            ApiResponse::Deposit(d) => Ok(d),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Resolves a DOI minted by [`Hub::deposit`].
+    pub fn resolve_doi(&self, doi: &str) -> Result<Deposit> {
+        match self.unwrap(ApiRequest::ResolveDoi {
+            doi: doi.to_owned(),
+        })? {
+            ApiResponse::Deposit(d) => Ok(d),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Archives a repository into the Software Heritage simulator.
+    pub fn archive(&self, repo_id: &str) -> Result<ArchiveReport> {
+        match self.unwrap(ApiRequest::Archive {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Archive(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Checks whether an SWHID is archived.
+    pub fn resolve_swhid(&self, swhid: &str) -> Result<(SwhKind, ObjectId)> {
+        match self.unwrap(ApiRequest::ResolveSwhid {
+            swhid: swhid.to_owned(),
+        })? {
+            ApiResponse::Swhid(kind, id) => Ok((kind, id)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Number of archive visits recorded for a repository.
+    pub fn archive_visits(&self, repo_id: &str) -> usize {
+        match self.unwrap(ApiRequest::ArchiveVisits {
+            repo_id: repo_id.to_owned(),
+        }) {
+            Ok(ApiResponse::Count(n)) => n as usize,
+            _ => 0,
+        }
+    }
+
+    // ----- typed wrappers: credit queries -------------------------------------
+
+    /// Every author credited in a repository's citation function at a
+    /// branch tip, with the citing keys — the "give credit to the
+    /// appropriate contributors" view (paper §1).
+    pub fn credited_authors(
+        &self,
+        repo_id: &str,
+        branch: &str,
+    ) -> Result<Vec<(String, Vec<RepoPath>)>> {
+        match self.unwrap(ApiRequest::CreditedAuthors {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+        })? {
+            ApiResponse::Credits(c) => Ok(c),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// All hosted repositories whose current citation function credits
+    /// `author`, with the citing keys per repository — a platform-wide
+    /// credit search.
+    pub fn find_repos_citing(&self, author: &str) -> Vec<(String, Vec<RepoPath>)> {
+        match self.unwrap(ApiRequest::FindReposCiting {
+            author: author.to_owned(),
+        }) {
+            Ok(ApiResponse::Credits(c)) => c,
+            _ => Vec::new(),
+        }
+    }
+
+    // ----- typed wrappers: operations -----------------------------------------
+
+    /// A snapshot of the audit log.
+    pub fn audit_log(&self) -> Vec<AuditEvent> {
+        match self.unwrap(ApiRequest::AuditLog) {
+            Ok(ApiResponse::Audit(events)) => events,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Object-store statistics for one hosted repository: object count
+    /// plus cache counters when the backend stack has a read cache —
+    /// the capacity-planning view over [`gitlite::CacheStats`].
+    pub fn store_stats(&self, repo_id: &str) -> Result<StoreStats> {
+        match self.unwrap(ApiRequest::StoreStats {
+            repo_id: repo_id.to_owned(),
+        })? {
+            ApiResponse::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs storage maintenance over every hosted repository: backends
+    /// with a maintenance concept (packfile stores) gc everything not
+    /// reachable from their branch tips into one fresh pack; in-memory
+    /// backends report `supported: false`.
+    pub fn maintenance(&self) -> Result<Vec<RepoMaintenance>> {
+        match self.unwrap(ApiRequest::Maintenance)? {
+            ApiResponse::Maintenance(repos) => Ok(repos),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Advances the hub clock to at least `ts` (used by deterministic
+    /// scenario scripts that want real dates, e.g. the CiteDB demo).
+    pub fn advance_clock_to(&self, ts: i64) {
+        let _ = self.unwrap(ApiRequest::AdvanceClock { ts });
+    }
+
+    // ----- wrapper plumbing ---------------------------------------------------
+
+    fn unwrap(&self, request: ApiRequest) -> Result<ApiResponse> {
+        self.dispatch(request).into_result()
+    }
+
+    fn expect_unit(&self, request: ApiRequest) -> Result<()> {
+        match self.unwrap(request)? {
+            ApiResponse::Unit => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn expect_id(&self, request: ApiRequest) -> Result<String> {
+        match self.unwrap(request)? {
+            ApiResponse::Id(id) => Ok(id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn expect_commit(&self, request: ApiRequest) -> Result<ObjectId> {
+        match self.unwrap(request)? {
+            ApiResponse::Commit(id) => Ok(id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    // ----- shared plumbing ----------------------------------------------------
+
+    fn tick(&self) -> i64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    fn record(&self, ts: i64, actor: Option<&str>, action: &str, target: &str, ok: bool) {
+        self.audit.lock().record(ts, actor, action, target, ok);
+    }
+
+    fn auth(&self, token: &str) -> Result<User> {
+        let username = self
+            .tokens
+            .read()
+            .get(token)
+            .cloned()
+            .ok_or(HubError::AuthFailed)?;
+        self.users
+            .read()
+            .get(&username)
+            .cloned()
+            .ok_or(HubError::AuthFailed)
+    }
+
+    /// Clones the repository cell out of the map — the map guard is
+    /// dropped before the caller locks the cell (see the module docs on
+    /// lock order).
+    fn repo(&self, repo_id: &str) -> Result<RepoCell> {
+        self.repos
+            .read()
             .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
+            .cloned()
+            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))
+    }
+
+    // ----- operations ---------------------------------------------------------
+
+    fn op_register_user(&self, username: &str, display_name: &str) -> Result<()> {
+        {
+            let mut users = self.users.write();
+            if users.contains_key(username) {
+                return Err(HubError::UserExists(username.to_owned()));
+            }
+            if username.is_empty()
+                || username.contains('/')
+                || username.contains(char::is_whitespace)
+            {
+                return Err(HubError::BadRequest(format!(
+                    "invalid username {username:?}"
+                )));
+            }
+            users.insert(
+                username.to_owned(),
+                User {
+                    username: username.to_owned(),
+                    display_name: display_name.to_owned(),
+                    email: format!("{username}@hub.example"),
+                },
+            );
+        }
+        let ts = self.tick();
+        self.record(ts, Some(username), "register_user", username, true);
+        Ok(())
+    }
+
+    fn op_login(&self, username: &str) -> Result<String> {
+        if !self.users.read().contains_key(username) {
+            return Err(HubError::UserNotFound(username.to_owned()));
+        }
+        let n = self.next_token.fetch_add(1, Ordering::SeqCst) + 1;
+        let token = format!("ghp_{n:08x}_{username}");
+        self.tokens
+            .write()
+            .insert(token.clone(), username.to_owned());
+        let ts = self.tick();
+        self.record(ts, Some(username), "login", username, true);
+        Ok(token)
+    }
+
+    fn op_create_repo(&self, token: &str, name: &str) -> Result<String> {
+        let user = self.auth(token)?;
+        if name.is_empty() || name.contains('/') || name.contains(char::is_whitespace) {
+            return Err(HubError::BadRequest(format!(
+                "invalid repository name {name:?}"
+            )));
+        }
+        let repo_id = format!("{}/{}", user.username, name);
+        if self.repos.read().contains_key(&repo_id) {
+            return Err(HubError::RepoExists(repo_id));
+        }
+        // Build the repository outside any lock; losing a creation race
+        // only wastes the loser's work, never corrupts state.
+        let url = format!("{}/{}", self.base_url, repo_id);
+        let mut cited =
+            CitedRepo::init_with_store(name, &user.display_name, &url, (self.store_factory)());
+        let ts = self.tick();
+        cited
+            .commit(
+                Signature::new(&user.display_name, &user.email, ts),
+                "initialize repository",
+            )
+            .map_err(HubError::Cite)?;
+        let mut roles = BTreeMap::new();
+        roles.insert(user.username.clone(), Role::Owner);
+        self.insert_repo(
+            repo_id.clone(),
+            HostedRepo {
+                repo: cited.into_repository(),
+                roles,
+            },
+        )?;
+        self.record(ts, Some(&user.username), "create_repo", &repo_id, true);
+        Ok(repo_id)
+    }
+
+    fn op_import_repo(&self, token: &str, name: &str, bundle: &RepoBundle) -> Result<String> {
+        let user = self.auth(token)?;
+        let repo_id = format!("{}/{}", user.username, name);
+        if self.repos.read().contains_key(&repo_id) {
+            return Err(HubError::RepoExists(repo_id));
+        }
+        let rehomed = bundle
+            .into_repository((self.store_factory)())
+            .map_err(HubError::Git)?;
+        rehomed.head_commit().map_err(HubError::Git)?; // must have content
+        let mut roles = BTreeMap::new();
+        roles.insert(user.username.clone(), Role::Owner);
+        self.insert_repo(
+            repo_id.clone(),
+            HostedRepo {
+                repo: rehomed,
+                roles,
+            },
+        )?;
+        let ts = self.tick();
+        self.record(ts, Some(&user.username), "import_repo", &repo_id, true);
+        Ok(repo_id)
+    }
+
+    /// Inserts a freshly built repository, failing (not overwriting) if a
+    /// racing request claimed the id first.
+    fn insert_repo(&self, repo_id: String, hosted: HostedRepo) -> Result<()> {
+        let mut repos = self.repos.write();
+        if repos.contains_key(&repo_id) {
+            return Err(HubError::RepoExists(repo_id));
+        }
+        repos.insert(repo_id, Arc::new(RwLock::new(hosted)));
+        Ok(())
+    }
+
+    fn op_add_member(&self, token: &str, repo_id: &str, username: &str, role: Role) -> Result<()> {
+        let actor = self.auth(token)?.username;
+        if !self.users.read().contains_key(username) {
+            return Err(HubError::UserNotFound(username.to_owned()));
+        }
+        let cell = self.repo(repo_id)?;
+        {
+            let mut hosted = cell.write();
+            check(&hosted, &actor, Action::Admin)?;
+            hosted.roles.insert(username.to_owned(), role);
+        }
+        let ts = self.tick();
+        self.record(ts, Some(&actor), "add_member", repo_id, true);
+        Ok(())
+    }
+
+    fn op_log(&self, repo_id: &str, branch: &str) -> Result<Vec<LogEntry>> {
+        let cell = self.repo(repo_id)?;
+        let hosted = cell.read();
         let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
         let mut out = Vec::new();
         for id in hosted.repo.log(tip).map_err(HubError::Git)? {
@@ -405,220 +1121,90 @@ impl Hub {
         Ok(out)
     }
 
-    /// Clones a hosted repository (public read — what `git clone` does).
-    pub fn clone_repo(&self, repo_id: &str) -> Result<Repository> {
-        let mut s = self.state.lock();
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        let name = hosted.repo.name().to_owned();
-        let clone = gitlite::clone_repository(&hosted.repo, name).map_err(HubError::Git)?;
-        let ts = tick(&mut s);
-        s.audit.record(ts, None, "clone", repo_id, true);
-        Ok(clone)
-    }
-
-    /// `GenCite` — generates the citation for a node at a branch tip.
-    /// Anonymous: any visitor may do this (paper §3: "If the user is not a
-    /// project member, the browser extension immediately generates the
-    /// citation").
-    pub fn generate_citation(
-        &self,
-        repo_id: &str,
-        branch: &str,
-        path: &RepoPath,
-    ) -> Result<Citation> {
-        let mut s = self.state.lock();
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
-        let cited = CitedRepo::open(hosted.repo.clone()).map_err(HubError::Cite)?;
-        let citation = cited.cite_at(tip, path).map_err(HubError::Cite)?;
-        let ts = tick(&mut s);
-        s.audit.record(ts, None, "generate_citation", repo_id, true);
-        Ok(citation)
-    }
-
-    /// The *explicit* citation entry at a path, if any — what the popup's
-    /// text box shows a project member before they edit (paper §3: "the
-    /// text box will display the citation explicitly attached to the node,
-    /// if it exists ... If such a citation does not exist, the text box
-    /// will remain empty").
-    pub fn citation_entry(
-        &self,
-        repo_id: &str,
-        branch: &str,
-        path: &RepoPath,
-    ) -> Result<Option<Citation>> {
-        let s = self.state.lock();
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
-        let text = hosted
-            .repo
-            .file_at(tip, &citekit::citation_path())
-            .map_err(HubError::Git)?;
-        let func = citekit::file::parse(&String::from_utf8_lossy(&text)).map_err(HubError::Cite)?;
-        Ok(func.get(path).cloned())
-    }
-
-    // ----- member writes -------------------------------------------------------
-
-    /// `AddCite` on the remote repository (member+). Commits the updated
-    /// citation file on `branch` and returns the new commit.
-    pub fn add_cite(
-        &self,
-        token: &Token,
-        repo_id: &str,
-        branch: &str,
-        path: &RepoPath,
-        citation: Citation,
-    ) -> Result<ObjectId> {
-        self.cite_op(
-            token,
-            repo_id,
-            branch,
-            "add_cite",
-            move |cited, p| cited.add_cite(p, citation),
-            path,
-        )
-    }
-
-    /// `ModifyCite` on the remote repository (member+).
-    pub fn modify_cite(
-        &self,
-        token: &Token,
-        repo_id: &str,
-        branch: &str,
-        path: &RepoPath,
-        citation: Citation,
-    ) -> Result<ObjectId> {
-        self.cite_op(
-            token,
-            repo_id,
-            branch,
-            "modify_cite",
-            move |cited, p| cited.modify_cite(p, citation).map(|_| ()),
-            path,
-        )
-    }
-
-    /// `DelCite` on the remote repository (member+).
-    pub fn del_cite(
-        &self,
-        token: &Token,
-        repo_id: &str,
-        branch: &str,
-        path: &RepoPath,
-    ) -> Result<ObjectId> {
-        self.cite_op(
-            token,
-            repo_id,
-            branch,
-            "del_cite",
-            move |cited, p| cited.del_cite(p).map(|_| ()),
-            path,
-        )
-    }
-
     fn cite_op(
         &self,
-        token: &Token,
+        token: &str,
         repo_id: &str,
         branch: &str,
         op_name: &str,
         op: impl FnOnce(&mut CitedRepo, &RepoPath) -> citekit::Result<()>,
         path: &RepoPath,
     ) -> Result<ObjectId> {
-        let mut s = self.state.lock();
-        let user = auth(&s, token)?.clone();
-        let ts = tick(&mut s);
-        let hosted = s
-            .repos
-            .get_mut(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        let allowed = check(hosted, &user.username, Action::Write);
-        if let Err(e) = allowed {
-            s.audit
-                .record(ts, Some(&user.username), op_name, repo_id, false);
+        let user = self.auth(token)?;
+        let cell = self.repo(repo_id)?;
+        let mut hosted = cell.write();
+        // Tick *under* the write lock: commit timestamps must follow the
+        // order writes actually land on the branch, or a racing writer
+        // could stamp a child commit earlier than its parent.
+        let ts = self.tick();
+        if let Err(e) = check(&hosted, &user.username, Action::Write) {
+            self.record(ts, Some(&user.username), op_name, repo_id, false);
             return Err(e);
         }
         // Operate on a clone; replace on success so failures can't corrupt
         // the hosted state.
         let mut work = hosted.repo.clone();
-        work.checkout_branch(branch).map_err(HubError::Git)?;
-        let mut cited = CitedRepo::open(work).map_err(HubError::Cite)?;
-        let result = op(&mut cited, path).and_then(|()| {
-            cited.commit(
-                Signature::new(&user.display_name, &user.email, ts),
-                format!("{op_name} {}", path.to_cite_key(false)),
-            )
-        });
+        let result = work
+            .checkout_branch(branch)
+            .map_err(citekit::CiteError::Git)
+            .and_then(|()| {
+                let mut cited = CitedRepo::open(work)?;
+                op(&mut cited, path)?;
+                let outcome = cited.commit(
+                    Signature::new(&user.display_name, &user.email, ts),
+                    format!("{op_name} {}", path.to_cite_key(false)),
+                )?;
+                Ok((cited, outcome))
+            });
         match result {
-            Ok(outcome) => {
-                let hosted = s.repos.get_mut(repo_id).expect("still present");
+            Ok((cited, outcome)) => {
                 hosted.repo = cited.into_repository();
-                s.audit
-                    .record(ts, Some(&user.username), op_name, repo_id, true);
+                self.record(ts, Some(&user.username), op_name, repo_id, true);
                 Ok(outcome.commit)
             }
             Err(e) => {
-                s.audit
-                    .record(ts, Some(&user.username), op_name, repo_id, false);
+                self.record(ts, Some(&user.username), op_name, repo_id, false);
                 Err(HubError::Cite(e))
             }
         }
     }
 
-    /// Pushes `local_branch` of `local` to `branch` of the hosted
-    /// repository (member+; fast-forward unless `force`).
-    pub fn push(
+    fn op_push(
         &self,
-        token: &Token,
+        token: &str,
         repo_id: &str,
         branch: &str,
-        local: &Repository,
-        local_branch: &str,
         force: bool,
+        bundle: &RepoBundle,
     ) -> Result<ObjectId> {
-        let mut s = self.state.lock();
-        let user = auth(&s, token)?.clone();
-        let ts = tick(&mut s);
-        let hosted = s
-            .repos
-            .get_mut(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        check(hosted, &user.username, Action::Write)?;
-        let result = gitlite::push(local, &mut hosted.repo, local_branch, branch, force);
+        let user = self.auth(token)?;
+        let src_branch = bundle
+            .head
+            .clone()
+            .or_else(|| bundle.refs.first().map(|(b, _)| b.clone()))
+            .ok_or_else(|| HubError::BadRequest("push bundle carries no ref".into()))?;
+        let src = bundle
+            .into_repository(Box::new(gitlite::MemStore::new()))
+            .map_err(HubError::Git)?;
+        let cell = self.repo(repo_id)?;
+        let mut hosted = cell.write();
+        let ts = self.tick();
+        check(&hosted, &user.username, Action::Write)?;
+        let result = gitlite::push(&src, &mut hosted.repo, &src_branch, branch, force);
         let ok = result.is_ok();
         let out = result.map_err(HubError::Git);
-        s.audit
-            .record(ts, Some(&user.username), "push", repo_id, ok);
+        self.record(ts, Some(&user.username), "push", repo_id, ok);
         out
     }
 
-    /// `ForkCite` via the platform: forks `src_repo_id` into a new
-    /// repository under the token's user (paper §3: "ForkCite through
-    /// GitHub's Fork").
-    pub fn fork(&self, token: &Token, src_repo_id: &str, new_name: &str) -> Result<String> {
-        let mut s = self.state.lock();
-        let user = auth(&s, token)?.clone();
+    fn op_fork(&self, token: &str, src_repo_id: &str, new_name: &str) -> Result<String> {
+        let user = self.auth(token)?;
         let new_repo_id = format!("{}/{}", user.username, new_name);
-        if s.repos.contains_key(&new_repo_id) {
+        if self.repos.read().contains_key(&new_repo_id) {
             return Err(HubError::RepoExists(new_repo_id));
         }
-        let src_repo = s
-            .repos
-            .get(src_repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(src_repo_id.to_owned()))?
-            .repo
-            .clone();
-        let ts = tick(&mut s);
+        let src_repo = self.repo(src_repo_id)?.read().repo.clone();
+        let ts = self.tick();
         let opts = ForkOptions::new(
             new_name,
             &user.display_name,
@@ -633,37 +1219,30 @@ impl Hub {
         .map_err(HubError::Cite)?;
         let mut roles = BTreeMap::new();
         roles.insert(user.username.clone(), Role::Owner);
-        s.repos.insert(
+        self.insert_repo(
             new_repo_id.clone(),
             HostedRepo {
                 repo: outcome.fork.into_repository(),
                 roles,
             },
-        );
-        s.audit
-            .record(ts, Some(&user.username), "fork", &new_repo_id, true);
+        )?;
+        self.record(ts, Some(&user.username), "fork", &new_repo_id, true);
         Ok(new_repo_id)
     }
 
-    /// Server-side `MergeCite` of `other_branch` into `branch` using the
-    /// given strategy; conflicts default to keeping ours (the interactive
-    /// path lives in the local tool).
-    pub fn merge_branches(
+    fn op_merge(
         &self,
-        token: &Token,
+        token: &str,
         repo_id: &str,
         branch: &str,
         other_branch: &str,
         strategy: MergeStrategy,
-    ) -> Result<citekit::MergeCiteReport> {
-        let mut s = self.state.lock();
-        let user = auth(&s, token)?.clone();
-        let ts = tick(&mut s);
-        let hosted = s
-            .repos
-            .get_mut(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        check(hosted, &user.username, Action::Write)?;
+    ) -> Result<MergeSummary> {
+        let user = self.auth(token)?;
+        let cell = self.repo(repo_id)?;
+        let mut hosted = cell.write();
+        let ts = self.tick();
+        check(&hosted, &user.username, Action::Write)?;
         let mut work = hosted.repo.clone();
         work.checkout_branch(branch).map_err(HubError::Git)?;
         let mut cited = CitedRepo::open(work).map_err(HubError::Cite)?;
@@ -685,119 +1264,64 @@ impl Hub {
                 &mut resolver,
             )
             .map_err(HubError::Cite)?;
-        if matches!(
-            report.outcome,
-            citekit::MergeCiteOutcome::FileConflicts { .. }
-        ) {
-            s.audit
-                .record(ts, Some(&user.username), "merge", repo_id, false);
-            return Err(HubError::BadRequest(
-                "merge has file conflicts; resolve locally and push".into(),
-            ));
-        }
-        let hosted = s.repos.get_mut(repo_id).expect("still present");
+        let outcome = match report.outcome {
+            citekit::MergeCiteOutcome::AlreadyUpToDate => MergeOutcome::AlreadyUpToDate,
+            citekit::MergeCiteOutcome::FastForwarded(id) => MergeOutcome::FastForwarded(id),
+            citekit::MergeCiteOutcome::Merged(id) => MergeOutcome::Merged(id),
+            citekit::MergeCiteOutcome::FileConflicts { .. } => {
+                self.record(ts, Some(&user.username), "merge", repo_id, false);
+                return Err(HubError::BadRequest(
+                    "merge has file conflicts; resolve locally and push".into(),
+                ));
+            }
+        };
         hosted.repo = cited.into_repository();
-        s.audit
-            .record(ts, Some(&user.username), "merge", repo_id, true);
-        Ok(report)
+        self.record(ts, Some(&user.username), "merge", repo_id, true);
+        Ok(MergeSummary {
+            outcome,
+            citation_conflicts: report
+                .citation_conflicts
+                .into_iter()
+                .map(|c| (c.path, c.taken))
+                .collect(),
+            dropped: report.dropped,
+        })
     }
 
-    // ----- archives ---------------------------------------------------------
-
-    /// Deposits a branch tip with the Zenodo simulator, minting a DOI.
-    pub fn deposit(
-        &self,
-        token: &Token,
-        repo_id: &str,
-        branch: &str,
-        title: &str,
-    ) -> Result<Deposit> {
-        let mut s = self.state.lock();
-        let user = auth(&s, token)?.clone();
-        let ts = tick(&mut s);
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        check(hosted, &user.username, Action::Write)?;
-        let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
-        let tree = hosted.repo.tree_of(tip).map_err(HubError::Git)?;
-        // Creators come from the root citation's author list.
-        let cited = CitedRepo::open(hosted.repo.clone()).map_err(HubError::Cite)?;
-        let creators = cited.function().root().author_list.clone();
-        let deposit = s
+    fn op_deposit(&self, token: &str, repo_id: &str, branch: &str, title: &str) -> Result<Deposit> {
+        let user = self.auth(token)?;
+        let ts = self.tick();
+        let cell = self.repo(repo_id)?;
+        let (tip, tree, creators) = {
+            let hosted = cell.read();
+            check(&hosted, &user.username, Action::Write)?;
+            let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
+            let tree = hosted.repo.tree_of(tip).map_err(HubError::Git)?;
+            // Creators come from the root citation's author list.
+            let cited = CitedRepo::open(hosted.repo.clone()).map_err(HubError::Cite)?;
+            let creators = cited.function().root().author_list.clone();
+            (tip, tree, creators)
+        };
+        let deposit = self
             .zenodo
+            .lock()
             .deposit(repo_id, tip, tree, title, creators, ts)
             .clone();
-        s.audit
-            .record(ts, Some(&user.username), "deposit", repo_id, true);
+        self.record(ts, Some(&user.username), "deposit", repo_id, true);
         Ok(deposit)
     }
 
-    /// Resolves a DOI minted by [`Hub::deposit`].
-    pub fn resolve_doi(&self, doi: &str) -> Result<Deposit> {
-        let s = self.state.lock();
-        s.zenodo
-            .resolve(doi)
-            .cloned()
-            .ok_or_else(|| HubError::DoiNotFound(doi.to_owned()))
-    }
-
-    /// Archives a repository into the Software Heritage simulator.
-    pub fn archive(&self, repo_id: &str) -> Result<ArchiveReport> {
-        let mut s = self.state.lock();
-        let hosted = s
+    fn op_find_repos_citing(&self, author: &str) -> Vec<(String, Vec<RepoPath>)> {
+        let cells: Vec<(String, RepoCell)> = self
             .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        let origin = format!("{}/{}", self.base_url, repo_id);
-        let repo = hosted.repo.clone();
-        let report = s.heritage.archive(&origin, &repo)?;
-        let ts = tick(&mut s);
-        s.audit.record(ts, None, "archive", repo_id, true);
-        Ok(report)
-    }
-
-    /// Checks whether an SWHID is archived.
-    pub fn resolve_swhid(&self, swhid: &str) -> Result<(SwhKind, ObjectId)> {
-        self.state.lock().heritage.resolve(swhid)
-    }
-
-    /// Number of archive visits recorded for a repository.
-    pub fn archive_visits(&self, repo_id: &str) -> usize {
-        let origin = format!("{}/{}", self.base_url, repo_id);
-        self.state.lock().heritage.visits(&origin)
-    }
-
-    // ----- credit queries -----------------------------------------------------
-
-    /// Every author credited in a repository's citation function at a
-    /// branch tip, with the citing keys — the "give credit to the
-    /// appropriate contributors" view (paper §1).
-    pub fn credited_authors(
-        &self,
-        repo_id: &str,
-        branch: &str,
-    ) -> Result<Vec<(String, Vec<RepoPath>)>> {
-        let s = self.state.lock();
-        let hosted = s
-            .repos
-            .get(repo_id)
-            .ok_or_else(|| HubError::RepoNotFound(repo_id.to_owned()))?;
-        let mut work = hosted.repo.clone();
-        work.checkout_branch(branch).map_err(HubError::Git)?;
-        let cited = CitedRepo::open(work).map_err(HubError::Cite)?;
-        Ok(cited.credited_authors())
-    }
-
-    /// All hosted repositories whose current citation function credits
-    /// `author`, with the citing keys per repository — a platform-wide
-    /// credit search.
-    pub fn find_repos_citing(&self, author: &str) -> Vec<(String, Vec<RepoPath>)> {
-        let s = self.state.lock();
+            .read()
+            .iter()
+            .map(|(id, cell)| (id.clone(), Arc::clone(cell)))
+            .collect();
         let mut out = Vec::new();
-        for (repo_id, hosted) in &s.repos {
-            let Ok(cited) = CitedRepo::open(hosted.repo.clone()) else {
+        for (repo_id, cell) in cells {
+            let repo = cell.read().repo.clone();
+            let Ok(cited) = CitedRepo::open(repo) else {
                 continue;
             };
             let paths: Vec<RepoPath> = cited
@@ -807,28 +1331,62 @@ impl Hub {
                 .map(|(p, _)| p.clone())
                 .collect();
             if !paths.is_empty() {
-                out.push((repo_id.clone(), paths));
+                out.push((repo_id, paths));
             }
         }
         out
     }
 
-    // ----- audit -------------------------------------------------------------
-
-    /// A snapshot of the audit log.
-    pub fn audit_log(&self) -> Vec<AuditEvent> {
-        self.state.lock().audit.events().to_vec()
+    fn op_maintenance(&self) -> Result<Vec<RepoMaintenance>> {
+        let cells: Vec<(String, RepoCell)> = self
+            .repos
+            .read()
+            .iter()
+            .map(|(id, cell)| (id.clone(), Arc::clone(cell)))
+            .collect();
+        let mut out = Vec::new();
+        for (repo_id, cell) in cells {
+            let mut hosted = cell.write();
+            let roots: Vec<ObjectId> = hosted.repo.branches().map(|(_, tip)| tip).collect();
+            // One sick repository must not stop the rest from compacting:
+            // gc failures are reported per-repo, never aborting the sweep.
+            let entry = match hosted.repo.odb_mut().maintain(&roots) {
+                None => RepoMaintenance {
+                    repo_id,
+                    supported: false,
+                    packed: 0,
+                    dropped: 0,
+                    error: None,
+                },
+                Some(Ok(report)) => RepoMaintenance {
+                    repo_id,
+                    supported: true,
+                    packed: report.packed as u64,
+                    dropped: report.dropped as u64,
+                    error: None,
+                },
+                Some(Err(e)) => RepoMaintenance {
+                    repo_id,
+                    supported: true,
+                    packed: 0,
+                    dropped: 0,
+                    error: Some(e.to_string()),
+                },
+            };
+            out.push(entry);
+        }
+        let ok = out.iter().all(|e| e.error.is_none());
+        let ts = self.tick();
+        self.record(ts, None, "maintenance", "*", ok);
+        Ok(out)
     }
 }
 
-fn tick(s: &mut HubState) -> i64 {
-    s.clock += 1;
-    s.clock
-}
-
-fn auth<'a>(s: &'a HubState, token: &Token) -> Result<&'a User> {
-    let username = s.tokens.get(&token.0).ok_or(HubError::AuthFailed)?;
-    s.users.get(username).ok_or(HubError::AuthFailed)
+fn unexpected(response: &ApiResponse) -> HubError {
+    HubError::Protocol(format!(
+        "response shape does not match the request (got {})",
+        response.kind()
+    ))
 }
 
 fn check(hosted: &HostedRepo, username: &str, action: Action) -> Result<()> {
@@ -1124,10 +1682,7 @@ mod tests {
         let report = hub
             .merge_branches(&token, &repo_id, "main", "gui", MergeStrategy::Union)
             .unwrap();
-        assert!(matches!(
-            report.outcome,
-            citekit::MergeCiteOutcome::Merged(_)
-        ));
+        assert!(matches!(report.outcome, MergeOutcome::Merged(_)));
         // The merged branch resolves gui files to the gui citation.
         let c = hub
             .generate_citation(&repo_id, "main", &path("gui/app.js"))
@@ -1181,5 +1736,106 @@ mod tests {
         for (i, e) in log.iter().enumerate() {
             assert_eq!(e.seq, i as u64);
         }
+    }
+
+    #[test]
+    fn store_stats_reports_objects_and_cache() {
+        // MemStore-backed repos: object count, no cache in the stack.
+        let (hub, _, repo_id) = hub_with_repo();
+        let stats = hub.store_stats(&repo_id).unwrap();
+        assert_eq!(stats.repo_id, repo_id);
+        assert!(stats.objects > 0);
+        assert!(stats.cache.is_none());
+        assert!(matches!(
+            hub.store_stats("nobody/none"),
+            Err(HubError::RepoNotFound(_))
+        ));
+
+        // CachedStore-backed repos expose their LRU counters.
+        let data_dir =
+            std::env::temp_dir().join(format!("hub-store-stats-{}-{:p}", std::process::id(), &hub));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let hub2 = Hub::with_pack_storage("https://hub.example", &data_dir).unwrap();
+        hub2.register_user("ann", "Ann").unwrap();
+        let ann = hub2.login("ann").unwrap();
+        let rid = hub2.create_repo(&ann, "cached").unwrap();
+        // Reads served straight off the hosted store hit its LRU.
+        hub2.list_files(&rid, "main").unwrap();
+        hub2.list_files(&rid, "main").unwrap();
+        let stats = hub2.store_stats(&rid).unwrap();
+        let cache = stats.cache.expect("pack storage stacks a read cache");
+        assert!(cache.hits + cache.misses > 0, "reads were counted");
+        assert!(cache.hits > 0, "repeat walks hit the cache");
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+
+    #[test]
+    fn maintenance_gcs_pack_backed_repos() {
+        let data_dir = std::env::temp_dir().join(format!("hub-maintenance-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let hub = Hub::with_pack_storage("https://hub.example", &data_dir).unwrap();
+        hub.register_user("ann", "Ann").unwrap();
+        let ann = hub.login("ann").unwrap();
+        let a = hub.create_repo(&ann, "one").unwrap();
+        let b = hub.create_repo(&ann, "two").unwrap();
+        // Grow some history so there is something to pack.
+        for (i, repo_id) in [&a, &b].into_iter().enumerate() {
+            let mut c = hub
+                .generate_citation(repo_id, "main", &RepoPath::root())
+                .unwrap();
+            c.note = Some(format!("pass {i}"));
+            hub.modify_cite(&ann, repo_id, "main", &RepoPath::root(), c)
+                .unwrap();
+        }
+        let report = hub.maintenance().unwrap();
+        assert_eq!(report.len(), 2);
+        for entry in &report {
+            assert!(entry.supported, "{} backend supports gc", entry.repo_id);
+            assert!(entry.packed > 0, "{} packed objects", entry.repo_id);
+        }
+        // Repositories still serve reads after compaction.
+        let c = hub
+            .generate_citation(&a, "main", &RepoPath::root())
+            .unwrap();
+        assert_eq!(c.note.as_deref(), Some("pass 0"));
+        // Mem-backed hubs report unsupported instead of failing.
+        let (mem_hub, _, mem_repo) = hub_with_repo();
+        let report = mem_hub.maintenance().unwrap();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].repo_id, mem_repo);
+        assert!(!report[0].supported);
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+
+    #[test]
+    fn wire_round_trip_through_handle_wire() {
+        let (hub, _, repo_id) = hub_with_repo();
+        // A read request over the literal wire encoding.
+        let request = ApiRequest::GenerateCitation {
+            repo_id: repo_id.clone(),
+            branch: "main".into(),
+            path: RepoPath::root(),
+        };
+        let response = ApiResponse::parse(&hub.handle_wire(&request.encode())).unwrap();
+        match response.into_result().unwrap() {
+            ApiResponse::Citation(c) => assert_eq!(c.repo_name, "P1"),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Errors carry structured codes.
+        let request = ApiRequest::Branches {
+            repo_id: "nobody/none".into(),
+        };
+        let response = ApiResponse::parse(&hub.handle_wire(&request.encode())).unwrap();
+        let ApiResponse::Error(err) = response else {
+            panic!("expected an error response");
+        };
+        assert_eq!(err.code, crate::api::ErrorCode::RepoNotFound);
+        assert_eq!(err.detail.as_deref(), Some("nobody/none"));
+        // Garbage is a protocol error, not a panic.
+        let text = hub.handle_wire("not json");
+        let ApiResponse::Error(err) = ApiResponse::parse(&text).unwrap() else {
+            panic!("expected an error response");
+        };
+        assert_eq!(err.code, crate::api::ErrorCode::Protocol);
     }
 }

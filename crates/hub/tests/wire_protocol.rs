@@ -1,0 +1,608 @@
+//! Property tests for the wire protocol: any [`ApiRequest`] or
+//! [`ApiResponse`] the generators can produce must survive
+//! encode → sjson parse → equal, plus golden-string fixtures pinning the
+//! exact wire form of one request per method family (the strings a
+//! non-Rust client would have to produce).
+
+use citekit::{Citation, MergeStrategy, Resolution};
+use gitlite::{CacheStats, ObjectId, RepoPath};
+use hub::api::{
+    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, RepoBundle, RepoMaintenance,
+    StoreStats, WireError,
+};
+use hub::{ArchiveReport, AuditEvent, Deposit, LogEntry, Role, SwhKind, User};
+use proptest::prelude::*;
+
+// ----- generators ----------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}".prop_map(|s| s)
+}
+
+fn arb_repo_id() -> impl Strategy<Value = String> {
+    ("[a-z]{1,6}", "[a-z]{1,6}").prop_map(|(o, n)| format!("{o}/{n}"))
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable ASCII plus some escapes; sjson's own proptests cover the
+    // full unicode space.
+    "[ -~]{0,16}".prop_map(|s| s)
+}
+
+fn arb_path() -> impl Strategy<Value = RepoPath> {
+    prop::collection::vec("[a-z0-9]{1,5}", 0..4)
+        .prop_map(|cs| RepoPath::parse(&cs.join("/")).expect("generated components are valid"))
+}
+
+fn arb_id() -> impl Strategy<Value = ObjectId> {
+    any::<u64>().prop_map(|n| ObjectId::hash_bytes(&n.to_be_bytes()))
+}
+
+fn arb_citation() -> impl Strategy<Value = Citation> {
+    (
+        (arb_text(), arb_text(), arb_text(), arb_text(), arb_text()),
+        prop::collection::vec(arb_text(), 0..3),
+        prop::option::of(arb_text()),
+        prop::option::of(arb_text()),
+        any::<i64>(),
+    )
+        .prop_map(
+            |((name, owner, date, commit, url), authors, doi, note, stars)| {
+                let mut b = Citation::builder(name, owner)
+                    .commit(commit, date)
+                    .url(url)
+                    .authors(authors)
+                    .extra("stars", stars);
+                if let Some(d) = doi {
+                    b = b.doi(d);
+                }
+                if let Some(n) = note {
+                    b = b.note(n);
+                }
+                b.build()
+            },
+        )
+}
+
+fn arb_role() -> impl Strategy<Value = Role> {
+    prop_oneof![Just(Role::Reader), Just(Role::Member), Just(Role::Owner)]
+}
+
+fn arb_strategy() -> impl Strategy<Value = MergeStrategy> {
+    prop_oneof![
+        Just(MergeStrategy::Union),
+        Just(MergeStrategy::Ours),
+        Just(MergeStrategy::Theirs),
+        Just(MergeStrategy::ThreeWay),
+    ]
+}
+
+fn arb_bundle() -> impl Strategy<Value = RepoBundle> {
+    (
+        arb_name(),
+        prop::option::of(arb_name()),
+        prop::collection::vec((arb_name(), arb_id()), 0..3),
+        prop::collection::vec((arb_id(), prop::collection::vec(any::<u8>(), 0..24)), 0..4),
+    )
+        .prop_map(|(name, head, refs, objects)| RepoBundle {
+            name,
+            head,
+            refs,
+            objects,
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = ApiRequest> {
+    let token = || "[a-z0-9_]{4,12}".prop_map(|s: String| s);
+    prop_oneof![
+        (arb_name(), arb_text()).prop_map(|(username, display_name)| ApiRequest::RegisterUser {
+            username,
+            display_name
+        }),
+        arb_name().prop_map(|username| ApiRequest::Login { username }),
+        token().prop_map(|token| ApiRequest::Revoke { token }),
+        token().prop_map(|token| ApiRequest::Whoami { token }),
+        (token(), arb_name()).prop_map(|(token, name)| ApiRequest::CreateRepo { token, name }),
+        (token(), arb_name(), arb_bundle()).prop_map(|(token, name, bundle)| {
+            ApiRequest::ImportRepo {
+                token,
+                name,
+                bundle,
+            }
+        }),
+        (token(), arb_repo_id(), arb_name(), arb_role()).prop_map(
+            |(token, repo_id, username, role)| ApiRequest::AddMember {
+                token,
+                repo_id,
+                username,
+                role
+            }
+        ),
+        (arb_repo_id(), arb_name())
+            .prop_map(|(repo_id, username)| ApiRequest::RoleOf { repo_id, username }),
+        (token(), arb_repo_id())
+            .prop_map(|(token, repo_id)| ApiRequest::CanWrite { token, repo_id }),
+        Just(ApiRequest::ListRepos),
+        arb_repo_id().prop_map(|repo_id| ApiRequest::Branches { repo_id }),
+        (arb_repo_id(), arb_name())
+            .prop_map(|(repo_id, branch)| ApiRequest::ListFiles { repo_id, branch }),
+        (arb_repo_id(), arb_name(), arb_path()).prop_map(|(repo_id, branch, path)| {
+            ApiRequest::ReadFile {
+                repo_id,
+                branch,
+                path,
+            }
+        }),
+        (arb_repo_id(), arb_name())
+            .prop_map(|(repo_id, branch)| ApiRequest::Log { repo_id, branch }),
+        arb_repo_id().prop_map(|repo_id| ApiRequest::CloneRepo { repo_id }),
+        (arb_repo_id(), arb_name(), arb_path()).prop_map(|(repo_id, branch, path)| {
+            ApiRequest::GenerateCitation {
+                repo_id,
+                branch,
+                path,
+            }
+        }),
+        (arb_repo_id(), arb_name(), arb_path()).prop_map(|(repo_id, branch, path)| {
+            ApiRequest::CitationEntry {
+                repo_id,
+                branch,
+                path,
+            }
+        }),
+        (
+            token(),
+            arb_repo_id(),
+            arb_name(),
+            arb_path(),
+            arb_citation()
+        )
+            .prop_map(
+                |(token, repo_id, branch, path, citation)| ApiRequest::AddCite {
+                    token,
+                    repo_id,
+                    branch,
+                    path,
+                    citation,
+                }
+            ),
+        (
+            token(),
+            arb_repo_id(),
+            arb_name(),
+            arb_path(),
+            arb_citation()
+        )
+            .prop_map(
+                |(token, repo_id, branch, path, citation)| ApiRequest::ModifyCite {
+                    token,
+                    repo_id,
+                    branch,
+                    path,
+                    citation,
+                }
+            ),
+        (token(), arb_repo_id(), arb_name(), arb_path()).prop_map(
+            |(token, repo_id, branch, path)| ApiRequest::DelCite {
+                token,
+                repo_id,
+                branch,
+                path,
+            }
+        ),
+        (
+            token(),
+            arb_repo_id(),
+            arb_name(),
+            any::<bool>(),
+            arb_bundle()
+        )
+            .prop_map(|(token, repo_id, branch, force, bundle)| ApiRequest::Push {
+                token,
+                repo_id,
+                branch,
+                force,
+                bundle,
+            }),
+        (token(), arb_repo_id(), arb_name()).prop_map(|(token, src_repo_id, new_name)| {
+            ApiRequest::Fork {
+                token,
+                src_repo_id,
+                new_name,
+            }
+        }),
+        (
+            token(),
+            arb_repo_id(),
+            arb_name(),
+            arb_name(),
+            arb_strategy()
+        )
+            .prop_map(|(token, repo_id, branch, other_branch, strategy)| {
+                ApiRequest::MergeBranches {
+                    token,
+                    repo_id,
+                    branch,
+                    other_branch,
+                    strategy,
+                }
+            }),
+        (token(), arb_repo_id(), arb_name(), arb_text()).prop_map(
+            |(token, repo_id, branch, title)| ApiRequest::Deposit {
+                token,
+                repo_id,
+                branch,
+                title,
+            }
+        ),
+        arb_text().prop_map(|doi| ApiRequest::ResolveDoi { doi }),
+        arb_repo_id().prop_map(|repo_id| ApiRequest::Archive { repo_id }),
+        arb_text().prop_map(|swhid| ApiRequest::ResolveSwhid { swhid }),
+        arb_repo_id().prop_map(|repo_id| ApiRequest::ArchiveVisits { repo_id }),
+        (arb_repo_id(), arb_name())
+            .prop_map(|(repo_id, branch)| ApiRequest::CreditedAuthors { repo_id, branch }),
+        arb_text().prop_map(|author| ApiRequest::FindReposCiting { author }),
+        Just(ApiRequest::AuditLog),
+        arb_repo_id().prop_map(|repo_id| ApiRequest::StoreStats { repo_id }),
+        Just(ApiRequest::Maintenance),
+        any::<i64>().prop_map(|ts| ApiRequest::AdvanceClock { ts }),
+    ]
+}
+
+fn arb_resolution() -> impl Strategy<Value = Resolution> {
+    prop_oneof![
+        Just(Resolution::Ours),
+        Just(Resolution::Theirs),
+        Just(Resolution::Drop),
+        Just(Resolution::Unresolved),
+        arb_citation().prop_map(Resolution::Custom),
+    ]
+}
+
+fn arb_merge_summary() -> impl Strategy<Value = MergeSummary> {
+    (
+        prop_oneof![
+            Just(MergeOutcome::AlreadyUpToDate),
+            arb_id().prop_map(MergeOutcome::FastForwarded),
+            arb_id().prop_map(MergeOutcome::Merged),
+        ],
+        prop::collection::vec((arb_path(), arb_resolution()), 0..3),
+        prop::collection::vec(arb_path(), 0..3),
+    )
+        .prop_map(|(outcome, citation_conflicts, dropped)| MergeSummary {
+            outcome,
+            citation_conflicts,
+            dropped,
+        })
+}
+
+fn arb_error() -> impl Strategy<Value = WireError> {
+    (
+        prop_oneof![
+            Just(ErrorCode::AuthFailed),
+            Just(ErrorCode::PermissionDenied),
+            Just(ErrorCode::UserNotFound),
+            Just(ErrorCode::RepoNotFound),
+            Just(ErrorCode::BadRequest),
+            Just(ErrorCode::NonFastForward),
+            Just(ErrorCode::AlreadyCited),
+            Just(ErrorCode::Cite),
+            Just(ErrorCode::Git),
+            Just(ErrorCode::Protocol),
+        ],
+        arb_text(),
+        prop::option::of(arb_text()),
+    )
+        .prop_map(|(code, message, detail)| WireError {
+            code,
+            message,
+            detail,
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = ApiResponse> {
+    let small = || any::<u8>().prop_map(u64::from);
+    prop_oneof![
+        Just(ApiResponse::Unit),
+        "[a-z0-9_]{4,12}".prop_map(|t: String| ApiResponse::Token(t)),
+        (arb_name(), arb_text(), arb_text()).prop_map(|(username, display_name, email)| {
+            ApiResponse::User(User {
+                username,
+                display_name,
+                email,
+            })
+        }),
+        arb_repo_id().prop_map(ApiResponse::Id),
+        prop::collection::vec(arb_name(), 0..4).prop_map(ApiResponse::Names),
+        prop::collection::vec(arb_path(), 0..4).prop_map(ApiResponse::Paths),
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(ApiResponse::FileData),
+        prop::collection::vec(
+            (arb_id(), arb_text(), any::<i64>(), arb_text()).prop_map(
+                |(id, author, timestamp, message)| LogEntry {
+                    id,
+                    author,
+                    timestamp,
+                    message,
+                }
+            ),
+            0..3
+        )
+        .prop_map(ApiResponse::Log),
+        arb_citation().prop_map(ApiResponse::Citation),
+        prop::option::of(arb_citation()).prop_map(ApiResponse::CitationOpt),
+        arb_id().prop_map(ApiResponse::Commit),
+        any::<bool>().prop_map(ApiResponse::Bool),
+        prop::option::of(arb_role()).prop_map(ApiResponse::RoleOpt),
+        arb_merge_summary().prop_map(ApiResponse::Merge),
+        (
+            (arb_text(), arb_repo_id(), arb_id(), arb_id()),
+            arb_text(),
+            prop::collection::vec(arb_text(), 0..3),
+            any::<i64>()
+        )
+            .prop_map(
+                |((doi, repo_id, version, tree), title, creators, deposited_at)| {
+                    ApiResponse::Deposit(Deposit {
+                        doi,
+                        repo_id,
+                        version,
+                        tree,
+                        title,
+                        creators,
+                        deposited_at,
+                    })
+                }
+            ),
+        (
+            arb_text(),
+            prop::collection::vec(arb_text(), 0..3),
+            (small(), small(), small())
+        )
+            .prop_map(|(origin, heads, (c, d, r))| {
+                ApiResponse::Archive(ArchiveReport {
+                    origin,
+                    heads,
+                    new_objects: (c as usize, d as usize, r as usize),
+                })
+            }),
+        (
+            prop_oneof![
+                Just(SwhKind::Content),
+                Just(SwhKind::Directory),
+                Just(SwhKind::Revision)
+            ],
+            arb_id()
+        )
+            .prop_map(|(kind, id)| ApiResponse::Swhid(kind, id)),
+        small().prop_map(ApiResponse::Count),
+        prop::collection::vec((arb_text(), prop::collection::vec(arb_path(), 0..3)), 0..3)
+            .prop_map(ApiResponse::Credits),
+        prop::collection::vec(
+            (
+                (small(), any::<i64>()),
+                prop::option::of(arb_name()),
+                arb_name(),
+                arb_text(),
+                any::<bool>()
+            )
+                .prop_map(|((seq, timestamp), actor, action, target, ok)| AuditEvent {
+                    seq,
+                    timestamp,
+                    actor,
+                    action,
+                    target,
+                    ok,
+                }),
+            0..3
+        )
+        .prop_map(ApiResponse::Audit),
+        (
+            arb_repo_id(),
+            small(),
+            prop::option::of((small(), small(), small(), small(), small()))
+        )
+            .prop_map(|(repo_id, objects, cache)| {
+                ApiResponse::Stats(StoreStats {
+                    repo_id,
+                    objects,
+                    cache: cache.map(|(hits, misses, evictions, len, capacity)| CacheStats {
+                        hits,
+                        misses,
+                        evictions,
+                        len: len as usize,
+                        capacity: capacity as usize,
+                    }),
+                })
+            }),
+        prop::collection::vec(
+            (
+                arb_repo_id(),
+                any::<bool>(),
+                small(),
+                small(),
+                prop::option::of(arb_text())
+            )
+                .prop_map(|(repo_id, supported, packed, dropped, error)| {
+                    RepoMaintenance {
+                        repo_id,
+                        supported,
+                        packed,
+                        dropped,
+                        error,
+                    }
+                }),
+            0..3
+        )
+        .prop_map(ApiResponse::Maintenance),
+        arb_bundle().prop_map(ApiResponse::Bundle),
+        arb_error().prop_map(ApiResponse::Error),
+    ]
+}
+
+// ----- the properties ------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn requests_round_trip(req in arb_request()) {
+        let text = req.encode();
+        let back = ApiRequest::parse(&text).expect("encoded request must parse");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn responses_round_trip(resp in arb_response()) {
+        let text = resp.encode();
+        let back = ApiResponse::parse(&text).expect("encoded response must parse");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn request_parser_never_panics(s in "\\PC{0,64}") {
+        let _ = ApiRequest::parse(&s);
+    }
+
+    #[test]
+    fn response_parser_never_panics(s in "\\PC{0,64}") {
+        let _ = ApiResponse::parse(&s);
+    }
+}
+
+// ----- golden fixtures: one request per method family ----------------------
+//
+// These pin the exact bytes a non-Rust client must produce. Breaking one
+// of these strings means the protocol version must be bumped.
+
+fn golden(req: ApiRequest, expected: &str) {
+    assert_eq!(
+        req.encode(),
+        expected,
+        "encoding drifted for {}",
+        req.method()
+    );
+    assert_eq!(
+        ApiRequest::parse(expected).unwrap(),
+        req,
+        "golden string no longer parses for {}",
+        req.method()
+    );
+}
+
+#[test]
+fn golden_auth_family() {
+    golden(
+        ApiRequest::Login {
+            username: "ann".into(),
+        },
+        r#"{"v":1,"method":"login","params":{"username":"ann"}}"#,
+    );
+}
+
+#[test]
+fn golden_repo_family() {
+    golden(
+        ApiRequest::AddMember {
+            token: "ghp_1".into(),
+            repo_id: "ann/p".into(),
+            username: "bob".into(),
+            role: Role::Member,
+        },
+        r#"{"v":1,"method":"add_member","params":{"token":"ghp_1","repo_id":"ann/p","username":"bob","role":"member"}}"#,
+    );
+}
+
+#[test]
+fn golden_read_family() {
+    golden(
+        ApiRequest::ReadFile {
+            repo_id: "ann/p".into(),
+            branch: "main".into(),
+            path: RepoPath::parse("src/lib.rs").unwrap(),
+        },
+        r#"{"v":1,"method":"read_file","params":{"repo_id":"ann/p","branch":"main","path":"src/lib.rs"}}"#,
+    );
+}
+
+#[test]
+fn golden_citation_family() {
+    golden(
+        ApiRequest::AddCite {
+            token: "ghp_1".into(),
+            repo_id: "ann/p".into(),
+            branch: "main".into(),
+            path: RepoPath::parse("src").unwrap(),
+            citation: Citation::builder("core", "Ann").author("Ann").build(),
+        },
+        r#"{"v":1,"method":"add_cite","params":{"token":"ghp_1","repo_id":"ann/p","branch":"main","path":"src","citation":{"repoName":"core","owner":"Ann","committedDate":"","commitID":"","url":"","authorList":["Ann"]}}}"#,
+    );
+}
+
+#[test]
+fn golden_sync_family() {
+    golden(
+        ApiRequest::MergeBranches {
+            token: "ghp_1".into(),
+            repo_id: "ann/p".into(),
+            branch: "main".into(),
+            other_branch: "gui".into(),
+            strategy: MergeStrategy::Union,
+        },
+        r#"{"v":1,"method":"merge_branches","params":{"token":"ghp_1","repo_id":"ann/p","branch":"main","other_branch":"gui","strategy":"union"}}"#,
+    );
+}
+
+#[test]
+fn golden_archive_family() {
+    golden(
+        ApiRequest::Deposit {
+            token: "ghp_1".into(),
+            repo_id: "ann/p".into(),
+            branch: "main".into(),
+            title: "p v1.0".into(),
+        },
+        r#"{"v":1,"method":"deposit","params":{"token":"ghp_1","repo_id":"ann/p","branch":"main","title":"p v1.0"}}"#,
+    );
+}
+
+#[test]
+fn golden_credit_family() {
+    golden(
+        ApiRequest::FindReposCiting {
+            author: "Ada".into(),
+        },
+        r#"{"v":1,"method":"find_repos_citing","params":{"author":"Ada"}}"#,
+    );
+}
+
+#[test]
+fn golden_operations_family() {
+    golden(
+        ApiRequest::Maintenance,
+        r#"{"v":1,"method":"maintenance","params":{}}"#,
+    );
+    golden(
+        ApiRequest::StoreStats {
+            repo_id: "ann/p".into(),
+        },
+        r#"{"v":1,"method":"store_stats","params":{"repo_id":"ann/p"}}"#,
+    );
+}
+
+#[test]
+fn golden_responses() {
+    let resp = ApiResponse::Commit(
+        ObjectId::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa").unwrap(),
+    );
+    assert_eq!(
+        resp.encode(),
+        r#"{"v":1,"result":{"type":"commit","id":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}}"#
+    );
+    let err = ApiResponse::Error(WireError {
+        code: ErrorCode::RepoNotFound,
+        message: "no such repository: ann/p".into(),
+        detail: Some("ann/p".into()),
+    });
+    assert_eq!(
+        err.encode(),
+        r#"{"v":1,"error":{"code":"repo_not_found","message":"no such repository: ann/p","detail":"ann/p"}}"#
+    );
+}

@@ -252,7 +252,7 @@ fn figure1_on_the_platform() {
     let report = hub
         .merge_branches(&leshang, &p1_id, "main", "copy-arm", MergeStrategy::Union)
         .unwrap();
-    assert!(matches!(report.outcome, MergeCiteOutcome::Merged(_)));
+    assert!(matches!(report.outcome, hub::MergeOutcome::Merged(_)));
 
     // Final resolution through the public GenCite API.
     let f2 = hub
