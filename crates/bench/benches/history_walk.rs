@@ -1,0 +1,200 @@
+//! History-walk bench: commit-graph vs decode walk for `log` and
+//! `merge_base`, on the two shapes that stress them — a deep linear
+//! history (10k commits: the retrofit/audit workload) and a wide
+//! merge-heavy history (parallel branches merged repeatedly: the hub's
+//! collaboration workload).
+//!
+//! Both variants read the *same* pack bytes; the only difference is the
+//! `commit-graph.glcg` sidecar. `graph` stores carry it (written by
+//! `repack()`), `decode` stores had it deleted, so `Repository::log` /
+//! `merge_base` take their always-correct decode fallback. The
+//! acceptance bar from the issue: graph ≥10× faster on the 10k-commit
+//! history, warm. `scripts/bench_history.sh` turns this bench's output
+//! into `BENCH_history.json` so the numbers are tracked PR over PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gitlite::{
+    merge_base, Commit, Object, ObjectId, ObjectStore, PackStore, Repository, Signature, Tree,
+    GRAPH_FILE, PACK_DIR,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gitcite-bench-history-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds commits in memory (one shared empty tree — history shape is
+/// what matters here), returning the object set and the ids in creation
+/// order.
+struct HistoryBuilder {
+    objects: Vec<(ObjectId, Arc<Object>)>,
+    clock: i64,
+}
+
+impl HistoryBuilder {
+    fn new() -> Self {
+        let tree = Tree::new();
+        let objects = vec![(tree.id(), Arc::new(Object::Tree(tree)))];
+        HistoryBuilder { objects, clock: 0 }
+    }
+
+    fn commit(&mut self, msg: String, parents: Vec<ObjectId>) -> ObjectId {
+        self.clock += 1;
+        let c = Commit {
+            tree: self.objects[0].0,
+            parents,
+            author: Signature::new("bench", "b@x", self.clock),
+            message: msg,
+        };
+        let id = c.id();
+        self.objects.push((id, Arc::new(Object::Commit(c))));
+        id
+    }
+}
+
+/// `commits` in one straight line; returns (tip, root).
+fn linear(commits: usize) -> (HistoryBuilder, ObjectId, ObjectId) {
+    let mut h = HistoryBuilder::new();
+    let root = h.commit("c0".into(), vec![]);
+    let mut tip = root;
+    for i in 1..commits {
+        tip = h.commit(format!("c{i}"), vec![tip]);
+    }
+    (h, tip, root)
+}
+
+/// A merge-heavy DAG: `rounds` iterations of {branch 4 ways off the
+/// mainline, advance each branch, merge them back pairwise}. Returns the
+/// two final diverged tips (never merged with each other) whose base is
+/// `rounds` merges deep.
+fn merge_heavy(rounds: usize) -> (HistoryBuilder, ObjectId, ObjectId) {
+    let mut h = HistoryBuilder::new();
+    let mut mainline = h.commit("root".into(), vec![]);
+    for r in 0..rounds {
+        let branches: Vec<ObjectId> = (0..4)
+            .map(|b| {
+                let side = h.commit(format!("b{r}-{b}"), vec![mainline]);
+                h.commit(format!("b{r}-{b}+",), vec![side])
+            })
+            .collect();
+        let left = h.commit(format!("m{r}-l"), vec![branches[0], branches[1]]);
+        let right = h.commit(format!("m{r}-r"), vec![branches[2], branches[3]]);
+        mainline = h.commit(format!("m{r}"), vec![left, right]);
+    }
+    let tip_a = h.commit("final-a".into(), vec![mainline]);
+    let tip_b = h.commit("final-b".into(), vec![mainline]);
+    (h, tip_a, tip_b)
+}
+
+/// Materializes a history into two identical pack stores — one with the
+/// commit-graph sidecar, one without — and returns (graph, decode)
+/// handles.
+fn packed_pair(tag: &str, builder: &HistoryBuilder) -> (PackStore, PackStore) {
+    let graph_dir = temp_dir(&format!("{tag}-graph"));
+    let decode_dir = temp_dir(&format!("{tag}-decode"));
+    for dir in [&graph_dir, &decode_dir] {
+        let mut store = PackStore::open(dir).unwrap();
+        store.put_many(builder.objects.clone());
+        store.repack().unwrap();
+    }
+    strip_graph(&decode_dir);
+    let graph = PackStore::open(&graph_dir).unwrap();
+    let decode = PackStore::open(&decode_dir).unwrap();
+    assert!(graph.commit_graph().is_some());
+    assert!(decode.commit_graph().is_none());
+    (graph, decode)
+}
+
+fn strip_graph(dir: &Path) {
+    std::fs::remove_file(dir.join(PACK_DIR).join(GRAPH_FILE)).unwrap();
+}
+
+fn repo_on(store: PackStore, tip: ObjectId) -> Repository {
+    let mut repo = Repository::init_with("bench", Box::new(store));
+    repo.set_branch("main", tip).unwrap();
+    repo
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("history_walk");
+
+    // ----- deep linear history: log ------------------------------------
+    for commits in [1_000usize, 10_000] {
+        let (builder, tip, root) = linear(commits);
+        let (graph_store, decode_store) = packed_pair(&format!("lin{commits}"), &builder);
+        let graph_repo = repo_on(graph_store, tip);
+        let decode_repo = repo_on(decode_store, tip);
+        // Sanity: identical answers before measuring.
+        assert_eq!(graph_repo.log(tip).unwrap(), decode_repo.log(tip).unwrap());
+
+        g.bench_with_input(BenchmarkId::new("log_graph", commits), &commits, |b, _| {
+            b.iter(|| criterion::black_box(graph_repo.log(tip).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("log_decode", commits), &commits, |b, _| {
+            b.iter(|| criterion::black_box(decode_repo.log(tip).unwrap()))
+        });
+
+        // merge_base across the full depth: tip vs root on the linear
+        // chain (the ancestor-containment fast path for decode, a
+        // two-lookup pop for the graph).
+        g.bench_with_input(
+            BenchmarkId::new("merge_base_linear_graph", commits),
+            &commits,
+            |b, _| {
+                b.iter(|| criterion::black_box(merge_base(graph_repo.odb(), tip, root).unwrap()))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("merge_base_linear_decode", commits),
+            &commits,
+            |b, _| {
+                b.iter(|| criterion::black_box(merge_base(decode_repo.odb(), tip, root).unwrap()))
+            },
+        );
+    }
+
+    // ----- wide merge-heavy history: merge_base ------------------------
+    for rounds in [100usize, 1_000] {
+        let (builder, tip_a, tip_b) = merge_heavy(rounds);
+        let commits = builder.objects.len() - 1;
+        let (graph_store, decode_store) = packed_pair(&format!("mh{rounds}"), &builder);
+        assert_eq!(
+            merge_base(&graph_store, tip_a, tip_b).unwrap(),
+            merge_base(&decode_store, tip_a, tip_b).unwrap()
+        );
+        eprintln!("merge_heavy/{rounds}: {commits} commits");
+
+        g.bench_with_input(
+            BenchmarkId::new("merge_base_graph", rounds),
+            &rounds,
+            |b, _| b.iter(|| criterion::black_box(merge_base(&graph_store, tip_a, tip_b).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("merge_base_decode", rounds),
+            &rounds,
+            |b, _| {
+                b.iter(|| criterion::black_box(merge_base(&decode_store, tip_a, tip_b).unwrap()))
+            },
+        );
+    }
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

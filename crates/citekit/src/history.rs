@@ -102,19 +102,12 @@ impl CitedRepo {
     /// where the entry appeared, changed or disappeared.
     pub fn citation_log(&self, path: &RepoPath) -> Result<Vec<CitationEvent>> {
         let head = self.repo().head_commit().map_err(CiteError::Git)?;
-        // First-parent chain, oldest first.
-        let mut chain = Vec::new();
-        let mut cursor = Some(head);
-        while let Some(id) = cursor {
-            chain.push(id);
-            cursor = self
-                .repo()
-                .commit_obj(id)
-                .map_err(CiteError::Git)?
-                .parents
-                .first()
-                .copied();
-        }
+        // First-parent chain, oldest first — served from the store's
+        // commit-graph when one covers HEAD (no commit decodes).
+        let mut chain = self
+            .repo()
+            .first_parent_chain(head)
+            .map_err(CiteError::Git)?;
         chain.reverse();
 
         let mut events = Vec::new();

@@ -1,0 +1,81 @@
+//! The citation layer's audit scans (`citation_log`, retrofit's history
+//! walk) must return identical results whether or not the backing store
+//! carries a commit-graph — the graph is an accelerator, never a
+//! behavior change.
+
+use citekit::{Citation, CitedRepo};
+use gitlite::{path, ObjectId, PackStore, Signature};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "citekit-graph-test-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn citation_log_is_identical_with_and_without_the_graph() {
+    let dir = temp_dir("citation-log");
+    let store = PackStore::open(&dir).unwrap();
+    let mut cited = CitedRepo::init_with_store("p", "Owner", "https://x/p", Box::new(store));
+    let f = path("f.txt");
+    cited.write_file(&f, &b"f\n"[..]).unwrap();
+    cited
+        .commit(Signature::new("Owner", "o@x", 100), "V1")
+        .unwrap();
+    cited
+        .add_cite(&f, Citation::builder("c1", "Alice").build())
+        .unwrap();
+    cited
+        .commit(Signature::new("Alice", "a@x", 200), "V2")
+        .unwrap();
+    cited
+        .modify_cite(&f, Citation::builder("c2", "Bob").build())
+        .unwrap();
+    cited
+        .commit(Signature::new("Bob", "b@x", 300), "V3")
+        .unwrap();
+    cited.del_cite(&f).unwrap();
+    cited
+        .commit(Signature::new("Carol", "c@x", 400), "V4")
+        .unwrap();
+
+    let before = cited.citation_log(&f).unwrap();
+    assert_eq!(before.len(), 3, "add, modify, delete");
+
+    // Maintenance writes the commit-graph; the audit scan must not move.
+    let roots: Vec<ObjectId> = cited.repo().branches().map(|(_, tip)| tip).collect();
+    cited
+        .repo_mut()
+        .odb_mut()
+        .maintain(&roots)
+        .expect("pack store supports maintenance")
+        .expect("gc succeeds");
+    assert!(
+        cited.repo().odb().commit_graph().is_some(),
+        "graph present after maintenance"
+    );
+    let after = cited.citation_log(&f).unwrap();
+    assert_eq!(before, after);
+
+    // A version created after the graph was written still shows up —
+    // the first-parent walk falls back for uncovered tips.
+    cited
+        .add_cite(&f, Citation::builder("c3", "Dan").build())
+        .unwrap();
+    cited
+        .commit(Signature::new("Dan", "d@x", 500), "V5")
+        .unwrap();
+    let extended = cited.citation_log(&f).unwrap();
+    assert_eq!(extended.len(), 4);
+    assert_eq!(extended.last().unwrap().author, "Dan");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -421,6 +421,10 @@ fn cmd_gc(cwd: &Path) -> Result<String> {
         "dropped {} unreachable object(s); removed {} loose file(s) and {} old pack(s)\n",
         report.dropped, report.loose_removed, report.packs_removed
     ));
+    out.push_str(&format!(
+        "commit graph: {} commit(s) indexed\n",
+        report.graph_commits
+    ));
     Ok(out)
 }
 

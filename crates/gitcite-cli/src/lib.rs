@@ -515,8 +515,20 @@ mod tests {
         assert!(out.contains("packed "), "{out}");
         assert!(out.contains("dropped 1 unreachable object(s)"), "{out}");
 
-        // A handful of files remain: 1 pack + 1 idx under objects/.
-        assert_eq!(count_files(&objects), 2, "pack + idx only");
+        // A handful of files remain: 1 pack + 1 idx + 1 commit-graph
+        // under objects/.
+        assert_eq!(count_files(&objects), 3, "pack + idx + graph only");
+        assert!(out.contains("commit graph: "), "{out}");
+        assert!(
+            objects.join("pack").join(gitlite::GRAPH_FILE).is_file(),
+            "gc wrote the commit-graph sidecar"
+        );
+        // And the reopened store actually serves walks from it.
+        {
+            use gitlite::ObjectStore;
+            let store = gitlite::PackStore::open(&objects).unwrap();
+            assert!(store.commit_graph().is_some());
+        }
 
         // Everything still works: log, resolution, new commits.
         assert!(ok(&dir, &["log"]).contains("V2"));

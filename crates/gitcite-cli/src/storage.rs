@@ -10,6 +10,7 @@
 //!   .gitcite/
 //!     objects/pack/pack-<checksum>.pack   # consolidated objects
 //!     objects/pack/pack-<checksum>.idx    # fanout index into the pack
+//!     objects/pack/commit-graph.glcg      # commit-graph history index
 //!     objects/ab/cdef...                  # loose overflow (new writes)
 //!     refs                 # "<branch> <hex>" per line
 //!     HEAD                 # "branch <name>" | "detached <hex>" | "unborn <name>"
@@ -32,9 +33,11 @@
 //! so a crash mid-save can never leave a truncated ref file behind.
 //!
 //! New commits always write *loose* objects; `gitcite gc` ([`gc`])
-//! consolidates them into a fresh pack and drops unreachable objects. A
-//! repository persisted by the older loose-only layout opens unchanged
-//! (packs simply do not exist until the first `gc`).
+//! consolidates them into a fresh pack, drops unreachable objects, and
+//! rewrites the commit-graph ([`gitlite::CommitGraph`]) so subsequent
+//! `log`/`history`/merge-base walks never decode commits. A repository
+//! persisted by the older loose-only layout opens unchanged (packs and
+//! the graph simply do not exist until the first `gc`).
 //!
 //! Loading reads the worktree back from the real files, so edits made with
 //! any editor are picked up — exactly how Git behaves.

@@ -43,7 +43,10 @@ pub fn annotate(repo: &Repository, from: ObjectId, path: &RepoPath) -> Result<Ve
     let mut cursor = from;
 
     loop {
-        let commit = repo.commit_obj(cursor)?;
+        // Read the commit in place — one fetch, no clone — and pull out
+        // only what attribution needs.
+        let obj = repo.odb().commit_ref(cursor)?;
+        let commit = obj.as_commit().expect("checked kind");
         let parent = commit.parents.first().copied();
         let parent_lines: Option<Vec<String>> = match parent {
             Some(p) => match repo.file_at(p, path) {

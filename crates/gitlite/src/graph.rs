@@ -1,0 +1,950 @@
+//! The commit-graph: a persisted, generation-numbered index of commit
+//! history that makes ancestry walks near O(output).
+//!
+//! Every history question this system answers — `log`, `merge_base`,
+//! reachability for push/fork checks and gc root closures, the citation
+//! layer's audit scans — is a walk over the commit DAG. Without an index,
+//! each visited commit must be fetched from the object store and decoded
+//! from its canonical bytes, so a walk over an N-commit history costs
+//! N store lookups *and* N decodes, every time. The commit-graph
+//! (mirroring real Git's `commit-graph` file) precomputes exactly the
+//! fields walks need and stores parents as *positions* into the index
+//! itself, so a warm walk never touches the object store at all.
+//!
+//! # The `GLCG` file
+//!
+//! Same framing discipline as the pack formats ([`crate::pack`]): all
+//! integers big-endian, a SHA-1 trailer over everything before it, and a
+//! 256-entry fanout table over the sorted id list:
+//!
+//! ```text
+//! "GLCG" | u32 version | u32 count | u32 edge_count
+//! 256 × u32 cumulative fanout
+//! count × 20-byte commit id (sorted ascending)
+//! count × ( 20-byte tree id | i64 timestamp | u32 generation
+//!         | u32 parent1 | u32 parent2 )
+//! edge_count × u32 extra parent positions (octopus merges)
+//! 20-byte SHA-1 trailer
+//! ```
+//!
+//! `parent1`/`parent2` are positions into the sorted id table
+//! (`0xffff_ffff` = no parent). A commit with more than two parents sets
+//! the high bit of `parent2`; the low bits then index the extra-edges
+//! table, which lists `parents[1..]` in order, the last entry flagged
+//! with the high bit — exactly Git's octopus encoding. Parent *order* is
+//! preserved (first-parent walks depend on it).
+//!
+//! # Generation numbers
+//!
+//! A commit's generation is the length of the longest path from it to a
+//! root commit (roots have generation 0) — identical to the notion the
+//! decode-walk `merge_base` computes on the fly. Because a parent's
+//! generation is strictly smaller than its child's, generations bound
+//! every ancestry question: an alleged ancestor with generation ≥ the
+//! descendant's can be rejected without walking, and a best-first walk
+//! keyed by `(generation, timestamp, id)` pops commits in strictly
+//! decreasing key order, so the first common ancestor it pops *is* the
+//! best one — no full ancestor sets.
+//!
+//! # Lifecycle
+//!
+//! The file lives next to the packs (`<root>/pack/commit-graph.glcg`)
+//! and is written by [`crate::PackStore::repack`] / [`crate::PackStore::gc`]
+//! (and therefore by `gitcite gc` and the hub's maintenance sweep). On
+//! open, a present-but-corrupt or stale (referencing ids the store no
+//! longer holds) graph is rebuilt from a full scan of the store's commit
+//! objects — the same recovery policy as a damaged `.idx`. A *missing*
+//! graph costs nothing at open and is built by the next maintenance run.
+//! Commits created after the graph was written are simply absent from
+//! it; walks starting at such a commit fall back to the always-correct
+//! decode walk, so a stale graph can delay the speedup but never change
+//! an answer.
+
+use crate::error::{GitError, Result};
+use crate::hash::ObjectId;
+use crate::store::ObjectStore;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Magic bytes opening every commit-graph file.
+pub const GRAPH_MAGIC: &[u8; 4] = b"GLCG";
+/// Current version of the on-disk format.
+pub const GRAPH_VERSION: u32 = 1;
+/// File name of the commit-graph, under the pack directory.
+pub const GRAPH_FILE: &str = "commit-graph.glcg";
+
+const HEADER_LEN: usize = 16; // magic + version + count + edge_count
+const FANOUT_LEN: usize = 1024; // 256 × u32
+const ID_LEN: usize = 20;
+const RECORD_LEN: usize = 40; // tree 20 + timestamp 8 + generation 4 + p1 4 + p2 4
+const TRAILER_LEN: usize = 20; // SHA-1
+
+/// "No parent" sentinel in a record's parent slots.
+const NO_PARENT: u32 = 0xffff_ffff;
+/// High bit of `parent2`: the low bits index the extra-edges table.
+const OCTOPUS_FLAG: u32 = 0x8000_0000;
+/// High bit of an extra-edges entry: last parent of this commit.
+const LAST_EDGE: u32 = 0x8000_0000;
+/// Positions must stay below the flag bits.
+const MAX_COMMITS: usize = 0x7fff_ffff;
+
+/// Everything the graph records about one commit. [`CommitGraph::from_entries`]
+/// consumes these; [`CommitGraph::build`] produces them by walking a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphEntry {
+    /// The commit's id.
+    pub id: ObjectId,
+    /// Its root tree.
+    pub tree: ObjectId,
+    /// Its author timestamp (what `log` orders by).
+    pub timestamp: i64,
+    /// Its parent commit ids, in commit order.
+    pub parents: Vec<ObjectId>,
+}
+
+/// One decoded per-commit record (parents as positions).
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    tree: ObjectId,
+    timestamp: i64,
+    generation: u32,
+    parent1: u32,
+    parent2: u32,
+}
+
+/// An immutable, position-indexed view of a commit DAG: sorted ids, a
+/// fanout table for O(log n) id lookup, and per-commit records whose
+/// parent links are positions back into the table — so every walk is
+/// array reads, never store fetches or decodes.
+#[derive(Debug, Clone)]
+pub struct CommitGraph {
+    fanout: [u32; 256],
+    ids: Vec<ObjectId>,
+    records: Vec<Record>,
+    edges: Vec<u32>,
+}
+
+impl CommitGraph {
+    // ----- construction -------------------------------------------------
+
+    /// Builds a graph over every commit reachable from `tips`, fetching
+    /// and decoding each commit once from `store`. Errors if a reachable
+    /// commit (or parent) is missing.
+    pub fn build<S: ObjectStore + ?Sized>(store: &S, tips: &[ObjectId]) -> Result<CommitGraph> {
+        let mut entries = Vec::new();
+        collect_entries(store, tips, &mut HashSet::new(), &mut entries)?;
+        CommitGraph::from_entries(entries)
+    }
+
+    /// Rebuilds a graph covering this graph's commits **plus** everything
+    /// reachable from `tips`, fetching from `store` only the commits this
+    /// graph does not already describe — the incremental-extension path
+    /// for a graph that is merely stale (new commits since it was
+    /// written).
+    pub fn extend<S: ObjectStore + ?Sized>(
+        &self,
+        store: &S,
+        tips: &[ObjectId],
+    ) -> Result<CommitGraph> {
+        let mut entries: Vec<GraphEntry> = (0..self.ids.len() as u32)
+            .map(|pos| GraphEntry {
+                id: self.ids[pos as usize],
+                tree: self.records[pos as usize].tree,
+                timestamp: self.records[pos as usize].timestamp,
+                parents: self
+                    .parents_of(pos)
+                    .into_iter()
+                    .map(|p| self.ids[p as usize])
+                    .collect(),
+            })
+            .collect();
+        let mut seen: HashSet<ObjectId> = self.ids.iter().copied().collect();
+        collect_entries(store, tips, &mut seen, &mut entries)?;
+        CommitGraph::from_entries(entries)
+    }
+
+    /// Assembles a graph from explicit entries. The set must be *closed*:
+    /// every parent id must itself appear as an entry (missing parents
+    /// are [`GitError::ObjectNotFound`]); a parent cycle — impossible for
+    /// content-addressed commits, but `entries` is caller-supplied — is
+    /// reported as [`GitError::Corrupt`].
+    pub fn from_entries(mut entries: Vec<GraphEntry>) -> Result<CommitGraph> {
+        entries.sort_by_key(|e| e.id);
+        entries.dedup_by(|a, b| a.id == b.id);
+        if entries.len() > MAX_COMMITS {
+            return Err(GitError::Corrupt(format!(
+                "commit-graph: {} commits exceed the format's 2^31-1 limit",
+                entries.len()
+            )));
+        }
+        let pos_of: HashMap<ObjectId, u32> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.id, i as u32))
+            .collect();
+
+        // Parents as positions, preserving order.
+        let mut parent_positions: Vec<Vec<u32>> = Vec::with_capacity(entries.len());
+        for e in &entries {
+            let mut ps = Vec::with_capacity(e.parents.len());
+            for p in &e.parents {
+                match pos_of.get(p) {
+                    Some(&pos) => ps.push(pos),
+                    None => return Err(GitError::ObjectNotFound(*p)),
+                }
+            }
+            parent_positions.push(ps);
+        }
+
+        // Generation numbers: longest path to a root, iteratively (deep
+        // histories must not overflow the call stack), detecting cycles.
+        const UNSET: u32 = u32::MAX;
+        let mut gen = vec![UNSET; entries.len()];
+        let mut on_stack = vec![false; entries.len()];
+        for start in 0..entries.len() {
+            if gen[start] != UNSET {
+                continue;
+            }
+            let mut stack: Vec<(usize, bool)> = vec![(start, false)];
+            while let Some((pos, expanded)) = stack.pop() {
+                if expanded {
+                    on_stack[pos] = false;
+                    gen[pos] = parent_positions[pos]
+                        .iter()
+                        .map(|&p| gen[p as usize] + 1)
+                        .max()
+                        .unwrap_or(0);
+                    continue;
+                }
+                if gen[pos] != UNSET {
+                    continue;
+                }
+                on_stack[pos] = true;
+                stack.push((pos, true));
+                for &p in &parent_positions[pos] {
+                    if gen[p as usize] == UNSET {
+                        if on_stack[p as usize] {
+                            return Err(GitError::Corrupt(
+                                "commit-graph: parent cycle in entries".into(),
+                            ));
+                        }
+                        stack.push((p as usize, false));
+                    }
+                }
+            }
+        }
+
+        // Records plus the octopus extra-edges table.
+        let mut records = Vec::with_capacity(entries.len());
+        let mut edges: Vec<u32> = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            let ps = &parent_positions[i];
+            let (parent1, parent2) = match ps.len() {
+                0 => (NO_PARENT, NO_PARENT),
+                1 => (ps[0], NO_PARENT),
+                2 => (ps[0], ps[1]),
+                _ => {
+                    let at = edges.len() as u32;
+                    for (k, &p) in ps[1..].iter().enumerate() {
+                        let last = k + 2 == ps.len();
+                        edges.push(if last { p | LAST_EDGE } else { p });
+                    }
+                    (ps[0], OCTOPUS_FLAG | at)
+                }
+            };
+            records.push(Record {
+                tree: e.tree,
+                timestamp: e.timestamp,
+                generation: gen[i],
+                parent1,
+                parent2,
+            });
+        }
+        let ids: Vec<ObjectId> = entries.iter().map(|e| e.id).collect();
+        Ok(CommitGraph {
+            fanout: fanout_of(&ids),
+            ids,
+            records,
+            edges,
+        })
+    }
+
+    // ----- encoding -----------------------------------------------------
+
+    /// Serializes the graph into `GLCG` bytes (see the module docs for
+    /// the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            HEADER_LEN
+                + FANOUT_LEN
+                + self.ids.len() * (ID_LEN + RECORD_LEN)
+                + self.edges.len() * 4
+                + TRAILER_LEN,
+        );
+        out.extend_from_slice(GRAPH_MAGIC);
+        out.extend_from_slice(&GRAPH_VERSION.to_be_bytes());
+        out.extend_from_slice(&(self.ids.len() as u32).to_be_bytes());
+        out.extend_from_slice(&(self.edges.len() as u32).to_be_bytes());
+        for f in self.fanout {
+            out.extend_from_slice(&f.to_be_bytes());
+        }
+        for id in &self.ids {
+            out.extend_from_slice(&id.0);
+        }
+        for r in &self.records {
+            out.extend_from_slice(&r.tree.0);
+            out.extend_from_slice(&r.timestamp.to_be_bytes());
+            out.extend_from_slice(&r.generation.to_be_bytes());
+            out.extend_from_slice(&r.parent1.to_be_bytes());
+            out.extend_from_slice(&r.parent2.to_be_bytes());
+        }
+        for e in &self.edges {
+            out.extend_from_slice(&e.to_be_bytes());
+        }
+        let trailer = ObjectId::hash_bytes(&out);
+        out.extend_from_slice(&trailer.0);
+        out
+    }
+
+    /// Parses and validates `GLCG` bytes: magic, version, structural
+    /// sizes, the SHA-1 trailer, fanout monotonicity, id ordering, parent
+    /// position bounds, edge-table termination, and generation-number
+    /// consistency (each commit's generation must be exactly one more
+    /// than its deepest parent's — which also proves acyclicity). A graph
+    /// that parses is safe to walk without further checks.
+    pub fn parse(bytes: &[u8]) -> Result<CommitGraph> {
+        let corrupt = |msg: &str| GitError::Corrupt(format!("commit-graph: {msg}"));
+        if bytes.len() < HEADER_LEN + FANOUT_LEN + TRAILER_LEN {
+            return Err(corrupt("truncated"));
+        }
+        if &bytes[..4] != GRAPH_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
+        if version != GRAPH_VERSION {
+            return Err(corrupt(&format!("unsupported version {version}")));
+        }
+        let count = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let edge_count = u32::from_be_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let expected =
+            HEADER_LEN + FANOUT_LEN + count * (ID_LEN + RECORD_LEN) + edge_count * 4 + TRAILER_LEN;
+        if bytes.len() != expected {
+            return Err(corrupt(&format!(
+                "size mismatch: {} bytes for {count} commits / {edge_count} edges, expected {expected}",
+                bytes.len()
+            )));
+        }
+        let body = &bytes[..bytes.len() - TRAILER_LEN];
+        let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+        if ObjectId::hash_bytes(body).0 != trailer {
+            return Err(corrupt("trailer checksum mismatch"));
+        }
+
+        let mut fanout = [0u32; 256];
+        for i in 0..256 {
+            let at = HEADER_LEN + i * 4;
+            fanout[i] = u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap());
+            if i > 0 && fanout[i] < fanout[i - 1] {
+                return Err(corrupt("fanout not monotone"));
+            }
+        }
+        if fanout[255] as usize != count {
+            return Err(corrupt("fanout total disagrees with count"));
+        }
+
+        let ids_at = HEADER_LEN + FANOUT_LEN;
+        let mut ids = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = ids_at + i * ID_LEN;
+            let mut id = [0u8; 20];
+            id.copy_from_slice(&bytes[at..at + 20]);
+            let id = ObjectId(id);
+            if let Some(prev) = ids.last() {
+                if *prev >= id {
+                    return Err(corrupt("ids not strictly ascending"));
+                }
+            }
+            ids.push(id);
+        }
+
+        let recs_at = ids_at + count * ID_LEN;
+        let mut records = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = recs_at + i * RECORD_LEN;
+            let mut tree = [0u8; 20];
+            tree.copy_from_slice(&bytes[at..at + 20]);
+            records.push(Record {
+                tree: ObjectId(tree),
+                timestamp: i64::from_be_bytes(bytes[at + 20..at + 28].try_into().unwrap()),
+                generation: u32::from_be_bytes(bytes[at + 28..at + 32].try_into().unwrap()),
+                parent1: u32::from_be_bytes(bytes[at + 32..at + 36].try_into().unwrap()),
+                parent2: u32::from_be_bytes(bytes[at + 36..at + 40].try_into().unwrap()),
+            });
+        }
+        let edges_at = recs_at + count * RECORD_LEN;
+        let edges: Vec<u32> = (0..edge_count)
+            .map(|i| {
+                let at = edges_at + i * 4;
+                u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap())
+            })
+            .collect();
+
+        let graph = CommitGraph {
+            fanout,
+            ids,
+            records,
+            edges,
+        };
+        graph.validate_structure()?;
+        Ok(graph)
+    }
+
+    /// Bounds-checks every parent link and re-derives each generation
+    /// from the parents' stored generations (a purely local check that,
+    /// when it holds everywhere, proves the stored generations are the
+    /// true longest-path numbers and the graph is acyclic).
+    fn validate_structure(&self) -> Result<()> {
+        let corrupt = |msg: &str| GitError::Corrupt(format!("commit-graph: {msg}"));
+        let count = self.ids.len() as u32;
+        for pos in 0..count {
+            let r = &self.records[pos as usize];
+            for slot in [r.parent1, r.parent2] {
+                if slot == NO_PARENT {
+                    continue;
+                }
+                if slot & OCTOPUS_FLAG != 0 {
+                    if slot == r.parent1 {
+                        return Err(corrupt("parent1 carries the octopus flag"));
+                    }
+                    let mut at = (slot & !OCTOPUS_FLAG) as usize;
+                    loop {
+                        let Some(&edge) = self.edges.get(at) else {
+                            return Err(corrupt("octopus edge list runs off the table"));
+                        };
+                        if edge & !LAST_EDGE >= count {
+                            return Err(corrupt("octopus parent position out of bounds"));
+                        }
+                        if edge & LAST_EDGE != 0 {
+                            break;
+                        }
+                        at += 1;
+                    }
+                } else if slot >= count {
+                    return Err(corrupt("parent position out of bounds"));
+                }
+            }
+            let expected = self
+                .parents_of(pos)
+                .into_iter()
+                .map(|p| self.records[p as usize].generation.saturating_add(1))
+                .max()
+                .unwrap_or(0);
+            if r.generation != expected {
+                return Err(corrupt("generation numbers inconsistent with parents"));
+            }
+        }
+        Ok(())
+    }
+
+    // ----- lookup -------------------------------------------------------
+
+    /// Number of commits indexed.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no commits are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The indexed commit ids, ascending.
+    pub fn ids(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// Position of `id` in the sorted table: fanout bucket, then binary
+    /// search inside it.
+    pub fn lookup(&self, id: ObjectId) -> Option<u32> {
+        let bucket = id.0[0] as usize;
+        let lo = if bucket == 0 {
+            0
+        } else {
+            self.fanout[bucket - 1] as usize
+        };
+        let hi = self.fanout[bucket] as usize;
+        let i = self.ids[lo..hi].binary_search(&id).ok()?;
+        Some((lo + i) as u32)
+    }
+
+    /// True when the graph describes `id`.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.lookup(id).is_some()
+    }
+
+    /// The commit id at `pos`.
+    pub fn id_at(&self, pos: u32) -> ObjectId {
+        self.ids[pos as usize]
+    }
+
+    /// The root tree of the commit at `pos`.
+    pub fn tree_of(&self, pos: u32) -> ObjectId {
+        self.records[pos as usize].tree
+    }
+
+    /// The author timestamp of the commit at `pos`.
+    pub fn timestamp_of(&self, pos: u32) -> i64 {
+        self.records[pos as usize].timestamp
+    }
+
+    /// The generation number (longest path to a root) of the commit at
+    /// `pos`.
+    pub fn generation_of(&self, pos: u32) -> u32 {
+        self.records[pos as usize].generation
+    }
+
+    /// Parent positions of the commit at `pos`, in commit order.
+    pub fn parents_of(&self, pos: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_parent(pos, |p| out.push(p));
+        out
+    }
+
+    /// Visits the parents of `pos` in commit order without allocating —
+    /// the walks' form of [`CommitGraph::parents_of`] (a walk touches
+    /// every commit once; a fresh `Vec` per visit would be the only
+    /// allocation left on the hot path).
+    #[inline]
+    fn for_each_parent(&self, pos: u32, mut f: impl FnMut(u32)) {
+        let r = &self.records[pos as usize];
+        if r.parent1 == NO_PARENT {
+            return;
+        }
+        f(r.parent1);
+        if r.parent2 == NO_PARENT {
+            return;
+        }
+        if r.parent2 & OCTOPUS_FLAG == 0 {
+            f(r.parent2);
+            return;
+        }
+        let mut at = (r.parent2 & !OCTOPUS_FLAG) as usize;
+        loop {
+            let edge = self.edges[at];
+            f(edge & !LAST_EDGE);
+            if edge & LAST_EDGE != 0 {
+                break;
+            }
+            at += 1;
+        }
+    }
+
+    // ----- walks (positions only — the store is never touched) ----------
+
+    /// Commits reachable from `from`, newest first (by timestamp, ties by
+    /// id) — byte-identical to [`crate::Repository::log`]'s decode walk.
+    /// Position order *is* id order (the table is sorted), so `(timestamp,
+    /// position)` keys reproduce the reference's `(timestamp, id)` ties.
+    pub fn log(&self, from: u32) -> Vec<ObjectId> {
+        #[derive(PartialEq, Eq)]
+        struct Entry(i64, u32);
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        let mut seen = HashSet::new();
+        heap.push(Entry(self.timestamp_of(from), from));
+        seen.insert(from);
+        let mut out = Vec::new();
+        while let Some(Entry(_, pos)) = heap.pop() {
+            out.push(self.id_at(pos));
+            self.for_each_parent(pos, |p| {
+                if seen.insert(p) {
+                    heap.push(Entry(self.timestamp_of(p), p));
+                }
+            });
+        }
+        out
+    }
+
+    /// All commits reachable from `from` (inclusive).
+    pub fn ancestor_set(&self, from: u32) -> HashSet<ObjectId> {
+        let mut seen_pos = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(pos) = stack.pop() {
+            if !seen_pos.insert(pos) {
+                continue;
+            }
+            self.for_each_parent(pos, |p| stack.push(p));
+        }
+        seen_pos.into_iter().map(|p| self.id_at(p)).collect()
+    }
+
+    /// The first-parent chain from `from` back to a root, `from` first.
+    pub fn first_parent_chain(&self, from: u32) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        let mut cursor = Some(from);
+        while let Some(pos) = cursor {
+            out.push(self.id_at(pos));
+            let p1 = self.records[pos as usize].parent1;
+            cursor = (p1 != NO_PARENT).then_some(p1);
+        }
+        out
+    }
+
+    /// True when `anc` is reachable from `desc` (or equal). Generation
+    /// numbers prune the walk: only commits with generation strictly
+    /// greater than `anc`'s can lie on a path to it.
+    pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
+        if anc == desc {
+            return true;
+        }
+        let floor = self.generation_of(anc);
+        if self.generation_of(desc) <= floor {
+            return false;
+        }
+        let mut stack = vec![desc];
+        let mut seen = HashSet::new();
+        seen.insert(desc);
+        let mut found = false;
+        while let Some(pos) = stack.pop() {
+            self.for_each_parent(pos, |p| {
+                if p == anc {
+                    found = true;
+                } else if self.generation_of(p) > floor && seen.insert(p) {
+                    stack.push(p);
+                }
+            });
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The best common ancestor of `a` and `b`: among all common
+    /// ancestors, the one with the greatest `(generation, timestamp, id)`
+    /// — the same selection rule as the decode-walk
+    /// [`crate::merge_base`], without materializing either ancestor set.
+    ///
+    /// A single max-heap keyed by `(generation, timestamp, position)`
+    /// walks from both tips, tagging each discovered commit with which
+    /// side(s) reached it. Generations strictly decrease along parent
+    /// edges, so pops occur in strictly decreasing key order and a
+    /// commit's tags are complete by the time it is popped (any child
+    /// that could still tag it has a larger key and was popped earlier).
+    /// The first pop tagged by both sides is therefore exactly the
+    /// maximum-key common ancestor. Returns `None` for unrelated
+    /// histories.
+    pub fn merge_base(&self, a: u32, b: u32) -> Option<ObjectId> {
+        if a == b {
+            return Some(self.id_at(a));
+        }
+        const SIDE_A: u8 = 1;
+        const SIDE_B: u8 = 2;
+        #[derive(PartialEq, Eq)]
+        struct Key(u32, i64, u32); // (generation, timestamp, position)
+        impl Ord for Key {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                (self.0, self.1, self.2).cmp(&(other.0, other.1, other.2))
+            }
+        }
+        impl PartialOrd for Key {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let mut flags: HashMap<u32, u8> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        for (pos, side) in [(a, SIDE_A), (b, SIDE_B)] {
+            flags.insert(pos, side);
+            heap.push(Key(self.generation_of(pos), self.timestamp_of(pos), pos));
+        }
+        while let Some(Key(_, _, pos)) = heap.pop() {
+            let side = flags[&pos];
+            if side == SIDE_A | SIDE_B {
+                return Some(self.id_at(pos));
+            }
+            self.for_each_parent(pos, |p| match flags.entry(p) {
+                MapEntry::Occupied(mut e) => {
+                    *e.get_mut() |= side;
+                }
+                MapEntry::Vacant(e) => {
+                    e.insert(side);
+                    heap.push(Key(self.generation_of(p), self.timestamp_of(p), p));
+                }
+            });
+        }
+        None
+    }
+}
+
+/// Walks commits reachable from `tips` (skipping ids already in `seen`),
+/// decoding each exactly once and appending a [`GraphEntry`] per commit.
+fn collect_entries<S: ObjectStore + ?Sized>(
+    store: &S,
+    tips: &[ObjectId],
+    seen: &mut HashSet<ObjectId>,
+    entries: &mut Vec<GraphEntry>,
+) -> Result<()> {
+    let mut stack: Vec<ObjectId> = tips.to_vec();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        let obj = store.commit_ref(id)?;
+        let c = obj.as_commit().expect("checked kind");
+        entries.push(GraphEntry {
+            id,
+            tree: c.tree,
+            timestamp: c.author.timestamp,
+            parents: c.parents.clone(),
+        });
+        stack.extend(c.parents.iter().copied());
+    }
+    Ok(())
+}
+
+fn fanout_of(sorted_ids: &[ObjectId]) -> [u32; 256] {
+    let mut fanout = [0u32; 256];
+    for id in sorted_ids {
+        fanout[id.0[0] as usize] += 1;
+    }
+    for i in 1..256 {
+        fanout[i] += fanout[i - 1];
+    }
+    fanout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Commit, Object, Signature, Tree};
+    use crate::store::Odb;
+
+    fn mk(odb: &mut Odb, msg: &str, ts: i64, parents: Vec<ObjectId>) -> ObjectId {
+        let tree = odb.put(Object::Tree(Tree::new()));
+        odb.put(Object::Commit(Commit {
+            tree,
+            parents,
+            author: Signature::new("t", "t@t", ts),
+            message: msg.into(),
+        }))
+    }
+
+    /// base ── x ── left ; right = merge(x, base) — plus an octopus.
+    fn sample() -> (Odb, Vec<ObjectId>) {
+        let mut odb = Odb::new();
+        let base = mk(&mut odb, "base", 1, vec![]);
+        let x = mk(&mut odb, "x", 2, vec![base]);
+        let left = mk(&mut odb, "left", 3, vec![x]);
+        let right = mk(&mut odb, "right", 4, vec![x, base]);
+        let octo = mk(&mut odb, "octo", 5, vec![left, right, base]);
+        (odb, vec![base, x, left, right, octo])
+    }
+
+    #[test]
+    fn build_records_fields_and_generations() {
+        let (odb, c) = sample();
+        let g = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        assert_eq!(g.len(), 5);
+        for (i, expect_gen) in [(0usize, 0u32), (1, 1), (2, 2), (3, 2), (4, 3)] {
+            let pos = g.lookup(c[i]).unwrap();
+            assert_eq!(g.generation_of(pos), expect_gen, "commit {i}");
+            assert_eq!(g.timestamp_of(pos), i as i64 + 1);
+            assert_eq!(g.tree_of(pos), odb.commit(c[i]).unwrap().tree);
+            let parent_ids: Vec<ObjectId> =
+                g.parents_of(pos).into_iter().map(|p| g.id_at(p)).collect();
+            assert_eq!(parent_ids, odb.commit(c[i]).unwrap().parents, "commit {i}");
+        }
+        assert!(!g.contains(ObjectId::hash_bytes(b"absent")));
+    }
+
+    #[test]
+    fn encode_parse_round_trips() {
+        let (odb, c) = sample();
+        let g = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        let bytes = g.encode();
+        let parsed = CommitGraph::parse(&bytes).unwrap();
+        assert_eq!(parsed.ids, g.ids);
+        assert_eq!(parsed.edges, g.edges);
+        for pos in 0..g.len() as u32 {
+            assert_eq!(parsed.parents_of(pos), g.parents_of(pos));
+            assert_eq!(parsed.generation_of(pos), g.generation_of(pos));
+            assert_eq!(parsed.timestamp_of(pos), g.timestamp_of(pos));
+            assert_eq!(parsed.tree_of(pos), g.tree_of(pos));
+        }
+        // And the encoding is deterministic.
+        assert_eq!(parsed.encode(), bytes);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (odb, c) = sample();
+        let bytes = CommitGraph::build(&odb, &[c[4]]).unwrap().encode();
+        // Any flipped byte breaks the trailer.
+        for at in [0, 9, HEADER_LEN + 100, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0xff;
+            assert!(
+                matches!(CommitGraph::parse(&bad), Err(GitError::Corrupt(_))),
+                "flip at {at}"
+            );
+        }
+        // Truncation too.
+        assert!(matches!(
+            CommitGraph::parse(&bytes[..bytes.len() - 3]),
+            Err(GitError::Corrupt(_))
+        ));
+        assert!(matches!(CommitGraph::parse(&[]), Err(GitError::Corrupt(_))));
+    }
+
+    #[test]
+    fn from_entries_rejects_missing_parents_and_cycles() {
+        let missing = GraphEntry {
+            id: ObjectId::hash_bytes(b"a"),
+            tree: ObjectId::ZERO,
+            timestamp: 1,
+            parents: vec![ObjectId::hash_bytes(b"ghost")],
+        };
+        assert!(matches!(
+            CommitGraph::from_entries(vec![missing]),
+            Err(GitError::ObjectNotFound(_))
+        ));
+        let a = ObjectId::hash_bytes(b"a");
+        let b = ObjectId::hash_bytes(b"b");
+        let cycle = vec![
+            GraphEntry {
+                id: a,
+                tree: ObjectId::ZERO,
+                timestamp: 1,
+                parents: vec![b],
+            },
+            GraphEntry {
+                id: b,
+                tree: ObjectId::ZERO,
+                timestamp: 2,
+                parents: vec![a],
+            },
+        ];
+        assert!(matches!(
+            CommitGraph::from_entries(cycle),
+            Err(GitError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn log_matches_decode_walk() {
+        let (odb, c) = sample();
+        let g = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        let repo = crate::Repository::init_with("t", Box::new(odb));
+        for &tip in &c {
+            assert_eq!(
+                g.log(g.lookup(tip).unwrap()),
+                repo.log(tip).unwrap(),
+                "log from {tip:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_base_and_reachability_match_reference() {
+        let (odb, c) = sample();
+        let g = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        for &x in &c {
+            for &y in &c {
+                let px = g.lookup(x).unwrap();
+                let py = g.lookup(y).unwrap();
+                assert_eq!(
+                    g.merge_base(px, py),
+                    crate::merge_base(&odb, x, y).unwrap(),
+                    "merge_base({x:?}, {y:?})"
+                );
+                let reference = crate::mergebase::ancestor_set(&odb, y)
+                    .unwrap()
+                    .contains(&x);
+                assert_eq!(
+                    g.is_ancestor(px, py),
+                    reference,
+                    "is_ancestor({x:?}, {y:?})"
+                );
+            }
+        }
+        assert_eq!(
+            g.ancestor_set(g.lookup(c[3]).unwrap()),
+            crate::mergebase::ancestor_set(&odb, c[3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn first_parent_chain_follows_parent1() {
+        let (odb, c) = sample();
+        let g = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        // octo → left → x → base (first parents only).
+        assert_eq!(
+            g.first_parent_chain(g.lookup(c[4]).unwrap()),
+            vec![c[4], c[2], c[1], c[0]]
+        );
+    }
+
+    #[test]
+    fn extend_reuses_old_records_and_adds_new_commits() {
+        let (mut odb, c) = sample();
+        let g = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        let newer = mk(&mut odb, "newer", 6, vec![c[4]]);
+        assert!(!g.contains(newer));
+        let extended = g.extend(&odb, &[newer]).unwrap();
+        assert_eq!(extended.len(), 6);
+        let pos = extended.lookup(newer).unwrap();
+        assert_eq!(extended.generation_of(pos), 4);
+        assert_eq!(
+            extended
+                .parents_of(pos)
+                .into_iter()
+                .map(|p| extended.id_at(p))
+                .collect::<Vec<_>>(),
+            vec![c[4]]
+        );
+        // Old commits kept their data.
+        for &old in &c {
+            let p = extended.lookup(old).unwrap();
+            let q = g.lookup(old).unwrap();
+            assert_eq!(extended.generation_of(p), g.generation_of(q));
+            assert_eq!(extended.timestamp_of(p), g.timestamp_of(q));
+        }
+    }
+
+    #[test]
+    fn unrelated_histories_have_no_merge_base() {
+        let mut odb = Odb::new();
+        let a = mk(&mut odb, "a", 1, vec![]);
+        let b = mk(&mut odb, "b", 2, vec![]);
+        let g = CommitGraph::build(&odb, &[a, b]).unwrap();
+        assert_eq!(
+            g.merge_base(g.lookup(a).unwrap(), g.lookup(b).unwrap()),
+            None
+        );
+        assert!(!g.is_ancestor(g.lookup(a).unwrap(), g.lookup(b).unwrap()));
+    }
+
+    #[test]
+    fn deep_history_does_not_overflow_stack() {
+        let mut odb = Odb::new();
+        let mut tip = mk(&mut odb, "0", 0, vec![]);
+        for i in 1..5000 {
+            tip = mk(&mut odb, &i.to_string(), i, vec![tip]);
+        }
+        let g = CommitGraph::build(&odb, &[tip]).unwrap();
+        let pos = g.lookup(tip).unwrap();
+        assert_eq!(g.generation_of(pos), 4999);
+        assert_eq!(g.log(pos).len(), 5000);
+        assert_eq!(g.first_parent_chain(pos).len(), 5000);
+    }
+}

@@ -12,7 +12,9 @@
 //!   same id in every repository, which is what lets `CopyCite`/`ForkCite`
 //!   deduplicate and track content across projects.
 //! * **Object database** — blobs, trees, commits ([`store`]), including a
-//!   packfile backend with fanout-indexed consolidated storage ([`pack`]).
+//!   packfile backend with fanout-indexed consolidated storage ([`pack`])
+//!   and a generation-numbered commit-graph index that makes history
+//!   walks near O(output) ([`graph`]).
 //! * **Repositories** — branches, HEAD, worktree, commit/checkout/log
 //!   ([`repo`], [`worktree`], [`snapshot`]).
 //! * **Diffs** — tree diffs with rename detection, including inferred
@@ -39,6 +41,7 @@ pub mod annotate;
 pub mod codec;
 pub mod diff;
 pub mod error;
+pub mod graph;
 pub mod hash;
 pub mod merge;
 pub mod mergebase;
@@ -55,9 +58,10 @@ pub mod worktree;
 pub use annotate::{annotate, LineOrigin};
 pub use diff::{diff_listings, diff_trees, Rename, TreeDiff, RENAME_THRESHOLD};
 pub use error::{GitError, Result};
+pub use graph::{CommitGraph, GraphEntry, GRAPH_FILE};
 pub use hash::{ObjectId, Sha1};
 pub use merge::{merge_listings, Conflict, ConflictKind, MergeOptions, MergeReport, TreeMerge};
-pub use mergebase::merge_base;
+pub use mergebase::{ancestor_set, merge_base};
 pub use object::{Blob, Commit, EntryMode, Object, Signature, Tree, TreeEntry};
 pub use pack::{
     encode_pack, index_pack, EncodedPack, MaintenanceReport, Pack, PackIndex, PackStore, PACK_DIR,

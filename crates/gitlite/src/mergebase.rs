@@ -1,4 +1,12 @@
 //! Merge-base computation: the best common ancestor of two commits.
+//!
+//! Two execution paths, one answer. When the store carries a commit-graph
+//! ([`crate::graph::CommitGraph`]) covering both tips, the base is found
+//! by a generation-bounded priority walk over the index — near O(output),
+//! no store fetches, no ancestor sets. Otherwise the decode walk below
+//! materializes both ancestor sets and picks the best common commit; it
+//! is the always-correct reference the graph path is property-tested
+//! against.
 
 use crate::error::Result;
 use crate::hash::ObjectId;
@@ -9,6 +17,10 @@ use std::collections::{HashMap, HashSet};
 /// ancestors, the one with the greatest generation number (longest distance
 /// from a root commit), breaking ties by timestamp then id so the result is
 /// deterministic. Returns `None` for unrelated histories.
+///
+/// Served from the store's commit-graph when one covers both tips
+/// ([`crate::graph::CommitGraph::merge_base`]); falls back to the
+/// decode walk otherwise.
 pub fn merge_base<S: ObjectStore + ?Sized>(
     odb: &S,
     a: ObjectId,
@@ -17,11 +29,32 @@ pub fn merge_base<S: ObjectStore + ?Sized>(
     if a == b {
         return Ok(Some(a));
     }
-    let ancestors_a = ancestor_set(odb, a)?;
+    if let Some(graph) = odb.commit_graph() {
+        if let (Some(pa), Some(pb)) = (graph.lookup(a), graph.lookup(b)) {
+            return Ok(graph.merge_base(pa, pb));
+        }
+    }
+    merge_base_decode(odb, a, b)
+}
+
+/// The decode-walk reference implementation of [`merge_base`]: fetches
+/// and decodes commits, materializes both ancestor sets, and selects the
+/// common ancestor with the greatest `(generation, timestamp, id)`.
+/// Always correct on any store; the graph path must match it exactly
+/// (see the equivalence proptests in `tests/graph.rs`).
+pub fn merge_base_decode<S: ObjectStore + ?Sized>(
+    odb: &S,
+    a: ObjectId,
+    b: ObjectId,
+) -> Result<Option<ObjectId>> {
+    if a == b {
+        return Ok(Some(a));
+    }
+    let ancestors_a = ancestor_set_decode(odb, a)?;
     if ancestors_a.contains(&b) {
         return Ok(Some(b));
     }
-    let ancestors_b = ancestor_set(odb, b)?;
+    let ancestors_b = ancestor_set_decode(odb, b)?;
     if ancestors_b.contains(&a) {
         return Ok(Some(a));
     }
@@ -33,7 +66,8 @@ pub fn merge_base<S: ObjectStore + ?Sized>(
     let mut best: Option<(u64, i64, ObjectId)> = None;
     for id in common {
         let gen = gens[&id];
-        let ts = odb.commit(id)?.author.timestamp;
+        let obj = odb.commit_ref(id)?;
+        let ts = obj.as_commit().expect("checked kind").author.timestamp;
         let key = (gen, ts, id);
         if best.as_ref().map(|b| key > *b).unwrap_or(true) {
             best = Some(key);
@@ -42,17 +76,31 @@ pub fn merge_base<S: ObjectStore + ?Sized>(
     Ok(best.map(|(_, _, id)| id))
 }
 
-/// All commits reachable from `from` (inclusive).
+/// All commits reachable from `from` (inclusive). Walks the commit-graph
+/// when it covers `from`; decodes otherwise.
 pub fn ancestor_set<S: ObjectStore + ?Sized>(odb: &S, from: ObjectId) -> Result<HashSet<ObjectId>> {
+    if let Some(graph) = odb.commit_graph() {
+        if let Some(pos) = graph.lookup(from) {
+            return Ok(graph.ancestor_set(pos));
+        }
+    }
+    ancestor_set_decode(odb, from)
+}
+
+/// Decode-walk reference for [`ancestor_set`]. Each commit is fetched and
+/// read in place (no clone) exactly once.
+pub fn ancestor_set_decode<S: ObjectStore + ?Sized>(
+    odb: &S,
+    from: ObjectId,
+) -> Result<HashSet<ObjectId>> {
     let mut seen = HashSet::new();
     let mut stack = vec![from];
     while let Some(id) = stack.pop() {
         if !seen.insert(id) {
             continue;
         }
-        for p in odb.commit(id)?.parents {
-            stack.push(p);
-        }
+        let obj = odb.commit_ref(id)?;
+        stack.extend_from_slice(&obj.as_commit().expect("checked kind").parents);
     }
     Ok(seen)
 }
@@ -74,7 +122,8 @@ fn generations<S: ObjectStore + ?Sized>(
             if gen.contains_key(&id) {
                 continue;
             }
-            let parents = odb.commit(id)?.parents;
+            let obj = odb.commit_ref(id)?;
+            let parents = &obj.as_commit().expect("checked kind").parents;
             if expanded {
                 let g = parents
                     .iter()
@@ -84,7 +133,7 @@ fn generations<S: ObjectStore + ?Sized>(
                 gen.insert(id, g);
             } else {
                 stack.push((id, true));
-                for p in parents {
+                for &p in parents {
                     if !gen.contains_key(&p) {
                         stack.push((p, false));
                     }

@@ -43,10 +43,16 @@
 //! `PackStore` opens any existing loose-object directory unchanged).
 //! [`PackStore::repack`] and [`PackStore::gc`] consolidate the overflow
 //! back into a single fresh pack — `gc` additionally drops objects not
-//! reachable from the given roots.
+//! reachable from the given roots. Both also write the third sidecar
+//! file, `pack/commit-graph.glcg` ([`crate::graph`]): a
+//! generation-numbered index of the surviving commit history that serves
+//! `log`/`merge_base`/reachability walks without decoding a single
+//! commit. After a `gc`, a store therefore holds exactly
+//! `pack + idx + graph`.
 
 use crate::codec::decode_object;
 use crate::error::{GitError, Result};
+use crate::graph::{CommitGraph, GraphEntry, GRAPH_FILE};
 use crate::hash::ObjectId;
 use crate::object::Object;
 use crate::store::{DiskStore, ObjectStore};
@@ -451,6 +457,10 @@ pub struct MaintenanceReport {
     pub loose_removed: usize,
     /// Path of the fresh pack, or `None` when the store ended up empty.
     pub pack_path: Option<PathBuf>,
+    /// Commits indexed by the freshly written commit-graph
+    /// ([`crate::graph::CommitGraph`]; 0 when the store holds no
+    /// commits).
+    pub graph_commits: usize,
 }
 
 /// An [`ObjectStore`] serving reads from buffered packs, with a loose
@@ -461,6 +471,7 @@ pub struct MaintenanceReport {
 /// ```text
 /// <root>/pack/pack-<checksum>.pack   # consolidated objects
 /// <root>/pack/pack-<checksum>.idx    # fanout index
+/// <root>/pack/commit-graph.glcg      # commit-graph ([`crate::graph`])
 /// <root>/ab/cdef...                  # loose overflow (DiskStore layout)
 /// ```
 ///
@@ -476,12 +487,22 @@ pub struct PackStore {
     /// Union of every pack index, for O(1) `contains`.
     packed: Arc<HashSet<ObjectId>>,
     loose: DiskStore,
+    /// The commit-graph sidecar (`pack/commit-graph.glcg`), when present
+    /// and valid for this store's contents. `None` until the first
+    /// `repack`/`gc` writes one; commits created since it was written are
+    /// simply absent from it (walks fall back per tip).
+    graph: Option<Arc<CommitGraph>>,
 }
 
 impl PackStore {
     /// Opens (creating if needed) the store rooted at `root`: loads and
     /// verifies every pack under `<root>/pack/` (rebuilding any missing
-    /// or damaged `.idx` from its pack) and indexes the loose overflow.
+    /// or damaged `.idx` from its pack), indexes the loose overflow, and
+    /// loads the commit-graph sidecar. A present-but-corrupt or stale
+    /// (referencing ids the store no longer holds) graph is rebuilt from
+    /// a full scan of the store's commit objects and rewritten — the same
+    /// recovery policy as a damaged `.idx`. A missing graph costs nothing
+    /// here; the next [`PackStore::repack`]/[`PackStore::gc`] writes one.
     pub fn open(root: impl Into<PathBuf>) -> Result<PackStore> {
         let root = root.into();
         let loose = DiskStore::open(&root)?;
@@ -511,11 +532,106 @@ impl PackStore {
             packed.extend(pack.index().ids().iter().copied());
             packs.push(Arc::new(pack));
         }
-        Ok(PackStore {
+        let mut store = PackStore {
             packs,
             packed: Arc::new(packed),
             loose,
-        })
+            graph: None,
+        };
+        store.graph = store.load_graph(&pack_dir);
+        Ok(store)
+    }
+
+    /// Loads `pack/commit-graph.glcg`. Three repair paths, mirroring the
+    /// `.idx` policy:
+    ///
+    /// * corrupt or **stale-superset** (describing commits this store no
+    ///   longer holds — trusting it would resurrect dropped history) →
+    ///   rebuilt from a full scan of the store's commit objects;
+    /// * **stale-subset** (commits landed in the loose overflow since the
+    ///   graph was written) → incrementally extended
+    ///   ([`CommitGraph::extend`]): only the new loose commits are
+    ///   decoded, the packed history's records are reused;
+    /// * absent → stays absent (`None`, zero cost) until the next
+    ///   `repack`/`gc` writes one.
+    ///
+    /// Repairs are written back; a repair that itself fails (e.g. a
+    /// dangling parent in the store) degrades rather than erroring — the
+    /// graph is an accelerator, never a reason a store fails to open.
+    fn load_graph(&self, pack_dir: &Path) -> Option<Arc<CommitGraph>> {
+        let bytes = fs::read(pack_dir.join(GRAPH_FILE)).ok()?;
+        let parsed = CommitGraph::parse(&bytes)
+            .ok()
+            .filter(|g| g.ids().iter().all(|id| self.contains(*id)));
+        let graph = match parsed {
+            Some(graph) => {
+                let new_commits: Vec<ObjectId> = self
+                    .loose
+                    .ids()
+                    .into_iter()
+                    .filter(|id| !self.packed.contains(id) && !graph.contains(*id))
+                    .filter(
+                        |id| matches!(self.loose.get(*id), Ok(obj) if obj.as_commit().is_some()),
+                    )
+                    .collect();
+                if new_commits.is_empty() {
+                    return Some(Arc::new(graph));
+                }
+                match graph.extend(self, &new_commits) {
+                    Ok(extended) => extended,
+                    // A dangling parent among the new commits: keep the
+                    // (valid) old coverage, let walks fall back for the
+                    // uncovered tips.
+                    Err(_) => return Some(Arc::new(graph)),
+                }
+            }
+            None => self.scan_graph().ok()??,
+        };
+        let _ = write_atomic(&pack_dir.join(GRAPH_FILE), &graph.encode());
+        Some(Arc::new(graph))
+    }
+
+    /// Builds a commit-graph over **every** commit object in the store
+    /// (both layers) — the full-scan rebuild path. Packed records are
+    /// sniffed by their canonical-bytes prefix so non-commit objects cost
+    /// nothing; loose objects must be decoded to know their kind. Returns
+    /// `Ok(None)` when the store holds no commits.
+    fn scan_graph(&self) -> Result<Option<CommitGraph>> {
+        let mut entries = Vec::new();
+        for pack in &self.packs {
+            for &id in pack.index().ids() {
+                let bytes = pack.raw(id).expect("indexed id");
+                if !bytes.starts_with(b"commit ") {
+                    continue;
+                }
+                let obj = decode_object(bytes)?;
+                let c = obj.as_commit().expect("commit prefix");
+                entries.push(GraphEntry {
+                    id,
+                    tree: c.tree,
+                    timestamp: c.author.timestamp,
+                    parents: c.parents.clone(),
+                });
+            }
+        }
+        for id in self.loose.ids() {
+            if self.packed.contains(&id) {
+                continue;
+            }
+            let obj = self.loose.get(id)?;
+            if let Some(c) = obj.as_commit() {
+                entries.push(GraphEntry {
+                    id,
+                    tree: c.tree,
+                    timestamp: c.author.timestamp,
+                    parents: c.parents.clone(),
+                });
+            }
+        }
+        if entries.is_empty() {
+            return Ok(None);
+        }
+        CommitGraph::from_entries(entries).map(Some)
     }
 
     /// The directory the store lives under.
@@ -597,6 +713,38 @@ impl PackStore {
         let old_loose = self.loose.ids();
 
         let packed = objects.len();
+        // The commit-graph over the surviving set: the kept bytes are
+        // already in hand, so indexing the commits among them costs one
+        // decode per commit and no extra store reads. Build it *before*
+        // the pack is written so a failure (impossible for a well-formed
+        // closure, but entries are checked) aborts cleanly.
+        let graph = {
+            let mut entries = Vec::new();
+            for (id, bytes) in &objects {
+                if !bytes.starts_with(b"commit ") {
+                    continue;
+                }
+                let obj = decode_object(bytes)?;
+                let c = obj.as_commit().expect("commit prefix");
+                entries.push(GraphEntry {
+                    id: *id,
+                    tree: c.tree,
+                    timestamp: c.author.timestamp,
+                    parents: c.parents.clone(),
+                });
+            }
+            if entries.is_empty() {
+                None
+            } else {
+                // A dangling parent (possible in stores populated by an
+                // interrupted object transfer) must not abort maintenance:
+                // skip the graph, keep consolidating — same degrade policy
+                // as `load_graph`.
+                CommitGraph::from_entries(entries).ok()
+            }
+        };
+        let graph_commits = graph.as_ref().map(CommitGraph::len).unwrap_or(0);
+
         let mut pack_path = None;
         if !objects.is_empty() {
             let encoded = encode_pack(objects);
@@ -608,6 +756,16 @@ impl PackStore {
             write_atomic(&stem.with_extension("pack"), &encoded.pack)?;
             write_atomic(&stem.with_extension("idx"), &encoded.index)?;
             pack_path = Some(stem.with_extension("pack"));
+            match &graph {
+                Some(g) => write_atomic(&pack_dir.join(GRAPH_FILE), &g.encode())?,
+                // No commits survived: a stale graph would resurrect
+                // dropped history at the next open.
+                None => {
+                    let _ = fs::remove_file(pack_dir.join(GRAPH_FILE));
+                }
+            }
+        } else {
+            let _ = fs::remove_file(self.root().join(PACK_DIR).join(GRAPH_FILE));
         }
 
         // The fresh pack is durable; retire the old layout.
@@ -636,6 +794,7 @@ impl PackStore {
             packs_removed,
             loose_removed,
             pack_path,
+            graph_commits,
         })
     }
 
@@ -734,9 +893,16 @@ impl ObjectStore for PackStore {
             .collect()
     }
 
+    /// The commit-graph loaded from (or rebuilt for) this store — what
+    /// turns every history walk over packed commits into array reads.
+    fn commit_graph(&self) -> Option<Arc<CommitGraph>> {
+        self.graph.clone()
+    }
+
     /// Maintenance *is* [`PackStore::gc`]: consolidate packs + loose
     /// overflow into one fresh pack holding exactly the closure of
-    /// `roots`, dropping everything unreachable.
+    /// `roots` (plus a fresh commit-graph), dropping everything
+    /// unreachable.
     fn maintain(&mut self, roots: &[ObjectId]) -> Option<Result<MaintenanceReport>> {
         Some(self.gc(roots))
     }
@@ -914,12 +1080,14 @@ mod tests {
         assert_eq!(store.commit(c2).unwrap().message, "two");
         assert_eq!(store.len(), 6);
 
-        // On disk: exactly one pack + one idx, no loose shards.
+        // On disk: exactly one pack + one idx + the commit-graph, no
+        // loose shards.
         let files: Vec<_> = fs::read_dir(dir.join(PACK_DIR))
             .unwrap()
             .map(|e| e.unwrap().path())
             .collect();
-        assert_eq!(files.len(), 2);
+        assert_eq!(files.len(), 3);
+        assert!(files.iter().any(|p| p.ends_with(GRAPH_FILE)));
         let shards = fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().path())
@@ -999,6 +1167,59 @@ mod tests {
         bytes[HEADER_LEN + 25] ^= 0xff;
         fs::write(&pack_file, bytes).unwrap();
         assert!(matches!(PackStore::open(&dir), Err(GitError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repack_survives_a_dangling_parent_by_skipping_the_graph() {
+        let dir = temp_dir("dangling");
+        let mut store = PackStore::open(&dir).unwrap();
+        let c = sample_commit(&mut store, "ok", vec![]);
+        // A commit whose parent was never stored (an interrupted object
+        // transfer can leave this state): repack must still consolidate,
+        // just without a commit-graph.
+        let tree = store.commit(c).unwrap().tree;
+        let dangling = store.put(Object::Commit(Commit {
+            tree,
+            parents: vec![ObjectId::hash_bytes(b"never stored")],
+            author: Signature::new("t", "t@t", 1),
+            message: "dangling".into(),
+        }));
+        let report = store.repack().unwrap();
+        assert_eq!(report.packed, 4);
+        assert_eq!(report.graph_commits, 0, "graph skipped, not fatal");
+        assert!(store.commit_graph().is_none());
+        assert!(!dir.join(PACK_DIR).join(GRAPH_FILE).exists());
+        assert!(store.contains(dangling));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_extends_the_graph_over_new_loose_commits() {
+        let dir = temp_dir("extend");
+        let mut store = PackStore::open(&dir).unwrap();
+        let c1 = sample_commit(&mut store, "one", vec![]);
+        store.gc(&[c1]).unwrap();
+        assert_eq!(store.commit_graph().unwrap().len(), 1);
+        // New commits land loose after the graph was written.
+        let c2 = sample_commit(&mut store, "two", vec![c1]);
+        let c3 = sample_commit(&mut store, "three", vec![c2]);
+        assert!(!store.commit_graph().unwrap().contains(c3));
+        // Reopening extends the graph incrementally (refs pointing at
+        // loose commits are covered without a full rebuild) and rewrites
+        // the sidecar.
+        let reopened = PackStore::open(&dir).unwrap();
+        let graph = reopened.commit_graph().unwrap();
+        assert_eq!(graph.len(), 3);
+        let pos = graph.lookup(c3).unwrap();
+        assert_eq!(graph.generation_of(pos), 2);
+        assert_eq!(graph.first_parent_chain(pos), vec![c3, c2, c1]);
+        let on_disk = fs::read(dir.join(PACK_DIR).join(GRAPH_FILE)).unwrap();
+        assert_eq!(
+            crate::graph::CommitGraph::parse(&on_disk).unwrap().len(),
+            3,
+            "extension was persisted"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

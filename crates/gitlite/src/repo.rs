@@ -222,7 +222,7 @@ impl Repository {
         let tree = write_tree(&mut *self.odb, &self.worktree);
         let parents = match self.head_commit() {
             Ok(head) => {
-                let head_tree = self.odb.commit(head)?.tree;
+                let head_tree = self.tree_of(head)?;
                 if head_tree == tree && !allow_empty {
                     return Err(GitError::NothingToCommit);
                 }
@@ -284,7 +284,7 @@ impl Repository {
     /// Switches HEAD to a branch and loads its tree into the worktree.
     pub fn checkout_branch(&mut self, name: &str) -> Result<()> {
         let tip = self.branch_tip(name)?;
-        let tree = self.odb.commit(tip)?.tree;
+        let tree = self.tree_of(tip)?;
         self.worktree = read_tree(&*self.odb, tree)?;
         self.head = Head::Branch(name.to_owned());
         Ok(())
@@ -292,7 +292,7 @@ impl Repository {
 
     /// Detaches HEAD at a commit and loads its tree into the worktree.
     pub fn checkout_commit(&mut self, id: ObjectId) -> Result<()> {
-        let tree = self.odb.commit(id)?.tree;
+        let tree = self.tree_of(id)?;
         self.worktree = read_tree(&*self.odb, tree)?;
         self.head = Head::Detached(id);
         Ok(())
@@ -302,9 +302,30 @@ impl Repository {
 
     /// Commits reachable from `from`, newest first (by timestamp, ties by
     /// id for determinism).
+    ///
+    /// Served from the store's commit-graph when it covers `from`
+    /// (positions and record timestamps only — no commit is decoded);
+    /// otherwise a decode walk that fetches each commit exactly once.
     pub fn log(&self, from: ObjectId) -> Result<Vec<ObjectId>> {
-        #[derive(PartialEq, Eq)]
-        struct Entry(i64, ObjectId);
+        if let Some(graph) = self.odb.commit_graph() {
+            if let Some(pos) = graph.lookup(from) {
+                return Ok(graph.log(pos));
+            }
+        }
+        self.log_decode(from)
+    }
+
+    /// Decode-walk reference for [`Repository::log`]. Each heap entry
+    /// carries the commit's `(timestamp, parents)` from the single fetch
+    /// made when it was first discovered, so no commit is decoded twice.
+    fn log_decode(&self, from: ObjectId) -> Result<Vec<ObjectId>> {
+        struct Entry(i64, ObjectId, Vec<ObjectId>);
+        impl PartialEq for Entry {
+            fn eq(&self, other: &Self) -> bool {
+                (self.0, self.1) == (other.0, other.1)
+            }
+        }
+        impl Eq for Entry {}
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                 self.0.cmp(&other.0).then_with(|| self.1.cmp(&other.1))
@@ -315,19 +336,21 @@ impl Repository {
                 Some(self.cmp(other))
             }
         }
+        let fetch = |id: ObjectId| -> Result<Entry> {
+            let obj = self.odb.commit_ref(id)?;
+            let c = obj.as_commit().expect("checked kind");
+            Ok(Entry(c.author.timestamp, id, c.parents.clone()))
+        };
         let mut heap = BinaryHeap::new();
         let mut seen = HashSet::new();
-        let c = self.odb.commit(from)?;
-        heap.push(Entry(c.author.timestamp, from));
+        heap.push(fetch(from)?);
         seen.insert(from);
         let mut out = Vec::new();
-        while let Some(Entry(_, id)) = heap.pop() {
+        while let Some(Entry(_, id, parents)) = heap.pop() {
             out.push(id);
-            let commit = self.odb.commit(id)?;
-            for p in commit.parents {
+            for p in parents {
                 if seen.insert(p) {
-                    let pc = self.odb.commit(p)?;
-                    heap.push(Entry(pc.author.timestamp, p));
+                    heap.push(fetch(p)?);
                 }
             }
         }
@@ -339,9 +362,40 @@ impl Repository {
         self.log(self.head_commit()?)
     }
 
-    /// Root tree id of a commit.
+    /// The first-parent chain from `from` back to a root commit, `from`
+    /// first — the spine audit scans walk (`git log --first-parent`).
+    /// Graph-served when covered; a per-commit decode walk otherwise.
+    pub fn first_parent_chain(&self, from: ObjectId) -> Result<Vec<ObjectId>> {
+        if let Some(graph) = self.odb.commit_graph() {
+            if let Some(pos) = graph.lookup(from) {
+                return Ok(graph.first_parent_chain(pos));
+            }
+        }
+        let mut out = Vec::new();
+        let mut cursor = Some(from);
+        while let Some(id) = cursor {
+            out.push(id);
+            let obj = self.odb.commit_ref(id)?;
+            cursor = obj
+                .as_commit()
+                .expect("checked kind")
+                .parents
+                .first()
+                .copied();
+        }
+        Ok(out)
+    }
+
+    /// Root tree id of a commit (graph record when covered, a no-clone
+    /// fetch otherwise).
     pub fn tree_of(&self, commit: ObjectId) -> Result<ObjectId> {
-        Ok(self.odb.commit(commit)?.tree)
+        if let Some(graph) = self.odb.commit_graph() {
+            if let Some(pos) = graph.lookup(commit) {
+                return Ok(graph.tree_of(pos));
+            }
+        }
+        let obj = self.odb.commit_ref(commit)?;
+        Ok(obj.as_commit().expect("checked kind").tree)
     }
 
     /// Flattened `path → blob id` listing of a commit's tree.
@@ -367,9 +421,22 @@ impl Repository {
 
     /// True when `ancestor` is reachable from `descendant` (or equal):
     /// the fast-forward test used by push.
+    ///
+    /// When the commit-graph covers `descendant` the answer comes from a
+    /// generation-pruned graph walk; an `ancestor` absent from the graph
+    /// is then immediately `false` (the graph is closed under parents, so
+    /// every true ancestor of a covered commit is covered too).
     pub fn is_ancestor(&self, ancestor: ObjectId, descendant: ObjectId) -> Result<bool> {
         if ancestor == descendant {
             return Ok(true);
+        }
+        if let Some(graph) = self.odb.commit_graph() {
+            if let Some(desc) = graph.lookup(descendant) {
+                return Ok(match graph.lookup(ancestor) {
+                    Some(anc) => graph.is_ancestor(anc, desc),
+                    None => false,
+                });
+            }
         }
         let mut stack = vec![descendant];
         let mut seen = HashSet::new();
@@ -377,8 +444,8 @@ impl Repository {
             if !seen.insert(id) {
                 continue;
             }
-            let c = self.odb.commit(id)?;
-            for p in c.parents {
+            let obj = self.odb.commit_ref(id)?;
+            for &p in &obj.as_commit().expect("checked kind").parents {
                 if p == ancestor {
                     return Ok(true);
                 }

@@ -76,6 +76,8 @@ pub fn write_tree_from_listing<S: ObjectStore + ?Sized>(
 }
 
 /// Flattens a stored tree into `path → blob id` for every file beneath it.
+/// Trees are read in place (`tree_ref`), never cloned — this runs on
+/// every snapshot listing, so per-visit clones would dominate wide trees.
 pub fn flatten_tree<S: ObjectStore + ?Sized>(
     odb: &S,
     root: ObjectId,
@@ -83,7 +85,8 @@ pub fn flatten_tree<S: ObjectStore + ?Sized>(
     let mut out = BTreeMap::new();
     let mut stack = vec![(RepoPath::root(), root)];
     while let Some((base, tree_id)) = stack.pop() {
-        let tree = odb.tree(tree_id)?;
+        let obj = odb.tree_ref(tree_id)?;
+        let tree = obj.as_tree().expect("checked kind");
         for (name, entry) in tree.iter() {
             let p = base.child(name);
             match entry.mode {
@@ -102,7 +105,8 @@ pub fn tree_directories<S: ObjectStore + ?Sized>(odb: &S, root: ObjectId) -> Res
     let mut out = Vec::new();
     let mut stack = vec![(RepoPath::root(), root)];
     while let Some((base, tree_id)) = stack.pop() {
-        let tree = odb.tree(tree_id)?;
+        let obj = odb.tree_ref(tree_id)?;
+        let tree = obj.as_tree().expect("checked kind");
         for (name, entry) in tree.iter() {
             if entry.mode == EntryMode::Dir {
                 let p = base.child(name);
@@ -139,7 +143,8 @@ pub fn resolve_path<S: ObjectStore + ?Sized>(
     let mut current = root;
     let comps = path.components();
     for (i, name) in comps.iter().enumerate() {
-        let tree = odb.tree(current)?;
+        let obj = odb.tree_ref(current)?;
+        let tree = obj.as_tree().expect("checked kind");
         match tree.get(name) {
             None => return Ok(None),
             Some(entry) => {

@@ -142,17 +142,50 @@ pub trait ObjectStore: fmt::Debug + Send + Sync {
         expect_kind(self, id, "blob")
     }
 
-    /// Fetches and clones a tree (trees are small; mutation needs
-    /// ownership).
+    /// Fetches and clones a tree (mutation needs ownership). Walk-only
+    /// callers use [`ObjectStore::tree_ref`] instead — cloning a wide
+    /// tree per visit is pure overhead on hot paths.
     fn tree(&self, id: ObjectId) -> Result<crate::object::Tree> {
         let obj = expect_kind(self, id, "tree")?;
         Ok(obj.as_tree().expect("checked kind").clone())
     }
 
-    /// Fetches and clones a commit.
+    /// Fetches and clones a commit. Walk-only callers use
+    /// [`ObjectStore::commit_ref`] instead.
     fn commit(&self, id: ObjectId) -> Result<crate::object::Commit> {
         let obj = expect_kind(self, id, "commit")?;
         Ok(obj.as_commit().expect("checked kind").clone())
+    }
+
+    /// Fetches a commit **without cloning it**: the shared handle is
+    /// kind-checked, so `.as_commit().expect("checked kind")` on the
+    /// result is safe. This is what history walks (`log`, `merge_base`,
+    /// reachability, annotate) use — a walk visits every commit once and
+    /// needs only to *read* parents and timestamps, so cloning each
+    /// `Commit` (parents vector, author strings, message) per visit is
+    /// pure allocation overhead.
+    fn commit_ref(&self, id: ObjectId) -> Result<Arc<Object>> {
+        expect_kind(self, id, "commit")
+    }
+
+    /// Fetches a tree without cloning it (see [`ObjectStore::commit_ref`];
+    /// the same applies to tree walks — snapshot listing, path
+    /// resolution).
+    fn tree_ref(&self, id: ObjectId) -> Result<Arc<Object>> {
+        expect_kind(self, id, "tree")
+    }
+
+    /// The commit-graph index over this store's history, when the backend
+    /// maintains one ([`crate::graph::CommitGraph`]): [`crate::PackStore`]
+    /// loads the `GLCG` sidecar written by its own `repack`/`gc`;
+    /// wrappers forward to their inner backend. `None` (the default)
+    /// means history walks fall back to decoding commits — always
+    /// correct, just slower. Callers must treat the graph as possibly
+    /// *stale*: a commit absent from it simply is not covered, so walks
+    /// check their starting points with [`crate::graph::CommitGraph::lookup`]
+    /// before trusting it.
+    fn commit_graph(&self) -> Option<Arc<crate::graph::CommitGraph>> {
+        None
     }
 
     /// Fetches blob data directly.
@@ -287,6 +320,9 @@ impl ObjectStore for Box<dyn ObjectStore> {
     }
     fn cache_metrics(&self) -> Option<CacheStats> {
         (**self).cache_metrics()
+    }
+    fn commit_graph(&self) -> Option<Arc<crate::graph::CommitGraph>> {
+        (**self).commit_graph()
     }
     fn maintain(&mut self, roots: &[ObjectId]) -> Option<Result<crate::pack::MaintenanceReport>> {
         (**self).maintain(roots)
@@ -814,6 +850,13 @@ impl<S: ObjectStore + Clone + 'static> ObjectStore for CachedStore<S> {
 
     fn cache_metrics(&self) -> Option<CacheStats> {
         Some(self.stats())
+    }
+
+    /// Forwards to the inner backend, so a `CachedStore<PackStore>` —
+    /// the local tool's and the hub's serving stack — exposes the pack
+    /// layer's commit-graph to history walks.
+    fn commit_graph(&self) -> Option<Arc<crate::graph::CommitGraph>> {
+        self.inner.commit_graph()
     }
 
     /// Forwards to the inner backend and, when maintenance actually ran,

@@ -711,6 +711,12 @@ pub struct StoreStats {
     pub objects: u64,
     /// Cache counters, when the backend stack contains a read cache.
     pub cache: Option<CacheStats>,
+    /// Commits indexed by the store's commit-graph, when the backend
+    /// maintains one (pack-backed repositories after their first
+    /// maintenance run). `None` on graph-less backends — both the field
+    /// and its wire key are simply absent, so pre-graph peers parse
+    /// unchanged.
+    pub graph_commits: Option<u64>,
 }
 
 impl StoreStats {
@@ -726,6 +732,9 @@ impl StoreStats {
             co.insert("len", c.len as i64);
             co.insert("capacity", c.capacity as i64);
             o.insert("cache", Value::Object(co));
+        }
+        if let Some(n) = self.graph_commits {
+            o.insert("graph_commits", n as i64);
         }
         Value::Object(o)
     }
@@ -745,10 +754,18 @@ impl StoreStats {
             }),
             Some(_) => return Err(proto("cache must be an object")),
         };
+        let graph_commits = match o.get("graph_commits") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_i64()
+                    .ok_or_else(|| proto("graph_commits must be a number"))? as u64,
+            ),
+        };
         Ok(StoreStats {
             repo_id: req_str(o, "repo_id")?,
             objects: req_i64(o, "objects")? as u64,
             cache,
+            graph_commits,
         })
     }
 }

@@ -450,6 +450,7 @@ impl Hub {
                     repo_id,
                     objects: hosted.repo.odb().len() as u64,
                     cache: hosted.repo.odb().cache_metrics(),
+                    graph_commits: hosted.repo.odb().commit_graph().map(|g| g.len() as u64),
                 })
             }
             Q::Maintenance => R::Maintenance(self.op_maintenance()?),
@@ -1108,14 +1109,18 @@ impl Hub {
         let cell = self.repo(repo_id)?;
         let hosted = cell.read();
         let tip = hosted.repo.branch_tip(branch).map_err(HubError::Git)?;
+        // The ordering walk is graph-served on pack-backed repos; only
+        // the entries' display fields still read the commit objects
+        // (in place — no per-commit clone).
         let mut out = Vec::new();
         for id in hosted.repo.log(tip).map_err(HubError::Git)? {
-            let c = hosted.repo.commit_obj(id).map_err(HubError::Git)?;
+            let obj = hosted.repo.odb().commit_ref(id).map_err(HubError::Git)?;
+            let c = obj.as_commit().expect("checked kind");
             out.push(LogEntry {
                 id,
-                author: c.author.name,
+                author: c.author.name.clone(),
                 timestamp: c.author.timestamp,
-                message: c.message,
+                message: c.message.clone(),
             });
         }
         Ok(out)

@@ -56,6 +56,12 @@ fn hosted_repos_persist_through_pack_storage() {
     let citation = hub.generate_citation(&repo_id, "main", &path("src/lib.rs"));
     assert!(citation.is_ok());
 
+    // gc also wrote the commit-graph sidecar; a reopened store serves
+    // history walks from it.
+    let graphed = PackStore::open(&repo_root).unwrap();
+    let graph = graphed.commit_graph().expect("gc wrote a commit-graph");
+    assert!(graph.contains(tip));
+
     // And a store reopened after the repack serves the same history.
     let reopened = PackStore::open(&repo_root).unwrap();
     assert!(reopened.contains(tip));
@@ -70,5 +76,52 @@ fn hosted_repos_persist_through_pack_storage() {
     assert!(data_dir.join("repo-1").exists());
     let untouched = PackStore::open(&repo_root).unwrap();
     assert!(untouched.contains(tip), "first run's objects are untouched");
+    std::fs::remove_dir_all(&data_dir).unwrap();
+}
+
+#[test]
+fn maintenance_builds_the_commit_graph_and_stats_report_it() {
+    let data_dir = temp_dir("graph");
+    let hub = Hub::with_pack_storage("https://hub.example", &data_dir).unwrap();
+    hub.register_user("owner", "The Owner").unwrap();
+    let token = hub.login("owner").unwrap();
+    let repo_id = hub.create_repo(&token, "graphed").unwrap();
+
+    // A few versions of history through the hub's own write paths.
+    let mut local = hub.clone_repo(&repo_id).unwrap();
+    for i in 0..3 {
+        local
+            .worktree_mut()
+            .write(&path(&format!("f{i}.txt")), format!("v{i}\n").into_bytes())
+            .unwrap();
+        local
+            .commit(Signature::new("The Owner", "o@x", 100 + i), format!("V{i}"))
+            .unwrap();
+    }
+    hub.push(&token, &repo_id, "main", &local, "main", false)
+        .unwrap();
+    let log_before = hub.log(&repo_id, "main").unwrap();
+    assert!(log_before.len() >= 4);
+
+    // Before maintenance: no graph yet, stats say so.
+    let stats = hub.store_stats(&repo_id).unwrap();
+    assert_eq!(stats.graph_commits, None, "no graph before the first gc");
+
+    // The hub's maintenance sweep runs PackStore::gc per repo, which now
+    // also writes the commit-graph — and the refreshed handle serves the
+    // log/credit/audit read paths from it.
+    let sweep = hub.maintenance().unwrap();
+    assert!(sweep.iter().all(|r| r.supported && r.error.is_none()));
+    let stats = hub.store_stats(&repo_id).unwrap();
+    assert_eq!(
+        stats.graph_commits,
+        Some(log_before.len() as u64),
+        "stats report the graph covering the full history"
+    );
+    assert_eq!(
+        hub.log(&repo_id, "main").unwrap(),
+        log_before,
+        "graph-served log is identical to the pre-graph one"
+    );
     std::fs::remove_dir_all(&data_dir).unwrap();
 }

@@ -399,9 +399,10 @@ fn arb_response() -> impl Strategy<Value = ApiResponse> {
         (
             arb_repo_id(),
             small(),
-            prop::option::of((small(), small(), small(), small(), small()))
+            prop::option::of((small(), small(), small(), small(), small())),
+            prop::option::of(small())
         )
-            .prop_map(|(repo_id, objects, cache)| {
+            .prop_map(|(repo_id, objects, cache, graph_commits)| {
                 ApiResponse::Stats(StoreStats {
                     repo_id,
                     objects,
@@ -412,6 +413,7 @@ fn arb_response() -> impl Strategy<Value = ApiResponse> {
                         len: len as usize,
                         capacity: capacity as usize,
                     }),
+                    graph_commits,
                 })
             }),
         prop::collection::vec(
