@@ -25,8 +25,13 @@
 use bibformat::Format;
 use citekit::Citation;
 use gitlite::RepoPath;
-use hub::{Hub, HubClient, HubError, InProcess, Token};
+use hub::{Hub, HubClient, HubError, InProcess, LogEntry, Token, Transport};
 use std::fmt;
+
+/// Page size the popup's log pane requests: enough for a screenful,
+/// never the whole history (a popular repository may have hundreds of
+/// thousands of commits — the popup pulls them a page at a time).
+pub const LOG_PAGE_SIZE: u32 = 25;
 
 /// Extension-level errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +101,9 @@ pub struct PopupView {
     pub buttons: ButtonStates,
     /// One-line status message from the last action.
     pub status: String,
+    /// The log pane: recent commits of the browsed branch, loaded a page
+    /// at a time ([`Popup::load_history`] / [`Popup::more_history`]).
+    pub history: Vec<LogEntry>,
 }
 
 enum Session {
@@ -108,17 +116,31 @@ enum Session {
 /// All platform traffic goes through a [`HubClient`] speaking the
 /// versioned wire protocol ([`hub::api`]) — the popup never calls the
 /// hub's typed methods directly, exactly as the real extension only ever
-/// sees the REST API.
-pub struct Popup<'h> {
-    client: HubClient<InProcess<'h>>,
+/// sees the REST API. Generic over the [`Transport`]: [`Popup::open`]
+/// binds to an in-process hub, [`Popup::open_with`] to any client,
+/// including one dialed over TCP (`HubClient::connect`) against a
+/// `gitcite hub serve` process.
+pub struct Popup<T: Transport> {
+    client: HubClient<T>,
     session: Session,
     view: PopupView,
+    /// Cursor for the next history page; `None` once exhausted (or
+    /// before the first load).
+    history_cursor: Option<String>,
 }
 
-impl<'h> Popup<'h> {
-    /// Opens the popup on a repository page (anonymous).
-    pub fn open(hub: &'h Hub, repo_id: &str, branch: &str) -> Result<Popup<'h>> {
-        let client = HubClient::in_process(hub);
+impl<'h> Popup<InProcess<'h>> {
+    /// Opens the popup on a repository page of an in-process hub
+    /// (anonymous).
+    pub fn open(hub: &'h Hub, repo_id: &str, branch: &str) -> Result<Popup<InProcess<'h>>> {
+        Popup::open_with(HubClient::in_process(hub), repo_id, branch)
+    }
+}
+
+impl<T: Transport> Popup<T> {
+    /// Opens the popup over an arbitrary client — the path a real
+    /// deployment takes, with the client speaking TCP to a remote hub.
+    pub fn open_with(client: HubClient<T>, repo_id: &str, branch: &str) -> Result<Popup<T>> {
         // Probe the repository so a bad id fails at open time.
         client.branches(repo_id)?;
         Ok(Popup {
@@ -133,8 +155,51 @@ impl<'h> Popup<'h> {
                 text_box: String::new(),
                 buttons: ButtonStates::default(),
                 status: "ready".to_owned(),
+                history: Vec::new(),
             },
+            history_cursor: None,
         })
+    }
+
+    /// Fills the log pane with the newest page of the branch's history
+    /// via the paginated v2 endpoint — the popup never materializes the
+    /// full log. A reload starts over from the tip.
+    pub fn load_history(&mut self) -> Result<()> {
+        let page = self.client.log_page(
+            &self.view.repo_id,
+            &self.view.branch,
+            None,
+            Some(LOG_PAGE_SIZE),
+        )?;
+        self.view.history = page.items;
+        self.history_cursor = page.next;
+        self.refresh_history_status();
+        Ok(())
+    }
+
+    /// Appends the next page to the log pane; returns `false` when the
+    /// history was already fully shown.
+    pub fn more_history(&mut self) -> Result<bool> {
+        let Some(cursor) = self.history_cursor.clone() else {
+            return Ok(false);
+        };
+        let page = self.client.log_page(
+            &self.view.repo_id,
+            &self.view.branch,
+            Some(&cursor),
+            Some(LOG_PAGE_SIZE),
+        )?;
+        self.view.history.extend(page.items);
+        self.history_cursor = page.next;
+        self.refresh_history_status();
+        Ok(true)
+    }
+
+    fn refresh_history_status(&mut self) {
+        self.view.status = match &self.history_cursor {
+            Some(_) => format!("showing {} most recent commit(s)", self.view.history.len()),
+            None => format!("showing all {} commit(s)", self.view.history.len()),
+        };
     }
 
     /// Provides credentials ("Users provide their credentials on GitHub to
@@ -498,6 +563,32 @@ mod tests {
         assert!(cff.starts_with("cff-version:"));
         let plain = popup.export(Format::Plain).unwrap();
         assert!(plain.contains("[Computer software]"));
+    }
+
+    #[test]
+    fn history_pane_loads_in_pages() {
+        let (hub, owner, _, repo_id) = setup();
+        // Grow the history well past one popup page.
+        for i in 0..30 {
+            let c = Citation::builder(format!("C{i}"), "x").build();
+            hub.add_cite(&owner, &repo_id, "main", &path("d/f2.txt"), c)
+                .unwrap();
+            hub.del_cite(&owner, &repo_id, "main", &path("d/f2.txt"))
+                .unwrap();
+        }
+        let full = hub.log(&repo_id, "main").unwrap();
+        assert!(full.len() > LOG_PAGE_SIZE as usize);
+
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        assert!(popup.view().history.is_empty());
+        popup.load_history().unwrap();
+        // First page only — the popup never materializes the full log.
+        assert_eq!(popup.view().history.len(), LOG_PAGE_SIZE as usize);
+        assert_eq!(popup.view().history[0], full[0]);
+        while popup.more_history().unwrap() {}
+        assert_eq!(popup.view().history, full);
+        // Exhausted: another call is a no-op.
+        assert!(!popup.more_history().unwrap());
     }
 
     #[test]

@@ -150,7 +150,23 @@ git-like citation operators
   copy --from <dir> --src <path> --dst <path>
   fork --to <dir> --name <n> --owner <o> --url <u> --author <name> [--no-restamp true]
   retro --owner <o> --url <u> --author <name> [--max-depth <n>] [--min-files <n>]
+
+remote hub (wire protocol v2 over TCP)
+  hub serve --addr <ip:port> [--data-dir <dir>]     run a hub server (blocks)
+  hub register <username> --name <display> --remote <addr>
+  hub repos --remote <addr> [--page-size <n>]
+  hub log <repo_id> <branch> --remote <addr> [--page-size <n>] [--all true]
+  hub import <name> --remote <addr> --user <username>
+  hub push <repo_id> <branch> --remote <addr> --user <username> [--force true]
+
+environment
+  GITCITE_AUTO_GC=<n>   loose-object count that triggers auto-gc on save
+                        (default 64; 0 disables)
 ";
+
+/// Page size the remote `hub log` / `hub repos` commands request per
+/// round trip when `--page-size` is not given.
+pub const REMOTE_PAGE_SIZE: u32 = 50;
 
 /// Entry point: runs one invocation against the repository in `cwd`.
 pub fn run(args: &[String], cwd: &Path) -> Result<String> {
@@ -201,6 +217,7 @@ pub fn run(args: &[String], cwd: &Path) -> Result<String> {
         "copy" => with_repo_mut(cwd, rest, cmd_copy),
         "fork" => cmd_fork(rest, cwd),
         "retro" => cmd_retro(rest, cwd),
+        "hub" => cmd_hub(rest, cwd),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}; try `gitcite help`"
         ))),
@@ -683,6 +700,146 @@ fn cmd_fork(args: &[String], cwd: &Path) -> Result<String> {
         to.display(),
         outcome.restamp_commit.is_some()
     ))
+}
+
+// ----- remote hub ----------------------------------------------------------
+
+impl From<hub::HubError> for CliError {
+    fn from(e: hub::HubError) -> Self {
+        CliError::Op(e.to_string())
+    }
+}
+
+/// Connects to a remote hub named by `--remote`.
+fn remote_client(p: &Parsed) -> Result<hub::HubClient<hub::TcpTransport>> {
+    let addr = p.required_flag("remote")?;
+    hub::HubClient::connect(addr)
+        .map_err(|e| CliError::Op(format!("cannot reach hub at {addr}: {e}")))
+}
+
+/// Logs `--user` in on this connection (tokens are connection-scoped:
+/// the server only honors tokens minted on the connection that uses
+/// them, so every invocation authenticates afresh).
+fn remote_login(client: &hub::HubClient<hub::TcpTransport>, p: &Parsed) -> Result<hub::Token> {
+    Ok(client.login(p.required_flag("user")?)?)
+}
+
+fn page_size(p: &Parsed) -> Result<u32> {
+    match p.flag("page-size") {
+        None => Ok(REMOTE_PAGE_SIZE),
+        Some(n) => n
+            .parse()
+            .map_err(|_| CliError::Usage("--page-size must be a number".into())),
+    }
+}
+
+/// The `gitcite hub` family: serve a hub over TCP, or drive a remote one
+/// through the wire protocol (v2: negotiated pushes, paginated reads).
+fn cmd_hub(args: &[String], cwd: &Path) -> Result<String> {
+    let Some(sub) = args.first().map(String::as_str) else {
+        return Err(CliError::Usage(
+            "hub needs a subcommand: serve|register|repos|log|import|push".into(),
+        ));
+    };
+    let p = parse_args(&args[1..])?;
+    match sub {
+        "serve" => cmd_hub_serve(&p),
+        "register" => {
+            let client = remote_client(&p)?;
+            let username = p.pos(0, "username")?;
+            client.register_user(username, p.required_flag("name")?)?;
+            Ok(format!("registered {username}\n"))
+        }
+        "repos" => {
+            let client = remote_client(&p)?;
+            let limit = page_size(&p)?;
+            let mut out = String::new();
+            let mut cursor: Option<String> = None;
+            loop {
+                let page = client.list_repos_page(cursor.as_deref(), Some(limit))?;
+                for id in &page.items {
+                    out.push_str(id);
+                    out.push('\n');
+                }
+                match page.next {
+                    Some(next) => cursor = Some(next),
+                    None => break,
+                }
+            }
+            Ok(out)
+        }
+        "log" => {
+            let client = remote_client(&p)?;
+            let repo_id = p.pos(0, "repo_id")?;
+            let branch = p.pos(1, "branch")?;
+            let limit = page_size(&p)?;
+            let all = p.flag("all").is_some();
+            let mut out = String::new();
+            let mut cursor: Option<String> = None;
+            loop {
+                let page = client.log_page(repo_id, branch, cursor.as_deref(), Some(limit))?;
+                for e in &page.items {
+                    out.push_str(&format!(
+                        "{} {} {} {}\n",
+                        e.id.short(),
+                        e.author,
+                        citekit::format_iso8601(e.timestamp),
+                        e.message.lines().next().unwrap_or("")
+                    ));
+                }
+                cursor = page.next;
+                if cursor.is_none() || !all {
+                    break;
+                }
+            }
+            if cursor.is_some() {
+                out.push_str("... more history; pass --all true to fetch every page\n");
+            }
+            Ok(out)
+        }
+        "import" => {
+            let client = remote_client(&p)?;
+            let name = p.pos(0, "name")?;
+            let local = storage::load(cwd)?;
+            let token = remote_login(&client, &p)?;
+            let repo_id = client.import_repo(&token, name, &local)?;
+            Ok(format!("imported as {repo_id}\n"))
+        }
+        "push" => {
+            let client = remote_client(&p)?;
+            let repo_id = p.pos(0, "repo_id")?;
+            let branch = p.pos(1, "branch")?;
+            let local = storage::load(cwd)?;
+            let local_branch = local
+                .current_branch()
+                .map(str::to_owned)
+                .unwrap_or_else(|| branch.to_owned());
+            let token = remote_login(&client, &p)?;
+            let force = p.flag("force").is_some();
+            // Negotiated (v2) with automatic full-bundle fallback.
+            let tip = client.push(&token, repo_id, branch, &local, &local_branch, force)?;
+            Ok(format!(
+                "pushed {local_branch} -> {repo_id}:{branch} at {}\n",
+                tip.short()
+            ))
+        }
+        other => Err(CliError::Usage(format!("unknown hub subcommand {other:?}"))),
+    }
+}
+
+fn cmd_hub_serve(p: &Parsed) -> Result<String> {
+    let addr = p.required_flag("addr")?;
+    let platform = match p.flag("data-dir") {
+        Some(dir) => hub::Hub::with_pack_storage("https://hub.local", dir)
+            .map_err(|e| CliError::Op(format!("cannot open data dir: {e}")))?,
+        None => hub::Hub::new("https://hub.local"),
+    };
+    let server = hub::SocketServer::bind(std::sync::Arc::new(platform), addr)
+        .map_err(|e| CliError::Op(format!("cannot bind {addr}: {e}")))?;
+    // Print eagerly: this command blocks for the server's lifetime.
+    println!("gitcite hub listening on {}", server.local_addr());
+    server.join();
+    Ok(String::new())
 }
 
 fn cmd_retro(args: &[String], cwd: &Path) -> Result<String> {

@@ -84,21 +84,42 @@ pub fn gc(dir: &Path, roots: &[ObjectId]) -> Result<MaintenanceReport, GitError>
     store.gc(roots)
 }
 
-/// Loose-object count at which the CLI's write paths trigger an
+/// Default loose-object count at which the CLI's write paths trigger an
 /// automatic [`gc`] after saving: a long edit session (each commit lands
 /// ~3-4 loose objects) self-compacts instead of accumulating thousands
-/// of files that slow every subsequent load.
+/// of files that slow every subsequent load. Override per invocation
+/// with the `GITCITE_AUTO_GC` environment variable
+/// ([`auto_gc_threshold`]).
 pub const AUTO_GC_THRESHOLD: usize = 64;
 
+/// The effective auto-gc threshold: `GITCITE_AUTO_GC` when set to a
+/// number (`0` disables auto-gc entirely — `gitcite gc` still works),
+/// [`AUTO_GC_THRESHOLD`] otherwise. An unparseable value falls back to
+/// the default rather than disabling compaction by accident.
+pub fn auto_gc_threshold() -> Option<usize> {
+    match std::env::var("GITCITE_AUTO_GC") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => None,
+            Ok(n) => Some(n),
+            Err(_) => Some(AUTO_GC_THRESHOLD),
+        },
+        Err(_) => Some(AUTO_GC_THRESHOLD),
+    }
+}
+
 /// Runs [`gc`] when the loose overflow has grown past
-/// [`AUTO_GC_THRESHOLD`]; returns `None` (cheaply — only the loose area
-/// is scanned, no pack is read) when below it.
+/// [`auto_gc_threshold`]; returns `None` (cheaply — only the loose area
+/// is scanned, no pack is read) when below it or when auto-gc is
+/// disabled.
 pub fn maybe_gc(dir: &Path, roots: &[ObjectId]) -> Result<Option<MaintenanceReport>, GitError> {
+    let Some(threshold) = auto_gc_threshold() else {
+        return Ok(None);
+    };
     // The loose overflow *is* a DiskStore over the same root, so its
     // object count is exactly the loose count — no pack buffering needed
     // for the common no-op case.
     let loose = gitlite::DiskStore::open(objects_dir(dir))?.len();
-    if loose < AUTO_GC_THRESHOLD {
+    if loose < threshold {
         return Ok(None);
     }
     gc(dir, roots).map(Some)

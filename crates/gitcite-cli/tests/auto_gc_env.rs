@@ -1,0 +1,77 @@
+//! `GITCITE_AUTO_GC` override of the auto-gc threshold. Lives in its own
+//! integration-test binary because the environment is process-global:
+//! here nothing else races the variable.
+
+use gitcite_cli::{run, storage};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gitcite-autogc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ok(dir: &Path, args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run(&args, dir).unwrap_or_else(|e| panic!("command {args:?} failed: {e}"))
+}
+
+fn init(dir: &Path) {
+    ok(
+        dir,
+        &["init", "p", "--owner", "Ann", "--url", "https://h/p"],
+    );
+}
+
+fn commit(dir: &Path, i: usize) -> String {
+    std::fs::write(dir.join("f.txt"), format!("rev {i}\n")).unwrap();
+    ok(dir, &["commit", "-m", &format!("c{i}"), "--author", "Ann"])
+}
+
+// One test function: the three scenarios share the env var, so they must
+// run sequentially in a known order.
+#[test]
+fn env_var_overrides_auto_gc_threshold() {
+    // 1. A tiny threshold compacts after a single commit (the default 64
+    //    would never fire this early).
+    std::env::set_var("GITCITE_AUTO_GC", "1");
+    assert_eq!(storage::auto_gc_threshold(), Some(1));
+    let dir = temp_dir("low");
+    init(&dir);
+    let out = commit(&dir, 0);
+    assert!(
+        out.contains("auto-gc: packed"),
+        "threshold 1 did not trigger auto-gc: {out}"
+    );
+
+    // 2. Zero disables auto-gc entirely, however much piles up.
+    std::env::set_var("GITCITE_AUTO_GC", "0");
+    assert_eq!(storage::auto_gc_threshold(), None);
+    let dir = temp_dir("off");
+    init(&dir);
+    for i in 0..30 {
+        let out = commit(&dir, i);
+        assert!(
+            !out.contains("auto-gc"),
+            "auto-gc ran while disabled: {out}"
+        );
+    }
+    // Manual gc still works with auto-gc off.
+    assert!(ok(&dir, &["gc"]).contains("packed"));
+
+    // 3. Garbage falls back to the default threshold instead of
+    //    accidentally disabling compaction.
+    std::env::set_var("GITCITE_AUTO_GC", "not-a-number");
+    assert_eq!(
+        storage::auto_gc_threshold(),
+        Some(storage::AUTO_GC_THRESHOLD)
+    );
+
+    // 4. Unset: the default applies.
+    std::env::remove_var("GITCITE_AUTO_GC");
+    assert_eq!(
+        storage::auto_gc_threshold(),
+        Some(storage::AUTO_GC_THRESHOLD)
+    );
+}

@@ -1,0 +1,155 @@
+//! The CLI's remote path: `gitcite hub ...` subcommands driving an
+//! out-of-process hub over the line-framed TCP transport — register,
+//! import, negotiated push, and the paginated `hub log` / `hub repos`
+//! reads.
+
+use gitcite_cli::run;
+use hub::{Hub, SocketServer};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gitcite-remote-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ok(dir: &Path, args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run(&args, dir).unwrap_or_else(|e| panic!("command {args:?} failed: {e}"))
+}
+
+fn serve() -> (SocketServer, String) {
+    let server = SocketServer::bind(Arc::new(Hub::new("https://hub.local")), "127.0.0.1:0")
+        .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn register_import_log_push_round_trip() {
+    let (server, addr) = serve();
+    let dir = temp_dir();
+
+    // A local repository with some history.
+    ok(
+        &dir,
+        &["init", "p", "--owner", "Ann", "--url", "https://h/p"],
+    );
+    for i in 0..8 {
+        std::fs::write(dir.join("f.txt"), format!("rev {i}\n")).unwrap();
+        ok(&dir, &["commit", "-m", &format!("c{i}"), "--author", "Ann"]);
+    }
+
+    // register + import over the wire.
+    let out = ok(
+        &dir,
+        &["hub", "register", "ann", "--name", "Ann", "--remote", &addr],
+    );
+    assert!(out.contains("registered ann"));
+    let out = ok(
+        &dir,
+        &["hub", "import", "p", "--remote", &addr, "--user", "ann"],
+    );
+    assert!(out.contains("imported as ann/p"), "{out}");
+
+    // The listing sees it (paginated under the hood).
+    let out = ok(&dir, &["hub", "repos", "--remote", &addr]);
+    assert_eq!(out.trim(), "ann/p");
+
+    // Default `hub log` fetches one page, not the whole history.
+    let out = ok(
+        &dir,
+        &[
+            "hub",
+            "log",
+            "ann/p",
+            "main",
+            "--remote",
+            &addr,
+            "--page-size",
+            "3",
+        ],
+    );
+    assert_eq!(out.lines().filter(|l| l.contains("Ann")).count(), 3);
+    assert!(out.contains("more history"), "{out}");
+    // --all walks every page.
+    let out = ok(
+        &dir,
+        &[
+            "hub",
+            "log",
+            "ann/p",
+            "main",
+            "--remote",
+            &addr,
+            "--page-size",
+            "3",
+            "--all",
+            "true",
+        ],
+    );
+    assert_eq!(out.lines().filter(|l| l.contains("Ann")).count(), 8);
+    assert!(!out.contains("more history"));
+
+    // Advance locally, push the increment (negotiated v2 on the wire).
+    std::fs::write(dir.join("f.txt"), "rev 8\n").unwrap();
+    ok(&dir, &["commit", "-m", "c8", "--author", "Ann"]);
+    let out = ok(
+        &dir,
+        &[
+            "hub", "push", "ann/p", "main", "--remote", &addr, "--user", "ann",
+        ],
+    );
+    assert!(out.contains("pushed main -> ann/p:main"), "{out}");
+    let out = ok(
+        &dir,
+        &[
+            "hub",
+            "log",
+            "ann/p",
+            "main",
+            "--remote",
+            &addr,
+            "--page-size",
+            "1",
+        ],
+    );
+    assert!(out.contains("c8"), "{out}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn remote_errors_surface_as_op_errors() {
+    let (server, addr) = serve();
+    let dir = temp_dir();
+    // Unknown user: the hub's typed error comes through the CLI.
+    let err = run(
+        &["hub", "log", "nobody/none", "main", "--remote", &addr]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        &dir,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("no") || err.to_string().contains("repository"));
+    // Unreachable hub: a clear connection error, not a hang.
+    server.shutdown();
+    let err = run(
+        &["hub", "repos", "--remote", "127.0.0.1:1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        &dir,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("cannot reach hub"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

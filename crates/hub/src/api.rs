@@ -35,14 +35,38 @@
 //!
 //! # Versioning rules
 //!
-//! * `v` is the protocol major version ([`PROTOCOL_VERSION`], currently 1).
-//!   A peer receiving a different `v` MUST refuse with a `protocol` error —
-//!   there is no cross-version negotiation inside a version envelope.
+//! * `v` is the protocol major version. This build speaks every version
+//!   from [`PROTOCOL_V1`] through [`PROTOCOL_VERSION`] (currently 2): a
+//!   request outside that range is refused with a `protocol` error.
+//! * Every envelope is stamped with the *lowest* version that can carry
+//!   it ([`ApiRequest::version`] / [`ApiResponse::version`]), so a
+//!   v1-era method still encodes byte-identically to the v1 wire form —
+//!   the golden fixtures in `tests/wire_protocol.rs` pin this. Using a
+//!   v2 construct (a v2-only method, or a delta [`RepoBundle`]) inside a
+//!   `"v":1` envelope is a `protocol` error: a v1 peer would misread it.
 //! * Within a version, *adding* a method or a new optional param is
 //!   compatible; renaming/removing methods, changing a param's type, or
 //!   changing a result's shape requires bumping `v`.
 //! * Unknown methods fail with `protocol`; unknown params are ignored
 //!   (callers from a newer minor revision may send extras).
+//!
+//! # What protocol v2 adds
+//!
+//! * **Push negotiation** — `negotiate` sends the client's ref tips plus
+//!   a sample of recent commit ids ("haves"); the server partitions them
+//!   into `common` (reachable from its refs, computed via the
+//!   commit-graph-accelerated ancestor walk) and `missing`. The client
+//!   then ships a *delta* [`RepoBundle`] ([`RepoBundle::delta_from_branch`])
+//!   carrying only the objects past the common frontier; the bundle's
+//!   `basis` field names the commits the receiver must already have.
+//! * **Paginated reads** — `log_page`, `audit_log_page` and
+//!   `list_repos_page` take an opaque `cursor` plus a `limit` and return
+//!   a typed [`Page`] (`items` + `next` cursor), so no read materializes
+//!   an unbounded array. Cursors pin their position (a log cursor pins
+//!   the tip it started from), so pages stay stable while writers
+//!   advance the branch.
+//! * A **line-framed TCP transport** rides on the same envelopes — see
+//!   [`crate::transport`] for framing and per-connection auth scoping.
 //!
 //! # Error codes
 //!
@@ -98,10 +122,29 @@ use crate::zenodo::Deposit;
 use citekit::{Citation, MergeStrategy, Resolution};
 use gitlite::{CacheStats, ObjectId, ObjectStore, RepoPath, Repository};
 use sjson::{Object, Value};
+use std::collections::HashSet;
 use std::fmt;
 
-/// The protocol major version this build speaks.
-pub const PROTOCOL_VERSION: i64 = 1;
+/// Protocol major version 1: the original method surface, full-closure
+/// bundles, unbounded reads.
+pub const PROTOCOL_V1: i64 = 1;
+
+/// Protocol major version 2: adds push negotiation (`negotiate` + delta
+/// bundles) and paginated reads (`log_page`, `audit_log_page`,
+/// `list_repos_page`).
+pub const PROTOCOL_V2: i64 = 2;
+
+/// The newest protocol major version this build speaks. Envelopes are
+/// stamped with the lowest version that can carry them, so bumping this
+/// never changes the bytes of older methods.
+pub const PROTOCOL_VERSION: i64 = PROTOCOL_V2;
+
+/// Default page size applied when a paginated request omits `limit`.
+pub const DEFAULT_PAGE_SIZE: usize = 100;
+
+/// Hard ceiling on a page: larger `limit`s are clamped, keeping one
+/// response bounded no matter what a client asks for.
+pub const MAX_PAGE_SIZE: usize = 500;
 
 /// Result alias for wire-level operations.
 pub type WireResult<T> = std::result::Result<T, WireError>;
@@ -445,6 +488,17 @@ fn proto(msg: impl Into<String>) -> WireError {
 /// responses and `push` / `import_repo` requests. Object bytes are the
 /// canonical content-addressed encoding, so the receiving side verifies
 /// every object against its claimed id while loading (`put_raw`).
+///
+/// A bundle comes in two forms. A **full** bundle (`basis` empty) carries
+/// the complete closure of its refs and can materialize a standalone
+/// repository. A **delta** bundle (protocol v2) carries only the objects
+/// past a negotiated frontier: `basis` names commits the receiver must
+/// already hold, and `objects` is everything reachable from the refs
+/// that is not covered by the basis commits' closures. Delta bundles can
+/// only be *applied* to a repository that has the basis
+/// ([`crate::Hub`]'s push path); materializing one standalone fails with
+/// `ObjectNotFound`. On the wire the `basis` key is simply absent for
+/// full bundles, so the v1 encoding is unchanged.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepoBundle {
     /// Repository name.
@@ -455,6 +509,9 @@ pub struct RepoBundle {
     pub refs: Vec<(String, ObjectId)>,
     /// `(id, canonical bytes)` for every transferred object.
     pub objects: Vec<(ObjectId, Vec<u8>)>,
+    /// Commits the receiver must already have (with their full closures)
+    /// for `objects` to be complete. Empty = full bundle.
+    pub basis: Vec<ObjectId>,
 }
 
 impl RepoBundle {
@@ -494,12 +551,88 @@ impl RepoBundle {
             head,
             refs,
             objects,
+            basis: Vec::new(),
+        })
+    }
+
+    /// True for the negotiated delta form (protocol v2): the bundle is
+    /// only complete relative to its `basis` commits.
+    pub fn is_delta(&self) -> bool {
+        !self.basis.is_empty()
+    }
+
+    /// Bundles one branch of `repo` *incrementally*: only the objects
+    /// past the `common` frontier (commit ids the receiver confirmed
+    /// having, e.g. a `negotiate` reply). The walk from the tip stops at
+    /// the first common commit on every path; those stop commits become
+    /// the bundle's `basis`, and their tree closures are subtracted from
+    /// the shipped objects (a commit on the receiver is there with its
+    /// complete closure). With an empty `common` this degrades to a full
+    /// bundle — same bytes as [`RepoBundle::from_branch`].
+    pub fn delta_from_branch(
+        repo: &Repository,
+        branch: &str,
+        common: &HashSet<ObjectId>,
+    ) -> gitlite::Result<RepoBundle> {
+        let tip = repo.branch_tip(branch)?;
+        // New commits: everything from the tip down to the frontier.
+        let mut new_commits = Vec::new();
+        let mut basis = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![tip];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if common.contains(&id) {
+                basis.push(id);
+                continue;
+            }
+            let obj = repo.odb().commit_ref(id)?;
+            stack.extend_from_slice(&obj.as_commit().expect("checked kind").parents);
+            new_commits.push(id);
+        }
+        // Objects the receiver provably has: the basis commits' tree
+        // closures. `known` then doubles as the dedupe set for shipping.
+        let mut known: HashSet<ObjectId> = HashSet::new();
+        for &b in &basis {
+            collect_tree_closure(repo, repo.tree_of(b)?, &mut known)?;
+        }
+        let mut objects = Vec::new();
+        for &id in &new_commits {
+            objects.push((id, repo.odb().get(id)?.canonical_bytes()));
+            let mut stack = vec![repo.tree_of(id)?];
+            while let Some(oid) = stack.pop() {
+                if !known.insert(oid) {
+                    continue;
+                }
+                let obj = repo.odb().get(oid)?;
+                if let gitlite::Object::Tree(t) = &*obj {
+                    for (_, e) in t.iter() {
+                        stack.push(e.id);
+                    }
+                }
+                objects.push((oid, obj.canonical_bytes()));
+            }
+        }
+        Ok(RepoBundle {
+            name: repo.name().to_owned(),
+            head: Some(branch.to_owned()),
+            refs: vec![(branch.to_owned(), tip)],
+            objects,
+            basis,
         })
     }
 
     /// Materializes the bundle as a repository on `store`, verifying
-    /// every object's bytes against its claimed id.
+    /// every object's bytes against its claimed id. Delta bundles cannot
+    /// stand alone: their basis objects live only on the negotiating
+    /// receiver, so this fails with `ObjectNotFound` instead of building
+    /// a repository with holes in its history.
     pub fn into_repository(&self, store: Box<dyn ObjectStore>) -> gitlite::Result<Repository> {
+        if let Some(&b) = self.basis.first() {
+            return Err(gitlite::GitError::ObjectNotFound(b));
+        }
         let mut repo = Repository::init_with(self.name.clone(), store);
         for (id, bytes) in &self.objects {
             repo.odb_mut().put_raw(*id, bytes)?;
@@ -544,6 +677,13 @@ impl RepoBundle {
                     .collect(),
             ),
         );
+        // Absent for full bundles, so the v1 wire form is unchanged.
+        if !self.basis.is_empty() {
+            o.insert(
+                "basis",
+                Value::Array(self.basis.iter().map(|id| id_value(*id)).collect()),
+            );
+        }
         Value::Object(o)
     }
 
@@ -567,13 +707,99 @@ impl RepoBundle {
             .ok_or_else(|| proto("object bytes must be hex"))?;
             objects.push((parse_id(id, "object id")?, bytes));
         }
+        let mut basis = Vec::new();
+        if let Some(v) = o.get("basis") {
+            for id in v
+                .as_array()
+                .ok_or_else(|| proto("basis must be an array"))?
+            {
+                basis.push(parse_id(id, "basis commit")?);
+            }
+        }
         Ok(RepoBundle {
             name: req_str(o, "name")?,
             head: opt_str(o, "head")?,
             refs,
             objects,
+            basis,
         })
     }
+}
+
+/// Adds every tree and blob reachable from `root` (a tree id) to `out`.
+fn collect_tree_closure(
+    repo: &Repository,
+    root: ObjectId,
+    out: &mut HashSet<ObjectId>,
+) -> gitlite::Result<()> {
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !out.insert(id) {
+            continue;
+        }
+        let obj = repo.odb().get(id)?;
+        if let gitlite::Object::Tree(t) = &*obj {
+            for (_, e) in t.iter() {
+                stack.push(e.id);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Server's answer to a v2 `negotiate` request: the offered commit ids
+/// partitioned by whether they are reachable from the repository's refs.
+/// `common` commits (and their closures) need not be re-sent; `missing`
+/// ones the server has never seen.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Negotiation {
+    /// Offered ids the server already has reachable from its refs.
+    pub common: Vec<ObjectId>,
+    /// Offered ids the server lacks.
+    pub missing: Vec<ObjectId>,
+}
+
+impl Negotiation {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert(
+            "common",
+            Value::Array(self.common.iter().map(|id| id_value(*id)).collect()),
+        );
+        o.insert(
+            "missing",
+            Value::Array(self.missing.iter().map(|id| id_value(*id)).collect()),
+        );
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<Negotiation> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("negotiation must be an object"))?;
+        let ids = |key: &str| -> WireResult<Vec<ObjectId>> {
+            req_arr(o, key)?
+                .iter()
+                .map(|id| parse_id(id, "negotiation commit"))
+                .collect()
+        };
+        Ok(Negotiation {
+            common: ids("common")?,
+            missing: ids("missing")?,
+        })
+    }
+}
+
+/// One page of a paginated read (protocol v2). `next` is an opaque
+/// cursor to pass back for the following page; `None` means the listing
+/// is exhausted. Cursors pin their position, so a page sequence stays
+/// stable while writers append.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page<T> {
+    /// The items of this page, at most the requested (clamped) limit.
+    pub items: Vec<T>,
+    /// Cursor for the next page, absent on the last one.
+    pub next: Option<String>,
 }
 
 /// Version-level outcome of a server-side merge.
@@ -882,8 +1108,22 @@ pub enum ApiRequest {
         repo_id: String,
         branch: String,
     },
+    /// v2: one page of a branch's log. `cursor` is opaque (obtained from
+    /// a previous page); `limit` is clamped to [`MAX_PAGE_SIZE`].
+    LogPage {
+        repo_id: String,
+        branch: String,
+        cursor: Option<String>,
+        limit: Option<u32>,
+    },
     CloneRepo {
         repo_id: String,
+    },
+    /// v2: have/want exchange ahead of an incremental push — ref tips
+    /// plus a sample of recent commit ids the client holds.
+    Negotiate {
+        repo_id: String,
+        haves: Vec<ObjectId>,
     },
     // citations
     GenerateCitation {
@@ -965,6 +1205,16 @@ pub enum ApiRequest {
     },
     // operations
     AuditLog,
+    /// v2: one page of the audit log (cursor = next sequence number).
+    AuditLogPage {
+        cursor: Option<String>,
+        limit: Option<u32>,
+    },
+    /// v2: one page of the repository listing (cursor = last id seen).
+    ListReposPage {
+        cursor: Option<String>,
+        limit: Option<u32>,
+    },
     StoreStats {
         repo_id: String,
     },
@@ -1028,7 +1278,9 @@ impl ApiRequest {
             ApiRequest::ListFiles { .. } => "list_files",
             ApiRequest::ReadFile { .. } => "read_file",
             ApiRequest::Log { .. } => "log",
+            ApiRequest::LogPage { .. } => "log_page",
             ApiRequest::CloneRepo { .. } => "clone_repo",
+            ApiRequest::Negotiate { .. } => "negotiate",
             ApiRequest::GenerateCitation { .. } => "generate_citation",
             ApiRequest::CitationEntry { .. } => "citation_entry",
             ApiRequest::AddCite { .. } => "add_cite",
@@ -1045,9 +1297,53 @@ impl ApiRequest {
             ApiRequest::CreditedAuthors { .. } => "credited_authors",
             ApiRequest::FindReposCiting { .. } => "find_repos_citing",
             ApiRequest::AuditLog => "audit_log",
+            ApiRequest::AuditLogPage { .. } => "audit_log_page",
+            ApiRequest::ListReposPage { .. } => "list_repos_page",
             ApiRequest::StoreStats { .. } => "store_stats",
             ApiRequest::Maintenance => "maintenance",
             ApiRequest::AdvanceClock { .. } => "advance_clock",
+        }
+    }
+
+    /// The lowest protocol major version that can carry this request —
+    /// the `v` the envelope is stamped with. v1-era methods with v1-era
+    /// payloads stay at [`PROTOCOL_V1`] (byte-identical encoding); the
+    /// v2 methods, and a `push`/`import_repo` whose bundle is a delta,
+    /// need [`PROTOCOL_V2`].
+    pub fn version(&self) -> i64 {
+        match self {
+            ApiRequest::Negotiate { .. }
+            | ApiRequest::LogPage { .. }
+            | ApiRequest::AuditLogPage { .. }
+            | ApiRequest::ListReposPage { .. } => PROTOCOL_V2,
+            ApiRequest::Push { bundle, .. } | ApiRequest::ImportRepo { bundle, .. }
+                if bundle.is_delta() =>
+            {
+                PROTOCOL_V2
+            }
+            _ => PROTOCOL_V1,
+        }
+    }
+
+    /// The auth token this request carries, if the method is
+    /// authenticated. Transports use this for per-connection token
+    /// scoping without knowing anything about individual methods.
+    pub fn token(&self) -> Option<&str> {
+        match self {
+            ApiRequest::Revoke { token }
+            | ApiRequest::Whoami { token }
+            | ApiRequest::CreateRepo { token, .. }
+            | ApiRequest::ImportRepo { token, .. }
+            | ApiRequest::AddMember { token, .. }
+            | ApiRequest::CanWrite { token, .. }
+            | ApiRequest::AddCite { token, .. }
+            | ApiRequest::ModifyCite { token, .. }
+            | ApiRequest::DelCite { token, .. }
+            | ApiRequest::Push { token, .. }
+            | ApiRequest::Fork { token, .. }
+            | ApiRequest::MergeBranches { token, .. }
+            | ApiRequest::Deposit { token, .. } => Some(token),
+            _ => None,
         }
     }
 
@@ -1100,6 +1396,27 @@ impl ApiRequest {
                 p.insert("repo_id", repo_id.as_str());
             }
             ApiRequest::ListRepos | ApiRequest::AuditLog | ApiRequest::Maintenance => {}
+            ApiRequest::LogPage {
+                repo_id,
+                branch,
+                cursor,
+                limit,
+            } => {
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+                insert_page_params(&mut p, cursor, limit);
+            }
+            ApiRequest::AuditLogPage { cursor, limit }
+            | ApiRequest::ListReposPage { cursor, limit } => {
+                insert_page_params(&mut p, cursor, limit);
+            }
+            ApiRequest::Negotiate { repo_id, haves } => {
+                p.insert("repo_id", repo_id.as_str());
+                p.insert(
+                    "haves",
+                    Value::Array(haves.iter().map(|id| id_value(*id)).collect()),
+                );
+            }
             ApiRequest::Branches { repo_id }
             | ApiRequest::CloneRepo { repo_id }
             | ApiRequest::Archive { repo_id }
@@ -1225,10 +1542,11 @@ impl ApiRequest {
         Value::Object(p)
     }
 
-    /// Serializes to the one-line wire envelope.
+    /// Serializes to the one-line wire envelope, stamped with the lowest
+    /// protocol version that can carry it (see [`ApiRequest::version`]).
     pub fn encode(&self) -> String {
         let mut o = Object::new();
-        o.insert("v", PROTOCOL_VERSION);
+        o.insert("v", self.version());
         o.insert("method", self.method());
         o.insert("params", self.params_value());
         Value::Object(o).to_string_compact()
@@ -1245,7 +1563,7 @@ impl ApiRequest {
         let o = v
             .as_object()
             .ok_or_else(|| proto("request must be an object"))?;
-        check_version(o)?;
+        let envelope_v = check_version(o)?;
         let method = req_str(o, "method")?;
         let empty = Object::new();
         let p = match o.get("params") {
@@ -1253,7 +1571,7 @@ impl ApiRequest {
             Some(Value::Object(p)) => p,
             Some(_) => return Err(proto("params must be an object")),
         };
-        Ok(match method.as_str() {
+        let req = match method.as_str() {
             "register_user" => ApiRequest::RegisterUser {
                 username: req_str(p, "username")?,
                 display_name: req_str(p, "display_name")?,
@@ -1309,9 +1627,28 @@ impl ApiRequest {
                 repo_id: req_str(p, "repo_id")?,
                 branch: req_str(p, "branch")?,
             },
+            "log_page" => {
+                let (cursor, limit) = parse_page_params(p)?;
+                ApiRequest::LogPage {
+                    repo_id: req_str(p, "repo_id")?,
+                    branch: req_str(p, "branch")?,
+                    cursor,
+                    limit,
+                }
+            }
             "clone_repo" => ApiRequest::CloneRepo {
                 repo_id: req_str(p, "repo_id")?,
             },
+            "negotiate" => {
+                let mut haves = Vec::new();
+                for id in req_arr(p, "haves")? {
+                    haves.push(parse_id(id, "have")?);
+                }
+                ApiRequest::Negotiate {
+                    repo_id: req_str(p, "repo_id")?,
+                    haves,
+                }
+            }
             "generate_citation" => ApiRequest::GenerateCitation {
                 repo_id: req_str(p, "repo_id")?,
                 branch: req_str(p, "branch")?,
@@ -1393,6 +1730,14 @@ impl ApiRequest {
                 author: req_str(p, "author")?,
             },
             "audit_log" => ApiRequest::AuditLog,
+            "audit_log_page" => {
+                let (cursor, limit) = parse_page_params(p)?;
+                ApiRequest::AuditLogPage { cursor, limit }
+            }
+            "list_repos_page" => {
+                let (cursor, limit) = parse_page_params(p)?;
+                ApiRequest::ListReposPage { cursor, limit }
+            }
             "store_stats" => ApiRequest::StoreStats {
                 repo_id: req_str(p, "repo_id")?,
             },
@@ -1401,8 +1746,40 @@ impl ApiRequest {
                 ts: req_i64(p, "ts")?,
             },
             other => return Err(proto(format!("unknown method {other:?}"))),
-        })
+        };
+        // A v2-only construct inside a v1 envelope would be misread by a
+        // v1 peer; refuse instead of guessing.
+        if req.version() > envelope_v {
+            return Err(proto(format!(
+                "method {:?} with this payload requires protocol v{} (envelope says v{envelope_v})",
+                req.method(),
+                req.version(),
+            )));
+        }
+        Ok(req)
     }
+}
+
+fn insert_page_params(p: &mut Object, cursor: &Option<String>, limit: &Option<u32>) {
+    if let Some(c) = cursor {
+        p.insert("cursor", c.as_str());
+    }
+    if let Some(n) = limit {
+        p.insert("limit", *n as i64);
+    }
+}
+
+fn parse_page_params(p: &Object) -> WireResult<(Option<String>, Option<u32>)> {
+    let cursor = opt_str(p, "cursor")?;
+    let limit = match p.get("limit") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_i64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| proto("limit must be a non-negative integer"))?,
+        ),
+    };
+    Ok((cursor, limit))
 }
 
 // ---------------------------------------------------------------------
@@ -1424,6 +1801,14 @@ pub enum ApiResponse {
     Paths(Vec<RepoPath>),
     FileData(Vec<u8>),
     Log(Vec<LogEntry>),
+    /// v2: one page of a branch's log.
+    LogPage(Page<LogEntry>),
+    /// v2: one page of the audit log.
+    AuditPage(Page<AuditEvent>),
+    /// v2: one page of a name listing (repository ids).
+    NamesPage(Page<String>),
+    /// v2: the server's answer to a have/want exchange.
+    Negotiation(Negotiation),
     Citation(Citation),
     CitationOpt(Option<Citation>),
     Commit(ObjectId),
@@ -1463,6 +1848,10 @@ impl ApiResponse {
             ApiResponse::Paths(_) => "paths",
             ApiResponse::FileData(_) => "file",
             ApiResponse::Log(_) => "log",
+            ApiResponse::LogPage(_) => "log_page",
+            ApiResponse::AuditPage(_) => "audit_page",
+            ApiResponse::NamesPage(_) => "names_page",
+            ApiResponse::Negotiation(_) => "negotiation",
             ApiResponse::Citation(_) => "citation",
             ApiResponse::CitationOpt(_) => "citation_opt",
             ApiResponse::Commit(_) => "commit",
@@ -1522,20 +1911,38 @@ impl ApiResponse {
             ApiResponse::Log(entries) => {
                 o.insert(
                     "entries",
-                    Value::Array(
-                        entries
-                            .iter()
-                            .map(|e| {
-                                let mut eo = Object::new();
-                                eo.insert("id", e.id.to_hex());
-                                eo.insert("author", e.author.as_str());
-                                eo.insert("timestamp", e.timestamp);
-                                eo.insert("message", e.message.as_str());
-                                Value::Object(eo)
-                            })
-                            .collect(),
-                    ),
+                    Value::Array(entries.iter().map(log_entry_value).collect()),
                 );
+            }
+            ApiResponse::LogPage(page) => {
+                o.insert(
+                    "entries",
+                    Value::Array(page.items.iter().map(log_entry_value).collect()),
+                );
+                if let Some(next) = &page.next {
+                    o.insert("next", next.as_str());
+                }
+            }
+            ApiResponse::AuditPage(page) => {
+                o.insert(
+                    "events",
+                    Value::Array(page.items.iter().map(audit_event_value).collect()),
+                );
+                if let Some(next) = &page.next {
+                    o.insert("next", next.as_str());
+                }
+            }
+            ApiResponse::NamesPage(page) => {
+                o.insert(
+                    "names",
+                    Value::Array(page.items.iter().map(|n| Value::from(n.as_str())).collect()),
+                );
+                if let Some(next) = &page.next {
+                    o.insert("next", next.as_str());
+                }
+            }
+            ApiResponse::Negotiation(n) => {
+                o.insert("negotiation", n.to_value());
             }
             ApiResponse::Citation(c) => {
                 o.insert("citation", c.to_value());
@@ -1620,24 +2027,7 @@ impl ApiResponse {
             ApiResponse::Audit(events) => {
                 o.insert(
                     "events",
-                    Value::Array(
-                        events
-                            .iter()
-                            .map(|e| {
-                                let mut eo = Object::new();
-                                eo.insert("seq", e.seq as i64);
-                                eo.insert("timestamp", e.timestamp);
-                                match &e.actor {
-                                    Some(a) => eo.insert("actor", Value::from(a.as_str())),
-                                    None => eo.insert("actor", Value::Null),
-                                };
-                                eo.insert("action", e.action.as_str());
-                                eo.insert("target", e.target.as_str());
-                                eo.insert("ok", e.ok);
-                                Value::Object(eo)
-                            })
-                            .collect(),
-                    ),
+                    Value::Array(events.iter().map(audit_event_value).collect()),
                 );
             }
             ApiResponse::Stats(s) => {
@@ -1657,10 +2047,25 @@ impl ApiResponse {
         Value::Object(o)
     }
 
-    /// Serializes to the one-line wire envelope.
+    /// The lowest protocol major version that can carry this response —
+    /// v2 for the page/negotiation shapes and delta bundles, v1 for
+    /// everything else (including errors, which every peer must parse).
+    pub fn version(&self) -> i64 {
+        match self {
+            ApiResponse::LogPage(_)
+            | ApiResponse::AuditPage(_)
+            | ApiResponse::NamesPage(_)
+            | ApiResponse::Negotiation(_) => PROTOCOL_V2,
+            ApiResponse::Bundle(b) if b.is_delta() => PROTOCOL_V2,
+            _ => PROTOCOL_V1,
+        }
+    }
+
+    /// Serializes to the one-line wire envelope, stamped with the lowest
+    /// protocol version that can carry it.
     pub fn encode(&self) -> String {
         let mut o = Object::new();
-        o.insert("v", PROTOCOL_VERSION);
+        o.insert("v", self.version());
         match self {
             ApiResponse::Error(e) => o.insert("error", e.to_value()),
             ok => o.insert("result", ok.result_value()),
@@ -1679,12 +2084,12 @@ impl ApiResponse {
         let o = v
             .as_object()
             .ok_or_else(|| proto("response must be an object"))?;
-        check_version(o)?;
+        let envelope_v = check_version(o)?;
         if let Some(err) = o.get("error") {
             return Ok(ApiResponse::Error(WireError::from_value(err)?));
         }
         let r = req_obj(o, "result")?;
-        Ok(match req_str(r, "type")?.as_str() {
+        let resp = match req_str(r, "type")?.as_str() {
             "unit" => ApiResponse::Unit,
             "token" => ApiResponse::Token(req_str(r, "token")?),
             "user" => ApiResponse::User(User {
@@ -1713,21 +2118,44 @@ impl ApiResponse {
             "log" => {
                 let mut entries = Vec::new();
                 for e in req_arr(r, "entries")? {
-                    let eo = e
-                        .as_object()
-                        .ok_or_else(|| proto("log entry must be an object"))?;
-                    entries.push(LogEntry {
-                        id: parse_id(
-                            eo.get("id").ok_or_else(|| proto("missing log id"))?,
-                            "log id",
-                        )?,
-                        author: req_str(eo, "author")?,
-                        timestamp: req_i64(eo, "timestamp")?,
-                        message: req_str(eo, "message")?,
-                    });
+                    entries.push(parse_log_entry(e)?);
                 }
                 ApiResponse::Log(entries)
             }
+            "log_page" => {
+                let mut items = Vec::new();
+                for e in req_arr(r, "entries")? {
+                    items.push(parse_log_entry(e)?);
+                }
+                ApiResponse::LogPage(Page {
+                    items,
+                    next: opt_str(r, "next")?,
+                })
+            }
+            "audit_page" => {
+                let mut items = Vec::new();
+                for e in req_arr(r, "events")? {
+                    items.push(parse_audit_event(e)?);
+                }
+                ApiResponse::AuditPage(Page {
+                    items,
+                    next: opt_str(r, "next")?,
+                })
+            }
+            "names_page" => {
+                let mut items = Vec::new();
+                for n in req_arr(r, "names")? {
+                    items.push(str_of(n, "name")?);
+                }
+                ApiResponse::NamesPage(Page {
+                    items,
+                    next: opt_str(r, "next")?,
+                })
+            }
+            "negotiation" => ApiResponse::Negotiation(Negotiation::from_value(
+                r.get("negotiation")
+                    .ok_or_else(|| proto("missing negotiation"))?,
+            )?),
             "citation" => ApiResponse::Citation(parse_citation(
                 r.get("citation").ok_or_else(|| proto("missing citation"))?,
             )?),
@@ -1825,17 +2253,7 @@ impl ApiResponse {
             "audit" => {
                 let mut events = Vec::new();
                 for e in req_arr(r, "events")? {
-                    let eo = e
-                        .as_object()
-                        .ok_or_else(|| proto("audit event must be an object"))?;
-                    events.push(AuditEvent {
-                        seq: req_i64(eo, "seq")? as u64,
-                        timestamp: req_i64(eo, "timestamp")?,
-                        actor: opt_str(eo, "actor")?,
-                        action: req_str(eo, "action")?,
-                        target: req_str(eo, "target")?,
-                        ok: req_bool(eo, "ok")?,
-                    });
+                    events.push(parse_audit_event(e)?);
                 }
                 ApiResponse::Audit(events)
             }
@@ -1853,22 +2271,82 @@ impl ApiResponse {
                 r.get("bundle").ok_or_else(|| proto("missing bundle"))?,
             )?),
             other => return Err(proto(format!("unknown result type {other:?}"))),
-        })
+        };
+        if resp.version() > envelope_v {
+            return Err(proto(format!(
+                "result type {:?} requires protocol v{} (envelope says v{envelope_v})",
+                resp.kind(),
+                resp.version(),
+            )));
+        }
+        Ok(resp)
     }
+}
+
+fn log_entry_value(e: &LogEntry) -> Value {
+    let mut eo = Object::new();
+    eo.insert("id", e.id.to_hex());
+    eo.insert("author", e.author.as_str());
+    eo.insert("timestamp", e.timestamp);
+    eo.insert("message", e.message.as_str());
+    Value::Object(eo)
+}
+
+fn parse_log_entry(e: &Value) -> WireResult<LogEntry> {
+    let eo = e
+        .as_object()
+        .ok_or_else(|| proto("log entry must be an object"))?;
+    Ok(LogEntry {
+        id: parse_id(
+            eo.get("id").ok_or_else(|| proto("missing log id"))?,
+            "log id",
+        )?,
+        author: req_str(eo, "author")?,
+        timestamp: req_i64(eo, "timestamp")?,
+        message: req_str(eo, "message")?,
+    })
+}
+
+fn audit_event_value(e: &AuditEvent) -> Value {
+    let mut eo = Object::new();
+    eo.insert("seq", e.seq as i64);
+    eo.insert("timestamp", e.timestamp);
+    match &e.actor {
+        Some(a) => eo.insert("actor", Value::from(a.as_str())),
+        None => eo.insert("actor", Value::Null),
+    };
+    eo.insert("action", e.action.as_str());
+    eo.insert("target", e.target.as_str());
+    eo.insert("ok", e.ok);
+    Value::Object(eo)
+}
+
+fn parse_audit_event(e: &Value) -> WireResult<AuditEvent> {
+    let eo = e
+        .as_object()
+        .ok_or_else(|| proto("audit event must be an object"))?;
+    Ok(AuditEvent {
+        seq: req_i64(eo, "seq")? as u64,
+        timestamp: req_i64(eo, "timestamp")?,
+        actor: opt_str(eo, "actor")?,
+        action: req_str(eo, "action")?,
+        target: req_str(eo, "target")?,
+        ok: req_bool(eo, "ok")?,
+    })
 }
 
 // ---------------------------------------------------------------------
 // Parsing helpers
 // ---------------------------------------------------------------------
 
-fn check_version(o: &Object) -> WireResult<()> {
+fn check_version(o: &Object) -> WireResult<i64> {
     let v = req_i64(o, "v")?;
-    if v != PROTOCOL_VERSION {
+    if !(PROTOCOL_V1..=PROTOCOL_VERSION).contains(&v) {
         return Err(proto(format!(
-            "unsupported protocol version {v} (this peer speaks {PROTOCOL_VERSION})"
+            "unsupported protocol version {v} (this peer speaks {PROTOCOL_V1} through {PROTOCOL_VERSION})"
         )));
     }
-    Ok(())
+    Ok(v)
 }
 
 fn req_str(o: &Object, key: &str) -> WireResult<String> {
@@ -2022,10 +2500,71 @@ mod tests {
 
     #[test]
     fn wrong_version_is_refused() {
-        let text = r#"{"v": 2, "method": "list_repos", "params": {}}"#;
+        let text = r#"{"v": 3, "method": "list_repos", "params": {}}"#;
         let err = ApiRequest::parse(text).unwrap_err();
         assert_eq!(err.code, ErrorCode::Protocol);
         assert!(err.message.contains("version"));
+    }
+
+    #[test]
+    fn v1_methods_ride_in_v2_envelopes_but_not_vice_versa() {
+        // A v2 peer may stamp v2 on an old method; it still parses.
+        let text = r#"{"v": 2, "method": "list_repos", "params": {}}"#;
+        assert_eq!(ApiRequest::parse(text).unwrap(), ApiRequest::ListRepos);
+        // A v2-only method inside a v1 envelope is refused.
+        let text = r#"{"v": 1, "method": "negotiate", "params": {"repo_id": "a/p", "haves": []}}"#;
+        let err = ApiRequest::parse(text).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("requires protocol v2"));
+    }
+
+    #[test]
+    fn delta_bundles_force_v2_envelopes() {
+        let full = RepoBundle {
+            name: "p".into(),
+            head: None,
+            refs: vec![],
+            objects: vec![],
+            basis: vec![],
+        };
+        let delta = RepoBundle {
+            basis: vec![ObjectId::hash_bytes(b"base")],
+            ..full.clone()
+        };
+        let req = |bundle: RepoBundle| ApiRequest::Push {
+            token: "t".into(),
+            repo_id: "a/p".into(),
+            branch: "main".into(),
+            force: false,
+            bundle,
+        };
+        assert!(req(full).encode().contains("\"v\":1"));
+        let delta_req = req(delta);
+        let text = delta_req.encode();
+        assert!(text.contains("\"v\":2"));
+        assert_eq!(ApiRequest::parse(&text).unwrap(), delta_req);
+        // The same bytes downgraded to a v1 envelope must be refused.
+        let downgraded = text.replacen("\"v\":2", "\"v\":1", 1);
+        assert_eq!(
+            ApiRequest::parse(&downgraded).unwrap_err().code,
+            ErrorCode::Protocol
+        );
+    }
+
+    #[test]
+    fn page_responses_round_trip_and_stamp_v2() {
+        let page = ApiResponse::NamesPage(Page {
+            items: vec!["a/p".into(), "b/q".into()],
+            next: Some("b/q".into()),
+        });
+        let text = page.encode();
+        assert!(text.contains("\"v\":2"));
+        assert_eq!(ApiResponse::parse(&text).unwrap(), page);
+        let last = ApiResponse::NamesPage(Page {
+            items: vec![],
+            next: None,
+        });
+        assert_eq!(ApiResponse::parse(&last.encode()).unwrap(), last);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! a socket or HTTP transport slots in behind the same one-method trait
 //! without touching any client logic.
 
-use crate::api::{ApiRequest, ApiResponse, MergeSummary, RepoMaintenance, StoreStats};
+use crate::api::{
+    ApiRequest, ApiResponse, MergeSummary, Negotiation, Page, RepoBundle, RepoMaintenance,
+    StoreStats,
+};
 use crate::audit::AuditEvent;
 use crate::error::{HubError, Result};
 use crate::heritage::{ArchiveReport, SwhKind};
@@ -17,6 +20,7 @@ use crate::server::{Hub, LogEntry, Token, User};
 use crate::zenodo::Deposit;
 use citekit::{Citation, MergeStrategy};
 use gitlite::{ObjectId, RepoPath, Repository};
+use std::collections::HashSet;
 
 /// Moves one request envelope to a hub and returns its response envelope.
 ///
@@ -66,6 +70,12 @@ impl<T: Transport> HubClient<T> {
     /// Client over an arbitrary transport.
     pub fn new(transport: T) -> Self {
         HubClient { transport }
+    }
+
+    /// The underlying transport (e.g. for instrumentation wrappers that
+    /// count bytes on the wire).
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// Sends one typed request and returns the typed response, with
@@ -230,13 +240,76 @@ impl<T: Transport> HubClient<T> {
         }
     }
 
-    /// Commit log of a branch, newest first.
+    /// Commit log of a branch, newest first. Unbounded — prefer
+    /// [`HubClient::log_page`] against servers with deep histories.
     pub fn log(&self, repo_id: &str, branch: &str) -> Result<Vec<LogEntry>> {
         match self.call(ApiRequest::Log {
             repo_id: repo_id.to_owned(),
             branch: branch.to_owned(),
         })? {
             ApiResponse::Log(entries) => Ok(entries),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// One page of a branch's log (protocol v2): pass `None` to start at
+    /// the tip, then the returned `next` cursor to continue.
+    pub fn log_page(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        cursor: Option<&str>,
+        limit: Option<u32>,
+    ) -> Result<Page<LogEntry>> {
+        match self.call(ApiRequest::LogPage {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            cursor: cursor.map(str::to_owned),
+            limit,
+        })? {
+            ApiResponse::LogPage(page) => Ok(page),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// One page of the repository listing (protocol v2), ordered by id.
+    pub fn list_repos_page(
+        &self,
+        cursor: Option<&str>,
+        limit: Option<u32>,
+    ) -> Result<Page<String>> {
+        match self.call(ApiRequest::ListReposPage {
+            cursor: cursor.map(str::to_owned),
+            limit,
+        })? {
+            ApiResponse::NamesPage(page) => Ok(page),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// One page of the audit log (protocol v2), oldest first.
+    pub fn audit_log_page(
+        &self,
+        cursor: Option<&str>,
+        limit: Option<u32>,
+    ) -> Result<Page<AuditEvent>> {
+        match self.call(ApiRequest::AuditLogPage {
+            cursor: cursor.map(str::to_owned),
+            limit,
+        })? {
+            ApiResponse::AuditPage(page) => Ok(page),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Asks the server which of `haves` it already holds reachable from
+    /// the repository's refs (protocol v2).
+    pub fn negotiate(&self, repo_id: &str, haves: &[ObjectId]) -> Result<Negotiation> {
+        match self.call(ApiRequest::Negotiate {
+            repo_id: repo_id.to_owned(),
+            haves: haves.to_vec(),
+        })? {
+            ApiResponse::Negotiation(n) => Ok(n),
             other => Err(shape(&other)),
         }
     }
@@ -354,7 +427,12 @@ impl<T: Transport> HubClient<T> {
     // ----- sync --------------------------------------------------------------
 
     /// Pushes `local_branch` of `local` to `branch` of the hosted
-    /// repository, shipping the branch's objects in the request.
+    /// repository. Negotiates first (protocol v2): the server names the
+    /// commits it already has, and the request ships only the objects
+    /// past that frontier instead of the whole branch closure. Falls
+    /// back to a full-closure v1 push when the server refuses v2, or
+    /// when the negotiated basis went away between the two calls (e.g. a
+    /// concurrent gc after a force push).
     pub fn push(
         &self,
         token: &Token,
@@ -364,8 +442,33 @@ impl<T: Transport> HubClient<T> {
         local_branch: &str,
         force: bool,
     ) -> Result<ObjectId> {
+        match self.push_negotiated(token, repo_id, branch, local, local_branch, force) {
+            Err(HubError::Protocol(_))
+            | Err(HubError::Git(gitlite::GitError::ObjectNotFound(_))) => {
+                self.push_full(token, repo_id, branch, local, local_branch, force)
+            }
+            result => result,
+        }
+    }
+
+    /// The v2 negotiated push: have/want exchange, then a delta bundle.
+    /// Fails with a `protocol` error against a v1-only server; use
+    /// [`HubClient::push`] for the version-negotiating wrapper.
+    pub fn push_negotiated(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        local: &Repository,
+        local_branch: &str,
+        force: bool,
+    ) -> Result<ObjectId> {
+        let tip = local.branch_tip(local_branch).map_err(HubError::Git)?;
+        let haves = sample_haves(local, tip)?;
+        let reply = self.negotiate(repo_id, &haves)?;
+        let common: HashSet<ObjectId> = reply.common.into_iter().collect();
         let bundle =
-            crate::api::RepoBundle::from_branch(local, local_branch).map_err(HubError::Git)?;
+            RepoBundle::delta_from_branch(local, local_branch, &common).map_err(HubError::Git)?;
         match self.call(ApiRequest::Push {
             token: token.as_str().to_owned(),
             repo_id: repo_id.to_owned(),
@@ -375,6 +478,59 @@ impl<T: Transport> HubClient<T> {
         })? {
             ApiResponse::Commit(id) => Ok(id),
             other => Err(shape(&other)),
+        }
+    }
+
+    /// The v1 push: ships the full closure of the branch in one bundle.
+    pub fn push_full(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        local: &Repository,
+        local_branch: &str,
+        force: bool,
+    ) -> Result<ObjectId> {
+        let bundle = RepoBundle::from_branch(local, local_branch).map_err(HubError::Git)?;
+        match self.call(ApiRequest::Push {
+            token: token.as_str().to_owned(),
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            force,
+            bundle,
+        })? {
+            ApiResponse::Commit(id) => Ok(id),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Brings the hosted branch up to date with the local one, shipping
+    /// nothing when there is nothing to ship: a one-entry `log_page`
+    /// first, and if the hosted branch's tip already equals the local
+    /// one the push is skipped entirely. Otherwise behaves like
+    /// [`HubClient::push`] without force (a branch the server does not
+    /// have yet is simply pushed into existence).
+    pub fn sync(
+        &self,
+        token: &Token,
+        repo_id: &str,
+        branch: &str,
+        local: &Repository,
+        local_branch: &str,
+    ) -> Result<ObjectId> {
+        let tip = local.branch_tip(local_branch).map_err(HubError::Git)?;
+        match self.log_page(repo_id, branch, None, Some(1)) {
+            // Exactly current: the *target branch's* tip matches (tip
+            // reachability alone is not enough — the commit could sit on
+            // a different branch while `branch` lags or does not exist).
+            Ok(page) if page.items.first().map(|e| e.id) == Some(tip) => Ok(tip),
+            // Behind, missing branch, or a v1-only server: push decides.
+            Ok(_)
+            | Err(HubError::Protocol(_))
+            | Err(HubError::Git(gitlite::GitError::BranchNotFound(_))) => {
+                self.push(token, repo_id, branch, local, local_branch, false)
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -531,4 +687,31 @@ fn shape(response: &ApiResponse) -> HubError {
         "response shape does not match the request (got {})",
         response.kind()
     ))
+}
+
+/// Have sample for negotiation: the tip, every commit of the recent
+/// first-parent history, then exponentially sparser picks, plus the root
+/// (so histories sharing only their origin still negotiate a basis).
+/// Capped — a sparse sample merely means a few already-known commits get
+/// re-sent, never a wrong result.
+fn sample_haves(local: &Repository, tip: ObjectId) -> Result<Vec<ObjectId>> {
+    const DENSE: usize = 16;
+    const CAP: usize = 64;
+    let chain = local.first_parent_chain(tip).map_err(HubError::Git)?;
+    let mut haves = Vec::new();
+    let mut idx = 0;
+    let mut step = 1;
+    while idx < chain.len() && haves.len() < CAP {
+        haves.push(chain[idx]);
+        if haves.len() >= DENSE {
+            step *= 2;
+        }
+        idx += step;
+    }
+    if let Some(&root) = chain.last() {
+        if haves.last() != Some(&root) {
+            haves.push(root);
+        }
+    }
+    Ok(haves)
 }

@@ -22,7 +22,13 @@
 //! * **Versioned wire protocol** ([`api`]) — every operation above is a
 //!   typed, sjson-encodable [`ApiRequest`]/[`ApiResponse`] pair routed
 //!   through [`Hub::dispatch`]; [`HubClient`] speaks the protocol from
-//!   the client side through a pluggable [`Transport`].
+//!   the client side through a pluggable [`Transport`]. Protocol v2 adds
+//!   have/want push negotiation (delta [`RepoBundle`]s) and paginated
+//!   reads, while v1 envelopes keep being served byte-identically.
+//! * **Socket transport** ([`transport`]) — a line-framed TCP server
+//!   ([`SocketServer`]) and client transport ([`TcpTransport`]) with
+//!   per-connection auth-token scoping, so the extension and the CLI can
+//!   talk to an out-of-process hub.
 //!
 //! Thread-safe: all API methods take `&self`. State is sharded — user and
 //! token tables behind `RwLock`s, each hosted repository behind its own
@@ -39,11 +45,13 @@ pub mod error;
 pub mod heritage;
 pub mod perm;
 pub mod server;
+pub mod transport;
 pub mod zenodo;
 
 pub use api::{
-    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, RepoBundle, RepoMaintenance,
-    StoreStats, WireError, PROTOCOL_VERSION,
+    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, Negotiation, Page, RepoBundle,
+    RepoMaintenance, StoreStats, WireError, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, PROTOCOL_V1,
+    PROTOCOL_V2, PROTOCOL_VERSION,
 };
 pub use audit::{AuditEvent, AuditLog};
 pub use client::{HubClient, InProcess, Transport};
@@ -51,4 +59,5 @@ pub use error::{HubError, Result};
 pub use heritage::{parse_swhid, swhid, ArchiveReport, Heritage, SwhKind};
 pub use perm::{Action, Role};
 pub use server::{Hub, LogEntry, StoreFactory, Token, User};
+pub use transport::{SocketServer, TcpTransport};
 pub use zenodo::{Deposit, Zenodo, DOI_PREFIX};

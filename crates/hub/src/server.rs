@@ -6,10 +6,14 @@
 //!
 //! Every operation is a [`crate::api::ApiRequest`] routed through
 //! [`Hub::dispatch`]; [`Hub::handle_wire`] is the same router behind the
-//! sjson wire encoding (what a socket transport would call). The typed
-//! methods (`login`, `add_cite`, `push`, ...) are thin wrappers that build
-//! the request, dispatch it, and unpack the typed result — so the wire
-//! protocol is, by construction, the complete surface.
+//! sjson wire encoding (what [`crate::transport::SocketServer`] calls per
+//! connection line). The typed methods (`login`, `add_cite`, `push`, ...)
+//! are thin wrappers that build the request, dispatch it, and unpack the
+//! typed result — so the wire protocol is, by construction, the complete
+//! surface. Protocol v2 operations — `negotiate` + delta-bundle pushes
+//! (`apply_delta_push`), and the paginated `log_page` /
+//! `audit_log_page` / `list_repos_page` reads — are served side by side
+//! with the v1 surface; see [`crate::api`] for the versioning rules.
 //!
 //! # Locking
 //!
@@ -31,7 +35,8 @@
 //! deadlock-free.
 
 use crate::api::{
-    ApiRequest, ApiResponse, MergeOutcome, MergeSummary, RepoBundle, RepoMaintenance, StoreStats,
+    ApiRequest, ApiResponse, MergeOutcome, MergeSummary, Negotiation, Page, RepoBundle,
+    RepoMaintenance, StoreStats, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE,
 };
 use crate::audit::{AuditEvent, AuditLog};
 use crate::error::{HubError, Result};
@@ -41,7 +46,8 @@ use crate::zenodo::{Deposit, Zenodo};
 use citekit::{Citation, CitedRepo, ForkOptions, MergeStrategy, Resolution};
 use gitlite::{ObjectId, RepoPath, Repository, Signature};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -302,6 +308,19 @@ impl Hub {
                 )
             }
             Q::Log { repo_id, branch } => R::Log(self.op_log(&repo_id, &branch)?),
+            Q::LogPage {
+                repo_id,
+                branch,
+                cursor,
+                limit,
+            } => R::LogPage(self.op_log_page(&repo_id, &branch, cursor.as_deref(), limit)?),
+            Q::AuditLogPage { cursor, limit } => {
+                R::AuditPage(self.op_audit_log_page(cursor.as_deref(), limit)?)
+            }
+            Q::ListReposPage { cursor, limit } => {
+                R::NamesPage(self.op_list_repos_page(cursor.as_deref(), limit))
+            }
+            Q::Negotiate { repo_id, haves } => R::Negotiation(self.op_negotiate(&repo_id, &haves)?),
             Q::CloneRepo { repo_id } => {
                 let cell = self.repo(&repo_id)?;
                 let bundle = {
@@ -570,6 +589,21 @@ impl Hub {
         }
     }
 
+    /// One page of the repository listing (protocol v2), ordered by id.
+    pub fn list_repos_page(
+        &self,
+        cursor: Option<&str>,
+        limit: Option<u32>,
+    ) -> Result<Page<String>> {
+        match self.unwrap(ApiRequest::ListReposPage {
+            cursor: cursor.map(str::to_owned),
+            limit,
+        })? {
+            ApiResponse::NamesPage(page) => Ok(page),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     // ----- typed wrappers: public reads ---------------------------------------
 
     /// Branch names of a repository.
@@ -612,6 +646,41 @@ impl Hub {
             branch: branch.to_owned(),
         })? {
             ApiResponse::Log(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One page of a branch's log (protocol v2). Pass `None` to start at
+    /// the tip; pass the returned `next` cursor to continue. The cursor
+    /// pins the tip it started from, so the page sequence is stable even
+    /// while writers advance the branch.
+    pub fn log_page(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        cursor: Option<&str>,
+        limit: Option<u32>,
+    ) -> Result<Page<LogEntry>> {
+        match self.unwrap(ApiRequest::LogPage {
+            repo_id: repo_id.to_owned(),
+            branch: branch.to_owned(),
+            cursor: cursor.map(str::to_owned),
+            limit,
+        })? {
+            ApiResponse::LogPage(page) => Ok(page),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Which of `haves` the hub already holds reachable from the
+    /// repository's refs (protocol v2) — the have/want exchange that lets
+    /// a push ship only missing objects.
+    pub fn negotiate(&self, repo_id: &str, haves: &[ObjectId]) -> Result<Negotiation> {
+        match self.unwrap(ApiRequest::Negotiate {
+            repo_id: repo_id.to_owned(),
+            haves: haves.to_vec(),
+        })? {
+            ApiResponse::Negotiation(n) => Ok(n),
             other => Err(unexpected(&other)),
         }
     }
@@ -883,6 +952,22 @@ impl Hub {
         }
     }
 
+    /// One page of the audit log (protocol v2), oldest first; the cursor
+    /// is the sequence number to continue from.
+    pub fn audit_log_page(
+        &self,
+        cursor: Option<&str>,
+        limit: Option<u32>,
+    ) -> Result<Page<AuditEvent>> {
+        match self.unwrap(ApiRequest::AuditLogPage {
+            cursor: cursor.map(str::to_owned),
+            limit,
+        })? {
+            ApiResponse::AuditPage(page) => Ok(page),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Object-store statistics for one hosted repository: object count
     /// plus cache counters when the backend stack has a read cache —
     /// the capacity-planning view over [`gitlite::CacheStats`].
@@ -1060,6 +1145,13 @@ impl Hub {
         if self.repos.read().contains_key(&repo_id) {
             return Err(HubError::RepoExists(repo_id));
         }
+        // A delta bundle cannot seed a repository: its basis objects
+        // live only on the peer it was negotiated against.
+        if bundle.is_delta() {
+            return Err(HubError::BadRequest(
+                "import requires a full bundle (delta bundles are push-only)".into(),
+            ));
+        }
         let rehomed = bundle
             .into_repository((self.store_factory)())
             .map_err(HubError::Git)?;
@@ -1126,6 +1218,145 @@ impl Hub {
         Ok(out)
     }
 
+    /// Clamps a wire `limit` to `1..=MAX_PAGE_SIZE`, defaulting absent or
+    /// zero limits to [`DEFAULT_PAGE_SIZE`].
+    fn page_limit(limit: Option<u32>) -> usize {
+        match limit {
+            None | Some(0) => DEFAULT_PAGE_SIZE,
+            Some(n) => (n as usize).min(MAX_PAGE_SIZE),
+        }
+    }
+
+    fn op_log_page(
+        &self,
+        repo_id: &str,
+        branch: &str,
+        cursor: Option<&str>,
+        limit: Option<u32>,
+    ) -> Result<Page<LogEntry>> {
+        let limit = Self::page_limit(limit);
+        let cell = self.repo(repo_id)?;
+        let hosted = cell.read();
+        // The cursor pins the tip the walk started from, so concurrent
+        // pushes cannot shift entries between pages.
+        let (tip, offset) = match cursor {
+            None => (hosted.repo.branch_tip(branch).map_err(HubError::Git)?, 0),
+            Some(c) => parse_log_cursor(c)?,
+        };
+        // The ordering walk is graph-served and cheap; only the page's
+        // entries decode their commits.
+        let ids = hosted.repo.log(tip).map_err(HubError::Git)?;
+        let start = offset.min(ids.len());
+        let end = (start + limit).min(ids.len());
+        let mut items = Vec::with_capacity(end - start);
+        for &id in &ids[start..end] {
+            let obj = hosted.repo.odb().commit_ref(id).map_err(HubError::Git)?;
+            let c = obj.as_commit().expect("checked kind");
+            items.push(LogEntry {
+                id,
+                author: c.author.name.clone(),
+                timestamp: c.author.timestamp,
+                message: c.message.clone(),
+            });
+        }
+        let next = (end < ids.len()).then(|| format!("{}:{end}", tip.to_hex()));
+        Ok(Page { items, next })
+    }
+
+    fn op_audit_log_page(
+        &self,
+        cursor: Option<&str>,
+        limit: Option<u32>,
+    ) -> Result<Page<AuditEvent>> {
+        let limit = Self::page_limit(limit);
+        let from: u64 = match cursor {
+            None => 0,
+            Some(c) => c
+                .parse()
+                .map_err(|_| HubError::BadRequest(format!("invalid audit cursor {c:?}")))?,
+        };
+        let audit = self.audit.lock();
+        let events = audit.events();
+        // Sequence numbers are assigned in append order, so they are
+        // sorted; the cursor is simply the next seq to serve.
+        let start = events.partition_point(|e| e.seq < from);
+        let end = (start + limit).min(events.len());
+        let next = (end < events.len()).then(|| events[end].seq.to_string());
+        Ok(Page {
+            items: events[start..end].to_vec(),
+            next,
+        })
+    }
+
+    fn op_list_repos_page(&self, cursor: Option<&str>, limit: Option<u32>) -> Page<String> {
+        let limit = Self::page_limit(limit);
+        let repos = self.repos.read();
+        let mut items: Vec<String> = match cursor {
+            None => repos.keys().take(limit + 1).cloned().collect(),
+            Some(c) => repos
+                .range::<String, _>((Bound::Excluded(c.to_owned()), Bound::Unbounded))
+                .map(|(k, _)| k.clone())
+                .take(limit + 1)
+                .collect(),
+        };
+        let next = (items.len() > limit).then(|| {
+            items.truncate(limit);
+            items.last().expect("limit >= 1").clone()
+        });
+        Page { items, next }
+    }
+
+    fn op_negotiate(&self, repo_id: &str, haves: &[ObjectId]) -> Result<Negotiation> {
+        let cell = self.repo(repo_id)?;
+        let hosted = cell.read();
+        // "Common" means reachable from a ref. Mere store presence is
+        // not enough: an object left behind by a force push may be
+        // unreachable and about to be gc'd.
+        let tips: Vec<ObjectId> = hosted.repo.branches().map(|(_, tip)| tip).collect();
+        let graph_covers_tips = hosted
+            .repo
+            .odb()
+            .commit_graph()
+            .is_some_and(|g| tips.iter().all(|&t| g.lookup(t).is_some()));
+        let mut negotiation = Negotiation::default();
+        if graph_covers_tips {
+            // Pack-backed repositories after maintenance: answer each
+            // (client-capped) have with the generation-pruned
+            // `is_ancestor` — near O(output) per probe, no O(history)
+            // set materialized under the repository read lock.
+            for &h in haves {
+                let reachable = tips
+                    .iter()
+                    .any(|&t| hosted.repo.is_ancestor(h, t).unwrap_or(false));
+                if reachable {
+                    negotiation.common.push(h);
+                } else {
+                    negotiation.missing.push(h);
+                }
+            }
+        } else {
+            // Graph-less stores: a per-have decode walk would re-walk
+            // the history up to |haves| times, so one materialized
+            // ancestor-set walk per distinct tip is the cheaper shape.
+            let mut reachable: HashSet<ObjectId> = HashSet::new();
+            for tip in tips {
+                if !reachable.contains(&tip) {
+                    reachable.extend(
+                        gitlite::ancestor_set(hosted.repo.odb(), tip).map_err(HubError::Git)?,
+                    );
+                }
+            }
+            for &h in haves {
+                if reachable.contains(&h) {
+                    negotiation.common.push(h);
+                } else {
+                    negotiation.missing.push(h);
+                }
+            }
+        }
+        Ok(negotiation)
+    }
+
     fn cite_op(
         &self,
         token: &str,
@@ -1188,14 +1419,26 @@ impl Hub {
             .clone()
             .or_else(|| bundle.refs.first().map(|(b, _)| b.clone()))
             .ok_or_else(|| HubError::BadRequest("push bundle carries no ref".into()))?;
-        let src = bundle
-            .into_repository(Box::new(gitlite::MemStore::new()))
-            .map_err(HubError::Git)?;
+        // Materialize a full bundle (hash-verifying its whole closure)
+        // *before* taking the repository's write lock — readers of this
+        // repo must only stall for the ref update, not the verification.
+        // A delta is O(new objects) and needs the hosted store anyway.
+        let src = match bundle.is_delta() {
+            true => None,
+            false => Some(
+                bundle
+                    .into_repository(Box::new(gitlite::MemStore::new()))
+                    .map_err(HubError::Git)?,
+            ),
+        };
         let cell = self.repo(repo_id)?;
         let mut hosted = cell.write();
         let ts = self.tick();
         check(&hosted, &user.username, Action::Write)?;
-        let result = gitlite::push(&src, &mut hosted.repo, &src_branch, branch, force);
+        let result = match &src {
+            Some(src) => gitlite::push(src, &mut hosted.repo, &src_branch, branch, force),
+            None => apply_delta_push(&mut hosted.repo, &src_branch, branch, force, bundle),
+        };
         let ok = result.is_ok();
         let out = result.map_err(HubError::Git);
         self.record(ts, Some(&user.username), "push", repo_id, ok);
@@ -1392,6 +1635,89 @@ fn unexpected(response: &ApiResponse) -> HubError {
         "response shape does not match the request (got {})",
         response.kind()
     ))
+}
+
+/// Decodes an opaque log cursor (`<tip hex>:<offset>`).
+fn parse_log_cursor(c: &str) -> Result<(ObjectId, usize)> {
+    c.split_once(':')
+        .and_then(|(hex, off)| Some((ObjectId::from_hex(hex)?, off.parse().ok()?)))
+        .ok_or_else(|| HubError::BadRequest(format!("invalid log cursor {c:?}")))
+}
+
+/// Applies a negotiated delta bundle (protocol v2) onto the hosted
+/// repository: the server-side half of the have/want exchange. Same ref
+/// rules as [`gitlite::push`]; on top of them the delta must be
+/// *anchored* (every basis commit already present) and *complete*
+/// (everything reachable from the pushed tip exists once the delta's
+/// objects are loaded), so a lying or stale client can make the push
+/// fail but never leave the branch pointing into a hole.
+fn apply_delta_push(
+    repo: &mut Repository,
+    src_branch: &str,
+    dst_branch: &str,
+    force: bool,
+    bundle: &RepoBundle,
+) -> gitlite::Result<ObjectId> {
+    let new_tip = bundle
+        .refs
+        .iter()
+        .find(|(b, _)| b == src_branch)
+        .or_else(|| bundle.refs.first())
+        .map(|(_, tip)| *tip)
+        .ok_or(gitlite::GitError::BranchNotFound(src_branch.to_owned()))?;
+    for &b in &bundle.basis {
+        if !repo.odb().contains(b) {
+            return Err(gitlite::GitError::ObjectNotFound(b));
+        }
+    }
+    // Load the delta's objects; `put_raw` hash-verifies every one.
+    for (id, bytes) in &bundle.objects {
+        repo.odb_mut().put_raw(*id, bytes)?;
+    }
+    // Connectivity check: walk from the new tip, stopping at basis
+    // commits (complete by the check above) and at commits the
+    // commit-graph indexes (they were reachable at the last gc, so their
+    // closures are complete too — this bounds the walk to roughly the
+    // delta even when the client's have sample was sparse).
+    let mut seen: HashSet<ObjectId> = bundle.basis.iter().copied().collect();
+    let mut stack = vec![new_tip];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        if repo
+            .odb()
+            .commit_graph()
+            .is_some_and(|g| g.lookup(id).is_some())
+        {
+            continue;
+        }
+        let obj = repo.odb().get(id)?; // ObjectNotFound if the delta is short
+        match &*obj {
+            gitlite::Object::Commit(c) => {
+                stack.push(c.tree);
+                stack.extend_from_slice(&c.parents);
+            }
+            gitlite::Object::Tree(t) => {
+                for (_, e) in t.iter() {
+                    stack.push(e.id);
+                }
+            }
+            gitlite::Object::Blob(_) => {}
+        }
+    }
+    if let Ok(old_tip) = repo.branch_tip(dst_branch) {
+        if !repo.is_ancestor(old_tip, new_tip)? && !force {
+            return Err(gitlite::GitError::NonFastForward {
+                branch: dst_branch.to_owned(),
+            });
+        }
+    }
+    repo.set_branch(dst_branch, new_tip)?;
+    if repo.current_branch() == Some(dst_branch) {
+        repo.checkout_branch(dst_branch)?;
+    }
+    Ok(new_tip)
 }
 
 fn check(hosted: &HostedRepo, username: &str, action: Action) -> Result<()> {

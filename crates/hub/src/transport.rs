@@ -1,0 +1,274 @@
+//! Line-framed TCP transport for the hub wire protocol: the piece that
+//! turns the in-process platform into an out-of-process service the
+//! extension and the CLI can dial.
+//!
+//! # Framing
+//!
+//! One envelope per line. A request is the compact sjson encoding of an
+//! [`ApiRequest`] followed by a single `\n`; the response line mirrors
+//! it. Compact sjson escapes all control characters inside strings, so
+//! an envelope never contains a raw newline and the framing is
+//! unambiguous. Blank lines are ignored; an unparseable line gets a
+//! `protocol` error response (the connection stays up). Requests on one
+//! connection are served strictly in order, one response per request.
+//!
+//! # Auth-token scoping
+//!
+//! Tokens are scoped to the connection that minted them:
+//!
+//! * a successful `login` records the issued token against *this*
+//!   connection;
+//! * any request carrying a token this connection did not mint is
+//!   refused with `auth_failed` **before** dispatch — a token lifted
+//!   from one session is useless on any other;
+//! * when the connection closes, every token it minted is revoked on
+//!   the hub, so no credential outlives its session.
+//!
+//! Anonymous methods (reads, `register_user`, `login` itself) carry no
+//! token and pass through unscoped, exactly as over the in-process
+//! transport — with two exceptions: the operator/test seams
+//! `advance_clock` and `maintenance` are refused outright on the
+//! socket, because "anonymous" on a network port means anyone who can
+//! reach it.
+//!
+//! **Deployment caveat:** the hub reproduces the paper's platform, and
+//! its `login` takes a username with no secret — anyone who can reach
+//! the port can mint a token for any registered user. Token scoping
+//! limits the blast radius of a *leaked* token, not of the open `login`
+//! itself, so bind `gitcite hub serve` to loopback or a trusted network
+//! only. A real credential exchange is a protocol-v3 item (see the
+//! ROADMAP's transport section).
+//!
+//! [`SocketServer`] serves an [`Hub`] behind a listener (one thread per
+//! connection — the hub itself is sharded and thread-safe);
+//! [`TcpTransport`] implements the client-side [`Transport`] over one
+//! connection, and [`HubClient::connect`] wires the two together.
+
+use crate::api::{ApiRequest, ApiResponse, ErrorCode, WireError};
+use crate::client::{HubClient, Transport};
+use crate::error::HubError;
+use crate::server::{Hub, Token};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A hub served over TCP. Binding spawns the accept loop; dropping (or
+/// [`SocketServer::shutdown`]) stops accepting new connections.
+pub struct SocketServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Binds `addr` (use port 0 to let the OS pick) and starts serving
+    /// `hub`. Each accepted connection gets its own thread and its own
+    /// token scope.
+    pub fn bind(hub: Arc<Hub>, addr: impl ToSocketAddrs) -> std::io::Result<SocketServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || serve_connection(&hub, stream));
+            }
+        });
+        Ok(SocketServer {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and waits for the accept loop to
+    /// exit. Connections already open are served until their peers hang
+    /// up. Dropping the server does the same.
+    pub fn shutdown(self) {}
+
+    /// Blocks the calling thread for the server's lifetime — what
+    /// `gitcite hub serve` does after printing the address.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serves one connection: reads request lines, writes response lines,
+/// and enforces the connection's token scope (see the module docs).
+fn serve_connection(hub: &Hub, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut minted: HashSet<String> = HashSet::new();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = respond(hub, &mut minted, &line);
+        let sent = writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if sent.is_err() {
+            break;
+        }
+    }
+    // End of session: the connection's credentials die with it.
+    for token in minted {
+        hub.revoke(&Token::new(token));
+    }
+}
+
+fn respond(hub: &Hub, minted: &mut HashSet<String>, line: &str) -> String {
+    let request = match ApiRequest::parse(line) {
+        Ok(request) => request,
+        Err(e) => return ApiResponse::Error(e).encode(),
+    };
+    // Operator/test seams carry no token in-process, but on a network
+    // socket "anonymous" means "anyone who can reach the port": a
+    // stranger must not skew the platform clock or trigger a gc sweep
+    // over every hosted repository.
+    if matches!(
+        request,
+        ApiRequest::AdvanceClock { .. } | ApiRequest::Maintenance
+    ) {
+        return ApiResponse::from_error(&HubError::PermissionDenied(format!(
+            "method {:?} is operator-only and not served over the socket",
+            request.method()
+        )))
+        .encode();
+    }
+    if let Some(token) = request.token() {
+        if !minted.contains(token) {
+            return ApiResponse::from_error(&HubError::AuthFailed).encode();
+        }
+    }
+    let is_login = matches!(request, ApiRequest::Login { .. });
+    let revoked = match &request {
+        ApiRequest::Revoke { token } => Some(token.clone()),
+        _ => None,
+    };
+    let response = hub.dispatch(request);
+    if is_login {
+        if let ApiResponse::Token(token) = &response {
+            minted.insert(token.clone());
+        }
+    }
+    if let Some(token) = revoked {
+        minted.remove(&token);
+    }
+    response.encode()
+}
+
+/// Client side of the socket transport: one connection, one in-flight
+/// request at a time (the interior lock serializes concurrent callers).
+pub struct TcpTransport {
+    conn: Mutex<BufReader<TcpStream>>,
+}
+
+impl TcpTransport {
+    /// Connects to a [`SocketServer`] (or anything speaking the same
+    /// line framing).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(TcpTransport {
+            conn: Mutex::new(BufReader::new(stream)),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, request: &str) -> String {
+        let mut conn = self.conn.lock();
+        let round_trip = (|| -> std::io::Result<String> {
+            {
+                let mut stream = conn.get_ref();
+                stream.write_all(request.as_bytes())?;
+                stream.write_all(b"\n")?;
+                stream.flush()?;
+            }
+            let mut line = String::new();
+            if conn.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(line.trim_end().to_owned())
+        })();
+        match round_trip {
+            Ok(reply) => reply,
+            // The Transport contract is string-in string-out, so IO
+            // failures surface as protocol-error envelopes the caller
+            // already knows how to handle.
+            Err(e) => ApiResponse::Error(WireError {
+                code: ErrorCode::Protocol,
+                message: format!("transport failure: {e}"),
+                detail: None,
+            })
+            .encode(),
+        }
+    }
+}
+
+impl HubClient<TcpTransport> {
+    /// Client over a fresh TCP connection to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HubClient<TcpTransport>> {
+        Ok(HubClient::new(TcpTransport::connect(addr)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_failure_encodes_as_protocol_error() {
+        // A peer that hangs up yields a parseable error envelope, not a
+        // panic or an empty string.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // immediate hangup
+        });
+        let transport = TcpTransport::connect(addr).unwrap();
+        peer.join().unwrap();
+        let reply = transport.send(&ApiRequest::ListRepos.encode());
+        match ApiResponse::parse(&reply) {
+            Ok(ApiResponse::Error(e)) => assert_eq!(e.code, ErrorCode::Protocol),
+            other => panic!("expected a protocol error envelope, got {other:?}"),
+        }
+    }
+}

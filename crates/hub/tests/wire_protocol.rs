@@ -7,8 +7,8 @@
 use citekit::{Citation, MergeStrategy, Resolution};
 use gitlite::{CacheStats, ObjectId, RepoPath};
 use hub::api::{
-    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, RepoBundle, RepoMaintenance,
-    StoreStats, WireError,
+    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, Negotiation, Page, RepoBundle,
+    RepoMaintenance, StoreStats, WireError,
 };
 use hub::{ArchiveReport, AuditEvent, Deposit, LogEntry, Role, SwhKind, User};
 use proptest::prelude::*;
@@ -83,13 +83,23 @@ fn arb_bundle() -> impl Strategy<Value = RepoBundle> {
         prop::option::of(arb_name()),
         prop::collection::vec((arb_name(), arb_id()), 0..3),
         prop::collection::vec((arb_id(), prop::collection::vec(any::<u8>(), 0..24)), 0..4),
+        prop::collection::vec(arb_id(), 0..3),
     )
-        .prop_map(|(name, head, refs, objects)| RepoBundle {
+        .prop_map(|(name, head, refs, objects, basis)| RepoBundle {
             name,
             head,
             refs,
             objects,
+            basis,
         })
+}
+
+fn arb_cursor() -> impl Strategy<Value = Option<String>> {
+    prop::option::of("[a-z0-9:]{1,12}".prop_map(|s: String| s))
+}
+
+fn arb_limit() -> impl Strategy<Value = Option<u32>> {
+    prop::option::of(any::<u64>().prop_map(|n| (n % 600) as u32))
 }
 
 fn arb_request() -> impl Strategy<Value = ApiRequest> {
@@ -135,6 +145,20 @@ fn arb_request() -> impl Strategy<Value = ApiRequest> {
         }),
         (arb_repo_id(), arb_name())
             .prop_map(|(repo_id, branch)| ApiRequest::Log { repo_id, branch }),
+        (arb_repo_id(), arb_name(), arb_cursor(), arb_limit()).prop_map(
+            |(repo_id, branch, cursor, limit)| ApiRequest::LogPage {
+                repo_id,
+                branch,
+                cursor,
+                limit,
+            }
+        ),
+        (arb_cursor(), arb_limit())
+            .prop_map(|(cursor, limit)| ApiRequest::AuditLogPage { cursor, limit }),
+        (arb_cursor(), arb_limit())
+            .prop_map(|(cursor, limit)| ApiRequest::ListReposPage { cursor, limit }),
+        (arb_repo_id(), prop::collection::vec(arb_id(), 0..4))
+            .prop_map(|(repo_id, haves)| ApiRequest::Negotiate { repo_id, haves }),
         arb_repo_id().prop_map(|repo_id| ApiRequest::CloneRepo { repo_id }),
         (arb_repo_id(), arb_name(), arb_path()).prop_map(|(repo_id, branch, path)| {
             ApiRequest::GenerateCitation {
@@ -328,6 +352,31 @@ fn arb_response() -> impl Strategy<Value = ApiResponse> {
             0..3
         )
         .prop_map(ApiResponse::Log),
+        (
+            prop::collection::vec(
+                (arb_id(), arb_text(), any::<i64>(), arb_text()).prop_map(
+                    |(id, author, timestamp, message)| LogEntry {
+                        id,
+                        author,
+                        timestamp,
+                        message,
+                    }
+                ),
+                0..3
+            ),
+            arb_cursor()
+        )
+            .prop_map(|(items, next)| ApiResponse::LogPage(Page { items, next })),
+        (prop::collection::vec(arb_name(), 0..4), arb_cursor())
+            .prop_map(|(items, next)| ApiResponse::NamesPage(Page { items, next })),
+        (
+            prop::collection::vec(arb_id(), 0..3),
+            prop::collection::vec(arb_id(), 0..3)
+        )
+            .prop_map(|(common, missing)| ApiResponse::Negotiation(Negotiation {
+                common,
+                missing
+            })),
         arb_citation().prop_map(ApiResponse::Citation),
         prop::option::of(arb_citation()).prop_map(ApiResponse::CitationOpt),
         arb_id().prop_map(ApiResponse::Commit),
@@ -396,6 +445,30 @@ fn arb_response() -> impl Strategy<Value = ApiResponse> {
             0..3
         )
         .prop_map(ApiResponse::Audit),
+        (
+            prop::collection::vec(
+                (
+                    (small(), any::<i64>()),
+                    prop::option::of(arb_name()),
+                    arb_name(),
+                    arb_text(),
+                    any::<bool>()
+                )
+                    .prop_map(|((seq, timestamp), actor, action, target, ok)| {
+                        AuditEvent {
+                            seq,
+                            timestamp,
+                            actor,
+                            action,
+                            target,
+                            ok,
+                        }
+                    }),
+                0..3
+            ),
+            arb_cursor()
+        )
+            .prop_map(|(items, next)| ApiResponse::AuditPage(Page { items, next })),
         (
             arb_repo_id(),
             small(),

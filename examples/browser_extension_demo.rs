@@ -7,9 +7,9 @@
 use citekit::{Citation, CitedRepo};
 use extension::Popup;
 use gitlite::{path, Signature};
-use hub::{Hub, Role};
+use hub::{Hub, Role, Transport};
 
-fn render(popup: &Popup<'_>) {
+fn render<T: Transport>(popup: &Popup<T>) {
     let v = popup.view();
     println!("+--------------------------- GitCite ---------------------------+");
     println!(
