@@ -1,0 +1,330 @@
+//! Load bench for the event-driven socket server: can one hub process
+//! hold 10,000 concurrent loopback connections and keep answering mixed
+//! read/push traffic? The old thread-per-connection server would need
+//! 10,000 OS threads for this; the reactor holds them on one poller.
+//!
+//! Shape: the bench re-executes itself as a **server child process**
+//! (`HUB_LOAD_ROLE=server`) so each side stays under the per-process fd
+//! limit, then
+//!
+//! 1. opens N connections (default 10,000; `GITCITE_LOAD_CONNS`
+//!    overrides) from a small pool of driver threads,
+//! 2. drives request waves across every open connection — each wave
+//!    writes one line-framed read request per connection, then collects
+//!    every reply, timing each round trip — while v3 binary writer
+//!    clients push fresh commits concurrently,
+//! 3. reports client-observed latency percentiles and throughput, and
+//! 4. measures the v3 framing win: the same 5k-commit bundle encoded as
+//!    a v2 hex envelope vs the v3 compressed binary side channel.
+//!
+//! Results go to stderr as `hub_load_*` data lines, which
+//! `scripts/bench_load.sh` folds into `BENCH_load.json`.
+
+use gitlite::{path, Repository, Signature};
+use hub::transport::frame;
+use hub::{ApiResponse, Hub, HubClient, RepoBundle, SocketServer};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEFAULT_CONNS: usize = 10_000;
+const DRIVERS: usize = 8;
+const WAVES: usize = 3;
+const WRITERS: usize = 8;
+const PUSHES_PER_WRITER: usize = 5;
+const BUNDLE_COMMITS: usize = 5_000;
+
+fn sig(t: i64) -> Signature {
+    Signature::new("bench", "b@x", t)
+}
+
+/// `commits` edits of one churn file next to a stable README.
+fn deep_repo(name: &str, commits: usize) -> Repository {
+    let mut repo = Repository::init(name);
+    repo.worktree_mut()
+        .write(&path("README.md"), &b"# load\n"[..])
+        .unwrap();
+    for i in 0..commits {
+        repo.worktree_mut()
+            .write(&path("churn.txt"), format!("rev {i}\n").into_bytes())
+            .unwrap();
+        repo.commit(sig(1 + i as i64), format!("c{i}")).unwrap();
+    }
+    repo
+}
+
+// ---------------------------------------------------------------------
+// Server child
+// ---------------------------------------------------------------------
+
+/// The re-executed child: seed a hub, serve it, print the bound address,
+/// block until the parent hangs up our stdin.
+fn run_server() -> ! {
+    let hub = Arc::new(Hub::new("https://hub.local"));
+    hub.register_user("ann", "Ann").unwrap();
+    let token = hub.login("ann").unwrap();
+    hub.import_repo(&token, "p", deep_repo("p", 100)).unwrap();
+    let server = SocketServer::bind(Arc::clone(&hub), "127.0.0.1:0").expect("bind loopback");
+    println!("ADDR {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    // Exit when the parent closes our stdin (or dies).
+    std::thread::spawn(|| {
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink);
+        std::process::exit(0);
+    });
+    server.join();
+    std::process::exit(0);
+}
+
+/// Kills the server child when the bench exits, success or panic.
+struct ServerChild(Child);
+
+impl Drop for ServerChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_server() -> (ServerChild, String) {
+    let exe = std::env::current_exe().expect("own binary path");
+    let mut child = Command::new(exe)
+        .env("HUB_LOAD_ROLE", "server")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn server child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read server address");
+    let addr = line
+        .trim()
+        .strip_prefix("ADDR ")
+        .expect("address line")
+        .to_owned();
+    (ServerChild(child), addr)
+}
+
+// ---------------------------------------------------------------------
+// Load drivers
+// ---------------------------------------------------------------------
+
+fn connect_retrying(addr: &str) -> Option<TcpStream> {
+    for attempt in 0..5 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+                return Some(stream);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20 << attempt)),
+        }
+    }
+    None
+}
+
+/// Reads one `\n`-terminated reply without a per-connection BufReader
+/// (10k of those would cost 80 MB of idle buffers).
+fn read_reply(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> bool {
+    scratch.clear();
+    let mut byte = [0u8; 256];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return false,
+            Ok(n) => {
+                scratch.extend_from_slice(&byte[..n]);
+                if scratch.contains(&b'\n') {
+                    return true;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// One driver thread's slice of the fleet: open `count` connections,
+/// then run `WAVES` request waves, returning per-request latencies in
+/// microseconds.
+fn drive(addr: String, count: usize, parity: usize) -> (usize, Vec<u64>) {
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(count);
+    for _ in 0..count {
+        match connect_retrying(&addr) {
+            Some(stream) => conns.push(stream),
+            None => break,
+        }
+    }
+    let achieved = conns.len();
+    // Mixed read traffic: v1 and v2 envelopes alternate across the fleet
+    // (the server sniffs framing per connection, so this also pins 10k
+    // simultaneous line-framed peers).
+    let v1 = b"{\"v\":1,\"method\":\"branches\",\"params\":{\"repo_id\":\"ann/p\"}}\n";
+    let v2 =
+        b"{\"v\":2,\"method\":\"log_page\",\"params\":{\"repo_id\":\"ann/p\",\"branch\":\"main\",\"limit\":1}}\n";
+    let mut latencies = Vec::with_capacity(achieved * WAVES);
+    let mut scratch = Vec::with_capacity(512);
+    let mut sent_at: Vec<Instant> = Vec::with_capacity(achieved);
+    for _wave in 0..WAVES {
+        sent_at.clear();
+        let mut alive = vec![true; conns.len()];
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let req: &[u8] = if (i + parity).is_multiple_of(2) {
+                v1
+            } else {
+                v2
+            };
+            alive[i] = conn.write_all(req).is_ok();
+            sent_at.push(Instant::now());
+        }
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if alive[i] && read_reply(conn, &mut scratch) {
+                latencies.push(sent_at[i].elapsed().as_micros() as u64);
+            }
+        }
+    }
+    (achieved, latencies)
+}
+
+/// A v3 binary writer: push traffic concurrent with the read waves.
+fn write_load(addr: String, id: usize) -> usize {
+    let client = match HubClient::connect(&addr) {
+        Ok(c) => c,
+        Err(_) => return 0,
+    };
+    let user = format!("writer{id}");
+    if client.register_user(&user, &user).is_err() {
+        return 0;
+    }
+    let Ok(token) = client.login(&user) else {
+        return 0;
+    };
+    let mut local = deep_repo(&format!("w{id}"), 20);
+    let Ok(repo_id) = client.import_repo(&token, &format!("w{id}"), &local) else {
+        return 0;
+    };
+    let mut pushed = 0;
+    for i in 0..PUSHES_PER_WRITER {
+        local
+            .worktree_mut()
+            .write(&path("churn.txt"), format!("w{id} new {i}\n").into_bytes())
+            .unwrap();
+        local
+            .commit(sig(10_000 + i as i64), format!("n{i}"))
+            .unwrap();
+        if client
+            .push(&token, &repo_id, "main", &local, "main", false)
+            .is_ok()
+        {
+            pushed += 1;
+        }
+    }
+    pushed
+}
+
+// ---------------------------------------------------------------------
+// Bundle bytes: v2 hex envelope vs v3 binary side channel
+// ---------------------------------------------------------------------
+
+fn bundle_bytes() {
+    let repo = deep_repo("big", BUNDLE_COMMITS);
+    let bundle = RepoBundle::from_branch(&repo, "main").unwrap();
+    let response = ApiResponse::Bundle(bundle);
+    // The line framing: hex-in-sjson envelope plus its newline.
+    let line_bytes = response.encode().len() + 1;
+    // The v3 binary framing: envelope with objects_ext, objects as
+    // compressed raw records.
+    let (envelope, objects) = response.encode_ext();
+    let binary_bytes = frame::encode_message(&envelope, &objects).len();
+    eprintln!(
+        "hub_load_bundle_bytes commits={BUNDLE_COMMITS} line={line_bytes} binary={binary_bytes} ratio={:.2}",
+        line_bytes as f64 / binary_bytes as f64
+    );
+}
+
+// ---------------------------------------------------------------------
+// Main
+// ---------------------------------------------------------------------
+
+fn main() {
+    if std::env::var("HUB_LOAD_ROLE").as_deref() == Ok("server") {
+        run_server();
+    }
+
+    let target: usize = std::env::var("GITCITE_LOAD_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CONNS);
+
+    let (_server, addr) = spawn_server();
+
+    // Writers run through the whole wave phase.
+    let started = Instant::now();
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|id| {
+            let addr = addr.clone();
+            std::thread::spawn(move || write_load(addr, id))
+        })
+        .collect();
+
+    let per_driver = target / DRIVERS;
+    let remainder = target % DRIVERS;
+    let drivers: Vec<_> = (0..DRIVERS)
+        .map(|d| {
+            let addr = addr.clone();
+            let count = per_driver + usize::from(d < remainder);
+            std::thread::spawn(move || drive(addr, count, d))
+        })
+        .collect();
+
+    let mut achieved = 0;
+    let mut latencies: Vec<u64> = Vec::new();
+    for driver in drivers {
+        let (count, mut lat) = driver.join().expect("driver thread");
+        achieved += count;
+        latencies.append(&mut lat);
+    }
+    let pushes: usize = writers
+        .into_iter()
+        .map(|w| w.join().expect("writer thread"))
+        .sum();
+    let wall = started.elapsed();
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let mean = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+    let requests = latencies.len() + pushes;
+    let req_per_s = requests as f64 / wall.as_secs_f64();
+
+    eprintln!("hub_load_conns target={target} achieved={achieved}");
+    eprintln!(
+        "hub_load_latency p50_us={} p99_us={} mean_us={mean}",
+        pct(0.50),
+        pct(0.99)
+    );
+    eprintln!(
+        "hub_load_throughput requests={requests} wall_ms={} req_per_s={req_per_s:.0}",
+        wall.as_millis()
+    );
+    eprintln!("hub_load_pushes writers={WRITERS} pushes={pushes}");
+
+    bundle_bytes();
+
+    assert!(
+        achieved * 10 >= target * 9,
+        "only {achieved}/{target} connections held concurrently"
+    );
+}

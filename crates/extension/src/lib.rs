@@ -25,7 +25,9 @@
 use bibformat::Format;
 use citekit::Citation;
 use gitlite::RepoPath;
-use hub::{Hub, HubClient, HubError, InProcess, LogEntry, Token, Transport};
+use hub::{
+    ApiRequest, ApiResponse, Hub, HubClient, HubError, InProcess, LogEntry, Token, Transport,
+};
 use std::fmt;
 
 /// Page size the popup's log pane requests: enough for a screenful,
@@ -204,18 +206,92 @@ impl<T: Transport> Popup<T> {
 
     /// Provides credentials ("Users provide their credentials on GitHub to
     /// obtain access to the repository").
+    ///
+    /// Against a protocol-v3 hub the whole sign-in render — identity,
+    /// write capability, and the selected node's citation state — travels
+    /// in one batch envelope: one round trip instead of three. A pre-v3
+    /// server refuses the batch with a protocol error and the popup falls
+    /// back to the sequential calls transparently.
     pub fn sign_in(&mut self, token: Token) -> Result<()> {
+        if self.sign_in_batched(&token)? {
+            return Ok(());
+        }
         let user = self.client.whoami(&token)?;
         let is_member = self.client.can_write(&token, &self.view.repo_id)?;
-        self.view.signed_in_as = Some(user.username.clone());
-        self.view.is_member = is_member;
-        self.view.status = format!("signed in as {}", user.username);
-        self.session = Session::SignedIn { token, is_member };
+        self.finish_sign_in(token, user.username, is_member);
         // Re-run the selection flow under the new identity.
         if let Some(path) = self.view.selected.clone() {
             self.select(&path)?;
         }
         Ok(())
+    }
+
+    /// The batched sign-in path. `Ok(false)` means the server refused the
+    /// batch envelope (it predates protocol v3) and the caller should go
+    /// sequential on the same connection.
+    fn sign_in_batched(&mut self, token: &Token) -> Result<bool> {
+        let mut requests = vec![
+            ApiRequest::Whoami {
+                token: token.as_str().to_owned(),
+            },
+            ApiRequest::CanWrite {
+                token: token.as_str().to_owned(),
+                repo_id: self.view.repo_id.clone(),
+            },
+        ];
+        if let Some(path) = &self.view.selected {
+            // Member and visitor renders need different lookups and
+            // membership is only known once the reply lands: ask for
+            // both and use whichever applies.
+            requests.push(ApiRequest::CitationEntry {
+                repo_id: self.view.repo_id.clone(),
+                branch: self.view.branch.clone(),
+                path: path.clone(),
+            });
+            requests.push(ApiRequest::GenerateCitation {
+                repo_id: self.view.repo_id.clone(),
+                branch: self.view.branch.clone(),
+                path: path.clone(),
+            });
+        }
+        let responses = match self.client.batch(requests) {
+            Ok(responses) => responses,
+            Err(HubError::Protocol(_)) => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        let mut responses = responses.into_iter();
+        let mut next = || responses.next().expect("batch() verified the length");
+        let user = match next().into_result()? {
+            ApiResponse::User(u) => u,
+            other => return Err(unexpected(&other)),
+        };
+        let is_member = match next().into_result()? {
+            ApiResponse::Bool(b) => b,
+            other => return Err(unexpected(&other)),
+        };
+        self.finish_sign_in(token.clone(), user.username, is_member);
+        if self.view.selected.is_some() {
+            if is_member {
+                match next().into_result()? {
+                    ApiResponse::CitationOpt(explicit) => self.render_member_selection(explicit),
+                    other => return Err(unexpected(&other)),
+                }
+            } else {
+                let _ = next(); // skip the unused member lookup
+                match next().into_result()? {
+                    ApiResponse::Citation(citation) => self.render_visitor_selection(&citation),
+                    other => return Err(unexpected(&other)),
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn finish_sign_in(&mut self, token: Token, username: String, is_member: bool) {
+        self.view.signed_in_as = Some(username.clone());
+        self.view.is_member = is_member;
+        self.view.status = format!("signed in as {username}");
+        self.session = Session::SignedIn { token, is_member };
     }
 
     /// Signs out, returning to the anonymous read-only view.
@@ -252,45 +328,52 @@ impl<T: Transport> Popup<T> {
             let explicit =
                 self.client
                     .citation_entry(&self.view.repo_id, &self.view.branch, path)?;
-            match explicit {
-                Some(c) => {
-                    self.view.text_box = c.to_value().to_string_pretty();
-                    self.view.buttons = ButtonStates {
-                        generate: true,
-                        add: false,
-                        modify: true,
-                        delete: true,
-                    };
-                    self.view.status =
-                        "explicit citation shown; you may modify or delete it".into();
-                }
-                None => {
-                    self.view.text_box.clear();
-                    self.view.buttons = ButtonStates {
-                        generate: true,
-                        add: true,
-                        modify: false,
-                        delete: false,
-                    };
-                    self.view.status =
-                        "no explicit citation; enter one or press Generate Citation".into();
-                }
-            }
+            self.render_member_selection(explicit);
         } else {
             // Non-member (or anonymous): immediate generation, no editing.
             let citation =
                 self.client
                     .generate_citation(&self.view.repo_id, &self.view.branch, path)?;
-            self.view.text_box = citation.to_value().to_string_pretty();
-            self.view.buttons = ButtonStates {
-                generate: true,
-                add: false,
-                modify: false,
-                delete: false,
-            };
-            self.view.status = "citation generated; copy it to your bibliography manager".into();
+            self.render_visitor_selection(&citation);
         }
         Ok(())
+    }
+
+    fn render_member_selection(&mut self, explicit: Option<Citation>) {
+        match explicit {
+            Some(c) => {
+                self.view.text_box = c.to_value().to_string_pretty();
+                self.view.buttons = ButtonStates {
+                    generate: true,
+                    add: false,
+                    modify: true,
+                    delete: true,
+                };
+                self.view.status = "explicit citation shown; you may modify or delete it".into();
+            }
+            None => {
+                self.view.text_box.clear();
+                self.view.buttons = ButtonStates {
+                    generate: true,
+                    add: true,
+                    modify: false,
+                    delete: false,
+                };
+                self.view.status =
+                    "no explicit citation; enter one or press Generate Citation".into();
+            }
+        }
+    }
+
+    fn render_visitor_selection(&mut self, citation: &Citation) {
+        self.view.text_box = citation.to_value().to_string_pretty();
+        self.view.buttons = ButtonStates {
+            generate: true,
+            add: false,
+            modify: false,
+            delete: false,
+        };
+        self.view.status = "citation generated; copy it to your bibliography manager".into();
     }
 
     /// Presses "Generate Citation": fills the text box with the citation
@@ -378,6 +461,13 @@ impl<T: Transport> Popup<T> {
                 .generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
         Ok(bibformat::render(&citation, format))
     }
+}
+
+fn unexpected(response: &ApiResponse) -> ExtError {
+    ExtError::Hub(HubError::Protocol(format!(
+        "batch item shape does not match its request (got {})",
+        response.kind()
+    )))
 }
 
 #[cfg(test)]

@@ -151,8 +151,9 @@ git-like citation operators
   fork --to <dir> --name <n> --owner <o> --url <u> --author <name> [--no-restamp true]
   retro --owner <o> --url <u> --author <name> [--max-depth <n>] [--min-files <n>]
 
-remote hub (wire protocol v2 over TCP)
-  hub serve --addr <ip:port> [--data-dir <dir>]     run a hub server (blocks)
+remote hub (wire protocol v3 over TCP; v1/v2 clients still served)
+  hub serve --bind <ip:port> [--data-dir <dir>]     run a hub server (blocks;
+        port 0 picks a free port, the bound address is printed on stdout)
   hub register <username> --name <display> --remote <addr>
   hub repos --remote <addr> [--page-size <n>]
   hub log <repo_id> <branch> --remote <addr> [--page-size <n>] [--all true]
@@ -828,7 +829,12 @@ fn cmd_hub(args: &[String], cwd: &Path) -> Result<String> {
 }
 
 fn cmd_hub_serve(p: &Parsed) -> Result<String> {
-    let addr = p.required_flag("addr")?;
+    // `--bind` is the documented spelling; `--addr` stays as an alias
+    // for scripts written against earlier releases.
+    let addr = match p.flag("bind").or_else(|| p.flag("addr")) {
+        Some(addr) => addr,
+        None => return Err(CliError::Usage("missing required flag --bind".into())),
+    };
     let platform = match p.flag("data-dir") {
         Some(dir) => hub::Hub::with_pack_storage("https://hub.local", dir)
             .map_err(|e| CliError::Op(format!("cannot open data dir: {e}")))?,
@@ -836,8 +842,12 @@ fn cmd_hub_serve(p: &Parsed) -> Result<String> {
     };
     let server = hub::SocketServer::bind(std::sync::Arc::new(platform), addr)
         .map_err(|e| CliError::Op(format!("cannot bind {addr}: {e}")))?;
-    // Print eagerly: this command blocks for the server's lifetime.
+    // Print (and flush) the *resolved* address eagerly: with `--bind
+    // 127.0.0.1:0` the OS picks the port, a supervising script reads it
+    // from stdout, and this command then blocks for the server's
+    // lifetime.
     println!("gitcite hub listening on {}", server.local_addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
     server.join();
     Ok(String::new())
 }

@@ -36,7 +36,7 @@
 //! # Versioning rules
 //!
 //! * `v` is the protocol major version. This build speaks every version
-//!   from [`PROTOCOL_V1`] through [`PROTOCOL_VERSION`] (currently 2): a
+//!   from [`PROTOCOL_V1`] through [`PROTOCOL_VERSION`] (currently 3): a
 //!   request outside that range is refused with a `protocol` error.
 //! * Every envelope is stamped with the *lowest* version that can carry
 //!   it ([`ApiRequest::version`] / [`ApiResponse::version`]), so a
@@ -44,6 +44,8 @@
 //!   the golden fixtures in `tests/wire_protocol.rs` pin this. Using a
 //!   v2 construct (a v2-only method, or a delta [`RepoBundle`]) inside a
 //!   `"v":1` envelope is a `protocol` error: a v1 peer would misread it.
+//!   The same rule applies one version up: v3 constructs (`batch`,
+//!   `objects_ext`) inside a `"v":1` or `"v":2` envelope are refused.
 //! * Within a version, *adding* a method or a new optional param is
 //!   compatible; renaming/removing methods, changing a param's type, or
 //!   changing a result's shape requires bumping `v`.
@@ -67,6 +69,33 @@
 //!   advance the branch.
 //! * A **line-framed TCP transport** rides on the same envelopes — see
 //!   [`crate::transport`] for framing and per-connection auth scoping.
+//!
+//! # What protocol v3 adds
+//!
+//! v3 changes no method semantics; it changes how envelopes travel.
+//!
+//! * **Binary framing with an object side channel** — over the v3
+//!   length-prefixed framing ([`crate::transport`]), a bundle-carrying
+//!   envelope may externalize its object payloads: the `objects` array
+//!   is replaced by `"objects_ext": n`, and the *n* `(id, bytes)` records
+//!   travel beside the envelope as compressed raw-byte frames, in order.
+//!   This ends the hex doubling of v1/v2 bundles (~2× wire bytes).
+//!   [`ApiRequest::encode_ext`] / [`ApiRequest::parse_ext`] (and the
+//!   [`ApiResponse`] counterparts) are the split/join points. The rules:
+//!   an `objects_ext` envelope is only valid with a side channel, must be
+//!   stamped `"v":3`, must consume the side channel exactly (no
+//!   leftovers), and a bundle may not carry both `objects` and
+//!   `objects_ext`. Plain [`ApiRequest::parse`] of an `objects_ext`
+//!   envelope is a `protocol` error — the line framing has no side
+//!   channel to draw from.
+//! * **Batch envelopes** — `{"v":3,"method":"batch","params":
+//!   {"requests":[<envelope>, ...]}}` carries several requests in one
+//!   round trip; the response is `{"type":"batch","responses":
+//!   [<envelope>, ...]}` in request order, items individually succeeding
+//!   or failing. Batches cannot nest, and batch items always carry their
+//!   objects inline (no `objects_ext` inside a batch). The extension
+//!   popup's sign-in (`whoami` + `can_write` + citation lookup) rides in
+//!   one batch.
 //!
 //! # Error codes
 //!
@@ -105,6 +134,10 @@
 //! | `bad_citation_file`      | citation.cite failed to parse (`detail` = why)|
 //! | `cite`                   | any other citation-layer failure              |
 //! | `protocol`               | envelope/method/params malformed              |
+//! | `transport_closed`       | connection dropped mid-request (client-side)  |
+//!
+//! `transport_closed` is synthesized by client transports when the peer
+//! hangs up between request and response; a server never sends it.
 //!
 //! Codes whose `detail` is structurally required (the path/id-carrying
 //! ones) reconstruct to a `protocol` error when a peer omits it — a
@@ -134,10 +167,15 @@ pub const PROTOCOL_V1: i64 = 1;
 /// `list_repos_page`).
 pub const PROTOCOL_V2: i64 = 2;
 
+/// Protocol major version 3: adds batch envelopes and the binary-framing
+/// object side channel (`objects_ext`). See the module docs; the framing
+/// itself lives in [`crate::transport`].
+pub const PROTOCOL_V3: i64 = 3;
+
 /// The newest protocol major version this build speaks. Envelopes are
 /// stamped with the lowest version that can carry them, so bumping this
 /// never changes the bytes of older methods.
-pub const PROTOCOL_VERSION: i64 = PROTOCOL_V2;
+pub const PROTOCOL_VERSION: i64 = PROTOCOL_V3;
 
 /// Default page size applied when a paginated request omits `limit`.
 pub const DEFAULT_PAGE_SIZE: usize = 100;
@@ -187,6 +225,7 @@ pub enum ErrorCode {
     BadCitationFile,
     Cite,
     Protocol,
+    TransportClosed,
 }
 
 impl ErrorCode {
@@ -222,6 +261,7 @@ impl ErrorCode {
             ErrorCode::BadCitationFile => "bad_citation_file",
             ErrorCode::Cite => "cite",
             ErrorCode::Protocol => "protocol",
+            ErrorCode::TransportClosed => "transport_closed",
         }
     }
 
@@ -257,6 +297,7 @@ impl ErrorCode {
             "bad_citation_file" => ErrorCode::BadCitationFile,
             "cite" => ErrorCode::Cite,
             "protocol" => ErrorCode::Protocol,
+            "transport_closed" => ErrorCode::TransportClosed,
             _ => return None,
         })
     }
@@ -297,6 +338,7 @@ impl WireError {
             HubError::SwhidNotFound(s) => (ErrorCode::SwhidNotFound, Some(s.clone())),
             HubError::BadRequest(s) => (ErrorCode::BadRequest, Some(s.clone())),
             HubError::Protocol(s) => (ErrorCode::Protocol, Some(s.clone())),
+            HubError::TransportClosed(s) => (ErrorCode::TransportClosed, Some(s.clone())),
             HubError::Git(g) => classify_git(g),
             HubError::Cite(c) => match c {
                 citekit::CiteError::Git(g) => classify_git(g),
@@ -372,6 +414,7 @@ impl WireError {
             ErrorCode::SwhidNotFound => HubError::SwhidNotFound(payload(detail)),
             ErrorCode::BadRequest => HubError::BadRequest(payload(detail)),
             ErrorCode::Protocol => HubError::Protocol(payload(detail)),
+            ErrorCode::TransportClosed => HubError::TransportClosed(payload(detail)),
             ErrorCode::BranchNotFound => {
                 HubError::Git(gitlite::GitError::BranchNotFound(payload(detail)))
             }
@@ -651,7 +694,8 @@ impl RepoBundle {
         Ok(repo)
     }
 
-    fn to_value(&self) -> Value {
+    /// The envelope keys every bundle form shares: `name`, `head`, `refs`.
+    fn header_value(&self) -> Object {
         let mut o = Object::new();
         o.insert("name", self.name.as_str());
         if let Some(h) = &self.head {
@@ -666,6 +710,11 @@ impl RepoBundle {
                     .collect(),
             ),
         );
+        o
+    }
+
+    fn to_value(&self) -> Value {
+        let mut o = self.header_value();
         o.insert(
             "objects",
             Value::Array(
@@ -687,7 +736,24 @@ impl RepoBundle {
         Value::Object(o)
     }
 
-    fn from_value(v: &Value) -> WireResult<RepoBundle> {
+    /// Like `to_value` but externalizing the object payloads (protocol
+    /// v3): the envelope carries `"objects_ext": n` and the `(id, bytes)`
+    /// pairs are appended to `sink`, in order, to travel as raw bytes on
+    /// the binary side channel instead of hex inside the envelope.
+    fn to_value_ext(&self, sink: &mut Vec<(ObjectId, Vec<u8>)>) -> Value {
+        let mut o = self.header_value();
+        o.insert("objects_ext", self.objects.len() as i64);
+        sink.extend(self.objects.iter().cloned());
+        if !self.basis.is_empty() {
+            o.insert(
+                "basis",
+                Value::Array(self.basis.iter().map(|id| id_value(*id)).collect()),
+            );
+        }
+        Value::Object(o)
+    }
+
+    fn from_value_inner(v: &Value, sidecar: Option<&mut Sidecar>) -> WireResult<RepoBundle> {
         let o = v
             .as_object()
             .ok_or_else(|| proto("bundle must be an object"))?;
@@ -696,17 +762,44 @@ impl RepoBundle {
             let [b, tip] = two(pair, "ref")?;
             refs.push((str_of(b, "ref branch")?, parse_id(tip, "ref tip")?));
         }
-        let mut objects = Vec::new();
-        for pair in req_arr(o, "objects")? {
-            let [id, bytes] = two(pair, "object")?;
-            let bytes = hex_decode(
-                bytes
-                    .as_str()
-                    .ok_or_else(|| proto("object bytes must be hex"))?,
-            )
-            .ok_or_else(|| proto("object bytes must be hex"))?;
-            objects.push((parse_id(id, "object id")?, bytes));
-        }
+        let objects = match o.get("objects_ext") {
+            Some(count) => {
+                if o.get("objects").is_some() {
+                    return Err(proto("bundle cannot carry both objects and objects_ext"));
+                }
+                let n = count
+                    .as_i64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| proto("objects_ext must be a non-negative count"))?;
+                let Some(sc) = sidecar else {
+                    return Err(proto(
+                        "objects_ext bundle requires the v3 binary side channel",
+                    ));
+                };
+                sc.used = true;
+                if sc.objects.len() < n {
+                    return Err(proto(format!(
+                        "objects_ext claims {n} objects, side channel carried {}",
+                        sc.objects.len()
+                    )));
+                }
+                sc.objects.drain(..n).collect()
+            }
+            None => {
+                let mut objects = Vec::new();
+                for pair in req_arr(o, "objects")? {
+                    let [id, bytes] = two(pair, "object")?;
+                    let bytes = hex_decode(
+                        bytes
+                            .as_str()
+                            .ok_or_else(|| proto("object bytes must be hex"))?,
+                    )
+                    .ok_or_else(|| proto("object bytes must be hex"))?;
+                    objects.push((parse_id(id, "object id")?, bytes));
+                }
+                objects
+            }
+        };
         let mut basis = Vec::new();
         if let Some(v) = o.get("basis") {
             for id in v
@@ -724,6 +817,15 @@ impl RepoBundle {
             basis,
         })
     }
+}
+
+/// Raw object payloads traveling beside a v3 envelope on the binary side
+/// channel. Bundles that say `objects_ext` draw from this queue in order;
+/// `used` records that the envelope referenced the side channel at all
+/// (which requires a `"v":3` stamp, even for an empty one).
+struct Sidecar {
+    objects: std::collections::VecDeque<(ObjectId, Vec<u8>)>,
+    used: bool,
 }
 
 /// Adds every tree and blob reachable from `root` (a tree id) to `out`.
@@ -1222,6 +1324,13 @@ pub enum ApiRequest {
     AdvanceClock {
         ts: i64,
     },
+    /// v3: several requests in one envelope, executed in order on the
+    /// server, answered by [`ApiResponse::Batch`] in the same order (one
+    /// round trip for flows like the popup's sign-in). Batches cannot
+    /// nest, and batch items always carry their objects inline.
+    Batch {
+        requests: Vec<ApiRequest>,
+    },
 }
 
 fn strategy_str(s: MergeStrategy) -> &'static str {
@@ -1302,6 +1411,7 @@ impl ApiRequest {
             ApiRequest::StoreStats { .. } => "store_stats",
             ApiRequest::Maintenance => "maintenance",
             ApiRequest::AdvanceClock { .. } => "advance_clock",
+            ApiRequest::Batch { .. } => "batch",
         }
     }
 
@@ -1309,9 +1419,12 @@ impl ApiRequest {
     /// the `v` the envelope is stamped with. v1-era methods with v1-era
     /// payloads stay at [`PROTOCOL_V1`] (byte-identical encoding); the
     /// v2 methods, and a `push`/`import_repo` whose bundle is a delta,
-    /// need [`PROTOCOL_V2`].
+    /// need [`PROTOCOL_V2`]; `batch` needs [`PROTOCOL_V3`]. (The other
+    /// v3 construct, `objects_ext`, is introduced by [`Self::encode_ext`]
+    /// at encode time, which stamps v3 itself.)
     pub fn version(&self) -> i64 {
         match self {
+            ApiRequest::Batch { .. } => PROTOCOL_V3,
             ApiRequest::Negotiate { .. }
             | ApiRequest::LogPage { .. }
             | ApiRequest::AuditLogPage { .. }
@@ -1538,18 +1651,73 @@ impl ApiRequest {
             ApiRequest::AdvanceClock { ts } => {
                 p.insert("ts", *ts);
             }
+            ApiRequest::Batch { requests } => {
+                p.insert(
+                    "requests",
+                    Value::Array(requests.iter().map(|r| r.envelope_value()).collect()),
+                );
+            }
         }
         Value::Object(p)
+    }
+
+    /// The full envelope as a value, stamped with the lowest protocol
+    /// version that can carry it (see [`ApiRequest::version`]).
+    fn envelope_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("v", self.version());
+        o.insert("method", self.method());
+        o.insert("params", self.params_value());
+        Value::Object(o)
     }
 
     /// Serializes to the one-line wire envelope, stamped with the lowest
     /// protocol version that can carry it (see [`ApiRequest::version`]).
     pub fn encode(&self) -> String {
+        self.envelope_value().to_string_compact()
+    }
+
+    /// Serializes for the v3 binary framing: bundle object payloads are
+    /// externalized into the returned side-channel vector and the
+    /// envelope says `"objects_ext": n` (stamped `"v":3`). A request
+    /// without a bundle returns an empty side channel and exactly the
+    /// [`ApiRequest::encode`] bytes.
+    pub fn encode_ext(&self) -> (String, Vec<(ObjectId, Vec<u8>)>) {
+        let mut sink = Vec::new();
+        let (v, params) = match self {
+            ApiRequest::ImportRepo {
+                token,
+                name,
+                bundle,
+            } => {
+                let mut p = Object::new();
+                p.insert("token", token.as_str());
+                p.insert("name", name.as_str());
+                p.insert("bundle", bundle.to_value_ext(&mut sink));
+                (PROTOCOL_V3, Value::Object(p))
+            }
+            ApiRequest::Push {
+                token,
+                repo_id,
+                branch,
+                force,
+                bundle,
+            } => {
+                let mut p = Object::new();
+                p.insert("token", token.as_str());
+                p.insert("repo_id", repo_id.as_str());
+                p.insert("branch", branch.as_str());
+                p.insert("force", *force);
+                p.insert("bundle", bundle.to_value_ext(&mut sink));
+                (PROTOCOL_V3, Value::Object(p))
+            }
+            other => (other.version(), other.params_value()),
+        };
         let mut o = Object::new();
-        o.insert("v", self.version());
+        o.insert("v", v);
         o.insert("method", self.method());
-        o.insert("params", self.params_value());
-        Value::Object(o).to_string_compact()
+        o.insert("params", params);
+        (Value::Object(o).to_string_compact(), sink)
     }
 
     /// Parses a wire envelope.
@@ -1558,8 +1726,32 @@ impl ApiRequest {
         Self::from_value(&v)
     }
 
+    /// Parses a v3 envelope together with its side-channel objects.
+    /// Bundles that say `objects_ext` draw from `objects` in order; a
+    /// side channel with leftover objects, or an `objects_ext` reference
+    /// from a pre-v3 envelope, is a protocol error.
+    pub fn parse_ext(text: &str, objects: Vec<(ObjectId, Vec<u8>)>) -> WireResult<ApiRequest> {
+        let v = sjson::parse(text).map_err(|e| proto(format!("unparseable request: {e}")))?;
+        let mut sc = Sidecar {
+            objects: objects.into(),
+            used: false,
+        };
+        let req = Self::from_value_inner(&v, Some(&mut sc))?;
+        if !sc.objects.is_empty() {
+            return Err(proto(format!(
+                "side channel carried {} unconsumed objects",
+                sc.objects.len()
+            )));
+        }
+        Ok(req)
+    }
+
     /// Reads a request out of an already-parsed envelope value.
     pub fn from_value(v: &Value) -> WireResult<ApiRequest> {
+        Self::from_value_inner(v, None)
+    }
+
+    fn from_value_inner(v: &Value, mut sidecar: Option<&mut Sidecar>) -> WireResult<ApiRequest> {
         let o = v
             .as_object()
             .ok_or_else(|| proto("request must be an object"))?;
@@ -1592,8 +1784,9 @@ impl ApiRequest {
             "import_repo" => ApiRequest::ImportRepo {
                 token: req_str(p, "token")?,
                 name: req_str(p, "name")?,
-                bundle: RepoBundle::from_value(
+                bundle: RepoBundle::from_value_inner(
                     p.get("bundle").ok_or_else(|| proto("missing bundle"))?,
+                    sidecar.as_deref_mut(),
                 )?,
             },
             "add_member" => ApiRequest::AddMember {
@@ -1688,8 +1881,9 @@ impl ApiRequest {
                 repo_id: req_str(p, "repo_id")?,
                 branch: req_str(p, "branch")?,
                 force: req_bool(p, "force")?,
-                bundle: RepoBundle::from_value(
+                bundle: RepoBundle::from_value_inner(
                     p.get("bundle").ok_or_else(|| proto("missing bundle"))?,
+                    sidecar.as_deref_mut(),
                 )?,
             },
             "fork" => ApiRequest::Fork {
@@ -1745,6 +1939,18 @@ impl ApiRequest {
             "advance_clock" => ApiRequest::AdvanceClock {
                 ts: req_i64(p, "ts")?,
             },
+            "batch" => {
+                let mut requests = Vec::new();
+                for item in req_arr(p, "requests")? {
+                    // Batch items get no sidecar: objects stay inline.
+                    let inner = ApiRequest::from_value(item)?;
+                    if matches!(inner, ApiRequest::Batch { .. }) {
+                        return Err(proto("batch requests cannot nest"));
+                    }
+                    requests.push(inner);
+                }
+                ApiRequest::Batch { requests }
+            }
             other => return Err(proto(format!("unknown method {other:?}"))),
         };
         // A v2-only construct inside a v1 envelope would be misread by a
@@ -1754,6 +1960,11 @@ impl ApiRequest {
                 "method {:?} with this payload requires protocol v{} (envelope says v{envelope_v})",
                 req.method(),
                 req.version(),
+            )));
+        }
+        if sidecar.as_deref().is_some_and(|s| s.used) && envelope_v < PROTOCOL_V3 {
+            return Err(proto(format!(
+                "objects_ext requires protocol v{PROTOCOL_V3} (envelope says v{envelope_v})"
             )));
         }
         Ok(req)
@@ -1826,6 +2037,10 @@ pub enum ApiResponse {
     Stats(StoreStats),
     Maintenance(Vec<RepoMaintenance>),
     Bundle(RepoBundle),
+    /// v3: the responses to a [`ApiRequest::Batch`], in request order.
+    /// Items may individually be errors — one failed sub-request does not
+    /// poison its siblings.
+    Batch(Vec<ApiResponse>),
     Error(WireError),
 }
 
@@ -1867,6 +2082,7 @@ impl ApiResponse {
             ApiResponse::Stats(_) => "stats",
             ApiResponse::Maintenance(_) => "maintenance",
             ApiResponse::Bundle(_) => "bundle",
+            ApiResponse::Batch(_) => "batch",
             ApiResponse::Error(_) => "error",
         }
     }
@@ -2042,16 +2258,24 @@ impl ApiResponse {
             ApiResponse::Bundle(b) => {
                 o.insert("bundle", b.to_value());
             }
+            ApiResponse::Batch(responses) => {
+                o.insert(
+                    "responses",
+                    Value::Array(responses.iter().map(|r| r.envelope_value()).collect()),
+                );
+            }
             ApiResponse::Error(_) => unreachable!("errors are encoded by encode()"),
         }
         Value::Object(o)
     }
 
     /// The lowest protocol major version that can carry this response —
-    /// v2 for the page/negotiation shapes and delta bundles, v1 for
-    /// everything else (including errors, which every peer must parse).
+    /// v3 for batch responses, v2 for the page/negotiation shapes and
+    /// delta bundles, v1 for everything else (including errors, which
+    /// every peer must parse).
     pub fn version(&self) -> i64 {
         match self {
+            ApiResponse::Batch(_) => PROTOCOL_V3,
             ApiResponse::LogPage(_)
             | ApiResponse::AuditPage(_)
             | ApiResponse::NamesPage(_)
@@ -2061,16 +2285,44 @@ impl ApiResponse {
         }
     }
 
-    /// Serializes to the one-line wire envelope, stamped with the lowest
-    /// protocol version that can carry it.
-    pub fn encode(&self) -> String {
+    /// The full envelope (`v` + `result`-or-`error`) as a value — the
+    /// unit that nests inside a batch response's `responses` array.
+    fn envelope_value(&self) -> Value {
         let mut o = Object::new();
         o.insert("v", self.version());
         match self {
             ApiResponse::Error(e) => o.insert("error", e.to_value()),
             ok => o.insert("result", ok.result_value()),
         };
-        Value::Object(o).to_string_compact()
+        Value::Object(o)
+    }
+
+    /// Serializes to the one-line wire envelope, stamped with the lowest
+    /// protocol version that can carry it.
+    pub fn encode(&self) -> String {
+        self.envelope_value().to_string_compact()
+    }
+
+    /// v3 serialization: like [`ApiResponse::encode`] but bundle object
+    /// payloads leave the envelope and come back as raw `(id, bytes)`
+    /// pairs for the binary side channel; the envelope carries an
+    /// `objects_ext` count in their place and is stamped v3. Responses
+    /// without an externalizable payload encode exactly as
+    /// [`ApiResponse::encode`] with an empty side channel.
+    pub fn encode_ext(&self) -> (String, Vec<(ObjectId, Vec<u8>)>) {
+        match self {
+            ApiResponse::Bundle(b) => {
+                let mut sink = Vec::new();
+                let mut r = Object::new();
+                r.insert("type", self.kind());
+                r.insert("bundle", b.to_value_ext(&mut sink));
+                let mut o = Object::new();
+                o.insert("v", PROTOCOL_V3);
+                o.insert("result", Value::Object(r));
+                (Value::Object(o).to_string_compact(), sink)
+            }
+            other => (other.encode(), Vec::new()),
+        }
     }
 
     /// Parses a wire envelope.
@@ -2079,8 +2331,31 @@ impl ApiResponse {
         Self::from_value(&v)
     }
 
+    /// v3 parse: like [`ApiResponse::parse`] but resolves `objects_ext`
+    /// counts against `objects` received on the binary side channel.
+    /// Every side-channel object must be consumed.
+    pub fn parse_ext(text: &str, objects: Vec<(ObjectId, Vec<u8>)>) -> WireResult<ApiResponse> {
+        let v = sjson::parse(text).map_err(|e| proto(format!("unparseable response: {e}")))?;
+        let mut sc = Sidecar {
+            objects: objects.into(),
+            used: false,
+        };
+        let resp = Self::from_value_inner(&v, Some(&mut sc))?;
+        if !sc.objects.is_empty() {
+            return Err(proto(format!(
+                "side channel carried {} unconsumed objects",
+                sc.objects.len()
+            )));
+        }
+        Ok(resp)
+    }
+
     /// Reads a response out of an already-parsed envelope value.
     pub fn from_value(v: &Value) -> WireResult<ApiResponse> {
+        Self::from_value_inner(v, None)
+    }
+
+    fn from_value_inner(v: &Value, mut sidecar: Option<&mut Sidecar>) -> WireResult<ApiResponse> {
         let o = v
             .as_object()
             .ok_or_else(|| proto("response must be an object"))?;
@@ -2267,9 +2542,22 @@ impl ApiResponse {
                 }
                 ApiResponse::Maintenance(repos)
             }
-            "bundle" => ApiResponse::Bundle(RepoBundle::from_value(
+            "bundle" => ApiResponse::Bundle(RepoBundle::from_value_inner(
                 r.get("bundle").ok_or_else(|| proto("missing bundle"))?,
+                sidecar.as_deref_mut(),
             )?),
+            "batch" => {
+                let mut responses = Vec::new();
+                for item in req_arr(r, "responses")? {
+                    // Batch items get no sidecar: objects stay inline.
+                    let inner = ApiResponse::from_value(item)?;
+                    if matches!(inner, ApiResponse::Batch(_)) {
+                        return Err(proto("batch responses cannot nest"));
+                    }
+                    responses.push(inner);
+                }
+                ApiResponse::Batch(responses)
+            }
             other => return Err(proto(format!("unknown result type {other:?}"))),
         };
         if resp.version() > envelope_v {
@@ -2277,6 +2565,11 @@ impl ApiResponse {
                 "result type {:?} requires protocol v{} (envelope says v{envelope_v})",
                 resp.kind(),
                 resp.version(),
+            )));
+        }
+        if sidecar.as_deref().is_some_and(|s| s.used) && envelope_v < PROTOCOL_V3 {
+            return Err(proto(format!(
+                "objects_ext requires protocol v{PROTOCOL_V3} (envelope says v{envelope_v})"
             )));
         }
         Ok(resp)
@@ -2500,7 +2793,7 @@ mod tests {
 
     #[test]
     fn wrong_version_is_refused() {
-        let text = r#"{"v": 3, "method": "list_repos", "params": {}}"#;
+        let text = r#"{"v": 4, "method": "list_repos", "params": {}}"#;
         let err = ApiRequest::parse(text).unwrap_err();
         assert_eq!(err.code, ErrorCode::Protocol);
         assert!(err.message.contains("version"));
@@ -2653,5 +2946,167 @@ mod tests {
             back.into_result(),
             Err(HubError::RepoNotFound(r)) if r == "a/p"
         ));
+    }
+
+    // -- protocol v3 ---------------------------------------------------
+
+    fn push_with_objects() -> ApiRequest {
+        let payload = b"blob 13\0fn main() {}\n".to_vec();
+        ApiRequest::Push {
+            token: "t".into(),
+            repo_id: "a/p".into(),
+            branch: "main".into(),
+            force: false,
+            bundle: RepoBundle {
+                name: "p".into(),
+                head: None,
+                refs: vec![("main".into(), ObjectId::hash_bytes(b"c"))],
+                objects: vec![(ObjectId::hash_bytes(&payload), payload)],
+                basis: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn batch_request_round_trips_and_stamps_v3() {
+        let req = ApiRequest::Batch {
+            requests: vec![
+                ApiRequest::Whoami { token: "t".into() },
+                ApiRequest::ListRepos,
+            ],
+        };
+        let text = req.encode();
+        assert!(text.starts_with("{\"v\":3,"), "{text}");
+        assert!(text.contains("\"method\":\"batch\""));
+        assert_eq!(ApiRequest::parse(&text).unwrap(), req);
+        // Downgraded to v2, the same envelope must be refused.
+        let downgraded = text.replacen("\"v\":3", "\"v\":2", 1);
+        assert_eq!(
+            ApiRequest::parse(&downgraded).unwrap_err().code,
+            ErrorCode::Protocol
+        );
+    }
+
+    #[test]
+    fn batch_response_round_trips_and_stamps_v3() {
+        let resp = ApiResponse::Batch(vec![
+            ApiResponse::Bool(true),
+            ApiResponse::from_error(&HubError::AuthFailed),
+        ]);
+        let text = resp.encode();
+        assert!(text.starts_with("{\"v\":3,"), "{text}");
+        assert_eq!(ApiResponse::parse(&text).unwrap(), resp);
+    }
+
+    #[test]
+    fn nested_batches_are_refused() {
+        let req = ApiRequest::Batch {
+            requests: vec![ApiRequest::Batch { requests: vec![] }],
+        };
+        let err = ApiRequest::parse(&req.encode()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("nest"), "{}", err.message);
+
+        let resp = ApiResponse::Batch(vec![ApiResponse::Batch(vec![])]);
+        let err = ApiResponse::parse(&resp.encode()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("nest"), "{}", err.message);
+    }
+
+    #[test]
+    fn encode_ext_externalizes_objects_and_round_trips() {
+        let req = push_with_objects();
+        let (text, objects) = req.encode_ext();
+        assert!(text.starts_with("{\"v\":3,"), "{text}");
+        assert!(text.contains("\"objects_ext\":1"), "{text}");
+        assert!(!text.contains("\"objects\":["), "{text}");
+        assert_eq!(objects.len(), 1);
+        assert_eq!(ApiRequest::parse_ext(&text, objects).unwrap(), req);
+    }
+
+    #[test]
+    fn encode_ext_shrinks_the_envelope() {
+        let req = push_with_objects();
+        let inline = req.encode();
+        let (text, _) = req.encode_ext();
+        assert!(
+            text.len() < inline.len(),
+            "ext envelope ({}) not smaller than inline ({})",
+            text.len(),
+            inline.len()
+        );
+    }
+
+    #[test]
+    fn response_encode_ext_externalizes_bundles() {
+        let bundle = match push_with_objects() {
+            ApiRequest::Push { bundle, .. } => bundle,
+            _ => unreachable!(),
+        };
+        let resp = ApiResponse::Bundle(bundle);
+        let (text, objects) = resp.encode_ext();
+        assert!(text.starts_with("{\"v\":3,"), "{text}");
+        assert!(text.contains("\"objects_ext\":1"), "{text}");
+        assert_eq!(objects.len(), 1);
+        assert_eq!(ApiResponse::parse_ext(&text, objects).unwrap(), resp);
+        // Responses with nothing to externalize keep their plain encoding.
+        let plain = ApiResponse::Bool(true);
+        let (text, objects) = plain.encode_ext();
+        assert_eq!(text, plain.encode());
+        assert!(objects.is_empty());
+    }
+
+    #[test]
+    fn objects_ext_without_side_channel_is_refused() {
+        let (text, _objects) = push_with_objects().encode_ext();
+        // Plain parse has no side channel to satisfy the count.
+        let err = ApiRequest::parse(&text).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("side channel"), "{}", err.message);
+    }
+
+    #[test]
+    fn objects_ext_in_v2_envelope_is_refused() {
+        let (text, objects) = push_with_objects().encode_ext();
+        let downgraded = text.replacen("\"v\":3", "\"v\":2", 1);
+        let err = ApiRequest::parse_ext(&downgraded, objects).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("v3"), "{}", err.message);
+    }
+
+    #[test]
+    fn leftover_side_channel_objects_are_refused() {
+        let (text, mut objects) = push_with_objects().encode_ext();
+        objects.push((ObjectId::hash_bytes(b"extra"), b"extra".to_vec()));
+        let err = ApiRequest::parse_ext(&text, objects).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("unconsumed"), "{}", err.message);
+    }
+
+    #[test]
+    fn short_side_channel_is_refused() {
+        let (text, _objects) = push_with_objects().encode_ext();
+        let err = ApiRequest::parse_ext(&text, Vec::new()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("carried"), "{}", err.message);
+    }
+
+    #[test]
+    fn objects_and_objects_ext_together_are_refused() {
+        let (text, objects) = push_with_objects().encode_ext();
+        let spliced = text.replacen("\"objects_ext\":1", "\"objects\":[],\"objects_ext\":1", 1);
+        let err = ApiRequest::parse_ext(&spliced, objects).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        assert!(err.message.contains("both"), "{}", err.message);
+    }
+
+    #[test]
+    fn transport_closed_code_round_trips() {
+        let original = HubError::TransportClosed("read reset by peer".into());
+        let wire = WireError::from_hub(&original);
+        assert_eq!(wire.code, ErrorCode::TransportClosed);
+        assert_eq!(wire.code.as_str(), "transport_closed");
+        assert_eq!(ErrorCode::parse("transport_closed"), Some(wire.code));
+        assert_eq!(wire.into_hub(), original);
     }
 }

@@ -30,6 +30,16 @@ pub trait Transport {
     /// Sends an encoded [`ApiRequest`]; returns an encoded
     /// [`ApiResponse`].
     fn send(&self, request: &str) -> String;
+
+    /// Typed round trip: one request in, one response out. The default
+    /// rides on [`Transport::send`] — encode, exchange strings, parse —
+    /// which is always correct; transports with a richer wire format
+    /// (protocol v3 binary framing moves bundle objects as raw bytes
+    /// instead of hex) override this to skip the hex detour.
+    fn exchange(&self, request: &ApiRequest) -> ApiResponse {
+        let reply = self.send(&request.encode());
+        ApiResponse::parse(&reply).unwrap_or_else(ApiResponse::Error)
+    }
 }
 
 /// The in-process transport: requests go straight to
@@ -81,10 +91,26 @@ impl<T: Transport> HubClient<T> {
     /// Sends one typed request and returns the typed response, with
     /// errors reconstructed from their wire codes.
     pub fn call(&self, request: ApiRequest) -> Result<ApiResponse> {
-        let reply = self.transport.send(&request.encode());
-        ApiResponse::parse(&reply)
-            .map_err(|e| HubError::Protocol(e.message))?
-            .into_result()
+        self.transport.exchange(&request).into_result()
+    }
+
+    /// Sends several requests in one round trip (protocol v3 batch
+    /// envelope) and returns the per-item responses in request order.
+    /// Item-level failures come back as [`ApiResponse::Error`] entries
+    /// without failing the batch; the `Err` arm is for transport-level
+    /// trouble (or a pre-v3 server refusing the envelope with
+    /// [`HubError::Protocol`] — callers wanting to talk to old servers
+    /// fall back to sequential calls on that error).
+    pub fn batch(&self, requests: Vec<ApiRequest>) -> Result<Vec<ApiResponse>> {
+        let expected = requests.len();
+        match self.call(ApiRequest::Batch { requests })? {
+            ApiResponse::Batch(responses) if responses.len() == expected => Ok(responses),
+            ApiResponse::Batch(responses) => Err(HubError::Protocol(format!(
+                "batch response has {} items for {expected} requests",
+                responses.len()
+            ))),
+            other => Err(shape(&other)),
+        }
     }
 
     // ----- users & auth ------------------------------------------------------

@@ -28,6 +28,12 @@ pub enum HubError {
     /// malformed params, or a response of an unexpected shape (see
     /// [`crate::api`]).
     Protocol(String),
+    /// The transport to the hub dropped mid-request — the connection
+    /// closed (or reset) between sending a request and reading its
+    /// response. Distinct from [`HubError::Protocol`] so callers can
+    /// report "hub went away" rather than "malformed envelope"; only ever
+    /// synthesized client-side, never sent by a server.
+    TransportClosed(String),
     /// Underlying VCS failure.
     Git(gitlite::GitError),
     /// Underlying citation-layer failure.
@@ -47,6 +53,7 @@ impl fmt::Display for HubError {
             HubError::SwhidNotFound(s) => write!(f, "no such SWHID: {s}"),
             HubError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             HubError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            HubError::TransportClosed(msg) => write!(f, "hub connection closed: {msg}"),
             HubError::Git(e) => write!(f, "{e}"),
             HubError::Cite(e) => write!(f, "{e}"),
         }

@@ -24,11 +24,14 @@
 //!   through [`Hub::dispatch`]; [`HubClient`] speaks the protocol from
 //!   the client side through a pluggable [`Transport`]. Protocol v2 adds
 //!   have/want push negotiation (delta [`RepoBundle`]s) and paginated
-//!   reads, while v1 envelopes keep being served byte-identically.
-//! * **Socket transport** ([`transport`]) — a line-framed TCP server
-//!   ([`SocketServer`]) and client transport ([`TcpTransport`]) with
-//!   per-connection auth-token scoping, so the extension and the CLI can
-//!   talk to an out-of-process hub.
+//!   reads; protocol v3 adds batch envelopes and a binary object side
+//!   channel — while v1/v2 envelopes keep being served byte-identically.
+//! * **Socket transport** ([`transport`]) — an event-driven TCP server
+//!   ([`SocketServer`]: readiness reactor + worker pool, thousands of
+//!   connections without thousands of threads) and client transport
+//!   ([`TcpTransport`]) with per-connection auth-token scoping. v1/v2
+//!   line framing and v3 length-prefixed binary framing (compressed
+//!   raw-byte bundles, batch round trips) share one port.
 //!
 //! Thread-safe: all API methods take `&self`. State is sharded — user and
 //! token tables behind `RwLock`s, each hosted repository behind its own
@@ -51,7 +54,7 @@ pub mod zenodo;
 pub use api::{
     ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, Negotiation, Page, RepoBundle,
     RepoMaintenance, StoreStats, WireError, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, PROTOCOL_V1,
-    PROTOCOL_V2, PROTOCOL_VERSION,
+    PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_VERSION,
 };
 pub use audit::{AuditEvent, AuditLog};
 pub use client::{HubClient, InProcess, Transport};
@@ -59,5 +62,5 @@ pub use error::{HubError, Result};
 pub use heritage::{parse_swhid, swhid, ArchiveReport, Heritage, SwhKind};
 pub use perm::{Action, Role};
 pub use server::{Hub, LogEntry, StoreFactory, Token, User};
-pub use transport::{SocketServer, TcpTransport};
+pub use transport::{ServerConfig, SocketServer, TcpTransport};
 pub use zenodo::{Deposit, Zenodo, DOI_PREFIX};

@@ -477,6 +477,25 @@ impl Hub {
                 self.clock.fetch_max(ts, Ordering::SeqCst);
                 R::Unit
             }
+            Q::Batch { requests } => {
+                // v3: execute in request order; a failed item becomes an
+                // error entry in the response list without aborting its
+                // siblings. The parser refuses nested batches, but guard
+                // here too for requests built in-process.
+                let responses = requests
+                    .into_iter()
+                    .map(|inner| {
+                        if matches!(inner, Q::Batch { .. }) {
+                            ApiResponse::from_error(&HubError::Protocol(
+                                "batch requests cannot nest".into(),
+                            ))
+                        } else {
+                            self.dispatch(inner)
+                        }
+                    })
+                    .collect();
+                R::Batch(responses)
+            }
         })
     }
 

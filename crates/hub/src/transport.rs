@@ -1,16 +1,51 @@
-//! Line-framed TCP transport for the hub wire protocol: the piece that
+//! Event-driven TCP transport for the hub wire protocol: the piece that
 //! turns the in-process platform into an out-of-process service the
-//! extension and the CLI can dial.
+//! extension and the CLI can dial — and that holds ten thousand idle
+//! connections without ten thousand threads.
 //!
-//! # Framing
+//! # Architecture
 //!
-//! One envelope per line. A request is the compact sjson encoding of an
-//! [`ApiRequest`] followed by a single `\n`; the response line mirrors
-//! it. Compact sjson escapes all control characters inside strings, so
-//! an envelope never contains a raw newline and the framing is
-//! unambiguous. Blank lines are ignored; an unparseable line gets a
-//! `protocol` error response (the connection stays up). Requests on one
-//! connection are served strictly in order, one response per request.
+//! One **reactor thread** owns a readiness poller (the vendored [`mio`]
+//! stand-in: epoll on Linux, `poll(2)` elsewhere) plus every connection's
+//! buffers, and never blocks on a socket: accepts, reads, frame parsing
+//! and writes all happen on readiness. Parsed requests are handed to a
+//! small **worker pool** over a channel; workers run [`Hub::dispatch`]
+//! (the hub itself is sharded and thread-safe) and push the encoded
+//! reply to a completion queue, waking the reactor to write it out.
+//! Requests on one connection are served strictly in order — at most one
+//! in flight per connection, the rest queued — while different
+//! connections proceed in parallel across the pool.
+//!
+//! # Framing: lines (v1/v2) and binary (v3) on one port
+//!
+//! The first byte of a connection picks its framing, once, for the whole
+//! connection:
+//!
+//! * `{` (or leading whitespace) — **line framing**: one compact sjson
+//!   envelope per `\n`-terminated line, exactly as protocol v1/v2 always
+//!   worked. Blank lines are ignored; an unparseable line gets a
+//!   `protocol` error response and the connection stays up.
+//! * `0x01..=0x06` — **binary framing** (protocol v3): length-prefixed
+//!   frames `kind:u8 len:u32be payload`, see [`frame`]. The envelope
+//!   stays sjson, but bundle object payloads travel beside it as raw,
+//!   deflate-compressed bytes instead of hex-in-sjson — roughly halving
+//!   the wire bytes of a push or clone — and a large bundle streams
+//!   through bounded chunks rather than one giant line.
+//!
+//! Anything else is answered with a `protocol` error and a close. A v1
+//! client, a v2 client and a v3 client can interleave on one listener;
+//! line-framed envelopes are answered byte-identically to the original
+//! thread-per-connection server.
+//!
+//! # Hardening
+//!
+//! Both framings enforce [`ServerConfig`] limits: a maximum frame (or
+//! line) length, a maximum decompressed message size, a read timeout for
+//! connections that stall mid-request (idle connections between requests
+//! are fine and cost one registered fd each), and a write timeout for
+//! peers that stop draining their replies. Limit and timeout violations
+//! get a typed `protocol` error where a reply is still possible, then a
+//! clean close.
 //!
 //! # Auth-token scoping
 //!
@@ -29,64 +64,314 @@
 //! transport — with two exceptions: the operator/test seams
 //! `advance_clock` and `maintenance` are refused outright on the
 //! socket, because "anonymous" on a network port means anyone who can
-//! reach it.
+//! reach it. A v3 `batch` envelope applies the same checks to each item
+//! individually.
 //!
 //! **Deployment caveat:** the hub reproduces the paper's platform, and
 //! its `login` takes a username with no secret — anyone who can reach
 //! the port can mint a token for any registered user. Token scoping
 //! limits the blast radius of a *leaked* token, not of the open `login`
 //! itself, so bind `gitcite hub serve` to loopback or a trusted network
-//! only. A real credential exchange is a protocol-v3 item (see the
-//! ROADMAP's transport section).
+//! only.
 //!
-//! [`SocketServer`] serves an [`Hub`] behind a listener (one thread per
-//! connection — the hub itself is sharded and thread-safe);
-//! [`TcpTransport`] implements the client-side [`Transport`] over one
-//! connection, and [`HubClient::connect`] wires the two together.
+//! # Client side
+//!
+//! [`TcpTransport`] probes the server once per connection (a `PING`
+//! frame a line server reads as a garbage line) and speaks binary
+//! framing when the server answers `PONG`, falling back to line framing
+//! against older servers on the same connection. A connection that drops
+//! mid-request surfaces as [`HubError::TransportClosed`] ("hub went
+//! away"), distinct from a malformed-envelope `protocol` error.
+//! [`HubClient::connect`] wires a client to a served address.
 
-use crate::api::{ApiRequest, ApiResponse, ErrorCode, WireError};
+use crate::api::{ApiRequest, ApiResponse, ErrorCode, WireError, PROTOCOL_VERSION};
 use crate::client::{HubClient, Transport};
 use crate::error::HubError;
 use crate::server::{Hub, Token};
+use gitlite::ObjectId;
 use parking_lot::Mutex;
-use std::collections::HashSet;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// A hub served over TCP. Binding spawns the accept loop; dropping (or
-/// [`SocketServer::shutdown`]) stops accepting new connections.
+pub mod frame {
+    //! The v3 binary frame codec, shared by server, client, tests and
+    //! the load bench.
+    //!
+    //! A frame is `kind: u8, len: u32 BE, payload: len bytes`. A
+    //! *message* (one request or one response) is either a single
+    //! [`ENV`] frame carrying a complete sjson envelope, or an
+    //! [`ENV_OBJ`] frame (an envelope saying `"objects_ext": n`)
+    //! followed by any number of [`OBJ`] frames and one [`END`]. Each
+    //! `OBJ` payload is a deflate-compressed block of object records —
+    //! `id: 20 bytes, len: u32 BE, bytes` — chunked so a multi-megabyte
+    //! bundle streams through bounded buffers; records never split
+    //! across blocks. [`PING`]/[`PONG`] probe liveness and protocol
+    //! version out of band; stray `\n` bytes between frames are skipped
+    //! (the client's [`PROBE`] ends in one so line servers answer it as
+    //! a garbage line).
+
+    use gitlite::ObjectId;
+    use std::io::{self, Read};
+
+    /// A decoded message: the envelope text plus its side-channel object
+    /// records (empty for [`ENV`] messages).
+    pub type Message = (String, Vec<(ObjectId, Vec<u8>)>);
+
+    /// A complete message: one sjson envelope, nothing external.
+    pub const ENV: u8 = 0x01;
+    /// An envelope whose `objects_ext` payloads follow as [`OBJ`] frames.
+    pub const ENV_OBJ: u8 = 0x02;
+    /// One compressed block of `(id, len, bytes)` object records.
+    pub const OBJ: u8 = 0x03;
+    /// Terminates an [`ENV_OBJ`] message.
+    pub const END: u8 = 0x04;
+    /// Version/liveness probe; answered with [`PONG`].
+    pub const PING: u8 = 0x05;
+    /// Probe reply; payload is the server's protocol version as u32 BE.
+    pub const PONG: u8 = 0x06;
+
+    /// What a client writes first: a [`PING`] frame plus a newline. A
+    /// binary server answers [`PONG`]; a line server reads one garbage
+    /// line and answers a `protocol` error envelope — either way the
+    /// client learns what it is talking to on the same connection.
+    pub const PROBE: [u8; 6] = [PING, 0, 0, 0, 0, b'\n'];
+
+    /// Raw object bytes per [`OBJ`] block before compression.
+    const CHUNK: usize = 128 * 1024;
+    const RECORD_HEADER: usize = 20 + 4;
+
+    /// Appends one frame to `out`.
+    pub fn write_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+        out.push(kind);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+    }
+
+    /// A [`PONG`] frame carrying `version`.
+    pub fn pong(version: i64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9);
+        write_frame(&mut out, PONG, &(version as u32).to_be_bytes());
+        out
+    }
+
+    /// Encodes one complete message: the envelope, plus its side-channel
+    /// objects chunked into compressed [`OBJ`] blocks.
+    pub fn encode_message(envelope: &str, objects: &[(ObjectId, Vec<u8>)]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(envelope.len() + 64);
+        if objects.is_empty() {
+            write_frame(&mut out, ENV, envelope.as_bytes());
+            return out;
+        }
+        write_frame(&mut out, ENV_OBJ, envelope.as_bytes());
+        let mut block = Vec::new();
+        for (id, bytes) in objects {
+            if !block.is_empty() && block.len() + RECORD_HEADER + bytes.len() > CHUNK {
+                flush_block(&mut out, &block);
+                block.clear();
+            }
+            block.extend_from_slice(&id.0);
+            block.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            block.extend_from_slice(bytes);
+        }
+        if !block.is_empty() {
+            flush_block(&mut out, &block);
+        }
+        write_frame(&mut out, END, &[]);
+        out
+    }
+
+    fn flush_block(out: &mut Vec<u8>, block: &[u8]) {
+        let packed = miniz_oxide::deflate::compress_to_vec(block, 6);
+        write_frame(out, OBJ, &packed);
+    }
+
+    /// Parses the records of one decompressed [`OBJ`] block into `into`.
+    pub(crate) fn parse_records(
+        raw: &[u8],
+        into: &mut Vec<(ObjectId, Vec<u8>)>,
+    ) -> Result<(), String> {
+        let mut pos = 0;
+        while pos < raw.len() {
+            if raw.len() - pos < RECORD_HEADER {
+                return Err("truncated object record header".into());
+            }
+            let mut id = [0u8; 20];
+            id.copy_from_slice(&raw[pos..pos + 20]);
+            let len =
+                u32::from_be_bytes(raw[pos + 20..pos + 24].try_into().expect("4 bytes")) as usize;
+            pos += RECORD_HEADER;
+            if raw.len() - pos < len {
+                return Err("truncated object record payload".into());
+            }
+            into.push((ObjectId(id), raw[pos..pos + len].to_vec()));
+            pos += len;
+        }
+        Ok(())
+    }
+
+    /// Blocking read of one frame, skipping stray `\n` bytes before the
+    /// header.
+    pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+        let mut header = [0u8; 5];
+        loop {
+            r.read_exact(&mut header[..1])?;
+            if header[0] != b'\n' {
+                break;
+            }
+        }
+        r.read_exact(&mut header[1..])?;
+        let len = u32::from_be_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Ok((header[0], payload))
+    }
+
+    /// Blocking read of one complete message, skipping [`PONG`] frames.
+    /// Returns the envelope text and the side-channel objects (empty for
+    /// [`ENV`] messages).
+    pub fn read_message(r: &mut impl Read) -> io::Result<Message> {
+        let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+        let utf8 = |payload: Vec<u8>| {
+            String::from_utf8(payload)
+                .map_err(|_| bad("envelope payload is not valid UTF-8".into()))
+        };
+        loop {
+            let (kind, payload) = read_frame(r)?;
+            match kind {
+                PONG => continue,
+                ENV => return Ok((utf8(payload)?, Vec::new())),
+                ENV_OBJ => {
+                    let envelope = utf8(payload)?;
+                    let mut objects = Vec::new();
+                    loop {
+                        let (kind, payload) = read_frame(r)?;
+                        match kind {
+                            OBJ => {
+                                let raw = miniz_oxide::inflate::decompress_to_vec(&payload)
+                                    .map_err(|e| bad(e.to_string()))?;
+                                parse_records(&raw, &mut objects).map_err(bad)?;
+                            }
+                            END => return Ok((envelope, objects)),
+                            PONG => continue,
+                            other => {
+                                return Err(bad(format!(
+                                    "frame 0x{other:02x} inside an object stream"
+                                )))
+                            }
+                        }
+                    }
+                }
+                other => return Err(bad(format!("unexpected frame 0x{other:02x}"))),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// Limits and sizing for a [`SocketServer`]. The defaults suit tests and
+/// trusted deployments; shrink them for hostile networks.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Dispatch worker threads (the reactor itself is one more thread).
+    pub workers: usize,
+    /// Longest accepted frame payload — and, in line framing, the
+    /// longest accepted request line.
+    pub max_frame_len: usize,
+    /// Cap on one message's total decompressed side-channel bytes.
+    pub max_message_len: usize,
+    /// How long a connection may sit on a *partial* request before it is
+    /// timed out (idle connections between requests are unaffected).
+    pub read_timeout: Duration,
+    /// How long a peer may refuse to drain pending replies.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        ServerConfig {
+            workers,
+            max_frame_len: 64 << 20,
+            max_message_len: 256 << 20,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A hub served over TCP by the reactor/worker engine described in the
+/// module docs. Dropping (or [`SocketServer::shutdown`]) stops the
+/// reactor, closes every connection and revokes its session tokens.
 pub struct SocketServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    waker: Arc<mio::Waker>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl SocketServer {
-    /// Binds `addr` (use port 0 to let the OS pick) and starts serving
-    /// `hub`. Each accepted connection gets its own thread and its own
-    /// token scope.
-    pub fn bind(hub: Arc<Hub>, addr: impl ToSocketAddrs) -> std::io::Result<SocketServer> {
+    /// Binds `addr` (use port 0 to let the OS pick) with default limits.
+    pub fn bind(hub: Arc<Hub>, addr: impl ToSocketAddrs) -> io::Result<SocketServer> {
+        Self::bind_with(hub, addr, ServerConfig::default())
+    }
+
+    /// Binds `addr` and starts serving `hub` under explicit limits.
+    pub fn bind_with(
+        hub: Arc<Hub>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<SocketServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poll = mio::Poll::new()?;
+        poll.registry()
+            .register(&listener, LISTENER, mio::Interest::READABLE)?;
+        let waker = Arc::new(mio::Waker::new(poll.registry(), WAKER_TOKEN)?);
         let stop = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&stop);
-        let accept = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let (jobs, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
                 let hub = Arc::clone(&hub);
-                std::thread::spawn(move || serve_connection(&hub, stream));
-            }
-        });
+                let rx = Arc::clone(&job_rx);
+                let completions = Arc::clone(&completions);
+                let waker = Arc::clone(&waker);
+                std::thread::spawn(move || worker_loop(&hub, &rx, &completions, &waker))
+            })
+            .collect();
+        let reactor = Reactor {
+            hub,
+            config,
+            poll,
+            listener,
+            conns: HashMap::new(),
+            next_id: FIRST_CONN,
+            jobs,
+            completions,
+            waker: Arc::clone(&waker),
+            stop: Arc::clone(&stop),
+        };
+        let handle = std::thread::spawn(move || reactor.run());
         Ok(SocketServer {
             addr,
             stop,
-            accept: Some(accept),
+            waker,
+            reactor: Some(handle),
+            workers,
         })
     }
 
@@ -95,15 +380,14 @@ impl SocketServer {
         self.addr
     }
 
-    /// Stops accepting connections and waits for the accept loop to
-    /// exit. Connections already open are served until their peers hang
-    /// up. Dropping the server does the same.
+    /// Stops the reactor, closes every connection (revoking its tokens)
+    /// and joins the worker pool. Dropping the server does the same.
     pub fn shutdown(self) {}
 
     /// Blocks the calling thread for the server's lifetime — what
     /// `gitcite hub serve` does after printing the address.
     pub fn join(mut self) {
-        if let Some(handle) = self.accept.take() {
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
     }
@@ -112,48 +396,632 @@ impl SocketServer {
 impl Drop for SocketServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept.take() {
+        let _ = self.waker.wake();
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+        // The reactor exiting dropped the job sender; workers drain and
+        // stop on the closed channel.
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Serves one connection: reads request lines, writes response lines,
-/// and enforces the connection's token scope (see the module docs).
-fn serve_connection(hub: &Hub, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut minted: HashSet<String> = HashSet::new();
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+const LISTENER: mio::Token = mio::Token(0);
+const WAKER_TOKEN: mio::Token = mio::Token(1);
+const FIRST_CONN: usize = 2;
+/// Poll tick: upper bound on stop-flag and deadline-sweep latency.
+const TICK: Duration = Duration::from_millis(200);
+
+#[derive(Clone, Copy, PartialEq)]
+enum Framing {
+    /// No bytes seen yet; the first byte decides.
+    Unknown,
+    Lines,
+    Binary,
+}
+
+/// One parsed request, ready for a worker.
+enum Item {
+    Line(String),
+    Binary {
+        envelope: String,
+        objects: Vec<(ObjectId, Vec<u8>)>,
+    },
+}
+
+/// An open `ENV_OBJ .. END` sequence mid-stream.
+struct Partial {
+    envelope: String,
+    objects: Vec<(ObjectId, Vec<u8>)>,
+    /// Decompressed bytes consumed so far, checked against
+    /// [`ServerConfig::max_message_len`].
+    raw_bytes: usize,
+}
+
+struct Job {
+    conn: usize,
+    item: Item,
+    minted: Arc<Mutex<HashSet<String>>>,
+}
+
+type Completion = (usize, Vec<u8>);
+
+struct Conn {
+    stream: TcpStream,
+    framing: Framing,
+    inbuf: Vec<u8>,
+    partial: Option<Partial>,
+    /// Requests parsed but not yet dispatched (strict per-connection
+    /// ordering: at most one in flight).
+    pending: VecDeque<Item>,
+    busy: bool,
+    outq: VecDeque<Vec<u8>>,
+    out_off: usize,
+    minted: Arc<Mutex<HashSet<String>>>,
+    read_deadline: Option<Instant>,
+    write_deadline: Option<Instant>,
+    /// Flush `outq`, then close (set after a fatal framing violation).
+    closing: bool,
+    reg_read: bool,
+    reg_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            framing: Framing::Unknown,
+            inbuf: Vec::new(),
+            partial: None,
+            pending: VecDeque::new(),
+            busy: false,
+            outq: VecDeque::new(),
+            out_off: 0,
+            minted: Arc::new(Mutex::new(HashSet::new())),
+            read_deadline: None,
+            write_deadline: None,
+            closing: false,
+            reg_read: true,
+            reg_write: false,
         }
-        let reply = respond(hub, &mut minted, &line);
-        let sent = writer
-            .write_all(reply.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush());
-        if sent.is_err() {
-            break;
-        }
-    }
-    // End of session: the connection's credentials die with it.
-    for token in minted {
-        hub.revoke(&Token::new(token));
     }
 }
 
-fn respond(hub: &Hub, minted: &mut HashSet<String>, line: &str) -> String {
+struct Reactor {
+    hub: Arc<Hub>,
+    config: ServerConfig,
+    poll: mio::Poll,
+    listener: TcpListener,
+    conns: HashMap<usize, Conn>,
+    next_id: usize,
+    jobs: mpsc::Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    waker: Arc<mio::Waker>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = mio::Events::with_capacity(1024);
+        loop {
+            let _ = self.poll.poll(&mut events, Some(TICK));
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            for event in events.iter() {
+                match event.token() {
+                    LISTENER => self.accept_all(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    mio::Token(id) => {
+                        if event.is_readable() || event.is_error() || event.is_read_closed() {
+                            self.conn_readable(id);
+                        }
+                        if event.is_writable() {
+                            self.conn_writable(id);
+                        }
+                    }
+                }
+            }
+            self.drain_completions();
+            self.sweep_deadlines();
+        }
+        let ids: Vec<usize> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close(id);
+        }
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    if self
+                        .poll
+                        .registry()
+                        .register(&stream, mio::Token(id), mio::Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(id, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_readable(&mut self, id: usize) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if conn.closing {
+            return;
+        }
+        let mut eof = false;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            // Bound per-event buffering; the poll is level-triggered, so
+            // leftover socket data re-reports on the next tick.
+            if conn.inbuf.len() > self.config.max_frame_len.saturating_add(5) {
+                break;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => conn.inbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        let (items, fatal) = parse_input(conn, &self.config);
+        for item in items {
+            if conn.busy {
+                conn.pending.push_back(item);
+            } else {
+                conn.busy = true;
+                let _ = self.jobs.send(Job {
+                    conn: id,
+                    item,
+                    minted: Arc::clone(&conn.minted),
+                });
+            }
+        }
+        if let Some(msg) = fatal {
+            conn.pending.clear();
+            conn.inbuf.clear();
+            conn.partial = None;
+            conn.read_deadline = None;
+            let reply = fatal_reply(conn.framing, &msg);
+            conn.outq.push_back(reply);
+            conn.closing = true;
+        } else {
+            // The read deadline covers *partial* requests only, and is
+            // pinned at partial-start so trickled bytes cannot extend it.
+            let waiting = !conn.inbuf.is_empty() || conn.partial.is_some();
+            conn.read_deadline = if waiting {
+                conn.read_deadline
+                    .or_else(|| Some(Instant::now() + self.config.read_timeout))
+            } else {
+                None
+            };
+        }
+        if eof && !conn.closing {
+            // Peer hung up cleanly; nothing left to deliver.
+            self.close(id);
+            return;
+        }
+        let alive = flush(conn, &self.config);
+        if alive {
+            update_interest(self.poll.registry(), id, conn);
+        } else {
+            self.close(id);
+        }
+    }
+
+    fn conn_writable(&mut self, id: usize) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let alive = flush(conn, &self.config);
+        if alive {
+            update_interest(self.poll.registry(), id, conn);
+        } else {
+            self.close(id);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = std::mem::take(&mut *self.completions.lock());
+        for (id, bytes) in done {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue; // connection closed while its request ran
+            };
+            conn.outq.push_back(bytes);
+            conn.busy = false;
+            if let Some(item) = conn.pending.pop_front() {
+                conn.busy = true;
+                let _ = self.jobs.send(Job {
+                    conn: id,
+                    item,
+                    minted: Arc::clone(&conn.minted),
+                });
+            }
+            let alive = flush(conn, &self.config);
+            if alive {
+                update_interest(self.poll.registry(), id, conn);
+            } else {
+                self.close(id);
+            }
+        }
+    }
+
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let mut write_dead = Vec::new();
+        let mut read_dead = Vec::new();
+        for (&id, conn) in &self.conns {
+            if conn.write_deadline.is_some_and(|d| now >= d) {
+                write_dead.push(id);
+            } else if !conn.closing && conn.read_deadline.is_some_and(|d| now >= d) {
+                read_dead.push(id);
+            }
+        }
+        for id in write_dead {
+            // The peer is not draining; an error reply cannot be
+            // delivered either. Just close.
+            self.close(id);
+        }
+        for id in read_dead {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            conn.pending.clear();
+            conn.inbuf.clear();
+            conn.partial = None;
+            conn.read_deadline = None;
+            let reply = fatal_reply(conn.framing, "read timed out mid-request");
+            conn.outq.push_back(reply);
+            conn.closing = true;
+            let alive = flush(conn, &self.config);
+            if alive {
+                update_interest(self.poll.registry(), id, conn);
+            } else {
+                self.close(id);
+            }
+        }
+    }
+
+    fn close(&mut self, id: usize) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = self.poll.registry().deregister(&conn.stream);
+            // End of session: the connection's credentials die with it.
+            for token in conn.minted.lock().drain() {
+                self.hub.revoke(&Token::new(token));
+            }
+        }
+    }
+}
+
+/// Consumes as many complete requests from `conn.inbuf` as possible.
+/// Returns the parsed items plus a fatal framing violation, if any (the
+/// connection answers it and closes).
+fn parse_input(conn: &mut Conn, config: &ServerConfig) -> (Vec<Item>, Option<String>) {
+    let mut items = Vec::new();
+    loop {
+        match conn.framing {
+            Framing::Unknown => {
+                let Some(&first) = conn.inbuf.first() else {
+                    break;
+                };
+                conn.framing = match first {
+                    frame::ENV..=frame::PONG => Framing::Binary,
+                    b'{' | b' ' | b'\t' | b'\r' | b'\n' => Framing::Lines,
+                    other => {
+                        return (
+                            items,
+                            Some(format!(
+                                "first byte 0x{other:02x} is neither a line envelope nor a binary frame"
+                            )),
+                        )
+                    }
+                };
+            }
+            Framing::Lines => match conn.inbuf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    let line: Vec<u8> = conn.inbuf.drain(..=i).collect();
+                    let line = String::from_utf8_lossy(&line[..i]);
+                    let line = line.trim();
+                    if !line.is_empty() {
+                        items.push(Item::Line(line.to_owned()));
+                    }
+                }
+                None => {
+                    if conn.inbuf.len() > config.max_frame_len {
+                        return (
+                            items,
+                            Some(format!(
+                                "request line exceeds the {} byte frame limit",
+                                config.max_frame_len
+                            )),
+                        );
+                    }
+                    break;
+                }
+            },
+            Framing::Binary => {
+                // The buffer head is always a frame boundary here; drop
+                // the stray newlines the probe (and nothing else) sends.
+                let pad = conn.inbuf.iter().take_while(|&&b| b == b'\n').count();
+                if pad > 0 {
+                    conn.inbuf.drain(..pad);
+                }
+                if conn.inbuf.len() < 5 {
+                    break;
+                }
+                let kind = conn.inbuf[0];
+                if !(frame::ENV..=frame::PONG).contains(&kind) {
+                    return (items, Some(format!("unknown frame kind 0x{kind:02x}")));
+                }
+                let len =
+                    u32::from_be_bytes(conn.inbuf[1..5].try_into().expect("4 bytes")) as usize;
+                if len > config.max_frame_len {
+                    return (
+                        items,
+                        Some(format!(
+                            "frame of {len} bytes exceeds the {} byte limit",
+                            config.max_frame_len
+                        )),
+                    );
+                }
+                if conn.inbuf.len() < 5 + len {
+                    break;
+                }
+                let payload: Vec<u8> = conn.inbuf[5..5 + len].to_vec();
+                conn.inbuf.drain(..5 + len);
+                if let Some(violation) = handle_frame(conn, config, kind, payload, &mut items) {
+                    return (items, Some(violation));
+                }
+            }
+        }
+    }
+    (items, None)
+}
+
+/// One complete binary frame. Returns a fatal violation message, if any.
+fn handle_frame(
+    conn: &mut Conn,
+    config: &ServerConfig,
+    kind: u8,
+    payload: Vec<u8>,
+    items: &mut Vec<Item>,
+) -> Option<String> {
+    let envelope_utf8 = |payload: Vec<u8>| {
+        String::from_utf8(payload).map_err(|_| "envelope payload is not valid UTF-8".to_owned())
+    };
+    match kind {
+        frame::PING => conn.outq.push_back(frame::pong(PROTOCOL_VERSION)),
+        frame::PONG => {}
+        frame::ENV => {
+            if conn.partial.is_some() {
+                return Some("ENV frame inside an open object stream".into());
+            }
+            match envelope_utf8(payload) {
+                Ok(envelope) => items.push(Item::Binary {
+                    envelope,
+                    objects: Vec::new(),
+                }),
+                Err(e) => return Some(e),
+            }
+        }
+        frame::ENV_OBJ => {
+            if conn.partial.is_some() {
+                return Some("ENV_OBJ frame inside an open object stream".into());
+            }
+            match envelope_utf8(payload) {
+                Ok(envelope) => {
+                    let raw_bytes = envelope.len();
+                    conn.partial = Some(Partial {
+                        envelope,
+                        objects: Vec::new(),
+                        raw_bytes,
+                    });
+                }
+                Err(e) => return Some(e),
+            }
+        }
+        frame::OBJ => {
+            let Some(partial) = conn.partial.as_mut() else {
+                return Some("OBJ frame outside an object stream".into());
+            };
+            let budget = config.max_message_len.saturating_sub(partial.raw_bytes);
+            let raw = match miniz_oxide::inflate::decompress_to_vec_with_limit(&payload, budget) {
+                Ok(raw) => raw,
+                Err(e) => return Some(format!("object block: {e}")),
+            };
+            partial.raw_bytes += raw.len();
+            if let Err(e) = frame::parse_records(&raw, &mut partial.objects) {
+                return Some(e);
+            }
+        }
+        frame::END => {
+            let Some(partial) = conn.partial.take() else {
+                return Some("END frame outside an object stream".into());
+            };
+            items.push(Item::Binary {
+                envelope: partial.envelope,
+                objects: partial.objects,
+            });
+        }
+        _ => unreachable!("kind validated by the caller"),
+    }
+    None
+}
+
+/// The error reply for a fatal framing violation, in the connection's
+/// own framing (line framing when none was established).
+fn fatal_reply(framing: Framing, msg: &str) -> Vec<u8> {
+    let envelope = ApiResponse::Error(WireError {
+        code: ErrorCode::Protocol,
+        message: msg.to_owned(),
+        detail: None,
+    })
+    .encode();
+    match framing {
+        Framing::Binary => frame::encode_message(&envelope, &[]),
+        Framing::Lines | Framing::Unknown => {
+            let mut out = envelope.into_bytes();
+            out.push(b'\n');
+            out
+        }
+    }
+}
+
+/// Writes as much of `outq` as the socket accepts. Returns `false` when
+/// the connection should be closed (write failure, or `closing` with an
+/// empty queue).
+fn flush(conn: &mut Conn, config: &ServerConfig) -> bool {
+    let mut progressed = false;
+    while let Some(front) = conn.outq.front() {
+        match conn.stream.write(&front[conn.out_off..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                progressed = true;
+                conn.out_off += n;
+                if conn.out_off == front.len() {
+                    conn.outq.pop_front();
+                    conn.out_off = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.outq.is_empty() {
+        conn.write_deadline = None;
+        !conn.closing
+    } else {
+        if progressed || conn.write_deadline.is_none() {
+            conn.write_deadline = Some(Instant::now() + config.write_timeout);
+        }
+        true
+    }
+}
+
+fn update_interest(registry: &mio::Registry, id: usize, conn: &mut Conn) {
+    let want_read = !conn.closing;
+    let want_write = !conn.outq.is_empty();
+    if (want_read, want_write) == (conn.reg_read, conn.reg_write) {
+        return;
+    }
+    let interest = match (want_read, want_write) {
+        (true, true) => mio::Interest::READABLE.add(mio::Interest::WRITABLE),
+        (true, false) => mio::Interest::READABLE,
+        (false, true) => mio::Interest::WRITABLE,
+        // closing with nothing to write: the caller closes instead.
+        (false, false) => return,
+    };
+    if registry
+        .reregister(&conn.stream, mio::Token(id), interest)
+        .is_ok()
+    {
+        conn.reg_read = want_read;
+        conn.reg_write = want_write;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(
+    hub: &Hub,
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    completions: &Mutex<Vec<Completion>>,
+    waker: &mio::Waker,
+) {
+    loop {
+        // Hold the receiver lock only for the recv itself.
+        let job = { jobs.lock().recv() };
+        let Ok(job) = job else { break };
+        let bytes = match job.item {
+            Item::Line(line) => {
+                let mut reply = respond_line(hub, &job.minted, &line).into_bytes();
+                reply.push(b'\n');
+                reply
+            }
+            Item::Binary { envelope, objects } => {
+                respond_binary(hub, &job.minted, &envelope, objects)
+            }
+        };
+        completions.lock().push((job.conn, bytes));
+        let _ = waker.wake();
+    }
+}
+
+fn respond_line(hub: &Hub, minted: &Mutex<HashSet<String>>, line: &str) -> String {
     let request = match ApiRequest::parse(line) {
         Ok(request) => request,
         Err(e) => return ApiResponse::Error(e).encode(),
     };
+    execute(hub, minted, request).encode()
+}
+
+fn respond_binary(
+    hub: &Hub,
+    minted: &Mutex<HashSet<String>>,
+    envelope: &str,
+    objects: Vec<(ObjectId, Vec<u8>)>,
+) -> Vec<u8> {
+    let response = match ApiRequest::parse_ext(envelope, objects) {
+        Ok(request) => execute(hub, minted, request),
+        Err(e) => ApiResponse::Error(e),
+    };
+    let (text, objects) = response.encode_ext();
+    frame::encode_message(&text, &objects)
+}
+
+/// Transport-level request execution: batch fan-out plus the per-request
+/// socket guards.
+fn execute(hub: &Hub, minted: &Mutex<HashSet<String>>, request: ApiRequest) -> ApiResponse {
+    if let ApiRequest::Batch { requests } = request {
+        // Guards apply to every item individually: a foreign token or an
+        // operator seam in one slot must not ride in on its siblings.
+        return ApiResponse::Batch(
+            requests
+                .into_iter()
+                .map(|inner| {
+                    if matches!(inner, ApiRequest::Batch { .. }) {
+                        ApiResponse::from_error(&HubError::Protocol(
+                            "batch requests cannot nest".into(),
+                        ))
+                    } else {
+                        execute_one(hub, minted, inner)
+                    }
+                })
+                .collect(),
+        );
+    }
+    execute_one(hub, minted, request)
+}
+
+fn execute_one(hub: &Hub, minted: &Mutex<HashSet<String>>, request: ApiRequest) -> ApiResponse {
     // Operator/test seams carry no token in-process, but on a network
     // socket "anonymous" means "anyone who can reach the port": a
     // stranger must not skew the platform clock or trigger a gc sweep
@@ -165,12 +1033,11 @@ fn respond(hub: &Hub, minted: &mut HashSet<String>, line: &str) -> String {
         return ApiResponse::from_error(&HubError::PermissionDenied(format!(
             "method {:?} is operator-only and not served over the socket",
             request.method()
-        )))
-        .encode();
+        )));
     }
     if let Some(token) = request.token() {
-        if !minted.contains(token) {
-            return ApiResponse::from_error(&HubError::AuthFailed).encode();
+        if !minted.lock().contains(token) {
+            return ApiResponse::from_error(&HubError::AuthFailed);
         }
     }
     let is_login = matches!(request, ApiRequest::Login { .. });
@@ -181,70 +1048,206 @@ fn respond(hub: &Hub, minted: &mut HashSet<String>, line: &str) -> String {
     let response = hub.dispatch(request);
     if is_login {
         if let ApiResponse::Token(token) = &response {
-            minted.insert(token.clone());
+            minted.lock().insert(token.clone());
         }
     }
     if let Some(token) = revoked {
-        minted.remove(&token);
+        minted.lock().remove(&token);
     }
-    response.encode()
+    response
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Not probed yet: the first call negotiates.
+    Unknown,
+    Lines,
+    Binary,
+}
+
+struct ClientConn {
+    stream: BufReader<TcpStream>,
+    mode: Mode,
 }
 
 /// Client side of the socket transport: one connection, one in-flight
 /// request at a time (the interior lock serializes concurrent callers).
+/// The first call probes the server (see [`frame::PROBE`]) and upgrades
+/// to v3 binary framing when the server supports it; against a line-only
+/// server the same connection falls back to v1/v2 line framing.
 pub struct TcpTransport {
-    conn: Mutex<BufReader<TcpStream>>,
+    conn: Mutex<ClientConn>,
 }
 
 impl TcpTransport {
-    /// Connects to a [`SocketServer`] (or anything speaking the same
-    /// line framing).
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+    /// Connects to a [`SocketServer`] (or anything speaking either
+    /// framing). Version negotiation happens lazily on the first call.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         Ok(TcpTransport {
-            conn: Mutex::new(BufReader::new(stream)),
+            conn: Mutex::new(ClientConn {
+                stream: BufReader::new(stream),
+                mode: Mode::Unknown,
+            }),
         })
     }
+
+    /// Whether the connection negotiated v3 binary framing. `false`
+    /// before the first call and against line-only servers.
+    pub fn is_binary(&self) -> bool {
+        self.conn.lock().mode == Mode::Binary
+    }
+}
+
+/// Sends the probe once and classifies the server by its reply: a
+/// `PONG` frame means binary framing, a line means a v1/v2 line server.
+fn negotiate(conn: &mut ClientConn) -> io::Result<()> {
+    if conn.mode != Mode::Unknown {
+        return Ok(());
+    }
+    {
+        let mut stream = conn.stream.get_ref();
+        stream.write_all(&frame::PROBE)?;
+        stream.flush()?;
+    }
+    let first = conn.stream.fill_buf()?.first().copied();
+    match first {
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection during the version probe",
+        )),
+        Some(frame::PONG) => {
+            let _ = frame::read_frame(&mut conn.stream)?;
+            conn.mode = Mode::Binary;
+            Ok(())
+        }
+        Some(_) => {
+            // A line server read the probe as a garbage line and sent a
+            // protocol-error envelope; consume and discard it.
+            let mut line = String::new();
+            conn.stream.read_line(&mut line)?;
+            conn.mode = Mode::Lines;
+            Ok(())
+        }
+    }
+}
+
+fn send_line(conn: &mut ClientConn, request: &str) -> io::Result<String> {
+    {
+        let mut stream = conn.stream.get_ref();
+        stream.write_all(request.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+    }
+    let mut line = String::new();
+    if conn.stream.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ));
+    }
+    Ok(line.trim_end().to_owned())
+}
+
+fn send_binary(conn: &mut ClientConn, message: &[u8]) -> io::Result<frame::Message> {
+    {
+        let mut stream = conn.stream.get_ref();
+        stream.write_all(message)?;
+        stream.flush()?;
+    }
+    frame::read_message(&mut conn.stream)
+}
+
+/// Maps a client-side IO failure to its error envelope: connection drops
+/// become `transport_closed` ("hub went away"), everything else stays a
+/// `protocol` error.
+fn io_error_response(e: &io::Error) -> ApiResponse {
+    use io::ErrorKind as K;
+    let closed = matches!(
+        e.kind(),
+        K::UnexpectedEof | K::ConnectionReset | K::ConnectionAborted | K::BrokenPipe
+    );
+    ApiResponse::Error(if closed {
+        WireError {
+            code: ErrorCode::TransportClosed,
+            message: format!("hub connection closed: {e}"),
+            detail: None,
+        }
+    } else {
+        WireError {
+            code: ErrorCode::Protocol,
+            message: format!("transport failure: {e}"),
+            detail: None,
+        }
+    })
 }
 
 impl Transport for TcpTransport {
     fn send(&self, request: &str) -> String {
         let mut conn = self.conn.lock();
-        let round_trip = (|| -> std::io::Result<String> {
-            {
-                let mut stream = conn.get_ref();
-                stream.write_all(request.as_bytes())?;
-                stream.write_all(b"\n")?;
-                stream.flush()?;
+        let round_trip = (|| -> io::Result<String> {
+            negotiate(&mut conn)?;
+            match conn.mode {
+                Mode::Lines => send_line(&mut conn, request),
+                Mode::Binary => {
+                    // The string contract stands even on a binary
+                    // connection: wrap the pre-encoded line in an ENV
+                    // frame, and fold any side-channel reply back into
+                    // its inline (hex) envelope form.
+                    let message = frame::encode_message(request, &[]);
+                    let (envelope, objects) = send_binary(&mut conn, &message)?;
+                    if objects.is_empty() {
+                        Ok(envelope)
+                    } else {
+                        Ok(match ApiResponse::parse_ext(&envelope, objects) {
+                            Ok(response) => response.encode(),
+                            Err(e) => ApiResponse::Error(e).encode(),
+                        })
+                    }
+                }
+                Mode::Unknown => unreachable!("negotiate() always picks a mode"),
             }
-            let mut line = String::new();
-            if conn.read_line(&mut line)? == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                ));
-            }
-            Ok(line.trim_end().to_owned())
         })();
         match round_trip {
             Ok(reply) => reply,
-            // The Transport contract is string-in string-out, so IO
-            // failures surface as protocol-error envelopes the caller
-            // already knows how to handle.
-            Err(e) => ApiResponse::Error(WireError {
-                code: ErrorCode::Protocol,
-                message: format!("transport failure: {e}"),
-                detail: None,
-            })
-            .encode(),
+            Err(e) => io_error_response(&e).encode(),
+        }
+    }
+
+    fn exchange(&self, request: &ApiRequest) -> ApiResponse {
+        let mut conn = self.conn.lock();
+        let round_trip = (|| -> io::Result<ApiResponse> {
+            negotiate(&mut conn)?;
+            match conn.mode {
+                Mode::Lines => {
+                    let reply = send_line(&mut conn, &request.encode())?;
+                    Ok(ApiResponse::parse(&reply).unwrap_or_else(ApiResponse::Error))
+                }
+                Mode::Binary => {
+                    let (text, objects) = request.encode_ext();
+                    let message = frame::encode_message(&text, &objects);
+                    let (envelope, objects) = send_binary(&mut conn, &message)?;
+                    Ok(ApiResponse::parse_ext(&envelope, objects)
+                        .unwrap_or_else(ApiResponse::Error))
+                }
+                Mode::Unknown => unreachable!("negotiate() always picks a mode"),
+            }
+        })();
+        match round_trip {
+            Ok(response) => response,
+            Err(e) => io_error_response(&e),
         }
     }
 }
 
 impl HubClient<TcpTransport> {
     /// Client over a fresh TCP connection to `addr`.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HubClient<TcpTransport>> {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<HubClient<TcpTransport>> {
         Ok(HubClient::new(TcpTransport::connect(addr)?))
     }
 }
@@ -254,9 +1257,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn transport_failure_encodes_as_protocol_error() {
-        // A peer that hangs up yields a parseable error envelope, not a
-        // panic or an empty string.
+    fn hangup_surfaces_as_transport_closed() {
+        // A peer that hangs up yields a parseable transport_closed
+        // envelope — "hub went away" — not a panic or an empty string.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let peer = std::thread::spawn(move || {
@@ -267,8 +1270,48 @@ mod tests {
         peer.join().unwrap();
         let reply = transport.send(&ApiRequest::ListRepos.encode());
         match ApiResponse::parse(&reply) {
-            Ok(ApiResponse::Error(e)) => assert_eq!(e.code, ErrorCode::Protocol),
-            other => panic!("expected a protocol error envelope, got {other:?}"),
+            Ok(ApiResponse::Error(e)) => assert_eq!(e.code, ErrorCode::TransportClosed),
+            other => panic!("expected a transport_closed envelope, got {other:?}"),
         }
+        // And the typed path reconstructs the dedicated variant.
+        match transport.exchange(&ApiRequest::ListRepos).into_result() {
+            Err(HubError::TransportClosed(_)) => {}
+            other => panic!("expected HubError::TransportClosed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_messages_round_trip() {
+        let objects: Vec<(ObjectId, Vec<u8>)> = (0..300u32)
+            .map(|i| {
+                let bytes = format!("object payload {i} ").repeat(50).into_bytes();
+                (ObjectId::hash_bytes(&bytes), bytes)
+            })
+            .collect();
+        let message = frame::encode_message("{\"v\":3}", &objects);
+        let (envelope, back) = frame::read_message(&mut &message[..]).unwrap();
+        assert_eq!(envelope, "{\"v\":3}");
+        assert_eq!(back, objects);
+        // Compression pays for itself on repetitive payloads.
+        let raw: usize = objects.iter().map(|(_, b)| 24 + b.len()).sum();
+        assert!(message.len() < raw / 2, "{} vs {raw}", message.len());
+
+        let plain = frame::encode_message("{\"v\":1}", &[]);
+        let (envelope, back) = frame::read_message(&mut &plain[..]).unwrap();
+        assert_eq!(envelope, "{\"v\":1}");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn record_larger_than_chunk_gets_its_own_block() {
+        let big = vec![0xAB; 700 * 1024];
+        let objects = vec![
+            (ObjectId::hash_bytes(b"a"), b"small".to_vec()),
+            (ObjectId::hash_bytes(&big), big.clone()),
+            (ObjectId::hash_bytes(b"b"), b"tail".to_vec()),
+        ];
+        let message = frame::encode_message("{\"v\":3}", &objects);
+        let (_, back) = frame::read_message(&mut &message[..]).unwrap();
+        assert_eq!(back, objects);
     }
 }

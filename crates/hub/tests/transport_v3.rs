@@ -1,0 +1,369 @@
+//! Protocol v3 socket tests: binary-framing sessions through the
+//! event-driven server, mixed v1/v2/v3 traffic on one listener, the
+//! line-server fallback, the hardening limits (frame caps, read
+//! timeouts), transport-closed mapping, and batch envelopes over TCP.
+
+use gitlite::{path, Signature};
+use hub::transport::frame;
+use hub::{
+    ApiRequest, ApiResponse, ErrorCode, Hub, HubClient, HubError, ServerConfig, SocketServer,
+    TcpTransport, Transport,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn serve() -> (Arc<Hub>, SocketServer) {
+    let hub = Arc::new(Hub::new("https://hub.local"));
+    let server = SocketServer::bind(Arc::clone(&hub), "127.0.0.1:0").expect("bind loopback");
+    (hub, server)
+}
+
+#[test]
+fn port_zero_resolves_to_a_real_port() {
+    let (_hub, server) = serve();
+    assert_ne!(server.local_addr().port(), 0);
+}
+
+/// The full session of `transport_tcp.rs`, but negotiated up to binary
+/// framing: bundles travel as compressed raw bytes, not hex.
+#[test]
+fn full_session_over_binary_framing() {
+    let (_hub, server) = serve();
+    let client = HubClient::connect(server.local_addr()).expect("connect");
+
+    client.register_user("ann", "Ann Author").unwrap();
+    let token = client.login("ann").unwrap();
+    // The first call probed and upgraded.
+    assert!(client.transport().is_binary());
+
+    let repo_id = client.create_repo(&token, "p").unwrap();
+    let mut local = client.clone_repo(&repo_id).unwrap();
+    for i in 0..6 {
+        local
+            .worktree_mut()
+            .write(&path("src/lib.rs"), format!("// rev {i}\n").into_bytes())
+            .unwrap();
+        local
+            .commit(
+                Signature::new("Ann Author", "ann@x", 100 + i),
+                format!("c{i}"),
+            )
+            .unwrap();
+    }
+    let tip = local.branch_tip("main").unwrap();
+    assert_eq!(
+        client
+            .push(&token, &repo_id, "main", &local, "main", false)
+            .unwrap(),
+        tip
+    );
+    let cloned = client.clone_repo(&repo_id).unwrap();
+    assert_eq!(cloned.branch_tip("main").unwrap(), tip);
+    assert_eq!(
+        cloned.worktree().read_text(&path("src/lib.rs")).unwrap(),
+        "// rev 5\n"
+    );
+}
+
+/// One listener, three protocol generations at once: a raw v1 line
+/// client, a raw v2 line client and a v3 binary client interleave
+/// requests without disturbing each other.
+#[test]
+fn v1_v2_and_v3_clients_interleave_on_one_listener() {
+    let (_hub, server) = serve();
+    let addr = server.local_addr();
+
+    // v3 binary client sets up some state.
+    let v3 = HubClient::connect(addr).unwrap();
+    v3.register_user("ann", "Ann").unwrap();
+    let token = v3.login("ann").unwrap();
+    v3.create_repo(&token, "p").unwrap();
+    assert!(v3.transport().is_binary());
+
+    // Raw v1 line client: write a line, read a line.
+    let mut v1 = BufReader::new(TcpStream::connect(addr).unwrap());
+    v1.get_ref()
+        .write_all(b"{\"v\":1,\"method\":\"list_repos\",\"params\":{}}\n")
+        .unwrap();
+    let mut reply = String::new();
+    v1.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with(r#"{"v":1,"#), "{reply}");
+    assert!(reply.contains("ann/p"), "{reply}");
+
+    // Raw v2 line client on its own connection.
+    let mut v2 = BufReader::new(TcpStream::connect(addr).unwrap());
+    v2.get_ref()
+        .write_all(b"{\"v\":2,\"method\":\"list_repos_page\",\"params\":{}}\n")
+        .unwrap();
+    let mut reply = String::new();
+    v2.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with(r#"{"v":2,"#), "{reply}");
+    assert!(reply.contains(r#""type":"names_page""#), "{reply}");
+
+    // The v3 client keeps working between and after the line traffic.
+    assert_eq!(v3.list_repos().unwrap(), vec!["ann/p".to_owned()]);
+
+    // And the line connections stay line-framed: another round each.
+    v1.get_ref()
+        .write_all(b"{\"v\":1,\"method\":\"list_repos\",\"params\":{}}\n")
+        .unwrap();
+    let mut reply = String::new();
+    v1.read_line(&mut reply).unwrap();
+    assert!(reply.contains(r#""type":"names""#), "{reply}");
+}
+
+/// A client dialing a line-only (pre-v3) server falls back to line
+/// framing on the same connection and works normally.
+#[test]
+fn client_falls_back_against_a_line_only_server() {
+    let hub = Arc::new(Hub::new("https://hub.local"));
+    hub.register_user("ann", "Ann").unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let served = Arc::clone(&hub);
+    let stub = std::thread::spawn(move || {
+        // The old thread-per-connection shape: read lines, answer lines,
+        // garbage gets a protocol-error envelope. No PONG, ever.
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        while {
+            line.clear();
+            reader.read_line(&mut line).unwrap_or(0) > 0
+        } {
+            let reply = served.handle_wire(line.trim());
+            let mut out = stream.try_clone().unwrap();
+            out.write_all(reply.as_bytes()).unwrap();
+            out.write_all(b"\n").unwrap();
+        }
+    });
+
+    let client = HubClient::connect(addr).unwrap();
+    // Works — and without the binary upgrade.
+    assert!(client.list_repos().unwrap().is_empty());
+    assert!(!client.transport().is_binary());
+    let token = client.login("ann").unwrap();
+    client.create_repo(&token, "p").unwrap();
+    assert_eq!(client.list_repos().unwrap(), vec!["ann/p".to_owned()]);
+    drop(client);
+    stub.join().unwrap();
+}
+
+/// A server that goes away mid-session surfaces as the dedicated
+/// transport-closed error, not a generic protocol failure.
+#[test]
+fn server_shutdown_maps_to_transport_closed() {
+    let (_hub, server) = serve();
+    let client = HubClient::connect(server.local_addr()).unwrap();
+    assert!(client.list_repos().unwrap().is_empty());
+    server.shutdown(); // closes every connection
+    let mut saw_closed = false;
+    for _ in 0..100 {
+        match client.list_repos() {
+            Err(HubError::TransportClosed(msg)) => {
+                assert!(!msg.is_empty());
+                saw_closed = true;
+                break;
+            }
+            // The close can race the next write; keep trying briefly.
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(saw_closed, "hangup never surfaced as TransportClosed");
+}
+
+/// An oversized binary frame is answered with a protocol error and the
+/// connection is closed.
+#[test]
+fn oversized_frames_are_refused() {
+    let hub = Arc::new(Hub::new("https://hub.local"));
+    let config = ServerConfig {
+        max_frame_len: 128,
+        ..ServerConfig::default()
+    };
+    let server = SocketServer::bind_with(Arc::clone(&hub), "127.0.0.1:0", config).unwrap();
+
+    let transport = TcpTransport::connect(server.local_addr()).unwrap();
+    // Small envelopes fit.
+    let reply = transport.send(r#"{"v":1,"method":"list_repos","params":{}}"#);
+    assert!(reply.contains(r#""type":"names""#), "{reply}");
+    // An envelope past the cap gets a protocol error...
+    let long = format!(
+        r#"{{"v":1,"method":"login","params":{{"username":"{}"}}}}"#,
+        "a".repeat(200)
+    );
+    let reply = transport.send(&long);
+    assert!(reply.contains(r#""code":"protocol""#), "{reply}");
+    assert!(reply.contains("exceeds"), "{reply}");
+    // ...and the connection is then closed.
+    let mut saw_closed = false;
+    for _ in 0..100 {
+        let reply = transport.send(r#"{"v":1,"method":"list_repos","params":{}}"#);
+        if reply.contains(r#""code":"transport_closed""#) {
+            saw_closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(saw_closed, "connection survived a frame-limit violation");
+}
+
+/// The same cap governs line framing: a request line that never ends is
+/// answered (in line framing) and closed.
+#[test]
+fn oversized_lines_are_refused() {
+    let hub = Arc::new(Hub::new("https://hub.local"));
+    let config = ServerConfig {
+        max_frame_len: 128,
+        ..ServerConfig::default()
+    };
+    let server = SocketServer::bind_with(Arc::clone(&hub), "127.0.0.1:0", config).unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // 300 bytes of an unterminated "line".
+    stream.write_all(&[b'{'; 300]).unwrap();
+    let mut reply = String::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains(r#""code":"protocol""#), "{reply}");
+    assert!(reply.contains("frame limit"), "{reply}");
+    // Close follows: EOF.
+    let mut rest = Vec::new();
+    assert_eq!(reader.read_to_end(&mut rest).unwrap_or(0), 0);
+}
+
+/// A connection stalled mid-request is timed out: error reply, then
+/// close. Idle connections between requests are unaffected.
+#[test]
+fn stalled_partial_requests_time_out() {
+    let hub = Arc::new(Hub::new("https://hub.local"));
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let server = SocketServer::bind_with(Arc::clone(&hub), "127.0.0.1:0", config).unwrap();
+
+    // Binary connection that starts a frame and stops: the header
+    // promises 100 payload bytes, only 3 arrive.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(&[frame::ENV, 0, 0, 0, 100, 1, 2, 3])
+        .unwrap();
+    let (envelope, _) = frame::read_message(&mut stream).expect("timeout reply");
+    assert!(envelope.contains(r#""code":"protocol""#), "{envelope}");
+    assert!(envelope.contains("timed out"), "{envelope}");
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0);
+
+    // An idle connection with no partial request survives far past the
+    // read timeout.
+    let client = HubClient::connect(server.local_addr()).unwrap();
+    assert!(client.list_repos().unwrap().is_empty());
+    std::thread::sleep(Duration::from_millis(500));
+    assert!(client.list_repos().unwrap().is_empty());
+}
+
+/// Batch envelopes over the socket: one round trip, per-item results,
+/// and the per-item transport guards (token scoping, operator seams).
+#[test]
+fn batch_over_the_socket_guards_each_item() {
+    let (_hub, server) = serve();
+    let addr = server.local_addr();
+
+    let conn_a = HubClient::connect(addr).unwrap();
+    conn_a.register_user("ann", "Ann").unwrap();
+    let token_a = conn_a.login("ann").unwrap();
+    conn_a.create_repo(&token_a, "p").unwrap();
+
+    let conn_b = HubClient::connect(addr).unwrap();
+    conn_b.register_user("bob", "Bob").unwrap();
+    let token_b = conn_b.login("bob").unwrap();
+
+    // On connection B: its own token works, A's leaked token is refused,
+    // an operator seam is refused, and an anonymous read sails through —
+    // all in one envelope, each item judged alone.
+    let responses = conn_b
+        .batch(vec![
+            ApiRequest::Whoami {
+                token: token_b.as_str().to_owned(),
+            },
+            ApiRequest::Whoami {
+                token: token_a.as_str().to_owned(),
+            },
+            ApiRequest::Maintenance,
+            ApiRequest::ListRepos,
+        ])
+        .unwrap();
+    assert_eq!(responses.len(), 4);
+    match &responses[0] {
+        ApiResponse::User(u) => assert_eq!(u.username, "bob"),
+        other => panic!("expected bob, got {other:?}"),
+    }
+    match &responses[1] {
+        ApiResponse::Error(e) => assert_eq!(e.code, ErrorCode::AuthFailed),
+        other => panic!("expected auth_failed, got {other:?}"),
+    }
+    match &responses[2] {
+        ApiResponse::Error(e) => assert_eq!(e.code, ErrorCode::PermissionDenied),
+        other => panic!("expected permission_denied, got {other:?}"),
+    }
+    match &responses[3] {
+        ApiResponse::Names(names) => assert_eq!(names, &["ann/p".to_owned()]),
+        other => panic!("expected names, got {other:?}"),
+    }
+}
+
+/// A batched login mints its token on the issuing connection, exactly
+/// like a sequential one.
+#[test]
+fn batched_login_scopes_its_token() {
+    let (_hub, server) = serve();
+    let client = HubClient::connect(server.local_addr()).unwrap();
+    client.register_user("ann", "Ann").unwrap();
+    let responses = client
+        .batch(vec![ApiRequest::Login {
+            username: "ann".into(),
+        }])
+        .unwrap();
+    let token = match &responses[0] {
+        ApiResponse::Token(t) => hub::Token::new(t.clone()),
+        other => panic!("expected token, got {other:?}"),
+    };
+    // Minted in a batch, honored outside it — same connection.
+    assert_eq!(client.whoami(&token).unwrap().username, "ann");
+}
+
+/// Interleaved pipelining on one binary connection: several requests
+/// written before any reply is read come back in order.
+#[test]
+fn pipelined_binary_requests_are_answered_in_order() {
+    let (_hub, server) = serve();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut burst = Vec::new();
+    for name in ["ann", "bob", "cat"] {
+        let req = ApiRequest::RegisterUser {
+            username: name.into(),
+            display_name: name.to_uppercase(),
+        };
+        burst.extend_from_slice(&frame::encode_message(&req.encode(), &[]));
+    }
+    burst.extend_from_slice(&frame::encode_message(&ApiRequest::ListRepos.encode(), &[]));
+    stream.write_all(&burst).unwrap();
+    for _ in 0..3 {
+        let (envelope, _) = frame::read_message(&mut stream).unwrap();
+        assert!(envelope.contains(r#""type":"unit""#), "{envelope}");
+    }
+    let (envelope, _) = frame::read_message(&mut stream).unwrap();
+    assert!(envelope.contains(r#""type":"names""#), "{envelope}");
+}

@@ -258,7 +258,7 @@ fn v2_methods_are_refused_in_v1_envelopes() {
 #[test]
 fn future_versions_are_refused_with_protocol_error() {
     let err =
-        ApiRequest::parse(r#"{"v":3,"method":"login","params":{"username":"a"}}"#).unwrap_err();
+        ApiRequest::parse(r#"{"v":4,"method":"login","params":{"username":"a"}}"#).unwrap_err();
     assert_eq!(err.code, ErrorCode::Protocol);
     let err = ApiResponse::parse(r#"{"v":9,"result":{"type":"unit"}}"#).unwrap_err();
     assert_eq!(err.code, ErrorCode::Protocol);

@@ -1,0 +1,328 @@
+//! Vendored stand-in for `miniz_oxide` (see `crates/vendor/README.md`).
+//!
+//! Exposes the two entry points the workspace calls —
+//! [`deflate::compress_to_vec`] and [`inflate::decompress_to_vec`] (plus
+//! the `_with_limit` variant) — backed by a small self-describing LZ77
+//! format instead of RFC 1951 DEFLATE. The stream is **not** zlib/deflate
+//! compatible; it only promises `decompress(compress(x)) == x` and a
+//! worthwhile ratio on repetitive payloads (text, sjson, source trees).
+//! Swapping in the real crate keeps call sites unchanged: the byte format
+//! is a private detail of whichever implementation sits behind the API,
+//! and both ends of the wire always use the same one.
+//!
+//! ## Stream format
+//!
+//! ```text
+//! byte 0: method — 0 = stored, 1 = LZ
+//! stored: raw bytes follow verbatim
+//! LZ:     u32 BE uncompressed length, then tokens:
+//!           tag < 0x80  → literal run of (tag + 1) bytes (1..=128), bytes follow
+//!           tag >= 0x80 → back-reference: length (tag & 0x7f) + 4 (4..=131),
+//!                         then u16 BE distance (1..=65535)
+//! ```
+//!
+//! The compressor is a greedy hash-chain matcher over a 64 KiB window; a
+//! stream that would not shrink is emitted as `stored`, so compression
+//! never costs more than one byte of overhead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+const METHOD_STORED: u8 = 0;
+const METHOD_LZ: u8 = 1;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 131;
+const WINDOW: usize = 65_535;
+const HASH_BITS: u32 = 15;
+
+/// Compression entry points.
+pub mod deflate {
+    use super::*;
+
+    /// Compresses `data`. The `level` parameter exists for API
+    /// compatibility with the real crate; this stand-in has a single
+    /// speed/ratio point and ignores it (level 0 still means "stored").
+    pub fn compress_to_vec(data: &[u8], level: u8) -> Vec<u8> {
+        if level == 0 || data.len() < MIN_MATCH {
+            return stored(data);
+        }
+        match lz_compress(data) {
+            Some(lz) if lz.len() < data.len() + 1 => lz,
+            _ => stored(data),
+        }
+    }
+
+    fn stored(data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() + 1);
+        out.push(METHOD_STORED);
+        out.extend_from_slice(data);
+        out
+    }
+
+    fn hash4(window: &[u8]) -> usize {
+        let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+        (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+    }
+
+    fn lz_compress(data: &[u8]) -> Option<Vec<u8>> {
+        let len = u32::try_from(data.len()).ok()?;
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        out.push(METHOD_LZ);
+        out.extend_from_slice(&len.to_be_bytes());
+
+        // head[h] holds (position + 1) of the latest occurrence of the
+        // 4-byte sequence hashing to h; 0 means empty.
+        let mut head = vec![0u32; 1 << HASH_BITS];
+        let mut literal_start = 0usize;
+        let mut pos = 0usize;
+
+        while pos + MIN_MATCH <= data.len() {
+            let h = hash4(&data[pos..]);
+            let candidate = head[h] as usize;
+            head[h] = (pos + 1) as u32;
+
+            let mut match_len = 0usize;
+            if candidate > 0 {
+                let cand = candidate - 1;
+                let dist = pos - cand;
+                if (1..=WINDOW).contains(&dist) {
+                    let limit = (data.len() - pos).min(MAX_MATCH);
+                    while match_len < limit && data[cand + match_len] == data[pos + match_len] {
+                        match_len += 1;
+                    }
+                }
+            }
+
+            if match_len >= MIN_MATCH {
+                flush_literals(&mut out, &data[literal_start..pos]);
+                let dist = pos - (candidate - 1);
+                out.push(0x80 | (match_len - MIN_MATCH) as u8);
+                out.extend_from_slice(&(dist as u16).to_be_bytes());
+                // Index the covered positions so later matches can land
+                // inside this one, then continue after it.
+                let end = pos + match_len;
+                pos += 1;
+                while pos < end && pos + MIN_MATCH <= data.len() {
+                    head[hash4(&data[pos..])] = (pos + 1) as u32;
+                    pos += 1;
+                }
+                pos = end;
+                literal_start = end;
+            } else {
+                pos += 1;
+            }
+
+            if out.len() > data.len() + 8 {
+                return None; // incompressible; caller falls back to stored
+            }
+        }
+        flush_literals(&mut out, &data[literal_start..]);
+        Some(out)
+    }
+
+    fn flush_literals(out: &mut Vec<u8>, mut run: &[u8]) {
+        while !run.is_empty() {
+            let take = run.len().min(128);
+            out.push((take - 1) as u8);
+            out.extend_from_slice(&run[..take]);
+            run = &run[take..];
+        }
+    }
+}
+
+/// Decompression entry points.
+pub mod inflate {
+    use super::*;
+
+    /// Decompression failure: truncated stream, bad token, or a payload
+    /// larger than the caller's limit.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DecompressError(pub String);
+
+    impl std::fmt::Display for DecompressError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "decompress: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for DecompressError {}
+
+    /// Decompresses a stream produced by [`deflate::compress_to_vec`].
+    pub fn decompress_to_vec(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        decompress_to_vec_with_limit(data, usize::MAX)
+    }
+
+    /// Like [`decompress_to_vec`] but refuses (before allocating) any
+    /// stream whose uncompressed size exceeds `max_size`.
+    pub fn decompress_to_vec_with_limit(
+        data: &[u8],
+        max_size: usize,
+    ) -> Result<Vec<u8>, DecompressError> {
+        let (&method, rest) = data
+            .split_first()
+            .ok_or_else(|| DecompressError("empty stream".into()))?;
+        match method {
+            METHOD_STORED => {
+                if rest.len() > max_size {
+                    return Err(DecompressError(format!(
+                        "stored payload of {} bytes exceeds limit {max_size}",
+                        rest.len()
+                    )));
+                }
+                Ok(rest.to_vec())
+            }
+            METHOD_LZ => lz_decompress(rest, max_size),
+            other => Err(DecompressError(format!("unknown method byte {other}"))),
+        }
+    }
+
+    fn lz_decompress(data: &[u8], max_size: usize) -> Result<Vec<u8>, DecompressError> {
+        if data.len() < 4 {
+            return Err(DecompressError("truncated header".into()));
+        }
+        let orig_len = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+        if orig_len > max_size {
+            return Err(DecompressError(format!(
+                "declared size {orig_len} exceeds limit {max_size}"
+            )));
+        }
+        let mut out = Vec::with_capacity(orig_len);
+        let mut pos = 4usize;
+        while pos < data.len() {
+            let tag = data[pos];
+            pos += 1;
+            if tag < 0x80 {
+                let run = tag as usize + 1;
+                let bytes = data
+                    .get(pos..pos + run)
+                    .ok_or_else(|| DecompressError("truncated literal run".into()))?;
+                if out.len() + run > orig_len {
+                    return Err(DecompressError("output overruns declared size".into()));
+                }
+                out.extend_from_slice(bytes);
+                pos += run;
+            } else {
+                let len = (tag & 0x7f) as usize + MIN_MATCH;
+                let dist_bytes = data
+                    .get(pos..pos + 2)
+                    .ok_or_else(|| DecompressError("truncated distance".into()))?;
+                pos += 2;
+                let dist = u16::from_be_bytes([dist_bytes[0], dist_bytes[1]]) as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(DecompressError(format!(
+                        "distance {dist} outside the {} bytes produced",
+                        out.len()
+                    )));
+                }
+                if out.len() + len > orig_len {
+                    return Err(DecompressError("output overruns declared size".into()));
+                }
+                // Byte-at-a-time so overlapping copies (dist < len)
+                // replicate the just-written bytes, RLE-style.
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+        if out.len() != orig_len {
+            return Err(DecompressError(format!(
+                "declared size {orig_len}, produced {}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{deflate::compress_to_vec, inflate::*};
+
+    fn round_trip(data: &[u8]) {
+        let packed = compress_to_vec(data, 6);
+        assert_eq!(
+            decompress_to_vec(&packed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn round_trips_basic_shapes() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        round_trip("répétition répétition répétition".as_bytes());
+        round_trip(
+            &(0u16..=2048)
+                .flat_map(|v| v.to_le_bytes())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn repetitive_text_shrinks() {
+        let data = "{\"v\":2,\"method\":\"push_objects\",\"params\":{}}\n".repeat(200);
+        let packed = compress_to_vec(data.as_bytes(), 6);
+        assert!(
+            packed.len() < data.len() / 4,
+            "expected >4x on repetitive sjson, got {} -> {}",
+            data.len(),
+            packed.len()
+        );
+        assert_eq!(decompress_to_vec(&packed).unwrap(), data.as_bytes());
+    }
+
+    #[test]
+    fn incompressible_data_costs_one_byte() {
+        // A SplitMix-ish scramble: no 4-byte repeats land in the window.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let packed = compress_to_vec(&data, 6);
+        assert_eq!(packed.len(), data.len() + 1);
+        assert_eq!(decompress_to_vec(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn level_zero_stores() {
+        let data = b"aaaaaaaaaaaaaaaa";
+        let packed = compress_to_vec(data, 0);
+        assert_eq!(packed.len(), data.len() + 1);
+        assert_eq!(decompress_to_vec(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn limit_is_enforced_before_allocation() {
+        let data = vec![7u8; 100_000];
+        let packed = compress_to_vec(&data, 6);
+        assert!(decompress_to_vec_with_limit(&packed, 99_999).is_err());
+        assert!(decompress_to_vec_with_limit(&packed, 100_000).is_ok());
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        assert!(decompress_to_vec(&[]).is_err());
+        assert!(decompress_to_vec(&[9, 1, 2, 3]).is_err(), "unknown method");
+        assert!(decompress_to_vec(&[1, 0, 0]).is_err(), "truncated header");
+        // Declared 4 bytes but a match token reaches back before output.
+        assert!(decompress_to_vec(&[1, 0, 0, 0, 4, 0x80, 0, 1]).is_err());
+        // Literal run truncated mid-stream.
+        assert!(decompress_to_vec(&[1, 0, 0, 0, 8, 7, b'a', b'b']).is_err());
+    }
+
+    #[test]
+    fn overlapping_match_replicates() {
+        // "ab" * 300 forces dist=2 matches with len > dist.
+        let data: Vec<u8> = std::iter::repeat_n([b'a', b'b'], 300).flatten().collect();
+        round_trip(&data);
+    }
+}

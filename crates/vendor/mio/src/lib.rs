@@ -1,0 +1,667 @@
+//! Vendored stand-in for `mio` (see `crates/vendor/README.md`).
+//!
+//! A minimal level-triggered readiness reactor covering exactly the
+//! surface `hub::transport` uses: [`Poll`] / [`Registry`] over any
+//! [`AsRawFd`] source, [`Interest`] flags, [`Events`] iteration, and a
+//! cross-thread [`Waker`]. On Linux the selector is `epoll(7)` — the FFI
+//! shim in this crate is the only unsafe code in the workspace; other
+//! unix platforms fall back to `poll(2)` with a registration table.
+//! Windows is not supported.
+//!
+//! Divergences from upstream `mio` (all minor, all at call sites we own):
+//! sources are plain `&impl AsRawFd` rather than `event::Source`
+//! implementors, readiness is always level-triggered, and [`Waker`]
+//! exposes an explicit [`Waker::drain`] for the reactor to call when the
+//! waker's token fires (upstream drains internally in the selector).
+
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registered source and handed
+/// back on every [`Event`] that source produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness states a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (and peer hangup).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (named after the real mio's
+    /// `Interest::add`, intentionally not `ops::Add`).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True if this interest includes read readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// True if this interest includes write readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification for a registered source.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    read_closed: bool,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// True if the source is ready for reading.
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// True if the source is ready for writing.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// True if the source is in an error state.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// True if the peer closed its write half (or the connection hung up);
+    /// a read will observe EOF once the buffered bytes are drained.
+    pub fn is_read_closed(&self) -> bool {
+        self.read_closed
+    }
+}
+
+/// A reusable buffer of [`Event`]s filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Creates a buffer that receives at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates over the events from the most recent poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// True if the most recent poll produced no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Registers sources with the selector; cheaply clonable so helper
+/// objects (e.g. [`Waker`]) can hold their own handle.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    selector: Arc<sys::Selector>,
+}
+
+impl Registry {
+    /// Starts watching `source` for `interests`, tagging events `token`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector
+            .register(source.as_raw_fd(), token.0, interests)
+    }
+
+    /// Changes the interests (or token) of an already-registered source.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector
+            .reregister(source.as_raw_fd(), token.0, interests)
+    }
+
+    /// Stops watching `source`.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.selector.deregister(source.as_raw_fd())
+    }
+
+    /// Returns another handle to the same selector.
+    pub fn try_clone(&self) -> io::Result<Registry> {
+        Ok(self.clone())
+    }
+}
+
+/// The selector: waits for readiness on every registered source.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a new selector.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                selector: Arc::new(sys::Selector::new()?),
+            },
+        })
+    }
+
+    /// The registration handle for this selector.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one source is ready or `timeout` elapses
+    /// (`None` blocks indefinitely), filling `events`. A signal
+    /// interruption is surfaced as an empty event set, not an error.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        let capacity = events.capacity;
+        self.registry
+            .selector
+            .wait(&mut events.inner, capacity, timeout)
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from another thread, by
+/// making a socketpair readable. The reactor must call [`Waker::drain`]
+/// when the waker's token fires, or the (level-triggered) selector will
+/// keep reporting it ready.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Creates a waker and registers its read half with `registry`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        registry.register(&rx, token, Interest::READABLE)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Makes the poller return. Saturating: if the pair's buffer is full
+    /// the poller is already overdue to wake, and the call is a no-op.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&self.tx).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes queued wakeups so the waker's token stops reporting ready.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                // Round sub-millisecond waits up so a tiny timeout still
+                // yields the CPU instead of spinning.
+                let ms = d.as_millis().max(1);
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! `epoll(7)` selector. The `extern "C"` declarations below are the
+    //! workspace's only unsafe code; every other crate is
+    //! `#![forbid(unsafe_code)]`.
+
+    use super::{timeout_millis, Event, Interest};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// Mirrors `struct epoll_event`; packed on x86/x86_64, naturally
+    /// aligned everywhere else, exactly as the kernel ABI declares it.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn interest_bits(interests: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interests.is_readable() {
+            bits |= EPOLLIN;
+        }
+        if interests.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub(super) fn new() -> io::Result<Selector> {
+            // SAFETY: plain syscall; the returned fd is owned by Selector
+            // and closed exactly once in Drop.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: usize, interests: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interests),
+                data: token as u64,
+            };
+            // SAFETY: `ev` is a valid epoll_event for the duration of the
+            // call; DEL ignores the event pointer.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn register(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interests: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interests)
+        }
+
+        pub(super) fn reregister(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interests: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interests)
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::READABLE)
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            capacity: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf = vec![EpollEvent { events: 0, data: 0 }; capacity];
+            // SAFETY: `buf` holds `capacity` writable epoll_event slots;
+            // the kernel fills at most `capacity` of them.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    capacity as c_int,
+                    timeout_millis(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for raw in buf.iter().take(n as usize) {
+                let bits = { raw.events };
+                let data = { raw.data };
+                out.push(Event {
+                    token: data as usize,
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & EPOLLERR != 0,
+                    read_closed: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            // SAFETY: epfd was returned by epoll_create1 and is closed
+            // exactly once.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! Portable `poll(2)` fallback with an interest table. Slower than the
+    //! epoll path (O(registered fds) per wait) but correct on any unix.
+
+    use super::{timeout_millis, Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_ulong};
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Selector {
+        table: Mutex<HashMap<RawFd, (usize, Interest)>>,
+    }
+
+    impl Selector {
+        pub(super) fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                table: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub(super) fn register(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interests: Interest,
+        ) -> io::Result<()> {
+            let mut table = self.table.lock().unwrap();
+            if table.insert(fd, (token, interests)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            Ok(())
+        }
+
+        pub(super) fn reregister(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interests: Interest,
+        ) -> io::Result<()> {
+            let mut table = self.table.lock().unwrap();
+            match table.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (token, interests);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            match self.table.lock().unwrap().remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            capacity: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = {
+                let table = self.table.lock().unwrap();
+                table
+                    .iter()
+                    .map(|(&fd, &(_, interests))| {
+                        let mut events = 0;
+                        if interests.is_readable() {
+                            events |= POLLIN;
+                        }
+                        if interests.is_writable() {
+                            events |= POLLOUT;
+                        }
+                        PollFd {
+                            fd,
+                            events,
+                            revents: 0,
+                        }
+                    })
+                    .collect()
+            };
+            if fds.is_empty() {
+                if let Some(d) = timeout {
+                    std::thread::sleep(d);
+                }
+                return Ok(());
+            }
+            // SAFETY: `fds` is a valid array of `fds.len()` pollfd entries.
+            let n = unsafe {
+                poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as c_ulong,
+                    timeout_millis(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            let table = self.table.lock().unwrap();
+            for pfd in fds.iter().filter(|p| p.revents != 0) {
+                if out.len() == capacity {
+                    break;
+                }
+                let Some(&(token, _)) = table.get(&pfd.fd) else {
+                    continue;
+                };
+                out.push(Event {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    error: pfd.revents & POLLERR != 0,
+                    read_closed: pfd.revents & POLLHUP != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let mut poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&listener, Token(7), Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "no connection yet");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("accept readiness");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+    }
+
+    #[test]
+    fn connected_stream_is_writable_and_sees_peer_data() {
+        let mut poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&stream, Token(3), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(3) && e.is_writable()));
+
+        peer.write_all(b"hi").unwrap();
+        // Narrow to read interest so the event below is about the data.
+        poll.registry()
+            .reregister(&stream, Token(3), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(3) && e.is_readable()));
+
+        poll.registry().deregister(&stream).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered source still firing");
+    }
+
+    #[test]
+    fn waker_unblocks_poll_from_another_thread() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(poll.registry(), Token(0)).unwrap());
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake().unwrap();
+        });
+
+        let start = Instant::now();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "poll missed the wake"
+        );
+        assert!(events.iter().any(|e| e.token() == Token(0)));
+
+        waker.drain();
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty(), "waker not drained");
+        handle.join().unwrap();
+    }
+}

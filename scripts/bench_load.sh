@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the socket-server load benchmark — 10,000 concurrent loopback
+# connections of mixed v1/v2 read and v3 push traffic against one hub
+# process — and writes the headline numbers (connection count, latency
+# percentiles, throughput, and the v2-hex vs v3-binary bundle byte
+# ratio) to BENCH_load.json at the repository root, so the server's
+# capacity is tracked PR over PR.
+#
+# Usage: scripts/bench_load.sh [output.json]
+# Env:   GITCITE_LOAD_CONNS=<n> overrides the 10k connection target.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_load.json}"
+
+# Each side of the loopback needs one fd per connection; raise the soft
+# limit as far as this shell may.
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+
+raw="$(cargo bench --bench hub_load 2>&1)"
+echo "$raw"
+
+# The bench emits data lines:
+#   hub_load_conns target=10000 achieved=10000
+#   hub_load_latency p50_us=20968 p99_us=57256 mean_us=23024
+#   hub_load_throughput requests=30040 wall_ms=14535 req_per_s=2067
+#   hub_load_pushes writers=8 pushes=40
+#   hub_load_bundle_bytes commits=5000 line=3311256 binary=854558 ratio=3.87
+echo "$raw" | awk '
+$1 ~ /^hub_load_/ {
+    section = substr($1, 10)
+    for (i = 2; i <= NF; i++) {
+        split($i, kv, "=")
+        v[section "." kv[1]] = kv[2]
+    }
+}
+END {
+    printf "{\n  \"benchmark\": \"hub_load\",\n"
+    printf "  \"workload\": \"%d concurrent loopback connections, %d mixed read/push requests\",\n", \
+        v["conns.target"], v["throughput.requests"]
+    printf "  \"connections\": {\"target\": %d, \"achieved\": %d},\n", \
+        v["conns.target"], v["conns.achieved"]
+    printf "  \"latency_us\": {\"p50\": %d, \"p99\": %d, \"mean\": %d},\n", \
+        v["latency.p50_us"], v["latency.p99_us"], v["latency.mean_us"]
+    printf "  \"throughput\": {\"requests\": %d, \"wall_ms\": %d, \"req_per_s\": %d},\n", \
+        v["throughput.requests"], v["throughput.wall_ms"], v["throughput.req_per_s"]
+    printf "  \"pushes\": {\"writers\": %d, \"completed\": %d},\n", \
+        v["pushes.writers"], v["pushes.pushes"]
+    printf "  \"bundle_bytes\": {\"commits\": %d, \"v2_line\": %d, \"v3_binary\": %d, \"ratio\": %.2f}\n", \
+        v["bundle_bytes.commits"], v["bundle_bytes.line"], v["bundle_bytes.binary"], v["bundle_bytes.ratio"]
+    printf "}\n"
+}' > "$out"
+
+echo
+echo "wrote $out:"
+cat "$out"
