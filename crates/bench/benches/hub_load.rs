@@ -281,11 +281,16 @@ fn main() {
         .collect();
 
     let mut achieved = 0;
-    let mut latencies: Vec<u64> = Vec::new();
+    // Same log2-bucketed histogram the server uses for its own method
+    // stats, so the client-observed quantiles here and the hub's
+    // `server_metrics` quantiles are computed identically.
+    let histogram = telemetry::Histogram::new();
     for driver in drivers {
-        let (count, mut lat) = driver.join().expect("driver thread");
+        let (count, lat) = driver.join().expect("driver thread");
         achieved += count;
-        latencies.append(&mut lat);
+        for us in lat {
+            histogram.record(us);
+        }
     }
     let pushes: usize = writers
         .into_iter()
@@ -293,27 +298,16 @@ fn main() {
         .sum();
     let wall = started.elapsed();
 
-    latencies.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx]
-    };
-    let mean = if latencies.is_empty() {
-        0
-    } else {
-        latencies.iter().sum::<u64>() / latencies.len() as u64
-    };
-    let requests = latencies.len() + pushes;
+    let snapshot = histogram.snapshot();
+    let requests = snapshot.count as usize + pushes;
     let req_per_s = requests as f64 / wall.as_secs_f64();
 
     eprintln!("hub_load_conns target={target} achieved={achieved}");
     eprintln!(
-        "hub_load_latency p50_us={} p99_us={} mean_us={mean}",
-        pct(0.50),
-        pct(0.99)
+        "hub_load_latency p50_us={} p99_us={} mean_us={}",
+        snapshot.p50(),
+        snapshot.p99(),
+        snapshot.mean()
     );
     eprintln!(
         "hub_load_throughput requests={requests} wall_ms={} req_per_s={req_per_s:.0}",

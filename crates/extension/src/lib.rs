@@ -461,6 +461,36 @@ impl<T: Transport> Popup<T> {
                 .generate_citation(&self.view.repo_id, &self.view.branch, &path)?;
         Ok(bibformat::render(&citation, format))
     }
+
+    /// One-line hub health for the popup footer — total calls, errors,
+    /// open connections and cache hit rate — fed by the same
+    /// operator-scoped `server_metrics` endpoint `gitcite hub top`
+    /// polls. Requires a signed-in session; a user without the operator
+    /// capability gets the hub's `permission_denied` back unchanged.
+    pub fn hub_health(&self) -> Result<String> {
+        let token = match &self.session {
+            Session::SignedIn { token, .. } => token,
+            Session::Anonymous => return Err(ExtError::NotSignedIn),
+        };
+        let snap = self.client.server_metrics(Some(token))?;
+        let calls: u64 = snap.methods.iter().map(|m| m.calls).sum();
+        let errors: u64 = snap
+            .methods
+            .iter()
+            .flat_map(|m| m.errors.iter().map(|(_, n)| *n))
+            .sum();
+        let conns = snap
+            .transport
+            .as_ref()
+            .map(|t| t.open_connections)
+            .unwrap_or(0);
+        let mut line =
+            format!("hub: {calls} call(s), {errors} error(s), {conns} open connection(s)");
+        if let Some(rate) = snap.store.as_ref().and_then(|s| s.cache_hit_rate()) {
+            line.push_str(&format!(", cache {:.0}% hit", 100.0 * rate));
+        }
+        Ok(line)
+    }
 }
 
 fn unexpected(response: &ApiResponse) -> ExtError {
@@ -525,6 +555,28 @@ mod tests {
             }
         );
         assert!(v.signed_in_as.is_none());
+    }
+
+    #[test]
+    fn hub_health_is_operator_scoped() {
+        let (hub, owner, visitor, repo_id) = setup();
+        // Anonymous popups cannot ask at all.
+        let popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        assert!(matches!(popup.hub_health(), Err(ExtError::NotSignedIn)));
+        // A signed-in non-operator is refused by the hub itself.
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.sign_in(visitor).unwrap();
+        assert!(matches!(
+            popup.hub_health(),
+            Err(ExtError::Hub(HubError::PermissionDenied(_)))
+        ));
+        // An operator sees the health line, fed by server_metrics.
+        hub.grant_operator("leshang").unwrap();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        popup.sign_in(owner).unwrap();
+        let line = popup.hub_health().unwrap();
+        assert!(line.starts_with("hub: "), "{line}");
+        assert!(line.contains("call(s)"), "{line}");
     }
 
     #[test]

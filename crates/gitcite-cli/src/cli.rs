@@ -159,6 +159,12 @@ remote hub (wire protocol v3 over TCP; v1/v2 clients still served)
   hub log <repo_id> <branch> --remote <addr> [--page-size <n>] [--all true]
   hub import <name> --remote <addr> --user <username>
   hub push <repo_id> <branch> --remote <addr> --user <username> [--force true]
+  hub top --remote <addr> [--user <u>] [--interval <secs>] [--once true]
+        [--prom true]                             live server telemetry: method
+        latencies (p50/p99), error counts, reactor and store health. Operator-
+        scoped; `hub serve` provisions the operator user \"operator\" (the
+        --user default). --once prints one snapshot; --prom emits Prometheus
+        text exposition
 
 environment
   GITCITE_AUTO_GC=<n>   loose-object count that triggers auto-gc on save
@@ -739,12 +745,13 @@ fn page_size(p: &Parsed) -> Result<u32> {
 fn cmd_hub(args: &[String], cwd: &Path) -> Result<String> {
     let Some(sub) = args.first().map(String::as_str) else {
         return Err(CliError::Usage(
-            "hub needs a subcommand: serve|register|repos|log|import|push".into(),
+            "hub needs a subcommand: serve|register|repos|log|import|push|top".into(),
         ));
     };
     let p = parse_args(&args[1..])?;
     match sub {
         "serve" => cmd_hub_serve(&p),
+        "top" => cmd_hub_top(&p),
         "register" => {
             let client = remote_client(&p)?;
             let username = p.pos(0, "username")?;
@@ -840,6 +847,14 @@ fn cmd_hub_serve(p: &Parsed) -> Result<String> {
             .map_err(|e| CliError::Op(format!("cannot open data dir: {e}")))?,
         None => hub::Hub::new("https://hub.local"),
     };
+    // Every served hub gets an operator account so `gitcite hub top`
+    // (and any other operator-scoped wire method) can authenticate.
+    // Login is open on this platform, so the grant exposes telemetry,
+    // not control — the destructive seams stay refused on the socket.
+    let _ = platform.register_user("operator", "Hub Operator");
+    platform
+        .grant_operator("operator")
+        .map_err(|e| CliError::Op(format!("cannot provision the operator account: {e}")))?;
     let server = hub::SocketServer::bind(std::sync::Arc::new(platform), addr)
         .map_err(|e| CliError::Op(format!("cannot bind {addr}: {e}")))?;
     // Print (and flush) the *resolved* address eagerly: with `--bind
@@ -850,6 +865,107 @@ fn cmd_hub_serve(p: &Parsed) -> Result<String> {
     let _ = std::io::Write::flush(&mut std::io::stdout());
     server.join();
     Ok(String::new())
+}
+
+/// `gitcite hub top`: live server telemetry, fed entirely by the
+/// operator-scoped `server_metrics` wire method. `--once` renders one
+/// snapshot and returns (the scriptable health-probe mode); otherwise
+/// the command polls every `--interval` seconds until interrupted.
+fn cmd_hub_top(p: &Parsed) -> Result<String> {
+    let client = remote_client(p)?;
+    let user = p.flag("user").unwrap_or("operator");
+    let token = client.login(user)?;
+    let prom = p.flag("prom").is_some();
+    let render = |snap: &hub::MetricsSnapshot| {
+        if prom {
+            snap.to_prometheus()
+        } else {
+            render_top(snap)
+        }
+    };
+    if p.flag("once").is_some() {
+        return Ok(render(&client.server_metrics(Some(&token))?));
+    }
+    let interval: f64 = match p.flag("interval") {
+        None => 2.0,
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError::Usage("--interval must be a number of seconds".into()))?,
+    };
+    loop {
+        print!("{}", render(&client.server_metrics(Some(&token))?));
+        println!("---");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        std::thread::sleep(std::time::Duration::from_secs_f64(
+            interval.clamp(0.1, 3600.0),
+        ));
+    }
+}
+
+/// Human-readable rendering of a telemetry snapshot: one row per wire
+/// method with bucket-derived latency quantiles, then reactor and store
+/// health.
+fn render_top(snap: &hub::MetricsSnapshot) -> String {
+    let mut out = format!(
+        "{:<20} {:>8} {:>9} {:>9} {:>9} {:>7}\n",
+        "method", "calls", "p50(us)", "p99(us)", "max(us)", "errors"
+    );
+    for m in &snap.methods {
+        let h = m.latency.to_snapshot();
+        let errors: u64 = m.errors.iter().map(|(_, n)| n).sum();
+        out.push_str(&format!(
+            "{:<20} {:>8} {:>9} {:>9} {:>9} {:>7}\n",
+            m.method,
+            m.calls,
+            h.p50(),
+            h.p99(),
+            m.latency.max_us,
+            errors
+        ));
+        for (code, n) in &m.errors {
+            out.push_str(&format!("{:<20}   {code}: {n}\n", ""));
+        }
+    }
+    match &snap.transport {
+        Some(t) => {
+            out.push_str(&format!(
+                "\ntransport: {} open connection(s), queue depth {}, {} busy worker(s)\n",
+                t.open_connections, t.queue_depth, t.busy_workers
+            ));
+            out.push_str(&format!(
+                "  bytes in: {} line / {} binary   bytes out: {} line / {} binary\n",
+                t.bytes_in_line, t.bytes_in_binary, t.bytes_out_line, t.bytes_out_binary
+            ));
+            out.push_str(&format!(
+                "  frames rejected: {}   abrupt closes: {}\n",
+                t.frames_rejected, t.transport_closed
+            ));
+            if t.obj_raw_bytes > 0 {
+                out.push_str(&format!(
+                    "  objects_ext compression: {} raw -> {} wire ({:.1}%)\n",
+                    t.obj_raw_bytes,
+                    t.obj_deflate_bytes,
+                    100.0 * t.obj_deflate_bytes as f64 / t.obj_raw_bytes as f64
+                ));
+            }
+        }
+        None => out.push_str("\ntransport: (no socket server attached)\n"),
+    }
+    if let Some(s) = &snap.store {
+        let rate = match s.cache_hit_rate() {
+            Some(r) => format!("{:.1}%", 100.0 * r),
+            None => "n/a".to_owned(),
+        };
+        out.push_str(&format!(
+            "store: {} repo(s), cache hit rate {rate} ({} hits / {} misses)\n",
+            s.repos, s.cache_hits, s.cache_misses
+        ));
+        out.push_str(&format!(
+            "  reads: {} pack / {} loose   walks: {} graph / {} decode-fallback\n",
+            s.pack_reads, s.loose_reads, s.graph_walks, s.fallback_walks
+        ));
+    }
+    out
 }
 
 fn cmd_retro(args: &[String], cwd: &Path) -> Result<String> {

@@ -45,6 +45,7 @@ pub mod graph;
 pub mod hash;
 pub mod merge;
 pub mod mergebase;
+pub mod metrics;
 pub mod object;
 pub mod pack;
 pub mod path;
@@ -62,6 +63,7 @@ pub use graph::{CommitGraph, GraphEntry, GRAPH_FILE};
 pub use hash::{ObjectId, Sha1};
 pub use merge::{merge_listings, Conflict, ConflictKind, MergeOptions, MergeReport, TreeMerge};
 pub use mergebase::{ancestor_set, merge_base};
+pub use metrics::StoreReadStats;
 pub use object::{Blob, Commit, EntryMode, Object, Signature, Tree, TreeEntry};
 pub use pack::{
     encode_pack, index_pack, EncodedPack, MaintenanceReport, Pack, PackIndex, PackStore, PACK_DIR,

@@ -31,9 +31,11 @@ pub fn merge_base<S: ObjectStore + ?Sized>(
     }
     if let Some(graph) = odb.commit_graph() {
         if let (Some(pa), Some(pb)) = (graph.lookup(a), graph.lookup(b)) {
+            crate::metrics::count_walk(true);
             return Ok(graph.merge_base(pa, pb));
         }
     }
+    crate::metrics::count_walk(false);
     merge_base_decode(odb, a, b)
 }
 
@@ -81,9 +83,11 @@ pub fn merge_base_decode<S: ObjectStore + ?Sized>(
 pub fn ancestor_set<S: ObjectStore + ?Sized>(odb: &S, from: ObjectId) -> Result<HashSet<ObjectId>> {
     if let Some(graph) = odb.commit_graph() {
         if let Some(pos) = graph.lookup(from) {
+            crate::metrics::count_walk(true);
             return Ok(graph.ancestor_set(pos));
         }
     }
+    crate::metrics::count_walk(false);
     ancestor_set_decode(odb, from)
 }
 

@@ -841,9 +841,11 @@ impl ObjectStore for PackStore {
         // byte at open, and the buffer is immutable from then on.
         for pack in &self.packs {
             if let Some(bytes) = pack.raw(id) {
+                crate::metrics::PACK_READS.inc();
                 return Ok(Arc::new(decode_object(bytes)?));
             }
         }
+        crate::metrics::LOOSE_READS.inc();
         self.loose.get(id)
     }
 

@@ -309,9 +309,11 @@ impl Repository {
     pub fn log(&self, from: ObjectId) -> Result<Vec<ObjectId>> {
         if let Some(graph) = self.odb.commit_graph() {
             if let Some(pos) = graph.lookup(from) {
+                crate::metrics::count_walk(true);
                 return Ok(graph.log(pos));
             }
         }
+        crate::metrics::count_walk(false);
         self.log_decode(from)
     }
 
@@ -368,9 +370,11 @@ impl Repository {
     pub fn first_parent_chain(&self, from: ObjectId) -> Result<Vec<ObjectId>> {
         if let Some(graph) = self.odb.commit_graph() {
             if let Some(pos) = graph.lookup(from) {
+                crate::metrics::count_walk(true);
                 return Ok(graph.first_parent_chain(pos));
             }
         }
+        crate::metrics::count_walk(false);
         let mut out = Vec::new();
         let mut cursor = Some(from);
         while let Some(id) = cursor {
@@ -432,12 +436,14 @@ impl Repository {
         }
         if let Some(graph) = self.odb.commit_graph() {
             if let Some(desc) = graph.lookup(descendant) {
+                crate::metrics::count_walk(true);
                 return Ok(match graph.lookup(ancestor) {
                     Some(anc) => graph.is_ancestor(anc, desc),
                     None => false,
                 });
             }
         }
+        crate::metrics::count_walk(false);
         let mut stack = vec![descendant];
         let mut seen = HashSet::new();
         while let Some(id) = stack.pop() {

@@ -1144,6 +1144,434 @@ impl RepoMaintenance {
 }
 
 // ---------------------------------------------------------------------
+// Server metrics (v3)
+// ---------------------------------------------------------------------
+
+/// A latency distribution on the wire: the sparse form of a
+/// [`telemetry::HistogramSnapshot`] — only non-empty log2 buckets
+/// travel, as `[bucket, count]` pairs, alongside the exact count, sum
+/// and maximum. The `buckets` key is absent when the histogram is empty,
+/// so an idle method costs four short fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireHistogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub sum_us: u64,
+    /// Largest sample, microseconds (exact, not a bucket bound).
+    pub max_us: u64,
+    /// Non-empty `(bucket, count)` pairs, ascending by bucket.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl WireHistogram {
+    /// The wire form of a snapshot.
+    pub fn from_snapshot(s: &telemetry::HistogramSnapshot) -> WireHistogram {
+        WireHistogram {
+            count: s.count,
+            sum_us: s.sum,
+            max_us: s.max,
+            buckets: s.sparse(),
+        }
+    }
+
+    /// Rebuilds the dense snapshot, from which quantiles derive.
+    pub fn to_snapshot(&self) -> telemetry::HistogramSnapshot {
+        telemetry::HistogramSnapshot::from_sparse(
+            &self.buckets,
+            self.count,
+            self.sum_us,
+            self.max_us,
+        )
+    }
+
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("count", self.count as i64);
+        o.insert("sum_us", self.sum_us as i64);
+        o.insert("max_us", self.max_us as i64);
+        if !self.buckets.is_empty() {
+            o.insert(
+                "buckets",
+                Value::Array(
+                    self.buckets
+                        .iter()
+                        .map(|&(i, n)| {
+                            Value::Array(vec![Value::from(i as i64), Value::from(n as i64)])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<WireHistogram> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("histogram must be an object"))?;
+        let mut buckets = Vec::new();
+        if let Some(arr) = o.get("buckets") {
+            let arr = arr
+                .as_array()
+                .ok_or_else(|| proto("buckets must be an array"))?;
+            for pair in arr {
+                let [i, n] = two(pair, "bucket")?;
+                let i = i
+                    .as_i64()
+                    .ok_or_else(|| proto("bucket index must be an integer"))?;
+                let n = n
+                    .as_i64()
+                    .ok_or_else(|| proto("bucket count must be an integer"))?;
+                buckets.push((i as u32, n as u64));
+            }
+        }
+        Ok(WireHistogram {
+            count: req_i64(o, "count")? as u64,
+            sum_us: req_i64(o, "sum_us")? as u64,
+            max_us: req_i64(o, "max_us")? as u64,
+            buckets,
+        })
+    }
+}
+
+/// Per-method dispatch statistics: call count, latency distribution and
+/// error tallies. The `errors` key is absent when the method has never
+/// failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodMetrics {
+    /// Wire method name (`"log"`, `"push"`, ...).
+    pub method: String,
+    /// Total dispatches, successes and failures alike.
+    pub calls: u64,
+    /// `(error code, occurrences)` pairs, ascending by code.
+    pub errors: Vec<(String, u64)>,
+    /// Dispatch latency in microseconds. The server times a sample of
+    /// calls (always including a method's first), so `latency.count` is
+    /// the number of *timed* calls and may trail `calls`.
+    pub latency: WireHistogram,
+}
+
+impl MethodMetrics {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("method", self.method.as_str());
+        o.insert("calls", self.calls as i64);
+        if !self.errors.is_empty() {
+            o.insert(
+                "errors",
+                Value::Array(
+                    self.errors
+                        .iter()
+                        .map(|(code, n)| {
+                            Value::Array(vec![Value::from(code.as_str()), Value::from(*n as i64)])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        o.insert("latency", self.latency.to_value());
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<MethodMetrics> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("method metrics must be an object"))?;
+        let mut errors = Vec::new();
+        if let Some(arr) = o.get("errors") {
+            let arr = arr
+                .as_array()
+                .ok_or_else(|| proto("errors must be an array"))?;
+            for pair in arr {
+                let [code, n] = two(pair, "error tally")?;
+                let n = n
+                    .as_i64()
+                    .ok_or_else(|| proto("error count must be an integer"))?;
+                errors.push((str_of(code, "error code")?, n as u64));
+            }
+        }
+        Ok(MethodMetrics {
+            method: req_str(o, "method")?,
+            calls: req_i64(o, "calls")? as u64,
+            errors,
+            latency: WireHistogram::from_value(
+                o.get("latency").ok_or_else(|| proto("missing latency"))?,
+            )?,
+        })
+    }
+}
+
+/// Socket-layer gauges and counters, exported by the reactor. Absent
+/// from a [`MetricsSnapshot`] (field and wire key both) when the hub is
+/// embedded in-process and no transport ever attached.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransportMetrics {
+    /// Connections currently open.
+    pub open_connections: i64,
+    /// Requests parked in the worker queue right now.
+    pub queue_depth: i64,
+    /// Workers executing a request right now.
+    pub busy_workers: i64,
+    /// Request bytes received over line framing (v1/v2).
+    pub bytes_in_line: u64,
+    /// Response bytes sent over line framing.
+    pub bytes_out_line: u64,
+    /// Request bytes received over v3 binary framing.
+    pub bytes_in_binary: u64,
+    /// Response bytes sent over v3 binary framing.
+    pub bytes_out_binary: u64,
+    /// Frames refused by the size/count caps before execution.
+    pub frames_rejected: u64,
+    /// Connections torn down abruptly — server shutdown under live
+    /// peers, stall timeouts, write failures, or a peer hanging up with
+    /// a request still in flight: the server-side tally of the
+    /// `transport_closed` errors clients observe.
+    pub transport_closed: u64,
+    /// Uncompressed bytes of `objects_ext` payloads moved.
+    pub obj_raw_bytes: u64,
+    /// Their on-wire deflated size (ratio = deflate / raw).
+    pub obj_deflate_bytes: u64,
+}
+
+impl TransportMetrics {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("open_connections", self.open_connections);
+        o.insert("queue_depth", self.queue_depth);
+        o.insert("busy_workers", self.busy_workers);
+        o.insert("bytes_in_line", self.bytes_in_line as i64);
+        o.insert("bytes_out_line", self.bytes_out_line as i64);
+        o.insert("bytes_in_binary", self.bytes_in_binary as i64);
+        o.insert("bytes_out_binary", self.bytes_out_binary as i64);
+        o.insert("frames_rejected", self.frames_rejected as i64);
+        o.insert("transport_closed", self.transport_closed as i64);
+        o.insert("obj_raw_bytes", self.obj_raw_bytes as i64);
+        o.insert("obj_deflate_bytes", self.obj_deflate_bytes as i64);
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<TransportMetrics> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("transport metrics must be an object"))?;
+        Ok(TransportMetrics {
+            open_connections: req_i64(o, "open_connections")?,
+            queue_depth: req_i64(o, "queue_depth")?,
+            busy_workers: req_i64(o, "busy_workers")?,
+            bytes_in_line: req_i64(o, "bytes_in_line")? as u64,
+            bytes_out_line: req_i64(o, "bytes_out_line")? as u64,
+            bytes_in_binary: req_i64(o, "bytes_in_binary")? as u64,
+            bytes_out_binary: req_i64(o, "bytes_out_binary")? as u64,
+            frames_rejected: req_i64(o, "frames_rejected")? as u64,
+            transport_closed: req_i64(o, "transport_closed")? as u64,
+            obj_raw_bytes: req_i64(o, "obj_raw_bytes")? as u64,
+            obj_deflate_bytes: req_i64(o, "obj_deflate_bytes")? as u64,
+        })
+    }
+}
+
+/// Storage-layer counters aggregated across every hosted repository:
+/// read-cache totals plus the process-wide pack/loose and
+/// graph/fallback tallies from [`gitlite::metrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreMetrics {
+    /// Hosted repositories.
+    pub repos: u64,
+    /// Read-cache hits summed over all hosted stores.
+    pub cache_hits: u64,
+    /// Read-cache misses summed over all hosted stores.
+    pub cache_misses: u64,
+    /// Object reads served from packs.
+    pub pack_reads: u64,
+    /// Object reads served loose.
+    pub loose_reads: u64,
+    /// History walks answered by the commit-graph.
+    pub graph_walks: u64,
+    /// History walks that fell back to decoding commits.
+    pub fallback_walks: u64,
+}
+
+impl StoreMetrics {
+    /// Cache hits over lookups, `None` before the first lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("repos", self.repos as i64);
+        o.insert("cache_hits", self.cache_hits as i64);
+        o.insert("cache_misses", self.cache_misses as i64);
+        o.insert("pack_reads", self.pack_reads as i64);
+        o.insert("loose_reads", self.loose_reads as i64);
+        o.insert("graph_walks", self.graph_walks as i64);
+        o.insert("fallback_walks", self.fallback_walks as i64);
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<StoreMetrics> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("store metrics must be an object"))?;
+        Ok(StoreMetrics {
+            repos: req_i64(o, "repos")? as u64,
+            cache_hits: req_i64(o, "cache_hits")? as u64,
+            cache_misses: req_i64(o, "cache_misses")? as u64,
+            pack_reads: req_i64(o, "pack_reads")? as u64,
+            loose_reads: req_i64(o, "loose_reads")? as u64,
+            graph_walks: req_i64(o, "graph_walks")? as u64,
+            fallback_walks: req_i64(o, "fallback_walks")? as u64,
+        })
+    }
+}
+
+/// The full answer to [`ApiRequest::ServerMetrics`]: one point-in-time
+/// view of the hub's health, from the dispatch layer down to storage.
+/// Optional sections omit their wire key entirely when absent, per the
+/// protocol's absent-field rule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Per-method dispatch stats, ascending by method name. Only
+    /// methods dispatched at least once appear.
+    pub methods: Vec<MethodMetrics>,
+    /// Socket-layer stats; `None` when no transport is attached.
+    pub transport: Option<TransportMetrics>,
+    /// Storage-layer stats; `None` when metrics are disabled.
+    pub store: Option<StoreMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// The Prometheus text exposition of the snapshot (`gitcite_`-
+    /// prefixed families; latency quantiles derived from the buckets).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.methods.is_empty() {
+            out.push_str("# TYPE gitcite_method_calls_total counter\n");
+            for m in &self.methods {
+                let _ = writeln!(
+                    out,
+                    "gitcite_method_calls_total{{method=\"{}\"}} {}",
+                    m.method, m.calls
+                );
+            }
+            out.push_str("# TYPE gitcite_method_errors_total counter\n");
+            for m in &self.methods {
+                for (code, n) in &m.errors {
+                    let _ = writeln!(
+                        out,
+                        "gitcite_method_errors_total{{method=\"{}\",code=\"{code}\"}} {n}",
+                        m.method
+                    );
+                }
+            }
+            out.push_str("# TYPE gitcite_method_latency_us summary\n");
+            for m in &self.methods {
+                let snap = m.latency.to_snapshot();
+                for (q, v) in [(0.5, snap.p50()), (0.9, snap.p90()), (0.99, snap.p99())] {
+                    let _ = writeln!(
+                        out,
+                        "gitcite_method_latency_us{{method=\"{}\",quantile=\"{q}\"}} {v}",
+                        m.method
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "gitcite_method_latency_us_sum{{method=\"{}\"}} {}",
+                    m.method, snap.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "gitcite_method_latency_us_count{{method=\"{}\"}} {}",
+                    m.method, snap.count
+                );
+            }
+        }
+        if let Some(t) = &self.transport {
+            for (name, v) in [
+                ("open_connections", t.open_connections),
+                ("queue_depth", t.queue_depth),
+                ("busy_workers", t.busy_workers),
+            ] {
+                let _ = writeln!(out, "# TYPE gitcite_{name} gauge\ngitcite_{name} {v}");
+            }
+            for (name, v) in [
+                ("bytes_in_line", t.bytes_in_line),
+                ("bytes_out_line", t.bytes_out_line),
+                ("bytes_in_binary", t.bytes_in_binary),
+                ("bytes_out_binary", t.bytes_out_binary),
+                ("frames_rejected", t.frames_rejected),
+                ("transport_closed", t.transport_closed),
+                ("obj_raw_bytes", t.obj_raw_bytes),
+                ("obj_deflate_bytes", t.obj_deflate_bytes),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "# TYPE gitcite_{name}_total counter\ngitcite_{name}_total {v}"
+                );
+            }
+        }
+        if let Some(s) = &self.store {
+            let _ = writeln!(out, "# TYPE gitcite_repos gauge\ngitcite_repos {}", s.repos);
+            for (name, v) in [
+                ("store_cache_hits", s.cache_hits),
+                ("store_cache_misses", s.cache_misses),
+                ("store_pack_reads", s.pack_reads),
+                ("store_loose_reads", s.loose_reads),
+                ("store_graph_walks", s.graph_walks),
+                ("store_fallback_walks", s.fallback_walks),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "# TYPE gitcite_{name}_total counter\ngitcite_{name}_total {v}"
+                );
+            }
+        }
+        out
+    }
+
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert(
+            "methods",
+            Value::Array(self.methods.iter().map(|m| m.to_value()).collect()),
+        );
+        if let Some(t) = &self.transport {
+            o.insert("transport", t.to_value());
+        }
+        if let Some(s) = &self.store {
+            o.insert("store", s.to_value());
+        }
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<MetricsSnapshot> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("metrics must be an object"))?;
+        let mut methods = Vec::new();
+        for m in req_arr(o, "methods")? {
+            methods.push(MethodMetrics::from_value(m)?);
+        }
+        let transport = match o.get("transport") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(TransportMetrics::from_value(v)?),
+        };
+        let store = match o.get("store") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(StoreMetrics::from_value(v)?),
+        };
+        Ok(MetricsSnapshot {
+            methods,
+            transport,
+            store,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------
 
@@ -1321,6 +1749,13 @@ pub enum ApiRequest {
         repo_id: String,
     },
     Maintenance,
+    /// v3: one point-in-time health snapshot of the whole hub
+    /// ([`MetricsSnapshot`]). Operator-scoped on sockets: the token must
+    /// belong to an operator there; trusted in-process embedders may
+    /// omit it.
+    ServerMetrics {
+        token: Option<String>,
+    },
     AdvanceClock {
         ts: i64,
     },
@@ -1369,50 +1804,102 @@ fn role_parse(s: &str) -> WireResult<Role> {
     })
 }
 
+/// Every wire method name, indexed by [`ApiRequest::method_index`].
+/// The hub keys its per-method dispatch stats by this index so the hot
+/// path is one array access, not a map lookup.
+pub const METHOD_NAMES: &[&str] = &[
+    "register_user",
+    "login",
+    "revoke",
+    "whoami",
+    "create_repo",
+    "import_repo",
+    "add_member",
+    "role_of",
+    "can_write",
+    "list_repos",
+    "branches",
+    "list_files",
+    "read_file",
+    "log",
+    "log_page",
+    "clone_repo",
+    "negotiate",
+    "generate_citation",
+    "citation_entry",
+    "add_cite",
+    "modify_cite",
+    "del_cite",
+    "push",
+    "fork",
+    "merge_branches",
+    "deposit",
+    "resolve_doi",
+    "archive",
+    "resolve_swhid",
+    "archive_visits",
+    "credited_authors",
+    "find_repos_citing",
+    "audit_log",
+    "audit_log_page",
+    "list_repos_page",
+    "store_stats",
+    "maintenance",
+    "server_metrics",
+    "advance_clock",
+    "batch",
+];
+
 impl ApiRequest {
+    /// This request's position in [`METHOD_NAMES`].
+    pub fn method_index(&self) -> usize {
+        match self {
+            ApiRequest::RegisterUser { .. } => 0,
+            ApiRequest::Login { .. } => 1,
+            ApiRequest::Revoke { .. } => 2,
+            ApiRequest::Whoami { .. } => 3,
+            ApiRequest::CreateRepo { .. } => 4,
+            ApiRequest::ImportRepo { .. } => 5,
+            ApiRequest::AddMember { .. } => 6,
+            ApiRequest::RoleOf { .. } => 7,
+            ApiRequest::CanWrite { .. } => 8,
+            ApiRequest::ListRepos => 9,
+            ApiRequest::Branches { .. } => 10,
+            ApiRequest::ListFiles { .. } => 11,
+            ApiRequest::ReadFile { .. } => 12,
+            ApiRequest::Log { .. } => 13,
+            ApiRequest::LogPage { .. } => 14,
+            ApiRequest::CloneRepo { .. } => 15,
+            ApiRequest::Negotiate { .. } => 16,
+            ApiRequest::GenerateCitation { .. } => 17,
+            ApiRequest::CitationEntry { .. } => 18,
+            ApiRequest::AddCite { .. } => 19,
+            ApiRequest::ModifyCite { .. } => 20,
+            ApiRequest::DelCite { .. } => 21,
+            ApiRequest::Push { .. } => 22,
+            ApiRequest::Fork { .. } => 23,
+            ApiRequest::MergeBranches { .. } => 24,
+            ApiRequest::Deposit { .. } => 25,
+            ApiRequest::ResolveDoi { .. } => 26,
+            ApiRequest::Archive { .. } => 27,
+            ApiRequest::ResolveSwhid { .. } => 28,
+            ApiRequest::ArchiveVisits { .. } => 29,
+            ApiRequest::CreditedAuthors { .. } => 30,
+            ApiRequest::FindReposCiting { .. } => 31,
+            ApiRequest::AuditLog => 32,
+            ApiRequest::AuditLogPage { .. } => 33,
+            ApiRequest::ListReposPage { .. } => 34,
+            ApiRequest::StoreStats { .. } => 35,
+            ApiRequest::Maintenance => 36,
+            ApiRequest::ServerMetrics { .. } => 37,
+            ApiRequest::AdvanceClock { .. } => 38,
+            ApiRequest::Batch { .. } => 39,
+        }
+    }
+
     /// The wire method name.
     pub fn method(&self) -> &'static str {
-        match self {
-            ApiRequest::RegisterUser { .. } => "register_user",
-            ApiRequest::Login { .. } => "login",
-            ApiRequest::Revoke { .. } => "revoke",
-            ApiRequest::Whoami { .. } => "whoami",
-            ApiRequest::CreateRepo { .. } => "create_repo",
-            ApiRequest::ImportRepo { .. } => "import_repo",
-            ApiRequest::AddMember { .. } => "add_member",
-            ApiRequest::RoleOf { .. } => "role_of",
-            ApiRequest::CanWrite { .. } => "can_write",
-            ApiRequest::ListRepos => "list_repos",
-            ApiRequest::Branches { .. } => "branches",
-            ApiRequest::ListFiles { .. } => "list_files",
-            ApiRequest::ReadFile { .. } => "read_file",
-            ApiRequest::Log { .. } => "log",
-            ApiRequest::LogPage { .. } => "log_page",
-            ApiRequest::CloneRepo { .. } => "clone_repo",
-            ApiRequest::Negotiate { .. } => "negotiate",
-            ApiRequest::GenerateCitation { .. } => "generate_citation",
-            ApiRequest::CitationEntry { .. } => "citation_entry",
-            ApiRequest::AddCite { .. } => "add_cite",
-            ApiRequest::ModifyCite { .. } => "modify_cite",
-            ApiRequest::DelCite { .. } => "del_cite",
-            ApiRequest::Push { .. } => "push",
-            ApiRequest::Fork { .. } => "fork",
-            ApiRequest::MergeBranches { .. } => "merge_branches",
-            ApiRequest::Deposit { .. } => "deposit",
-            ApiRequest::ResolveDoi { .. } => "resolve_doi",
-            ApiRequest::Archive { .. } => "archive",
-            ApiRequest::ResolveSwhid { .. } => "resolve_swhid",
-            ApiRequest::ArchiveVisits { .. } => "archive_visits",
-            ApiRequest::CreditedAuthors { .. } => "credited_authors",
-            ApiRequest::FindReposCiting { .. } => "find_repos_citing",
-            ApiRequest::AuditLog => "audit_log",
-            ApiRequest::AuditLogPage { .. } => "audit_log_page",
-            ApiRequest::ListReposPage { .. } => "list_repos_page",
-            ApiRequest::StoreStats { .. } => "store_stats",
-            ApiRequest::Maintenance => "maintenance",
-            ApiRequest::AdvanceClock { .. } => "advance_clock",
-            ApiRequest::Batch { .. } => "batch",
-        }
+        METHOD_NAMES[self.method_index()]
     }
 
     /// The lowest protocol major version that can carry this request —
@@ -1424,7 +1911,7 @@ impl ApiRequest {
     /// at encode time, which stamps v3 itself.)
     pub fn version(&self) -> i64 {
         match self {
-            ApiRequest::Batch { .. } => PROTOCOL_V3,
+            ApiRequest::Batch { .. } | ApiRequest::ServerMetrics { .. } => PROTOCOL_V3,
             ApiRequest::Negotiate { .. }
             | ApiRequest::LogPage { .. }
             | ApiRequest::AuditLogPage { .. }
@@ -1456,6 +1943,7 @@ impl ApiRequest {
             | ApiRequest::Fork { token, .. }
             | ApiRequest::MergeBranches { token, .. }
             | ApiRequest::Deposit { token, .. } => Some(token),
+            ApiRequest::ServerMetrics { token } => token.as_deref(),
             _ => None,
         }
     }
@@ -1509,6 +1997,11 @@ impl ApiRequest {
                 p.insert("repo_id", repo_id.as_str());
             }
             ApiRequest::ListRepos | ApiRequest::AuditLog | ApiRequest::Maintenance => {}
+            ApiRequest::ServerMetrics { token } => {
+                if let Some(t) = token {
+                    p.insert("token", t.as_str());
+                }
+            }
             ApiRequest::LogPage {
                 repo_id,
                 branch,
@@ -1936,6 +2429,9 @@ impl ApiRequest {
                 repo_id: req_str(p, "repo_id")?,
             },
             "maintenance" => ApiRequest::Maintenance,
+            "server_metrics" => ApiRequest::ServerMetrics {
+                token: opt_str(p, "token")?,
+            },
             "advance_clock" => ApiRequest::AdvanceClock {
                 ts: req_i64(p, "ts")?,
             },
@@ -2036,6 +2532,8 @@ pub enum ApiResponse {
     Audit(Vec<AuditEvent>),
     Stats(StoreStats),
     Maintenance(Vec<RepoMaintenance>),
+    /// v3: the hub-wide health snapshot.
+    Metrics(MetricsSnapshot),
     Bundle(RepoBundle),
     /// v3: the responses to a [`ApiRequest::Batch`], in request order.
     /// Items may individually be errors — one failed sub-request does not
@@ -2081,6 +2579,7 @@ impl ApiResponse {
             ApiResponse::Audit(_) => "audit",
             ApiResponse::Stats(_) => "stats",
             ApiResponse::Maintenance(_) => "maintenance",
+            ApiResponse::Metrics(_) => "metrics",
             ApiResponse::Bundle(_) => "bundle",
             ApiResponse::Batch(_) => "batch",
             ApiResponse::Error(_) => "error",
@@ -2255,6 +2754,9 @@ impl ApiResponse {
                     Value::Array(entries.iter().map(|e| e.to_value()).collect()),
                 );
             }
+            ApiResponse::Metrics(m) => {
+                o.insert("metrics", m.to_value());
+            }
             ApiResponse::Bundle(b) => {
                 o.insert("bundle", b.to_value());
             }
@@ -2275,7 +2777,7 @@ impl ApiResponse {
     /// every peer must parse).
     pub fn version(&self) -> i64 {
         match self {
-            ApiResponse::Batch(_) => PROTOCOL_V3,
+            ApiResponse::Batch(_) | ApiResponse::Metrics(_) => PROTOCOL_V3,
             ApiResponse::LogPage(_)
             | ApiResponse::AuditPage(_)
             | ApiResponse::NamesPage(_)
@@ -2542,6 +3044,9 @@ impl ApiResponse {
                 }
                 ApiResponse::Maintenance(repos)
             }
+            "metrics" => ApiResponse::Metrics(MetricsSnapshot::from_value(
+                r.get("metrics").ok_or_else(|| proto("missing metrics"))?,
+            )?),
             "bundle" => ApiResponse::Bundle(RepoBundle::from_value_inner(
                 r.get("bundle").ok_or_else(|| proto("missing bundle"))?,
                 sidecar.as_deref_mut(),

@@ -9,8 +9,8 @@
 //! without touching any client logic.
 
 use crate::api::{
-    ApiRequest, ApiResponse, MergeSummary, Negotiation, Page, RepoBundle, RepoMaintenance,
-    StoreStats,
+    ApiRequest, ApiResponse, MergeSummary, MetricsSnapshot, Negotiation, Page, RepoBundle,
+    RepoMaintenance, StoreStats,
 };
 use crate::audit::AuditEvent;
 use crate::error::{HubError, Result};
@@ -703,6 +703,22 @@ impl<T: Transport> HubClient<T> {
     pub fn maintenance(&self) -> Result<Vec<RepoMaintenance>> {
         match self.call(ApiRequest::Maintenance)? {
             ApiResponse::Maintenance(repos) => Ok(repos),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// The server's telemetry snapshot (protocol v3): per-method call
+    /// counts and latency histograms, the socket transport's gauges and
+    /// byte counters, and store-layer read statistics. Operator-scoped
+    /// over a socket — the token must belong to a user the server
+    /// granted the operator capability — which is why, unlike
+    /// [`HubClient::maintenance`], it takes one. What `gitcite hub top`
+    /// renders.
+    pub fn server_metrics(&self, token: Option<&Token>) -> Result<MetricsSnapshot> {
+        match self.call(ApiRequest::ServerMetrics {
+            token: token.map(|t| t.as_str().to_owned()),
+        })? {
+            ApiResponse::Metrics(m) => Ok(m),
             other => Err(shape(&other)),
         }
     }

@@ -52,9 +52,10 @@ pub mod transport;
 pub mod zenodo;
 
 pub use api::{
-    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, Negotiation, Page, RepoBundle,
-    RepoMaintenance, StoreStats, WireError, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, PROTOCOL_V1,
-    PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_VERSION,
+    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, MethodMetrics, MetricsSnapshot,
+    Negotiation, Page, RepoBundle, RepoMaintenance, StoreMetrics, StoreStats, TransportMetrics,
+    WireError, WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, PROTOCOL_V1, PROTOCOL_V2,
+    PROTOCOL_V3, PROTOCOL_VERSION,
 };
 pub use audit::{AuditEvent, AuditLog};
 pub use client::{HubClient, InProcess, Transport};

@@ -35,8 +35,9 @@
 //! deadlock-free.
 
 use crate::api::{
-    ApiRequest, ApiResponse, MergeOutcome, MergeSummary, Negotiation, Page, RepoBundle,
-    RepoMaintenance, StoreStats, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE,
+    ApiRequest, ApiResponse, MergeOutcome, MergeSummary, MethodMetrics, MetricsSnapshot,
+    Negotiation, Page, RepoBundle, RepoMaintenance, StoreMetrics, StoreStats, TransportMetrics,
+    WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE,
 };
 use crate::audit::{AuditEvent, AuditLog};
 use crate::error::{HubError, Result};
@@ -48,8 +49,9 @@ use gitlite::{ObjectId, RepoPath, Repository, Signature};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Bound;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An opaque personal-access token.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -95,6 +97,24 @@ type RepoCell = Arc<RwLock<HostedRepo>>;
 /// [`gitlite::ObjectStore`] trait).
 pub type StoreFactory = Box<dyn Fn() -> Box<dyn gitlite::ObjectStore> + Send + Sync>;
 
+/// One latency measurement per this many dispatches (see
+/// [`Hub::dispatch`] for why latency is sampled at all).
+const LATENCY_SAMPLE: u64 = 16;
+
+/// Dispatch instrumentation for one wire method: lock-cheap cells for
+/// the hot path (relaxed atomic bumps), a small mutexed tally map
+/// touched only on the error path.
+#[derive(Debug, Default)]
+struct MethodStats {
+    calls: telemetry::Counter,
+    /// Dispatch latency, microseconds — a 1-in-[`LATENCY_SAMPLE`]
+    /// sample of calls, so its `count` is the number of *timed* calls,
+    /// not the (exact) `calls` counter.
+    latency: telemetry::Histogram,
+    /// error code → occurrences.
+    errors: Mutex<BTreeMap<String, u64>>,
+}
+
 /// The hosting platform.
 pub struct Hub {
     users: RwLock<BTreeMap<String, User>>,
@@ -109,6 +129,24 @@ pub struct Hub {
     base_url: String,
     /// Backend factory for server-side repositories.
     store_factory: StoreFactory,
+    /// Per-method dispatch stats (calls, latency, error tallies), one
+    /// flat slot per [`crate::api::METHOD_NAMES`] entry — the dispatch
+    /// hot path indexes an array, it never takes a lock or clones an
+    /// `Arc`.
+    method_stats: Box<[MethodStats]>,
+    /// Shared instrument registry: the socket transport hangs its
+    /// gauges and counters here (see [`Hub::metrics`]), which is how
+    /// `server_metrics` sees reactor state without a dependency cycle.
+    metrics: Arc<telemetry::Registry>,
+    /// Structured-tracing facade; sinks attach via `GITCITE_TRACE`
+    /// (stderr JSON lines) or [`Hub::tracer`].
+    tracer: telemetry::Tracer,
+    /// Dispatch instrumentation switch — the observability bench
+    /// measures both sides of it. On by default.
+    metrics_enabled: AtomicBool,
+    /// Usernames holding the operator capability (`server_metrics`
+    /// over sockets, like `maintenance` is operator-only there).
+    operators: RwLock<HashSet<String>>,
 }
 
 impl Default for Hub {
@@ -152,6 +190,14 @@ impl Hub {
             next_token: AtomicU64::new(0),
             base_url: base_url.into(),
             store_factory,
+            method_stats: crate::api::METHOD_NAMES
+                .iter()
+                .map(|_| MethodStats::default())
+                .collect(),
+            metrics: Arc::new(telemetry::Registry::new()),
+            tracer: telemetry::Tracer::from_env(),
+            metrics_enabled: AtomicBool::new(true),
+            operators: RwLock::new(HashSet::new()),
         }
     }
 
@@ -202,10 +248,51 @@ impl Hub {
     /// operation is reachable here; the typed methods below are wrappers
     /// over this single entry point.
     pub fn dispatch(&self, request: ApiRequest) -> ApiResponse {
-        match self.route(request) {
+        if !self.metrics_enabled.load(Ordering::Relaxed) {
+            return match self.route(request) {
+                Ok(response) => response,
+                Err(e) => ApiResponse::from_error(&e),
+            };
+        }
+        // Batch items recurse through this same entry point, so each is
+        // counted and timed individually in addition to the envelope.
+        // Span construction allocates its field strings, so it is built
+        // only when a sink is actually attached.
+        let _span = if self.tracer.enabled() {
+            Some(
+                self.tracer
+                    .span("dispatch")
+                    .field("method", request.method())
+                    .enter(),
+            )
+        } else {
+            None
+        };
+        let stats = &self.method_stats[request.method_index()];
+        // Latency is sampled 1-in-LATENCY_SAMPLE: the two monotonic clock
+        // reads cost more than all the counter bumps combined, and on
+        // the microsecond-scale read path paying them every call blows
+        // the <2% overhead budget. Sampling keys off the call counter,
+        // so the first call of every method is always timed and sparse
+        // methods still get real quantiles; `calls` stays exact.
+        let sampled = stats.calls.bump().is_multiple_of(LATENCY_SAMPLE);
+        let start = sampled.then(Instant::now);
+        let response = match self.route(request) {
             Ok(response) => response,
             Err(e) => ApiResponse::from_error(&e),
+        };
+        if let Some(start) = start {
+            let elapsed_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            stats.latency.record(elapsed_us);
         }
+        if let ApiResponse::Error(e) = &response {
+            *stats
+                .errors
+                .lock()
+                .entry(e.code.as_str().to_owned())
+                .or_insert(0) += 1;
+        }
+        response
     }
 
     /// [`Hub::dispatch`] behind the sjson wire encoding: parses the
@@ -473,6 +560,21 @@ impl Hub {
                 })
             }
             Q::Maintenance => R::Maintenance(self.op_maintenance()?),
+            Q::ServerMetrics { token } => {
+                // Tokenless requests are the trusted in-process path
+                // (sockets always attach a token; see the transport's
+                // operator seam). A token, wherever it came from, must
+                // belong to an operator.
+                if let Some(token) = &token {
+                    let user = self.auth(token)?;
+                    if !self.operators.read().contains(&user.username) {
+                        return Err(HubError::PermissionDenied(
+                            "server_metrics requires the operator capability".into(),
+                        ));
+                    }
+                }
+                R::Metrics(self.op_server_metrics())
+            }
             Q::AdvanceClock { ts } => {
                 self.clock.fetch_max(ts, Ordering::SeqCst);
                 R::Unit
@@ -1008,6 +1110,60 @@ impl Hub {
             ApiResponse::Maintenance(repos) => Ok(repos),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// One point-in-time health snapshot of the whole hub: per-method
+    /// dispatch stats, socket-layer gauges (when a transport is
+    /// attached) and aggregated storage counters. Pass `None` from a
+    /// trusted in-process embedder; a token must belong to a user
+    /// granted [`Hub::grant_operator`].
+    pub fn server_metrics(&self, token: Option<&Token>) -> Result<MetricsSnapshot> {
+        match self.unwrap(ApiRequest::ServerMetrics {
+            token: token.map(|t| t.0.clone()),
+        })? {
+            ApiResponse::Metrics(m) => Ok(m),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Grants `username` the operator capability: `server_metrics` over
+    /// sockets is refused for every other token.
+    pub fn grant_operator(&self, username: &str) -> Result<()> {
+        if !self.users.read().contains_key(username) {
+            return Err(HubError::UserNotFound(username.to_owned()));
+        }
+        self.operators.write().insert(username.to_owned());
+        Ok(())
+    }
+
+    /// True when `token` is valid and its user holds the operator
+    /// capability — the transport's guard for operator-scoped methods.
+    pub fn is_operator_token(&self, token: &str) -> bool {
+        match self.tokens.read().get(token) {
+            Some(username) => self.operators.read().contains(username),
+            None => false,
+        }
+    }
+
+    /// The shared instrument registry. The socket transport registers
+    /// its gauges and counters here so they appear in
+    /// [`Hub::server_metrics`] snapshots.
+    pub fn metrics(&self) -> Arc<telemetry::Registry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The tracer dispatch spans go to. Enabled automatically when
+    /// `GITCITE_TRACE` is set (stderr JSON lines); tests attach a
+    /// [`telemetry::RingSink`] through this accessor.
+    pub fn tracer(&self) -> &telemetry::Tracer {
+        &self.tracer
+    }
+
+    /// Switches dispatch instrumentation on or off (default: on). The
+    /// observability bench measures the cost of the instrumented side
+    /// against this escape hatch.
+    pub fn set_metrics_enabled(&self, enabled: bool) {
+        self.metrics_enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Advances the hub clock to at least `ts` (used by deterministic
@@ -1646,6 +1802,82 @@ impl Hub {
         let ts = self.tick();
         self.record(ts, None, "maintenance", "*", ok);
         Ok(out)
+    }
+
+    fn op_server_metrics(&self) -> MetricsSnapshot {
+        // Only methods that were actually dispatched appear, in name
+        // order — the flat slot array is an implementation detail.
+        let mut methods: Vec<MethodMetrics> = crate::api::METHOD_NAMES
+            .iter()
+            .zip(self.method_stats.iter())
+            .filter(|(_, stats)| stats.calls.get() > 0)
+            .map(|(name, stats)| MethodMetrics {
+                method: (*name).to_owned(),
+                calls: stats.calls.get(),
+                errors: stats
+                    .errors
+                    .lock()
+                    .iter()
+                    .map(|(code, n)| (code.clone(), *n))
+                    .collect(),
+                latency: WireHistogram::from_snapshot(&stats.latency.snapshot()),
+            })
+            .collect();
+        methods.sort_by(|a, b| a.method.cmp(&b.method));
+        MetricsSnapshot {
+            methods,
+            transport: self.transport_metrics(),
+            store: Some(self.op_store_metrics()),
+        }
+    }
+
+    /// The socket-layer section of the snapshot: read back out of the
+    /// shared registry the transport populates. `None` when no
+    /// transport ever attached (the registry is exclusively theirs —
+    /// method stats live in [`Hub::method_stats`]).
+    fn transport_metrics(&self) -> Option<TransportMetrics> {
+        if self.metrics.is_empty() {
+            return None;
+        }
+        let snap = self.metrics.snapshot();
+        Some(TransportMetrics {
+            open_connections: snap.gauge("conns.open"),
+            queue_depth: snap.gauge("queue.depth"),
+            busy_workers: snap.gauge("workers.busy"),
+            bytes_in_line: snap.counter("bytes.in.line"),
+            bytes_out_line: snap.counter("bytes.out.line"),
+            bytes_in_binary: snap.counter("bytes.in.binary"),
+            bytes_out_binary: snap.counter("bytes.out.binary"),
+            frames_rejected: snap.counter("frames.rejected"),
+            transport_closed: snap.counter("conns.transport_closed"),
+            obj_raw_bytes: snap.counter("obj.raw_bytes"),
+            obj_deflate_bytes: snap.counter("obj.deflate_bytes"),
+        })
+    }
+
+    /// The storage section: read-cache counters summed over every
+    /// hosted repository (via the same `cache_metrics` hook
+    /// `store_stats` uses) plus the process-wide pack/loose and
+    /// graph/fallback tallies from [`gitlite::metrics`].
+    fn op_store_metrics(&self) -> StoreMetrics {
+        let cells: Vec<RepoCell> = self.repos.read().values().cloned().collect();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for cell in &cells {
+            if let Some(c) = cell.read().repo.odb().cache_metrics() {
+                hits += c.hits;
+                misses += c.misses;
+            }
+        }
+        let reads = gitlite::metrics::snapshot();
+        StoreMetrics {
+            repos: cells.len() as u64,
+            cache_hits: hits,
+            cache_misses: misses,
+            pack_reads: reads.pack_reads,
+            loose_reads: reads.loose_reads,
+            graph_walks: reads.graph_walks,
+            fallback_walks: reads.fallback_walks,
+        }
     }
 }
 

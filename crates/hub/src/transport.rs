@@ -47,6 +47,18 @@
 //! get a typed `protocol` error where a reply is still possible, then a
 //! clean close.
 //!
+//! # Telemetry
+//!
+//! The socket layer registers its instruments in the hub's shared
+//! [`telemetry`] registry at bind time ([`NetMetrics`]): open-connection
+//! / queue-depth / busy-worker gauges, per-framing byte counters, frames
+//! rejected by the caps, abrupt closes (the server-side tally of the
+//! `transport_closed` errors clients observe), and raw-versus-deflate
+//! byte counts for the v3 object side channel. The whole picture —
+//! together with the hub's per-method latency histograms — is queryable
+//! over the wire through the operator-scoped v3 `server_metrics` method,
+//! which is what `gitcite hub top` renders.
+//!
 //! # Auth-token scoping
 //!
 //! Tokens are scoped to the connection that minted them:
@@ -64,8 +76,10 @@
 //! transport — with two exceptions: the operator/test seams
 //! `advance_clock` and `maintenance` are refused outright on the
 //! socket, because "anonymous" on a network port means anyone who can
-//! reach it. A v3 `batch` envelope applies the same checks to each item
-//! individually.
+//! reach it. `server_metrics` *is* served over the socket, but only to
+//! a connection whose own minted token belongs to a user holding the
+//! operator capability ([`Hub::is_operator_token`]). A v3 `batch`
+//! envelope applies the same checks to each item individually.
 //!
 //! **Deployment caveat:** the hub reproduces the paper's platform, and
 //! its `login` takes a username with no secret — anyone who can reach
@@ -342,6 +356,7 @@ impl SocketServer {
         let waker = Arc::new(mio::Waker::new(poll.registry(), WAKER_TOKEN)?);
         let stop = Arc::new(AtomicBool::new(false));
         let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let metrics = Arc::new(NetMetrics::new(&hub.metrics()));
         let (jobs, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let workers = (0..config.workers.max(1))
@@ -350,12 +365,14 @@ impl SocketServer {
                 let rx = Arc::clone(&job_rx);
                 let completions = Arc::clone(&completions);
                 let waker = Arc::clone(&waker);
-                std::thread::spawn(move || worker_loop(&hub, &rx, &completions, &waker))
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(&hub, &rx, &completions, &waker, &metrics))
             })
             .collect();
         let reactor = Reactor {
             hub,
             config,
+            metrics,
             poll,
             listener,
             conns: HashMap::new(),
@@ -489,9 +506,48 @@ impl Conn {
     }
 }
 
+/// The socket layer's instrument handles, resolved once from the hub's
+/// shared [`telemetry::Registry`] at bind time so the hot paths bump
+/// atomics and never touch a name→instrument map. The hub keeps its
+/// per-method stats outside this registry, so the registry is non-empty
+/// exactly when a socket server is (or has been) attached — which is how
+/// `server_metrics` decides whether to report a transport section.
+struct NetMetrics {
+    conns_open: Arc<telemetry::Gauge>,
+    queue_depth: Arc<telemetry::Gauge>,
+    workers_busy: Arc<telemetry::Gauge>,
+    bytes_in_line: Arc<telemetry::Counter>,
+    bytes_out_line: Arc<telemetry::Counter>,
+    bytes_in_binary: Arc<telemetry::Counter>,
+    bytes_out_binary: Arc<telemetry::Counter>,
+    frames_rejected: Arc<telemetry::Counter>,
+    transport_closed: Arc<telemetry::Counter>,
+    obj_raw_bytes: Arc<telemetry::Counter>,
+    obj_deflate_bytes: Arc<telemetry::Counter>,
+}
+
+impl NetMetrics {
+    fn new(registry: &telemetry::Registry) -> NetMetrics {
+        NetMetrics {
+            conns_open: registry.gauge("conns.open"),
+            queue_depth: registry.gauge("queue.depth"),
+            workers_busy: registry.gauge("workers.busy"),
+            bytes_in_line: registry.counter("bytes.in.line"),
+            bytes_out_line: registry.counter("bytes.out.line"),
+            bytes_in_binary: registry.counter("bytes.in.binary"),
+            bytes_out_binary: registry.counter("bytes.out.binary"),
+            frames_rejected: registry.counter("frames.rejected"),
+            transport_closed: registry.counter("conns.transport_closed"),
+            obj_raw_bytes: registry.counter("obj.raw_bytes"),
+            obj_deflate_bytes: registry.counter("obj.deflate_bytes"),
+        }
+    }
+}
+
 struct Reactor {
     hub: Arc<Hub>,
     config: ServerConfig,
+    metrics: Arc<NetMetrics>,
     poll: mio::Poll,
     listener: TcpListener,
     conns: HashMap<usize, Conn>,
@@ -529,7 +585,9 @@ impl Reactor {
         }
         let ids: Vec<usize> = self.conns.keys().copied().collect();
         for id in ids {
-            self.close(id);
+            // Shutdown under a live peer: every remaining connection is
+            // torn down abruptly from the client's point of view.
+            self.close(id, true);
         }
     }
 
@@ -552,6 +610,7 @@ impl Reactor {
                         continue;
                     }
                     self.conns.insert(id, Conn::new(stream));
+                    self.metrics.conns_open.inc();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -589,10 +648,11 @@ impl Reactor {
                 }
             }
         }
-        let (items, fatal) = parse_input(conn, &self.config);
+        let (items, fatal) = parse_input(conn, &self.config, &self.metrics);
         for item in items {
             if conn.busy {
                 conn.pending.push_back(item);
+                self.metrics.queue_depth.inc();
             } else {
                 conn.busy = true;
                 let _ = self.jobs.send(Job {
@@ -603,6 +663,8 @@ impl Reactor {
             }
         }
         if let Some(msg) = fatal {
+            self.metrics.frames_rejected.inc();
+            self.metrics.queue_depth.add(-(conn.pending.len() as i64));
             conn.pending.clear();
             conn.inbuf.clear();
             conn.partial = None;
@@ -622,15 +684,16 @@ impl Reactor {
             };
         }
         if eof && !conn.closing {
-            // Peer hung up cleanly; nothing left to deliver.
-            self.close(id);
+            // Peer hung up; close() decides whether it was clean (idle,
+            // nothing pending) or abrupt (a request still in flight).
+            self.close(id, false);
             return;
         }
-        let alive = flush(conn, &self.config);
+        let alive = flush(conn, &self.config, &self.metrics);
         if alive {
             update_interest(self.poll.registry(), id, conn);
         } else {
-            self.close(id);
+            self.close(id, false);
         }
     }
 
@@ -638,11 +701,11 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&id) else {
             return;
         };
-        let alive = flush(conn, &self.config);
+        let alive = flush(conn, &self.config, &self.metrics);
         if alive {
             update_interest(self.poll.registry(), id, conn);
         } else {
-            self.close(id);
+            self.close(id, false);
         }
     }
 
@@ -655,6 +718,7 @@ impl Reactor {
             conn.outq.push_back(bytes);
             conn.busy = false;
             if let Some(item) = conn.pending.pop_front() {
+                self.metrics.queue_depth.dec();
                 conn.busy = true;
                 let _ = self.jobs.send(Job {
                     conn: id,
@@ -662,11 +726,11 @@ impl Reactor {
                     minted: Arc::clone(&conn.minted),
                 });
             }
-            let alive = flush(conn, &self.config);
+            let alive = flush(conn, &self.config, &self.metrics);
             if alive {
                 update_interest(self.poll.registry(), id, conn);
             } else {
-                self.close(id);
+                self.close(id, false);
             }
         }
     }
@@ -684,13 +748,14 @@ impl Reactor {
         }
         for id in write_dead {
             // The peer is not draining; an error reply cannot be
-            // delivered either. Just close.
-            self.close(id);
+            // delivered either. Just close (abruptly, by definition).
+            self.close(id, true);
         }
         for id in read_dead {
             let Some(conn) = self.conns.get_mut(&id) else {
                 continue;
             };
+            self.metrics.queue_depth.add(-(conn.pending.len() as i64));
             conn.pending.clear();
             conn.inbuf.clear();
             conn.partial = None;
@@ -698,18 +763,35 @@ impl Reactor {
             let reply = fatal_reply(conn.framing, "read timed out mid-request");
             conn.outq.push_back(reply);
             conn.closing = true;
-            let alive = flush(conn, &self.config);
+            let alive = flush(conn, &self.config, &self.metrics);
             if alive {
                 update_interest(self.poll.registry(), id, conn);
             } else {
-                self.close(id);
+                self.close(id, false);
             }
         }
     }
 
-    fn close(&mut self, id: usize) {
+    /// Removes and tears down connection `id`. A close counts as a
+    /// `transport_closed` occurrence — the server-side twin of the error
+    /// the peer will observe — when it is `forced` (server shutdown,
+    /// write timeout) or when the connection still had work in motion:
+    /// a request executing or queued, an open object stream, or replies
+    /// not yet delivered. A clean idle hangup and a planned post-error
+    /// close whose reply was fully flushed count nothing.
+    fn close(&mut self, id: usize, forced: bool) {
         if let Some(conn) = self.conns.remove(&id) {
             let _ = self.poll.registry().deregister(&conn.stream);
+            self.metrics.conns_open.dec();
+            self.metrics.queue_depth.add(-(conn.pending.len() as i64));
+            let planned = conn.closing && conn.outq.is_empty();
+            let in_flight = conn.busy
+                || !conn.pending.is_empty()
+                || conn.partial.is_some()
+                || !conn.outq.is_empty();
+            if forced || (in_flight && !planned) {
+                self.metrics.transport_closed.inc();
+            }
             // End of session: the connection's credentials die with it.
             for token in conn.minted.lock().drain() {
                 self.hub.revoke(&Token::new(token));
@@ -721,7 +803,11 @@ impl Reactor {
 /// Consumes as many complete requests from `conn.inbuf` as possible.
 /// Returns the parsed items plus a fatal framing violation, if any (the
 /// connection answers it and closes).
-fn parse_input(conn: &mut Conn, config: &ServerConfig) -> (Vec<Item>, Option<String>) {
+fn parse_input(
+    conn: &mut Conn,
+    config: &ServerConfig,
+    metrics: &NetMetrics,
+) -> (Vec<Item>, Option<String>) {
     let mut items = Vec::new();
     loop {
         match conn.framing {
@@ -744,6 +830,7 @@ fn parse_input(conn: &mut Conn, config: &ServerConfig) -> (Vec<Item>, Option<Str
             }
             Framing::Lines => match conn.inbuf.iter().position(|&b| b == b'\n') {
                 Some(i) => {
+                    metrics.bytes_in_line.add(i as u64 + 1);
                     let line: Vec<u8> = conn.inbuf.drain(..=i).collect();
                     let line = String::from_utf8_lossy(&line[..i]);
                     let line = line.trim();
@@ -769,6 +856,7 @@ fn parse_input(conn: &mut Conn, config: &ServerConfig) -> (Vec<Item>, Option<Str
                 // the stray newlines the probe (and nothing else) sends.
                 let pad = conn.inbuf.iter().take_while(|&&b| b == b'\n').count();
                 if pad > 0 {
+                    metrics.bytes_in_binary.add(pad as u64);
                     conn.inbuf.drain(..pad);
                 }
                 if conn.inbuf.len() < 5 {
@@ -794,7 +882,10 @@ fn parse_input(conn: &mut Conn, config: &ServerConfig) -> (Vec<Item>, Option<Str
                 }
                 let payload: Vec<u8> = conn.inbuf[5..5 + len].to_vec();
                 conn.inbuf.drain(..5 + len);
-                if let Some(violation) = handle_frame(conn, config, kind, payload, &mut items) {
+                metrics.bytes_in_binary.add(5 + len as u64);
+                if let Some(violation) =
+                    handle_frame(conn, config, metrics, kind, payload, &mut items)
+                {
                     return (items, Some(violation));
                 }
             }
@@ -807,6 +898,7 @@ fn parse_input(conn: &mut Conn, config: &ServerConfig) -> (Vec<Item>, Option<Str
 fn handle_frame(
     conn: &mut Conn,
     config: &ServerConfig,
+    metrics: &NetMetrics,
     kind: u8,
     payload: Vec<u8>,
     items: &mut Vec<Item>,
@@ -850,10 +942,12 @@ fn handle_frame(
                 return Some("OBJ frame outside an object stream".into());
             };
             let budget = config.max_message_len.saturating_sub(partial.raw_bytes);
+            metrics.obj_deflate_bytes.add(payload.len() as u64);
             let raw = match miniz_oxide::inflate::decompress_to_vec_with_limit(&payload, budget) {
                 Ok(raw) => raw,
                 Err(e) => return Some(format!("object block: {e}")),
             };
+            metrics.obj_raw_bytes.add(raw.len() as u64);
             partial.raw_bytes += raw.len();
             if let Err(e) = frame::parse_records(&raw, &mut partial.objects) {
                 return Some(e);
@@ -895,12 +989,16 @@ fn fatal_reply(framing: Framing, msg: &str) -> Vec<u8> {
 /// Writes as much of `outq` as the socket accepts. Returns `false` when
 /// the connection should be closed (write failure, or `closing` with an
 /// empty queue).
-fn flush(conn: &mut Conn, config: &ServerConfig) -> bool {
+fn flush(conn: &mut Conn, config: &ServerConfig, metrics: &NetMetrics) -> bool {
     let mut progressed = false;
     while let Some(front) = conn.outq.front() {
         match conn.stream.write(&front[conn.out_off..]) {
             Ok(0) => return false,
             Ok(n) => {
+                match conn.framing {
+                    Framing::Binary => metrics.bytes_out_binary.add(n as u64),
+                    Framing::Lines | Framing::Unknown => metrics.bytes_out_line.add(n as u64),
+                }
                 progressed = true;
                 conn.out_off += n;
                 if conn.out_off == front.len() {
@@ -955,11 +1053,13 @@ fn worker_loop(
     jobs: &Mutex<mpsc::Receiver<Job>>,
     completions: &Mutex<Vec<Completion>>,
     waker: &mio::Waker,
+    metrics: &NetMetrics,
 ) {
     loop {
         // Hold the receiver lock only for the recv itself.
         let job = { jobs.lock().recv() };
         let Ok(job) = job else { break };
+        metrics.workers_busy.inc();
         let bytes = match job.item {
             Item::Line(line) => {
                 let mut reply = respond_line(hub, &job.minted, &line).into_bytes();
@@ -967,9 +1067,10 @@ fn worker_loop(
                 reply
             }
             Item::Binary { envelope, objects } => {
-                respond_binary(hub, &job.minted, &envelope, objects)
+                respond_binary(hub, &job.minted, &envelope, objects, metrics)
             }
         };
+        metrics.workers_busy.dec();
         completions.lock().push((job.conn, bytes));
         let _ = waker.wake();
     }
@@ -988,13 +1089,26 @@ fn respond_binary(
     minted: &Mutex<HashSet<String>>,
     envelope: &str,
     objects: Vec<(ObjectId, Vec<u8>)>,
+    metrics: &NetMetrics,
 ) -> Vec<u8> {
     let response = match ApiRequest::parse_ext(envelope, objects) {
         Ok(request) => execute(hub, minted, request),
         Err(e) => ApiResponse::Error(e),
     };
     let (text, objects) = response.encode_ext();
-    frame::encode_message(&text, &objects)
+    let message = frame::encode_message(&text, &objects);
+    if !objects.is_empty() {
+        // Compression ratio on the object side channel: raw record bytes
+        // versus what actually hits the wire (the OBJ payloads plus one
+        // 5-byte frame header per ~128 KiB block — noise).
+        let raw: usize = objects.iter().map(|(_, b)| 24 + b.len()).sum();
+        let overhead = (5 + text.len()) + 5; // ENV_OBJ frame + END frame
+        metrics.obj_raw_bytes.add(raw as u64);
+        metrics
+            .obj_deflate_bytes
+            .add(message.len().saturating_sub(overhead) as u64);
+    }
+    message
 }
 
 /// Transport-level request execution: batch fan-out plus the per-request
@@ -1038,6 +1152,17 @@ fn execute_one(hub: &Hub, minted: &Mutex<HashSet<String>>, request: ApiRequest) 
     if let Some(token) = request.token() {
         if !minted.lock().contains(token) {
             return ApiResponse::from_error(&HubError::AuthFailed);
+        }
+    }
+    if let ApiRequest::ServerMetrics { token } = &request {
+        // Operator-scoped: the tokenless trusted-embedder form is not
+        // served over the socket, and the (connection-minted) token must
+        // belong to a user holding the operator capability.
+        let authorized = token.as_deref().is_some_and(|t| hub.is_operator_token(t));
+        if !authorized {
+            return ApiResponse::from_error(&HubError::PermissionDenied(
+                "server_metrics over the socket requires an operator token".into(),
+            ));
         }
     }
     let is_login = matches!(request, ApiRequest::Login { .. });

@@ -155,7 +155,7 @@ fn client_falls_back_against_a_line_only_server() {
 /// transport-closed error, not a generic protocol failure.
 #[test]
 fn server_shutdown_maps_to_transport_closed() {
-    let (_hub, server) = serve();
+    let (hub, server) = serve();
     let client = HubClient::connect(server.local_addr()).unwrap();
     assert!(client.list_repos().unwrap().is_empty());
     server.shutdown(); // closes every connection
@@ -172,6 +172,18 @@ fn server_shutdown_maps_to_transport_closed() {
         }
     }
     assert!(saw_closed, "hangup never surfaced as TransportClosed");
+
+    // The server kept its own books: the abrupt teardown the client just
+    // observed shows up in the transport counters (trusted in-process
+    // read — the socket is gone).
+    let snapshot = hub.server_metrics(None).unwrap();
+    let transport = snapshot.transport.expect("socket server registered gauges");
+    assert!(
+        transport.transport_closed >= 1,
+        "shutdown under a live peer must count as an abrupt close, got {}",
+        transport.transport_closed
+    );
+    assert_eq!(transport.open_connections, 0, "all gauges wound down");
 }
 
 /// An oversized binary frame is answered with a protocol error and the
@@ -339,6 +351,48 @@ fn batched_login_scopes_its_token() {
     };
     // Minted in a batch, honored outside it — same connection.
     assert_eq!(client.whoami(&token).unwrap().username, "ann");
+}
+
+/// `server_metrics` over the socket is operator-scoped: an operator
+/// token reads the counters, a plain member token and the tokenless
+/// form are both refused.
+#[test]
+fn server_metrics_on_the_socket_requires_an_operator_token() {
+    let (hub, server) = serve();
+    hub.register_user("ops", "Ops").unwrap();
+    hub.grant_operator("ops").unwrap();
+    let addr = server.local_addr();
+
+    let client = HubClient::connect(addr).unwrap();
+    client.register_user("ann", "Ann").unwrap();
+    let member = client.login("ann").unwrap();
+
+    // A plain member token is refused.
+    match client.server_metrics(Some(&member)) {
+        Err(HubError::PermissionDenied(msg)) => assert!(msg.contains("operator"), "{msg}"),
+        other => panic!("expected permission_denied, got {other:?}"),
+    }
+    // The tokenless (in-process trusted) form is refused over the wire.
+    match client.server_metrics(None) {
+        Err(HubError::PermissionDenied(msg)) => assert!(msg.contains("operator"), "{msg}"),
+        other => panic!("expected permission_denied, got {other:?}"),
+    }
+
+    // An operator token on its own connection reads the snapshot, and the
+    // method calls made above are already on the books.
+    let ops_conn = HubClient::connect(addr).unwrap();
+    let ops_token = ops_conn.login("ops").unwrap();
+    let snapshot = ops_conn.server_metrics(Some(&ops_token)).unwrap();
+    let login_calls: u64 = snapshot
+        .methods
+        .iter()
+        .filter(|m| m.method == "login")
+        .map(|m| m.calls)
+        .sum();
+    assert!(login_calls >= 2, "logins recorded, got {login_calls}");
+    let transport = snapshot.transport.expect("socket gauges registered");
+    assert!(transport.open_connections >= 2, "both connections counted");
+    assert!(transport.bytes_in_binary + transport.bytes_in_line > 0);
 }
 
 /// Interleaved pipelining on one binary connection: several requests

@@ -5,7 +5,10 @@
 //! round trips.
 
 use gitlite::ObjectId;
-use hub::api::{ApiRequest, ApiResponse, ErrorCode, RepoBundle, WireError};
+use hub::api::{
+    ApiRequest, ApiResponse, ErrorCode, MethodMetrics, MetricsSnapshot, RepoBundle,
+    TransportMetrics, WireError, WireHistogram,
+};
 use hub::transport::frame;
 use hub::{PROTOCOL_V3, PROTOCOL_VERSION};
 use proptest::prelude::*;
@@ -108,6 +111,103 @@ fn golden_objects_ext_bundle_response() {
     assert_eq!(envelope, expected);
     assert_eq!(objects.len(), 2);
     assert_eq!(ApiResponse::parse_ext(&envelope, objects).unwrap(), bundle);
+}
+
+#[test]
+fn golden_server_metrics_request() {
+    let req = ApiRequest::ServerMetrics {
+        token: Some("ghp_1".into()),
+    };
+    let expected = r#"{"v":3,"method":"server_metrics","params":{"token":"ghp_1"}}"#;
+    assert_eq!(req.encode(), expected);
+    assert_eq!(ApiRequest::parse(expected).unwrap(), req);
+    assert_eq!(req.version(), PROTOCOL_V3);
+    // Absent-field rule: the tokenless (trusted in-process) form omits
+    // the key entirely rather than writing null.
+    let bare = ApiRequest::ServerMetrics { token: None };
+    let expected = r#"{"v":3,"method":"server_metrics","params":{}}"#;
+    assert_eq!(bare.encode(), expected);
+    assert_eq!(ApiRequest::parse(expected).unwrap(), bare);
+    // A v3-only method re-stamped as v2 is refused, not guessed at.
+    let err = ApiRequest::parse(r#"{"v":2,"method":"server_metrics","params":{}}"#).unwrap_err();
+    assert_eq!(err.code, ErrorCode::Protocol);
+    assert!(
+        err.message.contains("requires protocol v3"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
+fn golden_server_metrics_response() {
+    let resp = ApiResponse::Metrics(MetricsSnapshot {
+        methods: vec![MethodMetrics {
+            method: "log".into(),
+            calls: 3,
+            errors: vec![("repo_not_found".into(), 1)],
+            latency: WireHistogram {
+                count: 3,
+                sum_us: 700,
+                max_us: 500,
+                buckets: vec![(7, 2), (9, 1)],
+            },
+        }],
+        transport: Some(TransportMetrics {
+            open_connections: 2,
+            queue_depth: 0,
+            busy_workers: 1,
+            bytes_in_line: 10,
+            bytes_out_line: 20,
+            bytes_in_binary: 30,
+            bytes_out_binary: 40,
+            frames_rejected: 0,
+            transport_closed: 1,
+            obj_raw_bytes: 100,
+            obj_deflate_bytes: 60,
+        }),
+        store: None,
+    });
+    let expected = concat!(
+        r#"{"v":3,"result":{"type":"metrics","metrics":{"#,
+        r#""methods":[{"method":"log","calls":3,"errors":[["repo_not_found",1]],"#,
+        r#""latency":{"count":3,"sum_us":700,"max_us":500,"buckets":[[7,2],[9,1]]}}],"#,
+        r#""transport":{"open_connections":2,"queue_depth":0,"busy_workers":1,"#,
+        r#""bytes_in_line":10,"bytes_out_line":20,"bytes_in_binary":30,"bytes_out_binary":40,"#,
+        r#""frames_rejected":0,"transport_closed":1,"obj_raw_bytes":100,"obj_deflate_bytes":60}"#,
+        r#"}}}"#,
+    );
+    assert_eq!(resp.encode(), expected);
+    assert_eq!(ApiResponse::parse(expected).unwrap(), resp);
+}
+
+#[test]
+fn server_metrics_absent_field_rules() {
+    // Empty error tallies, empty buckets, and missing transport/store
+    // sections are omitted keys, never empty arrays or nulls — so the
+    // golden bytes stay stable as sections come and go.
+    let lean = ApiResponse::Metrics(MetricsSnapshot {
+        methods: vec![MethodMetrics {
+            method: "list_repos".into(),
+            calls: 0,
+            errors: vec![],
+            latency: WireHistogram {
+                count: 0,
+                sum_us: 0,
+                max_us: 0,
+                buckets: vec![],
+            },
+        }],
+        transport: None,
+        store: None,
+    });
+    let expected = concat!(
+        r#"{"v":3,"result":{"type":"metrics","metrics":{"#,
+        r#""methods":[{"method":"list_repos","calls":0,"#,
+        r#""latency":{"count":0,"sum_us":0,"max_us":0}}]"#,
+        r#"}}}"#,
+    );
+    assert_eq!(lean.encode(), expected);
+    assert_eq!(ApiResponse::parse(expected).unwrap(), lean);
 }
 
 // ----- golden frame bytes --------------------------------------------------

@@ -1,0 +1,68 @@
+//! # telemetry — lock-cheap metrics and structured tracing
+//!
+//! The hub's north star is a production-scale service; a service that
+//! size is operated from its numbers, not its logs. This crate is the
+//! shared instrumentation substrate: [`Counter`]s, [`Gauge`]s,
+//! log2-bucketed latency [`Histogram`]s, a name-keyed [`Registry`], and
+//! a structured tracing facade ([`Tracer`]) with pluggable sinks.
+//! Everything is `std`-only and fully offline, in the vendored-deps
+//! spirit of `crates/vendor/`.
+//!
+//! # Bucket layout
+//!
+//! A [`Histogram`] holds [`BUCKETS`] (64) power-of-two buckets. A
+//! recorded value `v` lands in bucket `0` when `v == 0`, otherwise in
+//! bucket `min(floor(log2(v)) + 1, 63)` — so bucket `i` (for
+//! `1 <= i <= 62`) covers the half-open range `[2^(i-1), 2^i)` and the
+//! last bucket absorbs everything from `2^62` up. With microsecond
+//! samples this spans sub-microsecond dispatches to ~146 years in 64
+//! fixed slots: constant memory, no allocation on the record path, and
+//! a bounded relative quantile error of at most 2× (one octave).
+//!
+//! Quantiles are derived from the buckets: `quantile(p)` walks the
+//! cumulative counts to the bucket containing rank `ceil(p · count)`
+//! and reports that bucket's upper bound, clamped to the exactly
+//! tracked maximum. Because ranks grow monotonically with `p` and the
+//! cumulative walk is monotone in the bucket index, quantiles are
+//! monotone in `p`; because merge is element-wise addition (plus `max`
+//! of maxima), merging snapshots is associative and commutative — both
+//! properties are pinned by proptests in `tests/histogram_props.rs`.
+//!
+//! # Why snapshots are lock-free reads
+//!
+//! Every cell in a counter, gauge or histogram is a single atomic.
+//! Writers use `fetch_add` / `fetch_max` with relaxed ordering; a
+//! [`HistogramSnapshot`] (or [`RegistrySnapshot`]) is taken by plain
+//! atomic loads — no lock is acquired, no writer is ever blocked, and a
+//! snapshot in the middle of a storm of writes is still a sane (if
+//! momentarily torn across *different* cells) view. The only locks in
+//! the crate guard the registry's name→handle maps, and those are taken
+//! once per handle lookup, never per recorded event: hot paths hold an
+//! `Arc` to their instrument and update it with pure atomics.
+//!
+//! # Tracing
+//!
+//! [`Tracer::span`] builds a span (id, optional parent link, `key=value`
+//! fields), [`SpanBuilder::enter`] emits an enter event and returns a
+//! guard whose drop emits the exit event with the elapsed nanoseconds.
+//! Parents default to the innermost live span on the current thread.
+//! Sinks are pluggable: [`RingSink`] (bounded in-memory buffer, for
+//! tests) and [`StderrJsonSink`] (one JSON object per line on stderr),
+//! the latter auto-attached by [`Tracer::from_env`] when the
+//! `GITCITE_TRACE` environment variable is set. With no sinks attached
+//! the facade is a handful of branch instructions — cheap enough to
+//! leave compiled into every dispatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Registry, RegistrySnapshot};
+pub use trace::{
+    EventKind, RingSink, Span, SpanBuilder, StderrJsonSink, TraceEvent, TraceSink, Tracer,
+    TRACE_ENV,
+};

@@ -1,0 +1,338 @@
+//! The three instrument kinds: monotone counters, up/down gauges and
+//! log2-bucketed histograms. All cells are single atomics — see the
+//! crate docs for why that makes snapshots lock-free.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of histogram buckets: one per value octave (see crate docs).
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+///
+/// `const`-constructible so modules can hold process-wide counters in
+/// `static`s without any registration ceremony.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one and returns the *previous* value — one atomic op, for
+    /// callers that key decisions (sampling, first-call work) off the
+    /// count they are bumping.
+    pub fn bump(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that can move both ways (open connections,
+/// queue depth, busy workers).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index for a recorded value — `0` for zero, otherwise one past
+/// the value's highest set bit, saturating at the last bucket.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Largest value bucket `i` can report (its inclusive upper bound).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log2-bucketed distribution of non-negative samples (latencies in
+/// microseconds, sizes in bytes, ...). Recording is a couple of relaxed
+/// atomic adds; quantiles come from a [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (plain atomic loads — no locking, writers
+    /// never stall).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, cell) in buckets.iter_mut().zip(&self.buckets) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]: the quantile math and merge
+/// live here so servers, clients and benches all agree on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see the crate docs for the layout).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for means).
+    pub sum: u64,
+    /// Largest sample seen, tracked exactly.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0u64; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Rebuilds a snapshot from sparse `(bucket, count)` pairs — the
+    /// wire form. `count`/`sum`/`max` travel separately.
+    pub fn from_sparse(pairs: &[(u32, u64)], count: u64, sum: u64, max: u64) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for &(i, n) in pairs {
+            if let Some(cell) = buckets.get_mut(i as usize) {
+                *cell += n;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
+    /// The non-empty buckets as `(bucket, count)` pairs, ascending.
+    pub fn sparse(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect()
+    }
+
+    /// The value at quantile `p` in `[0, 1]`: the upper bound of the
+    /// bucket holding rank `ceil(p · count)`, clamped to the exact
+    /// maximum. Returns 0 on an empty snapshot. Monotone in `p`.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Element-wise union of two snapshots — what a multi-shard or
+    /// multi-run aggregation does. Associative and commutative.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&other.buckets))
+        {
+            *out = a + b;
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count + other.count,
+            // Wrapping, to match the atomic `fetch_add` on the record
+            // path — and wrapping addition stays associative.
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_move() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_layout_is_one_octave_per_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_come_from_buckets_clamped_to_max() {
+        let h = Histogram::new();
+        for v in [10u64, 12, 15, 900] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 900);
+        // Rank 2 of 4 lands in the [8, 16) bucket: upper bound 15.
+        assert_eq!(s.p50(), 15);
+        // The tail reports the exact max, not the bucket bound 1023.
+        assert_eq!(s.p99(), 900);
+        assert_eq!(s.quantile(1.0), 900);
+        assert_eq!(s.mean(), (10 + 12 + 15 + 900) / 4);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0);
+        assert!(s.sparse().is_empty());
+    }
+
+    #[test]
+    fn sparse_round_trips() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 300, 70_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let back = HistogramSnapshot::from_sparse(&s.sparse(), s.count, s.sum, s.max);
+        assert_eq!(back, s);
+    }
+}

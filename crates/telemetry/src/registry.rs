@@ -1,0 +1,136 @@
+//! A name-keyed registry of instruments. Lookup (get-or-create) takes a
+//! short map lock; recording through the returned `Arc` handle never
+//! does — callers on hot paths clone the handle once and keep it.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// Shared home for named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("registry lock").get(name) {
+        return Arc::clone(found);
+    }
+    Arc::clone(
+        map.write()
+            .expect("registry lock")
+            .entry(name.to_owned())
+            .or_default(),
+    )
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// True when nothing has ever been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.read().expect("registry lock").is_empty()
+            && self.gauges.read().expect("registry lock").is_empty()
+            && self.histograms.read().expect("registry lock").is_empty()
+    }
+
+    /// A point-in-time copy of every instrument (atomic loads only).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The readable form of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Counter value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level, 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        r.gauge("g").set(5);
+        r.histogram("h").record(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x"), 3);
+        assert_eq!(snap.gauge("g"), 5);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        r.counter("x");
+        assert!(!r.is_empty());
+    }
+}

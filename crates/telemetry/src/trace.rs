@@ -1,0 +1,411 @@
+//! The structured tracing facade: spans with ids, parent links and
+//! `key=value` fields, fanned out to pluggable sinks. With no sinks
+//! attached the whole facade reduces to one relaxed load per span.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Environment variable that switches the stderr JSON-lines sink on
+/// (any non-empty value) in [`Tracer::from_env`].
+pub const TRACE_ENV: &str = "GITCITE_TRACE";
+
+/// Whether an event marks a span's start or its end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The span was entered.
+    Enter,
+    /// The span ended; `elapsed_ns` is set.
+    Exit,
+}
+
+/// One emitted trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Enter or exit.
+    pub kind: EventKind,
+    /// Id of the span (unique within the tracer's lifetime).
+    pub span_id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent_id: Option<u64>,
+    /// Span name (e.g. the wire method).
+    pub name: String,
+    /// Structured `key=value` context attached at build time.
+    pub fields: Vec<(String, String)>,
+    /// Wall time inside the span; exit events only.
+    pub elapsed_ns: Option<u64>,
+}
+
+impl TraceEvent {
+    /// The event as one JSON object (the stderr sink's line format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"event\":\"");
+        out.push_str(match self.kind {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+        });
+        out.push_str("\",\"span\":");
+        out.push_str(&self.span_id.to_string());
+        if let Some(parent) = self.parent_id {
+            out.push_str(",\"parent\":");
+            out.push_str(&parent.to_string());
+        }
+        out.push_str(",\"name\":\"");
+        escape_into(&mut out, &self.name);
+        out.push('"');
+        if let Some(ns) = self.elapsed_ns {
+            out.push_str(",\"elapsed_ns\":");
+            out.push_str(&ns.to_string());
+        }
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            escape_into(&mut out, k);
+            out.push_str("\":\"");
+            escape_into(&mut out, v);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Where trace events go.
+pub trait TraceSink: Send + Sync {
+    /// Receives one event. Called synchronously on the traced thread —
+    /// sinks should be quick.
+    fn event(&self, event: &TraceEvent);
+}
+
+/// A bounded in-memory buffer of the most recent events — the test (and
+/// debugging) sink.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events; older ones are dropped.
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drains and returns the buffered events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("ring lock").drain(..).collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn event(&self, event: &TraceEvent) {
+        let mut events = self.events.lock().expect("ring lock");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line on stderr — the operator sink
+/// behind [`TRACE_ENV`].
+#[derive(Debug, Default)]
+pub struct StderrJsonSink;
+
+impl TraceSink for StderrJsonSink {
+    fn event(&self, event: &TraceEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+thread_local! {
+    /// Innermost live span ids on this thread — the implicit parent
+    /// chain for spans that don't set one explicitly.
+    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Hands out span ids and fans events out to the attached sinks.
+#[derive(Default)]
+pub struct Tracer {
+    sinks: RwLock<Vec<Arc<dyn TraceSink>>>,
+    /// Mirrors `!sinks.is_empty()` so the disabled fast path is one
+    /// relaxed load, not a lock.
+    active: AtomicBool,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer with no sinks (disabled until one is added).
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer that writes JSON lines to stderr when [`TRACE_ENV`] is
+    /// set to a non-empty value, and is otherwise disabled.
+    pub fn from_env() -> Tracer {
+        let tracer = Tracer::new();
+        if std::env::var(TRACE_ENV).is_ok_and(|v| !v.is_empty()) {
+            tracer.add_sink(Arc::new(StderrJsonSink));
+        }
+        tracer
+    }
+
+    /// Attaches a sink.
+    pub fn add_sink(&self, sink: Arc<dyn TraceSink>) {
+        self.sinks.write().expect("tracer lock").push(sink);
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// True when at least one sink is attached. Callers may use this to
+    /// skip building field strings entirely.
+    pub fn enabled(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Starts building a span.
+    pub fn span(&self, name: impl Into<String>) -> SpanBuilder<'_> {
+        SpanBuilder {
+            tracer: self,
+            name: name.into(),
+            fields: Vec::new(),
+            parent: None,
+        }
+    }
+
+    fn emit(&self, event: &TraceEvent) {
+        for sink in self.sinks.read().expect("tracer lock").iter() {
+            sink.event(event);
+        }
+    }
+}
+
+/// A span under construction — add fields, then [`SpanBuilder::enter`].
+pub struct SpanBuilder<'t> {
+    tracer: &'t Tracer,
+    name: String,
+    fields: Vec<(String, String)>,
+    parent: Option<u64>,
+}
+
+impl<'t> SpanBuilder<'t> {
+    /// Attaches one `key=value` field.
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<String>) -> SpanBuilder<'t> {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Links an explicit parent span (overrides the thread's innermost
+    /// live span).
+    pub fn parent(mut self, parent_id: u64) -> SpanBuilder<'t> {
+        self.parent = Some(parent_id);
+        self
+    }
+
+    /// Emits the enter event and returns the guard whose drop emits the
+    /// exit event. A disabled tracer returns an inert guard.
+    pub fn enter(self) -> Span<'t> {
+        if !self.tracer.enabled() {
+            return Span {
+                tracer: self.tracer,
+                id: 0,
+                live: false,
+                name: String::new(),
+                fields: Vec::new(),
+                parent: None,
+                started: Instant::now(),
+            };
+        }
+        let id = self.tracer.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let parent = self
+            .parent
+            .or_else(|| SPAN_STACK.with(|s| s.borrow().last().copied()));
+        let event = TraceEvent {
+            kind: EventKind::Enter,
+            span_id: id,
+            parent_id: parent,
+            name: self.name.clone(),
+            fields: self.fields.clone(),
+            elapsed_ns: None,
+        };
+        self.tracer.emit(&event);
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        Span {
+            tracer: self.tracer,
+            id,
+            live: true,
+            name: self.name,
+            fields: self.fields,
+            parent,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A live span; dropping it emits the exit event with elapsed time.
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    id: u64,
+    live: bool,
+    name: String,
+    fields: Vec<(String, String)>,
+    parent: Option<u64>,
+    started: Instant,
+}
+
+impl Span<'_> {
+    /// The span's id — pass to [`SpanBuilder::parent`] to link a child
+    /// on another thread.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let event = TraceEvent {
+            kind: EventKind::Exit,
+            span_id: self.id,
+            parent_id: self.parent,
+            name: std::mem::take(&mut self.name),
+            fields: std::mem::take(&mut self.fields),
+            elapsed_ns: Some(self.started.elapsed().as_nanos() as u64),
+        };
+        self.tracer.emit(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_link_parents() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(16));
+        tracer.add_sink(Arc::clone(&ring) as Arc<dyn TraceSink>);
+        {
+            let outer = tracer.span("dispatch").field("method", "login").enter();
+            assert!(outer.id() > 0);
+            let _inner = tracer.span("store.read").enter();
+        }
+        let events = ring.take();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, EventKind::Enter);
+        assert_eq!(events[0].name, "dispatch");
+        assert_eq!(events[0].parent_id, None);
+        // The inner span's parent is the outer span, implicitly.
+        assert_eq!(events[1].name, "store.read");
+        assert_eq!(events[1].parent_id, Some(events[0].span_id));
+        // Exits carry elapsed time, innermost first.
+        assert_eq!(events[2].kind, EventKind::Exit);
+        assert_eq!(events[2].name, "store.read");
+        assert!(events[2].elapsed_ns.is_some());
+        assert_eq!(events[3].name, "dispatch");
+        assert_eq!(
+            events[3].fields,
+            vec![("method".to_owned(), "login".to_owned())]
+        );
+    }
+
+    #[test]
+    fn explicit_parent_overrides_the_stack() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(8));
+        tracer.add_sink(Arc::clone(&ring) as Arc<dyn TraceSink>);
+        let a = tracer.span("a").enter();
+        let _b = tracer.span("b").parent(a.id()).enter();
+        let events = ring.events();
+        assert_eq!(events[1].parent_id, Some(a.id()));
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_allocates_no_ids() {
+        let tracer = Tracer::new();
+        assert!(!tracer.enabled());
+        let span = tracer.span("quiet").enter();
+        assert_eq!(span.id(), 0);
+    }
+
+    #[test]
+    fn ring_sink_is_bounded() {
+        let ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.event(&TraceEvent {
+                kind: EventKind::Enter,
+                span_id: i,
+                parent_id: None,
+                name: "x".into(),
+                fields: vec![],
+                elapsed_ns: None,
+            });
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].span_id, 3);
+        assert_eq!(events[1].span_id, 4);
+    }
+
+    #[test]
+    fn json_lines_escape_fields() {
+        let event = TraceEvent {
+            kind: EventKind::Exit,
+            span_id: 7,
+            parent_id: Some(3),
+            name: "a\"b".into(),
+            fields: vec![("k".into(), "line\nbreak".into())],
+            elapsed_ns: Some(1500),
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"event":"exit","span":7,"parent":3,"name":"a\"b","elapsed_ns":1500,"k":"line\nbreak"}"#
+        );
+    }
+}

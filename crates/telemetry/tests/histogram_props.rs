@@ -1,0 +1,73 @@
+//! Property tests pinning the histogram algebra the whole system leans
+//! on: merge is associative (and commutative, with an identity), and
+//! quantiles are monotone in `p` and bounded by the true extremes.
+
+use proptest::prelude::*;
+use telemetry::{Histogram, HistogramSnapshot};
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 0..64)
+}
+
+proptest! {
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c): shard aggregation can fold in any
+    /// order and land on identical buckets, counts, sums and maxima.
+    #[test]
+    fn merge_is_associative(a in arb_samples(), b in arb_samples(), c in arb_samples()) {
+        let (a, b, c) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    /// a ∪ b == b ∪ a, and the empty snapshot is the identity.
+    #[test]
+    fn merge_is_commutative_with_identity(a in arb_samples(), b in arb_samples()) {
+        let (a, b) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&HistogramSnapshot::default()), a);
+    }
+
+    /// Merging equals recording the concatenation of the sample sets.
+    #[test]
+    fn merge_equals_union_of_samples(a in arb_samples(), b in arb_samples()) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let mut all = a;
+        all.extend(b);
+        prop_assert_eq!(merged, snapshot_of(&all));
+    }
+
+    /// quantile(p) never decreases as p grows — including across a
+    /// merge — and stays within [0-bucket, exact max].
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        a in arb_samples(),
+        b in arb_samples(),
+        ps in prop::collection::vec(any::<u64>(), 2..12),
+    ) {
+        let snap = snapshot_of(&a).merge(&snapshot_of(&b));
+        let mut sorted: Vec<f64> = ps.iter().map(|&n| (n % 1001) as f64 / 1000.0).collect();
+        sorted.sort_by(|x, y| x.partial_cmp(y).expect("ps are finite"));
+        let mut last = 0u64;
+        for &p in &sorted {
+            let q = snap.quantile(p);
+            prop_assert!(q >= last, "quantile({p}) = {q} < previous {last}");
+            prop_assert!(q <= snap.max);
+            last = q;
+        }
+    }
+
+    /// The wire form (sparse pairs) is lossless.
+    #[test]
+    fn sparse_encoding_round_trips(a in arb_samples()) {
+        let snap = snapshot_of(&a);
+        let back = HistogramSnapshot::from_sparse(&snap.sparse(), snap.count, snap.sum, snap.max);
+        prop_assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Measures what the hub's telemetry layer costs on the read path — the
+# per-dispatch overhead of call counters, sampled latency histograms and
+# error tallies, instrumented vs `set_metrics_enabled(false)` — and
+# writes the result to BENCH_obs.json at the repository root. The
+# acceptance budget is <2% on the read-path mix.
+#
+# The bench reports a median-of-paired-deltas estimate per run; box
+# noise still moves single runs by around a percent, so this script runs
+# the bench three times and records the median run.
+#
+# Usage: scripts/bench_obs.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_obs.json}"
+
+runs=3
+raw=""
+for i in $(seq "$runs"); do
+    echo "run $i/$runs"
+    raw+="$(cargo bench --bench hub_obs 2>&1)"$'\n'
+done
+echo "$raw" | grep "^hub_obs_"
+
+# Each run emits data lines:
+#   hub_obs_dispatch iters=400000 instrumented_ns=2354 uninstrumented_ns=2323 delta_ns=42 overhead_pct=1.83
+#   hub_obs_recorded calls=40005
+echo "$raw" | awk '
+$1 == "hub_obs_dispatch" {
+    n++
+    for (i = 2; i <= NF; i++) {
+        split($i, kv, "=")
+        v[n "." kv[1]] = kv[2]
+        pct[n] = v[n ".overhead_pct"]
+    }
+}
+$1 == "hub_obs_recorded" { split($2, kv, "="); recorded = kv[2] }
+END {
+    # Median run by overhead_pct (n is odd).
+    for (m = 1; m <= n; m++) {
+        below = 0
+        for (j = 1; j <= n; j++) if (pct[j] < pct[m] || (pct[j] == pct[m] && j < m)) below++
+        if (below == int(n / 2)) break
+    }
+    printf "{\n  \"benchmark\": \"hub_obs\",\n"
+    printf "  \"workload\": \"read-path dispatch mix (read_file/log/list_repos), %d timed dispatches per run, median of %d runs\",\n", \
+        v[m ".iters"], n
+    printf "  \"dispatch_ns\": {\"instrumented\": %d, \"uninstrumented\": %d, \"delta\": %d},\n", \
+        v[m ".instrumented_ns"], v[m ".uninstrumented_ns"], v[m ".delta_ns"]
+    printf "  \"overhead_pct\": %.2f,\n", v[m ".overhead_pct"]
+    printf "  \"overhead_budget_pct\": 2.0,\n"
+    printf "  \"calls_recorded\": %d\n", recorded
+    printf "}\n"
+}' > "$out"
+
+echo
+echo "wrote $out:"
+cat "$out"
