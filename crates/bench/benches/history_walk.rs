@@ -123,6 +123,48 @@ fn repo_on(store: PackStore, tip: ObjectId) -> Repository {
     repo
 }
 
+/// Builds an n-commit cited history on a pack store: every commit edits
+/// one of 8 rotating source files, every 25th also changes the tracked
+/// file's citation — so a path-limited audit scan has real skips to win
+/// on. Maintenance runs at the end (packs + commit-graph + changed-path
+/// Bloom filters). Returns the repo, its directory and its tip.
+fn cited_history(tag: &str, commits: usize) -> (citekit::CitedRepo, PathBuf, ObjectId) {
+    let dir = temp_dir(tag);
+    let store = PackStore::open(&dir).unwrap();
+    let mut cited =
+        citekit::CitedRepo::init_with_store("bench", "Owner", "https://x/bench", Box::new(store));
+    let tracked = gitlite::path("src/f0.rs");
+    for i in 0..commits {
+        let f = gitlite::path(&format!("src/f{}.rs", i % 8));
+        cited
+            .write_file(&f, format!("content {i}\n").into_bytes())
+            .unwrap();
+        if i % 25 == 0 {
+            let c = citekit::Citation::builder(format!("c{i}"), "Owner").build();
+            if i == 0 {
+                cited.add_cite(&tracked, c).unwrap();
+            } else {
+                cited.modify_cite(&tracked, c).unwrap();
+            }
+        }
+        cited
+            .commit(
+                Signature::new("bench", "b@x", i as i64 + 1),
+                format!("c{i}"),
+            )
+            .unwrap();
+    }
+    let tip = cited.repo().head_commit().unwrap();
+    let roots: Vec<ObjectId> = cited.repo().branches().map(|(_, t)| t).collect();
+    cited
+        .repo_mut()
+        .odb_mut()
+        .maintain(&roots)
+        .expect("pack store supports maintenance")
+        .expect("gc succeeds");
+    (cited, dir, tip)
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("history_walk");
 
@@ -183,6 +225,49 @@ fn bench(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| criterion::black_box(merge_base(&decode_store, tip_a, tip_b).unwrap()))
             },
+        );
+    }
+
+    // ----- path-limited citation_log: Bloom filters vs exact diffs -----
+    // Both repos hold identical history (2000 commits, the citation
+    // changing every 25th); `graph` keeps the Bloom-carrying sidecar,
+    // `decode` had it deleted, so every version pays an exact tree diff.
+    {
+        let commits = 2_000usize;
+        let tracked = gitlite::path("src/f0.rs");
+        let (bloom_repo, _bloom_dir, _tip) = cited_history("cl-graph", commits);
+
+        let (built, decode_dir, decode_tip) = cited_history("cl-decode", commits);
+        drop(built);
+        strip_graph(&decode_dir);
+        let store = PackStore::open(&decode_dir).unwrap();
+        assert!(store.commit_graph().is_none());
+        let mut decode_repo = citekit::CitedRepo::init_with_store(
+            "bench",
+            "Owner",
+            "https://x/bench",
+            Box::new(store),
+        );
+        decode_repo
+            .repo_mut()
+            .set_branch("main", decode_tip)
+            .unwrap();
+        decode_repo.repo_mut().checkout_branch("main").unwrap();
+
+        // The filtered walk must be event-identical to the exact one.
+        let events = bloom_repo.citation_log(&tracked).unwrap();
+        assert_eq!(events, decode_repo.citation_log(&tracked).unwrap());
+        eprintln!("citation_log/{commits}: {} events", events.len());
+
+        g.bench_with_input(
+            BenchmarkId::new("citation_log_graph", commits),
+            &commits,
+            |b, _| b.iter(|| criterion::black_box(bloom_repo.citation_log(&tracked).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("citation_log_decode", commits),
+            &commits,
+            |b, _| b.iter(|| criterion::black_box(decode_repo.citation_log(&tracked).unwrap())),
         );
     }
 

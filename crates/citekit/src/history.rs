@@ -113,7 +113,37 @@ impl CitedRepo {
         let mut events = Vec::new();
         let mut previous: Option<Citation> = None;
         let mut seen_any = false;
-        for id in chain {
+        let cite = crate::file::citation_path();
+        for i in 0..chain.len() {
+            let id = chain[i];
+            // The chain is oldest-first along first parents, so element
+            // i-1 *is* this commit's first parent: when the changed-path
+            // Bloom filter proves `citation.cite` is identical to it,
+            // this version's citation function equals the previous
+            // iteration's and the event logic below is a no-op — skip
+            // the whole read. (`i == 0` has no processed parent to
+            // equal, so it always takes the exact path.)
+            if i > 0 {
+                use gitlite::PathChange;
+                match self.repo().path_changed_hint(id, &cite) {
+                    PathChange::No => continue,
+                    PathChange::Maybe => {
+                        // Exact check: same blob in both trees? Counts
+                        // the false-positive metric and still skips.
+                        let here = self.repo().tree_of(id).map_err(CiteError::Git)?;
+                        let parent = self.repo().tree_of(chain[i - 1]).map_err(CiteError::Git)?;
+                        let changed = gitlite::resolve_path(self.repo().odb(), here, &cite)
+                            .map_err(CiteError::Git)?
+                            != gitlite::resolve_path(self.repo().odb(), parent, &cite)
+                                .map_err(CiteError::Git)?;
+                        self.repo().count_bloom_outcome(changed);
+                        if !changed {
+                            continue;
+                        }
+                    }
+                    PathChange::Absent => {}
+                }
+            }
             let func = match self.function_at(id) {
                 Ok(f) => f,
                 Err(_) => continue, // pre-citation-enabling versions

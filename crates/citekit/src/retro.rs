@@ -98,6 +98,13 @@ fn accumulate_stats(
     let cite = citation_path();
     for &id in commits {
         let commit = repo.commit_obj(id).map_err(CiteError::Git)?;
+        // Same root tree as the first parent (a graph-record read when a
+        // commit-graph is loaded) → empty diff; skip both snapshots.
+        if let Some(p) = commit.parents.first() {
+            if repo.tree_of(*p).map_err(CiteError::Git)? == commit.tree {
+                continue;
+            }
+        }
         let old = match commit.parents.first() {
             Some(p) => repo.snapshot(*p).map_err(CiteError::Git)?,
             None => BTreeMap::new(),
@@ -291,35 +298,43 @@ pub fn retrofit_history(
     let cite = citation_path();
     for &old_id in &topo {
         let commit = src.commit_obj(old_id).map_err(CiteError::Git)?;
-        // Update stats with this commit's first-parent diff.
-        let old_listing = match commit.parents.first() {
-            Some(p) => src.snapshot(*p).map_err(CiteError::Git)?,
-            None => BTreeMap::new(),
-        };
         let new_listing = src.snapshot(old_id).map_err(CiteError::Git)?;
-        let diff = diff_listings(&old_listing, &new_listing, src.odb(), false);
-        for path in diff
-            .added
-            .keys()
-            .chain(diff.deleted.keys())
-            .chain(diff.modified.keys())
-        {
-            if *path == cite {
-                continue;
-            }
-            stats.entry(RepoPath::root()).or_default().record(
-                &commit.author.name,
-                old_id,
-                commit.author.timestamp,
-            );
-            let comps = path.components();
-            for depth in 1..comps.len().min(opts.max_depth + 1) {
-                let dir = RepoPath::parse(&comps[..depth].join("/")).expect("valid components");
-                stats.entry(dir).or_default().record(
+        // Update stats with this commit's first-parent diff — unless the
+        // root trees are identical, in which case the diff is provably
+        // empty and the parent snapshot need not be materialized.
+        let same_as_parent = match commit.parents.first() {
+            Some(p) => src.tree_of(*p).map_err(CiteError::Git)? == commit.tree,
+            None => false,
+        };
+        if !same_as_parent {
+            let old_listing = match commit.parents.first() {
+                Some(p) => src.snapshot(*p).map_err(CiteError::Git)?,
+                None => BTreeMap::new(),
+            };
+            let diff = diff_listings(&old_listing, &new_listing, src.odb(), false);
+            for path in diff
+                .added
+                .keys()
+                .chain(diff.deleted.keys())
+                .chain(diff.modified.keys())
+            {
+                if *path == cite {
+                    continue;
+                }
+                stats.entry(RepoPath::root()).or_default().record(
                     &commit.author.name,
                     old_id,
                     commit.author.timestamp,
                 );
+                let comps = path.components();
+                for depth in 1..comps.len().min(opts.max_depth + 1) {
+                    let dir = RepoPath::parse(&comps[..depth].join("/")).expect("valid components");
+                    stats.entry(dir).or_default().record(
+                        &commit.author.name,
+                        old_id,
+                        commit.author.timestamp,
+                    );
+                }
             }
         }
 

@@ -1,0 +1,94 @@
+//! Changed-path Bloom filter equivalence: over random linear histories,
+//! `citation_log` and `annotate` must return identical results before
+//! (exact tree diffs) and after (Bloom-accelerated) pack maintenance
+//! writes the filters — the filter is a skip hint, never an answer.
+
+use citekit::{Citation, CitedRepo};
+use gitlite::{annotate, path, ObjectId, PackStore, Signature};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "citekit-bloom-prop-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    /// Each step is one commit: (kind % 4, payload). Kinds touch the
+    /// tracked file's citation, the tracked file's content, or unrelated
+    /// paths — so some commits change `citation.cite`, some don't, and
+    /// the filtered walk has real skips to get wrong.
+    #[test]
+    fn audit_scans_are_identical_with_and_without_bloom_filters(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>()), 1..14),
+    ) {
+        let dir = temp_dir("walks");
+        let store = PackStore::open(&dir).expect("open");
+        let mut cited = CitedRepo::init_with_store("p", "Owner", "https://x/p", Box::new(store));
+        let tracked = path("src/lib.rs");
+        let mut cited_now = false;
+
+        cited.write_file(&tracked, &b"line one\nline two\n"[..]).unwrap();
+        cited.commit(Signature::new("Owner", "o@x", 1), "seed").unwrap();
+
+        for (i, (kind, payload)) in steps.iter().enumerate() {
+            match kind % 4 {
+                0 => {
+                    let c = Citation::builder(format!("c{i}"), "Owner").build();
+                    if cited_now {
+                        cited.modify_cite(&tracked, c).unwrap();
+                    } else {
+                        cited.add_cite(&tracked, c).unwrap();
+                        cited_now = true;
+                    }
+                }
+                1 if cited_now => {
+                    cited.del_cite(&tracked).unwrap();
+                    cited_now = false;
+                }
+                2 => {
+                    let text = format!("line one\nedit {i} {payload}\n");
+                    cited.write_file(&tracked, text.into_bytes()).unwrap();
+                }
+                _ => {
+                    let p = path(&format!("docs/n{}.md", payload % 5));
+                    cited.write_file(&p, format!("noise {i}").into_bytes()).unwrap();
+                }
+            }
+            cited
+                .commit(Signature::new("Owner", "o@x", 2 + i as i64), format!("s{i}"))
+                .unwrap();
+        }
+
+        let head = cited.repo().head_commit().unwrap();
+        let log_before = cited.citation_log(&tracked).unwrap();
+        let ann_before = annotate(cited.repo(), head, &tracked).unwrap();
+
+        // Maintenance packs the objects and writes the graph with
+        // changed-path Bloom filters; both scans must not move.
+        let roots: Vec<ObjectId> = cited.repo().branches().map(|(_, tip)| tip).collect();
+        cited
+            .repo_mut()
+            .odb_mut()
+            .maintain(&roots)
+            .expect("pack store supports maintenance")
+            .expect("gc succeeds");
+        let graph = cited.repo().odb().commit_graph().expect("graph present");
+        prop_assert!(graph.bloom_coverage() > 0, "filters were written");
+
+        let log_after = cited.citation_log(&tracked).unwrap();
+        let ann_after = annotate(cited.repo(), head, &tracked).unwrap();
+        prop_assert_eq!(log_before, log_after);
+        prop_assert_eq!(ann_before, ann_after);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

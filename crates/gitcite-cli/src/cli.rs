@@ -445,9 +445,19 @@ fn cmd_gc(cwd: &Path) -> Result<String> {
         "dropped {} unreachable object(s); removed {} loose file(s) and {} old pack(s)\n",
         report.dropped, report.loose_removed, report.packs_removed
     ));
+    if report.pack_bytes > 0 && report.canonical_bytes > 0 {
+        out.push_str(&format!(
+            "delta compression: {} of {} record(s) deltified, {} -> {} bytes ({:.2}x)\n",
+            report.delta_objects,
+            report.packed,
+            report.canonical_bytes,
+            report.pack_bytes,
+            report.canonical_bytes as f64 / report.pack_bytes as f64
+        ));
+    }
     out.push_str(&format!(
-        "commit graph: {} commit(s) indexed\n",
-        report.graph_commits
+        "commit graph: {} commit(s) indexed, {} with changed-path Bloom filter(s)\n",
+        report.graph_commits, report.bloom_commits
     ));
     Ok(out)
 }
@@ -963,6 +973,10 @@ fn render_top(snap: &hub::MetricsSnapshot) -> String {
         out.push_str(&format!(
             "  reads: {} pack / {} loose   walks: {} graph / {} decode-fallback\n",
             s.pack_reads, s.loose_reads, s.graph_walks, s.fallback_walks
+        ));
+        out.push_str(&format!(
+            "  deltas resolved: {}   bloom: {} skip(s) / {} hit(s) / {} false positive(s)\n",
+            s.delta_resolutions, s.bloom_skips, s.bloom_hits, s.bloom_false_positives
         ));
     }
     out

@@ -8,9 +8,11 @@
 //! to each file in each version of the project" as the finest option).
 
 use crate::error::{GitError, Result};
+use crate::graph::PathChange;
 use crate::hash::ObjectId;
 use crate::path::RepoPath;
 use crate::repo::Repository;
+use crate::snapshot::resolve_path;
 use crate::textdiff::lcs_matches;
 
 /// Attribution for one line of the annotated file.
@@ -48,6 +50,30 @@ pub fn annotate(repo: &Repository, from: ObjectId, path: &RepoPath) -> Result<Ve
         let obj = repo.odb().commit_ref(cursor)?;
         let commit = obj.as_commit().expect("checked kind");
         let parent = commit.parents.first().copied();
+        // Changed-path Bloom filter: when the graph proves (or an exact
+        // entry check confirms) the file is identical in the first
+        // parent, this commit introduced none of the surviving lines —
+        // hop straight to the parent without diffing. The LCS of a file
+        // against itself matches everything, so the skip attributes
+        // nothing, exactly like the full iteration would.
+        if let Some(p) = parent {
+            match repo.path_changed_hint(cursor, path) {
+                PathChange::No => {
+                    cursor = p;
+                    continue;
+                }
+                PathChange::Maybe => {
+                    let here = resolve_path(repo.odb(), repo.tree_of(cursor)?, path)?;
+                    let there = resolve_path(repo.odb(), repo.tree_of(p)?, path)?;
+                    repo.count_bloom_outcome(here != there);
+                    if here == there {
+                        cursor = p;
+                        continue;
+                    }
+                }
+                PathChange::Absent => {}
+            }
+        }
         let parent_lines: Option<Vec<String>> = match parent {
             Some(p) => match repo.file_at(p, path) {
                 Ok(d) => Some(split_lines(&String::from_utf8_lossy(&d))),

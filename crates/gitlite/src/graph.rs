@@ -24,6 +24,7 @@
 //! count × ( 20-byte tree id | i64 timestamp | u32 generation
 //!         | u32 parent1 | u32 parent2 )
 //! edge_count × u32 extra parent positions (octopus merges)
+//! [version ≥ 2: changed-path Bloom chunk]
 //! 20-byte SHA-1 trailer
 //! ```
 //!
@@ -33,6 +34,37 @@
 //! table, which lists `parents[1..]` in order, the last entry flagged
 //! with the high bit — exactly Git's octopus encoding. Parent *order* is
 //! preserved (first-parent walks depend on it).
+//!
+//! # Changed-path Bloom filters (version 2)
+//!
+//! Version-2 files append one chunk after the extra edges:
+//!
+//! ```text
+//! u32 hash_count (k) | u32 data_len
+//! count × u32 cumulative end offset into the filter data
+//! data_len bytes of concatenated per-commit filters
+//! ```
+//!
+//! Commit `pos`'s filter is `data[offsets[pos-1]..offsets[pos]]`
+//! (`offsets[-1]` = 0). It is a Bloom filter over every path that
+//! changed between the commit and its **first parent** (a root commit
+//! diffs against the empty tree), plus each changed path's ancestor
+//! directories — so a query for `"a/b/c.txt"` or for the directory
+//! `"a"` both answer. A **zero-length** filter means "no filter
+//! computed" (queries must fall back to an exact diff); a commit whose
+//! diff is empty stores a single zero byte, which answers "definitely
+//! unchanged" for every path. Commits touching more than
+//! [`MAX_BLOOM_PATHS`] paths opt out (zero length) to bound the chunk.
+//!
+//! Filters use ~10 bits and `k` double-hashed probes per path
+//! (`bit_i = h1 + i·h2 mod bits`, git's parameters). `h1`/`h2` are
+//! 64-bit FNV-1a over the path bytes with two offset bases (`h2` forced
+//! odd) — this reproduction's stand-in for git's murmur3 pair, chosen
+//! because FNV is already the codebase's hash of record. Version-1
+//! files parse as "no filter anywhere"; a graph with no filters encodes
+//! as version 1, byte-identical to the pre-Bloom format. A corrupt
+//! chunk fails the file's SHA-1 trailer and triggers the normal
+//! full-scan rebuild.
 //!
 //! # Generation numbers
 //!
@@ -62,16 +94,30 @@
 
 use crate::error::{GitError, Result};
 use crate::hash::ObjectId;
+use crate::object::{EntryMode, Tree, TreeEntry};
 use crate::store::ObjectStore;
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::rc::Rc;
 
 /// Magic bytes opening every commit-graph file.
 pub const GRAPH_MAGIC: &[u8; 4] = b"GLCG";
-/// Current version of the on-disk format.
+/// Version written when no commit carries a Bloom filter (the original
+/// format, byte-for-byte).
 pub const GRAPH_VERSION: u32 = 1;
+/// Version written when at least one commit carries a changed-path
+/// Bloom filter (appends one chunk; see the module docs).
+pub const GRAPH_VERSION_BLOOM: u32 = 2;
 /// File name of the commit-graph, under the pack directory.
 pub const GRAPH_FILE: &str = "commit-graph.glcg";
+
+/// Probes per path in a changed-path Bloom filter (git's default).
+pub const BLOOM_K: u32 = 7;
+/// Filter bits allocated per changed path (git's default).
+pub const BLOOM_BITS_PER_PATH: usize = 10;
+/// Commits changing more than this many paths (ancestor directories
+/// included) store no filter and always fall back to an exact diff.
+pub const MAX_BLOOM_PATHS: usize = 512;
 
 const HEADER_LEN: usize = 16; // magic + version + count + edge_count
 const FANOUT_LEN: usize = 1024; // 256 × u32
@@ -122,6 +168,24 @@ pub struct CommitGraph {
     ids: Vec<ObjectId>,
     records: Vec<Record>,
     edges: Vec<u32>,
+    /// Per-position changed-path Bloom filters (`None` = not computed;
+    /// always `ids.len()` entries).
+    filters: Vec<Option<Box<[u8]>>>,
+    /// Probe count the stored filters were built with.
+    bloom_k: u32,
+}
+
+/// Answer from a changed-path Bloom filter query
+/// ([`CommitGraph::path_changed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathChange {
+    /// The commit has no filter — run an exact diff.
+    Absent,
+    /// The filter says the path *may* have changed (Bloom filters can
+    /// report false positives, never false negatives).
+    Maybe,
+    /// The path definitely did not change versus the first parent.
+    No,
 }
 
 impl CommitGraph {
@@ -160,7 +224,15 @@ impl CommitGraph {
             .collect();
         let mut seen: HashSet<ObjectId> = self.ids.iter().copied().collect();
         collect_entries(store, tips, &mut seen, &mut entries)?;
-        CommitGraph::from_entries(entries)
+        let mut graph = CommitGraph::from_entries(entries)?;
+        // Carry filters across the rebuild: positions shift, ids don't.
+        graph.bloom_k = self.bloom_k;
+        for (old_pos, filter) in self.filters.iter().enumerate() {
+            if let (Some(f), Some(new_pos)) = (filter, graph.lookup(self.ids[old_pos])) {
+                graph.filters[new_pos as usize] = Some(f.clone());
+            }
+        }
+        Ok(graph)
     }
 
     /// Assembles a graph from explicit entries. The set must be *closed*:
@@ -261,11 +333,14 @@ impl CommitGraph {
             });
         }
         let ids: Vec<ObjectId> = entries.iter().map(|e| e.id).collect();
+        let filters = vec![None; ids.len()];
         Ok(CommitGraph {
             fanout: fanout_of(&ids),
             ids,
             records,
             edges,
+            filters,
+            bloom_k: BLOOM_K,
         })
     }
 
@@ -274,6 +349,12 @@ impl CommitGraph {
     /// Serializes the graph into `GLCG` bytes (see the module docs for
     /// the layout).
     pub fn encode(&self) -> Vec<u8> {
+        let with_blooms = self.filters.iter().any(Option::is_some);
+        let version = if with_blooms {
+            GRAPH_VERSION_BLOOM
+        } else {
+            GRAPH_VERSION
+        };
         let mut out = Vec::with_capacity(
             HEADER_LEN
                 + FANOUT_LEN
@@ -282,7 +363,7 @@ impl CommitGraph {
                 + TRAILER_LEN,
         );
         out.extend_from_slice(GRAPH_MAGIC);
-        out.extend_from_slice(&GRAPH_VERSION.to_be_bytes());
+        out.extend_from_slice(&version.to_be_bytes());
         out.extend_from_slice(&(self.ids.len() as u32).to_be_bytes());
         out.extend_from_slice(&(self.edges.len() as u32).to_be_bytes());
         for f in self.fanout {
@@ -300,6 +381,19 @@ impl CommitGraph {
         }
         for e in &self.edges {
             out.extend_from_slice(&e.to_be_bytes());
+        }
+        if with_blooms {
+            let data_len: usize = self.filters.iter().flatten().map(|f| f.len()).sum();
+            out.extend_from_slice(&self.bloom_k.to_be_bytes());
+            out.extend_from_slice(&(data_len as u32).to_be_bytes());
+            let mut end = 0u32;
+            for f in &self.filters {
+                end += f.as_ref().map_or(0, |f| f.len() as u32);
+                out.extend_from_slice(&end.to_be_bytes());
+            }
+            for f in self.filters.iter().flatten() {
+                out.extend_from_slice(f);
+            }
         }
         let trailer = ObjectId::hash_bytes(&out);
         out.extend_from_slice(&trailer.0);
@@ -321,13 +415,24 @@ impl CommitGraph {
             return Err(corrupt("bad magic"));
         }
         let version = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
-        if version != GRAPH_VERSION {
+        if version != GRAPH_VERSION && version != GRAPH_VERSION_BLOOM {
             return Err(corrupt(&format!("unsupported version {version}")));
         }
         let count = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
         let edge_count = u32::from_be_bytes(bytes[12..16].try_into().unwrap()) as usize;
-        let expected =
-            HEADER_LEN + FANOUT_LEN + count * (ID_LEN + RECORD_LEN) + edge_count * 4 + TRAILER_LEN;
+        let base_len = HEADER_LEN + FANOUT_LEN + count * (ID_LEN + RECORD_LEN) + edge_count * 4;
+        let expected = if version == GRAPH_VERSION {
+            base_len + TRAILER_LEN
+        } else {
+            // Bloom chunk: k + data_len + count offsets + data bytes.
+            let fixed = base_len + 8 + count * 4 + TRAILER_LEN;
+            if bytes.len() < fixed {
+                return Err(corrupt("truncated Bloom chunk"));
+            }
+            let data_len =
+                u32::from_be_bytes(bytes[base_len + 4..base_len + 8].try_into().unwrap()) as usize;
+            fixed + data_len
+        };
         if bytes.len() != expected {
             return Err(corrupt(&format!(
                 "size mismatch: {} bytes for {count} commits / {edge_count} edges, expected {expected}",
@@ -389,11 +494,42 @@ impl CommitGraph {
             })
             .collect();
 
+        let mut filters = vec![None; count];
+        let mut bloom_k = BLOOM_K;
+        if version == GRAPH_VERSION_BLOOM {
+            let chunk_at = edges_at + edge_count * 4;
+            bloom_k = u32::from_be_bytes(bytes[chunk_at..chunk_at + 4].try_into().unwrap());
+            if bloom_k == 0 {
+                return Err(corrupt("Bloom hash count is zero"));
+            }
+            let data_len =
+                u32::from_be_bytes(bytes[chunk_at + 4..chunk_at + 8].try_into().unwrap()) as usize;
+            let offsets_at = chunk_at + 8;
+            let data_at = offsets_at + count * 4;
+            let mut start = 0usize;
+            for (i, filter) in filters.iter_mut().enumerate() {
+                let at = offsets_at + i * 4;
+                let end = u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+                if end < start || end > data_len {
+                    return Err(corrupt("Bloom offsets not monotone"));
+                }
+                if end > start {
+                    *filter = Some(bytes[data_at + start..data_at + end].into());
+                }
+                start = end;
+            }
+            if start != data_len {
+                return Err(corrupt("Bloom data length disagrees with offsets"));
+            }
+        }
+
         let graph = CommitGraph {
             fanout,
             ids,
             records,
             edges,
+            filters,
+            bloom_k,
         };
         graph.validate_structure()?;
         Ok(graph)
@@ -684,6 +820,201 @@ impl CommitGraph {
         }
         None
     }
+
+    // ----- changed-path Bloom filters -----------------------------------
+
+    /// Asks the commit's Bloom filter whether `path` (a file or a
+    /// directory, no leading/trailing slash) changed between the commit
+    /// at `pos` and its first parent. [`PathChange::No`] is definitive;
+    /// [`PathChange::Maybe`] and [`PathChange::Absent`] require an exact
+    /// diff.
+    pub fn path_changed(&self, pos: u32, path: &str) -> PathChange {
+        let Some(f) = self.filters[pos as usize].as_deref() else {
+            return PathChange::Absent;
+        };
+        let nbits = (f.len() * 8) as u64;
+        let (h1, h2) = bloom_hashes(path.as_bytes());
+        for i in 0..self.bloom_k as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % nbits) as usize;
+            if f[bit / 8] & (1 << (bit % 8)) == 0 {
+                return PathChange::No;
+            }
+        }
+        PathChange::Maybe
+    }
+
+    /// Number of commits that carry a changed-path Bloom filter.
+    pub fn bloom_coverage(&self) -> usize {
+        self.filters.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Drops every filter (the graph then encodes as version 1 again).
+    /// Exists for benchmarks and tests that need the exact-diff path.
+    pub fn strip_blooms(&mut self) {
+        self.filters.iter_mut().for_each(|f| *f = None);
+    }
+
+    /// Computes changed-path Bloom filters for every commit that does
+    /// not already have one, diffing each commit's root tree against its
+    /// first parent's via `fetch` (id → decoded tree). Best-effort: a
+    /// commit whose trees cannot be fetched, or whose diff touches more
+    /// than [`MAX_BLOOM_PATHS`] paths, simply keeps no filter — queries
+    /// fall back to exact diffs, so partial coverage is always safe.
+    pub fn compute_blooms<F>(&mut self, mut fetch: F)
+    where
+        F: FnMut(ObjectId) -> Option<Tree>,
+    {
+        let mut memo: HashMap<ObjectId, Option<Rc<Tree>>> = HashMap::new();
+        for pos in 0..self.ids.len() {
+            if self.filters[pos].is_some() {
+                continue;
+            }
+            let tree_id = self.records[pos].tree;
+            let parent_tree = match self.records[pos].parent1 {
+                NO_PARENT => None,
+                p => Some(self.records[p as usize].tree),
+            };
+            if parent_tree == Some(tree_id) {
+                // Identical root trees: provably empty diff, no decode.
+                self.filters[pos] = Some(bloom_bytes(&HashSet::new(), self.bloom_k));
+                continue;
+            }
+            let Some(new_tree) = memo_tree(&mut memo, &mut fetch, tree_id) else {
+                continue;
+            };
+            let old_tree = match parent_tree {
+                Some(t) => match memo_tree(&mut memo, &mut fetch, t) {
+                    Some(t) => Some(t),
+                    None => continue,
+                },
+                None => None,
+            };
+            let mut paths = HashSet::new();
+            if diff_changed_paths(
+                old_tree.as_deref(),
+                Some(&new_tree),
+                "",
+                &mut paths,
+                &mut memo,
+                &mut fetch,
+            ) {
+                self.filters[pos] = Some(bloom_bytes(&paths, self.bloom_k));
+            }
+        }
+    }
+}
+
+/// The double-hash pair for a Bloom path: two 64-bit FNV-1a streams
+/// over the same bytes from different offset bases, the second forced
+/// odd so `h1 + i·h2` cycles through all bit positions.
+fn bloom_hashes(bytes: &[u8]) -> (u64, u64) {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_ALT_OFFSET: u64 = 0x6c62_272e_07bb_0142;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h1 = FNV_OFFSET;
+    let mut h2 = FNV_ALT_OFFSET;
+    for &b in bytes {
+        h1 = (h1 ^ b as u64).wrapping_mul(FNV_PRIME);
+        h2 = (h2 ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    (h1, h2 | 1)
+}
+
+/// Encodes a changed-path set as filter bytes: ~10 bits per path, at
+/// least one byte (so an empty set is a single zero byte that answers
+/// "No" to everything, distinct from the zero-length "no filter").
+fn bloom_bytes(paths: &HashSet<String>, k: u32) -> Box<[u8]> {
+    let nbytes = (paths.len() * BLOOM_BITS_PER_PATH).div_ceil(8).max(1);
+    let mut filter = vec![0u8; nbytes];
+    let nbits = (nbytes * 8) as u64;
+    for path in paths {
+        let (h1, h2) = bloom_hashes(path.as_bytes());
+        for i in 0..k as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % nbits) as usize;
+            filter[bit / 8] |= 1 << (bit % 8);
+        }
+    }
+    filter.into_boxed_slice()
+}
+
+/// Fetches and memoizes a decoded tree (`None` is memoized too, so a
+/// missing tree is only chased once).
+fn memo_tree<F: FnMut(ObjectId) -> Option<Tree>>(
+    memo: &mut HashMap<ObjectId, Option<Rc<Tree>>>,
+    fetch: &mut F,
+    id: ObjectId,
+) -> Option<Rc<Tree>> {
+    memo.entry(id)
+        .or_insert_with(|| fetch(id).map(Rc::new))
+        .clone()
+}
+
+/// Recursively collects every path that differs between `old` and `new`
+/// (including the changed paths' directories — each differing subtree
+/// entry is itself pushed before recursing) into `paths`. Returns
+/// `false` when a needed subtree cannot be fetched or the path count
+/// exceeds [`MAX_BLOOM_PATHS`] — the caller then stores no filter.
+fn diff_changed_paths<F: FnMut(ObjectId) -> Option<Tree>>(
+    old: Option<&Tree>,
+    new: Option<&Tree>,
+    prefix: &str,
+    paths: &mut HashSet<String>,
+    memo: &mut HashMap<ObjectId, Option<Rc<Tree>>>,
+    fetch: &mut F,
+) -> bool {
+    let mut names: Vec<&str> = old
+        .into_iter()
+        .chain(new)
+        .flat_map(|t| t.iter().map(|(n, _)| n))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let old_entry = old.and_then(|t| t.get(name)).copied();
+        let new_entry = new.and_then(|t| t.get(name)).copied();
+        if old_entry == new_entry {
+            continue;
+        }
+        let path = if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}/{name}")
+        };
+        paths.insert(path.clone());
+        if paths.len() > MAX_BLOOM_PATHS {
+            return false;
+        }
+        let sub = |entry: Option<TreeEntry>,
+                   memo: &mut HashMap<ObjectId, Option<Rc<Tree>>>,
+                   fetch: &mut F| {
+            match entry {
+                Some(e) if e.mode == EntryMode::Dir => match memo_tree(memo, fetch, e.id) {
+                    Some(t) => Ok(Some(t)),
+                    None => Err(()),
+                },
+                _ => Ok(None),
+            }
+        };
+        let Ok(old_sub) = sub(old_entry, memo, fetch) else {
+            return false;
+        };
+        let Ok(new_sub) = sub(new_entry, memo, fetch) else {
+            return false;
+        };
+        if (old_sub.is_some() || new_sub.is_some())
+            && !diff_changed_paths(
+                old_sub.as_deref(),
+                new_sub.as_deref(),
+                &path,
+                paths,
+                memo,
+                fetch,
+            )
+        {
+            return false;
+        }
+    }
+    true
 }
 
 /// Walks commits reachable from `tips` (skipping ids already in `seen`),
@@ -946,5 +1277,122 @@ mod tests {
         assert_eq!(g.generation_of(pos), 4999);
         assert_eq!(g.log(pos).len(), 5000);
         assert_eq!(g.first_parent_chain(pos).len(), 5000);
+    }
+
+    // ----- changed-path Bloom filters -----------------------------------
+
+    fn pathset(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A sample graph with a mixed filter population: a real change set,
+    /// an empty change set, and uncovered commits.
+    fn bloomed_sample() -> CommitGraph {
+        let (odb, c) = sample();
+        let mut g = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        g.filters[0] = Some(bloom_bytes(&pathset(&["src/a.rs", "src"]), BLOOM_K));
+        g.filters[2] = Some(bloom_bytes(&pathset(&[]), BLOOM_K));
+        g
+    }
+
+    #[test]
+    fn bloom_chunk_round_trips_and_absence_keeps_version_1() {
+        let (odb, c) = sample();
+        let plain = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        let v1 = plain.encode();
+        assert_eq!(&v1[4..8], &GRAPH_VERSION.to_be_bytes());
+
+        let g = bloomed_sample();
+        let v2 = g.encode();
+        assert_eq!(&v2[4..8], &GRAPH_VERSION_BLOOM.to_be_bytes());
+        let parsed = CommitGraph::parse(&v2).unwrap();
+        assert_eq!(parsed.filters, g.filters);
+        assert_eq!(parsed.bloom_coverage(), 2);
+        assert_eq!(parsed.encode(), v2, "version 2 re-encodes identically");
+
+        // Filter semantics survive the round trip: a covered path is
+        // Maybe, an unknown one is No, an uncovered commit is Absent,
+        // and the empty change set answers No for everything.
+        assert_eq!(parsed.path_changed(0, "src/a.rs"), PathChange::Maybe);
+        assert_eq!(
+            parsed.path_changed(0, "definitely/not/here.txt"),
+            PathChange::No
+        );
+        assert_eq!(parsed.path_changed(1, "src/a.rs"), PathChange::Absent);
+        assert_eq!(parsed.path_changed(2, "src/a.rs"), PathChange::No);
+
+        // Stripping the filters falls back to the version-1 bytes.
+        let mut stripped = parsed;
+        stripped.strip_blooms();
+        assert_eq!(stripped.encode(), v1);
+    }
+
+    #[test]
+    fn bloom_chunk_corruption_is_detected() {
+        let mut g = bloomed_sample();
+        // A trailing filter too, so the cumulative total can be tampered
+        // below the data length without tripping the monotone check.
+        g.filters[4] = Some(bloom_bytes(&pathset(&["x"]), BLOOM_K));
+        let bytes = g.encode();
+        let chunk_at = {
+            let mut s = g.clone();
+            s.strip_blooms();
+            s.encode().len() - TRAILER_LEN
+        };
+        // Any flipped byte in the chunk breaks the trailer.
+        for at in [chunk_at, chunk_at + 9, bytes.len() - TRAILER_LEN - 1] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0xff;
+            assert!(
+                matches!(CommitGraph::parse(&bad), Err(GitError::Corrupt(_))),
+                "flip at {at}"
+            );
+        }
+        // Structural tampers with a recomputed trailer are still refused.
+        let refit = |mut b: Vec<u8>| {
+            let n = b.len() - TRAILER_LEN;
+            let t = ObjectId::hash_bytes(&b[..n]);
+            b[n..].copy_from_slice(&t.0);
+            b
+        };
+        let tamper = |at: usize, word: u32| {
+            let mut b = bytes.clone();
+            b[at..at + 4].copy_from_slice(&word.to_be_bytes());
+            CommitGraph::parse(&refit(b)).unwrap_err().to_string()
+        };
+        assert!(tamper(chunk_at, 0).contains("hash count"));
+        assert!(tamper(chunk_at + 8, 10_000).contains("not monotone"));
+        // Shrinking the final cumulative offset leaves data unclaimed.
+        let last_offset_at = chunk_at + 8 + (g.len() - 1) * 4;
+        assert!(tamper(last_offset_at, 4).contains("disagrees with offsets"));
+        // Growing the declared data length changes the expected size.
+        assert!(tamper(chunk_at + 4, 1_000).contains("size mismatch"));
+    }
+
+    #[test]
+    fn extend_carries_filters_and_compute_blooms_fills_gaps() {
+        let (mut odb, c) = sample();
+        let mut g = CommitGraph::build(&odb, &[c[4]]).unwrap();
+        // All sample commits share the same empty tree, so every filter
+        // is the empty change set; that is still coverage.
+        {
+            let odb = &odb;
+            g.compute_blooms(|tree_id| odb.tree(tree_id).ok());
+        }
+        assert_eq!(g.bloom_coverage(), g.len());
+
+        let extra = mk(&mut odb, "extra", 9, vec![c[4]]);
+        let mut extended = g.extend(&odb, &[extra]).unwrap();
+        assert_eq!(extended.len(), 6);
+        // Old filters rode along by id; only the new commit is uncovered.
+        assert_eq!(extended.bloom_coverage(), 5);
+        let new_pos = extended.lookup(extra).unwrap();
+        assert_eq!(extended.filters[new_pos as usize], None);
+        // Backfill touches only the gap.
+        {
+            let odb = &odb;
+            extended.compute_blooms(|tree_id| odb.tree(tree_id).ok());
+        }
+        assert_eq!(extended.bloom_coverage(), 6);
     }
 }

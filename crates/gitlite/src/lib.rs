@@ -59,14 +59,15 @@ pub mod worktree;
 pub use annotate::{annotate, LineOrigin};
 pub use diff::{diff_listings, diff_trees, Rename, TreeDiff, RENAME_THRESHOLD};
 pub use error::{GitError, Result};
-pub use graph::{CommitGraph, GraphEntry, GRAPH_FILE};
+pub use graph::{CommitGraph, GraphEntry, PathChange, GRAPH_FILE};
 pub use hash::{ObjectId, Sha1};
 pub use merge::{merge_listings, Conflict, ConflictKind, MergeOptions, MergeReport, TreeMerge};
 pub use mergebase::{ancestor_set, merge_base};
 pub use metrics::StoreReadStats;
 pub use object::{Blob, Commit, EntryMode, Object, Signature, Tree, TreeEntry};
 pub use pack::{
-    encode_pack, index_pack, EncodedPack, MaintenanceReport, Pack, PackIndex, PackStore, PACK_DIR,
+    apply_delta, compute_delta, encode_pack, encode_pack_deltified, index_pack, EncodedPack,
+    MaintenanceReport, Pack, PackIndex, PackStore, MAX_DELTA_DEPTH, PACK_DIR,
 };
 pub use path::{path, PathError, RepoPath};
 pub use remote::{clone_repository, clone_repository_into, fetch, push, transfer_objects};

@@ -27,6 +27,22 @@ pub static GRAPH_WALKS: Counter = Counter::new();
 /// did not cover the starting commit.
 pub static FALLBACK_WALKS: Counter = Counter::new();
 
+/// Delta links applied while resolving packed objects (one per chain
+/// hop, so cost ∝ this counter; cache hits stop the walk early).
+pub static DELTA_RESOLUTIONS: Counter = Counter::new();
+
+/// Path queries a changed-path Bloom filter answered "maybe changed"
+/// where the path really had changed.
+pub static BLOOM_HITS: Counter = Counter::new();
+
+/// Path queries a changed-path Bloom filter answered with a definitive
+/// "unchanged" — each one is a tree diff (or blob fetch) skipped.
+pub static BLOOM_SKIPS: Counter = Counter::new();
+
+/// Path queries where the filter said "maybe changed" but the exact
+/// check found no change (the Bloom false-positive rate, ~1% expected).
+pub static BLOOM_FALSE_POSITIVES: Counter = Counter::new();
+
 /// Records one history-walk routing decision.
 pub(crate) fn count_walk(graph_served: bool) {
     if graph_served {
@@ -47,14 +63,26 @@ pub struct StoreReadStats {
     pub graph_walks: u64,
     /// Decode-fallback history walks.
     pub fallback_walks: u64,
+    /// Delta links applied resolving packed objects.
+    pub delta_resolutions: u64,
+    /// Bloom "maybe" answers that were real changes.
+    pub bloom_hits: u64,
+    /// Bloom "unchanged" answers (diffs skipped).
+    pub bloom_skips: u64,
+    /// Bloom "maybe" answers the exact check refuted.
+    pub bloom_false_positives: u64,
 }
 
-/// Reads all four counters (relaxed atomic loads).
+/// Reads all the counters (relaxed atomic loads).
 pub fn snapshot() -> StoreReadStats {
     StoreReadStats {
         pack_reads: PACK_READS.get(),
         loose_reads: LOOSE_READS.get(),
         graph_walks: GRAPH_WALKS.get(),
         fallback_walks: FALLBACK_WALKS.get(),
+        delta_resolutions: DELTA_RESOLUTIONS.get(),
+        bloom_hits: BLOOM_HITS.get(),
+        bloom_skips: BLOOM_SKIPS.get(),
+        bloom_false_positives: BLOOM_FALSE_POSITIVES.get(),
     }
 }

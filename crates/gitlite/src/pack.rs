@@ -12,9 +12,29 @@
 //!
 //!   ```text
 //!   "GLPK" | u32 version | u32 count
-//!   count × ( 20-byte id | u32 len | canonical bytes )
+//!   count × ( 20-byte id | u32 len | record payload )
 //!   20-byte SHA-1 trailer
 //!   ```
+//!
+//!   Version 1 packs hold only **full records**: the payload is the
+//!   object's canonical bytes and `len` is their length. Version 2 packs
+//!   may additionally hold **delta records** (git's pack-delta design):
+//!   the high bit of `len` is the delta flag, the low 31 bits the payload
+//!   length, and the payload is
+//!
+//!   ```text
+//!   20-byte base id | u32 target_len | ops…
+//!   op = 0x01 | u32 base_offset | u32 len      (copy from resolved base)
+//!      | 0x02 | u32 len | len literal bytes    (insert)
+//!   ```
+//!
+//!   A delta's base must be another record *in the same pack*, chains are
+//!   capped at [`MAX_DELTA_DEPTH`], and both properties (plus acyclicity)
+//!   are validated at parse time, so a crafted file cannot loop or recurse
+//!   a reader. Resolution re-hashes the reconstructed bytes against the
+//!   record id before serving them — a damaged or malicious delta yields
+//!   "object missing", never a wrong answer. A pack with no delta records
+//!   encodes as version 1, byte-identical to the pre-delta format.
 //!
 //! * **`pack-<checksum>.idx`** — the lookup structure: a 256-entry fanout
 //!   table (cumulative counts by leading id byte) over the sorted id list,
@@ -56,24 +76,42 @@ use crate::graph::{CommitGraph, GraphEntry, GRAPH_FILE};
 use crate::hash::ObjectId;
 use crate::object::Object;
 use crate::store::{DiskStore, ObjectStore};
-use std::collections::HashSet;
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Magic bytes opening every pack file.
 pub const PACK_MAGIC: &[u8; 4] = b"GLPK";
 /// Magic bytes opening every pack index file.
 pub const INDEX_MAGIC: &[u8; 4] = b"GLIX";
-/// Current version of both on-disk formats.
+/// Version of a pack holding only full records (and of the `.idx`
+/// format, which is unchanged by deltas).
 pub const PACK_VERSION: u32 = 1;
+/// Version of a pack holding at least one delta record.
+pub const PACK_VERSION_DELTA: u32 = 2;
+/// Longest allowed delta chain (full base → … → deepest delta).
+pub const MAX_DELTA_DEPTH: u32 = 16;
 /// Subdirectory of a [`PackStore`] root holding `*.pack` / `*.idx` files.
 pub const PACK_DIR: &str = "pack";
 
 const HEADER_LEN: usize = 12; // magic + version + count
 const TRAILER_LEN: usize = 20; // SHA-1
 const RECORD_PREFIX: usize = 24; // 20-byte id + u32 len
+const DELTA_FLAG: u32 = 0x8000_0000; // high bit of a record's len word
+const LEN_MASK: u32 = !DELTA_FLAG;
+const DELTA_PREFIX: usize = 24; // 20-byte base id + u32 target_len
+const OP_COPY: u8 = 0x01;
+const OP_INSERT: u8 = 0x02;
+/// Matching granularity of the delta encoder (bytes).
+const DELTA_BLOCK: usize = 16;
+/// Candidates tried per object when planning deltas at repack time.
+const DELTA_WINDOW: usize = 8;
+/// Resolved-bytes cache budget per pack; the cache is cleared wholesale
+/// when it would overflow (chain walks re-warm it immediately).
+const DELTA_CACHE_BYTES: usize = 8 << 20;
 
 /// A pack plus its index, encoded and ready to hit disk.
 #[derive(Debug, Clone)]
@@ -85,17 +123,57 @@ pub struct EncodedPack {
     /// The pack's trailer checksum — also its file-name stem
     /// (`pack-<checksum>`).
     pub checksum: ObjectId,
+    /// How many records were written as deltas (0 for [`encode_pack`]).
+    pub delta_objects: usize,
 }
 
-/// Encodes `objects` (id + canonical bytes) into a pack and its index.
+/// Encodes `objects` (id + canonical bytes) into a pack and its index,
+/// every record stored full.
 ///
 /// Records are sorted by id and deduplicated, so the same object set
 /// always encodes to byte-identical files regardless of insertion order —
 /// pack files are content addresses of their object sets.
-pub fn encode_pack(mut objects: Vec<(ObjectId, Vec<u8>)>) -> EncodedPack {
+pub fn encode_pack(objects: Vec<(ObjectId, Vec<u8>)>) -> EncodedPack {
+    encode_with_plan(normalize(objects), &HashMap::new())
+}
+
+/// Like [`encode_pack`], but stores similar objects as delta records.
+///
+/// Candidates are sorted by (object kind, tree-entry name hint, size
+/// descending) so successive versions of the same path land next to each
+/// other, then each object tries a delta against a sliding window of
+/// [`DELTA_WINDOW`] predecessors, keeping the smallest that saves at
+/// least a quarter of the full size and stays under [`MAX_DELTA_DEPTH`].
+/// Bases always precede their deltas in the candidate order, so chains
+/// are acyclic by construction. The plan is a pure function of the
+/// object set: deltified packs are content addresses too, and a set that
+/// yields no profitable delta encodes byte-identically to
+/// [`encode_pack`].
+pub fn encode_pack_deltified(objects: Vec<(ObjectId, Vec<u8>)>) -> EncodedPack {
+    let objects = normalize(objects);
+    let plan = plan_deltas(&objects);
+    encode_with_plan(objects, &plan)
+}
+
+fn normalize(mut objects: Vec<(ObjectId, Vec<u8>)>) -> Vec<(ObjectId, Vec<u8>)> {
     objects.sort_by_key(|entry| entry.0);
     objects.dedup_by(|a, b| a.0 == b.0);
+    objects
+}
 
+fn encode_with_plan(
+    objects: Vec<(ObjectId, Vec<u8>)>,
+    plan: &HashMap<ObjectId, (ObjectId, Vec<u8>)>,
+) -> EncodedPack {
+    let delta_objects = objects
+        .iter()
+        .filter(|(id, _)| plan.contains_key(id))
+        .count();
+    let version = if delta_objects == 0 {
+        PACK_VERSION
+    } else {
+        PACK_VERSION_DELTA
+    };
     let mut pack = Vec::with_capacity(
         HEADER_LEN
             + TRAILER_LEN
@@ -105,20 +183,30 @@ pub fn encode_pack(mut objects: Vec<(ObjectId, Vec<u8>)>) -> EncodedPack {
                 .sum::<usize>(),
     );
     pack.extend_from_slice(PACK_MAGIC);
-    pack.extend_from_slice(&PACK_VERSION.to_be_bytes());
+    pack.extend_from_slice(&version.to_be_bytes());
     pack.extend_from_slice(&(objects.len() as u32).to_be_bytes());
     let mut ids = Vec::with_capacity(objects.len());
     let mut offsets = Vec::with_capacity(objects.len());
     for (id, bytes) in &objects {
         debug_assert!(
-            bytes.len() <= u32::MAX as usize,
-            "pack record lengths are u32; callers must reject larger objects"
+            bytes.len() <= LEN_MASK as usize,
+            "pack record lengths are 31 bits; callers must reject larger objects"
         );
         ids.push(*id);
         offsets.push(pack.len() as u64);
         pack.extend_from_slice(&id.0);
-        pack.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
-        pack.extend_from_slice(bytes);
+        match plan.get(id) {
+            Some((base, delta)) => {
+                let len = (delta.len() + 20) as u32;
+                pack.extend_from_slice(&(len | DELTA_FLAG).to_be_bytes());
+                pack.extend_from_slice(&base.0);
+                pack.extend_from_slice(delta);
+            }
+            None => {
+                pack.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                pack.extend_from_slice(bytes);
+            }
+        }
     }
     let checksum = ObjectId::hash_bytes(&pack);
     pack.extend_from_slice(&checksum.0);
@@ -128,7 +216,223 @@ pub fn encode_pack(mut objects: Vec<(ObjectId, Vec<u8>)>) -> EncodedPack {
         pack,
         index,
         checksum,
+        delta_objects,
     }
+}
+
+/// Computes a delta turning `base` into `target`: `u32 target_len`
+/// followed by copy/insert ops (see the module doc for the wire shape).
+/// Returns `None` when no delta saves at least a quarter of the full
+/// size — callers then store the object full.
+///
+/// The encoder indexes `base` in [`DELTA_BLOCK`]-byte blocks and greedily
+/// extends the longest match at each target position; it is deterministic
+/// in its inputs, which keeps deltified packs content-addressed.
+pub fn compute_delta(base: &[u8], target: &[u8]) -> Option<Vec<u8>> {
+    if target.len() < 64 || target.len() > LEN_MASK as usize || base.len() > LEN_MASK as usize {
+        return None;
+    }
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut off = 0;
+    while off + DELTA_BLOCK <= base.len() {
+        let slots = table
+            .entry(block_hash(&base[off..off + DELTA_BLOCK]))
+            .or_default();
+        if slots.len() < 4 {
+            slots.push(off as u32);
+        }
+        off += DELTA_BLOCK;
+    }
+    // The record must undercut the full encoding by 25% to be worth a
+    // chain link at read time; 20 bytes of base id ride on top of it.
+    let budget = target.len() * 3 / 4;
+    let mut delta = Vec::with_capacity(64);
+    delta.extend_from_slice(&(target.len() as u32).to_be_bytes());
+    let mut lit_start = 0;
+    let mut i = 0;
+    while i + DELTA_BLOCK <= target.len() {
+        let mut best: Option<(usize, usize)> = None; // (base offset, match len)
+        if let Some(cands) = table.get(&block_hash(&target[i..i + DELTA_BLOCK])) {
+            for &cand in cands {
+                let cand = cand as usize;
+                if base[cand..cand + DELTA_BLOCK] != target[i..i + DELTA_BLOCK] {
+                    continue; // hash collision
+                }
+                let len = common_prefix(&base[cand..], &target[i..]);
+                if best.map(|(_, b)| len > b).unwrap_or(true) {
+                    best = Some((cand, len));
+                }
+            }
+        }
+        if let Some((boff, mlen)) = best {
+            push_insert(&mut delta, &target[lit_start..i]);
+            delta.push(OP_COPY);
+            delta.extend_from_slice(&(boff as u32).to_be_bytes());
+            delta.extend_from_slice(&(mlen as u32).to_be_bytes());
+            i += mlen;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+        if delta.len() + (i - lit_start) + 20 > budget {
+            return None;
+        }
+    }
+    push_insert(&mut delta, &target[lit_start..]);
+    (delta.len() + 20 <= budget).then_some(delta)
+}
+
+/// Applies a delta produced by [`compute_delta`] to its resolved base.
+/// Every op is bounds-checked against the base and the declared target
+/// length; any malformed op, overrun, or length mismatch is `Corrupt`.
+pub fn apply_delta(base: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
+    let corrupt = |msg: &str| GitError::Corrupt(format!("pack delta: {msg}"));
+    if delta.len() < 4 {
+        return Err(corrupt("truncated header"));
+    }
+    let target_len = u32::from_be_bytes(delta[..4].try_into().unwrap()) as usize;
+    let mut out = Vec::new();
+    let mut at = 4;
+    while at < delta.len() {
+        match delta[at] {
+            OP_COPY => {
+                if at + 9 > delta.len() {
+                    return Err(corrupt("truncated copy op"));
+                }
+                let off = u32::from_be_bytes(delta[at + 1..at + 5].try_into().unwrap()) as usize;
+                let len = u32::from_be_bytes(delta[at + 5..at + 9].try_into().unwrap()) as usize;
+                if off
+                    .checked_add(len)
+                    .map(|end| end > base.len())
+                    .unwrap_or(true)
+                {
+                    return Err(corrupt("copy op overruns the base"));
+                }
+                if out.len() + len > target_len {
+                    return Err(corrupt("ops overrun the declared target length"));
+                }
+                out.extend_from_slice(&base[off..off + len]);
+                at += 9;
+            }
+            OP_INSERT => {
+                if at + 5 > delta.len() {
+                    return Err(corrupt("truncated insert op"));
+                }
+                let len = u32::from_be_bytes(delta[at + 1..at + 5].try_into().unwrap()) as usize;
+                if at + 5 + len > delta.len() {
+                    return Err(corrupt("insert op overruns the delta"));
+                }
+                if out.len() + len > target_len {
+                    return Err(corrupt("ops overrun the declared target length"));
+                }
+                out.extend_from_slice(&delta[at + 5..at + 5 + len]);
+                at += 5 + len;
+            }
+            op => return Err(corrupt(&format!("unknown op 0x{op:02x}"))),
+        }
+    }
+    if out.len() != target_len {
+        return Err(corrupt("ops produce fewer bytes than declared"));
+    }
+    Ok(out)
+}
+
+fn push_insert(delta: &mut Vec<u8>, literal: &[u8]) {
+    if literal.is_empty() {
+        return;
+    }
+    delta.push(OP_INSERT);
+    delta.extend_from_slice(&(literal.len() as u32).to_be_bytes());
+    delta.extend_from_slice(literal);
+}
+
+fn block_hash(block: &[u8]) -> u64 {
+    // FNV-1a; collisions are harmless (candidates are byte-verified).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in block {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+fn object_kind(bytes: &[u8]) -> u8 {
+    if bytes.starts_with(b"commit ") {
+        0
+    } else if bytes.starts_with(b"tree ") {
+        1
+    } else {
+        2
+    }
+}
+
+/// Picks (base, delta) pairs for `objects` (pre-sorted by id). See
+/// [`encode_pack_deltified`] for the strategy.
+fn plan_deltas(objects: &[(ObjectId, Vec<u8>)]) -> HashMap<ObjectId, (ObjectId, Vec<u8>)> {
+    // Tree entries name their children: successive versions of one path
+    // share a name hint and sort adjacently below.
+    let mut hints: HashMap<ObjectId, String> = HashMap::new();
+    for (_, bytes) in objects {
+        if !bytes.starts_with(b"tree ") {
+            continue;
+        }
+        if let Ok(Object::Tree(tree)) = decode_object(bytes) {
+            for (name, entry) in tree.iter() {
+                hints.entry(entry.id).or_insert_with(|| name.to_string());
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..objects.len()).collect();
+    order.sort_by(|&a, &b| {
+        let key = |i: usize| {
+            let (id, bytes): &(ObjectId, Vec<u8>) = &objects[i];
+            (
+                object_kind(bytes),
+                hints.get(id).map(String::as_str).unwrap_or(""),
+                std::cmp::Reverse(bytes.len()),
+                *id,
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+
+    let mut plan = HashMap::new();
+    let mut depth: HashMap<ObjectId, u32> = HashMap::new();
+    let mut window: VecDeque<usize> = VecDeque::with_capacity(DELTA_WINDOW + 1);
+    for &i in &order {
+        let (id, ref bytes) = objects[i];
+        let mut best: Option<(ObjectId, Vec<u8>)> = None;
+        for &j in window.iter().rev() {
+            let (base_id, ref base_bytes) = objects[j];
+            if object_kind(base_bytes) != object_kind(bytes)
+                || depth.get(&base_id).copied().unwrap_or(0) + 1 > MAX_DELTA_DEPTH
+            {
+                continue;
+            }
+            if let Some(delta) = compute_delta(base_bytes, bytes) {
+                if best
+                    .as_ref()
+                    .map(|(_, b)| delta.len() < b.len())
+                    .unwrap_or(true)
+                {
+                    best = Some((base_id, delta));
+                }
+            }
+        }
+        if let Some((base_id, delta)) = best {
+            depth.insert(id, depth.get(&base_id).copied().unwrap_or(0) + 1);
+            plan.insert(id, (base_id, delta));
+        }
+        window.push_back(i);
+        if window.len() > DELTA_WINDOW {
+            window.pop_front();
+        }
+    }
+    plan
 }
 
 fn encode_index(ids: &[ObjectId], offsets: &[u64], pack_checksum: ObjectId) -> Vec<u8> {
@@ -273,11 +577,11 @@ impl PackIndex {
 }
 
 /// Validates a pack's framing — magic, version, and the SHA-1 trailer
-/// over the whole body — returning the record count and the trailer
-/// checksum. Because the trailer covers every byte, a pack that passes
-/// this check (and is then held immutable in memory) needs no further
-/// per-object hashing on reads.
-fn validate_pack_framing(data: &[u8]) -> Result<(usize, ObjectId)> {
+/// over the whole body — returning the record count, the trailer
+/// checksum, and the format version. Because the trailer covers every
+/// byte, a pack that passes this check (and is then held immutable in
+/// memory) needs no further per-object hashing on full-record reads.
+fn validate_pack_framing(data: &[u8]) -> Result<(usize, ObjectId, u32)> {
     let corrupt = |msg: String| GitError::Corrupt(format!("pack file: {msg}"));
     if data.len() < HEADER_LEN + TRAILER_LEN {
         return Err(corrupt("truncated".into()));
@@ -286,7 +590,7 @@ fn validate_pack_framing(data: &[u8]) -> Result<(usize, ObjectId)> {
         return Err(corrupt("bad magic".into()));
     }
     let version = u32::from_be_bytes(data[4..8].try_into().unwrap());
-    if version != PACK_VERSION {
+    if version != PACK_VERSION && version != PACK_VERSION_DELTA {
         return Err(corrupt(format!("unsupported version {version}")));
     }
     let body = &data[..data.len() - TRAILER_LEN];
@@ -296,7 +600,7 @@ fn validate_pack_framing(data: &[u8]) -> Result<(usize, ObjectId)> {
         return Err(corrupt("trailer checksum mismatch".into()));
     }
     let count = u32::from_be_bytes(data[8..12].try_into().unwrap()) as usize;
-    Ok((count, checksum))
+    Ok((count, checksum, version))
 }
 
 /// Validates `.pack` bytes (magic, version, trailer) and rebuilds a
@@ -304,7 +608,7 @@ fn validate_pack_framing(data: &[u8]) -> Result<(usize, ObjectId)> {
 /// whose `.idx` file is missing or damaged.
 pub fn index_pack(data: &[u8]) -> Result<PackIndex> {
     let corrupt = |msg: String| GitError::Corrupt(format!("pack file: {msg}"));
-    let (count, checksum) = validate_pack_framing(data)?;
+    let (count, checksum, version) = validate_pack_framing(data)?;
     let body = &data[..data.len() - TRAILER_LEN];
     let mut entries = Vec::with_capacity(count);
     let mut at = HEADER_LEN;
@@ -314,7 +618,13 @@ pub fn index_pack(data: &[u8]) -> Result<PackIndex> {
         }
         let mut id = [0u8; 20];
         id.copy_from_slice(&data[at..at + 20]);
-        let len = u32::from_be_bytes(data[at + 20..at + 24].try_into().unwrap()) as usize;
+        let word = u32::from_be_bytes(data[at + 20..at + 24].try_into().unwrap());
+        if word & DELTA_FLAG != 0 && version < PACK_VERSION_DELTA {
+            return Err(corrupt(format!(
+                "record {i} is a delta in a version-1 pack"
+            )));
+        }
+        let len = (word & LEN_MASK) as usize;
         if at + RECORD_PREFIX + len > body.len() {
             return Err(corrupt(format!("record {i} body truncated")));
         }
@@ -352,11 +662,21 @@ fn fanout_of(sorted_ids: &[ObjectId]) -> [u32; 256] {
     fanout
 }
 
-/// One opened pack: buffered file bytes plus the parsed index.
+/// One opened pack: buffered file bytes, the parsed index, and a
+/// bounded cache of resolved delta targets (chain walks hit the cache
+/// for shared prefixes instead of re-applying every link).
 pub struct Pack {
     data: Vec<u8>,
     index: PackIndex,
     path: PathBuf,
+    delta_objects: usize,
+    cache: Mutex<DeltaCache>,
+}
+
+#[derive(Default)]
+struct DeltaCache {
+    map: HashMap<ObjectId, Vec<u8>>,
+    bytes: usize,
 }
 
 impl fmt::Debug for Pack {
@@ -364,6 +684,7 @@ impl fmt::Debug for Pack {
         f.debug_struct("Pack")
             .field("path", &self.path)
             .field("objects", &self.index.len())
+            .field("deltas", &self.delta_objects)
             .field("bytes", &self.data.len())
             .finish()
     }
@@ -376,13 +697,17 @@ impl Pack {
     /// bounds- and identity-checked (the id at the offset must match the
     /// indexed id) — no record walk or re-sort, which is what the `.idx`
     /// file buys over rescanning. Without `idx`, the index is rebuilt by
-    /// scanning the records ([`index_pack`]).
+    /// scanning the records ([`index_pack`]). Either way, delta records
+    /// are then structurally validated: every base must be a record of
+    /// this pack, chains must be acyclic and no deeper than
+    /// [`MAX_DELTA_DEPTH`] — a crafted file fails here instead of
+    /// looping a reader.
     pub fn parse(data: Vec<u8>, idx: Option<&[u8]>, path: PathBuf) -> Result<Pack> {
         let index = match idx {
             None => index_pack(&data)?,
             Some(bytes) => {
                 let index = PackIndex::parse(bytes)?;
-                let (count, checksum) = validate_pack_framing(&data)?;
+                let (count, checksum, version) = validate_pack_framing(&data)?;
                 if checksum != index.pack_checksum {
                     return Err(GitError::Corrupt(format!(
                         "index for pack {} paired with pack {}",
@@ -411,8 +736,14 @@ impl Pack {
                             id.short()
                         )));
                     }
-                    let len =
-                        u32::from_be_bytes(data[off + 20..off + 24].try_into().unwrap()) as usize;
+                    let word = u32::from_be_bytes(data[off + 20..off + 24].try_into().unwrap());
+                    if word & DELTA_FLAG != 0 && version < PACK_VERSION_DELTA {
+                        return Err(GitError::Corrupt(format!(
+                            "record for {} is a delta in a version-1 pack",
+                            id.short()
+                        )));
+                    }
+                    let len = (word & LEN_MASK) as usize;
                     if off + RECORD_PREFIX + len > body_len {
                         return Err(GitError::Corrupt(format!(
                             "indexed record for {} overruns the pack",
@@ -423,7 +754,14 @@ impl Pack {
                 index
             }
         };
-        Ok(Pack { data, index, path })
+        let delta_objects = validate_delta_chains(&data, &index)?;
+        Ok(Pack {
+            data,
+            index,
+            path,
+            delta_objects,
+            cache: Mutex::new(DeltaCache::default()),
+        })
     }
 
     /// The parsed index.
@@ -436,12 +774,139 @@ impl Pack {
         &self.path
     }
 
-    /// The canonical bytes of `id`, if this pack holds it.
-    pub fn raw(&self, id: ObjectId) -> Option<&[u8]> {
-        let off = self.index.offset_of(id)? as usize;
-        let len = u32::from_be_bytes(self.data[off + 20..off + 24].try_into().unwrap()) as usize;
-        Some(&self.data[off + RECORD_PREFIX..off + RECORD_PREFIX + len])
+    /// Records stored as deltas in this pack.
+    pub fn delta_objects(&self) -> usize {
+        self.delta_objects
     }
+
+    /// The record at `off`: whether it is a delta, and its payload.
+    fn record_at(&self, off: usize) -> (bool, &[u8]) {
+        let word = u32::from_be_bytes(self.data[off + 20..off + 24].try_into().unwrap());
+        let len = (word & LEN_MASK) as usize;
+        (
+            word & DELTA_FLAG != 0,
+            &self.data[off + RECORD_PREFIX..off + RECORD_PREFIX + len],
+        )
+    }
+
+    /// The canonical bytes of `id`, if this pack holds it. Full records
+    /// are served straight from the buffer; delta records are resolved
+    /// by walking the base chain (cached), and the reconstructed bytes
+    /// are verified against `id` before being served — a damaged delta
+    /// reads as "missing", never as wrong bytes.
+    pub fn raw(&self, id: ObjectId) -> Option<Cow<'_, [u8]>> {
+        let off = self.index.offset_of(id)? as usize;
+        let (is_delta, payload) = self.record_at(off);
+        if !is_delta {
+            return Some(Cow::Borrowed(payload));
+        }
+        self.resolve(id).map(Cow::Owned)
+    }
+
+    fn resolve(&self, id: ObjectId) -> Option<Vec<u8>> {
+        // Walk up the chain until a full record or a cached resolution,
+        // then apply the collected deltas back down, caching each rung
+        // (deep chains share prefixes, so the next read starts warm).
+        let mut chain: Vec<(ObjectId, &[u8])> = Vec::new();
+        let mut cur = id;
+        let mut base: Vec<u8> = loop {
+            if let Some(hit) = self.cache.lock().unwrap().map.get(&cur) {
+                break hit.clone();
+            }
+            let off = self.index.offset_of(cur)? as usize;
+            let (is_delta, payload) = self.record_at(off);
+            if !is_delta {
+                break payload.to_vec();
+            }
+            let mut base_id = [0u8; 20];
+            base_id.copy_from_slice(&payload[..20]);
+            chain.push((cur, &payload[20..]));
+            cur = ObjectId(base_id);
+        };
+        for (link_id, delta) in chain.into_iter().rev() {
+            crate::metrics::DELTA_RESOLUTIONS.inc();
+            let out = apply_delta(&base, delta).ok()?;
+            if ObjectId::hash_bytes(&out) != link_id {
+                return None;
+            }
+            self.cache_put(link_id, out.clone());
+            base = out;
+        }
+        Some(base)
+    }
+
+    fn cache_put(&self, id: ObjectId, bytes: Vec<u8>) {
+        let mut cache = self.cache.lock().unwrap();
+        if cache.bytes + bytes.len() > DELTA_CACHE_BYTES {
+            cache.map.clear();
+            cache.bytes = 0;
+        }
+        if bytes.len() <= DELTA_CACHE_BYTES {
+            cache.bytes += bytes.len();
+            cache.map.insert(id, bytes);
+        }
+    }
+}
+
+/// Walks every delta record's base chain: bases must be records of the
+/// same pack, chains must be acyclic and bounded by [`MAX_DELTA_DEPTH`].
+/// Returns the number of delta records. Offsets and lengths were already
+/// bounds-checked by the caller.
+fn validate_delta_chains(data: &[u8], index: &PackIndex) -> Result<usize> {
+    let corrupt = |msg: String| GitError::Corrupt(format!("pack file: {msg}"));
+    let record = |id: ObjectId| -> Option<(bool, &[u8])> {
+        let off = index.offset_of(id)? as usize;
+        let word = u32::from_be_bytes(data[off + 20..off + 24].try_into().unwrap());
+        let len = (word & LEN_MASK) as usize;
+        Some((
+            word & DELTA_FLAG != 0,
+            &data[off + RECORD_PREFIX..off + RECORD_PREFIX + len],
+        ))
+    };
+    let mut deltas = 0;
+    let mut depth: HashMap<ObjectId, u32> = HashMap::new();
+    for &id in index.ids() {
+        let mut chain: Vec<ObjectId> = Vec::new();
+        let mut cur = id;
+        let base_depth = loop {
+            if let Some(&d) = depth.get(&cur) {
+                break d;
+            }
+            let (is_delta, payload) = record(cur)
+                .ok_or_else(|| corrupt(format!("delta base {} is not in the pack", cur.short())))?;
+            if !is_delta {
+                break 0;
+            }
+            if payload.len() < DELTA_PREFIX {
+                return Err(corrupt(format!(
+                    "delta record for {} is too short",
+                    cur.short()
+                )));
+            }
+            if chain.contains(&cur) {
+                return Err(corrupt(format!(
+                    "delta chain through {} is cyclic",
+                    id.short()
+                )));
+            }
+            chain.push(cur);
+            let mut base_id = [0u8; 20];
+            base_id.copy_from_slice(&payload[..20]);
+            cur = ObjectId(base_id);
+        };
+        deltas += chain.len();
+        for (i, link) in chain.iter().rev().enumerate() {
+            let d = base_depth + i as u32 + 1;
+            if d > MAX_DELTA_DEPTH {
+                return Err(corrupt(format!(
+                    "delta chain through {} exceeds depth {MAX_DELTA_DEPTH}",
+                    id.short()
+                )));
+            }
+            depth.insert(*link, d);
+        }
+    }
+    Ok(deltas)
 }
 
 /// What a [`PackStore::repack`] / [`PackStore::gc`] pass did.
@@ -461,6 +926,17 @@ pub struct MaintenanceReport {
     /// ([`crate::graph::CommitGraph`]; 0 when the store holds no
     /// commits).
     pub graph_commits: usize,
+    /// Objects written as delta records rather than full bytes.
+    pub delta_objects: usize,
+    /// Bytes of the fresh pack file (0 when the store ended up empty).
+    pub pack_bytes: u64,
+    /// Canonical bytes of every packed object — what a delta-free pack
+    /// body would have held; `canonical_bytes / pack_bytes` is the
+    /// compression ratio `gitcite gc` reports.
+    pub canonical_bytes: u64,
+    /// Commits whose changed-path Bloom filter was written beside the
+    /// graph ([`crate::graph::CommitGraph::bloom_coverage`]).
+    pub bloom_commits: usize,
 }
 
 /// An [`ObjectStore`] serving reads from buffered packs, with a loose
@@ -587,6 +1063,11 @@ impl PackStore {
             }
             None => self.scan_graph().ok()??,
         };
+        // `extend` carried the packed history's Bloom filters over; fill
+        // them in for the new commits (and for every commit on the
+        // full-scan rebuild path) from the store's trees.
+        let mut graph = graph;
+        graph.compute_blooms(|tid| self.get(tid).ok().and_then(|o| o.as_tree().cloned()));
         let _ = write_atomic(&pack_dir.join(GRAPH_FILE), &graph.encode());
         Some(Arc::new(graph))
     }
@@ -600,11 +1081,13 @@ impl PackStore {
         let mut entries = Vec::new();
         for pack in &self.packs {
             for &id in pack.index().ids() {
-                let bytes = pack.raw(id).expect("indexed id");
+                let bytes = pack.raw(id).ok_or_else(|| {
+                    GitError::Corrupt(format!("packed object {} failed to resolve", id.short()))
+                })?;
                 if !bytes.starts_with(b"commit ") {
                     continue;
                 }
-                let obj = decode_object(bytes)?;
+                let obj = decode_object(&bytes)?;
                 let c = obj.as_commit().expect("commit prefix");
                 entries.push(GraphEntry {
                     id,
@@ -697,11 +1180,12 @@ impl PackStore {
         for id in &keep {
             let bytes = self.canonical_bytes_of(*id)?;
             // Abort before anything is written or deleted: a record length
-            // is a u32, and silently truncating would corrupt the fresh
-            // pack while the loose originals get removed underneath it.
-            if bytes.len() > u32::MAX as usize {
+            // is 31 bits (the high bit is the delta flag), and silently
+            // truncating would corrupt the fresh pack while the loose
+            // originals get removed underneath it.
+            if bytes.len() > LEN_MASK as usize {
                 return Err(GitError::Io(format!(
-                    "object {} is {} bytes, exceeding the 4 GiB pack record \
+                    "object {} is {} bytes, exceeding the 2 GiB pack record \
                      limit; repack aborted (the object stays loose)",
                     id.short(),
                     bytes.len()
@@ -713,6 +1197,7 @@ impl PackStore {
         let old_loose = self.loose.ids();
 
         let packed = objects.len();
+        let canonical_bytes: u64 = objects.iter().map(|(_, b)| b.len() as u64).sum();
         // The commit-graph over the surviving set: the kept bytes are
         // already in hand, so indexing the commits among them costs one
         // decode per commit and no extra store reads. Build it *before*
@@ -743,11 +1228,33 @@ impl PackStore {
                 CommitGraph::from_entries(entries).ok()
             }
         };
+        // Changed-path Bloom filters, diffed from the kept bytes while
+        // they are still in hand (one decode per distinct tree, memoized
+        // inside `compute_blooms`).
+        let graph = graph.map(|mut g| {
+            let by_id: HashMap<ObjectId, &Vec<u8>> =
+                objects.iter().map(|(id, b)| (*id, b)).collect();
+            g.compute_blooms(|tid| {
+                by_id
+                    .get(&tid)
+                    .and_then(|b| decode_object(b).ok())
+                    .and_then(|o| match o {
+                        Object::Tree(t) => Some(t),
+                        _ => None,
+                    })
+            });
+            g
+        });
         let graph_commits = graph.as_ref().map(CommitGraph::len).unwrap_or(0);
+        let bloom_commits = graph.as_ref().map(CommitGraph::bloom_coverage).unwrap_or(0);
 
         let mut pack_path = None;
+        let mut delta_objects = 0;
+        let mut pack_bytes = 0u64;
         if !objects.is_empty() {
-            let encoded = encode_pack(objects);
+            let encoded = encode_pack_deltified(objects);
+            delta_objects = encoded.delta_objects;
+            pack_bytes = encoded.pack.len() as u64;
             let pack_dir = self.root().join(PACK_DIR);
             fs::create_dir_all(&pack_dir)?;
             let stem = pack_dir.join(format!("pack-{}", encoded.checksum.to_hex()));
@@ -795,6 +1302,10 @@ impl PackStore {
             loose_removed,
             pack_path,
             graph_commits,
+            delta_objects,
+            pack_bytes,
+            canonical_bytes,
+            bloom_commits,
         })
     }
 
@@ -802,10 +1313,15 @@ impl PackStore {
     fn canonical_bytes_of(&self, id: ObjectId) -> Result<Vec<u8>> {
         for pack in &self.packs {
             if let Some(bytes) = pack.raw(id) {
-                return Ok(bytes.to_vec());
+                return Ok(bytes.into_owned());
             }
         }
         Ok(self.loose.get(id)?.canonical_bytes())
+    }
+
+    /// Records stored as deltas across every opened pack.
+    pub fn delta_objects(&self) -> usize {
+        self.packs.iter().map(|p| p.delta_objects()).sum()
     }
 }
 
@@ -842,7 +1358,7 @@ impl ObjectStore for PackStore {
         for pack in &self.packs {
             if let Some(bytes) = pack.raw(id) {
                 crate::metrics::PACK_READS.inc();
-                return Ok(Arc::new(decode_object(bytes)?));
+                return Ok(Arc::new(decode_object(&bytes)?));
             }
         }
         crate::metrics::LOOSE_READS.inc();
@@ -899,6 +1415,10 @@ impl ObjectStore for PackStore {
     /// turns every history walk over packed commits into array reads.
     fn commit_graph(&self) -> Option<Arc<CommitGraph>> {
         self.graph.clone()
+    }
+
+    fn delta_objects(&self) -> Option<u64> {
+        Some(PackStore::delta_objects(self) as u64)
     }
 
     /// Maintenance *is* [`PackStore::gc`]: consolidate packs + loose
@@ -1222,6 +1742,262 @@ mod tests {
             3,
             "extension was persisted"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // ----- delta records ------------------------------------------------
+
+    /// n blob versions of one growing, occasionally-edited text — the
+    /// shape deltas exist for.
+    fn blob_versions(n: usize) -> Vec<(ObjectId, Vec<u8>)> {
+        let mut text = "// shared preamble line with plenty of common bytes\n".repeat(8);
+        text.push_str("fn main() {\n    // generated content\n");
+        (0..n)
+            .map(|i| {
+                text.push_str(&format!("    let x{i} = {};\n", i * 37));
+                if i % 5 == 0 {
+                    text = text.replacen("generated", "regenerated", 1);
+                }
+                let blob = Blob::new(text.clone().into_bytes());
+                (blob.id(), blob.canonical_bytes())
+            })
+            .collect()
+    }
+
+    /// Hand-assembles a version-2 pack from raw records (`(id, is_delta,
+    /// payload)`); the trailer is correct, so only the delta-chain
+    /// validation stands between these bytes and a parsed pack.
+    fn craft_pack(records: &[(ObjectId, bool, Vec<u8>)]) -> Vec<u8> {
+        let mut pack = Vec::new();
+        pack.extend_from_slice(PACK_MAGIC);
+        pack.extend_from_slice(&PACK_VERSION_DELTA.to_be_bytes());
+        pack.extend_from_slice(&(records.len() as u32).to_be_bytes());
+        for (id, is_delta, payload) in records {
+            pack.extend_from_slice(&id.0);
+            let word = payload.len() as u32 | if *is_delta { DELTA_FLAG } else { 0 };
+            pack.extend_from_slice(&word.to_be_bytes());
+            pack.extend_from_slice(payload);
+        }
+        let checksum = ObjectId::hash_bytes(&pack);
+        pack.extend_from_slice(&checksum.0);
+        pack
+    }
+
+    /// A delta payload: 20-byte base id, declared target length, ops.
+    fn delta_payload(base: ObjectId, target_len: u32, ops: &[u8]) -> Vec<u8> {
+        let mut p = base.0.to_vec();
+        p.extend_from_slice(&target_len.to_be_bytes());
+        p.extend_from_slice(ops);
+        p
+    }
+
+    #[test]
+    fn compute_delta_round_trips_and_undercuts_the_full_size() {
+        let versions = blob_versions(8);
+        let (_, ref base) = versions[0];
+        let mut deltified = 0;
+        for (_, target) in &versions[1..] {
+            if let Some(delta) = compute_delta(base, target) {
+                assert_eq!(apply_delta(base, &delta).unwrap(), *target);
+                assert!(
+                    delta.len() + 20 <= target.len() * 3 / 4,
+                    "unprofitable delta kept"
+                );
+                deltified += 1;
+            }
+        }
+        assert!(deltified > 0, "similar versions must deltify");
+        // Tiny and unrelated targets are declined, never mis-encoded.
+        assert_eq!(compute_delta(base, b"short"), None);
+    }
+
+    #[test]
+    fn deltified_pack_round_trips_and_rescans() {
+        let objects = blob_versions(30);
+        let encoded = encode_pack_deltified(objects.clone());
+        assert!(encoded.delta_objects > 0, "versioned blobs must deltify");
+        let full = encode_pack(objects.clone());
+        assert!(
+            encoded.pack.len() < full.pack.len(),
+            "deltified pack must be smaller"
+        );
+        // Reads resolve through chains byte-identically, with or without
+        // the encoded index.
+        let pack = Pack::parse(encoded.pack.clone(), Some(&encoded.index), PathBuf::new()).unwrap();
+        assert_eq!(pack.delta_objects(), encoded.delta_objects);
+        for (id, bytes) in &objects {
+            assert_eq!(pack.raw(*id).unwrap(), &bytes[..]);
+        }
+        let rescanned = Pack::parse(encoded.pack.clone(), None, PathBuf::new()).unwrap();
+        for (id, bytes) in &objects {
+            assert_eq!(rescanned.raw(*id).unwrap(), &bytes[..]);
+        }
+        // Deltified encoding is deterministic too.
+        let mut reversed = objects.clone();
+        reversed.reverse();
+        assert_eq!(encode_pack_deltified(reversed).pack, encoded.pack);
+    }
+
+    #[test]
+    fn delta_free_sets_still_encode_as_version_1() {
+        // Unrelated payloads yield no profitable delta, and the output
+        // must be byte-identical to the pre-delta format.
+        let objects = sample_objects(10);
+        let deltified = encode_pack_deltified(objects.clone());
+        assert_eq!(deltified.delta_objects, 0);
+        assert_eq!(deltified.pack, encode_pack(objects).pack);
+    }
+
+    #[test]
+    fn corrupt_delta_payloads_are_rejected() {
+        let objects = blob_versions(20);
+        let encoded = encode_pack_deltified(objects);
+        // Any flipped byte in a delta record breaks the pack trailer.
+        let mut bad = encoded.pack.clone();
+        let at = HEADER_LEN + RECORD_PREFIX + 2;
+        bad[at] ^= 0xff;
+        assert!(matches!(
+            Pack::parse(bad, None, PathBuf::new()),
+            Err(GitError::Corrupt(_))
+        ));
+        // A delta flag in a version-1 pack is structural corruption.
+        let full = encode_pack(sample_objects(3));
+        let mut flagged = full.pack.clone();
+        flagged[HEADER_LEN + 20] |= 0x80; // first record's len word, high bit
+        let body_len = flagged.len() - TRAILER_LEN;
+        let fixed_trailer = ObjectId::hash_bytes(&flagged[..body_len]);
+        flagged[body_len..].copy_from_slice(&fixed_trailer.0);
+        assert!(matches!(
+            Pack::parse(flagged, None, PathBuf::new()),
+            Err(GitError::Corrupt(_))
+        ));
+        // Malformed ops never panic, they error.
+        let base = b"0123456789abcdef0123456789abcdef".as_slice();
+        for ops in [
+            &[OP_COPY, 0, 0, 0, 0, 0, 0, 1, 0][..], // copy overruns base
+            &[OP_COPY, 0, 0][..],                   // truncated copy
+            &[OP_INSERT, 0, 0, 0, 9, b'x'][..],     // insert overruns delta
+            &[0x7f][..],                            // unknown op
+        ] {
+            let mut delta = 4u32.to_be_bytes().to_vec();
+            delta.extend_from_slice(ops);
+            assert!(matches!(
+                apply_delta(base, &delta),
+                Err(GitError::Corrupt(_))
+            ));
+        }
+        // Length mismatch: ops produce fewer bytes than declared.
+        assert!(matches!(
+            apply_delta(base, &8u32.to_be_bytes()),
+            Err(GitError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn delta_cycles_missing_bases_and_deep_chains_are_refused() {
+        let mut ids: Vec<ObjectId> = (0..20u32)
+            .map(|i| ObjectId::hash_bytes(&i.to_be_bytes()))
+            .collect();
+        ids.sort();
+        // Two deltas pointing at each other: a cycle.
+        let cyclic = craft_pack(&[
+            (ids[0], true, delta_payload(ids[1], 0, &[])),
+            (ids[1], true, delta_payload(ids[0], 0, &[])),
+        ]);
+        let err = Pack::parse(cyclic, None, PathBuf::new()).unwrap_err();
+        assert!(err.to_string().contains("cyclic"), "{err}");
+        // A delta whose base is not in the pack.
+        let dangling = craft_pack(&[(ids[0], true, delta_payload(ids[19], 0, &[]))]);
+        let err = Pack::parse(dangling, None, PathBuf::new()).unwrap_err();
+        assert!(err.to_string().contains("not in the pack"), "{err}");
+        // A chain one hop past MAX_DELTA_DEPTH.
+        let mut records = vec![(ids[0], false, b"full base record".to_vec())];
+        for i in 1..=(MAX_DELTA_DEPTH as usize + 1) {
+            records.push((ids[i], true, delta_payload(ids[i - 1], 0, &[])));
+        }
+        let deep = craft_pack(&records);
+        let err = Pack::parse(deep, None, PathBuf::new()).unwrap_err();
+        assert!(err.to_string().contains("exceeds depth"), "{err}");
+        // Trimmed to exactly MAX_DELTA_DEPTH the same pack parses.
+        records.pop();
+        assert!(Pack::parse(craft_pack(&records), None, PathBuf::new()).is_ok());
+    }
+
+    #[test]
+    fn resolved_deltas_that_hash_wrong_return_nothing() {
+        // A structurally valid pack whose delta does not reproduce the
+        // id it claims: the resolver must refuse, not serve wrong bytes.
+        let base_bytes = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let base_id = ObjectId::hash_bytes(&base_bytes);
+        let liar_id = ObjectId::hash_bytes(b"not what the delta produces");
+        let mut records = vec![
+            (base_id, false, base_bytes.clone()),
+            (
+                liar_id,
+                true,
+                delta_payload(base_id, 3, &[OP_COPY, 0, 0, 0, 0, 0, 0, 0, 3]),
+            ),
+        ];
+        records.sort_by_key(|r| r.0);
+        let pack = Pack::parse(craft_pack(&records), None, PathBuf::new()).unwrap();
+        assert_eq!(pack.raw(base_id).unwrap(), &base_bytes[..]);
+        assert_eq!(pack.raw(liar_id), None, "wrong answers are never returned");
+    }
+
+    #[test]
+    fn gc_reports_compression_and_bloom_coverage() {
+        let dir = temp_dir("ratio");
+        let mut store = PackStore::open(&dir).unwrap();
+        let mut tip = sample_commit(&mut store, "root", vec![]);
+        for i in 0..5 {
+            tip = sample_commit(&mut store, &format!("v{i}"), vec![tip]);
+        }
+        let report = store.gc(&[tip]).unwrap();
+        assert_eq!(report.graph_commits, 6);
+        assert_eq!(report.bloom_commits, 6, "every commit gets a filter");
+        assert!(report.canonical_bytes > 0);
+        assert!(report.pack_bytes > 0);
+        // The graph sidecar round-trips the filters.
+        let on_disk = fs::read(dir.join(PACK_DIR).join(GRAPH_FILE)).unwrap();
+        let graph = CommitGraph::parse(&on_disk).unwrap();
+        assert_eq!(graph.bloom_coverage(), 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_stores_backfill_and_rebuild_bloom_filters() {
+        let dir = temp_dir("bloom-reopen");
+        let tip = {
+            let mut store = PackStore::open(&dir).unwrap();
+            let mut tip = sample_commit(&mut store, "root", vec![]);
+            for i in 0..3 {
+                tip = sample_commit(&mut store, &format!("v{i}"), vec![tip]);
+            }
+            store.gc(&[tip]).unwrap();
+            // A commit after gc leaves the on-disk chunk stale.
+            sample_commit(&mut store, "late", vec![tip])
+        };
+        {
+            let store = PackStore::open(&dir).unwrap();
+            let graph = store.commit_graph().expect("graph loads");
+            assert!(graph.contains(tip));
+            assert_eq!(graph.len(), 5);
+            assert_eq!(
+                graph.bloom_coverage(),
+                5,
+                "extend carried old filters and backfilled the late commit"
+            );
+        }
+        // A corrupt sidecar is rebuilt by full scan, filters included.
+        let graph_path = dir.join(PACK_DIR).join(GRAPH_FILE);
+        let mut bytes = fs::read(&graph_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&graph_path, &bytes).unwrap();
+        let store = PackStore::open(&dir).unwrap();
+        let graph = store.commit_graph().expect("graph rebuilt");
+        assert_eq!(graph.len(), 5);
+        assert_eq!(graph.bloom_coverage(), 5);
         fs::remove_dir_all(&dir).unwrap();
     }
 

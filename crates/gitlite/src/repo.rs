@@ -423,6 +423,41 @@ impl Repository {
         Ok(resolve_path(&*self.odb, tree, path)?.is_some())
     }
 
+    /// Asks the commit-graph's changed-path Bloom filter whether `path`
+    /// changed between `commit` and its **first parent**.
+    /// [`crate::graph::PathChange::No`] is definitive and lets a
+    /// path-limited walk skip the commit without touching trees;
+    /// `Maybe`/`Absent` mean "do the exact check". Counts Bloom metrics
+    /// ([`crate::metrics`]): a `No` is a skip; callers that go on to run
+    /// the exact check report its outcome via
+    /// [`Repository::count_bloom_outcome`].
+    pub fn path_changed_hint(&self, commit: ObjectId, path: &RepoPath) -> crate::graph::PathChange {
+        let hint = self
+            .odb
+            .commit_graph()
+            .and_then(|graph| {
+                graph
+                    .lookup(commit)
+                    .map(|pos| graph.path_changed(pos, &path.to_string()))
+            })
+            .unwrap_or(crate::graph::PathChange::Absent);
+        if hint == crate::graph::PathChange::No {
+            crate::metrics::BLOOM_SKIPS.inc();
+        }
+        hint
+    }
+
+    /// Records the exact-check outcome after a
+    /// [`Repository::path_changed_hint`] returned `Maybe`: a real change
+    /// is a Bloom hit, no change is a false positive.
+    pub fn count_bloom_outcome(&self, really_changed: bool) {
+        if really_changed {
+            crate::metrics::BLOOM_HITS.inc();
+        } else {
+            crate::metrics::BLOOM_FALSE_POSITIVES.inc();
+        }
+    }
+
     /// True when `ancestor` is reachable from `descendant` (or equal):
     /// the fast-forward test used by push.
     ///

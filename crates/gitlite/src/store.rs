@@ -188,6 +188,14 @@ pub trait ObjectStore: fmt::Debug + Send + Sync {
         None
     }
 
+    /// Number of pack records stored as deltas, when the backend packs
+    /// its objects ([`crate::PackStore`]); `None` (the default) for
+    /// backends with no delta concept. Wrappers forward to their inner
+    /// backend.
+    fn delta_objects(&self) -> Option<u64> {
+        None
+    }
+
     /// Fetches blob data directly.
     fn blob_data(&self, id: ObjectId) -> Result<bytes::Bytes> {
         let obj = expect_kind(self, id, "blob")?;
@@ -323,6 +331,9 @@ impl ObjectStore for Box<dyn ObjectStore> {
     }
     fn commit_graph(&self) -> Option<Arc<crate::graph::CommitGraph>> {
         (**self).commit_graph()
+    }
+    fn delta_objects(&self) -> Option<u64> {
+        (**self).delta_objects()
     }
     fn maintain(&mut self, roots: &[ObjectId]) -> Option<Result<crate::pack::MaintenanceReport>> {
         (**self).maintain(roots)
@@ -857,6 +868,10 @@ impl<S: ObjectStore + Clone + 'static> ObjectStore for CachedStore<S> {
     /// layer's commit-graph to history walks.
     fn commit_graph(&self) -> Option<Arc<crate::graph::CommitGraph>> {
         self.inner.commit_graph()
+    }
+
+    fn delta_objects(&self) -> Option<u64> {
+        self.inner.delta_objects()
     }
 
     /// Forwards to the inner backend and, when maintenance actually ran,

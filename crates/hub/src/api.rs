@@ -1045,6 +1045,13 @@ pub struct StoreStats {
     /// and its wire key are simply absent, so pre-graph peers parse
     /// unchanged.
     pub graph_commits: Option<u64>,
+    /// Pack records stored as deltas rather than full bytes. `None`
+    /// (key absent) on backends without delta packs — same absent-field
+    /// rule as `graph_commits`, so pre-delta peers parse unchanged.
+    pub delta_objects: Option<u64>,
+    /// Commits whose graph record carries a changed-path Bloom filter.
+    /// `None` (key absent) on graph-less backends.
+    pub bloom_commits: Option<u64>,
 }
 
 impl StoreStats {
@@ -1064,6 +1071,12 @@ impl StoreStats {
         if let Some(n) = self.graph_commits {
             o.insert("graph_commits", n as i64);
         }
+        if let Some(n) = self.delta_objects {
+            o.insert("delta_objects", n as i64);
+        }
+        if let Some(n) = self.bloom_commits {
+            o.insert("bloom_commits", n as i64);
+        }
         Value::Object(o)
     }
 
@@ -1082,18 +1095,23 @@ impl StoreStats {
             }),
             Some(_) => return Err(proto("cache must be an object")),
         };
-        let graph_commits = match o.get("graph_commits") {
-            None | Some(Value::Null) => None,
-            Some(v) => Some(
-                v.as_i64()
-                    .ok_or_else(|| proto("graph_commits must be a number"))? as u64,
-            ),
+        let opt_u64 = |key: &'static str| -> WireResult<Option<u64>> {
+            match o.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(v) => Ok(Some(
+                    v.as_i64()
+                        .ok_or_else(|| proto(format!("{key} must be a number")))?
+                        as u64,
+                )),
+            }
         };
         Ok(StoreStats {
             repo_id: req_str(o, "repo_id")?,
             objects: req_i64(o, "objects")? as u64,
             cache,
-            graph_commits,
+            graph_commits: opt_u64("graph_commits")?,
+            delta_objects: opt_u64("delta_objects")?,
+            bloom_commits: opt_u64("bloom_commits")?,
         })
     }
 }
@@ -1390,6 +1408,14 @@ pub struct StoreMetrics {
     pub graph_walks: u64,
     /// History walks that fell back to decoding commits.
     pub fallback_walks: u64,
+    /// Delta links applied while resolving packed objects.
+    pub delta_resolutions: u64,
+    /// Bloom-filter "maybe changed" answers that were real changes.
+    pub bloom_hits: u64,
+    /// Bloom-filter definitive "unchanged" answers (diffs skipped).
+    pub bloom_skips: u64,
+    /// Bloom "maybe" answers the exact check refuted.
+    pub bloom_false_positives: u64,
 }
 
 impl StoreMetrics {
@@ -1408,6 +1434,19 @@ impl StoreMetrics {
         o.insert("loose_reads", self.loose_reads as i64);
         o.insert("graph_walks", self.graph_walks as i64);
         o.insert("fallback_walks", self.fallback_walks as i64);
+        // Newer counters follow the absent-field rule: the key is only
+        // emitted once the counter has fired, so pre-delta/Bloom peers
+        // (and the pinned goldens) see byte-identical objects.
+        for (key, v) in [
+            ("delta_resolutions", self.delta_resolutions),
+            ("bloom_hits", self.bloom_hits),
+            ("bloom_skips", self.bloom_skips),
+            ("bloom_false_positives", self.bloom_false_positives),
+        ] {
+            if v > 0 {
+                o.insert(key, v as i64);
+            }
+        }
         Value::Object(o)
     }
 
@@ -1415,6 +1454,15 @@ impl StoreMetrics {
         let o = v
             .as_object()
             .ok_or_else(|| proto("store metrics must be an object"))?;
+        let opt_counter = |key: &'static str| -> WireResult<u64> {
+            match o.get(key) {
+                None | Some(Value::Null) => Ok(0),
+                Some(v) => Ok(v
+                    .as_i64()
+                    .ok_or_else(|| proto(format!("{key} must be a number")))?
+                    as u64),
+            }
+        };
         Ok(StoreMetrics {
             repos: req_i64(o, "repos")? as u64,
             cache_hits: req_i64(o, "cache_hits")? as u64,
@@ -1423,6 +1471,10 @@ impl StoreMetrics {
             loose_reads: req_i64(o, "loose_reads")? as u64,
             graph_walks: req_i64(o, "graph_walks")? as u64,
             fallback_walks: req_i64(o, "fallback_walks")? as u64,
+            delta_resolutions: opt_counter("delta_resolutions")?,
+            bloom_hits: opt_counter("bloom_hits")?,
+            bloom_skips: opt_counter("bloom_skips")?,
+            bloom_false_positives: opt_counter("bloom_false_positives")?,
         })
     }
 }
@@ -1522,6 +1574,10 @@ impl MetricsSnapshot {
                 ("store_loose_reads", s.loose_reads),
                 ("store_graph_walks", s.graph_walks),
                 ("store_fallback_walks", s.fallback_walks),
+                ("store_delta_resolutions", s.delta_resolutions),
+                ("store_bloom_hits", s.bloom_hits),
+                ("store_bloom_skips", s.bloom_skips),
+                ("store_bloom_false_positives", s.bloom_false_positives),
             ] {
                 let _ = writeln!(
                     out,

@@ -557,6 +557,12 @@ impl Hub {
                     objects: hosted.repo.odb().len() as u64,
                     cache: hosted.repo.odb().cache_metrics(),
                     graph_commits: hosted.repo.odb().commit_graph().map(|g| g.len() as u64),
+                    delta_objects: hosted.repo.odb().delta_objects(),
+                    bloom_commits: hosted
+                        .repo
+                        .odb()
+                        .commit_graph()
+                        .map(|g| g.bloom_coverage() as u64),
                 })
             }
             Q::Maintenance => R::Maintenance(self.op_maintenance()?),
@@ -1877,6 +1883,10 @@ impl Hub {
             loose_reads: reads.loose_reads,
             graph_walks: reads.graph_walks,
             fallback_walks: reads.fallback_walks,
+            delta_resolutions: reads.delta_resolutions,
+            bloom_hits: reads.bloom_hits,
+            bloom_skips: reads.bloom_skips,
+            bloom_false_positives: reads.bloom_false_positives,
         }
     }
 }

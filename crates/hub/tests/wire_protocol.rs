@@ -473,22 +473,28 @@ fn arb_response() -> impl Strategy<Value = ApiResponse> {
             arb_repo_id(),
             small(),
             prop::option::of((small(), small(), small(), small(), small())),
+            prop::option::of(small()),
+            prop::option::of(small()),
             prop::option::of(small())
         )
-            .prop_map(|(repo_id, objects, cache, graph_commits)| {
-                ApiResponse::Stats(StoreStats {
-                    repo_id,
-                    objects,
-                    cache: cache.map(|(hits, misses, evictions, len, capacity)| CacheStats {
-                        hits,
-                        misses,
-                        evictions,
-                        len: len as usize,
-                        capacity: capacity as usize,
-                    }),
-                    graph_commits,
-                })
-            }),
+            .prop_map(
+                |(repo_id, objects, cache, graph_commits, delta_objects, bloom_commits)| {
+                    ApiResponse::Stats(StoreStats {
+                        repo_id,
+                        objects,
+                        cache: cache.map(|(hits, misses, evictions, len, capacity)| CacheStats {
+                            hits,
+                            misses,
+                            evictions,
+                            len: len as usize,
+                            capacity: capacity as usize,
+                        }),
+                        graph_commits,
+                        delta_objects,
+                        bloom_commits,
+                    })
+                }
+            ),
         prop::collection::vec(
             (
                 arb_repo_id(),
@@ -680,4 +686,37 @@ fn golden_responses() {
         err.encode(),
         r#"{"v":1,"error":{"code":"repo_not_found","message":"no such repository: ann/p","detail":"ann/p"}}"#
     );
+}
+
+#[test]
+fn golden_store_stats_absent_field_rules() {
+    // A stats payload from a backend with neither delta packs nor Bloom
+    // filters must stay byte-identical to the pre-delta wire form: the
+    // new keys are simply absent.
+    let old_shape = ApiResponse::Stats(StoreStats {
+        repo_id: "ann/p".into(),
+        objects: 7,
+        cache: None,
+        graph_commits: None,
+        delta_objects: None,
+        bloom_commits: None,
+    });
+    let old_wire = r#"{"v":1,"result":{"type":"stats","stats":{"repo_id":"ann/p","objects":7}}}"#;
+    assert_eq!(old_shape.encode(), old_wire);
+    // And an old peer's bytes parse with the new fields defaulting to
+    // absent, not erroring.
+    assert_eq!(ApiResponse::parse(old_wire).unwrap(), old_shape);
+
+    // When the backend reports them, the keys appear after graph_commits.
+    let new_shape = ApiResponse::Stats(StoreStats {
+        repo_id: "ann/p".into(),
+        objects: 7,
+        cache: None,
+        graph_commits: Some(5),
+        delta_objects: Some(3),
+        bloom_commits: Some(5),
+    });
+    let new_wire = r#"{"v":1,"result":{"type":"stats","stats":{"repo_id":"ann/p","objects":7,"graph_commits":5,"delta_objects":3,"bloom_commits":5}}}"#;
+    assert_eq!(new_shape.encode(), new_wire);
+    assert_eq!(ApiResponse::parse(new_wire).unwrap(), new_shape);
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the pack-size benchmark (full-record vs delta-compressed GLPK
+# packs) and writes the headline numbers to BENCH_pack.json at the
+# repository root, so the compression trajectory is tracked PR over PR.
+#
+# Usage: scripts/bench_pack.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pack.json}"
+
+raw="$(cargo bench --bench pack_size 2>&1)"
+echo "$raw"
+
+# Size lines look like:
+#   pack_size/full_bytes/10000: 22960494
+# Criterion lines look like:
+#   pack_size/encode_full/1000     12.34 ms/iter  (81 iters)
+echo "$raw" | awk '
+function ns(value, unit) {
+    if (unit == "ns") return value
+    if (unit == "µs") return value * 1e3
+    if (unit == "ms") return value * 1e6
+    if (unit == "s")  return value * 1e9
+    return -1
+}
+$1 ~ /^pack_size\/.*:$/ {
+    name = $1; sub("^pack_size/", "", name); sub(":$", "", name)
+    size[name] = $2 + 0
+    sorder[++sn] = name
+}
+$1 ~ /^pack_size\/[^:]*$/ && $3 ~ /\/iter/ {
+    split($1, parts, "/")
+    name = parts[2] "/" parts[3]
+    unit = $3; sub("/iter.*", "", unit)
+    mean[name] = ns($2 + 0, unit)
+    torder[++tn] = name
+}
+END {
+    printf "{\n  \"benchmark\": \"pack_size\",\n  \"sizes\": {\n"
+    for (i = 1; i <= sn; i++) {
+        name = sorder[i]
+        printf "    \"%s\": %s%s\n", name, size[name], (i < sn ? "," : "")
+    }
+    printf "  },\n  \"timings_ns_per_iter\": {\n"
+    for (i = 1; i <= tn; i++) {
+        name = torder[i]
+        printf "    \"%s\": %.1f%s\n", name, mean[name], (i < tn ? "," : "")
+    }
+    printf "  }\n}\n"
+}' > "$out"
+
+echo
+echo "wrote $out:"
+cat "$out"
