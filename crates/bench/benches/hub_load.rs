@@ -13,9 +13,14 @@
 //!    writes one line-framed read request per connection, then collects
 //!    every reply, timing each round trip — while v3 binary writer
 //!    clients push fresh commits concurrently,
-//! 3. reports client-observed latency percentiles and throughput, and
+//! 3. reports client-observed latency percentiles and throughput,
 //! 4. measures the v3 framing win: the same 5k-commit bundle encoded as
-//!    a v2 hex envelope vs the v3 compressed binary side channel.
+//!    a v2 hex envelope vs the v3 compressed binary side channel, and
+//! 5. runs the **overload scenario**: a second server child capped at
+//!    256 open connections takes offered load at 2× its capacity, and
+//!    the bench checks the overflow is shed with typed `server_busy`
+//!    replies while the served requests' p99 stays within 2× of the
+//!    uncontended p99.
 //!
 //! Results go to stderr as `hub_load_*` data lines, which
 //! `scripts/bench_load.sh` folds into `BENCH_load.json`.
@@ -60,13 +65,26 @@ fn deep_repo(name: &str, commits: usize) -> Repository {
 // ---------------------------------------------------------------------
 
 /// The re-executed child: seed a hub, serve it, print the bound address,
-/// block until the parent hangs up our stdin.
+/// block until the parent hangs up our stdin. `GITCITE_MAX_CONNS` caps
+/// `max_open_conns` — the overload scenario serves from a deliberately
+/// small box so the parent can offer 2× its capacity.
 fn run_server() -> ! {
     let hub = Arc::new(Hub::new("https://hub.local"));
     hub.register_user("ann", "Ann").unwrap();
     let token = hub.login("ann").unwrap();
     hub.import_repo(&token, "p", deep_repo("p", 100)).unwrap();
-    let server = SocketServer::bind(Arc::clone(&hub), "127.0.0.1:0").expect("bind loopback");
+    let config = match std::env::var("GITCITE_MAX_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(cap) => hub::ServerConfig {
+            max_open_conns: cap,
+            ..hub::ServerConfig::default()
+        },
+        None => hub::ServerConfig::default(),
+    };
+    let server =
+        SocketServer::bind_with(Arc::clone(&hub), "127.0.0.1:0", config).expect("bind loopback");
     println!("ADDR {}", server.local_addr());
     let _ = std::io::stdout().flush();
     // Exit when the parent closes our stdin (or dies).
@@ -89,14 +107,17 @@ impl Drop for ServerChild {
     }
 }
 
-fn spawn_server() -> (ServerChild, String) {
+fn spawn_server(max_conns: Option<usize>) -> (ServerChild, String) {
     let exe = std::env::current_exe().expect("own binary path");
-    let mut child = Command::new(exe)
+    let mut command = Command::new(exe);
+    command
         .env("HUB_LOAD_ROLE", "server")
         .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn server child");
+        .stdout(Stdio::piped());
+    if let Some(cap) = max_conns {
+        command.env("GITCITE_MAX_CONNS", cap.to_string());
+    }
+    let mut child = command.spawn().expect("spawn server child");
     let stdout = child.stdout.take().expect("child stdout");
     let mut line = String::new();
     BufReader::new(stdout)
@@ -226,6 +247,98 @@ fn write_load(addr: String, id: usize) -> usize {
 }
 
 // ---------------------------------------------------------------------
+// Overload: 2× capacity offered load against a capped server
+// ---------------------------------------------------------------------
+
+/// The capped server's `max_open_conns` for the overload scenario.
+const OVERLOAD_CAPACITY: usize = 256;
+
+/// Opens `count` connections at once, sends one v1 read on each, and
+/// classifies every reply: a `server_busy` line is a shed, anything
+/// else a served request with its round-trip latency.
+fn offered_wave(addr: &str, count: usize) -> (Vec<u64>, usize, usize) {
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(count);
+    for _ in 0..count {
+        match connect_retrying(addr) {
+            Some(stream) => conns.push(stream),
+            None => break,
+        }
+    }
+    let request = b"{\"v\":1,\"method\":\"branches\",\"params\":{\"repo_id\":\"ann/p\"}}\n";
+    let mut sent_at = Vec::with_capacity(conns.len());
+    let mut alive = vec![true; conns.len()];
+    for (i, conn) in conns.iter_mut().enumerate() {
+        alive[i] = conn.write_all(request).is_ok();
+        sent_at.push(Instant::now());
+    }
+    let (mut served_lat, mut served, mut shed) = (Vec::new(), 0usize, 0usize);
+    let mut scratch = Vec::with_capacity(512);
+    for (i, conn) in conns.iter_mut().enumerate() {
+        if !alive[i] || !read_reply(conn, &mut scratch) {
+            continue;
+        }
+        if scratch.windows(11).any(|w| w == b"server_busy") {
+            shed += 1;
+        } else {
+            served += 1;
+            served_lat.push(sent_at[i].elapsed().as_micros() as u64);
+        }
+    }
+    (served_lat, served, shed)
+}
+
+fn p99(latencies: &[u64]) -> u64 {
+    let histogram = telemetry::Histogram::new();
+    for &us in latencies {
+        histogram.record(us);
+    }
+    histogram.snapshot().p99()
+}
+
+/// Overload scenario: a server capped at [`OVERLOAD_CAPACITY`] open
+/// connections takes offered load at exactly capacity (the uncontended
+/// baseline), then at 2× capacity. The claim under test: the overflow
+/// is *shed* with typed `server_busy` replies rather than queued, so
+/// the p99 of the requests that are served stays close to the
+/// uncontended p99 instead of collapsing.
+fn overload() {
+    let (_server, addr) = spawn_server(Some(OVERLOAD_CAPACITY));
+
+    // Phase 1 — offered load == capacity: everything is served.
+    let (base_lat, base_served, base_shed) = offered_wave(&addr, OVERLOAD_CAPACITY);
+    // Let the reactor process the phase-1 hangups before re-offering.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Phase 2 — offered load == 2× capacity.
+    let (over_lat, over_served, over_shed) = offered_wave(&addr, 2 * OVERLOAD_CAPACITY);
+
+    let offered = 2 * OVERLOAD_CAPACITY;
+    let shed_rate = over_shed as f64 / offered as f64;
+    let p99_uncontended = p99(&base_lat);
+    let p99_served = p99(&over_lat);
+    eprintln!(
+        "hub_load_overload capacity={OVERLOAD_CAPACITY} offered={offered} served={over_served} \
+         shed={over_shed} shed_rate={shed_rate:.2} p99_uncontended_us={p99_uncontended} \
+         p99_served_us={p99_served}"
+    );
+
+    assert_eq!(base_shed, 0, "at-capacity load must not shed");
+    assert!(
+        base_served * 10 >= OVERLOAD_CAPACITY * 9,
+        "only {base_served}/{OVERLOAD_CAPACITY} served uncontended"
+    );
+    assert!(over_shed > 0, "2x load produced no shed replies");
+    assert!(
+        over_served * 10 >= OVERLOAD_CAPACITY * 9,
+        "shedding starved served traffic: {over_served}/{OVERLOAD_CAPACITY}"
+    );
+    assert!(
+        p99_served <= 2 * p99_uncontended.max(1),
+        "served p99 {p99_served}us blew past 2x the uncontended {p99_uncontended}us"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Bundle bytes: v2 hex envelope vs v3 binary side channel
 // ---------------------------------------------------------------------
 
@@ -259,7 +372,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_CONNS);
 
-    let (_server, addr) = spawn_server();
+    let (_server, addr) = spawn_server(None);
 
     // Writers run through the whole wave phase.
     let started = Instant::now();
@@ -321,4 +434,8 @@ fn main() {
         achieved * 10 >= target * 9,
         "only {achieved}/{target} connections held concurrently"
     );
+
+    // Separate capped server child, separate port: the overload numbers
+    // never share a reactor with the 10k-connection fleet above.
+    overload();
 }

@@ -294,6 +294,15 @@ impl<T: Transport> Popup<T> {
         self.session = Session::SignedIn { token, is_member };
     }
 
+    /// The full credential flow against a secret-protected hub: log in
+    /// with username and secret over the popup's own client (so the
+    /// token is minted on this connection — they are connection-scoped
+    /// over TCP), then run the normal [`Popup::sign_in`] render.
+    pub fn sign_in_with_secret(&mut self, username: &str, secret: &str) -> Result<()> {
+        let token = self.client.login_with_secret(username, secret)?;
+        self.sign_in(token)
+    }
+
     /// Signs out, returning to the anonymous read-only view.
     pub fn sign_out(&mut self) -> Result<()> {
         self.session = Session::Anonymous;
@@ -740,6 +749,24 @@ mod tests {
             Popup::open(&hub, "nobody/none", "main"),
             Err(ExtError::Hub(HubError::RepoNotFound(_)))
         ));
+    }
+
+    #[test]
+    fn sign_in_with_secret_against_protected_hub() {
+        let (hub, _, _, repo_id) = setup();
+        hub.set_auth_required(true);
+        hub.register_user_with_secret("carol", "Carol", "hunter2")
+            .unwrap();
+        let mut popup = Popup::open(&hub, &repo_id, "main").unwrap();
+        // Wrong secret is a typed auth failure, popup stays anonymous.
+        assert!(matches!(
+            popup.sign_in_with_secret("carol", "wrong"),
+            Err(ExtError::Hub(HubError::AuthFailed))
+        ));
+        assert!(popup.view().signed_in_as.is_none());
+        // Right secret mints a token and renders the signed-in view.
+        popup.sign_in_with_secret("carol", "hunter2").unwrap();
+        assert_eq!(popup.view().signed_in_as.as_deref(), Some("carol"));
     }
 
     #[test]

@@ -153,18 +153,23 @@ git-like citation operators
 
 remote hub (wire protocol v3 over TCP; v1/v2 clients still served)
   hub serve --bind <ip:port> [--data-dir <dir>]     run a hub server (blocks;
-        port 0 picks a free port, the bound address is printed on stdout)
-  hub register <username> --name <display> --remote <addr>
+        [--require-secrets true] [--operator-secret <s>] [--allow-insecure true]
+        port 0 picks a free port, the bound address is printed on stdout.
+        A non-loopback bind requires --require-secrets true (registration
+        and login then demand per-user secrets) unless --allow-insecure
+        true is passed explicitly)
+  hub register <username> --name <display> --remote <addr> [--secret <s>]
   hub repos --remote <addr> [--page-size <n>]
   hub log <repo_id> <branch> --remote <addr> [--page-size <n>] [--all true]
-  hub import <name> --remote <addr> --user <username>
+  hub import <name> --remote <addr> --user <username> [--secret <s>]
   hub push <repo_id> <branch> --remote <addr> --user <username> [--force true]
-  hub top --remote <addr> [--user <u>] [--interval <secs>] [--once true]
-        [--prom true]                             live server telemetry: method
-        latencies (p50/p99), error counts, reactor and store health. Operator-
-        scoped; `hub serve` provisions the operator user \"operator\" (the
-        --user default). --once prints one snapshot; --prom emits Prometheus
-        text exposition
+        [--secret <s>]
+  hub top --remote <addr> [--user <u>] [--secret <s>] [--interval <secs>]
+        [--once true] [--prom true]               live server telemetry: method
+        latencies (p50/p99), error counts, reactor, store and abuse-limit
+        health. Operator-scoped; `hub serve` provisions the operator user
+        \"operator\" (the --user default). --once prints one snapshot; --prom
+        emits Prometheus text exposition
 
 environment
   GITCITE_AUTO_GC=<n>   loose-object count that triggers auto-gc on save
@@ -736,9 +741,14 @@ fn remote_client(p: &Parsed) -> Result<hub::HubClient<hub::TcpTransport>> {
 
 /// Logs `--user` in on this connection (tokens are connection-scoped:
 /// the server only honors tokens minted on the connection that uses
-/// them, so every invocation authenticates afresh).
+/// them, so every invocation authenticates afresh). `--secret` rides
+/// along for accounts registered with one.
 fn remote_login(client: &hub::HubClient<hub::TcpTransport>, p: &Parsed) -> Result<hub::Token> {
-    Ok(client.login(p.required_flag("user")?)?)
+    let user = p.required_flag("user")?;
+    Ok(match p.flag("secret") {
+        Some(secret) => client.login_with_secret(user, secret)?,
+        None => client.login(user)?,
+    })
 }
 
 fn page_size(p: &Parsed) -> Result<u32> {
@@ -765,7 +775,11 @@ fn cmd_hub(args: &[String], cwd: &Path) -> Result<String> {
         "register" => {
             let client = remote_client(&p)?;
             let username = p.pos(0, "username")?;
-            client.register_user(username, p.required_flag("name")?)?;
+            let display = p.required_flag("name")?;
+            match p.flag("secret") {
+                Some(secret) => client.register_user_with_secret(username, display, secret)?,
+                None => client.register_user(username, display)?,
+            }
             Ok(format!("registered {username}\n"))
         }
         "repos" => {
@@ -845,6 +859,17 @@ fn cmd_hub(args: &[String], cwd: &Path) -> Result<String> {
     }
 }
 
+/// Whether every address `addr` resolves to is loopback. Unresolvable
+/// addresses count as non-loopback: the bind will fail with its own
+/// error, and erring on the strict side costs nothing.
+fn is_loopback_bind(addr: &str) -> bool {
+    use std::net::ToSocketAddrs;
+    match addr.to_socket_addrs() {
+        Ok(mut addrs) => addrs.all(|a| a.ip().is_loopback()),
+        Err(_) => false,
+    }
+}
+
 fn cmd_hub_serve(p: &Parsed) -> Result<String> {
     // `--bind` is the documented spelling; `--addr` stays as an alias
     // for scripts written against earlier releases.
@@ -852,16 +877,56 @@ fn cmd_hub_serve(p: &Parsed) -> Result<String> {
         Some(addr) => addr,
         None => return Err(CliError::Usage("missing required flag --bind".into())),
     };
+    let require_secrets = p.flag("require-secrets").is_some();
+    let allow_insecure = p.flag("allow-insecure").is_some();
+    // An open (secretless) login on a non-loopback bind hands every
+    // registered account to the whole network. Refuse it unless the
+    // operator opted out in so many words.
+    if !is_loopback_bind(addr) && !require_secrets {
+        if !allow_insecure {
+            return Err(CliError::Usage(format!(
+                "refusing to bind {addr}: a non-loopback address without \
+                 --require-secrets true serves secretless logins to the \
+                 network. Pass --require-secrets true (and register users \
+                 with --secret), or --allow-insecure true to proceed anyway."
+            )));
+        }
+        eprintln!(
+            "warning: serving {addr} with secretless logins (--allow-insecure); \
+             anyone who can reach the port can act as any registered user"
+        );
+    }
     let platform = match p.flag("data-dir") {
         Some(dir) => hub::Hub::with_pack_storage("https://hub.local", dir)
             .map_err(|e| CliError::Op(format!("cannot open data dir: {e}")))?,
         None => hub::Hub::new("https://hub.local"),
     };
     // Every served hub gets an operator account so `gitcite hub top`
-    // (and any other operator-scoped wire method) can authenticate.
-    // Login is open on this platform, so the grant exposes telemetry,
-    // not control — the destructive seams stay refused on the socket.
-    let _ = platform.register_user("operator", "Hub Operator");
+    // (and any other operator-scoped wire method) can authenticate. On
+    // an open hub the grant exposes telemetry, not control (the
+    // destructive seams stay refused on the socket); on a
+    // --require-secrets hub the operator account is protected like any
+    // other, by the secret provided here.
+    if require_secrets {
+        let operator_secret = p.flag("operator-secret").ok_or_else(|| {
+            CliError::Usage(
+                "--require-secrets true needs --operator-secret <s> \
+                 to protect the provisioned operator account"
+                    .into(),
+            )
+        })?;
+        let _ = platform.register_user_with_secret("operator", "Hub Operator", operator_secret);
+        platform.set_auth_required(true);
+    } else {
+        match p.flag("operator-secret") {
+            Some(secret) => {
+                let _ = platform.register_user_with_secret("operator", "Hub Operator", secret);
+            }
+            None => {
+                let _ = platform.register_user("operator", "Hub Operator");
+            }
+        }
+    }
     platform
         .grant_operator("operator")
         .map_err(|e| CliError::Op(format!("cannot provision the operator account: {e}")))?;
@@ -884,7 +949,10 @@ fn cmd_hub_serve(p: &Parsed) -> Result<String> {
 fn cmd_hub_top(p: &Parsed) -> Result<String> {
     let client = remote_client(p)?;
     let user = p.flag("user").unwrap_or("operator");
-    let token = client.login(user)?;
+    let token = match p.flag("secret") {
+        Some(secret) => client.login_with_secret(user, secret)?,
+        None => client.login(user)?,
+    };
     let prom = p.flag("prom").is_some();
     let render = |snap: &hub::MetricsSnapshot| {
         if prom {
@@ -977,6 +1045,12 @@ fn render_top(snap: &hub::MetricsSnapshot) -> String {
         out.push_str(&format!(
             "  deltas resolved: {}   bloom: {} skip(s) / {} hit(s) / {} false positive(s)\n",
             s.delta_resolutions, s.bloom_skips, s.bloom_hits, s.bloom_false_positives
+        ));
+    }
+    if let Some(l) = &snap.limits {
+        out.push_str(&format!(
+            "limits: {} auth failure(s), {} rate / {} quota rejection(s), {} conn(s) shed\n",
+            l.auth_failures, l.rate_rejections, l.quota_rejections, l.conns_shed
         ));
     }
     out

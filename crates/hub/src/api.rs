@@ -133,11 +133,19 @@
 //! | `source_missing`         | CopyCite source absent (`detail` = path)      |
 //! | `bad_citation_file`      | citation.cite failed to parse (`detail` = why)|
 //! | `cite`                   | any other citation-layer failure              |
+//! | `token_expired`          | token lifetime elapsed; `refresh` it          |
+//! | `rate_limited`           | token bucket or login lockout (`detail` = retry-after ticks) |
+//! | `quota_exceeded`         | size quota refused the write (`detail` = why) |
+//! | `server_busy`            | connection shed under overload (`detail` = retry-after secs) |
 //! | `protocol`               | envelope/method/params malformed              |
 //! | `transport_closed`       | connection dropped mid-request (client-side)  |
 //!
 //! `transport_closed` is synthesized by client transports when the peer
 //! hangs up between request and response; a server never sends it.
+//! `server_busy` is the one error a server sends *outside* dispatch: the
+//! reactor answers the first request on a shed connection with it and
+//! closes, so an overloaded server costs one frame per refused peer
+//! instead of a stalled queue slot.
 //!
 //! Codes whose `detail` is structurally required (the path/id-carrying
 //! ones) reconstruct to a `protocol` error when a peer omits it — a
@@ -224,6 +232,10 @@ pub enum ErrorCode {
     SourceMissing,
     BadCitationFile,
     Cite,
+    TokenExpired,
+    RateLimited,
+    QuotaExceeded,
+    ServerBusy,
     Protocol,
     TransportClosed,
 }
@@ -260,6 +272,10 @@ impl ErrorCode {
             ErrorCode::SourceMissing => "source_missing",
             ErrorCode::BadCitationFile => "bad_citation_file",
             ErrorCode::Cite => "cite",
+            ErrorCode::TokenExpired => "token_expired",
+            ErrorCode::RateLimited => "rate_limited",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
+            ErrorCode::ServerBusy => "server_busy",
             ErrorCode::Protocol => "protocol",
             ErrorCode::TransportClosed => "transport_closed",
         }
@@ -296,6 +312,10 @@ impl ErrorCode {
             "source_missing" => ErrorCode::SourceMissing,
             "bad_citation_file" => ErrorCode::BadCitationFile,
             "cite" => ErrorCode::Cite,
+            "token_expired" => ErrorCode::TokenExpired,
+            "rate_limited" => ErrorCode::RateLimited,
+            "quota_exceeded" => ErrorCode::QuotaExceeded,
+            "server_busy" => ErrorCode::ServerBusy,
             "protocol" => ErrorCode::Protocol,
             "transport_closed" => ErrorCode::TransportClosed,
             _ => return None,
@@ -337,6 +357,14 @@ impl WireError {
             HubError::DoiNotFound(s) => (ErrorCode::DoiNotFound, Some(s.clone())),
             HubError::SwhidNotFound(s) => (ErrorCode::SwhidNotFound, Some(s.clone())),
             HubError::BadRequest(s) => (ErrorCode::BadRequest, Some(s.clone())),
+            HubError::TokenExpired => (ErrorCode::TokenExpired, None),
+            HubError::RateLimited { retry_after } => {
+                (ErrorCode::RateLimited, Some(retry_after.to_string()))
+            }
+            HubError::QuotaExceeded(s) => (ErrorCode::QuotaExceeded, Some(s.clone())),
+            HubError::ServerBusy { retry_after } => {
+                (ErrorCode::ServerBusy, Some(retry_after.to_string()))
+            }
             HubError::Protocol(s) => (ErrorCode::Protocol, Some(s.clone())),
             HubError::TransportClosed(s) => (ErrorCode::TransportClosed, Some(s.clone())),
             HubError::Git(g) => classify_git(g),
@@ -413,6 +441,20 @@ impl WireError {
             ErrorCode::DoiNotFound => HubError::DoiNotFound(payload(detail)),
             ErrorCode::SwhidNotFound => HubError::SwhidNotFound(payload(detail)),
             ErrorCode::BadRequest => HubError::BadRequest(payload(detail)),
+            ErrorCode::TokenExpired => HubError::TokenExpired,
+            ErrorCode::RateLimited => match detail.as_deref().and_then(|d| d.parse().ok()) {
+                Some(retry_after) => HubError::RateLimited { retry_after },
+                None => HubError::Protocol(format!(
+                    "error code rate_limited requires a retry-after detail ({message})"
+                )),
+            },
+            ErrorCode::QuotaExceeded => HubError::QuotaExceeded(payload(detail)),
+            ErrorCode::ServerBusy => match detail.as_deref().and_then(|d| d.parse().ok()) {
+                Some(retry_after) => HubError::ServerBusy { retry_after },
+                None => HubError::Protocol(format!(
+                    "error code server_busy requires a retry-after detail ({message})"
+                )),
+            },
             ErrorCode::Protocol => HubError::Protocol(payload(detail)),
             ErrorCode::TransportClosed => HubError::TransportClosed(payload(detail)),
             ErrorCode::BranchNotFound => {
@@ -1479,6 +1521,72 @@ impl StoreMetrics {
     }
 }
 
+/// Abuse-resistance counters: how often the hub said *no* for reasons
+/// other than the request being wrong. Every field follows the
+/// absent-field rule (key emitted only once the counter has fired), and
+/// the whole section is absent from a [`MetricsSnapshot`] until any
+/// fires — pre-existing goldens never see it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LimitsMetrics {
+    /// Failed authentications: bad/expired/revoked tokens, wrong or
+    /// missing login secrets, logins refused by an active lockout.
+    pub auth_failures: u64,
+    /// Requests refused by a per-user or per-repo token bucket.
+    pub rate_rejections: u64,
+    /// Pushes/imports refused by a bundle or repository size quota.
+    pub quota_rejections: u64,
+    /// Connections answered with `server_busy` and closed at accept
+    /// time (overload or per-IP cap).
+    pub conns_shed: u64,
+}
+
+impl LimitsMetrics {
+    /// True when nothing has ever been refused — the section stays off
+    /// the wire.
+    pub fn is_empty(&self) -> bool {
+        self.auth_failures == 0
+            && self.rate_rejections == 0
+            && self.quota_rejections == 0
+            && self.conns_shed == 0
+    }
+
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        for (key, v) in [
+            ("auth_failures", self.auth_failures),
+            ("rate_rejections", self.rate_rejections),
+            ("quota_rejections", self.quota_rejections),
+            ("conns_shed", self.conns_shed),
+        ] {
+            if v > 0 {
+                o.insert(key, v as i64);
+            }
+        }
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<LimitsMetrics> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("limits metrics must be an object"))?;
+        let opt_counter = |key: &'static str| -> WireResult<u64> {
+            match o.get(key) {
+                None | Some(Value::Null) => Ok(0),
+                Some(v) => Ok(v
+                    .as_i64()
+                    .ok_or_else(|| proto(format!("{key} must be a number")))?
+                    as u64),
+            }
+        };
+        Ok(LimitsMetrics {
+            auth_failures: opt_counter("auth_failures")?,
+            rate_rejections: opt_counter("rate_rejections")?,
+            quota_rejections: opt_counter("quota_rejections")?,
+            conns_shed: opt_counter("conns_shed")?,
+        })
+    }
+}
+
 /// The full answer to [`ApiRequest::ServerMetrics`]: one point-in-time
 /// view of the hub's health, from the dispatch layer down to storage.
 /// Optional sections omit their wire key entirely when absent, per the
@@ -1492,6 +1600,8 @@ pub struct MetricsSnapshot {
     pub transport: Option<TransportMetrics>,
     /// Storage-layer stats; `None` when metrics are disabled.
     pub store: Option<StoreMetrics>,
+    /// Abuse-resistance tallies; `None` until the hub refuses anything.
+    pub limits: Option<LimitsMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -1585,6 +1695,19 @@ impl MetricsSnapshot {
                 );
             }
         }
+        if let Some(l) = &self.limits {
+            for (name, v) in [
+                ("auth_failures", l.auth_failures),
+                ("rate_rejections", l.rate_rejections),
+                ("quota_rejections", l.quota_rejections),
+                ("conns_shed", l.conns_shed),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "# TYPE gitcite_{name}_total counter\ngitcite_{name}_total {v}"
+                );
+            }
+        }
         out
     }
 
@@ -1599,6 +1722,9 @@ impl MetricsSnapshot {
         }
         if let Some(s) = &self.store {
             o.insert("store", s.to_value());
+        }
+        if let Some(l) = &self.limits {
+            o.insert("limits", l.to_value());
         }
         Value::Object(o)
     }
@@ -1619,10 +1745,15 @@ impl MetricsSnapshot {
             None | Some(Value::Null) => None,
             Some(v) => Some(StoreMetrics::from_value(v)?),
         };
+        let limits = match o.get("limits") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(LimitsMetrics::from_value(v)?),
+        };
         Ok(MetricsSnapshot {
             methods,
             transport,
             store,
+            limits,
         })
     }
 }
@@ -1639,12 +1770,25 @@ impl MetricsSnapshot {
 #[allow(missing_docs)] // field meanings match the typed `Hub` methods
 pub enum ApiRequest {
     // auth
+    /// `secret` (v3, absent-field rule) enrolls a credential: the hub
+    /// stores a salted hash and every future login must present the
+    /// secret. Absent = open registration (the paper simulator's model).
     RegisterUser {
         username: String,
         display_name: String,
+        secret: Option<String>,
     },
+    /// `secret` (v3, absent-field rule) is required for users registered
+    /// with one, verified constant-time against the stored salted hash.
     Login {
         username: String,
+        secret: Option<String>,
+    },
+    /// v3: exchange a known (possibly expired) token for a fresh one with
+    /// a new lifetime, revoking the old. The one call an expired token is
+    /// still good for.
+    Refresh {
+        token: String,
     },
     Revoke {
         token: String,
@@ -1904,6 +2048,7 @@ pub const METHOD_NAMES: &[&str] = &[
     "server_metrics",
     "advance_clock",
     "batch",
+    "refresh",
 ];
 
 impl ApiRequest {
@@ -1950,6 +2095,7 @@ impl ApiRequest {
             ApiRequest::ServerMetrics { .. } => 37,
             ApiRequest::AdvanceClock { .. } => 38,
             ApiRequest::Batch { .. } => 39,
+            ApiRequest::Refresh { .. } => 40,
         }
     }
 
@@ -1967,7 +2113,18 @@ impl ApiRequest {
     /// at encode time, which stamps v3 itself.)
     pub fn version(&self) -> i64 {
         match self {
-            ApiRequest::Batch { .. } | ApiRequest::ServerMetrics { .. } => PROTOCOL_V3,
+            ApiRequest::Batch { .. }
+            | ApiRequest::ServerMetrics { .. }
+            | ApiRequest::Refresh { .. } => PROTOCOL_V3,
+            // A secret silently dropped by an old server would register
+            // an unprotected account, so a secret-bearing register/login
+            // is a v3 construct: v1/v2 peers refuse it instead.
+            ApiRequest::RegisterUser {
+                secret: Some(_), ..
+            }
+            | ApiRequest::Login {
+                secret: Some(_), ..
+            } => PROTOCOL_V3,
             ApiRequest::Negotiate { .. }
             | ApiRequest::LogPage { .. }
             | ApiRequest::AuditLogPage { .. }
@@ -1986,7 +2143,8 @@ impl ApiRequest {
     /// scoping without knowing anything about individual methods.
     pub fn token(&self) -> Option<&str> {
         match self {
-            ApiRequest::Revoke { token }
+            ApiRequest::Refresh { token }
+            | ApiRequest::Revoke { token }
             | ApiRequest::Whoami { token }
             | ApiRequest::CreateRepo { token, .. }
             | ApiRequest::ImportRepo { token, .. }
@@ -2004,20 +2162,100 @@ impl ApiRequest {
         }
     }
 
+    /// True when re-sending this request after an ambiguous failure (the
+    /// connection died before a response arrived) cannot change server
+    /// state beyond what the first attempt did. The client's automatic
+    /// retry loop only ever fires for these; everything that mints,
+    /// mutates or commits is resubmitted deliberately by the caller.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            ApiRequest::Whoami { .. }
+            | ApiRequest::RoleOf { .. }
+            | ApiRequest::CanWrite { .. }
+            | ApiRequest::ListRepos
+            | ApiRequest::Branches { .. }
+            | ApiRequest::ListFiles { .. }
+            | ApiRequest::ReadFile { .. }
+            | ApiRequest::Log { .. }
+            | ApiRequest::LogPage { .. }
+            | ApiRequest::CloneRepo { .. }
+            | ApiRequest::Negotiate { .. }
+            | ApiRequest::GenerateCitation { .. }
+            | ApiRequest::CitationEntry { .. }
+            | ApiRequest::ResolveDoi { .. }
+            | ApiRequest::ResolveSwhid { .. }
+            | ApiRequest::ArchiveVisits { .. }
+            | ApiRequest::CreditedAuthors { .. }
+            | ApiRequest::FindReposCiting { .. }
+            | ApiRequest::AuditLog
+            | ApiRequest::AuditLogPage { .. }
+            | ApiRequest::ListReposPage { .. }
+            | ApiRequest::StoreStats { .. }
+            | ApiRequest::ServerMetrics { .. } => true,
+            // Everything else either writes (push, cite ops, deposit,
+            // archive — it bumps visit counts), mints or revokes
+            // credentials, or wraps other requests (batch: any item
+            // could be a write).
+            _ => false,
+        }
+    }
+
+    /// The repository this request operates on, when it names one — the
+    /// key the hub's per-repo rate limiter charges. `import_repo` /
+    /// `create_repo` / `fork` target a repository that does not exist
+    /// yet, so they charge only the per-user bucket.
+    pub fn target_repo(&self) -> Option<&str> {
+        match self {
+            ApiRequest::AddMember { repo_id, .. }
+            | ApiRequest::CanWrite { repo_id, .. }
+            | ApiRequest::RoleOf { repo_id, .. }
+            | ApiRequest::Branches { repo_id }
+            | ApiRequest::ListFiles { repo_id, .. }
+            | ApiRequest::ReadFile { repo_id, .. }
+            | ApiRequest::Log { repo_id, .. }
+            | ApiRequest::LogPage { repo_id, .. }
+            | ApiRequest::CloneRepo { repo_id }
+            | ApiRequest::Negotiate { repo_id, .. }
+            | ApiRequest::GenerateCitation { repo_id, .. }
+            | ApiRequest::CitationEntry { repo_id, .. }
+            | ApiRequest::AddCite { repo_id, .. }
+            | ApiRequest::ModifyCite { repo_id, .. }
+            | ApiRequest::DelCite { repo_id, .. }
+            | ApiRequest::Push { repo_id, .. }
+            | ApiRequest::MergeBranches { repo_id, .. }
+            | ApiRequest::Deposit { repo_id, .. }
+            | ApiRequest::Archive { repo_id }
+            | ApiRequest::ArchiveVisits { repo_id }
+            | ApiRequest::CreditedAuthors { repo_id, .. }
+            | ApiRequest::StoreStats { repo_id } => Some(repo_id),
+            ApiRequest::Fork { src_repo_id, .. } => Some(src_repo_id),
+            _ => None,
+        }
+    }
+
     fn params_value(&self) -> Value {
         let mut p = Object::new();
         match self {
             ApiRequest::RegisterUser {
                 username,
                 display_name,
+                secret,
             } => {
                 p.insert("username", username.as_str());
                 p.insert("display_name", display_name.as_str());
+                if let Some(s) = secret {
+                    p.insert("secret", s.as_str());
+                }
             }
-            ApiRequest::Login { username } => {
+            ApiRequest::Login { username, secret } => {
                 p.insert("username", username.as_str());
+                if let Some(s) = secret {
+                    p.insert("secret", s.as_str());
+                }
             }
-            ApiRequest::Revoke { token } | ApiRequest::Whoami { token } => {
+            ApiRequest::Refresh { token }
+            | ApiRequest::Revoke { token }
+            | ApiRequest::Whoami { token } => {
                 p.insert("token", token.as_str());
             }
             ApiRequest::CreateRepo { token, name } => {
@@ -2316,9 +2554,14 @@ impl ApiRequest {
             "register_user" => ApiRequest::RegisterUser {
                 username: req_str(p, "username")?,
                 display_name: req_str(p, "display_name")?,
+                secret: opt_str(p, "secret")?,
             },
             "login" => ApiRequest::Login {
                 username: req_str(p, "username")?,
+                secret: opt_str(p, "secret")?,
+            },
+            "refresh" => ApiRequest::Refresh {
+                token: req_str(p, "token")?,
             },
             "revoke" => ApiRequest::Revoke {
                 token: req_str(p, "token")?,
@@ -3434,7 +3677,8 @@ mod tests {
         assert_eq!(
             ApiRequest::parse(text).unwrap(),
             ApiRequest::Login {
-                username: "a".into()
+                username: "a".into(),
+                secret: None
             }
         );
     }

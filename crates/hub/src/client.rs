@@ -20,6 +20,9 @@ use crate::server::{Hub, LogEntry, Token, User};
 use crate::zenodo::Deposit;
 use citekit::{Citation, MergeStrategy};
 use gitlite::{ObjectId, RepoPath, Repository};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Moves one request envelope to a hub and returns its response envelope.
@@ -63,10 +66,39 @@ impl Transport for InProcess<'_> {
     }
 }
 
+/// How [`HubClient::call`] retries after a dropped connection or a shed
+/// (`server_busy`) reply: full-jitter exponential backoff, and **only**
+/// for idempotent requests (see [`ApiRequest::is_idempotent`]) — a write
+/// whose response was lost may already have landed, so replaying it is
+/// the caller's deliberate decision, never the client's.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total tries including the first. `1` disables retrying.
+    pub attempts: u32,
+    /// Backoff before try `n + 1` is drawn uniformly from
+    /// `0..=min(base_delay_ms << (n - 1), max_delay_ms)`.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single backoff.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay_ms: 5,
+            max_delay_ms: 80,
+        }
+    }
+}
+
 /// A typed client over the wire protocol. Method-for-method equivalent to
 /// the hub's typed surface, but every call crosses the protocol boundary.
 pub struct HubClient<T> {
     transport: T,
+    retry: RetryPolicy,
+    // Jitter source; seeded, so test runs back off on the same schedule.
+    rng: Mutex<StdRng>,
 }
 
 impl<'h> HubClient<InProcess<'h>> {
@@ -79,7 +111,17 @@ impl<'h> HubClient<InProcess<'h>> {
 impl<T: Transport> HubClient<T> {
     /// Client over an arbitrary transport.
     pub fn new(transport: T) -> Self {
-        HubClient { transport }
+        HubClient {
+            transport,
+            retry: RetryPolicy::default(),
+            rng: Mutex::new(StdRng::seed_from_u64(0x6769_7463_6974_6501)),
+        }
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The underlying transport (e.g. for instrumentation wrappers that
@@ -89,9 +131,32 @@ impl<T: Transport> HubClient<T> {
     }
 
     /// Sends one typed request and returns the typed response, with
-    /// errors reconstructed from their wire codes.
+    /// errors reconstructed from their wire codes. Idempotent requests
+    /// that fail with [`HubError::TransportClosed`] or
+    /// [`HubError::ServerBusy`] are retried per the [`RetryPolicy`];
+    /// everything else surfaces immediately.
     pub fn call(&self, request: ApiRequest) -> Result<ApiResponse> {
-        self.transport.exchange(&request).into_result()
+        let mut attempt = 1u32;
+        loop {
+            let result = self.transport.exchange(&request).into_result();
+            let retryable = matches!(
+                result,
+                Err(HubError::TransportClosed(_)) | Err(HubError::ServerBusy { .. })
+            );
+            if !retryable || attempt >= self.retry.attempts || !request.is_idempotent() {
+                return result;
+            }
+            let exp = self
+                .retry
+                .base_delay_ms
+                .saturating_mul(1 << (attempt - 1).min(16));
+            let cap = exp.min(self.retry.max_delay_ms);
+            let jittered = self.rng.lock().gen_range(0..cap as usize + 1) as u64;
+            if jittered > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(jittered));
+            }
+            attempt += 1;
+        }
     }
 
     /// Sends several requests in one round trip (protocol v3 batch
@@ -115,11 +180,29 @@ impl<T: Transport> HubClient<T> {
 
     // ----- users & auth ------------------------------------------------------
 
-    /// Registers a user.
+    /// Registers a user with no login secret (open account).
     pub fn register_user(&self, username: &str, display_name: &str) -> Result<()> {
         match self.call(ApiRequest::RegisterUser {
             username: username.to_owned(),
             display_name: display_name.to_owned(),
+            secret: None,
+        })? {
+            ApiResponse::Unit => Ok(()),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Registers a user whose logins must present `secret` (protocol v3).
+    pub fn register_user_with_secret(
+        &self,
+        username: &str,
+        display_name: &str,
+        secret: &str,
+    ) -> Result<()> {
+        match self.call(ApiRequest::RegisterUser {
+            username: username.to_owned(),
+            display_name: display_name.to_owned(),
+            secret: Some(secret.to_owned()),
         })? {
             ApiResponse::Unit => Ok(()),
             other => Err(shape(&other)),
@@ -130,6 +213,30 @@ impl<T: Transport> HubClient<T> {
     pub fn login(&self, username: &str) -> Result<Token> {
         match self.call(ApiRequest::Login {
             username: username.to_owned(),
+            secret: None,
+        })? {
+            ApiResponse::Token(t) => Ok(Token::new(t)),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Obtains a personal-access token for a secret-protected account
+    /// (protocol v3).
+    pub fn login_with_secret(&self, username: &str, secret: &str) -> Result<Token> {
+        match self.call(ApiRequest::Login {
+            username: username.to_owned(),
+            secret: Some(secret.to_owned()),
+        })? {
+            ApiResponse::Token(t) => Ok(Token::new(t)),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Exchanges a token (possibly expired) for a fresh one, revoking the
+    /// old (protocol v3).
+    pub fn refresh(&self, token: &Token) -> Result<Token> {
+        match self.call(ApiRequest::Refresh {
+            token: token.as_str().to_owned(),
         })? {
             ApiResponse::Token(t) => Ok(Token::new(t)),
             other => Err(shape(&other)),

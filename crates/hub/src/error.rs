@@ -24,6 +24,30 @@ pub enum HubError {
     SwhidNotFound(String),
     /// Malformed request (bad branch, bad path, ...).
     BadRequest(String),
+    /// The presented token was once valid but its lifetime (in hub-clock
+    /// ticks) has elapsed. Distinct from [`HubError::AuthFailed`] so a
+    /// client holding the token can call `refresh` instead of re-entering
+    /// credentials.
+    TokenExpired,
+    /// The caller (or the repo it targets) exceeded a token-bucket rate
+    /// limit, or a locked-out user retried a failed login too soon.
+    /// `retry_after` is the hint in hub-clock ticks until the next attempt
+    /// can succeed.
+    RateLimited {
+        /// Hub-clock ticks until a retry can succeed.
+        retry_after: i64,
+    },
+    /// A size quota refused the operation before any object landed: the
+    /// bundle was too large, or the repository's accumulated object bytes
+    /// would exceed its cap. The message says which.
+    QuotaExceeded(String),
+    /// The server shed this connection under overload instead of queueing
+    /// it. `retry_after` is the suggested backoff in seconds; idempotent
+    /// reads may be retried, writes must be resubmitted deliberately.
+    ServerBusy {
+        /// Suggested backoff in seconds before reconnecting.
+        retry_after: i64,
+    },
     /// The wire protocol itself failed: unknown version, unknown method,
     /// malformed params, or a response of an unexpected shape (see
     /// [`crate::api`]).
@@ -52,6 +76,14 @@ impl fmt::Display for HubError {
             HubError::DoiNotFound(d) => write!(f, "no such DOI: {d}"),
             HubError::SwhidNotFound(s) => write!(f, "no such SWHID: {s}"),
             HubError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HubError::TokenExpired => write!(f, "token expired; refresh or log in again"),
+            HubError::RateLimited { retry_after } => {
+                write!(f, "rate limited; retry after {retry_after} ticks")
+            }
+            HubError::QuotaExceeded(msg) => write!(f, "quota exceeded: {msg}"),
+            HubError::ServerBusy { retry_after } => {
+                write!(f, "server busy; retry after {retry_after}s")
+            }
             HubError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             HubError::TransportClosed(msg) => write!(f, "hub connection closed: {msg}"),
             HubError::Git(e) => write!(f, "{e}"),

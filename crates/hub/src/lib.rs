@@ -43,6 +43,7 @@
 
 pub mod api;
 pub mod audit;
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod heritage;
@@ -52,16 +53,20 @@ pub mod transport;
 pub mod zenodo;
 
 pub use api::{
-    ApiRequest, ApiResponse, ErrorCode, MergeOutcome, MergeSummary, MethodMetrics, MetricsSnapshot,
-    Negotiation, Page, RepoBundle, RepoMaintenance, StoreMetrics, StoreStats, TransportMetrics,
-    WireError, WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, PROTOCOL_V1, PROTOCOL_V2,
-    PROTOCOL_V3, PROTOCOL_VERSION,
+    ApiRequest, ApiResponse, ErrorCode, LimitsMetrics, MergeOutcome, MergeSummary, MethodMetrics,
+    MetricsSnapshot, Negotiation, Page, RepoBundle, RepoMaintenance, StoreMetrics, StoreStats,
+    TransportMetrics, WireError, WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, PROTOCOL_V1,
+    PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_VERSION,
 };
 pub use audit::{AuditEvent, AuditLog};
-pub use client::{HubClient, InProcess, Transport};
+pub use chaos::{ChaosProxy, ChaosSchedule, ChaosTransport, ProxyConfig};
+pub use client::{HubClient, InProcess, RetryPolicy, Transport};
 pub use error::{HubError, Result};
 pub use heritage::{parse_swhid, swhid, ArchiveReport, Heritage, SwhKind};
 pub use perm::{Action, Role};
-pub use server::{Hub, LogEntry, StoreFactory, Token, User};
+pub use server::{
+    Hub, LimitsConfig, LogEntry, RateLimit, StoreFactory, Token, User, FAILURE_DECAY_TICKS,
+    LOCKOUT_TICKS, MAX_LOGIN_FAILURES,
+};
 pub use transport::{ServerConfig, SocketServer, TcpTransport};
 pub use zenodo::{Deposit, Zenodo, DOI_PREFIX};

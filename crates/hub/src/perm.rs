@@ -4,6 +4,47 @@
 //! §3): non-members may *generate* citations but "will not be allowed to
 //! use the Add/Delete button functionalities"; members may modify the
 //! citation file. The hub enforces exactly that split server-side.
+//!
+//! # The untrusted-deployment model
+//!
+//! Roles answer *what may this user do*; the rest of the hub's
+//! survivability story — who is this user, how fast may they ask, how
+//! much may they store — lives in [`crate::server`] and composes with
+//! the roles below in layers:
+//!
+//! * **Credentials.** An account registered with a secret stores only a
+//!   per-user salt and a `SHA-256(salt ‖ secret)` hash (the vendored
+//!   [`sha2`]); the secret itself never lands. Login recomputes the
+//!   hash and compares in constant time ([`sha2::ct_eq`]), so a
+//!   timing side channel cannot bisect the secret byte by byte.
+//!   [`crate::Hub::set_auth_required`] makes credentials mandatory for
+//!   every registration and login — the mode `gitcite hub serve`
+//!   demands before it will bind a non-loopback address.
+//! * **Lockout.** [`crate::MAX_LOGIN_FAILURES`] failed logins within a
+//!   decay window ([`crate::FAILURE_DECAY_TICKS`] of the deterministic
+//!   hub clock) lock the account for [`crate::LOCKOUT_TICKS`]. While
+//!   locked, even the correct secret is refused with a typed
+//!   `rate_limited` error carrying a retry-after hint — a brute-forcer
+//!   gets no oracle during the window. A successful login clears the
+//!   streak.
+//! * **Token lifetime.** Tokens minted by login can expire
+//!   ([`crate::Hub::set_token_ttl`]); an expired token fails with the
+//!   typed `token_expired` (distinct from `auth_failed`, so clients
+//!   know to `refresh` rather than re-prompt). Refresh is
+//!   remove-then-mint: the predecessor token is revoked even if it had
+//!   life left, so a leaked one dies with the exchange. Over TCP,
+//!   tokens are additionally scoped to the connection that minted them
+//!   (see [`crate::transport`]).
+//! * **Rate limits and quotas.** [`crate::Hub::set_limits`] arms
+//!   per-user and per-repository token buckets (typed `rate_limited`
+//!   denials with a retry-after hint) plus size quotas on push/import
+//!   bundles and on a repository's accumulated accepted bytes (typed
+//!   `quota_exceeded`, checked before any object lands). All denials
+//!   are audited and tallied on wire-queryable counters
+//!   (`limits.*` in `server_metrics`).
+//!
+//! Authorization (this module) is evaluated only after those layers
+//! admit the request — a locked-out owner is still locked out.
 
 /// A user's role on one repository.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -32,12 +32,26 @@
 //! map guard has been dropped (the `Arc` is cloned out), and the leaf
 //! mutexes never take any other lock — so the order
 //! `users/tokens → repos map → one repository → leaf` is acyclic and
-//! deadlock-free.
+//! deadlock-free. The abuse-resistance tables added for untrusted
+//! deployments (`credentials`, `login_states`, the token buckets and
+//! `repo_bytes`) are leaves in the same sense: each is locked briefly
+//! and never while holding another lock.
+//!
+//! # Credentials, lockout, quotas
+//!
+//! See [`crate::perm`] for the full model. In short: users may enroll a
+//! secret at registration (stored as a salted SHA-256, verified
+//! constant-time), tokens can carry a hub-clock expiry and be
+//! `refresh`ed, repeated failed logins lock the account out with decay,
+//! and [`Hub::set_limits`] arms per-user/per-repo token buckets plus
+//! bundle/repository size quotas — all off by default, all denials
+//! audited and tallied in the `limits` section of
+//! [`Hub::server_metrics`].
 
 use crate::api::{
-    ApiRequest, ApiResponse, MergeOutcome, MergeSummary, MethodMetrics, MetricsSnapshot,
-    Negotiation, Page, RepoBundle, RepoMaintenance, StoreMetrics, StoreStats, TransportMetrics,
-    WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE,
+    ApiRequest, ApiResponse, LimitsMetrics, MergeOutcome, MergeSummary, MethodMetrics,
+    MetricsSnapshot, Negotiation, Page, RepoBundle, RepoMaintenance, StoreMetrics, StoreStats,
+    TransportMetrics, WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE,
 };
 use crate::audit::{AuditEvent, AuditLog};
 use crate::error::{HubError, Result};
@@ -115,10 +129,145 @@ struct MethodStats {
     errors: Mutex<BTreeMap<String, u64>>,
 }
 
+/// Consecutive failed logins before an account locks out.
+pub const MAX_LOGIN_FAILURES: u32 = 5;
+
+/// How long (hub-clock ticks) a locked-out account stays locked.
+pub const LOCKOUT_TICKS: i64 = 60;
+
+/// A failure streak decays to zero after this many ticks without a new
+/// failure, so one fat-fingered week-old attempt never compounds.
+pub const FAILURE_DECAY_TICKS: i64 = 60;
+
+/// An enrolled login secret: `hash = SHA-256(salt ‖ secret)`. The salt is
+/// derived deterministically per user (username + registration tick), so
+/// identical secrets still hash differently across users and a stolen
+/// table cannot be attacked with one precomputed dictionary.
+#[derive(Clone)]
+struct Credential {
+    salt: [u8; 16],
+    hash: [u8; 32],
+}
+
+impl Credential {
+    fn derive(username: &str, registered_at: i64, secret: &str) -> Credential {
+        let mut h = sha2::Sha256::new();
+        h.update(b"gitcite.credential.salt\x00");
+        h.update(username.as_bytes());
+        h.update(&registered_at.to_be_bytes());
+        let digest = h.finalize();
+        let mut salt = [0u8; 16];
+        salt.copy_from_slice(&digest[..16]);
+        let hash = Self::hash_with(&salt, secret);
+        Credential { salt, hash }
+    }
+
+    fn hash_with(salt: &[u8; 16], secret: &str) -> [u8; 32] {
+        let mut h = sha2::Sha256::new();
+        h.update(salt);
+        h.update(secret.as_bytes());
+        h.finalize()
+    }
+
+    fn verify(&self, secret: &str) -> bool {
+        sha2::ct_eq(&Self::hash_with(&self.salt, secret), &self.hash)
+    }
+}
+
+/// A minted token's session entry.
+#[derive(Clone)]
+struct TokenEntry {
+    username: String,
+    /// Hub-clock tick past which [`Hub::auth`] refuses with
+    /// `TokenExpired`; `None` = no expiry (the default).
+    expires_at: Option<i64>,
+}
+
+/// Per-user failed-login tracking (brute-force lockout with decay).
+#[derive(Default)]
+struct LoginState {
+    failures: u32,
+    last_failure: i64,
+    locked_until: i64,
+}
+
+/// One deterministic token bucket, refilled by the hub clock — tests
+/// drive it exactly via `advance_clock`, production drives it via the
+/// mutating-operation ticks.
+struct TokenBucket {
+    tokens: u64,
+    last_refill: i64,
+}
+
+impl TokenBucket {
+    /// Refills for elapsed ticks, then tries to take one token.
+    fn try_take(&mut self, now: i64, limit: RateLimit) -> bool {
+        let elapsed = (now - self.last_refill).max(0) as u64;
+        self.tokens = self
+            .tokens
+            .saturating_add(elapsed.saturating_mul(limit.refill_per_tick))
+            .min(limit.capacity);
+        self.last_refill = now;
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A token-bucket shape: sustained rate `refill_per_tick` with bursts up
+/// to `capacity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Bucket size — how many requests may burst back-to-back.
+    pub capacity: u64,
+    /// Tokens restored per hub-clock tick (sustained rate).
+    pub refill_per_tick: u64,
+}
+
+/// Abuse-resistance configuration, all off by default. Armed via
+/// [`Hub::set_limits`]; every `None` disables that check entirely, so an
+/// unconfigured hub behaves exactly as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LimitsConfig {
+    /// Per-user bucket charged for every token-bearing request.
+    pub user_rate: Option<RateLimit>,
+    /// Per-repository bucket charged for every request naming a repo.
+    pub repo_rate: Option<RateLimit>,
+    /// Largest push/import bundle accepted, in summed object bytes.
+    pub max_bundle_bytes: Option<u64>,
+    /// Cap on a repository's accumulated accepted object bytes
+    /// (import + pushes) — checked before any object lands.
+    pub max_repo_bytes: Option<u64>,
+}
+
 /// The hosting platform.
 pub struct Hub {
     users: RwLock<BTreeMap<String, User>>,
-    tokens: RwLock<HashMap<String, String>>, // token → username
+    tokens: RwLock<HashMap<String, TokenEntry>>, // token → session
+    /// Enrolled login secrets (username → salted hash). Users without an
+    /// entry keep the paper simulator's open username-only login unless
+    /// [`Hub::set_auth_required`] closes it.
+    credentials: RwLock<HashMap<String, Credential>>,
+    /// Failed-login streaks and lockouts, keyed by username.
+    login_states: Mutex<HashMap<String, LoginState>>,
+    limits: RwLock<LimitsConfig>,
+    user_buckets: Mutex<HashMap<String, TokenBucket>>,
+    repo_buckets: Mutex<HashMap<String, TokenBucket>>,
+    /// Object bytes accepted over the wire per repository — the basis
+    /// the `max_repo_bytes` quota is enforced against.
+    repo_bytes: Mutex<HashMap<String, u64>>,
+    /// Token lifetime in hub-clock ticks; 0 = tokens never expire.
+    token_ttl: AtomicI64,
+    /// When set, registration and login both require a secret.
+    auth_required: AtomicBool,
+    /// Denial tallies (plain fields, not registry instruments: the
+    /// registry's emptiness is the "has a transport attached" signal).
+    auth_failures: telemetry::Counter,
+    rate_rejections: telemetry::Counter,
+    quota_rejections: telemetry::Counter,
     repos: RwLock<BTreeMap<String, RepoCell>>,
     audit: Mutex<AuditLog>,
     zenodo: Mutex<Zenodo>,
@@ -182,6 +331,17 @@ impl Hub {
         Hub {
             users: RwLock::new(BTreeMap::new()),
             tokens: RwLock::new(HashMap::new()),
+            credentials: RwLock::new(HashMap::new()),
+            login_states: Mutex::new(HashMap::new()),
+            limits: RwLock::new(LimitsConfig::default()),
+            user_buckets: Mutex::new(HashMap::new()),
+            repo_buckets: Mutex::new(HashMap::new()),
+            repo_bytes: Mutex::new(HashMap::new()),
+            token_ttl: AtomicI64::new(0),
+            auth_required: AtomicBool::new(false),
+            auth_failures: telemetry::Counter::default(),
+            rate_rejections: telemetry::Counter::default(),
+            quota_rejections: telemetry::Counter::default(),
             repos: RwLock::new(BTreeMap::new()),
             audit: Mutex::new(AuditLog::default()),
             zenodo: Mutex::new(Zenodo::default()),
@@ -308,15 +468,23 @@ impl Hub {
     fn route(&self, request: ApiRequest) -> Result<ApiResponse> {
         use ApiRequest as Q;
         use ApiResponse as R;
+        // Abuse resistance runs before any operation logic: a
+        // rate-limited caller costs two map lookups and a bucket charge,
+        // never a repository lock. Batch envelopes carry no token or
+        // repo, so only their items (which recurse through dispatch)
+        // are charged.
+        self.enforce_rate_limits(&request)?;
         Ok(match request {
             Q::RegisterUser {
                 username,
                 display_name,
+                secret,
             } => {
-                self.op_register_user(&username, &display_name)?;
+                self.op_register_user(&username, &display_name, secret.as_deref())?;
                 R::Unit
             }
-            Q::Login { username } => R::Token(self.op_login(&username)?),
+            Q::Login { username, secret } => R::Token(self.op_login(&username, secret.as_deref())?),
+            Q::Refresh { token } => R::Token(self.op_refresh(&token)?),
             Q::Revoke { token } => {
                 self.tokens.write().remove(&token);
                 R::Unit
@@ -609,18 +777,61 @@ impl Hub {
 
     // ----- typed wrappers: users & auth --------------------------------------
 
-    /// Registers a user.
+    /// Registers a user with open (username-only) login — the paper
+    /// simulator's trust model, refused when [`Hub::set_auth_required`]
+    /// is on.
     pub fn register_user(&self, username: &str, display_name: &str) -> Result<()> {
         self.expect_unit(ApiRequest::RegisterUser {
             username: username.to_owned(),
             display_name: display_name.to_owned(),
+            secret: None,
         })
     }
 
-    /// Issues a personal-access token (the credential the popup asks for).
+    /// Registers a user and enrolls a login secret: every future login
+    /// must present it (verified against a salted hash, constant-time).
+    pub fn register_user_with_secret(
+        &self,
+        username: &str,
+        display_name: &str,
+        secret: &str,
+    ) -> Result<()> {
+        self.expect_unit(ApiRequest::RegisterUser {
+            username: username.to_owned(),
+            display_name: display_name.to_owned(),
+            secret: Some(secret.to_owned()),
+        })
+    }
+
+    /// Issues a personal-access token (the credential the popup asks
+    /// for). Open login: refused for users enrolled with a secret (use
+    /// [`Hub::login_with_secret`]) and on auth-required hubs.
     pub fn login(&self, username: &str) -> Result<Token> {
         match self.unwrap(ApiRequest::Login {
             username: username.to_owned(),
+            secret: None,
+        })? {
+            ApiResponse::Token(t) => Ok(Token(t)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Issues a token after verifying the user's enrolled secret.
+    pub fn login_with_secret(&self, username: &str, secret: &str) -> Result<Token> {
+        match self.unwrap(ApiRequest::Login {
+            username: username.to_owned(),
+            secret: Some(secret.to_owned()),
+        })? {
+            ApiResponse::Token(t) => Ok(Token(t)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Exchanges a known (possibly expired) token for a fresh one with a
+    /// new lifetime; the old token is revoked.
+    pub fn refresh(&self, token: &Token) -> Result<Token> {
+        match self.unwrap(ApiRequest::Refresh {
+            token: token.0.clone(),
         })? {
             ApiResponse::Token(t) => Ok(Token(t)),
             other => Err(unexpected(&other)),
@@ -1146,8 +1357,10 @@ impl Hub {
     /// capability — the transport's guard for operator-scoped methods.
     pub fn is_operator_token(&self, token: &str) -> bool {
         match self.tokens.read().get(token) {
-            Some(username) => self.operators.read().contains(username),
-            None => false,
+            Some(entry) if !self.token_expired(entry) => {
+                self.operators.read().contains(&entry.username)
+            }
+            _ => false,
         }
     }
 
@@ -1170,6 +1383,37 @@ impl Hub {
     /// against this escape hatch.
     pub fn set_metrics_enabled(&self, enabled: bool) {
         self.metrics_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Arms (or disarms) rate limits and size quotas. Applies to
+    /// requests dispatched after the call; see [`LimitsConfig`].
+    pub fn set_limits(&self, limits: LimitsConfig) {
+        *self.limits.write() = limits;
+    }
+
+    /// The currently armed limits.
+    pub fn limits(&self) -> LimitsConfig {
+        *self.limits.read()
+    }
+
+    /// Sets the lifetime of newly minted tokens in hub-clock ticks
+    /// (0 = never expire, the default). Existing tokens keep the
+    /// lifetime they were minted with.
+    pub fn set_token_ttl(&self, ticks: i64) {
+        self.token_ttl.store(ticks.max(0), Ordering::SeqCst);
+    }
+
+    /// When on, registration and login both require a secret — the
+    /// paper simulator's open username-only login is refused. Users
+    /// enrolled with a secret are always verified, regardless of this
+    /// switch.
+    pub fn set_auth_required(&self, required: bool) {
+        self.auth_required.store(required, Ordering::SeqCst);
+    }
+
+    /// Whether this hub refuses secretless registration and login.
+    pub fn auth_required(&self) -> bool {
+        self.auth_required.load(Ordering::SeqCst)
     }
 
     /// Advances the hub clock to at least `ts` (used by deterministic
@@ -1211,22 +1455,146 @@ impl Hub {
         self.clock.fetch_add(1, Ordering::SeqCst) + 1
     }
 
+    /// The clock's current reading, without advancing it — expiry and
+    /// bucket-refill checks must not make read paths mutate time.
+    fn now(&self) -> i64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
     fn record(&self, ts: i64, actor: Option<&str>, action: &str, target: &str, ok: bool) {
         self.audit.lock().record(ts, actor, action, target, ok);
     }
 
+    fn token_expired(&self, entry: &TokenEntry) -> bool {
+        entry.expires_at.is_some_and(|e| self.now() >= e)
+    }
+
     fn auth(&self, token: &str) -> Result<User> {
-        let username = self
-            .tokens
-            .read()
-            .get(token)
-            .cloned()
-            .ok_or(HubError::AuthFailed)?;
+        let entry = match self.tokens.read().get(token) {
+            Some(entry) => entry.clone(),
+            None => {
+                self.auth_failures.inc();
+                return Err(HubError::AuthFailed);
+            }
+        };
+        if self.token_expired(&entry) {
+            self.auth_failures.inc();
+            return Err(HubError::TokenExpired);
+        }
         self.users
             .read()
-            .get(&username)
+            .get(&entry.username)
             .cloned()
             .ok_or(HubError::AuthFailed)
+    }
+
+    /// Charges the per-user and per-repo token buckets for one request.
+    /// No-ops entirely (two atomic-free `Copy` reads) until
+    /// [`Hub::set_limits`] arms a rate. Denials are audited and tallied.
+    fn enforce_rate_limits(&self, request: &ApiRequest) -> Result<()> {
+        let limits = *self.limits.read();
+        if limits.user_rate.is_none() && limits.repo_rate.is_none() {
+            return Ok(());
+        }
+        let now = self.now();
+        if let (Some(rate), Some(token)) = (limits.user_rate, request.token()) {
+            // Resolve the token leniently (expiry is auth's job): an
+            // expired token still identifies whose bucket to charge.
+            let username = self.tokens.read().get(token).map(|e| e.username.clone());
+            if let Some(username) = username {
+                let allowed = self
+                    .user_buckets
+                    .lock()
+                    .entry(username.clone())
+                    .or_insert(TokenBucket {
+                        tokens: rate.capacity,
+                        last_refill: now,
+                    })
+                    .try_take(now, rate);
+                if !allowed {
+                    return Err(self.rate_denial(now, Some(&username), request.method()));
+                }
+            }
+        }
+        if let (Some(rate), Some(repo_id)) = (limits.repo_rate, request.target_repo()) {
+            let allowed = self
+                .repo_buckets
+                .lock()
+                .entry(repo_id.to_owned())
+                .or_insert(TokenBucket {
+                    tokens: rate.capacity,
+                    last_refill: now,
+                })
+                .try_take(now, rate);
+            if !allowed {
+                return Err(self.rate_denial(now, None, repo_id));
+            }
+        }
+        Ok(())
+    }
+
+    fn rate_denial(&self, now: i64, actor: Option<&str>, target: &str) -> HubError {
+        self.rate_rejections.inc();
+        self.record(now, actor, "rate_limited", target, false);
+        // One token accrues on the next refill tick, so the honest hint
+        // is always "one tick from now".
+        HubError::RateLimited { retry_after: 1 }
+    }
+
+    /// Enforces the size quotas on an incoming bundle before any object
+    /// lands: the bundle's own size, then the repository's accumulated
+    /// accepted bytes. `repo_id` is the accounting key (`None` while the
+    /// repository does not exist yet — import racing its own creation).
+    fn check_bundle_quota(
+        &self,
+        actor: &str,
+        repo_id: &str,
+        existing: bool,
+        bundle: &RepoBundle,
+    ) -> Result<u64> {
+        let limits = *self.limits.read();
+        let size: u64 = bundle.objects.iter().map(|(_, b)| b.len() as u64).sum();
+        if let Some(cap) = limits.max_bundle_bytes {
+            if size > cap {
+                return Err(self.quota_denial(
+                    actor,
+                    repo_id,
+                    format!("bundle is {size} bytes (cap {cap})"),
+                ));
+            }
+        }
+        if let Some(cap) = limits.max_repo_bytes {
+            let current = if existing {
+                self.repo_bytes.lock().get(repo_id).copied().unwrap_or(0)
+            } else {
+                0
+            };
+            let total = current.saturating_add(size);
+            if total > cap {
+                return Err(self.quota_denial(
+                    actor,
+                    repo_id,
+                    format!("repository would hold {total} accepted bytes (cap {cap})"),
+                ));
+            }
+        }
+        Ok(size)
+    }
+
+    fn quota_denial(&self, actor: &str, target: &str, why: String) -> HubError {
+        self.quota_rejections.inc();
+        let ts = self.tick();
+        self.record(ts, Some(actor), "quota_exceeded", target, false);
+        HubError::QuotaExceeded(why)
+    }
+
+    /// Books accepted bundle bytes against a repository's quota ledger.
+    fn account_repo_bytes(&self, repo_id: &str, size: u64) {
+        *self
+            .repo_bytes
+            .lock()
+            .entry(repo_id.to_owned())
+            .or_insert(0) += size;
     }
 
     /// Clones the repository cell out of the map — the map guard is
@@ -1242,7 +1610,17 @@ impl Hub {
 
     // ----- operations ---------------------------------------------------------
 
-    fn op_register_user(&self, username: &str, display_name: &str) -> Result<()> {
+    fn op_register_user(
+        &self,
+        username: &str,
+        display_name: &str,
+        secret: Option<&str>,
+    ) -> Result<()> {
+        if self.auth_required.load(Ordering::SeqCst) && secret.is_none() {
+            return Err(HubError::BadRequest(
+                "registration requires a secret on this hub".into(),
+            ));
+        }
         {
             let mut users = self.users.write();
             if users.contains_key(username) {
@@ -1266,22 +1644,107 @@ impl Hub {
             );
         }
         let ts = self.tick();
+        if let Some(secret) = secret {
+            // Store only salt + hash; the secret itself never lands. The
+            // users map was released above — credentials is a leaf table.
+            self.credentials.write().insert(
+                username.to_owned(),
+                Credential::derive(username, ts, secret),
+            );
+        }
         self.record(ts, Some(username), "register_user", username, true);
         Ok(())
     }
 
-    fn op_login(&self, username: &str) -> Result<String> {
+    /// Records a failed login against `username`'s lockout state and
+    /// returns the uniform error the caller should surface. Streaks decay:
+    /// a failure more than [`FAILURE_DECAY_TICKS`] after the previous one
+    /// starts a fresh count.
+    fn login_failure(&self, ts: i64, username: &str) -> HubError {
+        {
+            let mut states = self.login_states.lock();
+            let state = states.entry(username.to_owned()).or_default();
+            if ts - state.last_failure >= FAILURE_DECAY_TICKS {
+                state.failures = 0;
+            }
+            state.failures += 1;
+            state.last_failure = ts;
+            if state.failures >= MAX_LOGIN_FAILURES {
+                state.locked_until = ts + LOCKOUT_TICKS;
+            }
+        }
+        self.auth_failures.inc();
+        self.record(ts, Some(username), "login", username, false);
+        HubError::AuthFailed
+    }
+
+    fn op_login(&self, username: &str, secret: Option<&str>) -> Result<String> {
+        let ts = self.tick();
+        // Lockout gate first: while locked, even the right secret is
+        // refused, so an attacker gets no oracle during the window.
+        let locked_until = self
+            .login_states
+            .lock()
+            .get(username)
+            .map_or(0, |s| s.locked_until);
+        if locked_until > ts {
+            self.auth_failures.inc();
+            self.record(ts, Some(username), "login", username, false);
+            return Err(HubError::RateLimited {
+                retry_after: locked_until - ts,
+            });
+        }
         if !self.users.read().contains_key(username) {
             return Err(HubError::UserNotFound(username.to_owned()));
         }
-        let n = self.next_token.fetch_add(1, Ordering::SeqCst) + 1;
-        let token = format!("ghp_{n:08x}_{username}");
-        self.tokens
-            .write()
-            .insert(token.clone(), username.to_owned());
-        let ts = self.tick();
+        let credential = self.credentials.read().get(username).cloned();
+        match (&credential, secret) {
+            // Secret-protected account: verify in constant time.
+            (Some(cred), Some(secret)) if cred.verify(secret) => {}
+            (Some(_), _) => return Err(self.login_failure(ts, username)),
+            // Open account, but the hub demands credentials for everyone.
+            (None, _) if self.auth_required.load(Ordering::SeqCst) => {
+                return Err(self.login_failure(ts, username));
+            }
+            // Presenting a secret to an account that has none is refused
+            // rather than ignored: the caller clearly expected protection.
+            (None, Some(_)) => return Err(self.login_failure(ts, username)),
+            (None, None) => {}
+        }
+        self.login_states.lock().remove(username);
+        let token = self.mint_token(username, ts);
         self.record(ts, Some(username), "login", username, true);
         Ok(token)
+    }
+
+    fn mint_token(&self, username: &str, now: i64) -> String {
+        let n = self.next_token.fetch_add(1, Ordering::SeqCst) + 1;
+        let token = format!("ghp_{n:08x}_{username}");
+        let ttl = self.token_ttl.load(Ordering::SeqCst);
+        self.tokens.write().insert(
+            token.clone(),
+            TokenEntry {
+                username: username.to_owned(),
+                expires_at: (ttl > 0).then_some(now + ttl),
+            },
+        );
+        token
+    }
+
+    fn op_refresh(&self, token: &str) -> Result<String> {
+        let ts = self.tick();
+        // Remove-then-mint: the old token is revoked even if it had not
+        // expired yet, so a leaked predecessor dies with the exchange.
+        let entry = match self.tokens.write().remove(token) {
+            Some(entry) => entry,
+            None => {
+                self.auth_failures.inc();
+                return Err(HubError::AuthFailed);
+            }
+        };
+        let fresh = self.mint_token(&entry.username, ts);
+        self.record(ts, Some(&entry.username), "refresh", &entry.username, true);
+        Ok(fresh)
     }
 
     fn op_create_repo(&self, token: &str, name: &str) -> Result<String> {
@@ -1333,6 +1796,8 @@ impl Hub {
                 "import requires a full bundle (delta bundles are push-only)".into(),
             ));
         }
+        // Quota check before any object is materialized or any lock held.
+        let size = self.check_bundle_quota(&user.username, &repo_id, false, bundle)?;
         let rehomed = bundle
             .into_repository((self.store_factory)())
             .map_err(HubError::Git)?;
@@ -1346,6 +1811,7 @@ impl Hub {
                 roles,
             },
         )?;
+        self.account_repo_bytes(&repo_id, size);
         let ts = self.tick();
         self.record(ts, Some(&user.username), "import_repo", &repo_id, true);
         Ok(repo_id)
@@ -1600,6 +2066,10 @@ impl Hub {
             .clone()
             .or_else(|| bundle.refs.first().map(|(b, _)| b.clone()))
             .ok_or_else(|| HubError::BadRequest("push bundle carries no ref".into()))?;
+        // Quota check before materialization: an oversized bundle is
+        // refused on its declared byte count alone, costing the server
+        // nothing but the summation.
+        let size = self.check_bundle_quota(&user.username, repo_id, true, bundle)?;
         // Materialize a full bundle (hash-verifying its whole closure)
         // *before* taking the repository's write lock — readers of this
         // repo must only stall for the ref update, not the verification.
@@ -1621,6 +2091,9 @@ impl Hub {
             None => apply_delta_push(&mut hosted.repo, &src_branch, branch, force, bundle),
         };
         let ok = result.is_ok();
+        if ok {
+            self.account_repo_bytes(repo_id, size);
+        }
         let out = result.map_err(HubError::Git);
         self.record(ts, Some(&user.username), "push", repo_id, ok);
         out
@@ -1834,7 +2307,26 @@ impl Hub {
             methods,
             transport: self.transport_metrics(),
             store: Some(self.op_store_metrics()),
+            limits: self.limits_metrics(),
         }
+    }
+
+    /// The abuse-resistance section: hub-side denial counters plus the
+    /// transport's shed tally. Absent until anything has fired, so
+    /// snapshots from hubs without limits configured are unchanged.
+    fn limits_metrics(&self) -> Option<LimitsMetrics> {
+        let conns_shed = if self.metrics.is_empty() {
+            0
+        } else {
+            self.metrics.snapshot().counter("conns.shed")
+        };
+        let lm = LimitsMetrics {
+            auth_failures: self.auth_failures.get(),
+            rate_rejections: self.rate_rejections.get(),
+            quota_rejections: self.quota_rejections.get(),
+            conns_shed,
+        };
+        (!lm.is_empty()).then_some(lm)
     }
 
     /// The socket-layer section of the snapshot: read back out of the

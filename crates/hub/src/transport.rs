@@ -81,12 +81,31 @@
 //! operator capability ([`Hub::is_operator_token`]). A v3 `batch`
 //! envelope applies the same checks to each item individually.
 //!
-//! **Deployment caveat:** the hub reproduces the paper's platform, and
-//! its `login` takes a username with no secret — anyone who can reach
-//! the port can mint a token for any registered user. Token scoping
-//! limits the blast radius of a *leaked* token, not of the open `login`
-//! itself, so bind `gitcite hub serve` to loopback or a trusted network
-//! only.
+//! A v3 `refresh` is treated like `login`: it may only exchange a token
+//! *this* connection minted, and the replacement token is re-scoped to
+//! the connection (the old one leaves the minted set with it).
+//!
+//! **Deployment note:** by default the hub's `login` takes a username
+//! with no secret — fine on loopback, reckless on a network. For an
+//! untrusted port, register users with secrets and turn on
+//! [`Hub::set_auth_required`]; `gitcite hub serve` refuses a
+//! non-loopback bind without `--require-secrets true` (or an explicit
+//! `--allow-insecure true`). Token scoping then limits the blast radius
+//! of a *leaked* token, and the credential layer (lockout, expiry —
+//! see [`crate::perm`]) limits everything else.
+//!
+//! # Overload shedding
+//!
+//! [`ServerConfig::max_open_conns`] and
+//! [`ServerConfig::max_conns_per_ip`] bound what accept will take on.
+//! A connection over either cap is not dropped on the floor — that
+//! reads as a network fault — but marked **shed**: its version probe is
+//! still answered (so the client learns the framing cheaply), its first
+//! real request is answered with a typed `server_busy` error carrying a
+//! retry-after hint, and the connection closes after the reply flushes.
+//! Nothing a shed connection sends reaches [`Hub::dispatch`]. Sheds are
+//! counted on the `conns.shed` counter, surfaced as `limits.conns_shed`
+//! in `server_metrics`.
 //!
 //! # Client side
 //!
@@ -228,6 +247,13 @@ pub mod frame {
         Ok(())
     }
 
+    /// Largest payload length a reader believes. A corrupted length
+    /// prefix (one flipped bit can turn 2 KiB into 4 GiB) must surface
+    /// as a typed error, not an unbounded allocation or a read that
+    /// waits forever for bytes the peer never sent. Matches the
+    /// server's default `max_frame_len`.
+    pub const MAX_FRAME_LEN: usize = 64 << 20;
+
     /// Blocking read of one frame, skipping stray `\n` bytes before the
     /// header.
     pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
@@ -240,6 +266,12 @@ pub mod frame {
         }
         r.read_exact(&mut header[1..])?;
         let len = u32::from_be_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame declares {len} bytes (cap {MAX_FRAME_LEN}); length prefix presumed corrupt"),
+            ));
+        }
         let mut payload = vec![0u8; len];
         r.read_exact(&mut payload)?;
         Ok((header[0], payload))
@@ -306,6 +338,13 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// How long a peer may refuse to drain pending replies.
     pub write_timeout: Duration,
+    /// Open connections beyond this are shed: answered `server_busy`
+    /// and closed instead of served (see the module docs).
+    pub max_open_conns: usize,
+    /// Per-peer-IP cap on open connections; the excess is shed.
+    pub max_conns_per_ip: usize,
+    /// The retry-after hint (seconds) a shed connection is sent.
+    pub shed_retry_after_secs: i64,
 }
 
 impl Default for ServerConfig {
@@ -320,6 +359,9 @@ impl Default for ServerConfig {
             max_message_len: 256 << 20,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            max_open_conns: usize::MAX,
+            max_conns_per_ip: usize::MAX,
+            shed_retry_after_secs: 1,
         }
     }
 }
@@ -376,6 +418,7 @@ impl SocketServer {
             poll,
             listener,
             conns: HashMap::new(),
+            ip_counts: HashMap::new(),
             next_id: FIRST_CONN,
             jobs,
             completions,
@@ -481,12 +524,17 @@ struct Conn {
     write_deadline: Option<Instant>,
     /// Flush `outq`, then close (set after a fatal framing violation).
     closing: bool,
+    /// Accepted over a connection cap: serve `server_busy` to the first
+    /// request, never dispatch (see the module docs on shedding).
+    shed: bool,
+    /// Peer address, for the per-IP connection tally.
+    peer_ip: Option<std::net::IpAddr>,
     reg_read: bool,
     reg_write: bool,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, peer_ip: Option<std::net::IpAddr>) -> Conn {
         Conn {
             stream,
             framing: Framing::Unknown,
@@ -500,6 +548,8 @@ impl Conn {
             read_deadline: None,
             write_deadline: None,
             closing: false,
+            shed: false,
+            peer_ip,
             reg_read: true,
             reg_write: false,
         }
@@ -522,6 +572,7 @@ struct NetMetrics {
     bytes_out_binary: Arc<telemetry::Counter>,
     frames_rejected: Arc<telemetry::Counter>,
     transport_closed: Arc<telemetry::Counter>,
+    conns_shed: Arc<telemetry::Counter>,
     obj_raw_bytes: Arc<telemetry::Counter>,
     obj_deflate_bytes: Arc<telemetry::Counter>,
 }
@@ -538,6 +589,7 @@ impl NetMetrics {
             bytes_out_binary: registry.counter("bytes.out.binary"),
             frames_rejected: registry.counter("frames.rejected"),
             transport_closed: registry.counter("conns.transport_closed"),
+            conns_shed: registry.counter("conns.shed"),
             obj_raw_bytes: registry.counter("obj.raw_bytes"),
             obj_deflate_bytes: registry.counter("obj.deflate_bytes"),
         }
@@ -551,6 +603,8 @@ struct Reactor {
     poll: mio::Poll,
     listener: TcpListener,
     conns: HashMap<usize, Conn>,
+    /// Open connections per peer IP, maintained by accept/close.
+    ip_counts: HashMap<std::net::IpAddr, usize>,
     next_id: usize,
     jobs: mpsc::Sender<Job>,
     completions: Arc<Mutex<Vec<Completion>>>,
@@ -594,7 +648,7 @@ impl Reactor {
     fn accept_all(&mut self) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((stream, peer)) => {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -609,7 +663,20 @@ impl Reactor {
                     {
                         continue;
                     }
-                    self.conns.insert(id, Conn::new(stream));
+                    let ip = peer.ip();
+                    let per_ip = self.ip_counts.entry(ip).or_insert(0);
+                    // The cap decision is made here, once, at accept —
+                    // cheaper than anything downstream, and a shed
+                    // connection costs one fd and one short reply.
+                    let shed = self.conns.len() >= self.config.max_open_conns
+                        || *per_ip >= self.config.max_conns_per_ip;
+                    *per_ip += 1;
+                    let mut conn = Conn::new(stream, Some(ip));
+                    if shed {
+                        conn.shed = true;
+                        self.metrics.conns_shed.inc();
+                    }
+                    self.conns.insert(id, conn);
                     self.metrics.conns_open.inc();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -649,20 +716,40 @@ impl Reactor {
             }
         }
         let (items, fatal) = parse_input(conn, &self.config, &self.metrics);
-        for item in items {
-            if conn.busy {
-                conn.pending.push_back(item);
-                self.metrics.queue_depth.inc();
-            } else {
-                conn.busy = true;
-                let _ = self.jobs.send(Job {
-                    conn: id,
-                    item,
-                    minted: Arc::clone(&conn.minted),
-                });
+        if conn.shed && !items.is_empty() {
+            // Shed connection: its first real request gets one typed
+            // server_busy refusal in its own framing, then the
+            // connection closes. Nothing reaches the dispatch pool.
+            conn.inbuf.clear();
+            conn.partial = None;
+            conn.read_deadline = None;
+            let reply = error_reply(
+                conn.framing,
+                &HubError::ServerBusy {
+                    retry_after: self.config.shed_retry_after_secs,
+                },
+            );
+            conn.outq.push_back(reply);
+            conn.closing = true;
+        } else {
+            for item in items {
+                if conn.busy {
+                    conn.pending.push_back(item);
+                    self.metrics.queue_depth.inc();
+                } else {
+                    conn.busy = true;
+                    let _ = self.jobs.send(Job {
+                        conn: id,
+                        item,
+                        minted: Arc::clone(&conn.minted),
+                    });
+                }
             }
         }
-        if let Some(msg) = fatal {
+        if conn.closing {
+            // Shed refusal already queued; any trailing framing trouble
+            // is moot, the connection is on its way out.
+        } else if let Some(msg) = fatal {
             self.metrics.frames_rejected.inc();
             self.metrics.queue_depth.add(-(conn.pending.len() as i64));
             conn.pending.clear();
@@ -783,6 +870,14 @@ impl Reactor {
         if let Some(conn) = self.conns.remove(&id) {
             let _ = self.poll.registry().deregister(&conn.stream);
             self.metrics.conns_open.dec();
+            if let Some(ip) = conn.peer_ip {
+                if let Some(n) = self.ip_counts.get_mut(&ip) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.ip_counts.remove(&ip);
+                    }
+                }
+            }
             self.metrics.queue_depth.add(-(conn.pending.len() as i64));
             let planned = conn.closing && conn.outq.is_empty();
             let in_flight = conn.busy
@@ -967,15 +1062,11 @@ fn handle_frame(
     None
 }
 
-/// The error reply for a fatal framing violation, in the connection's
-/// own framing (line framing when none was established).
-fn fatal_reply(framing: Framing, msg: &str) -> Vec<u8> {
-    let envelope = ApiResponse::Error(WireError {
-        code: ErrorCode::Protocol,
-        message: msg.to_owned(),
-        detail: None,
-    })
-    .encode();
+/// One typed error envelope, encoded in the connection's own framing
+/// (line framing when none was established) — used for shed refusals
+/// and, via [`fatal_reply`], framing violations.
+fn error_reply(framing: Framing, err: &HubError) -> Vec<u8> {
+    let envelope = ApiResponse::from_error(err).encode();
     match framing {
         Framing::Binary => frame::encode_message(&envelope, &[]),
         Framing::Lines | Framing::Unknown => {
@@ -984,6 +1075,11 @@ fn fatal_reply(framing: Framing, msg: &str) -> Vec<u8> {
             out
         }
     }
+}
+
+/// The error reply for a fatal framing violation.
+fn fatal_reply(framing: Framing, msg: &str) -> Vec<u8> {
+    error_reply(framing, &HubError::Protocol(msg.to_owned()))
 }
 
 /// Writes as much of `outq` as the socket accepts. Returns `false` when
@@ -1165,19 +1261,28 @@ fn execute_one(hub: &Hub, minted: &Mutex<HashSet<String>>, request: ApiRequest) 
             ));
         }
     }
-    let is_login = matches!(request, ApiRequest::Login { .. });
-    let revoked = match &request {
-        ApiRequest::Revoke { token } => Some(token.clone()),
+    // Token lifecycle requests rewrite the connection's minted set:
+    // login adds, revoke removes, refresh swaps old for new (the minted
+    // guard above already pinned the old token to this connection).
+    let mints = matches!(
+        request,
+        ApiRequest::Login { .. } | ApiRequest::Refresh { .. }
+    );
+    let retired = match &request {
+        ApiRequest::Revoke { token } | ApiRequest::Refresh { token } => Some(token.clone()),
         _ => None,
     };
     let response = hub.dispatch(request);
-    if is_login {
+    let succeeded = !matches!(response, ApiResponse::Error(_));
+    if mints {
         if let ApiResponse::Token(token) = &response {
             minted.lock().insert(token.clone());
         }
     }
-    if let Some(token) = revoked {
-        minted.lock().remove(&token);
+    if let Some(token) = retired {
+        if succeeded {
+            minted.lock().remove(&token);
+        }
     }
     response
 }
@@ -1204,28 +1309,85 @@ struct ClientConn {
 /// The first call probes the server (see [`frame::PROBE`]) and upgrades
 /// to v3 binary framing when the server supports it; against a line-only
 /// server the same connection falls back to v1/v2 line framing.
+///
+/// A connection that errors is dropped, and the *next* call re-dials the
+/// remembered address and re-negotiates framing from scratch. The failed
+/// call itself still surfaces its error — whether to resend is the
+/// caller's decision ([`HubClient::call`] retries idempotent reads).
+/// Server-minted tokens are scoped to the connection that minted them,
+/// so tokens die with a reconnect: token-carrying calls fail
+/// `auth_failed` until the caller logs in again.
 pub struct TcpTransport {
-    conn: Mutex<ClientConn>,
+    addr: SocketAddr,
+    io_timeout: Option<Duration>,
+    conn: Mutex<Option<ClientConn>>,
 }
+
+/// Default per-read/per-write socket timeout. Generous enough that no
+/// healthy exchange ever trips it, but it bounds every blocking call:
+/// a peer (or a fault between here and the peer) that stops moving
+/// bytes degrades to a typed `transport_closed` instead of a hang.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl TcpTransport {
     /// Connects to a [`SocketServer`] (or anything speaking either
     /// framing). Version negotiation happens lazily on the first call.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
         let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
+        let addr = stream.peer_addr()?;
+        let io_timeout = Some(DEFAULT_IO_TIMEOUT);
+        Self::configure(&stream, io_timeout);
         Ok(TcpTransport {
-            conn: Mutex::new(ClientConn {
+            addr,
+            io_timeout,
+            conn: Mutex::new(Some(ClientConn {
                 stream: BufReader::new(stream),
                 mode: Mode::Unknown,
-            }),
+            })),
         })
+    }
+
+    /// Overrides the socket read/write timeout (`None` = block forever).
+    /// Fault-injection tests shrink it so stalled connections turn over
+    /// in milliseconds; the default is [`DEFAULT_IO_TIMEOUT`].
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> TcpTransport {
+        if let Some(conn) = self.conn.get_mut().as_ref() {
+            Self::configure(conn.stream.get_ref(), timeout);
+        }
+        self.io_timeout = timeout;
+        self
+    }
+
+    fn configure(stream: &TcpStream, timeout: Option<Duration>) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(timeout);
+        let _ = stream.set_write_timeout(timeout);
+    }
+
+    /// Re-dials after a dropped connection; no-op while one is live.
+    fn ensure(
+        addr: SocketAddr,
+        io_timeout: Option<Duration>,
+        slot: &mut Option<ClientConn>,
+    ) -> io::Result<&mut ClientConn> {
+        if slot.is_none() {
+            let stream = TcpStream::connect(addr)?;
+            Self::configure(&stream, io_timeout);
+            *slot = Some(ClientConn {
+                stream: BufReader::new(stream),
+                mode: Mode::Unknown,
+            });
+        }
+        Ok(slot.as_mut().expect("just connected"))
     }
 
     /// Whether the connection negotiated v3 binary framing. `false`
     /// before the first call and against line-only servers.
     pub fn is_binary(&self) -> bool {
-        self.conn.lock().mode == Mode::Binary
+        self.conn
+            .lock()
+            .as_ref()
+            .is_some_and(|c| c.mode == Mode::Binary)
     }
 }
 
@@ -1289,13 +1451,22 @@ fn send_binary(conn: &mut ClientConn, message: &[u8]) -> io::Result<frame::Messa
 }
 
 /// Maps a client-side IO failure to its error envelope: connection drops
-/// become `transport_closed` ("hub went away"), everything else stays a
-/// `protocol` error.
+/// (and refused re-dials — "hub went away" either way) become
+/// `transport_closed`, everything else stays a `protocol` error.
 fn io_error_response(e: &io::Error) -> ApiResponse {
     use io::ErrorKind as K;
+    // WouldBlock/TimedOut are how a socket read/write timeout surfaces:
+    // the connection stopped moving bytes, which to the caller is the
+    // same "hub went away" as a drop — and equally retryable.
     let closed = matches!(
         e.kind(),
-        K::UnexpectedEof | K::ConnectionReset | K::ConnectionAborted | K::BrokenPipe
+        K::UnexpectedEof
+            | K::ConnectionReset
+            | K::ConnectionAborted
+            | K::ConnectionRefused
+            | K::BrokenPipe
+            | K::WouldBlock
+            | K::TimedOut
     );
     ApiResponse::Error(if closed {
         WireError {
@@ -1314,18 +1485,19 @@ fn io_error_response(e: &io::Error) -> ApiResponse {
 
 impl Transport for TcpTransport {
     fn send(&self, request: &str) -> String {
-        let mut conn = self.conn.lock();
+        let mut slot = self.conn.lock();
         let round_trip = (|| -> io::Result<String> {
-            negotiate(&mut conn)?;
+            let conn = Self::ensure(self.addr, self.io_timeout, &mut slot)?;
+            negotiate(conn)?;
             match conn.mode {
-                Mode::Lines => send_line(&mut conn, request),
+                Mode::Lines => send_line(conn, request),
                 Mode::Binary => {
                     // The string contract stands even on a binary
                     // connection: wrap the pre-encoded line in an ENV
                     // frame, and fold any side-channel reply back into
                     // its inline (hex) envelope form.
                     let message = frame::encode_message(request, &[]);
-                    let (envelope, objects) = send_binary(&mut conn, &message)?;
+                    let (envelope, objects) = send_binary(conn, &message)?;
                     if objects.is_empty() {
                         Ok(envelope)
                     } else {
@@ -1340,23 +1512,27 @@ impl Transport for TcpTransport {
         })();
         match round_trip {
             Ok(reply) => reply,
-            Err(e) => io_error_response(&e).encode(),
+            Err(e) => {
+                *slot = None; // next call re-dials
+                io_error_response(&e).encode()
+            }
         }
     }
 
     fn exchange(&self, request: &ApiRequest) -> ApiResponse {
-        let mut conn = self.conn.lock();
+        let mut slot = self.conn.lock();
         let round_trip = (|| -> io::Result<ApiResponse> {
-            negotiate(&mut conn)?;
+            let conn = Self::ensure(self.addr, self.io_timeout, &mut slot)?;
+            negotiate(conn)?;
             match conn.mode {
                 Mode::Lines => {
-                    let reply = send_line(&mut conn, &request.encode())?;
+                    let reply = send_line(conn, &request.encode())?;
                     Ok(ApiResponse::parse(&reply).unwrap_or_else(ApiResponse::Error))
                 }
                 Mode::Binary => {
                     let (text, objects) = request.encode_ext();
                     let message = frame::encode_message(&text, &objects);
-                    let (envelope, objects) = send_binary(&mut conn, &message)?;
+                    let (envelope, objects) = send_binary(conn, &message)?;
                     Ok(ApiResponse::parse_ext(&envelope, objects)
                         .unwrap_or_else(ApiResponse::Error))
                 }
@@ -1365,7 +1541,10 @@ impl Transport for TcpTransport {
         })();
         match round_trip {
             Ok(response) => response,
-            Err(e) => io_error_response(&e),
+            Err(e) => {
+                *slot = None; // next call re-dials
+                io_error_response(&e)
+            }
         }
     }
 }

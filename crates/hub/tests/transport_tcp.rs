@@ -158,3 +158,93 @@ fn v1_and_v2_envelopes_share_one_socket() {
     let reply = transport.send(r#"{"v":1,"method":"list_repos","params":{}}"#);
     assert!(reply.contains(r#""type":"names""#), "{reply}");
 }
+
+// ---------------------------------------------------------------------
+// Overload shedding
+
+fn serve_with(config: hub::ServerConfig) -> (Arc<Hub>, SocketServer) {
+    let hub = Arc::new(Hub::new("https://hub.local"));
+    let server =
+        SocketServer::bind_with(Arc::clone(&hub), "127.0.0.1:0", config).expect("bind loopback");
+    (hub, server)
+}
+
+/// A client that surfaces the first refusal instead of retrying through
+/// it — shedding assertions must observe `server_busy` itself.
+fn no_retry_client(addr: std::net::SocketAddr) -> HubClient<hub::TcpTransport> {
+    HubClient::new(hub::TcpTransport::connect(addr).unwrap()).with_retry_policy(hub::RetryPolicy {
+        attempts: 1,
+        base_delay_ms: 1,
+        max_delay_ms: 1,
+    })
+}
+
+#[test]
+fn connections_over_the_cap_are_shed_with_server_busy() {
+    let (hub, server) = serve_with(hub::ServerConfig {
+        max_open_conns: 1,
+        ..hub::ServerConfig::default()
+    });
+    let conn_a = no_retry_client(server.local_addr());
+    conn_a.register_user("ann", "Ann").unwrap(); // forces the accept
+    let conn_b = no_retry_client(server.local_addr());
+    // The shed connection still negotiated framing; its first real
+    // request is refused with the typed error and a retry-after hint,
+    // and nothing it sent reached dispatch.
+    assert!(matches!(
+        conn_b.list_repos(),
+        Err(HubError::ServerBusy { retry_after }) if retry_after >= 1
+    ));
+    let snap = hub.server_metrics(None).unwrap();
+    let limits = snap.limits.expect("shed counter published");
+    assert!(limits.conns_shed >= 1, "{limits:?}");
+
+    // Capacity freed (conn_a hangs up) means new connections are served
+    // again — degradation is graceful in both directions.
+    drop(conn_a);
+    let mut served = false;
+    for _ in 0..200 {
+        if no_retry_client(server.local_addr()).list_repos().is_ok() {
+            served = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(served, "server never recovered after load dropped");
+    server.shutdown();
+}
+
+#[test]
+fn per_ip_cap_sheds_the_connection_hog() {
+    let (_hub, server) = serve_with(hub::ServerConfig {
+        max_conns_per_ip: 2,
+        ..hub::ServerConfig::default()
+    });
+    let conn_a = no_retry_client(server.local_addr());
+    let conn_b = no_retry_client(server.local_addr());
+    conn_a.register_user("ann", "Ann").unwrap();
+    conn_b.register_user("bob", "Bob").unwrap();
+    // Everything comes from 127.0.0.1, so the third connection trips
+    // the per-IP cap even though the global cap is nowhere near.
+    let conn_c = no_retry_client(server.local_addr());
+    assert!(matches!(
+        conn_c.list_repos(),
+        Err(HubError::ServerBusy { .. })
+    ));
+    // The two under-cap connections keep working.
+    assert_eq!(
+        conn_a
+            .whoami(&conn_a.login("ann").unwrap())
+            .unwrap()
+            .username,
+        "ann"
+    );
+    assert_eq!(
+        conn_b
+            .whoami(&conn_b.login("bob").unwrap())
+            .unwrap()
+            .username,
+        "bob"
+    );
+    server.shutdown();
+}

@@ -343,6 +343,7 @@ fn batched_login_scopes_its_token() {
     let responses = client
         .batch(vec![ApiRequest::Login {
             username: "ann".into(),
+            secret: None,
         }])
         .unwrap();
     let token = match &responses[0] {
@@ -409,6 +410,7 @@ fn pipelined_binary_requests_are_answered_in_order() {
         let req = ApiRequest::RegisterUser {
             username: name.into(),
             display_name: name.to_uppercase(),
+            secret: None,
         };
         burst.extend_from_slice(&frame::encode_message(&req.encode(), &[]));
     }

@@ -107,9 +107,13 @@ fn arb_request() -> impl Strategy<Value = ApiRequest> {
     prop_oneof![
         (arb_name(), arb_text()).prop_map(|(username, display_name)| ApiRequest::RegisterUser {
             username,
-            display_name
+            display_name,
+            secret: None
         }),
-        arb_name().prop_map(|username| ApiRequest::Login { username }),
+        arb_name().prop_map(|username| ApiRequest::Login {
+            username,
+            secret: None
+        }),
         token().prop_map(|token| ApiRequest::Revoke { token }),
         token().prop_map(|token| ApiRequest::Whoami { token }),
         (token(), arb_name()).prop_map(|(token, name)| ApiRequest::CreateRepo { token, name }),
@@ -573,6 +577,7 @@ fn golden_auth_family() {
     golden(
         ApiRequest::Login {
             username: "ann".into(),
+            secret: None,
         },
         r#"{"v":1,"method":"login","params":{"username":"ann"}}"#,
     );

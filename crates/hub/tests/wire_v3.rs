@@ -25,6 +25,7 @@ fn golden_batch_request() {
         requests: vec![
             ApiRequest::Login {
                 username: "ann".into(),
+                secret: None,
             },
             ApiRequest::ListRepos,
         ],
@@ -166,6 +167,7 @@ fn golden_server_metrics_response() {
             obj_deflate_bytes: 60,
         }),
         store: None,
+        limits: None,
     });
     let expected = concat!(
         r#"{"v":3,"result":{"type":"metrics","metrics":{"#,
@@ -199,6 +201,7 @@ fn server_metrics_absent_field_rules() {
         }],
         transport: None,
         store: None,
+        limits: None,
     });
     let expected = concat!(
         r#"{"v":3,"result":{"type":"metrics","metrics":{"#,
@@ -377,7 +380,10 @@ proptest! {
     /// with an empty side channel.
     #[test]
     fn bundleless_requests_do_not_touch_the_side_channel(name in "[a-z]{1,8}") {
-        let req = ApiRequest::Login { username: name };
+        let req = ApiRequest::Login {
+            username: name,
+            secret: None,
+        };
         let (envelope, side) = req.encode_ext();
         prop_assert_eq!(&envelope, &req.encode());
         prop_assert!(side.is_empty());

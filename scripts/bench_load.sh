@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Runs the socket-server load benchmark — 10,000 concurrent loopback
 # connections of mixed v1/v2 read and v3 push traffic against one hub
-# process — and writes the headline numbers (connection count, latency
-# percentiles, throughput, and the v2-hex vs v3-binary bundle byte
-# ratio) to BENCH_load.json at the repository root, so the server's
+# process, plus the overload scenario (2x-capacity offered load against
+# a capped server, measuring shed rate and served p99) — and writes the
+# headline numbers (connection count, latency percentiles, throughput,
+# the v2-hex vs v3-binary bundle byte ratio, and the overload shed
+# numbers) to BENCH_load.json at the repository root, so the server's
 # capacity is tracked PR over PR.
 #
 # Usage: scripts/bench_load.sh [output.json]
@@ -26,6 +28,7 @@ echo "$raw"
 #   hub_load_throughput requests=30040 wall_ms=14535 req_per_s=2067
 #   hub_load_pushes writers=8 pushes=40
 #   hub_load_bundle_bytes commits=5000 line=3311256 binary=854558 ratio=3.87
+#   hub_load_overload capacity=256 offered=512 served=256 shed=256 shed_rate=0.50 p99_uncontended_us=900 p99_served_us=1100
 echo "$raw" | awk '
 $1 ~ /^hub_load_/ {
     section = substr($1, 10)
@@ -46,8 +49,11 @@ END {
         v["throughput.requests"], v["throughput.wall_ms"], v["throughput.req_per_s"]
     printf "  \"pushes\": {\"writers\": %d, \"completed\": %d},\n", \
         v["pushes.writers"], v["pushes.pushes"]
-    printf "  \"bundle_bytes\": {\"commits\": %d, \"v2_line\": %d, \"v3_binary\": %d, \"ratio\": %.2f}\n", \
+    printf "  \"bundle_bytes\": {\"commits\": %d, \"v2_line\": %d, \"v3_binary\": %d, \"ratio\": %.2f},\n", \
         v["bundle_bytes.commits"], v["bundle_bytes.line"], v["bundle_bytes.binary"], v["bundle_bytes.ratio"]
+    printf "  \"overload\": {\"capacity\": %d, \"offered\": %d, \"served\": %d, \"shed\": %d, \"shed_rate\": %.2f, \"p99_uncontended_us\": %d, \"p99_served_us\": %d}\n", \
+        v["overload.capacity"], v["overload.offered"], v["overload.served"], v["overload.shed"], \
+        v["overload.shed_rate"], v["overload.p99_uncontended_us"], v["overload.p99_served_us"]
     printf "}\n"
 }' > "$out"
 
