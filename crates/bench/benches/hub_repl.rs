@@ -1,0 +1,298 @@
+//! Read-scaling bench for multi-hub replication ([`hub::repl`]): how
+//! much read throughput does a fleet of follower hubs add while the
+//! primary absorbs sustained write traffic?
+//!
+//! Shape: the bench re-executes itself as hub child processes — one
+//! primary (`HUB_REPL_ROLE=primary`) and N followers
+//! (`HUB_REPL_ROLE=follower`, each running a live replication engine
+//! against the primary) — then, for fleets of 0, 1, 2 and 4 followers:
+//!
+//! 1. keeps writer clients pushing commits to the primary for the whole
+//!    measurement window (every config measures *under writes*),
+//! 2. points a fixed number of reader connections per serving node at
+//!    the fleet's read nodes — the primary alone for fleet 0, the
+//!    followers otherwise — each looping `log_page` reads of the very
+//!    repository the writers are churning,
+//! 3. reports aggregate served reads/s and the speedup over the lone
+//!    primary.
+//!
+//! The contention story this measures: on the lone primary every read
+//! of the churned repository queues behind the write lock each push
+//! apply holds, while a follower batches many pushes into one delta
+//! apply per sync round — so its readers run nearly uncontended even
+//! though the same write stream lands on both sides.
+//!
+//! Results go to stderr as `hub_repl_*` data lines, which
+//! `scripts/bench_repl.sh` folds into `BENCH_repl.json`.
+
+use gitlite::{path, Signature};
+use hub::{Follower, HubClient, SocketServer, TcpTransport};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Follower counts measured, in order. The first entry is the lone
+/// primary baseline.
+const FLEETS: [usize; 4] = [0, 1, 2, 4];
+const READERS_PER_NODE: usize = 4;
+const WRITERS: usize = 2;
+/// Measurement window per fleet configuration.
+const WINDOW: Duration = Duration::from_millis(1500);
+/// Commits per push; each rewrites a blob of [`BLOB_BYTES`].
+const COMMITS_PER_PUSH: usize = 3;
+const BLOB_BYTES: usize = 4096;
+/// The replicated repository everyone reads and writes.
+const REPO_ID: &str = "ann/churn";
+
+fn sig(t: i64) -> Signature {
+    Signature::new("bench", "b@x", t)
+}
+
+// ---------------------------------------------------------------------
+// Hub children
+// ---------------------------------------------------------------------
+
+/// The primary child: seed one user and one repository, serve, print
+/// the bound address, exit when the parent hangs up stdin.
+fn run_primary() -> ! {
+    let hub = Arc::new(hub::Hub::new("https://primary.local"));
+    hub.register_user("ann", "Ann").unwrap();
+    let token = hub.login("ann").unwrap();
+    let repo_id = hub.create_repo(&token, "churn").unwrap();
+    assert_eq!(repo_id, REPO_ID);
+    let server = SocketServer::bind(Arc::clone(&hub), "127.0.0.1:0").expect("bind primary");
+    println!("ADDR {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    std::thread::spawn(|| {
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink);
+        std::process::exit(0);
+    });
+    server.join();
+    std::process::exit(0);
+}
+
+/// A follower child: replicate `GITCITE_REPL_PRIMARY` continuously,
+/// serve reads, print the bound address, exit on stdin hang-up.
+fn run_follower() -> ! {
+    let primary = std::env::var("GITCITE_REPL_PRIMARY").expect("primary address");
+    let hub = Arc::new(hub::Hub::new("https://follower.local"));
+    let transport = TcpTransport::connect(&*primary).expect("dial primary");
+    let engine = Follower::new(Arc::clone(&hub), transport, primary, 30)
+        .with_interval(Duration::from_millis(100))
+        .spawn();
+    let server = SocketServer::bind(Arc::clone(&hub), "127.0.0.1:0").expect("bind follower");
+    println!("ADDR {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    std::thread::spawn(|| {
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink);
+        std::process::exit(0);
+    });
+    server.join();
+    drop(engine);
+    std::process::exit(0);
+}
+
+/// Kills the child when dropped, success or panic.
+struct HubChild(Child);
+
+impl Drop for HubChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_child(role: &str, primary_addr: Option<&str>) -> (HubChild, String) {
+    let exe = std::env::current_exe().expect("own binary path");
+    let mut command = Command::new(exe);
+    command
+        .env("HUB_REPL_ROLE", role)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped());
+    if let Some(addr) = primary_addr {
+        command.env("GITCITE_REPL_PRIMARY", addr);
+    }
+    let mut child = command.spawn().expect("spawn hub child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read child address");
+    let addr = line
+        .trim()
+        .strip_prefix("ADDR ")
+        .expect("address line")
+        .to_owned();
+    (HubChild(child), addr)
+}
+
+/// Blocks until a follower has completed its first sync round (its
+/// replicated reads stop redirecting).
+fn await_synced(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let client = HubClient::connect(addr).expect("dial follower");
+    loop {
+        if client.log_page(REPO_ID, "main", None, Some(1)).is_ok() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower at {addr} never finished its first sync"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------
+
+/// One writer: pushes [`COMMITS_PER_PUSH`]-commit batches to its own
+/// branch of the shared repository until `stop` flips. Every push
+/// applies under the repository's write lock on the primary — the
+/// contention the fleet is supposed to relieve.
+fn write_load(
+    addr: String,
+    config: usize,
+    id: usize,
+    stop: Arc<AtomicBool>,
+    pushes: Arc<AtomicU64>,
+) {
+    let client = HubClient::connect(&addr).expect("dial primary");
+    let token = client.login("ann").expect("login ann");
+    let mut local = client.clone_repo(REPO_ID).expect("clone churn repo");
+    // A branch per (configuration, writer): the first push creates it,
+    // every later one fast-forwards, so the write stream never stalls
+    // on a non-fast-forward refusal.
+    let branch = format!("c{config}w{id}");
+    let mut rev = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        for _ in 0..COMMITS_PER_PUSH {
+            rev += 1;
+            let blob = format!("writer {id} rev {rev}\n").repeat(BLOB_BYTES / 20);
+            local
+                .worktree_mut()
+                .write(&path("churn.txt"), blob.into_bytes())
+                .unwrap();
+            local
+                .commit(sig(1_000 + rev as i64), format!("w{id} r{rev}"))
+                .unwrap();
+        }
+        if client
+            .push(&token, REPO_ID, &branch, &local, "main", false)
+            .is_ok()
+        {
+            pushes.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// One reader: loops `log_page` reads of the churned repository against
+/// one node until `stop` flips, counting successes.
+fn read_load(addr: String, stop: Arc<AtomicBool>, reads: Arc<AtomicU64>) {
+    let client = HubClient::connect(&addr).expect("dial read node");
+    while !stop.load(Ordering::SeqCst) {
+        if client.log_page(REPO_ID, "main", None, Some(5)).is_ok() {
+            reads.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Measures one fleet configuration: aggregate reads served across
+/// `read_nodes` over [`WINDOW`] while writers hammer the primary.
+/// Returns (reads/s, writer pushes completed).
+fn measure(primary_addr: &str, config: usize, read_nodes: &[String]) -> (f64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let pushes = Arc::new(AtomicU64::new(0));
+    let reads = Arc::new(AtomicU64::new(0));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|id| {
+            let addr = primary_addr.to_owned();
+            let (stop, pushes) = (Arc::clone(&stop), Arc::clone(&pushes));
+            std::thread::spawn(move || write_load(addr, config, id, stop, pushes))
+        })
+        .collect();
+    // Let the write stream reach steady state before measuring reads.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let started = Instant::now();
+    let readers: Vec<_> = read_nodes
+        .iter()
+        .flat_map(|node| (0..READERS_PER_NODE).map(move |_| node.clone()))
+        .map(|addr| {
+            let (stop, reads) = (Arc::clone(&stop), Arc::clone(&reads));
+            std::thread::spawn(move || read_load(addr, stop, reads))
+        })
+        .collect();
+    std::thread::sleep(WINDOW);
+    stop.store(true, Ordering::SeqCst);
+    for reader in readers {
+        let _ = reader.join();
+    }
+    let wall = started.elapsed();
+    for writer in writers {
+        let _ = writer.join();
+    }
+    (
+        reads.load(Ordering::SeqCst) as f64 / wall.as_secs_f64(),
+        pushes.load(Ordering::SeqCst),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Main
+// ---------------------------------------------------------------------
+
+fn main() {
+    match std::env::var("HUB_REPL_ROLE").as_deref() {
+        Ok("primary") => run_primary(),
+        Ok("follower") => run_follower(),
+        _ => {}
+    }
+
+    let mut baseline = None;
+    for (config, followers) in FLEETS.into_iter().enumerate() {
+        // A fresh primary and fresh followers per configuration, so
+        // every fleet size measures the identical workload from the
+        // identical starting state (nothing accumulates between runs).
+        let (_primary, primary_addr) = spawn_child("primary", None);
+        let fleet: Vec<(HubChild, String)> = (0..followers)
+            .map(|_| spawn_child("follower", Some(&primary_addr)))
+            .collect();
+        for (_, addr) in &fleet {
+            await_synced(addr);
+        }
+        let read_nodes: Vec<String> = if followers == 0 {
+            vec![primary_addr.clone()]
+        } else {
+            fleet.iter().map(|(_, addr)| addr.clone()).collect()
+        };
+
+        let (reads_per_s, pushes) = measure(&primary_addr, config, &read_nodes);
+        let speedup = match baseline {
+            None => {
+                baseline = Some(reads_per_s);
+                1.0
+            }
+            Some(base) => reads_per_s / base,
+        };
+        assert!(pushes > 0, "no sustained writes landed during the window");
+        eprintln!(
+            "hub_repl_scaling followers={followers} read_nodes={} readers={} reads_per_s={reads_per_s:.0} \
+             pushes={pushes} speedup={speedup:.2}",
+            read_nodes.len(),
+            read_nodes.len() * READERS_PER_NODE,
+        );
+        if followers == *FLEETS.last().unwrap() {
+            assert!(
+                speedup >= 2.5,
+                "{followers} followers served only {speedup:.2}x the lone primary's reads"
+            );
+        }
+    }
+}

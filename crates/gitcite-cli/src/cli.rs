@@ -157,7 +157,12 @@ remote hub (wire protocol v3 over TCP; v1/v2 clients still served)
         port 0 picks a free port, the bound address is printed on stdout.
         A non-loopback bind requires --require-secrets true (registration
         and login then demand per-user secrets) unless --allow-insecure
-        true is passed explicitly)
+        true is passed explicitly.
+        [--follow <addr>] runs this hub as a read-scaling *follower* of
+        the primary at <addr>: it continuously replicates every
+        repository, serves reads locally, and refuses writes with a
+        typed redirect to the primary. [--staleness <secs>] bounds how
+        old served reads may be (default 30))
   hub register <username> --name <display> --remote <addr> [--secret <s>]
   hub repos --remote <addr> [--page-size <n>]
   hub log <repo_id> <branch> --remote <addr> [--page-size <n>] [--all true]
@@ -930,15 +935,49 @@ fn cmd_hub_serve(p: &Parsed) -> Result<String> {
     platform
         .grant_operator("operator")
         .map_err(|e| CliError::Op(format!("cannot provision the operator account: {e}")))?;
-    let server = hub::SocketServer::bind(std::sync::Arc::new(platform), addr)
+    let platform = std::sync::Arc::new(platform);
+    // --follow flips this hub into a replication follower *after* the
+    // operator account above exists locally (a follower's login only
+    // serves locally-provisioned users; everyone else is redirected to
+    // the primary).
+    let engine = match p.flag("follow") {
+        Some(primary) => {
+            let staleness: u64 = match p.flag("staleness") {
+                None => 30,
+                Some(s) => s.parse().map_err(|_| {
+                    CliError::Usage("--staleness must be a number of seconds".into())
+                })?,
+            };
+            let transport = hub::TcpTransport::connect(primary)
+                .map_err(|e| CliError::Op(format!("cannot reach primary {primary}: {e}")))?;
+            Some(
+                hub::Follower::new(
+                    std::sync::Arc::clone(&platform),
+                    transport,
+                    primary,
+                    staleness,
+                )
+                .spawn(),
+            )
+        }
+        None => None,
+    };
+    let server = hub::SocketServer::bind(platform, addr)
         .map_err(|e| CliError::Op(format!("cannot bind {addr}: {e}")))?;
     // Print (and flush) the *resolved* address eagerly: with `--bind
     // 127.0.0.1:0` the OS picks the port, a supervising script reads it
     // from stdout, and this command then blocks for the server's
     // lifetime.
-    println!("gitcite hub listening on {}", server.local_addr());
+    match p.flag("follow") {
+        Some(primary) => println!(
+            "gitcite hub listening on {} (follower of {primary})",
+            server.local_addr()
+        ),
+        None => println!("gitcite hub listening on {}", server.local_addr()),
+    }
     let _ = std::io::Write::flush(&mut std::io::stdout());
     server.join();
+    drop(engine);
     Ok(String::new())
 }
 
@@ -1052,6 +1091,20 @@ fn render_top(snap: &hub::MetricsSnapshot) -> String {
             "limits: {} auth failure(s), {} rate / {} quota rejection(s), {} conn(s) shed\n",
             l.auth_failures, l.rate_rejections, l.quota_rejections, l.conns_shed
         ));
+    }
+    if let Some(r) = &snap.repl {
+        let lag = match r.lag_seconds {
+            -1 => "never synced".to_owned(),
+            s => format!("lag {s}s"),
+        };
+        out.push_str(&format!(
+            "repl: following {} ({lag}, epoch {}), {} repo(s) behind, \
+             {} round(s) / {} reconnect(s)\n",
+            r.primary, r.epoch, r.repos_behind, r.rounds, r.reconnects
+        ));
+        for (repo, n) in &r.behind {
+            out.push_str(&format!("  behind: {repo} ({n} ref(s))\n"));
+        }
     }
     out
 }

@@ -137,6 +137,7 @@
 //! | `rate_limited`           | token bucket or login lockout (`detail` = retry-after ticks) |
 //! | `quota_exceeded`         | size quota refused the write (`detail` = why) |
 //! | `server_busy`            | connection shed under overload (`detail` = retry-after secs) |
+//! | `not_primary`            | follower hub refuses write/stale read (`detail` = primary addr) |
 //! | `protocol`               | envelope/method/params malformed              |
 //! | `transport_closed`       | connection dropped mid-request (client-side)  |
 //!
@@ -236,6 +237,7 @@ pub enum ErrorCode {
     RateLimited,
     QuotaExceeded,
     ServerBusy,
+    NotPrimary,
     Protocol,
     TransportClosed,
 }
@@ -276,6 +278,7 @@ impl ErrorCode {
             ErrorCode::RateLimited => "rate_limited",
             ErrorCode::QuotaExceeded => "quota_exceeded",
             ErrorCode::ServerBusy => "server_busy",
+            ErrorCode::NotPrimary => "not_primary",
             ErrorCode::Protocol => "protocol",
             ErrorCode::TransportClosed => "transport_closed",
         }
@@ -316,6 +319,7 @@ impl ErrorCode {
             "rate_limited" => ErrorCode::RateLimited,
             "quota_exceeded" => ErrorCode::QuotaExceeded,
             "server_busy" => ErrorCode::ServerBusy,
+            "not_primary" => ErrorCode::NotPrimary,
             "protocol" => ErrorCode::Protocol,
             "transport_closed" => ErrorCode::TransportClosed,
             _ => return None,
@@ -365,6 +369,7 @@ impl WireError {
             HubError::ServerBusy { retry_after } => {
                 (ErrorCode::ServerBusy, Some(retry_after.to_string()))
             }
+            HubError::NotPrimary { primary } => (ErrorCode::NotPrimary, Some(primary.clone())),
             HubError::Protocol(s) => (ErrorCode::Protocol, Some(s.clone())),
             HubError::TransportClosed(s) => (ErrorCode::TransportClosed, Some(s.clone())),
             HubError::Git(g) => classify_git(g),
@@ -453,6 +458,12 @@ impl WireError {
                 Some(retry_after) => HubError::ServerBusy { retry_after },
                 None => HubError::Protocol(format!(
                     "error code server_busy requires a retry-after detail ({message})"
+                )),
+            },
+            ErrorCode::NotPrimary => match detail {
+                Some(primary) => HubError::NotPrimary { primary },
+                None => HubError::Protocol(format!(
+                    "error code not_primary requires a primary-address detail ({message})"
                 )),
             },
             ErrorCode::Protocol => HubError::Protocol(payload(detail)),
@@ -704,6 +715,68 @@ impl RepoBundle {
             name: repo.name().to_owned(),
             head: Some(branch.to_owned()),
             refs: vec![(branch.to_owned(), tip)],
+            objects,
+            basis,
+        })
+    }
+
+    /// Bundles *every* branch of `repo` incrementally past the `common`
+    /// frontier — the replication fetch payload ([`crate::repl`]): the
+    /// walk starts from all branch tips at once, stop commits become the
+    /// shared `basis`, and `head`/`refs` mirror the whole repository so
+    /// the receiver can force its refs to match. With an empty `common`
+    /// this degrades to a full bundle (same objects as
+    /// [`RepoBundle::from_repository`]), which is also how a follower
+    /// bootstraps a repository it has never seen.
+    pub fn delta_from_refs(
+        repo: &Repository,
+        common: &HashSet<ObjectId>,
+    ) -> gitlite::Result<RepoBundle> {
+        let refs: Vec<(String, ObjectId)> = repo
+            .branches()
+            .map(|(b, tip)| (b.to_owned(), tip))
+            .collect();
+        let mut new_commits = Vec::new();
+        let mut basis = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack: Vec<ObjectId> = refs.iter().map(|(_, tip)| *tip).collect();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if common.contains(&id) {
+                basis.push(id);
+                continue;
+            }
+            let obj = repo.odb().commit_ref(id)?;
+            stack.extend_from_slice(&obj.as_commit().expect("checked kind").parents);
+            new_commits.push(id);
+        }
+        let mut known: HashSet<ObjectId> = HashSet::new();
+        for &b in &basis {
+            collect_tree_closure(repo, repo.tree_of(b)?, &mut known)?;
+        }
+        let mut objects = Vec::new();
+        for &id in &new_commits {
+            objects.push((id, repo.odb().get(id)?.canonical_bytes()));
+            let mut stack = vec![repo.tree_of(id)?];
+            while let Some(oid) = stack.pop() {
+                if !known.insert(oid) {
+                    continue;
+                }
+                let obj = repo.odb().get(oid)?;
+                if let gitlite::Object::Tree(t) = &*obj {
+                    for (_, e) in t.iter() {
+                        stack.push(e.id);
+                    }
+                }
+                objects.push((oid, obj.canonical_bytes()));
+            }
+        }
+        Ok(RepoBundle {
+            name: repo.name().to_owned(),
+            head: repo.current_branch().map(str::to_owned),
+            refs,
             objects,
             basis,
         })
@@ -1587,6 +1660,233 @@ impl LimitsMetrics {
     }
 }
 
+/// Replication health of a follower hub (see [`crate::repl`]): who the
+/// primary is, how far behind the follower sits, and how rocky the link
+/// has been. The whole section is absent from a [`MetricsSnapshot`]
+/// (field and wire key both) on a hub that is not following anyone, so
+/// pre-replication peers and the pinned goldens never see it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplMetrics {
+    /// Wire address of the primary being followed.
+    pub primary: String,
+    /// Seconds since the last successful sync round (`-1` before the
+    /// first one) — `gitcite_repl_lag_seconds`.
+    pub lag_seconds: i64,
+    /// Primary logical epoch observed by the last successful round.
+    pub epoch: i64,
+    /// Repositories whose frontier differed from the primary's at the
+    /// start of the last round — `gitcite_repl_repos_behind`.
+    pub repos_behind: u64,
+    /// Per-repo cursor deltas behind that count: `(repo id, refs that
+    /// were added/moved/deleted upstream)`.
+    pub behind: Vec<(String, u64)>,
+    /// Completed sync rounds.
+    pub rounds: u64,
+    /// Failed rounds followed by a backed-off reconnect.
+    pub reconnects: u64,
+}
+
+impl ReplMetrics {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("primary", self.primary.as_str());
+        o.insert("lag_seconds", self.lag_seconds);
+        o.insert("epoch", self.epoch);
+        o.insert("repos_behind", self.repos_behind as i64);
+        if !self.behind.is_empty() {
+            o.insert(
+                "behind",
+                Value::Array(
+                    self.behind
+                        .iter()
+                        .map(|(repo, n)| {
+                            Value::Array(vec![Value::from(repo.as_str()), Value::from(*n as i64)])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        o.insert("rounds", self.rounds as i64);
+        o.insert("reconnects", self.reconnects as i64);
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<ReplMetrics> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("repl metrics must be an object"))?;
+        let mut behind = Vec::new();
+        if let Some(v) = o.get("behind") {
+            for pair in v
+                .as_array()
+                .ok_or_else(|| proto("behind must be an array"))?
+            {
+                let [repo, n] = two(pair, "behind entry")?;
+                let n = n
+                    .as_i64()
+                    .ok_or_else(|| proto("behind delta must be an integer"))?;
+                behind.push((str_of(repo, "behind repo")?, n as u64));
+            }
+        }
+        Ok(ReplMetrics {
+            primary: req_str(o, "primary")?,
+            lag_seconds: req_i64(o, "lag_seconds")?,
+            epoch: req_i64(o, "epoch")?,
+            repos_behind: req_i64(o, "repos_behind")? as u64,
+            behind,
+            rounds: req_i64(o, "rounds")? as u64,
+            reconnects: req_i64(o, "reconnects")? as u64,
+        })
+    }
+}
+
+/// One repository's replication frontier in a [`ReplStatus`] reply: its
+/// head and every `(branch, tip)` pair. A follower compares this against
+/// its local copy to decide whether a fetch is needed — the per-repo
+/// half of the replication cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplRepoStatus {
+    /// Repository id (`owner/name`).
+    pub repo_id: String,
+    /// Currently checked-out branch, when any.
+    pub head: Option<String>,
+    /// `(branch, tip)` pairs in the server's canonical order.
+    pub refs: Vec<(String, ObjectId)>,
+}
+
+impl ReplRepoStatus {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("repo_id", self.repo_id.as_str());
+        if let Some(h) = &self.head {
+            o.insert("head", h.as_str());
+        }
+        o.insert(
+            "refs",
+            Value::Array(
+                self.refs
+                    .iter()
+                    .map(|(b, tip)| Value::Array(vec![Value::from(b.as_str()), id_value(*tip)]))
+                    .collect(),
+            ),
+        );
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<ReplRepoStatus> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("repl repo status must be an object"))?;
+        let mut refs = Vec::new();
+        for pair in req_arr(o, "refs")? {
+            let [b, tip] = two(pair, "ref")?;
+            refs.push((str_of(b, "ref branch")?, parse_id(tip, "ref tip")?));
+        }
+        Ok(ReplRepoStatus {
+            repo_id: req_str(o, "repo_id")?,
+            head: opt_str(o, "head")?,
+            refs,
+        })
+    }
+}
+
+/// The primary's answer to `repl_status` (see [`crate::repl`]): its
+/// logical epoch, the audit log length (the follower's audit cursor
+/// target), every repository's frontier, and the full deposit registry
+/// (small records, replicated wholesale so followers resolve DOIs
+/// faithfully).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplStatus {
+    /// The primary's logical clock reading.
+    pub epoch: i64,
+    /// Number of audit events the primary holds (next sequence number).
+    pub audit_seq: u64,
+    /// Frontier of every hosted repository.
+    pub repos: Vec<ReplRepoStatus>,
+    /// The complete deposit registry.
+    pub deposits: Vec<Deposit>,
+}
+
+impl ReplStatus {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert("epoch", self.epoch);
+        o.insert("audit_seq", self.audit_seq as i64);
+        o.insert(
+            "repos",
+            Value::Array(self.repos.iter().map(|r| r.to_value()).collect()),
+        );
+        o.insert(
+            "deposits",
+            Value::Array(self.deposits.iter().map(deposit_value).collect()),
+        );
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<ReplStatus> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("repl status must be an object"))?;
+        let mut repos = Vec::new();
+        for r in req_arr(o, "repos")? {
+            repos.push(ReplRepoStatus::from_value(r)?);
+        }
+        let mut deposits = Vec::new();
+        for d in req_arr(o, "deposits")? {
+            deposits.push(parse_deposit(d)?);
+        }
+        Ok(ReplStatus {
+            epoch: req_i64(o, "epoch")?,
+            audit_seq: req_i64(o, "audit_seq")? as u64,
+            repos,
+            deposits,
+        })
+    }
+}
+
+/// The fleet's placement map as served over the wire (`placement`): the
+/// participating hub addresses, plus — when the request named a
+/// repository — the hub that homes it per rendezvous hashing
+/// ([`crate::placement`]). An unconfigured follower answers with an
+/// empty hub list and its primary's address, so clients can always
+/// discover where writes go.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlacementInfo {
+    /// The fleet's hub addresses (empty when placement is unconfigured).
+    pub hubs: Vec<String>,
+    /// The home hub for the queried repository, when one was named and
+    /// a home is known.
+    pub primary: Option<String>,
+}
+
+impl PlacementInfo {
+    fn to_value(&self) -> Value {
+        let mut o = Object::new();
+        o.insert(
+            "hubs",
+            Value::Array(self.hubs.iter().map(|h| Value::from(h.as_str())).collect()),
+        );
+        if let Some(p) = &self.primary {
+            o.insert("primary", p.as_str());
+        }
+        Value::Object(o)
+    }
+
+    fn from_value(v: &Value) -> WireResult<PlacementInfo> {
+        let o = v
+            .as_object()
+            .ok_or_else(|| proto("placement must be an object"))?;
+        let mut hubs = Vec::new();
+        for h in req_arr(o, "hubs")? {
+            hubs.push(str_of(h, "placement hub")?);
+        }
+        Ok(PlacementInfo {
+            hubs,
+            primary: opt_str(o, "primary")?,
+        })
+    }
+}
+
 /// The full answer to [`ApiRequest::ServerMetrics`]: one point-in-time
 /// view of the hub's health, from the dispatch layer down to storage.
 /// Optional sections omit their wire key entirely when absent, per the
@@ -1602,6 +1902,8 @@ pub struct MetricsSnapshot {
     pub store: Option<StoreMetrics>,
     /// Abuse-resistance tallies; `None` until the hub refuses anything.
     pub limits: Option<LimitsMetrics>,
+    /// Replication health; `None` unless this hub is a follower.
+    pub repl: Option<ReplMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -1708,6 +2010,21 @@ impl MetricsSnapshot {
                 );
             }
         }
+        if let Some(r) = &self.repl {
+            for (name, v) in [
+                ("repl_lag_seconds", r.lag_seconds),
+                ("repl_epoch", r.epoch),
+                ("repl_repos_behind", r.repos_behind as i64),
+            ] {
+                let _ = writeln!(out, "# TYPE gitcite_{name} gauge\ngitcite_{name} {v}");
+            }
+            for (name, v) in [("repl_rounds", r.rounds), ("repl_reconnects", r.reconnects)] {
+                let _ = writeln!(
+                    out,
+                    "# TYPE gitcite_{name}_total counter\ngitcite_{name}_total {v}"
+                );
+            }
+        }
         out
     }
 
@@ -1725,6 +2042,9 @@ impl MetricsSnapshot {
         }
         if let Some(l) = &self.limits {
             o.insert("limits", l.to_value());
+        }
+        if let Some(r) = &self.repl {
+            o.insert("repl", r.to_value());
         }
         Value::Object(o)
     }
@@ -1749,11 +2069,16 @@ impl MetricsSnapshot {
             None | Some(Value::Null) => None,
             Some(v) => Some(LimitsMetrics::from_value(v)?),
         };
+        let repl = match o.get("repl") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(ReplMetrics::from_value(v)?),
+        };
         Ok(MetricsSnapshot {
             methods,
             transport,
             store,
             limits,
+            repl,
         })
     }
 }
@@ -1966,6 +2291,26 @@ pub enum ApiRequest {
     Batch {
         requests: Vec<ApiRequest>,
     },
+    // replication (see `crate::repl`; v3 additions within the version)
+    /// v3: the primary's replication frontier — epoch, audit length,
+    /// every repository's refs, the deposit registry
+    /// ([`ApiResponse::ReplStatus`]). Public read: it reveals nothing a
+    /// crawl of the public read surface would not.
+    ReplStatus,
+    /// v3: fetch one repository incrementally for replication. `haves`
+    /// are the follower's local branch tips; the reply is a delta
+    /// [`ApiResponse::Bundle`] past the negotiated frontier (full when
+    /// nothing is shared).
+    ReplFetch {
+        repo_id: String,
+        haves: Vec<ObjectId>,
+    },
+    /// v3: the fleet's placement map ([`ApiResponse::Placement`]);
+    /// `repo_id` (absent-field rule) additionally asks which hub homes
+    /// that repository.
+    Placement {
+        repo_id: Option<String>,
+    },
 }
 
 fn strategy_str(s: MergeStrategy) -> &'static str {
@@ -2049,6 +2394,9 @@ pub const METHOD_NAMES: &[&str] = &[
     "advance_clock",
     "batch",
     "refresh",
+    "repl_status",
+    "repl_fetch",
+    "placement",
 ];
 
 impl ApiRequest {
@@ -2096,6 +2444,9 @@ impl ApiRequest {
             ApiRequest::AdvanceClock { .. } => 38,
             ApiRequest::Batch { .. } => 39,
             ApiRequest::Refresh { .. } => 40,
+            ApiRequest::ReplStatus => 41,
+            ApiRequest::ReplFetch { .. } => 42,
+            ApiRequest::Placement { .. } => 43,
         }
     }
 
@@ -2115,7 +2466,10 @@ impl ApiRequest {
         match self {
             ApiRequest::Batch { .. }
             | ApiRequest::ServerMetrics { .. }
-            | ApiRequest::Refresh { .. } => PROTOCOL_V3,
+            | ApiRequest::Refresh { .. }
+            | ApiRequest::ReplStatus
+            | ApiRequest::ReplFetch { .. }
+            | ApiRequest::Placement { .. } => PROTOCOL_V3,
             // A secret silently dropped by an old server would register
             // an unprotected account, so a secret-bearing register/login
             // is a v3 construct: v1/v2 peers refuse it instead.
@@ -2191,7 +2545,10 @@ impl ApiRequest {
             | ApiRequest::AuditLogPage { .. }
             | ApiRequest::ListReposPage { .. }
             | ApiRequest::StoreStats { .. }
-            | ApiRequest::ServerMetrics { .. } => true,
+            | ApiRequest::ServerMetrics { .. }
+            | ApiRequest::ReplStatus
+            | ApiRequest::ReplFetch { .. }
+            | ApiRequest::Placement { .. } => true,
             // Everything else either writes (push, cite ops, deposit,
             // archive — it bumps visit counts), mints or revokes
             // credentials, or wraps other requests (batch: any item
@@ -2227,6 +2584,7 @@ impl ApiRequest {
             | ApiRequest::Archive { repo_id }
             | ApiRequest::ArchiveVisits { repo_id }
             | ApiRequest::CreditedAuthors { repo_id, .. }
+            | ApiRequest::ReplFetch { repo_id, .. }
             | ApiRequest::StoreStats { repo_id } => Some(repo_id),
             ApiRequest::Fork { src_repo_id, .. } => Some(src_repo_id),
             _ => None,
@@ -2443,6 +2801,19 @@ impl ApiRequest {
                     "requests",
                     Value::Array(requests.iter().map(|r| r.envelope_value()).collect()),
                 );
+            }
+            ApiRequest::ReplStatus => {}
+            ApiRequest::ReplFetch { repo_id, haves } => {
+                p.insert("repo_id", repo_id.as_str());
+                p.insert(
+                    "haves",
+                    Value::Array(haves.iter().map(|id| id_value(*id)).collect()),
+                );
+            }
+            ApiRequest::Placement { repo_id } => {
+                if let Some(r) = repo_id {
+                    p.insert("repo_id", r.as_str());
+                }
             }
         }
         Value::Object(p)
@@ -2746,6 +3117,20 @@ impl ApiRequest {
                 }
                 ApiRequest::Batch { requests }
             }
+            "repl_status" => ApiRequest::ReplStatus,
+            "repl_fetch" => {
+                let mut haves = Vec::new();
+                for id in req_arr(p, "haves")? {
+                    haves.push(parse_id(id, "have")?);
+                }
+                ApiRequest::ReplFetch {
+                    repo_id: req_str(p, "repo_id")?,
+                    haves,
+                }
+            }
+            "placement" => ApiRequest::Placement {
+                repo_id: opt_str(p, "repo_id")?,
+            },
             other => return Err(proto(format!("unknown method {other:?}"))),
         };
         // A v2-only construct inside a v1 envelope would be misread by a
@@ -2838,6 +3223,10 @@ pub enum ApiResponse {
     /// Items may individually be errors — one failed sub-request does not
     /// poison its siblings.
     Batch(Vec<ApiResponse>),
+    /// v3: the primary's replication frontier ([`ApiRequest::ReplStatus`]).
+    ReplStatus(ReplStatus),
+    /// v3: the fleet placement map ([`ApiRequest::Placement`]).
+    Placement(PlacementInfo),
     Error(WireError),
 }
 
@@ -2881,6 +3270,8 @@ impl ApiResponse {
             ApiResponse::Metrics(_) => "metrics",
             ApiResponse::Bundle(_) => "bundle",
             ApiResponse::Batch(_) => "batch",
+            ApiResponse::ReplStatus(_) => "repl_status",
+            ApiResponse::Placement(_) => "placement",
             ApiResponse::Error(_) => "error",
         }
     }
@@ -3065,6 +3456,12 @@ impl ApiResponse {
                     Value::Array(responses.iter().map(|r| r.envelope_value()).collect()),
                 );
             }
+            ApiResponse::ReplStatus(s) => {
+                o.insert("status", s.to_value());
+            }
+            ApiResponse::Placement(p) => {
+                o.insert("placement", p.to_value());
+            }
             ApiResponse::Error(_) => unreachable!("errors are encoded by encode()"),
         }
         Value::Object(o)
@@ -3076,7 +3473,10 @@ impl ApiResponse {
     /// every peer must parse).
     pub fn version(&self) -> i64 {
         match self {
-            ApiResponse::Batch(_) | ApiResponse::Metrics(_) => PROTOCOL_V3,
+            ApiResponse::Batch(_)
+            | ApiResponse::Metrics(_)
+            | ApiResponse::ReplStatus(_)
+            | ApiResponse::Placement(_) => PROTOCOL_V3,
             ApiResponse::LogPage(_)
             | ApiResponse::AuditPage(_)
             | ApiResponse::NamesPage(_)
@@ -3362,6 +3762,14 @@ impl ApiResponse {
                 }
                 ApiResponse::Batch(responses)
             }
+            "repl_status" => ApiResponse::ReplStatus(ReplStatus::from_value(
+                r.get("status")
+                    .ok_or_else(|| proto("missing replication status"))?,
+            )?),
+            "placement" => ApiResponse::Placement(PlacementInfo::from_value(
+                r.get("placement")
+                    .ok_or_else(|| proto("missing placement"))?,
+            )?),
             other => return Err(proto(format!("unknown result type {other:?}"))),
         };
         if resp.version() > envelope_v {
@@ -3378,6 +3786,48 @@ impl ApiResponse {
         }
         Ok(resp)
     }
+}
+
+/// A [`Deposit`] as a standalone wire object — same keys as the inline
+/// `deposit` result arm, nested so replication status can carry a list.
+fn deposit_value(d: &Deposit) -> Value {
+    let mut o = Object::new();
+    o.insert("doi", d.doi.as_str());
+    o.insert("repo_id", d.repo_id.as_str());
+    o.insert("version", d.version.to_hex());
+    o.insert("tree", d.tree.to_hex());
+    o.insert("title", d.title.as_str());
+    o.insert(
+        "creators",
+        Value::Array(d.creators.iter().map(|c| Value::from(c.as_str())).collect()),
+    );
+    o.insert("deposited_at", d.deposited_at);
+    Value::Object(o)
+}
+
+fn parse_deposit(v: &Value) -> WireResult<Deposit> {
+    let o = v
+        .as_object()
+        .ok_or_else(|| proto("deposit must be an object"))?;
+    let mut creators = Vec::new();
+    for c in req_arr(o, "creators")? {
+        creators.push(str_of(c, "creator")?);
+    }
+    Ok(Deposit {
+        doi: req_str(o, "doi")?,
+        repo_id: req_str(o, "repo_id")?,
+        version: parse_id(
+            o.get("version").ok_or_else(|| proto("missing version"))?,
+            "deposit version",
+        )?,
+        tree: parse_id(
+            o.get("tree").ok_or_else(|| proto("missing tree"))?,
+            "deposit tree",
+        )?,
+        title: req_str(o, "title")?,
+        creators,
+        deposited_at: req_i64(o, "deposited_at")?,
+    })
 }
 
 fn log_entry_value(e: &LogEntry) -> Value {

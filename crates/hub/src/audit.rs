@@ -49,6 +49,24 @@ impl AuditLog {
         });
     }
 
+    /// Ingests an event replicated from another hub, preserving its
+    /// sequence number. Returns `true` when the event was appended:
+    /// events at exactly the next sequence are taken, events below it
+    /// are already present (idempotent re-delivery) and skipped, and an
+    /// event beyond the next sequence is refused — a gap would break the
+    /// dense numbering [`AuditLog::record`] guarantees.
+    pub fn ingest(&mut self, event: AuditEvent) -> Result<bool, u64> {
+        let next = self.events.len() as u64;
+        match event.seq.cmp(&next) {
+            std::cmp::Ordering::Less => Ok(false),
+            std::cmp::Ordering::Equal => {
+                self.events.push(event);
+                Ok(true)
+            }
+            std::cmp::Ordering::Greater => Err(next),
+        }
+    }
+
     /// All events, oldest first.
     pub fn events(&self) -> &[AuditEvent] {
         &self.events

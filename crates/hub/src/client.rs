@@ -9,8 +9,8 @@
 //! without touching any client logic.
 
 use crate::api::{
-    ApiRequest, ApiResponse, MergeSummary, MetricsSnapshot, Negotiation, Page, RepoBundle,
-    RepoMaintenance, StoreStats,
+    ApiRequest, ApiResponse, ErrorCode, MergeSummary, MetricsSnapshot, Negotiation, Page,
+    PlacementInfo, ReplStatus, RepoBundle, RepoMaintenance, StoreStats,
 };
 use crate::audit::AuditEvent;
 use crate::error::{HubError, Result};
@@ -657,9 +657,14 @@ impl<T: Transport> HubClient<T> {
             // reachability alone is not enough — the commit could sit on
             // a different branch while `branch` lags or does not exist).
             Ok(page) if page.items.first().map(|e| e.id) == Some(tip) => Ok(tip),
-            // Behind, missing branch, or a v1-only server: push decides.
+            // Behind, missing branch, a v1-only server, or a follower
+            // too stale to answer (`not_primary` — over a
+            // [`FleetTransport`] the push below re-routes to the primary,
+            // so the primary is only ever touched when a push is
+            // actually needed): push decides.
             Ok(_)
             | Err(HubError::Protocol(_))
+            | Err(HubError::NotPrimary { .. })
             | Err(HubError::Git(gitlite::GitError::BranchNotFound(_))) => {
                 self.push(token, repo_id, branch, local, local_branch, false)
             }
@@ -828,6 +833,135 @@ impl<T: Transport> HubClient<T> {
             ApiResponse::Metrics(m) => Ok(m),
             other => Err(shape(&other)),
         }
+    }
+
+    // ----- replication & placement (protocol v3) ------------------------------
+
+    /// The hub's replication status: logical epoch, audit length, every
+    /// repository's `(head, refs)` frontier, and the deposit registry.
+    /// What a follower's sync round starts from (see [`crate::repl`]).
+    pub fn repl_status(&self) -> Result<ReplStatus> {
+        match self.call(ApiRequest::ReplStatus)? {
+            ApiResponse::ReplStatus(s) => Ok(s),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Fetches a replication bundle for one repository: a delta past
+    /// the common frontier implied by `haves`, covering **all**
+    /// branches (full when nothing is common — the bootstrap path).
+    pub fn repl_fetch(&self, repo_id: &str, haves: &[ObjectId]) -> Result<RepoBundle> {
+        match self.call(ApiRequest::ReplFetch {
+            repo_id: repo_id.to_owned(),
+            haves: haves.to_vec(),
+        })? {
+            ApiResponse::Bundle(bundle) => Ok(bundle),
+            other => Err(shape(&other)),
+        }
+    }
+
+    /// Queries the fleet placement map, resolving the home hub for
+    /// `repo_id` when one is named (see [`crate::placement`]).
+    pub fn placement(&self, repo_id: Option<&str>) -> Result<PlacementInfo> {
+        match self.call(ApiRequest::Placement {
+            repo_id: repo_id.map(str::to_owned),
+        })? {
+            ApiResponse::Placement(p) => Ok(p),
+            other => Err(shape(&other)),
+        }
+    }
+}
+
+/// How a [`FleetTransport`] opens a connection to an advertised primary
+/// address; `None` when the address is unreachable.
+pub type DialFn<T> = Box<dyn Fn(&str) -> Option<T> + Send + Sync>;
+
+/// A fleet-aware transport for read scaling (see [`crate::repl`]):
+/// requests go to a follower hub first, and any `not_primary` refusal —
+/// a write, or a read the follower cannot serve inside its staleness
+/// bound — is transparently retried against the primary at the address
+/// the error carries. The primary connection is dialed lazily on the
+/// first redirect and cached; once known, non-idempotent requests skip
+/// the follower round trip entirely (the redirect is certain).
+///
+/// Wrap it in a [`HubClient`] like any other transport:
+/// `HubClient::new(FleetTransport::new(follower, dial))`.
+pub struct FleetTransport<T> {
+    follower: T,
+    dial: DialFn<T>,
+    primary: Mutex<Option<(String, T)>>,
+}
+
+impl<T: Transport> FleetTransport<T> {
+    /// Reads ride `follower`; `dial` opens a connection to an advertised
+    /// primary address on the first redirect (returning `None` when the
+    /// address is unreachable, in which case the refusal surfaces to the
+    /// caller unchanged).
+    pub fn new(follower: T, dial: impl Fn(&str) -> Option<T> + Send + Sync + 'static) -> Self {
+        FleetTransport {
+            follower,
+            dial: Box::new(dial),
+            primary: Mutex::new(None),
+        }
+    }
+
+    /// The follower transport reads are routed to.
+    pub fn follower(&self) -> &T {
+        &self.follower
+    }
+
+    /// The primary address learned from redirects so far, if any.
+    pub fn primary_addr(&self) -> Option<String> {
+        self.primary.lock().as_ref().map(|(addr, _)| addr.clone())
+    }
+
+    /// Runs `f` against a (dialed-and-cached) primary connection for
+    /// `addr`; `None` when dialing fails. The lock is held across the
+    /// call, serializing primary traffic from this transport.
+    fn with_primary<R>(&self, addr: &str, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let mut guard = self.primary.lock();
+        if guard.as_ref().is_none_or(|(cached, _)| cached != addr) {
+            *guard = Some((addr.to_owned(), (self.dial)(addr)?));
+        }
+        guard.as_ref().map(|(_, t)| f(t))
+    }
+}
+
+/// The primary address a `not_primary` refusal advertises, if that is
+/// what `response` is.
+fn not_primary_addr(response: &ApiResponse) -> Option<String> {
+    match response {
+        ApiResponse::Error(e) if e.code == ErrorCode::NotPrimary => e.detail.clone(),
+        _ => None,
+    }
+}
+
+impl<T: Transport> Transport for FleetTransport<T> {
+    fn send(&self, request: &str) -> String {
+        let reply = self.follower.send(request);
+        let parsed = ApiResponse::parse(&reply).unwrap_or_else(ApiResponse::Error);
+        if let Some(addr) = not_primary_addr(&parsed) {
+            if let Some(retried) = self.with_primary(&addr, |t| t.send(request)) {
+                return retried;
+            }
+        }
+        reply
+    }
+
+    fn exchange(&self, request: &ApiRequest) -> ApiResponse {
+        if !request.is_idempotent() {
+            let guard = self.primary.lock();
+            if let Some((_, t)) = guard.as_ref() {
+                return t.exchange(request);
+            }
+        }
+        let response = self.follower.exchange(request);
+        if let Some(addr) = not_primary_addr(&response) {
+            if let Some(retried) = self.with_primary(&addr, |t| t.exchange(request)) {
+                return retried;
+            }
+        }
+        response
     }
 }
 

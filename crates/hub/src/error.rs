@@ -48,6 +48,16 @@ pub enum HubError {
         /// Suggested backoff in seconds before reconnecting.
         retry_after: i64,
     },
+    /// The receiving hub is a replication follower (or knows the
+    /// repository's home is elsewhere): writes — and reads a follower
+    /// cannot answer faithfully or within its staleness bound — must go
+    /// to the primary at the carried address. Fleet-aware clients
+    /// ([`crate::client::FleetTransport`]) retry against it
+    /// transparently. See [`crate::repl`].
+    NotPrimary {
+        /// Wire address (`host:port`) of the primary hub.
+        primary: String,
+    },
     /// The wire protocol itself failed: unknown version, unknown method,
     /// malformed params, or a response of an unexpected shape (see
     /// [`crate::api`]).
@@ -83,6 +93,9 @@ impl fmt::Display for HubError {
             HubError::QuotaExceeded(msg) => write!(f, "quota exceeded: {msg}"),
             HubError::ServerBusy { retry_after } => {
                 write!(f, "server busy; retry after {retry_after}s")
+            }
+            HubError::NotPrimary { primary } => {
+                write!(f, "not the primary hub; writes go to {primary}")
             }
             HubError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             HubError::TransportClosed(msg) => write!(f, "hub connection closed: {msg}"),

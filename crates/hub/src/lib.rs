@@ -26,6 +26,12 @@
 //!   have/want push negotiation (delta [`RepoBundle`]s) and paginated
 //!   reads; protocol v3 adds batch envelopes and a binary object side
 //!   channel — while v1/v2 envelopes keep being served byte-identically.
+//! * **Multi-hub replication** ([`repl`], [`placement`]) — a follower
+//!   hub continuously pulls per-repo deltas from a primary over the
+//!   same wire protocol (the push path, inverted), serves all read
+//!   traffic locally within an explicit staleness bound, and refuses
+//!   writes with a typed `not_primary` redirect; rendezvous-hashed
+//!   placement ([`Placement`]) tells clients which hub homes a repo.
 //! * **Socket transport** ([`transport`]) — an event-driven TCP server
 //!   ([`SocketServer`]: readiness reactor + worker pool, thousands of
 //!   connections without thousands of threads) and client transport
@@ -48,22 +54,27 @@ pub mod client;
 pub mod error;
 pub mod heritage;
 pub mod perm;
+pub mod placement;
+pub mod repl;
 pub mod server;
 pub mod transport;
 pub mod zenodo;
 
 pub use api::{
     ApiRequest, ApiResponse, ErrorCode, LimitsMetrics, MergeOutcome, MergeSummary, MethodMetrics,
-    MetricsSnapshot, Negotiation, Page, RepoBundle, RepoMaintenance, StoreMetrics, StoreStats,
-    TransportMetrics, WireError, WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, PROTOCOL_V1,
-    PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_VERSION,
+    MetricsSnapshot, Negotiation, Page, PlacementInfo, ReplMetrics, ReplRepoStatus, ReplStatus,
+    RepoBundle, RepoMaintenance, StoreMetrics, StoreStats, TransportMetrics, WireError,
+    WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3,
+    PROTOCOL_VERSION,
 };
 pub use audit::{AuditEvent, AuditLog};
 pub use chaos::{ChaosProxy, ChaosSchedule, ChaosTransport, ProxyConfig};
-pub use client::{HubClient, InProcess, RetryPolicy, Transport};
+pub use client::{FleetTransport, HubClient, InProcess, RetryPolicy, Transport};
 pub use error::{HubError, Result};
 pub use heritage::{parse_swhid, swhid, ArchiveReport, Heritage, SwhKind};
 pub use perm::{Action, Role};
+pub use placement::Placement;
+pub use repl::{Follower, FollowerHandle, ReplState, SyncReport};
 pub use server::{
     Hub, LimitsConfig, LogEntry, RateLimit, StoreFactory, Token, User, FAILURE_DECAY_TICKS,
     LOCKOUT_TICKS, MAX_LOGIN_FAILURES,

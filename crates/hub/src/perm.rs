@@ -42,6 +42,14 @@
 //!   `quota_exceeded`, checked before any object lands). All denials
 //!   are audited and tallied on wire-queryable counters
 //!   (`limits.*` in `server_metrics`).
+//! * **Follower refusal.** A replica hub ([`crate::repl`]) sits in
+//!   front of all of the above: it refuses every write — and every read
+//!   it cannot answer faithfully, including the role queries this
+//!   module backs (`role_of`, `can_write`), since roles are not
+//!   replicated — with the typed `not_primary` error carrying the
+//!   primary's address. Authorization for writes is therefore always
+//!   evaluated on the repository's home hub, never against a replica's
+//!   (empty) role table.
 //!
 //! Authorization (this module) is evaluated only after those layers
 //! admit the request — a locked-out owner is still locked out.

@@ -1,0 +1,171 @@
+//! Repo → hub placement by rendezvous (highest-random-weight) hashing.
+//!
+//! A fleet of hubs splits write load by giving every repository exactly
+//! one *home* hub: the member of the fleet with the highest hash score
+//! for that repository id. Rendezvous hashing gives the two properties a
+//! placement map needs without any coordination state:
+//!
+//! * **Agreement** — every party that knows the fleet's address list
+//!   computes the same home for the same repository, so clients can
+//!   route writes without asking anyone.
+//! * **Minimal disruption** — removing one hub only re-homes the
+//!   repositories that lived on it (each falls to its second-ranked
+//!   hub); adding one only claims the repositories it now wins. No
+//!   global reshuffle, unlike modulo hashing.
+//!
+//! Scores are the first eight bytes of a domain-separated SHA-256 over
+//! `(hub address, repository id)`, so placement is stable across
+//! processes, platforms and releases. The map is queryable over the wire
+//! (`placement` — see [`crate::api::ApiRequest::Placement`]), which is
+//! how a client discovers where to send a write before its first
+//! `not_primary` redirect.
+
+/// A fleet placement map: the ordered set of hub addresses that
+/// participate in rendezvous hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    hubs: Vec<String>,
+}
+
+impl Placement {
+    /// Builds a map over `hubs` (wire addresses, `host:port`). Duplicate
+    /// addresses are dropped, first occurrence wins; order is otherwise
+    /// irrelevant to scoring.
+    pub fn new<I, S>(hubs: I) -> Placement
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out: Vec<String> = Vec::new();
+        for hub in hubs {
+            let hub = hub.into();
+            if !out.contains(&hub) {
+                out.push(hub);
+            }
+        }
+        Placement { hubs: out }
+    }
+
+    /// The participating hub addresses, in construction order.
+    pub fn hubs(&self) -> &[String] {
+        &self.hubs
+    }
+
+    /// True when the map has no hubs (placement unconfigured).
+    pub fn is_empty(&self) -> bool {
+        self.hubs.is_empty()
+    }
+
+    /// The rendezvous score of one `(hub, repo)` pair: the big-endian
+    /// u64 prefix of a domain-separated SHA-256. Public so clients and
+    /// servers provably agree on the arithmetic.
+    pub fn score(hub_addr: &str, repo_id: &str) -> u64 {
+        let mut h = sha2::Sha256::new();
+        h.update(b"gitcite.placement.v1\x00");
+        h.update(hub_addr.as_bytes());
+        h.update(b"\x00");
+        h.update(repo_id.as_bytes());
+        let digest = h.finalize();
+        u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix"))
+    }
+
+    /// The home hub for `repo_id` — the highest-scoring address — or
+    /// `None` on an empty map. Ties (astronomically unlikely) break
+    /// toward the lexically smaller address so every computer agrees.
+    pub fn primary_for(&self, repo_id: &str) -> Option<&str> {
+        self.hubs
+            .iter()
+            .max_by(|a, b| {
+                Self::score(a, repo_id)
+                    .cmp(&Self::score(b, repo_id))
+                    // max_by keeps the *last* maximal element; order by
+                    // reversed address on ties so the smaller one wins.
+                    .then_with(|| b.as_str().cmp(a.as_str()))
+            })
+            .map(String::as_str)
+    }
+
+    /// Every hub ranked for `repo_id`, best first — the failover order a
+    /// client walks when the home hub is unreachable.
+    pub fn rank(&self, repo_id: &str) -> Vec<&str> {
+        let mut scored: Vec<(&str, u64)> = self
+            .hubs
+            .iter()
+            .map(|h| (h.as_str(), Self::score(h, repo_id)))
+            .collect();
+        scored.sort_by(|(ha, sa), (hb, sb)| sb.cmp(sa).then_with(|| ha.cmp(hb)));
+        scored.into_iter().map(|(h, _)| h).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Placement {
+        Placement::new(["hub-a:7000", "hub-b:7000", "hub-c:7000", "hub-d:7000"])
+    }
+
+    #[test]
+    fn deterministic_and_in_fleet() {
+        let p = fleet();
+        for i in 0..64 {
+            let repo = format!("user{i}/project{i}");
+            let home = p.primary_for(&repo).unwrap();
+            assert_eq!(p.primary_for(&repo), Some(home), "stable across calls");
+            assert!(p.hubs().iter().any(|h| h == home));
+            assert_eq!(p.rank(&repo)[0], home, "rank[0] is the home");
+        }
+    }
+
+    #[test]
+    fn spreads_load_across_the_fleet() {
+        let p = fleet();
+        let mut counts = std::collections::BTreeMap::new();
+        for i in 0..400 {
+            let repo = format!("owner/repo-{i}");
+            *counts
+                .entry(p.primary_for(&repo).unwrap().to_owned())
+                .or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 4, "every hub homes something");
+        for (hub, n) in &counts {
+            assert!(
+                (40..=180).contains(n),
+                "{hub} homes {n}/400 — distribution is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_hub_only_remaps_its_own_repos() {
+        let four = fleet();
+        let three = Placement::new(["hub-a:7000", "hub-b:7000", "hub-c:7000"]);
+        for i in 0..200 {
+            let repo = format!("owner/repo-{i}");
+            let before = four.primary_for(&repo).unwrap();
+            let after = three.primary_for(&repo).unwrap();
+            if before != "hub-d:7000" {
+                assert_eq!(before, after, "{repo} moved although its home survived");
+            } else {
+                assert_eq!(
+                    after,
+                    four.rank(&repo)[1],
+                    "{repo} should fall to its second-ranked hub"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let p = Placement::new(["a:1", "a:1", "b:1"]);
+        assert_eq!(p.hubs(), ["a:1".to_owned(), "b:1".to_owned()]);
+        assert!(!p.is_empty());
+        assert!(Placement::new(Vec::<String>::new()).is_empty());
+        assert_eq!(
+            Placement::new(Vec::<String>::new()).primary_for("x/y"),
+            None
+        );
+    }
+}

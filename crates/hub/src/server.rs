@@ -50,13 +50,16 @@
 
 use crate::api::{
     ApiRequest, ApiResponse, LimitsMetrics, MergeOutcome, MergeSummary, MethodMetrics,
-    MetricsSnapshot, Negotiation, Page, RepoBundle, RepoMaintenance, StoreMetrics, StoreStats,
-    TransportMetrics, WireHistogram, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE,
+    MetricsSnapshot, Negotiation, Page, PlacementInfo, ReplRepoStatus, ReplStatus, RepoBundle,
+    RepoMaintenance, StoreMetrics, StoreStats, TransportMetrics, WireHistogram, DEFAULT_PAGE_SIZE,
+    MAX_PAGE_SIZE,
 };
 use crate::audit::{AuditEvent, AuditLog};
 use crate::error::{HubError, Result};
 use crate::heritage::{ArchiveReport, Heritage, SwhKind};
 use crate::perm::{Action, Role};
+use crate::placement::Placement;
+use crate::repl::ReplState;
 use crate::zenodo::{Deposit, Zenodo};
 use citekit::{Citation, CitedRepo, ForkOptions, MergeStrategy, Resolution};
 use gitlite::{ObjectId, RepoPath, Repository, Signature};
@@ -103,6 +106,10 @@ struct HostedRepo {
 }
 
 type RepoCell = Arc<RwLock<HostedRepo>>;
+
+/// One repository's derived replication cursor as the follower sees it:
+/// `(current branch, branch tips)`.
+type LocalFrontier = (Option<String>, Vec<(String, ObjectId)>);
 
 /// Factory producing the object-store backend for each newly created
 /// hosted repository. Defaults to in-memory [`gitlite::MemStore`]s; a
@@ -296,6 +303,13 @@ pub struct Hub {
     /// Usernames holding the operator capability (`server_metrics`
     /// over sockets, like `maintenance` is operator-only there).
     operators: RwLock<HashSet<String>>,
+    /// Follower-mode replication state. `Some` routes every dispatch
+    /// through the follower gate (see [`Hub::set_follower`] and
+    /// [`crate::repl`]); `None` is an ordinary primary hub.
+    repl: RwLock<Option<Arc<ReplState>>>,
+    /// Fleet placement map served by the `placement` endpoint; `None`
+    /// until an operator installs one via [`Hub::set_placement`].
+    placement: RwLock<Option<Placement>>,
 }
 
 impl Default for Hub {
@@ -358,6 +372,8 @@ impl Hub {
             tracer: telemetry::Tracer::from_env(),
             metrics_enabled: AtomicBool::new(true),
             operators: RwLock::new(HashSet::new()),
+            repl: RwLock::new(None),
+            placement: RwLock::new(None),
         }
     }
 
@@ -474,6 +490,10 @@ impl Hub {
         // repo, so only their items (which recurse through dispatch)
         // are charged.
         self.enforce_rate_limits(&request)?;
+        // Follower gate: a replica refuses writes (and reads it cannot
+        // answer faithfully or freshly) with a typed redirect to the
+        // primary. No-op on ordinary hubs.
+        self.check_follower(&request)?;
         Ok(match request {
             Q::RegisterUser {
                 username,
@@ -772,7 +792,97 @@ impl Hub {
                     .collect();
                 R::Batch(responses)
             }
+            Q::ReplStatus => R::ReplStatus(self.op_repl_status()),
+            Q::ReplFetch { repo_id, haves } => R::Bundle(self.op_repl_fetch(&repo_id, &haves)?),
+            Q::Placement { repo_id } => R::Placement(self.op_placement(repo_id.as_deref())),
         })
+    }
+
+    /// The follower-mode dispatch gate (see [`crate::repl`] for the
+    /// model). Decides, per request, whether a replica may serve it:
+    ///
+    /// * **Writes** — and reads whose truth lives only on the primary
+    ///   (roles are not replicated; archive state is per-hub) — are
+    ///   refused with [`HubError::NotPrimary`] carrying the primary's
+    ///   address, which fleet-aware clients follow transparently.
+    /// * **Replicated reads** are served locally, but only while the
+    ///   last successful sync round is inside the staleness bound.
+    /// * **Session plumbing, operator seams and the replication
+    ///   endpoints themselves** are always local: a follower must stay
+    ///   observable (and must itself be clonable by a further replica)
+    ///   even when it has fallen behind.
+    ///
+    /// `login` is the one nuanced case: accounts are not replicated, so
+    /// it redirects — except for users provisioned directly on this hub
+    /// (the CLI's operator bootstrap), who must be able to log in to
+    /// read `server_metrics` over a socket.
+    fn check_follower(&self, request: &ApiRequest) -> Result<()> {
+        let state = match self.repl.read().as_ref() {
+            Some(state) => Arc::clone(state),
+            None => return Ok(()),
+        };
+        use ApiRequest as Q;
+        let redirect = || HubError::NotPrimary {
+            primary: state.primary().to_owned(),
+        };
+        match request {
+            Q::RegisterUser { .. }
+            | Q::CreateRepo { .. }
+            | Q::ImportRepo { .. }
+            | Q::AddMember { .. }
+            | Q::AddCite { .. }
+            | Q::ModifyCite { .. }
+            | Q::DelCite { .. }
+            | Q::Push { .. }
+            | Q::Fork { .. }
+            | Q::MergeBranches { .. }
+            | Q::Deposit { .. }
+            | Q::Archive { .. }
+            | Q::CanWrite { .. }
+            | Q::RoleOf { .. }
+            | Q::ResolveSwhid { .. }
+            | Q::ArchiveVisits { .. } => Err(redirect()),
+            Q::Login { username, .. } => {
+                if self.users.read().contains_key(username) {
+                    Ok(())
+                } else {
+                    Err(redirect())
+                }
+            }
+            Q::Branches { .. }
+            | Q::ListFiles { .. }
+            | Q::ReadFile { .. }
+            | Q::Log { .. }
+            | Q::LogPage { .. }
+            | Q::CloneRepo { .. }
+            | Q::Negotiate { .. }
+            | Q::GenerateCitation { .. }
+            | Q::CitationEntry { .. }
+            | Q::CreditedAuthors { .. }
+            | Q::FindReposCiting { .. }
+            | Q::ResolveDoi { .. }
+            | Q::AuditLog
+            | Q::AuditLogPage { .. }
+            | Q::ListRepos
+            | Q::ListReposPage { .. } => {
+                if state.is_stale(crate::repl::unix_now()) {
+                    Err(redirect())
+                } else {
+                    Ok(())
+                }
+            }
+            Q::Refresh { .. }
+            | Q::Revoke { .. }
+            | Q::Whoami { .. }
+            | Q::StoreStats { .. }
+            | Q::Maintenance
+            | Q::ServerMetrics { .. }
+            | Q::AdvanceClock { .. }
+            | Q::Batch { .. }
+            | Q::ReplStatus
+            | Q::ReplFetch { .. }
+            | Q::Placement { .. } => Ok(()),
+        }
     }
 
     // ----- typed wrappers: users & auth --------------------------------------
@@ -1422,6 +1532,151 @@ impl Hub {
         let _ = self.unwrap(ApiRequest::AdvanceClock { ts });
     }
 
+    // ----- replication (see `crate::repl`) ------------------------------------
+
+    /// Flips this hub into follower mode, replicating the primary at
+    /// `primary_addr`: writes start refusing with `not_primary`
+    /// immediately, replicated reads open up once a sync round lands
+    /// inside the staleness bound. Returns the shared [`ReplState`] the
+    /// replication engine updates. Normally called via
+    /// [`crate::repl::Follower::new`].
+    pub fn set_follower(
+        &self,
+        primary_addr: impl Into<String>,
+        staleness_secs: u64,
+    ) -> Arc<ReplState> {
+        let state = Arc::new(ReplState::new(primary_addr.into(), staleness_secs));
+        *self.repl.write() = Some(Arc::clone(&state));
+        state
+    }
+
+    /// The replication state when this hub is a follower, `None` on a
+    /// primary.
+    pub fn replication(&self) -> Option<Arc<ReplState>> {
+        self.repl.read().clone()
+    }
+
+    /// Installs the fleet placement map the `placement` endpoint serves
+    /// (see [`Placement`]); clients query it to route writes to a
+    /// repository's home hub.
+    pub fn set_placement(&self, placement: Placement) {
+        *self.placement.write() = Some(placement);
+    }
+
+    /// The follower's local frontier for one repository: `(head, branch
+    /// tips)` exactly as [`ReplRepoStatus`] would describe it — the
+    /// derived replication cursor. `None` when the repository does not
+    /// exist here yet.
+    pub(crate) fn repl_local_frontier(&self, repo_id: &str) -> Option<LocalFrontier> {
+        let cell = self.repos.read().get(repo_id).cloned()?;
+        let hosted = cell.read();
+        Some((
+            hosted.repo.current_branch().map(str::to_owned),
+            hosted
+                .repo
+                .branches()
+                .map(|(b, tip)| (b.to_owned(), tip))
+                .collect(),
+        ))
+    }
+
+    /// The follower's *have* set for a `repl_fetch`: its local branch
+    /// tips (empty for a repository it does not hold yet, which makes
+    /// the primary answer with a full bootstrap bundle).
+    pub(crate) fn repl_haves(&self, repo_id: &str) -> Vec<ObjectId> {
+        self.repl_local_frontier(repo_id)
+            .map(|(_, refs)| refs.into_iter().map(|(_, tip)| tip).collect())
+            .unwrap_or_default()
+    }
+
+    /// Applies one replication bundle to the local copy of `repo_id`,
+    /// creating the repository when it is new here. Follows the lock
+    /// order: the repos-map guard is dropped before the repository's
+    /// write lock is taken.
+    pub(crate) fn repl_apply_bundle(&self, repo_id: &str, bundle: &RepoBundle) -> Result<()> {
+        let existing = self.repos.read().get(repo_id).cloned();
+        match existing {
+            Some(cell) => {
+                let mut hosted = cell.write();
+                apply_replica_bundle(&mut hosted.repo, bundle).map_err(HubError::Git)
+            }
+            None => {
+                if bundle.is_delta() {
+                    return Err(HubError::Protocol(format!(
+                        "delta bundle for a repository this replica does not hold ({repo_id})"
+                    )));
+                }
+                let repo = bundle
+                    .into_repository((self.store_factory)())
+                    .map_err(HubError::Git)?;
+                self.repos.write().insert(
+                    repo_id.to_owned(),
+                    Arc::new(RwLock::new(HostedRepo {
+                        repo,
+                        // Roles are not replicated: permission checks are
+                        // the primary's job, and every write redirects
+                        // there anyway.
+                        roles: BTreeMap::new(),
+                    })),
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Drops local repositories absent from the primary's status reply
+    /// (deleted upstream). Returns how many were dropped.
+    pub(crate) fn repl_drop_missing(&self, keep: &HashSet<String>) -> usize {
+        let mut repos = self.repos.write();
+        let before = repos.len();
+        repos.retain(|id, _| keep.contains(id));
+        before - repos.len()
+    }
+
+    /// The derived audit cursor: the local log length (sequence numbers
+    /// are dense, so this is the next seq to fetch).
+    pub(crate) fn repl_audit_cursor(&self) -> u64 {
+        self.audit.lock().events().len() as u64
+    }
+
+    /// Ingests a page of replicated audit events, preserving their
+    /// primary-assigned sequence numbers. Returns how many were new; a
+    /// sequence gap is a protocol error (the page stream is ordered).
+    pub(crate) fn repl_ingest_audit(&self, events: Vec<AuditEvent>) -> Result<usize> {
+        let mut audit = self.audit.lock();
+        let mut ingested = 0;
+        for event in events {
+            match audit.ingest(event) {
+                Ok(true) => ingested += 1,
+                Ok(false) => {}
+                Err(next) => {
+                    return Err(HubError::Protocol(format!(
+                        "audit replication gap: next local seq is {next}"
+                    )))
+                }
+            }
+        }
+        Ok(ingested)
+    }
+
+    /// Ingests the primary's deposit registry wholesale (it is tiny and
+    /// append-only). Returns how many DOIs were new here.
+    pub(crate) fn repl_ingest_deposits(&self, deposits: Vec<Deposit>) -> usize {
+        let mut zenodo = self.zenodo.lock();
+        deposits
+            .into_iter()
+            .map(|d| zenodo.ingest(d))
+            .filter(|&new| new)
+            .count()
+    }
+
+    /// Folds the primary's logical epoch into the local clock
+    /// (monotonic), keeping token-expiry and rate-limit arithmetic
+    /// coherent across the fleet.
+    pub(crate) fn repl_observe_epoch(&self, epoch: i64) {
+        self.clock.fetch_max(epoch, Ordering::SeqCst);
+    }
+
     // ----- wrapper plumbing ---------------------------------------------------
 
     fn unwrap(&self, request: ApiRequest) -> Result<ApiResponse> {
@@ -1462,6 +1717,14 @@ impl Hub {
     }
 
     fn record(&self, ts: i64, actor: Option<&str>, action: &str, target: &str, ok: bool) {
+        // A follower's audit log is a replica of the primary's: locally
+        // assigned events would collide with replicated sequence numbers
+        // (see `repl_ingest_audit`), so follower-served reads go
+        // unrecorded here — they are the primary's writes' history, not
+        // this hub's.
+        if self.repl.read().is_some() {
+            return;
+        }
         self.audit.lock().record(ts, actor, action, target, ok);
     }
 
@@ -2283,6 +2546,66 @@ impl Hub {
         Ok(out)
     }
 
+    /// Everything a replica needs to decide what to pull: the primary's
+    /// epoch, audit length, every repository's `(head, refs)` frontier,
+    /// and the (tiny) deposit registry. Read-only — snapshots each
+    /// repository under its read lock, map guard dropped first.
+    fn op_repl_status(&self) -> ReplStatus {
+        let cells: Vec<(String, RepoCell)> = self
+            .repos
+            .read()
+            .iter()
+            .map(|(id, cell)| (id.clone(), Arc::clone(cell)))
+            .collect();
+        let mut repos = Vec::with_capacity(cells.len());
+        for (repo_id, cell) in cells {
+            let hosted = cell.read();
+            repos.push(ReplRepoStatus {
+                repo_id,
+                head: hosted.repo.current_branch().map(str::to_owned),
+                refs: hosted
+                    .repo
+                    .branches()
+                    .map(|(b, tip)| (b.to_owned(), tip))
+                    .collect(),
+            });
+        }
+        ReplStatus {
+            epoch: self.now(),
+            audit_seq: self.audit.lock().events().len() as u64,
+            repos,
+            deposits: self.zenodo.lock().deposits().cloned().collect(),
+        }
+    }
+
+    /// The pull half of replication: `negotiate` against the caller's
+    /// haves, then a delta bundle past the common frontier covering
+    /// *all* branches (a full bundle when nothing is common — the
+    /// bootstrap path).
+    fn op_repl_fetch(&self, repo_id: &str, haves: &[ObjectId]) -> Result<RepoBundle> {
+        let negotiation = self.op_negotiate(repo_id, haves)?;
+        let common: HashSet<ObjectId> = negotiation.common.iter().copied().collect();
+        let cell = self.repo(repo_id)?;
+        let hosted = cell.read();
+        RepoBundle::delta_from_refs(&hosted.repo, &common).map_err(HubError::Git)
+    }
+
+    /// The placement map, plus the resolved home hub when the caller
+    /// named a repository. A follower without a configured map still
+    /// advertises its primary so clients can route writes.
+    fn op_placement(&self, repo_id: Option<&str>) -> PlacementInfo {
+        match self.placement.read().clone() {
+            Some(p) => PlacementInfo {
+                primary: repo_id.and_then(|r| p.primary_for(r).map(str::to_owned)),
+                hubs: p.hubs().to_vec(),
+            },
+            None => PlacementInfo {
+                hubs: Vec::new(),
+                primary: self.repl.read().as_ref().map(|s| s.primary().to_owned()),
+            },
+        }
+    }
+
     fn op_server_metrics(&self) -> MetricsSnapshot {
         // Only methods that were actually dispatched appear, in name
         // order — the flat slot array is an implementation detail.
@@ -2308,6 +2631,7 @@ impl Hub {
             transport: self.transport_metrics(),
             store: Some(self.op_store_metrics()),
             limits: self.limits_metrics(),
+            repl: self.repl.read().as_ref().map(|s| s.metrics()),
         }
     }
 
@@ -2471,6 +2795,80 @@ fn apply_delta_push(
         repo.checkout_branch(dst_branch)?;
     }
     Ok(new_tip)
+}
+
+/// Applies a replication bundle onto the local replica of a repository:
+/// the multi-ref sibling of [`apply_delta_push`]. The same safety
+/// ladder — anchored basis, hash-verified object insertion, a
+/// connectivity walk from **every** advertised tip — guarantees a
+/// corrupt, truncated or garbled bundle fails the whole application
+/// without leaving partial state. Unlike a push there is no
+/// fast-forward rule: the primary's frontier is authoritative, so refs
+/// are force-set, branches deleted upstream are deleted here, and the
+/// working tree tracks the primary's head.
+fn apply_replica_bundle(repo: &mut Repository, bundle: &RepoBundle) -> gitlite::Result<()> {
+    for &b in &bundle.basis {
+        if !repo.odb().contains(b) {
+            return Err(gitlite::GitError::ObjectNotFound(b));
+        }
+    }
+    for (id, bytes) in &bundle.objects {
+        repo.odb_mut().put_raw(*id, bytes)?;
+    }
+    // Connectivity: every tip's closure must exist once the bundle's
+    // objects are loaded, stopping at basis commits and commit-graph
+    // entries (complete by construction — same bound as a delta push).
+    let mut seen: HashSet<ObjectId> = bundle.basis.iter().copied().collect();
+    let mut stack: Vec<ObjectId> = bundle.refs.iter().map(|(_, tip)| *tip).collect();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        if repo
+            .odb()
+            .commit_graph()
+            .is_some_and(|g| g.lookup(id).is_some())
+        {
+            continue;
+        }
+        let obj = repo.odb().get(id)?;
+        match &*obj {
+            gitlite::Object::Commit(c) => {
+                stack.push(c.tree);
+                stack.extend_from_slice(&c.parents);
+            }
+            gitlite::Object::Tree(t) => {
+                for (_, e) in t.iter() {
+                    stack.push(e.id);
+                }
+            }
+            gitlite::Object::Blob(_) => {}
+        }
+    }
+    for (branch, tip) in &bundle.refs {
+        repo.set_branch(branch, *tip)?;
+    }
+    // Track the primary's head (or any surviving ref) *before* pruning,
+    // so the branch being deleted is never the checked-out one.
+    let head = bundle
+        .head
+        .clone()
+        .filter(|h| repo.has_branch(h))
+        .or_else(|| bundle.refs.first().map(|(b, _)| b.clone()));
+    if let Some(head) = head {
+        repo.checkout_branch(&head)?;
+    }
+    if !bundle.refs.is_empty() {
+        let stale: Vec<String> = repo
+            .branches()
+            .map(|(b, _)| b.to_owned())
+            .filter(|b| !bundle.refs.iter().any(|(name, _)| name == b))
+            .collect();
+        for b in stale {
+            repo.delete_branch(&b)?;
+        }
+    }
+    Ok(())
 }
 
 fn check(hosted: &HostedRepo, username: &str, action: Action) -> Result<()> {

@@ -85,6 +85,17 @@
 //! *this* connection minted, and the replacement token is re-scoped to
 //! the connection (the old one leaves the minted set with it).
 //!
+//! # Replication traffic
+//!
+//! A follower hub ([`crate::repl`]) pulls from its primary over this
+//! same transport: `repl_status`, `repl_fetch` and the paginated audit
+//! reads are anonymous read methods, so a replica needs no credential
+//! on the primary — and the v3 binary framing moves replication
+//! bundles' objects as compressed raw bytes exactly like clones. The
+//! operator seams above stay refused on a *follower's* socket too:
+//! follower mode changes what `dispatch` will serve, never what the
+//! socket lets through.
+//!
 //! **Deployment note:** by default the hub's `login` takes a username
 //! with no secret — fine on loopback, reckless on a network. For an
 //! untrusted port, register users with secrets and turn on

@@ -81,6 +81,23 @@ impl Zenodo {
         &self.deposits[&doi]
     }
 
+    /// Ingests a deposit replicated from another hub, keyed by its
+    /// already-minted DOI. Idempotent: re-delivering an existing DOI
+    /// overwrites with identical content. The mint counter advances past
+    /// any numeric suffix seen so a later local `deposit` (e.g. after
+    /// promotion to primary) can never re-mint a replicated DOI.
+    pub fn ingest(&mut self, deposit: Deposit) -> bool {
+        if let Some(n) = deposit
+            .doi
+            .strip_prefix(DOI_PREFIX)
+            .and_then(|rest| rest.strip_prefix('.'))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            self.next_id = self.next_id.max(n);
+        }
+        self.deposits.insert(deposit.doi.clone(), deposit).is_none()
+    }
+
     /// Resolves a DOI to its deposit.
     pub fn resolve(&self, doi: &str) -> Option<&Deposit> {
         self.deposits.get(doi)

@@ -168,6 +168,7 @@ fn golden_server_metrics_response() {
         }),
         store: None,
         limits: None,
+        repl: None,
     });
     let expected = concat!(
         r#"{"v":3,"result":{"type":"metrics","metrics":{"#,
@@ -202,6 +203,7 @@ fn server_metrics_absent_field_rules() {
         transport: None,
         store: None,
         limits: None,
+        repl: None,
     });
     let expected = concat!(
         r#"{"v":3,"result":{"type":"metrics","metrics":{"#,

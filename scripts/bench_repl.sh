@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the multi-hub replication read-scaling benchmark — a primary hub
+# process absorbing sustained push traffic while fleets of 0, 1, 2 and 4
+# follower hub processes (each running a live replication engine over
+# the v3 wire) serve log_page reads of the churned repository — and
+# writes the headline numbers (reads/s per fleet size, pushes landed
+# during each window, and the speedup of each fleet over the lone
+# primary) to BENCH_repl.json at the repository root, so read scaling is
+# tracked PR over PR.
+#
+# Usage: scripts/bench_repl.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_repl.json}"
+
+raw="$(cargo bench --bench hub_repl 2>&1)"
+echo "$raw"
+
+# The bench emits one data line per fleet configuration:
+#   hub_repl_scaling followers=0 read_nodes=1 readers=4 reads_per_s=3824 pushes=1319 speedup=1.00
+#   hub_repl_scaling followers=4 read_nodes=4 readers=16 reads_per_s=25334 pushes=573 speedup=6.63
+echo "$raw" | awk '
+$1 == "hub_repl_scaling" {
+    n += 1
+    for (i = 2; i <= NF; i++) {
+        split($i, kv, "=")
+        row[n "." kv[1]] = kv[2]
+    }
+}
+END {
+    printf "{\n  \"benchmark\": \"hub_repl\",\n"
+    printf "  \"workload\": \"log_page reads of a repository under sustained concurrent pushes, served by follower fleets\",\n"
+    printf "  \"fleets\": [\n"
+    for (i = 1; i <= n; i++) {
+        printf "    {\"followers\": %d, \"read_nodes\": %d, \"readers\": %d, \"reads_per_s\": %d, \"pushes\": %d, \"speedup_vs_primary\": %.2f}%s\n", \
+            row[i ".followers"], row[i ".read_nodes"], row[i ".readers"], \
+            row[i ".reads_per_s"], row[i ".pushes"], row[i ".speedup"], (i < n ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"four_follower_speedup\": %.2f,\n", row[n ".speedup"]
+    printf "  \"acceptance\": \"4 followers >= 2.5x lone-primary read throughput (asserted by the bench itself)\"\n"
+    printf "}\n"
+}' > "$out"
+
+echo
+echo "wrote $out:"
+cat "$out"
